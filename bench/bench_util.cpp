@@ -1,0 +1,38 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vulfi::bench {
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      options.full = true;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--benchmark" && i + 1 < argc) {
+      options.benchmark = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--full] [--csv] [--benchmark NAME] [--seed N]\n"
+          "  --full       paper-scale experiment counts\n"
+          "  --csv        CSV output\n"
+          "  --benchmark  restrict to one benchmark\n"
+          "  --seed       base RNG seed\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace vulfi::bench

@@ -1,0 +1,35 @@
+// Shared helpers for the table/figure reproduction binaries: a minimal
+// flag parser and the experiment-scale presets.
+//
+// Every binary accepts:
+//   --full            paper-scale experiment counts (slow: the substrate
+//                     is an interpreter, not a Core i7-4770)
+//   --benchmark NAME  restrict to one benchmark
+//   --seed N          base RNG seed
+//   --csv             emit CSV instead of aligned text
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vulfi::bench {
+
+struct Options {
+  bool full = false;
+  bool csv = false;
+  std::string benchmark;  // empty = all
+  std::uint64_t seed = 0x5eed;
+
+  /// Campaigns per (benchmark, ISA, category) cell. Paper: 20 campaigns
+  /// of 100 experiments (§IV-D).
+  unsigned campaigns() const { return full ? 20 : 5; }
+  unsigned experiments_per_campaign() const { return full ? 100 : 40; }
+  /// Micro-benchmark detector study experiment count. Paper: 2000 per
+  /// (micro, category) cell (§IV-E).
+  unsigned micro_experiments() const { return full ? 2000 : 400; }
+};
+
+Options parse_options(int argc, char** argv);
+
+}  // namespace vulfi::bench

@@ -1,0 +1,134 @@
+// Reproduces Figure 12: the foreach-invariant detector study on the three
+// micro-benchmarks (vector copy, dot product, vector sum). For each
+// (micro, category) cell: average detector overhead, SDC rate, and SDC
+// detection rate over 2000 fault-injection experiments at paper scale
+// (§IV-E; default scale reduced, --full for 2000).
+//
+// Reproduced shape: 0% detection for pure-data faults (the loop iterator
+// can never be a pure-data site — paper's hypothesis via Figure 2),
+// highest SDC and detection under the control category (paper: ~96-100%
+// SDC, ~49-58% detection), lower SDC under address (crashes dominate),
+// and single-digit-percent average overhead.
+//
+// Overhead here is the dynamic-instruction overhead of the detector block
+// (deterministic analogue of the paper's wall-clock overhead on short
+// loop bodies).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/barchart.hpp"
+#include "detect/detector_runtime.hpp"
+#include "detect/foreach_detector.hpp"
+#include "kernels/benchmark.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "vulfi/driver.hpp"
+
+namespace {
+
+using namespace vulfi;
+
+constexpr analysis::FaultSiteCategory kCategories[] = {
+    analysis::FaultSiteCategory::PureData,
+    analysis::FaultSiteCategory::Control,
+    analysis::FaultSiteCategory::Address,
+};
+
+/// Dynamic-instruction overhead of the inserted detector blocks,
+/// averaged across the predefined inputs (uninstrumented runs).
+double detector_overhead(const kernels::Benchmark& bench,
+                         const spmd::Target& target) {
+  double ratio_sum = 0.0;
+  for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+    RunSpec plain = bench.build(target, input);
+    RunSpec with_det = bench.build(target, input);
+    detect::insert_foreach_detectors(*with_det.module);
+
+    auto run = [](RunSpec& spec) {
+      interp::RuntimeEnv env;
+      interp::DetectionLog log;
+      detect::attach_detector_runtime(env, log);
+      interp::Arena arena = spec.arena;
+      interp::Interpreter interp(arena, env);
+      return interp.run(*spec.entry, spec.args).stats.total_instructions;
+    };
+    const double base = static_cast<double>(run(plain));
+    const double detected = static_cast<double>(run(with_det));
+    ratio_sum += (detected - base) / base;
+  }
+  return ratio_sum / bench.num_inputs();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  const spmd::Target target = spmd::Target::avx();
+
+  std::printf("Figure 12: SDC detection with foreach-invariant detectors "
+              "(%u experiments per cell%s)\n\n",
+              options.micro_experiments(),
+              options.full ? ", paper scale" : "; use --full for paper scale");
+
+  TextTable table({"Micro-benchmark", "Category", "Avg Overhead", "SDC",
+                   "Crash", "SDC Detection Rate", "SDC(#) Detected(D)"});
+
+  for (const kernels::Benchmark* bench : kernels::micro_benchmarks()) {
+    if (!options.benchmark.empty() && bench->name() != options.benchmark) {
+      continue;
+    }
+    const double overhead = detector_overhead(*bench, target);
+    for (analysis::FaultSiteCategory category : kCategories) {
+      std::vector<std::unique_ptr<InjectionEngine>> engines;
+      for (unsigned input = 0; input < bench->num_inputs(); ++input) {
+        RunSpec spec = bench->build(target, input);
+        detect::insert_foreach_detectors(*spec.module);
+        engines.push_back(
+            std::make_unique<InjectionEngine>(std::move(spec), category));
+        engines.back()->setup_runtime(
+            [engine = engines.back().get()](interp::RuntimeEnv& env) {
+              detect::attach_detector_runtime(env, engine->detection_log());
+            });
+      }
+
+      Rng rng(options.seed ^
+              (std::hash<std::string>{}(bench->name()) +
+               static_cast<std::uint64_t>(category) * 193));
+      std::uint64_t sdc = 0, crash = 0, detected_sdc = 0;
+      const unsigned experiments = options.micro_experiments();
+      for (unsigned i = 0; i < experiments; ++i) {
+        InjectionEngine& engine =
+            *engines[rng.next_below(engines.size())];
+        const ExperimentResult result = engine.run_experiment(rng);
+        switch (result.outcome) {
+          case Outcome::SDC:
+            sdc += 1;
+            if (result.detected) detected_sdc += 1;
+            break;
+          case Outcome::Crash:
+            crash += 1;
+            break;
+          case Outcome::Benign:
+            break;
+        }
+      }
+      const double sdc_rate = static_cast<double>(sdc) / experiments;
+      const double crash_rate = static_cast<double>(crash) / experiments;
+      const double detection =
+          sdc == 0 ? 0.0
+                   : static_cast<double>(detected_sdc) /
+                         static_cast<double>(sdc);
+      table.add_row({bench->name(), analysis::category_name(category),
+                     pct(overhead), pct(sdc_rate), pct(crash_rate),
+                     pct(detection),
+                     stacked_bar({{sdc_rate * detection, 'D'},
+                                  {sdc_rate * (1.0 - detection), '#'}},
+                                 30)});
+      std::fprintf(stderr, "  done: %s/%s\n", bench->name().c_str(),
+                   analysis::category_name(category));
+    }
+  }
+  std::fputs(options.csv ? table.to_csv().c_str() : table.render().c_str(),
+             stdout);
+  return 0;
+}

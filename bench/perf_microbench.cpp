@@ -1,0 +1,142 @@
+// google-benchmark microbenchmarks for the framework itself: interpreter
+// throughput, instrumentation pass cost, instrumented-run slowdown,
+// detector insertion, site enumeration/classification, and the campaign
+// statistics kernels. Supplementary to the paper tables — these quantify
+// the tooling, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "analysis/instr_mix.hpp"
+#include "detect/foreach_detector.hpp"
+#include "interp/interpreter.hpp"
+#include "kernels/benchmark.hpp"
+#include "support/stats.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+#include "vulfi/instrument.hpp"
+
+namespace {
+
+using namespace vulfi;
+
+void BM_InterpreterCleanRun(benchmark::State& state,
+                            const std::string& name) {
+  const kernels::Benchmark* bench = kernels::find_benchmark(name);
+  RunSpec spec = bench->build(spmd::Target::avx(), 0);
+  interp::RuntimeEnv env;
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    interp::Arena arena = spec.arena;
+    interp::Interpreter interp(arena, env);
+    const auto result = interp.run(*spec.entry, spec.args);
+    benchmark::DoNotOptimize(result.stats.total_instructions);
+    instructions += result.stats.total_instructions;
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_InterpreterCleanRun, blackscholes,
+                  std::string("blackscholes"));
+BENCHMARK_CAPTURE(BM_InterpreterCleanRun, stencil, std::string("stencil"));
+BENCHMARK_CAPTURE(BM_InterpreterCleanRun, cg, std::string("cg"));
+
+void BM_KernelBuild(benchmark::State& state) {
+  const kernels::Benchmark* bench = kernels::find_benchmark("stencil");
+  for (auto _ : state) {
+    RunSpec spec = bench->build(spmd::Target::avx(), 0);
+    benchmark::DoNotOptimize(spec.entry);
+  }
+}
+BENCHMARK(BM_KernelBuild);
+
+void BM_InstrumentorPass(benchmark::State& state) {
+  const kernels::Benchmark* bench = kernels::find_benchmark("raytracing");
+  for (auto _ : state) {
+    state.PauseTiming();
+    RunSpec spec = bench->build(spmd::Target::avx(), 0);
+    state.ResumeTiming();
+    Instrumentor instrumentor;
+    const auto sites = instrumentor.run(*spec.entry);
+    benchmark::DoNotOptimize(sites.size());
+  }
+}
+BENCHMARK(BM_InstrumentorPass);
+
+void BM_SiteEnumerationAndClassification(benchmark::State& state) {
+  const kernels::Benchmark* bench = kernels::find_benchmark("raytracing");
+  RunSpec spec = bench->build(spmd::Target::avx(), 0);
+  for (auto _ : state) {
+    const auto sites = enumerate_fault_sites(*spec.entry);
+    benchmark::DoNotOptimize(sites.size());
+  }
+}
+BENCHMARK(BM_SiteEnumerationAndClassification);
+
+void BM_InstructionMixCensus(benchmark::State& state) {
+  const kernels::Benchmark* bench = kernels::find_benchmark("sorting");
+  RunSpec spec = bench->build(spmd::Target::avx(), 0);
+  for (auto _ : state) {
+    const auto mix = analysis::instruction_mix(*spec.entry);
+    benchmark::DoNotOptimize(
+        mix.category(analysis::FaultSiteCategory::Control).total());
+  }
+}
+BENCHMARK(BM_InstructionMixCensus);
+
+void BM_InstrumentedRunSlowdown(benchmark::State& state) {
+  const kernels::Benchmark* bench = kernels::find_benchmark("stencil");
+  InjectionEngine engine(bench->build(spmd::Target::avx(), 0),
+                         analysis::FaultSiteCategory::PureData);
+  for (auto _ : state) {
+    const auto result = engine.run_clean();
+    benchmark::DoNotOptimize(result.stats.total_instructions);
+  }
+}
+BENCHMARK(BM_InstrumentedRunSlowdown);
+
+void BM_FullExperiment(benchmark::State& state) {
+  const kernels::Benchmark* bench = kernels::find_benchmark("dot");
+  InjectionEngine engine(bench->build(spmd::Target::avx(), 0),
+                         analysis::FaultSiteCategory::PureData);
+  Rng rng(1234);
+  for (auto _ : state) {
+    const auto result = engine.run_experiment(rng);
+    benchmark::DoNotOptimize(result.outcome);
+  }
+}
+BENCHMARK(BM_FullExperiment);
+
+void BM_DetectorInsertion(benchmark::State& state) {
+  const kernels::Benchmark* bench = kernels::find_benchmark("jacobi");
+  for (auto _ : state) {
+    state.PauseTiming();
+    RunSpec spec = bench->build(spmd::Target::avx(), 0);
+    state.ResumeTiming();
+    const unsigned inserted =
+        detect::insert_foreach_detectors(*spec.module);
+    benchmark::DoNotOptimize(inserted);
+  }
+}
+BENCHMARK(BM_DetectorInsertion);
+
+void BM_StudentTCritical(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(students_t_critical(0.95, 19));
+  }
+}
+BENCHMARK(BM_StudentTCritical);
+
+void BM_OnlineStatsMoments(benchmark::State& state) {
+  Rng rng(99);
+  std::vector<double> samples(1000);
+  for (double& sample : samples) sample = rng.next_double();
+  for (auto _ : state) {
+    OnlineStats stats;
+    for (double sample : samples) stats.add(sample);
+    benchmark::DoNotOptimize(stats.excess_kurtosis());
+  }
+}
+BENCHMARK(BM_OnlineStatsMoments);
+
+}  // namespace
+
+BENCHMARK_MAIN();

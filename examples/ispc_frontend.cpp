@@ -1,0 +1,128 @@
+// The SPMD language front end, end to end: compile ISPC-like kernel
+// source text, synthesize detectors from its code-generation invariants,
+// and run a fault-injection study on the compiled kernel — the full
+// workflow the paper envisions for "languages such as ISPC and OpenCL,
+// and their associated compilers".
+#include <cstdio>
+
+#include "detect/detector_runtime.hpp"
+#include "detect/foreach_detector.hpp"
+#include "detect/uniform_detector.hpp"
+#include "ir/printer.hpp"
+#include "spmd/lang/compiler.hpp"
+#include "vulfi/driver.hpp"
+
+using namespace vulfi;
+
+namespace {
+
+constexpr const char* kSource = R"ispc(
+// Polynomial evaluation with a clamp — exercises uniform broadcasts,
+// loop-carried values, ternaries, and the masked foreach remainder.
+kernel polyclamp(uniform float x[], uniform float out[],
+                 uniform int n, uniform int degree, uniform float hi) {
+  foreach (i = 0 ... n) {
+    float acc = 1.0;
+    float power = x[i];
+    for (uniform int k = 0; k < degree; k++) {
+      acc = acc + power;
+      power = power * x[i];
+    }
+    out[i] = acc > hi ? hi : acc;
+  }
+}
+
+// Energy reduction: uniform '+=' accumulates across lanes.
+kernel energy(uniform float v[], uniform float out[], uniform int n) {
+  uniform float total = 0.0;
+  foreach (i = 0 ... n) {
+    total += v[i] * v[i];
+  }
+  out[0] = total;
+}
+)ispc";
+
+}  // namespace
+
+int main() {
+  const spmd::Target target = spmd::Target::avx();
+  spmd::lang::CompileResult compiled =
+      spmd::lang::compile_program(kSource, target, "frontend_demo");
+  if (!compiled.ok()) {
+    for (const std::string& err : compiled.errors) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+    }
+    return 1;
+  }
+  std::printf("compiled %zu kernels; polyclamp IR:\n\n%s\n",
+              compiled.module->functions().size(),
+              ir::to_string(*compiled.module->find_function("polyclamp"))
+                  .c_str());
+
+  // Detector synthesis works on compiled code exactly as on built code:
+  // the compiler emits the same Figure-7 / Figure-9 patterns.
+  const unsigned loops = detect::insert_foreach_detectors(*compiled.module);
+  const unsigned uniforms =
+      detect::insert_uniform_detectors(*compiled.module);
+  std::printf("inserted %u foreach-invariant and %u lanes-equal "
+              "detectors\n\n",
+              loops, uniforms);
+
+  // Fault-injection study on the compiled polyclamp kernel.
+  RunSpec spec;
+  spec.module = std::move(compiled.module);
+  spec.entry = spec.module->find_function("polyclamp");
+  const int n = 45;
+  const std::uint64_t x = spec.arena.alloc(n * 4, "x");
+  const std::uint64_t out = spec.arena.alloc(n * 4, "out");
+  for (int i = 0; i < n; ++i) {
+    spec.arena.write<float>(x + i * 4u, 0.01f * static_cast<float>(i));
+    spec.arena.write<float>(out + i * 4u, 0.0f);
+  }
+  spec.args = {interp::RtVal::ptr(x), interp::RtVal::ptr(out),
+               interp::RtVal::i32(n), interp::RtVal::i32(5),
+               interp::RtVal::f32(2.5f)};
+  spec.output_regions = {"out"};
+
+  for (analysis::FaultSiteCategory category :
+       {analysis::FaultSiteCategory::PureData,
+        analysis::FaultSiteCategory::Control,
+        analysis::FaultSiteCategory::Address}) {
+    RunSpec fresh;
+    {
+      spmd::lang::CompileResult rebuilt =
+          spmd::lang::compile_program(kSource, target, "frontend_demo");
+      detect::insert_foreach_detectors(*rebuilt.module);
+      fresh.module = std::move(rebuilt.module);
+      fresh.entry = fresh.module->find_function("polyclamp");
+      fresh.arena = spec.arena;
+      fresh.args = spec.args;
+      fresh.output_regions = spec.output_regions;
+    }
+    InjectionEngine engine(std::move(fresh), category);
+    engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
+      detect::attach_detector_runtime(env, engine.detection_log());
+    });
+    Rng rng(7);
+    unsigned sdc = 0, benign = 0, crash = 0, detected_sdc = 0;
+    const unsigned experiments = 150;
+    for (unsigned i = 0; i < experiments; ++i) {
+      const ExperimentResult r = engine.run_experiment(rng);
+      switch (r.outcome) {
+        case Outcome::SDC:
+          sdc += 1;
+          if (r.detected) detected_sdc += 1;
+          break;
+        case Outcome::Benign: benign += 1; break;
+        case Outcome::Crash: crash += 1; break;
+      }
+    }
+    std::printf("%-9s : SDC %5.1f%%  Benign %5.1f%%  Crash %5.1f%%  "
+                "SDC detection %5.1f%%\n",
+                analysis::category_name(category),
+                100.0 * sdc / experiments, 100.0 * benign / experiments,
+                100.0 * crash / experiments,
+                sdc ? 100.0 * detected_sdc / sdc : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a small SPMD kernel, instrument it with VULFI, and run
+// one fault-injection experiment.
+//
+//   $ ./quickstart
+//
+// Walks the library's core loop end to end:
+//   1. construct an ISPC-style `foreach` kernel (a saxpy) for the AVX
+//      target — the lowering produces the paper's Figure-7 CFG;
+//   2. enumerate and classify its fault sites (pure-data / control /
+//      address, per the forward-slice rules of Figure 2);
+//   3. instrument every site with calls into the injection runtime
+//      (the extract → inject → insert chains of Figure 5);
+//   4. run a golden + faulty execution pair and classify the outcome.
+#include <cstdio>
+
+#include "ir/printer.hpp"
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/rng.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+
+using namespace vulfi;
+
+int main() {
+  // --- 1. build a saxpy kernel: y[i] = a*x[i] + y[i] ---------------------
+  const spmd::Target target = spmd::Target::avx();
+  RunSpec spec;
+  spec.module = std::make_unique<ir::Module>("quickstart");
+  spmd::KernelBuilder kb(
+      *spec.module, target, "saxpy",
+      {ir::Type::ptr(), ir::Type::ptr(), ir::Type::i32(), ir::Type::f32()});
+  ir::Value* x = kb.arg(0);
+  ir::Value* y = kb.arg(1);
+  ir::Value* n = kb.arg(2);
+  ir::Value* a = kb.uniform(kb.arg(3), "a_broadcast");  // Figure-9 idiom
+  kb.foreach_loop(kb.b().i32_const(0), n, [&](spmd::ForeachCtx& ctx) {
+    ir::Value* xv = ctx.load(ir::Type::f32(), x);
+    ir::Value* yv = ctx.load(ir::Type::f32(), y);
+    ctx.store(ctx.b().fadd(ctx.b().fmul(a, xv, "ax"), yv, "axpy"), y);
+  });
+  kb.finish();
+  spec.entry = spec.module->find_function("saxpy");
+
+  std::printf("=== lowered kernel (before instrumentation) ===\n%s\n",
+              ir::to_string(*spec.entry).c_str());
+
+  // --- 2. host setup: inputs in the arena --------------------------------
+  const unsigned count = 37;  // not a multiple of 8: exercises the mask path
+  const std::uint64_t x_base =
+      kernels::alloc_f32(spec.arena, "x", kernels::random_f32(count, 1));
+  const std::uint64_t y_base =
+      kernels::alloc_f32(spec.arena, "y", kernels::random_f32(count, 2));
+  spec.args = {interp::RtVal::ptr(x_base), interp::RtVal::ptr(y_base),
+               interp::RtVal::i32(count), interp::RtVal::f32(1.5f)};
+  spec.output_regions = {"y"};
+
+  // --- 3. instrument + inspect the fault-site population -----------------
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::PureData);
+  unsigned pure_data = 0, control = 0, address = 0;
+  for (const FaultSite& site : engine.sites()) {
+    if (site.site_class.pure_data()) pure_data += 1;
+    if (site.site_class.control) control += 1;
+    if (site.site_class.address) address += 1;
+  }
+  std::printf("static fault sites: %zu  (pure-data %u, control %u, "
+              "address %u; control/address overlap is expected)\n\n",
+              engine.sites().size(), pure_data, control, address);
+
+  // --- 4. golden + faulty execution pairs --------------------------------
+  Rng rng(2024);
+  for (int i = 0; i < 5; ++i) {
+    const ExperimentResult r = engine.run_experiment(rng);
+    std::printf("experiment %d: outcome=%-6s  dynamic sites=%llu  "
+                "injected site=%u lane=%u bit=%u\n",
+                i, outcome_name(r.outcome),
+                static_cast<unsigned long long>(r.dynamic_sites),
+                r.injection.site_id, r.injection.lane, r.injection.bit);
+  }
+  return 0;
+}

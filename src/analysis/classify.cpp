@@ -1,0 +1,101 @@
+#include "analysis/classify.hpp"
+
+#include "analysis/slicing.hpp"
+#include "ir/function.hpp"
+
+namespace vulfi::analysis {
+
+const char* category_name(FaultSiteCategory category) {
+  switch (category) {
+    case FaultSiteCategory::PureData: return "pure-data";
+    case FaultSiteCategory::Control: return "control";
+    case FaultSiteCategory::Address: return "address";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_control_flow(const ir::Instruction& inst) {
+  // Only conditional branches consume a value that steers control; an
+  // unconditional br has no operands and can never appear in a slice.
+  return inst.opcode() == ir::Opcode::CondBr;
+}
+
+bool is_address_use(const ir::Instruction& inst, const ir::Value& from,
+                    AddressRule rule) {
+  if (inst.opcode() == ir::Opcode::GetElementPtr) return true;
+  if (rule == AddressRule::GepOnly) return false;
+  // Extension: value used directly as the pointer operand of a memory op.
+  switch (inst.opcode()) {
+    case ir::Opcode::Load:
+      return inst.operand(0) == &from;
+    case ir::Opcode::Store:
+      return inst.operand(1) == &from;
+    case ir::Opcode::Call: {
+      const ir::IntrinsicInfo& info = inst.callee()->intrinsic_info();
+      if (info.id == ir::IntrinsicId::MaskLoad ||
+          info.id == ir::IntrinsicId::MaskStore) {
+        return inst.num_operands() > 0 && inst.operand(0) == &from;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+SiteClass classify_value(const ir::Value& value, AddressRule rule) {
+  SiteClass cls;
+  const auto slice = forward_slice(value);
+  for (const ir::Instruction* inst : slice) {
+    if (is_control_flow(*inst)) cls.control = true;
+    if (!cls.address) {
+      if (inst->opcode() == ir::Opcode::GetElementPtr) {
+        cls.address = true;
+      } else if (rule == AddressRule::GepOrMemOperand) {
+        // The direct-operand form needs the producing edge; approximate by
+        // checking whether any slice member (or the root) feeds this
+        // instruction's pointer operand.
+        for (unsigned i = 0; i < inst->num_operands(); ++i) {
+          const ir::Value* operand = inst->operand(i);
+          if ((operand == &value || slice.count(dynamic_cast<const ir::Instruction*>(operand))) &&
+              is_address_use(*inst, *operand, rule)) {
+            cls.address = true;
+            break;
+          }
+        }
+      }
+    }
+    if (cls.control && cls.address) break;
+  }
+  return cls;
+}
+
+bool is_fault_site_instruction(const ir::Instruction& inst) {
+  switch (inst.opcode()) {
+    case ir::Opcode::Phi:
+      // Phi pseudo-moves are not instrumented (the producing instructions
+      // on every incoming path already are); see DESIGN.md.
+      return false;
+    case ir::Opcode::Store:
+      return inst.operand(0)->type().is_integer() ||
+             inst.operand(0)->type().is_float();
+    case ir::Opcode::Call: {
+      const ir::Function* callee = inst.callee();
+      if (callee->kind() == ir::FunctionKind::Runtime) return false;
+      if (callee->intrinsic_info().id == ir::IntrinsicId::MaskStore) {
+        const int data = callee->intrinsic_info().data_operand;
+        const ir::Type data_type = inst.operand(static_cast<unsigned>(data))->type();
+        return data_type.is_integer() || data_type.is_float();
+      }
+      return inst.type().is_integer() || inst.type().is_float();
+    }
+    default:
+      return inst.type().is_integer() || inst.type().is_float();
+  }
+}
+
+}  // namespace vulfi::analysis

@@ -1,0 +1,59 @@
+// Fault-site classification (paper §II-C and Figure 2).
+//
+// VULFI analyzes the forward slice of a fault site and classifies it:
+//   * pure-data site — the slice has no getelementptr and no control-flow
+//     instruction;
+//   * control site   — the slice has at least one control-flow instruction;
+//   * address site   — the slice has at least one getelementptr.
+// Control and address overlap (the loop iterator `i` in the paper's
+// Figure 3 is both); pure-data is exactly the complement of their union.
+#pragma once
+
+#include <string>
+
+#include "ir/instruction.hpp"
+#include "ir/value.hpp"
+
+namespace vulfi::analysis {
+
+/// The three selection heuristics of §II-C. A site with an overlapping
+/// class (control + address) is eligible under both heuristics.
+enum class FaultSiteCategory { PureData, Control, Address };
+
+const char* category_name(FaultSiteCategory category);
+
+/// What counts as an "address use" in the slice.
+enum class AddressRule {
+  /// The paper's rule: only getelementptr instructions.
+  GepOnly,
+  /// Ablation extension: additionally, appearing as the pointer operand of
+  /// a load, store, or masked memory intrinsic counts as an address use.
+  GepOrMemOperand,
+};
+
+struct SiteClass {
+  bool control = false;
+  bool address = false;
+
+  bool pure_data() const { return !control && !address; }
+  bool matches(FaultSiteCategory category) const {
+    switch (category) {
+      case FaultSiteCategory::PureData: return pure_data();
+      case FaultSiteCategory::Control: return control;
+      case FaultSiteCategory::Address: return address;
+    }
+    return false;
+  }
+};
+
+/// Classifies the forward slice of `value`.
+SiteClass classify_value(const ir::Value& value,
+                         AddressRule rule = AddressRule::GepOnly);
+
+/// True when `inst` carries at least one fault site under the paper's
+/// fault model (§II-B): its Lvalue holds an integer or floating-point
+/// value, or it is a (masked) store whose stored value does. Pointer
+/// Lvalues (getelementptr, alloca) and phi pseudo-moves are excluded.
+bool is_fault_site_instruction(const ir::Instruction& inst);
+
+}  // namespace vulfi::analysis

@@ -1,0 +1,53 @@
+#include "analysis/instr_mix.hpp"
+
+namespace vulfi::analysis {
+
+namespace {
+
+const ir::Value* site_value(const ir::Instruction& inst) {
+  if (inst.opcode() == ir::Opcode::Store) return inst.operand(0);
+  if (inst.opcode() == ir::Opcode::Call) {
+    const ir::IntrinsicInfo& info = inst.callee()->intrinsic_info();
+    if (info.id == ir::IntrinsicId::MaskStore) {
+      return inst.operand(static_cast<unsigned>(info.data_operand));
+    }
+  }
+  return &inst;
+}
+
+}  // namespace
+
+InstructionMix instruction_mix(const ir::Function& fn, AddressRule rule) {
+  InstructionMix mix;
+  for (const auto& block : fn) {
+    for (const auto& inst : *block) {
+      if (!is_fault_site_instruction(*inst)) continue;
+      const SiteClass cls = classify_value(*site_value(*inst), rule);
+      auto tally = [&](FaultSiteCategory category) {
+        MixCount& count = mix.category(category);
+        if (inst->is_vector_instruction()) {
+          count.vector_instructions += 1;
+        } else {
+          count.scalar_instructions += 1;
+        }
+      };
+      if (cls.pure_data()) tally(FaultSiteCategory::PureData);
+      if (cls.control) tally(FaultSiteCategory::Control);
+      if (cls.address) tally(FaultSiteCategory::Address);
+    }
+  }
+  return mix;
+}
+
+InstructionMix merge(const InstructionMix& a, const InstructionMix& b) {
+  InstructionMix out = a;
+  for (std::size_t i = 0; i < out.by_category.size(); ++i) {
+    out.by_category[i].vector_instructions +=
+        b.by_category[i].vector_instructions;
+    out.by_category[i].scalar_instructions +=
+        b.by_category[i].scalar_instructions;
+  }
+  return out;
+}
+
+}  // namespace vulfi::analysis

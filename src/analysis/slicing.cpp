@@ -1,0 +1,24 @@
+#include "analysis/slicing.hpp"
+
+#include <vector>
+
+namespace vulfi::analysis {
+
+std::unordered_set<const ir::Instruction*> forward_slice(
+    const ir::Value& root) {
+  std::unordered_set<const ir::Instruction*> slice;
+  std::vector<const ir::Value*> worklist = {&root};
+  while (!worklist.empty()) {
+    const ir::Value* value = worklist.back();
+    worklist.pop_back();
+    for (const ir::Instruction* user : value->users()) {
+      if (!slice.insert(user).second) continue;
+      if (!user->type().is_void()) {
+        worklist.push_back(user);
+      }
+    }
+  }
+  return slice;
+}
+
+}  // namespace vulfi::analysis

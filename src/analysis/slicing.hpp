@@ -1,0 +1,23 @@
+// Forward slicing over SSA def-use edges.
+//
+// VULFI classifies each fault site by analyzing the forward slice of the
+// site's value (paper §II-C): the set of instructions transitively reached
+// by following def-use edges from the value. The slice is purely
+// register-level — data that escapes through memory (store then load) is
+// not tracked, matching an LLVM-level slicer.
+#pragma once
+
+#include <unordered_set>
+
+#include "ir/instruction.hpp"
+#include "ir/value.hpp"
+
+namespace vulfi::analysis {
+
+/// All instructions reachable from `root` by repeatedly following
+/// value -> user edges (the user instruction joins the slice; if it
+/// produces a value, its own users are followed, and so on).
+std::unordered_set<const ir::Instruction*> forward_slice(
+    const ir::Value& root);
+
+}  // namespace vulfi::analysis

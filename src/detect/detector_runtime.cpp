@@ -1,0 +1,56 @@
+#include "detect/detector_runtime.hpp"
+
+#include "detect/foreach_detector.hpp"
+#include "detect/uniform_detector.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::detect {
+
+bool foreach_invariants_hold(std::int64_t new_counter,
+                             std::int64_t aligned_end, std::int64_t vl) {
+  if (vl <= 0) return false;
+  if (new_counter < 0) return false;                // Invariant 1
+  if (new_counter > aligned_end) return false;      // Invariant 2
+  if (new_counter % vl != 0) return false;          // Invariant 3
+  return true;
+}
+
+void attach_detector_runtime(interp::RuntimeEnv& env,
+                             interp::DetectionLog& log) {
+  env.register_handler(
+      kForeachDetectorFn,
+      [&log](const std::vector<interp::RtVal>& args) {
+        VULFI_ASSERT(args.size() == 3, "foreach detector takes 3 args");
+        if (!foreach_invariants_hold(args[0].lane_int(0),
+                                     args[1].lane_int(0),
+                                     args[2].lane_int(0))) {
+          log.events += 1;
+        }
+        return interp::RtVal{};
+      });
+
+  auto lanes_equal = [&log](const std::vector<interp::RtVal>& args) {
+    VULFI_ASSERT(args.size() == 1, "lanes-equal detector takes 1 arg");
+    const interp::RtVal& vec = args[0];
+    // XOR every lane's raw bit pattern against lane 0: any set bit in the
+    // accumulated difference means the lanes diverged.
+    std::uint64_t diff = 0;
+    for (unsigned lane = 1; lane < vec.lanes(); ++lane) {
+      diff |= vec.raw[lane] ^ vec.raw[0];
+    }
+    if (diff != 0) log.events += 1;
+    return interp::RtVal{};
+  };
+
+  const ir::TypeKind kinds[] = {ir::TypeKind::F32, ir::TypeKind::F64,
+                                ir::TypeKind::I32, ir::TypeKind::I64};
+  const unsigned widths[] = {2, 4, 8, 16};
+  for (ir::TypeKind kind : kinds) {
+    for (unsigned width : widths) {
+      env.register_handler(
+          lanes_equal_fn_name(ir::Type::vector(kind, width)), lanes_equal);
+    }
+  }
+}
+
+}  // namespace vulfi::detect

@@ -1,0 +1,25 @@
+// Detector runtime: host implementations of the checker calls the detector
+// passes insert. Violations are recorded in a DetectionLog — execution
+// continues, the experiment driver reads the flag after the run (the
+// paper reports "SDCs ... that get flagged by our detectors").
+#pragma once
+
+#include "interp/runtime.hpp"
+
+namespace vulfi::detect {
+
+/// Registers handlers for:
+///  * vulfi.detect.foreach(new_counter, aligned_end, vl) — checks the
+///    three Figure-8 invariants;
+///  * vulfi.detect.lanes_equal.<vNty>(vec) — XOR-compares all lane bit
+///    patterns (Figure 9 check) for every 32/64-bit 2/4/8-lane shape.
+/// `log` must outlive `env`.
+void attach_detector_runtime(interp::RuntimeEnv& env,
+                             interp::DetectionLog& log);
+
+/// The invariant predicate itself, exposed for unit tests:
+/// true iff all three foreach invariants hold.
+bool foreach_invariants_hold(std::int64_t new_counter,
+                             std::int64_t aligned_end, std::int64_t vl);
+
+}  // namespace vulfi::detect

@@ -1,0 +1,190 @@
+#include "detect/foreach_detector.hpp"
+
+#include <string_view>
+
+#include "ir/builder.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::detect {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+ir::Function* declare_foreach_detector(ir::Module& module) {
+  return module.declare_runtime(
+      kForeachDetectorFn, Type::void_ty(),
+      {Type::i32(), Type::i32(), Type::i32()});
+}
+
+namespace {
+
+bool is_full_body_header(const BasicBlock& block) {
+  const std::string_view name = block.name();
+  return name.starts_with("foreach_full_body") &&
+         name.find(".lr.ph") == std::string_view::npos;
+}
+
+/// Structural signature of the aligned trip bound: aligned_end is
+/// `sub(n, srem(n, Vl))` for the same n and the loop's Vl. This is the
+/// code-generation invariant itself — it holds regardless of how the
+/// code generator happened to name its blocks, so the matcher does not
+/// depend on the name hint alone.
+bool is_aligned_end_of(const Value* aligned_end, unsigned vl) {
+  const auto* sub = dynamic_cast<const Instruction*>(aligned_end);
+  if (!sub || sub->opcode() != Opcode::Sub) return false;
+  const auto* srem = dynamic_cast<const Instruction*>(sub->operand(1));
+  if (!srem || srem->opcode() != Opcode::SRem) return false;
+  if (srem->operand(0) != sub->operand(0)) return false;
+  const auto* step = dynamic_cast<const ir::Constant*>(srem->operand(1));
+  return step && step->type() == Type::i32() &&
+         step->int_value() == static_cast<std::int64_t>(vl);
+}
+
+/// Matches `add i32 %phi, <const Vl>` among the users of the phi.
+Instruction* find_counter_increment(Instruction* phi, unsigned* vl_out) {
+  for (Instruction* user : phi->users()) {
+    if (user->opcode() != Opcode::Add) continue;
+    if (user->operand(0) != phi) continue;
+    const auto* step = dynamic_cast<const ir::Constant*>(user->operand(1));
+    if (!step || step->type() != Type::i32()) continue;
+    const std::int64_t vl = step->int_value();
+    // Vector lengths are small powers of two (4 for SSE, 8 for AVX).
+    if (vl < 2 || vl > 64 || (vl & (vl - 1)) != 0) continue;
+    *vl_out = static_cast<unsigned>(vl);
+    return user;
+  }
+  return nullptr;
+}
+
+/// Finds the latch: an icmp slt (new_counter, aligned_end) feeding a
+/// conditional branch whose true successor is the loop header.
+bool find_latch(Instruction* new_counter, BasicBlock* header,
+                ForeachLoopMatch* match) {
+  for (Instruction* cmp : new_counter->users()) {
+    if (cmp->opcode() != Opcode::ICmp) continue;
+    if (cmp->icmp_pred() != ir::ICmpPred::SLT) continue;
+    if (cmp->operand(0) != new_counter) continue;
+    for (Instruction* br : cmp->users()) {
+      if (br->opcode() != Opcode::CondBr) continue;
+      if (br->successor(0) != header) continue;
+      match->latch_block = br->parent();
+      match->aligned_end = cmp->operand(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ForeachLoopMatch> find_foreach_loops(ir::Function& fn) {
+  std::vector<ForeachLoopMatch> matches;
+  if (!fn.is_definition()) return matches;
+  for (auto& block : fn) {
+    ForeachLoopMatch match;
+    match.header = block.get();
+    // The counter is the i32 phi whose increment-by-Vl feeds the latch
+    // compare against aligned_end. Recognition accepts either evidence:
+    // the structural aligned_end signature (sub/srem against the same n,
+    // the invariant itself), or the code generator's block-name hint —
+    // exactly the two facts the paper extracted from ISPC's codegen.
+    for (auto& inst : *block) {
+      if (inst->opcode() != Opcode::Phi) break;
+      if (inst->type() != Type::i32()) continue;
+      unsigned vl = 0;
+      Instruction* increment = find_counter_increment(inst.get(), &vl);
+      if (!increment) continue;
+      if (!find_latch(increment, block.get(), &match)) continue;
+      if (!is_aligned_end_of(match.aligned_end, vl) &&
+          !is_full_body_header(*block)) {
+        continue;
+      }
+      match.counter_phi = inst.get();
+      match.new_counter = increment;
+      match.vl = vl;
+      break;
+    }
+    if (match.counter_phi != nullptr) {
+      matches.push_back(match);
+    }
+  }
+  return matches;
+}
+
+namespace {
+
+void insert_exit_check(ir::Function& fn, const ForeachLoopMatch& match,
+                       unsigned ordinal) {
+  ir::Module& module = *fn.parent();
+  ir::Function* detector = declare_foreach_detector(module);
+  Instruction* latch_br = match.latch_block->terminator();
+  BasicBlock* exit_target = latch_br->successor(1);
+
+  const std::string name =
+      ordinal == 0 ? "foreach_fullbody_check_invariants"
+                   : strf("foreach_fullbody_check_invariants%u", ordinal);
+  BasicBlock* check =
+      fn.create_block_after(name, match.latch_block);
+
+  ir::IRBuilder b(module);
+  b.set_insert_block(check);
+  b.call(detector, {match.new_counter, match.aligned_end,
+                    module.const_int(Type::i32(), match.vl)});
+  b.br(exit_target);
+
+  latch_br->set_successor(1, check);
+
+  // Phis in the old exit target must now name the detector block as the
+  // incoming edge.
+  for (auto& inst : *exit_target) {
+    if (inst->opcode() != Opcode::Phi) break;
+    inst->phi_replace_incoming_block(match.latch_block, check);
+  }
+}
+
+void insert_iteration_check(ir::Function& fn, const ForeachLoopMatch& match) {
+  ir::Module& module = *fn.parent();
+  ir::Function* detector = declare_foreach_detector(module);
+  // Check immediately after new_counter is computed, every iteration.
+  ir::IRBuilder b(module);
+  b.set_insert_after(match.new_counter);
+  b.call(detector, {match.new_counter, match.aligned_end,
+                    module.const_int(Type::i32(), match.vl)});
+}
+
+}  // namespace
+
+unsigned insert_foreach_detectors(ir::Function& fn,
+                                  CheckPlacement placement) {
+  const std::vector<ForeachLoopMatch> matches = find_foreach_loops(fn);
+  unsigned ordinal = 0;
+  for (const ForeachLoopMatch& match : matches) {
+    if (placement == CheckPlacement::EveryIteration) {
+      insert_iteration_check(fn, match);
+    }
+    insert_exit_check(fn, match, ordinal);
+    ordinal += 1;
+  }
+  return ordinal;
+}
+
+unsigned insert_foreach_detectors(ir::Module& module,
+                                  CheckPlacement placement) {
+  // Snapshot the definition list first: inserting a detector declares the
+  // runtime function, which grows module.functions() under iteration.
+  std::vector<ir::Function*> definitions;
+  for (const auto& fn : module.functions()) {
+    if (fn->is_definition()) definitions.push_back(fn.get());
+  }
+  unsigned total = 0;
+  for (ir::Function* fn : definitions) {
+    total += insert_foreach_detectors(*fn, placement);
+  }
+  return total;
+}
+
+}  // namespace vulfi::detect

@@ -1,0 +1,62 @@
+// Foreach loop-invariant error detectors (paper §III-A, Figures 7 and 8).
+//
+// The ISPC code generator guarantees, for every foreach full-body loop:
+//   Invariant 1: new_counter >= 0
+//   Invariant 2: new_counter <= aligned_end
+//   Invariant 3: new_counter % Vl == 0
+// This pass turns those code-generation invariants into error-checking
+// code: it pattern-matches the lowered foreach shape in the IR (it does
+// NOT consume any metadata side channel — the recognition works off the
+// same structural facts the paper extracted from ISPC's output) and
+// inserts a `foreach_fullbody_check_invariants` block on the loop's exit
+// edge containing a call to the runtime detector API with new_counter,
+// aligned_end, and Vl as arguments. Checks run only upon loop exit, the
+// paper's overhead-minimizing placement; per-iteration placement is
+// available as an ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace vulfi::detect {
+
+/// Runtime detector function name and declaration:
+///   void vulfi.detect.foreach(i32 new_counter, i32 aligned_end, i32 vl)
+inline constexpr const char* kForeachDetectorFn = "vulfi.detect.foreach";
+ir::Function* declare_foreach_detector(ir::Module& module);
+
+enum class CheckPlacement {
+  /// Paper default: one check on the loop-exit edge.
+  LoopExit,
+  /// Ablation: additionally check on every back edge (every vector
+  /// iteration). Higher coverage window, higher overhead.
+  EveryIteration,
+};
+
+/// One recognized foreach full-body loop.
+struct ForeachLoopMatch {
+  ir::BasicBlock* header = nullptr;        // foreach_full_body
+  ir::BasicBlock* latch_block = nullptr;   // block with the back edge
+  ir::Instruction* counter_phi = nullptr;  // %counter
+  ir::Instruction* new_counter = nullptr;  // %new_counter = add counter, Vl
+  ir::Value* aligned_end = nullptr;        // %aligned_end
+  unsigned vl = 0;
+};
+
+/// Structural pattern matcher for lowered foreach loops. Exposed
+/// separately so tests can validate recognition without insertion.
+std::vector<ForeachLoopMatch> find_foreach_loops(ir::Function& fn);
+
+/// Inserts detector blocks for every foreach loop in `fn`; returns the
+/// number of detectors inserted.
+unsigned insert_foreach_detectors(
+    ir::Function& fn, CheckPlacement placement = CheckPlacement::LoopExit);
+
+/// Convenience: all definitions in the module.
+unsigned insert_foreach_detectors(
+    ir::Module& module, CheckPlacement placement = CheckPlacement::LoopExit);
+
+}  // namespace vulfi::detect

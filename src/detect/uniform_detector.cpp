@@ -1,0 +1,108 @@
+#include "detect/uniform_detector.hpp"
+
+#include <algorithm>
+
+#include "ir/builder.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::detect {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+std::string lanes_equal_fn_name(Type vector_type) {
+  VULFI_ASSERT(vector_type.is_vector(), "lanes-equal check takes a vector");
+  const char* elem = nullptr;
+  switch (vector_type.kind()) {
+    case ir::TypeKind::F32: elem = "f32"; break;
+    case ir::TypeKind::F64: elem = "f64"; break;
+    case ir::TypeKind::I32: elem = "i32"; break;
+    case ir::TypeKind::I64: elem = "i64"; break;
+    default:
+      VULFI_UNREACHABLE("uniform broadcasts carry 32/64-bit lanes");
+  }
+  return strf("vulfi.detect.lanes_equal.v%u%s", vector_type.lanes(), elem);
+}
+
+ir::Function* declare_lanes_equal(ir::Module& module, Type vector_type) {
+  return module.declare_runtime(lanes_equal_fn_name(vector_type),
+                                Type::void_ty(), {vector_type});
+}
+
+std::vector<BroadcastMatch> find_broadcasts(ir::Function& fn) {
+  std::vector<BroadcastMatch> matches;
+  if (!fn.is_definition()) return matches;
+  for (auto& block : fn) {
+    for (auto& inst : *block) {
+      if (inst->opcode() != Opcode::ShuffleVector) continue;
+      // Mask must be all-zero (replicate lane 0).
+      const auto& mask = inst->shuffle_mask();
+      if (!std::all_of(mask.begin(), mask.end(),
+                       [](int m) { return m == 0; })) {
+        continue;
+      }
+      auto* insert = dynamic_cast<Instruction*>(inst->operand(0));
+      if (!insert || insert->opcode() != Opcode::InsertElement) continue;
+      // insertelement <N x T> undef, T %scalar, i32 0
+      const auto* base = dynamic_cast<const ir::Constant*>(insert->operand(0));
+      if (!base || !base->is_undef()) continue;
+      const auto* index =
+          dynamic_cast<const ir::Constant*>(insert->operand(2));
+      if (!index || index->int_value() != 0) continue;
+      BroadcastMatch match;
+      match.shuffle = inst.get();
+      match.insert = insert;
+      match.scalar = insert->operand(1);
+      matches.push_back(match);
+    }
+  }
+  return matches;
+}
+
+unsigned insert_uniform_detectors(ir::Function& fn,
+                                  UniformCheckPlacement placement) {
+  const std::vector<BroadcastMatch> matches = find_broadcasts(fn);
+  ir::Module& module = *fn.parent();
+  ir::IRBuilder b(module);
+  unsigned inserted = 0;
+  for (const BroadcastMatch& match : matches) {
+    ir::Function* checker =
+        declare_lanes_equal(module, match.shuffle->type());
+    if (placement == UniformCheckPlacement::AfterBroadcast) {
+      b.set_insert_after(match.shuffle);
+      b.call(checker, {match.shuffle});
+      inserted += 1;
+      continue;
+    }
+    // Before every (non-phi) read of the broadcast register. Snapshot the
+    // user list first: inserting calls adds users.
+    const std::vector<Instruction*> users = match.shuffle->users();
+    for (Instruction* user : users) {
+      if (user->opcode() == Opcode::Phi) continue;
+      b.set_insert_before(user);
+      b.call(checker, {match.shuffle});
+      inserted += 1;
+    }
+  }
+  return inserted;
+}
+
+unsigned insert_uniform_detectors(ir::Module& module,
+                                  UniformCheckPlacement placement) {
+  // Snapshot first: declaring the checker grows module.functions() while
+  // it would otherwise be under iteration.
+  std::vector<ir::Function*> definitions;
+  for (const auto& fn : module.functions()) {
+    if (fn->is_definition()) definitions.push_back(fn.get());
+  }
+  unsigned total = 0;
+  for (ir::Function* fn : definitions) {
+    total += insert_uniform_detectors(*fn, placement);
+  }
+  return total;
+}
+
+}  // namespace vulfi::detect

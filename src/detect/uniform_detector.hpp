@@ -1,0 +1,52 @@
+// Uniform-broadcast error detectors (paper §III-B, Figure 9).
+//
+// ISPC shares a `uniform` value across all vector lanes by storing it in a
+// scalar register and broadcasting it with the
+// insertelement-into-undef + shufflevector-zeroinitializer idiom. The
+// invariant "all scalar elements of the broadcast register hold the same
+// value" can be checked inexpensively (the paper suggests XORing); this
+// pass — listed as future work in the paper and implemented here —
+// pattern-matches the broadcast idiom and inserts a lanes-equal check
+// before reads of the broadcast register.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace vulfi::detect {
+
+/// Runtime checker declaration for a given broadcast vector type, e.g.
+///   void vulfi.detect.lanes_equal.v8f32(<8 x float>)
+std::string lanes_equal_fn_name(ir::Type vector_type);
+ir::Function* declare_lanes_equal(ir::Module& module, ir::Type vector_type);
+
+enum class UniformCheckPlacement {
+  /// Check once, immediately after the broadcast.
+  AfterBroadcast,
+  /// Paper's stated goal: check before every read of the broadcast
+  /// register (phi reads are skipped — no single insertion point).
+  BeforeEveryUse,
+};
+
+/// A recognized broadcast: shufflevector(zeromask) of
+/// insertelement(undef, scalar, 0).
+struct BroadcastMatch {
+  ir::Instruction* shuffle = nullptr;   // the broadcast result
+  ir::Instruction* insert = nullptr;    // the %..._init insertelement
+  ir::Value* scalar = nullptr;          // the uniform scalar source
+};
+
+std::vector<BroadcastMatch> find_broadcasts(ir::Function& fn);
+
+/// Inserts lanes-equal checks; returns the number of check calls inserted.
+unsigned insert_uniform_detectors(
+    ir::Function& fn,
+    UniformCheckPlacement placement = UniformCheckPlacement::BeforeEveryUse);
+unsigned insert_uniform_detectors(
+    ir::Module& module,
+    UniformCheckPlacement placement = UniformCheckPlacement::BeforeEveryUse);
+
+}  // namespace vulfi::detect

@@ -1,0 +1,55 @@
+#include "interp/arena.hpp"
+
+namespace vulfi::interp {
+
+namespace {
+
+std::uint64_t align_up(std::uint64_t value, std::uint64_t align) {
+  VULFI_ASSERT(align != 0 && (align & (align - 1)) == 0,
+               "alignment must be a power of two");
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::uint64_t capacity_bytes) : bytes_(capacity_bytes, 0) {
+  VULFI_ASSERT(capacity_bytes > kGuardBytes,
+               "arena capacity must exceed the guard page");
+}
+
+std::uint64_t Arena::alloc(std::uint64_t bytes, std::string name,
+                           std::uint64_t align) {
+  VULFI_ASSERT(bytes > 0, "zero-byte allocation");
+  const std::uint64_t base = align_up(top_, align);
+  VULFI_ASSERT(base + bytes <= bytes_.size(), "arena exhausted");
+  top_ = base + bytes;
+  regions_.push_back(Region{std::move(name), base, bytes});
+  return base;
+}
+
+std::uint64_t Arena::alloc_stack(std::uint64_t bytes, std::uint64_t align) {
+  VULFI_ASSERT(bytes > 0, "zero-byte stack allocation");
+  const std::uint64_t base = align_up(top_, align);
+  VULFI_ASSERT(base + bytes <= bytes_.size(), "arena stack exhausted");
+  top_ = base + bytes;
+  return base;
+}
+
+void Arena::restore_watermark(std::uint64_t watermark) {
+  VULFI_ASSERT(watermark <= top_, "watermark above current top");
+  top_ = watermark;
+}
+
+const Arena::Region& Arena::region(const std::string& name) const {
+  for (const Region& region : regions_) {
+    if (region.name == name) return region;
+  }
+  VULFI_UNREACHABLE("no arena region with that name");
+}
+
+std::vector<std::uint8_t> Arena::region_bytes(const Region& region) const {
+  return std::vector<std::uint8_t>(bytes_.begin() + static_cast<long>(region.base),
+                                   bytes_.begin() + static_cast<long>(region.base + region.bytes));
+}
+
+}  // namespace vulfi::interp

@@ -1,0 +1,99 @@
+// Flat, bounds-checked memory arena backing the interpreted program.
+//
+// This is the substitute for native process memory in the paper's
+// experiments: address-site bit flips that escape the program's data
+// produce a deterministic OutOfBounds trap — the interpreter's analogue of
+// the SIGSEGV that classifies a run as "Crash" (paper §IV-B).
+//
+// Layout: [0, kGuardBytes) is a permanently invalid null/guard page, then
+// bump-allocated named regions (kernel inputs/outputs), then stack space
+// for dynamic allocas, delimited per call frame with watermarks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace vulfi::interp {
+
+class Arena {
+ public:
+  static constexpr std::uint64_t kGuardBytes = 64;
+
+  explicit Arena(std::uint64_t capacity_bytes = 16u << 20);
+
+  // Copyable by design: the fault-injection driver snapshots a pristine
+  // arena and restores it between the golden and the faulty execution.
+
+  /// Bump-allocates a named region. Returns its base address.
+  std::uint64_t alloc(std::uint64_t bytes, std::string name,
+                      std::uint64_t align = 64);
+
+  /// Stack discipline for dynamic allocas.
+  std::uint64_t frame_watermark() const { return top_; }
+  std::uint64_t alloc_stack(std::uint64_t bytes, std::uint64_t align = 16);
+  void restore_watermark(std::uint64_t watermark);
+
+  /// True iff [addr, addr + size) lies fully inside allocated memory.
+  bool valid(std::uint64_t addr, std::uint64_t size) const {
+    return addr >= kGuardBytes && size <= top_ && addr <= top_ - size;
+  }
+
+  std::uint64_t capacity() const { return bytes_.size(); }
+  std::uint64_t allocated() const { return top_; }
+
+  // --- raw access (caller must have checked valid()) ---------------------
+  const std::uint8_t* data(std::uint64_t addr) const { return bytes_.data() + addr; }
+  std::uint8_t* data(std::uint64_t addr) { return bytes_.data() + addr; }
+
+  // --- typed host-side access for kernel setup/validation ---------------
+  template <typename T>
+  void write(std::uint64_t addr, const T& value) {
+    VULFI_ASSERT(valid(addr, sizeof(T)), "host write out of bounds");
+    std::memcpy(data(addr), &value, sizeof(T));
+  }
+  template <typename T>
+  T read(std::uint64_t addr) const {
+    VULFI_ASSERT(valid(addr, sizeof(T)), "host read out of bounds");
+    T value;
+    std::memcpy(&value, data(addr), sizeof(T));
+    return value;
+  }
+  template <typename T>
+  void write_array(std::uint64_t addr, const std::vector<T>& values) {
+    VULFI_ASSERT(valid(addr, values.size() * sizeof(T)),
+                 "host array write out of bounds");
+    std::memcpy(data(addr), values.data(), values.size() * sizeof(T));
+  }
+  template <typename T>
+  std::vector<T> read_array(std::uint64_t addr, std::size_t count) const {
+    VULFI_ASSERT(valid(addr, count * sizeof(T)),
+                 "host array read out of bounds");
+    std::vector<T> values(count);
+    std::memcpy(values.data(), data(addr), count * sizeof(T));
+    return values;
+  }
+
+  /// A named allocation; the fault-injection driver compares the bytes of
+  /// designated output regions between golden and faulty runs.
+  struct Region {
+    std::string name;
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+  };
+  const std::vector<Region>& regions() const { return regions_; }
+  const Region& region(const std::string& name) const;
+
+  /// Raw bytes of a region (for output comparison).
+  std::vector<std::uint8_t> region_bytes(const Region& region) const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t top_ = kGuardBytes;
+  std::vector<Region> regions_;
+};
+
+}  // namespace vulfi::interp

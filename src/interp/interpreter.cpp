@@ -1,0 +1,718 @@
+#include "interp/interpreter.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/str.hpp"
+
+namespace vulfi::interp {
+
+using ir::Opcode;
+using ir::Type;
+using ir::TypeKind;
+
+const char* trap_kind_name(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::None: return "none";
+    case TrapKind::OutOfBounds: return "out-of-bounds";
+    case TrapKind::DivByZero: return "division-by-zero";
+    case TrapKind::InstructionBudget: return "instruction-budget";
+    case TrapKind::CallDepthExceeded: return "call-depth";
+    case TrapKind::BadLaneIndex: return "bad-lane-index";
+    case TrapKind::UnreachableExecuted: return "unreachable";
+    case TrapKind::StackOverflow: return "stack-overflow";
+  }
+  return "?";
+}
+
+const Interpreter::Layout& Interpreter::layout_for(const ir::Function& fn) {
+  auto it = layouts_.find(&fn);
+  if (it != layouts_.end()) return it->second;
+  Layout layout;
+  for (const auto& arg : fn.args()) {
+    layout.slots[arg.get()] = layout.slot_count++;
+  }
+  for (const auto& block : fn) {
+    for (const auto& inst : *block) {
+      if (!inst->type().is_void()) {
+        layout.slots[inst.get()] = layout.slot_count++;
+      }
+    }
+  }
+  return layouts_.emplace(&fn, std::move(layout)).first->second;
+}
+
+void Interpreter::trap(TrapKind kind, std::string detail) {
+  // Keep the first trap; later ones are cascading noise.
+  if (trap_) return;
+  trap_ = Trap{kind, std::move(detail)};
+}
+
+RtVal Interpreter::value_of(const Frame& frame,
+                            const ir::Value* value) const {
+  if (value->value_kind() == ir::ValueKind::Constant) {
+    const auto* constant = static_cast<const ir::Constant*>(value);
+    RtVal out(constant->type());
+    for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+      out.raw[lane] = constant->is_undef() ? 0 : constant->raw(lane);
+    }
+    return out;
+  }
+  auto it = frame.layout->slots.find(value);
+  VULFI_ASSERT(it != frame.layout->slots.end(),
+               "value has no slot in this frame");
+  return frame.slots[it->second];
+}
+
+ExecResult Interpreter::run(const ir::Function& fn,
+                            const std::vector<RtVal>& args) {
+  trap_ = Trap{};
+  stats_ = ExecStats{};
+  const RtVal ret = run_function(fn, args, 0);
+  ExecResult result;
+  result.trap = trap_;
+  result.return_value = ret;
+  result.stats = stats_;
+  return result;
+}
+
+namespace {
+
+std::uint64_t shift_result(Opcode op, std::int64_t value_signed,
+                           std::uint64_t value_unsigned,
+                           std::uint64_t amount, unsigned width) {
+  if (amount >= width) {
+    // Deterministic overshift: logical shifts vanish; arithmetic shift
+    // keeps the sign fill.
+    if (op == Opcode::AShr && value_signed < 0) return ~std::uint64_t{0};
+    return 0;
+  }
+  switch (op) {
+    case Opcode::Shl: return value_unsigned << amount;
+    case Opcode::LShr: return value_unsigned >> amount;
+    case Opcode::AShr:
+      return static_cast<std::uint64_t>(value_signed >>
+                                        static_cast<std::int64_t>(amount));
+    default: VULFI_UNREACHABLE("not a shift opcode");
+  }
+}
+
+}  // namespace
+
+RtVal Interpreter::eval_int_binary(const ir::Instruction& inst,
+                                   const RtVal& lhs, const RtVal& rhs) {
+  RtVal out(inst.type());
+  const unsigned width = inst.type().element_bits();
+  for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+    const std::uint64_t ua = lhs.lane_uint(lane);
+    const std::uint64_t ub = rhs.lane_uint(lane);
+    const std::int64_t sa = lhs.lane_int(lane);
+    const std::int64_t sb = rhs.lane_int(lane);
+    std::uint64_t bits = 0;
+    switch (inst.opcode()) {
+      case Opcode::Add: bits = ua + ub; break;
+      case Opcode::Sub: bits = ua - ub; break;
+      case Opcode::Mul: bits = ua * ub; break;
+      case Opcode::SDiv:
+        if (sb == 0) {
+          trap(TrapKind::DivByZero, "sdiv by zero");
+          return out;
+        }
+        // INT_MIN / -1 wraps (deterministic stand-in for LLVM UB).
+        bits = (sb == -1)
+                   ? static_cast<std::uint64_t>(-sa)
+                   : static_cast<std::uint64_t>(sa / sb);
+        break;
+      case Opcode::UDiv:
+        if (ub == 0) {
+          trap(TrapKind::DivByZero, "udiv by zero");
+          return out;
+        }
+        bits = ua / ub;
+        break;
+      case Opcode::SRem:
+        if (sb == 0) {
+          trap(TrapKind::DivByZero, "srem by zero");
+          return out;
+        }
+        bits = (sb == -1) ? 0 : static_cast<std::uint64_t>(sa % sb);
+        break;
+      case Opcode::URem:
+        if (ub == 0) {
+          trap(TrapKind::DivByZero, "urem by zero");
+          return out;
+        }
+        bits = ua % ub;
+        break;
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr:
+        bits = shift_result(inst.opcode(), sa, ua, ub, width);
+        break;
+      case Opcode::And: bits = ua & ub; break;
+      case Opcode::Or: bits = ua | ub; break;
+      case Opcode::Xor: bits = ua ^ ub; break;
+      default: VULFI_UNREACHABLE("not an integer binary opcode");
+    }
+    out.set_lane_raw(lane, bits);
+  }
+  return out;
+}
+
+RtVal Interpreter::eval_fp_binary(const ir::Instruction& inst,
+                                  const RtVal& lhs, const RtVal& rhs) {
+  RtVal out(inst.type());
+  const bool single = inst.type().kind() == TypeKind::F32;
+  for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+    if (single) {
+      const float a = lhs.lane_f32(lane);
+      const float b = rhs.lane_f32(lane);
+      float r = 0.0f;
+      switch (inst.opcode()) {
+        case Opcode::FAdd: r = a + b; break;
+        case Opcode::FSub: r = a - b; break;
+        case Opcode::FMul: r = a * b; break;
+        case Opcode::FDiv: r = a / b; break;  // IEEE: inf/NaN, no trap
+        case Opcode::FRem: r = std::fmod(a, b); break;
+        default: VULFI_UNREACHABLE("not an fp binary opcode");
+      }
+      out.set_lane_f32(lane, r);
+    } else {
+      const double a = lhs.lane_f64(lane);
+      const double b = rhs.lane_f64(lane);
+      double r = 0.0;
+      switch (inst.opcode()) {
+        case Opcode::FAdd: r = a + b; break;
+        case Opcode::FSub: r = a - b; break;
+        case Opcode::FMul: r = a * b; break;
+        case Opcode::FDiv: r = a / b; break;
+        case Opcode::FRem: r = std::fmod(a, b); break;
+        default: VULFI_UNREACHABLE("not an fp binary opcode");
+      }
+      out.set_lane_f64(lane, r);
+    }
+  }
+  return out;
+}
+
+RtVal Interpreter::eval_icmp(const ir::Instruction& inst, const RtVal& lhs,
+                             const RtVal& rhs) const {
+  RtVal out(inst.type());
+  for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+    const std::int64_t sa = lhs.lane_int(lane);
+    const std::int64_t sb = rhs.lane_int(lane);
+    const std::uint64_t ua = lhs.lane_uint(lane);
+    const std::uint64_t ub = rhs.lane_uint(lane);
+    bool r = false;
+    switch (inst.icmp_pred()) {
+      case ir::ICmpPred::EQ: r = ua == ub; break;
+      case ir::ICmpPred::NE: r = ua != ub; break;
+      case ir::ICmpPred::SLT: r = sa < sb; break;
+      case ir::ICmpPred::SLE: r = sa <= sb; break;
+      case ir::ICmpPred::SGT: r = sa > sb; break;
+      case ir::ICmpPred::SGE: r = sa >= sb; break;
+      case ir::ICmpPred::ULT: r = ua < ub; break;
+      case ir::ICmpPred::ULE: r = ua <= ub; break;
+      case ir::ICmpPred::UGT: r = ua > ub; break;
+      case ir::ICmpPred::UGE: r = ua >= ub; break;
+    }
+    out.raw[lane] = r ? 1 : 0;
+  }
+  return out;
+}
+
+RtVal Interpreter::eval_fcmp(const ir::Instruction& inst, const RtVal& lhs,
+                             const RtVal& rhs) const {
+  RtVal out(inst.type());
+  for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+    const double a = lhs.lane_fp(lane);
+    const double b = rhs.lane_fp(lane);
+    const bool unordered = std::isnan(a) || std::isnan(b);
+    bool r = false;
+    switch (inst.fcmp_pred()) {
+      case ir::FCmpPred::OEQ: r = !unordered && a == b; break;
+      case ir::FCmpPred::ONE: r = !unordered && a != b; break;
+      case ir::FCmpPred::OLT: r = !unordered && a < b; break;
+      case ir::FCmpPred::OLE: r = !unordered && a <= b; break;
+      case ir::FCmpPred::OGT: r = !unordered && a > b; break;
+      case ir::FCmpPred::OGE: r = !unordered && a >= b; break;
+      case ir::FCmpPred::UEQ: r = unordered || a == b; break;
+      case ir::FCmpPred::UNE: r = unordered || a != b; break;
+      case ir::FCmpPred::ULT: r = unordered || a < b; break;
+      case ir::FCmpPred::ULE: r = unordered || a <= b; break;
+      case ir::FCmpPred::UGT: r = unordered || a > b; break;
+      case ir::FCmpPred::UGE: r = unordered || a >= b; break;
+      case ir::FCmpPred::ORD: r = !unordered; break;
+      case ir::FCmpPred::UNO: r = unordered; break;
+    }
+    out.raw[lane] = r ? 1 : 0;
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t saturating_fp_to_int(double value, unsigned width,
+                                   bool is_signed) {
+  if (std::isnan(value)) return 0;
+  if (is_signed) {
+    const double lo = -std::ldexp(1.0, static_cast<int>(width) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(width) - 1) - 1.0;
+    if (value <= lo) {
+      return std::uint64_t{1} << (width - 1);  // min value bit pattern
+    }
+    if (value >= hi) {
+      return (std::uint64_t{1} << (width - 1)) - 1;
+    }
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(value));
+  }
+  if (value <= 0.0) return 0;
+  const double hi = std::ldexp(1.0, static_cast<int>(width)) - 1.0;
+  if (value >= hi) {
+    return width >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << width) - 1;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+RtVal Interpreter::eval_cast(const ir::Instruction& inst,
+                             const RtVal& operand) const {
+  RtVal out(inst.type());
+  const unsigned width = inst.type().element_bits();
+  for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+    switch (inst.opcode()) {
+      case Opcode::Trunc:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+      case Opcode::Bitcast:
+        out.set_lane_raw(lane, operand.raw[lane]);
+        break;
+      case Opcode::ZExt:
+        out.set_lane_raw(lane, operand.lane_uint(lane));
+        break;
+      case Opcode::SExt:
+        out.set_lane_int(lane, operand.lane_int(lane));
+        break;
+      case Opcode::FPTrunc:
+        out.set_lane_f32(lane,
+                         static_cast<float>(operand.lane_f64(lane)));
+        break;
+      case Opcode::FPExt:
+        out.set_lane_f64(lane,
+                         static_cast<double>(operand.lane_f32(lane)));
+        break;
+      case Opcode::FPToSI:
+        out.set_lane_raw(
+            lane, saturating_fp_to_int(operand.lane_fp(lane), width, true));
+        break;
+      case Opcode::FPToUI:
+        out.set_lane_raw(
+            lane, saturating_fp_to_int(operand.lane_fp(lane), width, false));
+        break;
+      case Opcode::SIToFP:
+        out.set_lane_fp(lane,
+                        static_cast<double>(operand.lane_int(lane)));
+        break;
+      case Opcode::UIToFP:
+        out.set_lane_fp(lane,
+                        static_cast<double>(operand.lane_uint(lane)));
+        break;
+      default: VULFI_UNREACHABLE("not a cast opcode");
+    }
+  }
+  return out;
+}
+
+std::uint64_t Interpreter::read_element(std::uint64_t addr, unsigned bytes) {
+  if (!arena_.valid(addr, bytes)) {
+    trap(TrapKind::OutOfBounds,
+         strf("load of %u bytes at address %llu", bytes,
+              static_cast<unsigned long long>(addr)));
+    return 0;
+  }
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, arena_.data(addr), bytes);
+  return bits;
+}
+
+void Interpreter::write_element(std::uint64_t addr, unsigned bytes,
+                                std::uint64_t bits) {
+  if (!arena_.valid(addr, bytes)) {
+    trap(TrapKind::OutOfBounds,
+         strf("store of %u bytes at address %llu", bytes,
+              static_cast<unsigned long long>(addr)));
+    return;
+  }
+  std::memcpy(arena_.data(addr), &bits, bytes);
+}
+
+RtVal Interpreter::eval_load(const ir::Instruction& inst, const RtVal& ptr) {
+  RtVal out(inst.type());
+  const unsigned elem_bytes = inst.type().element_bytes();
+  const std::uint64_t base = ptr.lane_ptr(0);
+  for (unsigned lane = 0; lane < out.lanes() && !trap_; ++lane) {
+    out.set_lane_raw(lane,
+                     read_element(base + std::uint64_t{lane} * elem_bytes,
+                                  elem_bytes));
+  }
+  return out;
+}
+
+void Interpreter::eval_store(const RtVal& value, const RtVal& ptr) {
+  const unsigned elem_bytes = value.type.element_bytes();
+  const std::uint64_t base = ptr.lane_ptr(0);
+  for (unsigned lane = 0; lane < value.lanes() && !trap_; ++lane) {
+    write_element(base + std::uint64_t{lane} * elem_bytes, elem_bytes,
+                  value.lane_uint(lane));
+  }
+}
+
+RtVal Interpreter::eval_math_intrinsic(const ir::Function& callee,
+                                       const std::vector<RtVal>& args) const {
+  const Type type = callee.return_type();
+  RtVal out(type);
+  const bool single = type.kind() == TypeKind::F32;
+  const ir::IntrinsicId id = callee.intrinsic_info().id;
+  for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+    if (single) {
+      const float a = args[0].lane_f32(lane);
+      const float b = args.size() > 1 ? args[1].lane_f32(lane) : 0.0f;
+      float r = 0.0f;
+      switch (id) {
+        case ir::IntrinsicId::Sqrt: r = std::sqrt(a); break;
+        case ir::IntrinsicId::Exp: r = std::exp(a); break;
+        case ir::IntrinsicId::Log: r = std::log(a); break;
+        case ir::IntrinsicId::Pow: r = std::pow(a, b); break;
+        case ir::IntrinsicId::Fabs: r = std::fabs(a); break;
+        case ir::IntrinsicId::Fmin: r = std::fmin(a, b); break;
+        case ir::IntrinsicId::Fmax: r = std::fmax(a, b); break;
+        case ir::IntrinsicId::Sin: r = std::sin(a); break;
+        case ir::IntrinsicId::Cos: r = std::cos(a); break;
+        case ir::IntrinsicId::Floor: r = std::floor(a); break;
+        default: VULFI_UNREACHABLE("not a math intrinsic");
+      }
+      out.set_lane_f32(lane, r);
+    } else {
+      const double a = args[0].lane_f64(lane);
+      const double b = args.size() > 1 ? args[1].lane_f64(lane) : 0.0;
+      double r = 0.0;
+      switch (id) {
+        case ir::IntrinsicId::Sqrt: r = std::sqrt(a); break;
+        case ir::IntrinsicId::Exp: r = std::exp(a); break;
+        case ir::IntrinsicId::Log: r = std::log(a); break;
+        case ir::IntrinsicId::Pow: r = std::pow(a, b); break;
+        case ir::IntrinsicId::Fabs: r = std::fabs(a); break;
+        case ir::IntrinsicId::Fmin: r = std::fmin(a, b); break;
+        case ir::IntrinsicId::Fmax: r = std::fmax(a, b); break;
+        case ir::IntrinsicId::Sin: r = std::sin(a); break;
+        case ir::IntrinsicId::Cos: r = std::cos(a); break;
+        case ir::IntrinsicId::Floor: r = std::floor(a); break;
+        default: VULFI_UNREACHABLE("not a math intrinsic");
+      }
+      out.set_lane_f64(lane, r);
+    }
+  }
+  return out;
+}
+
+RtVal Interpreter::eval_intrinsic(const ir::Function& callee,
+                                  const std::vector<RtVal>& args) {
+  const ir::IntrinsicInfo& info = callee.intrinsic_info();
+  if (ir::is_math_intrinsic(info.id)) {
+    return eval_math_intrinsic(callee, args);
+  }
+  if (info.id == ir::IntrinsicId::MaskLoad) {
+    // (ptr, mask) -> data. Faults are suppressed on inactive lanes and
+    // masked-off lanes read as zero (x86 vmaskmov semantics).
+    const Type data_type = callee.return_type();
+    RtVal out(data_type);
+    const unsigned elem_bytes = data_type.element_bytes();
+    const unsigned elem_bits = data_type.element_bits();
+    const std::uint64_t base = args[0].lane_ptr(0);
+    for (unsigned lane = 0; lane < out.lanes() && !trap_; ++lane) {
+      if (!ir::mask_lane_active(args[1].raw[lane], elem_bits)) continue;
+      out.set_lane_raw(lane,
+                       read_element(base + std::uint64_t{lane} * elem_bytes,
+                                    elem_bytes));
+    }
+    return out;
+  }
+  if (info.id == ir::IntrinsicId::MoveMask) {
+    // Packs each lane's sign bit into an i32 (x86 movmsk).
+    const RtVal& data = args[0];
+    const unsigned elem_bits = data.type.element_bits();
+    std::uint64_t bits = 0;
+    for (unsigned lane = 0; lane < data.lanes(); ++lane) {
+      if (ir::mask_lane_active(data.raw[lane], elem_bits)) {
+        bits |= std::uint64_t{1} << lane;
+      }
+    }
+    return RtVal::i32(static_cast<std::int32_t>(bits));
+  }
+  if (info.id == ir::IntrinsicId::MaskStore) {
+    // (ptr, mask, data) -> void.
+    const RtVal& data = args[2];
+    const unsigned elem_bytes = data.type.element_bytes();
+    const unsigned elem_bits = data.type.element_bits();
+    const std::uint64_t base = args[0].lane_ptr(0);
+    for (unsigned lane = 0; lane < data.lanes() && !trap_; ++lane) {
+      if (!ir::mask_lane_active(args[1].raw[lane], elem_bits)) continue;
+      write_element(base + std::uint64_t{lane} * elem_bytes, elem_bytes,
+                    data.lane_uint(lane));
+    }
+    return RtVal(Type::void_ty().with_lanes(1));
+  }
+  VULFI_UNREACHABLE("unknown intrinsic");
+}
+
+RtVal Interpreter::run_function(const ir::Function& fn,
+                                const std::vector<RtVal>& args,
+                                unsigned depth) {
+  VULFI_ASSERT(fn.is_definition(), "cannot execute a declaration");
+  if (depth >= limits_.max_call_depth) {
+    trap(TrapKind::CallDepthExceeded, "call depth limit exceeded");
+    return RtVal{};
+  }
+  const Layout& layout = layout_for(fn);
+  Frame frame{&layout, std::vector<RtVal>(layout.slot_count)};
+  VULFI_ASSERT(args.size() == fn.num_args(), "argument count mismatch");
+  for (unsigned i = 0; i < args.size(); ++i) {
+    VULFI_ASSERT(args[i].type == fn.arg(i)->type(),
+                 "argument type mismatch");
+    frame.slots[layout.slots.at(fn.arg(i))] = args[i];
+  }
+
+  const std::uint64_t watermark = arena_.frame_watermark();
+  const ir::BasicBlock* block = &fn.entry();
+
+  auto store_result = [&](const ir::Instruction* inst, RtVal value) {
+    frame.slots[layout.slots.at(inst)] = std::move(value);
+  };
+
+  // Block-transfer helper: evaluates all phis of `to` against `from`
+  // simultaneously (values read before any writes) per SSA semantics.
+  auto enter_block = [&](const ir::BasicBlock* from,
+                         const ir::BasicBlock* to) {
+    std::vector<std::pair<const ir::Instruction*, RtVal>> updates;
+    for (const auto& inst : *to) {
+      if (inst->opcode() != Opcode::Phi) break;
+      updates.emplace_back(inst.get(),
+                           value_of(frame, inst->phi_value_for(from)));
+      stats_.total_instructions += 1;
+      if (inst->is_vector_instruction()) stats_.vector_instructions += 1;
+    }
+    for (auto& [inst, value] : updates) {
+      store_result(inst, std::move(value));
+    }
+  };
+
+  while (!trap_) {
+    for (auto it = block->begin(); it != block->end(); ++it) {
+      const ir::Instruction& inst = **it;
+      if (inst.opcode() == Opcode::Phi) continue;  // handled at block entry
+      if (stats_.total_instructions >= limits_.max_instructions) {
+        trap(TrapKind::InstructionBudget,
+             "dynamic instruction budget exhausted");
+        break;
+      }
+      stats_.total_instructions += 1;
+      if (inst.is_vector_instruction()) stats_.vector_instructions += 1;
+
+      switch (inst.opcode()) {
+        case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+        case Opcode::SDiv: case Opcode::UDiv: case Opcode::SRem:
+        case Opcode::URem: case Opcode::Shl: case Opcode::LShr:
+        case Opcode::AShr: case Opcode::And: case Opcode::Or:
+        case Opcode::Xor:
+          store_result(&inst,
+                       eval_int_binary(inst, value_of(frame, inst.operand(0)),
+                                       value_of(frame, inst.operand(1))));
+          break;
+        case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+        case Opcode::FDiv: case Opcode::FRem:
+          store_result(&inst,
+                       eval_fp_binary(inst, value_of(frame, inst.operand(0)),
+                                      value_of(frame, inst.operand(1))));
+          break;
+        case Opcode::FNeg: {
+          const RtVal operand = value_of(frame, inst.operand(0));
+          RtVal out(inst.type());
+          for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+            out.set_lane_fp(lane, -operand.lane_fp(lane));
+          }
+          store_result(&inst, std::move(out));
+          break;
+        }
+        case Opcode::ICmp:
+          store_result(&inst,
+                       eval_icmp(inst, value_of(frame, inst.operand(0)),
+                                 value_of(frame, inst.operand(1))));
+          break;
+        case Opcode::FCmp:
+          store_result(&inst,
+                       eval_fcmp(inst, value_of(frame, inst.operand(0)),
+                                 value_of(frame, inst.operand(1))));
+          break;
+        case Opcode::Alloca: {
+          const std::uint64_t bytes = inst.alloca_bytes();
+          if (arena_.allocated() + bytes + 64 > arena_.capacity()) {
+            trap(TrapKind::StackOverflow, "alloca exhausted the arena");
+            break;
+          }
+          store_result(&inst, RtVal::ptr(arena_.alloc_stack(bytes)));
+          break;
+        }
+        case Opcode::Load:
+          store_result(&inst,
+                       eval_load(inst, value_of(frame, inst.operand(0))));
+          break;
+        case Opcode::Store:
+          eval_store(value_of(frame, inst.operand(0)),
+                     value_of(frame, inst.operand(1)));
+          break;
+        case Opcode::GetElementPtr: {
+          const RtVal base = value_of(frame, inst.operand(0));
+          std::uint64_t addr = base.lane_ptr(0);
+          const auto& strides = inst.gep_strides();
+          for (unsigned i = 1; i < inst.num_operands(); ++i) {
+            const RtVal index = value_of(frame, inst.operand(i));
+            addr += static_cast<std::uint64_t>(index.lane_int(0)) *
+                    strides[i - 1];
+          }
+          store_result(&inst, RtVal::ptr(addr));
+          break;
+        }
+        case Opcode::ExtractElement: {
+          const RtVal vec = value_of(frame, inst.operand(0));
+          const RtVal index = value_of(frame, inst.operand(1));
+          const std::uint64_t lane = index.lane_uint(0);
+          if (lane >= vec.lanes()) {
+            trap(TrapKind::BadLaneIndex, "extractelement lane out of range");
+            break;
+          }
+          RtVal out(inst.type());
+          out.raw[0] = vec.raw[static_cast<unsigned>(lane)];
+          store_result(&inst, std::move(out));
+          break;
+        }
+        case Opcode::InsertElement: {
+          RtVal vec = value_of(frame, inst.operand(0));
+          const RtVal elem = value_of(frame, inst.operand(1));
+          const RtVal index = value_of(frame, inst.operand(2));
+          const std::uint64_t lane = index.lane_uint(0);
+          if (lane >= vec.lanes()) {
+            trap(TrapKind::BadLaneIndex, "insertelement lane out of range");
+            break;
+          }
+          vec.raw[static_cast<unsigned>(lane)] = elem.raw[0];
+          store_result(&inst, std::move(vec));
+          break;
+        }
+        case Opcode::ShuffleVector: {
+          const RtVal v1 = value_of(frame, inst.operand(0));
+          const RtVal v2 = value_of(frame, inst.operand(1));
+          const unsigned in_lanes = v1.lanes();
+          RtVal out(inst.type());
+          const auto& mask = inst.shuffle_mask();
+          for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+            const int m = mask[lane];
+            if (m < 0) {
+              out.raw[lane] = 0;  // undef lane reads as zero
+            } else if (static_cast<unsigned>(m) < in_lanes) {
+              out.raw[lane] = v1.raw[static_cast<unsigned>(m)];
+            } else {
+              out.raw[lane] = v2.raw[static_cast<unsigned>(m) - in_lanes];
+            }
+          }
+          store_result(&inst, std::move(out));
+          break;
+        }
+        case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt:
+        case Opcode::FPTrunc: case Opcode::FPExt: case Opcode::FPToSI:
+        case Opcode::FPToUI: case Opcode::SIToFP: case Opcode::UIToFP:
+        case Opcode::PtrToInt: case Opcode::IntToPtr: case Opcode::Bitcast:
+          store_result(&inst,
+                       eval_cast(inst, value_of(frame, inst.operand(0))));
+          break;
+        case Opcode::Select: {
+          const RtVal cond = value_of(frame, inst.operand(0));
+          const RtVal on_true = value_of(frame, inst.operand(1));
+          const RtVal on_false = value_of(frame, inst.operand(2));
+          RtVal out(inst.type());
+          for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+            const bool pick_true = cond.type.is_vector()
+                                       ? cond.lane_bool(lane)
+                                       : cond.lane_bool(0);
+            out.raw[lane] = pick_true ? on_true.raw[lane]
+                                      : on_false.raw[lane];
+          }
+          store_result(&inst, std::move(out));
+          break;
+        }
+        case Opcode::Call: {
+          stats_.calls += 1;
+          const ir::Function* callee = inst.callee();
+          std::vector<RtVal> call_args;
+          call_args.reserve(inst.num_operands());
+          for (unsigned i = 0; i < inst.num_operands(); ++i) {
+            call_args.push_back(value_of(frame, inst.operand(i)));
+          }
+          RtVal result;
+          switch (callee->kind()) {
+            case ir::FunctionKind::Definition:
+              result = run_function(*callee, call_args, depth + 1);
+              break;
+            case ir::FunctionKind::Intrinsic:
+              result = eval_intrinsic(*callee, call_args);
+              break;
+            case ir::FunctionKind::Runtime:
+              result = env_.invoke(callee->name(), call_args);
+              break;
+          }
+          if (!inst.type().is_void() && !trap_) {
+            VULFI_ASSERT(result.type == inst.type(),
+                         "callee returned wrong type");
+            store_result(&inst, std::move(result));
+          }
+          break;
+        }
+        case Opcode::Br: {
+          const ir::BasicBlock* next = inst.successor(0);
+          enter_block(block, next);
+          block = next;
+          goto next_block;
+        }
+        case Opcode::CondBr: {
+          const RtVal cond = value_of(frame, inst.operand(0));
+          const ir::BasicBlock* next =
+              cond.lane_bool(0) ? inst.successor(0) : inst.successor(1);
+          enter_block(block, next);
+          block = next;
+          goto next_block;
+        }
+        case Opcode::Ret: {
+          arena_.restore_watermark(watermark);
+          if (inst.num_operands() == 0) return RtVal{};
+          return value_of(frame, inst.operand(0));
+        }
+        case Opcode::Unreachable:
+          trap(TrapKind::UnreachableExecuted, "executed unreachable");
+          break;
+        case Opcode::Phi:
+          break;  // unreachable; phis skipped above
+      }
+      if (trap_) break;
+    }
+    // Reached only when the block ran out of instructions (trap mid-block)
+    // — a well-formed block always exits via the goto in its terminator.
+    VULFI_ASSERT(trap_, "basic block fell through without a terminator");
+    break;
+  next_block:;
+  }
+  arena_.restore_watermark(watermark);
+  return RtVal{};
+}
+
+}  // namespace vulfi::interp

@@ -1,0 +1,110 @@
+// IR interpreter.
+//
+// Executes a module function over an Arena, dispatching runtime calls to a
+// RuntimeEnv. This is the execution substrate substituting for native x86
+// in the paper's study: it yields the same program-level observables —
+// output bytes, crashes (traps), hangs (instruction-budget exhaustion) —
+// deterministically, plus the dynamic instruction counts reported in
+// Table I.
+//
+// Semantics notes (all deterministic; no undefined behaviour surface):
+//  * integer overflow wraps (two's complement);
+//  * sdiv/srem of INT_MIN by -1 wraps to INT_MIN / 0;
+//  * shifts by >= bit-width yield 0 (ashr of a negative value yields -1);
+//  * fptosi/fptoui saturate, NaN converts to 0;
+//  * shufflevector undef lanes read as 0;
+//  * masked load/store suppress memory faults on inactive lanes (x86
+//    vmaskmov behaviour) and masked-off load lanes read as 0.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/arena.hpp"
+#include "interp/rtval.hpp"
+#include "interp/runtime.hpp"
+#include "interp/trap.hpp"
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace vulfi::interp {
+
+struct ExecLimits {
+  /// Hard cap on executed IR instructions; exceeding it traps with
+  /// InstructionBudget (the "hang" outcome).
+  std::uint64_t max_instructions = 500'000'000;
+  unsigned max_call_depth = 256;
+};
+
+struct ExecStats {
+  std::uint64_t total_instructions = 0;
+  /// Instructions with a vector result or operand (paper §II-A).
+  std::uint64_t vector_instructions = 0;
+  std::uint64_t calls = 0;
+};
+
+struct ExecResult {
+  Trap trap;
+  RtVal return_value;
+  ExecStats stats;
+
+  bool ok() const { return !trap; }
+};
+
+class Interpreter {
+ public:
+  Interpreter(Arena& arena, RuntimeEnv& env, ExecLimits limits = {})
+      : arena_(arena), env_(env), limits_(limits) {}
+
+  /// Runs `fn` with `args` to completion or trap.
+  ExecResult run(const ir::Function& fn, const std::vector<RtVal>& args);
+
+ private:
+  struct Layout {
+    std::unordered_map<const ir::Value*, unsigned> slots;
+    unsigned slot_count = 0;
+  };
+
+  const Layout& layout_for(const ir::Function& fn);
+
+  struct Frame {
+    const Layout* layout;
+    std::vector<RtVal> slots;
+  };
+
+  RtVal run_function(const ir::Function& fn, const std::vector<RtVal>& args,
+                     unsigned depth);
+
+  RtVal value_of(const Frame& frame, const ir::Value* value) const;
+  void trap(TrapKind kind, std::string detail);
+
+  // Opcode groups.
+  RtVal eval_int_binary(const ir::Instruction& inst, const RtVal& lhs,
+                        const RtVal& rhs);
+  RtVal eval_fp_binary(const ir::Instruction& inst, const RtVal& lhs,
+                       const RtVal& rhs);
+  RtVal eval_icmp(const ir::Instruction& inst, const RtVal& lhs,
+                  const RtVal& rhs) const;
+  RtVal eval_fcmp(const ir::Instruction& inst, const RtVal& lhs,
+                  const RtVal& rhs) const;
+  RtVal eval_cast(const ir::Instruction& inst, const RtVal& operand) const;
+  RtVal eval_load(const ir::Instruction& inst, const RtVal& ptr);
+  void eval_store(const RtVal& value, const RtVal& ptr);
+  RtVal eval_intrinsic(const ir::Function& callee,
+                       const std::vector<RtVal>& args);
+  RtVal eval_math_intrinsic(const ir::Function& callee,
+                            const std::vector<RtVal>& args) const;
+
+  std::uint64_t read_element(std::uint64_t addr, unsigned bytes);
+  void write_element(std::uint64_t addr, unsigned bytes, std::uint64_t bits);
+
+  Arena& arena_;
+  RuntimeEnv& env_;
+  ExecLimits limits_;
+  Trap trap_;
+  ExecStats stats_;
+  std::unordered_map<const ir::Function*, Layout> layouts_;
+};
+
+}  // namespace vulfi::interp

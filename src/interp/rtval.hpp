@@ -1,0 +1,140 @@
+// Runtime value representation.
+//
+// Every SSA value evaluates to an RtVal: a type plus one raw 64-bit lane
+// pattern per vector lane. Integers are stored zero-extended to their
+// element width, f32 as the IEEE-754 single bit pattern in the low 32
+// bits, f64 and pointers as full 64-bit patterns. Keeping raw bit patterns
+// (rather than decoded numbers) makes single-bit-flip injection exact and
+// uniform across types — the core requirement of the paper's fault model
+// (§II-B).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "ir/type.hpp"
+#include "ir/value.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::interp {
+
+/// Fixed-capacity lane storage. 16 lanes covers every vector shape the
+/// AVX/SSE targets produce (max is <8 x float> under AVX) with headroom
+/// for a future AVX-512-style 16-lane target.
+class LaneArray {
+ public:
+  static constexpr unsigned kMaxLanes = 16;
+
+  LaneArray() = default;
+  explicit LaneArray(unsigned size) : size_(size) {
+    VULFI_ASSERT(size <= kMaxLanes, "too many vector lanes");
+    for (unsigned i = 0; i < size_; ++i) lanes_[i] = 0;
+  }
+
+  unsigned size() const { return size_; }
+
+  std::uint64_t operator[](unsigned i) const {
+    VULFI_ASSERT(i < size_, "lane index out of range");
+    return lanes_[i];
+  }
+  std::uint64_t& operator[](unsigned i) {
+    VULFI_ASSERT(i < size_, "lane index out of range");
+    return lanes_[i];
+  }
+
+ private:
+  std::uint64_t lanes_[kMaxLanes] = {};
+  unsigned size_ = 0;
+};
+
+struct RtVal {
+  ir::Type type;
+  LaneArray raw;
+
+  RtVal() = default;
+  explicit RtVal(ir::Type t) : type(t), raw(t.lanes()) {}
+
+  unsigned lanes() const { return raw.size(); }
+
+  // --- lane decoding -----------------------------------------------------
+  std::int64_t lane_int(unsigned lane) const {
+    return ir::Constant::sign_extend(raw[lane], type.element_bits());
+  }
+  std::uint64_t lane_uint(unsigned lane) const {
+    return ir::Constant::truncate_to_width(raw[lane], type.element_bits());
+  }
+  float lane_f32(unsigned lane) const {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(raw[lane]));
+  }
+  double lane_f64(unsigned lane) const {
+    return std::bit_cast<double>(raw[lane]);
+  }
+  /// Numeric value of an fp lane regardless of width.
+  double lane_fp(unsigned lane) const {
+    return type.kind() == ir::TypeKind::F32
+               ? static_cast<double>(lane_f32(lane))
+               : lane_f64(lane);
+  }
+  bool lane_bool(unsigned lane) const { return (raw[lane] & 1) != 0; }
+  std::uint64_t lane_ptr(unsigned lane) const { return raw[lane]; }
+
+  // --- lane encoding -----------------------------------------------------
+  void set_lane_int(unsigned lane, std::int64_t value) {
+    raw[lane] = ir::Constant::truncate_to_width(
+        static_cast<std::uint64_t>(value), type.element_bits());
+  }
+  void set_lane_f32(unsigned lane, float value) {
+    raw[lane] = std::bit_cast<std::uint32_t>(value);
+  }
+  void set_lane_f64(unsigned lane, double value) {
+    raw[lane] = std::bit_cast<std::uint64_t>(value);
+  }
+  /// Stores `value` with the lane's fp width.
+  void set_lane_fp(unsigned lane, double value) {
+    if (type.kind() == ir::TypeKind::F32) {
+      set_lane_f32(lane, static_cast<float>(value));
+    } else {
+      set_lane_f64(lane, value);
+    }
+  }
+  void set_lane_raw(unsigned lane, std::uint64_t bits) {
+    raw[lane] = type.is_integer() ? ir::Constant::truncate_to_width(
+                                        bits, type.element_bits())
+                                  : bits;
+  }
+
+  // --- scalar factories --------------------------------------------------
+  static RtVal int_scalar(ir::Type type, std::int64_t value) {
+    VULFI_ASSERT(type.is_integer() && type.is_scalar(),
+                 "int_scalar needs a scalar integer type");
+    RtVal v(type);
+    v.set_lane_int(0, value);
+    return v;
+  }
+  static RtVal i32(std::int32_t value) {
+    return int_scalar(ir::Type::i32(), value);
+  }
+  static RtVal i64(std::int64_t value) {
+    return int_scalar(ir::Type::i64(), value);
+  }
+  static RtVal boolean(bool value) {
+    return int_scalar(ir::Type::i1(), value ? 1 : 0);
+  }
+  static RtVal f32(float value) {
+    RtVal v(ir::Type::f32());
+    v.set_lane_f32(0, value);
+    return v;
+  }
+  static RtVal f64(double value) {
+    RtVal v(ir::Type::f64());
+    v.set_lane_f64(0, value);
+    return v;
+  }
+  static RtVal ptr(std::uint64_t addr) {
+    RtVal v(ir::Type::ptr());
+    v.raw[0] = addr;
+    return v;
+  }
+};
+
+}  // namespace vulfi::interp

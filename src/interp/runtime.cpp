@@ -1,0 +1,24 @@
+#include "interp/runtime.hpp"
+
+#include "support/error.hpp"
+
+namespace vulfi::interp {
+
+void RuntimeEnv::register_handler(std::string name, RuntimeHandler handler) {
+  VULFI_ASSERT(handler != nullptr, "runtime handler must be callable");
+  handlers_[std::move(name)] = std::move(handler);
+}
+
+bool RuntimeEnv::has_handler(const std::string& name) const {
+  return handlers_.count(name) != 0;
+}
+
+RtVal RuntimeEnv::invoke(const std::string& name,
+                         const std::vector<RtVal>& args) const {
+  auto it = handlers_.find(name);
+  VULFI_ASSERT(it != handlers_.end(),
+               "no handler registered for runtime function");
+  return it->second(args);
+}
+
+}  // namespace vulfi::interp

@@ -1,0 +1,49 @@
+// Host runtime environment.
+//
+// IR modules declare runtime functions (FunctionKind::Runtime) such as the
+// VULFI injection API (`vulfi.inject.f32`, paper Figure 5's
+// @injectFaultFloatTy) and the detector API (`vulfi.detect.foreach`,
+// Figure 7's @checkInvariantsForeachFullBody). The interpreter dispatches
+// those calls by name to handlers registered here — the moral equivalent
+// of linking the instrumented binary against the VULFI runtime library.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/rtval.hpp"
+
+namespace vulfi::interp {
+
+using RuntimeHandler = std::function<RtVal(const std::vector<RtVal>& args)>;
+
+/// Shared flag the detector runtime raises when an inserted checker
+/// (foreach invariants, uniform-broadcast equality) observes a violated
+/// invariant during a run. The experiment driver resets it per run and
+/// reads it to report detection rates (paper Figure 12).
+struct DetectionLog {
+  std::uint64_t events = 0;
+
+  void reset() { events = 0; }
+  bool any() const { return events > 0; }
+};
+
+class RuntimeEnv {
+ public:
+  /// Registers (or replaces) the handler for runtime function `name`.
+  void register_handler(std::string name, RuntimeHandler handler);
+
+  bool has_handler(const std::string& name) const;
+
+  /// Invokes the handler; aborts if none is registered (an instrumented
+  /// module without its runtime is a harness bug, not a program fault).
+  RtVal invoke(const std::string& name,
+               const std::vector<RtVal>& args) const;
+
+ private:
+  std::unordered_map<std::string, RuntimeHandler> handlers_;
+};
+
+}  // namespace vulfi::interp

@@ -1,0 +1,45 @@
+// Trap taxonomy for the simulated program.
+//
+// A trap models the user-visible failure of the injected program: the
+// paper's "Crash" outcome ("a system failure, a program crash, or any
+// other issue that could easily be detected by the end user", §IV-B).
+// Traps are values, not exceptions — the host library never aborts because
+// the program under study fell over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vulfi::interp {
+
+enum class TrapKind : std::uint8_t {
+  None,
+  /// Load/store/masked access touched memory outside every allocation —
+  /// the interpreter's SIGSEGV.
+  OutOfBounds,
+  /// Integer division or remainder by zero — SIGFPE.
+  DivByZero,
+  /// Dynamic instruction budget exhausted: the run diverged (e.g. a
+  /// control-site flip corrupted a loop bound). Models the hang an end
+  /// user would notice and kill.
+  InstructionBudget,
+  /// Call depth limit exceeded — stack overflow.
+  CallDepthExceeded,
+  /// extractelement/insertelement with an out-of-range lane index.
+  BadLaneIndex,
+  /// An `unreachable` instruction was executed.
+  UnreachableExecuted,
+  /// Arena stack exhausted by dynamic allocas.
+  StackOverflow,
+};
+
+const char* trap_kind_name(TrapKind kind);
+
+struct Trap {
+  TrapKind kind = TrapKind::None;
+  std::string detail;
+
+  explicit operator bool() const { return kind != TrapKind::None; }
+};
+
+}  // namespace vulfi::interp

@@ -1,0 +1,65 @@
+#include "ir/basic_block.hpp"
+
+#include "ir/function.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::ir {
+
+Instruction* BasicBlock::push_back(Instruction* inst) {
+  VULFI_ASSERT(inst != nullptr, "push_back: null instruction");
+  VULFI_ASSERT(inst->parent_ == nullptr, "instruction already in a block");
+  inst->parent_ = this;
+  if (!inst->name().empty()) {
+    inst->set_name(parent_->uniquify_value_name(inst->name()));
+  }
+  insts_.emplace_back(inst);
+  return inst;
+}
+
+Instruction* BasicBlock::insert(iterator pos, Instruction* inst) {
+  VULFI_ASSERT(inst != nullptr, "insert: null instruction");
+  VULFI_ASSERT(inst->parent_ == nullptr, "instruction already in a block");
+  inst->parent_ = this;
+  if (!inst->name().empty()) {
+    inst->set_name(parent_->uniquify_value_name(inst->name()));
+  }
+  insts_.emplace(pos, inst);
+  return inst;
+}
+
+BasicBlock::iterator BasicBlock::position_of(const Instruction* inst) {
+  for (auto it = insts_.begin(); it != insts_.end(); ++it) {
+    if (it->get() == inst) return it;
+  }
+  VULFI_UNREACHABLE("instruction not found in block");
+}
+
+void BasicBlock::erase(Instruction* inst) {
+  VULFI_ASSERT(!inst->has_users(), "erasing an instruction that has users");
+  auto it = position_of(inst);
+  insts_.erase(it);
+}
+
+const Instruction* BasicBlock::terminator() const {
+  if (insts_.empty()) return nullptr;
+  const Instruction* last = insts_.back().get();
+  return last->is_terminator() ? last : nullptr;
+}
+
+Instruction* BasicBlock::terminator() {
+  if (insts_.empty()) return nullptr;
+  Instruction* last = insts_.back().get();
+  return last->is_terminator() ? last : nullptr;
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  std::vector<BasicBlock*> out;
+  const Instruction* term = terminator();
+  if (!term) return out;
+  for (unsigned i = 0; i < term->num_successors(); ++i) {
+    out.push_back(term->successor(i));
+  }
+  return out;
+}
+
+}  // namespace vulfi::ir

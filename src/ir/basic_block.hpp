@@ -1,0 +1,71 @@
+// Basic blocks: named, ordered lists of instructions ending in a
+// terminator. std::list gives stable iterators so passes (the VULFI
+// instrumentor, the detector-insertion pass) can splice new instructions
+// mid-block while iterating.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace vulfi::ir {
+
+class Function;
+
+class BasicBlock {
+ public:
+  using InstList = std::list<std::unique_ptr<Instruction>>;
+  using iterator = InstList::iterator;
+  using const_iterator = InstList::const_iterator;
+
+  BasicBlock(std::string name, Function* parent)
+      : name_(std::move(name)), parent_(parent) {}
+
+  BasicBlock(const BasicBlock&) = delete;
+  BasicBlock& operator=(const BasicBlock&) = delete;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  Function* parent() const { return parent_; }
+
+  iterator begin() { return insts_.begin(); }
+  iterator end() { return insts_.end(); }
+  const_iterator begin() const { return insts_.begin(); }
+  const_iterator end() const { return insts_.end(); }
+  bool empty() const { return insts_.empty(); }
+  std::size_t size() const { return insts_.size(); }
+
+  Instruction& front() { return *insts_.front(); }
+  const Instruction& front() const { return *insts_.front(); }
+  Instruction& back() { return *insts_.back(); }
+  const Instruction& back() const { return *insts_.back(); }
+
+  /// Appends, taking ownership. Returns the instruction for chaining.
+  Instruction* push_back(Instruction* inst);
+
+  /// Inserts before `pos`, taking ownership.
+  Instruction* insert(iterator pos, Instruction* inst);
+
+  /// Position of `inst` within this block; asserts if absent.
+  iterator position_of(const Instruction* inst);
+
+  /// Removes and destroys `inst` (asserts it has no remaining users).
+  void erase(Instruction* inst);
+
+  /// The block terminator, or nullptr if the block is still open.
+  const Instruction* terminator() const;
+  Instruction* terminator();
+
+  /// Blocks this block can branch to (empty for ret/unreachable).
+  std::vector<BasicBlock*> successors() const;
+
+ private:
+  std::string name_;
+  Function* parent_;
+  InstList insts_;
+};
+
+}  // namespace vulfi::ir

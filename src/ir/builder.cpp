@@ -1,0 +1,324 @@
+#include "ir/builder.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::ir {
+
+void IRBuilder::set_insert_block(BasicBlock* block) {
+  VULFI_ASSERT(block != nullptr, "insert block must be non-null");
+  block_ = block;
+  pos_ = block->end();
+}
+
+void IRBuilder::set_insert_point(BasicBlock* block,
+                                 BasicBlock::iterator pos) {
+  VULFI_ASSERT(block != nullptr, "insert block must be non-null");
+  block_ = block;
+  pos_ = pos;
+}
+
+void IRBuilder::set_insert_after(Instruction* inst) {
+  VULFI_ASSERT(inst->parent() != nullptr, "instruction not in a block");
+  BasicBlock* block = inst->parent();
+  auto pos = block->position_of(inst);
+  set_insert_point(block, std::next(pos));
+}
+
+void IRBuilder::set_insert_before(Instruction* inst) {
+  VULFI_ASSERT(inst->parent() != nullptr, "instruction not in a block");
+  BasicBlock* block = inst->parent();
+  set_insert_point(block, block->position_of(inst));
+}
+
+Instruction* IRBuilder::emit(Instruction* inst, std::string name) {
+  VULFI_ASSERT(block_ != nullptr, "no insertion point set");
+  if (name.empty() && !inst->type().is_void()) {
+    name = strf("t%u", name_counter_++);
+  }
+  inst->set_name(std::move(name));
+  block_->insert(pos_, inst);
+  return inst;
+}
+
+Value* IRBuilder::binary(Opcode op, Value* lhs, Value* rhs, std::string name,
+                         bool is_fp) {
+  VULFI_ASSERT(lhs->type() == rhs->type(), "binary operand type mismatch");
+  if (is_fp) {
+    VULFI_ASSERT(lhs->type().is_float(), "fp op requires float operands");
+  } else {
+    VULFI_ASSERT(lhs->type().is_integer(), "int op requires int operands");
+  }
+  return emit(Instruction::create(op, lhs->type(), {lhs, rhs}),
+              std::move(name));
+}
+
+#define VULFI_BIN(method, opcode, is_fp)                                    \
+  Value* IRBuilder::method(Value* lhs, Value* rhs, std::string name) {      \
+    return binary(Opcode::opcode, lhs, rhs, std::move(name), is_fp);        \
+  }
+
+VULFI_BIN(add, Add, false)
+VULFI_BIN(sub, Sub, false)
+VULFI_BIN(mul, Mul, false)
+VULFI_BIN(sdiv, SDiv, false)
+VULFI_BIN(udiv, UDiv, false)
+VULFI_BIN(srem, SRem, false)
+VULFI_BIN(urem, URem, false)
+VULFI_BIN(shl, Shl, false)
+VULFI_BIN(lshr, LShr, false)
+VULFI_BIN(ashr, AShr, false)
+VULFI_BIN(and_, And, false)
+VULFI_BIN(or_, Or, false)
+VULFI_BIN(xor_, Xor, false)
+VULFI_BIN(fadd, FAdd, true)
+VULFI_BIN(fsub, FSub, true)
+VULFI_BIN(fmul, FMul, true)
+VULFI_BIN(fdiv, FDiv, true)
+VULFI_BIN(frem, FRem, true)
+
+#undef VULFI_BIN
+
+Value* IRBuilder::fneg(Value* operand, std::string name) {
+  VULFI_ASSERT(operand->type().is_float(), "fneg requires float operand");
+  return emit(Instruction::create(Opcode::FNeg, operand->type(), {operand}),
+              std::move(name));
+}
+
+Value* IRBuilder::icmp(ICmpPred pred, Value* lhs, Value* rhs,
+                       std::string name) {
+  VULFI_ASSERT(lhs->type().is_integer() || lhs->type().is_pointer(),
+               "icmp requires integer or pointer operands");
+  return emit(Instruction::create_icmp(pred, lhs, rhs), std::move(name));
+}
+
+Value* IRBuilder::fcmp(FCmpPred pred, Value* lhs, Value* rhs,
+                       std::string name) {
+  VULFI_ASSERT(lhs->type().is_float(), "fcmp requires float operands");
+  return emit(Instruction::create_fcmp(pred, lhs, rhs), std::move(name));
+}
+
+Value* IRBuilder::alloca_bytes(std::uint64_t bytes, std::string name) {
+  return emit(Instruction::create_alloca(bytes), std::move(name));
+}
+
+Value* IRBuilder::load(Type type, Value* ptr, std::string name) {
+  VULFI_ASSERT(ptr->type() == Type::ptr(), "load pointer operand required");
+  VULFI_ASSERT(!type.is_void(), "cannot load void");
+  return emit(Instruction::create(Opcode::Load, type, {ptr}),
+              std::move(name));
+}
+
+Instruction* IRBuilder::store(Value* value, Value* ptr) {
+  VULFI_ASSERT(ptr->type() == Type::ptr(), "store pointer operand required");
+  return emit(
+      Instruction::create(Opcode::Store, Type::void_ty(), {value, ptr}), "");
+}
+
+Value* IRBuilder::gep(Value* base, Value* index, std::uint64_t stride_bytes,
+                      std::string name) {
+  return gep(base, std::vector<Value*>{index},
+             std::vector<std::uint64_t>{stride_bytes}, std::move(name));
+}
+
+Value* IRBuilder::gep(Value* base, std::vector<Value*> indices,
+                      std::vector<std::uint64_t> strides, std::string name) {
+  for (Value* index : indices) {
+    VULFI_ASSERT(index->type().is_integer() && index->type().is_scalar(),
+                 "gep index must be a scalar integer");
+  }
+  return emit(
+      Instruction::create_gep(base, std::move(indices), std::move(strides)),
+      std::move(name));
+}
+
+Value* IRBuilder::extract_element(Value* vec, Value* index,
+                                  std::string name) {
+  VULFI_ASSERT(vec->type().is_vector(), "extractelement requires a vector");
+  VULFI_ASSERT(index->type().is_integer() && index->type().is_scalar(),
+               "extractelement index must be a scalar integer");
+  return emit(Instruction::create(Opcode::ExtractElement,
+                                  vec->type().element(), {vec, index}),
+              std::move(name));
+}
+
+Value* IRBuilder::extract_element(Value* vec, unsigned index,
+                                  std::string name) {
+  return extract_element(vec, module_.const_int(Type::i32(), index),
+                         std::move(name));
+}
+
+Value* IRBuilder::insert_element(Value* vec, Value* elem, Value* index,
+                                 std::string name) {
+  VULFI_ASSERT(vec->type().is_vector(), "insertelement requires a vector");
+  VULFI_ASSERT(elem->type() == vec->type().element(),
+               "insertelement element type mismatch");
+  VULFI_ASSERT(index->type().is_integer() && index->type().is_scalar(),
+               "insertelement index must be a scalar integer");
+  return emit(Instruction::create(Opcode::InsertElement, vec->type(),
+                                  {vec, elem, index}),
+              std::move(name));
+}
+
+Value* IRBuilder::insert_element(Value* vec, Value* elem, unsigned index,
+                                 std::string name) {
+  return insert_element(vec, elem, module_.const_int(Type::i32(), index),
+                        std::move(name));
+}
+
+Value* IRBuilder::shuffle(Value* v1, Value* v2, std::vector<int> mask,
+                          std::string name) {
+  return emit(Instruction::create_shuffle(v1, v2, std::move(mask)),
+              std::move(name));
+}
+
+Value* IRBuilder::broadcast(Value* scalar, unsigned lanes, std::string name) {
+  VULFI_ASSERT(scalar->type().is_scalar(), "broadcast takes a scalar");
+  VULFI_ASSERT(lanes >= 2, "broadcast needs at least two lanes");
+  const Type vec_type = scalar->type().with_lanes(lanes);
+  Value* init = insert_element(module_.const_undef(vec_type), scalar, 0u,
+                               name.empty() ? "" : name + "_init");
+  // shufflevector <N x T> %init, <N x T> undef, zeroinitializer
+  return shuffle(init, module_.const_undef(vec_type),
+                 std::vector<int>(lanes, 0), std::move(name));
+}
+
+Value* IRBuilder::cast(Opcode op, Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().lanes() == to.lanes(),
+               "cast cannot change lane count");
+  return emit(Instruction::create(op, to, {operand}), std::move(name));
+}
+
+Value* IRBuilder::trunc(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().is_integer() && to.is_integer() &&
+                   to.element_bits() < operand->type().element_bits(),
+               "trunc must narrow an integer");
+  return cast(Opcode::Trunc, operand, to, std::move(name));
+}
+
+Value* IRBuilder::zext(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().is_integer() && to.is_integer() &&
+                   to.element_bits() > operand->type().element_bits(),
+               "zext must widen an integer");
+  return cast(Opcode::ZExt, operand, to, std::move(name));
+}
+
+Value* IRBuilder::sext(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().is_integer() && to.is_integer() &&
+                   to.element_bits() > operand->type().element_bits(),
+               "sext must widen an integer");
+  return cast(Opcode::SExt, operand, to, std::move(name));
+}
+
+Value* IRBuilder::fptrunc(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().kind() == TypeKind::F64 &&
+                   to.kind() == TypeKind::F32,
+               "fptrunc is f64 -> f32");
+  return cast(Opcode::FPTrunc, operand, to, std::move(name));
+}
+
+Value* IRBuilder::fpext(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().kind() == TypeKind::F32 &&
+                   to.kind() == TypeKind::F64,
+               "fpext is f32 -> f64");
+  return cast(Opcode::FPExt, operand, to, std::move(name));
+}
+
+Value* IRBuilder::fptosi(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().is_float() && to.is_integer(),
+               "fptosi is float -> int");
+  return cast(Opcode::FPToSI, operand, to, std::move(name));
+}
+
+Value* IRBuilder::fptoui(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().is_float() && to.is_integer(),
+               "fptoui is float -> int");
+  return cast(Opcode::FPToUI, operand, to, std::move(name));
+}
+
+Value* IRBuilder::sitofp(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().is_integer() && to.is_float(),
+               "sitofp is int -> float");
+  return cast(Opcode::SIToFP, operand, to, std::move(name));
+}
+
+Value* IRBuilder::uitofp(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().is_integer() && to.is_float(),
+               "uitofp is int -> float");
+  return cast(Opcode::UIToFP, operand, to, std::move(name));
+}
+
+Value* IRBuilder::ptrtoint(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().is_pointer() && to.is_integer(),
+               "ptrtoint is ptr -> int");
+  return cast(Opcode::PtrToInt, operand, to, std::move(name));
+}
+
+Value* IRBuilder::inttoptr(Value* operand, std::string name) {
+  VULFI_ASSERT(operand->type().is_integer(), "inttoptr is int -> ptr");
+  return cast(Opcode::IntToPtr, operand,
+              Type::ptr().with_lanes(operand->type().lanes()),
+              std::move(name));
+}
+
+Value* IRBuilder::bitcast(Value* operand, Type to, std::string name) {
+  VULFI_ASSERT(operand->type().byte_size() == to.byte_size(),
+               "bitcast must preserve bit width");
+  // Lane-count changes (e.g. <8 x i32> -> <4 x i64>) are legal in LLVM but
+  // unneeded here; keep the stricter rule so the interpreter can stay
+  // lane-wise.
+  VULFI_ASSERT(operand->type().lanes() == to.lanes(),
+               "bitcast must preserve lane count");
+  return emit(Instruction::create(Opcode::Bitcast, to, {operand}),
+              std::move(name));
+}
+
+Instruction* IRBuilder::phi(Type type, std::string name) {
+  return emit(Instruction::create_phi(type), std::move(name));
+}
+
+Value* IRBuilder::select(Value* cond, Value* on_true, Value* on_false,
+                         std::string name) {
+  VULFI_ASSERT(cond->type().kind() == TypeKind::I1,
+               "select condition must be i1 or vector of i1");
+  VULFI_ASSERT(on_true->type() == on_false->type(),
+               "select arm type mismatch");
+  VULFI_ASSERT(cond->type().lanes() == 1 ||
+                   cond->type().lanes() == on_true->type().lanes(),
+               "vector select needs matching lane counts");
+  return emit(Instruction::create(Opcode::Select, on_true->type(),
+                                  {cond, on_true, on_false}),
+              std::move(name));
+}
+
+Value* IRBuilder::call(Function* callee, std::vector<Value*> args,
+                       std::string name) {
+  VULFI_ASSERT(args.size() == callee->num_args(),
+               "call argument count mismatch");
+  for (unsigned i = 0; i < args.size(); ++i) {
+    VULFI_ASSERT(args[i]->type() == callee->arg(i)->type(),
+                 "call argument type mismatch");
+  }
+  return emit(Instruction::create_call(callee, std::move(args)),
+              std::move(name));
+}
+
+Instruction* IRBuilder::br(BasicBlock* target) {
+  return emit(Instruction::create_br(target), "");
+}
+
+Instruction* IRBuilder::cond_br(Value* cond, BasicBlock* then_block,
+                                BasicBlock* else_block) {
+  return emit(Instruction::create_cond_br(cond, then_block, else_block), "");
+}
+
+Instruction* IRBuilder::ret(Value* value) {
+  return emit(Instruction::create_ret(value), "");
+}
+
+Instruction* IRBuilder::unreachable() {
+  return emit(Instruction::create(Opcode::Unreachable, Type::void_ty(), {}),
+              "");
+}
+
+}  // namespace vulfi::ir

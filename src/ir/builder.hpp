@@ -1,0 +1,137 @@
+// IRBuilder: typed convenience API for emitting instructions at an
+// insertion point, in the style of llvm::IRBuilder. All kernel builders,
+// the SPMD lowering layer, the VULFI instrumentor and the detector passes
+// construct IR exclusively through this class, which enforces operand
+// typing rules at build time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+#include "ir/instruction.hpp"
+#include "ir/module.hpp"
+
+namespace vulfi::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  Module& module() { return module_; }
+
+  // --- insertion point --------------------------------------------------
+  /// Appends at the end of `block` (before nothing).
+  void set_insert_block(BasicBlock* block);
+  /// Inserts before `pos` within `block`.
+  void set_insert_point(BasicBlock* block, BasicBlock::iterator pos);
+  /// Inserts immediately after `inst` (which must be in a block).
+  void set_insert_after(Instruction* inst);
+  /// Inserts immediately before `inst`.
+  void set_insert_before(Instruction* inst);
+  BasicBlock* insert_block() const { return block_; }
+
+  // --- arithmetic ---------------------------------------------------------
+  Value* add(Value* lhs, Value* rhs, std::string name = "");
+  Value* sub(Value* lhs, Value* rhs, std::string name = "");
+  Value* mul(Value* lhs, Value* rhs, std::string name = "");
+  Value* sdiv(Value* lhs, Value* rhs, std::string name = "");
+  Value* udiv(Value* lhs, Value* rhs, std::string name = "");
+  Value* srem(Value* lhs, Value* rhs, std::string name = "");
+  Value* urem(Value* lhs, Value* rhs, std::string name = "");
+  Value* shl(Value* lhs, Value* rhs, std::string name = "");
+  Value* lshr(Value* lhs, Value* rhs, std::string name = "");
+  Value* ashr(Value* lhs, Value* rhs, std::string name = "");
+  Value* and_(Value* lhs, Value* rhs, std::string name = "");
+  Value* or_(Value* lhs, Value* rhs, std::string name = "");
+  Value* xor_(Value* lhs, Value* rhs, std::string name = "");
+  Value* fadd(Value* lhs, Value* rhs, std::string name = "");
+  Value* fsub(Value* lhs, Value* rhs, std::string name = "");
+  Value* fmul(Value* lhs, Value* rhs, std::string name = "");
+  Value* fdiv(Value* lhs, Value* rhs, std::string name = "");
+  Value* frem(Value* lhs, Value* rhs, std::string name = "");
+  Value* fneg(Value* operand, std::string name = "");
+
+  // --- comparisons -------------------------------------------------------
+  Value* icmp(ICmpPred pred, Value* lhs, Value* rhs, std::string name = "");
+  Value* fcmp(FCmpPred pred, Value* lhs, Value* rhs, std::string name = "");
+
+  // --- memory -------------------------------------------------------------
+  Value* alloca_bytes(std::uint64_t bytes, std::string name = "");
+  Value* load(Type type, Value* ptr, std::string name = "");
+  Instruction* store(Value* value, Value* ptr);
+  /// getelementptr with one index: address = base + index * stride_bytes.
+  Value* gep(Value* base, Value* index, std::uint64_t stride_bytes,
+             std::string name = "");
+  /// Multi-index form: address = base + sum(index_i * stride_i).
+  Value* gep(Value* base, std::vector<Value*> indices,
+             std::vector<std::uint64_t> strides, std::string name = "");
+
+  // --- vector ---------------------------------------------------------------
+  Value* extract_element(Value* vec, Value* index, std::string name = "");
+  Value* extract_element(Value* vec, unsigned index, std::string name = "");
+  Value* insert_element(Value* vec, Value* elem, Value* index,
+                        std::string name = "");
+  Value* insert_element(Value* vec, Value* elem, unsigned index,
+                        std::string name = "");
+  Value* shuffle(Value* v1, Value* v2, std::vector<int> mask,
+                 std::string name = "");
+  /// Scalar -> vector splat via the insertelement + shufflevector idiom the
+  /// ISPC compiler emits for uniform values (paper Figure 9).
+  Value* broadcast(Value* scalar, unsigned lanes, std::string name = "");
+
+  // --- casts ---------------------------------------------------------------
+  Value* trunc(Value* operand, Type to, std::string name = "");
+  Value* zext(Value* operand, Type to, std::string name = "");
+  Value* sext(Value* operand, Type to, std::string name = "");
+  Value* fptrunc(Value* operand, Type to, std::string name = "");
+  Value* fpext(Value* operand, Type to, std::string name = "");
+  Value* fptosi(Value* operand, Type to, std::string name = "");
+  Value* fptoui(Value* operand, Type to, std::string name = "");
+  Value* sitofp(Value* operand, Type to, std::string name = "");
+  Value* uitofp(Value* operand, Type to, std::string name = "");
+  Value* ptrtoint(Value* operand, Type to, std::string name = "");
+  Value* inttoptr(Value* operand, std::string name = "");
+  Value* bitcast(Value* operand, Type to, std::string name = "");
+
+  // --- control / other ------------------------------------------------------
+  Instruction* phi(Type type, std::string name = "");
+  Value* select(Value* cond, Value* on_true, Value* on_false,
+                std::string name = "");
+  Value* call(Function* callee, std::vector<Value*> args,
+              std::string name = "");
+  Instruction* br(BasicBlock* target);
+  Instruction* cond_br(Value* cond, BasicBlock* then_block,
+                       BasicBlock* else_block);
+  Instruction* ret(Value* value = nullptr);
+  Instruction* unreachable();
+
+  // --- constants (module-owned, exposed here for terseness) -----------------
+  Constant* i32_const(std::int64_t value) {
+    return module_.const_int(Type::i32(), value);
+  }
+  Constant* i64_const(std::int64_t value) {
+    return module_.const_int(Type::i64(), value);
+  }
+  Constant* f32_const(float value) {
+    return module_.const_f32(Type::f32(), value);
+  }
+  Constant* f64_const(double value) {
+    return module_.const_f64(Type::f64(), value);
+  }
+  Constant* bool_const(bool value) { return module_.const_bool(value); }
+
+ private:
+  Value* binary(Opcode op, Value* lhs, Value* rhs, std::string name,
+                bool is_fp);
+  Value* cast(Opcode op, Value* operand, Type to, std::string name);
+  Instruction* emit(Instruction* inst, std::string name);
+
+  Module& module_;
+  BasicBlock* block_ = nullptr;
+  BasicBlock::iterator pos_{};
+  unsigned name_counter_ = 0;
+};
+
+}  // namespace vulfi::ir

@@ -1,0 +1,183 @@
+#include "ir/cloner.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace vulfi::ir {
+
+namespace {
+
+class Cloner {
+ public:
+  explicit Cloner(const Module& source)
+      : source_(source),
+        clone_(std::make_unique<Module>(source.name())) {}
+
+  std::unique_ptr<Module> run(CloneMap* external_map) {
+    declare_functions();
+    for (const auto& fn : source_.functions()) {
+      if (fn->is_definition()) clone_body(*fn);
+    }
+    if (external_map) *external_map = std::move(map_);
+    return std::move(clone_);
+  }
+
+ private:
+  void declare_functions() {
+    for (const auto& fn : source_.functions()) {
+      std::vector<Type> params;
+      params.reserve(fn->num_args());
+      for (const auto& arg : fn->args()) params.push_back(arg->type());
+      Function* copy = nullptr;
+      switch (fn->kind()) {
+        case FunctionKind::Definition:
+          copy = clone_->create_function(fn->name(), fn->return_type(),
+                                         std::move(params));
+          break;
+        case FunctionKind::Intrinsic:
+        case FunctionKind::Runtime:
+          // Copy wholesale so intrinsic metadata (mask operand indices
+          // etc.) carries over identically.
+          copy = clone_->clone_declaration(*fn);
+          break;
+      }
+      map_.functions[fn.get()] = copy;
+      for (unsigned i = 0; i < fn->num_args(); ++i) {
+        copy->arg(i)->set_name(fn->arg(i)->name());
+        map_.values[fn->arg(i)] = copy->arg(i);
+      }
+    }
+  }
+
+  Value* mapped(const Value* value) {
+    if (value->value_kind() == ValueKind::Constant) {
+      auto it = map_.values.find(value);
+      if (it != map_.values.end()) return it->second;
+      const auto* constant = static_cast<const Constant*>(value);
+      Constant* copy;
+      if (constant->is_undef()) {
+        copy = clone_->const_undef(constant->type());
+      } else {
+        std::vector<std::uint64_t> raw(constant->type().lanes());
+        for (unsigned lane = 0; lane < raw.size(); ++lane) {
+          raw[lane] = constant->raw(lane);
+        }
+        copy = clone_->const_raw(constant->type(), std::move(raw));
+      }
+      map_.values[value] = copy;
+      return copy;
+    }
+    auto it = map_.values.find(value);
+    VULFI_ASSERT(it != map_.values.end(),
+                 "clone encountered an unmapped value");
+    return it->second;
+  }
+
+  Instruction* clone_instruction(const Instruction& inst,
+                                 Function* target_fn) {
+    switch (inst.opcode()) {
+      case Opcode::ICmp:
+        return Instruction::create_icmp(inst.icmp_pred(),
+                                        mapped(inst.operand(0)),
+                                        mapped(inst.operand(1)));
+      case Opcode::FCmp:
+        return Instruction::create_fcmp(inst.fcmp_pred(),
+                                        mapped(inst.operand(0)),
+                                        mapped(inst.operand(1)));
+      case Opcode::ShuffleVector:
+        return Instruction::create_shuffle(mapped(inst.operand(0)),
+                                           mapped(inst.operand(1)),
+                                           inst.shuffle_mask());
+      case Opcode::Call: {
+        std::vector<Value*> args;
+        args.reserve(inst.num_operands());
+        for (unsigned i = 0; i < inst.num_operands(); ++i) {
+          args.push_back(mapped(inst.operand(i)));
+        }
+        return Instruction::create_call(
+            map_.functions.at(inst.callee()), std::move(args));
+      }
+      case Opcode::Br:
+        return Instruction::create_br(
+            map_.blocks.at(inst.successor(0)));
+      case Opcode::CondBr:
+        return Instruction::create_cond_br(
+            mapped(inst.operand(0)), map_.blocks.at(inst.successor(0)),
+            map_.blocks.at(inst.successor(1)));
+      case Opcode::Phi:
+        // Incoming edges are wired in a second pass.
+        return Instruction::create_phi(inst.type());
+      case Opcode::GetElementPtr: {
+        std::vector<Value*> indices;
+        for (unsigned i = 1; i < inst.num_operands(); ++i) {
+          indices.push_back(mapped(inst.operand(i)));
+        }
+        return Instruction::create_gep(mapped(inst.operand(0)),
+                                       std::move(indices),
+                                       inst.gep_strides());
+      }
+      case Opcode::Alloca:
+        return Instruction::create_alloca(inst.alloca_bytes());
+      case Opcode::Ret:
+        return Instruction::create_ret(
+            inst.num_operands() ? mapped(inst.operand(0)) : nullptr);
+      default: {
+        std::vector<Value*> operands;
+        operands.reserve(inst.num_operands());
+        for (unsigned i = 0; i < inst.num_operands(); ++i) {
+          operands.push_back(mapped(inst.operand(i)));
+        }
+        (void)target_fn;
+        return Instruction::create(inst.opcode(), inst.type(),
+                                   std::move(operands));
+      }
+    }
+  }
+
+  void clone_body(const Function& fn) {
+    Function* copy = map_.functions.at(&fn);
+    // Pass 1: blocks (branch targets may be forward references).
+    for (const auto& block : fn) {
+      map_.blocks[block.get()] = copy->create_block(block->name());
+    }
+    // Pass 2: instructions in order; phis created empty.
+    std::vector<std::pair<const Instruction*, Instruction*>> phis;
+    for (const auto& block : fn) {
+      BasicBlock* target = map_.blocks.at(block.get());
+      for (const auto& inst : *block) {
+        Instruction* copy_inst = clone_instruction(*inst, copy);
+        copy_inst->set_name(inst->name());
+        target->push_back(copy_inst);
+        map_.values[inst.get()] = copy_inst;
+        if (inst->opcode() == Opcode::Phi) {
+          phis.emplace_back(inst.get(), copy_inst);
+        }
+      }
+    }
+    // Pass 3: phi incoming edges (all values/blocks now exist).
+    for (auto& [original, copy_phi] : phis) {
+      const auto& blocks = original->phi_incoming_blocks();
+      for (unsigned i = 0; i < original->num_operands(); ++i) {
+        copy_phi->phi_add_incoming(mapped(original->operand(i)),
+                                   map_.blocks.at(blocks[i]));
+      }
+    }
+  }
+
+  const Module& source_;
+  std::unique_ptr<Module> clone_;
+  CloneMap map_;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> clone_module(const Module& source) {
+  return clone_module(source, nullptr);
+}
+
+std::unique_ptr<Module> clone_module(const Module& source, CloneMap* map) {
+  return Cloner(source).run(map);
+}
+
+}  // namespace vulfi::ir

@@ -1,0 +1,33 @@
+// Whole-module cloning.
+//
+// Fault-injection studies repeatedly need a pristine copy of a module —
+// e.g. comparing detector-instrumented against plain builds, or running
+// the instrumentor with different options over the same kernel — without
+// re-running the kernel builder. clone_module produces a structurally
+// identical, fully independent module (fresh constants, fresh use-lists).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "ir/module.hpp"
+
+namespace vulfi::ir {
+
+/// Deep-copies `source`. Function order, block order, instruction order,
+/// names, payloads (predicates, shuffle masks, GEP strides, intrinsic
+/// metadata) are preserved; the printer output of the clone equals the
+/// printer output of the source.
+std::unique_ptr<Module> clone_module(const Module& source);
+
+/// Value mapping from an executed clone back to the original (or vice
+/// versa) for consumers that need to correlate, keyed by source value.
+struct CloneMap {
+  std::unordered_map<const Value*, Value*> values;
+  std::unordered_map<const BasicBlock*, BasicBlock*> blocks;
+  std::unordered_map<const Function*, Function*> functions;
+};
+
+std::unique_ptr<Module> clone_module(const Module& source, CloneMap* map);
+
+}  // namespace vulfi::ir

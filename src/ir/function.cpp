@@ -1,0 +1,101 @@
+#include "ir/function.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::ir {
+
+Function::Function(std::string name, Type return_type,
+                   std::vector<Type> param_types, FunctionKind kind,
+                   IntrinsicInfo intrinsic, Module* parent)
+    : name_(std::move(name)),
+      return_type_(return_type),
+      kind_(kind),
+      intrinsic_(intrinsic),
+      parent_(parent) {
+  args_.reserve(param_types.size());
+  for (unsigned i = 0; i < param_types.size(); ++i) {
+    auto arg = std::make_unique<Argument>(param_types[i], i, this);
+    arg->set_name(strf("arg%u", i));
+    args_.push_back(std::move(arg));
+  }
+}
+
+Argument* Function::arg(unsigned i) const {
+  VULFI_ASSERT(i < args_.size(), "argument index out of range");
+  return args_[i].get();
+}
+
+namespace {
+
+std::string uniquify(std::unordered_set<std::string>& used,
+                     const std::string& name) {
+  if (used.insert(name).second) return name;
+  for (unsigned k = 1;; ++k) {
+    std::string candidate = strf("%s.%u", name.c_str(), k);
+    if (used.insert(candidate).second) return candidate;
+  }
+}
+
+}  // namespace
+
+std::string Function::uniquify_value_name(const std::string& name) {
+  return uniquify(used_value_names_, name);
+}
+
+std::string Function::uniquify_block_name(const std::string& name) {
+  return uniquify(used_block_names_, name);
+}
+
+BasicBlock* Function::create_block(std::string name) {
+  VULFI_ASSERT(is_definition(), "only definitions have blocks");
+  blocks_.push_back(std::make_unique<BasicBlock>(
+      uniquify_block_name(name), this));
+  return blocks_.back().get();
+}
+
+BasicBlock* Function::create_block_after(std::string name,
+                                         BasicBlock* after) {
+  VULFI_ASSERT(is_definition(), "only definitions have blocks");
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->get() == after) {
+      auto inserted = blocks_.emplace(
+          std::next(it),
+          std::make_unique<BasicBlock>(uniquify_block_name(name), this));
+      return inserted->get();
+    }
+  }
+  VULFI_UNREACHABLE("create_block_after: anchor block not in function");
+}
+
+BasicBlock& Function::entry() {
+  VULFI_ASSERT(!blocks_.empty(), "function has no entry block");
+  return *blocks_.front();
+}
+
+const BasicBlock& Function::entry() const {
+  VULFI_ASSERT(!blocks_.empty(), "function has no entry block");
+  return *blocks_.front();
+}
+
+std::vector<BasicBlock*> Function::predecessors(
+    const BasicBlock* block) const {
+  std::vector<BasicBlock*> preds;
+  for (const auto& candidate : blocks_) {
+    for (BasicBlock* succ : candidate->successors()) {
+      if (succ == block) {
+        preds.push_back(candidate.get());
+        break;
+      }
+    }
+  }
+  return preds;
+}
+
+std::size_t Function::num_instructions() const {
+  std::size_t total = 0;
+  for (const auto& block : blocks_) total += block->size();
+  return total;
+}
+
+}  // namespace vulfi::ir

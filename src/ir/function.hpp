@@ -1,0 +1,100 @@
+// Functions: definitions (with a CFG of basic blocks), intrinsic
+// declarations, and runtime declarations (VULFI's injection/detection API,
+// dispatched by name to host callbacks by the interpreter — the analogue
+// of linking the instrumented binary against the VULFI runtime library).
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+#include "ir/intrinsics.hpp"
+#include "ir/type.hpp"
+#include "ir/value.hpp"
+
+namespace vulfi::ir {
+
+class Module;
+
+enum class FunctionKind : std::uint8_t {
+  /// Has a body of basic blocks; executed by the interpreter.
+  Definition,
+  /// Declared intrinsic (masked memory op, math op); evaluated natively
+  /// by the interpreter.
+  Intrinsic,
+  /// Declared runtime function; dispatched to a registered host callback
+  /// (fault injection, detectors).
+  Runtime,
+};
+
+class Function {
+ public:
+  using BlockList = std::list<std::unique_ptr<BasicBlock>>;
+  using iterator = BlockList::iterator;
+  using const_iterator = BlockList::const_iterator;
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  const std::string& name() const { return name_; }
+  Module* parent() const { return parent_; }
+  FunctionKind kind() const { return kind_; }
+  bool is_definition() const { return kind_ == FunctionKind::Definition; }
+
+  Type return_type() const { return return_type_; }
+
+  unsigned num_args() const { return static_cast<unsigned>(args_.size()); }
+  Argument* arg(unsigned i) const;
+  const std::vector<std::unique_ptr<Argument>>& args() const { return args_; }
+
+  /// Intrinsic metadata (id None / no mask for non-intrinsics).
+  const IntrinsicInfo& intrinsic_info() const { return intrinsic_; }
+  bool is_masked_intrinsic() const { return intrinsic_.is_masked(); }
+
+  // --- CFG (definitions only) ----------------------------------------
+  BasicBlock* create_block(std::string name);
+  /// Creates a block placed immediately after `after` in layout order.
+  BasicBlock* create_block_after(std::string name, BasicBlock* after);
+  BasicBlock& entry();
+  const BasicBlock& entry() const;
+
+  iterator begin() { return blocks_.begin(); }
+  iterator end() { return blocks_.end(); }
+  const_iterator begin() const { return blocks_.begin(); }
+  const_iterator end() const { return blocks_.end(); }
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  /// Blocks branching to `block` (computed by scanning; no cache).
+  std::vector<BasicBlock*> predecessors(const BasicBlock* block) const;
+
+  /// Total instruction count across all blocks.
+  std::size_t num_instructions() const;
+
+  /// Returns `name` if unused within this function, else "name.K" for the
+  /// first free K, and marks the result used. Keeps SSA names unique so
+  /// the printed form is unambiguous (parseable). Blocks have their own
+  /// namespace.
+  std::string uniquify_value_name(const std::string& name);
+  std::string uniquify_block_name(const std::string& name);
+
+ private:
+  friend class Module;
+
+  Function(std::string name, Type return_type, std::vector<Type> param_types,
+           FunctionKind kind, IntrinsicInfo intrinsic, Module* parent);
+
+  std::string name_;
+  Type return_type_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  FunctionKind kind_;
+  IntrinsicInfo intrinsic_;
+  Module* parent_;
+  BlockList blocks_;
+  std::unordered_set<std::string> used_value_names_;
+  std::unordered_set<std::string> used_block_names_;
+};
+
+}  // namespace vulfi::ir

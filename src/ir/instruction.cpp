@@ -1,0 +1,321 @@
+#include "ir/instruction.hpp"
+
+#include "ir/basic_block.hpp"
+#include "ir/function.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::ir {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::UDiv: return "udiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::URem: return "urem";
+    case Opcode::Shl: return "shl";
+    case Opcode::LShr: return "lshr";
+    case Opcode::AShr: return "ashr";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::FRem: return "frem";
+    case Opcode::FNeg: return "fneg";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::GetElementPtr: return "getelementptr";
+    case Opcode::ExtractElement: return "extractelement";
+    case Opcode::InsertElement: return "insertelement";
+    case Opcode::ShuffleVector: return "shufflevector";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SExt: return "sext";
+    case Opcode::FPTrunc: return "fptrunc";
+    case Opcode::FPExt: return "fpext";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::FPToUI: return "fptoui";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::UIToFP: return "uitofp";
+    case Opcode::PtrToInt: return "ptrtoint";
+    case Opcode::IntToPtr: return "inttoptr";
+    case Opcode::Bitcast: return "bitcast";
+    case Opcode::Phi: return "phi";
+    case Opcode::Select: return "select";
+    case Opcode::Call: return "call";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "br";
+    case Opcode::Ret: return "ret";
+    case Opcode::Unreachable: return "unreachable";
+  }
+  return "?";
+}
+
+bool opcode_is_terminator(Opcode op) {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret ||
+         op == Opcode::Unreachable;
+}
+
+const char* icmp_pred_name(ICmpPred pred) {
+  switch (pred) {
+    case ICmpPred::EQ: return "eq";
+    case ICmpPred::NE: return "ne";
+    case ICmpPred::SLT: return "slt";
+    case ICmpPred::SLE: return "sle";
+    case ICmpPred::SGT: return "sgt";
+    case ICmpPred::SGE: return "sge";
+    case ICmpPred::ULT: return "ult";
+    case ICmpPred::ULE: return "ule";
+    case ICmpPred::UGT: return "ugt";
+    case ICmpPred::UGE: return "uge";
+  }
+  return "?";
+}
+
+const char* fcmp_pred_name(FCmpPred pred) {
+  switch (pred) {
+    case FCmpPred::OEQ: return "oeq";
+    case FCmpPred::ONE: return "one";
+    case FCmpPred::OLT: return "olt";
+    case FCmpPred::OLE: return "ole";
+    case FCmpPred::OGT: return "ogt";
+    case FCmpPred::OGE: return "oge";
+    case FCmpPred::UEQ: return "ueq";
+    case FCmpPred::UNE: return "une";
+    case FCmpPred::ULT: return "ult";
+    case FCmpPred::ULE: return "ule";
+    case FCmpPred::UGT: return "ugt";
+    case FCmpPred::UGE: return "uge";
+    case FCmpPred::ORD: return "ord";
+    case FCmpPred::UNO: return "uno";
+  }
+  return "?";
+}
+
+Instruction::Instruction(Opcode op, Type type, std::vector<Value*> operands)
+    : Value(ValueKind::Instruction, type),
+      opcode_(op),
+      operands_(std::move(operands)) {
+  for (Value* operand : operands_) {
+    VULFI_ASSERT(operand != nullptr, "instruction operand must be non-null");
+    operand->add_user(this);
+  }
+}
+
+Instruction::~Instruction() { drop_operand_uses(); }
+
+void Instruction::drop_operand_uses() {
+  for (Value* operand : operands_) {
+    if (operand) operand->remove_user(this);
+  }
+  operands_.clear();
+}
+
+Value* Instruction::operand(unsigned i) const {
+  VULFI_ASSERT(i < operands_.size(), "operand index out of range");
+  return operands_[i];
+}
+
+void Instruction::set_operand(unsigned i, Value* value) {
+  VULFI_ASSERT(i < operands_.size(), "operand index out of range");
+  VULFI_ASSERT(value != nullptr, "operand must be non-null");
+  operands_[i]->remove_user(this);
+  operands_[i] = value;
+  value->add_user(this);
+}
+
+Function* Instruction::function() const {
+  return parent_ ? parent_->parent() : nullptr;
+}
+
+bool Instruction::is_vector_instruction() const {
+  if (type().is_vector()) return true;
+  for (const Value* operand : operands_) {
+    if (operand->type().is_vector()) return true;
+  }
+  return false;
+}
+
+ICmpPred Instruction::icmp_pred() const {
+  VULFI_ASSERT(opcode_ == Opcode::ICmp, "icmp_pred on non-icmp");
+  return icmp_pred_;
+}
+
+FCmpPred Instruction::fcmp_pred() const {
+  VULFI_ASSERT(opcode_ == Opcode::FCmp, "fcmp_pred on non-fcmp");
+  return fcmp_pred_;
+}
+
+const std::vector<int>& Instruction::shuffle_mask() const {
+  VULFI_ASSERT(opcode_ == Opcode::ShuffleVector, "shuffle_mask on non-shuffle");
+  return shuffle_mask_;
+}
+
+Function* Instruction::callee() const {
+  VULFI_ASSERT(opcode_ == Opcode::Call, "callee on non-call");
+  return callee_;
+}
+
+unsigned Instruction::num_successors() const {
+  if (opcode_ == Opcode::Br) return 1;
+  if (opcode_ == Opcode::CondBr) return 2;
+  return 0;
+}
+
+BasicBlock* Instruction::successor(unsigned i) const {
+  VULFI_ASSERT(i < num_successors(), "successor index out of range");
+  return successors_[i];
+}
+
+void Instruction::set_successor(unsigned i, BasicBlock* block) {
+  VULFI_ASSERT(i < num_successors(), "successor index out of range");
+  VULFI_ASSERT(block != nullptr, "successor must be non-null");
+  successors_[i] = block;
+}
+
+const std::vector<BasicBlock*>& Instruction::phi_incoming_blocks() const {
+  VULFI_ASSERT(opcode_ == Opcode::Phi, "phi accessor on non-phi");
+  return phi_blocks_;
+}
+
+void Instruction::phi_add_incoming(Value* value, BasicBlock* pred) {
+  VULFI_ASSERT(opcode_ == Opcode::Phi, "phi_add_incoming on non-phi");
+  VULFI_ASSERT(value != nullptr && pred != nullptr,
+               "phi incoming needs value and block");
+  VULFI_ASSERT(value->type() == type(), "phi incoming type mismatch");
+  operands_.push_back(value);
+  value->add_user(this);
+  phi_blocks_.push_back(pred);
+}
+
+Value* Instruction::phi_value_for(const BasicBlock* pred) const {
+  VULFI_ASSERT(opcode_ == Opcode::Phi, "phi_value_for on non-phi");
+  for (std::size_t i = 0; i < phi_blocks_.size(); ++i) {
+    if (phi_blocks_[i] == pred) return operands_[i];
+  }
+  VULFI_UNREACHABLE("phi has no incoming value for predecessor");
+}
+
+void Instruction::phi_replace_incoming_block(BasicBlock* old_pred,
+                                             BasicBlock* new_pred) {
+  VULFI_ASSERT(opcode_ == Opcode::Phi, "phi mutator on non-phi");
+  for (BasicBlock*& block : phi_blocks_) {
+    if (block == old_pred) block = new_pred;
+  }
+}
+
+const std::vector<std::uint64_t>& Instruction::gep_strides() const {
+  VULFI_ASSERT(opcode_ == Opcode::GetElementPtr, "gep_strides on non-gep");
+  return gep_strides_;
+}
+
+std::uint64_t Instruction::alloca_bytes() const {
+  VULFI_ASSERT(opcode_ == Opcode::Alloca, "alloca_bytes on non-alloca");
+  return alloca_bytes_;
+}
+
+Type Instruction::access_type() const {
+  if (opcode_ == Opcode::Load) return type();
+  VULFI_ASSERT(opcode_ == Opcode::Store, "access_type on non-memory op");
+  return operand(0)->type();
+}
+
+Instruction* Instruction::create(Opcode op, Type result_type,
+                                 std::vector<Value*> operands) {
+  return new Instruction(op, result_type, std::move(operands));
+}
+
+Instruction* Instruction::create_icmp(ICmpPred pred, Value* lhs, Value* rhs) {
+  VULFI_ASSERT(lhs->type() == rhs->type(), "icmp operand type mismatch");
+  const Type result = Type::i1().with_lanes(lhs->type().lanes());
+  auto* inst = new Instruction(Opcode::ICmp, result, {lhs, rhs});
+  inst->icmp_pred_ = pred;
+  return inst;
+}
+
+Instruction* Instruction::create_fcmp(FCmpPred pred, Value* lhs, Value* rhs) {
+  VULFI_ASSERT(lhs->type() == rhs->type(), "fcmp operand type mismatch");
+  const Type result = Type::i1().with_lanes(lhs->type().lanes());
+  auto* inst = new Instruction(Opcode::FCmp, result, {lhs, rhs});
+  inst->fcmp_pred_ = pred;
+  return inst;
+}
+
+Instruction* Instruction::create_shuffle(Value* v1, Value* v2,
+                                         std::vector<int> mask) {
+  VULFI_ASSERT(v1->type() == v2->type(), "shuffle operand type mismatch");
+  VULFI_ASSERT(!mask.empty(), "shuffle mask must be non-empty");
+  const Type result =
+      v1->type().element().with_lanes(static_cast<unsigned>(mask.size()));
+  auto* inst = new Instruction(Opcode::ShuffleVector, result, {v1, v2});
+  inst->shuffle_mask_ = std::move(mask);
+  return inst;
+}
+
+Instruction* Instruction::create_call(Function* callee,
+                                      std::vector<Value*> args) {
+  VULFI_ASSERT(callee != nullptr, "call needs a callee");
+  auto* inst =
+      new Instruction(Opcode::Call, callee->return_type(), std::move(args));
+  inst->callee_ = callee;
+  return inst;
+}
+
+Instruction* Instruction::create_br(BasicBlock* target) {
+  auto* inst = new Instruction(Opcode::Br, Type::void_ty(), {});
+  inst->successors_[0] = target;
+  return inst;
+}
+
+Instruction* Instruction::create_cond_br(Value* cond, BasicBlock* then_block,
+                                         BasicBlock* else_block) {
+  VULFI_ASSERT(cond->type() == Type::i1(), "cond-br condition must be i1");
+  auto* inst = new Instruction(Opcode::CondBr, Type::void_ty(), {cond});
+  inst->successors_[0] = then_block;
+  inst->successors_[1] = else_block;
+  return inst;
+}
+
+Instruction* Instruction::create_phi(Type type) {
+  return new Instruction(Opcode::Phi, type, {});
+}
+
+Instruction* Instruction::create_gep(Value* base, std::vector<Value*> indices,
+                                     std::vector<std::uint64_t> strides) {
+  VULFI_ASSERT(base->type() == Type::ptr(), "gep base must be a pointer");
+  VULFI_ASSERT(indices.size() == strides.size(),
+               "gep needs one stride per index");
+  VULFI_ASSERT(!indices.empty(), "gep needs at least one index");
+  std::vector<Value*> operands;
+  operands.reserve(indices.size() + 1);
+  operands.push_back(base);
+  for (Value* index : indices) operands.push_back(index);
+  auto* inst =
+      new Instruction(Opcode::GetElementPtr, Type::ptr(), std::move(operands));
+  inst->gep_strides_ = std::move(strides);
+  return inst;
+}
+
+Instruction* Instruction::create_alloca(std::uint64_t bytes) {
+  VULFI_ASSERT(bytes > 0, "alloca of zero bytes");
+  auto* inst = new Instruction(Opcode::Alloca, Type::ptr(), {});
+  inst->alloca_bytes_ = bytes;
+  return inst;
+}
+
+Instruction* Instruction::create_ret(Value* value) {
+  if (value == nullptr) {
+    return new Instruction(Opcode::Ret, Type::void_ty(), {});
+  }
+  return new Instruction(Opcode::Ret, Type::void_ty(), {value});
+}
+
+}  // namespace vulfi::ir

@@ -1,0 +1,157 @@
+// IR instructions.
+//
+// A single concrete Instruction class carrying an opcode plus a small
+// opcode-specific payload (compare predicate, shuffle mask, successor
+// blocks, GEP strides, ...). This keeps the interpreter a flat switch and
+// keeps instrumentation passes free of downcast ceremony while still
+// modelling the LLVM instructions VULFI manipulates: getelementptr,
+// extractelement, insertelement, shufflevector, phi, branches, calls
+// (including x86-style masked vector intrinsics), and the usual
+// arithmetic / memory / cast operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+#include "ir/value.hpp"
+
+namespace vulfi::ir {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode : std::uint8_t {
+  // Integer arithmetic / bitwise.
+  Add, Sub, Mul, SDiv, UDiv, SRem, URem,
+  Shl, LShr, AShr, And, Or, Xor,
+  // Floating point arithmetic.
+  FAdd, FSub, FMul, FDiv, FRem, FNeg,
+  // Comparisons.
+  ICmp, FCmp,
+  // Memory.
+  Alloca, Load, Store, GetElementPtr,
+  // Vector.
+  ExtractElement, InsertElement, ShuffleVector,
+  // Casts.
+  Trunc, ZExt, SExt, FPTrunc, FPExt,
+  FPToSI, FPToUI, SIToFP, UIToFP, PtrToInt, IntToPtr, Bitcast,
+  // Other.
+  Phi, Select, Call,
+  // Terminators.
+  Br, CondBr, Ret, Unreachable,
+};
+
+const char* opcode_name(Opcode op);
+bool opcode_is_terminator(Opcode op);
+
+enum class ICmpPred : std::uint8_t { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE };
+enum class FCmpPred : std::uint8_t {
+  // Ordered comparisons (false if either operand is NaN)...
+  OEQ, ONE, OLT, OLE, OGT, OGE,
+  // ...and the unordered duals (true if either operand is NaN).
+  UEQ, UNE, ULT, ULE, UGT, UGE,
+  ORD, UNO,
+};
+
+const char* icmp_pred_name(ICmpPred pred);
+const char* fcmp_pred_name(FCmpPred pred);
+
+class Instruction final : public Value {
+ public:
+  ~Instruction() override;
+
+  Opcode opcode() const { return opcode_; }
+  bool is_terminator() const { return opcode_is_terminator(opcode_); }
+
+  // --- operands -----------------------------------------------------
+  unsigned num_operands() const {
+    return static_cast<unsigned>(operands_.size());
+  }
+  Value* operand(unsigned i) const;
+  void set_operand(unsigned i, Value* value);
+  const std::vector<Value*>& operands() const { return operands_; }
+
+  // --- location -----------------------------------------------------
+  BasicBlock* parent() const { return parent_; }
+  Function* function() const;
+
+  /// True when the instruction result or any operand is vector-typed —
+  /// the paper's definition of a "vector instruction" (§II-A).
+  bool is_vector_instruction() const;
+
+  // --- opcode-specific payload accessors -----------------------------
+  ICmpPred icmp_pred() const;
+  FCmpPred fcmp_pred() const;
+
+  /// ShuffleVector lane mask; -1 denotes an undef lane.
+  const std::vector<int>& shuffle_mask() const;
+
+  /// Call: the callee (a declaration or definition in the same module).
+  Function* callee() const;
+
+  /// Br/CondBr successors. Br has one, CondBr two (then, else).
+  unsigned num_successors() const;
+  BasicBlock* successor(unsigned i) const;
+  void set_successor(unsigned i, BasicBlock* block);
+
+  /// Phi incoming blocks; parallel to the operand list.
+  const std::vector<BasicBlock*>& phi_incoming_blocks() const;
+  void phi_add_incoming(Value* value, BasicBlock* pred);
+  Value* phi_value_for(const BasicBlock* pred) const;
+  /// Renames an incoming edge (used when a pass splits a CFG edge, e.g.
+  /// detector-block insertion).
+  void phi_replace_incoming_block(BasicBlock* old_pred, BasicBlock* new_pred);
+
+  /// GetElementPtr: byte stride for index operand i (operand i + 1).
+  const std::vector<std::uint64_t>& gep_strides() const;
+
+  /// Alloca allocation size in bytes.
+  std::uint64_t alloca_bytes() const;
+
+  /// Load/Store access type: the loaded type (== result type) for Load,
+  /// the stored value type for Store.
+  Type access_type() const;
+
+  // --- factory functions (used by IRBuilder) --------------------------
+  static Instruction* create(Opcode op, Type result_type,
+                             std::vector<Value*> operands);
+  static Instruction* create_icmp(ICmpPred pred, Value* lhs, Value* rhs);
+  static Instruction* create_fcmp(FCmpPred pred, Value* lhs, Value* rhs);
+  static Instruction* create_shuffle(Value* v1, Value* v2,
+                                     std::vector<int> mask);
+  static Instruction* create_call(Function* callee, std::vector<Value*> args);
+  static Instruction* create_br(BasicBlock* target);
+  static Instruction* create_cond_br(Value* cond, BasicBlock* then_block,
+                                     BasicBlock* else_block);
+  static Instruction* create_phi(Type type);
+  static Instruction* create_gep(Value* base, std::vector<Value*> indices,
+                                 std::vector<std::uint64_t> strides);
+  static Instruction* create_alloca(std::uint64_t bytes);
+  static Instruction* create_ret(Value* value /* nullptr for ret void */);
+
+ private:
+  friend class BasicBlock;
+  friend class Module;  // severs use-lists during module teardown
+
+  Instruction(Opcode op, Type type, std::vector<Value*> operands);
+
+  void drop_operand_uses();
+
+  Opcode opcode_;
+  std::vector<Value*> operands_;
+  BasicBlock* parent_ = nullptr;
+
+  // Payload (only the fields relevant to opcode_ are meaningful).
+  ICmpPred icmp_pred_ = ICmpPred::EQ;
+  FCmpPred fcmp_pred_ = FCmpPred::OEQ;
+  std::vector<int> shuffle_mask_;
+  Function* callee_ = nullptr;
+  BasicBlock* successors_[2] = {nullptr, nullptr};
+  std::vector<BasicBlock*> phi_blocks_;
+  std::vector<std::uint64_t> gep_strides_;
+  std::uint64_t alloca_bytes_ = 0;
+};
+
+}  // namespace vulfi::ir

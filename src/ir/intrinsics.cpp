@@ -1,0 +1,122 @@
+#include "ir/intrinsics.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::ir {
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::AVX: return "AVX";
+    case Isa::SSE4: return "SSE";
+  }
+  return "?";
+}
+
+namespace {
+
+/// x86 packed-type suffix: ps = packed single, pd = packed double,
+/// d = packed dword, q = packed qword.
+const char* packed_suffix(Type data_type) {
+  switch (data_type.kind()) {
+    case TypeKind::F32: return "ps";
+    case TypeKind::F64: return "pd";
+    case TypeKind::I32: return "d";
+    case TypeKind::I64: return "q";
+    default:
+      VULFI_UNREACHABLE("masked intrinsics support f32/f64/i32/i64 lanes");
+  }
+}
+
+std::string type_suffix(Type type) {
+  const char* elem = nullptr;
+  switch (type.kind()) {
+    case TypeKind::F32: elem = "f32"; break;
+    case TypeKind::F64: elem = "f64"; break;
+    case TypeKind::I32: elem = "i32"; break;
+    case TypeKind::I64: elem = "i64"; break;
+    default: VULFI_UNREACHABLE("math intrinsics support f32/f64/i32/i64");
+  }
+  if (!type.is_vector()) return elem;
+  return strf("v%u%s", type.lanes(), elem);
+}
+
+}  // namespace
+
+std::string masked_intrinsic_name(IntrinsicId id, Isa isa, Type data_type) {
+  VULFI_ASSERT(id == IntrinsicId::MaskLoad || id == IntrinsicId::MaskStore,
+               "not a masked memory intrinsic");
+  VULFI_ASSERT(data_type.is_vector(), "masked ops take vector data");
+  const char* op = id == IntrinsicId::MaskLoad ? "maskload" : "maskstore";
+  const unsigned bits = data_type.byte_size() * 8;
+  if (isa == Isa::AVX) {
+    return strf("vulfi.x86.avx.%s.%s.%u", op, packed_suffix(data_type), bits);
+  }
+  return strf("vulfi.x86.sse41.%s.%s", op, packed_suffix(data_type));
+}
+
+std::string movmsk_intrinsic_name(Isa isa, Type data_type) {
+  VULFI_ASSERT(data_type.is_vector(), "movmsk takes vector data");
+  const unsigned bits = data_type.byte_size() * 8;
+  if (isa == Isa::AVX) {
+    return strf("vulfi.x86.avx.movmsk.%s.%u", packed_suffix(data_type),
+                bits);
+  }
+  return strf("vulfi.x86.sse.movmsk.%s", packed_suffix(data_type));
+}
+
+std::string math_intrinsic_name(IntrinsicId id, Type type) {
+  const char* base = nullptr;
+  switch (id) {
+    case IntrinsicId::Sqrt: base = "sqrt"; break;
+    case IntrinsicId::Exp: base = "exp"; break;
+    case IntrinsicId::Log: base = "log"; break;
+    case IntrinsicId::Pow: base = "pow"; break;
+    case IntrinsicId::Fabs: base = "fabs"; break;
+    case IntrinsicId::Fmin: base = "fmin"; break;
+    case IntrinsicId::Fmax: base = "fmax"; break;
+    case IntrinsicId::Sin: base = "sin"; break;
+    case IntrinsicId::Cos: base = "cos"; break;
+    case IntrinsicId::Floor: base = "floor"; break;
+    default: VULFI_UNREACHABLE("not a math intrinsic");
+  }
+  return strf("vulfi.%s.%s", base, type_suffix(type).c_str());
+}
+
+bool is_math_intrinsic(IntrinsicId id) {
+  switch (id) {
+    case IntrinsicId::Sqrt:
+    case IntrinsicId::Exp:
+    case IntrinsicId::Log:
+    case IntrinsicId::Pow:
+    case IntrinsicId::Fabs:
+    case IntrinsicId::Fmin:
+    case IntrinsicId::Fmax:
+    case IntrinsicId::Sin:
+    case IntrinsicId::Cos:
+    case IntrinsicId::Floor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool math_intrinsic_is_binary(IntrinsicId id) {
+  return id == IntrinsicId::Pow || id == IntrinsicId::Fmin ||
+         id == IntrinsicId::Fmax;
+}
+
+bool mask_lane_active(std::uint64_t lane_bits, unsigned element_bits) {
+  VULFI_ASSERT(element_bits >= 1 && element_bits <= 64,
+               "mask element width out of range");
+  return (lane_bits >> (element_bits - 1)) & 1u;
+}
+
+std::uint64_t all_active_mask_lane(unsigned element_bits) {
+  VULFI_ASSERT(element_bits >= 1 && element_bits <= 64,
+               "mask element width out of range");
+  if (element_bits == 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << element_bits) - 1;
+}
+
+}  // namespace vulfi::ir

@@ -1,0 +1,194 @@
+#include "ir/module.hpp"
+
+#include "support/error.hpp"
+
+namespace vulfi::ir {
+
+Module::~Module() {
+  for (auto& fn : functions_) {
+    for (auto& block : *fn) {
+      for (auto& inst : *block) {
+        inst->drop_operand_uses();
+      }
+    }
+  }
+}
+
+Function* Module::add_function(std::string name, Type return_type,
+                               std::vector<Type> param_types,
+                               FunctionKind kind, IntrinsicInfo info) {
+  VULFI_ASSERT(find_function(name) == nullptr,
+               "function with this name already exists in module");
+  functions_.push_back(std::unique_ptr<Function>(
+      new Function(std::move(name), return_type, std::move(param_types),
+                   kind, info, this)));
+  return functions_.back().get();
+}
+
+Function* Module::create_function(std::string name, Type return_type,
+                                  std::vector<Type> param_types) {
+  return add_function(std::move(name), return_type, std::move(param_types),
+                      FunctionKind::Definition, IntrinsicInfo{});
+}
+
+Function* Module::declare_masked_intrinsic(IntrinsicId id, Isa isa,
+                                           Type data_type) {
+  VULFI_ASSERT(id == IntrinsicId::MaskLoad || id == IntrinsicId::MaskStore,
+               "not a masked memory intrinsic");
+  const std::string name = masked_intrinsic_name(id, isa, data_type);
+  if (Function* existing = find_function(name)) return existing;
+
+  IntrinsicInfo info;
+  info.id = id;
+  if (id == IntrinsicId::MaskLoad) {
+    // (ptr base, <N x T> mask) -> <N x T>
+    info.mask_operand = 1;
+    return add_function(name, data_type, {Type::ptr(), data_type},
+                        FunctionKind::Intrinsic, info);
+  }
+  // (ptr base, <N x T> mask, <N x T> data) -> void
+  info.mask_operand = 1;
+  info.data_operand = 2;
+  return add_function(name, Type::void_ty(),
+                      {Type::ptr(), data_type, data_type},
+                      FunctionKind::Intrinsic, info);
+}
+
+Function* Module::declare_math_intrinsic(IntrinsicId id, Type type) {
+  VULFI_ASSERT(is_math_intrinsic(id), "not a math intrinsic");
+  const std::string name = math_intrinsic_name(id, type);
+  if (Function* existing = find_function(name)) return existing;
+  IntrinsicInfo info;
+  info.id = id;
+  std::vector<Type> params = {type};
+  if (math_intrinsic_is_binary(id)) params.push_back(type);
+  return add_function(name, type, std::move(params), FunctionKind::Intrinsic,
+                      info);
+}
+
+Function* Module::declare_movmsk(Isa isa, Type data_type) {
+  const std::string name = movmsk_intrinsic_name(isa, data_type);
+  if (Function* existing = find_function(name)) return existing;
+  IntrinsicInfo info;
+  info.id = IntrinsicId::MoveMask;
+  return add_function(name, Type::i32(), {data_type},
+                      FunctionKind::Intrinsic, info);
+}
+
+Function* Module::declare_runtime(std::string name, Type return_type,
+                                  std::vector<Type> param_types) {
+  if (Function* existing = find_function(name)) {
+    VULFI_ASSERT(existing->kind() == FunctionKind::Runtime,
+                 "name clash between runtime and non-runtime function");
+    return existing;
+  }
+  return add_function(std::move(name), return_type, std::move(param_types),
+                      FunctionKind::Runtime, IntrinsicInfo{});
+}
+
+Function* Module::clone_declaration(const Function& declaration) {
+  VULFI_ASSERT(!declaration.is_definition(),
+               "clone_declaration takes declarations only");
+  if (Function* existing = find_function(declaration.name())) {
+    return existing;
+  }
+  std::vector<Type> params;
+  params.reserve(declaration.num_args());
+  for (const auto& arg : declaration.args()) params.push_back(arg->type());
+  return add_function(declaration.name(), declaration.return_type(),
+                      std::move(params), declaration.kind(),
+                      declaration.intrinsic_info());
+}
+
+Function* Module::declare_exact(std::string name, Type return_type,
+                                std::vector<Type> param_types,
+                                FunctionKind kind, IntrinsicInfo info) {
+  return add_function(std::move(name), return_type, std::move(param_types),
+                      kind, info);
+}
+
+Function* Module::find_function(const std::string& name) const {
+  for (const auto& fn : functions_) {
+    if (fn->name() == name) return fn.get();
+  }
+  return nullptr;
+}
+
+Constant* Module::const_raw(Type type, std::vector<std::uint64_t> raw_lanes) {
+  constants_.push_back(
+      std::make_unique<Constant>(type, std::move(raw_lanes), false));
+  return constants_.back().get();
+}
+
+Constant* Module::const_int(Type type, std::int64_t value) {
+  VULFI_ASSERT(type.is_integer() || type.is_pointer(),
+               "const_int requires an integer or pointer type");
+  std::vector<std::uint64_t> lanes(type.lanes(),
+                                   static_cast<std::uint64_t>(value));
+  return const_raw(type, std::move(lanes));
+}
+
+Constant* Module::const_int_lanes(Type type,
+                                  const std::vector<std::int64_t>& lanes) {
+  VULFI_ASSERT(type.is_integer(), "const_int_lanes requires integer type");
+  VULFI_ASSERT(lanes.size() == type.lanes(), "lane count mismatch");
+  std::vector<std::uint64_t> raw(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    raw[i] = static_cast<std::uint64_t>(lanes[i]);
+  }
+  return const_raw(type, std::move(raw));
+}
+
+Constant* Module::const_f32(Type type, float value) {
+  VULFI_ASSERT(type.kind() == TypeKind::F32, "const_f32 requires f32 lanes");
+  std::vector<std::uint64_t> lanes(type.lanes(),
+                                   std::bit_cast<std::uint32_t>(value));
+  return const_raw(type, std::move(lanes));
+}
+
+Constant* Module::const_f64(Type type, double value) {
+  VULFI_ASSERT(type.kind() == TypeKind::F64, "const_f64 requires f64 lanes");
+  std::vector<std::uint64_t> lanes(type.lanes(),
+                                   std::bit_cast<std::uint64_t>(value));
+  return const_raw(type, std::move(lanes));
+}
+
+Constant* Module::const_fp(Type type, double value) {
+  if (type.kind() == TypeKind::F32) {
+    return const_f32(type, static_cast<float>(value));
+  }
+  return const_f64(type, value);
+}
+
+Constant* Module::const_f32_lanes(Type type, const std::vector<float>& lanes) {
+  VULFI_ASSERT(type.kind() == TypeKind::F32, "const_f32_lanes requires f32");
+  VULFI_ASSERT(lanes.size() == type.lanes(), "lane count mismatch");
+  std::vector<std::uint64_t> raw(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    raw[i] = std::bit_cast<std::uint32_t>(lanes[i]);
+  }
+  return const_raw(type, std::move(raw));
+}
+
+Constant* Module::const_zero(Type type) {
+  return const_raw(type, std::vector<std::uint64_t>(type.lanes(), 0));
+}
+
+Constant* Module::const_undef(Type type) {
+  constants_.push_back(std::make_unique<Constant>(
+      type, std::vector<std::uint64_t>(type.lanes(), 0), true));
+  return constants_.back().get();
+}
+
+Constant* Module::const_bool(bool value) {
+  return const_int(Type::i1(), value ? 1 : 0);
+}
+
+Constant* Module::const_lane_sequence(unsigned lanes) {
+  VULFI_ASSERT(lanes >= 1, "lane sequence needs at least one lane");
+  std::vector<std::uint64_t> raw(lanes);
+  for (unsigned i = 0; i < lanes; ++i) raw[i] = i;
+  return const_raw(Type::vector(TypeKind::I32, lanes), std::move(raw));
+}
+
+}  // namespace vulfi::ir

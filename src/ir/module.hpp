@@ -1,0 +1,95 @@
+// Module: the translation unit. Owns functions and constants and provides
+// the factory API used by kernel builders and passes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/intrinsics.hpp"
+#include "ir/type.hpp"
+#include "ir/value.hpp"
+
+namespace vulfi::ir {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  /// Severs every def-use edge before the owning containers die, so
+  /// instruction destructors never touch freed values (use-lists span
+  /// blocks, functions, and the constant pool in arbitrary order).
+  ~Module();
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // --- functions ------------------------------------------------------
+  Function* create_function(std::string name, Type return_type,
+                            std::vector<Type> param_types);
+
+  /// Declares (or returns the cached declaration of) a masked memory
+  /// intrinsic for the given ISA and vector data type.
+  Function* declare_masked_intrinsic(IntrinsicId id, Isa isa, Type data_type);
+
+  /// Declares a math intrinsic for `type` (elementwise for vectors).
+  Function* declare_math_intrinsic(IntrinsicId id, Type type);
+
+  /// Declares the movmsk intrinsic (<N x T>) -> i32 for the given ISA.
+  Function* declare_movmsk(Isa isa, Type data_type);
+
+  /// Declares a runtime function dispatched by name to a host callback.
+  Function* declare_runtime(std::string name, Type return_type,
+                            std::vector<Type> param_types);
+
+  /// Copies a declaration (intrinsic or runtime) from another module,
+  /// preserving its kind and intrinsic metadata. Used by the cloner.
+  Function* clone_declaration(const Function& declaration);
+
+  /// Declares a function with explicit kind and intrinsic metadata. Used
+  /// by the textual parser, which reconstructs the metadata from the
+  /// declared name.
+  Function* declare_exact(std::string name, Type return_type,
+                          std::vector<Type> param_types, FunctionKind kind,
+                          IntrinsicInfo info);
+
+  Function* find_function(const std::string& name) const;
+  const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+
+  // --- constants --------------------------------------------------------
+  /// Integer splat of `value` (also used for i1 booleans and pointers).
+  Constant* const_int(Type type, std::int64_t value);
+  /// Integer vector with one value per lane.
+  Constant* const_int_lanes(Type type, const std::vector<std::int64_t>& lanes);
+  Constant* const_f32(Type type, float value);
+  Constant* const_f64(Type type, double value);
+  /// Float splat dispatching on element kind (f32 or f64).
+  Constant* const_fp(Type type, double value);
+  Constant* const_f32_lanes(Type type, const std::vector<float>& lanes);
+  Constant* const_zero(Type type);
+  Constant* const_undef(Type type);
+  Constant* const_bool(bool value);
+  /// Raw per-lane bit patterns (the general constructor).
+  Constant* const_raw(Type type, std::vector<std::uint64_t> raw_lanes);
+  /// The canonical <lanes x i32> constant <0, 1, 2, ...> used by foreach
+  /// lowering to compute per-lane indices (the "programIndex" of ISPC).
+  Constant* const_lane_sequence(unsigned lanes);
+
+ private:
+  Function* add_function(std::string name, Type return_type,
+                         std::vector<Type> param_types, FunctionKind kind,
+                         IntrinsicInfo info);
+
+  std::string name_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<Constant>> constants_;
+};
+
+}  // namespace vulfi::ir

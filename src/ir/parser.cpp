@@ -1,0 +1,883 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "ir/builder.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::ir {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line cursor
+// ---------------------------------------------------------------------------
+
+/// Cheap cursor over one line of text. All parse helpers skip leading
+/// whitespace first.
+class Cursor {
+ public:
+  Cursor(std::string_view text, int line_number)
+      : text_(text), line_(line_number) {}
+
+  int line() const { return line_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      pos_ += 1;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  bool peek(std::string_view token) {
+    skip_ws();
+    return text_.substr(pos_).starts_with(token);
+  }
+
+  bool try_consume(std::string_view token) {
+    skip_ws();
+    if (!text_.substr(pos_).starts_with(token)) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  /// Word = run of identifier-ish characters ([A-Za-z0-9_.]).
+  std::string word() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+          ch == '.') {
+        pos_ += 1;
+      } else {
+        break;
+      }
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Signed decimal or floating literal (also 1e+30, inf, -inf, nan).
+  std::string number_token() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '.' ||
+          ch == '-' || ch == '+' || ch == ':') {
+        pos_ += 1;
+      } else {
+        break;
+      }
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string rest() {
+    skip_ws();
+    return std::string(text_.substr(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t end = text.find('\n', start);
+      lines_.push_back(text.substr(
+          start, end == std::string::npos ? std::string::npos : end - start));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+  }
+
+  ParseResult run() {
+    parse_header();
+    pre_scan_functions();
+    if (errors_.empty()) parse_bodies();
+    ParseResult result;
+    result.errors = std::move(errors_);
+    if (result.errors.empty()) result.module = std::move(module_);
+    return result;
+  }
+
+ private:
+  void error(int line, const std::string& message) {
+    errors_.push_back(strf("line %d: %s", line, message.c_str()));
+  }
+
+  static bool is_blank(const std::string& line) {
+    for (char ch : line) {
+      if (!std::isspace(static_cast<unsigned char>(ch))) return false;
+    }
+    return true;
+  }
+
+  void parse_header() {
+    std::string name = "parsed";
+    for (const std::string& line : lines_) {
+      if (is_blank(line)) continue;
+      Cursor cursor(line, 1);
+      if (cursor.try_consume("; module")) {
+        name = cursor.word();
+      }
+      break;
+    }
+    module_ = std::make_unique<Module>(name);
+  }
+
+  // --- types ---------------------------------------------------------------
+
+  bool parse_scalar_kind(Cursor& cursor, TypeKind* kind) {
+    static const std::pair<const char*, TypeKind> kKinds[] = {
+        {"void", TypeKind::Void}, {"i16", TypeKind::I16},
+        {"i1", TypeKind::I1},     {"i8", TypeKind::I8},
+        {"i32", TypeKind::I32},   {"i64", TypeKind::I64},
+        {"float", TypeKind::F32}, {"double", TypeKind::F64},
+        {"ptr", TypeKind::Ptr},
+    };
+    // NB: i16 before i1 so the longer token wins.
+    for (const auto& [token, value] : kKinds) {
+      if (cursor.try_consume(token)) {
+        *kind = value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool parse_type(Cursor& cursor, Type* type) {
+    if (cursor.try_consume("<")) {
+      const std::string lanes_text = cursor.word();
+      const unsigned lanes =
+          static_cast<unsigned>(std::strtoul(lanes_text.c_str(), nullptr, 10));
+      TypeKind kind;
+      if (lanes == 0 || !cursor.try_consume("x") ||
+          !parse_scalar_kind(cursor, &kind) || !cursor.try_consume(">")) {
+        error(cursor.line(), "malformed vector type");
+        return false;
+      }
+      *type = Type::vector(kind, lanes);
+      return true;
+    }
+    TypeKind kind;
+    if (!parse_scalar_kind(cursor, &kind)) return false;
+    *type = kind == TypeKind::Void ? Type::void_ty() : Type::scalar(kind);
+    return true;
+  }
+
+  // --- function pre-scan ------------------------------------------------------
+
+  FunctionKind kind_for_declaration(const std::string& name,
+                                    IntrinsicInfo* info) {
+    *info = IntrinsicInfo{};
+    if (name.find(".maskload.") != std::string::npos) {
+      info->id = IntrinsicId::MaskLoad;
+      info->mask_operand = 1;
+      return FunctionKind::Intrinsic;
+    }
+    if (name.find(".maskstore.") != std::string::npos) {
+      info->id = IntrinsicId::MaskStore;
+      info->mask_operand = 1;
+      info->data_operand = 2;
+      return FunctionKind::Intrinsic;
+    }
+    if (name.find(".movmsk.") != std::string::npos) {
+      info->id = IntrinsicId::MoveMask;
+      return FunctionKind::Intrinsic;
+    }
+    static const std::pair<const char*, IntrinsicId> kMath[] = {
+        {"vulfi.sqrt.", IntrinsicId::Sqrt}, {"vulfi.exp.", IntrinsicId::Exp},
+        {"vulfi.log.", IntrinsicId::Log},   {"vulfi.pow.", IntrinsicId::Pow},
+        {"vulfi.fabs.", IntrinsicId::Fabs}, {"vulfi.fmin.", IntrinsicId::Fmin},
+        {"vulfi.fmax.", IntrinsicId::Fmax}, {"vulfi.sin.", IntrinsicId::Sin},
+        {"vulfi.cos.", IntrinsicId::Cos},   {"vulfi.floor.", IntrinsicId::Floor},
+    };
+    for (const auto& [prefix, id] : kMath) {
+      if (name.starts_with(prefix)) {
+        info->id = id;
+        return FunctionKind::Intrinsic;
+      }
+    }
+    return FunctionKind::Runtime;
+  }
+
+  /// Parses "define/declare <ret> @<name>(<params>)". Returns the new
+  /// function (params named from the text) or nullptr on error.
+  Function* parse_signature(Cursor& cursor, bool is_definition) {
+    Type ret;
+    if (!parse_type(cursor, &ret)) {
+      error(cursor.line(), "expected return type");
+      return nullptr;
+    }
+    if (!cursor.try_consume("@")) {
+      error(cursor.line(), "expected @function-name");
+      return nullptr;
+    }
+    const std::string name = cursor.word();
+    if (!cursor.try_consume("(")) {
+      error(cursor.line(), "expected parameter list");
+      return nullptr;
+    }
+    std::vector<Type> params;
+    std::vector<std::string> param_names;
+    if (!cursor.try_consume(")")) {
+      while (true) {
+        Type param;
+        if (!parse_type(cursor, &param)) {
+          error(cursor.line(), "expected parameter type");
+          return nullptr;
+        }
+        params.push_back(param);
+        if (cursor.try_consume("%")) {
+          param_names.push_back(cursor.word());
+        } else {
+          param_names.push_back(strf("arg%zu", params.size() - 1));
+        }
+        if (cursor.try_consume(")")) break;
+        if (!cursor.try_consume(",")) {
+          error(cursor.line(), "expected ',' or ')' in parameter list");
+          return nullptr;
+        }
+      }
+    }
+    Function* fn;
+    if (is_definition) {
+      fn = module_->create_function(name, ret, std::move(params));
+    } else {
+      IntrinsicInfo info;
+      const FunctionKind kind = kind_for_declaration(name, &info);
+      fn = module_->declare_exact(name, ret, std::move(params), kind, info);
+    }
+    for (unsigned i = 0; i < fn->num_args(); ++i) {
+      fn->arg(i)->set_name(param_names[i]);
+    }
+    return fn;
+  }
+
+  void pre_scan_functions() {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      Cursor cursor(lines_[i], static_cast<int>(i + 1));
+      if (cursor.try_consume("define")) {
+        Function* fn = parse_signature(cursor, /*is_definition=*/true);
+        if (!fn) return;
+        bodies_.emplace_back(fn, i + 1);
+      } else if (cursor.try_consume("declare")) {
+        parse_signature(cursor, /*is_definition=*/false);
+      }
+    }
+  }
+
+  // --- operands ---------------------------------------------------------------
+
+  struct Scope {
+    std::unordered_map<std::string, Value*> values;
+    std::unordered_map<std::string, BasicBlock*> blocks;
+  };
+
+  Value* parse_operand(Cursor& cursor, Type type, Scope& scope) {
+    if (cursor.try_consume("%")) {
+      const std::string name = cursor.word();
+      auto it = scope.values.find(name);
+      if (it == scope.values.end()) {
+        error(cursor.line(), "use of undefined value %" + name);
+        return nullptr;
+      }
+      return it->second;
+    }
+    if (cursor.try_consume("undef")) return module_->const_undef(type);
+    if (cursor.try_consume("zeroinitializer")) return module_->const_zero(type);
+    if (cursor.try_consume("<")) {
+      // Per-lane vector literal: <i32 0, i32 1, ...>.
+      std::vector<std::uint64_t> raw;
+      while (true) {
+        Type lane_type;
+        if (!parse_type(cursor, &lane_type)) {
+          error(cursor.line(), "expected lane type in vector literal");
+          return nullptr;
+        }
+        Value* lane = parse_operand(cursor, lane_type, scope);
+        if (!lane) return nullptr;
+        const auto* constant = dynamic_cast<const Constant*>(lane);
+        if (!constant) {
+          error(cursor.line(), "vector literal lanes must be constants");
+          return nullptr;
+        }
+        raw.push_back(constant->raw(0));
+        if (cursor.try_consume(">")) break;
+        if (!cursor.try_consume(",")) {
+          error(cursor.line(), "expected ',' or '>' in vector literal");
+          return nullptr;
+        }
+      }
+      if (raw.size() != type.lanes()) {
+        error(cursor.line(), "vector literal lane count mismatch");
+        return nullptr;
+      }
+      return module_->const_raw(type, std::move(raw));
+    }
+    // Scalar literal.
+    const std::string token = cursor.number_token();
+    if (token.empty()) {
+      error(cursor.line(), "expected operand");
+      return nullptr;
+    }
+    if (type.is_pointer()) {
+      // "ptr:<addr>"
+      const std::size_t colon = token.find(':');
+      const std::uint64_t addr = std::strtoull(
+          colon == std::string::npos ? token.c_str()
+                                     : token.c_str() + colon + 1,
+          nullptr, 10);
+      return module_->const_int(type, static_cast<std::int64_t>(addr));
+    }
+    if (type.is_float()) {
+      const double value = std::strtod(token.c_str(), nullptr);
+      return module_->const_fp(type, value);
+    }
+    return module_->const_int(
+        type, static_cast<std::int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+  }
+
+  /// Parses "<type> <operand>".
+  Value* parse_typed_operand(Cursor& cursor, Scope& scope, Type* out_type) {
+    Type type;
+    if (!parse_type(cursor, &type)) {
+      error(cursor.line(), "expected operand type");
+      return nullptr;
+    }
+    if (out_type) *out_type = type;
+    return parse_operand(cursor, type, scope);
+  }
+
+  // --- instructions ---------------------------------------------------------
+
+  struct PendingPhi {
+    Instruction* phi;
+    std::vector<std::pair<std::string, std::string>> incoming;  // (text, block)
+    int line;
+  };
+
+  static Opcode binary_opcode(const std::string& word, bool* found) {
+    static const std::pair<const char*, Opcode> kOps[] = {
+        {"add", Opcode::Add},   {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},   {"sdiv", Opcode::SDiv},
+        {"udiv", Opcode::UDiv}, {"srem", Opcode::SRem},
+        {"urem", Opcode::URem}, {"shl", Opcode::Shl},
+        {"lshr", Opcode::LShr}, {"ashr", Opcode::AShr},
+        {"and", Opcode::And},   {"or", Opcode::Or},
+        {"xor", Opcode::Xor},   {"fadd", Opcode::FAdd},
+        {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul},
+        {"fdiv", Opcode::FDiv}, {"frem", Opcode::FRem},
+    };
+    for (const auto& [token, op] : kOps) {
+      if (word == token) {
+        *found = true;
+        return op;
+      }
+    }
+    *found = false;
+    return Opcode::Add;
+  }
+
+  static Opcode cast_opcode(const std::string& word, bool* found) {
+    static const std::pair<const char*, Opcode> kOps[] = {
+        {"trunc", Opcode::Trunc},       {"zext", Opcode::ZExt},
+        {"sext", Opcode::SExt},         {"fptrunc", Opcode::FPTrunc},
+        {"fpext", Opcode::FPExt},       {"fptosi", Opcode::FPToSI},
+        {"fptoui", Opcode::FPToUI},     {"sitofp", Opcode::SIToFP},
+        {"uitofp", Opcode::UIToFP},     {"ptrtoint", Opcode::PtrToInt},
+        {"inttoptr", Opcode::IntToPtr}, {"bitcast", Opcode::Bitcast},
+    };
+    for (const auto& [token, op] : kOps) {
+      if (word == token) {
+        *found = true;
+        return op;
+      }
+    }
+    *found = false;
+    return Opcode::Bitcast;
+  }
+
+  bool parse_icmp_pred(const std::string& word, ICmpPred* pred) {
+    static const std::pair<const char*, ICmpPred> kPreds[] = {
+        {"eq", ICmpPred::EQ},   {"ne", ICmpPred::NE},
+        {"slt", ICmpPred::SLT}, {"sle", ICmpPred::SLE},
+        {"sgt", ICmpPred::SGT}, {"sge", ICmpPred::SGE},
+        {"ult", ICmpPred::ULT}, {"ule", ICmpPred::ULE},
+        {"ugt", ICmpPred::UGT}, {"uge", ICmpPred::UGE},
+    };
+    for (const auto& [token, value] : kPreds) {
+      if (word == token) {
+        *pred = value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool parse_fcmp_pred(const std::string& word, FCmpPred* pred) {
+    static const std::pair<const char*, FCmpPred> kPreds[] = {
+        {"oeq", FCmpPred::OEQ}, {"one", FCmpPred::ONE},
+        {"olt", FCmpPred::OLT}, {"ole", FCmpPred::OLE},
+        {"ogt", FCmpPred::OGT}, {"oge", FCmpPred::OGE},
+        {"ueq", FCmpPred::UEQ}, {"une", FCmpPred::UNE},
+        {"ult", FCmpPred::ULT}, {"ule", FCmpPred::ULE},
+        {"ugt", FCmpPred::UGT}, {"uge", FCmpPred::UGE},
+        {"ord", FCmpPred::ORD}, {"uno", FCmpPred::UNO},
+    };
+    for (const auto& [token, value] : kPreds) {
+      if (word == token) {
+        *pred = value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Parses one instruction line into `block`. Returns false on error.
+  bool parse_instruction(Cursor& cursor, IRBuilder& builder,
+                         BasicBlock* block, Scope& scope,
+                         std::vector<PendingPhi>& pending_phis) {
+    builder.set_insert_block(block);
+
+    std::string result_name;
+    if (cursor.try_consume("%")) {
+      result_name = cursor.word();
+      if (!cursor.try_consume("=")) {
+        error(cursor.line(), "expected '=' after result name");
+        return false;
+      }
+    }
+    const std::string opcode = cursor.word();
+    Value* result = nullptr;
+
+    bool found = false;
+    const Opcode bin_op = binary_opcode(opcode, &found);
+    if (found) {
+      Type type;
+      Value* lhs = parse_typed_operand(cursor, scope, &type);
+      if (!lhs || !cursor.try_consume(",")) return false;
+      Value* rhs = parse_operand(cursor, type, scope);
+      if (!rhs) return false;
+      Instruction* inst = Instruction::create(bin_op, type, {lhs, rhs});
+      block->push_back(inst);
+      result = inst;
+    } else if (const Opcode cast_op = cast_opcode(opcode, &found); found) {
+      Value* operand = parse_typed_operand(cursor, scope, nullptr);
+      if (!operand || !cursor.try_consume("to")) {
+        error(cursor.line(), "expected 'to <type>' in cast");
+        return false;
+      }
+      Type to;
+      if (!parse_type(cursor, &to)) return false;
+      Instruction* inst = Instruction::create(cast_op, to, {operand});
+      block->push_back(inst);
+      result = inst;
+    } else if (opcode == "fneg") {
+      Value* operand = parse_typed_operand(cursor, scope, nullptr);
+      if (!operand) return false;
+      Instruction* inst =
+          Instruction::create(Opcode::FNeg, operand->type(), {operand});
+      block->push_back(inst);
+      result = inst;
+    } else if (opcode == "icmp" || opcode == "fcmp") {
+      const std::string pred_word = cursor.word();
+      Type type;
+      Value* lhs = parse_typed_operand(cursor, scope, &type);
+      if (!lhs || !cursor.try_consume(",")) return false;
+      Value* rhs = parse_operand(cursor, type, scope);
+      if (!rhs) return false;
+      Instruction* inst;
+      if (opcode == "icmp") {
+        ICmpPred pred;
+        if (!parse_icmp_pred(pred_word, &pred)) {
+          error(cursor.line(), "unknown icmp predicate " + pred_word);
+          return false;
+        }
+        inst = Instruction::create_icmp(pred, lhs, rhs);
+      } else {
+        FCmpPred pred;
+        if (!parse_fcmp_pred(pred_word, &pred)) {
+          error(cursor.line(), "unknown fcmp predicate " + pred_word);
+          return false;
+        }
+        inst = Instruction::create_fcmp(pred, lhs, rhs);
+      }
+      block->push_back(inst);
+      result = inst;
+    } else if (opcode == "load") {
+      Type type;
+      if (!parse_type(cursor, &type) || !cursor.try_consume(",")) {
+        error(cursor.line(), "malformed load");
+        return false;
+      }
+      Value* ptr = parse_typed_operand(cursor, scope, nullptr);
+      if (!ptr) return false;
+      Instruction* inst = Instruction::create(Opcode::Load, type, {ptr});
+      block->push_back(inst);
+      result = inst;
+    } else if (opcode == "store") {
+      Value* value = parse_typed_operand(cursor, scope, nullptr);
+      if (!value || !cursor.try_consume(",")) return false;
+      Value* ptr = parse_typed_operand(cursor, scope, nullptr);
+      if (!ptr) return false;
+      block->push_back(
+          Instruction::create(Opcode::Store, Type::void_ty(), {value, ptr}));
+    } else if (opcode == "getelementptr") {
+      Value* base = parse_typed_operand(cursor, scope, nullptr);
+      if (!base) return false;
+      std::vector<Value*> indices;
+      std::vector<std::uint64_t> strides;
+      while (cursor.try_consume(",")) {
+        Value* index = parse_typed_operand(cursor, scope, nullptr);
+        if (!index || !cursor.try_consume("(stride")) {
+          error(cursor.line(), "expected '(stride N)' after gep index");
+          return false;
+        }
+        strides.push_back(std::strtoull(cursor.word().c_str(), nullptr, 10));
+        if (!cursor.try_consume(")")) return false;
+        indices.push_back(index);
+      }
+      Instruction* inst =
+          Instruction::create_gep(base, std::move(indices), std::move(strides));
+      block->push_back(inst);
+      result = inst;
+    } else if (opcode == "alloca") {
+      const std::uint64_t bytes =
+          std::strtoull(cursor.word().c_str(), nullptr, 10);
+      if (!cursor.try_consume("bytes")) {
+        error(cursor.line(), "expected 'bytes' in alloca");
+        return false;
+      }
+      Instruction* inst = Instruction::create_alloca(bytes);
+      block->push_back(inst);
+      result = inst;
+    } else if (opcode == "extractelement" || opcode == "insertelement") {
+      Value* vec = parse_typed_operand(cursor, scope, nullptr);
+      if (!vec || !cursor.try_consume(",")) return false;
+      if (opcode == "extractelement") {
+        Value* index = parse_typed_operand(cursor, scope, nullptr);
+        if (!index) return false;
+        Instruction* inst = Instruction::create(
+            Opcode::ExtractElement, vec->type().element(), {vec, index});
+        block->push_back(inst);
+        result = inst;
+      } else {
+        Value* elem = parse_typed_operand(cursor, scope, nullptr);
+        if (!elem || !cursor.try_consume(",")) return false;
+        Value* index = parse_typed_operand(cursor, scope, nullptr);
+        if (!index) return false;
+        Instruction* inst = Instruction::create(
+            Opcode::InsertElement, vec->type(), {vec, elem, index});
+        block->push_back(inst);
+        result = inst;
+      }
+    } else if (opcode == "shufflevector") {
+      Value* v1 = parse_typed_operand(cursor, scope, nullptr);
+      if (!v1 || !cursor.try_consume(",")) return false;
+      Value* v2 = parse_typed_operand(cursor, scope, nullptr);
+      if (!v2 || !cursor.try_consume(",")) return false;
+      std::vector<int> mask;
+      if (cursor.try_consume("<")) {
+        // Either "<N x i32> zeroinitializer" (handled below) or a lane
+        // list "<i32 3, i32 undef, ...>". Distinguish: a lane list starts
+        // with "i32", the typed form starts with a number.
+        if (cursor.peek("i32")) {
+          while (true) {
+            if (!cursor.try_consume("i32")) {
+              error(cursor.line(), "expected i32 lane in shuffle mask");
+              return false;
+            }
+            if (cursor.try_consume("undef")) {
+              mask.push_back(-1);
+            } else {
+              mask.push_back(static_cast<int>(
+                  std::strtol(cursor.number_token().c_str(), nullptr, 10)));
+            }
+            if (cursor.try_consume(">")) break;
+            if (!cursor.try_consume(",")) return false;
+          }
+        } else {
+          const unsigned lanes = static_cast<unsigned>(
+              std::strtoul(cursor.word().c_str(), nullptr, 10));
+          if (!cursor.try_consume("x") || !cursor.try_consume("i32") ||
+              !cursor.try_consume(">") ||
+              !cursor.try_consume("zeroinitializer")) {
+            error(cursor.line(), "malformed shuffle mask");
+            return false;
+          }
+          mask.assign(lanes, 0);
+        }
+      } else {
+        error(cursor.line(), "expected shuffle mask");
+        return false;
+      }
+      Instruction* inst = Instruction::create_shuffle(v1, v2, std::move(mask));
+      block->push_back(inst);
+      result = inst;
+    } else if (opcode == "select") {
+      Value* cond = parse_typed_operand(cursor, scope, nullptr);
+      if (!cond || !cursor.try_consume(",")) return false;
+      Value* on_true = parse_typed_operand(cursor, scope, nullptr);
+      if (!on_true || !cursor.try_consume(",")) return false;
+      Value* on_false = parse_typed_operand(cursor, scope, nullptr);
+      if (!on_false) return false;
+      Instruction* inst = Instruction::create(
+          Opcode::Select, on_true->type(), {cond, on_true, on_false});
+      block->push_back(inst);
+      result = inst;
+    } else if (opcode == "call") {
+      Type ret;
+      if (!parse_type(cursor, &ret) || !cursor.try_consume("@")) {
+        error(cursor.line(), "malformed call");
+        return false;
+      }
+      const std::string callee_name = cursor.word();
+      Function* callee = module_->find_function(callee_name);
+      if (!callee) {
+        error(cursor.line(), "call to unknown function @" + callee_name);
+        return false;
+      }
+      if (!cursor.try_consume("(")) return false;
+      std::vector<Value*> args;
+      if (!cursor.try_consume(")")) {
+        while (true) {
+          Value* arg = parse_typed_operand(cursor, scope, nullptr);
+          if (!arg) return false;
+          args.push_back(arg);
+          if (cursor.try_consume(")")) break;
+          if (!cursor.try_consume(",")) return false;
+        }
+      }
+      Instruction* inst = Instruction::create_call(callee, std::move(args));
+      block->push_back(inst);
+      if (!ret.is_void()) result = inst;
+    } else if (opcode == "phi") {
+      Type type;
+      if (!parse_type(cursor, &type)) return false;
+      Instruction* phi = Instruction::create_phi(type);
+      block->push_back(phi);
+      PendingPhi pending;
+      pending.phi = phi;
+      pending.line = cursor.line();
+      // Scan "[ <value>, %block ], [ ... ]" directly off the remaining
+      // text; values are resolved in a later pass (phis may forward-
+      // reference values defined further down the function).
+      const std::string remainder = cursor.rest();
+      std::size_t pos = 0;
+      auto skip_spaces = [&] {
+        while (pos < remainder.size() &&
+               std::isspace(static_cast<unsigned char>(remainder[pos]))) {
+          pos += 1;
+        }
+      };
+      while (true) {
+        skip_spaces();
+        if (pos >= remainder.size() || remainder[pos] != '[') break;
+        pos += 1;
+        // Operand text: up to the top-level comma (angle-bracket depth
+        // guarded; printed phi operands never contain brackets, but be
+        // safe).
+        int depth = 0;
+        const std::size_t operand_start = pos;
+        while (pos < remainder.size() &&
+               !(remainder[pos] == ',' && depth == 0)) {
+          if (remainder[pos] == '<') depth += 1;
+          if (remainder[pos] == '>') depth -= 1;
+          pos += 1;
+        }
+        if (pos >= remainder.size()) {
+          error(cursor.line(), "malformed phi incoming");
+          return false;
+        }
+        const std::string operand_text =
+            remainder.substr(operand_start, pos - operand_start);
+        pos += 1;  // consume ','
+        skip_spaces();
+        if (pos >= remainder.size() || remainder[pos] != '%') {
+          error(cursor.line(), "expected %block in phi incoming");
+          return false;
+        }
+        pos += 1;
+        const std::size_t name_start = pos;
+        while (pos < remainder.size() && remainder[pos] != ' ' &&
+               remainder[pos] != ']') {
+          pos += 1;
+        }
+        const std::string block_name =
+            remainder.substr(name_start, pos - name_start);
+        skip_spaces();
+        if (pos >= remainder.size() || remainder[pos] != ']') {
+          // tolerate "name ]" with space consumed above
+          while (pos < remainder.size() && remainder[pos] != ']') pos += 1;
+        }
+        if (pos < remainder.size()) pos += 1;  // consume ']'
+        pending.incoming.emplace_back(operand_text, block_name);
+        skip_spaces();
+        if (pos < remainder.size() && remainder[pos] == ',') {
+          pos += 1;
+          continue;
+        }
+        break;
+      }
+      pending_phis.push_back(std::move(pending));
+      result = phi;
+    } else if (opcode == "br") {
+      if (cursor.try_consume("label")) {
+        if (!cursor.try_consume("%")) return false;
+        const std::string target = cursor.word();
+        auto it = scope.blocks.find(target);
+        if (it == scope.blocks.end()) {
+          error(cursor.line(), "branch to unknown block %" + target);
+          return false;
+        }
+        block->push_back(Instruction::create_br(it->second));
+      } else {
+        Value* cond = parse_typed_operand(cursor, scope, nullptr);
+        if (!cond || !cursor.try_consume(",") ||
+            !cursor.try_consume("label") || !cursor.try_consume("%")) {
+          error(cursor.line(), "malformed conditional branch");
+          return false;
+        }
+        const std::string then_name = cursor.word();
+        if (!cursor.try_consume(",") || !cursor.try_consume("label") ||
+            !cursor.try_consume("%")) {
+          return false;
+        }
+        const std::string else_name = cursor.word();
+        auto then_it = scope.blocks.find(then_name);
+        auto else_it = scope.blocks.find(else_name);
+        if (then_it == scope.blocks.end() || else_it == scope.blocks.end()) {
+          error(cursor.line(), "branch to unknown block");
+          return false;
+        }
+        block->push_back(Instruction::create_cond_br(cond, then_it->second,
+                                                     else_it->second));
+      }
+    } else if (opcode == "ret") {
+      if (cursor.try_consume("void")) {
+        block->push_back(Instruction::create_ret(nullptr));
+      } else {
+        Value* value = parse_typed_operand(cursor, scope, nullptr);
+        if (!value) return false;
+        block->push_back(Instruction::create_ret(value));
+      }
+    } else if (opcode == "unreachable") {
+      block->push_back(
+          Instruction::create(Opcode::Unreachable, Type::void_ty(), {}));
+    } else {
+      error(cursor.line(), "unknown opcode '" + opcode + "'");
+      return false;
+    }
+
+    if (result != nullptr) {
+      result->set_name(result_name);
+      if (!result_name.empty()) {
+        if (scope.values.count(result_name)) {
+          error(cursor.line(), "redefinition of %" + result_name);
+          return false;
+        }
+        scope.values[result_name] = result;
+      }
+    }
+    return true;
+  }
+
+  void parse_bodies() {
+    for (const auto& [fn, header_line] : bodies_) {
+      Scope scope;
+      for (const auto& arg : fn->args()) {
+        scope.values[arg->name()] = arg.get();
+      }
+      // Pass 1: create blocks from labels so branches can forward-ref.
+      std::size_t line_index = header_line;  // first line after "define"
+      std::vector<std::pair<std::string, std::size_t>> label_lines;
+      for (; line_index < lines_.size(); ++line_index) {
+        const std::string& line = lines_[line_index];
+        if (!line.empty() && line[0] == '}') break;
+        if (is_blank(line)) continue;
+        if (!std::isspace(static_cast<unsigned char>(line[0]))) {
+          const std::size_t colon = line.find(':');
+          if (colon == std::string::npos) {
+            error(static_cast<int>(line_index + 1), "expected block label");
+            return;
+          }
+          const std::string label = line.substr(0, colon);
+          scope.blocks[label] = fn->create_block(label);
+          label_lines.emplace_back(label, line_index);
+        }
+      }
+      const std::size_t body_end = line_index;
+
+      // Pass 2: instructions.
+      IRBuilder builder(*module_);
+      std::vector<PendingPhi> pending_phis;
+      BasicBlock* current = nullptr;
+      for (std::size_t i = header_line; i < body_end; ++i) {
+        const std::string& line = lines_[i];
+        if (is_blank(line)) continue;
+        if (!std::isspace(static_cast<unsigned char>(line[0]))) {
+          current = scope.blocks.at(line.substr(0, line.find(':')));
+          continue;
+        }
+        if (current == nullptr) {
+          error(static_cast<int>(i + 1), "instruction before first label");
+          return;
+        }
+        Cursor cursor(line, static_cast<int>(i + 1));
+        if (!parse_instruction(cursor, builder, current, scope,
+                               pending_phis)) {
+          return;
+        }
+        if (!errors_.empty()) return;
+      }
+
+      // Pass 3: phi incoming edges.
+      for (PendingPhi& pending : pending_phis) {
+        for (const auto& [operand_text, block_name] : pending.incoming) {
+          Cursor cursor(operand_text, pending.line);
+          Value* value =
+              parse_operand(cursor, pending.phi->type(), scope);
+          auto block_it = scope.blocks.find(block_name);
+          if (!value || block_it == scope.blocks.end()) {
+            error(pending.line, "unresolved phi incoming");
+            return;
+          }
+          pending.phi->phi_add_incoming(value, block_it->second);
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> lines_;
+  std::unique_ptr<Module> module_;
+  std::vector<std::pair<Function*, std::size_t>> bodies_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+ParseResult parse_module(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace vulfi::ir

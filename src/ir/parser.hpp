@@ -1,0 +1,29 @@
+// Textual IR parser.
+//
+// Parses the syntax the printer emits (printer.hpp), closing the
+// round-trip: to_string(parse(to_string(M))) == to_string(M). Used for
+// textual test fixtures and for inspecting/replaying dumped kernels.
+//
+// Error handling: parse errors are reported as diagnostics with line
+// numbers; a failed parse returns nullptr and at least one diagnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace vulfi::ir {
+
+struct ParseResult {
+  std::unique_ptr<Module> module;  // nullptr on failure
+  std::vector<std::string> errors;
+
+  bool ok() const { return module != nullptr && errors.empty(); }
+};
+
+/// Parses a whole module ("; module <name>" header plus functions).
+ParseResult parse_module(const std::string& text);
+
+}  // namespace vulfi::ir

@@ -1,0 +1,232 @@
+#include "ir/printer.hpp"
+
+#include "ir/basic_block.hpp"
+#include "ir/function.hpp"
+#include "ir/instruction.hpp"
+#include "ir/module.hpp"
+#include "ir/value.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::ir {
+
+namespace {
+
+std::string constant_lane(const Constant& c, unsigned lane) {
+  const Type elem = c.type().element();
+  if (c.is_undef()) return "undef";
+  // Shortest-round-trip precision: %.9g recovers every float exactly,
+  // %.17g every double — the printed module parses back bit-identical.
+  if (elem.kind() == TypeKind::F32) {
+    return strf("%.9g", c.as_double(lane));
+  }
+  if (elem.kind() == TypeKind::F64) {
+    return strf("%.17g", c.as_double(lane));
+  }
+  if (elem.is_pointer()) return strf("ptr:%llu",
+                                     static_cast<unsigned long long>(c.raw(lane)));
+  return strf("%lld", static_cast<long long>(c.int_value(lane)));
+}
+
+std::string constant_ref(const Constant& c) {
+  if (c.is_undef()) return "undef";
+  if (!c.type().is_vector()) return constant_lane(c, 0);
+  if (c.is_zero()) return "zeroinitializer";
+  std::vector<std::string> lanes;
+  lanes.reserve(c.type().lanes());
+  for (unsigned lane = 0; lane < c.type().lanes(); ++lane) {
+    lanes.push_back(strf("%s %s", c.type().element().to_string().c_str(),
+                         constant_lane(c, lane).c_str()));
+  }
+  return "<" + join(lanes, ", ") + ">";
+}
+
+}  // namespace
+
+std::string operand_ref(const Value& value) {
+  switch (value.value_kind()) {
+    case ValueKind::Constant:
+      return constant_ref(static_cast<const Constant&>(value));
+    case ValueKind::Argument:
+    case ValueKind::Instruction:
+      return "%" + value.name();
+  }
+  return "<?>";
+}
+
+namespace {
+
+std::string typed_ref(const Value& value) {
+  return value.type().to_string() + " " + operand_ref(value);
+}
+
+}  // namespace
+
+std::string to_string(const Instruction& inst) {
+  std::string out;
+  if (!inst.type().is_void()) {
+    out += "%" + inst.name() + " = ";
+  }
+  const Opcode op = inst.opcode();
+  switch (op) {
+    case Opcode::ICmp:
+      out += strf("icmp %s %s, %s", icmp_pred_name(inst.icmp_pred()),
+                  typed_ref(*inst.operand(0)).c_str(),
+                  operand_ref(*inst.operand(1)).c_str());
+      return out;
+    case Opcode::FCmp:
+      out += strf("fcmp %s %s, %s", fcmp_pred_name(inst.fcmp_pred()),
+                  typed_ref(*inst.operand(0)).c_str(),
+                  operand_ref(*inst.operand(1)).c_str());
+      return out;
+    case Opcode::Load:
+      out += strf("load %s, %s", inst.type().to_string().c_str(),
+                  typed_ref(*inst.operand(0)).c_str());
+      return out;
+    case Opcode::Store:
+      out += strf("store %s, %s", typed_ref(*inst.operand(0)).c_str(),
+                  typed_ref(*inst.operand(1)).c_str());
+      return out;
+    case Opcode::GetElementPtr: {
+      out += strf("getelementptr %s", typed_ref(*inst.operand(0)).c_str());
+      const auto& strides = inst.gep_strides();
+      for (unsigned i = 1; i < inst.num_operands(); ++i) {
+        out += strf(", %s (stride %llu)",
+                    typed_ref(*inst.operand(i)).c_str(),
+                    static_cast<unsigned long long>(strides[i - 1]));
+      }
+      return out;
+    }
+    case Opcode::Alloca:
+      out += strf("alloca %llu bytes",
+                  static_cast<unsigned long long>(inst.alloca_bytes()));
+      return out;
+    case Opcode::ShuffleVector: {
+      std::vector<std::string> mask_elems;
+      bool all_zero = true;
+      for (int m : inst.shuffle_mask()) {
+        all_zero = all_zero && m == 0;
+        mask_elems.push_back(m < 0 ? "i32 undef" : strf("i32 %d", m));
+      }
+      out += strf("shufflevector %s, %s, ",
+                  typed_ref(*inst.operand(0)).c_str(),
+                  typed_ref(*inst.operand(1)).c_str());
+      out += all_zero ? strf("<%zu x i32> zeroinitializer",
+                             inst.shuffle_mask().size())
+                      : "<" + join(mask_elems, ", ") + ">";
+      return out;
+    }
+    case Opcode::Phi: {
+      out += strf("phi %s ", inst.type().to_string().c_str());
+      std::vector<std::string> incoming;
+      const auto& blocks = inst.phi_incoming_blocks();
+      for (unsigned i = 0; i < inst.num_operands(); ++i) {
+        incoming.push_back(strf("[ %s, %%%s ]",
+                                operand_ref(*inst.operand(i)).c_str(),
+                                blocks[i]->name().c_str()));
+      }
+      out += join(incoming, ", ");
+      return out;
+    }
+    case Opcode::Call: {
+      std::vector<std::string> args;
+      for (unsigned i = 0; i < inst.num_operands(); ++i) {
+        args.push_back(typed_ref(*inst.operand(i)));
+      }
+      out += strf("call %s @%s(%s)",
+                  inst.callee()->return_type().to_string().c_str(),
+                  inst.callee()->name().c_str(), join(args, ", ").c_str());
+      return out;
+    }
+    case Opcode::Br:
+      return strf("br label %%%s", inst.successor(0)->name().c_str());
+    case Opcode::CondBr:
+      return strf("br %s, label %%%s, label %%%s",
+                  typed_ref(*inst.operand(0)).c_str(),
+                  inst.successor(0)->name().c_str(),
+                  inst.successor(1)->name().c_str());
+    case Opcode::Ret:
+      if (inst.num_operands() == 0) return "ret void";
+      return strf("ret %s", typed_ref(*inst.operand(0)).c_str());
+    case Opcode::Unreachable:
+      return "unreachable";
+    case Opcode::Select:
+      out += strf("select %s, %s, %s", typed_ref(*inst.operand(0)).c_str(),
+                  typed_ref(*inst.operand(1)).c_str(),
+                  typed_ref(*inst.operand(2)).c_str());
+      return out;
+    case Opcode::ExtractElement:
+      out += strf("extractelement %s, %s",
+                  typed_ref(*inst.operand(0)).c_str(),
+                  typed_ref(*inst.operand(1)).c_str());
+      return out;
+    case Opcode::InsertElement:
+      out += strf("insertelement %s, %s, %s",
+                  typed_ref(*inst.operand(0)).c_str(),
+                  typed_ref(*inst.operand(1)).c_str(),
+                  typed_ref(*inst.operand(2)).c_str());
+      return out;
+    default: {
+      // Binary ops, casts, fneg: "<op> <ty> <a>(, <b>)".
+      out += opcode_name(op);
+      out += " ";
+      std::vector<std::string> refs;
+      for (unsigned i = 0; i < inst.num_operands(); ++i) {
+        refs.push_back(i == 0 ? typed_ref(*inst.operand(i))
+                              : operand_ref(*inst.operand(i)));
+      }
+      out += join(refs, ", ");
+      // Casts print the destination type.
+      switch (op) {
+        case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt:
+        case Opcode::FPTrunc: case Opcode::FPExt: case Opcode::FPToSI:
+        case Opcode::FPToUI: case Opcode::SIToFP: case Opcode::UIToFP:
+        case Opcode::PtrToInt: case Opcode::IntToPtr: case Opcode::Bitcast:
+          out += " to " + inst.type().to_string();
+          break;
+        default:
+          break;
+      }
+      return out;
+    }
+  }
+}
+
+std::string to_string(const BasicBlock& block) {
+  std::string out = block.name() + ":\n";
+  for (const auto& inst : block) {
+    out += "  " + to_string(*inst) + "\n";
+  }
+  return out;
+}
+
+std::string to_string(const Function& function) {
+  std::vector<std::string> params;
+  for (const auto& arg : function.args()) {
+    params.push_back(arg->type().to_string() + " %" + arg->name());
+  }
+  if (!function.is_definition()) {
+    return strf("declare %s @%s(%s)\n",
+                function.return_type().to_string().c_str(),
+                function.name().c_str(), join(params, ", ").c_str());
+  }
+  std::string out =
+      strf("define %s @%s(%s) {\n",
+           function.return_type().to_string().c_str(),
+           function.name().c_str(), join(params, ", ").c_str());
+  for (const auto& block : function) {
+    out += to_string(*block);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_string(const Module& module) {
+  std::string out = "; module " + module.name() + "\n";
+  for (const auto& fn : module.functions()) {
+    out += "\n" + to_string(*fn);
+  }
+  return out;
+}
+
+}  // namespace vulfi::ir

@@ -1,0 +1,25 @@
+// Textual IR printing in an LLVM-flavoured syntax. Used by tests (golden
+// patterns for the SPMD lowering and the instrumentor, mirroring the IR
+// listings in the paper's Figures 5, 7 and 9) and for debugging.
+#pragma once
+
+#include <string>
+
+namespace vulfi::ir {
+
+class Module;
+class Function;
+class BasicBlock;
+class Instruction;
+class Value;
+
+std::string to_string(const Module& module);
+std::string to_string(const Function& function);
+std::string to_string(const BasicBlock& block);
+std::string to_string(const Instruction& inst);
+
+/// Operand reference spelling: "%name" for instructions/arguments, the
+/// literal for constants ("42", "3.5", "<i32 0, i32 1, ...>", "undef").
+std::string operand_ref(const Value& value);
+
+}  // namespace vulfi::ir

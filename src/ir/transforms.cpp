@@ -1,0 +1,55 @@
+#include "ir/transforms.hpp"
+
+#include <vector>
+
+namespace vulfi::ir {
+
+bool is_trivially_dead(const Instruction& inst) {
+  if (inst.has_users()) return false;
+  if (inst.is_terminator()) return false;
+  switch (inst.opcode()) {
+    case Opcode::Store:
+      return false;
+    case Opcode::Call: {
+      const Function* callee = inst.callee();
+      if (callee->kind() == FunctionKind::Runtime) return false;
+      if (callee->kind() == FunctionKind::Definition) return false;
+      // Intrinsics: everything except stores is side-effect-free.
+      return callee->intrinsic_info().id != IntrinsicId::MaskStore;
+    }
+    default:
+      return true;
+  }
+}
+
+unsigned eliminate_dead_code(Function& fn) {
+  if (!fn.is_definition()) return 0;
+  unsigned removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& block : fn) {
+      // Snapshot: erase invalidates the list position being removed.
+      std::vector<Instruction*> dead;
+      for (auto& inst : *block) {
+        if (is_trivially_dead(*inst)) dead.push_back(inst.get());
+      }
+      for (Instruction* inst : dead) {
+        block->erase(inst);
+        removed += 1;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+unsigned eliminate_dead_code(Module& module) {
+  unsigned removed = 0;
+  for (const auto& fn : module.functions()) {
+    removed += eliminate_dead_code(*fn);
+  }
+  return removed;
+}
+
+}  // namespace vulfi::ir

@@ -1,0 +1,26 @@
+// IR-level transformations.
+//
+// The paper studies ISPC output at -O3 (§II-A "code generation"); dead
+// definitions do not survive into the binaries it injects faults into.
+// KernelBuilder therefore runs dead-code elimination after construction so
+// the fault-site population matches what an optimizing code generator
+// would produce — without it, dead index chains would register as
+// always-benign pure-data sites and skew SDC rates.
+#pragma once
+
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace vulfi::ir {
+
+/// True when removing an unused `inst` cannot change program behaviour:
+/// no memory writes, no runtime calls, not a terminator. Unused masked
+/// loads are removable (LLVM marks them readonly), as are math intrinsics
+/// and movmsk.
+bool is_trivially_dead(const Instruction& inst);
+
+/// Iteratively removes dead instructions; returns how many were removed.
+unsigned eliminate_dead_code(Function& fn);
+unsigned eliminate_dead_code(Module& module);
+
+}  // namespace vulfi::ir

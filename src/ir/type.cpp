@@ -1,0 +1,31 @@
+#include "ir/type.hpp"
+
+#include "support/str.hpp"
+
+namespace vulfi::ir {
+
+namespace {
+
+const char* kind_spelling(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::Void: return "void";
+    case TypeKind::I1: return "i1";
+    case TypeKind::I8: return "i8";
+    case TypeKind::I16: return "i16";
+    case TypeKind::I32: return "i32";
+    case TypeKind::I64: return "i64";
+    case TypeKind::F32: return "float";
+    case TypeKind::F64: return "double";
+    case TypeKind::Ptr: return "ptr";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Type::to_string() const {
+  if (!is_vector()) return kind_spelling(kind_);
+  return strf("<%u x %s>", lanes_, kind_spelling(kind_));
+}
+
+}  // namespace vulfi::ir

@@ -1,0 +1,110 @@
+// IR type system.
+//
+// Mirrors the slice of the LLVM type system VULFI cares about (LLVM
+// LangRef): scalar integers (i1..i64), binary floating point (f32/f64),
+// pointers, and fixed-width vectors of those scalars. Per the paper's
+// terminology (§II-A): a *vector instruction* has at least one vector-typed
+// operand; a *scalar register* has integer, floating point, or pointer
+// type; the *vector length* Vl is the number of scalar registers packed in
+// a vector register.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vulfi::ir {
+
+enum class TypeKind : std::uint8_t {
+  Void,
+  I1,
+  I8,
+  I16,
+  I32,
+  I64,
+  F32,
+  F64,
+  Ptr,
+};
+
+/// Value-semantic type descriptor: an element kind plus a lane count
+/// (1 = scalar, >= 2 = vector). Cheap to copy and compare.
+class Type {
+ public:
+  constexpr Type() = default;
+
+  static constexpr Type scalar(TypeKind kind) { return Type(kind, 1); }
+  static constexpr Type vector(TypeKind kind, unsigned lanes) {
+    return Type(kind, lanes);
+  }
+
+  static constexpr Type void_ty() { return Type(TypeKind::Void, 1); }
+  static constexpr Type i1() { return scalar(TypeKind::I1); }
+  static constexpr Type i8() { return scalar(TypeKind::I8); }
+  static constexpr Type i16() { return scalar(TypeKind::I16); }
+  static constexpr Type i32() { return scalar(TypeKind::I32); }
+  static constexpr Type i64() { return scalar(TypeKind::I64); }
+  static constexpr Type f32() { return scalar(TypeKind::F32); }
+  static constexpr Type f64() { return scalar(TypeKind::F64); }
+  static constexpr Type ptr() { return scalar(TypeKind::Ptr); }
+
+  constexpr TypeKind kind() const { return kind_; }
+  /// 1 for scalars, Vl for vectors.
+  constexpr unsigned lanes() const { return lanes_; }
+  constexpr bool is_vector() const { return lanes_ > 1; }
+  constexpr bool is_scalar() const { return lanes_ == 1 && !is_void(); }
+  constexpr bool is_void() const { return kind_ == TypeKind::Void; }
+  constexpr bool is_integer() const {
+    return kind_ == TypeKind::I1 || kind_ == TypeKind::I8 ||
+           kind_ == TypeKind::I16 || kind_ == TypeKind::I32 ||
+           kind_ == TypeKind::I64;
+  }
+  constexpr bool is_float() const {
+    return kind_ == TypeKind::F32 || kind_ == TypeKind::F64;
+  }
+  constexpr bool is_pointer() const { return kind_ == TypeKind::Ptr; }
+  constexpr bool is_bool() const { return kind_ == TypeKind::I1; }
+
+  /// The scalar element type (identity for scalars).
+  constexpr Type element() const { return Type(kind_, 1); }
+  constexpr Type with_lanes(unsigned lanes) const {
+    return Type(kind_, lanes);
+  }
+
+  /// Bit width of one element (pointers are 64-bit in this IR).
+  constexpr unsigned element_bits() const {
+    switch (kind_) {
+      case TypeKind::Void: return 0;
+      case TypeKind::I1: return 1;
+      case TypeKind::I8: return 8;
+      case TypeKind::I16: return 16;
+      case TypeKind::I32: return 32;
+      case TypeKind::I64: return 64;
+      case TypeKind::F32: return 32;
+      case TypeKind::F64: return 64;
+      case TypeKind::Ptr: return 64;
+    }
+    return 0;
+  }
+
+  /// In-memory size of one element in bytes (i1 occupies one byte).
+  constexpr unsigned element_bytes() const {
+    const unsigned bits = element_bits();
+    return bits <= 8 ? (bits ? 1 : 0) : bits / 8;
+  }
+
+  /// In-memory size of the whole (possibly vector) type.
+  constexpr unsigned byte_size() const { return element_bytes() * lanes_; }
+
+  constexpr bool operator==(const Type&) const = default;
+
+  /// LLVM-flavoured spelling: "i32", "<8 x float>", "ptr", ...
+  std::string to_string() const;
+
+ private:
+  constexpr Type(TypeKind kind, unsigned lanes) : kind_(kind), lanes_(lanes) {}
+
+  TypeKind kind_ = TypeKind::Void;
+  unsigned lanes_ = 1;
+};
+
+}  // namespace vulfi::ir

@@ -1,0 +1,108 @@
+#include "ir/value.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "ir/instruction.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::ir {
+
+void Value::replace_all_uses_with(Value* replacement) {
+  replace_uses_with_if(replacement,
+                       [](const Instruction&) { return true; });
+}
+
+void Value::replace_uses_with_if(
+    Value* replacement,
+    const std::function<bool(const Instruction&)>& should_replace) {
+  VULFI_ASSERT(replacement != nullptr, "replacement must be non-null");
+  VULFI_ASSERT(replacement != this, "cannot replace a value with itself");
+  VULFI_ASSERT(replacement->type() == type(),
+               "replacement type must match original type");
+  // Snapshot: set_operand edits users_ while we iterate.
+  const std::vector<Instruction*> snapshot = users_;
+  for (Instruction* user : snapshot) {
+    if (!should_replace(*user)) continue;
+    for (unsigned i = 0; i < user->num_operands(); ++i) {
+      if (user->operand(i) == this) user->set_operand(i, replacement);
+    }
+  }
+}
+
+void Value::remove_user(const Instruction* user) {
+  auto it = std::find(users_.begin(), users_.end(), user);
+  VULFI_ASSERT(it != users_.end(), "remove_user: not a user");
+  users_.erase(it);
+}
+
+Constant::Constant(Type type, std::vector<std::uint64_t> raw_lanes,
+                   bool undef)
+    : Value(ValueKind::Constant, type),
+      raw_(std::move(raw_lanes)),
+      undef_(undef) {
+  VULFI_ASSERT(!type.is_void(), "constants cannot be void");
+  VULFI_ASSERT(raw_.size() == type.lanes(),
+               "constant lane count must match type lane count");
+  if (type.is_integer()) {
+    for (auto& lane : raw_) {
+      lane = truncate_to_width(lane, type.element_bits());
+    }
+  }
+}
+
+std::uint64_t Constant::raw(unsigned lane) const {
+  VULFI_ASSERT(lane < raw_.size(), "constant lane out of range");
+  return raw_[lane];
+}
+
+std::int64_t Constant::int_value(unsigned lane) const {
+  VULFI_ASSERT(type().is_integer(), "int_value on non-integer constant");
+  return sign_extend(raw(lane), type().element_bits());
+}
+
+float Constant::f32_value(unsigned lane) const {
+  VULFI_ASSERT(type().kind() == TypeKind::F32, "f32_value on non-f32");
+  return std::bit_cast<float>(static_cast<std::uint32_t>(raw(lane)));
+}
+
+double Constant::f64_value(unsigned lane) const {
+  VULFI_ASSERT(type().kind() == TypeKind::F64, "f64_value on non-f64");
+  return std::bit_cast<double>(raw(lane));
+}
+
+double Constant::as_double(unsigned lane) const {
+  if (type().kind() == TypeKind::F32) return f32_value(lane);
+  if (type().kind() == TypeKind::F64) return f64_value(lane);
+  if (type().is_integer()) return static_cast<double>(int_value(lane));
+  return static_cast<double>(raw(lane));
+}
+
+bool Constant::is_zero() const {
+  if (undef_) return false;
+  return std::all_of(raw_.begin(), raw_.end(),
+                     [](std::uint64_t lane) { return lane == 0; });
+}
+
+bool Constant::is_splat() const {
+  return std::all_of(raw_.begin(), raw_.end(),
+                     [&](std::uint64_t lane) { return lane == raw_[0]; });
+}
+
+std::uint64_t Constant::truncate_to_width(std::uint64_t bits,
+                                          unsigned width) {
+  if (width >= 64) return bits;
+  return bits & ((std::uint64_t{1} << width) - 1);
+}
+
+std::int64_t Constant::sign_extend(std::uint64_t bits, unsigned width) {
+  if (width >= 64) return static_cast<std::int64_t>(bits);
+  const std::uint64_t sign_bit = std::uint64_t{1} << (width - 1);
+  const std::uint64_t truncated = truncate_to_width(bits, width);
+  if (truncated & sign_bit) {
+    return static_cast<std::int64_t>(truncated | ~((sign_bit << 1) - 1));
+  }
+  return static_cast<std::int64_t>(truncated);
+}
+
+}  // namespace vulfi::ir

@@ -1,0 +1,121 @@
+// SSA value base class, function arguments, and constants.
+//
+// Every producer of data in the IR is a Value. Instructions track the
+// values they consume (operands) and every Value tracks the instructions
+// consuming it (users, one entry per use occurrence). VULFI's
+// instrumentation workflow (paper Figure 4) relies on this: after cloning
+// and instrumenting a vector register it "redirects all the users of the
+// original vector register" — implemented here as
+// Value::replace_all_uses_with.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace vulfi::ir {
+
+class Instruction;
+class Function;
+
+enum class ValueKind : std::uint8_t {
+  Argument,
+  Constant,
+  Instruction,
+};
+
+class Value {
+ public:
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+  virtual ~Value() = default;
+
+  ValueKind value_kind() const { return value_kind_; }
+  Type type() const { return type_; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Instructions using this value; one entry per use occurrence, so a
+  /// value used twice by the same instruction appears twice.
+  const std::vector<Instruction*>& users() const { return users_; }
+  bool has_users() const { return !users_.empty(); }
+
+  /// Redirects every use of this value to `replacement`.
+  void replace_all_uses_with(Value* replacement);
+
+  /// Redirects uses for which `should_replace(user)` holds. VULFI uses
+  /// this to exclude the freshly inserted extract/inject/insert chain when
+  /// redirecting users of the original register (paper Figure 5).
+  void replace_uses_with_if(
+      Value* replacement,
+      const std::function<bool(const Instruction&)>& should_replace);
+
+ protected:
+  Value(ValueKind kind, Type type) : value_kind_(kind), type_(type) {}
+
+ private:
+  friend class Instruction;
+
+  void add_user(Instruction* user) { users_.push_back(user); }
+  void remove_user(const Instruction* user);
+
+  ValueKind value_kind_;
+  Type type_;
+  std::string name_;
+  std::vector<Instruction*> users_;
+};
+
+/// A formal parameter of a Function.
+class Argument final : public Value {
+ public:
+  Argument(Type type, unsigned index, Function* parent)
+      : Value(ValueKind::Argument, type), index_(index), parent_(parent) {}
+
+  unsigned index() const { return index_; }
+  Function* parent() const { return parent_; }
+
+ private:
+  unsigned index_;
+  Function* parent_;
+};
+
+/// A typed constant. Elements are stored as raw bit patterns (one 64-bit
+/// word per lane): integers are kept zero-extended to 64 bits, f32 as the
+/// IEEE-754 single bit pattern in the low 32 bits, f64/pointers as the full
+/// 64-bit pattern. Raw storage keeps the fault-injection runtime and the
+/// interpreter bit-exact.
+class Constant final : public Value {
+ public:
+  /// Typed zero / splat / per-lane constructors. Created via Module
+  /// factory helpers which own the allocation.
+  Constant(Type type, std::vector<std::uint64_t> raw_lanes, bool undef);
+
+  bool is_undef() const { return undef_; }
+
+  std::uint64_t raw(unsigned lane = 0) const;
+  /// Integer lane value sign-extended from the element width.
+  std::int64_t int_value(unsigned lane = 0) const;
+  float f32_value(unsigned lane = 0) const;
+  double f64_value(unsigned lane = 0) const;
+  /// Numeric value of an int or fp lane as double (printer convenience).
+  double as_double(unsigned lane = 0) const;
+
+  bool is_zero() const;
+  /// True when all lanes hold the same bit pattern.
+  bool is_splat() const;
+
+  /// Masks `bits` to the width of `type` (element-wise semantics used for
+  /// integer lanes everywhere in the library).
+  static std::uint64_t truncate_to_width(std::uint64_t bits, unsigned width);
+  static std::int64_t sign_extend(std::uint64_t bits, unsigned width);
+
+ private:
+  std::vector<std::uint64_t> raw_;
+  bool undef_;
+};
+
+}  // namespace vulfi::ir

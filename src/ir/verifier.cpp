@@ -1,0 +1,434 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/basic_block.hpp"
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+#include "ir/printer.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::ir {
+
+namespace {
+
+class FunctionVerifier {
+ public:
+  explicit FunctionVerifier(const Function& fn) : fn_(fn) {}
+
+  std::vector<std::string> run() {
+    if (!fn_.is_definition()) return {};
+    if (fn_.num_blocks() == 0) {
+      report("definition has no basic blocks");
+      return errors_;
+    }
+    index_blocks();
+    check_block_structure();
+    check_phis();
+    check_operands();
+    compute_dominators();
+    check_dominance();
+    return errors_;
+  }
+
+ private:
+  void report(const std::string& msg) {
+    errors_.push_back(strf("function @%s: %s", fn_.name().c_str(),
+                           msg.c_str()));
+  }
+
+  void report_inst(const Instruction& inst, const std::string& msg) {
+    report(strf("'%s': %s", to_string(inst).c_str(), msg.c_str()));
+  }
+
+  void index_blocks() {
+    for (const auto& block : fn_) {
+      block_ids_[block.get()] = static_cast<int>(blocks_.size());
+      blocks_.push_back(block.get());
+    }
+  }
+
+  void check_block_structure() {
+    for (const BasicBlock* block : blocks_) {
+      if (block->empty()) {
+        report(strf("block %%%s is empty", block->name().c_str()));
+        continue;
+      }
+      if (!block->terminator()) {
+        report(strf("block %%%s lacks a terminator",
+                    block->name().c_str()));
+      }
+      bool seen_terminator = false;
+      bool seen_non_phi = false;
+      for (const auto& inst : *block) {
+        if (seen_terminator) {
+          report_inst(*inst, "instruction after terminator");
+        }
+        if (inst->is_terminator()) seen_terminator = true;
+        if (inst->opcode() == Opcode::Phi) {
+          if (seen_non_phi) report_inst(*inst, "phi after non-phi");
+        } else {
+          seen_non_phi = true;
+        }
+        for (unsigned i = 0; i < inst->num_successors(); ++i) {
+          const BasicBlock* succ = inst->successor(i);
+          if (!block_ids_.count(succ)) {
+            report_inst(*inst, "successor block not in this function");
+          }
+        }
+      }
+    }
+    // Entry block must not have predecessors (phi handling assumes it).
+    if (!fn_.predecessors(blocks_.front()).empty()) {
+      report("entry block has predecessors");
+    }
+  }
+
+  void check_phis() {
+    for (const BasicBlock* block : blocks_) {
+      auto preds = fn_.predecessors(block);
+      std::unordered_set<const BasicBlock*> pred_set(preds.begin(),
+                                                     preds.end());
+      for (const auto& inst : *block) {
+        if (inst->opcode() != Opcode::Phi) continue;
+        const auto& incoming = inst->phi_incoming_blocks();
+        if (incoming.size() != pred_set.size()) {
+          report_inst(*inst,
+                      strf("phi has %zu incoming entries but block has %zu "
+                           "predecessors",
+                           incoming.size(), pred_set.size()));
+        }
+        std::unordered_set<const BasicBlock*> seen;
+        for (const BasicBlock* in : incoming) {
+          if (!pred_set.count(in)) {
+            report_inst(*inst, strf("phi incoming block %%%s is not a "
+                                    "predecessor",
+                                    in->name().c_str()));
+          }
+          if (!seen.insert(in).second) {
+            report_inst(*inst, strf("phi lists block %%%s twice",
+                                    in->name().c_str()));
+          }
+        }
+        for (unsigned i = 0; i < inst->num_operands(); ++i) {
+          if (inst->operand(i)->type() != inst->type()) {
+            report_inst(*inst, "phi incoming value type mismatch");
+          }
+        }
+      }
+    }
+  }
+
+  void check_operand_types(const Instruction& inst) {
+    const Opcode op = inst.opcode();
+    auto expect = [&](bool cond, const char* msg) {
+      if (!cond) report_inst(inst, msg);
+    };
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::SDiv: case Opcode::UDiv: case Opcode::SRem:
+      case Opcode::URem: case Opcode::Shl: case Opcode::LShr:
+      case Opcode::AShr: case Opcode::And: case Opcode::Or:
+      case Opcode::Xor:
+        expect(inst.num_operands() == 2, "binary op needs two operands");
+        expect(inst.operand(0)->type() == inst.type() &&
+                   inst.operand(1)->type() == inst.type(),
+               "integer binary op operand/result type mismatch");
+        expect(inst.type().is_integer(), "integer op on non-integer type");
+        break;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FRem:
+        expect(inst.num_operands() == 2, "binary op needs two operands");
+        expect(inst.operand(0)->type() == inst.type() &&
+                   inst.operand(1)->type() == inst.type(),
+               "fp binary op operand/result type mismatch");
+        expect(inst.type().is_float(), "fp op on non-float type");
+        break;
+      case Opcode::FNeg:
+        expect(inst.num_operands() == 1 &&
+                   inst.operand(0)->type() == inst.type() &&
+                   inst.type().is_float(),
+               "fneg typing violation");
+        break;
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        expect(inst.num_operands() == 2 &&
+                   inst.operand(0)->type() == inst.operand(1)->type(),
+               "cmp operand type mismatch");
+        expect(inst.type().kind() == TypeKind::I1 &&
+                   inst.type().lanes() == inst.operand(0)->type().lanes(),
+               "cmp result must be i1 with matching lanes");
+        break;
+      case Opcode::Load:
+        expect(inst.num_operands() == 1 &&
+                   inst.operand(0)->type() == Type::ptr(),
+               "load needs a scalar pointer operand");
+        break;
+      case Opcode::Store:
+        expect(inst.num_operands() == 2 &&
+                   inst.operand(1)->type() == Type::ptr(),
+               "store needs (value, pointer) operands");
+        break;
+      case Opcode::GetElementPtr:
+        expect(inst.num_operands() >= 2 &&
+                   inst.operand(0)->type() == Type::ptr(),
+               "gep needs pointer base and at least one index");
+        expect(inst.gep_strides().size() + 1 == inst.num_operands(),
+               "gep stride/index count mismatch");
+        break;
+      case Opcode::ExtractElement:
+        expect(inst.operand(0)->type().is_vector() &&
+                   inst.type() == inst.operand(0)->type().element(),
+               "extractelement typing violation");
+        break;
+      case Opcode::InsertElement:
+        expect(inst.operand(0)->type().is_vector() &&
+                   inst.type() == inst.operand(0)->type() &&
+                   inst.operand(1)->type() ==
+                       inst.operand(0)->type().element(),
+               "insertelement typing violation");
+        break;
+      case Opcode::ShuffleVector: {
+        expect(inst.operand(0)->type() == inst.operand(1)->type() &&
+                   inst.operand(0)->type().is_vector(),
+               "shuffle needs two vectors of the same type");
+        const int limit = 2 * static_cast<int>(inst.operand(0)->type().lanes());
+        for (int m : inst.shuffle_mask()) {
+          expect(m < limit, "shuffle mask index out of range");
+        }
+        break;
+      }
+      case Opcode::Select:
+        expect(inst.num_operands() == 3 &&
+                   inst.operand(0)->type().kind() == TypeKind::I1 &&
+                   inst.operand(1)->type() == inst.type() &&
+                   inst.operand(2)->type() == inst.type(),
+               "select typing violation");
+        break;
+      case Opcode::Call: {
+        const Function* callee = inst.callee();
+        if (callee->num_args() != inst.num_operands()) {
+          report_inst(inst, "call argument count mismatch");
+          break;
+        }
+        for (unsigned i = 0; i < inst.num_operands(); ++i) {
+          if (inst.operand(i)->type() != callee->arg(i)->type()) {
+            report_inst(inst, strf("call argument %u type mismatch", i));
+          }
+        }
+        expect(inst.type() == callee->return_type(),
+               "call result type mismatch");
+        break;
+      }
+      case Opcode::CondBr:
+        expect(inst.operand(0)->type() == Type::i1(),
+               "conditional branch needs a scalar i1 condition");
+        break;
+      case Opcode::Ret:
+        if (inst.num_operands() == 0) {
+          expect(fn_.return_type().is_void(),
+                 "ret void in non-void function");
+        } else {
+          expect(inst.operand(0)->type() == fn_.return_type(),
+                 "ret value type mismatch");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void check_operands() {
+    for (const BasicBlock* block : blocks_) {
+      for (const auto& inst : *block) {
+        check_operand_types(*inst);
+        for (unsigned i = 0; i < inst->num_operands(); ++i) {
+          const Value* operand = inst->operand(i);
+          if (const auto* def =
+                  dynamic_cast<const Instruction*>(operand)) {
+            if (def->function() != &fn_) {
+              report_inst(*inst,
+                          "operand defined in a different function");
+            }
+          } else if (const auto* arg =
+                         dynamic_cast<const Argument*>(operand)) {
+            if (arg->parent() != &fn_) {
+              report_inst(*inst, "argument from a different function");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Cooper–Harvey–Kennedy iterative dominator computation over RPO.
+  void compute_dominators() {
+    const int n = static_cast<int>(blocks_.size());
+    // Reverse postorder from entry.
+    std::vector<int> postorder;
+    std::vector<char> visited(static_cast<std::size_t>(n), 0);
+    std::vector<std::pair<int, std::size_t>> stack;  // (block id, next succ)
+    stack.emplace_back(0, 0);
+    visited[0] = 1;
+    std::vector<std::vector<int>> successor_ids(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+      for (BasicBlock* succ : blocks_[static_cast<std::size_t>(b)]->successors()) {
+        auto it = block_ids_.find(succ);
+        if (it != block_ids_.end()) {
+          successor_ids[static_cast<std::size_t>(b)].push_back(it->second);
+        }
+      }
+    }
+    while (!stack.empty()) {
+      auto& [block, next] = stack.back();
+      const auto& succs = successor_ids[static_cast<std::size_t>(block)];
+      if (next < succs.size()) {
+        const int succ = succs[next++];
+        if (!visited[static_cast<std::size_t>(succ)]) {
+          visited[static_cast<std::size_t>(succ)] = 1;
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        postorder.push_back(block);
+        stack.pop_back();
+      }
+    }
+    rpo_number_.assign(static_cast<std::size_t>(n), -1);
+    std::vector<int> rpo(postorder.rbegin(), postorder.rend());
+    for (int i = 0; i < static_cast<int>(rpo.size()); ++i) {
+      rpo_number_[static_cast<std::size_t>(rpo[static_cast<std::size_t>(i)])] = i;
+    }
+
+    idom_.assign(static_cast<std::size_t>(n), -1);
+    idom_[0] = 0;
+    std::vector<std::vector<int>> pred_ids(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+      for (int succ : successor_ids[static_cast<std::size_t>(b)]) {
+        pred_ids[static_cast<std::size_t>(succ)].push_back(b);
+      }
+    }
+    auto intersect = [&](int a, int b) {
+      while (a != b) {
+        while (rpo_number_[static_cast<std::size_t>(a)] >
+               rpo_number_[static_cast<std::size_t>(b)]) {
+          a = idom_[static_cast<std::size_t>(a)];
+        }
+        while (rpo_number_[static_cast<std::size_t>(b)] >
+               rpo_number_[static_cast<std::size_t>(a)]) {
+          b = idom_[static_cast<std::size_t>(b)];
+        }
+      }
+      return a;
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int b : rpo) {
+        if (b == 0) continue;
+        int new_idom = -1;
+        for (int pred : pred_ids[static_cast<std::size_t>(b)]) {
+          if (idom_[static_cast<std::size_t>(pred)] == -1) continue;
+          new_idom = new_idom == -1 ? pred : intersect(pred, new_idom);
+        }
+        if (new_idom != -1 && idom_[static_cast<std::size_t>(b)] != new_idom) {
+          idom_[static_cast<std::size_t>(b)] = new_idom;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  bool block_dominates(int a, int b) const {
+    // Unreachable blocks (idom == -1, rpo == -1) vacuously dominate nothing
+    // and are dominated by everything; skip dominance checks for them.
+    if (idom_[static_cast<std::size_t>(b)] == -1 && b != 0) return true;
+    while (b != a && b != 0) {
+      b = idom_[static_cast<std::size_t>(b)];
+      if (b == -1) return false;
+    }
+    return b == a;
+  }
+
+  void check_dominance() {
+    // Map each instruction to (block id, position) for intra-block order.
+    std::unordered_map<const Instruction*, std::pair<int, int>> positions;
+    for (const BasicBlock* block : blocks_) {
+      const int bid = block_ids_.at(block);
+      int idx = 0;
+      for (const auto& inst : *block) {
+        positions[inst.get()] = {bid, idx++};
+      }
+    }
+    for (const BasicBlock* block : blocks_) {
+      const int bid = block_ids_.at(block);
+      // Skip unreachable blocks entirely.
+      if (bid != 0 && idom_[static_cast<std::size_t>(bid)] == -1) continue;
+      for (const auto& inst : *block) {
+        const bool is_phi = inst->opcode() == Opcode::Phi;
+        for (unsigned i = 0; i < inst->num_operands(); ++i) {
+          const auto* def = dynamic_cast<const Instruction*>(inst->operand(i));
+          if (!def) continue;
+          auto it = positions.find(def);
+          if (it == positions.end()) {
+            report_inst(*inst, "operand not attached to any block");
+            continue;
+          }
+          const auto [def_block, def_idx] = it->second;
+          if (is_phi) {
+            // Phi operand must dominate the end of the incoming block.
+            const BasicBlock* incoming = inst->phi_incoming_blocks()[i];
+            auto inc_it = block_ids_.find(incoming);
+            if (inc_it == block_ids_.end()) continue;
+            if (!block_dominates(def_block, inc_it->second)) {
+              report_inst(*inst,
+                          "phi operand does not dominate incoming edge");
+            }
+            continue;
+          }
+          const auto [use_block, use_idx] = positions.at(inst.get());
+          if (def_block == use_block) {
+            if (def_idx >= use_idx) {
+              report_inst(*inst, "use before definition within block");
+            }
+          } else if (!block_dominates(def_block, use_block)) {
+            report_inst(*inst, "operand definition does not dominate use");
+          }
+        }
+      }
+    }
+  }
+
+  const Function& fn_;
+  std::vector<std::string> errors_;
+  std::vector<const BasicBlock*> blocks_;
+  std::unordered_map<const BasicBlock*, int> block_ids_;
+  std::vector<int> idom_;
+  std::vector<int> rpo_number_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify(const Function& function) {
+  return FunctionVerifier(function).run();
+}
+
+std::vector<std::string> verify(const Module& module) {
+  std::vector<std::string> errors;
+  for (const auto& fn : module.functions()) {
+    auto fn_errors = verify(*fn);
+    errors.insert(errors.end(), fn_errors.begin(), fn_errors.end());
+  }
+  return errors;
+}
+
+void verify_or_die(const Module& module) {
+  const auto errors = verify(module);
+  if (!errors.empty()) {
+    VULFI_ASSERT(false, errors.front().c_str());
+  }
+}
+
+}  // namespace vulfi::ir

@@ -1,0 +1,27 @@
+// Module verifier.
+//
+// Validates structural and SSA well-formedness after construction and after
+// every transformation pass (SPMD lowering, VULFI instrumentation, detector
+// insertion). Returns diagnostics instead of aborting so tests can assert
+// on specific violations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vulfi::ir {
+
+class Module;
+class Function;
+
+/// All diagnostics found; empty means the module is well-formed.
+/// Checks: block/terminator structure, phi/predecessor agreement, operand
+/// typing per opcode, call signatures, cross-function operand leaks, and
+/// SSA dominance (every use dominated by its definition).
+std::vector<std::string> verify(const Module& module);
+std::vector<std::string> verify(const Function& function);
+
+/// Convenience for tests and builders: aborts with the first diagnostic.
+void verify_or_die(const Module& module);
+
+}  // namespace vulfi::ir

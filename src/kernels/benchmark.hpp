@@ -1,0 +1,62 @@
+// Benchmark abstraction for the fault-injection study.
+//
+// Reproduces the paper's Table I benchmark set: two PARVEC-derived
+// vectorized applications (fluidanimate, swaptions), four ISPC example
+// workloads (blackscholes, sorting, stencil, raytracing), three
+// Burkardt-SCL ports (chebyshev, jacobi, conjugate gradient), plus the
+// three §IV-E micro-benchmarks (vector copy, dot product, vector sum).
+// Each benchmark builds an SPMD kernel module for a given target/input
+// and supplies a scalar host reference used by the test suite to validate
+// kernel correctness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spmd/target.hpp"
+#include "vulfi/run_spec.hpp"
+
+namespace vulfi::kernels {
+
+/// A reference result for one output region (exactly one of f32/i32 is
+/// populated, matching the region's element type).
+struct RegionRef {
+  std::string region;
+  std::vector<float> f32;
+  std::vector<std::int32_t> i32;
+};
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  virtual std::string name() const = 0;
+  /// Table I "suite" column: Parvec, ISPC, SCL, or Micro.
+  virtual std::string suite() const = 0;
+  virtual std::string language() const { return "ISPC"; }
+  /// Table I "Test Input" column text.
+  virtual std::string input_desc() const = 0;
+  /// Size of the predefined input set (experiments draw uniformly).
+  virtual unsigned num_inputs() const = 0;
+
+  /// Builds the kernel module + pre-populated arena for one input.
+  virtual RunSpec build(const spmd::Target& target,
+                        unsigned input) const = 0;
+
+  /// Scalar reference outputs. Computed with the same operation order the
+  /// vector kernel uses (per-lane partials for reductions), so results
+  /// match within tight floating-point tolerance.
+  virtual std::vector<RegionRef> reference(const spmd::Target& target,
+                                           unsigned input) const = 0;
+};
+
+/// The nine Table I benchmarks, in the paper's order.
+const std::vector<const Benchmark*>& all_benchmarks();
+/// The three §IV-E micro-benchmarks (vector copy, dot product, vector sum).
+const std::vector<const Benchmark*>& micro_benchmarks();
+/// Lookup by name over both sets; nullptr if absent.
+const Benchmark* find_benchmark(const std::string& name);
+
+}  // namespace vulfi::kernels

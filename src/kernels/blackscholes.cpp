@@ -1,0 +1,196 @@
+#include "kernels/blackscholes.hpp"
+
+#include <cmath>
+
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+namespace {
+
+using ir::IntrinsicId;
+using ir::Type;
+using ir::Value;
+using spmd::ForeachCtx;
+using spmd::KernelBuilder;
+using spmd::Target;
+
+// Abramowitz–Stegun cumulative normal polynomial constants (the ones the
+// ISPC blackscholes example uses).
+constexpr float kInvSqrt2Pi = 0.39894228040f;
+constexpr float kCnd0 = 0.2316419f;
+constexpr float kCnd1 = 0.319381530f;
+constexpr float kCnd2 = -0.356563782f;
+constexpr float kCnd3 = 1.781477937f;
+constexpr float kCnd4 = -1.821255978f;
+constexpr float kCnd5 = 1.330274429f;
+
+constexpr unsigned kOptionCounts[] = {30, 62, 126};  // small/medium/large
+constexpr float kRiskFree = 0.02f;
+constexpr float kVolatility = 0.30f;
+
+struct Inputs {
+  std::vector<float> s, k, t;
+};
+
+Inputs make_inputs(unsigned input) {
+  Inputs in;
+  const unsigned n = kOptionCounts[input];
+  in.s = random_f32(n, 0xB5001 + input, 20.0f, 120.0f);
+  in.k = random_f32(n, 0xB5002 + input, 20.0f, 120.0f);
+  in.t = random_f32(n, 0xB5003 + input, 0.25f, 2.0f);
+  return in;
+}
+
+class Blackscholes final : public Benchmark {
+ public:
+  std::string name() const override { return "blackscholes"; }
+  std::string suite() const override { return "ISPC"; }
+  std::string input_desc() const override {
+    return "sim small / sim medium / sim large";
+  }
+  unsigned num_inputs() const override { return 3; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const unsigned n = kOptionCounts[input];
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("blackscholes");
+    KernelBuilder kb(
+        *spec.module, target, "blackscholes_ispc",
+        {Type::ptr(), Type::ptr(), Type::ptr(), Type::ptr(), Type::i32(),
+         Type::f32(), Type::f32()});
+    Value* s_ptr = kb.arg(0);
+    Value* k_ptr = kb.arg(1);
+    Value* t_ptr = kb.arg(2);
+    Value* out_ptr = kb.arg(3);
+    Value* count = kb.arg(4);
+    // The risk-free rate and volatility are `uniform` parameters: lowered
+    // through the Figure-9 broadcast idiom.
+    Value* r_b = kb.uniform(kb.arg(5), "r_broadcast");
+    Value* v_b = kb.uniform(kb.arg(6), "v_broadcast");
+
+    auto cnd = [&](ForeachCtx& ctx, Value* d) {
+      ir::IRBuilder& b = ctx.b();
+      Value* abs_d = kb.intrinsic_call(IntrinsicId::Fabs, d);
+      // inv_k = 1 / (1 + 0.2316419 |d|)
+      Value* denom = b.fadd(kb.vconst_f32(1.0f),
+                            b.fmul(kb.vconst_f32(kCnd0), abs_d), "cnd_denom");
+      Value* inv_k = b.fdiv(kb.vconst_f32(1.0f), denom, "cnd_k");
+      // Horner evaluation of the degree-5 polynomial in inv_k.
+      Value* poly = kb.vconst_f32(kCnd5);
+      poly = b.fadd(kb.vconst_f32(kCnd4), b.fmul(inv_k, poly, "cnd_m4"),
+                    "cnd_p4");
+      poly = b.fadd(kb.vconst_f32(kCnd3), b.fmul(inv_k, poly, "cnd_m3"),
+                    "cnd_p3");
+      poly = b.fadd(kb.vconst_f32(kCnd2), b.fmul(inv_k, poly, "cnd_m2"),
+                    "cnd_p2");
+      poly = b.fadd(kb.vconst_f32(kCnd1), b.fmul(inv_k, poly, "cnd_m1"),
+                    "cnd_p1");
+      poly = b.fmul(inv_k, poly, "cnd_p0");
+      // w = 1 - invsqrt2pi * exp(-d^2/2) * poly
+      Value* d2 = b.fmul(d, d, "cnd_d2");
+      Value* expo = kb.intrinsic_call(
+          IntrinsicId::Exp,
+          b.fmul(kb.vconst_f32(-0.5f), d2, "cnd_e_arg"));
+      Value* w = b.fsub(
+          kb.vconst_f32(1.0f),
+          b.fmul(b.fmul(kb.vconst_f32(kInvSqrt2Pi), expo, "cnd_ne"), poly,
+                 "cnd_nep"),
+          "cnd_w");
+      // d < 0 -> 1 - w
+      Value* negative =
+          b.fcmp(ir::FCmpPred::OLT, d, kb.vconst_f32(0.0f), "cnd_neg");
+      return b.select(negative, b.fsub(kb.vconst_f32(1.0f), w, "cnd_1mw"), w,
+                      "cnd");
+    };
+
+    kb.foreach_loop(kb.b().i32_const(0), count, [&](ForeachCtx& ctx) {
+      ir::IRBuilder& b = ctx.b();
+      Value* s = ctx.load(Type::f32(), s_ptr);
+      Value* k = ctx.load(Type::f32(), k_ptr);
+      Value* t = ctx.load(Type::f32(), t_ptr);
+      Value* sqrt_t = kb.intrinsic_call(IntrinsicId::Sqrt, t);
+      Value* log_sk =
+          kb.intrinsic_call(IntrinsicId::Log, b.fdiv(s, k, "sk"));
+      Value* v2_half = b.fmul(kb.vconst_f32(0.5f), b.fmul(v_b, v_b, "v2"),
+                              "v2_half");
+      Value* drift = b.fmul(b.fadd(r_b, v2_half, "mu"), t, "drift");
+      Value* vol_t = b.fmul(v_b, sqrt_t, "vol_t");
+      Value* d1 = b.fdiv(b.fadd(log_sk, drift, "num"), vol_t, "d1");
+      Value* d2 = b.fsub(d1, vol_t, "d2");
+      Value* n1 = cnd(ctx, d1);
+      Value* n2 = cnd(ctx, d2);
+      Value* discount = kb.intrinsic_call(
+          IntrinsicId::Exp,
+          b.fmul(b.fneg(r_b, "neg_r"), t, "rt"));
+      Value* price = b.fsub(b.fmul(s, n1, "sn1"),
+                            b.fmul(b.fmul(k, discount, "kd"), n2, "kn2"),
+                            "price");
+      ctx.store(price, out_ptr);
+    });
+    kb.finish();
+    spec.entry = spec.module->find_function("blackscholes_ispc");
+
+    const Inputs in = make_inputs(input);
+    const std::uint64_t s_base = alloc_f32(spec.arena, "s", in.s);
+    const std::uint64_t k_base = alloc_f32(spec.arena, "k", in.k);
+    const std::uint64_t t_base = alloc_f32(spec.arena, "t", in.t);
+    const std::uint64_t out_base = alloc_f32_zero(spec.arena, "price", n);
+    spec.args = {interp::RtVal::ptr(s_base), interp::RtVal::ptr(k_base),
+                 interp::RtVal::ptr(t_base), interp::RtVal::ptr(out_base),
+                 interp::RtVal::i32(static_cast<std::int32_t>(n)),
+                 interp::RtVal::f32(kRiskFree),
+                 interp::RtVal::f32(kVolatility)};
+    spec.output_regions = {"price"};
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target&,
+                                   unsigned input) const override {
+    const Inputs in = make_inputs(input);
+    RegionRef ref;
+    ref.region = "price";
+    ref.f32.reserve(in.s.size());
+    for (std::size_t i = 0; i < in.s.size(); ++i) {
+      ref.f32.push_back(blackscholes_call_ref(in.s[i], in.k[i], in.t[i],
+                                              kRiskFree, kVolatility));
+    }
+    return {ref};
+  }
+};
+
+float cnd_ref(float d) {
+  const float abs_d = std::fabs(d);
+  const float inv_k = 1.0f / (1.0f + kCnd0 * abs_d);
+  float poly = kCnd5;
+  poly = kCnd4 + inv_k * poly;
+  poly = kCnd3 + inv_k * poly;
+  poly = kCnd2 + inv_k * poly;
+  poly = kCnd1 + inv_k * poly;
+  poly = inv_k * poly;
+  const float w =
+      1.0f - kInvSqrt2Pi * std::exp(-0.5f * (d * d)) * poly;
+  return d < 0.0f ? 1.0f - w : w;
+}
+
+}  // namespace
+
+float blackscholes_call_ref(float s, float k, float t, float r, float v) {
+  const float sqrt_t = std::sqrt(t);
+  const float log_sk = std::log(s / k);
+  const float drift = (r + 0.5f * (v * v)) * t;
+  const float vol_t = v * sqrt_t;
+  const float d1 = (log_sk + drift) / vol_t;
+  const float d2 = d1 - vol_t;
+  return s * cnd_ref(d1) - k * std::exp(-r * t) * cnd_ref(d2);
+}
+
+const Benchmark& blackscholes_benchmark() {
+  static const Blackscholes instance;
+  return instance;
+}
+
+}  // namespace vulfi::kernels

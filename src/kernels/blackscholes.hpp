@@ -1,0 +1,19 @@
+// Black–Scholes European option pricing (ISPC example suite).
+//
+// Closed-form call pricing over arrays of options: heavy straight-line
+// floating-point math (log/exp/sqrt, cumulative-normal polynomial) with
+// almost no address or control traffic from data — the paper reports it
+// among the highest SDC rates (Figure 11).
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& blackscholes_benchmark();
+
+/// Scalar reference for one option (float precision, same operation order
+/// as the kernel). Exposed for unit tests.
+float blackscholes_call_ref(float s, float k, float t, float r, float v);
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,14 @@
+// Conjugate gradient for the 2-D Poisson problem (Burkardt SCL port).
+// Matrix-free: q = A p is the 5-point stencil; the dot products are
+// vector reductions. The paper reports CG (with swaptions) as the most
+// resilient benchmark — residual-driven iteration masks most single-bit
+// data upsets (Figure 11).
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& cg_benchmark();
+
+}  // namespace vulfi::kernels

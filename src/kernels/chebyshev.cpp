@@ -1,0 +1,137 @@
+#include "kernels/chebyshev.hpp"
+
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+namespace {
+
+using ir::Type;
+using ir::Value;
+using spmd::ForeachCtx;
+using spmd::KernelBuilder;
+using spmd::Target;
+
+struct Config {
+  unsigned points, degree;
+};
+
+// Table I: degree in [1, 256]; scaled for the interpreter.
+constexpr Config kConfigs[] = {{21, 8}, {34, 24}, {45, 64}};
+
+std::vector<float> sample_points(const Config& config, unsigned input) {
+  return random_f32(config.points, 0xC4EB + input, -1.0f, 1.0f);
+}
+
+std::vector<float> coefficients(const Config& config, unsigned input) {
+  return random_f32(config.degree + 1, 0xC0EF + input, -0.5f, 0.5f);
+}
+
+class Chebyshev final : public Benchmark {
+ public:
+  std::string name() const override { return "chebyshev"; }
+  std::string suite() const override { return "SCL"; }
+  std::string input_desc() const override { return "Degree: [8, 64]"; }
+  unsigned num_inputs() const override { return 3; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const Config config = kConfigs[input];
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("chebyshev");
+    KernelBuilder kb(*spec.module, target, "chebyshev_ispc",
+                     {Type::ptr(), Type::ptr(), Type::ptr(), Type::i32(),
+                      Type::i32()});
+    Value* x_ptr = kb.arg(0);
+    Value* coef_ptr = kb.arg(1);
+    Value* out_ptr = kb.arg(2);
+    Value* points = kb.arg(3);
+    Value* degree = kb.arg(4);
+
+    ir::IRBuilder& b = kb.b();
+    kb.foreach_loop(b.i32_const(0), points, [&](ForeachCtx& ctx) {
+      ir::IRBuilder& bb = ctx.b();
+      Value* x = ctx.load(Type::f32(), x_ptr);
+      Value* two_x = bb.fmul(kb.vconst_f32(2.0f), x, "two_x");
+      // T0 = 1, T1 = x; acc = c0*T0 + c1*T1.
+      Value* c0 = bb.load(Type::f32(), coef_ptr, "c0");
+      Value* c0_b = kb.uniform(c0, "c0_broadcast");
+      Value* c1 = bb.load(Type::f32(), bb.gep(coef_ptr, bb.i32_const(1), 4,
+                                              "c1_addr"),
+                          "c1");
+      Value* c1_b = kb.uniform(c1, "c1_broadcast");
+      Value* acc0 = bb.fadd(c0_b, bb.fmul(c1_b, x, "c1x"), "acc0");
+
+      // Recurrence over k = 2..degree (inclusive).
+      auto finals = kb.scalar_loop(
+          bb.i32_const(2), bb.add(degree, bb.i32_const(1), "deg_end"),
+          {kb.vconst_f32(1.0f), x, acc0},
+          [&](Value* k, const std::vector<Value*>& carried)
+              -> std::vector<Value*> {
+            Value* t_km1 = carried[0];
+            Value* t_k = carried[1];
+            Value* acc = carried[2];
+            Value* t_k1 = bb.fsub(bb.fmul(two_x, t_k, "txk"), t_km1, "t_k1");
+            // Load the k-th coefficient (uniform) and broadcast it.
+            Value* ck_addr = bb.gep(coef_ptr, k, 4, "ck_addr");
+            Value* ck = bb.load(Type::f32(), ck_addr, "ck");
+            Value* ck_b = kb.uniform(ck, "ck_broadcast");
+            Value* new_acc =
+                bb.fadd(acc, bb.fmul(ck_b, t_k1, "ckt"), "acc_next");
+            return {t_k, t_k1, new_acc};
+          },
+          "degree");
+      ctx.store(finals[2], out_ptr);
+    });
+    kb.finish();
+    spec.entry = spec.module->find_function("chebyshev_ispc");
+
+    const std::uint64_t x_base =
+        alloc_f32(spec.arena, "x", sample_points(config, input));
+    const std::uint64_t c_base =
+        alloc_f32(spec.arena, "coef", coefficients(config, input));
+    const std::uint64_t out_base =
+        alloc_f32_zero(spec.arena, "series", config.points);
+    spec.args = {interp::RtVal::ptr(x_base), interp::RtVal::ptr(c_base),
+                 interp::RtVal::ptr(out_base),
+                 interp::RtVal::i32(static_cast<std::int32_t>(config.points)),
+                 interp::RtVal::i32(static_cast<std::int32_t>(config.degree))};
+    spec.output_regions = {"series"};
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target&,
+                                   unsigned input) const override {
+    const Config config = kConfigs[input];
+    const std::vector<float> xs = sample_points(config, input);
+    const std::vector<float> cs = coefficients(config, input);
+    RegionRef ref;
+    ref.region = "series";
+    ref.f32.reserve(xs.size());
+    for (float x : xs) {
+      const float two_x = 2.0f * x;
+      float t_km1 = 1.0f;
+      float t_k = x;
+      float acc = cs[0] + cs[1] * x;
+      for (unsigned k = 2; k <= config.degree; ++k) {
+        const float t_k1 = two_x * t_k - t_km1;
+        acc = acc + cs[k] * t_k1;
+        t_km1 = t_k;
+        t_k = t_k1;
+      }
+      ref.f32.push_back(acc);
+    }
+    return {ref};
+  }
+};
+
+}  // namespace
+
+const Benchmark& chebyshev_benchmark() {
+  static const Chebyshev instance;
+  return instance;
+}
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,15 @@
+// Chebyshev series evaluation (Burkardt SCL port).
+// Evaluates sum_k c_k T_k(x) at a grid of points via the three-term
+// recurrence T_{k+1} = 2x T_k - T_{k-1}; each coefficient is a uniform
+// scalar loaded then broadcast (Figure-9 idiom) inside the degree loop.
+// The paper singles this benchmark out for its high address-category SDC
+// rate (Figure 11).
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& chebyshev_benchmark();
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,180 @@
+#include "kernels/fluidanimate.hpp"
+
+#include <cmath>
+
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+namespace {
+
+using ir::Type;
+using ir::Value;
+using spmd::ForeachCtx;
+using spmd::KernelBuilder;
+using spmd::Target;
+
+constexpr int kWindow = 2;            // neighbours at offsets -2..+2
+constexpr float kSmoothing = 0.12f;   // SPH smoothing radius h
+constexpr float kStiffness = 3.0f;    // pressure stiffness
+constexpr float kRestDensity = 1.0f;
+
+// Table I: sim small / sim medium (fluidanimate has two inputs).
+constexpr unsigned kParticleCounts[] = {44, 84};
+
+std::vector<float> particle_positions(unsigned input) {
+  // Roughly sorted strip: monotone base + jitter, so near indices are near
+  // in space (the effect of fluidanimate's cell binning).
+  const unsigned n = kParticleCounts[input];
+  Rng rng(0xF1D + input);
+  std::vector<float> xs(n);
+  for (unsigned i = 0; i < n; ++i) {
+    xs[i] = 0.05f * static_cast<float>(i) +
+            static_cast<float>(rng.next_double_in(0.0, 0.03));
+  }
+  return xs;
+}
+
+float kernel_w_ref(float dist) {
+  const float q = kSmoothing * kSmoothing - dist * dist;
+  const float clamped = std::fmax(q, 0.0f);
+  return (clamped * clamped) * clamped;
+}
+
+class Fluidanimate final : public Benchmark {
+ public:
+  std::string name() const override { return "fluidanimate"; }
+  std::string suite() const override { return "Parvec"; }
+  std::string language() const override { return "C++"; }
+  std::string input_desc() const override {
+    return "sim small / sim medium";
+  }
+  unsigned num_inputs() const override { return 2; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const unsigned n = kParticleCounts[input];
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("fluidanimate");
+    KernelBuilder kb(*spec.module, target, "fluidanimate_ispc",
+                     {Type::ptr(), Type::ptr(), Type::ptr(), Type::i32(),
+                      Type::f32(), Type::f32(), Type::f32()});
+    Value* x_ptr = kb.arg(0);
+    Value* rho_ptr = kb.arg(1);
+    Value* force_ptr = kb.arg(2);
+    Value* count = kb.arg(3);
+    Value* h2_b = kb.uniform(kb.arg(4), "h2_broadcast");
+    Value* stiff_b = kb.uniform(kb.arg(5), "stiffness_broadcast");
+    Value* rest_b = kb.uniform(kb.arg(6), "rest_density_broadcast");
+
+    ir::IRBuilder& b = kb.b();
+    Value* interior_start = b.i32_const(kWindow);
+    Value* interior_end = b.sub(count, b.i32_const(kWindow), "interior_end");
+
+    auto w_poly = [&](ForeachCtx& ctx, Value* xi, Value* xj) {
+      ir::IRBuilder& bb = ctx.b();
+      Value* d = bb.fsub(xi, xj, "d");
+      Value* q = bb.fsub(h2_b, bb.fmul(d, d, "d2"), "q");
+      Value* clamped = kb.intrinsic_call(ir::IntrinsicId::Fmax, q,
+                                         kb.vconst_f32(0.0f));
+      return bb.fmul(bb.fmul(clamped, clamped, "q2"), clamped, "w");
+    };
+
+    // Pass 1: density over the +-kWindow neighbour strip.
+    kb.foreach_loop(interior_start, interior_end, [&](ForeachCtx& ctx) {
+      ir::IRBuilder& bb = ctx.b();
+      Value* xi = ctx.load(Type::f32(), x_ptr);
+      Value* rho = kb.vconst_f32(0.0f);
+      for (int off = -kWindow; off <= kWindow; ++off) {
+        if (off == 0) continue;
+        Value* xj = ctx.load_offset(Type::f32(), x_ptr, bb.i32_const(off));
+        rho = bb.fadd(rho, w_poly(ctx, xi, xj), "rho_acc");
+      }
+      ctx.store(rho, rho_ptr);
+    });
+
+    // Pass 2: symmetric pressure force from densities.
+    kb.foreach_loop(interior_start, interior_end, [&](ForeachCtx& ctx) {
+      ir::IRBuilder& bb = ctx.b();
+      Value* xi = ctx.load(Type::f32(), x_ptr);
+      Value* rho_i = ctx.load(Type::f32(), rho_ptr);
+      Value* p_i = bb.fmul(stiff_b, bb.fsub(rho_i, rest_b, "drho_i"), "p_i");
+      Value* force = kb.vconst_f32(0.0f);
+      for (int off = -kWindow; off <= kWindow; ++off) {
+        if (off == 0) continue;
+        Value* xj = ctx.load_offset(Type::f32(), x_ptr, bb.i32_const(off));
+        Value* rho_j =
+            ctx.load_offset(Type::f32(), rho_ptr, bb.i32_const(off));
+        Value* p_j =
+            bb.fmul(stiff_b, bb.fsub(rho_j, rest_b, "drho_j"), "p_j");
+        Value* p_avg = bb.fmul(kb.vconst_f32(0.5f),
+                               bb.fadd(p_i, p_j, "p_sum"), "p_avg");
+        Value* dir = bb.fsub(xi, xj, "dir");
+        force = bb.fadd(force,
+                        bb.fmul(p_avg, bb.fmul(dir, w_poly(ctx, xi, xj),
+                                               "dir_w"),
+                                "f_term"),
+                        "force_acc");
+      }
+      ctx.store(force, force_ptr);
+    });
+    kb.finish();
+    spec.entry = spec.module->find_function("fluidanimate_ispc");
+
+    const std::uint64_t x_base =
+        alloc_f32(spec.arena, "x", particle_positions(input));
+    const std::uint64_t rho_base = alloc_f32_zero(spec.arena, "rho", n);
+    const std::uint64_t force_base = alloc_f32_zero(spec.arena, "force", n);
+    spec.args = {interp::RtVal::ptr(x_base), interp::RtVal::ptr(rho_base),
+                 interp::RtVal::ptr(force_base),
+                 interp::RtVal::i32(static_cast<std::int32_t>(n)),
+                 interp::RtVal::f32(kSmoothing * kSmoothing),
+                 interp::RtVal::f32(kStiffness),
+                 interp::RtVal::f32(kRestDensity)};
+    spec.output_regions = {"rho", "force"};
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target&,
+                                   unsigned input) const override {
+    const unsigned n = kParticleCounts[input];
+    const std::vector<float> xs = particle_positions(input);
+    std::vector<float> rho(n, 0.0f);
+    std::vector<float> force(n, 0.0f);
+    for (unsigned i = kWindow; i + kWindow < n; ++i) {
+      float acc = 0.0f;
+      for (int off = -kWindow; off <= kWindow; ++off) {
+        if (off == 0) continue;
+        acc = acc + kernel_w_ref(xs[i] - xs[i + off]);
+      }
+      rho[i] = acc;
+    }
+    for (unsigned i = kWindow; i + kWindow < n; ++i) {
+      const float p_i = kStiffness * (rho[i] - kRestDensity);
+      float acc = 0.0f;
+      for (int off = -kWindow; off <= kWindow; ++off) {
+        if (off == 0) continue;
+        const float p_j =
+            kStiffness * (rho[i + off] - kRestDensity);
+        const float p_avg = 0.5f * (p_i + p_j);
+        const float dir = xs[i] - xs[i + off];
+        acc = acc + p_avg * (dir * kernel_w_ref(xs[i] - xs[i + off]));
+      }
+      force[i] = acc;
+    }
+    RegionRef ref_rho{.region = "rho", .f32 = rho, .i32 = {}};
+    RegionRef ref_force{.region = "force", .f32 = force, .i32 = {}};
+    return {ref_rho, ref_force};
+  }
+};
+
+}  // namespace
+
+const Benchmark& fluidanimate_benchmark() {
+  static const Fluidanimate instance;
+  return instance;
+}
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,14 @@
+// SPH fluid kernels (PARVEC's vectorized fluidanimate, reduced to the two
+// hot loops over a spatially sorted 1-D particle strip): a density pass
+// summing a compact polynomial kernel over a fixed neighbour window, and a
+// pressure-force pass over the same window using the densities. Offset
+// vector loads per neighbour; halo particles pad both ends.
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& fluidanimate_benchmark();
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,168 @@
+#include "kernels/jacobi.hpp"
+
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+namespace {
+
+using ir::Type;
+using ir::Value;
+using spmd::ForeachCtx;
+using spmd::KernelBuilder;
+using spmd::Target;
+
+struct Shape {
+  unsigned width, height, sweeps;
+};
+
+// Table I: 2D array dimension 32x32 - 192x192 (scaled for the
+// interpreter; --full in the bench harness raises these).
+constexpr Shape kShapes[] = {{18, 12, 3}, {26, 16, 4}, {34, 20, 5}};
+
+std::vector<float> rhs_field(const Shape& shape, unsigned input) {
+  return random_f32(static_cast<std::size_t>(shape.width) * shape.height,
+                    0x1AC0B1 + input, -1.0f, 1.0f);
+}
+
+void reference_sweep(const Shape& shape, float h2,
+                     const std::vector<float>& f,
+                     const std::vector<float>& src,
+                     std::vector<float>& dst) {
+  const unsigned w = shape.width;
+  for (unsigned y = 1; y + 1 < shape.height; ++y) {
+    for (unsigned x = 1; x + 1 < w; ++x) {
+      const std::size_t c = static_cast<std::size_t>(y) * w + x;
+      const float sum_lr = src[c - 1] + src[c + 1];
+      const float sum_ud = src[c - w] + src[c + w];
+      dst[c] = 0.25f * ((sum_lr + sum_ud) + h2 * f[c]);
+    }
+  }
+}
+
+class Jacobi final : public Benchmark {
+ public:
+  std::string name() const override { return "jacobi"; }
+  std::string suite() const override { return "SCL"; }
+  std::string input_desc() const override {
+    return "2D array dimension: 18x12 - 34x20";
+  }
+  unsigned num_inputs() const override { return 3; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const Shape shape = kShapes[input];
+    const float h2 = 1.0f / static_cast<float>(shape.width * shape.width);
+
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("jacobi");
+    KernelBuilder kb(*spec.module, target, "jacobi_ispc",
+                     {Type::ptr(), Type::ptr(), Type::ptr(), Type::i32(),
+                      Type::i32(), Type::i32(), Type::f32()});
+    Value* buf_a = kb.arg(0);
+    Value* buf_b = kb.arg(1);
+    Value* f_ptr = kb.arg(2);
+    Value* width = kb.arg(3);
+    Value* height = kb.arg(4);
+    Value* sweeps = kb.arg(5);
+    // h^2 is a uniform parameter (Figure-9 broadcast).
+    Value* h2_b = kb.uniform(kb.arg(6), "h2_broadcast");
+
+    ir::IRBuilder& b = kb.b();
+    Value* one = b.i32_const(1);
+    Value* interior_end = b.sub(width, one, "interior_end");
+    Value* quarter = kb.vconst_f32(0.25f);
+
+    kb.scalar_loop(
+        b.i32_const(0), sweeps, {buf_a, buf_b},
+        [&](Value*, const std::vector<Value*>& bufs) -> std::vector<Value*> {
+          Value* src = bufs[0];
+          Value* dst = bufs[1];
+          kb.scalar_loop(
+              one, b.sub(height, one, "rows_end"), {},
+              [&](Value* y, const std::vector<Value*>&)
+                  -> std::vector<Value*> {
+                Value* row = b.mul(y, width, "row");
+                Value* src_row = b.gep(src, row, 4, "src_row");
+                Value* src_up =
+                    b.gep(src, b.sub(row, width, "row_up"), 4, "src_up");
+                Value* src_down =
+                    b.gep(src, b.add(row, width, "row_dn"), 4, "src_dn");
+                Value* f_row = b.gep(f_ptr, row, 4, "f_row");
+                Value* dst_row = b.gep(dst, row, 4, "dst_row");
+                Value* minus_one = b.i32_const(-1);
+                kb.foreach_loop(one, interior_end, [&](ForeachCtx& ctx) {
+                  Value* left =
+                      ctx.load_offset(Type::f32(), src_row, minus_one);
+                  Value* right = ctx.load_offset(Type::f32(), src_row, one);
+                  Value* up = ctx.load(Type::f32(), src_up);
+                  Value* down = ctx.load(Type::f32(), src_down);
+                  Value* f_val = ctx.load(Type::f32(), f_row);
+                  Value* sum_lr = ctx.b().fadd(left, right, "sum_lr");
+                  Value* sum_ud = ctx.b().fadd(up, down, "sum_ud");
+                  Value* forcing = ctx.b().fmul(h2_b, f_val, "forcing");
+                  Value* out = ctx.b().fmul(
+                      quarter,
+                      ctx.b().fadd(ctx.b().fadd(sum_lr, sum_ud, "sum4"),
+                                   forcing, "sum4f"),
+                      "relaxed");
+                  ctx.store(out, dst_row);
+                });
+                return {};
+              },
+              "rows");
+          return {dst, src};
+        },
+        "sweeps");
+    kb.finish();
+    spec.entry = spec.module->find_function("jacobi_ispc");
+
+    const std::vector<float> f = rhs_field(shape, input);
+    const std::size_t cells =
+        static_cast<std::size_t>(shape.width) * shape.height;
+    const std::uint64_t a_base =
+        alloc_f32(spec.arena, "x_a", std::vector<float>(cells, 0.0f));
+    const std::uint64_t b_base =
+        alloc_f32(spec.arena, "x_b", std::vector<float>(cells, 0.0f));
+    const std::uint64_t f_base = alloc_f32(spec.arena, "f", f);
+    spec.args = {interp::RtVal::ptr(a_base), interp::RtVal::ptr(b_base),
+                 interp::RtVal::ptr(f_base),
+                 interp::RtVal::i32(static_cast<std::int32_t>(shape.width)),
+                 interp::RtVal::i32(static_cast<std::int32_t>(shape.height)),
+                 interp::RtVal::i32(static_cast<std::int32_t>(shape.sweeps)),
+                 interp::RtVal::f32(h2)};
+    spec.output_regions = {"x_a", "x_b"};
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target&,
+                                   unsigned input) const override {
+    const Shape shape = kShapes[input];
+    const float h2 = 1.0f / static_cast<float>(shape.width * shape.width);
+    const std::vector<float> f = rhs_field(shape, input);
+    const std::size_t cells =
+        static_cast<std::size_t>(shape.width) * shape.height;
+    std::vector<float> a(cells, 0.0f);
+    std::vector<float> b(cells, 0.0f);
+    std::vector<float>* src = &a;
+    std::vector<float>* dst = &b;
+    for (unsigned sweep = 0; sweep < shape.sweeps; ++sweep) {
+      reference_sweep(shape, h2, f, *src, *dst);
+      std::swap(src, dst);
+    }
+    RegionRef ref_a{.region = "x_a", .f32 = a, .i32 = {}};
+    RegionRef ref_b{.region = "x_b", .f32 = b, .i32 = {}};
+    return {ref_a, ref_b};
+  }
+};
+
+}  // namespace
+
+const Benchmark& jacobi_benchmark() {
+  static const Jacobi instance;
+  return instance;
+}
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,13 @@
+// Jacobi iteration for the 2-D Poisson problem (Burkardt SCL port).
+// x_new[y][x] = 0.25 * (x[y-1][x] + x[y+1][x] + x[y][x-1] + x[y][x+1]
+//                       + h^2 * f[y][x]), swept a fixed number of times
+// with ping-pong buffers.
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& jacobi_benchmark();
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,51 @@
+#include "kernels/kernel_common.hpp"
+
+namespace vulfi::kernels {
+
+std::vector<float> random_f32(std::size_t count, std::uint64_t seed,
+                              float lo, float hi) {
+  Rng rng(seed);
+  std::vector<float> values(count);
+  for (float& value : values) {
+    value = static_cast<float>(rng.next_double_in(lo, hi));
+  }
+  return values;
+}
+
+std::vector<std::int32_t> random_i32(std::size_t count, std::uint64_t seed,
+                                     std::int32_t lo, std::int32_t hi) {
+  Rng rng(seed);
+  std::vector<std::int32_t> values(count);
+  for (std::int32_t& value : values) {
+    value = static_cast<std::int32_t>(rng.next_in_range(lo, hi));
+  }
+  return values;
+}
+
+std::uint64_t alloc_f32(interp::Arena& arena, const std::string& name,
+                        const std::vector<float>& values) {
+  const std::uint64_t base =
+      arena.alloc(values.size() * sizeof(float), name);
+  arena.write_array(base, values);
+  return base;
+}
+
+std::uint64_t alloc_i32(interp::Arena& arena, const std::string& name,
+                        const std::vector<std::int32_t>& values) {
+  const std::uint64_t base =
+      arena.alloc(values.size() * sizeof(std::int32_t), name);
+  arena.write_array(base, values);
+  return base;
+}
+
+std::uint64_t alloc_f32_zero(interp::Arena& arena, const std::string& name,
+                             std::size_t count) {
+  return alloc_f32(arena, name, std::vector<float>(count, 0.0f));
+}
+
+std::uint64_t alloc_i32_zero(interp::Arena& arena, const std::string& name,
+                             std::size_t count) {
+  return alloc_i32(arena, name, std::vector<std::int32_t>(count, 0));
+}
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,33 @@
+// Shared helpers for kernel construction: deterministic input generation
+// and arena region setup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/arena.hpp"
+#include "support/rng.hpp"
+
+namespace vulfi::kernels {
+
+/// Deterministic pseudo-random f32 inputs in [lo, hi).
+std::vector<float> random_f32(std::size_t count, std::uint64_t seed,
+                              float lo = 0.0f, float hi = 1.0f);
+
+/// Deterministic pseudo-random i32 inputs in [lo, hi].
+std::vector<std::int32_t> random_i32(std::size_t count, std::uint64_t seed,
+                                     std::int32_t lo, std::int32_t hi);
+
+/// Allocates a named region sized for `values` and writes them.
+std::uint64_t alloc_f32(interp::Arena& arena, const std::string& name,
+                        const std::vector<float>& values);
+std::uint64_t alloc_i32(interp::Arena& arena, const std::string& name,
+                        const std::vector<std::int32_t>& values);
+/// Allocates a zero-filled f32/i32 region of `count` elements.
+std::uint64_t alloc_f32_zero(interp::Arena& arena, const std::string& name,
+                             std::size_t count);
+std::uint64_t alloc_i32_zero(interp::Arena& arena, const std::string& name,
+                             std::size_t count);
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,201 @@
+#include "kernels/micro.hpp"
+
+#include "kernels/kernel_common.hpp"
+#include "spmd/lang/compiler.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+namespace {
+
+using ir::Type;
+using spmd::Target;
+
+/// The micro-benchmarks are compiled from kernel-language source — the
+/// §IV-E study injects faults into compiler-generated code, exactly as
+/// the paper compiles its micro-benchmarks with ISPC. vcopy_ispc is the
+/// paper's Figure 6 verbatim (modulo surface syntax).
+constexpr const char* kVcopySource = R"ispc(
+kernel vcopy_ispc(uniform float a1[], uniform float a2[], uniform int n) {
+  foreach (i = 0 ... n) {
+    a2[i] = a1[i];
+  }
+}
+)ispc";
+
+constexpr const char* kDotSource = R"ispc(
+kernel dot_ispc(uniform float a[], uniform float b[],
+                uniform float out[], uniform int n) {
+  uniform float sum = 0.0;
+  foreach (i = 0 ... n) {
+    sum += a[i] * b[i];
+  }
+  out[0] = sum;
+}
+)ispc";
+
+constexpr const char* kVsumSource = R"ispc(
+kernel vsum_ispc(uniform float a[], uniform float out[], uniform int n) {
+  uniform float sum = 0.0;
+  foreach (i = 0 ... n) {
+    sum += a[i];
+  }
+  out[0] = sum;
+}
+)ispc";
+
+/// The predefined input lengths; two leave a masked remainder on both
+/// targets, one (512) exercises the remainder-free path.
+constexpr unsigned kMicroSizes[] = {512, 1023, 2047};
+constexpr unsigned kNumMicroInputs = 3;
+
+std::vector<float> micro_input(unsigned input, std::uint64_t salt) {
+  return random_f32(kMicroSizes[input], 0xA11CE + salt * 7919 + input,
+                    -1.0f, 1.0f);
+}
+
+/// Compiles `source` and returns a RunSpec with module + entry set.
+RunSpec compile_kernel(const char* source, const Target& target,
+                       const std::string& entry_name) {
+  spmd::lang::CompileResult compiled =
+      spmd::lang::compile_program(source, target, entry_name);
+  VULFI_ASSERT(compiled.ok(), compiled.errors.empty()
+                                  ? "micro kernel failed to compile"
+                                  : compiled.errors.front().c_str());
+  RunSpec spec;
+  spec.module = std::move(compiled.module);
+  spec.entry = spec.module->find_function(entry_name);
+  VULFI_ASSERT(spec.entry != nullptr, "micro kernel entry missing");
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// vector copy — the paper's Figure 6 vcopy_ispc
+// ---------------------------------------------------------------------------
+
+class VectorCopy final : public Benchmark {
+ public:
+  std::string name() const override { return "vcopy"; }
+  std::string suite() const override { return "Micro"; }
+  std::string input_desc() const override {
+    return "1D array length: [512, 2047]";
+  }
+  unsigned num_inputs() const override { return kNumMicroInputs; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const unsigned n = kMicroSizes[input];
+    RunSpec spec = compile_kernel(kVcopySource, target, "vcopy_ispc");
+    const std::uint64_t a1_base =
+        alloc_f32(spec.arena, "a1", micro_input(input, 1));
+    const std::uint64_t a2_base = alloc_f32_zero(spec.arena, "a2", n);
+    spec.args = {interp::RtVal::ptr(a1_base), interp::RtVal::ptr(a2_base),
+                 interp::RtVal::i32(static_cast<std::int32_t>(n))};
+    spec.output_regions = {"a2"};
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target&,
+                                   unsigned input) const override {
+    RegionRef ref;
+    ref.region = "a2";
+    ref.f32 = micro_input(input, 1);
+    return {ref};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// dot product / vector sum — foreach reductions
+// ---------------------------------------------------------------------------
+
+/// Shared implementation: result = sum(a[i] * b[i]) when `with_mul`, else
+/// sum(a[i]).
+class MicroReduce : public Benchmark {
+ public:
+  explicit MicroReduce(bool with_mul) : with_mul_(with_mul) {}
+
+  std::string suite() const override { return "Micro"; }
+  std::string input_desc() const override {
+    return "1D array length: [512, 2047]";
+  }
+  unsigned num_inputs() const override { return kNumMicroInputs; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const unsigned n = kMicroSizes[input];
+    RunSpec spec = compile_kernel(with_mul_ ? kDotSource : kVsumSource,
+                                  target, name() + "_ispc");
+
+    const std::uint64_t a_base =
+        alloc_f32(spec.arena, "a", micro_input(input, 2));
+    std::uint64_t b_base = 0;
+    if (with_mul_) {
+      b_base = alloc_f32(spec.arena, "b", micro_input(input, 3));
+    }
+    const std::uint64_t out_base = alloc_f32_zero(spec.arena, "out", 1);
+    spec.args = {interp::RtVal::ptr(a_base)};
+    if (with_mul_) spec.args.push_back(interp::RtVal::ptr(b_base));
+    spec.args.push_back(interp::RtVal::ptr(out_base));
+    spec.args.push_back(interp::RtVal::i32(static_cast<std::int32_t>(n)));
+    spec.output_regions = {"out"};
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target& target,
+                                   unsigned input) const override {
+    const unsigned n = kMicroSizes[input];
+    const unsigned vl = target.vector_width;
+    const std::vector<float> a = micro_input(input, 2);
+    const std::vector<float> b =
+        with_mul_ ? micro_input(input, 3) : std::vector<float>{};
+    // Replicate the compiled kernel's exact operation order: per-lane
+    // partial sums in index order, an extract/add reduction chain, then
+    // the fold into the (zero) uniform accumulator.
+    std::vector<float> partial(vl, 0.0f);
+    for (unsigned i = 0; i < n; ++i) {
+      const float term = with_mul_ ? a[i] * b[i] : a[i];
+      partial[i % vl] += term;
+    }
+    float sum = partial[0];
+    for (unsigned lane = 1; lane < vl; ++lane) sum += partial[lane];
+    sum = 0.0f + sum;  // the accumulator fold
+    RegionRef ref;
+    ref.region = "out";
+    ref.f32 = {sum};
+    return {ref};
+  }
+
+ private:
+  bool with_mul_;
+};
+
+class DotProduct final : public MicroReduce {
+ public:
+  DotProduct() : MicroReduce(true) {}
+  std::string name() const override { return "dot"; }
+};
+
+class VectorSum final : public MicroReduce {
+ public:
+  VectorSum() : MicroReduce(false) {}
+  std::string name() const override { return "vsum"; }
+};
+
+}  // namespace
+
+const Benchmark& vector_copy_benchmark() {
+  static const VectorCopy instance;
+  return instance;
+}
+
+const Benchmark& dot_product_benchmark() {
+  static const DotProduct instance;
+  return instance;
+}
+
+const Benchmark& vector_sum_benchmark() {
+  static const VectorSum instance;
+  return instance;
+}
+
+}  // namespace vulfi::kernels

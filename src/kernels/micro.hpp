@@ -1,0 +1,14 @@
+// The §IV-E micro-benchmarks used for the detector study (Figure 12):
+// vector copy (the paper's Figure 6 vcopy_ispc), vector dot product, and
+// vector sum. Small foreach bodies over f32 arrays.
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& vector_copy_benchmark();
+const Benchmark& dot_product_benchmark();
+const Benchmark& vector_sum_benchmark();
+
+}  // namespace vulfi::kernels

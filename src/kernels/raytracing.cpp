@@ -1,0 +1,265 @@
+#include "kernels/raytracing.hpp"
+
+#include <cmath>
+
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+namespace {
+
+using ir::IntrinsicId;
+using ir::Type;
+using ir::Value;
+using spmd::ForeachCtx;
+using spmd::KernelBuilder;
+using spmd::Target;
+
+constexpr float kFarPlane = 1.0e30f;
+
+struct Scene {
+  unsigned width, height;
+  std::vector<float> cx, cy, cz, radius, albedo;
+
+  unsigned sphere_count() const {
+    return static_cast<unsigned>(cx.size());
+  }
+};
+
+/// Procedural stand-ins for the paper's Sponza / Teapot / Cornell camera
+/// inputs: different sphere layouts and image sizes per input.
+Scene make_scene(unsigned input) {
+  Scene scene;
+  const unsigned sizes[][2] = {{18, 10}, {22, 12}, {27, 15}};
+  const unsigned counts[] = {5, 8, 12};
+  scene.width = sizes[input][0];
+  scene.height = sizes[input][1];
+  const unsigned k = counts[input];
+  Rng rng(0x7A9CE + input);
+  for (unsigned i = 0; i < k; ++i) {
+    scene.cx.push_back(static_cast<float>(rng.next_double_in(-1.5, 1.5)));
+    scene.cy.push_back(static_cast<float>(rng.next_double_in(-1.0, 1.0)));
+    scene.cz.push_back(static_cast<float>(rng.next_double_in(2.0, 6.0)));
+    scene.radius.push_back(static_cast<float>(rng.next_double_in(0.3, 1.0)));
+    scene.albedo.push_back(static_cast<float>(rng.next_double_in(0.2, 1.0)));
+  }
+  return scene;
+}
+
+/// Scalar reference for one pixel; mirrors the kernel's operation order.
+float trace_pixel_ref(const Scene& scene, unsigned px, unsigned py) {
+  const float inv_w = 1.0f / static_cast<float>(scene.width);
+  const float inv_h = 1.0f / static_cast<float>(scene.height);
+  const float dx = (static_cast<float>(px) + 0.5f) * inv_w - 0.5f;
+  const float dy = (static_cast<float>(py) + 0.5f) * inv_h - 0.5f;
+  const float dz = 1.0f;
+  const float inv_len = 1.0f / std::sqrt(dx * dx + (dy * dy + dz * dz));
+  const float rx = dx * inv_len, ry = dy * inv_len, rz = dz * inv_len;
+
+  float tmin = kFarPlane;
+  float shade = 0.0f;
+  for (unsigned s = 0; s < scene.sphere_count(); ++s) {
+    const float ocx = -scene.cx[s], ocy = -scene.cy[s], ocz = -scene.cz[s];
+    const float b = ocx * rx + (ocy * ry + ocz * rz);
+    const float c =
+        (ocx * ocx + (ocy * ocy + ocz * ocz)) -
+        scene.radius[s] * scene.radius[s];
+    const float disc = b * b - c;
+    const float sqrt_disc = std::sqrt(std::fmax(disc, 0.0f));
+    const float t = -b - sqrt_disc;
+    const bool hit = disc > 0.0f && t > 0.0f && t < tmin;
+    if (hit) {
+      tmin = t;
+      shade = scene.albedo[s] / (1.0f + 0.1f * t);
+    }
+  }
+  return shade;
+}
+
+class Raytracing final : public Benchmark {
+ public:
+  std::string name() const override { return "raytracing"; }
+  std::string suite() const override { return "ISPC"; }
+  std::string input_desc() const override {
+    return "Camera input: Sponza, Teapot, Cornell";
+  }
+  unsigned num_inputs() const override { return 3; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const Scene scene = make_scene(input);
+
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("raytracing");
+    KernelBuilder kb(*spec.module, target, "raytrace_ispc",
+                     {Type::ptr(), Type::ptr(), Type::ptr(), Type::ptr(),
+                      Type::ptr(), Type::ptr(), Type::i32(), Type::i32(),
+                      Type::i32()});
+    Value* cx_ptr = kb.arg(0);
+    Value* cy_ptr = kb.arg(1);
+    Value* cz_ptr = kb.arg(2);
+    Value* rad_ptr = kb.arg(3);
+    Value* alb_ptr = kb.arg(4);
+    Value* img_ptr = kb.arg(5);
+    Value* width = kb.arg(6);
+    Value* height = kb.arg(7);
+    Value* spheres = kb.arg(8);
+
+    ir::IRBuilder& b = kb.b();
+    // 1/w and 1/h as uniform values.
+    Value* inv_w = b.fdiv(b.f32_const(1.0f),
+                          b.sitofp(width, Type::f32(), "w_f"), "inv_w");
+    Value* inv_h = b.fdiv(b.f32_const(1.0f),
+                          b.sitofp(height, Type::f32(), "h_f"), "inv_h");
+    Value* inv_w_b = kb.uniform(inv_w, "inv_w_broadcast");
+
+    kb.scalar_loop(
+        b.i32_const(0), height, {},
+        [&](Value* y, const std::vector<Value*>&) -> std::vector<Value*> {
+          Value* y_f = b.sitofp(y, Type::f32(), "y_f");
+          Value* dy_scalar =
+              b.fsub(b.fmul(b.fadd(y_f, b.f32_const(0.5f), "y_c"), inv_h,
+                            "y_n"),
+                     b.f32_const(0.5f), "dy_s");
+          Value* dy = kb.uniform(dy_scalar, "dy_broadcast");
+          Value* img_row =
+              b.gep(img_ptr, b.mul(y, width, "row"), 4, "img_row");
+
+          kb.foreach_loop(b.i32_const(0), width, [&](ForeachCtx& ctx) {
+            ir::IRBuilder& bb = ctx.b();
+            // Ray direction for this pixel column.
+            Value* x_f = bb.sitofp(ctx.index(),
+                                   Type::vector(ir::TypeKind::F32, kb.vl()),
+                                   "x_f");
+            Value* dx = bb.fsub(
+                bb.fmul(bb.fadd(x_f, kb.vconst_f32(0.5f), "x_c"), inv_w_b,
+                        "x_n"),
+                kb.vconst_f32(0.5f), "dx");
+            Value* dz = kb.vconst_f32(1.0f);
+            Value* len2 = bb.fadd(
+                bb.fmul(dx, dx, "dx2"),
+                bb.fadd(bb.fmul(dy, dy, "dy2"), bb.fmul(dz, dz, "dz2"),
+                        "dydz"),
+                "len2");
+            Value* inv_len = bb.fdiv(
+                kb.vconst_f32(1.0f),
+                kb.intrinsic_call(IntrinsicId::Sqrt, len2), "inv_len");
+            Value* rx = bb.fmul(dx, inv_len, "rx");
+            Value* ry = bb.fmul(dy, inv_len, "ry");
+            Value* rz = bb.fmul(dz, inv_len, "rz");
+
+            // Nearest-hit search across the sphere list.
+            auto finals = kb.scalar_loop(
+                bb.i32_const(0), spheres,
+                {kb.vconst_f32(kFarPlane), kb.vconst_f32(0.0f)},
+                [&](Value* s, const std::vector<Value*>& carried)
+                    -> std::vector<Value*> {
+                  Value* tmin = carried[0];
+                  Value* shade = carried[1];
+                  auto load_u = [&](Value* base, const char* tag) {
+                    Value* addr = bb.gep(base, s, 4, std::string(tag) + "_a");
+                    Value* scalar =
+                        bb.load(Type::f32(), addr, std::string(tag) + "_s");
+                    return kb.uniform(scalar, std::string(tag) + "_b");
+                  };
+                  Value* scx = load_u(cx_ptr, "scx");
+                  Value* scy = load_u(cy_ptr, "scy");
+                  Value* scz = load_u(cz_ptr, "scz");
+                  Value* srad = load_u(rad_ptr, "srad");
+                  Value* salb = load_u(alb_ptr, "salb");
+
+                  Value* ocx = bb.fneg(scx, "ocx");
+                  Value* ocy = bb.fneg(scy, "ocy");
+                  Value* ocz = bb.fneg(scz, "ocz");
+                  Value* b_term = bb.fadd(
+                      bb.fmul(ocx, rx, "bx"),
+                      bb.fadd(bb.fmul(ocy, ry, "by"),
+                              bb.fmul(ocz, rz, "bz"), "byz"),
+                      "b_term");
+                  Value* c_term = bb.fsub(
+                      bb.fadd(bb.fmul(ocx, ocx, "ox2"),
+                              bb.fadd(bb.fmul(ocy, ocy, "oy2"),
+                                      bb.fmul(ocz, ocz, "oz2"), "oyz2"),
+                              "oc2"),
+                      bb.fmul(srad, srad, "r2"), "c_term");
+                  Value* disc = bb.fsub(bb.fmul(b_term, b_term, "b2"),
+                                        c_term, "disc");
+                  Value* sqrt_disc = kb.intrinsic_call(
+                      IntrinsicId::Sqrt,
+                      kb.intrinsic_call(IntrinsicId::Fmax, disc,
+                                        kb.vconst_f32(0.0f)));
+                  Value* t = bb.fsub(bb.fneg(b_term, "neg_b"), sqrt_disc,
+                                     "t_hit");
+                  Value* has_root = bb.fcmp(ir::FCmpPred::OGT, disc,
+                                            kb.vconst_f32(0.0f), "has_root");
+                  Value* in_front = bb.fcmp(ir::FCmpPred::OGT, t,
+                                            kb.vconst_f32(0.0f), "in_front");
+                  Value* closer =
+                      bb.fcmp(ir::FCmpPred::OLT, t, tmin, "closer");
+                  Value* hit = bb.and_(has_root,
+                                       bb.and_(in_front, closer, "fc"),
+                                       "hit");
+                  Value* new_shade = bb.fdiv(
+                      salb,
+                      bb.fadd(kb.vconst_f32(1.0f),
+                              bb.fmul(kb.vconst_f32(0.1f), t, "att_t"),
+                              "att"),
+                      "new_shade");
+                  return {bb.select(hit, t, tmin, "tmin_next"),
+                          bb.select(hit, new_shade, shade, "shade_next")};
+                },
+                "spheres");
+            ctx.store(finals[1], img_row);
+          });
+          return {};
+        },
+        "rows");
+    kb.finish();
+    spec.entry = spec.module->find_function("raytrace_ispc");
+
+    const std::uint64_t cx_base = alloc_f32(spec.arena, "cx", scene.cx);
+    const std::uint64_t cy_base = alloc_f32(spec.arena, "cy", scene.cy);
+    const std::uint64_t cz_base = alloc_f32(spec.arena, "cz", scene.cz);
+    const std::uint64_t rad_base =
+        alloc_f32(spec.arena, "radius", scene.radius);
+    const std::uint64_t alb_base =
+        alloc_f32(spec.arena, "albedo", scene.albedo);
+    const std::uint64_t img_base = alloc_f32_zero(
+        spec.arena, "image",
+        static_cast<std::size_t>(scene.width) * scene.height);
+    spec.args = {interp::RtVal::ptr(cx_base), interp::RtVal::ptr(cy_base),
+                 interp::RtVal::ptr(cz_base), interp::RtVal::ptr(rad_base),
+                 interp::RtVal::ptr(alb_base), interp::RtVal::ptr(img_base),
+                 interp::RtVal::i32(static_cast<std::int32_t>(scene.width)),
+                 interp::RtVal::i32(static_cast<std::int32_t>(scene.height)),
+                 interp::RtVal::i32(
+                     static_cast<std::int32_t>(scene.sphere_count()))};
+    spec.output_regions = {"image"};
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target&,
+                                   unsigned input) const override {
+    const Scene scene = make_scene(input);
+    RegionRef ref;
+    ref.region = "image";
+    ref.f32.reserve(static_cast<std::size_t>(scene.width) * scene.height);
+    for (unsigned y = 0; y < scene.height; ++y) {
+      for (unsigned x = 0; x < scene.width; ++x) {
+        ref.f32.push_back(trace_pixel_ref(scene, x, y));
+      }
+    }
+    return {ref};
+  }
+};
+
+}  // namespace
+
+const Benchmark& raytracing_benchmark() {
+  static const Raytracing instance;
+  return instance;
+}
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,15 @@
+// Sphere ray tracer (ISPC example suite's rt workload, reduced to a
+// procedural sphere scene). One primary ray per pixel, vectorized across
+// the x dimension; nearest-hit search over the sphere list with masked
+// updates; simple depth-based shading written to an image buffer. The
+// three predefined inputs stand in for the paper's Sponza/Teapot/Cornell
+// camera inputs.
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& raytracing_benchmark();
+
+}  // namespace vulfi::kernels

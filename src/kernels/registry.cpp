@@ -1,0 +1,44 @@
+#include "kernels/benchmark.hpp"
+#include "kernels/blackscholes.hpp"
+#include "kernels/cg.hpp"
+#include "kernels/chebyshev.hpp"
+#include "kernels/fluidanimate.hpp"
+#include "kernels/jacobi.hpp"
+#include "kernels/micro.hpp"
+#include "kernels/raytracing.hpp"
+#include "kernels/sorting.hpp"
+#include "kernels/stencil.hpp"
+#include "kernels/swaptions.hpp"
+
+namespace vulfi::kernels {
+
+const std::vector<const Benchmark*>& all_benchmarks() {
+  // Table I order.
+  static const std::vector<const Benchmark*> instances = {
+      &fluidanimate_benchmark(), &swaptions_benchmark(),
+      &blackscholes_benchmark(), &sorting_benchmark(),
+      &stencil_benchmark(),      &chebyshev_benchmark(),
+      &jacobi_benchmark(),       &cg_benchmark(),
+      &raytracing_benchmark(),
+  };
+  return instances;
+}
+
+const std::vector<const Benchmark*>& micro_benchmarks() {
+  static const std::vector<const Benchmark*> instances = {
+      &vector_copy_benchmark(), &dot_product_benchmark(),
+      &vector_sum_benchmark()};
+  return instances;
+}
+
+const Benchmark* find_benchmark(const std::string& name) {
+  for (const Benchmark* bench : all_benchmarks()) {
+    if (bench->name() == name) return bench;
+  }
+  for (const Benchmark* bench : micro_benchmarks()) {
+    if (bench->name() == name) return bench;
+  }
+  return nullptr;
+}
+
+}  // namespace vulfi::kernels

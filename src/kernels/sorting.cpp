@@ -1,0 +1,107 @@
+#include "kernels/sorting.hpp"
+
+#include <algorithm>
+
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+namespace {
+
+using ir::Type;
+using ir::Value;
+using spmd::ForeachCtx;
+using spmd::KernelBuilder;
+using spmd::Target;
+
+// Table I: 1D array length [1000, 100000]; scaled for the interpreter
+// (odd-even transposition is O(n^2)).
+constexpr unsigned kLengths[] = {25, 49, 97};
+
+std::vector<std::int32_t> unsorted(unsigned input) {
+  return random_i32(kLengths[input], 0x50F7 + input, -1000, 1000);
+}
+
+class Sorting final : public Benchmark {
+ public:
+  std::string name() const override { return "sorting"; }
+  std::string suite() const override { return "ISPC"; }
+  std::string input_desc() const override {
+    return "1D array length: [25, 97]";
+  }
+  unsigned num_inputs() const override { return 3; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const unsigned n = kLengths[input];
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("sorting");
+    KernelBuilder kb(*spec.module, target, "sort_ispc",
+                     {Type::ptr(), Type::i32()});
+    Value* data = kb.arg(0);
+    Value* count = kb.arg(1);
+
+    ir::IRBuilder& b = kb.b();
+    Value* one = b.i32_const(1);
+    Value* two = b.i32_const(2);
+
+    // n passes of odd-even transposition guarantee a sorted array.
+    kb.scalar_loop(
+        b.i32_const(0), count, {},
+        [&](Value* pass, const std::vector<Value*>&) -> std::vector<Value*> {
+          Value* offset = b.and_(pass, one, "offset");
+          // Number of disjoint pairs this pass: (n - offset) / 2.
+          Value* pairs =
+              b.sdiv(b.sub(count, offset, "span"), two, "pairs");
+          kb.foreach_loop(b.i32_const(0), pairs, [&](ForeachCtx& ctx) {
+            ir::IRBuilder& bb = ctx.b();
+            // First element of each pair: 2*j + offset.
+            Value* off_b = kb.uniform(offset, "offset_broadcast");
+            Value* idx_lo = bb.add(
+                bb.mul(ctx.index(), kb.vconst_i32(2), "twoj"), off_b,
+                "idx_lo");
+            Value* idx_hi = bb.add(idx_lo, kb.vconst_i32(1), "idx_hi");
+            Value* lo = ctx.gather(Type::i32(), data, idx_lo);
+            Value* hi = ctx.gather(Type::i32(), data, idx_hi);
+            Value* in_order =
+                bb.icmp(ir::ICmpPred::SLE, lo, hi, "in_order");
+            Value* new_lo = bb.select(in_order, lo, hi, "new_lo");
+            Value* new_hi = bb.select(in_order, hi, lo, "new_hi");
+            ctx.scatter(new_lo, data, idx_lo);
+            ctx.scatter(new_hi, data, idx_hi);
+          });
+          return {};
+        },
+        "passes");
+    kb.finish();
+    spec.entry = spec.module->find_function("sort_ispc");
+
+    const std::uint64_t data_base =
+        alloc_i32(spec.arena, "data", unsorted(input));
+    spec.args = {interp::RtVal::ptr(data_base),
+                 interp::RtVal::i32(static_cast<std::int32_t>(n))};
+    spec.output_regions = {"data"};
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target&,
+                                   unsigned input) const override {
+    std::vector<std::int32_t> sorted = unsorted(input);
+    std::sort(sorted.begin(), sorted.end());
+    RegionRef ref;
+    ref.region = "data";
+    ref.i32 = std::move(sorted);
+    return {ref};
+  }
+};
+
+}  // namespace
+
+const Benchmark& sorting_benchmark() {
+  static const Sorting instance;
+  return instance;
+}
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,13 @@
+// Odd-even transposition sort over an i32 array (stand-in for the ISPC
+// example suite's sort workload). Each pass compare-exchanges disjoint
+// adjacent pairs through per-lane gathers and scatters — the most
+// address- and control-intensive benchmark in the set.
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& sorting_benchmark();
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,159 @@
+#include "kernels/stencil.hpp"
+
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+namespace {
+
+using ir::Type;
+using ir::Value;
+using spmd::ForeachCtx;
+using spmd::KernelBuilder;
+using spmd::Target;
+
+constexpr float kCenter = 0.5f;
+constexpr float kNeighbour = 0.125f;
+
+struct Shape {
+  unsigned width, height, steps;
+};
+
+// Table I: 2D array dimension min 16x16, max 64x64. Odd interior widths
+// keep the masked partial path live.
+constexpr Shape kShapes[] = {{16, 12, 2}, {27, 14, 3}, {33, 18, 4}};
+
+std::vector<float> initial_grid(const Shape& shape, unsigned input) {
+  return random_f32(static_cast<std::size_t>(shape.width) * shape.height,
+                    0x57E9C11 + input, 0.0f, 4.0f);
+}
+
+/// One sweep of the reference stencil: dst interior from src.
+void reference_sweep(const Shape& shape, const std::vector<float>& src,
+                     std::vector<float>& dst) {
+  const unsigned w = shape.width;
+  for (unsigned y = 1; y + 1 < shape.height; ++y) {
+    for (unsigned x = 1; x + 1 < w; ++x) {
+      const std::size_t c = static_cast<std::size_t>(y) * w + x;
+      const float sum_lr = src[c - 1] + src[c + 1];
+      const float sum_ud = src[c - w] + src[c + w];
+      dst[c] = kCenter * src[c] + kNeighbour * (sum_lr + sum_ud);
+    }
+  }
+}
+
+class Stencil final : public Benchmark {
+ public:
+  std::string name() const override { return "stencil"; }
+  std::string suite() const override { return "ISPC"; }
+  std::string input_desc() const override {
+    return "2D array dimension: 16x12 - 33x18";
+  }
+  unsigned num_inputs() const override { return 3; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const Shape shape = kShapes[input];
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("stencil");
+    KernelBuilder kb(*spec.module, target, "stencil_ispc",
+                     {Type::ptr(), Type::ptr(), Type::i32(), Type::i32(),
+                      Type::i32()});
+    Value* buf_a = kb.arg(0);
+    Value* buf_b = kb.arg(1);
+    Value* width = kb.arg(2);
+    Value* height = kb.arg(3);
+    Value* steps = kb.arg(4);
+
+    ir::IRBuilder& b = kb.b();
+    Value* one = b.i32_const(1);
+    Value* interior_end = b.sub(width, one, "interior_end");
+    Value* c_center = kb.vconst_f32(kCenter);
+    Value* c_neigh = kb.vconst_f32(kNeighbour);
+
+    kb.scalar_loop(
+        b.i32_const(0), steps, {buf_a, buf_b},
+        [&](Value*, const std::vector<Value*>& bufs) -> std::vector<Value*> {
+          Value* src = bufs[0];
+          Value* dst = bufs[1];
+          kb.scalar_loop(
+              one, b.sub(height, one, "rows_end"), {},
+              [&](Value* y, const std::vector<Value*>&)
+                  -> std::vector<Value*> {
+                Value* row = b.mul(y, width, "row");
+                Value* src_row = b.gep(src, row, 4, "src_row");
+                Value* src_up =
+                    b.gep(src, b.sub(row, width, "row_up"), 4, "src_up");
+                Value* src_down =
+                    b.gep(src, b.add(row, width, "row_dn"), 4, "src_dn");
+                Value* dst_row = b.gep(dst, row, 4, "dst_row");
+                Value* minus_one = b.i32_const(-1);
+                kb.foreach_loop(one, interior_end, [&](ForeachCtx& ctx) {
+                  Value* center = ctx.load(Type::f32(), src_row);
+                  Value* left =
+                      ctx.load_offset(Type::f32(), src_row, minus_one);
+                  Value* right = ctx.load_offset(Type::f32(), src_row, one);
+                  Value* up = ctx.load(Type::f32(), src_up);
+                  Value* down = ctx.load(Type::f32(), src_down);
+                  Value* sum_lr = ctx.b().fadd(left, right, "sum_lr");
+                  Value* sum_ud = ctx.b().fadd(up, down, "sum_ud");
+                  Value* out = ctx.b().fadd(
+                      ctx.b().fmul(c_center, center, "wc"),
+                      ctx.b().fmul(c_neigh,
+                                   ctx.b().fadd(sum_lr, sum_ud, "sum4"),
+                                   "wn"),
+                      "smoothed");
+                  ctx.store(out, dst_row);
+                });
+                return {};
+              },
+              "rows");
+          // Ping-pong for the next timestep.
+          return {dst, src};
+        },
+        "steps");
+    kb.finish();
+    spec.entry = spec.module->find_function("stencil_ispc");
+
+    const std::vector<float> grid = initial_grid(shape, input);
+    const std::uint64_t a_base = alloc_f32(spec.arena, "grid_a", grid);
+    const std::uint64_t b_base =
+        alloc_f32(spec.arena, "grid_b", grid);  // boundaries preserved
+    spec.args = {interp::RtVal::ptr(a_base), interp::RtVal::ptr(b_base),
+                 interp::RtVal::i32(static_cast<std::int32_t>(shape.width)),
+                 interp::RtVal::i32(static_cast<std::int32_t>(shape.height)),
+                 interp::RtVal::i32(static_cast<std::int32_t>(shape.steps))};
+    // After `steps` sweeps the freshest data sits in grid_b for odd step
+    // counts and grid_a for even; compare both (the stale one is still
+    // deterministic).
+    spec.output_regions = {"grid_a", "grid_b"};
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target&,
+                                   unsigned input) const override {
+    const Shape shape = kShapes[input];
+    std::vector<float> a = initial_grid(shape, input);
+    std::vector<float> b = a;
+    std::vector<float>* src = &a;
+    std::vector<float>* dst = &b;
+    for (unsigned step = 0; step < shape.steps; ++step) {
+      reference_sweep(shape, *src, *dst);
+      std::swap(src, dst);
+    }
+    RegionRef ref_a{.region = "grid_a", .f32 = a, .i32 = {}};
+    RegionRef ref_b{.region = "grid_b", .f32 = b, .i32 = {}};
+    return {ref_a, ref_b};
+  }
+};
+
+}  // namespace
+
+const Benchmark& stencil_benchmark() {
+  static const Stencil instance;
+  return instance;
+}
+
+}  // namespace vulfi::kernels

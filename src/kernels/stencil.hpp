@@ -1,0 +1,13 @@
+// 2-D 5-point stencil smoothing over multiple timesteps (ISPC example
+// suite's stencil workload, reduced from 3-D to 2-D). Ping-pong buffers,
+// offset vector loads for the four neighbours — address-rich and
+// SDC-prone (paper Figure 11 reports stencil among the highest SDC rates).
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& stencil_benchmark();
+
+}  // namespace vulfi::kernels

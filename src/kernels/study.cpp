@@ -1,0 +1,77 @@
+#include "kernels/study.hpp"
+
+#include <memory>
+
+#include "detect/detector_runtime.hpp"
+#include "detect/foreach_detector.hpp"
+#include "spmd/target.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+std::vector<StudyCell> run_resiliency_study(
+    const StudyConfig& config,
+    const std::function<void(unsigned, unsigned)>& progress) {
+  std::vector<const Benchmark*> benches;
+  if (config.benchmarks.empty()) {
+    benches = all_benchmarks();
+  } else {
+    for (const std::string& name : config.benchmarks) {
+      const Benchmark* bench = find_benchmark(name);
+      VULFI_ASSERT(bench != nullptr, "study: unknown benchmark name");
+      benches.push_back(bench);
+    }
+  }
+
+  const unsigned total = static_cast<unsigned>(
+      benches.size() * config.isas.size() * config.categories.size());
+  unsigned done = 0;
+
+  std::vector<StudyCell> cells;
+  for (const Benchmark* bench : benches) {
+    for (ir::Isa isa : config.isas) {
+      const spmd::Target target =
+          isa == ir::Isa::AVX ? spmd::Target::avx() : spmd::Target::sse4();
+      for (analysis::FaultSiteCategory category : config.categories) {
+        // One engine per predefined input; experiments draw uniformly
+        // (paper §IV-B).
+        std::vector<std::unique_ptr<InjectionEngine>> engines;
+        std::vector<InjectionEngine*> pointers;
+        for (unsigned input = 0; input < bench->num_inputs(); ++input) {
+          RunSpec spec = bench->build(target, input);
+          if (config.with_detectors) {
+            detect::insert_foreach_detectors(*spec.module);
+          }
+          engines.push_back(std::make_unique<InjectionEngine>(
+              std::move(spec), category, config.engine));
+          if (config.with_detectors) {
+            engines.back()->setup_runtime(
+                [engine = engines.back().get()](interp::RuntimeEnv& env) {
+                  detect::attach_detector_runtime(env,
+                                                  engine->detection_log());
+                });
+          }
+          pointers.push_back(engines.back().get());
+        }
+
+        CampaignConfig campaign = config.campaign;
+        // Decorrelate cells deterministically.
+        campaign.seed = config.campaign.seed ^
+                        (std::hash<std::string>{}(bench->name()) +
+                         static_cast<std::uint64_t>(category) * 131 +
+                         (isa == ir::Isa::AVX ? 0 : 7));
+        StudyCell cell;
+        cell.benchmark = bench->name();
+        cell.category = category;
+        cell.isa = isa;
+        cell.result = run_campaigns(pointers, campaign);
+        cells.push_back(std::move(cell));
+        done += 1;
+        if (progress) progress(done, total);
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,52 @@
+// High-level resiliency-study orchestration: the paper's §IV methodology
+// (benchmark × fault-site category × ISA matrix of statistically
+// controlled campaigns, optionally with synthesized detectors) as one
+// library call. The Figure-11/12 bench binaries and the CLI `study`
+// subcommand are thin renderers over this.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "ir/intrinsics.hpp"
+#include "kernels/benchmark.hpp"
+#include "vulfi/campaign.hpp"
+
+namespace vulfi::kernels {
+
+struct StudyConfig {
+  /// Benchmark names; empty = all nine Table-I benchmarks.
+  std::vector<std::string> benchmarks;
+  /// ISAs to evaluate (paper: both).
+  std::vector<ir::Isa> isas = {ir::Isa::AVX, ir::Isa::SSE4};
+  /// Categories to evaluate (paper: all three).
+  std::vector<analysis::FaultSiteCategory> categories = {
+      analysis::FaultSiteCategory::PureData,
+      analysis::FaultSiteCategory::Control,
+      analysis::FaultSiteCategory::Address,
+  };
+  /// Campaign statistics (experiments per campaign, stop rule, ...).
+  CampaignConfig campaign;
+  /// Insert the §III foreach-invariant detectors before instrumenting
+  /// and report detection rates.
+  bool with_detectors = false;
+  /// Engine knobs (mask awareness, budget multiplier, address rule).
+  EngineOptions engine;
+};
+
+struct StudyCell {
+  std::string benchmark;
+  analysis::FaultSiteCategory category;
+  ir::Isa isa;
+  CampaignResult result;
+};
+
+/// Runs the full matrix. `progress` (optional) is invoked after each
+/// completed cell with (done, total).
+std::vector<StudyCell> run_resiliency_study(
+    const StudyConfig& config,
+    const std::function<void(unsigned, unsigned)>& progress = {});
+
+}  // namespace vulfi::kernels

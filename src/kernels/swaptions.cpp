@@ -1,0 +1,208 @@
+#include "kernels/swaptions.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::kernels {
+
+namespace {
+
+using ir::IntrinsicId;
+using ir::Type;
+using ir::Value;
+using spmd::ForeachCtx;
+using spmd::KernelBuilder;
+using spmd::Target;
+
+constexpr float kRate0 = 0.02f;
+constexpr float kDt = 0.05f;
+constexpr float kInv23 = 1.0f / 8388608.0f;  // 2^-23
+
+struct Config {
+  unsigned swaptions, paths, steps;
+};
+
+// Table I: swaptions [16, 64], simulations [100, 200]; scaled for the
+// interpreter.
+constexpr Config kConfigs[] = {{4, 18, 8}, {6, 26, 12}, {8, 34, 16}};
+
+std::vector<float> strikes(const Config& config, unsigned input) {
+  return random_f32(config.swaptions, 0x5A47 + input, 0.01f, 0.05f);
+}
+
+std::vector<float> vols(const Config& config, unsigned input) {
+  return random_f32(config.swaptions, 0x5A48 + input, 0.1f, 0.4f);
+}
+
+class Swaptions final : public Benchmark {
+ public:
+  std::string name() const override { return "swaptions"; }
+  std::string suite() const override { return "Parvec"; }
+  std::string language() const override { return "C++"; }
+  std::string input_desc() const override {
+    return "Swaptions: [4, 8]; Simulations: [18, 34]";
+  }
+  unsigned num_inputs() const override { return 3; }
+
+  RunSpec build(const Target& target, unsigned input) const override {
+    VULFI_ASSERT(input < num_inputs(), "bad input index");
+    const Config config = kConfigs[input];
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("swaptions");
+    KernelBuilder kb(*spec.module, target, "swaptions_ispc",
+                     {Type::ptr(), Type::ptr(), Type::ptr(), Type::i32(),
+                      Type::i32(), Type::i32()});
+    Value* strike_ptr = kb.arg(0);
+    Value* vol_ptr = kb.arg(1);
+    Value* price_ptr = kb.arg(2);
+    Value* num_swaptions = kb.arg(3);
+    Value* num_paths = kb.arg(4);
+    Value* num_steps = kb.arg(5);
+
+    ir::IRBuilder& b = kb.b();
+    const Type vi32 = Type::vector(ir::TypeKind::I32, kb.vl());
+    Value* inv_paths =
+        b.fdiv(b.f32_const(1.0f),
+               b.sitofp(num_paths, Type::f32(), "paths_f"), "inv_paths");
+
+    kb.scalar_loop(
+        b.i32_const(0), num_swaptions, {},
+        [&](Value* s, const std::vector<Value*>&) -> std::vector<Value*> {
+          Value* strike = b.load(
+              Type::f32(), b.gep(strike_ptr, s, 4, "strike_a"), "strike");
+          Value* strike_b = kb.uniform(strike, "strike_broadcast");
+          Value* vol =
+              b.load(Type::f32(), b.gep(vol_ptr, s, 4, "vol_a"), "vol");
+          Value* vol_b = kb.uniform(vol, "vol_broadcast");
+          // Per-swaption stream salt.
+          Value* salt = b.add(b.mul(s, b.i32_const(10007), "s1e4"),
+                              b.i32_const(1), "salt");
+          Value* salt_b = kb.uniform(salt, "salt_broadcast");
+
+          auto finals = kb.foreach_reduce(
+              b.i32_const(0), num_paths, {kb.vconst_f32(0.0f)},
+              [&](ForeachCtx& ctx, const std::vector<Value*>& carried)
+                  -> std::vector<Value*> {
+                ir::IRBuilder& bb = ctx.b();
+                // Counter-based LCG seed: each lane owns its path stream.
+                Value* seed0 = bb.add(
+                    bb.mul(ctx.index(),
+                           kb.module().const_int(vi32, 2654435761LL),
+                           "seed_mul"),
+                    salt_b, "seed0");
+
+                auto walk = kb.scalar_loop(
+                    bb.i32_const(0), num_steps,
+                    {seed0, kb.vconst_f32(kRate0), kb.vconst_f32(1.0f)},
+                    [&](Value*, const std::vector<Value*>& state)
+                        -> std::vector<Value*> {
+                      Value* seed = bb.add(
+                          bb.mul(state[0],
+                                 kb.module().const_int(vi32, 1664525),
+                                 "lcg_mul"),
+                          kb.module().const_int(vi32, 1013904223),
+                          "lcg_add");
+                      Value* bits = bb.lshr(
+                          seed, kb.module().const_int(vi32, 9), "u_bits");
+                      Value* u = bb.fmul(
+                          bb.uitofp(bits,
+                                    Type::vector(ir::TypeKind::F32, kb.vl()),
+                                    "u_f"),
+                          kb.vconst_f32(kInv23), "u");
+                      Value* shock = bb.fmul(
+                          bb.fmul(vol_b,
+                                  bb.fsub(u, kb.vconst_f32(0.5f), "u_c"),
+                                  "vshock"),
+                          kb.vconst_f32(kDt), "shock");
+                      Value* rate = bb.fadd(state[1], shock, "rate");
+                      Value* disc = bb.fmul(
+                          state[2],
+                          bb.fsub(kb.vconst_f32(1.0f),
+                                  bb.fmul(rate, kb.vconst_f32(kDt),
+                                          "rate_dt"),
+                                  "disc_step"),
+                          "disc");
+                      return {seed, rate, disc};
+                    },
+                    "steps");
+                Value* payoff = bb.fmul(
+                    kb.intrinsic_call(
+                        IntrinsicId::Fmax,
+                        bb.fsub(walk[1], strike_b, "moneyness"),
+                        kb.vconst_f32(0.0f)),
+                    walk[2], "payoff");
+                return {bb.fadd(carried[0], payoff, "acc")};
+              });
+          Value* total = kb.reduce_add(finals[0]);
+          Value* price = b.fmul(total, inv_paths, "price");
+          b.store(price, b.gep(price_ptr, s, 4, "price_a"));
+          return {};
+        },
+        "swaptions");
+    kb.finish();
+    spec.entry = spec.module->find_function("swaptions_ispc");
+
+    const std::uint64_t strike_base =
+        alloc_f32(spec.arena, "strike", strikes(config, input));
+    const std::uint64_t vol_base =
+        alloc_f32(spec.arena, "vol", vols(config, input));
+    const std::uint64_t price_base =
+        alloc_f32_zero(spec.arena, "price", config.swaptions);
+    spec.args = {
+        interp::RtVal::ptr(strike_base), interp::RtVal::ptr(vol_base),
+        interp::RtVal::ptr(price_base),
+        interp::RtVal::i32(static_cast<std::int32_t>(config.swaptions)),
+        interp::RtVal::i32(static_cast<std::int32_t>(config.paths)),
+        interp::RtVal::i32(static_cast<std::int32_t>(config.steps))};
+    spec.output_regions = {"price"};
+    // PARSEC swaptions prints prices in fixed decimal text.
+    spec.f32_compare_decimals = 4;
+    return spec;
+  }
+
+  std::vector<RegionRef> reference(const Target& target,
+                                   unsigned input) const override {
+    const Config config = kConfigs[input];
+    const std::vector<float> ks = strikes(config, input);
+    const std::vector<float> vs = vols(config, input);
+    const unsigned vl = target.vector_width;
+    RegionRef ref;
+    ref.region = "price";
+    for (unsigned s = 0; s < config.swaptions; ++s) {
+      const std::uint32_t salt =
+          static_cast<std::uint32_t>(s) * 10007u + 1u;
+      std::vector<float> partial(vl, 0.0f);
+      for (unsigned p = 0; p < config.paths; ++p) {
+        std::uint32_t seed = static_cast<std::uint32_t>(p) * 2654435761u + salt;
+        float rate = kRate0;
+        float disc = 1.0f;
+        for (unsigned t = 0; t < config.steps; ++t) {
+          seed = seed * 1664525u + 1013904223u;
+          const float u = static_cast<float>(seed >> 9) * kInv23;
+          const float shock = (vs[s] * (u - 0.5f)) * kDt;
+          rate = rate + shock;
+          disc = disc * (1.0f - rate * kDt);
+        }
+        const float payoff = std::fmax(rate - ks[s], 0.0f) * disc;
+        partial[p % vl] += payoff;
+      }
+      float total = partial[0];
+      for (unsigned lane = 1; lane < vl; ++lane) total += partial[lane];
+      ref.f32.push_back(total * (1.0f / static_cast<float>(config.paths)));
+    }
+    return {ref};
+  }
+};
+
+}  // namespace
+
+const Benchmark& swaptions_benchmark() {
+  static const Swaptions instance;
+  return instance;
+}
+
+}  // namespace vulfi::kernels

@@ -1,0 +1,15 @@
+// Monte-Carlo swaption pricing (PARVEC's vectorized swaptions, HJM-style
+// simulation reduced to a single-factor short-rate walk). Paths are
+// vectorized across lanes; each lane drives its own counter-based LCG
+// random stream in vector integer registers. The paper reports swaptions
+// as one of the two most resilient benchmarks (lowest SDC, Figure 11) —
+// averaging over many Monte-Carlo paths absorbs most single-bit upsets.
+#pragma once
+
+#include "kernels/benchmark.hpp"
+
+namespace vulfi::kernels {
+
+const Benchmark& swaptions_benchmark();
+
+}  // namespace vulfi::kernels

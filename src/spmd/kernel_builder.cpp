@@ -1,0 +1,451 @@
+#include "spmd/kernel_builder.hpp"
+
+#include "ir/transforms.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::spmd {
+
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+// ---------------------------------------------------------------------------
+// ForeachCtx
+// ---------------------------------------------------------------------------
+
+IRBuilder& ForeachCtx::b() { return kb_.b(); }
+
+unsigned ForeachCtx::vl() const { return kb_.vl(); }
+
+Value* ForeachCtx::typed_mask(Type element) {
+  VULFI_ASSERT(partial(), "typed_mask is only meaningful in the partial body");
+  VULFI_ASSERT(element.element_bits() == 32,
+               "foreach varying data must be 32-bit (f32/i32)");
+  if (element.kind() == Type::f32().kind()) {
+    if (!mask_f32_) {
+      Value* wide = b().sext(mask_i1_, Type::vector(ir::TypeKind::I32, vl()),
+                             "floatmask_bits");
+      mask_f32_ = b().bitcast(wide, Type::vector(ir::TypeKind::F32, vl()),
+                              "floatmask.i");
+    }
+    return mask_f32_;
+  }
+  if (!mask_i32_) {
+    mask_i32_ = b().sext(mask_i1_, Type::vector(ir::TypeKind::I32, vl()),
+                         "intmask.i");
+  }
+  return mask_i32_;
+}
+
+Value* ForeachCtx::element_ptr(Value* base, Type element, Value* offset) {
+  Value* linear = linear_;
+  if (offset != nullptr) {
+    linear = b().add(linear, offset, "lin_off");
+  }
+  // Address chain the way an LLVM backend materializes it: the i32 index
+  // is sign-extended to the pointer width, scaled to a byte offset, and
+  // fed to a byte-strided getelementptr. The intermediates are genuine
+  // address-category fault sites (paper Figure 2).
+  Value* idx64 = b().sext(linear, Type::i64(), "idxprom");
+  Value* byte_off =
+      b().mul(idx64, kb_.module().const_int(Type::i64(), element.element_bytes()),
+              "byte_off");
+  return b().gep(base, byte_off, 1, "elem_addr");
+}
+
+Value* ForeachCtx::load(Type element, Value* base) {
+  return load_offset(element, base, nullptr);
+}
+
+Value* ForeachCtx::load_offset(Type element, Value* base, Value* offset) {
+  const Type vec_type = element.with_lanes(vl());
+  Value* addr = element_ptr(base, element, offset);
+  if (!partial()) {
+    return b().load(vec_type, addr, "vec_ld");
+  }
+  ir::Function* maskload = kb_.module().declare_masked_intrinsic(
+      ir::IntrinsicId::MaskLoad, kb_.target().isa, vec_type);
+  return b().call(maskload, {addr, typed_mask(element)}, "masked_ld");
+}
+
+void ForeachCtx::store(Value* value, Value* base) {
+  store_offset(value, base, nullptr);
+}
+
+void ForeachCtx::store_offset(Value* value, Value* base, Value* offset) {
+  VULFI_ASSERT(value->type().is_vector() && value->type().lanes() == vl(),
+               "foreach store takes a varying value");
+  const Type element = value->type().element();
+  Value* addr = element_ptr(base, element, offset);
+  if (!partial()) {
+    b().store(value, addr);
+    return;
+  }
+  ir::Function* maskstore = kb_.module().declare_masked_intrinsic(
+      ir::IntrinsicId::MaskStore, kb_.target().isa, value->type());
+  b().call(maskstore, {addr, typed_mask(element), value});
+}
+
+Value* ForeachCtx::gather(Type element, Value* base, Value* index_vec) {
+  VULFI_ASSERT(index_vec->type().is_vector() &&
+                   index_vec->type().is_integer(),
+               "gather needs a varying integer index");
+  const Type vec_type = element.with_lanes(vl());
+  Value* result = kb_.module().const_undef(vec_type);
+  Value* zero = b().i32_const(0);
+  for (unsigned lane = 0; lane < vl(); ++lane) {
+    Value* idx = b().extract_element(index_vec, lane, strf("gidx%u", lane));
+    if (partial()) {
+      // Clamped-index gather: inactive lanes read base[0]; the value is
+      // never observed because downstream stores are masked too.
+      Value* active =
+          b().extract_element(mask_i1_, lane, strf("gmask%u", lane));
+      idx = b().select(active, idx, zero, strf("gidx_safe%u", lane));
+    }
+    Value* idx64 = b().sext(idx, Type::i64(), strf("gidxprom%u", lane));
+    Value* byte_off = b().mul(
+        idx64, kb_.module().const_int(Type::i64(), element.element_bytes()),
+        strf("gboff%u", lane));
+    Value* addr = b().gep(base, byte_off, 1, strf("gaddr%u", lane));
+    Value* elem = b().load(element, addr, strf("gval%u", lane));
+    result = b().insert_element(result, elem, lane, strf("gins%u", lane));
+  }
+  return result;
+}
+
+void ForeachCtx::scatter(Value* value, Value* base, Value* index_vec) {
+  VULFI_ASSERT(value->type().is_vector() && value->type().lanes() == vl(),
+               "scatter takes a varying value");
+  const Type element = value->type().element();
+  for (unsigned lane = 0; lane < vl(); ++lane) {
+    Value* idx = b().extract_element(index_vec, lane, strf("sidx%u", lane));
+    Value* elem = b().extract_element(value, lane, strf("sval%u", lane));
+    if (!partial()) {
+      Value* idx64 = b().sext(idx, Type::i64(), strf("sidxprom%u", lane));
+      Value* byte_off = b().mul(
+          idx64, kb_.module().const_int(Type::i64(), element.element_bytes()),
+          strf("sboff%u", lane));
+      Value* addr = b().gep(base, byte_off, 1, strf("saddr%u", lane));
+      b().store(elem, addr);
+      continue;
+    }
+    // Per-lane guarded store: the scalarized remainder handling of ISPC's
+    // partial_inner blocks.
+    Value* active = b().extract_element(mask_i1_, lane, strf("smask%u", lane));
+    ir::BasicBlock* current = b().insert_block();
+    ir::Function* fn = current->parent();
+    ir::BasicBlock* do_store = fn->create_block_after(
+        strf("scatter_lane%u", lane), current);
+    ir::BasicBlock* cont = fn->create_block_after(
+        strf("scatter_cont%u", lane), do_store);
+    b().cond_br(active, do_store, cont);
+    b().set_insert_block(do_store);
+    Value* idx64 = b().sext(idx, Type::i64(), strf("sidxprom%u", lane));
+    Value* byte_off = b().mul(
+        idx64, kb_.module().const_int(Type::i64(), element.element_bytes()),
+        strf("sboff%u", lane));
+    Value* addr = b().gep(base, byte_off, 1, strf("saddr%u", lane));
+    b().store(elem, addr);
+    b().br(cont);
+    b().set_insert_block(cont);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KernelBuilder
+// ---------------------------------------------------------------------------
+
+KernelBuilder::KernelBuilder(ir::Module& module, Target target,
+                             std::string name, std::vector<Type> params,
+                             Type return_type)
+    : module_(module),
+      target_(target),
+      function_(module.create_function(std::move(name), return_type,
+                                       std::move(params))),
+      builder_(module) {
+  ir::BasicBlock* allocas = function_->create_block("allocas");
+  builder_.set_insert_block(allocas);
+}
+
+std::string KernelBuilder::loop_name(const char* base) {
+  if (foreach_counter_ == 0) return base;
+  return strf("%s%u", base, foreach_counter_);
+}
+
+void KernelBuilder::foreach_loop(Value* start, Value* end,
+                                 const ForeachBody& body) {
+  ForeachReduceBody wrapper = [&body](ForeachCtx& ctx,
+                                      const std::vector<Value*>& carried)
+      -> std::vector<Value*> {
+    body(ctx);
+    return carried;
+  };
+  lower_foreach(start, end, {}, wrapper);
+}
+
+std::vector<Value*> KernelBuilder::foreach_reduce(
+    Value* start, Value* end, std::vector<Value*> init,
+    const ForeachReduceBody& body) {
+  // An empty carried list degenerates to a plain foreach (the language
+  // front end calls this uniformly whether or not reductions exist).
+  return lower_foreach(start, end, std::move(init), body);
+}
+
+std::vector<Value*> KernelBuilder::lower_foreach(
+    Value* start, Value* end, std::vector<Value*> init,
+    const ForeachReduceBody& body) {
+  IRBuilder& b = builder_;
+  const unsigned width = vl();
+  Value* vl_const = b.i32_const(width);
+
+  // ----- prologue in the current block (the "allocas" role) -------------
+  Value* n_total = b.sub(end, start, "n_total");
+  Value* nextras = b.srem(n_total, vl_const, loop_name("nextras"));
+  Value* aligned_end = b.sub(n_total, nextras, loop_name("aligned_end"));
+  Value* has_full =
+      b.icmp(ir::ICmpPred::SGT, aligned_end, b.i32_const(0), "has_full");
+
+  ir::BasicBlock* pre = b.insert_block();
+  ir::Function* fn = function_;
+  ir::BasicBlock* full_ph =
+      fn->create_block(loop_name("foreach_full_body.lr.ph"));
+  ir::BasicBlock* full = fn->create_block(loop_name("foreach_full_body"));
+  ir::BasicBlock* outer =
+      fn->create_block(loop_name("partial_inner_all_outer"));
+  ir::BasicBlock* partial =
+      fn->create_block(loop_name("partial_inner_only"));
+  ir::BasicBlock* reset = fn->create_block(loop_name("foreach_reset"));
+  foreach_counter_ += 1;
+
+  b.cond_br(has_full, full_ph, outer);
+
+  b.set_insert_block(full_ph);
+  b.br(full);
+
+  // ----- foreach_full_body ----------------------------------------------
+  b.set_insert_block(full);
+  ir::Instruction* counter_phi = b.phi(Type::i32(), "counter");
+  std::vector<ir::Instruction*> carried_phis;
+  carried_phis.reserve(init.size());
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    carried_phis.push_back(
+        b.phi(init[i]->type(), strf("carried%zu", i)));
+  }
+
+  Value* linear = b.add(start, counter_phi, "linear");
+  Value* linear_bc = b.broadcast(linear, width, "linear_smear");
+  Value* index_vec =
+      b.add(linear_bc, module_.const_lane_sequence(width), "index");
+
+  ForeachCtx full_ctx(*this, counter_phi, linear, index_vec, nullptr);
+  std::vector<Value*> carried_in(carried_phis.begin(), carried_phis.end());
+  std::vector<Value*> full_updated = body(full_ctx, carried_in);
+  VULFI_ASSERT(full_updated.size() == init.size(),
+               "foreach body must return one value per carried input");
+
+  Value* new_counter = b.add(counter_phi, vl_const, "new_counter");
+  Value* latch_cmp = b.icmp(ir::ICmpPred::SLT, new_counter, aligned_end,
+                            "full_latch_cmp");
+  ir::BasicBlock* full_end = b.insert_block();
+  b.cond_br(latch_cmp, full, outer);
+
+  counter_phi->phi_add_incoming(module_.const_int(Type::i32(), 0), full_ph);
+  counter_phi->phi_add_incoming(new_counter, full_end);
+  for (std::size_t i = 0; i < carried_phis.size(); ++i) {
+    carried_phis[i]->phi_add_incoming(init[i], full_ph);
+    carried_phis[i]->phi_add_incoming(full_updated[i], full_end);
+  }
+
+  // ----- partial_inner_all_outer -----------------------------------------
+  b.set_insert_block(outer);
+  std::vector<ir::Instruction*> outer_phis;
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    ir::Instruction* phi =
+        b.phi(init[i]->type(), strf("carried_mid%zu", i));
+    phi->phi_add_incoming(init[i], pre);
+    phi->phi_add_incoming(full_updated[i], full_end);
+    outer_phis.push_back(phi);
+  }
+  // Remainder execution mask and the ISPC-style "any lane active" test:
+  // sign-extend the i1 mask, bitcast to float lanes, movmsk, compare to
+  // zero. This is how ISPC's code generator gates the masked remainder —
+  // and it routes the vector mask into scalar control flow, which is why
+  // the paper observes vector instructions among control fault sites.
+  Value* plinear = b.add(start, aligned_end, "plinear");
+  Value* plinear_bc = b.broadcast(plinear, width, "plinear_smear");
+  Value* pindex =
+      b.add(plinear_bc, module_.const_lane_sequence(width), "pindex");
+  Value* end_bc = b.broadcast(end, width, "end_smear");
+  Value* pmask = b.icmp(ir::ICmpPred::SLT, pindex, end_bc, "pmask");
+  Value* pmask_wide = b.sext(
+      pmask, Type::vector(ir::TypeKind::I32, width), "floatmask_bits");
+  Value* floatmask = b.bitcast(
+      pmask_wide, Type::vector(ir::TypeKind::F32, width), "floatmask.i");
+  ir::Function* movmsk =
+      module_.declare_movmsk(target_.isa, floatmask->type());
+  Value* mask_bits = b.call(movmsk, {floatmask}, "mask_bits");
+  Value* any_active = b.icmp(ir::ICmpPred::NE, mask_bits, b.i32_const(0),
+                             "any_active");
+  b.cond_br(any_active, partial, reset);
+
+  // ----- partial_inner_only ------------------------------------------------
+  b.set_insert_block(partial);
+  ForeachCtx partial_ctx(*this, aligned_end, plinear, pindex, pmask);
+  partial_ctx.mask_f32_ = floatmask;
+  partial_ctx.mask_i32_ = pmask_wide;
+  std::vector<Value*> outer_vals(outer_phis.begin(), outer_phis.end());
+  std::vector<Value*> partial_updated = body(partial_ctx, outer_vals);
+  VULFI_ASSERT(partial_updated.size() == init.size(),
+               "foreach body must return one value per carried input");
+  // Inactive lanes keep their pre-partial value.
+  std::vector<Value*> partial_final(init.size());
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    partial_final[i] =
+        partial_updated[i] == outer_vals[i]
+            ? outer_vals[i]
+            : b.select(pmask, partial_updated[i], outer_vals[i],
+                       strf("carried_sel%zu", i));
+  }
+  ir::BasicBlock* partial_end = b.insert_block();
+  b.br(reset);
+
+  // ----- foreach_reset -------------------------------------------------------
+  b.set_insert_block(reset);
+  std::vector<Value*> final_vals;
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    ir::Instruction* phi =
+        b.phi(init[i]->type(), strf("carried_final%zu", i));
+    phi->phi_add_incoming(outer_phis[i], outer);
+    phi->phi_add_incoming(partial_final[i], partial_end);
+    final_vals.push_back(phi);
+  }
+  return final_vals;
+}
+
+std::vector<Value*> KernelBuilder::scalar_loop(
+    Value* start, Value* end, std::vector<Value*> init,
+    const std::function<std::vector<Value*>(Value*,
+                                            const std::vector<Value*>&)>& body,
+    const char* label) {
+  IRBuilder& b = builder_;
+  ir::Function* fn = function_;
+  const std::string tag = strf("%s%u", label, foreach_counter_);
+  foreach_counter_ += 1;
+
+  Value* has_iters = b.icmp(ir::ICmpPred::SLT, start, end,
+                            tag + "_has_iters");
+  ir::BasicBlock* pre = b.insert_block();
+  ir::BasicBlock* header = fn->create_block(tag + "_header");
+  ir::BasicBlock* exit = fn->create_block(tag + "_exit");
+  b.cond_br(has_iters, header, exit);
+
+  b.set_insert_block(header);
+  ir::Instruction* iv = b.phi(Type::i32(), tag + "_iv");
+  std::vector<ir::Instruction*> carried;
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    carried.push_back(b.phi(init[i]->type(), strf("%s_c%zu", tag.c_str(), i)));
+  }
+  std::vector<Value*> carried_vals(carried.begin(), carried.end());
+  std::vector<Value*> updated = body(iv, carried_vals);
+  VULFI_ASSERT(updated.size() == init.size(),
+               "scalar_loop body must return one value per carried input");
+
+  Value* iv_next = b.add(iv, b.i32_const(1), tag + "_iv_next");
+  Value* latch = b.icmp(ir::ICmpPred::SLT, iv_next, end, tag + "_latch");
+  ir::BasicBlock* latch_block = b.insert_block();
+  b.cond_br(latch, header, exit);
+
+  iv->phi_add_incoming(start, pre);
+  iv->phi_add_incoming(iv_next, latch_block);
+  for (std::size_t i = 0; i < carried.size(); ++i) {
+    carried[i]->phi_add_incoming(init[i], pre);
+    carried[i]->phi_add_incoming(updated[i], latch_block);
+  }
+
+  b.set_insert_block(exit);
+  std::vector<Value*> finals;
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    ir::Instruction* phi = b.phi(init[i]->type(),
+                                 strf("%s_f%zu", tag.c_str(), i));
+    phi->phi_add_incoming(init[i], pre);
+    phi->phi_add_incoming(updated[i], latch_block);
+    finals.push_back(phi);
+  }
+  return finals;
+}
+
+Value* KernelBuilder::uniform(Value* scalar, std::string name) {
+  return builder_.broadcast(scalar, vl(), std::move(name));
+}
+
+Value* KernelBuilder::vconst_f32(float value) {
+  return module_.const_f32(target_.varying_f32(), value);
+}
+
+Value* KernelBuilder::vconst_i32(std::int32_t value) {
+  return module_.const_int(target_.varying_i32(), value);
+}
+
+Value* KernelBuilder::reduce_add(Value* vec) {
+  VULFI_ASSERT(vec->type().is_vector(), "reduce_add takes a vector");
+  const bool fp = vec->type().is_float();
+  Value* acc = builder_.extract_element(vec, 0u, "red0");
+  for (unsigned lane = 1; lane < vec->type().lanes(); ++lane) {
+    Value* elem = builder_.extract_element(vec, lane, strf("red%u", lane));
+    acc = fp ? builder_.fadd(acc, elem, strf("redsum%u", lane))
+             : builder_.add(acc, elem, strf("redsum%u", lane));
+  }
+  return acc;
+}
+
+Value* KernelBuilder::reduce_min(Value* vec) {
+  VULFI_ASSERT(vec->type().is_vector() && vec->type().is_float(),
+               "reduce_min takes a float vector");
+  ir::Function* fmin = module_.declare_math_intrinsic(
+      ir::IntrinsicId::Fmin, vec->type().element());
+  Value* acc = builder_.extract_element(vec, 0u, "rmin0");
+  for (unsigned lane = 1; lane < vec->type().lanes(); ++lane) {
+    Value* elem = builder_.extract_element(vec, lane, strf("rmin%u", lane));
+    acc = builder_.call(fmin, {acc, elem}, strf("rminv%u", lane));
+  }
+  return acc;
+}
+
+Value* KernelBuilder::reduce_max(Value* vec) {
+  VULFI_ASSERT(vec->type().is_vector() && vec->type().is_float(),
+               "reduce_max takes a float vector");
+  ir::Function* fmax = module_.declare_math_intrinsic(
+      ir::IntrinsicId::Fmax, vec->type().element());
+  Value* acc = builder_.extract_element(vec, 0u, "rmax0");
+  for (unsigned lane = 1; lane < vec->type().lanes(); ++lane) {
+    Value* elem = builder_.extract_element(vec, lane, strf("rmax%u", lane));
+    acc = builder_.call(fmax, {acc, elem}, strf("rmaxv%u", lane));
+  }
+  return acc;
+}
+
+Value* KernelBuilder::intrinsic_call(ir::IntrinsicId id, Value* operand) {
+  ir::Function* callee =
+      module_.declare_math_intrinsic(id, operand->type());
+  return builder_.call(callee, {operand});
+}
+
+Value* KernelBuilder::intrinsic_call(ir::IntrinsicId id, Value* lhs,
+                                     Value* rhs) {
+  ir::Function* callee = module_.declare_math_intrinsic(id, lhs->type());
+  return builder_.call(callee, {lhs, rhs});
+}
+
+void KernelBuilder::finish(Value* return_value) {
+  builder_.ret(return_value);
+  // Match the paper's -O3 code generation: dead definitions do not reach
+  // the fault injector.
+  ir::eliminate_dead_code(*function_);
+  const auto errors = ir::verify(*function_);
+  VULFI_ASSERT(errors.empty(),
+               errors.empty() ? "ok" : errors.front().c_str());
+}
+
+}  // namespace vulfi::spmd

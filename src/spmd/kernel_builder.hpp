@@ -1,0 +1,184 @@
+// ISPC-like SPMD kernel construction.
+//
+// KernelBuilder plays the role of the ISPC compiler's code generator in
+// this reproduction: it lowers `foreach` loops to the exact IR shape the
+// paper documents (Figure 7) — an `allocas` entry computing
+//   nextras     = srem n, Vl
+//   aligned_end = sub n, nextras
+// a vectorized `foreach_full_body` block with a `counter` phi stepping by
+// Vl and a `new_counter` increment, and a masked `partial_inner_only`
+// block handling the n % Vl remainder iterations — and lowers `uniform`
+// values through the insertelement + shufflevector broadcast idiom
+// (Figure 9). The detector pass pattern-matches these shapes, exactly as
+// the paper's pass recognizes ISPC's output.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/module.hpp"
+#include "spmd/target.hpp"
+
+namespace vulfi::spmd {
+
+class KernelBuilder;
+
+/// Per-iteration context handed to foreach body callbacks. The same
+/// callback runs twice: once emitting the unmasked full-vector body and
+/// once emitting the masked remainder body; `partial()` distinguishes
+/// them and the memory helpers pick plain vs masked operations
+/// accordingly.
+class ForeachCtx {
+ public:
+  ir::IRBuilder& b();
+  KernelBuilder& kb() { return kb_; }
+  unsigned vl() const;
+
+  /// Scalar i32 loop counter (the `counter` phi in the full body;
+  /// `aligned_end` in the partial body).
+  ir::Value* counter() const { return counter_; }
+  /// Varying i32 iteration index: start + counter + <0,1,...,Vl-1>.
+  ir::Value* index() const { return index_; }
+  /// Execution mask as <Vl x i1>; nullptr in the full body (all active).
+  ir::Value* mask_i1() const { return mask_i1_; }
+  bool partial() const { return mask_i1_ != nullptr; }
+
+  /// Execution mask in data-typed form (sign-extended all-ones lanes,
+  /// bitcast to the element type) — the %floatmask.i of paper Figure 5.
+  /// Asserts in the full body; call only when partial().
+  ir::Value* typed_mask(ir::Type element);
+
+  // --- contiguous memory at the iteration index -------------------------
+  /// Loads element `base[index]`: vector load in the full body, masked
+  /// intrinsic load in the partial body.
+  ir::Value* load(ir::Type element, ir::Value* base);
+  /// Loads `base[index + offset]` (offset is a scalar i32, e.g. stencil
+  /// neighbour offsets; caller guarantees in-bounds for active lanes).
+  ir::Value* load_offset(ir::Type element, ir::Value* base,
+                         ir::Value* offset);
+  /// Stores `value` to `base[index]` (masked in the partial body).
+  void store(ir::Value* value, ir::Value* base);
+  void store_offset(ir::Value* value, ir::Value* base, ir::Value* offset);
+
+  // --- indexed memory ------------------------------------------------------
+  /// Per-lane gather base[idx[lane]]. In the partial body inactive lanes
+  /// read base[0] (clamped-index gather) so no spurious fault can occur.
+  ir::Value* gather(ir::Type element, ir::Value* base, ir::Value* index_vec);
+  /// Per-lane scatter base[idx[lane]] = value[lane]. In the partial body
+  /// each lane's store is guarded by a per-lane branch on the mask, the
+  /// scalarized remainder handling ISPC's partial_inner blocks perform.
+  void scatter(ir::Value* value, ir::Value* base, ir::Value* index_vec);
+
+ private:
+  friend class KernelBuilder;
+  ForeachCtx(KernelBuilder& kb, ir::Value* counter, ir::Value* linear,
+             ir::Value* index, ir::Value* mask_i1)
+      : kb_(kb), counter_(counter), linear_(linear), index_(index),
+        mask_i1_(mask_i1) {}
+
+  ir::Value* element_ptr(ir::Value* base, ir::Type element,
+                         ir::Value* offset);
+
+  KernelBuilder& kb_;
+  ir::Value* counter_;
+  /// Scalar i32 linear index of lane 0: start + counter.
+  ir::Value* linear_;
+  ir::Value* index_;
+  ir::Value* mask_i1_;
+  // Cached typed masks, keyed by element kind.
+  ir::Value* mask_f32_ = nullptr;
+  ir::Value* mask_i32_ = nullptr;
+};
+
+using ForeachBody = std::function<void(ForeachCtx&)>;
+/// Reduction body: receives the loop-carried varying values and returns
+/// their updated versions (same count and types).
+using ForeachReduceBody = std::function<std::vector<ir::Value*>(
+    ForeachCtx&, const std::vector<ir::Value*>&)>;
+
+class KernelBuilder {
+ public:
+  /// Creates `name` in `module` with the given parameter types.
+  KernelBuilder(ir::Module& module, Target target, std::string name,
+                std::vector<ir::Type> params,
+                ir::Type return_type = ir::Type::void_ty());
+
+  ir::Module& module() { return module_; }
+  ir::IRBuilder& b() { return builder_; }
+  ir::Function* function() { return function_; }
+  const Target& target() const { return target_; }
+  unsigned vl() const { return target_.vector_width; }
+
+  ir::Value* arg(unsigned i) { return function_->arg(i); }
+
+  /// foreach (i = start ... end) { body } — ISPC semantics: iterates the
+  /// half-open interval [start, end) with Vl lanes per vector iteration.
+  void foreach_loop(ir::Value* start, ir::Value* end, const ForeachBody& body);
+
+  /// Scalar counted loop `for (iv = start; iv < end; ++iv)` with optional
+  /// loop-carried values (any type, including pointers for buffer
+  /// ping-pong). The body receives the induction variable and the current
+  /// carried values and returns the updated carried values; it may emit
+  /// nested foreach loops. Returns the final carried values. Handles the
+  /// degenerate start >= end case (zero iterations).
+  std::vector<ir::Value*> scalar_loop(
+      ir::Value* start, ir::Value* end, std::vector<ir::Value*> init,
+      const std::function<std::vector<ir::Value*>(
+          ir::Value*, const std::vector<ir::Value*>&)>& body,
+      const char* label = "loop");
+
+  /// foreach with loop-carried varying values (reductions). Returns the
+  /// final carried values, valid at the current insertion point after the
+  /// loop. Inactive remainder lanes keep their pre-partial values
+  /// (mask-selected), so horizontal reductions stay exact.
+  std::vector<ir::Value*> foreach_reduce(ir::Value* start, ir::Value* end,
+                                         std::vector<ir::Value*> init,
+                                         const ForeachReduceBody& body);
+
+  // --- uniform handling ---------------------------------------------------
+  /// Broadcasts a uniform scalar to all lanes (Figure 9 idiom).
+  ir::Value* uniform(ir::Value* scalar, std::string name = "uval_broadcast");
+  /// Varying splat constants.
+  ir::Value* vconst_f32(float value);
+  ir::Value* vconst_i32(std::int32_t value);
+
+  // --- horizontal reductions ----------------------------------------------
+  /// Sum of all lanes via an extractelement/add chain (ISPC reduce_add).
+  ir::Value* reduce_add(ir::Value* vec);
+  ir::Value* reduce_min(ir::Value* vec);
+  ir::Value* reduce_max(ir::Value* vec);
+
+  // --- math intrinsic helpers -----------------------------------------------
+  ir::Value* intrinsic_call(ir::IntrinsicId id, ir::Value* operand);
+  ir::Value* intrinsic_call(ir::IntrinsicId id, ir::Value* lhs,
+                            ir::Value* rhs);
+
+  /// Finishes the function with `ret` (void or value) and verifies it.
+  void finish(ir::Value* return_value = nullptr);
+
+ private:
+  friend class ForeachCtx;
+
+  struct LoweredForeach {
+    ir::Value* nextras;
+    ir::Value* aligned_end;
+    ir::BasicBlock* reset_block;
+  };
+
+  /// Shared lowering used by foreach_loop and foreach_reduce.
+  std::vector<ir::Value*> lower_foreach(ir::Value* start, ir::Value* end,
+                                        std::vector<ir::Value*> init,
+                                        const ForeachReduceBody& body);
+
+  std::string loop_name(const char* base);
+
+  ir::Module& module_;
+  Target target_;
+  ir::Function* function_;
+  ir::IRBuilder builder_;
+  unsigned foreach_counter_ = 0;
+};
+
+}  // namespace vulfi::spmd

@@ -1,0 +1,139 @@
+// Abstract syntax tree for the ISPC-like kernel language.
+//
+// The language distinguishes `uniform` (scalar, shared by all lanes) from
+// varying (per-lane) values exactly as ISPC does; variability is inferred
+// during semantic analysis (sema.hpp) and recorded on expressions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vulfi::spmd::lang {
+
+/// Element type of the two base types. Arrays are pointers to these.
+enum class ElemType : unsigned char { Float, Int };
+
+/// uniform (one value for all lanes) vs varying (a value per lane).
+enum class Variability : unsigned char { Uniform, Varying };
+
+struct LangType {
+  ElemType elem = ElemType::Float;
+  Variability variability = Variability::Uniform;
+
+  bool operator==(const LangType&) const = default;
+  bool is_varying() const { return variability == Variability::Varying; }
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : unsigned char {
+  IntLiteral,
+  FloatLiteral,
+  VarRef,
+  ArrayIndex,   // a[index]
+  Unary,        // -x, !x
+  Binary,       // + - * / % < <= > >= == != && ||
+  Ternary,      // c ? a : b
+  Call,         // sqrt(x), min(a,b), ...
+};
+
+enum class BinaryOp : unsigned char {
+  Add, Sub, Mul, Div, Rem,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // literals
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+
+  // VarRef / Call / ArrayIndex base name
+  std::string name;
+
+  BinaryOp binary_op = BinaryOp::Add;
+  bool unary_not = false;  // Unary: true = '!', false = '-'
+
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // Filled by sema:
+  LangType type;
+  bool is_bool = false;  // comparison / logical result (mask-typed)
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : unsigned char {
+  Decl,      // [uniform] type name = expr;
+  Assign,    // lvalue (=|+=|-=|*=) expr;
+  Foreach,   // foreach (name = a ... b) { body }
+  For,       // for (uniform int k = a; k < b; k++) { body }
+};
+
+enum class AssignOp : unsigned char { Set, Add, Sub, Mul };
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  // Decl
+  bool decl_uniform = false;
+  ElemType decl_type = ElemType::Float;
+
+  // Decl / Assign / Foreach iterator / For iterator name
+  std::string name;
+
+  // Assign: lvalue is either a plain variable (index == nullptr) or an
+  // array element name[index].
+  AssignOp assign_op = AssignOp::Set;
+  ExprPtr index;  // ArrayIndex lvalue subscript
+
+  // Decl init / Assign value / loop bounds
+  ExprPtr value;   // init or RHS, or foreach/for lower bound
+  ExprPtr bound;   // foreach/for upper bound
+
+  std::vector<StmtPtr> body;  // loop bodies
+
+  explicit Stmt(StmtKind k) : kind(k) {}
+};
+
+// ---------------------------------------------------------------------------
+// Kernels / programs
+// ---------------------------------------------------------------------------
+
+struct Param {
+  std::string name;
+  ElemType elem = ElemType::Float;
+  bool is_array = false;   // T name[] — lowered to a pointer argument
+  bool is_uniform = true;  // parameters are uniform in this language
+  int line = 0;
+};
+
+struct Kernel {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<std::unique_ptr<Kernel>> kernels;
+};
+
+}  // namespace vulfi::spmd::lang

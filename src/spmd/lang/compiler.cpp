@@ -1,0 +1,909 @@
+#include "spmd/lang/compiler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "ir/verifier.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "spmd/lang/parser.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::spmd::lang {
+
+namespace {
+
+using ir::Type;
+using ir::TypeKind;
+
+/// A typed value during lowering. `value` is scalar for uniform, vector
+/// for varying; booleans are i1-typed (scalar or vector).
+struct TypedValue {
+  ir::Value* value = nullptr;
+  ElemType elem = ElemType::Float;
+  bool varying = false;
+  bool boolean = false;
+};
+
+/// What a name denotes.
+struct Binding {
+  enum class Kind { Array, Scalar } kind = Binding::Kind::Scalar;
+  ElemType elem = ElemType::Float;
+  // Array: base pointer. Scalar: current SSA value (uniform or varying).
+  ir::Value* value = nullptr;
+  bool varying = false;
+};
+
+using Scope = std::map<std::string, Binding>;
+
+class KernelCompiler {
+ public:
+  KernelCompiler(const Kernel& kernel, ir::Module& module,
+                 const Target& target, std::vector<std::string>& errors)
+      : kernel_(kernel), target_(target), errors_(errors) {
+    std::vector<Type> params;
+    for (const Param& param : kernel.params) {
+      params.push_back(param.is_array ? Type::ptr()
+                                      : scalar_type(param.elem));
+    }
+    kb_ = std::make_unique<KernelBuilder>(module, target, kernel.name,
+                                          std::move(params));
+    for (unsigned i = 0; i < kernel.params.size(); ++i) {
+      const Param& param = kernel.params[i];
+      kb_->function()->arg(i)->set_name(param.name);
+      Binding binding;
+      binding.kind = param.is_array ? Binding::Kind::Array
+                                    : Binding::Kind::Scalar;
+      binding.elem = param.elem;
+      binding.value = kb_->arg(i);
+      globals_[param.name] = binding;
+    }
+  }
+
+  bool run() {
+    Scope scope = globals_;
+    lower_stmts(kernel_.body, scope, /*ctx=*/nullptr);
+    if (!errors_.empty()) return false;
+    kb_->finish();
+    return true;
+  }
+
+ private:
+  static Type scalar_type(ElemType elem) {
+    return elem == ElemType::Float ? Type::f32() : Type::i32();
+  }
+  Type varying_type(ElemType elem) const {
+    return scalar_type(elem).with_lanes(kb_->vl());
+  }
+
+  void error(int line, const std::string& message) {
+    errors_.push_back(
+        strf("%s:%d: %s", kernel_.name.c_str(), line, message.c_str()));
+  }
+
+  ir::IRBuilder& b() { return kb_->b(); }
+
+  // --- conversions -----------------------------------------------------------
+
+  /// Broadcasts a uniform value to the vector width (Figure-9 idiom for
+  /// non-constants).
+  TypedValue to_varying(const TypedValue& v) {
+    if (v.varying || !v.value) return v;
+    TypedValue out = v;
+    out.varying = true;
+    if (v.boolean) {
+      // Splat an i1: compare-generated masks are vector-born; scalar
+      // booleans only arise from uniform comparisons.
+      out.value = b().broadcast(v.value, kb_->vl(), "bool_broadcast");
+      return out;
+    }
+    const auto* constant = dynamic_cast<ir::Constant*>(v.value);
+    if (constant && constant->type().is_scalar()) {
+      // Constants splat directly (a compiler would fold the broadcast).
+      ir::Module& module = kb_->module();
+      out.value = module.const_raw(
+          constant->type().with_lanes(kb_->vl()),
+          std::vector<std::uint64_t>(kb_->vl(), constant->raw(0)));
+      return out;
+    }
+    out.value = kb_->uniform(v.value);
+    return out;
+  }
+
+  /// int -> float conversion (same variability).
+  TypedValue to_float(const TypedValue& v, int line) {
+    if (v.elem == ElemType::Float) return v;
+    if (v.boolean) {
+      error(line, "cannot use a boolean as a number");
+      return v;
+    }
+    TypedValue out = v;
+    out.elem = ElemType::Float;
+    const Type to =
+        v.varying ? varying_type(ElemType::Float) : Type::f32();
+    out.value = b().sitofp(v.value, to, "conv");
+    return out;
+  }
+
+  TypedValue to_int(const TypedValue& v, int line) {
+    if (v.elem == ElemType::Int) return v;
+    if (v.boolean) {
+      error(line, "cannot use a boolean as a number");
+      return v;
+    }
+    TypedValue out = v;
+    out.elem = ElemType::Int;
+    const Type to = v.varying ? varying_type(ElemType::Int) : Type::i32();
+    out.value = b().fptosi(v.value, to, "conv");
+    return out;
+  }
+
+  /// Promotes a pair to a common type/variability for arithmetic.
+  bool unify(TypedValue* lhs, TypedValue* rhs, int line) {
+    if (!lhs->value || !rhs->value) return false;
+    if (lhs->elem != rhs->elem) {
+      if (lhs->elem == ElemType::Int) *lhs = to_float(*lhs, line);
+      if (rhs->elem == ElemType::Int) *rhs = to_float(*rhs, line);
+    }
+    if (lhs->varying != rhs->varying) {
+      if (!lhs->varying) *lhs = to_varying(*lhs);
+      if (!rhs->varying) *rhs = to_varying(*rhs);
+    }
+    return lhs->value && rhs->value;
+  }
+
+  // --- expressions ------------------------------------------------------------
+
+  TypedValue lower_expr(const Expr& expr, Scope& scope, ForeachCtx* ctx) {
+    switch (expr.kind) {
+      case ExprKind::IntLiteral: {
+        TypedValue out;
+        out.elem = ElemType::Int;
+        out.value = b().i32_const(static_cast<std::int32_t>(expr.int_value));
+        return out;
+      }
+      case ExprKind::FloatLiteral: {
+        TypedValue out;
+        out.elem = ElemType::Float;
+        out.value = b().f32_const(static_cast<float>(expr.float_value));
+        return out;
+      }
+      case ExprKind::VarRef: {
+        auto it = scope.find(expr.name);
+        if (it == scope.end()) {
+          error(expr.line, "use of undeclared variable '" + expr.name + "'");
+          return {};
+        }
+        if (it->second.kind == Binding::Kind::Array) {
+          error(expr.line,
+                "array '" + expr.name + "' must be indexed");
+          return {};
+        }
+        TypedValue out;
+        out.elem = it->second.elem;
+        out.varying = it->second.varying;
+        out.value = it->second.value;
+        return out;
+      }
+      case ExprKind::ArrayIndex:
+        return lower_array_load(expr, scope, ctx);
+      case ExprKind::Unary: {
+        TypedValue operand = lower_expr(*expr.children[0], scope, ctx);
+        if (!operand.value) return {};
+        if (expr.unary_not) {
+          if (!operand.boolean) {
+            error(expr.line, "'!' requires a boolean operand");
+            return {};
+          }
+          TypedValue out = operand;
+          ir::Module& module = kb_->module();
+          ir::Value* ones = module.const_int(
+              operand.value->type(), 1);
+          out.value = b().xor_(operand.value, ones, "not");
+          return out;
+        }
+        TypedValue out = operand;
+        if (operand.elem == ElemType::Float) {
+          out.value = b().fneg(operand.value, "neg");
+        } else {
+          ir::Value* zero =
+              kb_->module().const_int(operand.value->type(), 0);
+          out.value = b().sub(zero, operand.value, "neg");
+        }
+        return out;
+      }
+      case ExprKind::Binary:
+        return lower_binary(expr, scope, ctx);
+      case ExprKind::Ternary: {
+        TypedValue cond = lower_expr(*expr.children[0], scope, ctx);
+        TypedValue on_true = lower_expr(*expr.children[1], scope, ctx);
+        TypedValue on_false = lower_expr(*expr.children[2], scope, ctx);
+        if (!cond.value || !on_true.value || !on_false.value) return {};
+        if (!cond.boolean) {
+          error(expr.line, "ternary condition must be a comparison");
+          return {};
+        }
+        if (!unify(&on_true, &on_false, expr.line)) return {};
+        if (cond.varying && !on_true.varying) {
+          on_true = to_varying(on_true);
+          on_false = to_varying(on_false);
+        }
+        if (!cond.varying && on_true.varying) cond = to_varying(cond);
+        TypedValue out = on_true;
+        out.value = b().select(cond.value, on_true.value, on_false.value,
+                               "sel");
+        return out;
+      }
+      case ExprKind::Call:
+        return lower_call(expr, scope, ctx);
+    }
+    return {};
+  }
+
+  TypedValue lower_binary(const Expr& expr, Scope& scope, ForeachCtx* ctx) {
+    TypedValue lhs = lower_expr(*expr.children[0], scope, ctx);
+    TypedValue rhs = lower_expr(*expr.children[1], scope, ctx);
+    if (!lhs.value || !rhs.value) return {};
+
+    const BinaryOp op = expr.binary_op;
+    if (op == BinaryOp::And || op == BinaryOp::Or) {
+      if (!lhs.boolean || !rhs.boolean) {
+        error(expr.line, "'&&'/'||' require boolean operands");
+        return {};
+      }
+      if (lhs.varying != rhs.varying) {
+        if (!lhs.varying) lhs = to_varying(lhs);
+        if (!rhs.varying) rhs = to_varying(rhs);
+      }
+      TypedValue out = lhs;
+      out.value = op == BinaryOp::And
+                      ? b().and_(lhs.value, rhs.value, "and")
+                      : b().or_(lhs.value, rhs.value, "or");
+      return out;
+    }
+
+    if (lhs.boolean || rhs.boolean) {
+      error(expr.line, "boolean values only combine with '&&'/'||'");
+      return {};
+    }
+    if (!unify(&lhs, &rhs, expr.line)) return {};
+
+    const bool is_cmp = op == BinaryOp::Lt || op == BinaryOp::Le ||
+                        op == BinaryOp::Gt || op == BinaryOp::Ge ||
+                        op == BinaryOp::Eq || op == BinaryOp::Ne;
+    TypedValue out;
+    out.elem = lhs.elem;
+    out.varying = lhs.varying;
+    if (is_cmp) {
+      out.boolean = true;
+      if (lhs.elem == ElemType::Float) {
+        ir::FCmpPred pred;
+        switch (op) {
+          case BinaryOp::Lt: pred = ir::FCmpPred::OLT; break;
+          case BinaryOp::Le: pred = ir::FCmpPred::OLE; break;
+          case BinaryOp::Gt: pred = ir::FCmpPred::OGT; break;
+          case BinaryOp::Ge: pred = ir::FCmpPred::OGE; break;
+          case BinaryOp::Eq: pred = ir::FCmpPred::OEQ; break;
+          default: pred = ir::FCmpPred::ONE; break;
+        }
+        out.value = b().fcmp(pred, lhs.value, rhs.value, "cmp");
+      } else {
+        ir::ICmpPred pred;
+        switch (op) {
+          case BinaryOp::Lt: pred = ir::ICmpPred::SLT; break;
+          case BinaryOp::Le: pred = ir::ICmpPred::SLE; break;
+          case BinaryOp::Gt: pred = ir::ICmpPred::SGT; break;
+          case BinaryOp::Ge: pred = ir::ICmpPred::SGE; break;
+          case BinaryOp::Eq: pred = ir::ICmpPred::EQ; break;
+          default: pred = ir::ICmpPred::NE; break;
+        }
+        out.value = b().icmp(pred, lhs.value, rhs.value, "cmp");
+      }
+      return out;
+    }
+
+    if (lhs.elem == ElemType::Float) {
+      switch (op) {
+        case BinaryOp::Add: out.value = b().fadd(lhs.value, rhs.value, "add"); break;
+        case BinaryOp::Sub: out.value = b().fsub(lhs.value, rhs.value, "sub"); break;
+        case BinaryOp::Mul: out.value = b().fmul(lhs.value, rhs.value, "mul"); break;
+        case BinaryOp::Div: out.value = b().fdiv(lhs.value, rhs.value, "div"); break;
+        case BinaryOp::Rem:
+          error(expr.line, "'%' requires integer operands");
+          return {};
+        default: return {};
+      }
+    } else {
+      switch (op) {
+        case BinaryOp::Add: out.value = b().add(lhs.value, rhs.value, "add"); break;
+        case BinaryOp::Sub: out.value = b().sub(lhs.value, rhs.value, "sub"); break;
+        case BinaryOp::Mul: out.value = b().mul(lhs.value, rhs.value, "mul"); break;
+        case BinaryOp::Div: out.value = b().sdiv(lhs.value, rhs.value, "div"); break;
+        case BinaryOp::Rem: out.value = b().srem(lhs.value, rhs.value, "rem"); break;
+        default: return {};
+      }
+    }
+    return out;
+  }
+
+  TypedValue lower_call(const Expr& expr, Scope& scope, ForeachCtx* ctx) {
+    // Casts.
+    if (expr.name == "float" || expr.name == "int") {
+      if (expr.children.size() != 1) {
+        error(expr.line, expr.name + "() takes one argument");
+        return {};
+      }
+      TypedValue operand = lower_expr(*expr.children[0], scope, ctx);
+      if (!operand.value) return {};
+      return expr.name == "float" ? to_float(operand, expr.line)
+                                  : to_int(operand, expr.line);
+    }
+
+    struct MathFn {
+      const char* name;
+      ir::IntrinsicId id;
+      unsigned arity;
+    };
+    static const MathFn kMath[] = {
+        {"sqrt", ir::IntrinsicId::Sqrt, 1},
+        {"exp", ir::IntrinsicId::Exp, 1},
+        {"log", ir::IntrinsicId::Log, 1},
+        {"pow", ir::IntrinsicId::Pow, 2},
+        {"abs", ir::IntrinsicId::Fabs, 1},
+        {"min", ir::IntrinsicId::Fmin, 2},
+        {"max", ir::IntrinsicId::Fmax, 2},
+        {"sin", ir::IntrinsicId::Sin, 1},
+        {"cos", ir::IntrinsicId::Cos, 1},
+        {"floor", ir::IntrinsicId::Floor, 1},
+    };
+    for (const MathFn& fn : kMath) {
+      if (expr.name != fn.name) continue;
+      if (expr.children.size() != fn.arity) {
+        error(expr.line, strf("%s() takes %u argument(s)", fn.name,
+                              fn.arity));
+        return {};
+      }
+      TypedValue first = lower_expr(*expr.children[0], scope, ctx);
+      if (!first.value) return {};
+      first = to_float(first, expr.line);
+      if (fn.arity == 1) {
+        TypedValue out = first;
+        out.value = kb_->intrinsic_call(fn.id, first.value);
+        return out;
+      }
+      TypedValue second = lower_expr(*expr.children[1], scope, ctx);
+      if (!second.value) return {};
+      second = to_float(second, expr.line);
+      if (!unify(&first, &second, expr.line)) return {};
+      TypedValue out = first;
+      out.value = kb_->intrinsic_call(fn.id, first.value, second.value);
+      return out;
+    }
+    error(expr.line, "unknown function '" + expr.name + "'");
+    return {};
+  }
+
+  // --- array access vectorization ----------------------------------------------
+
+  /// Index shape inside a foreach: contiguous (== loop var), offset
+  /// (loop var ± uniform), uniform, or general (gather/scatter).
+  enum class IndexShape { Contiguous, Offset, Uniform, General };
+
+  IndexShape classify_index(const Expr& index, ForeachCtx* ctx,
+                            const std::string& loop_var, Scope& scope,
+                            const Expr** offset_out, bool* negate_offset) {
+    *offset_out = nullptr;
+    *negate_offset = false;
+    if (!ctx) return IndexShape::Uniform;
+    if (index.kind == ExprKind::VarRef && index.name == loop_var) {
+      return IndexShape::Contiguous;
+    }
+    if (index.kind == ExprKind::Binary &&
+        (index.binary_op == BinaryOp::Add ||
+         index.binary_op == BinaryOp::Sub)) {
+      const Expr& lhs = *index.children[0];
+      const Expr& rhs = *index.children[1];
+      if (lhs.kind == ExprKind::VarRef && lhs.name == loop_var &&
+          is_uniform_expr(rhs, scope, loop_var)) {
+        *offset_out = &rhs;
+        *negate_offset = index.binary_op == BinaryOp::Sub;
+        return IndexShape::Offset;
+      }
+      if (index.binary_op == BinaryOp::Add &&
+          rhs.kind == ExprKind::VarRef && rhs.name == loop_var &&
+          is_uniform_expr(lhs, scope, loop_var)) {
+        *offset_out = &lhs;
+        return IndexShape::Offset;
+      }
+    }
+    if (is_uniform_expr(index, scope, loop_var)) return IndexShape::Uniform;
+    return IndexShape::General;
+  }
+
+  /// Conservative uniform-ness: no reference to any varying binding.
+  bool is_uniform_expr(const Expr& expr, Scope& scope,
+                       const std::string& loop_var) {
+    if (expr.kind == ExprKind::VarRef) {
+      if (expr.name == loop_var) return false;
+      auto it = scope.find(expr.name);
+      return it == scope.end() || !it->second.varying;
+    }
+    if (expr.kind == ExprKind::ArrayIndex) {
+      return is_uniform_expr(*expr.children[0], scope, loop_var);
+    }
+    for (const auto& child : expr.children) {
+      if (!is_uniform_expr(*child, scope, loop_var)) return false;
+    }
+    return true;
+  }
+
+  const Binding* array_binding(const Expr& expr, Scope& scope) {
+    auto it = scope.find(expr.name);
+    if (it == scope.end() || it->second.kind != Binding::Kind::Array) {
+      error(expr.line, "'" + expr.name + "' is not an array");
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  TypedValue lower_array_load(const Expr& expr, Scope& scope,
+                              ForeachCtx* ctx) {
+    const Binding* array = array_binding(expr, scope);
+    if (!array) return {};
+    const Expr& index = *expr.children[0];
+    const Type elem = scalar_type(array->elem);
+
+    TypedValue out;
+    out.elem = array->elem;
+
+    const Expr* offset_expr;
+    bool negate;
+    switch (classify_index(index, ctx, loop_var_, scope, &offset_expr,
+                           &negate)) {
+      case IndexShape::Contiguous:
+        out.varying = true;
+        out.value = ctx->load(elem, array->value);
+        return out;
+      case IndexShape::Offset: {
+        TypedValue off = lower_expr(*offset_expr, scope, ctx);
+        if (!off.value) return {};
+        off = to_int(off, expr.line);
+        ir::Value* off_value = off.value;
+        if (negate) {
+          off_value = b().sub(b().i32_const(0), off_value, "neg_off");
+        }
+        out.varying = true;
+        out.value = ctx->load_offset(elem, array->value, off_value);
+        return out;
+      }
+      case IndexShape::Uniform: {
+        TypedValue idx = lower_expr(index, scope, ctx);
+        if (!idx.value) return {};
+        idx = to_int(idx, expr.line);
+        ir::Value* addr = b().gep(array->value, idx.value,
+                                  elem.element_bytes(), "uaddr");
+        ir::Value* scalar = b().load(elem, addr, "uload");
+        if (ctx) {
+          // A uniform load read inside a vectorized loop is broadcast —
+          // the Figure-9 pattern the uniform detector protects.
+          out.varying = true;
+          out.value = kb_->uniform(scalar);
+        } else {
+          out.value = scalar;
+        }
+        return out;
+      }
+      case IndexShape::General: {
+        TypedValue idx = lower_expr(index, scope, ctx);
+        if (!idx.value) return {};
+        idx = to_int(idx, expr.line);
+        if (!idx.varying) {
+          error(expr.line, "internal: general index should be varying");
+          return {};
+        }
+        out.varying = true;
+        out.value = ctx->gather(elem, array->value, idx.value);
+        return out;
+      }
+    }
+    return {};
+  }
+
+  void lower_array_store(const Stmt& stmt, TypedValue value, Scope& scope,
+                         ForeachCtx* ctx) {
+    Expr ref(ExprKind::ArrayIndex);
+    ref.name = stmt.name;
+    ref.line = stmt.line;
+    const Binding* array = array_binding(ref, scope);
+    if (!array) return;
+    const Type elem = scalar_type(array->elem);
+
+    // Coerce the value to the array's element type.
+    value = array->elem == ElemType::Float ? to_float(value, stmt.line)
+                                           : to_int(value, stmt.line);
+    if (!value.value) return;
+
+    const Expr& index = *stmt.index;
+    const Expr* offset_expr;
+    bool negate;
+    const IndexShape shape =
+        classify_index(index, ctx, loop_var_, scope, &offset_expr, &negate);
+
+    if (shape == IndexShape::Uniform) {
+      if (value.varying) {
+        error(stmt.line,
+              "cannot store a varying value through a uniform index");
+        return;
+      }
+      TypedValue idx = lower_expr(index, scope, ctx);
+      if (!idx.value) return;
+      idx = to_int(idx, stmt.line);
+      ir::Value* addr = b().gep(array->value, idx.value,
+                                elem.element_bytes(), "uaddr");
+      b().store(value.value, addr);
+      return;
+    }
+    if (!ctx) {
+      error(stmt.line, "vector array stores require a foreach loop");
+      return;
+    }
+    value = to_varying(value);
+    switch (shape) {
+      case IndexShape::Contiguous:
+        ctx->store(value.value, array->value);
+        return;
+      case IndexShape::Offset: {
+        TypedValue off = lower_expr(*offset_expr, scope, ctx);
+        if (!off.value) return;
+        off = to_int(off, stmt.line);
+        ir::Value* off_value = off.value;
+        if (negate) {
+          off_value = b().sub(b().i32_const(0), off_value, "neg_off");
+        }
+        ctx->store_offset(value.value, array->value, off_value);
+        return;
+      }
+      case IndexShape::General: {
+        TypedValue idx = lower_expr(index, scope, ctx);
+        if (!idx.value) return;
+        idx = to_int(idx, stmt.line);
+        ctx->scatter(value.value, array->value, idx.value);
+        return;
+      }
+      case IndexShape::Uniform:
+        break;  // handled above
+    }
+  }
+
+  // --- statements ------------------------------------------------------------
+
+  /// Plain-variable assignments anywhere in `stmts` (loop-carried /
+  /// reduction detection records the operator too).
+  struct AssignedVar {
+    std::string name;
+    AssignOp op;
+    int line;
+  };
+  static void collect_assigned(const std::vector<StmtPtr>& stmts,
+                               std::vector<AssignedVar>* out) {
+    for (const StmtPtr& stmt : stmts) {
+      if (stmt->kind == StmtKind::Assign && !stmt->index) {
+        out->push_back({stmt->name, stmt->assign_op, stmt->line});
+      }
+      collect_assigned(stmt->body, out);
+    }
+  }
+
+  void lower_stmts(const std::vector<StmtPtr>& stmts, Scope& scope,
+                   ForeachCtx* ctx) {
+    for (const StmtPtr& stmt : stmts) {
+      if (!errors_.empty()) return;
+      lower_stmt(*stmt, scope, ctx);
+    }
+  }
+
+  void lower_stmt(const Stmt& stmt, Scope& scope, ForeachCtx* ctx) {
+    switch (stmt.kind) {
+      case StmtKind::Decl: {
+        if (scope.count(stmt.name)) {
+          error(stmt.line, "redeclaration of '" + stmt.name + "'");
+          return;
+        }
+        TypedValue init = lower_expr(*stmt.value, scope, ctx);
+        if (!init.value) return;
+        init = stmt.decl_type == ElemType::Float ? to_float(init, stmt.line)
+                                                 : to_int(init, stmt.line);
+        if (!init.value) return;
+        if (stmt.decl_uniform && init.varying) {
+          error(stmt.line,
+                "cannot initialize a uniform variable with a varying value");
+          return;
+        }
+        if (!stmt.decl_uniform) {
+          if (!ctx) {
+            error(stmt.line,
+                  "varying declarations are only legal inside foreach "
+                  "(add 'uniform' outside)");
+            return;
+          }
+          init = to_varying(init);
+        }
+        Binding binding;
+        binding.elem = stmt.decl_type;
+        binding.varying = init.varying;
+        binding.value = init.value;
+        scope[stmt.name] = binding;
+        return;
+      }
+      case StmtKind::Assign: {
+        if (stmt.index) {
+          TypedValue value = lower_expr(*stmt.value, scope, ctx);
+          if (!value.value) return;
+          if (stmt.assign_op != AssignOp::Set) {
+            // a[i] op= v  ==>  a[i] = a[i] op v
+            Expr load(ExprKind::ArrayIndex);
+            load.name = stmt.name;
+            load.line = stmt.line;
+            load.children.push_back(clone_expr(*stmt.index));
+            TypedValue current = lower_array_load(load, scope, ctx);
+            if (!current.value) return;
+            value = apply_compound(current, value, stmt.assign_op,
+                                   stmt.line);
+            if (!value.value) return;
+          }
+          lower_array_store(stmt, value, scope, ctx);
+          return;
+        }
+        auto it = scope.find(stmt.name);
+        if (it == scope.end()) {
+          error(stmt.line, "assignment to undeclared '" + stmt.name + "'");
+          return;
+        }
+        Binding& binding = it->second;
+        if (binding.kind == Binding::Kind::Array) {
+          error(stmt.line, "cannot assign to an array name");
+          return;
+        }
+        TypedValue value = lower_expr(*stmt.value, scope, ctx);
+        if (!value.value) return;
+        value = binding.elem == ElemType::Float ? to_float(value, stmt.line)
+                                                : to_int(value, stmt.line);
+        if (!value.value) return;
+        if (stmt.assign_op != AssignOp::Set) {
+          TypedValue current;
+          current.elem = binding.elem;
+          current.varying = binding.varying;
+          current.value = binding.value;
+          value = apply_compound(current, value, stmt.assign_op, stmt.line);
+          if (!value.value) return;
+        }
+        if (!binding.varying && value.varying) {
+          error(stmt.line,
+                "cannot assign a varying value to a uniform variable "
+                "(uniform '+=' reductions are only legal directly inside "
+                "foreach)");
+          return;
+        }
+        if (binding.varying) value = to_varying(value);
+        binding.value = value.value;
+        return;
+      }
+      case StmtKind::For:
+        lower_for(stmt, scope, ctx);
+        return;
+      case StmtKind::Foreach:
+        if (ctx) {
+          error(stmt.line, "foreach loops do not nest");
+          return;
+        }
+        lower_foreach(stmt, scope);
+        return;
+    }
+  }
+
+  TypedValue apply_compound(TypedValue current, TypedValue rhs, AssignOp op,
+                            int line) {
+    if (!unify(&current, &rhs, line)) return {};
+    TypedValue out = current;
+    if (current.elem == ElemType::Float) {
+      switch (op) {
+        case AssignOp::Add: out.value = b().fadd(current.value, rhs.value, "cadd"); break;
+        case AssignOp::Sub: out.value = b().fsub(current.value, rhs.value, "csub"); break;
+        case AssignOp::Mul: out.value = b().fmul(current.value, rhs.value, "cmul"); break;
+        case AssignOp::Set: out.value = rhs.value; break;
+      }
+    } else {
+      switch (op) {
+        case AssignOp::Add: out.value = b().add(current.value, rhs.value, "cadd"); break;
+        case AssignOp::Sub: out.value = b().sub(current.value, rhs.value, "csub"); break;
+        case AssignOp::Mul: out.value = b().mul(current.value, rhs.value, "cmul"); break;
+        case AssignOp::Set: out.value = rhs.value; break;
+      }
+    }
+    return out;
+  }
+
+  static ExprPtr clone_expr(const Expr& expr) {
+    auto copy = std::make_unique<Expr>(expr.kind);
+    copy->line = expr.line;
+    copy->int_value = expr.int_value;
+    copy->float_value = expr.float_value;
+    copy->name = expr.name;
+    copy->binary_op = expr.binary_op;
+    copy->unary_not = expr.unary_not;
+    for (const auto& child : expr.children) {
+      copy->children.push_back(clone_expr(*child));
+    }
+    return copy;
+  }
+
+  void lower_for(const Stmt& stmt, Scope& scope, ForeachCtx* ctx) {
+    TypedValue start = lower_expr(*stmt.value, scope, ctx);
+    TypedValue bound = lower_expr(*stmt.bound, scope, ctx);
+    if (!start.value || !bound.value) return;
+    start = to_int(start, stmt.line);
+    bound = to_int(bound, stmt.line);
+    if (start.varying || bound.varying) {
+      error(stmt.line, "for-loop bounds must be uniform");
+      return;
+    }
+
+    // Variables reassigned in the body become loop-carried values.
+    std::vector<AssignedVar> assigned;
+    collect_assigned(stmt.body, &assigned);
+    std::vector<std::string> carried_names;
+    std::vector<ir::Value*> carried_init;
+    for (const AssignedVar& var : assigned) {
+      const std::string& name = var.name;
+      auto it = scope.find(name);
+      if (it == scope.end() ||
+          it->second.kind != Binding::Kind::Scalar) {
+        continue;
+      }
+      if (std::find(carried_names.begin(), carried_names.end(), name) !=
+          carried_names.end()) {
+        continue;
+      }
+      carried_names.push_back(name);
+      carried_init.push_back(it->second.value);
+    }
+
+    auto finals = kb_->scalar_loop(
+        start.value, bound.value, carried_init,
+        [&](ir::Value* iv, const std::vector<ir::Value*>& carried)
+            -> std::vector<ir::Value*> {
+          Scope body_scope = scope;
+          Binding iv_binding;
+          iv_binding.elem = ElemType::Int;
+          iv_binding.value = iv;
+          body_scope[stmt.name] = iv_binding;
+          for (std::size_t i = 0; i < carried_names.size(); ++i) {
+            body_scope[carried_names[i]].value = carried[i];
+          }
+          lower_stmts(stmt.body, body_scope, ctx);
+          std::vector<ir::Value*> updated;
+          for (const std::string& name : carried_names) {
+            updated.push_back(body_scope[name].value);
+          }
+          return updated;
+        },
+        stmt.name.c_str());
+    for (std::size_t i = 0; i < carried_names.size(); ++i) {
+      scope[carried_names[i]].value = finals[i];
+    }
+  }
+
+  void lower_foreach(const Stmt& stmt, Scope& scope) {
+    TypedValue start = lower_expr(*stmt.value, scope, nullptr);
+    TypedValue bound = lower_expr(*stmt.bound, scope, nullptr);
+    if (!start.value || !bound.value) return;
+    start = to_int(start, stmt.line);
+    bound = to_int(bound, stmt.line);
+    if (start.varying || bound.varying) {
+      error(stmt.line, "foreach bounds must be uniform");
+      return;
+    }
+
+    // Uniform scalars accumulated with '+=' inside the loop become
+    // per-lane accumulators reduced on exit (ISPC's reduce_add idiom).
+    // Any other assignment to a uniform variable inside foreach is a
+    // cross-lane race and is rejected.
+    std::vector<AssignedVar> assigned;
+    collect_assigned(stmt.body, &assigned);
+    std::vector<std::string> reduce_names;
+    for (const AssignedVar& var : assigned) {
+      auto it = scope.find(var.name);
+      if (it == scope.end() ||
+          it->second.kind != Binding::Kind::Scalar ||
+          it->second.varying) {
+        continue;
+      }
+      if (var.op != AssignOp::Add) {
+        error(var.line,
+              "only '+=' reductions may update a uniform variable inside "
+              "foreach");
+        return;
+      }
+      if (std::find(reduce_names.begin(), reduce_names.end(), var.name) ==
+          reduce_names.end()) {
+        reduce_names.push_back(var.name);
+      }
+    }
+    std::vector<ir::Value*> init;
+    for (const std::string& name : reduce_names) {
+      const Binding& binding = scope[name];
+      init.push_back(binding.elem == ElemType::Float
+                         ? static_cast<ir::Value*>(kb_->vconst_f32(0.0f))
+                         : static_cast<ir::Value*>(kb_->vconst_i32(0)));
+    }
+
+    loop_var_ = stmt.name;
+    auto finals = kb_->foreach_reduce(
+        start.value, bound.value, init,
+        [&](ForeachCtx& ctx, const std::vector<ir::Value*>& carried)
+            -> std::vector<ir::Value*> {
+          Scope body_scope = scope;
+          Binding iv_binding;
+          iv_binding.elem = ElemType::Int;
+          iv_binding.varying = true;
+          iv_binding.value = ctx.index();
+          body_scope[stmt.name] = iv_binding;
+          // Reduction accumulators appear as varying zero-initialized
+          // partials inside the loop.
+          for (std::size_t i = 0; i < reduce_names.size(); ++i) {
+            Binding& binding = body_scope[reduce_names[i]];
+            binding.varying = true;
+            binding.value = carried[i];
+          }
+          lower_stmts(stmt.body, body_scope, &ctx);
+          std::vector<ir::Value*> updated;
+          for (const std::string& name : reduce_names) {
+            updated.push_back(body_scope[name].value);
+          }
+          return updated;
+        });
+    loop_var_.clear();
+
+    // Fold the lane partials into the uniform accumulators.
+    for (std::size_t i = 0; i < reduce_names.size(); ++i) {
+      Binding& binding = scope[reduce_names[i]];
+      ir::Value* lane_sum = kb_->reduce_add(finals[i]);
+      binding.value =
+          binding.elem == ElemType::Float
+              ? b().fadd(binding.value, lane_sum, reduce_names[i] + "_red")
+              : b().add(binding.value, lane_sum, reduce_names[i] + "_red");
+    }
+  }
+
+  const Kernel& kernel_;
+  const Target& target_;
+  std::vector<std::string>& errors_;
+  std::unique_ptr<KernelBuilder> kb_;
+  Scope globals_;
+  std::string loop_var_;
+};
+
+}  // namespace
+
+CompileResult compile_program(const std::string& source, const Target& target,
+                              const std::string& module_name) {
+  CompileResult result;
+  ProgramParseResult parsed = parse_program(source);
+  if (!parsed.ok()) {
+    result.errors = std::move(parsed.errors);
+    return result;
+  }
+  auto module = std::make_unique<ir::Module>(module_name);
+  for (const auto& kernel : parsed.program->kernels) {
+    KernelCompiler compiler(*kernel, *module, target, result.errors);
+    if (!compiler.run()) return result;
+  }
+  const auto verify_errors = ir::verify(*module);
+  for (const std::string& err : verify_errors) {
+    result.errors.push_back("internal codegen error: " + err);
+  }
+  if (result.errors.empty()) result.module = std::move(module);
+  return result;
+}
+
+}  // namespace vulfi::spmd::lang

@@ -1,0 +1,63 @@
+// Compiler for the ISPC-like kernel language — the role the ISPC compiler
+// plays in the paper: a SPMD front end whose code generator lowers
+// `foreach` loops and `uniform` values to the vector IR, producing exactly
+// the code-generation patterns (Figure 7 CFG, Figure 9 broadcasts, masked
+// partial iterations) that the detectors of §III pattern-match.
+//
+// Language (a compact ISPC subset):
+//
+//   kernel scale(uniform float data[], uniform int n, uniform float f) {
+//     foreach (i = 0 ... n) {
+//       data[i] = f * data[i];          // contiguous vector load/store
+//     }
+//   }
+//
+//   kernel dot(uniform float a[], uniform float b[],
+//              uniform float out[], uniform int n) {
+//     uniform float sum = 0.0;
+//     foreach (i = 0 ... n) {
+//       sum += a[i] * b[i];             // cross-lane reduction sugar
+//     }
+//     out[0] = sum;
+//   }
+//
+//  * Types: `float`, `int`; `uniform T x` is scalar, plain `T x` (legal
+//    only inside foreach) is varying; `T name[]` parameters are arrays.
+//  * Statements: declarations, assignments (= += -= *=), `foreach
+//    (i = lo ... hi)`, and `for (uniform int k = lo; k < hi; k++)` with
+//    loop-carried reassignment.
+//  * Expressions: arithmetic, comparisons, && || !, ternary ?:
+//    (vector-selected when varying), array indexing, calls to sqrt, exp,
+//    log, pow, abs, min, max, sin, cos, floor, and float()/int() casts.
+//  * Array accesses inside foreach vectorize by index shape: `a[i]` is a
+//    contiguous (masked in the remainder) access, `a[i + c]` with uniform
+//    c an offset access, a uniform index a broadcast scalar access, and
+//    anything else a gather/scatter.
+//  * `uniform_var += <varying>` inside foreach accumulates per lane and
+//    folds with a reduction on loop exit (ISPC's reduce_add idiom).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "spmd/target.hpp"
+
+namespace vulfi::spmd::lang {
+
+struct CompileResult {
+  std::unique_ptr<ir::Module> module;  // nullptr on failure
+  std::vector<std::string> errors;
+
+  bool ok() const { return module != nullptr && errors.empty(); }
+};
+
+/// Compiles every kernel in `source` into one module for `target`.
+/// Kernel parameters become IR function parameters in order (arrays as
+/// pointers, uniform scalars as f32/i32).
+CompileResult compile_program(const std::string& source,
+                              const Target& target,
+                              const std::string& module_name = "ispc_module");
+
+}  // namespace vulfi::spmd::lang

@@ -1,0 +1,180 @@
+#include "spmd/lang/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/str.hpp"
+
+namespace vulfi::spmd::lang {
+
+const char* tok_kind_name(TokKind kind) {
+  switch (kind) {
+    case TokKind::End: return "end of input";
+    case TokKind::Identifier: return "identifier";
+    case TokKind::IntLiteral: return "integer literal";
+    case TokKind::FloatLiteral: return "float literal";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::Comma: return "','";
+    case TokKind::Semicolon: return "';'";
+    case TokKind::Question: return "'?'";
+    case TokKind::Colon: return "':'";
+    case TokKind::Assign: return "'='";
+    case TokKind::PlusAssign: return "'+='";
+    case TokKind::MinusAssign: return "'-='";
+    case TokKind::StarAssign: return "'*='";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Percent: return "'%'";
+    case TokKind::Less: return "'<'";
+    case TokKind::LessEq: return "'<='";
+    case TokKind::Greater: return "'>'";
+    case TokKind::GreaterEq: return "'>='";
+    case TokKind::EqEq: return "'=='";
+    case TokKind::NotEq: return "'!='";
+    case TokKind::AndAnd: return "'&&'";
+    case TokKind::OrOr: return "'||'";
+    case TokKind::Not: return "'!'";
+    case TokKind::Ellipsis: return "'...'";
+    case TokKind::PlusPlus: return "'++'";
+  }
+  return "?";
+}
+
+LexResult lex(const std::string& source) {
+  LexResult result;
+  int line = 1;
+  int column = 1;
+  std::size_t pos = 0;
+
+  auto make = [&](TokKind kind) {
+    Token token;
+    token.kind = kind;
+    token.line = line;
+    token.column = column;
+    return token;
+  };
+  auto advance = [&](std::size_t n) {
+    pos += n;
+    column += static_cast<int>(n);
+  };
+
+  while (pos < source.size()) {
+    const char ch = source[pos];
+    if (ch == '\n') {
+      pos += 1;
+      line += 1;
+      column = 1;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      advance(1);
+      continue;
+    }
+    if (ch == '/' && pos + 1 < source.size() && source[pos + 1] == '/') {
+      while (pos < source.size() && source[pos] != '\n') pos += 1;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      Token token = make(TokKind::Identifier);
+      std::size_t start = pos;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[pos])) ||
+              source[pos] == '_')) {
+        pos += 1;
+      }
+      token.text = source.substr(start, pos - start);
+      column += static_cast<int>(pos - start);
+      result.tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      Token token = make(TokKind::IntLiteral);
+      std::size_t start = pos;
+      bool is_float = false;
+      while (pos < source.size()) {
+        const char digit = source[pos];
+        if (std::isdigit(static_cast<unsigned char>(digit))) {
+          pos += 1;
+        } else if (digit == '.' && pos + 1 < source.size() &&
+                   source[pos + 1] != '.') {
+          // Lookahead keeps "0..." (range) from becoming a float.
+          is_float = true;
+          pos += 1;
+        } else if (digit == 'e' || digit == 'E') {
+          is_float = true;
+          pos += 1;
+          if (pos < source.size() &&
+              (source[pos] == '+' || source[pos] == '-')) {
+            pos += 1;
+          }
+        } else if (digit == 'f') {
+          is_float = true;
+          pos += 1;
+          break;
+        } else {
+          break;
+        }
+      }
+      token.text = source.substr(start, pos - start);
+      column += static_cast<int>(pos - start);
+      if (is_float) {
+        token.kind = TokKind::FloatLiteral;
+        token.float_value = std::strtod(token.text.c_str(), nullptr);
+      } else {
+        token.int_value = std::strtoll(token.text.c_str(), nullptr, 10);
+      }
+      result.tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Punctuation; longest-match first.
+    struct Punct {
+      const char* spelling;
+      TokKind kind;
+    };
+    static const Punct kPuncts[] = {
+        {"...", TokKind::Ellipsis}, {"<=", TokKind::LessEq},
+        {">=", TokKind::GreaterEq}, {"==", TokKind::EqEq},
+        {"!=", TokKind::NotEq},     {"&&", TokKind::AndAnd},
+        {"||", TokKind::OrOr},      {"+=", TokKind::PlusAssign},
+        {"-=", TokKind::MinusAssign}, {"*=", TokKind::StarAssign},
+        {"++", TokKind::PlusPlus},  {"(", TokKind::LParen},
+        {")", TokKind::RParen},     {"{", TokKind::LBrace},
+        {"}", TokKind::RBrace},     {"[", TokKind::LBracket},
+        {"]", TokKind::RBracket},   {",", TokKind::Comma},
+        {";", TokKind::Semicolon},  {"?", TokKind::Question},
+        {":", TokKind::Colon},      {"=", TokKind::Assign},
+        {"+", TokKind::Plus},       {"-", TokKind::Minus},
+        {"*", TokKind::Star},       {"/", TokKind::Slash},
+        {"%", TokKind::Percent},    {"<", TokKind::Less},
+        {">", TokKind::Greater},    {"!", TokKind::Not},
+    };
+    bool matched = false;
+    for (const Punct& punct : kPuncts) {
+      const std::size_t len = std::strlen(punct.spelling);
+      if (source.compare(pos, len, punct.spelling) == 0) {
+        result.tokens.push_back(make(punct.kind));
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      result.errors.push_back(
+          strf("line %d: unexpected character '%c'", line, ch));
+      advance(1);
+    }
+  }
+  result.tokens.push_back(make(TokKind::End));
+  return result;
+}
+
+}  // namespace vulfi::spmd::lang

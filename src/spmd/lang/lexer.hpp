@@ -1,0 +1,52 @@
+// Lexer for the ISPC-like kernel language (see compiler.hpp for the
+// language definition). Produces a token stream with line/column info for
+// diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vulfi::spmd::lang {
+
+enum class TokKind : std::uint8_t {
+  End,
+  Identifier,   // names and keywords (keyword-ness decided by the parser)
+  IntLiteral,   // 123
+  FloatLiteral, // 1.5, 2e-3, 1.f-style not supported
+  // Punctuation / operators:
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Question, Colon,
+  Assign,        // =
+  PlusAssign,    // +=
+  MinusAssign,   // -=
+  StarAssign,    // *=
+  Plus, Minus, Star, Slash, Percent,
+  Less, LessEq, Greater, GreaterEq, EqEq, NotEq,
+  AndAnd, OrOr, Not,
+  Ellipsis,      // ... (foreach range)
+  PlusPlus,      // ++
+};
+
+const char* tok_kind_name(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;        // identifier spelling / literal text
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int column = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  // always terminated by an End token
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Tokenizes `source`. Comments: `//` to end of line.
+LexResult lex(const std::string& source);
+
+}  // namespace vulfi::spmd::lang

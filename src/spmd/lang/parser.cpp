@@ -1,0 +1,432 @@
+#include "spmd/lang/parser.hpp"
+
+#include "spmd/lang/lexer.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::spmd::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ProgramParseResult run() {
+    auto program = std::make_unique<Program>();
+    while (!at(TokKind::End) && errors_.empty()) {
+      auto kernel = parse_kernel();
+      if (kernel) program->kernels.push_back(std::move(kernel));
+    }
+    ProgramParseResult result;
+    result.errors = std::move(errors_);
+    if (result.errors.empty()) result.program = std::move(program);
+    return result;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    const std::size_t index =
+        std::min(pos_ + static_cast<std::size_t>(ahead),
+                 tokens_.size() - 1);
+    return tokens_[index];
+  }
+  bool at(TokKind kind) const { return peek().kind == kind; }
+  bool at_keyword(const char* word) const {
+    return at(TokKind::Identifier) && peek().text == word;
+  }
+  Token take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool try_take(TokKind kind) {
+    if (!at(kind)) return false;
+    pos_ += 1;
+    return true;
+  }
+  bool try_take_keyword(const char* word) {
+    if (!at_keyword(word)) return false;
+    pos_ += 1;
+    return true;
+  }
+
+  void error(const std::string& message) {
+    errors_.push_back(strf("line %d: %s", peek().line, message.c_str()));
+  }
+
+  bool expect(TokKind kind) {
+    if (try_take(kind)) return true;
+    error(strf("expected %s, found %s", tok_kind_name(kind),
+               tok_kind_name(peek().kind)));
+    return false;
+  }
+
+  std::string expect_identifier(const char* what) {
+    if (!at(TokKind::Identifier)) {
+      error(strf("expected %s", what));
+      return "";
+    }
+    return take().text;
+  }
+
+  bool parse_elem_type(ElemType* elem) {
+    if (try_take_keyword("float")) {
+      *elem = ElemType::Float;
+      return true;
+    }
+    if (try_take_keyword("int")) {
+      *elem = ElemType::Int;
+      return true;
+    }
+    return false;
+  }
+
+  // --- kernels -----------------------------------------------------------
+
+  std::unique_ptr<Kernel> parse_kernel() {
+    if (!try_take_keyword("kernel")) {
+      error("expected 'kernel'");
+      pos_ += 1;  // make progress
+      return nullptr;
+    }
+    auto kernel = std::make_unique<Kernel>();
+    kernel->line = peek().line;
+    kernel->name = expect_identifier("kernel name");
+    if (!expect(TokKind::LParen)) return nullptr;
+    if (!try_take(TokKind::RParen)) {
+      while (true) {
+        Param param;
+        param.line = peek().line;
+        param.is_uniform = try_take_keyword("uniform");
+        if (!parse_elem_type(&param.elem)) {
+          error("expected parameter type (float or int)");
+          return nullptr;
+        }
+        param.name = expect_identifier("parameter name");
+        if (try_take(TokKind::LBracket)) {
+          if (!expect(TokKind::RBracket)) return nullptr;
+          param.is_array = true;
+        }
+        if (!param.is_uniform) {
+          error("parameters must be declared 'uniform' (ISPC exported "
+                "kernels take uniform parameters)");
+          return nullptr;
+        }
+        kernel->params.push_back(std::move(param));
+        if (try_take(TokKind::RParen)) break;
+        if (!expect(TokKind::Comma)) return nullptr;
+      }
+    }
+    if (!parse_block(&kernel->body)) return nullptr;
+    return kernel;
+  }
+
+  bool parse_block(std::vector<StmtPtr>* out) {
+    if (!expect(TokKind::LBrace)) return false;
+    while (!try_take(TokKind::RBrace)) {
+      if (at(TokKind::End)) {
+        error("unterminated block");
+        return false;
+      }
+      StmtPtr stmt = parse_statement();
+      if (!stmt) return false;
+      out->push_back(std::move(stmt));
+    }
+    return true;
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  StmtPtr parse_statement() {
+    const int line = peek().line;
+    if (at_keyword("foreach")) return parse_foreach();
+    if (at_keyword("for")) return parse_for();
+
+    // Declaration: [uniform] (float|int) name = expr ;
+    if (at_keyword("uniform") || at_keyword("float") || at_keyword("int")) {
+      auto stmt = std::make_unique<Stmt>(StmtKind::Decl);
+      stmt->line = line;
+      stmt->decl_uniform = try_take_keyword("uniform");
+      if (!parse_elem_type(&stmt->decl_type)) {
+        error("expected type after 'uniform'");
+        return nullptr;
+      }
+      stmt->name = expect_identifier("variable name");
+      if (!expect(TokKind::Assign)) return nullptr;
+      stmt->value = parse_expr();
+      if (!stmt->value || !expect(TokKind::Semicolon)) return nullptr;
+      return stmt;
+    }
+
+    // Assignment: name [ '[' expr ']' ] (=|+=|-=|*=) expr ;
+    auto stmt = std::make_unique<Stmt>(StmtKind::Assign);
+    stmt->line = line;
+    stmt->name = expect_identifier("assignment target");
+    if (stmt->name.empty()) return nullptr;
+    if (try_take(TokKind::LBracket)) {
+      stmt->index = parse_expr();
+      if (!stmt->index || !expect(TokKind::RBracket)) return nullptr;
+    }
+    if (try_take(TokKind::Assign)) {
+      stmt->assign_op = AssignOp::Set;
+    } else if (try_take(TokKind::PlusAssign)) {
+      stmt->assign_op = AssignOp::Add;
+    } else if (try_take(TokKind::MinusAssign)) {
+      stmt->assign_op = AssignOp::Sub;
+    } else if (try_take(TokKind::StarAssign)) {
+      stmt->assign_op = AssignOp::Mul;
+    } else {
+      error("expected assignment operator");
+      return nullptr;
+    }
+    stmt->value = parse_expr();
+    if (!stmt->value || !expect(TokKind::Semicolon)) return nullptr;
+    return stmt;
+  }
+
+  StmtPtr parse_foreach() {
+    // Multi-dimensional foreach (ISPC: foreach (y = 0 ... h, x = 0 ... w))
+    // desugars here: every dimension except the last becomes a sequential
+    // uniform loop; the last dimension is the vectorized one — ISPC's own
+    // strategy, and the shape the paper's footnote 4 refers to.
+    const int line = peek().line;
+    try_take_keyword("foreach");
+    if (!expect(TokKind::LParen)) return nullptr;
+
+    struct Clause {
+      std::string name;
+      ExprPtr lo, hi;
+      int line;
+    };
+    std::vector<Clause> clauses;
+    while (true) {
+      Clause clause;
+      clause.line = peek().line;
+      clause.name = expect_identifier("foreach iterator name");
+      if (!expect(TokKind::Assign)) return nullptr;
+      clause.lo = parse_expr();
+      if (!clause.lo || !expect(TokKind::Ellipsis)) return nullptr;
+      clause.hi = parse_expr();
+      if (!clause.hi) return nullptr;
+      clauses.push_back(std::move(clause));
+      if (try_take(TokKind::RParen)) break;
+      if (!expect(TokKind::Comma)) return nullptr;
+    }
+
+    auto inner = std::make_unique<Stmt>(StmtKind::Foreach);
+    inner->line = line;
+    inner->name = clauses.back().name;
+    inner->value = std::move(clauses.back().lo);
+    inner->bound = std::move(clauses.back().hi);
+    if (!parse_block(&inner->body)) return nullptr;
+
+    StmtPtr current = std::move(inner);
+    for (std::size_t i = clauses.size() - 1; i-- > 0;) {
+      auto outer = std::make_unique<Stmt>(StmtKind::For);
+      outer->line = clauses[i].line;
+      outer->name = clauses[i].name;
+      outer->value = std::move(clauses[i].lo);
+      outer->bound = std::move(clauses[i].hi);
+      outer->body.push_back(std::move(current));
+      current = std::move(outer);
+    }
+    return current;
+  }
+
+  StmtPtr parse_for() {
+    // for (uniform int k = <expr>; k < <expr>; k++) { ... }
+    auto stmt = std::make_unique<Stmt>(StmtKind::For);
+    stmt->line = peek().line;
+    try_take_keyword("for");
+    if (!expect(TokKind::LParen)) return nullptr;
+    if (!try_take_keyword("uniform") || !try_take_keyword("int")) {
+      error("for loops take the form: for (uniform int k = a; k < b; k++)");
+      return nullptr;
+    }
+    stmt->name = expect_identifier("loop variable name");
+    if (!expect(TokKind::Assign)) return nullptr;
+    stmt->value = parse_expr();
+    if (!stmt->value || !expect(TokKind::Semicolon)) return nullptr;
+    const std::string cond_var = expect_identifier("loop variable");
+    if (cond_var != stmt->name || !expect(TokKind::Less)) {
+      error("for condition must be '<loop-var> < <bound>'");
+      return nullptr;
+    }
+    stmt->bound = parse_expr();
+    if (!stmt->bound || !expect(TokKind::Semicolon)) return nullptr;
+    const std::string inc_var = expect_identifier("loop variable");
+    if (inc_var != stmt->name || !expect(TokKind::PlusPlus)) {
+      error("for increment must be '<loop-var>++'");
+      return nullptr;
+    }
+    if (!expect(TokKind::RParen)) return nullptr;
+    if (!parse_block(&stmt->body)) return nullptr;
+    return stmt;
+  }
+
+  // --- expressions ------------------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_or();
+    if (!cond || !try_take(TokKind::Question)) return cond;
+    auto expr = std::make_unique<Expr>(ExprKind::Ternary);
+    expr->line = cond->line;
+    ExprPtr on_true = parse_expr();
+    if (!on_true || !expect(TokKind::Colon)) return nullptr;
+    ExprPtr on_false = parse_expr();
+    if (!on_false) return nullptr;
+    expr->children.push_back(std::move(cond));
+    expr->children.push_back(std::move(on_true));
+    expr->children.push_back(std::move(on_false));
+    return expr;
+  }
+
+  ExprPtr parse_binary_chain(ExprPtr (Parser::*next)(),
+                             std::initializer_list<std::pair<TokKind, BinaryOp>>
+                                 ops) {
+    ExprPtr lhs = (this->*next)();
+    if (!lhs) return nullptr;
+    while (true) {
+      bool matched = false;
+      for (const auto& [kind, op] : ops) {
+        if (try_take(kind)) {
+          ExprPtr rhs = (this->*next)();
+          if (!rhs) return nullptr;
+          auto expr = std::make_unique<Expr>(ExprKind::Binary);
+          expr->line = lhs->line;
+          expr->binary_op = op;
+          expr->children.push_back(std::move(lhs));
+          expr->children.push_back(std::move(rhs));
+          lhs = std::move(expr);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprPtr parse_or() {
+    return parse_binary_chain(&Parser::parse_and,
+                              {{TokKind::OrOr, BinaryOp::Or}});
+  }
+  ExprPtr parse_and() {
+    return parse_binary_chain(&Parser::parse_cmp,
+                              {{TokKind::AndAnd, BinaryOp::And}});
+  }
+  ExprPtr parse_cmp() {
+    return parse_binary_chain(&Parser::parse_add,
+                              {{TokKind::Less, BinaryOp::Lt},
+                               {TokKind::LessEq, BinaryOp::Le},
+                               {TokKind::Greater, BinaryOp::Gt},
+                               {TokKind::GreaterEq, BinaryOp::Ge},
+                               {TokKind::EqEq, BinaryOp::Eq},
+                               {TokKind::NotEq, BinaryOp::Ne}});
+  }
+  ExprPtr parse_add() {
+    return parse_binary_chain(&Parser::parse_mul,
+                              {{TokKind::Plus, BinaryOp::Add},
+                               {TokKind::Minus, BinaryOp::Sub}});
+  }
+  ExprPtr parse_mul() {
+    return parse_binary_chain(&Parser::parse_unary,
+                              {{TokKind::Star, BinaryOp::Mul},
+                               {TokKind::Slash, BinaryOp::Div},
+                               {TokKind::Percent, BinaryOp::Rem}});
+  }
+
+  ExprPtr parse_unary() {
+    if (try_take(TokKind::Minus)) {
+      auto expr = std::make_unique<Expr>(ExprKind::Unary);
+      expr->line = peek().line;
+      expr->unary_not = false;
+      ExprPtr operand = parse_unary();
+      if (!operand) return nullptr;
+      expr->children.push_back(std::move(operand));
+      return expr;
+    }
+    if (try_take(TokKind::Not)) {
+      auto expr = std::make_unique<Expr>(ExprKind::Unary);
+      expr->line = peek().line;
+      expr->unary_not = true;
+      ExprPtr operand = parse_unary();
+      if (!operand) return nullptr;
+      expr->children.push_back(std::move(operand));
+      return expr;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& token = peek();
+    if (token.kind == TokKind::IntLiteral) {
+      auto expr = std::make_unique<Expr>(ExprKind::IntLiteral);
+      expr->line = token.line;
+      expr->int_value = take().int_value;
+      return expr;
+    }
+    if (token.kind == TokKind::FloatLiteral) {
+      auto expr = std::make_unique<Expr>(ExprKind::FloatLiteral);
+      expr->line = token.line;
+      expr->float_value = take().float_value;
+      return expr;
+    }
+    if (token.kind == TokKind::LParen) {
+      take();
+      ExprPtr inner = parse_expr();
+      if (!inner || !expect(TokKind::RParen)) return nullptr;
+      return inner;
+    }
+    if (token.kind == TokKind::Identifier) {
+      const int line = token.line;
+      const std::string name = take().text;
+      if (try_take(TokKind::LParen)) {
+        auto expr = std::make_unique<Expr>(ExprKind::Call);
+        expr->line = line;
+        expr->name = name;
+        if (!try_take(TokKind::RParen)) {
+          while (true) {
+            ExprPtr arg = parse_expr();
+            if (!arg) return nullptr;
+            expr->children.push_back(std::move(arg));
+            if (try_take(TokKind::RParen)) break;
+            if (!expect(TokKind::Comma)) return nullptr;
+          }
+        }
+        return expr;
+      }
+      if (try_take(TokKind::LBracket)) {
+        auto expr = std::make_unique<Expr>(ExprKind::ArrayIndex);
+        expr->line = line;
+        expr->name = name;
+        ExprPtr index = parse_expr();
+        if (!index || !expect(TokKind::RBracket)) return nullptr;
+        expr->children.push_back(std::move(index));
+        return expr;
+      }
+      auto expr = std::make_unique<Expr>(ExprKind::VarRef);
+      expr->line = line;
+      expr->name = name;
+      return expr;
+    }
+    error(strf("unexpected %s in expression",
+               tok_kind_name(token.kind)));
+    return nullptr;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+ProgramParseResult parse_program(const std::string& source) {
+  LexResult lexed = lex(source);
+  if (!lexed.ok()) {
+    ProgramParseResult result;
+    result.errors = std::move(lexed.errors);
+    return result;
+  }
+  return Parser(std::move(lexed.tokens)).run();
+}
+
+}  // namespace vulfi::spmd::lang

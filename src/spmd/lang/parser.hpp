@@ -1,0 +1,21 @@
+// Recursive-descent parser for the ISPC-like kernel language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spmd/lang/ast.hpp"
+
+namespace vulfi::spmd::lang {
+
+struct ProgramParseResult {
+  std::unique_ptr<Program> program;  // nullptr on failure
+  std::vector<std::string> errors;
+
+  bool ok() const { return program != nullptr && errors.empty(); }
+};
+
+ProgramParseResult parse_program(const std::string& source);
+
+}  // namespace vulfi::spmd::lang

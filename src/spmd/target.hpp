@@ -1,0 +1,33 @@
+// Vector target configuration.
+//
+// The paper evaluates every benchmark twice: compiled for Intel AVX
+// (256-bit, 8 x f32/i32 lanes) and for SSE4 (128-bit, 4 lanes). At IR
+// level the difference is the vector width and which masked intrinsics the
+// code generator emits; both are captured here.
+#pragma once
+
+#include "ir/intrinsics.hpp"
+#include "ir/type.hpp"
+
+namespace vulfi::spmd {
+
+struct Target {
+  ir::Isa isa = ir::Isa::AVX;
+  /// Lanes for 32-bit elements — the foreach vector length Vl.
+  unsigned vector_width = 8;
+
+  static Target avx() { return Target{ir::Isa::AVX, 8}; }
+  static Target sse4() { return Target{ir::Isa::SSE4, 4}; }
+
+  const char* name() const { return ir::isa_name(isa); }
+
+  /// Varying version of a 32-bit scalar type.
+  ir::Type varying(ir::Type element) const {
+    return element.with_lanes(vector_width);
+  }
+  ir::Type varying_f32() const { return varying(ir::Type::f32()); }
+  ir::Type varying_i32() const { return varying(ir::Type::i32()); }
+  ir::Type varying_i1() const { return varying(ir::Type::i1()); }
+};
+
+}  // namespace vulfi::spmd

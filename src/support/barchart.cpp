@@ -1,0 +1,66 @@
+#include "support/barchart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vulfi {
+
+std::string stacked_bar(const std::vector<BarSegment>& segments,
+                        unsigned width) {
+  if (width == 0) return "[]";
+  // Largest-remainder apportionment of cells to segments.
+  struct Share {
+    std::size_t index;
+    unsigned cells;
+    double remainder;
+  };
+  std::vector<Share> shares;
+  unsigned used = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const double fraction =
+        std::clamp(segments[i].fraction, 0.0, 1.0);
+    const double exact = fraction * width;
+    Share share;
+    share.index = i;
+    share.cells = static_cast<unsigned>(exact);
+    share.remainder = exact - share.cells;
+    used += share.cells;
+    shares.push_back(share);
+  }
+  // Distribute leftover cells (from flooring) to the largest remainders,
+  // but never exceed the bar width.
+  double total = 0.0;
+  for (const BarSegment& segment : segments) {
+    total += std::clamp(segment.fraction, 0.0, 1.0);
+  }
+  const unsigned target = static_cast<unsigned>(
+      std::lround(std::min(total, 1.0) * width));
+  std::vector<Share*> by_remainder;
+  for (Share& share : shares) by_remainder.push_back(&share);
+  std::sort(by_remainder.begin(), by_remainder.end(),
+            [](const Share* a, const Share* b) {
+              return a->remainder > b->remainder;
+            });
+  for (Share* share : by_remainder) {
+    if (used >= target) break;
+    share->cells += 1;
+    used += 1;
+  }
+
+  std::string out = "[";
+  unsigned written = 0;
+  for (const Share& share : shares) {
+    const unsigned cells = std::min(share.cells, width - written);
+    out.append(cells, segments[share.index].glyph);
+    written += cells;
+  }
+  out.append(width - written, ' ');
+  out += ']';
+  return out;
+}
+
+std::string bar(double fraction, unsigned width, char glyph) {
+  return stacked_bar({{fraction, glyph}}, width);
+}
+
+}  // namespace vulfi

@@ -1,0 +1,29 @@
+// Text-mode stacked bar charts.
+//
+// Figures 10-12 of the paper are stacked bar charts; the bench binaries
+// render the same series as fixed-width ASCII bars alongside the numeric
+// tables, so the regenerated "figure" is visually comparable at a glance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vulfi {
+
+/// One segment of a stacked bar: a fraction in [0,1] and its fill glyph.
+struct BarSegment {
+  double fraction = 0.0;
+  char glyph = '#';
+};
+
+/// Renders segments left-to-right into a bar of `width` cells wrapped in
+/// brackets, e.g. {0.5,'#'},{0.3,'.'} at width 10 -> "[#####...  ]".
+/// Fractions are clamped to [0,1]; cells are apportioned by largest
+/// remainder so the filled total is round(width * sum).
+std::string stacked_bar(const std::vector<BarSegment>& segments,
+                        unsigned width = 40);
+
+/// A single-series bar (fraction of `width` filled with `glyph`).
+std::string bar(double fraction, unsigned width = 40, char glyph = '#');
+
+}  // namespace vulfi

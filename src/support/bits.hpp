@@ -1,0 +1,47 @@
+// Bit-level utilities used by the fault-injection runtime.
+//
+// The paper's fault model is a single-bit flip at a random bit position of
+// a register holding an integer or floating-point value (§II-B). These
+// helpers implement the flip on the IEEE-754 bit pattern, not on the
+// numeric value, so flips can produce NaNs/denormals/sign changes exactly
+// as a hardware upset would.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace vulfi {
+
+inline float flip_bit(float value, unsigned bit) {
+  const auto raw = std::bit_cast<std::uint32_t>(value);
+  return std::bit_cast<float>(raw ^ (std::uint32_t{1} << (bit & 31u)));
+}
+
+inline double flip_bit(double value, unsigned bit) {
+  const auto raw = std::bit_cast<std::uint64_t>(value);
+  return std::bit_cast<double>(raw ^ (std::uint64_t{1} << (bit & 63u)));
+}
+
+inline std::uint64_t flip_bit(std::uint64_t value, unsigned bit) {
+  return value ^ (std::uint64_t{1} << (bit & 63u));
+}
+
+inline std::int64_t flip_bit(std::int64_t value, unsigned bit) {
+  return static_cast<std::int64_t>(
+      flip_bit(static_cast<std::uint64_t>(value), bit));
+}
+
+inline std::uint32_t flip_bit(std::uint32_t value, unsigned bit) {
+  return value ^ (std::uint32_t{1} << (bit & 31u));
+}
+
+/// Flips `bit` within the low `width_bits` bits of `value`, leaving the
+/// rest untouched. Used for sub-64-bit integer registers (i1/i8/i16/i32):
+/// the flip position is always drawn from the register's real width.
+inline std::uint64_t flip_bit_in_width(std::uint64_t value, unsigned bit,
+                                       unsigned width_bits) {
+  if (width_bits == 0 || width_bits > 64) width_bits = 64;
+  return value ^ (std::uint64_t{1} << (bit % width_bits));
+}
+
+}  // namespace vulfi

@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vulfi {
+
+void fatal(std::string_view msg, const char* file, int line) {
+  std::fprintf(stderr, "vulfi fatal error at %s:%d: %.*s\n", file, line,
+               static_cast<int>(msg.size()), msg.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace vulfi

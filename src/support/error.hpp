@@ -1,0 +1,31 @@
+// Error handling primitives shared by every VULFI subsystem.
+//
+// The library distinguishes two failure classes:
+//  * programming errors (broken invariants inside this library) — these
+//    abort via VULFI_ASSERT / vulfi::fatal so bugs surface immediately;
+//  * simulated-program failures (the *interpreted* IR program trapping,
+//    e.g. an out-of-bounds access caused by an injected fault) — these are
+//    ordinary values of type interp::Trap and never abort the host.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace vulfi {
+
+/// Print `msg` with source location context to stderr and abort.
+/// Used for internal invariant violations only — never for failures of the
+/// simulated program under fault injection.
+[[noreturn]] void fatal(std::string_view msg, const char* file, int line);
+
+/// Abort with a message if `cond` is false. Active in all build types:
+/// fault-injection research tooling must fail loudly, not optimize away its
+/// own self-checks.
+#define VULFI_ASSERT(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) ::vulfi::fatal((msg), __FILE__, __LINE__);              \
+  } while (false)
+
+#define VULFI_UNREACHABLE(msg) ::vulfi::fatal((msg), __FILE__, __LINE__)
+
+}  // namespace vulfi

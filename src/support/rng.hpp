@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for fault-injection
+// campaigns.
+//
+// Fault-injection experiments must be reproducible: the same seed must pick
+// the same dynamic fault site and the same bit position on every run and on
+// every platform. std::mt19937 + std::uniform_int_distribution would give
+// per-libstdc++ results, so we implement xoshiro256** (Blackman/Vigna) with
+// our own bias-free bounded sampling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vulfi {
+
+/// splitmix64 — used to expand a single user seed into xoshiro state.
+/// Advances `state` and returns the next 64-bit output.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire-style rejection; bias-free.
+  /// bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Creates an independent child stream; deterministic given this
+  /// generator's state. Used to give each campaign its own stream.
+  Rng split();
+
+  /// 2^128 steps of the underlying sequence — canonical xoshiro jump,
+  /// used to derive non-overlapping parallel streams.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace vulfi

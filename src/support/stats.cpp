@@ -1,0 +1,151 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace vulfi {
+
+void OnlineStats::add(double x) {
+  // One-pass update of the first four central moments (Pébay 2008).
+  const double n1 = static_cast<double>(n_);
+  n_ += 1;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::std_error() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineStats::skewness() const {
+  if (n_ < 3 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double OnlineStats::excess_kurtosis() const {
+  if (n_ < 4 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double reg_incomplete_beta(double a, double b, double x) {
+  VULFI_ASSERT(a > 0.0 && b > 0.0, "incomplete beta: a, b must be positive");
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+
+  // ln B(a,b) via lgamma.
+  const double ln_beta = std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  const double front = std::exp(a * std::log(x) + b * std::log1p(-x) - ln_beta);
+
+  // Continued fraction converges fast for x < (a+1)/(a+b+2); otherwise use
+  // the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - reg_incomplete_beta(b, a, 1.0 - x);
+  }
+
+  // Modified Lentz continued fraction.
+  const double tiny = 1e-30;
+  double c = 1.0;
+  double d = 1.0 - (a + b) * x / (a + 1.0);
+  if (std::fabs(d) < tiny) d = tiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= 300; ++m) {
+    const double dm = static_cast<double>(m);
+    // Even step.
+    double numerator = dm * (b - dm) * x / ((a + 2.0 * dm - 1.0) * (a + 2.0 * dm));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    h *= d * c;
+    // Odd step.
+    numerator = -(a + dm) * (a + b + dm) * x /
+                ((a + 2.0 * dm) * (a + 2.0 * dm + 1.0));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-14) break;
+  }
+  return front * h / a;
+}
+
+namespace {
+
+/// CDF of Student's t with `df` degrees of freedom at `t` (t >= 0).
+double student_t_cdf(double t, double df) {
+  if (t == 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double p = 0.5 * reg_incomplete_beta(df / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - p : p;
+}
+
+}  // namespace
+
+double students_t_critical(double confidence, std::size_t df) {
+  VULFI_ASSERT(confidence > 0.0 && confidence < 1.0,
+               "confidence must be in (0,1)");
+  VULFI_ASSERT(df >= 1, "t critical value needs df >= 1");
+  const double target = 1.0 - (1.0 - confidence) / 2.0;  // upper tail point
+  // Bisection: t* in [0, 1000] covers every practical confidence level.
+  double lo = 0.0, hi = 1000.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, static_cast<double>(df)) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double margin_of_error(const OnlineStats& stats, double confidence) {
+  if (stats.count() < 2) return std::numeric_limits<double>::infinity();
+  const double t = students_t_critical(confidence, stats.count() - 1);
+  return t * stats.std_error();
+}
+
+double jarque_bera(const OnlineStats& stats) {
+  if (stats.count() < 4) return std::numeric_limits<double>::infinity();
+  const double n = static_cast<double>(stats.count());
+  const double g1 = stats.skewness();
+  const double g2 = stats.excess_kurtosis();
+  return n / 6.0 * (g1 * g1 + g2 * g2 / 4.0);
+}
+
+bool near_normal(const OnlineStats& stats, double jb_threshold) {
+  return jarque_bera(stats) < jb_threshold;
+}
+
+OnlineStats summarize(const std::vector<double>& xs) {
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+}  // namespace vulfi

@@ -1,0 +1,67 @@
+// Statistics for fault-injection campaigns (paper §IV-D).
+//
+// The paper runs campaigns of 100 experiments each; a campaign's SDC rate
+// is one random sample. Campaigns are repeated until (1) the sample
+// distribution is normal or near-normal and (2) the 95%-confidence margin
+// of error falls within ±3%. The margin of error uses "the standard
+// t-value based formula" [Weiss, Elementary Statistics]. This header
+// provides exactly those pieces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vulfi {
+
+/// Welford-style online accumulator for mean/variance plus the third and
+/// fourth central moments needed by the Jarque–Bera normality statistic.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean: s / sqrt(n).
+  double std_error() const;
+  /// Sample skewness g1; 0 when undefined.
+  double skewness() const;
+  /// Sample excess kurtosis g2; 0 when undefined.
+  double excess_kurtosis() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+};
+
+/// Two-sided critical value t*(confidence, df) of Student's t
+/// distribution, e.g. students_t_critical(0.95, 19) ≈ 2.093.
+/// Computed by bisection on the regularized incomplete beta function —
+/// no table lookup, valid for any df >= 1.
+double students_t_critical(double confidence, std::size_t df);
+
+/// Margin of error for a sample mean at `confidence`:
+///   t*(confidence, n-1) * s / sqrt(n).
+/// Returns +inf for n < 2 (no margin can be claimed from one sample).
+double margin_of_error(const OnlineStats& stats, double confidence);
+
+/// Jarque–Bera normality statistic JB = n/6 (g1^2 + g2^2/4).
+/// Under normality JB ~ chi^2(2); JB < 5.99 accepts normality at the 5%
+/// level. `near_normal` applies that threshold.
+double jarque_bera(const OnlineStats& stats);
+bool near_normal(const OnlineStats& stats, double jb_threshold = 5.991);
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction expansion (Numerical-Recipes-style Lentz algorithm). Exposed
+/// for testing.
+double reg_incomplete_beta(double a, double b, double x);
+
+/// Convenience: one-shot stats over a vector.
+OnlineStats summarize(const std::vector<double>& xs);
+
+}  // namespace vulfi

@@ -1,0 +1,23 @@
+// printf-style string formatting (libstdc++ 12 ships no <format>).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace vulfi {
+
+/// snprintf into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strf(const char* fmt, ...);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// "12,345,678" — thousands separators for table output.
+std::string with_commas(unsigned long long value);
+
+/// Fixed-point percentage, e.g. pct(0.4235) == "42.35%".
+std::string pct(double fraction, int decimals = 2);
+
+}  // namespace vulfi

@@ -1,0 +1,32 @@
+// Plain-text table rendering for the bench harness.
+//
+// Every bench binary prints the same rows/series the paper reports; this
+// class keeps that output aligned and also emits CSV for downstream
+// plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vulfi {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Monospace rendering with column alignment and a header rule.
+  std::string render() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vulfi

@@ -1,0 +1,54 @@
+#include "vulfi/campaign.hpp"
+
+#include "support/error.hpp"
+
+namespace vulfi {
+
+CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
+                             const CampaignConfig& config) {
+  VULFI_ASSERT(!engines.empty(), "campaign needs at least one engine");
+  VULFI_ASSERT(config.experiments_per_campaign > 0,
+               "campaign needs experiments");
+  Rng rng(config.seed);
+  CampaignResult result;
+
+  auto run_one_campaign = [&]() {
+    std::uint64_t campaign_sdc = 0;
+    for (unsigned i = 0; i < config.experiments_per_campaign; ++i) {
+      InjectionEngine* engine =
+          engines[rng.next_below(engines.size())];
+      const ExperimentResult experiment = engine->run_experiment(rng);
+      result.experiments += 1;
+      switch (experiment.outcome) {
+        case Outcome::Benign: result.benign += 1; break;
+        case Outcome::SDC:
+          result.sdc += 1;
+          campaign_sdc += 1;
+          if (experiment.detected) result.detected_sdc += 1;
+          break;
+        case Outcome::Crash: result.crash += 1; break;
+      }
+      if (experiment.detected) result.detected_total += 1;
+    }
+    result.sdc_samples.add(static_cast<double>(campaign_sdc) /
+                           static_cast<double>(config.experiments_per_campaign));
+    result.campaigns += 1;
+  };
+
+  while (result.campaigns < config.min_campaigns) run_one_campaign();
+  result.margin_of_error =
+      margin_of_error(result.sdc_samples, config.confidence);
+  result.near_normal = vulfi::near_normal(result.sdc_samples);
+
+  while ((result.margin_of_error > config.target_margin ||
+          !result.near_normal) &&
+         result.campaigns < config.max_campaigns) {
+    run_one_campaign();
+    result.margin_of_error =
+        margin_of_error(result.sdc_samples, config.confidence);
+    result.near_normal = vulfi::near_normal(result.sdc_samples);
+  }
+  return result;
+}
+
+}  // namespace vulfi

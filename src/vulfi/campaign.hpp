@@ -1,0 +1,70 @@
+// Statistical fault-injection campaigns (paper §IV-D).
+//
+// A campaign comprises `experiments_per_campaign` (100) independent
+// experiments; its SDC rate is one random sample. Campaigns repeat until
+// (1) the sample distribution is normal or near normal (Jarque–Bera) and
+// (2) the margin of error at the target confidence level falls within the
+// target (±3% at 95% in the paper, reached after 20 campaigns for every
+// paper benchmark), subject to [min_campaigns, max_campaigns].
+//
+// Each experiment draws a random program input from the predefined input
+// set (one InjectionEngine per input), matching the paper's strategy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "vulfi/driver.hpp"
+
+namespace vulfi {
+
+struct CampaignConfig {
+  unsigned experiments_per_campaign = 100;
+  unsigned min_campaigns = 20;
+  unsigned max_campaigns = 40;
+  double confidence = 0.95;
+  double target_margin = 0.03;
+  std::uint64_t seed = 0x5eed;
+};
+
+struct CampaignResult {
+  // Per-campaign SDC-rate samples.
+  OnlineStats sdc_samples;
+  unsigned campaigns = 0;
+  double margin_of_error = 0.0;
+  bool near_normal = false;
+
+  // Experiment totals across all campaigns.
+  std::uint64_t experiments = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t crash = 0;
+  /// Faulty runs flagged by a detector, split by outcome (Figure 12
+  /// reports detected SDCs).
+  std::uint64_t detected_sdc = 0;
+  std::uint64_t detected_total = 0;
+
+  double rate(std::uint64_t count) const {
+    return experiments == 0
+               ? 0.0
+               : static_cast<double>(count) / static_cast<double>(experiments);
+  }
+  double sdc_rate() const { return rate(sdc); }
+  double benign_rate() const { return rate(benign); }
+  double crash_rate() const { return rate(crash); }
+  /// Fraction of SDC experiments the detectors flagged.
+  double sdc_detection_rate() const {
+    return sdc == 0 ? 0.0
+                    : static_cast<double>(detected_sdc) /
+                          static_cast<double>(sdc);
+  }
+};
+
+/// Runs campaigns over `engines` (one per predefined program input; each
+/// experiment picks one uniformly at random).
+CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
+                             const CampaignConfig& config = {});
+
+}  // namespace vulfi

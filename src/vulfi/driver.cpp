@@ -1,0 +1,130 @@
+#include "vulfi/driver.hpp"
+
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "vulfi/instrument.hpp"
+
+namespace vulfi {
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::Benign: return "Benign";
+    case Outcome::SDC: return "SDC";
+    case Outcome::Crash: return "Crash";
+  }
+  return "?";
+}
+
+InjectionEngine::InjectionEngine(RunSpec spec,
+                                 analysis::FaultSiteCategory category,
+                                 EngineOptions options)
+    : spec_(std::move(spec)), options_(options) {
+  VULFI_ASSERT(spec_.module != nullptr && spec_.entry != nullptr,
+               "engine needs a module and an entry function");
+  Instrumentor instrumentor(options_.address_rule);
+  runtime_.set_sites(instrumentor.run(*spec_.entry));
+  runtime_.select_category(category);
+  runtime_.set_mask_aware(options_.mask_aware);
+  runtime_.attach(env_);
+  ir::verify_or_die(*spec_.module);
+}
+
+void InjectionEngine::setup_runtime(
+    const std::function<void(interp::RuntimeEnv&)>& setup) {
+  setup(env_);
+}
+
+std::uint64_t InjectionEngine::eligible_static_sites() const {
+  std::uint64_t count = 0;
+  for (const FaultSite& site : runtime_.sites()) {
+    if (site.site_class.matches(runtime_.category())) count += 1;
+  }
+  return count;
+}
+
+InjectionEngine::RunOutput InjectionEngine::execute(
+    interp::ExecLimits limits) {
+  // Every execution starts from the pristine arena.
+  interp::Arena arena = spec_.arena;
+  detection_log_.reset();
+  interp::Interpreter interp(arena, env_, limits);
+  RunOutput out;
+  out.exec = interp.run(*spec_.entry, spec_.args);
+  for (const std::string& region_name : spec_.output_regions) {
+    const auto& region = arena.region(region_name);
+    if (spec_.f32_compare_decimals < 0) {
+      const auto bytes = arena.region_bytes(region);
+      out.output_bytes.insert(out.output_bytes.end(), bytes.begin(),
+                              bytes.end());
+      continue;
+    }
+    // Printed-output comparison: render each float the way the original
+    // program would print it; the comparison then matches diffing stdout.
+    const auto values =
+        arena.read_array<float>(region.base, region.bytes / sizeof(float));
+    for (float value : values) {
+      const std::string text =
+          strf("%.*f\n", spec_.f32_compare_decimals, value);
+      out.output_bytes.insert(out.output_bytes.end(), text.begin(),
+                              text.end());
+    }
+  }
+  if (!spec_.entry->return_type().is_void()) {
+    for (unsigned lane = 0; lane < out.exec.return_value.lanes(); ++lane) {
+      out.return_bits.push_back(out.exec.return_value.raw[lane]);
+    }
+  }
+  return out;
+}
+
+interp::ExecResult InjectionEngine::run_clean() {
+  runtime_.disable();
+  return execute(interp::ExecLimits{}).exec;
+}
+
+ExperimentResult InjectionEngine::run_experiment(Rng& rng) {
+  ExperimentResult result;
+
+  // --- golden run: record output, count dynamic sites -------------------
+  runtime_.begin_count();
+  RunOutput golden = execute(interp::ExecLimits{});
+  VULFI_ASSERT(golden.exec.ok(),
+               "golden (fault-free) execution trapped — kernel bug");
+  result.dynamic_sites = runtime_.dynamic_count();
+  result.golden_instructions = golden.exec.stats.total_instructions;
+
+  if (result.dynamic_sites == 0) {
+    // No dynamic site of this category: nothing to inject. Counted as
+    // Benign (output is unchanged by construction).
+    runtime_.disable();
+    result.outcome = Outcome::Benign;
+    return result;
+  }
+
+  // --- faulty run: inject exactly one bit flip ---------------------------
+  const std::uint64_t target = rng.next_below(result.dynamic_sites);
+  runtime_.arm(target, rng.split());
+
+  interp::ExecLimits faulty_limits;
+  faulty_limits.max_instructions =
+      result.golden_instructions * options_.budget_multiplier + 10'000;
+  RunOutput faulty = execute(faulty_limits);
+
+  runtime_.disable();
+  result.injection = runtime_.record();
+  result.detected = detection_log_.any();
+  result.faulty_instructions = faulty.exec.stats.total_instructions;
+
+  if (!faulty.exec.ok()) {
+    result.outcome = Outcome::Crash;
+    result.trap = faulty.exec.trap.kind;
+    return result;
+  }
+  const bool differs = faulty.output_bytes != golden.output_bytes ||
+                       faulty.return_bits != golden.return_bits;
+  result.outcome = differs ? Outcome::SDC : Outcome::Benign;
+  return result;
+}
+
+}  // namespace vulfi

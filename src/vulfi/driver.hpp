@@ -1,0 +1,95 @@
+// Experiment driver (paper §IV-B execution strategy).
+//
+// One fault-injection experiment executes the program twice:
+//  1. golden run — no fault injected; the output is recorded and the
+//     dynamic fault sites of the selected category are counted;
+//  2. faulty run — one dynamic site is chosen uniformly at random, a
+//     single random bit is flipped there, and the outcome is classified:
+//       SDC    — output differs from the golden output,
+//       Benign — outputs identical,
+//       Crash  — trap or runaway execution.
+// When detector passes were applied to the module, detector events raised
+// during the faulty run are reported alongside the outcome.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "interp/interpreter.hpp"
+#include "support/rng.hpp"
+#include "vulfi/fi_runtime.hpp"
+#include "vulfi/run_spec.hpp"
+
+namespace vulfi {
+
+enum class Outcome : std::uint8_t { Benign, SDC, Crash };
+
+const char* outcome_name(Outcome outcome);
+
+struct ExperimentResult {
+  Outcome outcome = Outcome::Benign;
+  /// A detector flagged the faulty run.
+  bool detected = false;
+  /// Trap that ended the faulty run (None unless outcome == Crash).
+  interp::TrapKind trap = interp::TrapKind::None;
+  InjectionRecord injection;
+  std::uint64_t dynamic_sites = 0;
+  std::uint64_t golden_instructions = 0;
+  std::uint64_t faulty_instructions = 0;
+};
+
+struct EngineOptions {
+  analysis::AddressRule address_rule = analysis::AddressRule::GepOnly;
+  /// Faulty-run instruction budget = multiplier × golden instruction
+  /// count; exceeding it classifies the run as Crash (hang).
+  std::uint64_t budget_multiplier = 64;
+  /// Injecting into masked-off lanes is the paper's design error VULFI
+  /// avoids; turning gating off is an ablation switch.
+  bool mask_aware = true;
+};
+
+/// Owns one instrumented program and runs experiments against it.
+class InjectionEngine {
+ public:
+  InjectionEngine(RunSpec spec, analysis::FaultSiteCategory category,
+                  EngineOptions options = {});
+
+  /// Additional runtime registration hook (detector runtimes). Runs
+  /// immediately; the handlers may capture detection_log().
+  void setup_runtime(
+      const std::function<void(interp::RuntimeEnv&)>& setup);
+
+  /// One full golden + faulty experiment.
+  ExperimentResult run_experiment(Rng& rng);
+
+  /// One un-injected run (runtime idle). Used for overhead measurements
+  /// and sanity checks; returns the interpreter result.
+  interp::ExecResult run_clean();
+
+  const std::vector<FaultSite>& sites() const { return runtime_.sites(); }
+  analysis::FaultSiteCategory category() const { return runtime_.category(); }
+  interp::DetectionLog& detection_log() { return detection_log_; }
+  const RunSpec& spec() const { return spec_; }
+
+  /// Static sites matching this engine's category.
+  std::uint64_t eligible_static_sites() const;
+
+ private:
+  struct RunOutput {
+    interp::ExecResult exec;
+    std::vector<std::uint8_t> output_bytes;  // concatenated output regions
+    std::vector<std::uint64_t> return_bits;
+  };
+
+  RunOutput execute(interp::ExecLimits limits);
+
+  RunSpec spec_;
+  EngineOptions options_;
+  FaultInjectionRuntime runtime_;
+  interp::RuntimeEnv env_;
+  interp::DetectionLog detection_log_;
+};
+
+}  // namespace vulfi

@@ -1,0 +1,62 @@
+#include "vulfi/fault_site.hpp"
+
+namespace vulfi {
+
+SiteTarget site_target_of(ir::Instruction& inst) {
+  SiteTarget target;
+  switch (inst.opcode()) {
+    case ir::Opcode::Store:
+      target.value = inst.operand(0);
+      target.store_operand = true;
+      return target;
+    case ir::Opcode::Call: {
+      const ir::IntrinsicInfo& info = inst.callee()->intrinsic_info();
+      if (info.id == ir::IntrinsicId::MaskStore) {
+        target.value = inst.operand(static_cast<unsigned>(info.data_operand));
+        target.mask = inst.operand(static_cast<unsigned>(info.mask_operand));
+        target.store_operand = true;
+        return target;
+      }
+      target.value = &inst;
+      if (info.id == ir::IntrinsicId::MaskLoad) {
+        target.mask = inst.operand(static_cast<unsigned>(info.mask_operand));
+      }
+      return target;
+    }
+    default:
+      target.value = &inst;
+      return target;
+  }
+}
+
+std::vector<FaultSite> enumerate_fault_sites(const ir::Function& fn,
+                                             analysis::AddressRule rule) {
+  std::vector<FaultSite> sites;
+  for (const auto& block : fn) {
+    for (const auto& inst : *block) {
+      if (!analysis::is_fault_site_instruction(*inst)) continue;
+      // site_target_of only reads; the const_cast never leads to mutation
+      // on this path.
+      const SiteTarget target =
+          site_target_of(const_cast<ir::Instruction&>(*inst));
+      const analysis::SiteClass cls =
+          analysis::classify_value(*target.value, rule);
+      const ir::Type type = target.value->type();
+      for (unsigned lane = 0; lane < type.lanes(); ++lane) {
+        FaultSite site;
+        site.id = static_cast<unsigned>(sites.size());
+        site.inst = inst.get();
+        site.lane = lane;
+        site.element_type = type.element();
+        site.site_class = cls;
+        site.masked = target.mask != nullptr;
+        site.store_operand = target.store_operand;
+        site.vector_instruction = inst->is_vector_instruction();
+        sites.push_back(site);
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace vulfi

@@ -1,0 +1,56 @@
+// Fault sites (paper §II-B).
+//
+// A *static* fault site is the Lvalue of a target instruction — with every
+// scalar element of a vector register treated as a unique site — or the
+// to-be-stored value of a (masked) store, which has no Lvalue. A *dynamic*
+// fault site is one runtime instance of a static site; the runtime
+// (fi_runtime.hpp) counts and selects those.
+#pragma once
+
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "ir/function.hpp"
+#include "ir/instruction.hpp"
+
+namespace vulfi {
+
+struct FaultSite {
+  /// Dense id; equals the site_id constant baked into the instrumented
+  /// call for this (instruction, lane).
+  unsigned id = 0;
+  /// The target instruction (site owner). For store sites this is the
+  /// store / maskstore itself.
+  const ir::Instruction* inst = nullptr;
+  /// Scalar element within the (possibly vector) register; 0 for scalars.
+  unsigned lane = 0;
+  /// Element type of the targeted scalar register.
+  ir::Type element_type;
+  /// Forward-slice classification of the site's value.
+  analysis::SiteClass site_class;
+  /// Lane is gated by an execution mask (masked vector intrinsic).
+  bool masked = false;
+  /// Site targets a store's value operand rather than an Lvalue.
+  bool store_operand = false;
+  /// The owning instruction is a vector instruction (paper §II-A).
+  bool vector_instruction = false;
+};
+
+/// Enumerates the static fault sites of `fn` in instruction order without
+/// modifying the IR. The instrumentor produces the same list (same ids)
+/// while instrumenting.
+std::vector<FaultSite> enumerate_fault_sites(
+    const ir::Function& fn,
+    analysis::AddressRule rule = analysis::AddressRule::GepOnly);
+
+/// Which value/mask a fault-site instruction targets. Shared between
+/// enumeration and instrumentation so their site ids always agree.
+struct SiteTarget {
+  ir::Value* value = nullptr;  // the targeted register value
+  ir::Value* mask = nullptr;   // execution mask vector, if any
+  bool store_operand = false;
+};
+
+SiteTarget site_target_of(ir::Instruction& inst);
+
+}  // namespace vulfi

@@ -1,0 +1,125 @@
+#include "vulfi/fi_runtime.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi {
+
+namespace {
+
+const char* element_suffix(ir::Type element) {
+  switch (element.kind()) {
+    case ir::TypeKind::I1: return "i1";
+    case ir::TypeKind::I8: return "i8";
+    case ir::TypeKind::I16: return "i16";
+    case ir::TypeKind::I32: return "i32";
+    case ir::TypeKind::I64: return "i64";
+    case ir::TypeKind::F32: return "f32";
+    case ir::TypeKind::F64: return "f64";
+    default:
+      VULFI_UNREACHABLE("no injection runtime for this element type");
+  }
+}
+
+constexpr ir::TypeKind kInjectableKinds[] = {
+    ir::TypeKind::I1,  ir::TypeKind::I8,  ir::TypeKind::I16,
+    ir::TypeKind::I32, ir::TypeKind::I64, ir::TypeKind::F32,
+    ir::TypeKind::F64,
+};
+
+}  // namespace
+
+std::string inject_fn_name(ir::Type element) {
+  VULFI_ASSERT(element.is_scalar(), "injection functions take scalars");
+  return strf("vulfi.inject.%s", element_suffix(element));
+}
+
+ir::Function* declare_inject_fn(ir::Module& module, ir::Type element) {
+  return module.declare_runtime(
+      inject_fn_name(element), element,
+      {element, element, ir::Type::i64(), ir::Type::i32()});
+}
+
+void FaultInjectionRuntime::attach(interp::RuntimeEnv& env) {
+  for (ir::TypeKind kind : kInjectableKinds) {
+    const ir::Type element = ir::Type::scalar(kind);
+    env.register_handler(
+        inject_fn_name(element),
+        [this](const std::vector<interp::RtVal>& args) {
+          return handle(args);
+        });
+  }
+}
+
+void FaultInjectionRuntime::set_sites(std::vector<FaultSite> sites) {
+  sites_ = std::move(sites);
+}
+
+void FaultInjectionRuntime::select_category(
+    analysis::FaultSiteCategory category) {
+  category_ = category;
+}
+
+void FaultInjectionRuntime::begin_count() {
+  mode_ = Mode::Count;
+  counter_ = 0;
+  record_ = InjectionRecord{};
+}
+
+void FaultInjectionRuntime::arm(std::uint64_t target_index, Rng rng) {
+  mode_ = Mode::Inject;
+  counter_ = 0;
+  target_index_ = target_index;
+  rng_ = rng;
+  record_ = InjectionRecord{};
+}
+
+void FaultInjectionRuntime::disable() { mode_ = Mode::Idle; }
+
+interp::RtVal FaultInjectionRuntime::handle(
+    const std::vector<interp::RtVal>& args) {
+  VULFI_ASSERT(args.size() == 4, "inject call takes (value, mask, site, lane)");
+  interp::RtVal value = args[0];
+  if (mode_ == Mode::Idle) return value;
+
+  const auto site_id = static_cast<std::uint64_t>(args[2].lane_int(0));
+  VULFI_ASSERT(site_id < sites_.size(), "inject call with unknown site id");
+  const FaultSite& site = sites_[static_cast<std::size_t>(site_id)];
+
+  // Category filter: only sites matching the selected heuristic
+  // participate in this campaign.
+  if (!site.site_class.matches(category_)) return value;
+
+  // Mask gating: a masked-off vector lane is not a live register and is
+  // never targeted (paper §II: "crucial in deciding whether or not to
+  // target a particular vector lane").
+  const unsigned elem_bits = value.type.element_bits();
+  if (mask_aware_ && site.masked &&
+      !ir::mask_lane_active(args[1].raw[0], elem_bits)) {
+    return value;
+  }
+
+  if (mode_ == Mode::Count) {
+    counter_ += 1;
+    return value;
+  }
+
+  // Inject mode.
+  if (counter_ == target_index_ && !record_.fired) {
+    const unsigned bit =
+        static_cast<unsigned>(rng_.next_below(elem_bits));
+    const std::uint64_t before = value.raw[0];
+    value.set_lane_raw(0, before ^ (std::uint64_t{1} << bit));
+    record_.fired = true;
+    record_.site_id = static_cast<unsigned>(site_id);
+    record_.lane = static_cast<unsigned>(args[3].lane_int(0));
+    record_.bit = bit;
+    record_.dynamic_index = counter_;
+    record_.bits_before = before;
+    record_.bits_after = value.raw[0];
+  }
+  counter_ += 1;
+  return value;
+}
+
+}  // namespace vulfi

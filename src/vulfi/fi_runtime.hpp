@@ -1,0 +1,102 @@
+// VULFI fault-injection runtime.
+//
+// The instrumentor rewrites each fault site into a call to one of the
+// `vulfi.inject.<type>` runtime functions (the @injectFaultFloatTy of
+// paper Figure 5). This class implements those functions as interpreter
+// runtime handlers and carries the paper's fault model (§II-B):
+//
+//   * exactly one fault per execution;
+//   * the dynamic fault site is chosen uniformly (1/N over N dynamic
+//     sites of the selected category);
+//   * the fault is a single bit flip at a random bit position of the
+//     register's real element width;
+//   * lanes whose execution-mask element is inactive are never targeted.
+//
+// Usage per experiment: begin_count() + golden run -> dynamic_count();
+// arm(k) + faulty run -> record().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "interp/runtime.hpp"
+#include "ir/module.hpp"
+#include "support/rng.hpp"
+#include "vulfi/fault_site.hpp"
+
+namespace vulfi {
+
+/// Name of the injection runtime function for a scalar element type,
+/// e.g. "vulfi.inject.f32". Signature:
+///   T vulfi.inject.T(T value, T mask_element, i64 site_id, i32 lane)
+std::string inject_fn_name(ir::Type element);
+
+/// Declares the injection runtime function for `element` in `module`.
+ir::Function* declare_inject_fn(ir::Module& module, ir::Type element);
+
+/// What actually happened during an armed run.
+struct InjectionRecord {
+  bool fired = false;
+  unsigned site_id = 0;
+  unsigned lane = 0;
+  unsigned bit = 0;
+  std::uint64_t dynamic_index = 0;
+  std::uint64_t bits_before = 0;
+  std::uint64_t bits_after = 0;
+};
+
+class FaultInjectionRuntime {
+ public:
+  enum class Mode { Idle, Count, Inject };
+
+  /// Registers the injection handlers (all element types) with `env`.
+  /// The runtime must outlive the environment.
+  void attach(interp::RuntimeEnv& env);
+
+  /// Installs the static site table produced by the Instrumentor.
+  void set_sites(std::vector<FaultSite> sites);
+  const std::vector<FaultSite>& sites() const { return sites_; }
+
+  /// Selects which fault-site category participates (paper §II-C); calls
+  /// on sites of other categories pass values through uncounted.
+  void select_category(analysis::FaultSiteCategory category);
+  analysis::FaultSiteCategory category() const { return category_; }
+
+  /// Count mode: dynamic sites of the selected category are tallied and
+  /// values pass through unchanged (the first, golden execution).
+  void begin_count();
+  std::uint64_t dynamic_count() const { return counter_; }
+
+  /// Inject mode: the `target_index`-th dynamic site (0-based, in the
+  /// same order Count mode tallied) receives a single bit flip at a
+  /// position drawn from `rng` at injection time.
+  void arm(std::uint64_t target_index, Rng rng);
+
+  /// Idle mode: calls pass through with no counting (overhead baselines).
+  void disable();
+
+  /// Ablation switch: when false, masked-off lanes are counted and
+  /// targeted like live registers (the design error VULFI's mask
+  /// awareness avoids). Default true.
+  void set_mask_aware(bool aware) { mask_aware_ = aware; }
+
+  Mode mode() const { return mode_; }
+  const InjectionRecord& record() const { return record_; }
+
+ private:
+  interp::RtVal handle(const std::vector<interp::RtVal>& args);
+
+  std::vector<FaultSite> sites_;
+  analysis::FaultSiteCategory category_ =
+      analysis::FaultSiteCategory::PureData;
+  Mode mode_ = Mode::Idle;
+  bool mask_aware_ = true;
+  std::uint64_t counter_ = 0;
+  std::uint64_t target_index_ = 0;
+  Rng rng_;
+  InjectionRecord record_;
+};
+
+}  // namespace vulfi

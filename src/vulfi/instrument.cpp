@@ -1,0 +1,151 @@
+#include "vulfi/instrument.hpp"
+
+#include <unordered_set>
+
+#include "ir/builder.hpp"
+#include "ir/module.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "vulfi/fi_runtime.hpp"
+
+namespace vulfi {
+
+namespace {
+
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+/// The all-active mask constant passed for unmasked sites: every bit set,
+/// so the MSB check in the runtime always reads "active".
+ir::Constant* all_active_const(ir::Module& module, Type element) {
+  return module.const_raw(
+      element, {ir::all_active_mask_lane(element.element_bits())});
+}
+
+/// Emits the extract → inject-call → insert chain of paper Figure 5 at the
+/// current insertion point. Returns the fully instrumented clone and
+/// records every created instruction in `created`.
+Value* emit_vector_chain(IRBuilder& b, ir::Module& module, Value* original,
+                         Value* mask_vec, unsigned first_site_id,
+                         std::unordered_set<const ir::Instruction*>& created) {
+  const Type vec_type = original->type();
+  const Type element = vec_type.element();
+  ir::Function* inject = declare_inject_fn(module, element);
+  ir::Constant* inactive_default = all_active_const(module, element);
+
+  auto track = [&](Value* value) {
+    created.insert(static_cast<const ir::Instruction*>(value));
+    return value;
+  };
+
+  Value* cur = original;
+  for (unsigned lane = 0; lane < vec_type.lanes(); ++lane) {
+    Value* ext = track(b.extract_element(cur, lane, strf("ext%u", lane)));
+    Value* extmask =
+        mask_vec
+            ? track(b.extract_element(mask_vec, lane, strf("extmask%u", lane)))
+            : static_cast<Value*>(inactive_default);
+    Value* inj = track(b.call(
+        inject,
+        {ext, extmask, module.const_int(Type::i64(), first_site_id + lane),
+         module.const_int(Type::i32(), lane)},
+        strf("inj%u", lane)));
+    cur = track(b.insert_element(cur, inj, lane, strf("ins%u", lane)));
+  }
+  return cur;
+}
+
+/// Scalar site: a single inject call.
+Value* emit_scalar_call(IRBuilder& b, ir::Module& module, Value* original,
+                        Value* mask_scalar, unsigned site_id,
+                        std::unordered_set<const ir::Instruction*>& created) {
+  const Type element = original->type();
+  ir::Function* inject = declare_inject_fn(module, element);
+  Value* mask = mask_scalar ? mask_scalar
+                            : static_cast<Value*>(
+                                  all_active_const(module, element));
+  Value* inj = b.call(inject,
+                      {original, mask,
+                       module.const_int(Type::i64(), site_id),
+                       module.const_int(Type::i32(), 0)},
+                      "inj");
+  created.insert(static_cast<const ir::Instruction*>(inj));
+  return inj;
+}
+
+}  // namespace
+
+std::vector<FaultSite> Instrumentor::run(ir::Function& fn) {
+  VULFI_ASSERT(fn.is_definition(), "can only instrument definitions");
+  ir::Module& module = *fn.parent();
+
+  // The site table is computed on the pre-pass IR so ids and classes are
+  // oblivious to instrumentation artifacts.
+  std::vector<FaultSite> sites = enumerate_fault_sites(fn, rule_);
+
+  // Snapshot the original instructions before the pass mutates blocks.
+  std::vector<ir::Instruction*> originals;
+  for (auto& block : fn) {
+    for (auto& inst : *block) {
+      if (analysis::is_fault_site_instruction(*inst)) {
+        originals.push_back(inst.get());
+      }
+    }
+  }
+
+  IRBuilder b(module);
+  unsigned next_site = 0;
+  for (ir::Instruction* inst : originals) {
+    const SiteTarget target = site_target_of(*inst);
+    const Type type = target.value->type();
+    const unsigned first_site_id = next_site;
+    next_site += type.lanes();
+    std::unordered_set<const ir::Instruction*> created;
+
+    if (target.store_operand) {
+      // Figure-5 rule for stores: the to-be-stored value is considered
+      // for injection immediately before the store; only the store's
+      // operand is redirected.
+      b.set_insert_before(inst);
+      Value* replacement;
+      if (type.is_vector()) {
+        replacement = emit_vector_chain(b, module, target.value, target.mask,
+                                        first_site_id, created);
+      } else {
+        replacement = emit_scalar_call(b, module, target.value, nullptr,
+                                       first_site_id, created);
+      }
+      // Find which operand slot holds the stored value.
+      for (unsigned i = 0; i < inst->num_operands(); ++i) {
+        if (inst->operand(i) == target.value) {
+          inst->set_operand(i, replacement);
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Lvalue site: instrument after the definition and redirect all other
+    // users of the original register to the instrumented clone.
+    b.set_insert_after(inst);
+    Value* replacement;
+    if (type.is_vector()) {
+      replacement = emit_vector_chain(b, module, inst, target.mask,
+                                      first_site_id, created);
+    } else {
+      replacement =
+          emit_scalar_call(b, module, inst, nullptr, first_site_id, created);
+    }
+    inst->replace_uses_with_if(
+        replacement, [&created](const ir::Instruction& user) {
+          return created.count(&user) == 0;
+        });
+  }
+
+  VULFI_ASSERT(next_site == sites.size(),
+               "instrumented site count diverged from enumeration");
+  return sites;
+}
+
+}  // namespace vulfi

@@ -1,0 +1,41 @@
+// The VULFI instrumentor (paper §II-D, Figures 4 and 5).
+//
+// For every fault-site instruction the pass:
+//  1. iterates over each scalar element of (a clone of) the target
+//     register;
+//  2. extracts the uninstrumented element (extractelement), extracts its
+//     execution-mask element when the owner is a masked intrinsic, calls
+//     the runtime injection API (`vulfi.inject.<type>`), and inserts the
+//     result back (insertelement);
+//  3. replaces the original register with the instrumented clone,
+//     redirecting all users of the original — excluding the freshly
+//     created chain itself.
+// Scalar registers take the degenerate one-element path (a single call,
+// no extract/insert). Store sites instrument the to-be-stored operand
+// just before the store and redirect only the store's operand.
+#pragma once
+
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "ir/function.hpp"
+#include "vulfi/fault_site.hpp"
+
+namespace vulfi {
+
+class Instrumentor {
+ public:
+  explicit Instrumentor(
+      analysis::AddressRule rule = analysis::AddressRule::GepOnly)
+      : rule_(rule) {}
+
+  /// Instruments every fault site of `fn` in place and returns the static
+  /// site table (ids match the site_id constants baked into the inserted
+  /// calls, and match enumerate_fault_sites on the pre-pass IR).
+  std::vector<FaultSite> run(ir::Function& fn);
+
+ private:
+  analysis::AddressRule rule_;
+};
+
+}  // namespace vulfi

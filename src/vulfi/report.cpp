@@ -1,0 +1,40 @@
+#include "vulfi/report.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace vulfi {
+
+void OutcomeReport::record(const ExperimentResult& result,
+                           const std::vector<FaultSite>& sites) {
+  experiments_ += 1;
+  if (!result.injection.fired) return;
+  VULFI_ASSERT(result.injection.site_id < sites.size(),
+               "report: unknown site id");
+  const FaultSite& site = sites[result.injection.site_id];
+
+  by_opcode_[ir::opcode_name(site.inst->opcode())].record(result);
+  by_site_name_["%" + site.inst->name()].record(result);
+  if (site.vector_instruction) {
+    vector_sites_.record(result);
+  } else {
+    scalar_sites_.record(result);
+  }
+  if (site.masked) masked_sites_.record(result);
+}
+
+std::string OutcomeReport::render_by_opcode() const {
+  TextTable table({"Opcode", "Experiments", "SDC", "Benign", "Crash",
+                   "Detected"});
+  for (const auto& [opcode, counts] : by_opcode_) {
+    const double total = static_cast<double>(counts.total());
+    table.add_row({opcode, std::to_string(counts.total()),
+                   pct(counts.sdc / total), pct(counts.benign / total),
+                   pct(counts.crash / total),
+                   pct(counts.detected / total)});
+  }
+  return table.render();
+}
+
+}  // namespace vulfi

@@ -1,0 +1,70 @@
+// Per-site outcome reporting.
+//
+// Aggregates experiment outcomes by static site attributes (opcode,
+// category membership, masked-ness, vector-ness) so a study can answer
+// "which instructions are the SDC sources" — the per-benchmark analysis
+// behind the paper's discussion of Figure 11 (e.g. why chebyshev's
+// address faults corrupt output instead of crashing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vulfi/driver.hpp"
+
+namespace vulfi {
+
+struct OutcomeCounts {
+  std::uint64_t benign = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t crash = 0;
+  std::uint64_t detected = 0;
+
+  std::uint64_t total() const { return benign + sdc + crash; }
+  void record(const ExperimentResult& result) {
+    switch (result.outcome) {
+      case Outcome::Benign: benign += 1; break;
+      case Outcome::SDC: sdc += 1; break;
+      case Outcome::Crash: crash += 1; break;
+    }
+    if (result.detected) detected += 1;
+  }
+};
+
+/// Collects experiment results keyed by the injected site's attributes.
+class OutcomeReport {
+ public:
+  /// Records `result`; `sites` must be the engine's site table so the
+  /// injected site can be resolved. No-op if no injection fired.
+  void record(const ExperimentResult& result,
+              const std::vector<FaultSite>& sites);
+
+  /// Aggregation keyed by the site instruction's opcode name (plus the
+  /// instruction's SSA name for per-site drill-down tables).
+  const std::map<std::string, OutcomeCounts>& by_opcode() const {
+    return by_opcode_;
+  }
+  const std::map<std::string, OutcomeCounts>& by_site_name() const {
+    return by_site_name_;
+  }
+  OutcomeCounts vector_sites() const { return vector_sites_; }
+  OutcomeCounts scalar_sites() const { return scalar_sites_; }
+  OutcomeCounts masked_sites() const { return masked_sites_; }
+
+  /// Aligned text rendering of the opcode table, rate columns included.
+  std::string render_by_opcode() const;
+
+  std::uint64_t experiments() const { return experiments_; }
+
+ private:
+  std::map<std::string, OutcomeCounts> by_opcode_;
+  std::map<std::string, OutcomeCounts> by_site_name_;
+  OutcomeCounts vector_sites_;
+  OutcomeCounts scalar_sites_;
+  OutcomeCounts masked_sites_;
+  std::uint64_t experiments_ = 0;
+};
+
+}  // namespace vulfi

@@ -1,0 +1,35 @@
+// A program-under-test bundle: a module, its entry kernel, a pre-populated
+// arena (inputs written), entry arguments, and the names of the arena
+// regions whose bytes constitute the program's observable output. The
+// kernels library produces these; the injection engine consumes them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/arena.hpp"
+#include "interp/rtval.hpp"
+#include "ir/module.hpp"
+
+namespace vulfi {
+
+struct RunSpec {
+  std::unique_ptr<ir::Module> module;
+  ir::Function* entry = nullptr;
+  /// Pristine initial memory; the engine copies it for every execution.
+  interp::Arena arena{1u << 20};
+  std::vector<interp::RtVal> args;
+  /// Output regions compared between golden and faulty runs.
+  std::vector<std::string> output_regions;
+
+  /// How outputs are compared. -1 (default): byte-exact. >= 0: output
+  /// regions are interpreted as f32 arrays and compared as if printed
+  /// with that many decimal places — matching studies that diff a
+  /// program's *printed* output (a benchmark writing "%.3f" rounds away
+  /// low-mantissa perturbations; the paper's SCL programs report
+  /// residuals/solutions in fixed decimal text).
+  int f32_compare_decimals = -1;
+};
+
+}  // namespace vulfi

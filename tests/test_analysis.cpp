@@ -1,0 +1,284 @@
+// Unit tests for forward slicing and fault-site classification, including
+// an exact reproduction of the paper's Figure-3 example.
+#include <gtest/gtest.h>
+
+#include "analysis/classify.hpp"
+#include "analysis/instr_mix.hpp"
+#include "analysis/slicing.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace vulfi::analysis {
+namespace {
+
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+/// Builds the paper's Figure-3 function:
+///   void foo(int a[], int n, int x) {
+///     int s = x;
+///     for (int i = 0; i < n; i++) { a[i] = a[i] * s; s = s + i; }
+///   }
+struct Foo {
+  ir::Module module{"foo"};
+  ir::Function* fn = nullptr;
+  ir::Instruction* i_phi = nullptr;
+  ir::Instruction* s_phi = nullptr;
+  Value* i_next = nullptr;
+  Value* s_next = nullptr;
+  Value* loaded = nullptr;
+  Value* scaled = nullptr;
+  ir::Instruction* store = nullptr;
+
+  Foo() {
+    fn = module.create_function("foo", Type::void_ty(),
+                                {Type::ptr(), Type::i32(), Type::i32()});
+    IRBuilder b(module);
+    ir::BasicBlock* entry = fn->create_block("entry");
+    ir::BasicBlock* loop = fn->create_block("loop");
+    ir::BasicBlock* exit = fn->create_block("exit");
+    b.set_insert_block(entry);
+    Value* enter =
+        b.icmp(ir::ICmpPred::SLT, b.i32_const(0), fn->arg(1), "enter");
+    b.cond_br(enter, loop, exit);
+    b.set_insert_block(loop);
+    i_phi = b.phi(Type::i32(), "i");
+    s_phi = b.phi(Type::i32(), "s");
+    Value* addr = b.gep(fn->arg(0), i_phi, 4, "a_i");
+    loaded = b.load(Type::i32(), addr, "a_val");
+    scaled = b.mul(loaded, s_phi, "a_scaled");
+    store = b.store(scaled, addr);
+    s_next = b.add(s_phi, i_phi, "s_next");
+    i_next = b.add(i_phi, b.i32_const(1), "i_next");
+    Value* latch = b.icmp(ir::ICmpPred::SLT, i_next, fn->arg(1), "latch");
+    b.cond_br(latch, loop, exit);
+    i_phi->phi_add_incoming(b.i32_const(0), entry);
+    i_phi->phi_add_incoming(i_next, loop);
+    s_phi->phi_add_incoming(fn->arg(2), entry);
+    s_phi->phi_add_incoming(s_next, loop);
+    b.set_insert_block(exit);
+    b.ret();
+    EXPECT_TRUE(ir::verify(module).empty());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Forward slicing
+// ---------------------------------------------------------------------------
+
+TEST(ForwardSlice, ContainsTransitiveUsers) {
+  Foo foo;
+  const auto slice = forward_slice(*foo.loaded);
+  // loaded -> scaled -> store.
+  EXPECT_TRUE(slice.count(dynamic_cast<const ir::Instruction*>(foo.scaled)));
+  EXPECT_TRUE(slice.count(foo.store));
+  // loaded does not reach the iterator increment.
+  EXPECT_FALSE(slice.count(dynamic_cast<const ir::Instruction*>(foo.i_next)));
+}
+
+TEST(ForwardSlice, FollowsThroughPhis) {
+  Foo foo;
+  // i_next flows into i (phi), hence into the address computation.
+  const auto slice = forward_slice(*foo.i_next);
+  bool has_gep = false;
+  for (const ir::Instruction* inst : slice) {
+    if (inst->opcode() == ir::Opcode::GetElementPtr) has_gep = true;
+  }
+  EXPECT_TRUE(has_gep);
+}
+
+TEST(ForwardSlice, ValueWithNoUsersHasEmptySlice) {
+  ir::Module m("t");
+  ir::Function* f = m.create_function("f", Type::void_ty(), {Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  b.ret();
+  EXPECT_TRUE(forward_slice(*f->arg(0)).empty());
+}
+
+TEST(ForwardSlice, DoesNotTrackThroughMemory) {
+  // store x to p; load p — the load is NOT in x's slice (register-level
+  // slicing, as an LLVM-level tool sees it).
+  ir::Module m("t");
+  ir::Function* f =
+      m.create_function("f", Type::i32(), {Type::ptr(), Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* doubled = b.add(f->arg(1), f->arg(1), "doubled");
+  b.store(doubled, f->arg(0));
+  Value* reloaded = b.load(Type::i32(), f->arg(0), "reloaded");
+  b.ret(reloaded);
+  const auto slice = forward_slice(*doubled);
+  EXPECT_FALSE(
+      slice.count(dynamic_cast<const ir::Instruction*>(reloaded)));
+}
+
+// ---------------------------------------------------------------------------
+// Classification — the paper's Figure 3 example
+// ---------------------------------------------------------------------------
+
+TEST(Classify, Figure3IteratorIsControlAndAddress) {
+  Foo foo;
+  const SiteClass i_class = classify_value(*foo.i_phi);
+  EXPECT_TRUE(i_class.control);
+  EXPECT_TRUE(i_class.address);
+  EXPECT_FALSE(i_class.pure_data());
+  // Both selection heuristics accept it (overlap region of Figure 2).
+  EXPECT_TRUE(i_class.matches(FaultSiteCategory::Control));
+  EXPECT_TRUE(i_class.matches(FaultSiteCategory::Address));
+  EXPECT_FALSE(i_class.matches(FaultSiteCategory::PureData));
+}
+
+TEST(Classify, Figure3AccumulatorIsPureData) {
+  Foo foo;
+  const SiteClass s_class = classify_value(*foo.s_phi);
+  EXPECT_FALSE(s_class.control);
+  EXPECT_FALSE(s_class.address);
+  EXPECT_TRUE(s_class.pure_data());
+  EXPECT_TRUE(s_class.matches(FaultSiteCategory::PureData));
+}
+
+TEST(Classify, LoadedValueFeedingOnlyStoreIsPureData) {
+  Foo foo;
+  EXPECT_TRUE(classify_value(*foo.loaded).pure_data());
+}
+
+TEST(Classify, PureDataIsComplementOfUnion) {
+  // Enumerate every value in foo; pure-data must hold exactly when
+  // neither control nor address does (Figure 2 structure).
+  Foo foo;
+  for (const auto& block : *foo.fn) {
+    for (const auto& inst : *block) {
+      if (inst->type().is_void()) continue;
+      const SiteClass cls = classify_value(*inst);
+      EXPECT_EQ(cls.pure_data(), !cls.control && !cls.address);
+    }
+  }
+}
+
+TEST(Classify, AddressRuleExtensionCountsDirectPointerOperands) {
+  // A pointer argument fed straight into a load has no GEP in its slice:
+  // GepOnly calls it pure data, GepOrMemOperand calls it address.
+  ir::Module m("t");
+  ir::Function* f = m.create_function("f", Type::i32(), {Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* as_ptr = b.inttoptr(b.sext(f->arg(0), Type::i64()), "p");
+  Value* loaded = b.load(Type::i32(), as_ptr, "v");
+  b.ret(loaded);
+
+  const SiteClass strict = classify_value(*f->arg(0), AddressRule::GepOnly);
+  EXPECT_TRUE(strict.pure_data());
+  const SiteClass extended =
+      classify_value(*f->arg(0), AddressRule::GepOrMemOperand);
+  EXPECT_TRUE(extended.address);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-site eligibility
+// ---------------------------------------------------------------------------
+
+TEST(SiteEligibility, Rules) {
+  Foo foo;
+  // Loads, muls, adds: eligible.
+  EXPECT_TRUE(is_fault_site_instruction(
+      *dynamic_cast<const ir::Instruction*>(foo.loaded)));
+  EXPECT_TRUE(is_fault_site_instruction(
+      *dynamic_cast<const ir::Instruction*>(foo.scaled)));
+  // Stores: eligible via the stored value.
+  EXPECT_TRUE(is_fault_site_instruction(*foo.store));
+  // Phis: excluded (pseudo-moves).
+  EXPECT_FALSE(is_fault_site_instruction(*foo.i_phi));
+  // GEPs produce pointers: excluded.
+  for (const auto& block : *foo.fn) {
+    for (const auto& inst : *block) {
+      if (inst->opcode() == ir::Opcode::GetElementPtr) {
+        EXPECT_FALSE(is_fault_site_instruction(*inst));
+      }
+      if (inst->is_terminator()) {
+        EXPECT_FALSE(is_fault_site_instruction(*inst));
+      }
+    }
+  }
+}
+
+TEST(SiteEligibility, RuntimeCallsExcludedIntrinsicValuesIncluded) {
+  ir::Module m("t");
+  const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+  ir::Function* maskload =
+      m.declare_masked_intrinsic(ir::IntrinsicId::MaskLoad, ir::Isa::AVX, v8f);
+  ir::Function* maskstore = m.declare_masked_intrinsic(
+      ir::IntrinsicId::MaskStore, ir::Isa::AVX, v8f);
+  ir::Function* runtime =
+      m.declare_runtime("vulfi.inject.f32", Type::f32(),
+                        {Type::f32(), Type::f32(), Type::i64(), Type::i32()});
+  ir::Function* f = m.create_function("f", Type::void_ty(),
+                                      {Type::ptr(), v8f, Type::f32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* loaded = b.call(maskload, {f->arg(0), f->arg(1)}, "ld");
+  ir::Instruction* store_call = dynamic_cast<ir::Instruction*>(
+      b.call(maskstore, {f->arg(0), f->arg(1), loaded}));
+  Value* injected = b.call(
+      runtime, {f->arg(2), f->arg(2), m.const_int(Type::i64(), 0),
+                m.const_int(Type::i32(), 0)},
+      "inj");
+  (void)injected;
+  b.ret();
+
+  EXPECT_TRUE(is_fault_site_instruction(
+      *dynamic_cast<const ir::Instruction*>(loaded)));
+  EXPECT_TRUE(is_fault_site_instruction(*store_call));
+  // The injection runtime call itself is never a fresh fault site.
+  for (const auto& block : *f) {
+    for (const auto& inst : *block) {
+      if (inst->opcode() == ir::Opcode::Call &&
+          inst->callee() == runtime) {
+        EXPECT_FALSE(is_fault_site_instruction(*inst));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instruction mix (Figure 10 machinery)
+// ---------------------------------------------------------------------------
+
+TEST(InstructionMix, CountsOverlapInBothCategories) {
+  Foo foo;
+  const InstructionMix mix = instruction_mix(*foo.fn);
+  // foo is fully scalar.
+  EXPECT_EQ(mix.category(FaultSiteCategory::PureData).vector_instructions, 0u);
+  EXPECT_GT(mix.category(FaultSiteCategory::PureData).scalar_instructions, 0u);
+  // i_next is control+address: counted once in each.
+  EXPECT_GT(mix.category(FaultSiteCategory::Control).total(), 0u);
+  EXPECT_GT(mix.category(FaultSiteCategory::Address).total(), 0u);
+}
+
+TEST(InstructionMix, VectorFractionAndMerge) {
+  MixCount count;
+  EXPECT_EQ(count.vector_fraction(), 0.0);
+  count.vector_instructions = 3;
+  count.scalar_instructions = 1;
+  EXPECT_DOUBLE_EQ(count.vector_fraction(), 0.75);
+
+  InstructionMix a, b;
+  a.category(FaultSiteCategory::Control).vector_instructions = 2;
+  b.category(FaultSiteCategory::Control).vector_instructions = 5;
+  b.category(FaultSiteCategory::Control).scalar_instructions = 3;
+  const InstructionMix merged = merge(a, b);
+  EXPECT_EQ(merged.category(FaultSiteCategory::Control).vector_instructions,
+            7u);
+  EXPECT_EQ(merged.category(FaultSiteCategory::Control).scalar_instructions,
+            3u);
+}
+
+TEST(InstructionMix, CategoryNames) {
+  EXPECT_STREQ(category_name(FaultSiteCategory::PureData), "pure-data");
+  EXPECT_STREQ(category_name(FaultSiteCategory::Control), "control");
+  EXPECT_STREQ(category_name(FaultSiteCategory::Address), "address");
+}
+
+}  // namespace
+}  // namespace vulfi::analysis

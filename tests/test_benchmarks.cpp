@@ -1,0 +1,112 @@
+// Correctness of the nine Table-I benchmark kernels: every (benchmark,
+// target, input) combination must verify, run trap-free, and reproduce
+// its scalar reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interp/interpreter.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/benchmark.hpp"
+
+namespace vulfi {
+namespace {
+
+using kernels::Benchmark;
+
+struct Combo {
+  const Benchmark* bench;
+  bool avx;
+  unsigned input;
+};
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  for (const Benchmark* bench : kernels::all_benchmarks()) {
+    for (unsigned input = 0; input < bench->num_inputs(); ++input) {
+      combos.push_back({bench, true, input});
+      combos.push_back({bench, false, input});
+    }
+  }
+  return combos;
+}
+
+class BenchmarkCorrectness : public ::testing::TestWithParam<Combo> {};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  return info.param.bench->name() + (info.param.avx ? "_avx_" : "_sse_") +
+         std::to_string(info.param.input);
+}
+
+TEST_P(BenchmarkCorrectness, MatchesScalarReference) {
+  const Combo combo = GetParam();
+  const spmd::Target target =
+      combo.avx ? spmd::Target::avx() : spmd::Target::sse4();
+  RunSpec spec = combo.bench->build(target, combo.input);
+
+  const auto errors = ir::verify(*spec.module);
+  ASSERT_TRUE(errors.empty()) << errors.front();
+
+  interp::RuntimeEnv env;
+  interp::Arena arena = spec.arena;
+  interp::Interpreter interp(arena, env);
+  const interp::ExecResult result = interp.run(*spec.entry, spec.args);
+  ASSERT_TRUE(result.ok()) << trap_kind_name(result.trap.kind) << ": "
+                           << result.trap.detail;
+  EXPECT_GT(result.stats.total_instructions, 0u);
+  EXPECT_GT(result.stats.vector_instructions, 0u);
+
+  for (const kernels::RegionRef& ref :
+       combo.bench->reference(target, combo.input)) {
+    const auto& region = arena.region(ref.region);
+    if (!ref.i32.empty()) {
+      const auto actual =
+          arena.read_array<std::int32_t>(region.base, ref.i32.size());
+      EXPECT_EQ(actual, ref.i32) << ref.region;
+      continue;
+    }
+    const auto actual = arena.read_array<float>(region.base, ref.f32.size());
+    ASSERT_EQ(actual.size(), ref.f32.size());
+    for (std::size_t i = 0; i < ref.f32.size(); ++i) {
+      const float tolerance =
+          1e-5f + 1e-4f * std::fabs(ref.f32[i]);
+      EXPECT_NEAR(actual[i], ref.f32[i], tolerance)
+          << combo.bench->name() << " region " << ref.region << " elem "
+          << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkCorrectness,
+                         ::testing::ValuesIn(all_combos()), combo_name);
+
+TEST(BenchmarkRegistry, HasNineBenchmarksInTableOrder) {
+  const auto& benches = kernels::all_benchmarks();
+  ASSERT_EQ(benches.size(), 9u);
+  EXPECT_EQ(benches[0]->name(), "fluidanimate");
+  EXPECT_EQ(benches[1]->name(), "swaptions");
+  EXPECT_EQ(benches[2]->name(), "blackscholes");
+  EXPECT_EQ(benches[3]->name(), "sorting");
+  EXPECT_EQ(benches[4]->name(), "stencil");
+  EXPECT_EQ(benches[5]->name(), "chebyshev");
+  EXPECT_EQ(benches[6]->name(), "jacobi");
+  EXPECT_EQ(benches[7]->name(), "cg");
+  EXPECT_EQ(benches[8]->name(), "raytracing");
+}
+
+TEST(BenchmarkRegistry, MicroBenchmarksPresent) {
+  ASSERT_EQ(kernels::micro_benchmarks().size(), 3u);
+  EXPECT_NE(kernels::find_benchmark("vcopy"), nullptr);
+  EXPECT_NE(kernels::find_benchmark("dot"), nullptr);
+  EXPECT_NE(kernels::find_benchmark("vsum"), nullptr);
+  EXPECT_EQ(kernels::find_benchmark("nonexistent"), nullptr);
+}
+
+TEST(BenchmarkRegistry, ParvecBenchmarksAreCpp) {
+  EXPECT_EQ(kernels::find_benchmark("fluidanimate")->language(), "C++");
+  EXPECT_EQ(kernels::find_benchmark("swaptions")->language(), "C++");
+  EXPECT_EQ(kernels::find_benchmark("blackscholes")->language(), "ISPC");
+}
+
+}  // namespace
+}  // namespace vulfi

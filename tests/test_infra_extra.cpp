@@ -1,0 +1,224 @@
+// Additional infrastructure tests: bar-chart rendering, outcome reports,
+// and randomized property tests over the IR toolchain — random programs
+// must survive DCE, cloning, and print/parse round trips with identical
+// execution results.
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/cloner.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/transforms.hpp"
+#include "ir/verifier.hpp"
+#include "support/barchart.hpp"
+#include "support/rng.hpp"
+#include "vulfi/fi_runtime.hpp"
+#include "vulfi/instrument.hpp"
+#include "vulfi/report.hpp"
+
+namespace vulfi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bar charts
+// ---------------------------------------------------------------------------
+
+TEST(BarChart, SingleSeries) {
+  EXPECT_EQ(bar(0.0, 10), "[          ]");
+  EXPECT_EQ(bar(1.0, 10), "[##########]");
+  EXPECT_EQ(bar(0.5, 10), "[#####     ]");
+  EXPECT_EQ(bar(2.0, 4), "[####]");   // clamped
+  EXPECT_EQ(bar(-1.0, 4), "[    ]");  // clamped
+}
+
+TEST(BarChart, StackedApportionment) {
+  // 0.5 + 0.3 + 0.2 at width 10: exactly 5 + 3 + 2.
+  EXPECT_EQ(stacked_bar({{0.5, '#'}, {0.3, '.'}, {0.2, 'x'}}, 10),
+            "[#####...xx]");
+  // Rounding: total 1.0 must fill the bar even with awkward fractions.
+  const std::string thirds =
+      stacked_bar({{1.0 / 3, 'a'}, {1.0 / 3, 'b'}, {1.0 / 3, 'c'}}, 10);
+  EXPECT_EQ(thirds.size(), 12u);
+  EXPECT_EQ(thirds.find(' '), std::string::npos);
+}
+
+TEST(BarChart, PartialTotalsLeaveWhitespace) {
+  const std::string half = stacked_bar({{0.25, '#'}, {0.25, '.'}}, 20);
+  const std::size_t spaces =
+      static_cast<std::size_t>(std::count(half.begin(), half.end(), ' '));
+  EXPECT_EQ(spaces, 10u);
+}
+
+TEST(BarChart, ZeroWidth) { EXPECT_EQ(stacked_bar({{0.5, '#'}}, 0), "[]"); }
+
+// ---------------------------------------------------------------------------
+// OutcomeReport
+// ---------------------------------------------------------------------------
+
+TEST(OutcomeReport, AggregatesByOpcodeAndAttributes) {
+  // Fabricate a small site table.
+  ir::Module m("r");
+  ir::Function* f = m.create_function("f", ir::Type::f32(),
+                                      {ir::Type::f32(), ir::Type::f32()});
+  ir::IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  ir::Value* sum = b.fadd(f->arg(0), f->arg(1), "sum");
+  b.ret(sum);
+  std::vector<FaultSite> sites = enumerate_fault_sites(*f);
+  ASSERT_EQ(sites.size(), 1u);
+
+  OutcomeReport report;
+  ExperimentResult r1;
+  r1.outcome = Outcome::SDC;
+  r1.injection.fired = true;
+  r1.injection.site_id = 0;
+  report.record(r1, sites);
+  ExperimentResult r2;
+  r2.outcome = Outcome::Benign;
+  r2.injection.fired = true;
+  r2.injection.site_id = 0;
+  r2.detected = true;
+  report.record(r2, sites);
+  ExperimentResult none;  // no injection fired
+  report.record(none, sites);
+
+  EXPECT_EQ(report.experiments(), 3u);
+  const auto& by_opcode = report.by_opcode();
+  ASSERT_TRUE(by_opcode.count("fadd"));
+  EXPECT_EQ(by_opcode.at("fadd").sdc, 1u);
+  EXPECT_EQ(by_opcode.at("fadd").benign, 1u);
+  EXPECT_EQ(by_opcode.at("fadd").detected, 1u);
+  EXPECT_EQ(report.scalar_sites().total(), 2u);
+  EXPECT_EQ(report.vector_sites().total(), 0u);
+  const std::string rendered = report.render_by_opcode();
+  EXPECT_NE(rendered.find("fadd"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property tests over the IR toolchain
+// ---------------------------------------------------------------------------
+
+/// Generates a random straight-line integer function i32(i32, i32, i32)
+/// built from wrap-safe operations, plus a loop to exercise phis.
+ir::Function* random_program(ir::Module& module, Rng& rng,
+                             const std::string& name) {
+  ir::Function* f = module.create_function(
+      name, ir::Type::i32(),
+      {ir::Type::i32(), ir::Type::i32(), ir::Type::i32()});
+  ir::IRBuilder b(module);
+  ir::BasicBlock* entry = f->create_block("entry");
+  b.set_insert_block(entry);
+
+  std::vector<ir::Value*> pool = {f->arg(0), f->arg(1), f->arg(2),
+                                  b.i32_const(1), b.i32_const(-7),
+                                  b.i32_const(13)};
+  const unsigned ops = 4 + static_cast<unsigned>(rng.next_below(12));
+  for (unsigned i = 0; i < ops; ++i) {
+    ir::Value* lhs = pool[rng.next_below(pool.size())];
+    ir::Value* rhs = pool[rng.next_below(pool.size())];
+    ir::Value* result = nullptr;
+    switch (rng.next_below(6)) {
+      case 0: result = b.add(lhs, rhs); break;
+      case 1: result = b.sub(lhs, rhs); break;
+      case 2: result = b.mul(lhs, rhs); break;
+      case 3: result = b.xor_(lhs, rhs); break;
+      case 4: result = b.and_(lhs, rhs); break;
+      default: result = b.or_(lhs, rhs); break;
+    }
+    pool.push_back(result);
+  }
+  // Deliberately dead chain (DCE fodder).
+  b.mul(pool.back(), b.i32_const(3), "dead");
+
+  // A small counted loop accumulating into a phi.
+  ir::BasicBlock* header = f->create_block("loop");
+  ir::BasicBlock* exit = f->create_block("exit");
+  ir::Value* trip = b.i32_const(
+      static_cast<std::int32_t>(1 + rng.next_below(6)));
+  b.br(header);
+  b.set_insert_block(header);
+  ir::Instruction* iv = b.phi(ir::Type::i32(), "iv");
+  ir::Instruction* acc = b.phi(ir::Type::i32(), "acc");
+  ir::Value* acc_next = b.add(acc, pool[rng.next_below(pool.size())]);
+  ir::Value* iv_next = b.add(iv, b.i32_const(1));
+  ir::Value* done = b.icmp(ir::ICmpPred::SGE, iv_next, trip);
+  b.cond_br(done, exit, header);
+  iv->phi_add_incoming(b.i32_const(0), entry);
+  iv->phi_add_incoming(iv_next, header);
+  acc->phi_add_incoming(pool[rng.next_below(pool.size())], entry);
+  acc->phi_add_incoming(acc_next, header);
+  b.set_insert_block(exit);
+  ir::Instruction* result = b.phi(ir::Type::i32(), "result");
+  result->phi_add_incoming(acc_next, header);
+  b.ret(result);
+  return f;
+}
+
+std::int64_t run_program(const ir::Function& f, std::int32_t a,
+                         std::int32_t b_val, std::int32_t c) {
+  interp::Arena arena;
+  interp::RuntimeEnv env;
+  interp::Interpreter interp(arena, env);
+  const auto result = interp.run(
+      f, {interp::RtVal::i32(a), interp::RtVal::i32(b_val),
+          interp::RtVal::i32(c)});
+  EXPECT_TRUE(result.ok()) << result.trap.detail;
+  return result.return_value.lane_int(0);
+}
+
+class IrToolchainFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(IrToolchainFuzz, RandomProgramsSurviveTheToolchain) {
+  Rng rng(0xF022 + static_cast<std::uint64_t>(GetParam()));
+  ir::Module module("fuzz");
+  ir::Function* f = random_program(module, rng, "f");
+  ASSERT_TRUE(ir::verify(module).empty()) << ir::verify(module).front();
+
+  const std::int32_t a = static_cast<std::int32_t>(rng.next_u64());
+  const std::int32_t b = static_cast<std::int32_t>(rng.next_u64());
+  const std::int32_t c = static_cast<std::int32_t>(rng.next_u64());
+  const std::int64_t expected = run_program(*f, a, b, c);
+
+  // Property 1: cloning preserves behaviour.
+  const auto clone = ir::clone_module(module);
+  EXPECT_EQ(run_program(*clone->find_function("f"), a, b, c), expected);
+
+  // Property 2: the printed form parses back to the same behaviour.
+  const std::string printed = ir::to_string(module);
+  ir::ParseResult parsed = ir::parse_module(printed);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty()
+                                   ? std::string()
+                                   : parsed.errors.front());
+  EXPECT_EQ(run_program(*parsed.module->find_function("f"), a, b, c),
+            expected);
+  EXPECT_EQ(ir::to_string(*parsed.module), printed);
+
+  // Property 3: DCE preserves behaviour and removes the planted dead code.
+  const unsigned removed = ir::eliminate_dead_code(*f);
+  EXPECT_GE(removed, 1u);
+  EXPECT_TRUE(ir::verify(module).empty());
+  EXPECT_EQ(run_program(*f, a, b, c), expected);
+
+  // Property 4: instrumentation with an idle runtime preserves behaviour.
+  Instrumentor instrumentor;
+  const auto sites = instrumentor.run(*f);
+  EXPECT_FALSE(sites.empty());
+  EXPECT_TRUE(ir::verify(module).empty()) << ir::verify(module).front();
+  interp::Arena arena;
+  interp::RuntimeEnv env;
+  FaultInjectionRuntime runtime;
+  runtime.set_sites(sites);
+  runtime.attach(env);
+  interp::Interpreter interp(arena, env);
+  const auto result = interp.run(
+      *f, {interp::RtVal::i32(a), interp::RtVal::i32(b),
+           interp::RtVal::i32(c)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value.lane_int(0), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrToolchainFuzz, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace vulfi

@@ -1,0 +1,767 @@
+// Unit tests for the interpreter: per-opcode semantics, trap model,
+// masked intrinsics, runtime dispatch, and the memory arena.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace vulfi::interp {
+namespace {
+
+using ir::IRBuilder;
+using ir::Type;
+using ir::TypeKind;
+using ir::Value;
+
+/// Builds a single-block function computing `emit(builder, args...)` and
+/// returns its evaluation.
+class ExprHarness {
+ public:
+  ExprHarness() : module_("expr"), builder_(module_) {}
+
+  ir::Module& module() { return module_; }
+  IRBuilder& b() { return builder_; }
+
+  /// Creates f(params) { ret emit(args); } and runs it.
+  ExecResult run(Type ret_type, const std::vector<Type>& params,
+                 const std::vector<RtVal>& args,
+                 const std::function<Value*(IRBuilder&, ir::Function*)>& emit,
+                 ExecLimits limits = {}) {
+    static int counter = 0;
+    ir::Function* f = module_.create_function(
+        "f" + std::to_string(counter++), ret_type, params);
+    ir::BasicBlock* bb = f->create_block("entry");
+    builder_.set_insert_block(bb);
+    Value* result = emit(builder_, f);
+    builder_.ret(ret_type.is_void() ? nullptr : result);
+    const auto errors = ir::verify(*f);
+    EXPECT_TRUE(errors.empty())
+        << (errors.empty() ? std::string() : errors.front());
+    Interpreter interp(arena_, env_, limits);
+    return interp.run(*f, args);
+  }
+
+  Arena& arena() { return arena_; }
+  RuntimeEnv& env() { return env_; }
+
+ private:
+  ir::Module module_;
+  IRBuilder builder_;
+  Arena arena_;
+  RuntimeEnv env_;
+};
+
+// ---------------------------------------------------------------------------
+// Integer arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(InterpInt, AddWrapsAtWidth) {
+  ExprHarness h;
+  const auto r = h.run(Type::i8(), {Type::i8(), Type::i8()},
+                       {RtVal::int_scalar(Type::i8(), 200),
+                        RtVal::int_scalar(Type::i8(), 100)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.add(f->arg(0), f->arg(1));
+                       });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.return_value.lane_uint(0), (200u + 100u) & 0xFF);
+}
+
+TEST(InterpInt, SignedDivisionAndRemainder) {
+  ExprHarness h;
+  const auto r = h.run(Type::i32(), {Type::i32(), Type::i32()},
+                       {RtVal::i32(-7), RtVal::i32(2)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.sdiv(f->arg(0), f->arg(1));
+                       });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.return_value.lane_int(0), -3);  // C-style truncation
+
+  ExprHarness h2;
+  const auto r2 = h2.run(Type::i32(), {Type::i32(), Type::i32()},
+                         {RtVal::i32(-7), RtVal::i32(2)},
+                         [](IRBuilder& b, ir::Function* f) {
+                           return b.srem(f->arg(0), f->arg(1));
+                         });
+  EXPECT_EQ(r2.return_value.lane_int(0), -1);
+}
+
+TEST(InterpInt, DivisionByZeroTraps) {
+  for (bool is_signed : {true, false}) {
+    ExprHarness h;
+    const auto r = h.run(Type::i32(), {Type::i32(), Type::i32()},
+                         {RtVal::i32(1), RtVal::i32(0)},
+                         [&](IRBuilder& b, ir::Function* f) {
+                           return is_signed ? b.sdiv(f->arg(0), f->arg(1))
+                                            : b.udiv(f->arg(0), f->arg(1));
+                         });
+    EXPECT_EQ(r.trap.kind, TrapKind::DivByZero);
+  }
+}
+
+TEST(InterpInt, SdivIntMinByMinusOneWrapsDeterministically) {
+  ExprHarness h;
+  const auto r =
+      h.run(Type::i32(), {Type::i32(), Type::i32()},
+            {RtVal::i32(std::numeric_limits<std::int32_t>::min()),
+             RtVal::i32(-1)},
+            [](IRBuilder& b, ir::Function* f) {
+              return b.sdiv(f->arg(0), f->arg(1));
+            });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.return_value.lane_int(0),
+            std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(InterpInt, ShiftSemanticsIncludingOvershift) {
+  auto shift = [](ir::Opcode op, std::int32_t v, std::int32_t amt) {
+    ExprHarness h;
+    const auto r = h.run(
+        Type::i32(), {Type::i32(), Type::i32()},
+        {RtVal::i32(v), RtVal::i32(amt)},
+        [&](IRBuilder& b, ir::Function* f) -> Value* {
+          switch (op) {
+            case ir::Opcode::Shl: return b.shl(f->arg(0), f->arg(1));
+            case ir::Opcode::LShr: return b.lshr(f->arg(0), f->arg(1));
+            default: return b.ashr(f->arg(0), f->arg(1));
+          }
+        });
+    return r.return_value.lane_int(0);
+  };
+  EXPECT_EQ(shift(ir::Opcode::Shl, 1, 4), 16);
+  EXPECT_EQ(shift(ir::Opcode::LShr, -1, 28), 15);
+  EXPECT_EQ(shift(ir::Opcode::AShr, -16, 2), -4);
+  // Overshift: deterministic 0 / sign fill.
+  EXPECT_EQ(shift(ir::Opcode::Shl, 123, 40), 0);
+  EXPECT_EQ(shift(ir::Opcode::LShr, 123, 40), 0);
+  EXPECT_EQ(shift(ir::Opcode::AShr, -123, 40), -1);
+  EXPECT_EQ(shift(ir::Opcode::AShr, 123, 40), 0);
+}
+
+TEST(InterpInt, BitwiseOps) {
+  ExprHarness h;
+  const auto r = h.run(
+      Type::i32(), {Type::i32(), Type::i32()},
+      {RtVal::i32(0b1100), RtVal::i32(0b1010)},
+      [](IRBuilder& b, ir::Function* f) {
+        Value* and_v = b.and_(f->arg(0), f->arg(1));
+        Value* or_v = b.or_(f->arg(0), f->arg(1));
+        Value* xor_v = b.xor_(f->arg(0), f->arg(1));
+        // (and << 8) | (or << 4) | xor
+        Value* packed = b.or_(
+            b.shl(and_v, b.i32_const(8)),
+            b.or_(b.shl(or_v, b.i32_const(4)), xor_v));
+        return packed;
+      });
+  EXPECT_EQ(r.return_value.lane_int(0),
+            (0b1000 << 8) | (0b1110 << 4) | 0b0110);
+}
+
+// ---------------------------------------------------------------------------
+// Floating point
+// ---------------------------------------------------------------------------
+
+TEST(InterpFp, ArithmeticF32) {
+  ExprHarness h;
+  const auto r = h.run(Type::f32(), {Type::f32(), Type::f32()},
+                       {RtVal::f32(3.0f), RtVal::f32(2.0f)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         // (a+b) * (a-b) / b
+                         return b.fdiv(
+                             b.fmul(b.fadd(f->arg(0), f->arg(1)),
+                                    b.fsub(f->arg(0), f->arg(1))),
+                             f->arg(1));
+                       });
+  EXPECT_FLOAT_EQ(r.return_value.lane_f32(0), (5.0f * 1.0f) / 2.0f);
+}
+
+TEST(InterpFp, DivisionByZeroGivesInfNotTrap) {
+  ExprHarness h;
+  const auto r = h.run(Type::f32(), {Type::f32(), Type::f32()},
+                       {RtVal::f32(1.0f), RtVal::f32(0.0f)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.fdiv(f->arg(0), f->arg(1));
+                       });
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::isinf(r.return_value.lane_f32(0)));
+}
+
+TEST(InterpFp, FnegAndFrem) {
+  ExprHarness h;
+  const auto r = h.run(Type::f64(), {Type::f64(), Type::f64()},
+                       {RtVal::f64(7.5), RtVal::f64(2.0)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.fneg(b.frem(f->arg(0), f->arg(1)));
+                       });
+  EXPECT_DOUBLE_EQ(r.return_value.lane_f64(0), -1.5);
+}
+
+TEST(InterpFp, FcmpOrderedVsUnorderedWithNaN) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  auto cmp = [&](ir::FCmpPred pred, float a, float b_val) {
+    ExprHarness h;
+    const auto r = h.run(Type::i1(), {Type::f32(), Type::f32()},
+                         {RtVal::f32(a), RtVal::f32(b_val)},
+                         [&](IRBuilder& b, ir::Function* f) {
+                           return b.fcmp(pred, f->arg(0), f->arg(1));
+                         });
+    return r.return_value.lane_bool(0);
+  };
+  EXPECT_TRUE(cmp(ir::FCmpPred::OLT, 1.0f, 2.0f));
+  EXPECT_FALSE(cmp(ir::FCmpPred::OLT, nan, 2.0f));
+  EXPECT_TRUE(cmp(ir::FCmpPred::ULT, nan, 2.0f));
+  EXPECT_TRUE(cmp(ir::FCmpPred::UNE, nan, nan));
+  EXPECT_FALSE(cmp(ir::FCmpPred::OEQ, nan, nan));
+  EXPECT_TRUE(cmp(ir::FCmpPred::UNO, nan, 1.0f));
+  EXPECT_TRUE(cmp(ir::FCmpPred::ORD, 1.0f, 1.0f));
+}
+
+// ---------------------------------------------------------------------------
+// Casts
+// ---------------------------------------------------------------------------
+
+TEST(InterpCast, IntWidening) {
+  ExprHarness h;
+  const auto r = h.run(Type::i64(), {Type::i8()},
+                       {RtVal::int_scalar(Type::i8(), -5)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.sext(f->arg(0), Type::i64());
+                       });
+  EXPECT_EQ(r.return_value.lane_int(0), -5);
+
+  ExprHarness h2;
+  const auto r2 = h2.run(Type::i64(), {Type::i8()},
+                         {RtVal::int_scalar(Type::i8(), -5)},
+                         [](IRBuilder& b, ir::Function* f) {
+                           return b.zext(f->arg(0), Type::i64());
+                         });
+  EXPECT_EQ(r2.return_value.lane_int(0), 251);
+}
+
+TEST(InterpCast, FpIntConversionsSaturate) {
+  auto fptosi = [](float v) {
+    ExprHarness h;
+    const auto r = h.run(Type::i32(), {Type::f32()}, {RtVal::f32(v)},
+                         [](IRBuilder& b, ir::Function* f) {
+                           return b.fptosi(f->arg(0), Type::i32());
+                         });
+    return r.return_value.lane_int(0);
+  };
+  EXPECT_EQ(fptosi(42.9f), 42);
+  EXPECT_EQ(fptosi(-42.9f), -42);
+  EXPECT_EQ(fptosi(1e30f), std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(fptosi(-1e30f), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(fptosi(std::numeric_limits<float>::quiet_NaN()), 0);
+}
+
+TEST(InterpCast, RoundTripsAndBitcast) {
+  ExprHarness h;
+  const auto r = h.run(Type::i32(), {Type::f32()}, {RtVal::f32(1.0f)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.bitcast(f->arg(0), Type::i32());
+                       });
+  EXPECT_EQ(r.return_value.lane_uint(0), 0x3F800000u);
+
+  ExprHarness h2;
+  const auto r2 = h2.run(Type::f64(), {Type::i32()}, {RtVal::i32(7)},
+                         [](IRBuilder& b, ir::Function* f) {
+                           return b.fpext(b.sitofp(f->arg(0), Type::f32()),
+                                          Type::f64());
+                         });
+  EXPECT_DOUBLE_EQ(r2.return_value.lane_f64(0), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Vector operations
+// ---------------------------------------------------------------------------
+
+RtVal make_vec_i32(const std::vector<std::int32_t>& lanes) {
+  RtVal v(Type::vector(TypeKind::I32, static_cast<unsigned>(lanes.size())));
+  for (unsigned i = 0; i < lanes.size(); ++i) v.set_lane_int(i, lanes[i]);
+  return v;
+}
+
+TEST(InterpVector, LaneWiseArithmetic) {
+  ExprHarness h;
+  const Type v4 = Type::vector(TypeKind::I32, 4);
+  const auto r = h.run(v4, {v4, v4},
+                       {make_vec_i32({1, 2, 3, 4}), make_vec_i32({10, 20, 30, 40})},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.add(f->arg(0), f->arg(1));
+                       });
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(r.return_value.lane_int(lane), 11 * (lane + 1));
+  }
+}
+
+TEST(InterpVector, ExtractInsert) {
+  ExprHarness h;
+  const Type v4 = Type::vector(TypeKind::I32, 4);
+  const auto r = h.run(
+      Type::i32(), {v4}, {make_vec_i32({5, 6, 7, 8})},
+      [](IRBuilder& b, ir::Function* f) {
+        Value* with9 = b.insert_element(f->arg(0), b.i32_const(9), 2u);
+        return b.add(b.extract_element(with9, 2u),
+                     b.extract_element(with9, 0u));
+      });
+  EXPECT_EQ(r.return_value.lane_int(0), 14);
+}
+
+TEST(InterpVector, ExtractOutOfRangeTraps) {
+  ExprHarness h;
+  const Type v4 = Type::vector(TypeKind::I32, 4);
+  const auto r = h.run(Type::i32(), {v4, Type::i32()},
+                       {make_vec_i32({1, 2, 3, 4}), RtVal::i32(9)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.extract_element(f->arg(0), f->arg(1));
+                       });
+  EXPECT_EQ(r.trap.kind, TrapKind::BadLaneIndex);
+}
+
+TEST(InterpVector, ShuffleSelectsAcrossBothInputsAndUndef) {
+  ExprHarness h;
+  const Type v4 = Type::vector(TypeKind::I32, 4);
+  const auto r = h.run(
+      v4, {v4, v4},
+      {make_vec_i32({1, 2, 3, 4}), make_vec_i32({5, 6, 7, 8})},
+      [](IRBuilder& b, ir::Function* f) {
+        return b.shuffle(f->arg(0), f->arg(1), {3, 4, -1, 0});
+      });
+  EXPECT_EQ(r.return_value.lane_int(0), 4);
+  EXPECT_EQ(r.return_value.lane_int(1), 5);
+  EXPECT_EQ(r.return_value.lane_int(2), 0);  // undef lane reads 0
+  EXPECT_EQ(r.return_value.lane_int(3), 1);
+}
+
+TEST(InterpVector, VectorSelect) {
+  ExprHarness h;
+  const Type v4 = Type::vector(TypeKind::I32, 4);
+  const auto r = h.run(
+      v4, {v4, v4},
+      {make_vec_i32({1, 200, 3, 400}), make_vec_i32({100, 2, 300, 4})},
+      [](IRBuilder& b, ir::Function* f) {
+        Value* less = b.icmp(ir::ICmpPred::SLT, f->arg(0), f->arg(1));
+        return b.select(less, f->arg(0), f->arg(1));  // lane-wise min
+      });
+  EXPECT_EQ(r.return_value.lane_int(0), 1);
+  EXPECT_EQ(r.return_value.lane_int(1), 2);
+  EXPECT_EQ(r.return_value.lane_int(2), 3);
+  EXPECT_EQ(r.return_value.lane_int(3), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+TEST(InterpMemory, ScalarAndVectorLoadStore) {
+  ExprHarness h;
+  const std::uint64_t base = h.arena().alloc(64, "buf");
+  for (unsigned i = 0; i < 8; ++i) {
+    h.arena().write<float>(base + i * 4, static_cast<float>(i) + 0.5f);
+  }
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  const auto r = h.run(Type::f32(), {Type::ptr()}, {RtVal::ptr(base)},
+                       [&](IRBuilder& b, ir::Function* f) {
+                         Value* vec = b.load(v8f, f->arg(0));
+                         return b.extract_element(vec, 7u);
+                       });
+  EXPECT_FLOAT_EQ(r.return_value.lane_f32(0), 7.5f);
+}
+
+TEST(InterpMemory, OutOfBoundsLoadTraps) {
+  ExprHarness h;
+  const auto r = h.run(Type::i32(), {Type::ptr()},
+                       {RtVal::ptr(h.arena().capacity() + 100)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.load(Type::i32(), f->arg(0));
+                       });
+  EXPECT_EQ(r.trap.kind, TrapKind::OutOfBounds);
+}
+
+TEST(InterpMemory, NullPageTraps) {
+  ExprHarness h;
+  const auto r = h.run(Type::i32(), {Type::ptr()}, {RtVal::ptr(0)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.load(Type::i32(), f->arg(0));
+                       });
+  EXPECT_EQ(r.trap.kind, TrapKind::OutOfBounds);
+}
+
+TEST(InterpMemory, GepComputesByteAddresses) {
+  ExprHarness h;
+  const std::uint64_t base = h.arena().alloc(64, "buf");
+  h.arena().write<std::int32_t>(base + 5 * 4, 777);
+  const auto r = h.run(Type::i32(), {Type::ptr(), Type::i32()},
+                       {RtVal::ptr(base), RtVal::i32(5)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         Value* addr = b.gep(f->arg(0), f->arg(1), 4);
+                         return b.load(Type::i32(), addr);
+                       });
+  EXPECT_EQ(r.return_value.lane_int(0), 777);
+}
+
+TEST(InterpMemory, GepNegativeIndexWorks) {
+  ExprHarness h;
+  const std::uint64_t base = h.arena().alloc(64, "buf");
+  h.arena().write<std::int32_t>(base, 111);
+  const auto r = h.run(Type::i32(), {Type::ptr(), Type::i32()},
+                       {RtVal::ptr(base + 16), RtVal::i32(-4)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         Value* addr = b.gep(f->arg(0), f->arg(1), 4);
+                         return b.load(Type::i32(), addr);
+                       });
+  EXPECT_EQ(r.return_value.lane_int(0), 111);
+}
+
+TEST(InterpMemory, AllocaIsWritableAndStackRestores) {
+  ExprHarness h;
+  const std::uint64_t before = h.arena().allocated();
+  const auto r = h.run(Type::i32(), {}, {},
+                       [](IRBuilder& b, ir::Function*) {
+                         Value* slot = b.alloca_bytes(16, "slot");
+                         b.store(b.i32_const(31337), slot);
+                         return b.load(Type::i32(), slot);
+                       });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.return_value.lane_int(0), 31337);
+  EXPECT_EQ(h.arena().allocated(), before);  // watermark restored
+}
+
+// ---------------------------------------------------------------------------
+// Masked intrinsics
+// ---------------------------------------------------------------------------
+
+RtVal make_float_mask(const std::vector<bool>& active) {
+  RtVal mask(Type::vector(TypeKind::F32,
+                          static_cast<unsigned>(active.size())));
+  for (unsigned i = 0; i < active.size(); ++i) {
+    mask.raw[i] = active[i] ? 0xFFFFFFFFull : 0;
+  }
+  return mask;
+}
+
+TEST(InterpMasked, MaskLoadZeroesInactiveLanes) {
+  ExprHarness h;
+  const std::uint64_t base = h.arena().alloc(32, "buf");
+  for (unsigned i = 0; i < 8; ++i) {
+    h.arena().write<float>(base + i * 4, static_cast<float>(i + 1));
+  }
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  const auto r = h.run(
+      v8f, {Type::ptr(), v8f},
+      {RtVal::ptr(base),
+       make_float_mask({true, false, true, false, true, false, true, false})},
+      [&](IRBuilder& b, ir::Function* f) {
+        ir::Function* maskload = h.module().declare_masked_intrinsic(
+            ir::IntrinsicId::MaskLoad, ir::Isa::AVX, v8f);
+        return b.call(maskload, {f->arg(0), f->arg(1)});
+      });
+  ASSERT_TRUE(r.ok());
+  for (unsigned lane = 0; lane < 8; ++lane) {
+    const float expected = lane % 2 == 0 ? static_cast<float>(lane + 1) : 0.0f;
+    EXPECT_FLOAT_EQ(r.return_value.lane_f32(lane), expected) << lane;
+  }
+}
+
+TEST(InterpMasked, MaskLoadSuppressesFaultsOnInactiveLanes) {
+  // Array of exactly 3 floats at the end of the allocation; lanes 3..7
+  // masked off. x86 vmaskmov must not fault.
+  ExprHarness h;
+  const std::uint64_t base =
+      h.arena().alloc(12, "tail", /*align=*/4);
+  // Nothing allocated beyond: lanes 3+ would be out of bounds.
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  const auto r = h.run(
+      v8f, {Type::ptr(), v8f},
+      {RtVal::ptr(base),
+       make_float_mask({true, true, true, false, false, false, false, false})},
+      [&](IRBuilder& b, ir::Function* f) {
+        ir::Function* maskload = h.module().declare_masked_intrinsic(
+            ir::IntrinsicId::MaskLoad, ir::Isa::AVX, v8f);
+        return b.call(maskload, {f->arg(0), f->arg(1)});
+      });
+  EXPECT_TRUE(r.ok()) << r.trap.detail;
+}
+
+TEST(InterpMasked, MaskLoadFaultsOnActiveOutOfBoundsLane) {
+  ExprHarness h;
+  // 8-byte region at the top of allocated memory: lanes 2..7 are out of
+  // bounds, and this time they are ACTIVE, so the access must trap.
+  const std::uint64_t base = h.arena().alloc(8, "tail", /*align=*/4);
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  const auto r = h.run(
+      v8f, {Type::ptr(), v8f},
+      {RtVal::ptr(base),
+       make_float_mask({true, true, true, true, true, true, true, true})},
+      [&](IRBuilder& b, ir::Function* f) {
+        ir::Function* maskload = h.module().declare_masked_intrinsic(
+            ir::IntrinsicId::MaskLoad, ir::Isa::AVX, v8f);
+        return b.call(maskload, {f->arg(0), f->arg(1)});
+      });
+  EXPECT_EQ(r.trap.kind, TrapKind::OutOfBounds);
+}
+
+TEST(InterpMasked, MaskStoreWritesOnlyActiveLanes) {
+  ExprHarness h;
+  const std::uint64_t base = h.arena().alloc(32, "buf");
+  for (unsigned i = 0; i < 8; ++i) {
+    h.arena().write<float>(base + i * 4, -1.0f);
+  }
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  RtVal data(v8f);
+  for (unsigned i = 0; i < 8; ++i) data.set_lane_f32(i, static_cast<float>(i));
+  const auto r = h.run(
+      Type::void_ty(), {Type::ptr(), v8f, v8f},
+      {RtVal::ptr(base),
+       make_float_mask({false, true, false, true, false, true, false, true}),
+       data},
+      [&](IRBuilder& b, ir::Function* f) -> Value* {
+        ir::Function* maskstore = h.module().declare_masked_intrinsic(
+            ir::IntrinsicId::MaskStore, ir::Isa::AVX, v8f);
+        b.call(maskstore, {f->arg(0), f->arg(1), f->arg(2)});
+        return nullptr;
+      });
+  ASSERT_TRUE(r.ok());
+  for (unsigned i = 0; i < 8; ++i) {
+    const float expected = i % 2 == 1 ? static_cast<float>(i) : -1.0f;
+    EXPECT_FLOAT_EQ(h.arena().read<float>(base + i * 4), expected) << i;
+  }
+}
+
+TEST(InterpMasked, MovmskPacksSignBits) {
+  ExprHarness h;
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  const auto r = h.run(
+      Type::i32(), {v8f},
+      {make_float_mask({true, false, false, true, false, false, false, true})},
+      [&](IRBuilder& b, ir::Function* f) {
+        ir::Function* movmsk =
+            h.module().declare_movmsk(ir::Isa::AVX, v8f);
+        return b.call(movmsk, {f->arg(0)});
+      });
+  EXPECT_EQ(r.return_value.lane_int(0), 0b10001001);
+}
+
+// ---------------------------------------------------------------------------
+// Math intrinsics
+// ---------------------------------------------------------------------------
+
+TEST(InterpMath, ScalarAndVectorIntrinsics) {
+  ExprHarness h;
+  const auto r = h.run(Type::f32(), {Type::f32()}, {RtVal::f32(2.0f)},
+                       [&](IRBuilder& b, ir::Function* f) {
+                         ir::Function* sqrt_fn =
+                             h.module().declare_math_intrinsic(
+                                 ir::IntrinsicId::Sqrt, Type::f32());
+                         ir::Function* pow_fn =
+                             h.module().declare_math_intrinsic(
+                                 ir::IntrinsicId::Pow, Type::f32());
+                         Value* root = b.call(sqrt_fn, {f->arg(0)});
+                         return b.call(pow_fn, {root, f->arg(0)});
+                       });
+  EXPECT_NEAR(r.return_value.lane_f32(0), 2.0f, 1e-6f);
+}
+
+TEST(InterpMath, VectorFminFmax) {
+  ExprHarness h;
+  const Type v4f = Type::vector(TypeKind::F32, 4);
+  RtVal a(v4f), b_val(v4f);
+  for (unsigned i = 0; i < 4; ++i) {
+    a.set_lane_f32(i, static_cast<float>(i));
+    b_val.set_lane_f32(i, 2.0f - static_cast<float>(i));
+  }
+  const auto r = h.run(v4f, {v4f, v4f}, {a, b_val},
+                       [&](IRBuilder& b, ir::Function* f) {
+                         ir::Function* fmax_fn =
+                             h.module().declare_math_intrinsic(
+                                 ir::IntrinsicId::Fmax, v4f);
+                         return b.call(fmax_fn, {f->arg(0), f->arg(1)});
+                       });
+  EXPECT_FLOAT_EQ(r.return_value.lane_f32(0), 2.0f);
+  EXPECT_FLOAT_EQ(r.return_value.lane_f32(3), 3.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Control flow, calls, limits
+// ---------------------------------------------------------------------------
+
+TEST(InterpControl, LoopWithPhiComputesSum) {
+  // sum(1..n) via a phi loop.
+  ir::Module m("loop");
+  ir::Function* f = m.create_function("sum", Type::i32(), {Type::i32()});
+  ir::BasicBlock* entry = f->create_block("entry");
+  ir::BasicBlock* header = f->create_block("header");
+  ir::BasicBlock* exit = f->create_block("exit");
+  IRBuilder b(m);
+  b.set_insert_block(entry);
+  b.br(header);
+  b.set_insert_block(header);
+  ir::Instruction* i_phi = b.phi(Type::i32(), "i");
+  ir::Instruction* acc_phi = b.phi(Type::i32(), "acc");
+  Value* acc_next = b.add(acc_phi, i_phi, "acc_next");
+  Value* i_next = b.add(i_phi, b.i32_const(1), "i_next");
+  Value* done = b.icmp(ir::ICmpPred::SGT, i_next, f->arg(0), "done");
+  b.cond_br(done, exit, header);
+  i_phi->phi_add_incoming(b.i32_const(1), entry);
+  i_phi->phi_add_incoming(i_next, header);
+  acc_phi->phi_add_incoming(b.i32_const(0), entry);
+  acc_phi->phi_add_incoming(acc_next, header);
+  b.set_insert_block(exit);
+  ir::Instruction* result = b.phi(Type::i32(), "result");
+  result->phi_add_incoming(acc_next, header);
+  b.ret(result);
+  ASSERT_TRUE(ir::verify(m).empty()) << ir::verify(m).front();
+
+  Arena arena;
+  RuntimeEnv env;
+  Interpreter interp(arena, env);
+  const auto r = interp.run(*f, {RtVal::i32(10)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.return_value.lane_int(0), 55);
+}
+
+TEST(InterpControl, UserFunctionCall) {
+  ir::Module m("call");
+  ir::Function* sq = m.create_function("square", Type::i32(), {Type::i32()});
+  {
+    IRBuilder b(m);
+    b.set_insert_block(sq->create_block("entry"));
+    b.ret(b.mul(sq->arg(0), sq->arg(0)));
+  }
+  ir::Function* f = m.create_function("f", Type::i32(), {Type::i32()});
+  {
+    IRBuilder b(m);
+    b.set_insert_block(f->create_block("entry"));
+    b.ret(b.call(sq, {b.add(f->arg(0), m.const_int(Type::i32(), 1))}));
+  }
+  Arena arena;
+  RuntimeEnv env;
+  Interpreter interp(arena, env);
+  const auto r = interp.run(*f, {RtVal::i32(6)});
+  EXPECT_EQ(r.return_value.lane_int(0), 49);
+}
+
+TEST(InterpControl, InstructionBudgetTrapsInfiniteLoop) {
+  ir::Module m("inf");
+  IRBuilder b(m);
+  // Entry branching into a self-looping block: diverges forever.
+  ir::Function* g = m.create_function("spin", Type::void_ty(), {});
+  ir::BasicBlock* g_entry = g->create_block("entry");
+  ir::BasicBlock* g_loop = g->create_block("loop");
+  b.set_insert_block(g_entry);
+  b.br(g_loop);
+  b.set_insert_block(g_loop);
+  b.br(g_loop);
+
+  Arena arena;
+  RuntimeEnv env;
+  ExecLimits limits;
+  limits.max_instructions = 10'000;
+  Interpreter interp(arena, env, limits);
+  const auto r = interp.run(*g, {});
+  EXPECT_EQ(r.trap.kind, TrapKind::InstructionBudget);
+  EXPECT_GE(r.stats.total_instructions, 10'000u);
+}
+
+TEST(InterpControl, CallDepthTrapsRunawayRecursion) {
+  ir::Module m("rec");
+  ir::Function* f = m.create_function("rec", Type::i32(), {Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  b.ret(b.call(f, {f->arg(0)}));  // infinite recursion
+  Arena arena;
+  RuntimeEnv env;
+  Interpreter interp(arena, env);
+  const auto r = interp.run(*f, {RtVal::i32(1)});
+  EXPECT_EQ(r.trap.kind, TrapKind::CallDepthExceeded);
+}
+
+TEST(InterpControl, UnreachableTraps) {
+  ir::Module m("u");
+  ir::Function* f = m.create_function("f", Type::void_ty(), {});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  b.unreachable();
+  Arena arena;
+  RuntimeEnv env;
+  Interpreter interp(arena, env);
+  EXPECT_EQ(interp.run(*f, {}).trap.kind, TrapKind::UnreachableExecuted);
+}
+
+TEST(InterpControl, RuntimeDispatchByName) {
+  ir::Module m("rt");
+  ir::Function* twice =
+      m.declare_runtime("test.twice", Type::i32(), {Type::i32()});
+  ir::Function* f = m.create_function("f", Type::i32(), {Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  b.ret(b.call(twice, {f->arg(0)}));
+
+  Arena arena;
+  RuntimeEnv env;
+  int invocations = 0;
+  env.register_handler("test.twice",
+                       [&invocations](const std::vector<RtVal>& args) {
+                         invocations += 1;
+                         return RtVal::i32(
+                             static_cast<std::int32_t>(args[0].lane_int(0) * 2));
+                       });
+  Interpreter interp(arena, env);
+  const auto r = interp.run(*f, {RtVal::i32(21)});
+  EXPECT_EQ(r.return_value.lane_int(0), 42);
+  EXPECT_EQ(invocations, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+TEST(Arena, RegionsAndBounds) {
+  Arena arena(1 << 16);
+  const std::uint64_t a = arena.alloc(100, "a");
+  const std::uint64_t b = arena.alloc(50, "b");
+  EXPECT_GE(a, Arena::kGuardBytes);
+  EXPECT_GT(b, a);
+  EXPECT_TRUE(arena.valid(a, 100));
+  EXPECT_FALSE(arena.valid(0, 1));                    // guard page
+  EXPECT_FALSE(arena.valid(arena.allocated(), 8));    // past top
+  EXPECT_EQ(arena.region("a").bytes, 100u);
+  EXPECT_EQ(arena.region("b").base, b);
+}
+
+TEST(Arena, CopyGivesIndependentMemory) {
+  Arena arena(1 << 16);
+  const std::uint64_t a = arena.alloc(16, "a");
+  arena.write<std::int32_t>(a, 1);
+  Arena copy = arena;
+  copy.write<std::int32_t>(a, 2);
+  EXPECT_EQ(arena.read<std::int32_t>(a), 1);
+  EXPECT_EQ(copy.read<std::int32_t>(a), 2);
+}
+
+TEST(Arena, RegionBytesSnapshot) {
+  Arena arena(1 << 16);
+  const std::uint64_t a = arena.alloc(8, "a");
+  arena.write<std::int32_t>(a, 0x01020304);
+  const auto bytes = arena.region_bytes(arena.region("a"));
+  ASSERT_EQ(bytes.size(), 8u);
+  EXPECT_EQ(bytes[0], 0x04);  // little endian
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(Arena, WatermarkDiscipline) {
+  Arena arena(1 << 16);
+  arena.alloc(64, "static");
+  const std::uint64_t mark = arena.frame_watermark();
+  arena.alloc_stack(128);
+  EXPECT_GT(arena.frame_watermark(), mark);
+  arena.restore_watermark(mark);
+  EXPECT_EQ(arena.frame_watermark(), mark);
+}
+
+}  // namespace
+}  // namespace vulfi::interp

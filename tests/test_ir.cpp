@@ -1,0 +1,466 @@
+// Unit tests for the IR substrate: types, constants, use-lists, builder
+// typing rules, intrinsic registry, printing, verification, and DCE.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/intrinsics.hpp"
+#include "ir/module.hpp"
+#include "ir/printer.hpp"
+#include "ir/transforms.hpp"
+#include "ir/verifier.hpp"
+
+namespace vulfi::ir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Type
+// ---------------------------------------------------------------------------
+
+TEST(Type, ScalarProperties) {
+  EXPECT_TRUE(Type::i32().is_integer());
+  EXPECT_TRUE(Type::i32().is_scalar());
+  EXPECT_FALSE(Type::i32().is_vector());
+  EXPECT_TRUE(Type::f32().is_float());
+  EXPECT_TRUE(Type::ptr().is_pointer());
+  EXPECT_TRUE(Type::void_ty().is_void());
+  EXPECT_FALSE(Type::void_ty().is_scalar());
+  EXPECT_TRUE(Type::i1().is_bool());
+}
+
+TEST(Type, Widths) {
+  EXPECT_EQ(Type::i1().element_bits(), 1u);
+  EXPECT_EQ(Type::i1().element_bytes(), 1u);  // storage byte
+  EXPECT_EQ(Type::i8().element_bits(), 8u);
+  EXPECT_EQ(Type::i16().element_bits(), 16u);
+  EXPECT_EQ(Type::i32().element_bits(), 32u);
+  EXPECT_EQ(Type::i64().element_bits(), 64u);
+  EXPECT_EQ(Type::f32().element_bits(), 32u);
+  EXPECT_EQ(Type::f64().element_bits(), 64u);
+  EXPECT_EQ(Type::ptr().element_bits(), 64u);
+}
+
+TEST(Type, VectorProperties) {
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  EXPECT_TRUE(v8f.is_vector());
+  EXPECT_EQ(v8f.lanes(), 8u);
+  EXPECT_EQ(v8f.byte_size(), 32u);  // a 256-bit AVX register
+  EXPECT_EQ(v8f.element(), Type::f32());
+  EXPECT_EQ(Type::f32().with_lanes(4).byte_size(), 16u);  // 128-bit SSE
+}
+
+TEST(Type, Spelling) {
+  EXPECT_EQ(Type::i32().to_string(), "i32");
+  EXPECT_EQ(Type::f32().to_string(), "float");
+  EXPECT_EQ(Type::f64().to_string(), "double");
+  EXPECT_EQ(Type::vector(TypeKind::F32, 8).to_string(), "<8 x float>");
+  EXPECT_EQ(Type::vector(TypeKind::I1, 4).to_string(), "<4 x i1>");
+  EXPECT_EQ(Type::ptr().to_string(), "ptr");
+}
+
+// ---------------------------------------------------------------------------
+// Constants
+// ---------------------------------------------------------------------------
+
+TEST(Constant, IntegerTruncationAndSignExtension) {
+  Module m("t");
+  Constant* c = m.const_int(Type::i8(), -1);
+  EXPECT_EQ(c->raw(0), 0xFFu);
+  EXPECT_EQ(c->int_value(0), -1);
+  Constant* big = m.const_int(Type::i8(), 300);  // wraps to 44
+  EXPECT_EQ(big->int_value(0), 44);
+}
+
+TEST(Constant, SignExtendHelper) {
+  EXPECT_EQ(Constant::sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(Constant::sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(Constant::sign_extend(0x80000000ull, 32),
+            -2147483648LL);
+  EXPECT_EQ(Constant::sign_extend(1, 1), -1);  // i1 true is -1 signed
+}
+
+TEST(Constant, FloatRoundTrip) {
+  Module m("t");
+  Constant* c = m.const_f32(Type::f32(), 3.5f);
+  EXPECT_EQ(c->f32_value(0), 3.5f);
+  Constant* d = m.const_f64(Type::f64(), -0.125);
+  EXPECT_EQ(d->f64_value(0), -0.125);
+}
+
+TEST(Constant, VectorLanesAndSplat) {
+  Module m("t");
+  Constant* seq = m.const_lane_sequence(8);
+  EXPECT_EQ(seq->type(), Type::vector(TypeKind::I32, 8));
+  for (unsigned lane = 0; lane < 8; ++lane) {
+    EXPECT_EQ(seq->int_value(lane), lane);
+  }
+  EXPECT_FALSE(seq->is_splat());
+  Constant* splat = m.const_int(Type::vector(TypeKind::I32, 4), 7);
+  EXPECT_TRUE(splat->is_splat());
+  EXPECT_TRUE(m.const_zero(Type::vector(TypeKind::F32, 4))->is_zero());
+  EXPECT_TRUE(m.const_undef(Type::f32())->is_undef());
+}
+
+// ---------------------------------------------------------------------------
+// Use lists and RAUW
+// ---------------------------------------------------------------------------
+
+TEST(UseLists, UsersTrackedPerOccurrence) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::i32(), {Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  Value* arg = f->arg(0);
+  Value* doubled = b.add(arg, arg, "dbl");  // two uses of arg
+  b.ret(doubled);
+  EXPECT_EQ(arg->users().size(), 2u);
+  EXPECT_EQ(doubled->users().size(), 1u);
+}
+
+TEST(UseLists, ReplaceAllUsesWith) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::i32(), {Type::i32(), Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  Value* sum = b.add(f->arg(0), f->arg(1), "sum");
+  Value* twice = b.add(sum, sum, "twice");
+  b.ret(twice);
+
+  Value* replacement = m.const_int(Type::i32(), 5);
+  sum->replace_all_uses_with(replacement);
+  EXPECT_TRUE(sum->users().empty());
+  auto* twice_inst = dynamic_cast<Instruction*>(twice);
+  EXPECT_EQ(twice_inst->operand(0), replacement);
+  EXPECT_EQ(twice_inst->operand(1), replacement);
+}
+
+TEST(UseLists, ReplaceUsesWithIfFilters) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::i32(), {Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  Value* v = b.add(f->arg(0), m.const_int(Type::i32(), 1), "v");
+  Value* keep = b.mul(v, m.const_int(Type::i32(), 2), "keep");
+  Value* redirect = b.mul(v, m.const_int(Type::i32(), 3), "redirect");
+  b.ret(b.add(keep, redirect, "out"));
+
+  auto* keep_inst = dynamic_cast<Instruction*>(keep);
+  v->replace_uses_with_if(f->arg(0), [&](const Instruction& user) {
+    return &user != keep_inst;
+  });
+  EXPECT_EQ(keep_inst->operand(0), v);
+  EXPECT_EQ(dynamic_cast<Instruction*>(redirect)->operand(0), f->arg(0));
+}
+
+TEST(UseLists, VectorInstructionDefinition) {
+  // Paper §II-A: a vector instruction has at least one vector operand.
+  Module m("t");
+  const Type v4 = Type::vector(TypeKind::F32, 4);
+  Function* f = m.create_function("f", Type::f32(), {v4});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  Value* elem = b.extract_element(f->arg(0), 0u, "e");  // scalar result
+  b.ret(elem);
+  EXPECT_TRUE(dynamic_cast<Instruction*>(elem)->is_vector_instruction());
+}
+
+// ---------------------------------------------------------------------------
+// Intrinsic registry
+// ---------------------------------------------------------------------------
+
+TEST(Intrinsics, MaskedNamesMatchX86Conventions) {
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  const Type v4f = Type::vector(TypeKind::F32, 4);
+  const Type v8i = Type::vector(TypeKind::I32, 8);
+  EXPECT_EQ(masked_intrinsic_name(IntrinsicId::MaskLoad, Isa::AVX, v8f),
+            "vulfi.x86.avx.maskload.ps.256");
+  EXPECT_EQ(masked_intrinsic_name(IntrinsicId::MaskStore, Isa::AVX, v8f),
+            "vulfi.x86.avx.maskstore.ps.256");
+  EXPECT_EQ(masked_intrinsic_name(IntrinsicId::MaskLoad, Isa::SSE4, v4f),
+            "vulfi.x86.sse41.maskload.ps");
+  EXPECT_EQ(masked_intrinsic_name(IntrinsicId::MaskStore, Isa::AVX, v8i),
+            "vulfi.x86.avx.maskstore.d.256");
+  EXPECT_EQ(movmsk_intrinsic_name(Isa::AVX, v8f),
+            "vulfi.x86.avx.movmsk.ps.256");
+  EXPECT_EQ(movmsk_intrinsic_name(Isa::SSE4, v4f),
+            "vulfi.x86.sse.movmsk.ps");
+}
+
+TEST(Intrinsics, MaskedDeclarationsCarryMaskMetadata) {
+  Module m("t");
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  Function* load = m.declare_masked_intrinsic(IntrinsicId::MaskLoad,
+                                              Isa::AVX, v8f);
+  EXPECT_TRUE(load->is_masked_intrinsic());
+  EXPECT_EQ(load->intrinsic_info().mask_operand, 1);
+  EXPECT_EQ(load->return_type(), v8f);
+
+  Function* store = m.declare_masked_intrinsic(IntrinsicId::MaskStore,
+                                               Isa::AVX, v8f);
+  EXPECT_EQ(store->intrinsic_info().mask_operand, 1);
+  EXPECT_EQ(store->intrinsic_info().data_operand, 2);
+  EXPECT_TRUE(store->return_type().is_void());
+
+  // Declarations are cached by name.
+  EXPECT_EQ(m.declare_masked_intrinsic(IntrinsicId::MaskLoad, Isa::AVX, v8f),
+            load);
+}
+
+TEST(Intrinsics, MaskLaneActiveUsesMsb) {
+  EXPECT_TRUE(mask_lane_active(0xFFFFFFFFull, 32));
+  EXPECT_TRUE(mask_lane_active(0x80000000ull, 32));
+  EXPECT_FALSE(mask_lane_active(0x7FFFFFFFull, 32));
+  EXPECT_FALSE(mask_lane_active(0, 32));
+  EXPECT_TRUE(mask_lane_active(1, 1));  // i1 mask
+  EXPECT_FALSE(mask_lane_active(0, 1));
+}
+
+TEST(Intrinsics, MathNames) {
+  EXPECT_EQ(math_intrinsic_name(IntrinsicId::Sqrt,
+                                Type::vector(TypeKind::F32, 8)),
+            "vulfi.sqrt.v8f32");
+  EXPECT_EQ(math_intrinsic_name(IntrinsicId::Pow, Type::f64()),
+            "vulfi.pow.f64");
+  EXPECT_TRUE(math_intrinsic_is_binary(IntrinsicId::Pow));
+  EXPECT_FALSE(math_intrinsic_is_binary(IntrinsicId::Sqrt));
+}
+
+// ---------------------------------------------------------------------------
+// Printer — golden patterns from the paper
+// ---------------------------------------------------------------------------
+
+TEST(Printer, BroadcastIdiomMatchesFigure9) {
+  // %uval_broadcast_init = insertelement <8 x float> undef, float %uval, 0
+  // %uval_broadcast = shufflevector ..., zeroinitializer
+  Module m("t");
+  Function* f = m.create_function("f", Type::void_ty(), {Type::f32()});
+  f->arg(0)->set_name("uval");
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  b.broadcast(f->arg(0), 8, "uval_broadcast");
+  b.ret();
+
+  const std::string text = to_string(*f);
+  EXPECT_NE(text.find("%uval_broadcast_init = insertelement <8 x float> "
+                      "undef, float %uval, i32 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("%uval_broadcast = shufflevector <8 x float> "
+                      "%uval_broadcast_init, <8 x float> undef, "
+                      "<8 x i32> zeroinitializer"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Printer, MaskedCallSpelling) {
+  Module m("t");
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  Function* maskload =
+      m.declare_masked_intrinsic(IntrinsicId::MaskLoad, Isa::AVX, v8f);
+  Function* f = m.create_function("f", v8f, {Type::ptr(), v8f});
+  f->arg(0)->set_name("addr");
+  f->arg(1)->set_name("floatmask.i");
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  Value* loaded = b.call(maskload, {f->arg(0), f->arg(1)}, "ld");
+  b.ret(loaded);
+  const std::string text = to_string(*f);
+  EXPECT_NE(text.find("call <8 x float> @vulfi.x86.avx.maskload.ps.256("
+                      "ptr %addr, <8 x float> %floatmask.i)"),
+            std::string::npos)
+      << text;
+}
+
+// ---------------------------------------------------------------------------
+// Verifier
+// ---------------------------------------------------------------------------
+
+TEST(Verifier, AcceptsWellFormedFunction) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::i32(), {Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  b.ret(b.add(f->arg(0), m.const_int(Type::i32(), 1)));
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::void_ty(), {});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  b.add(m.const_int(Type::i32(), 1), m.const_int(Type::i32(), 2));
+  const auto errors = verify(*f);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::void_ty(), {});
+  f->create_block("entry");
+  EXPECT_FALSE(verify(*f).empty());
+}
+
+TEST(Verifier, RejectsRetTypeMismatch) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::i32(), {});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  b.ret();  // ret void in an i32 function
+  const auto errors = verify(*f);
+  ASSERT_FALSE(errors.empty());
+}
+
+TEST(Verifier, RejectsPhiIncomingMismatch) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::void_ty(), {Type::i1()});
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* left = f->create_block("left");
+  BasicBlock* join = f->create_block("join");
+  IRBuilder b(m);
+  b.set_insert_block(entry);
+  b.cond_br(f->arg(0), left, join);
+  b.set_insert_block(left);
+  b.br(join);
+  b.set_insert_block(join);
+  Instruction* phi = b.phi(Type::i32(), "p");
+  // Only one incoming entry; join has two predecessors.
+  phi->phi_add_incoming(m.const_int(Type::i32(), 1), left);
+  b.ret();
+  const auto errors = verify(*f);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("phi"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUseBeforeDefInBlock) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::void_ty(), {});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  Value* one = m.const_int(Type::i32(), 1);
+  Value* first = b.add(one, one, "first");
+  Value* second = b.add(one, one, "second");
+  b.ret();
+  // Manually rewire: first uses second (defined later).
+  dynamic_cast<Instruction*>(first)->set_operand(0, second);
+  const auto errors = verify(*f);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("definition"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDefinitionNotDominatingUse) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::void_ty(), {Type::i1()});
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* left = f->create_block("left");
+  BasicBlock* right = f->create_block("right");
+  BasicBlock* join = f->create_block("join");
+  IRBuilder b(m);
+  b.set_insert_block(entry);
+  b.cond_br(f->arg(0), left, right);
+  b.set_insert_block(left);
+  Value* only_left = b.add(m.const_int(Type::i32(), 1),
+                           m.const_int(Type::i32(), 2), "left_val");
+  b.br(join);
+  b.set_insert_block(right);
+  b.br(join);
+  b.set_insert_block(join);
+  b.add(only_left, m.const_int(Type::i32(), 3), "bad");  // not dominated
+  b.ret();
+  const auto errors = verify(*f);
+  ASSERT_FALSE(errors.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Dead code elimination
+// ---------------------------------------------------------------------------
+
+TEST(Transforms, DceRemovesDeadChainsKeepsEffects) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::void_ty(),
+                                  {Type::ptr(), Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  // Dead chain: a -> c (c unused, then a becomes unused).
+  Value* a = b.add(f->arg(1), m.const_int(Type::i32(), 1), "a");
+  b.mul(a, m.const_int(Type::i32(), 2), "c");
+  // Live store.
+  Value* live = b.add(f->arg(1), m.const_int(Type::i32(), 3), "live");
+  b.store(live, f->arg(0));
+  b.ret();
+
+  const std::size_t before = f->num_instructions();
+  const unsigned removed = eliminate_dead_code(*f);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(f->num_instructions(), before - 2);
+  EXPECT_TRUE(verify(*f).empty());
+}
+
+TEST(Transforms, DceKeepsRuntimeCallsAndMaskStores) {
+  Module m("t");
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  Function* maskstore =
+      m.declare_masked_intrinsic(IntrinsicId::MaskStore, Isa::AVX, v8f);
+  Function* runtime =
+      m.declare_runtime("vulfi.test.effect", Type::i32(), {});
+  Function* f = m.create_function("f", Type::void_ty(), {Type::ptr(), v8f});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  b.call(maskstore, {f->arg(0), f->arg(1), f->arg(1)});
+  b.call(runtime, {}, "unused_result");
+  b.ret();
+  EXPECT_EQ(eliminate_dead_code(*f), 0u);
+}
+
+TEST(Transforms, DceRemovesUnusedMaskedLoad) {
+  Module m("t");
+  const Type v8f = Type::vector(TypeKind::F32, 8);
+  Function* maskload =
+      m.declare_masked_intrinsic(IntrinsicId::MaskLoad, Isa::AVX, v8f);
+  Function* f = m.create_function("f", Type::void_ty(), {Type::ptr(), v8f});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(m);
+  b.set_insert_block(bb);
+  b.call(maskload, {f->arg(0), f->arg(1)}, "dead_load");
+  b.ret();
+  EXPECT_EQ(eliminate_dead_code(*f), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Module structure
+// ---------------------------------------------------------------------------
+
+TEST(Module, FunctionLookup) {
+  Module m("t");
+  Function* f = m.create_function("foo", Type::void_ty(), {});
+  EXPECT_EQ(m.find_function("foo"), f);
+  EXPECT_EQ(m.find_function("bar"), nullptr);
+}
+
+TEST(Module, BlockInsertionOrderHelpers) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::void_ty(), {});
+  BasicBlock* a = f->create_block("a");
+  BasicBlock* c = f->create_block("c");
+  BasicBlock* inserted = f->create_block_after("b", a);
+  std::vector<std::string> names;
+  for (const auto& block : *f) names.push_back(block->name());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(inserted->name(), "b");
+  (void)c;
+}
+
+}  // namespace
+}  // namespace vulfi::ir

@@ -1,0 +1,494 @@
+// Tests for the ISPC-like kernel language: lexer, parser, semantic
+// checks, code generation semantics, vectorization-shape selection, and
+// interoperability with the detector passes and the fault injector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/foreach_detector.hpp"
+#include "detect/uniform_detector.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "spmd/lang/compiler.hpp"
+#include "spmd/lang/lexer.hpp"
+#include "spmd/lang/parser.hpp"
+#include "vulfi/driver.hpp"
+
+namespace vulfi::spmd::lang {
+namespace {
+
+using interp::RtVal;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokenizesKernelHeader) {
+  const LexResult result = lex("kernel f(uniform float a[], uniform int n)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result.tokens.size(), 13u);
+  EXPECT_EQ(result.tokens[0].kind, TokKind::Identifier);
+  EXPECT_EQ(result.tokens[0].text, "kernel");
+  EXPECT_EQ(result.tokens[2].kind, TokKind::LParen);
+}
+
+TEST(Lexer, EllipsisVersusFloat) {
+  const LexResult result = lex("0 ... n 1.5 2e3");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.tokens[0].kind, TokKind::IntLiteral);
+  EXPECT_EQ(result.tokens[1].kind, TokKind::Ellipsis);
+  EXPECT_EQ(result.tokens[3].kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(result.tokens[3].float_value, 1.5);
+  EXPECT_EQ(result.tokens[4].kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(result.tokens[4].float_value, 2000.0);
+}
+
+TEST(Lexer, CompoundOperatorsAndComments) {
+  const LexResult result = lex("a += b; // trailing comment\nc <= d");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.tokens[1].kind, TokKind::PlusAssign);
+  EXPECT_EQ(result.tokens[5].kind, TokKind::LessEq);
+}
+
+TEST(Lexer, ReportsUnknownCharacters) {
+  const LexResult result = lex("a $ b");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.errors.front().find("unexpected character"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(LangParser, ParsesForeachKernel) {
+  const auto result = parse_program(
+      "kernel copy(uniform float a[], uniform float b[], uniform int n) {\n"
+      "  foreach (i = 0 ... n) { b[i] = a[i]; }\n"
+      "}\n");
+  ASSERT_TRUE(result.ok()) << (result.errors.empty()
+                                   ? std::string()
+                                   : result.errors.front());
+  ASSERT_EQ(result.program->kernels.size(), 1u);
+  const Kernel& kernel = *result.program->kernels[0];
+  EXPECT_EQ(kernel.name, "copy");
+  ASSERT_EQ(kernel.params.size(), 3u);
+  EXPECT_TRUE(kernel.params[0].is_array);
+  EXPECT_FALSE(kernel.params[2].is_array);
+  ASSERT_EQ(kernel.body.size(), 1u);
+  EXPECT_EQ(kernel.body[0]->kind, StmtKind::Foreach);
+}
+
+TEST(LangParser, RejectsMalformedFor) {
+  const auto result = parse_program(
+      "kernel f(uniform int n) {\n"
+      "  for (uniform int k = 0; n > k; k++) { }\n"  // cond must be k < n
+      "}\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LangParser, OperatorPrecedence) {
+  const auto result = parse_program(
+      "kernel f(uniform float o[], uniform float a, uniform float b,"
+      " uniform float c) {\n"
+      "  o[0] = a + b * c;\n"
+      "}\n");
+  ASSERT_TRUE(result.ok());
+  const Stmt& assign = *result.program->kernels[0]->body[0];
+  const Expr& rhs = *assign.value;
+  ASSERT_EQ(rhs.kind, ExprKind::Binary);
+  EXPECT_EQ(rhs.binary_op, BinaryOp::Add);               // + at the top
+  EXPECT_EQ(rhs.children[1]->binary_op, BinaryOp::Mul);  // * below
+}
+
+// ---------------------------------------------------------------------------
+// Compilation + execution
+// ---------------------------------------------------------------------------
+
+struct Compiled {
+  std::unique_ptr<ir::Module> module;
+  ir::Function* fn;
+};
+
+Compiled must_compile(const std::string& source, const Target& target,
+                      const std::string& kernel_name) {
+  CompileResult result = compile_program(source, target);
+  EXPECT_TRUE(result.ok()) << (result.errors.empty()
+                                   ? std::string("no module")
+                                   : result.errors.front());
+  Compiled out;
+  out.module = std::move(result.module);
+  out.fn = out.module ? out.module->find_function(kernel_name) : nullptr;
+  return out;
+}
+
+TEST(LangCompile, SaxpyMatchesScalarReference) {
+  const std::string source =
+      "kernel saxpy(uniform float x[], uniform float y[], uniform int n,\n"
+      "             uniform float a) {\n"
+      "  foreach (i = 0 ... n) {\n"
+      "    y[i] = a * x[i] + y[i];\n"
+      "  }\n"
+      "}\n";
+  for (const Target& target : {Target::avx(), Target::sse4()}) {
+    Compiled compiled = must_compile(source, target, "saxpy");
+    ASSERT_NE(compiled.fn, nullptr);
+
+    const int n = 29;
+    interp::Arena arena;
+    const std::uint64_t x = arena.alloc(n * 4, "x");
+    const std::uint64_t y = arena.alloc(n * 4, "y");
+    for (int i = 0; i < n; ++i) {
+      arena.write<float>(x + i * 4u, static_cast<float>(i));
+      arena.write<float>(y + i * 4u, 100.0f - i);
+    }
+    interp::RuntimeEnv env;
+    interp::Interpreter interp(arena, env);
+    const auto result = interp.run(
+        *compiled.fn, {RtVal::ptr(x), RtVal::ptr(y), RtVal::i32(n),
+                       RtVal::f32(1.5f)});
+    ASSERT_TRUE(result.ok()) << result.trap.detail;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_FLOAT_EQ(arena.read<float>(y + i * 4u),
+                      1.5f * i + (100.0f - i))
+          << target.name() << " i=" << i;
+    }
+  }
+}
+
+TEST(LangCompile, DotProductReductionSugar) {
+  const std::string source =
+      "kernel dot(uniform float a[], uniform float b[],\n"
+      "           uniform float out[], uniform int n) {\n"
+      "  uniform float sum = 0.0;\n"
+      "  foreach (i = 0 ... n) {\n"
+      "    sum += a[i] * b[i];\n"
+      "  }\n"
+      "  out[0] = sum;\n"
+      "}\n";
+  const Target target = Target::avx();
+  Compiled compiled = must_compile(source, target, "dot");
+  ASSERT_NE(compiled.fn, nullptr);
+
+  const int n = 21;
+  interp::Arena arena;
+  const std::uint64_t a = arena.alloc(n * 4, "a");
+  const std::uint64_t b = arena.alloc(n * 4, "b");
+  const std::uint64_t out = arena.alloc(4, "out");
+  std::vector<float> partial(8, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    const float av = 0.5f + i;
+    const float bv = 2.0f - 0.1f * i;
+    arena.write<float>(a + i * 4u, av);
+    arena.write<float>(b + i * 4u, bv);
+    partial[i % 8] += av * bv;
+  }
+  float expected = partial[0];
+  for (int lane = 1; lane < 8; ++lane) expected += partial[lane];
+
+  interp::RuntimeEnv env;
+  interp::Interpreter interp(arena, env);
+  ASSERT_TRUE(interp.run(*compiled.fn, {RtVal::ptr(a), RtVal::ptr(b),
+                                        RtVal::ptr(out), RtVal::i32(n)})
+                  .ok());
+  EXPECT_FLOAT_EQ(arena.read<float>(out), expected);
+}
+
+TEST(LangCompile, StencilOffsetsAndForLoop) {
+  const std::string source =
+      "kernel smooth(uniform float in[], uniform float out[],\n"
+      "              uniform int n, uniform int steps) {\n"
+      "  for (uniform int t = 0; t < steps; t++) {\n"
+      "    foreach (i = 1 ... n - 1) {\n"
+      "      out[i] = 0.25 * in[i - 1] + 0.5 * in[i] + 0.25 * in[i + 1];\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  const Target target = Target::sse4();
+  Compiled compiled = must_compile(source, target, "smooth");
+  ASSERT_NE(compiled.fn, nullptr);
+
+  const int n = 14;
+  interp::Arena arena;
+  const std::uint64_t in = arena.alloc(n * 4, "in");
+  const std::uint64_t out = arena.alloc(n * 4, "out");
+  for (int i = 0; i < n; ++i) {
+    arena.write<float>(in + i * 4u, static_cast<float>(i * i));
+    arena.write<float>(out + i * 4u, 0.0f);
+  }
+  interp::RuntimeEnv env;
+  interp::Interpreter interp(arena, env);
+  ASSERT_TRUE(interp.run(*compiled.fn, {RtVal::ptr(in), RtVal::ptr(out),
+                                        RtVal::i32(n), RtVal::i32(1)})
+                  .ok());
+  for (int i = 1; i + 1 < n; ++i) {
+    const float expected = 0.25f * ((i - 1) * (i - 1)) + 0.5f * (i * i) +
+                           0.25f * ((i + 1) * (i + 1));
+    EXPECT_NEAR(arena.read<float>(out + i * 4u), expected, 1e-4f) << i;
+  }
+}
+
+TEST(LangCompile, ChebyshevStyleCarriedForInsideForeach) {
+  // Loop-carried varying values inside foreach (the chebyshev pattern),
+  // with a uniform coefficient load broadcast per step.
+  const std::string source =
+      "kernel cheb(uniform float x[], uniform float c[],\n"
+      "            uniform float out[], uniform int n, uniform int d) {\n"
+      "  foreach (i = 0 ... n) {\n"
+      "    float t0 = 1.0;\n"
+      "    float t1 = x[i];\n"
+      "    float acc = c[0] * t0 + c[1] * t1;\n"
+      "    for (uniform int k = 2; k < d + 1; k++) {\n"
+      "      float t2 = 2.0 * x[i] * t1 - t0;\n"
+      "      acc += c[k] * t2;\n"
+      "      t0 = t1;\n"
+      "      t1 = t2;\n"
+      "    }\n"
+      "    out[i] = acc;\n"
+      "  }\n"
+      "}\n";
+  const Target target = Target::avx();
+  Compiled compiled = must_compile(source, target, "cheb");
+  ASSERT_NE(compiled.fn, nullptr);
+
+  const int n = 11, degree = 6;
+  interp::Arena arena;
+  const std::uint64_t x = arena.alloc(n * 4, "x");
+  const std::uint64_t c = arena.alloc((degree + 1) * 4, "c");
+  const std::uint64_t out = arena.alloc(n * 4, "out");
+  for (int i = 0; i < n; ++i) {
+    arena.write<float>(x + i * 4u, -1.0f + 0.2f * i);
+  }
+  for (int k = 0; k <= degree; ++k) {
+    arena.write<float>(c + k * 4u, 0.3f - 0.05f * k);
+  }
+  interp::RuntimeEnv env;
+  interp::Interpreter interp(arena, env);
+  ASSERT_TRUE(interp.run(*compiled.fn,
+                         {RtVal::ptr(x), RtVal::ptr(c), RtVal::ptr(out),
+                          RtVal::i32(n), RtVal::i32(degree)})
+                  .ok());
+  for (int i = 0; i < n; ++i) {
+    const float xv = -1.0f + 0.2f * i;
+    float t0 = 1.0f, t1 = xv;
+    float acc = 0.3f + (0.3f - 0.05f) * xv;
+    for (int k = 2; k <= degree; ++k) {
+      const float t2 = 2.0f * xv * t1 - t0;
+      acc += (0.3f - 0.05f * k) * t2;
+      t0 = t1;
+      t1 = t2;
+    }
+    EXPECT_NEAR(arena.read<float>(out + i * 4u), acc, 1e-4f) << i;
+  }
+}
+
+TEST(LangCompile, GatherScatterForGeneralIndices) {
+  const std::string source =
+      "kernel reverse(uniform int in[], uniform int out[], uniform int n) {\n"
+      "  foreach (i = 0 ... n) {\n"
+      "    out[n - 1 - i] = in[i];\n"
+      "  }\n"
+      "}\n";
+  const Target target = Target::avx();
+  Compiled compiled = must_compile(source, target, "reverse");
+  ASSERT_NE(compiled.fn, nullptr);
+  // The store index (n-1-i) is varying and non-affine in our classifier:
+  // it must lower to a scatter.
+  const std::string text = ir::to_string(*compiled.fn);
+  EXPECT_NE(text.find("scatter_lane"), std::string::npos) << text;
+
+  const int n = 13;
+  interp::Arena arena;
+  const std::uint64_t in = arena.alloc(n * 4, "in");
+  const std::uint64_t out = arena.alloc(n * 4, "out");
+  for (int i = 0; i < n; ++i) {
+    arena.write<std::int32_t>(in + i * 4u, i * 7);
+  }
+  interp::RuntimeEnv env;
+  interp::Interpreter interp(arena, env);
+  ASSERT_TRUE(interp.run(*compiled.fn, {RtVal::ptr(in), RtVal::ptr(out),
+                                        RtVal::i32(n)})
+                  .ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(arena.read<std::int32_t>(out + (n - 1 - i) * 4u), i * 7);
+  }
+}
+
+TEST(LangCompile, TernarySelectsPerLane) {
+  const std::string source =
+      "kernel clampit(uniform float a[], uniform int n, uniform float lo) {\n"
+      "  foreach (i = 0 ... n) {\n"
+      "    a[i] = a[i] < lo ? lo : a[i];\n"
+      "  }\n"
+      "}\n";
+  const Target target = Target::avx();
+  Compiled compiled = must_compile(source, target, "clampit");
+  ASSERT_NE(compiled.fn, nullptr);
+
+  const int n = 10;
+  interp::Arena arena;
+  const std::uint64_t a = arena.alloc(n * 4, "a");
+  for (int i = 0; i < n; ++i) {
+    arena.write<float>(a + i * 4u, static_cast<float>(i) - 5.0f);
+  }
+  interp::RuntimeEnv env;
+  interp::Interpreter interp(arena, env);
+  ASSERT_TRUE(
+      interp.run(*compiled.fn, {RtVal::ptr(a), RtVal::i32(n), RtVal::f32(0.0f)})
+          .ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(arena.read<float>(a + i * 4u),
+                    std::fmax(static_cast<float>(i) - 5.0f, 0.0f));
+  }
+}
+
+TEST(LangCompile, MultiDimensionalForeach) {
+  // Paper footnote 4: foreach with more than one dimension variable.
+  const std::string source =
+      "kernel transpose_add(uniform float g[], uniform int w,\n"
+      "                     uniform int h, uniform float bias) {\n"
+      "  foreach (y = 0 ... h, x = 0 ... w) {\n"
+      "    g[y * w + x] = g[y * w + x] + bias + float(y);\n"
+      "  }\n"
+      "}\n";
+  const Target target = Target::avx();
+  Compiled compiled = must_compile(source, target, "transpose_add");
+  ASSERT_NE(compiled.fn, nullptr);
+
+  const int w = 11, h = 5;
+  interp::Arena arena;
+  const std::uint64_t g = arena.alloc(w * h * 4, "g");
+  for (int i = 0; i < w * h; ++i) {
+    arena.write<float>(g + i * 4u, static_cast<float>(i));
+  }
+  interp::RuntimeEnv env;
+  interp::Interpreter interp(arena, env);
+  ASSERT_TRUE(interp.run(*compiled.fn,
+                         {RtVal::ptr(g), RtVal::i32(w), RtVal::i32(h),
+                          RtVal::f32(0.5f)})
+                  .ok());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int i = y * w + x;
+      EXPECT_FLOAT_EQ(arena.read<float>(g + i * 4u),
+                      static_cast<float>(i) + 0.5f + static_cast<float>(y))
+          << "y=" << y << " x=" << x;
+    }
+  }
+  // The inner dimension vectorized: exactly one foreach loop exists.
+  EXPECT_EQ(detect::find_foreach_loops(*compiled.fn).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic errors
+// ---------------------------------------------------------------------------
+
+TEST(LangSema, RejectsVaryingDeclOutsideForeach) {
+  const auto result = compile_program(
+      "kernel f(uniform int n) { float x = 1.0; }", Target::avx());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.errors.front().find("foreach"), std::string::npos);
+}
+
+TEST(LangSema, RejectsNonAddUniformUpdateInForeach) {
+  const auto result = compile_program(
+      "kernel f(uniform float a[], uniform int n) {\n"
+      "  uniform float m = 0.0;\n"
+      "  foreach (i = 0 ... n) { m = a[i]; }\n"
+      "}\n",
+      Target::avx());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.errors.front().find("+="), std::string::npos);
+}
+
+TEST(LangSema, RejectsNestedForeach) {
+  const auto result = compile_program(
+      "kernel f(uniform int n) {\n"
+      "  foreach (i = 0 ... n) { foreach (j = 0 ... n) { } }\n"
+      "}\n",
+      Target::avx());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.errors.front().find("nest"), std::string::npos);
+}
+
+TEST(LangSema, RejectsVaryingForeachBounds) {
+  const auto result = compile_program(
+      "kernel f(uniform int idx[], uniform int n) {\n"
+      "  foreach (i = 0 ... n) {\n"
+      "    for (uniform int k = 0; k < idx[i]; k++) { }\n"
+      "  }\n"
+      "}\n",
+      Target::avx());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.errors.front().find("uniform"), std::string::npos);
+}
+
+TEST(LangSema, RejectsUndeclaredNames) {
+  const auto result = compile_program(
+      "kernel f(uniform int n) { uniform int x = mystery; }", Target::avx());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.errors.front().find("undeclared"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Interop: detectors and fault injection on compiled kernels
+// ---------------------------------------------------------------------------
+
+TEST(LangInterop, CompiledForeachMatchesDetectorPattern) {
+  Compiled compiled = must_compile(
+      "kernel copy(uniform float a[], uniform float b[], uniform int n) {\n"
+      "  foreach (i = 0 ... n) { b[i] = a[i]; }\n"
+      "}\n",
+      Target::avx(), "copy");
+  ASSERT_NE(compiled.fn, nullptr);
+  // The compiled foreach has the Figure-7 shape the detector pass
+  // recognizes.
+  const auto loops = detect::find_foreach_loops(*compiled.fn);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].vl, 8u);
+  EXPECT_EQ(detect::insert_foreach_detectors(*compiled.fn), 1u);
+  EXPECT_TRUE(ir::verify(*compiled.module).empty());
+}
+
+TEST(LangInterop, UniformBroadcastsAreDetectable) {
+  Compiled compiled = must_compile(
+      "kernel scale(uniform float a[], uniform int n, uniform float f) {\n"
+      "  foreach (i = 0 ... n) { a[i] = f * a[i]; }\n"
+      "}\n",
+      Target::avx(), "scale");
+  ASSERT_NE(compiled.fn, nullptr);
+  EXPECT_GE(detect::find_broadcasts(*compiled.fn).size(), 1u);
+}
+
+TEST(LangInterop, CompiledKernelSurvivesFaultInjection) {
+  CompileResult compiled = compile_program(
+      "kernel square(uniform float a[], uniform int n) {\n"
+      "  foreach (i = 0 ... n) { a[i] = a[i] * a[i]; }\n"
+      "}\n",
+      Target::avx());
+  ASSERT_TRUE(compiled.ok());
+
+  RunSpec spec;
+  spec.module = std::move(compiled.module);
+  spec.entry = spec.module->find_function("square");
+  const int n = 19;
+  const std::uint64_t a = spec.arena.alloc(n * 4, "a");
+  for (int i = 0; i < n; ++i) {
+    spec.arena.write<float>(a + i * 4u, 1.0f + i);
+  }
+  spec.args = {RtVal::ptr(a), RtVal::i32(n)};
+  spec.output_regions = {"a"};
+
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::PureData);
+  Rng rng(61);
+  unsigned sdc = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (engine.run_experiment(rng).outcome == Outcome::SDC) sdc += 1;
+  }
+  EXPECT_GT(sdc, 20u);
+}
+
+}  // namespace
+}  // namespace vulfi::spmd::lang

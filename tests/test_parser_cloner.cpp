@@ -1,0 +1,215 @@
+// Round-trip and structural-equality tests for the textual IR parser and
+// the module cloner: for every benchmark kernel (and detector/instrumented
+// variants), to_string(parse(to_string(M))) == to_string(M) and
+// to_string(clone(M)) == to_string(M); parsed and cloned modules also
+// verify and execute identically.
+#include <gtest/gtest.h>
+
+#include "detect/foreach_detector.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/cloner.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/benchmark.hpp"
+#include "vulfi/instrument.hpp"
+
+namespace vulfi {
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<const kernels::Benchmark*> {
+};
+
+std::string bench_name(
+    const ::testing::TestParamInfo<const kernels::Benchmark*>& info) {
+  return info.param->name();
+}
+
+TEST_P(RoundTrip, ParsePreservesPrintedForm) {
+  RunSpec spec = GetParam()->build(spmd::Target::avx(), 0);
+  const std::string printed = ir::to_string(*spec.module);
+  ir::ParseResult parsed = ir::parse_module(printed);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty()
+                                   ? std::string("no module")
+                                   : parsed.errors.front());
+  EXPECT_TRUE(ir::verify(*parsed.module).empty())
+      << ir::verify(*parsed.module).front();
+  EXPECT_EQ(ir::to_string(*parsed.module), printed);
+}
+
+TEST_P(RoundTrip, ClonePreservesPrintedForm) {
+  RunSpec spec = GetParam()->build(spmd::Target::sse4(), 0);
+  const std::string printed = ir::to_string(*spec.module);
+  const auto clone = ir::clone_module(*spec.module);
+  EXPECT_TRUE(ir::verify(*clone).empty()) << ir::verify(*clone).front();
+  EXPECT_EQ(ir::to_string(*clone), printed);
+}
+
+TEST_P(RoundTrip, ParsedModuleExecutesIdentically) {
+  const kernels::Benchmark* bench = GetParam();
+  RunSpec spec = bench->build(spmd::Target::avx(), 0);
+  ir::ParseResult parsed = ir::parse_module(ir::to_string(*spec.module));
+  ASSERT_TRUE(parsed.ok());
+
+  auto run = [&](ir::Module& module) {
+    interp::RuntimeEnv env;
+    interp::Arena arena = spec.arena;
+    interp::Interpreter interp(arena, env);
+    const auto result =
+        interp.run(*module.find_function(spec.entry->name()), spec.args);
+    EXPECT_TRUE(result.ok()) << result.trap.detail;
+    std::vector<std::uint8_t> bytes;
+    for (const auto& name : spec.output_regions) {
+      const auto region_bytes = arena.region_bytes(arena.region(name));
+      bytes.insert(bytes.end(), region_bytes.begin(), region_bytes.end());
+    }
+    return bytes;
+  };
+  EXPECT_EQ(run(*spec.module), run(*parsed.module));
+}
+
+TEST_P(RoundTrip, ClonedModuleExecutesIdentically) {
+  const kernels::Benchmark* bench = GetParam();
+  RunSpec spec = bench->build(spmd::Target::avx(), 0);
+  const auto clone = ir::clone_module(*spec.module);
+
+  auto run = [&](ir::Module& module) {
+    interp::RuntimeEnv env;
+    interp::Arena arena = spec.arena;
+    interp::Interpreter interp(arena, env);
+    const auto result =
+        interp.run(*module.find_function(spec.entry->name()), spec.args);
+    EXPECT_TRUE(result.ok()) << result.trap.detail;
+    std::vector<std::uint8_t> bytes;
+    for (const auto& name : spec.output_regions) {
+      const auto region_bytes = arena.region_bytes(arena.region(name));
+      bytes.insert(bytes.end(), region_bytes.begin(), region_bytes.end());
+    }
+    return bytes;
+  };
+  EXPECT_EQ(run(*spec.module), run(*clone));
+}
+
+std::vector<const kernels::Benchmark*> roundtrip_benchmarks() {
+  std::vector<const kernels::Benchmark*> all = kernels::all_benchmarks();
+  for (const kernels::Benchmark* micro : kernels::micro_benchmarks()) {
+    all.push_back(micro);
+  }
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, RoundTrip,
+                         ::testing::ValuesIn(roundtrip_benchmarks()),
+                         bench_name);
+
+TEST(RoundTripVariants, DetectorInstrumentedModulesRoundTrip) {
+  RunSpec spec =
+      kernels::find_benchmark("vcopy")->build(spmd::Target::avx(), 0);
+  detect::insert_foreach_detectors(*spec.module);
+  Instrumentor instrumentor;
+  instrumentor.run(*spec.entry);
+
+  const std::string printed = ir::to_string(*spec.module);
+  ir::ParseResult parsed = ir::parse_module(printed);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty()
+                                   ? std::string("no module")
+                                   : parsed.errors.front());
+  EXPECT_EQ(ir::to_string(*parsed.module), printed);
+
+  // Declarations carried their intrinsic metadata through the round trip.
+  for (const auto& fn : parsed.module->functions()) {
+    const ir::Function* original =
+        spec.module->find_function(fn->name());
+    ASSERT_NE(original, nullptr) << fn->name();
+    EXPECT_EQ(fn->kind(), original->kind()) << fn->name();
+    EXPECT_EQ(fn->intrinsic_info().id, original->intrinsic_info().id);
+    EXPECT_EQ(fn->intrinsic_info().mask_operand,
+              original->intrinsic_info().mask_operand);
+  }
+}
+
+TEST(Parser, ReportsErrorsWithLineNumbers) {
+  const std::string bad =
+      "; module broken\n"
+      "\n"
+      "define void @f() {\n"
+      "entry:\n"
+      "  %x = add i32 %undefined_value, 1\n"
+      "  ret void\n"
+      "}\n";
+  const ir::ParseResult result = ir::parse_module(bad);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_NE(result.errors.front().find("line 5"), std::string::npos)
+      << result.errors.front();
+  EXPECT_NE(result.errors.front().find("undefined_value"),
+            std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownOpcode) {
+  const std::string bad =
+      "define void @f() {\n"
+      "entry:\n"
+      "  frobnicate i32 1\n"
+      "}\n";
+  const ir::ParseResult result = ir::parse_module(bad);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Parser, ParsesHandWrittenFunction) {
+  const std::string text =
+      "; module hand\n"
+      "define i32 @sum(i32 %n) {\n"
+      "entry:\n"
+      "  %start = icmp slt i32 0, %n\n"
+      "  br i1 %start, label %loop, label %done\n"
+      "loop:\n"
+      "  %i = phi i32 [ 0, %entry ], [ %i1, %loop ]\n"
+      "  %acc = phi i32 [ 0, %entry ], [ %acc1, %loop ]\n"
+      "  %acc1 = add i32 %acc, %i\n"
+      "  %i1 = add i32 %i, 1\n"
+      "  %again = icmp slt i32 %i1, %n\n"
+      "  br i1 %again, label %loop, label %done\n"
+      "done:\n"
+      "  %result = phi i32 [ 0, %entry ], [ %acc1, %loop ]\n"
+      "  ret i32 %result\n"
+      "}\n";
+  ir::ParseResult parsed = ir::parse_module(text);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty()
+                                   ? std::string("no module")
+                                   : parsed.errors.front());
+  ASSERT_TRUE(ir::verify(*parsed.module).empty())
+      << ir::verify(*parsed.module).front();
+
+  interp::Arena arena;
+  interp::RuntimeEnv env;
+  interp::Interpreter interp(arena, env);
+  const auto result = interp.run(*parsed.module->find_function("sum"),
+                                 {interp::RtVal::i32(10)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value.lane_int(0), 45);  // 0+1+...+9
+}
+
+TEST(Cloner, CloneMapCorrelatesValues) {
+  RunSpec spec = kernels::find_benchmark("dot")->build(spmd::Target::avx(), 0);
+  ir::CloneMap map;
+  const auto clone = ir::clone_module(*spec.module, &map);
+  // Every original instruction maps to a clone with matching name/opcode.
+  for (const auto& fn : spec.module->functions()) {
+    if (!fn->is_definition()) continue;
+    for (const auto& block : *fn) {
+      for (const auto& inst : *block) {
+        auto it = map.values.find(inst.get());
+        ASSERT_NE(it, map.values.end());
+        const auto* copy = dynamic_cast<const ir::Instruction*>(it->second);
+        ASSERT_NE(copy, nullptr);
+        EXPECT_EQ(copy->opcode(), inst->opcode());
+        EXPECT_EQ(copy->name(), inst->name());
+        EXPECT_NE(copy->function(), inst->function());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vulfi

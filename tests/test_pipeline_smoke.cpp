@@ -1,0 +1,170 @@
+// End-to-end smoke tests: micro-benchmarks through the full pipeline —
+// SPMD lowering, verification, interpretation, reference validation,
+// instrumentation, fault injection, and detector insertion.
+#include <gtest/gtest.h>
+
+#include "detect/detector_runtime.hpp"
+#include "detect/foreach_detector.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/micro.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+
+namespace vulfi {
+namespace {
+
+using kernels::Benchmark;
+
+void expect_matches_reference(const Benchmark& bench,
+                              const spmd::Target& target, unsigned input) {
+  RunSpec spec = bench.build(target, input);
+  ASSERT_TRUE(ir::verify(*spec.module).empty())
+      << ir::verify(*spec.module).front();
+
+  interp::RuntimeEnv env;
+  interp::Arena arena = spec.arena;
+  interp::Interpreter interp(arena, env);
+  const interp::ExecResult result = interp.run(*spec.entry, spec.args);
+  ASSERT_TRUE(result.ok()) << result.trap.detail;
+
+  for (const kernels::RegionRef& ref : bench.reference(target, input)) {
+    const auto& region = arena.region(ref.region);
+    if (!ref.f32.empty()) {
+      const auto actual = arena.read_array<float>(region.base, ref.f32.size());
+      for (std::size_t i = 0; i < ref.f32.size(); ++i) {
+        EXPECT_NEAR(actual[i], ref.f32[i], 1e-5f)
+            << bench.name() << " region " << ref.region << " elem " << i;
+      }
+    } else {
+      const auto actual =
+          arena.read_array<std::int32_t>(region.base, ref.i32.size());
+      for (std::size_t i = 0; i < ref.i32.size(); ++i) {
+        EXPECT_EQ(actual[i], ref.i32[i])
+            << bench.name() << " region " << ref.region << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST(PipelineSmoke, VectorCopyMatchesReferenceAvx) {
+  for (unsigned input = 0; input < 3; ++input) {
+    expect_matches_reference(kernels::vector_copy_benchmark(),
+                             spmd::Target::avx(), input);
+  }
+}
+
+TEST(PipelineSmoke, VectorCopyMatchesReferenceSse) {
+  for (unsigned input = 0; input < 3; ++input) {
+    expect_matches_reference(kernels::vector_copy_benchmark(),
+                             spmd::Target::sse4(), input);
+  }
+}
+
+TEST(PipelineSmoke, DotProductMatchesReference) {
+  for (unsigned input = 0; input < 3; ++input) {
+    expect_matches_reference(kernels::dot_product_benchmark(),
+                             spmd::Target::avx(), input);
+    expect_matches_reference(kernels::dot_product_benchmark(),
+                             spmd::Target::sse4(), input);
+  }
+}
+
+TEST(PipelineSmoke, VectorSumMatchesReference) {
+  for (unsigned input = 0; input < 3; ++input) {
+    expect_matches_reference(kernels::vector_sum_benchmark(),
+                             spmd::Target::avx(), input);
+  }
+}
+
+TEST(PipelineSmoke, InstrumentedModuleStillVerifiesAndRunsClean) {
+  RunSpec spec =
+      kernels::vector_copy_benchmark().build(spmd::Target::avx(), 0);
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::PureData);
+  const interp::ExecResult clean = engine.run_clean();
+  EXPECT_TRUE(clean.ok()) << clean.trap.detail;
+  EXPECT_FALSE(engine.sites().empty());
+}
+
+TEST(PipelineSmoke, ExperimentsProduceOutcomes) {
+  RunSpec spec = kernels::dot_product_benchmark().build(spmd::Target::avx(), 0);
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::PureData);
+  Rng rng(42);
+  unsigned fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    const ExperimentResult result = engine.run_experiment(rng);
+    EXPECT_GT(result.dynamic_sites, 0u);
+    if (result.injection.fired) fired += 1;
+  }
+  EXPECT_GT(fired, 0u);
+}
+
+TEST(PipelineSmoke, PureDataInjectionIntoDotCausesSomeSdc) {
+  RunSpec spec = kernels::dot_product_benchmark().build(spmd::Target::avx(), 2);
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::PureData);
+  Rng rng(7);
+  unsigned sdc = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (engine.run_experiment(rng).outcome == Outcome::SDC) sdc += 1;
+  }
+  // Flipping bits in the accumulating data path of a dot product must
+  // corrupt the output much of the time.
+  EXPECT_GT(sdc, 10u);
+}
+
+TEST(PipelineSmoke, DetectorInsertedModuleRunsAndStaysQuietWithoutFaults) {
+  RunSpec spec =
+      kernels::vector_copy_benchmark().build(spmd::Target::avx(), 1);
+  const unsigned inserted = detect::insert_foreach_detectors(*spec.module);
+  EXPECT_EQ(inserted, 1u);
+  ASSERT_TRUE(ir::verify(*spec.module).empty())
+      << ir::verify(*spec.module).front();
+
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::Control);
+  engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
+    detect::attach_detector_runtime(env, engine.detection_log());
+  });
+  const interp::ExecResult clean = engine.run_clean();
+  EXPECT_TRUE(clean.ok()) << clean.trap.detail;
+  EXPECT_FALSE(engine.detection_log().any());
+}
+
+TEST(PipelineSmoke, ControlFaultsOnVcopyGetDetectedSometimes) {
+  RunSpec spec =
+      kernels::vector_copy_benchmark().build(spmd::Target::avx(), 2);
+  detect::insert_foreach_detectors(*spec.module);
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::Control);
+  engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
+    detect::attach_detector_runtime(env, engine.detection_log());
+  });
+  Rng rng(11);
+  unsigned detected = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (engine.run_experiment(rng).detected) detected += 1;
+  }
+  EXPECT_GT(detected, 0u);
+}
+
+TEST(PipelineSmoke, CampaignRunsToCompletion) {
+  RunSpec spec = kernels::vector_sum_benchmark().build(spmd::Target::sse4(), 0);
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::Control);
+  CampaignConfig config;
+  config.experiments_per_campaign = 10;
+  config.min_campaigns = 3;
+  config.max_campaigns = 5;
+  const CampaignResult result = run_campaigns({&engine}, config);
+  EXPECT_GE(result.campaigns, 3u);
+  EXPECT_EQ(result.experiments,
+            static_cast<std::uint64_t>(result.campaigns) * 10);
+  EXPECT_EQ(result.benign + result.sdc + result.crash, result.experiments);
+}
+
+}  // namespace
+}  // namespace vulfi

@@ -1,0 +1,115 @@
+// Semantic-preservation properties across every benchmark and target:
+// instrumentation with an idle runtime, detector insertion, DCE, cloning,
+// and print/parse round trips must not change any kernel's output bytes.
+// These are the invariants the whole methodology rests on — a golden run
+// of the instrumented binary must be the program's real output.
+#include <gtest/gtest.h>
+
+#include "detect/detector_runtime.hpp"
+#include "detect/foreach_detector.hpp"
+#include "detect/uniform_detector.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/benchmark.hpp"
+#include "vulfi/driver.hpp"
+
+namespace vulfi {
+namespace {
+
+using kernels::Benchmark;
+
+std::vector<std::uint8_t> run_and_snapshot(const RunSpec& spec,
+                                           interp::RuntimeEnv& env) {
+  interp::Arena arena = spec.arena;
+  interp::Interpreter interp(arena, env);
+  const auto result = interp.run(*spec.entry, spec.args);
+  EXPECT_TRUE(result.ok()) << result.trap.detail;
+  std::vector<std::uint8_t> bytes;
+  for (const auto& name : spec.output_regions) {
+    const auto region = arena.region_bytes(arena.region(name));
+    bytes.insert(bytes.end(), region.begin(), region.end());
+  }
+  return bytes;
+}
+
+std::vector<std::uint8_t> plain_output(const Benchmark& bench,
+                                       const spmd::Target& target) {
+  RunSpec spec = bench.build(target, 0);
+  interp::RuntimeEnv env;
+  return run_and_snapshot(spec, env);
+}
+
+struct Combo {
+  const Benchmark* bench;
+  bool avx;
+};
+
+class Preservation : public ::testing::TestWithParam<Combo> {};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  return info.param.bench->name() + (info.param.avx ? "_avx" : "_sse");
+}
+
+TEST_P(Preservation, InstrumentationWithIdleRuntimeKeepsOutput) {
+  const auto [bench, avx] = GetParam();
+  const spmd::Target target = avx ? spmd::Target::avx() : spmd::Target::sse4();
+  const auto expected = plain_output(*bench, target);
+
+  RunSpec spec = bench->build(target, 0);
+  const auto output_regions = spec.output_regions;
+  const auto args = spec.args;
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::PureData);
+  // run_clean executes the instrumented module with injection disabled.
+  interp::Arena arena = engine.spec().arena;
+  interp::RuntimeEnv env;
+  FaultInjectionRuntime runtime;
+  runtime.set_sites(engine.sites());
+  runtime.attach(env);
+  interp::Interpreter interp(arena, env);
+  const auto result = interp.run(*engine.spec().entry, args);
+  ASSERT_TRUE(result.ok()) << result.trap.detail;
+  std::vector<std::uint8_t> actual;
+  for (const auto& name : output_regions) {
+    const auto region = arena.region_bytes(arena.region(name));
+    actual.insert(actual.end(), region.begin(), region.end());
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_P(Preservation, DetectorInsertionKeepsOutput) {
+  const auto [bench, avx] = GetParam();
+  const spmd::Target target = avx ? spmd::Target::avx() : spmd::Target::sse4();
+  const auto expected = plain_output(*bench, target);
+
+  RunSpec spec = bench->build(target, 0);
+  detect::insert_foreach_detectors(*spec.module);
+  detect::insert_uniform_detectors(*spec.module);
+  ASSERT_TRUE(ir::verify(*spec.module).empty())
+      << ir::verify(*spec.module).front();
+
+  interp::RuntimeEnv env;
+  interp::DetectionLog log;
+  detect::attach_detector_runtime(env, log);
+  EXPECT_EQ(run_and_snapshot(spec, env), expected);
+  // Fault-free runs never trip a detector (no false positives).
+  EXPECT_FALSE(log.any());
+}
+
+std::vector<Combo> combos() {
+  std::vector<Combo> out;
+  for (const Benchmark* bench : kernels::all_benchmarks()) {
+    out.push_back({bench, true});
+    out.push_back({bench, false});
+  }
+  for (const Benchmark* bench : kernels::micro_benchmarks()) {
+    out.push_back({bench, true});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, Preservation,
+                         ::testing::ValuesIn(combos()), combo_name);
+
+}  // namespace
+}  // namespace vulfi

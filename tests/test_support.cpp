@@ -1,0 +1,314 @@
+// Unit tests for the support library: RNG, statistics, bit utilities,
+// string formatting, and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/bits.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace vulfi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) same += 1;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    seen.insert(rng.next_below(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_in_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, MeanOfUniformIsCentered) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) same += 1;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, JumpChangesSequence) {
+  Rng a(29), b(29);
+  b.jump();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBoolRespectsProbabilityExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OnlineStats and inference machinery
+// ---------------------------------------------------------------------------
+
+TEST(Stats, MeanAndVarianceKnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(Stats, EmptyAndSingleSampleSafe) {
+  OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.std_error(), 0.0);
+}
+
+TEST(Stats, SkewnessOfSymmetricDataIsZero) {
+  OnlineStats s;
+  for (double x : {-2.0, -1.0, 0.0, 1.0, 2.0}) s.add(x);
+  EXPECT_NEAR(s.skewness(), 0.0, 1e-12);
+}
+
+TEST(Stats, SkewnessSignMatchesTail) {
+  OnlineStats right;
+  for (double x : {1.0, 1.0, 1.0, 1.0, 10.0}) right.add(x);
+  EXPECT_GT(right.skewness(), 0.0);
+}
+
+TEST(Stats, StudentsTCriticalMatchesTables) {
+  // Classic two-sided 95% critical values.
+  EXPECT_NEAR(students_t_critical(0.95, 19), 2.093, 0.002);
+  EXPECT_NEAR(students_t_critical(0.95, 9), 2.262, 0.002);
+  EXPECT_NEAR(students_t_critical(0.99, 19), 2.861, 0.003);
+  EXPECT_NEAR(students_t_critical(0.95, 1), 12.706, 0.05);
+  // Converges to the normal quantile for large df.
+  EXPECT_NEAR(students_t_critical(0.95, 100000), 1.960, 0.002);
+}
+
+TEST(Stats, MarginOfErrorMatchesHandComputation) {
+  OnlineStats s;
+  for (int i = 0; i < 20; ++i) s.add(i % 2 == 0 ? 0.40 : 0.44);
+  // s = 0.02 (about), se = s/sqrt(20), moe = t(0.95,19) * se.
+  const double expected =
+      students_t_critical(0.95, 19) * s.stddev() / std::sqrt(20.0);
+  EXPECT_NEAR(margin_of_error(s, 0.95), expected, 1e-12);
+}
+
+TEST(Stats, MarginOfErrorInfiniteForTinySamples) {
+  OnlineStats s;
+  s.add(0.5);
+  EXPECT_TRUE(std::isinf(margin_of_error(s, 0.95)));
+}
+
+TEST(Stats, JarqueBeraAcceptsUniformishRejectsSpike) {
+  Rng rng(37);
+  OnlineStats normalish;
+  // Sum of 12 uniforms is approximately normal (Irwin–Hall).
+  for (int i = 0; i < 400; ++i) {
+    double sum = 0;
+    for (int k = 0; k < 12; ++k) sum += rng.next_double();
+    normalish.add(sum);
+  }
+  EXPECT_TRUE(near_normal(normalish));
+
+  OnlineStats spike;
+  for (int i = 0; i < 400; ++i) spike.add(i == 0 ? 100.0 : 0.0);
+  EXPECT_FALSE(near_normal(spike));
+}
+
+TEST(Stats, RegIncompleteBetaBoundsAndSymmetry) {
+  EXPECT_DOUBLE_EQ(reg_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(reg_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  const double x = 0.3;
+  EXPECT_NEAR(reg_incomplete_beta(2.5, 4.0, x),
+              1.0 - reg_incomplete_beta(4.0, 2.5, 1.0 - x), 1e-10);
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(reg_incomplete_beta(1.0, 1.0, 0.42), 0.42, 1e-10);
+}
+
+TEST(Stats, SummarizeMatchesManualAccumulation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const OnlineStats s = summarize(xs);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// bits
+// ---------------------------------------------------------------------------
+
+TEST(Bits, FlipIsAnInvolution) {
+  const float f = 3.14159f;
+  const double d = -2.71828;
+  for (unsigned bit = 0; bit < 32; ++bit) {
+    EXPECT_EQ(flip_bit(flip_bit(f, bit), bit), f);
+  }
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    EXPECT_EQ(flip_bit(flip_bit(d, bit), bit), d);
+  }
+}
+
+TEST(Bits, FlipChangesExactlyOneBit) {
+  const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    EXPECT_EQ(__builtin_popcountll(v ^ flip_bit(v, bit)), 1);
+  }
+}
+
+TEST(Bits, FloatSignFlip) {
+  EXPECT_EQ(flip_bit(1.0f, 31), -1.0f);
+  EXPECT_EQ(flip_bit(-8.0, 63), 8.0);
+}
+
+TEST(Bits, FlipInWidthStaysInWidth) {
+  for (unsigned width : {1u, 8u, 16u, 32u, 64u}) {
+    for (unsigned bit = 0; bit < 70; ++bit) {
+      const std::uint64_t flipped = flip_bit_in_width(0, bit, width);
+      if (width < 64) {
+        EXPECT_LT(flipped, std::uint64_t{1} << width);
+      }
+      EXPECT_EQ(__builtin_popcountll(flipped), 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// str / table
+// ---------------------------------------------------------------------------
+
+TEST(Str, Strf) {
+  EXPECT_EQ(strf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(Str, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(108000), "108,000");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+TEST(Str, Pct) {
+  EXPECT_EQ(pct(0.4235), "42.35%");
+  EXPECT_EQ(pct(1.0, 0), "100%");
+  EXPECT_EQ(pct(0.08, 1), "8.0%");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Table, RendersAlignedColumnsWithRule) {
+  TextTable table({"Name", "Value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Name    Value"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  TextTable table({"a", "b"});
+  table.add_row({"has,comma", "has\"quote"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+// Property-style sweep: margin of error shrinks as 1/sqrt(n).
+class MarginSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarginSweep, MarginShrinksWithSampleCount) {
+  const int n = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(n));
+  OnlineStats small_sample, big_sample;
+  for (int i = 0; i < n; ++i) small_sample.add(rng.next_double());
+  for (int i = 0; i < n * 4; ++i) big_sample.add(rng.next_double());
+  EXPECT_LT(margin_of_error(big_sample, 0.95),
+            margin_of_error(small_sample, 0.95));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MarginSweep,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace vulfi

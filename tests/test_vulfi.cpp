@@ -1,0 +1,552 @@
+// Unit tests for the VULFI core: fault-site enumeration, the
+// instrumentation pass (Figures 4/5 semantics), the injection runtime
+// (fault model of §II-B), the experiment driver, and campaigns.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interp/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/benchmark.hpp"
+#include "kernels/kernel_common.hpp"
+#include "kernels/micro.hpp"
+#include "kernels/study.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+#include "vulfi/instrument.hpp"
+
+namespace vulfi {
+namespace {
+
+using interp::RtVal;
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+// ---------------------------------------------------------------------------
+// Site enumeration
+// ---------------------------------------------------------------------------
+
+TEST(FaultSites, VectorRegistersYieldOneSitePerLane) {
+  // Paper §II-B: "If an Lvalue is a vector register, then each of its
+  // scalar elements is considered a unique fault site."
+  ir::Module m("t");
+  const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+  ir::Function* f = m.create_function("f", v8f, {v8f, v8f});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* sum = b.fadd(f->arg(0), f->arg(1), "sum");
+  b.ret(sum);
+
+  const auto sites = enumerate_fault_sites(*f);
+  ASSERT_EQ(sites.size(), 8u);
+  for (unsigned lane = 0; lane < 8; ++lane) {
+    EXPECT_EQ(sites[lane].lane, lane);
+    EXPECT_EQ(sites[lane].inst->name(), "sum");
+    EXPECT_EQ(sites[lane].element_type, Type::f32());
+    EXPECT_TRUE(sites[lane].vector_instruction);
+    EXPECT_FALSE(sites[lane].masked);
+  }
+}
+
+TEST(FaultSites, StoreTargetsTheStoredValue) {
+  ir::Module m("t");
+  ir::Function* f =
+      m.create_function("f", Type::void_ty(), {Type::ptr(), Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  b.store(f->arg(1), f->arg(0));
+  b.ret();
+  const auto sites = enumerate_fault_sites(*f);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_TRUE(sites[0].store_operand);
+  EXPECT_EQ(sites[0].element_type, Type::i32());
+}
+
+TEST(FaultSites, MaskedIntrinsicsMarkLanesMasked) {
+  ir::Module m("t");
+  const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+  ir::Function* maskload =
+      m.declare_masked_intrinsic(ir::IntrinsicId::MaskLoad, ir::Isa::AVX, v8f);
+  ir::Function* maskstore = m.declare_masked_intrinsic(
+      ir::IntrinsicId::MaskStore, ir::Isa::AVX, v8f);
+  ir::Function* f =
+      m.create_function("f", Type::void_ty(), {Type::ptr(), v8f});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* loaded = b.call(maskload, {f->arg(0), f->arg(1)}, "ld");
+  b.call(maskstore, {f->arg(0), f->arg(1), loaded});
+  b.ret();
+
+  const auto sites = enumerate_fault_sites(*f);
+  ASSERT_EQ(sites.size(), 16u);  // 8 load lanes + 8 store-operand lanes
+  for (const FaultSite& site : sites) {
+    EXPECT_TRUE(site.masked);
+  }
+  EXPECT_FALSE(sites[0].store_operand);
+  EXPECT_TRUE(sites[15].store_operand);
+}
+
+TEST(FaultSites, PointerProducersAndPhisExcluded) {
+  RunSpec spec =
+      kernels::vector_copy_benchmark().build(spmd::Target::avx(), 0);
+  for (const FaultSite& site : enumerate_fault_sites(*spec.entry)) {
+    EXPECT_NE(site.inst->opcode(), ir::Opcode::Phi);
+    EXPECT_NE(site.inst->opcode(), ir::Opcode::GetElementPtr);
+    EXPECT_NE(site.inst->opcode(), ir::Opcode::Alloca);
+    EXPECT_TRUE(site.element_type.is_integer() ||
+                site.element_type.is_float());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentor
+// ---------------------------------------------------------------------------
+
+TEST(Instrumentor, SiteIdsMatchEnumeration) {
+  RunSpec spec = kernels::dot_product_benchmark().build(spmd::Target::avx(), 0);
+  const auto expected = enumerate_fault_sites(*spec.entry);
+  Instrumentor instrumentor;
+  const auto actual = instrumentor.run(*spec.entry);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id);
+    EXPECT_EQ(actual[i].lane, expected[i].lane);
+    EXPECT_EQ(actual[i].inst, expected[i].inst);
+    EXPECT_EQ(actual[i].masked, expected[i].masked);
+  }
+}
+
+TEST(Instrumentor, EmitsFigure5ChainForVectors) {
+  // One masked load: expect extractelement / extractelement(mask) /
+  // call @vulfi.inject.f32 / insertelement per lane, and the maskstore
+  // consuming the instrumented clone.
+  ir::Module m("t");
+  const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+  ir::Function* maskload =
+      m.declare_masked_intrinsic(ir::IntrinsicId::MaskLoad, ir::Isa::AVX, v8f);
+  ir::Function* f =
+      m.create_function("f", v8f, {Type::ptr(), v8f});
+  f->arg(1)->set_name("floatmask.i");
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* loaded = b.call(maskload, {f->arg(0), f->arg(1)}, "ld");
+  b.ret(loaded);
+
+  Instrumentor instrumentor;
+  const auto sites = instrumentor.run(*f);
+  ASSERT_EQ(sites.size(), 8u);
+  EXPECT_TRUE(ir::verify(m).empty()) << ir::verify(m).front();
+
+  const std::string text = ir::to_string(*f);
+  // Lane 0 extract + mask extract + inject call (Figure 5 L1-L3).
+  EXPECT_NE(text.find("extractelement <8 x float> %ld, i32 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("extractelement <8 x float> %floatmask.i, i32 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("call float @vulfi.inject.f32(float %ext0, float "
+                      "%extmask0"),
+            std::string::npos);
+  // The function now returns the instrumented clone, not the original.
+  EXPECT_NE(text.find("ret <8 x float> %ins7"), std::string::npos);
+}
+
+TEST(Instrumentor, InstrumentedModuleVerifiesForAllBenchmarks) {
+  for (const kernels::Benchmark* bench : kernels::all_benchmarks()) {
+    RunSpec spec = bench->build(spmd::Target::avx(), 0);
+    Instrumentor instrumentor;
+    instrumentor.run(*spec.entry);
+    const auto errors = ir::verify(*spec.module);
+    EXPECT_TRUE(errors.empty())
+        << bench->name() << ": "
+        << (errors.empty() ? std::string() : errors.front());
+  }
+}
+
+TEST(Instrumentor, IdleRuntimePreservesSemantics) {
+  // With injection disabled the instrumented kernel must produce exactly
+  // the uninstrumented output (the inject calls are identity functions).
+  for (const kernels::Benchmark* bench : kernels::micro_benchmarks()) {
+    RunSpec plain = bench->build(spmd::Target::avx(), 0);
+    std::vector<std::uint8_t> expected;
+    {
+      interp::RuntimeEnv env;
+      interp::Arena arena = plain.arena;
+      interp::Interpreter interp(arena, env);
+      ASSERT_TRUE(interp.run(*plain.entry, plain.args).ok());
+      for (const auto& name : plain.output_regions) {
+        const auto bytes = arena.region_bytes(arena.region(name));
+        expected.insert(expected.end(), bytes.begin(), bytes.end());
+      }
+    }
+
+    RunSpec spec = bench->build(spmd::Target::avx(), 0);
+    const auto output_regions = spec.output_regions;
+    InjectionEngine engine(std::move(spec),
+                           analysis::FaultSiteCategory::PureData);
+    const auto result = engine.run_clean();
+    ASSERT_TRUE(result.ok()) << bench->name();
+    // Instrumentation inflates the dynamic instruction count.
+    EXPECT_GT(result.stats.total_instructions, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Injection runtime
+// ---------------------------------------------------------------------------
+
+/// A minimal instrumented program: out[0] = a + b (scalar f32).
+struct ScalarAddProgram {
+  RunSpec spec;
+
+  ScalarAddProgram() {
+    spec.module = std::make_unique<ir::Module>("sa");
+    ir::Function* f = spec.module->create_function(
+        "f", Type::void_ty(), {Type::f32(), Type::f32(), Type::ptr()});
+    IRBuilder b(*spec.module);
+    b.set_insert_block(f->create_block("entry"));
+    Value* sum = b.fadd(f->arg(0), f->arg(1), "sum");
+    b.store(sum, f->arg(2));
+    b.ret();
+    spec.entry = f;
+    const std::uint64_t out = spec.arena.alloc(4, "out");
+    spec.args = {RtVal::f32(1.5f), RtVal::f32(2.25f), RtVal::ptr(out)};
+    spec.output_regions = {"out"};
+  }
+};
+
+TEST(FiRuntime, CountAndInjectSeeSameDynamicSites) {
+  ScalarAddProgram program;
+  InjectionEngine engine(std::move(program.spec),
+                         analysis::FaultSiteCategory::PureData);
+  Rng rng(3);
+  const ExperimentResult r1 = engine.run_experiment(rng);
+  const ExperimentResult r2 = engine.run_experiment(rng);
+  // sum (1 site) + store operand (1 site) = 2 dynamic sites every run.
+  EXPECT_EQ(r1.dynamic_sites, 2u);
+  EXPECT_EQ(r2.dynamic_sites, 2u);
+  EXPECT_TRUE(r1.injection.fired);
+}
+
+TEST(FiRuntime, InjectionFlipsExactlyOneBit) {
+  ScalarAddProgram program;
+  InjectionEngine engine(std::move(program.spec),
+                         analysis::FaultSiteCategory::PureData);
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    const ExperimentResult r = engine.run_experiment(rng);
+    ASSERT_TRUE(r.injection.fired);
+    const std::uint64_t diff =
+        r.injection.bits_before ^ r.injection.bits_after;
+    EXPECT_EQ(__builtin_popcountll(diff), 1);
+    EXPECT_EQ(diff, std::uint64_t{1} << r.injection.bit);
+    EXPECT_LT(r.injection.bit, 32u);  // f32 sites flip within 32 bits
+  }
+}
+
+TEST(FiRuntime, UniformSiteSelectionCoversAllSites) {
+  ScalarAddProgram program;
+  InjectionEngine engine(std::move(program.spec),
+                         analysis::FaultSiteCategory::PureData);
+  Rng rng(23);
+  std::set<std::uint64_t> indices;
+  for (int i = 0; i < 100; ++i) {
+    indices.insert(engine.run_experiment(rng).injection.dynamic_index);
+  }
+  EXPECT_EQ(indices.size(), 2u);  // both dynamic sites get picked
+}
+
+TEST(FiRuntime, SdcWhenOutputBitFlipped) {
+  // A flip in the value stored to out[0] must read back as SDC unless it
+  // lands on a bit the fp add result happens to tolerate (none here —
+  // compare is byte-exact).
+  ScalarAddProgram program;
+  InjectionEngine engine(std::move(program.spec),
+                         analysis::FaultSiteCategory::PureData);
+  Rng rng(29);
+  unsigned sdc = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (engine.run_experiment(rng).outcome == Outcome::SDC) sdc += 1;
+  }
+  EXPECT_EQ(sdc, 40u);  // every flip lands in the stored value's dataflow
+}
+
+TEST(FiRuntime, CategoryWithNoSitesIsBenignNoInjection) {
+  ScalarAddProgram program;  // has no control flow and no GEPs
+  InjectionEngine engine(std::move(program.spec),
+                         analysis::FaultSiteCategory::Control);
+  Rng rng(31);
+  const ExperimentResult r = engine.run_experiment(rng);
+  EXPECT_EQ(r.dynamic_sites, 0u);
+  EXPECT_EQ(r.outcome, Outcome::Benign);
+  EXPECT_FALSE(r.injection.fired);
+  EXPECT_EQ(engine.eligible_static_sites(), 0u);
+}
+
+TEST(FiRuntime, MaskAwareGatingSkipsInactiveLanes) {
+  // Build: maskstore(out, mask, data) with only lane 0 active. With mask
+  // awareness, dynamic sites = active data lanes only (1); without, all 8
+  // lanes count.
+  auto build = [] {
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("mg");
+    const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+    ir::Function* maskstore = spec.module->declare_masked_intrinsic(
+        ir::IntrinsicId::MaskStore, ir::Isa::AVX, v8f);
+    ir::Function* f = spec.module->create_function(
+        "f", Type::void_ty(), {Type::ptr(), v8f, v8f});
+    IRBuilder b(*spec.module);
+    b.set_insert_block(f->create_block("entry"));
+    b.call(maskstore, {f->arg(0), f->arg(1), f->arg(2)});
+    b.ret();
+    spec.entry = f;
+    const std::uint64_t out = spec.arena.alloc(32, "out");
+    RtVal mask(v8f);
+    mask.raw[0] = 0xFFFFFFFF;  // only lane 0 active
+    RtVal data(v8f);
+    for (unsigned i = 0; i < 8; ++i) data.set_lane_f32(i, 1.0f + i);
+    spec.args = {RtVal::ptr(out), mask, data};
+    spec.output_regions = {"out"};
+    return spec;
+  };
+
+  InjectionEngine aware(build(), analysis::FaultSiteCategory::PureData);
+  Rng rng1(37);
+  EXPECT_EQ(aware.run_experiment(rng1).dynamic_sites, 1u);
+
+  EngineOptions options;
+  options.mask_aware = false;
+  InjectionEngine unaware(build(), analysis::FaultSiteCategory::PureData,
+                          options);
+  Rng rng2(37);
+  EXPECT_EQ(unaware.run_experiment(rng2).dynamic_sites, 8u);
+}
+
+TEST(FiRuntime, MaskUnawareInjectionIntoDeadLaneIsBenign) {
+  // Ablation: with gating off, flips into masked-off lanes never reach
+  // memory — the benign rate shows why mask awareness matters.
+  auto build = [] {
+    RunSpec spec;
+    spec.module = std::make_unique<ir::Module>("mg2");
+    const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+    ir::Function* maskstore = spec.module->declare_masked_intrinsic(
+        ir::IntrinsicId::MaskStore, ir::Isa::AVX, v8f);
+    ir::Function* f = spec.module->create_function(
+        "f", Type::void_ty(), {Type::ptr(), v8f, v8f});
+    IRBuilder b(*spec.module);
+    b.set_insert_block(f->create_block("entry"));
+    b.call(maskstore, {f->arg(0), f->arg(1), f->arg(2)});
+    b.ret();
+    spec.entry = f;
+    const std::uint64_t out = spec.arena.alloc(32, "out");
+    RtVal mask(v8f);
+    mask.raw[0] = 0xFFFFFFFF;
+    RtVal data(v8f);
+    spec.args = {RtVal::ptr(out), mask, data};
+    spec.output_regions = {"out"};
+    return spec;
+  };
+  EngineOptions options;
+  options.mask_aware = false;
+  InjectionEngine engine(build(), analysis::FaultSiteCategory::PureData,
+                         options);
+  Rng rng(41);
+  unsigned benign = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (engine.run_experiment(rng).outcome == Outcome::Benign) benign += 1;
+  }
+  // 7 of 8 lanes are dead: roughly 7/8 of injections are wasted.
+  EXPECT_GT(benign, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Outcome classification
+// ---------------------------------------------------------------------------
+
+TEST(Driver, AddressFaultsOnVcopyProduceCrashes) {
+  RunSpec spec = kernels::vector_copy_benchmark().build(spmd::Target::avx(), 0);
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::Address);
+  Rng rng(43);
+  unsigned crash = 0;
+  for (int i = 0; i < 60; ++i) {
+    const ExperimentResult r = engine.run_experiment(rng);
+    if (r.outcome == Outcome::Crash) {
+      crash += 1;
+      EXPECT_NE(r.trap, interp::TrapKind::None);
+    }
+  }
+  // Address flips frequently leave the mapped region (paper: "the address
+  // fault site category results in the most number of program crashes").
+  EXPECT_GT(crash, 10u);
+}
+
+TEST(Driver, RunawayControlFaultBecomesCrashViaBudget) {
+  // A compute-only loop (no memory per iteration): a high-bit flip in the
+  // iterator makes it spin without faulting, so only the instruction
+  // budget can classify the hang as Crash.
+  RunSpec spec;
+  spec.module = std::make_unique<ir::Module>("spin");
+  const spmd::Target target = spmd::Target::avx();
+  spmd::KernelBuilder kb(*spec.module, target, "spin",
+                         {ir::Type::i32(), ir::Type::ptr()});
+  Value* n = kb.arg(0);
+  auto finals = kb.scalar_loop(
+      kb.b().i32_const(0), n, {kb.b().i32_const(1)},
+      [&](Value*, const std::vector<Value*>& carried)
+          -> std::vector<Value*> {
+        Value* tripled =
+            kb.b().mul(carried[0], kb.b().i32_const(3), "tripled");
+        return {kb.b().add(tripled, kb.b().i32_const(1), "acc")};
+      },
+      "spin");
+  kb.b().store(finals[0], kb.arg(1));
+  kb.finish();
+  spec.entry = spec.module->find_function("spin");
+  const std::uint64_t out = spec.arena.alloc(4, "out");
+  spec.args = {RtVal::i32(64), RtVal::ptr(out)};
+  spec.output_regions = {"out"};
+
+  EngineOptions options;
+  options.budget_multiplier = 4;  // tight budget to surface hangs
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::Control, options);
+  Rng rng(47);
+  unsigned budget_crashes = 0;
+  for (int i = 0; i < 120; ++i) {
+    const ExperimentResult r = engine.run_experiment(rng);
+    if (r.outcome == Outcome::Crash &&
+        r.trap == interp::TrapKind::InstructionBudget) {
+      budget_crashes += 1;
+    }
+  }
+  EXPECT_GT(budget_crashes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, TotalsAreConsistent) {
+  RunSpec spec = kernels::dot_product_benchmark().build(spmd::Target::sse4(), 0);
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::PureData);
+  CampaignConfig config;
+  config.experiments_per_campaign = 20;
+  config.min_campaigns = 4;
+  config.max_campaigns = 6;
+  const CampaignResult result = run_campaigns({&engine}, config);
+  EXPECT_EQ(result.benign + result.sdc + result.crash, result.experiments);
+  EXPECT_EQ(result.experiments,
+            static_cast<std::uint64_t>(result.campaigns) *
+                config.experiments_per_campaign);
+  EXPECT_NEAR(result.sdc_rate() + result.benign_rate() + result.crash_rate(),
+              1.0, 1e-12);
+  EXPECT_EQ(result.sdc_samples.count(), result.campaigns);
+}
+
+TEST(Campaign, StopsAtMaxCampaigns) {
+  RunSpec spec = kernels::vector_sum_benchmark().build(spmd::Target::sse4(), 0);
+  InjectionEngine engine(std::move(spec),
+                         analysis::FaultSiteCategory::Control);
+  CampaignConfig config;
+  config.experiments_per_campaign = 5;
+  config.min_campaigns = 2;
+  config.max_campaigns = 3;
+  config.target_margin = 0.000001;  // unreachable: must stop at max
+  const CampaignResult result = run_campaigns({&engine}, config);
+  EXPECT_EQ(result.campaigns, 3u);
+}
+
+TEST(Campaign, DeterministicForFixedSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    RunSpec spec =
+        kernels::dot_product_benchmark().build(spmd::Target::avx(), 1);
+    InjectionEngine engine(std::move(spec),
+                           analysis::FaultSiteCategory::PureData);
+    CampaignConfig config;
+    config.experiments_per_campaign = 15;
+    config.min_campaigns = 2;
+    config.max_campaigns = 2;
+    config.seed = seed;
+    return run_campaigns({&engine}, config);
+  };
+  const CampaignResult a = run_once(777);
+  const CampaignResult b = run_once(777);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.crash, b.crash);
+  const CampaignResult c = run_once(778);
+  // Different seed: almost surely different counts somewhere.
+  EXPECT_TRUE(a.sdc != c.sdc || a.benign != c.benign || a.crash != c.crash);
+}
+
+TEST(Campaign, MultiEngineDrawsFromAllInputs) {
+  const auto& bench = kernels::dot_product_benchmark();
+  std::vector<std::unique_ptr<InjectionEngine>> engines;
+  std::vector<InjectionEngine*> pointers;
+  for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+    engines.push_back(std::make_unique<InjectionEngine>(
+        bench.build(spmd::Target::sse4(), input),
+        analysis::FaultSiteCategory::PureData));
+    pointers.push_back(engines.back().get());
+  }
+  CampaignConfig config;
+  config.experiments_per_campaign = 30;
+  config.min_campaigns = 2;
+  config.max_campaigns = 2;
+  const CampaignResult result = run_campaigns(pointers, config);
+  EXPECT_EQ(result.experiments, 60u);
+}
+
+TEST(Study, MatrixCoversRequestedCells) {
+  kernels::StudyConfig config;
+  config.benchmarks = {"vcopy", "dot"};
+  config.isas = {ir::Isa::AVX};
+  config.categories = {analysis::FaultSiteCategory::PureData,
+                       analysis::FaultSiteCategory::Control};
+  config.campaign.experiments_per_campaign = 10;
+  config.campaign.min_campaigns = 2;
+  config.campaign.max_campaigns = 2;
+  unsigned progress_calls = 0;
+  const auto cells = kernels::run_resiliency_study(
+      config, [&progress_calls](unsigned done, unsigned total) {
+        progress_calls += 1;
+        EXPECT_LE(done, total);
+        EXPECT_EQ(total, 4u);
+      });
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(progress_calls, 4u);
+  EXPECT_EQ(cells[0].benchmark, "vcopy");
+  EXPECT_EQ(cells[3].benchmark, "dot");
+  for (const kernels::StudyCell& cell : cells) {
+    EXPECT_EQ(cell.result.experiments, 20u);
+  }
+}
+
+TEST(Study, DetectorsReportDetectionRates) {
+  kernels::StudyConfig config;
+  config.benchmarks = {"vcopy"};
+  config.isas = {ir::Isa::AVX};
+  config.categories = {analysis::FaultSiteCategory::Control};
+  config.campaign.experiments_per_campaign = 40;
+  config.campaign.min_campaigns = 2;
+  config.campaign.max_campaigns = 2;
+  config.with_detectors = true;
+  const auto cells = kernels::run_resiliency_study(config);
+  ASSERT_EQ(cells.size(), 1u);
+  // Control faults on vcopy are detected at a meaningful rate (Figure 12).
+  EXPECT_GT(cells[0].result.detected_sdc, 0u);
+}
+
+TEST(Driver, OutcomeNames) {
+  EXPECT_STREQ(outcome_name(Outcome::SDC), "SDC");
+  EXPECT_STREQ(outcome_name(Outcome::Benign), "Benign");
+  EXPECT_STREQ(outcome_name(Outcome::Crash), "Crash");
+}
+
+}  // namespace
+}  // namespace vulfi

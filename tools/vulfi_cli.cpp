@@ -1,0 +1,395 @@
+// vulfi — command-line driver for the fault-injection framework.
+//
+// Subcommands:
+//   vulfi list
+//       Show the benchmark registry (Table I inventory).
+//   vulfi show-ir --benchmark NAME [--target avx|sse] [--detectors]
+//                 [--instrumented]
+//       Print a kernel's IR, optionally after detector insertion and/or
+//       VULFI instrumentation.
+//   vulfi sites --benchmark NAME [--target avx|sse]
+//       Static fault-site census by category (Figure 2/10 view).
+//   vulfi inject --benchmark NAME --category pure-data|control|address
+//                [--experiments N] [--seed S] [--target avx|sse]
+//                [--detectors] [--report]
+//       Run N golden/faulty experiment pairs; print outcome rates and,
+//       with --report, the per-opcode outcome breakdown.
+//   vulfi campaign --benchmark NAME --category C [--campaigns K]
+//                  [--experiments N] [--seed S] [--target avx|sse]
+//       Statistically controlled campaign (paper §IV-D) with margin of
+//       error and normality reporting.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include <fstream>
+#include <sstream>
+
+#include "detect/detector_runtime.hpp"
+#include "detect/foreach_detector.hpp"
+#include "detect/uniform_detector.hpp"
+#include "ir/printer.hpp"
+#include "kernels/benchmark.hpp"
+#include "kernels/study.hpp"
+#include "support/barchart.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/instrument.hpp"
+#include "spmd/lang/compiler.hpp"
+#include "vulfi/report.hpp"
+
+namespace {
+
+using namespace vulfi;
+
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  bool flag(const std::string& key) const {
+    auto it = flags.find(key);
+    return it != flags.end() && it->second;
+  }
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: vulfi <command> [options]\n"
+      "  list\n"
+      "  show-ir  --benchmark NAME [--target avx|sse] [--detectors] "
+      "[--instrumented]\n"
+      "  sites    --benchmark NAME [--target avx|sse]\n"
+      "  inject   --benchmark NAME --category pure-data|control|address\n"
+      "           [--experiments N] [--seed S] [--target avx|sse] "
+      "[--detectors] [--report]\n"
+      "  campaign --benchmark NAME --category C [--campaigns K] "
+      "[--experiments N] [--seed S] [--target avx|sse]\n"
+      "  compile  --file K.ispc [--target avx|sse] [--detectors] "
+      "[--instrumented]\n"
+      "           Compile an ISPC-like kernel file and print its IR.\n"
+      "  study    [--benchmark NAME] [--campaigns K] [--experiments N]\n"
+      "           [--seed S] [--detectors]  Full benchmark x category x\n"
+      "           ISA matrix (the paper's Figure-11 study).\n");
+  std::exit(code);
+}
+
+CliArgs parse(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  CliArgs args;
+  args.command = argv[1];
+  const char* value_options[] = {"--benchmark", "--category", "--target",
+                                 "--experiments", "--campaigns", "--seed",
+                                 "--input", "--file"};
+  const char* flag_options[] = {"--detectors", "--instrumented", "--report"};
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool matched = false;
+    for (const char* opt : value_options) {
+      if (arg == opt) {
+        if (i + 1 >= argc) usage(2);
+        args.options[arg.substr(2)] = argv[++i];
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* opt : flag_options) {
+      if (arg == opt) {
+        args.flags[arg.substr(2)] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  return args;
+}
+
+spmd::Target target_of(const CliArgs& args) {
+  const std::string name = args.get("target", "avx");
+  if (name == "avx") return spmd::Target::avx();
+  if (name == "sse" || name == "sse4") return spmd::Target::sse4();
+  std::fprintf(stderr, "unknown target '%s' (use avx or sse)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+const kernels::Benchmark& benchmark_of(const CliArgs& args) {
+  const std::string name = args.get("benchmark");
+  if (name.empty()) {
+    std::fprintf(stderr, "--benchmark is required\n");
+    usage(2);
+  }
+  const kernels::Benchmark* bench = kernels::find_benchmark(name);
+  if (!bench) {
+    std::fprintf(stderr, "unknown benchmark '%s' (try: vulfi list)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return *bench;
+}
+
+analysis::FaultSiteCategory category_of(const CliArgs& args) {
+  const std::string name = args.get("category");
+  if (name == "pure-data" || name == "puredata") {
+    return analysis::FaultSiteCategory::PureData;
+  }
+  if (name == "control" || name == "ctrl") {
+    return analysis::FaultSiteCategory::Control;
+  }
+  if (name == "address" || name == "addr") {
+    return analysis::FaultSiteCategory::Address;
+  }
+  std::fprintf(stderr,
+               "--category must be pure-data, control, or address\n");
+  std::exit(2);
+}
+
+int cmd_list() {
+  TextTable table({"Suite", "Benchmark", "Language", "Inputs", "Test Input"});
+  auto add = [&](const kernels::Benchmark* bench) {
+    table.add_row({bench->suite(), bench->name(), bench->language(),
+                   std::to_string(bench->num_inputs()),
+                   bench->input_desc()});
+  };
+  for (const auto* bench : kernels::all_benchmarks()) add(bench);
+  for (const auto* bench : kernels::micro_benchmarks()) add(bench);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_show_ir(const CliArgs& args) {
+  const auto& bench = benchmark_of(args);
+  RunSpec spec = bench.build(target_of(args),
+                             std::stoul(args.get("input", "0")));
+  if (args.flag("detectors")) {
+    detect::insert_foreach_detectors(*spec.module);
+    detect::insert_uniform_detectors(*spec.module);
+  }
+  if (args.flag("instrumented")) {
+    Instrumentor instrumentor;
+    instrumentor.run(*spec.entry);
+  }
+  std::fputs(ir::to_string(*spec.module).c_str(), stdout);
+  return 0;
+}
+
+int cmd_sites(const CliArgs& args) {
+  const auto& bench = benchmark_of(args);
+  RunSpec spec = bench.build(target_of(args),
+                             std::stoul(args.get("input", "0")));
+  const auto sites = enumerate_fault_sites(*spec.entry);
+
+  std::uint64_t pure = 0, control = 0, address = 0, vector_sites = 0,
+                masked = 0, store_op = 0;
+  for (const FaultSite& site : sites) {
+    if (site.site_class.pure_data()) pure += 1;
+    if (site.site_class.control) control += 1;
+    if (site.site_class.address) address += 1;
+    if (site.vector_instruction) vector_sites += 1;
+    if (site.masked) masked += 1;
+    if (site.store_operand) store_op += 1;
+  }
+  std::printf("%s (%s): %zu static fault sites\n", bench.name().c_str(),
+              target_of(args).name(), sites.size());
+  std::printf("  pure-data: %llu  control: %llu  address: %llu "
+              "(control/address overlap allowed)\n",
+              static_cast<unsigned long long>(pure),
+              static_cast<unsigned long long>(control),
+              static_cast<unsigned long long>(address));
+  std::printf("  on vector instructions: %llu (%s)  masked lanes: %llu  "
+              "store-operand sites: %llu\n",
+              static_cast<unsigned long long>(vector_sites),
+              pct(static_cast<double>(vector_sites) / sites.size()).c_str(),
+              static_cast<unsigned long long>(masked),
+              static_cast<unsigned long long>(store_op));
+  return 0;
+}
+
+int cmd_inject(const CliArgs& args) {
+  const auto& bench = benchmark_of(args);
+  const analysis::FaultSiteCategory category = category_of(args);
+  const unsigned experiments =
+      std::stoul(args.get("experiments", "100"));
+
+  RunSpec spec = bench.build(target_of(args),
+                             std::stoul(args.get("input", "0")));
+  if (args.flag("detectors")) {
+    detect::insert_foreach_detectors(*spec.module);
+  }
+  InjectionEngine engine(std::move(spec), category);
+  if (args.flag("detectors")) {
+    engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
+      detect::attach_detector_runtime(env, engine.detection_log());
+    });
+  }
+
+  Rng rng(std::stoull(args.get("seed", "24029")));
+  OutcomeCounts totals;
+  OutcomeReport report;
+  for (unsigned i = 0; i < experiments; ++i) {
+    const ExperimentResult result = engine.run_experiment(rng);
+    totals.record(result);
+    report.record(result, engine.sites());
+  }
+
+  std::printf("%s / %s / %s — %u experiments\n", bench.name().c_str(),
+              analysis::category_name(category), target_of(args).name(),
+              experiments);
+  const double n = static_cast<double>(totals.total());
+  std::printf("  SDC %s   Benign %s   Crash %s", pct(totals.sdc / n).c_str(),
+              pct(totals.benign / n).c_str(), pct(totals.crash / n).c_str());
+  if (args.flag("detectors")) {
+    std::printf("   detected (all outcomes) %s",
+                pct(totals.detected / n).c_str());
+  }
+  std::printf("\n");
+  if (args.flag("report")) {
+    std::printf("\nPer-opcode outcome breakdown:\n%s",
+                report.render_by_opcode().c_str());
+  }
+  return 0;
+}
+
+int cmd_study(const CliArgs& args) {
+  kernels::StudyConfig config;
+  if (!args.get("benchmark").empty()) {
+    config.benchmarks.push_back(args.get("benchmark"));
+  }
+  config.campaign.experiments_per_campaign =
+      std::stoul(args.get("experiments", "40"));
+  config.campaign.min_campaigns = std::stoul(args.get("campaigns", "5"));
+  config.campaign.max_campaigns = config.campaign.min_campaigns * 2;
+  config.campaign.seed = std::stoull(args.get("seed", "24029"));
+  config.with_detectors = args.flag("detectors");
+
+  const auto cells = kernels::run_resiliency_study(
+      config, [](unsigned done, unsigned total) {
+        std::fprintf(stderr, "\r  %u/%u cells", done, total);
+        if (done == total) std::fprintf(stderr, "\n");
+      });
+
+  std::vector<std::string> headers = {"Benchmark", "Category", "Target",
+                                      "SDC", "Benign", "Crash",
+                                      "SDC(#) Benign(.) Crash(x)"};
+  if (config.with_detectors) headers.push_back("SDC Detection");
+  TextTable table(headers);
+  for (const kernels::StudyCell& cell : cells) {
+    std::vector<std::string> row = {
+        cell.benchmark, analysis::category_name(cell.category),
+        ir::isa_name(cell.isa), pct(cell.result.sdc_rate()),
+        pct(cell.result.benign_rate()), pct(cell.result.crash_rate()),
+        stacked_bar({{cell.result.sdc_rate(), '#'},
+                     {cell.result.benign_rate(), '.'},
+                     {cell.result.crash_rate(), 'x'}},
+                    30)};
+    if (config.with_detectors) {
+      row.push_back(pct(cell.result.sdc_detection_rate()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_compile(const CliArgs& args) {
+  const std::string path = args.get("file");
+  if (path.empty()) {
+    std::fprintf(stderr, "--file is required\n");
+    return 2;
+  }
+  std::ifstream stream(path);
+  if (!stream) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+
+  spmd::lang::CompileResult result =
+      spmd::lang::compile_program(buffer.str(), target_of(args), path);
+  if (!result.ok()) {
+    for (const std::string& err : result.errors) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+    }
+    return 1;
+  }
+  if (args.flag("detectors")) {
+    detect::insert_foreach_detectors(*result.module);
+    detect::insert_uniform_detectors(*result.module);
+  }
+  if (args.flag("instrumented")) {
+    Instrumentor instrumentor;
+    for (const auto& fn : result.module->functions()) {
+      if (fn->is_definition()) instrumentor.run(*fn);
+    }
+  }
+  std::fputs(ir::to_string(*result.module).c_str(), stdout);
+  return 0;
+}
+
+int cmd_campaign(const CliArgs& args) {
+  const auto& bench = benchmark_of(args);
+  const analysis::FaultSiteCategory category = category_of(args);
+  const spmd::Target target = target_of(args);
+
+  std::vector<std::unique_ptr<InjectionEngine>> engines;
+  std::vector<InjectionEngine*> pointers;
+  for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+    engines.push_back(std::make_unique<InjectionEngine>(
+        bench.build(target, input), category));
+    pointers.push_back(engines.back().get());
+  }
+
+  CampaignConfig config;
+  config.experiments_per_campaign =
+      std::stoul(args.get("experiments", "100"));
+  config.min_campaigns = std::stoul(args.get("campaigns", "20"));
+  config.max_campaigns = config.min_campaigns * 2;
+  config.seed = std::stoull(args.get("seed", "24029"));
+  const CampaignResult result = run_campaigns(pointers, config);
+
+  std::printf("%s / %s / %s\n", bench.name().c_str(),
+              analysis::category_name(category), target.name());
+  std::printf("  campaigns: %u x %u experiments (%llu total)\n",
+              result.campaigns, config.experiments_per_campaign,
+              static_cast<unsigned long long>(result.experiments));
+  std::printf("  SDC %s   Benign %s   Crash %s\n",
+              pct(result.sdc_rate()).c_str(),
+              pct(result.benign_rate()).c_str(),
+              pct(result.crash_rate()).c_str());
+  std::printf("  mean campaign SDC rate %.4f, margin of error (95%%) "
+              "±%.2f%%, near-normal: %s\n",
+              result.sdc_samples.mean(), result.margin_of_error * 100.0,
+              result.near_normal ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = parse(argc, argv);
+  if (args.command == "list") return cmd_list();
+  if (args.command == "show-ir") return cmd_show_ir(args);
+  if (args.command == "sites") return cmd_sites(args);
+  if (args.command == "inject") return cmd_inject(args);
+  if (args.command == "campaign") return cmd_campaign(args);
+  if (args.command == "compile") return cmd_compile(args);
+  if (args.command == "study") return cmd_study(args);
+  if (args.command == "--help" || args.command == "-h") usage(0);
+  std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+  usage(2);
+}
