@@ -99,8 +99,9 @@ void ablate_detector_placement(const bench::Options& options) {
       detect::insert_foreach_detectors(*spec.module, placement);
       InjectionEngine engine(std::move(spec),
                              analysis::FaultSiteCategory::Control);
-      engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
-        detect::attach_detector_runtime(env, engine.detection_log());
+      engine.setup_runtime([](interp::RuntimeEnv& env,
+                              interp::DetectionLog& log) {
+        detect::attach_detector_runtime(env, log);
       });
       Rng rng(options.seed + 1);
       const unsigned experiments = options.full ? 600 : 200;

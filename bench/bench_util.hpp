@@ -6,6 +6,8 @@
 //                     is an interpreter, not a Core i7-4770)
 //   --benchmark NAME  restrict to one benchmark
 //   --seed N          base RNG seed
+//   --jobs N          campaign worker threads (0 = hardware concurrency);
+//                     statistics are bit-identical for every N
 //   --csv             emit CSV instead of aligned text
 #pragma once
 
@@ -20,6 +22,9 @@ struct Options {
   bool csv = false;
   std::string benchmark;  // empty = all
   std::uint64_t seed = 0x5eed;
+  /// Campaign worker threads (CampaignConfig::num_threads): 0 = hardware
+  /// concurrency, 1 = serial.
+  unsigned jobs = 1;
 
   /// Campaigns per (benchmark, ISA, category) cell. Paper: 20 campaigns
   /// of 100 experiments (§IV-D).

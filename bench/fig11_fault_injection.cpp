@@ -16,6 +16,7 @@
 #include "support/str.hpp"
 #include "support/table.hpp"
 #include "vulfi/campaign.hpp"
+#include "vulfi/report.hpp"
 
 namespace {
 
@@ -33,13 +34,17 @@ int main(int argc, char** argv) {
   const bench::Options options = bench::parse_options(argc, argv);
 
   std::printf("Figure 11: Fault injection outcomes "
-              "(%u campaigns x %u experiments per cell%s)\n\n",
+              "(%u campaigns x %u experiments per cell%s, --jobs %u)\n\n",
               options.campaigns(), options.experiments_per_campaign(),
-              options.full ? ", paper scale" : "; use --full for paper scale");
+              options.full ? ", paper scale" : "; use --full for paper scale",
+              options.jobs);
 
   TextTable table({"Benchmark", "Category", "Target", "SDC", "Benign",
                    "Crash", "MoE(95%)", "Experiments",
                    "SDC(#) Benign(.) Crash(x)"});
+
+  std::uint64_t total_experiments = 0;
+  double total_wall_seconds = 0.0;
 
   for (const kernels::Benchmark* bench : kernels::all_benchmarks()) {
     if (!options.benchmark.empty() && bench->name() != options.benchmark) {
@@ -65,7 +70,10 @@ int main(int argc, char** argv) {
                       (std::hash<std::string>{}(bench->name()) +
                        static_cast<std::uint64_t>(category) * 131 +
                        (target.isa == ir::Isa::AVX ? 0 : 7));
+        config.num_threads = options.jobs;
         const CampaignResult result = run_campaigns(engine_ptrs, config);
+        total_experiments += result.throughput.experiments;
+        total_wall_seconds += result.throughput.wall_seconds;
         table.add_row({bench->name(), analysis::category_name(category),
                        target.name(), pct(result.sdc_rate()),
                        pct(result.benign_rate()), pct(result.crash_rate()),
@@ -75,12 +83,20 @@ int main(int argc, char** argv) {
                                     {result.benign_rate(), '.'},
                                     {result.crash_rate(), 'x'}},
                                    30)});
-        std::fprintf(stderr, "  done: %s/%s/%s\n", bench->name().c_str(),
-                     analysis::category_name(category), target.name());
+        std::fprintf(stderr, "  done: %s/%s/%s (%s)\n",
+                     bench->name().c_str(),
+                     analysis::category_name(category), target.name(),
+                     render_throughput(result.throughput).c_str());
       }
     }
   }
   std::fputs(options.csv ? table.to_csv().c_str() : table.render().c_str(),
              stdout);
+  if (total_wall_seconds > 0.0) {
+    std::printf("\ntotal: %llu experiments in %.2fs (%.1f/sec)\n",
+                static_cast<unsigned long long>(total_experiments),
+                total_wall_seconds,
+                static_cast<double>(total_experiments) / total_wall_seconds);
+  }
   return 0;
 }

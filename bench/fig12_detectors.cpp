@@ -22,6 +22,7 @@
 #include "kernels/benchmark.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
+#include "vulfi/campaign.hpp"
 #include "vulfi/driver.hpp"
 
 namespace {
@@ -66,9 +67,10 @@ int main(int argc, char** argv) {
   const spmd::Target target = spmd::Target::avx();
 
   std::printf("Figure 12: SDC detection with foreach-invariant detectors "
-              "(%u experiments per cell%s)\n\n",
+              "(%u experiments per cell%s, --jobs %u)\n\n",
               options.micro_experiments(),
-              options.full ? ", paper scale" : "; use --full for paper scale");
+              options.full ? ", paper scale" : "; use --full for paper scale",
+              options.jobs);
 
   TextTable table({"Micro-benchmark", "Category", "Avg Overhead", "SDC",
                    "Crash", "SDC Detection Rate", "SDC(#) Detected(D)"});
@@ -80,44 +82,34 @@ int main(int argc, char** argv) {
     const double overhead = detector_overhead(*bench, target);
     for (analysis::FaultSiteCategory category : kCategories) {
       std::vector<std::unique_ptr<InjectionEngine>> engines;
+      std::vector<InjectionEngine*> engine_ptrs;
       for (unsigned input = 0; input < bench->num_inputs(); ++input) {
         RunSpec spec = bench->build(target, input);
         detect::insert_foreach_detectors(*spec.module);
         engines.push_back(
             std::make_unique<InjectionEngine>(std::move(spec), category));
         engines.back()->setup_runtime(
-            [engine = engines.back().get()](interp::RuntimeEnv& env) {
-              detect::attach_detector_runtime(env, engine->detection_log());
+            [](interp::RuntimeEnv& env, interp::DetectionLog& log) {
+              detect::attach_detector_runtime(env, log);
             });
+        engine_ptrs.push_back(engines.back().get());
       }
 
-      Rng rng(options.seed ^
-              (std::hash<std::string>{}(bench->name()) +
-               static_cast<std::uint64_t>(category) * 193));
-      std::uint64_t sdc = 0, crash = 0, detected_sdc = 0;
-      const unsigned experiments = options.micro_experiments();
-      for (unsigned i = 0; i < experiments; ++i) {
-        InjectionEngine& engine =
-            *engines[rng.next_below(engines.size())];
-        const ExperimentResult result = engine.run_experiment(rng);
-        switch (result.outcome) {
-          case Outcome::SDC:
-            sdc += 1;
-            if (result.detected) detected_sdc += 1;
-            break;
-          case Outcome::Crash:
-            crash += 1;
-            break;
-          case Outcome::Benign:
-            break;
-        }
-      }
-      const double sdc_rate = static_cast<double>(sdc) / experiments;
-      const double crash_rate = static_cast<double>(crash) / experiments;
-      const double detection =
-          sdc == 0 ? 0.0
-                   : static_cast<double>(detected_sdc) /
-                         static_cast<double>(sdc);
+      // One campaign holding the cell's full experiment budget; the
+      // campaign executor distributes it across --jobs workers.
+      CampaignConfig config;
+      config.experiments_per_campaign = options.micro_experiments();
+      config.min_campaigns = 1;
+      config.max_campaigns = 1;
+      config.seed = options.seed ^
+                    (std::hash<std::string>{}(bench->name()) +
+                     static_cast<std::uint64_t>(category) * 193);
+      config.num_threads = options.jobs;
+      const CampaignResult result = run_campaigns(engine_ptrs, config);
+
+      const double sdc_rate = result.sdc_rate();
+      const double crash_rate = result.crash_rate();
+      const double detection = result.sdc_detection_rate();
       table.add_row({bench->name(), analysis::category_name(category),
                      pct(overhead), pct(sdc_rate), pct(crash_rate),
                      pct(detection),

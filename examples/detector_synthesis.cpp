@@ -78,8 +78,9 @@ int main() {
   // --- detection under control-site injection -----------------------------
   InjectionEngine engine(std::move(spec),
                          analysis::FaultSiteCategory::Control);
-  engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
-    detect::attach_detector_runtime(env, engine.detection_log());
+  engine.setup_runtime([](interp::RuntimeEnv& env,
+                          interp::DetectionLog& log) {
+    detect::attach_detector_runtime(env, log);
   });
   Rng rng(99);
   unsigned sdc = 0, detected_sdc = 0, crash = 0;

@@ -100,8 +100,9 @@ int main() {
       fresh.output_regions = spec.output_regions;
     }
     InjectionEngine engine(std::move(fresh), category);
-    engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
-      detect::attach_detector_runtime(env, engine.detection_log());
+    engine.setup_runtime([](interp::RuntimeEnv& env,
+                            interp::DetectionLog& log) {
+      detect::attach_detector_runtime(env, log);
     });
     Rng rng(7);
     unsigned sdc = 0, benign = 0, crash = 0, detected_sdc = 0;

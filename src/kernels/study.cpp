@@ -46,9 +46,8 @@ std::vector<StudyCell> run_resiliency_study(
               std::move(spec), category, config.engine));
           if (config.with_detectors) {
             engines.back()->setup_runtime(
-                [engine = engines.back().get()](interp::RuntimeEnv& env) {
-                  detect::attach_detector_runtime(env,
-                                                  engine->detection_log());
+                [](interp::RuntimeEnv& env, interp::DetectionLog& log) {
+                  detect::attach_detector_runtime(env, log);
                 });
           }
           pointers.push_back(engines.back().get());

@@ -19,6 +19,20 @@ std::uint64_t splitmix64_next(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t master_seed,
+                                 std::uint64_t campaign,
+                                 std::uint64_t experiment) {
+  // Three chained splitmix64 rounds; each input word is absorbed into the
+  // state before the next round so that (c, e) and (e, c) land in
+  // different streams even when c == e numerically.
+  std::uint64_t state = master_seed;
+  std::uint64_t mixed = splitmix64_next(state);
+  state = mixed ^ campaign;
+  mixed = splitmix64_next(state);
+  state = mixed ^ experiment;
+  return splitmix64_next(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64_next(sm);

@@ -17,6 +17,16 @@ namespace vulfi {
 /// Advances `state` and returns the next 64-bit output.
 std::uint64_t splitmix64_next(std::uint64_t& state);
 
+/// Counter-based stream derivation for parallel campaigns: maps
+/// (master_seed, campaign, experiment) to an independent 64-bit seed by
+/// chaining splitmix64 finalizers over the three words. The result is a
+/// pure function of its inputs, so every experiment owns a private RNG
+/// stream regardless of which thread runs it or in which order —
+/// the foundation of the serial ≡ parallel determinism guarantee.
+std::uint64_t derive_stream_seed(std::uint64_t master_seed,
+                                 std::uint64_t campaign,
+                                 std::uint64_t experiment);
+
 /// xoshiro256** 1.0 — fast, high-quality, 256-bit state PRNG.
 class Rng {
  public:

@@ -52,8 +52,15 @@ double reg_incomplete_beta(double a, double b, double x) {
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
 
-  // ln B(a,b) via lgamma.
-  const double ln_beta = std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  // ln B(a,b) via lgamma. std::lgamma writes the process-global `signgam`
+  // — a data race when campaigns evaluate their stop rules concurrently —
+  // so use the reentrant lgamma_r and discard the sign (arguments here are
+  // always positive, so the gamma values are too).
+  const auto ln_gamma = [](double v) {
+    int sign = 0;
+    return lgamma_r(v, &sign);
+  };
+  const double ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
   const double front = std::exp(a * std::log(x) + b * std::log1p(-x) - ln_beta);
 
   // Continued fraction converges fast for x < (a+1)/(a+b+2); otherwise use

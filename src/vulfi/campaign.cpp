@@ -1,54 +1,299 @@
 #include "vulfi/campaign.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
 #include "support/error.hpp"
 
 namespace vulfi {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Integer outcome counters for one campaign. Addition is commutative, so
+/// partials from different workers merge into the same totals regardless
+/// of scheduling.
+struct CampaignTotals {
+  std::uint64_t benign = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t crash = 0;
+  std::uint64_t detected_sdc = 0;
+  std::uint64_t detected_total = 0;
+
+  void operator+=(const CampaignTotals& other) {
+    benign += other.benign;
+    sdc += other.sdc;
+    crash += other.crash;
+    detected_sdc += other.detected_sdc;
+    detected_total += other.detected_total;
+  }
+};
+
+/// Runs experiment (campaign, experiment) of the campaign plan on the
+/// given engine set. The experiment's entire random stream — including
+/// the input-set draw — comes from its counter-derived seed, so the
+/// outcome is a pure function of (config.seed, campaign, experiment).
+void run_experiment_at(const std::vector<InjectionEngine*>& engines,
+                       const CampaignConfig& config, std::uint64_t campaign,
+                       std::uint64_t experiment, CampaignTotals& totals) {
+  Rng rng(derive_stream_seed(config.seed, campaign, experiment));
+  InjectionEngine* engine = engines[rng.next_below(engines.size())];
+  const ExperimentResult result = engine->run_experiment(rng);
+  switch (result.outcome) {
+    case Outcome::Benign: totals.benign += 1; break;
+    case Outcome::SDC:
+      totals.sdc += 1;
+      if (result.detected) totals.detected_sdc += 1;
+      break;
+    case Outcome::Crash: totals.crash += 1; break;
+  }
+  if (result.detected) totals.detected_total += 1;
+}
+
+/// Folds one finished campaign into the running result, in campaign
+/// order; the floating-point accumulation sequence is therefore identical
+/// for every thread count.
+void absorb_campaign(CampaignResult& result, const CampaignTotals& totals,
+                     const CampaignConfig& config) {
+  result.benign += totals.benign;
+  result.sdc += totals.sdc;
+  result.crash += totals.crash;
+  result.detected_sdc += totals.detected_sdc;
+  result.detected_total += totals.detected_total;
+  result.experiments += config.experiments_per_campaign;
+  const double sample =
+      static_cast<double>(totals.sdc) /
+      static_cast<double>(config.experiments_per_campaign);
+  result.sdc_samples.add(sample);
+  result.campaign_sdc_rates.push_back(sample);
+  result.campaigns += 1;
+}
+
+void refresh_stop_rule(CampaignResult& result, const CampaignConfig& config) {
+  result.margin_of_error =
+      margin_of_error(result.sdc_samples, config.confidence);
+  result.near_normal = vulfi::near_normal(result.sdc_samples);
+}
+
+bool should_continue(const CampaignResult& result,
+                     const CampaignConfig& config) {
+  return (result.margin_of_error > config.target_margin ||
+          !result.near_normal) &&
+         result.campaigns < config.max_campaigns;
+}
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing executor
+// ---------------------------------------------------------------------------
+
+/// One worker's slice of the flat experiment index space, packed as
+/// (hi << 32) | lo over the half-open interval [lo, hi). The owner pops
+/// from the front, thieves take from the back; both via CAS. Padded to a
+/// cache line to keep CAS traffic off neighbours.
+struct alignas(64) WorkRange {
+  std::atomic<std::uint64_t> packed{0};
+
+  void reset(std::uint32_t lo, std::uint32_t hi) {
+    packed.store((static_cast<std::uint64_t>(hi) << 32) | lo,
+                 std::memory_order_relaxed);
+  }
+
+  bool pop_front(std::uint32_t& item) {
+    std::uint64_t p = packed.load(std::memory_order_relaxed);
+    for (;;) {
+      const auto lo = static_cast<std::uint32_t>(p);
+      const auto hi = static_cast<std::uint32_t>(p >> 32);
+      if (lo >= hi) return false;
+      const std::uint64_t next =
+          (static_cast<std::uint64_t>(hi) << 32) | (lo + 1);
+      if (packed.compare_exchange_weak(p, next, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        item = lo;
+        return true;
+      }
+    }
+  }
+
+  bool steal_back(std::uint32_t& item) {
+    std::uint64_t p = packed.load(std::memory_order_relaxed);
+    for (;;) {
+      const auto lo = static_cast<std::uint32_t>(p);
+      const auto hi = static_cast<std::uint32_t>(p >> 32);
+      if (lo >= hi) return false;
+      const std::uint64_t next =
+          (static_cast<std::uint64_t>(hi - 1) << 32) | lo;
+      if (packed.compare_exchange_weak(p, next, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        item = hi - 1;
+        return true;
+      }
+    }
+  }
+};
+
+/// Executes blocks of whole campaigns across `threads` workers. Worker 0
+/// runs on the caller's engines; every other worker owns a cloned engine
+/// set, so no mutable interpreter or fi_runtime state is ever shared.
+class ParallelCampaignExecutor {
+ public:
+  ParallelCampaignExecutor(const std::vector<InjectionEngine*>& engines,
+                           unsigned threads)
+      : threads_(threads), busy_seconds_(threads, 0.0) {
+    worker_engines_.push_back(engines);
+    clones_.resize(threads_);
+    for (unsigned w = 1; w < threads_; ++w) {
+      std::vector<InjectionEngine*> set;
+      for (InjectionEngine* engine : engines) {
+        clones_[w].push_back(engine->clone());
+        set.push_back(clones_[w].back().get());
+      }
+      worker_engines_.push_back(std::move(set));
+    }
+  }
+
+  /// Runs campaigns [first, first + count), all experiments flattened
+  /// into one stealable index space; returns per-campaign totals in
+  /// campaign order.
+  std::vector<CampaignTotals> run_block(std::uint64_t first, unsigned count,
+                                        const CampaignConfig& config) {
+    const unsigned epc = config.experiments_per_campaign;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(count) * epc;
+    VULFI_ASSERT(total <= 0xffffffffULL,
+                 "campaign block too large for 32-bit work indices");
+
+    std::vector<WorkRange> ranges(threads_);
+    for (unsigned w = 0; w < threads_; ++w) {
+      ranges[w].reset(static_cast<std::uint32_t>(w * total / threads_),
+                      static_cast<std::uint32_t>((w + 1) * total / threads_));
+    }
+
+    std::vector<CampaignTotals> block(count);
+    std::mutex merge_mutex;
+
+    auto worker = [&](unsigned w) {
+      const auto start = Clock::now();
+      std::vector<CampaignTotals> partials(count);
+      std::uint32_t item = 0;
+      for (;;) {
+        bool have_work = ranges[w].pop_front(item);
+        for (unsigned i = 1; !have_work && i < threads_; ++i) {
+          have_work = ranges[(w + i) % threads_].steal_back(item);
+        }
+        if (!have_work) break;
+        run_experiment_at(worker_engines_[w], config, first + item / epc,
+                          item % epc, partials[item / epc]);
+      }
+      const double busy = seconds_since(start);
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      for (unsigned c = 0; c < count; ++c) block[c] += partials[c];
+      busy_seconds_[w] += busy;
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads_ - 1);
+    for (unsigned w = 1; w < threads_; ++w) pool.emplace_back(worker, w);
+    worker(0);
+    for (std::thread& t : pool) t.join();
+    return block;
+  }
+
+  const std::vector<double>& busy_seconds() const { return busy_seconds_; }
+
+ private:
+  unsigned threads_;
+  std::vector<std::vector<InjectionEngine*>> worker_engines_;
+  std::vector<std::vector<std::unique_ptr<InjectionEngine>>> clones_;
+  std::vector<double> busy_seconds_;
+};
+
+CampaignResult run_campaigns_serial(
+    const std::vector<InjectionEngine*>& engines,
+    const CampaignConfig& config) {
+  CampaignResult result;
+  const auto start = Clock::now();
+
+  auto run_one_campaign = [&]() {
+    CampaignTotals totals;
+    for (unsigned e = 0; e < config.experiments_per_campaign; ++e) {
+      run_experiment_at(engines, config, result.campaigns, e, totals);
+    }
+    absorb_campaign(result, totals, config);
+  };
+
+  while (result.campaigns < config.min_campaigns) run_one_campaign();
+  refresh_stop_rule(result, config);
+  while (should_continue(result, config)) {
+    run_one_campaign();
+    refresh_stop_rule(result, config);
+  }
+
+  result.throughput.wall_seconds = seconds_since(start);
+  result.throughput.threads = 1;
+  result.throughput.thread_busy_seconds = {result.throughput.wall_seconds};
+  result.throughput.experiments = result.experiments;
+  return result;
+}
+
+CampaignResult run_campaigns_parallel(
+    const std::vector<InjectionEngine*>& engines,
+    const CampaignConfig& config, unsigned threads) {
+  CampaignResult result;
+  const auto start = Clock::now();
+  ParallelCampaignExecutor executor(engines, threads);
+
+  auto run_block = [&](unsigned count) {
+    const std::vector<CampaignTotals> block =
+        executor.run_block(result.campaigns, count, config);
+    // Campaign boundary: merged partials fold into the result in
+    // campaign order, under no lock — the workers have all joined.
+    for (const CampaignTotals& totals : block) {
+      absorb_campaign(result, totals, config);
+    }
+  };
+
+  // The first min_campaigns are unconditional, so they parallelize as one
+  // block; afterwards the sequential-sampling stop rule must see every
+  // campaign, so blocks shrink to one campaign each (its experiments
+  // still fan out across all workers).
+  if (config.min_campaigns > 0) run_block(config.min_campaigns);
+  refresh_stop_rule(result, config);
+  while (should_continue(result, config)) {
+    run_block(1);
+    refresh_stop_rule(result, config);
+  }
+
+  result.throughput.wall_seconds = seconds_since(start);
+  result.throughput.threads = threads;
+  result.throughput.thread_busy_seconds = executor.busy_seconds();
+  result.throughput.experiments = result.experiments;
+  return result;
+}
+
+}  // namespace
 
 CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
                              const CampaignConfig& config) {
   VULFI_ASSERT(!engines.empty(), "campaign needs at least one engine");
   VULFI_ASSERT(config.experiments_per_campaign > 0,
                "campaign needs experiments");
-  Rng rng(config.seed);
-  CampaignResult result;
-
-  auto run_one_campaign = [&]() {
-    std::uint64_t campaign_sdc = 0;
-    for (unsigned i = 0; i < config.experiments_per_campaign; ++i) {
-      InjectionEngine* engine =
-          engines[rng.next_below(engines.size())];
-      const ExperimentResult experiment = engine->run_experiment(rng);
-      result.experiments += 1;
-      switch (experiment.outcome) {
-        case Outcome::Benign: result.benign += 1; break;
-        case Outcome::SDC:
-          result.sdc += 1;
-          campaign_sdc += 1;
-          if (experiment.detected) result.detected_sdc += 1;
-          break;
-        case Outcome::Crash: result.crash += 1; break;
-      }
-      if (experiment.detected) result.detected_total += 1;
-    }
-    result.sdc_samples.add(static_cast<double>(campaign_sdc) /
-                           static_cast<double>(config.experiments_per_campaign));
-    result.campaigns += 1;
-  };
-
-  while (result.campaigns < config.min_campaigns) run_one_campaign();
-  result.margin_of_error =
-      margin_of_error(result.sdc_samples, config.confidence);
-  result.near_normal = vulfi::near_normal(result.sdc_samples);
-
-  while ((result.margin_of_error > config.target_margin ||
-          !result.near_normal) &&
-         result.campaigns < config.max_campaigns) {
-    run_one_campaign();
-    result.margin_of_error =
-        margin_of_error(result.sdc_samples, config.confidence);
-    result.near_normal = vulfi::near_normal(result.sdc_samples);
-  }
-  return result;
+  const unsigned threads = resolve_threads(config.num_threads);
+  if (threads <= 1) return run_campaigns_serial(engines, config);
+  return run_campaigns_parallel(engines, config, threads);
 }
 
 }  // namespace vulfi

@@ -9,6 +9,16 @@
 //
 // Each experiment draws a random program input from the predefined input
 // set (one InjectionEngine per input), matching the paper's strategy.
+//
+// Execution is deterministic regardless of thread count: experiment
+// (c, e) derives its private RNG stream as
+// derive_stream_seed(config.seed, c, e), so the engine draw, the fault
+// site, and the bit position depend only on the experiment's coordinates —
+// never on scheduling. Parallel runs partition experiments across worker
+// threads (each owning cloned engines) with work stealing, merge
+// per-thread partial counters at campaign boundaries, and evaluate the
+// sequential-sampling stopping rule only between campaigns — exactly where
+// the serial path evaluates it.
 #pragma once
 
 #include <cstdint>
@@ -27,11 +37,42 @@ struct CampaignConfig {
   double confidence = 0.95;
   double target_margin = 0.03;
   std::uint64_t seed = 0x5eed;
+  /// Worker threads: 0 = hardware concurrency, 1 = legacy serial path,
+  /// N > 1 = exactly N workers. Results are bit-identical for every
+  /// setting (counter-based per-experiment seeding).
+  unsigned num_threads = 1;
+};
+
+/// Wall-clock and per-thread utilization figures for one run_campaigns
+/// call; rendered by report.cpp's render_throughput.
+struct ThroughputStats {
+  double wall_seconds = 0.0;
+  unsigned threads = 1;
+  /// Seconds each worker spent executing experiments (size == threads).
+  std::vector<double> thread_busy_seconds;
+  std::uint64_t experiments = 0;
+
+  double experiments_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(experiments) / wall_seconds
+               : 0.0;
+  }
+  /// Mean fraction of the wall time each worker was busy, in [0, 1].
+  double utilization() const {
+    if (wall_seconds <= 0.0 || thread_busy_seconds.empty()) return 0.0;
+    double busy = 0.0;
+    for (double seconds : thread_busy_seconds) busy += seconds;
+    return busy /
+           (wall_seconds * static_cast<double>(thread_busy_seconds.size()));
+  }
 };
 
 struct CampaignResult {
   // Per-campaign SDC-rate samples.
   OnlineStats sdc_samples;
+  /// The same samples in campaign order (index = campaign number); lets
+  /// callers and tests compare runs sample-by-sample.
+  std::vector<double> campaign_sdc_rates;
   unsigned campaigns = 0;
   double margin_of_error = 0.0;
   bool near_normal = false;
@@ -45,6 +86,8 @@ struct CampaignResult {
   /// reports detected SDCs).
   std::uint64_t detected_sdc = 0;
   std::uint64_t detected_total = 0;
+
+  ThroughputStats throughput;
 
   double rate(std::uint64_t count) const {
     return experiments == 0
@@ -63,7 +106,10 @@ struct CampaignResult {
 };
 
 /// Runs campaigns over `engines` (one per predefined program input; each
-/// experiment picks one uniformly at random).
+/// experiment picks one uniformly at random). With config.num_threads != 1
+/// the experiments execute on a work-stealing thread pool; per-experiment
+/// counter-based seeding keeps every statistic bit-identical to the serial
+/// path.
 CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
                              const CampaignConfig& config = {});
 

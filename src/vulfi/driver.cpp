@@ -22,6 +22,9 @@ InjectionEngine::InjectionEngine(RunSpec spec,
     : spec_(std::move(spec)), options_(options) {
   VULFI_ASSERT(spec_.module != nullptr && spec_.entry != nullptr,
                "engine needs a module and an entry function");
+  // Snapshot the spec before instrumenting so clone() can rebuild an
+  // identical engine from scratch.
+  pristine_ = clone_spec(spec_);
   Instrumentor instrumentor(options_.address_rule);
   runtime_.set_sites(instrumentor.run(*spec_.entry));
   runtime_.select_category(category);
@@ -30,9 +33,16 @@ InjectionEngine::InjectionEngine(RunSpec spec,
   ir::verify_or_die(*spec_.module);
 }
 
-void InjectionEngine::setup_runtime(
-    const std::function<void(interp::RuntimeEnv&)>& setup) {
-  setup(env_);
+void InjectionEngine::setup_runtime(const RuntimeSetup& setup) {
+  setup(env_, detection_log_);
+  setups_.push_back(setup);
+}
+
+std::unique_ptr<InjectionEngine> InjectionEngine::clone() const {
+  auto replica = std::make_unique<InjectionEngine>(
+      clone_spec(pristine_), runtime_.category(), options_);
+  for (const RuntimeSetup& setup : setups_) replica->setup_runtime(setup);
+  return replica;
 }
 
 std::uint64_t InjectionEngine::eligible_static_sites() const {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "analysis/classify.hpp"
@@ -53,13 +54,24 @@ struct EngineOptions {
 /// Owns one instrumented program and runs experiments against it.
 class InjectionEngine {
  public:
+  /// Extra runtime registration (detector runtimes). Receives the engine's
+  /// environment and detection log so the same setup can be re-applied to
+  /// clones, each wiring up its own private log.
+  using RuntimeSetup =
+      std::function<void(interp::RuntimeEnv&, interp::DetectionLog&)>;
+
   InjectionEngine(RunSpec spec, analysis::FaultSiteCategory category,
                   EngineOptions options = {});
 
-  /// Additional runtime registration hook (detector runtimes). Runs
-  /// immediately; the handlers may capture detection_log().
-  void setup_runtime(
-      const std::function<void(interp::RuntimeEnv&)>& setup);
+  /// Registers `setup` now and records it so clone() can replay it.
+  void setup_runtime(const RuntimeSetup& setup);
+
+  /// Fully independent replica: clones the pristine (pre-instrumentation)
+  /// module, re-instruments it, and replays the recorded runtime setups
+  /// against the replica's own environment and detection log. Clones share
+  /// no mutable state with the original, so each worker thread of a
+  /// parallel campaign can own one.
+  std::unique_ptr<InjectionEngine> clone() const;
 
   /// One full golden + faulty experiment.
   ExperimentResult run_experiment(Rng& rng);
@@ -86,10 +98,15 @@ class InjectionEngine {
   RunOutput execute(interp::ExecLimits limits);
 
   RunSpec spec_;
+  /// Un-instrumented copy of the incoming spec, kept so clone() can
+  /// re-instrument from scratch (instrumentation is deterministic, so the
+  /// replica's site table matches this engine's exactly).
+  RunSpec pristine_;
   EngineOptions options_;
   FaultInjectionRuntime runtime_;
   interp::RuntimeEnv env_;
   interp::DetectionLog detection_log_;
+  std::vector<RuntimeSetup> setups_;
 };
 
 }  // namespace vulfi

@@ -24,6 +24,27 @@ void OutcomeReport::record(const ExperimentResult& result,
   if (site.masked) masked_sites_.record(result);
 }
 
+std::string render_throughput(const ThroughputStats& throughput) {
+  std::string line = strf(
+      "%llu experiments in %.2fs — %.1f experiments/sec, %u thread%s, "
+      "utilization %s",
+      static_cast<unsigned long long>(throughput.experiments),
+      throughput.wall_seconds, throughput.experiments_per_second(),
+      throughput.threads, throughput.threads == 1 ? "" : "s",
+      pct(throughput.utilization()).c_str());
+  if (throughput.thread_busy_seconds.size() > 1) {
+    line += " [per-thread:";
+    for (double busy : throughput.thread_busy_seconds) {
+      line += strf(" %s", pct(throughput.wall_seconds > 0.0
+                                  ? busy / throughput.wall_seconds
+                                  : 0.0)
+                              .c_str());
+    }
+    line += "]";
+  }
+  return line;
+}
+
 std::string OutcomeReport::render_by_opcode() const {
   TextTable table({"Opcode", "Experiments", "SDC", "Benign", "Crash",
                    "Detected"});

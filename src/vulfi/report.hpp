@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "vulfi/campaign.hpp"
 #include "vulfi/driver.hpp"
 
 namespace vulfi {
@@ -66,5 +67,10 @@ class OutcomeReport {
   OutcomeCounts masked_sites_;
   std::uint64_t experiments_ = 0;
 };
+
+/// One-line throughput summary of a run_campaigns call: wall time,
+/// experiments/sec, worker count, and mean per-thread utilization
+/// (per-worker busy fractions appended when more than one worker ran).
+std::string render_throughput(const ThroughputStats& throughput);
 
 }  // namespace vulfi

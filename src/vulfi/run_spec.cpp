@@ -1,0 +1,25 @@
+#include "vulfi/run_spec.hpp"
+
+#include "ir/cloner.hpp"
+#include "support/error.hpp"
+
+namespace vulfi {
+
+RunSpec clone_spec(const RunSpec& spec) {
+  VULFI_ASSERT(spec.module != nullptr && spec.entry != nullptr,
+               "clone_spec: spec needs a module and an entry function");
+  RunSpec out;
+  ir::CloneMap map;
+  out.module = ir::clone_module(*spec.module, &map);
+  auto entry = map.functions.find(spec.entry);
+  VULFI_ASSERT(entry != map.functions.end(),
+               "clone_spec: entry function not part of the module");
+  out.entry = entry->second;
+  out.arena = spec.arena;
+  out.args = spec.args;
+  out.output_regions = spec.output_regions;
+  out.f32_compare_decimals = spec.f32_compare_decimals;
+  return out;
+}
+
+}  // namespace vulfi

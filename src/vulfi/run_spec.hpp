@@ -32,4 +32,10 @@ struct RunSpec {
   int f32_compare_decimals = -1;
 };
 
+/// Deep copy: clones the module (fresh constants/use-lists via ir/cloner),
+/// remaps `entry` into the clone, and copies arena, args, and comparison
+/// settings. The copy shares no mutable state with `spec` — the building
+/// block for per-thread engine replication in parallel campaigns.
+RunSpec clone_spec(const RunSpec& spec);
+
 }  // namespace vulfi

@@ -1,0 +1,140 @@
+// Determinism/regression suite for parallel campaigns: run_campaigns must
+// produce bit-identical results for every thread count. The guarantee
+// rests on counter-based per-experiment seeding (support/rng's
+// derive_stream_seed): an experiment's stream depends only on
+// (seed, campaign, experiment), never on which thread runs it or when,
+// and per-campaign samples fold into the statistics in campaign order.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "kernels/benchmark.hpp"
+#include "kernels/micro.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+
+namespace vulfi {
+namespace {
+
+CampaignResult run_with_threads(const kernels::Benchmark& bench,
+                                unsigned num_threads,
+                                std::uint64_t seed = 0xfeedULL) {
+  std::vector<std::unique_ptr<InjectionEngine>> engines;
+  std::vector<InjectionEngine*> pointers;
+  for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+    engines.push_back(std::make_unique<InjectionEngine>(
+        bench.build(spmd::Target::avx(), input),
+        analysis::FaultSiteCategory::PureData));
+    pointers.push_back(engines.back().get());
+  }
+  CampaignConfig config;
+  config.experiments_per_campaign = 25;
+  config.min_campaigns = 4;
+  config.max_campaigns = 6;
+  config.seed = seed;
+  config.num_threads = num_threads;
+  return run_campaigns(pointers, config);
+}
+
+/// Bit-exact comparison of everything a campaign reports — counters,
+/// per-campaign SDC samples, and the derived stop-rule statistics.
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.campaigns, b.campaigns);
+  EXPECT_EQ(a.experiments, b.experiments);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.detected_sdc, b.detected_sdc);
+  EXPECT_EQ(a.detected_total, b.detected_total);
+  ASSERT_EQ(a.campaign_sdc_rates.size(), b.campaign_sdc_rates.size());
+  for (std::size_t i = 0; i < a.campaign_sdc_rates.size(); ++i) {
+    EXPECT_EQ(a.campaign_sdc_rates[i], b.campaign_sdc_rates[i])
+        << "campaign " << i;
+  }
+  // Derived statistics: same sample sequence in the same order means the
+  // same floating-point accumulation, bit for bit.
+  EXPECT_EQ(a.sdc_samples.mean(), b.sdc_samples.mean());
+  EXPECT_EQ(a.sdc_samples.variance(), b.sdc_samples.variance());
+  EXPECT_EQ(a.margin_of_error, b.margin_of_error);
+  EXPECT_EQ(a.near_normal, b.near_normal);
+}
+
+class CampaignDeterminism
+    : public ::testing::TestWithParam<const kernels::Benchmark*> {};
+
+TEST_P(CampaignDeterminism, ThreadCountDoesNotChangeResults) {
+  const kernels::Benchmark& bench = *GetParam();
+  const CampaignResult serial = run_with_threads(bench, 1);
+  const CampaignResult two = run_with_threads(bench, 2);
+  const CampaignResult eight = run_with_threads(bench, 8);
+  expect_identical(serial, two);
+  expect_identical(serial, eight);
+}
+
+TEST_P(CampaignDeterminism, HardwareConcurrencyMatchesSerial) {
+  const kernels::Benchmark& bench = *GetParam();
+  expect_identical(run_with_threads(bench, 1),
+                   run_with_threads(bench, /*num_threads=*/0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallKernels, CampaignDeterminism,
+    ::testing::Values(&kernels::vector_copy_benchmark(),
+                      &kernels::dot_product_benchmark()),
+    [](const auto& info) { return info.param->name(); });
+
+TEST(CampaignDeterminism, RepeatedParallelRunsAgree) {
+  const CampaignResult a =
+      run_with_threads(kernels::dot_product_benchmark(), 4);
+  const CampaignResult b =
+      run_with_threads(kernels::dot_product_benchmark(), 4);
+  expect_identical(a, b);
+}
+
+TEST(CampaignDeterminism, DifferentSeedsDiverge) {
+  const CampaignResult a =
+      run_with_threads(kernels::dot_product_benchmark(), 2, 100);
+  const CampaignResult b =
+      run_with_threads(kernels::dot_product_benchmark(), 2, 101);
+  EXPECT_TRUE(a.sdc != b.sdc || a.benign != b.benign || a.crash != b.crash);
+}
+
+TEST(EngineClone, CloneReplaysIdenticalExperiments) {
+  // A cloned engine is a fully independent replica: the same experiment
+  // stream must produce the same outcomes and injection records.
+  InjectionEngine original(
+      kernels::vector_sum_benchmark().build(spmd::Target::avx(), 0),
+      analysis::FaultSiteCategory::PureData);
+  const std::unique_ptr<InjectionEngine> replica = original.clone();
+  ASSERT_EQ(original.sites().size(), replica->sites().size());
+  EXPECT_EQ(original.category(), replica->category());
+
+  for (std::uint64_t experiment = 0; experiment < 10; ++experiment) {
+    Rng rng_a(derive_stream_seed(7, 0, experiment));
+    Rng rng_b(derive_stream_seed(7, 0, experiment));
+    const ExperimentResult a = original.run_experiment(rng_a);
+    const ExperimentResult b = replica->run_experiment(rng_b);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.dynamic_sites, b.dynamic_sites);
+    EXPECT_EQ(a.injection.site_id, b.injection.site_id);
+    EXPECT_EQ(a.injection.bit, b.injection.bit);
+    EXPECT_EQ(a.injection.bits_before, b.injection.bits_before);
+    EXPECT_EQ(a.injection.bits_after, b.injection.bits_after);
+  }
+}
+
+TEST(CampaignDeterminism, ThroughputIsPopulated) {
+  const CampaignResult result =
+      run_with_threads(kernels::dot_product_benchmark(), 2);
+  EXPECT_EQ(result.throughput.experiments, result.experiments);
+  EXPECT_EQ(result.throughput.threads, 2u);
+  EXPECT_EQ(result.throughput.thread_busy_seconds.size(), 2u);
+  EXPECT_GT(result.throughput.wall_seconds, 0.0);
+  EXPECT_GT(result.throughput.experiments_per_second(), 0.0);
+  EXPECT_GT(result.throughput.utilization(), 0.0);
+  EXPECT_LE(result.throughput.utilization(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace vulfi

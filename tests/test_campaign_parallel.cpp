@@ -1,0 +1,121 @@
+// Stress tests for the parallel campaign executor: oversubscribed worker
+// pools (2x hardware concurrency) must complete cleanly — run this binary
+// under -DVULFI_TSAN=ON to have ThreadSanitizer check the work-stealing
+// deque and the per-thread engine isolation — and the sequential-sampling
+// stopping rule must behave exactly as in the serial path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kernels/benchmark.hpp"
+#include "kernels/micro.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+
+namespace vulfi {
+namespace {
+
+unsigned oversubscribed_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return 2 * (hw == 0 ? 2 : hw);
+}
+
+struct EngineSet {
+  std::vector<std::unique_ptr<InjectionEngine>> storage;
+  std::vector<InjectionEngine*> pointers;
+};
+
+EngineSet build_engines(const kernels::Benchmark& bench) {
+  EngineSet set;
+  for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+    set.storage.push_back(std::make_unique<InjectionEngine>(
+        bench.build(spmd::Target::sse4(), input),
+        analysis::FaultSiteCategory::PureData));
+    set.pointers.push_back(set.storage.back().get());
+  }
+  return set;
+}
+
+TEST(CampaignParallelStress, OversubscribedRunToMaxCampaigns) {
+  EngineSet set = build_engines(kernels::vector_copy_benchmark());
+  CampaignConfig config;
+  config.experiments_per_campaign = 15;
+  config.min_campaigns = 3;
+  config.max_campaigns = 8;
+  config.target_margin = -1.0;  // unreachable: must run all the way to max
+  config.num_threads = oversubscribed_threads();
+  const CampaignResult result = run_campaigns(set.pointers, config);
+  EXPECT_EQ(result.campaigns, config.max_campaigns);
+  EXPECT_EQ(result.experiments,
+            static_cast<std::uint64_t>(config.max_campaigns) *
+                config.experiments_per_campaign);
+  EXPECT_EQ(result.benign + result.sdc + result.crash, result.experiments);
+  EXPECT_EQ(result.campaign_sdc_rates.size(), result.campaigns);
+  EXPECT_EQ(result.sdc_samples.count(), result.campaigns);
+}
+
+TEST(CampaignParallelStress, RespectsSequentialStoppingRule) {
+  EngineSet set = build_engines(kernels::dot_product_benchmark());
+  CampaignConfig config;
+  config.experiments_per_campaign = 10;
+  config.min_campaigns = 2;
+  config.max_campaigns = 40;
+  config.target_margin = 1.0;
+  config.num_threads = oversubscribed_threads();
+  const CampaignResult result = run_campaigns(set.pointers, config);
+  EXPECT_GE(result.campaigns, config.min_campaigns);
+  EXPECT_LE(result.campaigns, config.max_campaigns);
+  // Stopping before max means the sequential-sampling criteria held at
+  // the final campaign boundary — same invariant as the serial path.
+  if (result.campaigns < config.max_campaigns) {
+    EXPECT_LE(result.margin_of_error, config.target_margin);
+    EXPECT_TRUE(result.near_normal);
+  }
+}
+
+TEST(CampaignParallelStress, MoreThreadsThanExperimentsPerCampaign) {
+  // Workers beyond the available work must idle out gracefully (empty
+  // ranges, nothing to steal).
+  EngineSet set = build_engines(kernels::vector_sum_benchmark());
+  CampaignConfig config;
+  config.experiments_per_campaign = 3;
+  config.min_campaigns = 2;
+  config.max_campaigns = 2;
+  config.num_threads = 16;
+  const CampaignResult result = run_campaigns(set.pointers, config);
+  EXPECT_EQ(result.experiments, 6u);
+  EXPECT_EQ(result.benign + result.sdc + result.crash, 6u);
+  EXPECT_EQ(result.throughput.thread_busy_seconds.size(), 16u);
+}
+
+TEST(CampaignParallelStress, ManyConcurrentCampaignRunsAreIsolated) {
+  // run_campaigns itself must be reentrant: several campaign runs on
+  // distinct engine sets may execute concurrently (as a study sharding
+  // across cells would), each spawning its own workers.
+  constexpr unsigned kRuns = 3;
+  std::vector<CampaignResult> results(kRuns);
+  std::vector<std::thread> runners;
+  for (unsigned r = 0; r < kRuns; ++r) {
+    runners.emplace_back([r, &results] {
+      EngineSet set = build_engines(kernels::dot_product_benchmark());
+      CampaignConfig config;
+      config.experiments_per_campaign = 10;
+      config.min_campaigns = 2;
+      config.max_campaigns = 2;
+      config.num_threads = 2;
+      results[r] = run_campaigns(set.pointers, config);
+    });
+  }
+  for (std::thread& t : runners) t.join();
+  for (unsigned r = 1; r < kRuns; ++r) {
+    // Same config + seed: every concurrent run reports the same counters.
+    EXPECT_EQ(results[r].sdc, results[0].sdc);
+    EXPECT_EQ(results[r].benign, results[0].benign);
+    EXPECT_EQ(results[r].crash, results[0].crash);
+  }
+}
+
+}  // namespace
+}  // namespace vulfi

@@ -293,9 +293,10 @@ TEST(UniformDetector, CatchesCorruptedBroadcastLane) {
 
   InjectionEngine engine(std::move(spec),
                          analysis::FaultSiteCategory::PureData);
-  engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
-    attach_detector_runtime(env, engine.detection_log());
-  });
+  engine.setup_runtime(
+      [](interp::RuntimeEnv& env, interp::DetectionLog& log) {
+        attach_detector_runtime(env, log);
+      });
   Rng rng(53);
   unsigned detected = 0, experiments = 80;
   for (unsigned i = 0; i < experiments; ++i) {

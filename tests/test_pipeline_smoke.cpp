@@ -126,9 +126,10 @@ TEST(PipelineSmoke, DetectorInsertedModuleRunsAndStaysQuietWithoutFaults) {
 
   InjectionEngine engine(std::move(spec),
                          analysis::FaultSiteCategory::Control);
-  engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
-    detect::attach_detector_runtime(env, engine.detection_log());
-  });
+  engine.setup_runtime(
+      [](interp::RuntimeEnv& env, interp::DetectionLog& log) {
+        detect::attach_detector_runtime(env, log);
+      });
   const interp::ExecResult clean = engine.run_clean();
   EXPECT_TRUE(clean.ok()) << clean.trap.detail;
   EXPECT_FALSE(engine.detection_log().any());
@@ -140,9 +141,10 @@ TEST(PipelineSmoke, ControlFaultsOnVcopyGetDetectedSometimes) {
   detect::insert_foreach_detectors(*spec.module);
   InjectionEngine engine(std::move(spec),
                          analysis::FaultSiteCategory::Control);
-  engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
-    detect::attach_detector_runtime(env, engine.detection_log());
-  });
+  engine.setup_runtime(
+      [](interp::RuntimeEnv& env, interp::DetectionLog& log) {
+        detect::attach_detector_runtime(env, log);
+      });
   Rng rng(11);
   unsigned detected = 0;
   for (int i = 0; i < 60; ++i) {

@@ -3,6 +3,7 @@
 // (fault model of §II-B), the experiment driver, and campaigns.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "interp/interpreter.hpp"
@@ -429,6 +430,32 @@ TEST(Driver, RunawayControlFaultBecomesCrashViaBudget) {
 // ---------------------------------------------------------------------------
 // Campaigns
 // ---------------------------------------------------------------------------
+
+TEST(Campaign, RateGuardsAgainstZeroExperiments) {
+  // A default-constructed result has run nothing; every rate must be a
+  // well-defined 0.0, not a NaN from 0/0.
+  const CampaignResult empty;
+  EXPECT_EQ(empty.experiments, 0u);
+  EXPECT_EQ(empty.rate(0), 0.0);
+  EXPECT_EQ(empty.rate(123), 0.0);
+  EXPECT_EQ(empty.sdc_rate(), 0.0);
+  EXPECT_EQ(empty.benign_rate(), 0.0);
+  EXPECT_EQ(empty.crash_rate(), 0.0);
+  EXPECT_FALSE(std::isnan(empty.sdc_rate()));
+}
+
+TEST(Campaign, SdcDetectionRateGuardsAgainstZeroSdc) {
+  CampaignResult result;
+  result.experiments = 100;
+  result.benign = 100;  // plenty of experiments, none of them SDC
+  EXPECT_EQ(result.sdc, 0u);
+  EXPECT_EQ(result.sdc_detection_rate(), 0.0);
+  EXPECT_FALSE(std::isnan(result.sdc_detection_rate()));
+
+  result.sdc = 8;
+  result.detected_sdc = 2;
+  EXPECT_DOUBLE_EQ(result.sdc_detection_rate(), 0.25);
+}
 
 TEST(Campaign, TotalsAreConsistent) {
   RunSpec spec = kernels::dot_product_benchmark().build(spmd::Target::sse4(), 0);

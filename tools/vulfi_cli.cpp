@@ -16,8 +16,11 @@
 //       with --report, the per-opcode outcome breakdown.
 //   vulfi campaign --benchmark NAME --category C [--campaigns K]
 //                  [--experiments N] [--seed S] [--target avx|sse]
+//                  [--jobs N]
 //       Statistically controlled campaign (paper §IV-D) with margin of
-//       error and normality reporting.
+//       error, normality, and throughput reporting. --jobs N runs the
+//       experiments on N worker threads (0 = hardware concurrency) with
+//       bit-identical statistics for every N.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -73,13 +76,16 @@ struct CliArgs {
       "           [--experiments N] [--seed S] [--target avx|sse] "
       "[--detectors] [--report]\n"
       "  campaign --benchmark NAME --category C [--campaigns K] "
-      "[--experiments N] [--seed S] [--target avx|sse]\n"
+      "[--experiments N] [--seed S] [--target avx|sse] [--jobs N]\n"
       "  compile  --file K.ispc [--target avx|sse] [--detectors] "
       "[--instrumented]\n"
       "           Compile an ISPC-like kernel file and print its IR.\n"
       "  study    [--benchmark NAME] [--campaigns K] [--experiments N]\n"
-      "           [--seed S] [--detectors]  Full benchmark x category x\n"
-      "           ISA matrix (the paper's Figure-11 study).\n");
+      "           [--seed S] [--jobs N] [--detectors]  Full benchmark x\n"
+      "           category x ISA matrix (the paper's Figure-11 study).\n"
+      "  --jobs N runs campaigns on N worker threads (0 = hardware\n"
+      "  concurrency); campaign statistics are bit-identical for every "
+      "N.\n");
   std::exit(code);
 }
 
@@ -89,7 +95,7 @@ CliArgs parse(int argc, char** argv) {
   args.command = argv[1];
   const char* value_options[] = {"--benchmark", "--category", "--target",
                                  "--experiments", "--campaigns", "--seed",
-                                 "--input", "--file"};
+                                 "--input", "--file", "--jobs"};
   const char* flag_options[] = {"--detectors", "--instrumented", "--report"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -232,8 +238,9 @@ int cmd_inject(const CliArgs& args) {
   }
   InjectionEngine engine(std::move(spec), category);
   if (args.flag("detectors")) {
-    engine.setup_runtime([&engine](interp::RuntimeEnv& env) {
-      detect::attach_detector_runtime(env, engine.detection_log());
+    engine.setup_runtime([](interp::RuntimeEnv& env,
+                            interp::DetectionLog& log) {
+      detect::attach_detector_runtime(env, log);
     });
   }
 
@@ -274,6 +281,8 @@ int cmd_study(const CliArgs& args) {
   config.campaign.min_campaigns = std::stoul(args.get("campaigns", "5"));
   config.campaign.max_campaigns = config.campaign.min_campaigns * 2;
   config.campaign.seed = std::stoull(args.get("seed", "24029"));
+  config.campaign.num_threads =
+      static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
   config.with_detectors = args.flag("detectors");
 
   const auto cells = kernels::run_resiliency_study(
@@ -360,6 +369,8 @@ int cmd_campaign(const CliArgs& args) {
   config.min_campaigns = std::stoul(args.get("campaigns", "20"));
   config.max_campaigns = config.min_campaigns * 2;
   config.seed = std::stoull(args.get("seed", "24029"));
+  config.num_threads =
+      static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
   const CampaignResult result = run_campaigns(pointers, config);
 
   std::printf("%s / %s / %s\n", bench.name().c_str(),
@@ -375,6 +386,8 @@ int cmd_campaign(const CliArgs& args) {
               "±%.2f%%, near-normal: %s\n",
               result.sdc_samples.mean(), result.margin_of_error * 100.0,
               result.near_normal ? "yes" : "no");
+  std::printf("  throughput: %s\n",
+              render_throughput(result.throughput).c_str());
   return 0;
 }
 
