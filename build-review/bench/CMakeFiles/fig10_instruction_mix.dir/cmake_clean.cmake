@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_instruction_mix.dir/fig10_instruction_mix.cpp.o"
+  "CMakeFiles/fig10_instruction_mix.dir/fig10_instruction_mix.cpp.o.d"
+  "fig10_instruction_mix"
+  "fig10_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

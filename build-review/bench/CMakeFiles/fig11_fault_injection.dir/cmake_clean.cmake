@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fault_injection.dir/fig11_fault_injection.cpp.o"
+  "CMakeFiles/fig11_fault_injection.dir/fig11_fault_injection.cpp.o.d"
+  "fig11_fault_injection"
+  "fig11_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_detectors.dir/fig12_detectors.cpp.o"
+  "CMakeFiles/fig12_detectors.dir/fig12_detectors.cpp.o.d"
+  "fig12_detectors"
+  "fig12_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/vulfi_bench_util.dir/bench_util.cpp.o.d"
+  "libvulfi_bench_util.a"
+  "libvulfi_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_foo.dir/classify_foo.cpp.o"
+  "CMakeFiles/classify_foo.dir/classify_foo.cpp.o.d"
+  "classify_foo"
+  "classify_foo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_foo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

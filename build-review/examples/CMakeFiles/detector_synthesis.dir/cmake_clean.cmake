@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_synthesis.dir/detector_synthesis.cpp.o"
+  "CMakeFiles/detector_synthesis.dir/detector_synthesis.cpp.o.d"
+  "detector_synthesis"
+  "detector_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispc_frontend.dir/ispc_frontend.cpp.o"
+  "CMakeFiles/ispc_frontend.dir/ispc_frontend.cpp.o.d"
+  "ispc_frontend"
+  "ispc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

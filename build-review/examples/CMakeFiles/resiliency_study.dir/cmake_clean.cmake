@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resiliency_study.dir/resiliency_study.cpp.o"
+  "CMakeFiles/resiliency_study.dir/resiliency_study.cpp.o.d"
+  "resiliency_study"
+  "resiliency_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resiliency_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classify.cpp" "src/analysis/CMakeFiles/vulfi_analysis.dir/classify.cpp.o" "gcc" "src/analysis/CMakeFiles/vulfi_analysis.dir/classify.cpp.o.d"
+  "/root/repo/src/analysis/instr_mix.cpp" "src/analysis/CMakeFiles/vulfi_analysis.dir/instr_mix.cpp.o" "gcc" "src/analysis/CMakeFiles/vulfi_analysis.dir/instr_mix.cpp.o.d"
+  "/root/repo/src/analysis/slicing.cpp" "src/analysis/CMakeFiles/vulfi_analysis.dir/slicing.cpp.o" "gcc" "src/analysis/CMakeFiles/vulfi_analysis.dir/slicing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/vulfi_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vulfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

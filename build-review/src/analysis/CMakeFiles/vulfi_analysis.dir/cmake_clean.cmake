@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi_analysis.dir/classify.cpp.o"
+  "CMakeFiles/vulfi_analysis.dir/classify.cpp.o.d"
+  "CMakeFiles/vulfi_analysis.dir/instr_mix.cpp.o"
+  "CMakeFiles/vulfi_analysis.dir/instr_mix.cpp.o.d"
+  "CMakeFiles/vulfi_analysis.dir/slicing.cpp.o"
+  "CMakeFiles/vulfi_analysis.dir/slicing.cpp.o.d"
+  "libvulfi_analysis.a"
+  "libvulfi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

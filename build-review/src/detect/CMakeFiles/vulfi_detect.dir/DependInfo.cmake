@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detector_runtime.cpp" "src/detect/CMakeFiles/vulfi_detect.dir/detector_runtime.cpp.o" "gcc" "src/detect/CMakeFiles/vulfi_detect.dir/detector_runtime.cpp.o.d"
+  "/root/repo/src/detect/foreach_detector.cpp" "src/detect/CMakeFiles/vulfi_detect.dir/foreach_detector.cpp.o" "gcc" "src/detect/CMakeFiles/vulfi_detect.dir/foreach_detector.cpp.o.d"
+  "/root/repo/src/detect/uniform_detector.cpp" "src/detect/CMakeFiles/vulfi_detect.dir/uniform_detector.cpp.o" "gcc" "src/detect/CMakeFiles/vulfi_detect.dir/uniform_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/vulfi_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/vulfi_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vulfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

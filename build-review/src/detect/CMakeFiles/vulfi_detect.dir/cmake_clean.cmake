@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi_detect.dir/detector_runtime.cpp.o"
+  "CMakeFiles/vulfi_detect.dir/detector_runtime.cpp.o.d"
+  "CMakeFiles/vulfi_detect.dir/foreach_detector.cpp.o"
+  "CMakeFiles/vulfi_detect.dir/foreach_detector.cpp.o.d"
+  "CMakeFiles/vulfi_detect.dir/uniform_detector.cpp.o"
+  "CMakeFiles/vulfi_detect.dir/uniform_detector.cpp.o.d"
+  "libvulfi_detect.a"
+  "libvulfi_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

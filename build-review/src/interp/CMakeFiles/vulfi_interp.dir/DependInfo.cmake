@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/arena.cpp" "src/interp/CMakeFiles/vulfi_interp.dir/arena.cpp.o" "gcc" "src/interp/CMakeFiles/vulfi_interp.dir/arena.cpp.o.d"
+  "/root/repo/src/interp/interpreter.cpp" "src/interp/CMakeFiles/vulfi_interp.dir/interpreter.cpp.o" "gcc" "src/interp/CMakeFiles/vulfi_interp.dir/interpreter.cpp.o.d"
+  "/root/repo/src/interp/runtime.cpp" "src/interp/CMakeFiles/vulfi_interp.dir/runtime.cpp.o" "gcc" "src/interp/CMakeFiles/vulfi_interp.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/vulfi_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vulfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi_interp.dir/arena.cpp.o"
+  "CMakeFiles/vulfi_interp.dir/arena.cpp.o.d"
+  "CMakeFiles/vulfi_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/vulfi_interp.dir/interpreter.cpp.o.d"
+  "CMakeFiles/vulfi_interp.dir/runtime.cpp.o"
+  "CMakeFiles/vulfi_interp.dir/runtime.cpp.o.d"
+  "libvulfi_interp.a"
+  "libvulfi_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

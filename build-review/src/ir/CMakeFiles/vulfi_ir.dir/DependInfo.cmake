@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/basic_block.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/basic_block.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/basic_block.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/cloner.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/cloner.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/cloner.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/function.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/function.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/instruction.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/instruction.cpp.o.d"
+  "/root/repo/src/ir/intrinsics.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/intrinsics.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/intrinsics.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/module.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/module.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/parser.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/transforms.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/transforms.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/transforms.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/type.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/type.cpp.o.d"
+  "/root/repo/src/ir/value.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/value.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/value.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/vulfi_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/vulfi_ir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/vulfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi_ir.dir/basic_block.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/basic_block.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/builder.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/cloner.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/cloner.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/function.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/function.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/instruction.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/intrinsics.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/intrinsics.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/module.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/module.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/parser.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/printer.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/transforms.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/transforms.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/type.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/type.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/value.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/value.cpp.o.d"
+  "CMakeFiles/vulfi_ir.dir/verifier.cpp.o"
+  "CMakeFiles/vulfi_ir.dir/verifier.cpp.o.d"
+  "libvulfi_ir.a"
+  "libvulfi_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

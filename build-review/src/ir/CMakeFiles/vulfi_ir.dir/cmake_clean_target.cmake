@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvulfi_ir.a"
+)

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/blackscholes.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/blackscholes.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/blackscholes.cpp.o.d"
+  "/root/repo/src/kernels/cg.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/cg.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/cg.cpp.o.d"
+  "/root/repo/src/kernels/chebyshev.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/chebyshev.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/chebyshev.cpp.o.d"
+  "/root/repo/src/kernels/fluidanimate.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/fluidanimate.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/fluidanimate.cpp.o.d"
+  "/root/repo/src/kernels/jacobi.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/jacobi.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/jacobi.cpp.o.d"
+  "/root/repo/src/kernels/kernel_common.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/kernel_common.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/kernel_common.cpp.o.d"
+  "/root/repo/src/kernels/micro.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/micro.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/micro.cpp.o.d"
+  "/root/repo/src/kernels/raytracing.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/raytracing.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/raytracing.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/registry.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/registry.cpp.o.d"
+  "/root/repo/src/kernels/sorting.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/sorting.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/sorting.cpp.o.d"
+  "/root/repo/src/kernels/stencil.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/stencil.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/stencil.cpp.o.d"
+  "/root/repo/src/kernels/study.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/study.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/study.cpp.o.d"
+  "/root/repo/src/kernels/swaptions.cpp" "src/kernels/CMakeFiles/vulfi_kernels.dir/swaptions.cpp.o" "gcc" "src/kernels/CMakeFiles/vulfi_kernels.dir/swaptions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/vulfi_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/vulfi_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spmd/CMakeFiles/vulfi_spmd.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vulfi/CMakeFiles/vulfi_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/detect/CMakeFiles/vulfi_detect.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vulfi_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/vulfi_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi_kernels.dir/blackscholes.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/blackscholes.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/cg.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/cg.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/chebyshev.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/fluidanimate.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/fluidanimate.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/jacobi.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/jacobi.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/kernel_common.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/kernel_common.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/micro.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/micro.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/raytracing.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/raytracing.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/registry.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/registry.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/sorting.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/sorting.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/stencil.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/stencil.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/study.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/study.cpp.o.d"
+  "CMakeFiles/vulfi_kernels.dir/swaptions.cpp.o"
+  "CMakeFiles/vulfi_kernels.dir/swaptions.cpp.o.d"
+  "libvulfi_kernels.a"
+  "libvulfi_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

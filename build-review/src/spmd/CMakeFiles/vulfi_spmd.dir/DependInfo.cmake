@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spmd/kernel_builder.cpp" "src/spmd/CMakeFiles/vulfi_spmd.dir/kernel_builder.cpp.o" "gcc" "src/spmd/CMakeFiles/vulfi_spmd.dir/kernel_builder.cpp.o.d"
+  "/root/repo/src/spmd/lang/compiler.cpp" "src/spmd/CMakeFiles/vulfi_spmd.dir/lang/compiler.cpp.o" "gcc" "src/spmd/CMakeFiles/vulfi_spmd.dir/lang/compiler.cpp.o.d"
+  "/root/repo/src/spmd/lang/lexer.cpp" "src/spmd/CMakeFiles/vulfi_spmd.dir/lang/lexer.cpp.o" "gcc" "src/spmd/CMakeFiles/vulfi_spmd.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/spmd/lang/parser.cpp" "src/spmd/CMakeFiles/vulfi_spmd.dir/lang/parser.cpp.o" "gcc" "src/spmd/CMakeFiles/vulfi_spmd.dir/lang/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/vulfi_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vulfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi_spmd.dir/kernel_builder.cpp.o"
+  "CMakeFiles/vulfi_spmd.dir/kernel_builder.cpp.o.d"
+  "CMakeFiles/vulfi_spmd.dir/lang/compiler.cpp.o"
+  "CMakeFiles/vulfi_spmd.dir/lang/compiler.cpp.o.d"
+  "CMakeFiles/vulfi_spmd.dir/lang/lexer.cpp.o"
+  "CMakeFiles/vulfi_spmd.dir/lang/lexer.cpp.o.d"
+  "CMakeFiles/vulfi_spmd.dir/lang/parser.cpp.o"
+  "CMakeFiles/vulfi_spmd.dir/lang/parser.cpp.o.d"
+  "libvulfi_spmd.a"
+  "libvulfi_spmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vulfi_spmd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi_support.dir/barchart.cpp.o"
+  "CMakeFiles/vulfi_support.dir/barchart.cpp.o.d"
+  "CMakeFiles/vulfi_support.dir/error.cpp.o"
+  "CMakeFiles/vulfi_support.dir/error.cpp.o.d"
+  "CMakeFiles/vulfi_support.dir/rng.cpp.o"
+  "CMakeFiles/vulfi_support.dir/rng.cpp.o.d"
+  "CMakeFiles/vulfi_support.dir/stats.cpp.o"
+  "CMakeFiles/vulfi_support.dir/stats.cpp.o.d"
+  "CMakeFiles/vulfi_support.dir/str.cpp.o"
+  "CMakeFiles/vulfi_support.dir/str.cpp.o.d"
+  "CMakeFiles/vulfi_support.dir/table.cpp.o"
+  "CMakeFiles/vulfi_support.dir/table.cpp.o.d"
+  "libvulfi_support.a"
+  "libvulfi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

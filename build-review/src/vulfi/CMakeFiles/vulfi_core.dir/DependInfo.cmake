@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vulfi/campaign.cpp" "src/vulfi/CMakeFiles/vulfi_core.dir/campaign.cpp.o" "gcc" "src/vulfi/CMakeFiles/vulfi_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/vulfi/driver.cpp" "src/vulfi/CMakeFiles/vulfi_core.dir/driver.cpp.o" "gcc" "src/vulfi/CMakeFiles/vulfi_core.dir/driver.cpp.o.d"
+  "/root/repo/src/vulfi/fault_site.cpp" "src/vulfi/CMakeFiles/vulfi_core.dir/fault_site.cpp.o" "gcc" "src/vulfi/CMakeFiles/vulfi_core.dir/fault_site.cpp.o.d"
+  "/root/repo/src/vulfi/fi_runtime.cpp" "src/vulfi/CMakeFiles/vulfi_core.dir/fi_runtime.cpp.o" "gcc" "src/vulfi/CMakeFiles/vulfi_core.dir/fi_runtime.cpp.o.d"
+  "/root/repo/src/vulfi/instrument.cpp" "src/vulfi/CMakeFiles/vulfi_core.dir/instrument.cpp.o" "gcc" "src/vulfi/CMakeFiles/vulfi_core.dir/instrument.cpp.o.d"
+  "/root/repo/src/vulfi/report.cpp" "src/vulfi/CMakeFiles/vulfi_core.dir/report.cpp.o" "gcc" "src/vulfi/CMakeFiles/vulfi_core.dir/report.cpp.o.d"
+  "/root/repo/src/vulfi/run_spec.cpp" "src/vulfi/CMakeFiles/vulfi_core.dir/run_spec.cpp.o" "gcc" "src/vulfi/CMakeFiles/vulfi_core.dir/run_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/vulfi_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/vulfi_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/vulfi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vulfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

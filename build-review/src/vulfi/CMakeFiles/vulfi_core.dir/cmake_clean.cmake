@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi_core.dir/campaign.cpp.o"
+  "CMakeFiles/vulfi_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/vulfi_core.dir/driver.cpp.o"
+  "CMakeFiles/vulfi_core.dir/driver.cpp.o.d"
+  "CMakeFiles/vulfi_core.dir/fault_site.cpp.o"
+  "CMakeFiles/vulfi_core.dir/fault_site.cpp.o.d"
+  "CMakeFiles/vulfi_core.dir/fi_runtime.cpp.o"
+  "CMakeFiles/vulfi_core.dir/fi_runtime.cpp.o.d"
+  "CMakeFiles/vulfi_core.dir/instrument.cpp.o"
+  "CMakeFiles/vulfi_core.dir/instrument.cpp.o.d"
+  "CMakeFiles/vulfi_core.dir/report.cpp.o"
+  "CMakeFiles/vulfi_core.dir/report.cpp.o.d"
+  "CMakeFiles/vulfi_core.dir/run_spec.cpp.o"
+  "CMakeFiles/vulfi_core.dir/run_spec.cpp.o.d"
+  "libvulfi_core.a"
+  "libvulfi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

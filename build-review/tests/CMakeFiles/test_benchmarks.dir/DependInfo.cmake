@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_benchmarks.cpp" "tests/CMakeFiles/test_benchmarks.dir/test_benchmarks.cpp.o" "gcc" "tests/CMakeFiles/test_benchmarks.dir/test_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/kernels/CMakeFiles/vulfi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vulfi/CMakeFiles/vulfi_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/detect/CMakeFiles/vulfi_detect.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spmd/CMakeFiles/vulfi_spmd.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/vulfi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/vulfi_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ir/CMakeFiles/vulfi_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vulfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

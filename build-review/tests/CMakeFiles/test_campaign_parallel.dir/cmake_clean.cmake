@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_campaign_parallel.dir/test_campaign_parallel.cpp.o"
+  "CMakeFiles/test_campaign_parallel.dir/test_campaign_parallel.cpp.o.d"
+  "test_campaign_parallel"
+  "test_campaign_parallel.pdb"
+  "test_campaign_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_campaign_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

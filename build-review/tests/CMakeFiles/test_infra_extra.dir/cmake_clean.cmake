@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infra_extra.dir/test_infra_extra.cpp.o"
+  "CMakeFiles/test_infra_extra.dir/test_infra_extra.cpp.o.d"
+  "test_infra_extra"
+  "test_infra_extra.pdb"
+  "test_infra_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infra_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

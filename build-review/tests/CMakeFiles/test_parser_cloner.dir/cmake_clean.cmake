@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_cloner.dir/test_parser_cloner.cpp.o"
+  "CMakeFiles/test_parser_cloner.dir/test_parser_cloner.cpp.o.d"
+  "test_parser_cloner"
+  "test_parser_cloner.pdb"
+  "test_parser_cloner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_cloner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_smoke.dir/test_pipeline_smoke.cpp.o"
+  "CMakeFiles/test_pipeline_smoke.dir/test_pipeline_smoke.cpp.o.d"
+  "test_pipeline_smoke"
+  "test_pipeline_smoke.pdb"
+  "test_pipeline_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantic_preservation.dir/test_semantic_preservation.cpp.o"
+  "CMakeFiles/test_semantic_preservation.dir/test_semantic_preservation.cpp.o.d"
+  "test_semantic_preservation"
+  "test_semantic_preservation.pdb"
+  "test_semantic_preservation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantic_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

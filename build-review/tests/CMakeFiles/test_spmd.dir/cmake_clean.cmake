@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmd.dir/test_spmd.cpp.o"
+  "CMakeFiles/test_spmd.dir/test_spmd.cpp.o.d"
+  "test_spmd"
+  "test_spmd.pdb"
+  "test_spmd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vulfi.dir/test_vulfi.cpp.o"
+  "CMakeFiles/test_vulfi.dir/test_vulfi.cpp.o.d"
+  "test_vulfi"
+  "test_vulfi.pdb"
+  "test_vulfi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vulfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_pipeline_smoke[1]_include.cmake")
+include("/root/repo/build-review/tests/test_benchmarks[1]_include.cmake")
+include("/root/repo/build-review/tests/test_support[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ir[1]_include.cmake")
+include("/root/repo/build-review/tests/test_interp[1]_include.cmake")
+include("/root/repo/build-review/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-review/tests/test_spmd[1]_include.cmake")
+include("/root/repo/build-review/tests/test_vulfi[1]_include.cmake")
+include("/root/repo/build-review/tests/test_detect[1]_include.cmake")
+include("/root/repo/build-review/tests/test_parser_cloner[1]_include.cmake")
+include("/root/repo/build-review/tests/test_lang[1]_include.cmake")
+include("/root/repo/build-review/tests/test_infra_extra[1]_include.cmake")
+include("/root/repo/build-review/tests/test_semantic_preservation[1]_include.cmake")
+include("/root/repo/build-review/tests/test_campaign_determinism[1]_include.cmake")
+include("/root/repo/build-review/tests/test_campaign_parallel[1]_include.cmake")

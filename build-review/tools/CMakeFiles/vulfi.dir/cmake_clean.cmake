@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulfi.dir/vulfi_cli.cpp.o"
+  "CMakeFiles/vulfi.dir/vulfi_cli.cpp.o.d"
+  "vulfi"
+  "vulfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build-review/tools/vulfi" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sites "/root/repo/build-review/tools/vulfi" "sites" "--benchmark" "stencil" "--target" "sse")
+set_tests_properties(cli_sites PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_show_ir "/root/repo/build-review/tools/vulfi" "show-ir" "--benchmark" "vcopy" "--detectors")
+set_tests_properties(cli_show_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_inject "/root/repo/build-review/tools/vulfi" "inject" "--benchmark" "vsum" "--category" "pure-data" "--experiments" "10" "--seed" "7")
+set_tests_properties(cli_inject PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign "/root/repo/build-review/tools/vulfi" "campaign" "--benchmark" "dot" "--category" "control" "--campaigns" "2" "--experiments" "10")
+set_tests_properties(cli_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown "/root/repo/build-review/tools/vulfi" "bogus")
+set_tests_properties(cli_rejects_unknown PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compile "/root/repo/build-review/tools/vulfi" "compile" "--file" "/root/repo/examples/kernels/saxpy.ispc" "--target" "avx")
+set_tests_properties(cli_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_study "/root/repo/build-review/tools/vulfi" "study" "--benchmark" "vsum" "--campaigns" "1" "--experiments" "10")
+set_tests_properties(cli_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
