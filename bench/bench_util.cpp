@@ -21,16 +21,19 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--jobs" && i + 1 < argc) {
       options.jobs =
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--no-golden-cache") {
+      options.golden_cache = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--full] [--csv] [--benchmark NAME] [--seed N] "
-          "[--jobs N]\n"
-          "  --full       paper-scale experiment counts\n"
-          "  --csv        CSV output\n"
-          "  --benchmark  restrict to one benchmark\n"
-          "  --seed       base RNG seed\n"
-          "  --jobs       campaign worker threads (0 = hardware "
-          "concurrency)\n",
+          "[--jobs N] [--no-golden-cache]\n"
+          "  --full             paper-scale experiment counts\n"
+          "  --csv              CSV output\n"
+          "  --benchmark        restrict to one benchmark\n"
+          "  --seed             base RNG seed\n"
+          "  --jobs             campaign worker threads (0 = hardware "
+          "concurrency)\n"
+          "  --no-golden-cache  re-run the golden pass per experiment\n",
           argv[0]);
       std::exit(0);
     } else {

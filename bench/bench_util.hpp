@@ -25,6 +25,9 @@ struct Options {
   /// Campaign worker threads (CampaignConfig::num_threads): 0 = hardware
   /// concurrency, 1 = serial.
   unsigned jobs = 1;
+  /// CampaignConfig::use_golden_cache; --no-golden-cache clears it
+  /// (statistics are bit-identical either way).
+  bool golden_cache = true;
 
   /// Campaigns per (benchmark, ISA, category) cell. Paper: 20 campaigns
   /// of 100 experiments (§IV-D).

@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
                        static_cast<std::uint64_t>(category) * 131 +
                        (target.isa == ir::Isa::AVX ? 0 : 7));
         config.num_threads = options.jobs;
+        config.use_golden_cache = options.golden_cache;
         const CampaignResult result = run_campaigns(engine_ptrs, config);
         total_experiments += result.throughput.experiments;
         total_wall_seconds += result.throughput.wall_seconds;

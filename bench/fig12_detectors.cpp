@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
                     (std::hash<std::string>{}(bench->name()) +
                      static_cast<std::uint64_t>(category) * 193);
       config.num_threads = options.jobs;
+      config.use_golden_cache = options.golden_cache;
       const CampaignResult result = run_campaigns(engine_ptrs, config);
 
       const double sdc_rate = result.sdc_rate();

@@ -23,6 +23,7 @@ std::uint64_t Arena::alloc(std::uint64_t bytes, std::string name,
   const std::uint64_t base = align_up(top_, align);
   VULFI_ASSERT(base + bytes <= bytes_.size(), "arena exhausted");
   top_ = base + bytes;
+  if (top_ > high_water_) high_water_ = top_;
   regions_.push_back(Region{std::move(name), base, bytes});
   return base;
 }
@@ -32,12 +33,31 @@ std::uint64_t Arena::alloc_stack(std::uint64_t bytes, std::uint64_t align) {
   const std::uint64_t base = align_up(top_, align);
   VULFI_ASSERT(base + bytes <= bytes_.size(), "arena stack exhausted");
   top_ = base + bytes;
+  if (top_ > high_water_) high_water_ = top_;
   return base;
 }
 
 void Arena::restore_watermark(std::uint64_t watermark) {
   VULFI_ASSERT(watermark <= top_, "watermark above current top");
   top_ = watermark;
+}
+
+void Arena::reset_from(const Arena& pristine) {
+  VULFI_ASSERT(bytes_.size() == pristine.bytes_.size(),
+               "reset_from requires equal arena capacities");
+  std::memcpy(bytes_.data(), pristine.bytes_.data(),
+              static_cast<std::size_t>(pristine.top_));
+  if (high_water_ > pristine.top_) {
+    std::memset(bytes_.data() + pristine.top_, 0,
+                static_cast<std::size_t>(high_water_ - pristine.top_));
+  }
+  top_ = pristine.top_;
+  high_water_ = top_;
+  // Executions never create named regions, so the region table only needs
+  // refreshing when this arena diverged from pristine before the reset.
+  if (regions_.size() != pristine.regions_.size()) {
+    regions_ = pristine.regions_;
+  }
 }
 
 const Arena::Region& Arena::region(const std::string& name) const {

@@ -37,6 +37,15 @@ class Arena {
   std::uint64_t alloc_stack(std::uint64_t bytes, std::uint64_t align = 16);
   void restore_watermark(std::uint64_t watermark);
 
+  /// Restores this arena to the exact state of `pristine` without
+  /// reallocating: copies the allocated prefix and zeroes only the bytes
+  /// this arena dirtied above it (tracked via a high-water mark). The
+  /// injection driver resets one scratch arena per execution instead of
+  /// copy-constructing a fresh multi-megabyte arena — equivalent because
+  /// a pristine arena is zero beyond its own top (it is allocated zeroed
+  /// and host writes stay below top). Requires equal capacities.
+  void reset_from(const Arena& pristine);
+
   /// True iff [addr, addr + size) lies fully inside allocated memory.
   bool valid(std::uint64_t addr, std::uint64_t size) const {
     return addr >= kGuardBytes && size <= top_ && addr <= top_ - size;
@@ -93,6 +102,9 @@ class Arena {
  private:
   std::vector<std::uint8_t> bytes_;
   std::uint64_t top_ = kGuardBytes;
+  /// Highest top_ ever reached — the upper bound of bytes an execution
+  /// may have dirtied (valid() confines writes below the current top_).
+  std::uint64_t high_water_ = kGuardBytes;
   std::vector<Region> regions_;
 };
 

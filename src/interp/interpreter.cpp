@@ -39,7 +39,92 @@ const Interpreter::Layout& Interpreter::layout_for(const ir::Function& fn) {
       }
     }
   }
+  if (mode_ == ExecMode::PreDecoded) decode_function(fn, layout);
   return layouts_.emplace(&fn, std::move(layout)).first->second;
+}
+
+void Interpreter::decode_function(const ir::Function& fn,
+                                  Layout& layout) const {
+  std::unordered_map<const ir::BasicBlock*, std::uint32_t> block_index;
+  std::uint32_t index = 0;
+  for (const auto& block : fn) block_index[block.get()] = index++;
+  layout.blocks.resize(index);
+
+  std::unordered_map<const ir::Value*, std::uint32_t> constant_index;
+  auto ref_of = [&](const ir::Value* value) -> OperandRef {
+    if (value->value_kind() == ir::ValueKind::Constant) {
+      const auto [it, inserted] = constant_index.emplace(
+          value, static_cast<std::uint32_t>(layout.constants.size()));
+      if (inserted) {
+        layout.constants.push_back(
+            RtVal::of_constant(*static_cast<const ir::Constant*>(value)));
+      }
+      return -static_cast<OperandRef>(it->second) - 1;
+    }
+    const auto it = layout.slots.find(value);
+    VULFI_ASSERT(it != layout.slots.end(), "operand has no slot");
+    return static_cast<OperandRef>(it->second);
+  };
+
+  // Pre-resolves the phi transfers of edge from -> to. Like the
+  // reference path's enter_block, only the block's leading phi run
+  // participates.
+  auto decode_edge = [&](const ir::BasicBlock* from,
+                         const ir::BasicBlock* to) -> DecodedTarget {
+    DecodedTarget target;
+    target.block = block_index.at(to);
+    target.first_move = static_cast<std::uint32_t>(layout.phi_moves.size());
+    for (const auto& inst : *to) {
+      if (inst->opcode() != Opcode::Phi) break;
+      layout.phi_moves.push_back(
+          {static_cast<std::int32_t>(layout.slots.at(inst.get())),
+           ref_of(inst->phi_value_for(from))});
+    }
+    target.num_moves =
+        static_cast<std::uint32_t>(layout.phi_moves.size()) -
+        target.first_move;
+    return target;
+  };
+
+  for (const auto& block : fn) {
+    DecodedBlock& decoded = layout.blocks[block_index.at(block.get())];
+    decoded.first_inst = static_cast<std::uint32_t>(layout.insts.size());
+    bool in_phi_prefix = true;
+    for (const auto& inst : *block) {
+      if (inst->opcode() == Opcode::Phi) {
+        // Phis past the leading run are dead in the reference path too
+        // (never transferred, never dispatched); skip them entirely.
+        if (in_phi_prefix) {
+          decoded.phi_count += 1;
+          if (inst->is_vector_instruction()) decoded.phi_vector_count += 1;
+        }
+        continue;
+      }
+      in_phi_prefix = false;
+      DecodedInst d;
+      d.inst = inst.get();
+      d.op = inst->opcode();
+      d.is_vector = inst->is_vector_instruction();
+      d.result_slot = inst->type().is_void()
+                          ? -1
+                          : static_cast<std::int32_t>(
+                                layout.slots.at(inst.get()));
+      d.first_operand = static_cast<std::uint32_t>(layout.operand_refs.size());
+      d.num_operands = inst->num_operands();
+      for (unsigned i = 0; i < inst->num_operands(); ++i) {
+        layout.operand_refs.push_back(ref_of(inst->operand(i)));
+      }
+      if (d.op == Opcode::Br) {
+        d.targets[0] = decode_edge(block.get(), inst->successor(0));
+      } else if (d.op == Opcode::CondBr) {
+        d.targets[0] = decode_edge(block.get(), inst->successor(0));
+        d.targets[1] = decode_edge(block.get(), inst->successor(1));
+      }
+      layout.insts.push_back(d);
+    }
+    decoded.num_insts =
+        static_cast<std::uint32_t>(layout.insts.size()) - decoded.first_inst;
+  }
 }
 
 void Interpreter::trap(TrapKind kind, std::string detail) {
@@ -51,12 +136,7 @@ void Interpreter::trap(TrapKind kind, std::string detail) {
 RtVal Interpreter::value_of(const Frame& frame,
                             const ir::Value* value) const {
   if (value->value_kind() == ir::ValueKind::Constant) {
-    const auto* constant = static_cast<const ir::Constant*>(value);
-    RtVal out(constant->type());
-    for (unsigned lane = 0; lane < out.lanes(); ++lane) {
-      out.raw[lane] = constant->is_undef() ? 0 : constant->raw(lane);
-    }
-    return out;
+    return RtVal::of_constant(*static_cast<const ir::Constant*>(value));
   }
   auto it = frame.layout->slots.find(value);
   VULFI_ASSERT(it != frame.layout->slots.end(),
@@ -369,6 +449,15 @@ void Interpreter::eval_store(const RtVal& value, const RtVal& ptr) {
   }
 }
 
+RtVal Interpreter::eval_alloca(const ir::Instruction& inst) {
+  const std::uint64_t bytes = inst.alloca_bytes();
+  if (arena_.allocated() + bytes + 64 > arena_.capacity()) {
+    trap(TrapKind::StackOverflow, "alloca exhausted the arena");
+    return RtVal{};
+  }
+  return RtVal::ptr(arena_.alloc_stack(bytes));
+}
+
 RtVal Interpreter::eval_math_intrinsic(const ir::Function& callee,
                                        const std::vector<RtVal>& args) const {
   const Type type = callee.return_type();
@@ -467,6 +556,21 @@ RtVal Interpreter::eval_intrinsic(const ir::Function& callee,
   VULFI_UNREACHABLE("unknown intrinsic");
 }
 
+RtVal Interpreter::eval_call(const ir::Instruction& inst,
+                             std::vector<RtVal> call_args, unsigned depth) {
+  stats_.calls += 1;
+  const ir::Function* callee = inst.callee();
+  switch (callee->kind()) {
+    case ir::FunctionKind::Definition:
+      return run_function(*callee, call_args, depth + 1);
+    case ir::FunctionKind::Intrinsic:
+      return eval_intrinsic(*callee, call_args);
+    case ir::FunctionKind::Runtime:
+      return env_.invoke(callee->name(), call_args);
+  }
+  VULFI_UNREACHABLE("unknown function kind");
+}
+
 RtVal Interpreter::run_function(const ir::Function& fn,
                                 const std::vector<RtVal>& args,
                                 unsigned depth) {
@@ -483,7 +587,238 @@ RtVal Interpreter::run_function(const ir::Function& fn,
                  "argument type mismatch");
     frame.slots[layout.slots.at(fn.arg(i))] = args[i];
   }
+  return mode_ == ExecMode::PreDecoded
+             ? run_decoded(layout, frame, depth)
+             : run_reference(fn, layout, frame, depth);
+}
 
+// ---------------------------------------------------------------------------
+// Pre-decoded dispatch loop: operand resolution is an array index into the
+// frame slots or the constant pool; phi transfers are pre-resolved per
+// edge; branch targets are block indices. No hashing on the hot path.
+// ---------------------------------------------------------------------------
+
+RtVal Interpreter::run_decoded(const Layout& layout, Frame& frame,
+                               unsigned depth) {
+  const std::uint64_t watermark = arena_.frame_watermark();
+  // Entry is the first block in layout order.
+  std::uint32_t block = 0;
+  // Phi transfers are simultaneous per SSA semantics: all edge sources
+  // are read into this scratch buffer before any destination is written.
+  std::vector<RtVal> phi_scratch;
+  constexpr std::uint32_t kNoBlock = ~std::uint32_t{0};
+
+  auto take_edge = [&](const DecodedTarget& target) {
+    const PhiMove* moves = layout.phi_moves.data() + target.first_move;
+    phi_scratch.resize(target.num_moves);
+    for (std::uint32_t m = 0; m < target.num_moves; ++m) {
+      phi_scratch[m] = resolve(frame, moves[m].src);
+    }
+    for (std::uint32_t m = 0; m < target.num_moves; ++m) {
+      frame.slots[static_cast<unsigned>(moves[m].dst_slot)] =
+          std::move(phi_scratch[m]);
+    }
+    const DecodedBlock& entered = layout.blocks[target.block];
+    stats_.total_instructions += entered.phi_count;
+    stats_.vector_instructions += entered.phi_vector_count;
+  };
+
+  while (!trap_) {
+    const DecodedBlock& decoded = layout.blocks[block];
+    const DecodedInst* insts = layout.insts.data() + decoded.first_inst;
+    std::uint32_t next_block = kNoBlock;
+
+    for (std::uint32_t i = 0; i < decoded.num_insts; ++i) {
+      const DecodedInst& d = *(insts + i);
+      if (stats_.total_instructions >= limits_.max_instructions) {
+        trap(TrapKind::InstructionBudget,
+             "dynamic instruction budget exhausted");
+        break;
+      }
+      stats_.total_instructions += 1;
+      if (d.is_vector) stats_.vector_instructions += 1;
+      const OperandRef* ops = layout.operand_refs.data() + d.first_operand;
+      const ir::Instruction& inst = *d.inst;
+
+      switch (d.op) {
+        case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+        case Opcode::SDiv: case Opcode::UDiv: case Opcode::SRem:
+        case Opcode::URem: case Opcode::Shl: case Opcode::LShr:
+        case Opcode::AShr: case Opcode::And: case Opcode::Or:
+        case Opcode::Xor:
+          frame.slots[d.result_slot] = eval_int_binary(
+              inst, resolve(frame, ops[0]), resolve(frame, ops[1]));
+          break;
+        case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+        case Opcode::FDiv: case Opcode::FRem:
+          frame.slots[d.result_slot] = eval_fp_binary(
+              inst, resolve(frame, ops[0]), resolve(frame, ops[1]));
+          break;
+        case Opcode::FNeg: {
+          const RtVal& operand = resolve(frame, ops[0]);
+          RtVal out(inst.type());
+          for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+            out.set_lane_fp(lane, -operand.lane_fp(lane));
+          }
+          frame.slots[d.result_slot] = std::move(out);
+          break;
+        }
+        case Opcode::ICmp:
+          frame.slots[d.result_slot] = eval_icmp(
+              inst, resolve(frame, ops[0]), resolve(frame, ops[1]));
+          break;
+        case Opcode::FCmp:
+          frame.slots[d.result_slot] = eval_fcmp(
+              inst, resolve(frame, ops[0]), resolve(frame, ops[1]));
+          break;
+        case Opcode::Alloca: {
+          RtVal out = eval_alloca(inst);
+          if (!trap_) frame.slots[d.result_slot] = std::move(out);
+          break;
+        }
+        case Opcode::Load:
+          frame.slots[d.result_slot] =
+              eval_load(inst, resolve(frame, ops[0]));
+          break;
+        case Opcode::Store:
+          eval_store(resolve(frame, ops[0]), resolve(frame, ops[1]));
+          break;
+        case Opcode::GetElementPtr: {
+          std::uint64_t addr = resolve(frame, ops[0]).lane_ptr(0);
+          const auto& strides = inst.gep_strides();
+          for (std::uint32_t k = 1; k < d.num_operands; ++k) {
+            addr += static_cast<std::uint64_t>(
+                        resolve(frame, ops[k]).lane_int(0)) *
+                    strides[k - 1];
+          }
+          frame.slots[d.result_slot] = RtVal::ptr(addr);
+          break;
+        }
+        case Opcode::ExtractElement: {
+          const RtVal& vec = resolve(frame, ops[0]);
+          const std::uint64_t lane = resolve(frame, ops[1]).lane_uint(0);
+          if (lane >= vec.lanes()) {
+            trap(TrapKind::BadLaneIndex, "extractelement lane out of range");
+            break;
+          }
+          RtVal out(inst.type());
+          out.raw[0] = vec.raw[static_cast<unsigned>(lane)];
+          frame.slots[d.result_slot] = std::move(out);
+          break;
+        }
+        case Opcode::InsertElement: {
+          RtVal vec = resolve(frame, ops[0]);
+          const RtVal& elem = resolve(frame, ops[1]);
+          const std::uint64_t lane = resolve(frame, ops[2]).lane_uint(0);
+          if (lane >= vec.lanes()) {
+            trap(TrapKind::BadLaneIndex, "insertelement lane out of range");
+            break;
+          }
+          vec.raw[static_cast<unsigned>(lane)] = elem.raw[0];
+          frame.slots[d.result_slot] = std::move(vec);
+          break;
+        }
+        case Opcode::ShuffleVector: {
+          const RtVal& v1 = resolve(frame, ops[0]);
+          const RtVal& v2 = resolve(frame, ops[1]);
+          const unsigned in_lanes = v1.lanes();
+          RtVal out(inst.type());
+          const auto& mask = inst.shuffle_mask();
+          for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+            const int m = mask[lane];
+            if (m < 0) {
+              out.raw[lane] = 0;  // undef lane reads as zero
+            } else if (static_cast<unsigned>(m) < in_lanes) {
+              out.raw[lane] = v1.raw[static_cast<unsigned>(m)];
+            } else {
+              out.raw[lane] = v2.raw[static_cast<unsigned>(m) - in_lanes];
+            }
+          }
+          frame.slots[d.result_slot] = std::move(out);
+          break;
+        }
+        case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt:
+        case Opcode::FPTrunc: case Opcode::FPExt: case Opcode::FPToSI:
+        case Opcode::FPToUI: case Opcode::SIToFP: case Opcode::UIToFP:
+        case Opcode::PtrToInt: case Opcode::IntToPtr: case Opcode::Bitcast:
+          frame.slots[d.result_slot] =
+              eval_cast(inst, resolve(frame, ops[0]));
+          break;
+        case Opcode::Select: {
+          const RtVal& cond = resolve(frame, ops[0]);
+          const RtVal& on_true = resolve(frame, ops[1]);
+          const RtVal& on_false = resolve(frame, ops[2]);
+          RtVal out(inst.type());
+          for (unsigned lane = 0; lane < out.lanes(); ++lane) {
+            const bool pick_true = cond.type.is_vector()
+                                       ? cond.lane_bool(lane)
+                                       : cond.lane_bool(0);
+            out.raw[lane] = pick_true ? on_true.raw[lane]
+                                      : on_false.raw[lane];
+          }
+          frame.slots[d.result_slot] = std::move(out);
+          break;
+        }
+        case Opcode::Call: {
+          std::vector<RtVal> call_args;
+          call_args.reserve(d.num_operands);
+          for (std::uint32_t k = 0; k < d.num_operands; ++k) {
+            call_args.push_back(resolve(frame, ops[k]));
+          }
+          RtVal result = eval_call(inst, std::move(call_args), depth);
+          if (d.result_slot >= 0 && !trap_) {
+            VULFI_ASSERT(result.type == inst.type(),
+                         "callee returned wrong type");
+            frame.slots[d.result_slot] = std::move(result);
+          }
+          break;
+        }
+        case Opcode::Br:
+          take_edge(d.targets[0]);
+          next_block = d.targets[0].block;
+          break;
+        case Opcode::CondBr: {
+          const DecodedTarget& target =
+              resolve(frame, ops[0]).lane_bool(0) ? d.targets[0]
+                                                  : d.targets[1];
+          take_edge(target);
+          next_block = target.block;
+          break;
+        }
+        case Opcode::Ret:
+          arena_.restore_watermark(watermark);
+          if (d.num_operands == 0) return RtVal{};
+          return resolve(frame, ops[0]);
+        case Opcode::Unreachable:
+          trap(TrapKind::UnreachableExecuted, "executed unreachable");
+          break;
+        case Opcode::Phi:
+          break;  // unreachable; phis are never decoded into the stream
+      }
+      if (trap_ || next_block != kNoBlock) break;
+    }
+    if (next_block == kNoBlock) {
+      // Reached only when the block ran out of instructions (trap
+      // mid-block) — a well-formed block always exits via its terminator.
+      VULFI_ASSERT(trap_, "basic block fell through without a terminator");
+      break;
+    }
+    block = next_block;
+  }
+  arena_.restore_watermark(watermark);
+  return RtVal{};
+}
+
+// ---------------------------------------------------------------------------
+// Reference dispatch loop: per-operand hash lookup through value_of. This
+// is the original executor, kept verbatim as the semantics oracle; the
+// differential campaign tests assert the decoded path matches it bit for
+// bit.
+// ---------------------------------------------------------------------------
+
+RtVal Interpreter::run_reference(const ir::Function& fn,
+                                 const Layout& layout, Frame& frame,
+                                 unsigned depth) {
   const std::uint64_t watermark = arena_.frame_watermark();
   const ir::BasicBlock* block = &fn.entry();
 
@@ -556,12 +891,8 @@ RtVal Interpreter::run_function(const ir::Function& fn,
                                  value_of(frame, inst.operand(1))));
           break;
         case Opcode::Alloca: {
-          const std::uint64_t bytes = inst.alloca_bytes();
-          if (arena_.allocated() + bytes + 64 > arena_.capacity()) {
-            trap(TrapKind::StackOverflow, "alloca exhausted the arena");
-            break;
-          }
-          store_result(&inst, RtVal::ptr(arena_.alloc_stack(bytes)));
+          RtVal out = eval_alloca(inst);
+          if (!trap_) store_result(&inst, std::move(out));
           break;
         }
         case Opcode::Load:
@@ -652,25 +983,12 @@ RtVal Interpreter::run_function(const ir::Function& fn,
           break;
         }
         case Opcode::Call: {
-          stats_.calls += 1;
-          const ir::Function* callee = inst.callee();
           std::vector<RtVal> call_args;
           call_args.reserve(inst.num_operands());
           for (unsigned i = 0; i < inst.num_operands(); ++i) {
             call_args.push_back(value_of(frame, inst.operand(i)));
           }
-          RtVal result;
-          switch (callee->kind()) {
-            case ir::FunctionKind::Definition:
-              result = run_function(*callee, call_args, depth + 1);
-              break;
-            case ir::FunctionKind::Intrinsic:
-              result = eval_intrinsic(*callee, call_args);
-              break;
-            case ir::FunctionKind::Runtime:
-              result = env_.invoke(callee->name(), call_args);
-              break;
-          }
+          RtVal result = eval_call(inst, std::move(call_args), depth);
           if (!inst.type().is_void() && !trap_) {
             VULFI_ASSERT(result.type == inst.type(),
                          "callee returned wrong type");

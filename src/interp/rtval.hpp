@@ -135,6 +135,18 @@ struct RtVal {
     v.raw[0] = addr;
     return v;
   }
+
+  /// Materializes an IR constant (undef lanes read as zero — the
+  /// interpreter's deterministic undef semantics). Used on the fly by the
+  /// reference executor and once per constant by the decode cache's
+  /// per-function constant pool.
+  static RtVal of_constant(const ir::Constant& constant) {
+    RtVal v(constant.type());
+    for (unsigned lane = 0; lane < v.lanes(); ++lane) {
+      v.raw[lane] = constant.is_undef() ? 0 : constant.raw(lane);
+    }
+    return v;
+  }
 };
 
 }  // namespace vulfi::interp

@@ -291,6 +291,15 @@ CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
   VULFI_ASSERT(!engines.empty(), "campaign needs at least one engine");
   VULFI_ASSERT(config.experiments_per_campaign > 0,
                "campaign needs experiments");
+  // Warm every engine's golden cache on this thread before any cloning:
+  // ParallelCampaignExecutor clones engines in its constructor, so a warm
+  // cache here is inherited by every worker — each engine's golden pass
+  // (and any detector events it raises) happens exactly once per campaign
+  // run, not once per worker.
+  for (InjectionEngine* engine : engines) {
+    engine->set_golden_cache_enabled(config.use_golden_cache);
+    engine->warm_golden_cache();
+  }
   const unsigned threads = resolve_threads(config.num_threads);
   if (threads <= 1) return run_campaigns_serial(engines, config);
   return run_campaigns_parallel(engines, config, threads);

@@ -41,6 +41,12 @@ struct CampaignConfig {
   /// N > 1 = exactly N workers. Results are bit-identical for every
   /// setting (counter-based per-experiment seeding).
   unsigned num_threads = 1;
+  /// Memoize each engine's golden run across its experiments (and across
+  /// cloned workers). Off (CLI: --no-golden-cache) re-runs the golden
+  /// pass per experiment — the original behaviour — for A/B validation;
+  /// every statistic is bit-identical either way because the golden run
+  /// consumes no randomness.
+  bool use_golden_cache = true;
 };
 
 /// Wall-clock and per-thread utilization figures for one run_campaigns

@@ -19,7 +19,12 @@ const char* outcome_name(Outcome outcome) {
 InjectionEngine::InjectionEngine(RunSpec spec,
                                  analysis::FaultSiteCategory category,
                                  EngineOptions options)
-    : spec_(std::move(spec)), options_(options) {
+    : spec_(std::move(spec)),
+      options_(options),
+      scratch_(spec_.arena),
+      interp_(scratch_, env_, interp::ExecLimits{},
+              options.predecode ? interp::ExecMode::PreDecoded
+                                : interp::ExecMode::Reference) {
   VULFI_ASSERT(spec_.module != nullptr && spec_.entry != nullptr,
                "engine needs a module and an entry function");
   // Snapshot the spec before instrumenting so clone() can rebuild an
@@ -42,6 +47,10 @@ std::unique_ptr<InjectionEngine> InjectionEngine::clone() const {
   auto replica = std::make_unique<InjectionEngine>(
       clone_spec(pristine_), runtime_.category(), options_);
   for (const RuntimeSetup& setup : setups_) replica->setup_runtime(setup);
+  // The golden observables are a pure function of (pristine spec,
+  // deterministic instrumentation), so the replica's cache is identical by
+  // construction — share it instead of re-running the golden pass.
+  replica->golden_ = golden_;
   return replica;
 }
 
@@ -55,16 +64,17 @@ std::uint64_t InjectionEngine::eligible_static_sites() const {
 
 InjectionEngine::RunOutput InjectionEngine::execute(
     interp::ExecLimits limits) {
-  // Every execution starts from the pristine arena.
-  interp::Arena arena = spec_.arena;
+  // Every execution starts from the pristine arena; resetting the scratch
+  // arena in place avoids reallocating megabytes per run.
+  scratch_.reset_from(spec_.arena);
   detection_log_.reset();
-  interp::Interpreter interp(arena, env_, limits);
+  interp_.set_limits(limits);
   RunOutput out;
-  out.exec = interp.run(*spec_.entry, spec_.args);
+  out.exec = interp_.run(*spec_.entry, spec_.args);
   for (const std::string& region_name : spec_.output_regions) {
-    const auto& region = arena.region(region_name);
+    const auto& region = scratch_.region(region_name);
     if (spec_.f32_compare_decimals < 0) {
-      const auto bytes = arena.region_bytes(region);
+      const auto bytes = scratch_.region_bytes(region);
       out.output_bytes.insert(out.output_bytes.end(), bytes.begin(),
                               bytes.end());
       continue;
@@ -72,7 +82,7 @@ InjectionEngine::RunOutput InjectionEngine::execute(
     // Printed-output comparison: render each float the way the original
     // program would print it; the comparison then matches diffing stdout.
     const auto values =
-        arena.read_array<float>(region.base, region.bytes / sizeof(float));
+        scratch_.read_array<float>(region.base, region.bytes / sizeof(float));
     for (float value : values) {
       const std::string text =
           strf("%.*f\n", spec_.f32_compare_decimals, value);
@@ -93,16 +103,53 @@ interp::ExecResult InjectionEngine::run_clean() {
   return execute(interp::ExecLimits{}).exec;
 }
 
-ExperimentResult InjectionEngine::run_experiment(Rng& rng) {
-  ExperimentResult result;
-
-  // --- golden run: record output, count dynamic sites -------------------
+GoldenCache InjectionEngine::compute_golden() {
   runtime_.begin_count();
   RunOutput golden = execute(interp::ExecLimits{});
   VULFI_ASSERT(golden.exec.ok(),
                "golden (fault-free) execution trapped — kernel bug");
-  result.dynamic_sites = runtime_.dynamic_count();
-  result.golden_instructions = golden.exec.stats.total_instructions;
+  GoldenCache cache;
+  cache.output_bytes = std::move(golden.output_bytes);
+  cache.return_bits = std::move(golden.return_bits);
+  cache.dynamic_sites = runtime_.dynamic_count();
+  cache.golden_instructions = golden.exec.stats.total_instructions;
+  return cache;
+}
+
+const GoldenCache& InjectionEngine::ensure_golden() {
+  if (!golden_) {
+    golden_ = std::make_shared<const GoldenCache>(compute_golden());
+  }
+  return *golden_;
+}
+
+void InjectionEngine::set_golden_cache_enabled(bool enabled) {
+  options_.golden_cache = enabled;
+  if (!enabled) golden_.reset();
+}
+
+void InjectionEngine::warm_golden_cache() {
+  if (options_.golden_cache) ensure_golden();
+}
+
+ExperimentResult InjectionEngine::run_experiment(Rng& rng) {
+  ExperimentResult result;
+
+  // --- golden observables: output + dynamic-site census ------------------
+  // The golden run consumes no randomness (the RNG is first touched below,
+  // after the census), so reusing a memoized golden leaves the experiment's
+  // random stream — and therefore every injection — bit-identical to the
+  // uncached path.
+  GoldenCache fresh;
+  const GoldenCache* golden;
+  if (options_.golden_cache) {
+    golden = &ensure_golden();
+  } else {
+    fresh = compute_golden();
+    golden = &fresh;
+  }
+  result.dynamic_sites = golden->dynamic_sites;
+  result.golden_instructions = golden->golden_instructions;
 
   if (result.dynamic_sites == 0) {
     // No dynamic site of this category: nothing to inject. Counted as
@@ -118,7 +165,7 @@ ExperimentResult InjectionEngine::run_experiment(Rng& rng) {
 
   interp::ExecLimits faulty_limits;
   faulty_limits.max_instructions =
-      result.golden_instructions * options_.budget_multiplier + 10'000;
+      faulty_instruction_budget(golden->golden_instructions);
   RunOutput faulty = execute(faulty_limits);
 
   runtime_.disable();
@@ -131,8 +178,8 @@ ExperimentResult InjectionEngine::run_experiment(Rng& rng) {
     result.trap = faulty.exec.trap.kind;
     return result;
   }
-  const bool differs = faulty.output_bytes != golden.output_bytes ||
-                       faulty.return_bits != golden.return_bits;
+  const bool differs = faulty.output_bytes != golden->output_bytes ||
+                       faulty.return_bits != golden->return_bits;
   result.outcome = differs ? Outcome::SDC : Outcome::Benign;
   return result;
 }

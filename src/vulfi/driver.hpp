@@ -1,6 +1,7 @@
 // Experiment driver (paper §IV-B execution strategy).
 //
-// One fault-injection experiment executes the program twice:
+// One fault-injection experiment classifies the effect of a single bit
+// flip against the fault-free ("golden") execution of the same program:
 //  1. golden run — no fault injected; the output is recorded and the
 //     dynamic fault sites of the selected category are counted;
 //  2. faulty run — one dynamic site is chosen uniformly at random, a
@@ -10,6 +11,18 @@
 //       Crash  — trap or runaway execution.
 // When detector passes were applied to the module, detector events raised
 // during the faulty run are reported alongside the outcome.
+//
+// Golden-run memoization: the golden observables are a pure function of
+// (module, input) — the golden run consumes no randomness and the engine
+// owns exactly one (module, input) pair — so by default the engine
+// executes the golden run once (lazily, on the first experiment), caches
+// its observables in a GoldenCache, and reuses them for every subsequent
+// experiment. Experiments drop from two full executions to one. clone()
+// shares the immutable cache with replicas, so parallel campaign workers
+// inherit it instead of re-running the golden pass. EngineOptions::
+// golden_cache (CLI: --no-golden-cache) restores the original
+// two-executions-per-experiment behaviour for A/B validation; results are
+// bit-identical either way.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +62,20 @@ struct EngineOptions {
   /// Injecting into masked-off lanes is the paper's design error VULFI
   /// avoids; turning gating off is an ablation switch.
   bool mask_aware = true;
+  /// Memoize the golden run across experiments (see file comment).
+  bool golden_cache = true;
+  /// Interpreter executor: pre-decoded fast path (default) or the
+  /// reference hash-lookup path (differential-testing oracle).
+  bool predecode = true;
+};
+
+/// Memoized golden-run observables: everything run_experiment needs from
+/// the fault-free execution. Immutable once computed; shared by clones.
+struct GoldenCache {
+  std::vector<std::uint8_t> output_bytes;
+  std::vector<std::uint64_t> return_bits;
+  std::uint64_t dynamic_sites = 0;
+  std::uint64_t golden_instructions = 0;
 };
 
 /// Owns one instrumented program and runs experiments against it.
@@ -70,15 +97,38 @@ class InjectionEngine {
   /// module, re-instruments it, and replays the recorded runtime setups
   /// against the replica's own environment and detection log. Clones share
   /// no mutable state with the original, so each worker thread of a
-  /// parallel campaign can own one.
+  /// parallel campaign can own one. An already-computed golden cache is
+  /// shared (it is immutable and identical by construction — the replica
+  /// is re-instrumented deterministically from the same pristine spec).
   std::unique_ptr<InjectionEngine> clone() const;
 
-  /// One full golden + faulty experiment.
+  /// One full experiment: cached-or-fresh golden observables + one
+  /// faulty run.
   ExperimentResult run_experiment(Rng& rng);
 
   /// One un-injected run (runtime idle). Used for overhead measurements
   /// and sanity checks; returns the interpreter result.
   interp::ExecResult run_clean();
+
+  /// Toggles golden-run memoization (campaigns plumb
+  /// CampaignConfig::use_golden_cache through this). Disabling drops any
+  /// cached run so a later re-enable recomputes from scratch.
+  void set_golden_cache_enabled(bool enabled);
+  bool golden_cache_enabled() const { return options_.golden_cache; }
+
+  /// Computes the golden cache now (no-op when disabled or already
+  /// computed). Campaigns warm engines on the coordinating thread before
+  /// cloning so every worker inherits the cache — and so detector
+  /// runtimes observe the golden pass exactly once per engine.
+  void warm_golden_cache();
+
+  /// The faulty-run instruction budget derived from a golden instruction
+  /// count. Single definition shared by the cached and uncached paths so
+  /// the Crash/hang classification cannot drift between them.
+  std::uint64_t faulty_instruction_budget(
+      std::uint64_t golden_instructions) const {
+    return golden_instructions * options_.budget_multiplier + 10'000;
+  }
 
   const std::vector<FaultSite>& sites() const { return runtime_.sites(); }
   analysis::FaultSiteCategory category() const { return runtime_.category(); }
@@ -96,6 +146,8 @@ class InjectionEngine {
   };
 
   RunOutput execute(interp::ExecLimits limits);
+  GoldenCache compute_golden();
+  const GoldenCache& ensure_golden();
 
   RunSpec spec_;
   /// Un-instrumented copy of the incoming spec, kept so clone() can
@@ -107,6 +159,13 @@ class InjectionEngine {
   interp::RuntimeEnv env_;
   interp::DetectionLog detection_log_;
   std::vector<RuntimeSetup> setups_;
+  /// Scratch execution arena, reset from spec_.arena before every run —
+  /// avoids reallocating a multi-megabyte arena per execution.
+  interp::Arena scratch_;
+  /// Persistent interpreter: keeps the per-function decode caches warm
+  /// across the engine's millions of executions.
+  interp::Interpreter interp_;
+  std::shared_ptr<const GoldenCache> golden_;
 };
 
 }  // namespace vulfi

@@ -19,13 +19,15 @@ namespace {
 
 CampaignResult run_with_threads(const kernels::Benchmark& bench,
                                 unsigned num_threads,
-                                std::uint64_t seed = 0xfeedULL) {
+                                std::uint64_t seed = 0xfeedULL,
+                                EngineOptions engine_options = {},
+                                bool use_golden_cache = true) {
   std::vector<std::unique_ptr<InjectionEngine>> engines;
   std::vector<InjectionEngine*> pointers;
   for (unsigned input = 0; input < bench.num_inputs(); ++input) {
     engines.push_back(std::make_unique<InjectionEngine>(
         bench.build(spmd::Target::avx(), input),
-        analysis::FaultSiteCategory::PureData));
+        analysis::FaultSiteCategory::PureData, engine_options));
     pointers.push_back(engines.back().get());
   }
   CampaignConfig config;
@@ -34,7 +36,21 @@ CampaignResult run_with_threads(const kernels::Benchmark& bench,
   config.max_campaigns = 6;
   config.seed = seed;
   config.num_threads = num_threads;
+  config.use_golden_cache = use_golden_cache;
   return run_campaigns(pointers, config);
+}
+
+/// Campaign run with the execution-path optimizations toggled: golden-run
+/// memoization and/or the pre-decoded executor. (false, false) is the
+/// pre-optimization baseline; (true, true) is the default fast path.
+CampaignResult run_configured(const kernels::Benchmark& bench,
+                              unsigned num_threads, bool golden_cache,
+                              bool predecode) {
+  EngineOptions options;
+  options.golden_cache = golden_cache;
+  options.predecode = predecode;
+  return run_with_threads(bench, num_threads, 0xfeedULL, options,
+                          golden_cache);
 }
 
 /// Bit-exact comparison of everything a campaign reports — counters,
@@ -120,6 +136,103 @@ TEST(EngineClone, CloneReplaysIdenticalExperiments) {
     EXPECT_EQ(a.injection.site_id, b.injection.site_id);
     EXPECT_EQ(a.injection.bit, b.injection.bit);
     EXPECT_EQ(a.injection.bits_before, b.injection.bits_before);
+    EXPECT_EQ(a.injection.bits_after, b.injection.bits_after);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution-path differential suite: the golden-run cache and the
+// pre-decoded executor are pure performance work — every campaign
+// statistic must be bit-identical with them on or off, serial or
+// parallel.
+// ---------------------------------------------------------------------------
+
+class ExecutionPathDifferential
+    : public ::testing::TestWithParam<const kernels::Benchmark*> {};
+
+TEST_P(ExecutionPathDifferential, GoldenCacheDoesNotChangeResults) {
+  const kernels::Benchmark& bench = *GetParam();
+  for (unsigned jobs : {1u, 4u}) {
+    expect_identical(run_configured(bench, jobs, true, true),
+                     run_configured(bench, jobs, false, true));
+  }
+}
+
+TEST_P(ExecutionPathDifferential, PredecodeMatchesReferenceExecutor) {
+  const kernels::Benchmark& bench = *GetParam();
+  for (unsigned jobs : {1u, 4u}) {
+    expect_identical(run_configured(bench, jobs, true, true),
+                     run_configured(bench, jobs, true, false));
+  }
+}
+
+TEST_P(ExecutionPathDifferential, FastPathMatchesPreOptimizationBaseline) {
+  const kernels::Benchmark& bench = *GetParam();
+  for (unsigned jobs : {1u, 4u}) {
+    expect_identical(run_configured(bench, jobs, true, true),
+                     run_configured(bench, jobs, false, false));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallKernels, ExecutionPathDifferential,
+    ::testing::Values(&kernels::vector_copy_benchmark(),
+                      &kernels::dot_product_benchmark(),
+                      &kernels::vector_sum_benchmark()),
+    [](const auto& info) { return info.param->name(); });
+
+TEST(GoldenCache, BudgetDerivationMatchesUncached) {
+  // The faulty-run instruction budget must come out of the cached
+  // golden_instructions exactly as it does out of a fresh golden run —
+  // any drift would reclassify hangs (Crash) near the cutoff.
+  InjectionEngine cached(
+      kernels::dot_product_benchmark().build(spmd::Target::avx(), 0),
+      analysis::FaultSiteCategory::PureData);
+  EngineOptions raw;
+  raw.golden_cache = false;
+  InjectionEngine uncached(
+      kernels::dot_product_benchmark().build(spmd::Target::avx(), 0),
+      analysis::FaultSiteCategory::PureData, raw);
+
+  for (std::uint64_t experiment = 0; experiment < 20; ++experiment) {
+    Rng rng_a(derive_stream_seed(9, 0, experiment));
+    Rng rng_b(derive_stream_seed(9, 0, experiment));
+    const ExperimentResult a = cached.run_experiment(rng_a);
+    const ExperimentResult b = uncached.run_experiment(rng_b);
+    EXPECT_EQ(a.golden_instructions, b.golden_instructions);
+    EXPECT_EQ(a.faulty_instructions, b.faulty_instructions);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.injection.site_id, b.injection.site_id);
+    EXPECT_EQ(a.injection.bit, b.injection.bit);
+    EXPECT_EQ(cached.faulty_instruction_budget(a.golden_instructions),
+              uncached.faulty_instruction_budget(b.golden_instructions));
+  }
+}
+
+TEST(GoldenCache, CloneInheritsWarmCache) {
+  // warm + clone must replay the exact experiments of an engine that
+  // never had a cache (the parallel executor's construction order).
+  InjectionEngine warmed(
+      kernels::vector_sum_benchmark().build(spmd::Target::avx(), 0),
+      analysis::FaultSiteCategory::PureData);
+  warmed.warm_golden_cache();
+  const std::unique_ptr<InjectionEngine> replica = warmed.clone();
+
+  EngineOptions raw;
+  raw.golden_cache = false;
+  InjectionEngine uncached(
+      kernels::vector_sum_benchmark().build(spmd::Target::avx(), 0),
+      analysis::FaultSiteCategory::PureData, raw);
+
+  for (std::uint64_t experiment = 0; experiment < 10; ++experiment) {
+    Rng rng_a(derive_stream_seed(11, 0, experiment));
+    Rng rng_b(derive_stream_seed(11, 0, experiment));
+    const ExperimentResult a = replica->run_experiment(rng_a);
+    const ExperimentResult b = uncached.run_experiment(rng_b);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.dynamic_sites, b.dynamic_sites);
+    EXPECT_EQ(a.golden_instructions, b.golden_instructions);
+    EXPECT_EQ(a.injection.site_id, b.injection.site_id);
     EXPECT_EQ(a.injection.bits_after, b.injection.bits_after);
   }
 }

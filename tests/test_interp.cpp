@@ -717,8 +717,142 @@ TEST(InterpControl, RuntimeDispatchByName) {
 }
 
 // ---------------------------------------------------------------------------
+// Pre-decoded vs reference executor
+// ---------------------------------------------------------------------------
+
+/// Loop with phis, a call, vector arithmetic, and memory traffic — enough
+/// surface to exercise the decode cache's constant pool, phi-move
+/// pre-resolution, and branch-target indexing against the reference
+/// hash-lookup executor.
+ir::Function* build_mode_differential_kernel(ir::Module& module,
+                                             IRBuilder& b) {
+  const Type i32 = Type::i32();
+  const Type vf32 = Type::vector(TypeKind::F32, 4);
+
+  ir::Function* helper =
+      module.create_function("helper", i32, {i32});
+  {
+    ir::BasicBlock* bb = helper->create_block("entry");
+    b.set_insert_block(bb);
+    b.ret(b.mul(helper->arg(0), b.i32_const(3)));
+  }
+
+  ir::Function* f = module.create_function("mode_diff", i32, {i32});
+  ir::BasicBlock* entry = f->create_block("entry");
+  ir::BasicBlock* loop = f->create_block("loop");
+  ir::BasicBlock* exit = f->create_block("exit");
+
+  ir::Constant* vec_init =
+      module.const_f32_lanes(vf32, {1.5f, 2.5f, 3.5f, 4.5f});
+  b.set_insert_block(entry);
+  b.br(loop);
+
+  b.set_insert_block(loop);
+  ir::Instruction* i = b.phi(i32, "i");
+  ir::Instruction* acc = b.phi(i32, "acc");
+  ir::Instruction* vec = b.phi(vf32, "vec");
+  Value* stepped = b.fadd(vec, vec_init, "stepped");
+  Value* scaled = b.call(helper, {i}, "scaled");
+  Value* next_acc = b.add(acc, scaled, "next_acc");
+  Value* next_i = b.add(i, b.i32_const(1), "next_i");
+  Value* done = b.icmp(ir::ICmpPred::SGE, next_i, f->arg(0), "done");
+  b.cond_br(done, exit, loop);
+  i->phi_add_incoming(b.i32_const(0), entry);
+  i->phi_add_incoming(next_i, loop);
+  acc->phi_add_incoming(b.i32_const(0), entry);
+  acc->phi_add_incoming(next_acc, loop);
+  vec->phi_add_incoming(vec_init, entry);
+  vec->phi_add_incoming(stepped, loop);
+
+  b.set_insert_block(exit);
+  ir::Instruction* acc_out = b.phi(i32, "acc_out");
+  acc_out->phi_add_incoming(next_acc, loop);
+  Value* lane = b.fptosi(b.extract_element(stepped, 2u), i32);
+  b.ret(b.add(acc_out, lane));
+
+  const auto errors = ir::verify(*f);
+  EXPECT_TRUE(errors.empty())
+      << (errors.empty() ? std::string() : errors.front());
+  return f;
+}
+
+TEST(InterpModes, DecodedMatchesReferenceExecutor) {
+  ir::Module module("modes");
+  IRBuilder b(module);
+  ir::Function* f = build_mode_differential_kernel(module, b);
+
+  Arena arena_decoded, arena_reference;
+  RuntimeEnv env;
+  Interpreter decoded(arena_decoded, env, ExecLimits{},
+                      ExecMode::PreDecoded);
+  Interpreter reference(arena_reference, env, ExecLimits{},
+                        ExecMode::Reference);
+
+  for (std::int32_t n : {1, 2, 7, 100}) {
+    const ExecResult a = decoded.run(*f, {RtVal::i32(n)});
+    const ExecResult r = reference.run(*f, {RtVal::i32(n)});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(a.return_value.lanes(), r.return_value.lanes());
+    for (unsigned lane = 0; lane < a.return_value.lanes(); ++lane) {
+      EXPECT_EQ(a.return_value.raw[lane], r.return_value.raw[lane]);
+    }
+    // The executors must agree on the instruction census bit for bit —
+    // the injection driver derives budgets and site counts from it.
+    EXPECT_EQ(a.stats.total_instructions, r.stats.total_instructions);
+    EXPECT_EQ(a.stats.vector_instructions, r.stats.vector_instructions);
+    EXPECT_EQ(a.stats.calls, r.stats.calls);
+  }
+}
+
+TEST(InterpModes, DecodedMatchesReferenceOnBudgetTrap) {
+  ir::Module module("modes_trap");
+  IRBuilder b(module);
+  ir::Function* f = build_mode_differential_kernel(module, b);
+
+  ExecLimits limits;
+  limits.max_instructions = 50;  // traps mid-loop
+  Arena arena_decoded, arena_reference;
+  RuntimeEnv env;
+  Interpreter decoded(arena_decoded, env, limits, ExecMode::PreDecoded);
+  Interpreter reference(arena_reference, env, limits, ExecMode::Reference);
+
+  const ExecResult a = decoded.run(*f, {RtVal::i32(1000)});
+  const ExecResult r = reference.run(*f, {RtVal::i32(1000)});
+  ASSERT_FALSE(a.ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(a.trap.kind, TrapKind::InstructionBudget);
+  EXPECT_EQ(r.trap.kind, TrapKind::InstructionBudget);
+  // Both executors must stop at the same instruction: the budget check
+  // sequence (phis uncounted-but-free, non-phis checked) is part of the
+  // Crash/hang classification contract.
+  EXPECT_EQ(a.stats.total_instructions, r.stats.total_instructions);
+  EXPECT_EQ(a.stats.vector_instructions, r.stats.vector_instructions);
+}
+
+// ---------------------------------------------------------------------------
 // Arena
 // ---------------------------------------------------------------------------
+
+TEST(Arena, ResetFromRestoresPristineState) {
+  Arena pristine(1 << 16);
+  const std::uint64_t a = pristine.alloc(16, "a");
+  pristine.write<std::int32_t>(a, 41);
+
+  Arena scratch = pristine;
+  scratch.write<std::int32_t>(a, 99);         // dirty a pristine byte
+  const std::uint64_t s = scratch.alloc_stack(256);
+  scratch.write<std::int32_t>(s, 7);          // dirty above pristine top
+
+  scratch.reset_from(pristine);
+  EXPECT_EQ(scratch.allocated(), pristine.allocated());
+  EXPECT_EQ(scratch.read<std::int32_t>(a), 41);
+  // The formerly dirtied stack byte must read as zero again, exactly like
+  // a fresh copy of the pristine arena.
+  const std::uint64_t s2 = scratch.alloc_stack(256);
+  EXPECT_EQ(s2, s);
+  EXPECT_EQ(scratch.read<std::int32_t>(s2), 0);
+}
 
 TEST(Arena, RegionsAndBounds) {
   Arena arena(1 << 16);

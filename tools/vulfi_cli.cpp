@@ -16,11 +16,13 @@
 //       with --report, the per-opcode outcome breakdown.
 //   vulfi campaign --benchmark NAME --category C [--campaigns K]
 //                  [--experiments N] [--seed S] [--target avx|sse]
-//                  [--jobs N]
+//                  [--jobs N] [--no-golden-cache]
 //       Statistically controlled campaign (paper §IV-D) with margin of
 //       error, normality, and throughput reporting. --jobs N runs the
 //       experiments on N worker threads (0 = hardware concurrency) with
-//       bit-identical statistics for every N.
+//       bit-identical statistics for every N. --no-golden-cache re-runs
+//       the golden pass per experiment (A/B escape hatch; statistics are
+//       bit-identical with and without the cache).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -76,7 +78,8 @@ struct CliArgs {
       "           [--experiments N] [--seed S] [--target avx|sse] "
       "[--detectors] [--report]\n"
       "  campaign --benchmark NAME --category C [--campaigns K] "
-      "[--experiments N] [--seed S] [--target avx|sse] [--jobs N]\n"
+      "[--experiments N] [--seed S] [--target avx|sse] [--jobs N] "
+      "[--no-golden-cache]\n"
       "  compile  --file K.ispc [--target avx|sse] [--detectors] "
       "[--instrumented]\n"
       "           Compile an ISPC-like kernel file and print its IR.\n"
@@ -85,7 +88,10 @@ struct CliArgs {
       "           category x ISA matrix (the paper's Figure-11 study).\n"
       "  --jobs N runs campaigns on N worker threads (0 = hardware\n"
       "  concurrency); campaign statistics are bit-identical for every "
-      "N.\n");
+      "N.\n"
+      "  --no-golden-cache re-runs the golden pass for every experiment\n"
+      "  (the pre-memoization behaviour); statistics are bit-identical\n"
+      "  with and without the cache.\n");
   std::exit(code);
 }
 
@@ -96,7 +102,8 @@ CliArgs parse(int argc, char** argv) {
   const char* value_options[] = {"--benchmark", "--category", "--target",
                                  "--experiments", "--campaigns", "--seed",
                                  "--input", "--file", "--jobs"};
-  const char* flag_options[] = {"--detectors", "--instrumented", "--report"};
+  const char* flag_options[] = {"--detectors", "--instrumented", "--report",
+                                "--no-golden-cache"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool matched = false;
@@ -283,6 +290,7 @@ int cmd_study(const CliArgs& args) {
   config.campaign.seed = std::stoull(args.get("seed", "24029"));
   config.campaign.num_threads =
       static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
+  config.campaign.use_golden_cache = !args.flag("no-golden-cache");
   config.with_detectors = args.flag("detectors");
 
   const auto cells = kernels::run_resiliency_study(
@@ -371,6 +379,7 @@ int cmd_campaign(const CliArgs& args) {
   config.seed = std::stoull(args.get("seed", "24029"));
   config.num_threads =
       static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
+  config.use_golden_cache = !args.flag("no-golden-cache");
   const CampaignResult result = run_campaigns(pointers, config);
 
   std::printf("%s / %s / %s\n", bench.name().c_str(),
