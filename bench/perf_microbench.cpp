@@ -8,7 +8,9 @@
 // (pre-decoded interpreter, golden-run memoization) against the baseline
 // that predates them. `--perf-json=PATH` additionally runs a standalone
 // before/after experiments-per-second measurement and writes it to PATH
-// as machine-readable JSON (consumed by CI).
+// as machine-readable JSON (consumed by CI). `--prune-json=PATH` does the
+// same for the static fault-site pruner A/B (BM_CampaignPruneAB):
+// experiments/sec and skipped-run counts with pruning off vs on.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -170,6 +172,42 @@ BENCHMARK_CAPTURE(BM_ExperimentAB, golden_cache_only, true, false);
 BENCHMARK_CAPTURE(BM_ExperimentAB, predecode_only, false, true);
 BENCHMARK_CAPTURE(BM_ExperimentAB, pr2_fastpath, true, true);
 
+// A/B over the static fault-site pruner (control-category sites, where
+// dead execution-mask bits make adjudication fire). Statistics are
+// bit-identical either way; only the faulty-run count changes.
+void BM_CampaignPruneAB(benchmark::State& state, const std::string& kernel,
+                        bool prune) {
+  const kernels::Benchmark* bench = kernels::find_benchmark(kernel);
+  EngineOptions options;
+  options.static_prune = prune;
+  InjectionEngine engine(bench->build(spmd::Target::avx(), 0),
+                         analysis::FaultSiteCategory::Control, options);
+  Rng rng(1234);
+  std::uint64_t experiments = 0;
+  std::uint64_t skipped = 0;
+  for (auto _ : state) {
+    const auto result = engine.run_experiment(rng);
+    benchmark::DoNotOptimize(result.outcome);
+    experiments += 1;
+    if (result.statically_adjudicated || result.memo_hit) skipped += 1;
+  }
+  state.counters["exp/s"] = benchmark::Counter(
+      static_cast<double>(experiments), benchmark::Counter::kIsRate);
+  state.counters["skipped_runs"] =
+      benchmark::Counter(static_cast<double>(skipped));
+}
+BENCHMARK_CAPTURE(BM_CampaignPruneAB, dot_no_prune, std::string("dot"),
+                  false);
+BENCHMARK_CAPTURE(BM_CampaignPruneAB, dot_prune, std::string("dot"), true);
+BENCHMARK_CAPTURE(BM_CampaignPruneAB, stencil_no_prune,
+                  std::string("stencil"), false);
+BENCHMARK_CAPTURE(BM_CampaignPruneAB, stencil_prune, std::string("stencil"),
+                  true);
+BENCHMARK_CAPTURE(BM_CampaignPruneAB, blackscholes_no_prune,
+                  std::string("blackscholes"), false);
+BENCHMARK_CAPTURE(BM_CampaignPruneAB, blackscholes_prune,
+                  std::string("blackscholes"), true);
+
 void BM_DetectorInsertion(benchmark::State& state) {
   const kernels::Benchmark* bench = kernels::find_benchmark("jacobi");
   for (auto _ : state) {
@@ -229,6 +267,93 @@ double measure_experiments_per_second(const std::string& kernel,
   return static_cast<double>(kExperiments) / seconds;
 }
 
+/// Experiments/sec and prune-savings counters of one kernel's
+/// control-category engine with static pruning toggled.
+struct PruneMeasurement {
+  double experiments_per_second = 0.0;
+  std::uint64_t adjudicated = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t remapped = 0;
+  std::uint64_t static_sites = 0;
+  std::uint64_t dead_bits = 0;
+  std::uint64_t total_bits = 0;
+};
+
+PruneMeasurement measure_prune(const std::string& kernel, bool prune) {
+  const kernels::Benchmark* bench = kernels::find_benchmark(kernel);
+  EngineOptions options;
+  options.static_prune = prune;
+  InjectionEngine engine(bench->build(spmd::Target::avx(), 0),
+                         analysis::FaultSiteCategory::Control, options);
+  Rng rng(1234);
+  for (unsigned i = 0; i < 20; ++i) engine.run_experiment(rng);
+
+  PruneMeasurement m;
+  m.static_sites = engine.eligible_static_sites();
+  m.dead_bits = engine.prune_plan().dead_bit_count;
+  m.total_bits = engine.prune_plan().total_bit_count;
+  using Clock = std::chrono::steady_clock;
+  const unsigned kExperiments = 300;
+  const auto start = Clock::now();
+  for (unsigned i = 0; i < kExperiments; ++i) {
+    const auto result = engine.run_experiment(rng);
+    benchmark::DoNotOptimize(result.outcome);
+    if (result.statically_adjudicated) m.adjudicated += 1;
+    if (result.memo_hit) m.memo_hits += 1;
+    if (result.remapped) m.remapped += 1;
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  m.experiments_per_second = static_cast<double>(kExperiments) / seconds;
+  return m;
+}
+
+int write_prune_json(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const char* kernels[] = {"dot", "stencil", "blackscholes"};
+  std::fprintf(out,
+               "{\n  \"bench\": \"campaign_prune_ab\",\n"
+               "  \"category\": \"control\",\n"
+               "  \"unit\": \"experiments_per_second\",\n"
+               "  \"kernels\": [\n");
+  unsigned count = 0;
+  for (const char* kernel : kernels) {
+    const PruneMeasurement off = measure_prune(kernel, false);
+    const PruneMeasurement on = measure_prune(kernel, true);
+    count += 1;
+    std::fprintf(
+        out,
+        "    {\"kernel\": \"%s\", \"static_sites\": %llu, "
+        "\"dead_bits\": %llu, \"total_bits\": %llu,\n"
+        "     \"no_prune\": %.1f, \"prune\": %.1f, \"speedup\": %.2f,\n"
+        "     \"adjudicated\": %llu, \"memo_hits\": %llu, "
+        "\"remapped\": %llu}%s\n",
+        kernel, static_cast<unsigned long long>(on.static_sites),
+        static_cast<unsigned long long>(on.dead_bits),
+        static_cast<unsigned long long>(on.total_bits),
+        off.experiments_per_second, on.experiments_per_second,
+        on.experiments_per_second / off.experiments_per_second,
+        static_cast<unsigned long long>(on.adjudicated),
+        static_cast<unsigned long long>(on.memo_hits),
+        static_cast<unsigned long long>(on.remapped),
+        count < sizeof(kernels) / sizeof(kernels[0]) ? "," : "");
+    std::fprintf(stderr,
+                 "prune-json: %-14s %9.1f -> %9.1f exp/s (%llu adjudicated, "
+                 "%llu memoized of 300)\n",
+                 kernel, off.experiments_per_second, on.experiments_per_second,
+                 static_cast<unsigned long long>(on.adjudicated),
+                 static_cast<unsigned long long>(on.memo_hits));
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "prune-json: wrote %s\n", path.c_str());
+  return 0;
+}
+
 int write_perf_json(const std::string& path) {
   EngineOptions baseline;  // the configuration predating this work
   baseline.golden_cache = false;
@@ -276,12 +401,18 @@ int write_perf_json(const std::string& path) {
 // registered benchmarks and, if requested, the JSON A/B measurement.
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string prune_json_path;
   std::vector<char*> bench_args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string prefix = "--perf-json=";
+    const std::string prune_prefix = "--prune-json=";
     if (arg.rfind(prefix, 0) == 0) {
       json_path = arg.substr(prefix.size());
+      continue;
+    }
+    if (arg.rfind(prune_prefix, 0) == 0) {
+      prune_json_path = arg.substr(prune_prefix.size());
       continue;
     }
     bench_args.push_back(argv[i]);
@@ -294,6 +425,10 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!json_path.empty()) return write_perf_json(json_path);
+  if (!json_path.empty()) {
+    const int status = write_perf_json(json_path);
+    if (status != 0) return status;
+  }
+  if (!prune_json_path.empty()) return write_prune_json(prune_json_path);
   return 0;
 }

@@ -1,0 +1,63 @@
+// Per-function analysis caching.
+//
+// The pass framework's spine: analyses are plain structs exposing
+//   struct MyAnalysis {
+//     struct Result { ... };
+//     static Result run(const ir::Function& fn, AnalysisManager& am);
+//   };
+// and consumers call am.get<MyAnalysis>(fn). Results are computed once per
+// (analysis, function) pair and cached until the function is invalidated —
+// the contract every pass that mutates IR must honour by calling
+// invalidate(fn) afterwards. run() may itself request other analyses
+// through the manager (dependencies), which is safe because
+// std::unordered_map never invalidates references on insertion.
+#pragma once
+
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+
+#include "ir/function.hpp"
+
+namespace vulfi::analysis {
+
+class AnalysisManager {
+ public:
+  /// The cached result of analysis `A` on `fn`, computing it on first use.
+  /// The reference stays valid until `fn` is invalidated.
+  template <typename A>
+  const typename A::Result& get(const ir::Function& fn) {
+    auto& slot = cache_[&fn][std::type_index(typeid(A))];
+    if (!slot.held) {
+      // Two-step: run() may recursively fill other slots of this map.
+      auto result = std::make_shared<typename A::Result>(A::run(fn, *this));
+      cache_[&fn][std::type_index(typeid(A))].held = std::move(result);
+      return *static_cast<const typename A::Result*>(
+          cache_[&fn][std::type_index(typeid(A))].held.get());
+    }
+    return *static_cast<const typename A::Result*>(slot.held.get());
+  }
+
+  /// Drops every cached result for `fn`. Call after mutating the function.
+  void invalidate(const ir::Function& fn) { cache_.erase(&fn); }
+
+  /// Drops everything (e.g. after a module-wide transformation).
+  void invalidate_all() { cache_.clear(); }
+
+  /// Number of live (function, analysis) cache entries — test hook.
+  std::size_t cached_entries() const {
+    std::size_t n = 0;
+    for (const auto& [fn, slots] : cache_) n += slots.size();
+    return n;
+  }
+
+ private:
+  struct Slot {
+    std::shared_ptr<void> held;
+  };
+  std::unordered_map<const ir::Function*,
+                     std::unordered_map<std::type_index, Slot>>
+      cache_;
+};
+
+}  // namespace vulfi::analysis

@@ -16,60 +16,63 @@ const char* category_name(FaultSiteCategory category) {
 
 namespace {
 
-bool is_control_flow(const ir::Instruction& inst) {
-  // Only conditional branches consume a value that steers control; an
-  // unconditional br has no operands and can never appear in a slice.
-  return inst.opcode() == ir::Opcode::CondBr;
+const ir::Function* owning_function(const ir::Value& value) {
+  if (const auto* inst = dynamic_cast<const ir::Instruction*>(&value)) {
+    return inst->function();
+  }
+  if (const auto* arg = dynamic_cast<const ir::Argument*>(&value)) {
+    return arg->parent();
+  }
+  return nullptr;
 }
 
-bool is_address_use(const ir::Instruction& inst, const ir::Value& from,
-                    AddressRule rule) {
-  if (inst.opcode() == ir::Opcode::GetElementPtr) return true;
-  if (rule == AddressRule::GepOnly) return false;
-  // Extension: value used directly as the pointer operand of a memory op.
-  switch (inst.opcode()) {
-    case ir::Opcode::Load:
-      return inst.operand(0) == &from;
-    case ir::Opcode::Store:
-      return inst.operand(1) == &from;
-    case ir::Opcode::Call: {
-      const ir::IntrinsicInfo& info = inst.callee()->intrinsic_info();
-      if (info.id == ir::IntrinsicId::MaskLoad ||
-          info.id == ir::IntrinsicId::MaskStore) {
-        return inst.num_operands() > 0 && inst.operand(0) == &from;
+/// Is `value` used as the pointer operand of any memory operation? Exact
+/// per-edge check over the value's own use list.
+bool feeds_pointer_operand(const ir::Value& value) {
+  for (const ir::Instruction* user : value.users()) {
+    for (unsigned i = 0; i < user->num_operands(); ++i) {
+      if (user->operand(i) == &value &&
+          is_pointer_operand_position(*user, i)) {
+        return true;
       }
-      return false;
     }
-    default:
-      return false;
   }
+  return false;
 }
 
 }  // namespace
+
+SiteClass classify_value(const ir::Value& value, AddressRule rule,
+                         AnalysisManager& am) {
+  const ir::Function* fn = owning_function(value);
+  if (fn != nullptr && fn->is_definition()) {
+    return am.get<SliceAnalysis>(*fn).classify(&value, rule);
+  }
+  return classify_value(value, rule);
+}
 
 SiteClass classify_value(const ir::Value& value, AddressRule rule) {
   SiteClass cls;
   const auto slice = forward_slice(value);
   for (const ir::Instruction* inst : slice) {
-    if (is_control_flow(*inst)) cls.control = true;
-    if (!cls.address) {
-      if (inst->opcode() == ir::Opcode::GetElementPtr) {
-        cls.address = true;
-      } else if (rule == AddressRule::GepOrMemOperand) {
-        // The direct-operand form needs the producing edge; approximate by
-        // checking whether any slice member (or the root) feeds this
-        // instruction's pointer operand.
-        for (unsigned i = 0; i < inst->num_operands(); ++i) {
-          const ir::Value* operand = inst->operand(i);
-          if ((operand == &value || slice.count(dynamic_cast<const ir::Instruction*>(operand))) &&
-              is_address_use(*inst, *operand, rule)) {
-            cls.address = true;
-            break;
-          }
+    if (inst->opcode() == ir::Opcode::CondBr) cls.control = true;
+    if (inst->opcode() == ir::Opcode::GetElementPtr) cls.address = true;
+    if (cls.control && cls.address) return cls;
+  }
+  if (rule == AddressRule::GepOrMemOperand && !cls.address) {
+    // Corrupted data reaches a pointer operand iff the root or a corrupted
+    // slice value is used in a pointer position — an exact statement about
+    // individual def-use edges.
+    if (feeds_pointer_operand(value)) {
+      cls.address = true;
+    } else {
+      for (const ir::Instruction* inst : slice) {
+        if (!inst->type().is_void() && feeds_pointer_operand(*inst)) {
+          cls.address = true;
+          break;
         }
       }
     }
-    if (cls.control && cls.address) break;
   }
   return cls;
 }

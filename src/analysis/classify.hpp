@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "analysis/analysis_manager.hpp"
 #include "ir/instruction.hpp"
 #include "ir/value.hpp"
 
@@ -46,9 +47,16 @@ struct SiteClass {
   }
 };
 
-/// Classifies the forward slice of `value`.
+/// Classifies the forward slice of `value`. Stand-alone variant: walks the
+/// use graph afresh on every call; exact, but no caching.
 SiteClass classify_value(const ir::Value& value,
                          AddressRule rule = AddressRule::GepOnly);
+
+/// Memoized variant: routed through the cached SliceAnalysis of the
+/// value's owning function (falls back to the stand-alone walk for
+/// detached values). Use this when classifying many sites of one function.
+SiteClass classify_value(const ir::Value& value, AddressRule rule,
+                         AnalysisManager& am);
 
 /// True when `inst` carries at least one fault site under the paper's
 /// fault model (§II-B): its Lvalue holds an integer or floating-point

@@ -1,0 +1,20 @@
+// AnalysisManager adapter for the shared ir::DominatorTree.
+//
+// The tree itself lives in ir/ (the verifier runs below the analysis
+// layer); this wrapper gives passes and lint cached access through the
+// AnalysisManager: am.get<DominatorTreeAnalysis>(fn).
+#pragma once
+
+#include "analysis/analysis_manager.hpp"
+#include "ir/dominators.hpp"
+
+namespace vulfi::analysis {
+
+struct DominatorTreeAnalysis {
+  using Result = ir::DominatorTree;
+  static Result run(const ir::Function& fn, AnalysisManager&) {
+    return ir::DominatorTree(fn);
+  }
+};
+
+}  // namespace vulfi::analysis

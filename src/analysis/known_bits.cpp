@@ -1,0 +1,800 @@
+#include "analysis/known_bits.hpp"
+
+#include <algorithm>
+
+#include "analysis/dominators.hpp"
+#include "ir/basic_block.hpp"
+#include "ir/instruction.hpp"
+#include "ir/intrinsics.hpp"
+
+namespace vulfi::analysis {
+
+namespace {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+unsigned msb_index(std::uint64_t x) {
+  unsigned i = 0;
+  while (x >>= 1) ++i;
+  return i;
+}
+
+/// All bits at or below the highest set bit of `d` — the operand bits an
+/// add / sub / mul can route into a demanded result bit (carries only
+/// propagate upward).
+std::uint64_t mask_to_msb(std::uint64_t d) {
+  if (d == 0) return 0;
+  const unsigned m = msb_index(d);
+  return m >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (m + 1)) - 1;
+}
+
+/// All bits at or above the lowest set bit of `d` — dual of mask_to_msb
+/// for right shifts by unknown amounts.
+std::uint64_t mask_from_lsb(std::uint64_t d, std::uint64_t width_mask) {
+  if (d == 0) return 0;
+  const std::uint64_t lsb = d & (~d + 1);
+  return width_mask & ~(lsb - 1);
+}
+
+}  // namespace
+
+std::uint64_t element_width_mask(unsigned bits) {
+  return bits >= 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << bits) - 1;
+}
+
+LaneBits KnownBitsResult::known(const Value* value, unsigned lane) const {
+  if (const auto* c = dynamic_cast<const ir::Constant*>(value)) {
+    if (c->is_undef()) return LaneBits{};
+    const std::uint64_t mask = element_width_mask(c->type().element_bits());
+    const std::uint64_t raw =
+        c->raw(std::min(lane, c->type().lanes() - 1)) & mask;
+    return LaneBits{~raw & mask, raw};
+  }
+  auto it = info_.find(value);
+  if (it == info_.end() || lane >= it->second.known.size()) return LaneBits{};
+  return it->second.known[lane];
+}
+
+std::uint64_t KnownBitsResult::demanded(const Value* value,
+                                        unsigned lane) const {
+  const std::uint64_t mask = element_width_mask(value->type().element_bits());
+  auto it = info_.find(value);
+  if (it == info_.end() || lane >= it->second.demanded.size()) return mask;
+  return it->second.demanded[lane];
+}
+
+std::uint64_t KnownBitsResult::dead_bits(const Value* value,
+                                         unsigned lane) const {
+  const std::uint64_t mask = element_width_mask(value->type().element_bits());
+  return mask & ~demanded(value, lane);
+}
+
+bool KnownBitsResult::lane_uniform(const Value* value) const {
+  if (value->type().is_scalar()) return true;
+  if (const auto* c = dynamic_cast<const ir::Constant*>(value)) {
+    return !c->is_undef() && c->is_splat();
+  }
+  auto it = info_.find(value);
+  return it != info_.end() && it->second.uniform;
+}
+
+/// Shared worker state for one function.
+struct KnownBitsSolver {
+  const ir::Function& fn;
+  KnownBitsResult& result;
+  std::vector<const ir::BasicBlock*> blocks;  // reachable, RPO
+
+  explicit KnownBitsSolver(const ir::Function& f, KnownBitsResult& r,
+                           const ir::DominatorTree& domtree)
+      : fn(f), result(r) {
+    for (const ir::BasicBlock* b : domtree.rpo()) blocks.push_back(b);
+  }
+
+  KnownBitsResult::ValueInfo& info(const Value* v) {
+    return result.info_.at(const_cast<const Value*>(v));
+  }
+  bool tracked(const Value* v) const { return result.info_.count(v) != 0; }
+
+  LaneBits known_of(const Value* v, unsigned lane) const {
+    return result.known(v, lane);
+  }
+  bool uniform_of(const Value* v) const { return result.lane_uniform(v); }
+
+  // ---- forward: known bits + uniformity -----------------------------
+
+  void seed() {
+    for (const auto& arg : fn.args()) {
+      KnownBitsResult::ValueInfo vi;
+      vi.known.assign(arg->type().lanes(), LaneBits{});
+      vi.demanded.assign(arg->type().lanes(), 0);
+      vi.uniform = arg->type().is_scalar();
+      result.info_.emplace(arg.get(), std::move(vi));
+    }
+    for (const ir::BasicBlock* block : blocks) {
+      for (const auto& inst : *block) {
+        if (inst->type().is_void()) continue;
+        KnownBitsResult::ValueInfo vi;
+        vi.known.assign(inst->type().lanes(), LaneBits{});
+        vi.demanded.assign(inst->type().lanes(), 0);
+        // Uniformity starts optimistic (cleared to a greatest fixpoint)
+        // so splats survive loop-carried phis.
+        vi.uniform = true;
+        result.info_.emplace(inst.get(), std::move(vi));
+      }
+    }
+  }
+
+  /// Meet: keep only agreed-upon facts.
+  static LaneBits meet(LaneBits a, LaneBits b) {
+    return LaneBits{a.zeros & b.zeros, a.ones & b.ones};
+  }
+
+  /// Is the full element value of (v, lane) a compile-time constant here?
+  bool fully_known(const Value* v, unsigned lane, std::uint64_t mask,
+                   std::uint64_t* out) const {
+    const LaneBits k = known_of(v, lane);
+    if ((k.known() & mask) != mask) return false;
+    *out = k.ones & mask;
+    return true;
+  }
+
+  LaneBits transfer_known(const Instruction& inst, unsigned lane) {
+    const std::uint64_t mask =
+        element_width_mask(inst.type().element_bits());
+    auto op = [&](unsigned i, unsigned l) {
+      return known_of(inst.operand(i), l);
+    };
+    switch (inst.opcode()) {
+      case Opcode::And: {
+        const LaneBits a = op(0, lane), b = op(1, lane);
+        return LaneBits{(a.zeros | b.zeros) & mask, a.ones & b.ones & mask};
+      }
+      case Opcode::Or: {
+        const LaneBits a = op(0, lane), b = op(1, lane);
+        return LaneBits{a.zeros & b.zeros & mask, (a.ones | b.ones) & mask};
+      }
+      case Opcode::Xor: {
+        const LaneBits a = op(0, lane), b = op(1, lane);
+        const std::uint64_t known = a.known() & b.known() & mask;
+        const std::uint64_t val = (a.ones ^ b.ones) & known;
+        return LaneBits{known & ~val, val};
+      }
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr: {
+        const unsigned width = inst.type().element_bits();
+        std::uint64_t amount = 0;
+        if (!fully_known(inst.operand(1), lane, mask, &amount)) {
+          return LaneBits{};
+        }
+        const LaneBits a = op(0, lane);
+        if (amount >= width) {
+          // Interpreter overshift is deterministic: AShr fills with the
+          // sign bit, the logical shifts produce zero.
+          if (inst.opcode() != Opcode::AShr) return LaneBits{mask, 0};
+          const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+          if (a.zeros & sign) return LaneBits{mask, 0};
+          if (a.ones & sign) return LaneBits{0, mask};
+          return LaneBits{};
+        }
+        const auto k = static_cast<unsigned>(amount);
+        if (inst.opcode() == Opcode::Shl) {
+          const std::uint64_t low = k == 0 ? 0 : (std::uint64_t{1} << k) - 1;
+          return LaneBits{((a.zeros << k) | low) & mask, (a.ones << k) & mask};
+        }
+        const std::uint64_t shifted_zeros = (a.zeros & mask) >> k;
+        const std::uint64_t shifted_ones = (a.ones & mask) >> k;
+        const std::uint64_t top =
+            k == 0 ? 0 : mask & ~(mask >> k);  // vacated high bits
+        if (inst.opcode() == Opcode::LShr) {
+          return LaneBits{(shifted_zeros | top) & mask, shifted_ones};
+        }
+        const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+        const LaneBits shifted{shifted_zeros, shifted_ones};
+        if (a.zeros & sign) {
+          return LaneBits{(shifted.zeros | top) & mask, shifted.ones};
+        }
+        if (a.ones & sign) {
+          return LaneBits{shifted.zeros & ~top, (shifted.ones | top) & mask};
+        }
+        return LaneBits{shifted.zeros & ~top, shifted.ones & ~top};
+      }
+      case Opcode::Trunc: {
+        const LaneBits a = op(0, lane);
+        return LaneBits{a.zeros & mask, a.ones & mask};
+      }
+      case Opcode::ZExt: {
+        const std::uint64_t src_mask =
+            element_width_mask(inst.operand(0)->type().element_bits());
+        const LaneBits a = op(0, lane);
+        return LaneBits{(a.zeros & src_mask) | (mask & ~src_mask),
+                        a.ones & src_mask};
+      }
+      case Opcode::SExt: {
+        const unsigned src_bits = inst.operand(0)->type().element_bits();
+        const std::uint64_t src_mask = element_width_mask(src_bits);
+        const std::uint64_t high = mask & ~src_mask;
+        const std::uint64_t sign = std::uint64_t{1} << (src_bits - 1);
+        const LaneBits a = op(0, lane);
+        if (a.zeros & sign) {
+          return LaneBits{(a.zeros & src_mask) | high, a.ones & src_mask};
+        }
+        if (a.ones & sign) {
+          return LaneBits{a.zeros & src_mask, (a.ones & src_mask) | high};
+        }
+        return LaneBits{a.zeros & src_mask, a.ones & src_mask};
+      }
+      case Opcode::Bitcast: {
+        if (inst.operand(0)->type().element_bits() ==
+                inst.type().element_bits() &&
+            inst.operand(0)->type().lanes() == inst.type().lanes()) {
+          return op(0, lane);
+        }
+        return LaneBits{};
+      }
+      case Opcode::Select: {
+        // operand 0 = condition (i1, scalar or per-lane).
+        const unsigned cond_lane =
+            inst.operand(0)->type().is_scalar() ? 0 : lane;
+        const LaneBits c = known_of(inst.operand(0), cond_lane);
+        if (c.ones & 1) return op(1, lane);
+        if (c.zeros & 1) return op(2, lane);
+        return meet(op(1, lane), op(2, lane));
+      }
+      case Opcode::Phi: {
+        if (inst.num_operands() == 0) return LaneBits{};
+        LaneBits acc{~std::uint64_t{0}, ~std::uint64_t{0}};
+        bool first = true;
+        for (const Value* incoming : inst.operands()) {
+          const LaneBits k = known_of(incoming, lane);
+          acc = first ? k : meet(acc, k);
+          first = false;
+        }
+        return LaneBits{acc.zeros & mask, acc.ones & mask};
+      }
+      case Opcode::ExtractElement: {
+        std::uint64_t idx = 0;
+        const std::uint64_t idx_mask =
+            element_width_mask(inst.operand(1)->type().element_bits());
+        if (fully_known(inst.operand(1), 0, idx_mask, &idx) &&
+            idx < inst.operand(0)->type().lanes()) {
+          return known_of(inst.operand(0), static_cast<unsigned>(idx));
+        }
+        return LaneBits{};
+      }
+      case Opcode::InsertElement: {
+        std::uint64_t idx = 0;
+        const std::uint64_t idx_mask =
+            element_width_mask(inst.operand(2)->type().element_bits());
+        if (fully_known(inst.operand(2), 0, idx_mask, &idx)) {
+          return idx == lane ? known_of(inst.operand(1), 0) : op(0, lane);
+        }
+        return LaneBits{};
+      }
+      case Opcode::ShuffleVector: {
+        const auto& shuffle = inst.shuffle_mask();
+        if (lane >= shuffle.size()) return LaneBits{};
+        const int m = shuffle[lane];
+        if (m < 0) return LaneBits{};
+        const unsigned src_lanes = inst.operand(0)->type().lanes();
+        if (static_cast<unsigned>(m) < src_lanes) {
+          return known_of(inst.operand(0), static_cast<unsigned>(m));
+        }
+        return known_of(inst.operand(1),
+                        static_cast<unsigned>(m) - src_lanes);
+      }
+      default:
+        return LaneBits{};
+    }
+  }
+
+  bool transfer_uniform(const Instruction& inst) {
+    if (inst.type().is_scalar()) return true;
+    switch (inst.opcode()) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::SDiv: case Opcode::UDiv: case Opcode::SRem:
+      case Opcode::URem: case Opcode::Shl: case Opcode::LShr:
+      case Opcode::AShr: case Opcode::And: case Opcode::Or:
+      case Opcode::Xor: case Opcode::FAdd: case Opcode::FSub:
+      case Opcode::FMul: case Opcode::FDiv: case Opcode::FRem:
+      case Opcode::FNeg: case Opcode::ICmp: case Opcode::FCmp:
+      case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt:
+      case Opcode::FPTrunc: case Opcode::FPExt: case Opcode::FPToSI:
+      case Opcode::FPToUI: case Opcode::SIToFP: case Opcode::UIToFP:
+      case Opcode::Phi: {
+        for (const Value* operand : inst.operands()) {
+          if (!uniform_of(operand)) return false;
+        }
+        return true;
+      }
+      case Opcode::Select:
+        // Vector select with a uniform condition picks the same arm in
+        // every lane; a non-uniform condition can mix arms.
+        return uniform_of(inst.operand(0)) && uniform_of(inst.operand(1)) &&
+               uniform_of(inst.operand(2));
+      case Opcode::Bitcast:
+        return inst.operand(0)->type().lanes() == inst.type().lanes() &&
+               uniform_of(inst.operand(0));
+      case Opcode::ShuffleVector: {
+        const auto& shuffle = inst.shuffle_mask();
+        if (shuffle.empty()) return false;
+        bool all_equal = shuffle[0] >= 0;
+        bool all_v1 = true, all_v2 = true;
+        const int src_lanes =
+            static_cast<int>(inst.operand(0)->type().lanes());
+        for (int m : shuffle) {
+          if (m != shuffle[0]) all_equal = false;
+          if (m < 0) { all_v1 = all_v2 = false; continue; }
+          if (m >= src_lanes) all_v1 = false;
+          else all_v2 = false;
+        }
+        if (all_equal) return true;  // broadcast of one source lane
+        if (all_v1 && uniform_of(inst.operand(0))) return true;
+        if (all_v2 && uniform_of(inst.operand(1))) return true;
+        return false;
+      }
+      case Opcode::Call: {
+        const ir::Function* callee = inst.callee();
+        if (callee && is_math_intrinsic(callee->intrinsic_info().id)) {
+          for (const Value* operand : inst.operands()) {
+            if (!uniform_of(operand)) return false;
+          }
+          return true;
+        }
+        return false;  // maskload, movmsk producers, unknown calls
+      }
+      default:
+        return false;  // loads, insertelement, gep-adjacent, ...
+    }
+  }
+
+  void solve_forward() {
+    bool changed = true;
+    unsigned pass = 0;
+    while (changed && ++pass <= 16) {
+      changed = false;
+      for (const ir::BasicBlock* block : blocks) {
+        for (const auto& inst : *block) {
+          if (inst->type().is_void()) continue;
+          auto& vi = info(inst.get());
+          for (unsigned lane = 0; lane < inst->type().lanes(); ++lane) {
+            const LaneBits next = transfer_known(*inst, lane);
+            if (next.zeros != vi.known[lane].zeros ||
+                next.ones != vi.known[lane].ones) {
+              vi.known[lane] = next;
+              changed = true;
+            }
+          }
+          const bool u = transfer_uniform(*inst);
+          if (u != vi.uniform) {
+            vi.uniform = u;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (changed) {
+      // Did not converge (pathological IR): drop to no-knowledge, which is
+      // always sound.
+      for (auto& [value, vi] : result.info_) {
+        std::fill(vi.known.begin(), vi.known.end(), LaneBits{});
+        vi.uniform = value->type().is_scalar();
+      }
+    }
+  }
+
+  // ---- backward: demanded bits --------------------------------------
+
+  using DemandMap = std::unordered_map<const Value*, std::vector<std::uint64_t>>;
+
+  void add_demand(DemandMap& next, const Value* v, unsigned lane,
+                  std::uint64_t bits) {
+    if (!tracked(v)) return;  // constants / foreign values
+    auto it = next.find(v);
+    if (it == next.end()) {
+      it = next.emplace(v, std::vector<std::uint64_t>(v->type().lanes(), 0))
+               .first;
+    }
+    if (lane >= it->second.size()) return;
+    it->second[lane] |=
+        bits & element_width_mask(v->type().element_bits());
+  }
+
+  void demand_all(DemandMap& next, const Value* v) {
+    const std::uint64_t mask = element_width_mask(v->type().element_bits());
+    for (unsigned lane = 0; lane < v->type().lanes(); ++lane) {
+      add_demand(next, v, lane, mask);
+    }
+  }
+
+  std::uint64_t current_demand(const Instruction& inst, unsigned lane) {
+    if (inst.type().is_void()) return 0;
+    return info(&inst).demanded[lane];
+  }
+
+  void contribute(const Instruction& inst, DemandMap& next) {
+    const unsigned lanes = inst.type().is_void() ? 1 : inst.type().lanes();
+    const std::uint64_t mask =
+        inst.type().is_void()
+            ? 0
+            : element_width_mask(inst.type().element_bits());
+    auto demand_any = [&]() {
+      for (unsigned l = 0; l < lanes; ++l) {
+        if (current_demand(inst, l) != 0) return true;
+      }
+      return false;
+    };
+
+    switch (inst.opcode()) {
+      // ---- unconditional roots (trap / memory / control / escape) ----
+      case Opcode::Store:
+        demand_all(next, inst.operand(0));  // stored data
+        demand_all(next, inst.operand(1));  // address
+        return;
+      case Opcode::Load:
+        demand_all(next, inst.operand(0));  // address (OutOfBounds)
+        return;
+      case Opcode::CondBr:
+        add_demand(next, inst.operand(0), 0, 1);
+        return;
+      case Opcode::Ret:
+        if (inst.num_operands() > 0) demand_all(next, inst.operand(0));
+        return;
+      case Opcode::Br:
+      case Opcode::Unreachable:
+      case Opcode::Alloca:
+        return;
+      case Opcode::SDiv:
+      case Opcode::SRem:
+        // Signed division can trap (zero divisor) and overflow behaviour
+        // depends on every dividend bit; keep both fully demanded.
+        demand_all(next, inst.operand(0));
+        demand_all(next, inst.operand(1));
+        return;
+      case Opcode::UDiv:
+      case Opcode::URem: {
+        demand_all(next, inst.operand(1));  // DivByZero trap
+        if (demand_any()) demand_all(next, inst.operand(0));
+        return;
+      }
+      case Opcode::Call: {
+        const ir::Function* callee = inst.callee();
+        const ir::IntrinsicInfo* ii =
+            callee ? &callee->intrinsic_info() : nullptr;
+        if (ii && (ii->id == ir::IntrinsicId::MaskLoad ||
+                   ii->id == ir::IntrinsicId::MaskStore)) {
+          demand_all(next, inst.operand(0));  // pointer: OutOfBounds trap
+          if (ii->data_operand >= 0 &&
+              static_cast<unsigned>(ii->data_operand) < inst.num_operands()) {
+            demand_all(next,
+                       inst.operand(static_cast<unsigned>(ii->data_operand)));
+          }
+          if (ii->mask_operand >= 0 &&
+              static_cast<unsigned>(ii->mask_operand) < inst.num_operands()) {
+            // A mask lane is active iff its MSB is set; the other bits of
+            // the lane are architecturally ignored — prime dead-bit source.
+            const Value* mask_op =
+                inst.operand(static_cast<unsigned>(ii->mask_operand));
+            const unsigned bits = mask_op->type().element_bits();
+            const std::uint64_t msb = std::uint64_t{1} << (bits - 1);
+            for (unsigned l = 0; l < mask_op->type().lanes(); ++l) {
+              add_demand(next, mask_op, l, msb);
+            }
+          }
+          return;
+        }
+        if (ii && ii->id == ir::IntrinsicId::MoveMask) {
+          // Result bit i is lane i's sign bit; only demanded lanes' MSBs
+          // matter.
+          const Value* src = inst.operand(0);
+          const unsigned bits = src->type().element_bits();
+          const std::uint64_t msb = std::uint64_t{1} << (bits - 1);
+          const std::uint64_t d = current_demand(inst, 0);
+          for (unsigned l = 0; l < src->type().lanes(); ++l) {
+            if ((d >> l) & 1) add_demand(next, src, l, msb);
+          }
+          return;
+        }
+        if (ii && is_math_intrinsic(ii->id)) {
+          // Elementwise fp: a demanded result lane demands the full
+          // operand lanes (no bitwise structure through transcendentals).
+          for (unsigned l = 0; l < lanes; ++l) {
+            if (current_demand(inst, l) == 0) continue;
+            for (const Value* operand : inst.operands()) {
+              const unsigned ol = operand->type().is_scalar() ? 0 : l;
+              add_demand(next, operand, ol,
+                         element_width_mask(operand->type().element_bits()));
+            }
+          }
+          return;
+        }
+        // Unknown / runtime / defined callee: everything escapes.
+        for (const Value* operand : inst.operands()) {
+          demand_all(next, operand);
+        }
+        return;
+      }
+      case Opcode::GetElementPtr:
+        if (demand_any()) {
+          for (const Value* operand : inst.operands()) {
+            demand_all(next, operand);
+          }
+        }
+        return;
+
+      // ---- pure value-producing ops: driven by own demand ------------
+      case Opcode::And:
+      case Opcode::Or: {
+        for (unsigned l = 0; l < lanes; ++l) {
+          const std::uint64_t d = current_demand(inst, l);
+          if (d == 0) continue;
+          const LaneBits ka = known_of(inst.operand(0), l);
+          const LaneBits kb = known_of(inst.operand(1), l);
+          if (inst.opcode() == Opcode::And) {
+            // Where the other side is known zero the result bit is fixed.
+            add_demand(next, inst.operand(0), l, d & ~kb.zeros);
+            add_demand(next, inst.operand(1), l, d & ~ka.zeros);
+          } else {
+            add_demand(next, inst.operand(0), l, d & ~kb.ones);
+            add_demand(next, inst.operand(1), l, d & ~ka.ones);
+          }
+        }
+        return;
+      }
+      case Opcode::Xor:
+      case Opcode::Phi: {
+        for (unsigned l = 0; l < lanes; ++l) {
+          const std::uint64_t d = current_demand(inst, l);
+          if (d == 0) continue;
+          for (const Value* operand : inst.operands()) {
+            add_demand(next, operand, l, d);
+          }
+        }
+        return;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul: {
+        for (unsigned l = 0; l < lanes; ++l) {
+          const std::uint64_t d = mask_to_msb(current_demand(inst, l));
+          if (d == 0) continue;
+          add_demand(next, inst.operand(0), l, d);
+          add_demand(next, inst.operand(1), l, d);
+        }
+        return;
+      }
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr: {
+        const unsigned width = inst.type().element_bits();
+        const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+        for (unsigned l = 0; l < lanes; ++l) {
+          const std::uint64_t d = current_demand(inst, l);
+          if (d == 0) continue;
+          // Shifts never trap (deterministic overshift), so the amount is
+          // demanded only when the result is.
+          demand_all_lane(next, inst.operand(1), l);
+          std::uint64_t amount = 0;
+          const bool known_amount =
+              fully_known(inst.operand(1), l, mask, &amount);
+          std::uint64_t vd;
+          if (known_amount && amount < width) {
+            const auto k = static_cast<unsigned>(amount);
+            if (inst.opcode() == Opcode::Shl) {
+              vd = (d >> k);
+            } else {
+              vd = (d << k) & mask;
+              if (inst.opcode() == Opcode::AShr &&
+                  (d & ~(mask >> k)) != 0) {
+                vd |= sign;  // top bits replicate the sign
+              }
+            }
+          } else if (known_amount) {
+            // Overshift: logical shifts yield 0 (nothing demanded); AShr
+            // replicates the sign bit only.
+            vd = inst.opcode() == Opcode::AShr && d != 0 ? sign : 0;
+          } else {
+            vd = inst.opcode() == Opcode::Shl ? mask_to_msb(d)
+                                              : mask_from_lsb(d, mask);
+            if (inst.opcode() == Opcode::AShr && d != 0) vd |= sign;
+          }
+          add_demand(next, inst.operand(0), l, vd);
+        }
+        return;
+      }
+      case Opcode::Trunc: {
+        for (unsigned l = 0; l < lanes; ++l) {
+          add_demand(next, inst.operand(0), l, current_demand(inst, l));
+        }
+        return;
+      }
+      case Opcode::ZExt: {
+        const std::uint64_t src_mask =
+            element_width_mask(inst.operand(0)->type().element_bits());
+        for (unsigned l = 0; l < lanes; ++l) {
+          add_demand(next, inst.operand(0), l,
+                     current_demand(inst, l) & src_mask);
+        }
+        return;
+      }
+      case Opcode::SExt: {
+        const unsigned src_bits = inst.operand(0)->type().element_bits();
+        const std::uint64_t src_mask = element_width_mask(src_bits);
+        const std::uint64_t sign = std::uint64_t{1} << (src_bits - 1);
+        for (unsigned l = 0; l < lanes; ++l) {
+          const std::uint64_t d = current_demand(inst, l);
+          std::uint64_t od = d & src_mask;
+          if (d & ~src_mask) od |= sign;
+          add_demand(next, inst.operand(0), l, od);
+        }
+        return;
+      }
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        for (unsigned l = 0; l < lanes; ++l) {
+          if (current_demand(inst, l) == 0) continue;
+          demand_all_lane(next, inst.operand(0), l);
+          demand_all_lane(next, inst.operand(1), l);
+        }
+        return;
+      }
+      case Opcode::Select: {
+        const bool cond_scalar = inst.operand(0)->type().is_scalar();
+        for (unsigned l = 0; l < lanes; ++l) {
+          const std::uint64_t d = current_demand(inst, l);
+          if (d == 0) continue;
+          add_demand(next, inst.operand(0), cond_scalar ? 0 : l, 1);
+          add_demand(next, inst.operand(1), l, d);
+          add_demand(next, inst.operand(2), l, d);
+        }
+        return;
+      }
+      case Opcode::ExtractElement: {
+        const std::uint64_t d = current_demand(inst, 0);
+        const Value* idx = inst.operand(1);
+        if (const auto* c = dynamic_cast<const ir::Constant*>(idx)) {
+          const std::uint64_t i = c->raw(0);
+          if (d != 0 && i < inst.operand(0)->type().lanes()) {
+            add_demand(next, inst.operand(0), static_cast<unsigned>(i), d);
+          }
+        } else {
+          // Dynamic index: BadLaneIndex trap makes the index live, and any
+          // source lane may be selected.
+          demand_all(next, idx);
+          if (d != 0) {
+            for (unsigned l = 0; l < inst.operand(0)->type().lanes(); ++l) {
+              add_demand(next, inst.operand(0), l, d);
+            }
+          }
+        }
+        return;
+      }
+      case Opcode::InsertElement: {
+        const Value* idx = inst.operand(2);
+        const auto* c = dynamic_cast<const ir::Constant*>(idx);
+        if (c) {
+          const std::uint64_t i = c->raw(0);
+          for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t d = current_demand(inst, l);
+            if (d == 0) continue;
+            if (l == i) {
+              add_demand(next, inst.operand(1), 0, d);
+            } else {
+              // The inserted lane overwrites the vector lane: the original
+              // lane `i` of operand 0 is NOT demanded through this use.
+              add_demand(next, inst.operand(0), l, d);
+            }
+          }
+        } else {
+          demand_all(next, idx);  // BadLaneIndex trap
+          for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t d = current_demand(inst, l);
+            if (d == 0) continue;
+            add_demand(next, inst.operand(0), l, d);
+            add_demand(next, inst.operand(1), 0, d);
+          }
+        }
+        return;
+      }
+      case Opcode::ShuffleVector: {
+        const auto& shuffle = inst.shuffle_mask();
+        const unsigned src_lanes = inst.operand(0)->type().lanes();
+        for (unsigned l = 0; l < lanes && l < shuffle.size(); ++l) {
+          const std::uint64_t d = current_demand(inst, l);
+          if (d == 0) continue;
+          const int m = shuffle[l];
+          if (m < 0) continue;
+          if (static_cast<unsigned>(m) < src_lanes) {
+            add_demand(next, inst.operand(0), static_cast<unsigned>(m), d);
+          } else {
+            add_demand(next, inst.operand(1),
+                       static_cast<unsigned>(m) - src_lanes, d);
+          }
+        }
+        return;
+      }
+      case Opcode::Bitcast: {
+        if (inst.operand(0)->type().element_bits() ==
+                inst.type().element_bits() &&
+            inst.operand(0)->type().lanes() == inst.type().lanes()) {
+          for (unsigned l = 0; l < lanes; ++l) {
+            add_demand(next, inst.operand(0), l, current_demand(inst, l));
+          }
+        } else if (demand_any()) {
+          demand_all(next, inst.operand(0));
+        }
+        return;
+      }
+      default: {
+        // Fp arithmetic, fp<->int casts, ptr casts: no bitwise structure
+        // tracked — a demanded result lane demands the whole operand lane.
+        for (unsigned l = 0; l < lanes; ++l) {
+          if (current_demand(inst, l) == 0) continue;
+          for (const Value* operand : inst.operands()) {
+            const unsigned ol =
+                operand->type().is_scalar() ? 0 : std::min(
+                    l, operand->type().lanes() - 1);
+            add_demand(next, operand, ol,
+                       element_width_mask(operand->type().element_bits()));
+          }
+        }
+        return;
+      }
+    }
+  }
+
+  void demand_all_lane(DemandMap& next, const Value* v, unsigned lane) {
+    const unsigned l = v->type().is_scalar()
+                           ? 0
+                           : std::min(lane, v->type().lanes() - 1);
+    add_demand(next, v, l, element_width_mask(v->type().element_bits()));
+  }
+
+  void solve_backward() {
+    bool changed = true;
+    unsigned pass = 0;
+    while (changed && ++pass <= 64) {
+      changed = false;
+      DemandMap next;
+      for (const ir::BasicBlock* block : blocks) {
+        for (const auto& inst : *block) contribute(*inst, next);
+      }
+      for (auto& [value, vi] : result.info_) {
+        auto it = next.find(value);
+        for (unsigned l = 0; l < vi.demanded.size(); ++l) {
+          const std::uint64_t d =
+              it == next.end() || l >= it->second.size() ? 0 : it->second[l];
+          if (d != vi.demanded[l]) {
+            vi.demanded[l] = d;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (changed) {
+      // Non-convergence safety net: full demand everywhere (no dead bits).
+      for (auto& [value, vi] : result.info_) {
+        const std::uint64_t mask =
+            element_width_mask(value->type().element_bits());
+        std::fill(vi.demanded.begin(), vi.demanded.end(), mask);
+      }
+    }
+  }
+};
+
+KnownBitsResult KnownBitsAnalysis::run(const ir::Function& fn,
+                                       AnalysisManager& am) {
+  KnownBitsResult result;
+  if (!fn.is_definition() || fn.num_blocks() == 0) return result;
+  const ir::DominatorTree& domtree = am.get<DominatorTreeAnalysis>(fn);
+  KnownBitsSolver solver(fn, result, domtree);
+  solver.seed();
+  solver.solve_forward();
+  solver.solve_backward();
+  return result;
+}
+
+}  // namespace vulfi::analysis

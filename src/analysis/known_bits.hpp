@@ -1,0 +1,82 @@
+// Known-bits / demanded-bits / lane-uniformity dataflow.
+//
+// Three intertwined facts per SSA value, per vector lane (element widths
+// are <= 64, so one word per lane):
+//
+//  * known bits   — forward: which bits provably hold 0 / 1 on every
+//    execution (grounded in constants, propagated through bitwise ops,
+//    shifts by known amounts, casts, selects and phis by meet).
+//  * demanded bits — backward: which bits can influence ANY observable
+//    behaviour (memory writes, addresses, branch decisions, traps,
+//    returns, calls). The complement is the set of provably dead bits:
+//    a single-bit flip in a non-demanded position is guaranteed Benign.
+//    The transfer functions are deliberately conservative about traps:
+//    pointers, divisors and dynamic lane indices are always fully
+//    demanded, and the execution masks of masked intrinsics demand only
+//    the per-lane MSB (x86 vmaskmov reads nothing else) — the single
+//    biggest source of dead bits in SPMD-lowered code.
+//  * lane uniformity — forward: is the value provably a splat (all lanes
+//    equal on every execution)? Scalars are trivially uniform; vectors
+//    become uniform through broadcasts and elementwise ops over uniform
+//    inputs. The fault-site pruner uses this to collapse lane-symmetric
+//    sites into one equivalence class.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/analysis_manager.hpp"
+#include "ir/function.hpp"
+#include "ir/value.hpp"
+
+namespace vulfi::analysis {
+
+/// Bits proven 0 (`zeros`) and proven 1 (`ones`) — disjoint masks within
+/// the element width.
+struct LaneBits {
+  std::uint64_t zeros = 0;
+  std::uint64_t ones = 0;
+
+  std::uint64_t known() const { return zeros | ones; }
+};
+
+class KnownBitsResult {
+ public:
+  /// Known bits of `value` in `lane`. Constants are resolved exactly;
+  /// untracked values report nothing known.
+  LaneBits known(const ir::Value* value, unsigned lane) const;
+
+  /// Demanded mask of `value` in `lane`. Untracked values (constants,
+  /// unreachable code) conservatively report every element bit demanded.
+  std::uint64_t demanded(const ir::Value* value, unsigned lane) const;
+
+  /// Element bits proven dead: ~demanded within the element width.
+  std::uint64_t dead_bits(const ir::Value* value, unsigned lane) const;
+
+  /// Provable splat. Scalars: always true. Untracked vectors: constants
+  /// by inspection, everything else false.
+  bool lane_uniform(const ir::Value* value) const;
+
+ private:
+  friend struct KnownBitsAnalysis;
+  friend struct KnownBitsSolver;
+
+  struct ValueInfo {
+    std::vector<LaneBits> known;         // one per lane
+    std::vector<std::uint64_t> demanded;  // one per lane
+    bool uniform = false;
+  };
+
+  std::unordered_map<const ir::Value*, ValueInfo> info_;
+};
+
+struct KnownBitsAnalysis {
+  using Result = KnownBitsResult;
+  static Result run(const ir::Function& fn, AnalysisManager& am);
+};
+
+/// All-ones mask for an element width (1..64).
+std::uint64_t element_width_mask(unsigned bits);
+
+}  // namespace vulfi::analysis

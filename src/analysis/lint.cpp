@@ -1,0 +1,92 @@
+#include "analysis/lint.hpp"
+
+#include "analysis/dominators.hpp"
+#include "analysis/known_bits.hpp"
+#include "analysis/liveness.hpp"
+#include "ir/basic_block.hpp"
+#include "ir/instruction.hpp"
+#include "ir/verifier.hpp"
+
+namespace vulfi::analysis {
+
+namespace {
+
+std::string value_label(const ir::Instruction& inst) {
+  if (!inst.name().empty()) return "%" + inst.name();
+  return std::string("<unnamed ") + ir::opcode_name(inst.opcode()) + ">";
+}
+
+void lint_definition(const ir::Function& fn, AnalysisManager& am,
+                     std::vector<LintDiagnostic>& out) {
+  const std::string prefix = "function @" + fn.name() + ": ";
+
+  // [unreachable-block] — dominator-tree by-product.
+  const ir::DominatorTree& domtree = am.get<DominatorTreeAnalysis>(fn);
+  for (const ir::BasicBlock* block : domtree.unreachable_blocks()) {
+    out.push_back({"unreachable-block",
+                   prefix + "block '" + block->name() +
+                       "' is not reachable from the entry block"});
+  }
+
+  // [dead-value] — transitively unobservable results.
+  const LivenessResult& liveness = am.get<LivenessAnalysis>(fn);
+  for (const ir::Instruction* inst : liveness.dead_values()) {
+    // Only report dead values in reachable code; unreachable blocks are
+    // already flagged wholesale above.
+    if (inst->parent() != nullptr && !domtree.reachable(inst->parent())) {
+      continue;
+    }
+    out.push_back({"dead-value",
+                   prefix + value_label(*inst) +
+                       " is computed but cannot reach any side effect"});
+  }
+
+  // [constant-condition] — known-bits proves a branch one-sided.
+  const KnownBitsResult& bits = am.get<KnownBitsAnalysis>(fn);
+  for (const auto& block : fn) {
+    if (!domtree.reachable(block.get())) continue;
+    for (const auto& inst : *block) {
+      if (inst->opcode() != ir::Opcode::CondBr) continue;
+      const LaneBits cond = bits.known(inst->operand(0), 0);
+      if ((cond.known() & 1) == 0) continue;
+      const char* taken = (cond.ones & 1) ? "true" : "false";
+      out.push_back({"constant-condition",
+                     prefix + "conditional branch in block '" +
+                         block->name() + "' always takes the " + taken +
+                         " successor"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LintDiagnostic> lint_function(const ir::Function& fn,
+                                          AnalysisManager& am) {
+  std::vector<LintDiagnostic> out;
+  for (const std::string& error : ir::verify(fn)) {
+    out.push_back({"verify", error});
+  }
+  if (fn.is_definition() && fn.num_blocks() > 0) {
+    lint_definition(fn, am, out);
+  }
+  return out;
+}
+
+std::vector<LintDiagnostic> lint_module(const ir::Module& module) {
+  std::vector<LintDiagnostic> out;
+  // Module-level verify also covers cross-function rules (call signatures,
+  // operand leaks) that per-function verify cannot see.
+  for (const std::string& error : ir::verify(module)) {
+    out.push_back({"verify", error});
+  }
+  AnalysisManager am;
+  for (const auto& fn : module.functions()) {
+    if (!fn->is_definition() || fn->num_blocks() == 0) continue;
+    std::vector<LintDiagnostic> per_fn;
+    lint_definition(*fn, am, per_fn);
+    for (auto& diag : per_fn) out.push_back(std::move(diag));
+  }
+  return out;
+}
+
+}  // namespace vulfi::analysis

@@ -1,0 +1,43 @@
+// IR lint driver.
+//
+// Lint = the verifier plus analysis-backed hygiene rules. The verifier
+// catches IR that is *wrong* (broken SSA, type violations, malformed
+// masks); lint additionally flags IR that is well-formed but *suspect* —
+// code the frontend or a transformation pass should never have produced:
+//
+//   [verify]             every verifier diagnostic, as a lint finding
+//   [unreachable-block]  block not reachable from the function entry
+//   [dead-value]         instruction whose result can never influence any
+//                        side effect (computed but unobservable)
+//   [constant-condition] conditional branch whose condition is proven
+//                        constant by known-bits (one successor is dead)
+//
+// All shipped example and kernel modules must lint clean; the CI
+// `lint-examples` step enforces that. Lint never mutates and never aborts
+// on malformed IR — every analysis it runs tolerates broken input.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis_manager.hpp"
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace vulfi::analysis {
+
+struct LintDiagnostic {
+  std::string rule;     // e.g. "dead-value"
+  std::string message;  // human-readable, prefixed with the function name
+
+  std::string render() const { return "[" + rule + "] " + message; }
+};
+
+/// Lints one function definition (declarations only get [verify]).
+std::vector<LintDiagnostic> lint_function(const ir::Function& fn,
+                                          AnalysisManager& am);
+
+/// Lints every function of the module plus module-level verifier rules.
+std::vector<LintDiagnostic> lint_module(const ir::Module& module);
+
+}  // namespace vulfi::analysis

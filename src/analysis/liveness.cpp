@@ -1,0 +1,186 @@
+#include "analysis/liveness.hpp"
+
+#include <algorithm>
+
+#include "ir/instruction.hpp"
+
+namespace vulfi::analysis {
+
+namespace {
+
+/// Does this instruction anchor observability by itself? Anything that
+/// writes memory, transfers control, returns, or calls out is a root; a
+/// value is dead only if no use chain reaches a root.
+bool is_effect_root(const ir::Instruction& inst) {
+  switch (inst.opcode()) {
+    case ir::Opcode::Store:
+    case ir::Opcode::Call:
+    case ir::Opcode::Br:
+    case ir::Opcode::CondBr:
+    case ir::Opcode::Ret:
+    case ir::Opcode::Unreachable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool LivenessResult::live_in(const ir::BasicBlock* block,
+                             const ir::Value* value) const {
+  auto bid = block_ids_.find(block);
+  auto vid = ids_.find(value);
+  if (bid == block_ids_.end() || vid == ids_.end()) return false;
+  return bit(live_in_[bid->second], vid->second);
+}
+
+bool LivenessResult::live_out(const ir::BasicBlock* block,
+                              const ir::Value* value) const {
+  auto bid = block_ids_.find(block);
+  auto vid = ids_.find(value);
+  if (bid == block_ids_.end() || vid == ids_.end()) return false;
+  return bit(live_out_[bid->second], vid->second);
+}
+
+bool LivenessResult::is_dead(const ir::Instruction* inst) const {
+  auto it = dead_set_.find(inst);
+  return it != dead_set_.end() && it->second;
+}
+
+LivenessResult LivenessAnalysis::run(const ir::Function& fn,
+                                     AnalysisManager&) {
+  LivenessResult r;
+
+  // Dense value ids: arguments first, then instruction results.
+  for (const auto& arg : fn.args()) {
+    r.ids_[arg.get()] = static_cast<unsigned>(r.values_.size());
+    r.values_.push_back(arg.get());
+  }
+  std::vector<const ir::BasicBlock*> blocks;
+  for (const auto& block : fn) {
+    r.block_ids_[block.get()] = static_cast<unsigned>(blocks.size());
+    blocks.push_back(block.get());
+    for (const auto& inst : *block) {
+      if (inst->type().is_void()) continue;
+      r.ids_[inst.get()] = static_cast<unsigned>(r.values_.size());
+      r.values_.push_back(inst.get());
+    }
+  }
+
+  const std::size_t nb = blocks.size();
+  const std::size_t words = (r.values_.size() + 63) / 64;
+  auto set_bit = [&](std::vector<std::uint64_t>& set, unsigned id) {
+    set[id / 64] |= std::uint64_t{1} << (id % 64);
+  };
+  auto clear_bit = [&](std::vector<std::uint64_t>& set, unsigned id) {
+    set[id / 64] &= ~(std::uint64_t{1} << (id % 64));
+  };
+
+  // use[B]: values read in B before (SSA: without) local definition;
+  // def[B]: values defined in B. Phi operands are edge uses (handled when
+  // propagating across edges below), phi results are plain defs.
+  std::vector<std::vector<std::uint64_t>> use(nb), def(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    use[b].assign(words, 0);
+    def[b].assign(words, 0);
+    for (const auto& inst : *blocks[b]) {
+      if (inst->opcode() != ir::Opcode::Phi) {
+        for (const ir::Value* operand : inst->operands()) {
+          auto it = r.ids_.find(operand);
+          if (it == r.ids_.end()) continue;  // constants are not tracked
+          if (!(def[b][it->second / 64] >> (it->second % 64) & 1)) {
+            set_bit(use[b], it->second);
+          }
+        }
+      }
+      auto self = r.ids_.find(inst.get());
+      if (self != r.ids_.end()) set_bit(def[b], self->second);
+    }
+  }
+
+  r.live_in_.assign(nb, std::vector<std::uint64_t>(words, 0));
+  r.live_out_.assign(nb, std::vector<std::uint64_t>(words, 0));
+
+  // Backward fixpoint:
+  //   out[B] = U_{S in succ(B)} (in[S] \ phidefs(S)) U phi_uses(B -> S)
+  //   in[B]  = use[B] U (out[B] \ def[B])
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = nb; bi-- > 0;) {
+      const ir::BasicBlock* block = blocks[bi];
+      std::vector<std::uint64_t> out(words, 0);
+      for (const ir::BasicBlock* succ : block->successors()) {
+        auto sid = r.block_ids_.find(succ);
+        if (sid == r.block_ids_.end()) continue;
+        std::vector<std::uint64_t> from_succ = r.live_in_[sid->second];
+        for (const auto& inst : *succ) {
+          if (inst->opcode() != ir::Opcode::Phi) break;
+          auto self = r.ids_.find(inst.get());
+          if (self != r.ids_.end()) clear_bit(from_succ, self->second);
+        }
+        for (std::size_t w = 0; w < words; ++w) out[w] |= from_succ[w];
+        // Phi edge uses: the value flowing in from this block. (Manual
+        // scan rather than phi_value_for, which aborts on malformed phis
+        // — lint wants analyses to survive those.)
+        for (const auto& inst : *succ) {
+          if (inst->opcode() != ir::Opcode::Phi) break;
+          const auto& incoming_blocks = inst->phi_incoming_blocks();
+          for (std::size_t i = 0;
+               i < incoming_blocks.size() && i < inst->num_operands(); ++i) {
+            if (incoming_blocks[i] != block) continue;
+            auto vid = r.ids_.find(inst->operand(static_cast<unsigned>(i)));
+            if (vid != r.ids_.end()) set_bit(out, vid->second);
+          }
+        }
+      }
+      std::vector<std::uint64_t> in(words);
+      for (std::size_t w = 0; w < words; ++w) {
+        in[w] = use[bi][w] | (out[w] & ~def[bi][w]);
+      }
+      if (out != r.live_out_[bi] || in != r.live_in_[bi]) {
+        r.live_out_[bi] = std::move(out);
+        r.live_in_[bi] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  // Transitive deadness: alive = least fixpoint reached backwards from
+  // effect roots along operand edges.
+  std::unordered_map<const ir::Value*, bool> alive;
+  std::vector<const ir::Value*> worklist;
+  auto mark = [&](const ir::Value* v) {
+    if (!alive[v]) {
+      alive[v] = true;
+      worklist.push_back(v);
+    }
+  };
+  for (const ir::BasicBlock* block : blocks) {
+    for (const auto& inst : *block) {
+      if (is_effect_root(*inst)) {
+        for (const ir::Value* operand : inst->operands()) mark(operand);
+        if (!inst->type().is_void()) mark(inst.get());  // calls: own value
+      }
+    }
+  }
+  while (!worklist.empty()) {
+    const ir::Value* v = worklist.back();
+    worklist.pop_back();
+    if (const auto* inst = dynamic_cast<const ir::Instruction*>(v)) {
+      for (const ir::Value* operand : inst->operands()) mark(operand);
+    }
+  }
+  for (const ir::BasicBlock* block : blocks) {
+    for (const auto& inst : *block) {
+      if (inst->type().is_void() || is_effect_root(*inst)) continue;
+      const bool dead = !alive.count(inst.get()) || !alive.at(inst.get());
+      r.dead_set_[inst.get()] = dead;
+      if (dead) r.dead_.push_back(inst.get());
+    }
+  }
+  return r;
+}
+
+}  // namespace vulfi::analysis

@@ -1,0 +1,68 @@
+// Block-level value liveness + transitive dead-value detection.
+//
+// Classic backward dataflow over dense value ids: a value is live-in to a
+// block when some path from the block top reaches a use before any
+// redefinition (SSA: values are defined once, so "before redefinition"
+// degenerates to plain reachability of a use). Phi operands are uses on
+// the incoming edge — live-out of the predecessor, not live-in of the phi
+// block.
+//
+// On top of the block bitsets, the result classifies every instruction
+// value as transitively dead or observable: dead means no chain of
+// register def-use edges connects it to any side effect (memory write,
+// call, terminator, return). Lint's [dead-value] rule and the fault-site
+// pruner both consume this.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/analysis_manager.hpp"
+#include "ir/basic_block.hpp"
+#include "ir/function.hpp"
+
+namespace vulfi::analysis {
+
+class LivenessResult {
+ public:
+  /// Is `value` (an instruction result or argument) live on entry to /
+  /// exit from `block`?
+  bool live_in(const ir::BasicBlock* block, const ir::Value* value) const;
+  bool live_out(const ir::BasicBlock* block, const ir::Value* value) const;
+
+  /// True when the instruction's result can never influence any side
+  /// effect: not void, no use chain reaching a store / call / terminator.
+  /// Calls themselves are never dead (unknown side effects).
+  bool is_dead(const ir::Instruction* inst) const;
+
+  /// All transitively dead instructions, in program order.
+  const std::vector<const ir::Instruction*>& dead_values() const {
+    return dead_;
+  }
+
+  /// Number of tracked values (instruction results + arguments).
+  std::size_t num_values() const { return values_.size(); }
+
+ private:
+  friend struct LivenessAnalysis;
+
+  bool bit(const std::vector<std::uint64_t>& set, unsigned id) const {
+    return (set[id / 64] >> (id % 64)) & 1;
+  }
+
+  std::unordered_map<const ir::Value*, unsigned> ids_;
+  std::vector<const ir::Value*> values_;
+  std::unordered_map<const ir::BasicBlock*, unsigned> block_ids_;
+  std::vector<std::vector<std::uint64_t>> live_in_;
+  std::vector<std::vector<std::uint64_t>> live_out_;
+  std::vector<const ir::Instruction*> dead_;
+  std::unordered_map<const ir::Instruction*, bool> dead_set_;
+};
+
+struct LivenessAnalysis {
+  using Result = LivenessResult;
+  static Result run(const ir::Function& fn, AnalysisManager& am);
+};
+
+}  // namespace vulfi::analysis

@@ -1,6 +1,10 @@
 #include "analysis/slicing.hpp"
 
-#include <vector>
+#include <algorithm>
+
+#include "ir/basic_block.hpp"
+#include "ir/function.hpp"
+#include "ir/intrinsics.hpp"
 
 namespace vulfi::analysis {
 
@@ -19,6 +23,243 @@ std::unordered_set<const ir::Instruction*> forward_slice(
     }
   }
   return slice;
+}
+
+bool is_pointer_operand_position(const ir::Instruction& inst,
+                                 unsigned operand_index) {
+  switch (inst.opcode()) {
+    case ir::Opcode::Load:
+      return operand_index == 0;
+    case ir::Opcode::Store:
+      return operand_index == 1;
+    case ir::Opcode::Call: {
+      const ir::Function* callee = inst.callee();
+      if (callee == nullptr) return false;
+      const ir::IntrinsicInfo& info = callee->intrinsic_info();
+      return (info.id == ir::IntrinsicId::MaskLoad ||
+              info.id == ir::IntrinsicId::MaskStore) &&
+             operand_index == 0;
+    }
+    default:
+      return false;
+  }
+}
+
+bool SliceResult::intersects(const Bitset& a, const Bitset& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+const SliceResult::Bitset& SliceResult::reach_of(
+    const ir::Value* root) const {
+  auto memo = reach_memo_.find(root);
+  if (memo != reach_memo_.end()) return memo->second;
+  const std::size_t words = (scc_members_.size() + 63) / 64;
+  Bitset reach(words, 0);
+  for (const ir::Instruction* user : root->users()) {
+    auto it = node_ids_.find(user);
+    if (it == node_ids_.end()) continue;  // user outside this function
+    const Bitset& from_user = scc_reach_[scc_of_[it->second]];
+    for (std::size_t w = 0; w < words; ++w) reach[w] |= from_user[w];
+  }
+  return reach_memo_.emplace(root, std::move(reach)).first->second;
+}
+
+std::unordered_set<const ir::Instruction*> SliceResult::slice(
+    const ir::Value* root) const {
+  std::unordered_set<const ir::Instruction*> out;
+  const Bitset& reach = reach_of(root);
+  for (std::size_t s = 0; s < scc_members_.size(); ++s) {
+    if (!((reach[s / 64] >> (s % 64)) & 1)) continue;
+    for (unsigned node : scc_members_[s]) {
+      // Arguments have no incoming def-use edges and can never be reached.
+      if (const auto* inst =
+              dynamic_cast<const ir::Instruction*>(nodes_[node])) {
+        out.insert(inst);
+      }
+    }
+  }
+  return out;
+}
+
+SiteClass SliceResult::classify(const ir::Value* root,
+                                AddressRule rule) const {
+  const Bitset& reach = reach_of(root);
+  SiteClass cls;
+  cls.control = intersects(reach, condbr_sccs_);
+  cls.address = intersects(reach, gep_sccs_);
+  if (rule == AddressRule::GepOrMemOperand && !cls.address) {
+    // The root itself, or any corrupted slice value, feeding a memory
+    // operation's pointer operand. Exact per-edge facts — no producing-edge
+    // approximation.
+    auto it = node_ids_.find(root);
+    if (it != node_ids_.end() && node_is_memptr_[it->second]) {
+      cls.address = true;
+    } else {
+      cls.address = intersects(reach, memptr_sccs_);
+    }
+  }
+  return cls;
+}
+
+SiteClass SliceResult::classify_edge(const ir::Instruction* user,
+                                     unsigned operand_index,
+                                     AddressRule rule) const {
+  SiteClass cls;
+  // The user joins the affected set unconditionally.
+  if (user->opcode() == ir::Opcode::CondBr) cls.control = true;
+  if (user->opcode() == ir::Opcode::GetElementPtr) cls.address = true;
+  if (rule == AddressRule::GepOrMemOperand &&
+      is_pointer_operand_position(*user, operand_index)) {
+    cls.address = true;
+  }
+  if (user->type().is_void()) return cls;  // stores, branches: sinks
+  // A value-producing user propagates the corruption to its full slice
+  // (scc_reach_ includes the user's own SCC, covering the user itself).
+  auto it = node_ids_.find(user);
+  if (it == node_ids_.end()) return cls;
+  const Bitset& reach = scc_reach_[scc_of_[it->second]];
+  cls.control = cls.control || intersects(reach, condbr_sccs_);
+  cls.address = cls.address || intersects(reach, gep_sccs_);
+  if (rule == AddressRule::GepOrMemOperand && !cls.address) {
+    cls.address = intersects(reach, memptr_sccs_);
+  }
+  return cls;
+}
+
+SliceResult SliceAnalysis::run(const ir::Function& fn, AnalysisManager&) {
+  SliceResult r;
+  if (!fn.is_definition()) return r;
+
+  // Nodes: arguments first, then every instruction (void instructions are
+  // sinks — they join slices but have no outgoing edges).
+  for (const auto& arg : fn.args()) {
+    r.node_ids_[arg.get()] = static_cast<unsigned>(r.nodes_.size());
+    r.nodes_.push_back(arg.get());
+  }
+  for (const auto& block : fn) {
+    for (const auto& inst : *block) {
+      r.node_ids_[inst.get()] = static_cast<unsigned>(r.nodes_.size());
+      r.nodes_.push_back(inst.get());
+    }
+  }
+  const std::size_t n = r.nodes_.size();
+
+  // Successors: value -> user, restricted to this function's nodes.
+  std::vector<std::vector<unsigned>> succ(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (r.nodes_[v]->type().is_void()) continue;
+    for (const ir::Instruction* user : r.nodes_[v]->users()) {
+      auto it = r.node_ids_.find(user);
+      if (it != r.node_ids_.end()) succ[v].push_back(it->second);
+    }
+  }
+
+  // Iterative Tarjan. SCCs come out in reverse topological order of the
+  // condensation: every edge out of SCC s leads to an SCC with a smaller
+  // id, which makes the reachability pass below a single forward sweep.
+  r.scc_of_.assign(n, UINT32_MAX);
+  std::vector<unsigned> index(n, UINT32_MAX), lowlink(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<unsigned> stack;
+  unsigned next_index = 0;
+  struct Frame {
+    unsigned node;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+  for (unsigned start = 0; start < n; ++start) {
+    if (index[start] != UINT32_MAX) continue;
+    dfs.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = 1;
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const unsigned v = frame.node;
+      if (frame.child < succ[v].size()) {
+        const unsigned w = succ[v][frame.child++];
+        if (index[w] == UINT32_MAX) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          const unsigned scc = static_cast<unsigned>(r.scc_members_.size());
+          r.scc_members_.emplace_back();
+          unsigned w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            r.scc_of_[w] = scc;
+            r.scc_members_[scc].push_back(w);
+          } while (w != v);
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const unsigned parent = dfs.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  // Per-node fact: used as the pointer operand of a memory operation.
+  r.node_is_memptr_.assign(n, 0);
+  for (const auto& block : fn) {
+    for (const auto& inst : *block) {
+      for (unsigned i = 0; i < inst->num_operands(); ++i) {
+        if (!is_pointer_operand_position(*inst, i)) continue;
+        auto it = r.node_ids_.find(inst->operand(i));
+        if (it != r.node_ids_.end()) r.node_is_memptr_[it->second] = 1;
+      }
+    }
+  }
+
+  // Reachability + fact masks, one sweep in SCC id order (successor SCCs
+  // always have smaller ids).
+  const std::size_t sccs = r.scc_members_.size();
+  const std::size_t words = (sccs + 63) / 64;
+  r.scc_reach_.assign(sccs, SliceResult::Bitset(words, 0));
+  r.condbr_sccs_.assign(words, 0);
+  r.gep_sccs_.assign(words, 0);
+  r.memptr_sccs_.assign(words, 0);
+  auto set_bit = [&](SliceResult::Bitset& set, std::size_t bit) {
+    set[bit / 64] |= std::uint64_t{1} << (bit % 64);
+  };
+  for (std::size_t s = 0; s < sccs; ++s) {
+    SliceResult::Bitset& reach = r.scc_reach_[s];
+    set_bit(reach, s);
+    for (unsigned node : r.scc_members_[s]) {
+      for (unsigned w : succ[node]) {
+        const unsigned t = r.scc_of_[w];
+        if (t == s) continue;
+        const SliceResult::Bitset& sub = r.scc_reach_[t];
+        for (std::size_t word = 0; word < words; ++word) {
+          reach[word] |= sub[word];
+        }
+      }
+      const ir::Value* value = r.nodes_[node];
+      if (const auto* inst = dynamic_cast<const ir::Instruction*>(value)) {
+        if (inst->opcode() == ir::Opcode::CondBr) {
+          set_bit(r.condbr_sccs_, s);
+        }
+        if (inst->opcode() == ir::Opcode::GetElementPtr) {
+          set_bit(r.gep_sccs_, s);
+        }
+      }
+      if (r.node_is_memptr_[node]) set_bit(r.memptr_sccs_, s);
+    }
+  }
+  return r;
 }
 
 }  // namespace vulfi::analysis

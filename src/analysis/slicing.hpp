@@ -5,10 +5,29 @@
 // by following def-use edges from the value. The slice is purely
 // register-level — data that escapes through memory (store then load) is
 // not tracked, matching an LLVM-level slicer.
+//
+// Two interfaces:
+//
+//  * SliceAnalysis — the memoized engine. One pass condenses the whole
+//    function's def-use graph into SCCs and computes per-SCC reachability
+//    bitsets, so every subsequent slice / classification query is a few
+//    bitset ORs instead of a fresh worklist walk. Classification is
+//    edge-aware: classify_edge(user, operand_index) answers "what is
+//    affected if the value flowing into exactly this operand is
+//    corrupted", which is the true semantics of a store-operand fault
+//    site (the instrumentor redirects only that edge).
+//
+//  * forward_slice — the original stand-alone worklist helper, kept for
+//    detached values and as a differential oracle for the bitset engine.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "analysis/analysis_manager.hpp"
+#include "analysis/classify.hpp"
 #include "ir/instruction.hpp"
 #include "ir/value.hpp"
 
@@ -19,5 +38,61 @@ namespace vulfi::analysis {
 /// produces a value, its own users are followed, and so on).
 std::unordered_set<const ir::Instruction*> forward_slice(
     const ir::Value& root);
+
+class SliceResult {
+ public:
+  /// The forward slice of `root` — equal to forward_slice(*root).
+  std::unordered_set<const ir::Instruction*> slice(
+      const ir::Value* root) const;
+
+  /// Classification of a fault in the VALUE `root` (every use observes the
+  /// corruption). Exact for Lvalue sites.
+  SiteClass classify(const ir::Value* root, AddressRule rule) const;
+
+  /// Classification of a fault injected into exactly one def-use EDGE: the
+  /// operand slot `operand_index` of `user`. Only `user` (and, if it
+  /// produces a value, its forward slice) observes the corruption. This is
+  /// the exact semantics of store-operand sites.
+  SiteClass classify_edge(const ir::Instruction* user, unsigned operand_index,
+                          AddressRule rule) const;
+
+  /// Graph size (arguments + instructions) — test hook.
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_sccs() const { return scc_members_.size(); }
+
+ private:
+  friend struct SliceAnalysis;
+
+  using Bitset = std::vector<std::uint64_t>;
+
+  static bool intersects(const Bitset& a, const Bitset& b);
+
+  /// Union of scc_reach_ over the SCCs of root's users, memoized.
+  const Bitset& reach_of(const ir::Value* root) const;
+
+  std::unordered_map<const ir::Value*, unsigned> node_ids_;
+  std::vector<const ir::Value*> nodes_;
+  std::vector<unsigned> scc_of_;                 // node id -> SCC id
+  std::vector<std::vector<unsigned>> scc_members_;  // SCC id -> node ids
+  std::vector<Bitset> scc_reach_;  // SCC id -> reachable SCCs (incl. self)
+  // Fact masks over SCC ids: contains a conditional branch / a gep / a
+  // value used as the pointer operand of a memory operation.
+  Bitset condbr_sccs_;
+  Bitset gep_sccs_;
+  Bitset memptr_sccs_;
+  std::vector<std::uint8_t> node_is_memptr_;  // node id -> flag
+
+  mutable std::unordered_map<const ir::Value*, Bitset> reach_memo_;
+};
+
+struct SliceAnalysis {
+  using Result = SliceResult;
+  static Result run(const ir::Function& fn, AnalysisManager& am);
+};
+
+/// True when operand `operand_index` of `inst` is the pointer operand of a
+/// memory operation (load, store, masked load/store intrinsic).
+bool is_pointer_operand_position(const ir::Instruction& inst,
+                                 unsigned operand_index);
 
 }  // namespace vulfi::analysis

@@ -1,0 +1,173 @@
+#include "ir/dominators.hpp"
+
+#include <utility>
+
+#include "ir/basic_block.hpp"
+#include "ir/function.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::ir {
+
+DominatorTree::DominatorTree(const Function& fn) : fn_(&fn) {
+  VULFI_ASSERT(fn.is_definition() && fn.num_blocks() > 0,
+               "dominator tree needs a non-empty definition");
+  for (const auto& block : fn) {
+    ids_[block.get()] = static_cast<int>(blocks_.size());
+    blocks_.push_back(block.get());
+  }
+  const int n = static_cast<int>(blocks_.size());
+
+  // Successor ids per block (successors outside the function — a transient
+  // state some verifier tests construct — are ignored).
+  std::vector<std::vector<int>> successor_ids(static_cast<std::size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    for (BasicBlock* succ : blocks_[static_cast<std::size_t>(b)]->successors()) {
+      auto it = ids_.find(succ);
+      if (it != ids_.end()) {
+        successor_ids[static_cast<std::size_t>(b)].push_back(it->second);
+      }
+    }
+  }
+
+  // Postorder DFS from entry (iterative).
+  std::vector<int> postorder;
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<std::pair<int, std::size_t>> stack;  // (block id, next succ)
+  stack.emplace_back(0, 0);
+  visited[0] = 1;
+  while (!stack.empty()) {
+    auto& [block, next] = stack.back();
+    const auto& succs = successor_ids[static_cast<std::size_t>(block)];
+    if (next < succs.size()) {
+      const int succ = succs[next++];
+      if (!visited[static_cast<std::size_t>(succ)]) {
+        visited[static_cast<std::size_t>(succ)] = 1;
+        stack.emplace_back(succ, 0);
+      }
+    } else {
+      postorder.push_back(block);
+      stack.pop_back();
+    }
+  }
+
+  rpo_number_.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int> rpo(postorder.rbegin(), postorder.rend());
+  for (int i = 0; i < static_cast<int>(rpo.size()); ++i) {
+    rpo_number_[static_cast<std::size_t>(rpo[static_cast<std::size_t>(i)])] = i;
+    rpo_.push_back(blocks_[static_cast<std::size_t>(rpo[static_cast<std::size_t>(i)])]);
+  }
+  for (int b = 0; b < n; ++b) {
+    if (!visited[static_cast<std::size_t>(b)]) {
+      unreachable_.push_back(blocks_[static_cast<std::size_t>(b)]);
+    }
+  }
+
+  // Cooper–Harvey–Kennedy fixpoint over RPO.
+  idom_.assign(static_cast<std::size_t>(n), -1);
+  idom_[0] = 0;
+  std::vector<std::vector<int>> pred_ids(static_cast<std::size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    for (int succ : successor_ids[static_cast<std::size_t>(b)]) {
+      pred_ids[static_cast<std::size_t>(succ)].push_back(b);
+    }
+  }
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_number_[static_cast<std::size_t>(a)] >
+             rpo_number_[static_cast<std::size_t>(b)]) {
+        a = idom_[static_cast<std::size_t>(a)];
+      }
+      while (rpo_number_[static_cast<std::size_t>(b)] >
+             rpo_number_[static_cast<std::size_t>(a)]) {
+        b = idom_[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b : rpo) {
+      if (b == 0) continue;
+      int new_idom = -1;
+      for (int pred : pred_ids[static_cast<std::size_t>(b)]) {
+        if (idom_[static_cast<std::size_t>(pred)] == -1) continue;
+        new_idom = new_idom == -1 ? pred : intersect(pred, new_idom);
+      }
+      if (new_idom != -1 && idom_[static_cast<std::size_t>(b)] != new_idom) {
+        idom_[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+int DominatorTree::index_of(const BasicBlock* block) const {
+  auto it = ids_.find(block);
+  VULFI_ASSERT(it != ids_.end(), "block not in this dominator tree's function");
+  return it->second;
+}
+
+bool DominatorTree::reachable(const BasicBlock* block) const {
+  const int b = index_of(block);
+  return b == 0 || idom_[static_cast<std::size_t>(b)] != -1;
+}
+
+const BasicBlock* DominatorTree::idom(const BasicBlock* block) const {
+  const int b = index_of(block);
+  if (b == 0 || idom_[static_cast<std::size_t>(b)] == -1) return nullptr;
+  return blocks_[static_cast<std::size_t>(idom_[static_cast<std::size_t>(b)])];
+}
+
+bool DominatorTree::block_dominates(int a, int b) const {
+  // Unreachable blocks vacuously dominate nothing and are dominated by
+  // everything (the verifier skips SSA checks inside them).
+  if (idom_[static_cast<std::size_t>(b)] == -1 && b != 0) return true;
+  while (b != a && b != 0) {
+    b = idom_[static_cast<std::size_t>(b)];
+    if (b == -1) return false;
+  }
+  return b == a;
+}
+
+bool DominatorTree::dominates(const BasicBlock* a, const BasicBlock* b) const {
+  return block_dominates(index_of(a), index_of(b));
+}
+
+const std::unordered_map<const Instruction*, std::pair<int, int>>&
+DominatorTree::positions() const {
+  if (positions_.empty()) {
+    for (const BasicBlock* block : blocks_) {
+      const int bid = ids_.at(block);
+      int idx = 0;
+      for (const auto& inst : *block) {
+        positions_[inst.get()] = {bid, idx++};
+      }
+    }
+  }
+  return positions_;
+}
+
+bool DominatorTree::dominates(const Instruction* def,
+                              const Instruction* use) const {
+  const auto& pos = positions();
+  auto def_it = pos.find(def);
+  auto use_it = pos.find(use);
+  VULFI_ASSERT(def_it != pos.end() && use_it != pos.end(),
+               "instruction not in this dominator tree's function");
+  const auto [def_block, def_idx] = def_it->second;
+  const auto [use_block, use_idx] = use_it->second;
+  if (def_block == use_block) return def_idx < use_idx;
+  return block_dominates(def_block, use_block);
+}
+
+bool DominatorTree::dominates_block_end(const Instruction* def,
+                                        const BasicBlock* block) const {
+  const auto& pos = positions();
+  auto def_it = pos.find(def);
+  VULFI_ASSERT(def_it != pos.end(),
+               "instruction not in this dominator tree's function");
+  return block_dominates(def_it->second.first, index_of(block));
+}
+
+}  // namespace vulfi::ir

@@ -1,0 +1,81 @@
+// Dominator tree over a function's CFG.
+//
+// Cooper–Harvey–Kennedy iterative dominators ("A Simple, Fast Dominance
+// Algorithm") over a reverse-postorder numbering. This used to live as a
+// private detail of the verifier; it is now a first-class IR utility so the
+// verifier, the analysis pass framework, and the lint driver all share one
+// implementation (and one set of unreachable-block conventions).
+//
+// Conventions for unreachable blocks (no path from entry): they have no
+// immediate dominator, `reachable()` is false, and `dominates()` involving
+// an unreachable block follows the verifier's historical convention —
+// everything vacuously dominates an unreachable block, and an unreachable
+// block dominates nothing (except itself).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+namespace vulfi::ir {
+
+class BasicBlock;
+class Function;
+class Instruction;
+
+class DominatorTree {
+ public:
+  /// Builds the tree for `fn` (must be a definition with >= 1 block).
+  explicit DominatorTree(const Function& fn);
+
+  const Function& function() const { return *fn_; }
+
+  /// False for blocks with no CFG path from the entry block.
+  bool reachable(const BasicBlock* block) const;
+
+  /// All blocks with no CFG path from entry, in layout order.
+  const std::vector<const BasicBlock*>& unreachable_blocks() const {
+    return unreachable_;
+  }
+
+  /// Immediate dominator; nullptr for the entry block and for
+  /// unreachable blocks.
+  const BasicBlock* idom(const BasicBlock* block) const;
+
+  /// Block-level dominance (reflexive). Follows the verifier convention
+  /// for unreachable blocks: if `b` is unreachable the query is true, and
+  /// an unreachable `a` dominates only itself.
+  bool dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+  /// Instruction-level dominance: does `def` dominate `use`? Within one
+  /// block this is strict program order (a definition does not dominate
+  /// itself or earlier instructions).
+  bool dominates(const Instruction* def, const Instruction* use) const;
+
+  /// Does `def` dominate the end of `block`? The dominance rule for a phi
+  /// incoming value on the edge from `block`.
+  bool dominates_block_end(const Instruction* def,
+                           const BasicBlock* block) const;
+
+  /// Blocks in reverse postorder (reachable blocks only).
+  const std::vector<const BasicBlock*>& rpo() const { return rpo_; }
+
+ private:
+  int index_of(const BasicBlock* block) const;
+  bool block_dominates(int a, int b) const;
+  /// (block id, position in block) for intra-block ordering; computed
+  /// lazily on the first instruction-level query.
+  const std::unordered_map<const Instruction*, std::pair<int, int>>&
+  positions() const;
+
+  const Function* fn_;
+  std::vector<const BasicBlock*> blocks_;          // layout order
+  std::unordered_map<const BasicBlock*, int> ids_;  // block -> layout index
+  std::vector<int> idom_;        // layout index -> idom layout index (-1)
+  std::vector<int> rpo_number_;  // layout index -> RPO position (-1)
+  std::vector<const BasicBlock*> rpo_;
+  std::vector<const BasicBlock*> unreachable_;
+  mutable std::unordered_map<const Instruction*, std::pair<int, int>>
+      positions_;
+};
+
+}  // namespace vulfi::ir

@@ -1,10 +1,12 @@
 #include "ir/verifier.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "ir/basic_block.hpp"
+#include "ir/dominators.hpp"
 #include "ir/function.hpp"
 #include "ir/module.hpp"
 #include "ir/printer.hpp"
@@ -29,7 +31,6 @@ class FunctionVerifier {
     check_block_structure();
     check_phis();
     check_operands();
-    compute_dominators();
     check_dominance();
     return errors_;
   }
@@ -46,7 +47,7 @@ class FunctionVerifier {
 
   void index_blocks() {
     for (const auto& block : fn_) {
-      block_ids_[block.get()] = static_cast<int>(blocks_.size());
+      block_set_.insert(block.get());
       blocks_.push_back(block.get());
     }
   }
@@ -75,7 +76,7 @@ class FunctionVerifier {
         }
         for (unsigned i = 0; i < inst->num_successors(); ++i) {
           const BasicBlock* succ = inst->successor(i);
-          if (!block_ids_.count(succ)) {
+          if (!block_set_.count(succ)) {
             report_inst(*inst, "successor block not in this function");
           }
         }
@@ -122,6 +123,41 @@ class FunctionVerifier {
     }
   }
 
+  /// Mask-width rules for a call to a masked vector intrinsic: the
+  /// execution mask must cover the data lanes one-to-one, lane widths
+  /// included (the runtime's MSB-per-lane activity test silently reads
+  /// garbage otherwise).
+  void check_masked_call(const Instruction& inst) {
+    const Function* callee = inst.callee();
+    const IntrinsicInfo& info = callee->intrinsic_info();
+    if (!info.is_masked()) return;
+    if (info.mask_operand < 0 ||
+        static_cast<unsigned>(info.mask_operand) >= inst.num_operands()) {
+      report_inst(inst, "masked intrinsic mask operand index out of range");
+      return;
+    }
+    const Type mask = inst.operand(static_cast<unsigned>(info.mask_operand))
+                          ->type();
+    Type data;
+    if (info.id == IntrinsicId::MaskStore) {
+      if (info.data_operand < 0 ||
+          static_cast<unsigned>(info.data_operand) >= inst.num_operands()) {
+        report_inst(inst, "masked intrinsic data operand index out of range");
+        return;
+      }
+      data = inst.operand(static_cast<unsigned>(info.data_operand))->type();
+    } else {
+      data = inst.type();
+    }
+    if (mask.lanes() != data.lanes()) {
+      report_inst(inst, "mask lane count does not match data lane count");
+    }
+    if (mask.element_bits() != data.element_bits()) {
+      report_inst(inst, "mask element width does not match data element "
+                        "width");
+    }
+  }
+
   void check_operand_types(const Instruction& inst) {
     const Opcode op = inst.opcode();
     auto expect = [&](bool cond, const char* msg) {
@@ -161,6 +197,11 @@ class FunctionVerifier {
         expect(inst.type().kind() == TypeKind::I1 &&
                    inst.type().lanes() == inst.operand(0)->type().lanes(),
                "cmp result must be i1 with matching lanes");
+        if (op == Opcode::FCmp) {
+          expect(inst.num_operands() == 2 &&
+                     inst.operand(0)->type().is_float(),
+                 "fcmp needs floating-point operands");
+        }
         break;
       case Opcode::Load:
         expect(inst.num_operands() == 1 &&
@@ -195,9 +236,14 @@ class FunctionVerifier {
         expect(inst.operand(0)->type() == inst.operand(1)->type() &&
                    inst.operand(0)->type().is_vector(),
                "shuffle needs two vectors of the same type");
+        expect(inst.type().lanes() ==
+                       static_cast<unsigned>(inst.shuffle_mask().size()) &&
+                   inst.type().kind() == inst.operand(0)->type().kind(),
+               "shuffle result must have one lane per mask entry");
         const int limit = 2 * static_cast<int>(inst.operand(0)->type().lanes());
         for (int m : inst.shuffle_mask()) {
           expect(m < limit, "shuffle mask index out of range");
+          expect(m >= -1, "shuffle mask index out of range");
         }
         break;
       }
@@ -207,6 +253,11 @@ class FunctionVerifier {
                    inst.operand(1)->type() == inst.type() &&
                    inst.operand(2)->type() == inst.type(),
                "select typing violation");
+        if (inst.num_operands() == 3 &&
+            inst.operand(0)->type().is_vector()) {
+          expect(inst.operand(0)->type().lanes() == inst.type().lanes(),
+                 "select condition lane count mismatch");
+        }
         break;
       case Opcode::Call: {
         const Function* callee = inst.callee();
@@ -221,6 +272,7 @@ class FunctionVerifier {
         }
         expect(inst.type() == callee->return_type(),
                "call result type mismatch");
+        check_masked_call(inst);
         break;
       }
       case Opcode::CondBr:
@@ -264,137 +316,41 @@ class FunctionVerifier {
     }
   }
 
-  /// Cooper–Harvey–Kennedy iterative dominator computation over RPO.
-  void compute_dominators() {
-    const int n = static_cast<int>(blocks_.size());
-    // Reverse postorder from entry.
-    std::vector<int> postorder;
-    std::vector<char> visited(static_cast<std::size_t>(n), 0);
-    std::vector<std::pair<int, std::size_t>> stack;  // (block id, next succ)
-    stack.emplace_back(0, 0);
-    visited[0] = 1;
-    std::vector<std::vector<int>> successor_ids(static_cast<std::size_t>(n));
-    for (int b = 0; b < n; ++b) {
-      for (BasicBlock* succ : blocks_[static_cast<std::size_t>(b)]->successors()) {
-        auto it = block_ids_.find(succ);
-        if (it != block_ids_.end()) {
-          successor_ids[static_cast<std::size_t>(b)].push_back(it->second);
-        }
-      }
-    }
-    while (!stack.empty()) {
-      auto& [block, next] = stack.back();
-      const auto& succs = successor_ids[static_cast<std::size_t>(block)];
-      if (next < succs.size()) {
-        const int succ = succs[next++];
-        if (!visited[static_cast<std::size_t>(succ)]) {
-          visited[static_cast<std::size_t>(succ)] = 1;
-          stack.emplace_back(succ, 0);
-        }
-      } else {
-        postorder.push_back(block);
-        stack.pop_back();
-      }
-    }
-    rpo_number_.assign(static_cast<std::size_t>(n), -1);
-    std::vector<int> rpo(postorder.rbegin(), postorder.rend());
-    for (int i = 0; i < static_cast<int>(rpo.size()); ++i) {
-      rpo_number_[static_cast<std::size_t>(rpo[static_cast<std::size_t>(i)])] = i;
-    }
-
-    idom_.assign(static_cast<std::size_t>(n), -1);
-    idom_[0] = 0;
-    std::vector<std::vector<int>> pred_ids(static_cast<std::size_t>(n));
-    for (int b = 0; b < n; ++b) {
-      for (int succ : successor_ids[static_cast<std::size_t>(b)]) {
-        pred_ids[static_cast<std::size_t>(succ)].push_back(b);
-      }
-    }
-    auto intersect = [&](int a, int b) {
-      while (a != b) {
-        while (rpo_number_[static_cast<std::size_t>(a)] >
-               rpo_number_[static_cast<std::size_t>(b)]) {
-          a = idom_[static_cast<std::size_t>(a)];
-        }
-        while (rpo_number_[static_cast<std::size_t>(b)] >
-               rpo_number_[static_cast<std::size_t>(a)]) {
-          b = idom_[static_cast<std::size_t>(b)];
-        }
-      }
-      return a;
-    };
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (int b : rpo) {
-        if (b == 0) continue;
-        int new_idom = -1;
-        for (int pred : pred_ids[static_cast<std::size_t>(b)]) {
-          if (idom_[static_cast<std::size_t>(pred)] == -1) continue;
-          new_idom = new_idom == -1 ? pred : intersect(pred, new_idom);
-        }
-        if (new_idom != -1 && idom_[static_cast<std::size_t>(b)] != new_idom) {
-          idom_[static_cast<std::size_t>(b)] = new_idom;
-          changed = true;
-        }
-      }
-    }
-  }
-
-  bool block_dominates(int a, int b) const {
-    // Unreachable blocks (idom == -1, rpo == -1) vacuously dominate nothing
-    // and are dominated by everything; skip dominance checks for them.
-    if (idom_[static_cast<std::size_t>(b)] == -1 && b != 0) return true;
-    while (b != a && b != 0) {
-      b = idom_[static_cast<std::size_t>(b)];
-      if (b == -1) return false;
-    }
-    return b == a;
-  }
-
+  /// SSA dominance: every use dominated by its definition, phi incoming
+  /// values dominating the end of their incoming block. Built on the
+  /// shared ir::DominatorTree (Cooper–Harvey–Kennedy).
   void check_dominance() {
-    // Map each instruction to (block id, position) for intra-block order.
-    std::unordered_map<const Instruction*, std::pair<int, int>> positions;
+    const DominatorTree domtree(fn_);
     for (const BasicBlock* block : blocks_) {
-      const int bid = block_ids_.at(block);
-      int idx = 0;
-      for (const auto& inst : *block) {
-        positions[inst.get()] = {bid, idx++};
-      }
-    }
-    for (const BasicBlock* block : blocks_) {
-      const int bid = block_ids_.at(block);
-      // Skip unreachable blocks entirely.
-      if (bid != 0 && idom_[static_cast<std::size_t>(bid)] == -1) continue;
+      // Skip unreachable blocks entirely (their "definitions" never
+      // execute, so dominance is vacuous there).
+      if (!domtree.reachable(block)) continue;
       for (const auto& inst : *block) {
         const bool is_phi = inst->opcode() == Opcode::Phi;
         for (unsigned i = 0; i < inst->num_operands(); ++i) {
           const auto* def = dynamic_cast<const Instruction*>(inst->operand(i));
           if (!def) continue;
-          auto it = positions.find(def);
-          if (it == positions.end()) {
+          if (def->function() != &fn_) {
             report_inst(*inst, "operand not attached to any block");
             continue;
           }
-          const auto [def_block, def_idx] = it->second;
           if (is_phi) {
             // Phi operand must dominate the end of the incoming block.
+            if (i >= inst->phi_incoming_blocks().size()) continue;
             const BasicBlock* incoming = inst->phi_incoming_blocks()[i];
-            auto inc_it = block_ids_.find(incoming);
-            if (inc_it == block_ids_.end()) continue;
-            if (!block_dominates(def_block, inc_it->second)) {
+            if (!block_set_.count(incoming)) continue;
+            if (!domtree.dominates_block_end(def, incoming)) {
               report_inst(*inst,
                           "phi operand does not dominate incoming edge");
             }
             continue;
           }
-          const auto [use_block, use_idx] = positions.at(inst.get());
-          if (def_block == use_block) {
-            if (def_idx >= use_idx) {
+          if (!domtree.dominates(def, inst.get())) {
+            if (def->parent() == inst->parent()) {
               report_inst(*inst, "use before definition within block");
+            } else {
+              report_inst(*inst, "operand definition does not dominate use");
             }
-          } else if (!block_dominates(def_block, use_block)) {
-            report_inst(*inst, "operand definition does not dominate use");
           }
         }
       }
@@ -404,14 +360,51 @@ class FunctionVerifier {
   const Function& fn_;
   std::vector<std::string> errors_;
   std::vector<const BasicBlock*> blocks_;
-  std::unordered_map<const BasicBlock*, int> block_ids_;
-  std::vector<int> idom_;
-  std::vector<int> rpo_number_;
+  std::unordered_set<const BasicBlock*> block_set_;
 };
+
+/// Declaration-level checks for masked intrinsics: the metadata the
+/// instrumentor and interpreter trust (operand indices, mask shape) must
+/// be internally consistent.
+void verify_intrinsic_decl(const Function& fn,
+                           std::vector<std::string>& errors) {
+  const IntrinsicInfo& info = fn.intrinsic_info();
+  if (!info.is_masked()) return;
+  auto report = [&](const char* msg) {
+    errors.push_back(strf("function @%s: %s", fn.name().c_str(), msg));
+  };
+  if (static_cast<unsigned>(info.mask_operand) >= fn.num_args()) {
+    report("masked intrinsic mask operand index out of range");
+    return;
+  }
+  const Type mask = fn.arg(static_cast<unsigned>(info.mask_operand))->type();
+  Type data;
+  if (info.id == IntrinsicId::MaskStore) {
+    if (info.data_operand < 0 ||
+        static_cast<unsigned>(info.data_operand) >= fn.num_args()) {
+      report("masked intrinsic data operand index out of range");
+      return;
+    }
+    data = fn.arg(static_cast<unsigned>(info.data_operand))->type();
+  } else {
+    data = fn.return_type();
+  }
+  if (mask.lanes() != data.lanes()) {
+    report("mask lane count does not match data lane count");
+  }
+  if (mask.element_bits() != data.element_bits()) {
+    report("mask element width does not match data element width");
+  }
+}
 
 }  // namespace
 
 std::vector<std::string> verify(const Function& function) {
+  if (!function.is_definition()) {
+    std::vector<std::string> errors;
+    verify_intrinsic_decl(function, errors);
+    return errors;
+  }
   return FunctionVerifier(function).run();
 }
 

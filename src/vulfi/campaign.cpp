@@ -27,6 +27,9 @@ struct CampaignTotals {
   std::uint64_t crash = 0;
   std::uint64_t detected_sdc = 0;
   std::uint64_t detected_total = 0;
+  std::uint64_t prune_adjudicated = 0;
+  std::uint64_t prune_remapped = 0;
+  std::uint64_t prune_memo_hits = 0;
 
   void operator+=(const CampaignTotals& other) {
     benign += other.benign;
@@ -34,6 +37,9 @@ struct CampaignTotals {
     crash += other.crash;
     detected_sdc += other.detected_sdc;
     detected_total += other.detected_total;
+    prune_adjudicated += other.prune_adjudicated;
+    prune_remapped += other.prune_remapped;
+    prune_memo_hits += other.prune_memo_hits;
   }
 };
 
@@ -56,6 +62,9 @@ void run_experiment_at(const std::vector<InjectionEngine*>& engines,
     case Outcome::Crash: totals.crash += 1; break;
   }
   if (result.detected) totals.detected_total += 1;
+  if (result.statically_adjudicated) totals.prune_adjudicated += 1;
+  if (result.remapped) totals.prune_remapped += 1;
+  if (result.memo_hit) totals.prune_memo_hits += 1;
 }
 
 /// Folds one finished campaign into the running result, in campaign
@@ -68,6 +77,9 @@ void absorb_campaign(CampaignResult& result, const CampaignTotals& totals,
   result.crash += totals.crash;
   result.detected_sdc += totals.detected_sdc;
   result.detected_total += totals.detected_total;
+  result.prune_adjudicated += totals.prune_adjudicated;
+  result.prune_remapped += totals.prune_remapped;
+  result.prune_memo_hits += totals.prune_memo_hits;
   result.experiments += config.experiments_per_campaign;
   const double sample =
       static_cast<double>(totals.sdc) /
@@ -298,6 +310,7 @@ CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
   // run, not once per worker.
   for (InjectionEngine* engine : engines) {
     engine->set_golden_cache_enabled(config.use_golden_cache);
+    engine->set_static_prune(config.use_static_prune);
     engine->warm_golden_cache();
   }
   const unsigned threads = resolve_threads(config.num_threads);

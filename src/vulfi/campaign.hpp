@@ -47,6 +47,11 @@ struct CampaignConfig {
   /// every statistic is bit-identical either way because the golden run
   /// consumes no randomness.
   bool use_golden_cache = true;
+  /// Static fault-site pruning (prune.hpp): provably-dead bits are
+  /// adjudicated Benign without executing, and lane-symmetric sites share
+  /// one memoized representative execution. Exact — every statistic is
+  /// bit-identical with pruning on or off (CLI: --no-static-prune).
+  bool use_static_prune = true;
 };
 
 /// Wall-clock and per-thread utilization figures for one run_campaigns
@@ -92,6 +97,13 @@ struct CampaignResult {
   /// reports detected SDCs).
   std::uint64_t detected_sdc = 0;
   std::uint64_t detected_total = 0;
+  /// Static-prune savings. Adjudicated and remapped counts are pure
+  /// functions of the experiment coordinates (thread-count independent);
+  /// memo hits depend on which worker executed which experiment first, so
+  /// they are reported as an indicative figure only.
+  std::uint64_t prune_adjudicated = 0;
+  std::uint64_t prune_remapped = 0;
+  std::uint64_t prune_memo_hits = 0;
 
   ThroughputStats throughput;
 

@@ -1,5 +1,7 @@
 #include "vulfi/driver.hpp"
 
+#include <algorithm>
+
 #include "ir/verifier.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
@@ -30,6 +32,17 @@ InjectionEngine::InjectionEngine(RunSpec spec,
   // Snapshot the spec before instrumenting so clone() can rebuild an
   // identical engine from scratch.
   pristine_ = clone_spec(spec_);
+  // The prune plan must see the original dataflow, so it is computed on
+  // the pristine copy before any instrumentation. Site ids match the
+  // instrumented table: enumeration and instrumentation walk the same
+  // instructions in the same order.
+  {
+    analysis::AnalysisManager am;
+    prune_ = build_prune_plan(
+        *pristine_.entry,
+        enumerate_fault_sites(*pristine_.entry, options_.address_rule, am),
+        am);
+  }
   Instrumentor instrumentor(options_.address_rule);
   runtime_.set_sites(instrumentor.run(*spec_.entry));
   runtime_.select_category(category);
@@ -104,15 +117,24 @@ interp::ExecResult InjectionEngine::run_clean() {
 }
 
 GoldenCache InjectionEngine::compute_golden() {
+  GoldenCache cache;
   runtime_.begin_count();
+  if (options_.static_prune) runtime_.set_census(&cache.site_sequence);
   RunOutput golden = execute(interp::ExecLimits{});
   VULFI_ASSERT(golden.exec.ok(),
                "golden (fault-free) execution trapped — kernel bug");
-  GoldenCache cache;
+  runtime_.set_census(nullptr);
   cache.output_bytes = std::move(golden.output_bytes);
   cache.return_bits = std::move(golden.return_bits);
   cache.dynamic_sites = runtime_.dynamic_count();
   cache.golden_instructions = golden.exec.stats.total_instructions;
+  cache.golden_detected = detection_log_.any();
+  if (options_.static_prune) {
+    cache.site_occurrences.resize(runtime_.sites().size());
+    for (std::uint32_t k = 0; k < cache.site_sequence.size(); ++k) {
+      cache.site_occurrences[cache.site_sequence[k]].push_back(k);
+    }
+  }
   return cache;
 }
 
@@ -130,6 +152,36 @@ void InjectionEngine::set_golden_cache_enabled(bool enabled) {
 
 void InjectionEngine::warm_golden_cache() {
   if (options_.golden_cache) ensure_golden();
+}
+
+void InjectionEngine::set_static_prune(bool enabled) {
+  if (enabled == options_.static_prune) return;
+  options_.static_prune = enabled;
+  // A cache computed without the census cannot serve the pruned path;
+  // drop it so the next experiment recomputes with census recording on.
+  if (enabled && golden_ && golden_->site_sequence.empty()) golden_.reset();
+}
+
+void InjectionEngine::run_faulty(ExperimentResult& result,
+                                 const GoldenCache& golden) {
+  interp::ExecLimits faulty_limits;
+  faulty_limits.max_instructions =
+      faulty_instruction_budget(golden.golden_instructions);
+  RunOutput faulty = execute(faulty_limits);
+
+  runtime_.disable();
+  result.injection = runtime_.record();
+  result.detected = detection_log_.any();
+  result.faulty_instructions = faulty.exec.stats.total_instructions;
+
+  if (!faulty.exec.ok()) {
+    result.outcome = Outcome::Crash;
+    result.trap = faulty.exec.trap.kind;
+    return;
+  }
+  const bool differs = faulty.output_bytes != golden.output_bytes ||
+                       faulty.return_bits != golden.return_bits;
+  result.outcome = differs ? Outcome::SDC : Outcome::Benign;
 }
 
 ExperimentResult InjectionEngine::run_experiment(Rng& rng) {
@@ -161,26 +213,114 @@ ExperimentResult InjectionEngine::run_experiment(Rng& rng) {
 
   // --- faulty run: inject exactly one bit flip ---------------------------
   const std::uint64_t target = rng.next_below(result.dynamic_sites);
-  runtime_.arm(target, rng.split());
+  Rng bit_rng = rng.split();
 
-  interp::ExecLimits faulty_limits;
-  faulty_limits.max_instructions =
-      faulty_instruction_budget(golden->golden_instructions);
-  RunOutput faulty = execute(faulty_limits);
+  if (options_.static_prune &&
+      golden->site_sequence.size() == golden->dynamic_sites) {
+    // Draw the bit here with the first value of the split stream — exactly
+    // the draw the armed runtime would make at the fired site — then hand
+    // the pair to the pruned dispatch. The (site, bit) sequence is
+    // bit-identical to the unpruned path.
+    const std::uint32_t site = golden->site_sequence[target];
+    const unsigned elem_bits =
+        runtime_.sites()[site].element_type.element_bits();
+    const auto bit = static_cast<unsigned>(bit_rng.next_below(elem_bits));
+    return pruned_dispatch(*golden, target, bit);
+  }
 
-  runtime_.disable();
-  result.injection = runtime_.record();
-  result.detected = detection_log_.any();
-  result.faulty_instructions = faulty.exec.stats.total_instructions;
+  runtime_.arm(target, bit_rng);
+  run_faulty(result, *golden);
+  return result;
+}
 
-  if (!faulty.exec.ok()) {
-    result.outcome = Outcome::Crash;
-    result.trap = faulty.exec.trap.kind;
+ExperimentResult InjectionEngine::run_experiment_exact(
+    std::uint64_t target_index, unsigned bit) {
+  ExperimentResult result;
+  const GoldenCache& golden = ensure_golden();
+  result.dynamic_sites = golden.dynamic_sites;
+  result.golden_instructions = golden.golden_instructions;
+  runtime_.arm_exact(target_index, bit);
+  run_faulty(result, golden);
+  return result;
+}
+
+ExperimentResult InjectionEngine::run_experiment_pruned_at(
+    std::uint64_t target_index, unsigned bit) {
+  return pruned_dispatch(ensure_golden(), target_index, bit);
+}
+
+ExperimentResult InjectionEngine::pruned_dispatch(const GoldenCache& golden,
+                                                  std::uint64_t target_index,
+                                                  unsigned bit) {
+  VULFI_ASSERT(golden.site_sequence.size() == golden.dynamic_sites,
+               "pruned dispatch needs the golden census");
+
+  ExperimentResult result;
+  result.dynamic_sites = golden.dynamic_sites;
+  result.golden_instructions = golden.golden_instructions;
+
+  const std::uint32_t site = golden.site_sequence[target_index];
+  const FaultSite& fault_site = runtime_.sites()[site];
+  const SitePruneInfo& info = prune_.sites[site];
+
+  // --- dead bit: statically adjudicated Benign ---------------------------
+  // A flip at a non-demanded position cannot change stored bytes, return
+  // bits, control flow, traps, or any call argument (detectors included),
+  // so the faulty run is observably the golden run.
+  if ((info.dead_mask >> bit) & 1) {
+    result.outcome = Outcome::Benign;
+    result.detected = golden.golden_detected;
+    result.statically_adjudicated = true;
+    // Identical control flow means identical instruction count.
+    result.faulty_instructions = golden.golden_instructions;
+    result.injection.fired = true;
+    result.injection.site_id = site;
+    result.injection.lane = fault_site.lane;
+    result.injection.bit = bit;
+    result.injection.dynamic_index = target_index;
     return result;
   }
-  const bool differs = faulty.output_bytes != golden->output_bytes ||
-                       faulty.return_bits != golden->return_bits;
-  result.outcome = differs ? Outcome::SDC : Outcome::Benign;
+
+  // --- live bit: remap onto the lane-symmetry class representative -------
+  // The j-th dynamic occurrence of a collapsed site is outcome-equivalent
+  // to the j-th occurrence of its representative (same dynamic instance,
+  // lane-symmetric dataflow). Occurrence lists of unmasked same-instruction
+  // lanes always align; the size check is pure defence.
+  std::uint64_t exec_target = target_index;
+  if (info.class_rep != site) {
+    const auto& mine = golden.site_occurrences[site];
+    const auto& reps = golden.site_occurrences[info.class_rep];
+    if (mine.size() == reps.size()) {
+      const auto it = std::lower_bound(
+          mine.begin(), mine.end(), static_cast<std::uint32_t>(target_index));
+      VULFI_ASSERT(it != mine.end() && *it == target_index,
+                   "dynamic target missing from its site's occurrence list");
+      exec_target = reps[static_cast<std::size_t>(it - mine.begin())];
+      result.remapped = exec_target != target_index;
+    }
+  }
+
+  // --- memoized execution ------------------------------------------------
+  const std::uint64_t key = exec_target * 64 + bit;
+  const auto found = memo_.find(key);
+  if (found != memo_.end()) {
+    ExperimentResult memoized = found->second;
+    memoized.injection.site_id = site;
+    memoized.injection.lane = fault_site.lane;
+    memoized.injection.dynamic_index = target_index;
+    memoized.remapped = result.remapped;
+    memoized.memo_hit = true;
+    return memoized;
+  }
+
+  runtime_.arm_exact(exec_target, bit);
+  run_faulty(result, golden);
+  memo_.emplace(key, result);
+  // Report the logical site the experiment drew, not the executed
+  // representative (their before/after bits agree — the root is a splat).
+  result.injection.site_id = site;
+  result.injection.lane = fault_site.lane;
+  result.injection.dynamic_index = target_index;
   return result;
 }
 

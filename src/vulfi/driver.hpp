@@ -28,12 +28,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/classify.hpp"
 #include "interp/interpreter.hpp"
 #include "support/rng.hpp"
 #include "vulfi/fi_runtime.hpp"
+#include "vulfi/prune.hpp"
 #include "vulfi/run_spec.hpp"
 
 namespace vulfi {
@@ -52,6 +54,17 @@ struct ExperimentResult {
   std::uint64_t dynamic_sites = 0;
   std::uint64_t golden_instructions = 0;
   std::uint64_t faulty_instructions = 0;
+  /// The static pruner proved the flipped bit dead and adjudicated the
+  /// experiment Benign without executing a faulty run.
+  bool statically_adjudicated = false;
+  /// The experiment was remapped onto its lane-symmetry class
+  /// representative (the injection record reports the logical site).
+  bool remapped = false;
+  /// The (dynamic site, bit) pair had already been executed this engine;
+  /// the memoized outcome was reused. Scheduling-dependent under parallel
+  /// campaigns (each cloned worker owns a private memo), unlike the
+  /// outcome itself, which is identical either way.
+  bool memo_hit = false;
 };
 
 struct EngineOptions {
@@ -67,6 +80,11 @@ struct EngineOptions {
   /// Interpreter executor: pre-decoded fast path (default) or the
   /// reference hash-lookup path (differential-testing oracle).
   bool predecode = true;
+  /// Static fault-site pruning (prune.hpp): adjudicate provably-dead bits
+  /// without executing, and remap lane-symmetric sites onto one memoized
+  /// representative. Both reductions are exact — statistics are
+  /// bit-identical with pruning on or off (CLI: --no-static-prune).
+  bool static_prune = true;
 };
 
 /// Memoized golden-run observables: everything run_experiment needs from
@@ -76,6 +94,17 @@ struct GoldenCache {
   std::vector<std::uint64_t> return_bits;
   std::uint64_t dynamic_sites = 0;
   std::uint64_t golden_instructions = 0;
+  /// Detectors that fired during the fault-free run; a statically
+  /// adjudicated Benign experiment reports this as its detected flag
+  /// (a dead-bit faulty run behaves observably like the golden run).
+  bool golden_detected = false;
+  /// Golden dynamic-site census, recorded only under static pruning:
+  /// site_sequence[k] is the static site id of dynamic site k, and
+  /// site_occurrences[s] lists the dynamic indices of site s in ascending
+  /// order. The pruner remaps the j-th occurrence of a site onto the j-th
+  /// occurrence of its class representative.
+  std::vector<std::uint32_t> site_sequence;
+  std::vector<std::vector<std::uint32_t>> site_occurrences;
 };
 
 /// Owns one instrumented program and runs experiments against it.
@@ -103,8 +132,24 @@ class InjectionEngine {
   std::unique_ptr<InjectionEngine> clone() const;
 
   /// One full experiment: cached-or-fresh golden observables + one
-  /// faulty run.
+  /// faulty run. With static pruning enabled the faulty run may be
+  /// adjudicated, remapped, or served from the memo — the drawn
+  /// (site, bit) pair and the reported statistics are bit-identical to
+  /// the unpruned path either way.
   ExperimentResult run_experiment(Rng& rng);
+
+  /// One experiment with an explicit (dynamic site, bit) pair and NO
+  /// pruning: always executes the faulty run. Ground truth for the
+  /// exhaustive differential harness (exhaustive.hpp).
+  ExperimentResult run_experiment_exact(std::uint64_t target_index,
+                                        unsigned bit);
+
+  /// The pruned dispatch for an explicit (dynamic site, bit) pair:
+  /// dead-bit adjudication, lane-class remap, memoized execution. This is
+  /// the exact code path run_experiment takes after drawing its pair.
+  /// Requires static pruning to be enabled.
+  ExperimentResult run_experiment_pruned_at(std::uint64_t target_index,
+                                            unsigned bit);
 
   /// One un-injected run (runtime idle). Used for overhead measurements
   /// and sanity checks; returns the interpreter result.
@@ -121,6 +166,20 @@ class InjectionEngine {
   /// cloning so every worker inherits the cache — and so detector
   /// runtimes observe the golden pass exactly once per engine.
   void warm_golden_cache();
+
+  /// Toggles static pruning (campaigns plumb
+  /// CampaignConfig::use_static_prune through this). Enabling after a
+  /// golden run was cached without its census drops the cache so the next
+  /// experiment recomputes it with the census.
+  void set_static_prune(bool enabled);
+  bool static_prune_enabled() const { return options_.static_prune; }
+
+  /// The engine's prune plan (computed from the pristine IR).
+  const PrunePlan& prune_plan() const { return prune_; }
+
+  /// Golden observables, computing them on first use. The exhaustive
+  /// harness reads dynamic_sites and the census from here.
+  const GoldenCache& golden() { return ensure_golden(); }
 
   /// The faulty-run instruction budget derived from a golden instruction
   /// count. Single definition shared by the cached and uncached paths so
@@ -148,6 +207,10 @@ class InjectionEngine {
   RunOutput execute(interp::ExecLimits limits);
   GoldenCache compute_golden();
   const GoldenCache& ensure_golden();
+  /// Executes the armed faulty run and classifies it into `result`.
+  void run_faulty(ExperimentResult& result, const GoldenCache& golden);
+  ExperimentResult pruned_dispatch(const GoldenCache& golden,
+                                   std::uint64_t target_index, unsigned bit);
 
   RunSpec spec_;
   /// Un-instrumented copy of the incoming spec, kept so clone() can
@@ -166,6 +229,14 @@ class InjectionEngine {
   /// across the engine's millions of executions.
   interp::Interpreter interp_;
   std::shared_ptr<const GoldenCache> golden_;
+  /// Static prune plan over the pristine IR (always computed — enabling
+  /// pruning mid-run via set_static_prune needs no reanalysis).
+  PrunePlan prune_;
+  /// Memoized pruned-path outcomes, keyed by executed_target * 64 + bit.
+  /// Private per engine (clones start empty); reuse is a pure speedup —
+  /// the interpreter is deterministic, so a memo hit returns exactly what
+  /// a fresh execution would.
+  std::unordered_map<std::uint64_t, ExperimentResult> memo_;
 };
 
 }  // namespace vulfi

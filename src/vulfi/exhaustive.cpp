@@ -1,0 +1,57 @@
+#include "vulfi/exhaustive.hpp"
+
+#include "support/error.hpp"
+
+namespace vulfi {
+
+namespace {
+
+void tally(ExhaustiveTotals& totals, const ExperimentResult& result) {
+  totals.experiments += 1;
+  switch (result.outcome) {
+    case Outcome::Benign: totals.benign += 1; break;
+    case Outcome::SDC: totals.sdc += 1; break;
+    case Outcome::Crash: totals.crash += 1; break;
+  }
+  if (result.detected) totals.detected += 1;
+  if (result.statically_adjudicated || result.memo_hit) {
+    totals.saved_runs += 1;
+  } else {
+    totals.executed_runs += 1;
+  }
+}
+
+template <typename RunPair>
+ExhaustiveTotals enumerate(InjectionEngine& engine, RunPair run_pair) {
+  VULFI_ASSERT(engine.static_prune_enabled(),
+               "exhaustive enumeration needs the golden census");
+  // Copy the census up front: run_experiment_exact with the golden cache
+  // disabled would recompute goldens, and the reference must stay stable.
+  const GoldenCache& golden = engine.golden();
+  const std::vector<std::uint32_t> sequence = golden.site_sequence;
+  ExhaustiveTotals totals;
+  for (std::uint64_t k = 0; k < sequence.size(); ++k) {
+    const unsigned elem_bits =
+        engine.sites()[sequence[k]].element_type.element_bits();
+    for (unsigned bit = 0; bit < elem_bits; ++bit) {
+      tally(totals, run_pair(k, bit));
+    }
+  }
+  return totals;
+}
+
+}  // namespace
+
+ExhaustiveTotals run_exhaustive(InjectionEngine& engine) {
+  return enumerate(engine, [&engine](std::uint64_t k, unsigned bit) {
+    return engine.run_experiment_exact(k, bit);
+  });
+}
+
+ExhaustiveTotals run_exhaustive_pruned(InjectionEngine& engine) {
+  return enumerate(engine, [&engine](std::uint64_t k, unsigned bit) {
+    return engine.run_experiment_pruned_at(k, bit);
+  });
+}
+
+}  // namespace vulfi

@@ -1,0 +1,47 @@
+// Exhaustive fault-injection enumeration (differential oracle for the
+// static pruner).
+//
+// Instead of sampling, both drivers below run EVERY experiment in the
+// space {(k, b) : k < dynamic sites, b < element bits of k's site}:
+//
+//  * run_exhaustive          — ground truth: every pair executes a real
+//    faulty run through run_experiment_exact, no pruning logic at all.
+//  * run_exhaustive_pruned   — every pair goes through the engine's
+//    pruned dispatch (dead-bit adjudication, lane-class remap, memo).
+//
+// The pruner's exactness claim is that the two produce identical outcome
+// totals while the pruned driver executes strictly fewer faulty runs;
+// test_prune.cpp asserts exactly that on fully enumerable kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "vulfi/driver.hpp"
+
+namespace vulfi {
+
+struct ExhaustiveTotals {
+  std::uint64_t experiments = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t crash = 0;
+  std::uint64_t detected = 0;
+  /// Faulty runs actually executed / avoided (adjudicated or memo-served).
+  std::uint64_t executed_runs = 0;
+  std::uint64_t saved_runs = 0;
+
+  /// Outcome-statistics equality; the execution counters are deliberately
+  /// excluded (saving runs is the point).
+  bool same_statistics(const ExhaustiveTotals& other) const {
+    return experiments == other.experiments && sdc == other.sdc &&
+           benign == other.benign && crash == other.crash &&
+           detected == other.detected;
+  }
+};
+
+/// Both require an engine with static pruning enabled (the enumeration
+/// itself needs the golden census to know each dynamic site's width).
+ExhaustiveTotals run_exhaustive(InjectionEngine& engine);
+ExhaustiveTotals run_exhaustive_pruned(InjectionEngine& engine);
+
+}  // namespace vulfi

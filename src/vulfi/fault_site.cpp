@@ -1,5 +1,7 @@
 #include "vulfi/fault_site.hpp"
 
+#include "analysis/slicing.hpp"
+
 namespace vulfi {
 
 SiteTarget site_target_of(ir::Instruction& inst) {
@@ -8,6 +10,7 @@ SiteTarget site_target_of(ir::Instruction& inst) {
     case ir::Opcode::Store:
       target.value = inst.operand(0);
       target.store_operand = true;
+      target.store_operand_index = 0;
       return target;
     case ir::Opcode::Call: {
       const ir::IntrinsicInfo& info = inst.callee()->intrinsic_info();
@@ -15,6 +18,7 @@ SiteTarget site_target_of(ir::Instruction& inst) {
         target.value = inst.operand(static_cast<unsigned>(info.data_operand));
         target.mask = inst.operand(static_cast<unsigned>(info.mask_operand));
         target.store_operand = true;
+        target.store_operand_index = static_cast<unsigned>(info.data_operand);
         return target;
       }
       target.value = &inst;
@@ -30,8 +34,10 @@ SiteTarget site_target_of(ir::Instruction& inst) {
 }
 
 std::vector<FaultSite> enumerate_fault_sites(const ir::Function& fn,
-                                             analysis::AddressRule rule) {
+                                             analysis::AddressRule rule,
+                                             analysis::AnalysisManager& am) {
   std::vector<FaultSite> sites;
+  const analysis::SliceResult& slices = am.get<analysis::SliceAnalysis>(fn);
   for (const auto& block : fn) {
     for (const auto& inst : *block) {
       if (!analysis::is_fault_site_instruction(*inst)) continue;
@@ -39,8 +45,14 @@ std::vector<FaultSite> enumerate_fault_sites(const ir::Function& fn,
       // on this path.
       const SiteTarget target =
           site_target_of(const_cast<ir::Instruction&>(*inst));
+      // A store-operand fault corrupts one def-use edge (the data slot of
+      // the store); an Lvalue fault corrupts the value itself, hence every
+      // use.
       const analysis::SiteClass cls =
-          analysis::classify_value(*target.value, rule);
+          target.store_operand
+              ? slices.classify_edge(inst.get(), target.store_operand_index,
+                                     rule)
+              : slices.classify(target.value, rule);
       const ir::Type type = target.value->type();
       for (unsigned lane = 0; lane < type.lanes(); ++lane) {
         FaultSite site;
@@ -57,6 +69,12 @@ std::vector<FaultSite> enumerate_fault_sites(const ir::Function& fn,
     }
   }
   return sites;
+}
+
+std::vector<FaultSite> enumerate_fault_sites(const ir::Function& fn,
+                                             analysis::AddressRule rule) {
+  analysis::AnalysisManager am;
+  return enumerate_fault_sites(fn, rule, am);
 }
 
 }  // namespace vulfi

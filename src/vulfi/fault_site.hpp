@@ -38,7 +38,15 @@ struct FaultSite {
 
 /// Enumerates the static fault sites of `fn` in instruction order without
 /// modifying the IR. The instrumentor produces the same list (same ids)
-/// while instrumenting.
+/// while instrumenting. Classification is edge-exact: a store-operand site
+/// corrupts only the value flowing into the store's data slot, so it is
+/// classified by that single def-use edge rather than by every use of the
+/// stored value.
+std::vector<FaultSite> enumerate_fault_sites(
+    const ir::Function& fn, analysis::AddressRule rule,
+    analysis::AnalysisManager& am);
+
+/// Convenience overload with a private (uncached) AnalysisManager.
 std::vector<FaultSite> enumerate_fault_sites(
     const ir::Function& fn,
     analysis::AddressRule rule = analysis::AddressRule::GepOnly);
@@ -49,6 +57,11 @@ struct SiteTarget {
   ir::Value* value = nullptr;  // the targeted register value
   ir::Value* mask = nullptr;   // execution mask vector, if any
   bool store_operand = false;
+  /// For store sites: the operand slot of `value` in the store (0 for
+  /// Store, data_operand for MaskStore). The instrumentor must redirect
+  /// exactly this slot — scanning for a matching operand would hit the
+  /// mask first when a maskstore's mask and data are the same value.
+  unsigned store_operand_index = 0;
 };
 
 SiteTarget site_target_of(ir::Instruction& inst);

@@ -70,11 +70,25 @@ void FaultInjectionRuntime::arm(std::uint64_t target_index, Rng rng) {
   mode_ = Mode::Inject;
   counter_ = 0;
   target_index_ = target_index;
+  exact_bit_ = false;
   rng_ = rng;
   record_ = InjectionRecord{};
 }
 
-void FaultInjectionRuntime::disable() { mode_ = Mode::Idle; }
+void FaultInjectionRuntime::arm_exact(std::uint64_t target_index,
+                                      unsigned bit) {
+  mode_ = Mode::Inject;
+  counter_ = 0;
+  target_index_ = target_index;
+  exact_bit_ = true;
+  preset_bit_ = bit;
+  record_ = InjectionRecord{};
+}
+
+void FaultInjectionRuntime::disable() {
+  mode_ = Mode::Idle;
+  census_ = nullptr;
+}
 
 interp::RtVal FaultInjectionRuntime::handle(
     const std::vector<interp::RtVal>& args) {
@@ -100,6 +114,9 @@ interp::RtVal FaultInjectionRuntime::handle(
   }
 
   if (mode_ == Mode::Count) {
+    if (census_ != nullptr) {
+      census_->push_back(static_cast<std::uint32_t>(site_id));
+    }
     counter_ += 1;
     return value;
   }
@@ -107,7 +124,8 @@ interp::RtVal FaultInjectionRuntime::handle(
   // Inject mode.
   if (counter_ == target_index_ && !record_.fired) {
     const unsigned bit =
-        static_cast<unsigned>(rng_.next_below(elem_bits));
+        exact_bit_ ? preset_bit_
+                   : static_cast<unsigned>(rng_.next_below(elem_bits));
     const std::uint64_t before = value.raw[0];
     value.set_lane_raw(0, before ^ (std::uint64_t{1} << bit));
     record_.fired = true;

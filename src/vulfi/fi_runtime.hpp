@@ -69,10 +69,21 @@ class FaultInjectionRuntime {
   void begin_count();
   std::uint64_t dynamic_count() const { return counter_; }
 
+  /// Census sink: when non-null, Count mode appends the static site id of
+  /// every counted dynamic site (in dynamic order) to `*sink`. The static
+  /// pruner uses the sequence to remap experiments between lane-symmetric
+  /// sites. Cleared by disable().
+  void set_census(std::vector<std::uint32_t>* sink) { census_ = sink; }
+
   /// Inject mode: the `target_index`-th dynamic site (0-based, in the
   /// same order Count mode tallied) receives a single bit flip at a
   /// position drawn from `rng` at injection time.
   void arm(std::uint64_t target_index, Rng rng);
+
+  /// Inject mode with a preset bit position instead of an RNG draw — the
+  /// static pruner replays a drawn (site, bit) pair at a remapped dynamic
+  /// index, and exhaustive harnesses enumerate every pair directly.
+  void arm_exact(std::uint64_t target_index, unsigned bit);
 
   /// Idle mode: calls pass through with no counting (overhead baselines).
   void disable();
@@ -95,8 +106,11 @@ class FaultInjectionRuntime {
   bool mask_aware_ = true;
   std::uint64_t counter_ = 0;
   std::uint64_t target_index_ = 0;
+  bool exact_bit_ = false;
+  unsigned preset_bit_ = 0;
   Rng rng_;
   InjectionRecord record_;
+  std::vector<std::uint32_t>* census_ = nullptr;
 };
 
 }  // namespace vulfi

@@ -116,13 +116,10 @@ std::vector<FaultSite> Instrumentor::run(ir::Function& fn) {
         replacement = emit_scalar_call(b, module, target.value, nullptr,
                                        first_site_id, created);
       }
-      // Find which operand slot holds the stored value.
-      for (unsigned i = 0; i < inst->num_operands(); ++i) {
-        if (inst->operand(i) == target.value) {
-          inst->set_operand(i, replacement);
-          break;
-        }
-      }
+      // Redirect exactly the data slot: scanning for a matching operand
+      // would hit the mask first when a maskstore's mask and data are the
+      // same register.
+      inst->set_operand(target.store_operand_index, replacement);
       continue;
     }
 

@@ -1,0 +1,147 @@
+#include "vulfi/prune.hpp"
+
+#include <unordered_set>
+
+#include "analysis/known_bits.hpp"
+#include "analysis/slicing.hpp"
+#include "ir/intrinsics.hpp"
+
+namespace vulfi {
+
+namespace {
+
+/// Opcodes through which a single-lane corruption provably stays in its
+/// lane: elementwise compute, lane-parallel selects/phis and casts. Lane
+/// shufflers, memory, address, control, and mask consumers are excluded.
+bool elementwise_allowed(const ir::Instruction& inst) {
+  switch (inst.opcode()) {
+    case ir::Opcode::Add: case ir::Opcode::Sub: case ir::Opcode::Mul:
+    case ir::Opcode::SDiv: case ir::Opcode::UDiv: case ir::Opcode::SRem:
+    case ir::Opcode::URem: case ir::Opcode::Shl: case ir::Opcode::LShr:
+    case ir::Opcode::AShr: case ir::Opcode::And: case ir::Opcode::Or:
+    case ir::Opcode::Xor: case ir::Opcode::FAdd: case ir::Opcode::FSub:
+    case ir::Opcode::FMul: case ir::Opcode::FDiv: case ir::Opcode::FRem:
+    case ir::Opcode::FNeg: case ir::Opcode::ICmp: case ir::Opcode::FCmp:
+    case ir::Opcode::Trunc: case ir::Opcode::ZExt: case ir::Opcode::SExt:
+    case ir::Opcode::FPTrunc: case ir::Opcode::FPExt:
+    case ir::Opcode::FPToSI: case ir::Opcode::FPToUI:
+    case ir::Opcode::SIToFP: case ir::Opcode::UIToFP:
+    case ir::Opcode::Select: case ir::Opcode::Phi:
+      return true;
+    case ir::Opcode::Bitcast:
+      // Lane-preserving bitcasts only.
+      return inst.num_operands() == 1 &&
+             inst.operand(0)->type().lanes() == inst.type().lanes();
+    case ir::Opcode::Call: {
+      const ir::Function* callee = inst.callee();
+      // Elementwise math intrinsics keep lanes independent; everything
+      // else (masked memory ops, movmsk, detectors, user calls) does not.
+      return callee != nullptr &&
+             ir::is_math_intrinsic(callee->intrinsic_info().id);
+    }
+    case ir::Opcode::Ret:
+      // Return bits are compared lane for lane against the golden run.
+      return true;
+    case ir::Opcode::Store:
+      // Allowed when reached through the data operand; the pointer-operand
+      // case is rejected by the operand checks in lane_symmetric below.
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Checks the lane-symmetry conditions for a vector site whose corrupted
+/// register is `root` and whose affected instruction set is `affected`.
+bool lane_symmetric(const ir::Value& root,
+                    const std::unordered_set<const ir::Instruction*>& affected,
+                    const analysis::KnownBitsResult& kb) {
+  const unsigned lanes = root.type().lanes();
+  if (!kb.lane_uniform(&root)) return false;
+  for (const ir::Instruction* m : affected) {
+    if (!elementwise_allowed(*m)) return false;
+    if (!m->type().is_void() && m->type().lanes() != lanes) return false;
+    const bool corrupted_like_store = m->opcode() == ir::Opcode::Store;
+    for (unsigned i = 0; i < m->num_operands(); ++i) {
+      const ir::Value* operand = m->operand(i);
+      const bool corrupted =
+          operand == &root ||
+          affected.count(dynamic_cast<const ir::Instruction*>(operand)) > 0;
+      if (corrupted) {
+        // Corrupted data must never reach a pointer operand (the store's
+        // address would no longer be lane-independent).
+        if (corrupted_like_store && i == 1) return false;
+        continue;
+      }
+      if (!kb.lane_uniform(operand)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PrunePlan build_prune_plan(const ir::Function& fn,
+                           const std::vector<FaultSite>& sites,
+                           analysis::AnalysisManager& am) {
+  PrunePlan plan;
+  plan.sites.resize(sites.size());
+  if (!fn.is_definition() || fn.num_blocks() == 0) {
+    for (std::size_t id = 0; id < sites.size(); ++id) {
+      plan.sites[id].class_rep = static_cast<unsigned>(id);
+      plan.total_bit_count += sites[id].element_type.element_bits();
+    }
+    return plan;
+  }
+
+  const analysis::KnownBitsResult& kb = am.get<analysis::KnownBitsAnalysis>(fn);
+  const analysis::SliceResult& slices = am.get<analysis::SliceAnalysis>(fn);
+
+  // The pristine enumeration walks the same instructions in the same
+  // order; reconstruct each site's target from its instruction.
+  for (std::size_t id = 0; id < sites.size(); ++id) {
+    const FaultSite& site = sites[id];
+    SitePruneInfo& info = plan.sites[id];
+    info.class_rep = static_cast<unsigned>(id);
+    const unsigned elem_bits = site.element_type.element_bits();
+    plan.total_bit_count += elem_bits;
+
+    auto& inst = const_cast<ir::Instruction&>(*site.inst);
+    const SiteTarget target = site_target_of(inst);
+
+    // --- dead bits -----------------------------------------------------
+    // Demanded bits union over every use of the register; for store sites
+    // the store demands the full stored value, so dead_mask collapses to 0
+    // there automatically.
+    info.dead_mask = kb.dead_bits(target.value, site.lane);
+    std::uint64_t dead = info.dead_mask;
+    while (dead) {
+      plan.dead_bit_count += dead & 1;
+      dead >>= 1;
+    }
+
+    // --- lane-symmetry class -------------------------------------------
+    const unsigned lanes = target.value->type().lanes();
+    if (lanes < 2 || site.masked) continue;
+    if (site.lane == 0) continue;  // lane 0 is its own representative
+    // All lanes of one instruction occupy consecutive ids; the lane-0 site
+    // is this site's candidate representative.
+    const auto rep_id = static_cast<unsigned>(id - site.lane);
+    if (rep_id >= sites.size() || sites[rep_id].inst != site.inst) continue;
+
+    std::unordered_set<const ir::Instruction*> affected;
+    if (target.store_operand) {
+      affected.insert(site.inst);  // the corrupted edge ends at the store
+    } else {
+      affected = slices.slice(target.value);
+    }
+    if (!lane_symmetric(*target.value, affected, kb)) continue;
+
+    info.class_rep = rep_id;
+    plan.sites[rep_id].class_size += 1;
+    plan.collapsed_sites += 1;
+  }
+  return plan;
+}
+
+}  // namespace vulfi

@@ -1,0 +1,64 @@
+// Static fault-site pruning (dead bits + lane-symmetry classes).
+//
+// Two sound reductions of the fault-injection experiment space, both
+// proven by the static analyses in src/analysis/ and both exact — the
+// pruned campaign reproduces the unpruned campaign's statistics
+// experiment for experiment:
+//
+//  * Dead bits. A single-bit flip at a bit position the demanded-bits
+//    analysis proves unobservable (truncated away, masked off, ignored by
+//    an execution-mask consumer, overwritten before any use) is Benign by
+//    construction: it cannot change stored bytes, return bits, control
+//    flow, traps, or detector calls. Such experiments are adjudicated
+//    statically without running the program.
+//
+//  * Lane-symmetric sites. When a vector site's register is a provable
+//    splat and its entire forward slice is elementwise over lane-uniform
+//    operands (no shuffles, no lane extraction, no masked ops, no control
+//    or address consumers), flipping bit b in lane i is outcome-equivalent
+//    to flipping bit b in lane 0 of the same dynamic instance. All lanes
+//    of the instruction collapse into one equivalence class; the engine
+//    runs the representative and reuses (memoizes) the outcome for every
+//    member, with exact per-experiment weight accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/analysis_manager.hpp"
+#include "ir/function.hpp"
+#include "vulfi/fault_site.hpp"
+
+namespace vulfi {
+
+struct SitePruneInfo {
+  /// Bit positions (within the element width) where a flip is provably
+  /// Benign. A set bit at position b means "bit b is dead".
+  std::uint64_t dead_mask = 0;
+  /// Representative site id of this site's lane-symmetry class (== the
+  /// site's own id when the site is its own representative / unclassed).
+  unsigned class_rep = 0;
+  /// Number of sites sharing the class (1 = no collapse).
+  unsigned class_size = 1;
+};
+
+struct PrunePlan {
+  std::vector<SitePruneInfo> sites;  // indexed by site id
+
+  /// Aggregates for reporting.
+  std::uint64_t dead_bit_count = 0;    // total dead bits over all sites
+  std::uint64_t total_bit_count = 0;   // total element bits over all sites
+  unsigned collapsed_sites = 0;        // sites represented by another site
+
+  bool has_work() const { return dead_bit_count > 0 || collapsed_sites > 0; }
+};
+
+/// Builds the prune plan for `fn`'s site table. Must be called on the
+/// PRISTINE (pre-instrumentation) function: the analyses must see the
+/// original dataflow, not the inject-call chains. `sites` is the pristine
+/// enumeration (ids match the instrumented table by construction).
+PrunePlan build_prune_plan(const ir::Function& fn,
+                           const std::vector<FaultSite>& sites,
+                           analysis::AnalysisManager& am);
+
+}  // namespace vulfi

@@ -45,6 +45,23 @@ std::string render_throughput(const ThroughputStats& throughput) {
   return line;
 }
 
+std::string render_prune_savings(const CampaignResult& result) {
+  const std::uint64_t skipped =
+      result.prune_adjudicated + result.prune_memo_hits;
+  const double n = result.experiments == 0
+                       ? 1.0
+                       : static_cast<double>(result.experiments);
+  return strf(
+      "%llu/%llu faulty runs skipped (%s) — %llu dead-bit adjudicated, "
+      "%llu memoized; %llu experiments lane-remapped",
+      static_cast<unsigned long long>(skipped),
+      static_cast<unsigned long long>(result.experiments),
+      pct(static_cast<double>(skipped) / n).c_str(),
+      static_cast<unsigned long long>(result.prune_adjudicated),
+      static_cast<unsigned long long>(result.prune_memo_hits),
+      static_cast<unsigned long long>(result.prune_remapped));
+}
+
 std::string OutcomeReport::render_by_opcode() const {
   TextTable table({"Opcode", "Experiments", "SDC", "Benign", "Crash",
                    "Detected"});

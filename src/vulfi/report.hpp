@@ -73,4 +73,9 @@ class OutcomeReport {
 /// (per-worker busy fractions appended when more than one worker ran).
 std::string render_throughput(const ThroughputStats& throughput);
 
+/// One-line static-prune summary: how many experiments were adjudicated
+/// without execution, served from the memo, or remapped onto a
+/// lane-symmetry representative.
+std::string render_prune_savings(const CampaignResult& result);
+
 }  // namespace vulfi

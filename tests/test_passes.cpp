@@ -1,0 +1,461 @@
+// Unit tests for the static-analysis pass framework: AnalysisManager
+// caching, dominator tree, liveness, known-bits / demanded-bits /
+// lane-uniformity, and the memoized slice engine (differentially tested
+// against the stand-alone forward_slice walker).
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.hpp"
+#include "analysis/known_bits.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/slicing.hpp"
+#include "ir/builder.hpp"
+#include "ir/intrinsics.hpp"
+#include "ir/module.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/benchmark.hpp"
+#include "spmd/target.hpp"
+#include "vulfi/run_spec.hpp"
+
+namespace vulfi::analysis {
+namespace {
+
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+const ir::Instruction* as_inst(const Value* value) {
+  return dynamic_cast<const ir::Instruction*>(value);
+}
+
+/// Diamond CFG: entry -> (left | right) -> join, plus one orphan block.
+struct Diamond {
+  ir::Module module{"d"};
+  ir::Function* fn = nullptr;
+  ir::BasicBlock* entry = nullptr;
+  ir::BasicBlock* left = nullptr;
+  ir::BasicBlock* right = nullptr;
+  ir::BasicBlock* join = nullptr;
+  ir::BasicBlock* orphan = nullptr;
+
+  Diamond() {
+    fn = module.create_function("d", Type::void_ty(), {Type::i1()});
+    IRBuilder b(module);
+    entry = fn->create_block("entry");
+    left = fn->create_block("left");
+    right = fn->create_block("right");
+    join = fn->create_block("join");
+    orphan = fn->create_block("orphan");
+    b.set_insert_block(entry);
+    b.cond_br(fn->arg(0), left, right);
+    b.set_insert_block(left);
+    b.br(join);
+    b.set_insert_block(right);
+    b.br(join);
+    b.set_insert_block(join);
+    b.ret();
+    b.set_insert_block(orphan);
+    b.ret();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// AnalysisManager
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisManager, CachesResultsPerFunctionAndAnalysis) {
+  Diamond d;
+  AnalysisManager am;
+  EXPECT_EQ(am.cached_entries(), 0u);
+  const ir::DominatorTree& first = am.get<DominatorTreeAnalysis>(*d.fn);
+  const ir::DominatorTree& second = am.get<DominatorTreeAnalysis>(*d.fn);
+  EXPECT_EQ(&first, &second);  // same cached object, not a recompute
+  EXPECT_EQ(am.cached_entries(), 1u);
+  am.get<LivenessAnalysis>(*d.fn);
+  EXPECT_EQ(am.cached_entries(), 2u);
+}
+
+TEST(AnalysisManager, InvalidateDropsAFunctionsResults) {
+  Diamond d;
+  AnalysisManager am;
+  const ir::DominatorTree& first = am.get<DominatorTreeAnalysis>(*d.fn);
+  am.invalidate(*d.fn);
+  EXPECT_EQ(am.cached_entries(), 0u);
+  const ir::DominatorTree& second = am.get<DominatorTreeAnalysis>(*d.fn);
+  // A fresh result was computed (cannot compare addresses — the allocator
+  // may reuse them — but the cache was observably empty in between).
+  EXPECT_EQ(&second.function(), d.fn);
+  (void)first;
+}
+
+TEST(AnalysisManager, DependentAnalysesShareTheManager) {
+  Diamond d;
+  AnalysisManager am;
+  // KnownBits pulls DominatorTreeAnalysis through the manager; both end up
+  // cached from a single get().
+  am.get<KnownBitsAnalysis>(*d.fn);
+  EXPECT_GE(am.cached_entries(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Dominator tree
+// ---------------------------------------------------------------------------
+
+TEST(Dominators, DiamondIdomsAndQueries) {
+  Diamond d;
+  ir::DominatorTree dom(*d.fn);
+  EXPECT_EQ(dom.idom(d.entry), nullptr);
+  EXPECT_EQ(dom.idom(d.left), d.entry);
+  EXPECT_EQ(dom.idom(d.right), d.entry);
+  EXPECT_EQ(dom.idom(d.join), d.entry);  // neither branch dominates join
+  EXPECT_TRUE(dom.dominates(d.entry, d.join));
+  EXPECT_FALSE(dom.dominates(d.left, d.join));
+  EXPECT_FALSE(dom.dominates(d.left, d.right));
+  EXPECT_TRUE(dom.dominates(d.left, d.left));
+}
+
+TEST(Dominators, UnreachableBlocksAreReported) {
+  Diamond d;
+  ir::DominatorTree dom(*d.fn);
+  EXPECT_FALSE(dom.reachable(d.orphan));
+  ASSERT_EQ(dom.unreachable_blocks().size(), 1u);
+  EXPECT_EQ(dom.unreachable_blocks()[0], d.orphan);
+  EXPECT_EQ(dom.rpo().size(), 4u);
+  EXPECT_EQ(dom.rpo().front(), d.entry);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness
+// ---------------------------------------------------------------------------
+
+TEST(Liveness, DeadChainDetectedLiveStoreKept) {
+  ir::Module m("l");
+  ir::Function* f =
+      m.create_function("f", Type::void_ty(), {Type::ptr(), Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* dead_a = b.add(f->arg(1), m.const_int(Type::i32(), 1), "dead_a");
+  Value* dead_b = b.mul(dead_a, m.const_int(Type::i32(), 2), "dead_b");
+  Value* live = b.add(f->arg(1), m.const_int(Type::i32(), 3), "live");
+  b.store(live, f->arg(0));
+  b.ret();
+
+  AnalysisManager am;
+  const LivenessResult& liveness = am.get<LivenessAnalysis>(*f);
+  EXPECT_TRUE(liveness.is_dead(as_inst(dead_a)));
+  EXPECT_TRUE(liveness.is_dead(as_inst(dead_b)));
+  EXPECT_FALSE(liveness.is_dead(as_inst(live)));
+  EXPECT_EQ(liveness.dead_values().size(), 2u);
+}
+
+TEST(Liveness, LoopCarriedValueIsLiveAcrossTheLoop) {
+  // entry -> loop (i = phi(0, i+1); store i) -> loop | exit
+  ir::Module m("l2");
+  ir::Function* f =
+      m.create_function("f", Type::void_ty(), {Type::ptr(), Type::i32()});
+  IRBuilder b(m);
+  ir::BasicBlock* entry = f->create_block("entry");
+  ir::BasicBlock* loop = f->create_block("loop");
+  ir::BasicBlock* exit = f->create_block("exit");
+  b.set_insert_block(entry);
+  b.br(loop);
+  b.set_insert_block(loop);
+  ir::Instruction* i_phi = b.phi(Type::i32(), "i");
+  b.store(i_phi, f->arg(0));
+  Value* i_next = b.add(i_phi, m.const_int(Type::i32(), 1), "i_next");
+  Value* latch = b.icmp(ir::ICmpPred::SLT, i_next, f->arg(1), "latch");
+  b.cond_br(latch, loop, exit);
+  i_phi->phi_add_incoming(m.const_int(Type::i32(), 0), entry);
+  i_phi->phi_add_incoming(i_next, loop);
+  b.set_insert_block(exit);
+  b.ret();
+  ASSERT_TRUE(ir::verify(m).empty());
+
+  AnalysisManager am;
+  const LivenessResult& liveness = am.get<LivenessAnalysis>(*f);
+  // i_next feeds the backedge phi: live out of loop, and (as a phi-edge
+  // use) NOT live into the loop header itself.
+  EXPECT_TRUE(liveness.live_out(loop, i_next));
+  EXPECT_FALSE(liveness.live_in(loop, i_next));
+  // The loop bound argument is live into the loop.
+  EXPECT_TRUE(liveness.live_in(loop, f->arg(1)));
+  EXPECT_FALSE(liveness.is_dead(i_phi));
+}
+
+// ---------------------------------------------------------------------------
+// Known bits (forward)
+// ---------------------------------------------------------------------------
+
+TEST(KnownBits, AndWithConstantMaskPinsZeros) {
+  ir::Module m("kb");
+  ir::Function* f =
+      m.create_function("f", Type::void_ty(), {Type::ptr(), Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* masked = b.and_(f->arg(1), m.const_int(Type::i32(), 0xFF), "masked");
+  Value* tagged = b.or_(masked, m.const_int(Type::i32(), 0x100), "tagged");
+  b.store(tagged, f->arg(0));
+  b.ret();
+
+  AnalysisManager am;
+  const KnownBitsResult& kb = am.get<KnownBitsAnalysis>(*f);
+  const LaneBits mk = kb.known(masked, 0);
+  EXPECT_EQ(mk.zeros, 0xFFFFFF00u);  // everything above bit 7 proven zero
+  EXPECT_EQ(mk.ones, 0u);
+  const LaneBits tk = kb.known(tagged, 0);
+  EXPECT_EQ(tk.ones, 0x100u);             // the or'd tag bit is proven one
+  EXPECT_EQ(tk.zeros, 0xFFFFFE00u);       // bits above the tag still zero
+}
+
+TEST(KnownBits, ConstantsResolveExactlyPerLane) {
+  ir::Module m("kb2");
+  const Type v4i = Type::vector(ir::TypeKind::I32, 4);
+  ir::Function* f = m.create_function("f", v4i, {v4i});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  ir::Constant* lanes = m.const_int_lanes(v4i, {0, 1, 2, 3});
+  Value* sum = b.add(f->arg(0), lanes, "sum");
+  b.ret(sum);
+
+  AnalysisManager am;
+  const KnownBitsResult& kb = am.get<KnownBitsAnalysis>(*f);
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    const LaneBits k = kb.known(lanes, lane);
+    EXPECT_EQ(k.ones, lane);
+    EXPECT_EQ(k.zeros, 0xFFFFFFFFu & ~static_cast<std::uint64_t>(lane));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Demanded bits (backward) — the dead-bit source for the pruner
+// ---------------------------------------------------------------------------
+
+TEST(DemandedBits, TruncationKillsHighBits) {
+  ir::Module m("db");
+  ir::Function* f =
+      m.create_function("f", Type::void_ty(), {Type::ptr(), Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* sum = b.add(f->arg(1), m.const_int(Type::i32(), 7), "sum");
+  Value* low = b.trunc(sum, Type::i8(), "low");
+  b.store(low, f->arg(0));
+  b.ret();
+
+  AnalysisManager am;
+  const KnownBitsResult& kb = am.get<KnownBitsAnalysis>(*f);
+  // Only the low 8 bits of `sum` can reach the store.
+  EXPECT_EQ(kb.demanded(sum, 0), 0xFFu);
+  EXPECT_EQ(kb.dead_bits(sum, 0), 0xFFFFFF00u);
+  // The stored value itself is fully demanded within i8.
+  EXPECT_EQ(kb.demanded(low, 0), 0xFFu);
+  EXPECT_EQ(kb.dead_bits(low, 0), 0u);
+}
+
+TEST(DemandedBits, StoredAndReturnedValuesAreFullyDemanded) {
+  ir::Module m("db2");
+  ir::Function* f = m.create_function("f", Type::i32(), {Type::ptr(),
+                                                         Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* sum = b.add(f->arg(1), m.const_int(Type::i32(), 1), "sum");
+  b.store(sum, f->arg(0));
+  b.ret(sum);
+  AnalysisManager am;
+  const KnownBitsResult& kb = am.get<KnownBitsAnalysis>(*f);
+  EXPECT_EQ(kb.dead_bits(sum, 0), 0u);
+}
+
+TEST(DemandedBits, MaskedIntrinsicMaskDemandsOnlyLaneMsb) {
+  // The execution mask of an AVX masked load is read via each lane's sign
+  // bit only — every other mask bit is provably dead (the pruner's single
+  // biggest win on control sites).
+  ir::Module m("db3");
+  const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+  ir::Function* maskload =
+      m.declare_masked_intrinsic(ir::IntrinsicId::MaskLoad, ir::Isa::AVX, v8f);
+  ir::Function* maskstore = m.declare_masked_intrinsic(
+      ir::IntrinsicId::MaskStore, ir::Isa::AVX, v8f);
+  ir::Function* f = m.create_function("f", Type::void_ty(), {Type::ptr(), v8f});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* loaded = b.call(maskload, {f->arg(0), f->arg(1)}, "ld");
+  b.call(maskstore, {f->arg(0), f->arg(1), loaded});
+  b.ret();
+  ASSERT_TRUE(ir::verify(m).empty());
+
+  AnalysisManager am;
+  const KnownBitsResult& kb = am.get<KnownBitsAnalysis>(*f);
+  for (unsigned lane = 0; lane < 8; ++lane) {
+    EXPECT_EQ(kb.demanded(f->arg(1), lane), std::uint64_t{1} << 31);
+    EXPECT_EQ(kb.dead_bits(f->arg(1), lane), 0x7FFFFFFFu);
+    // The loaded data flows into the store: fully demanded.
+    EXPECT_EQ(kb.dead_bits(loaded, lane), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-lane known bits through shuffle / extract / insert
+// ---------------------------------------------------------------------------
+
+TEST(KnownBitsLanes, InsertExtractRouteLaneFacts) {
+  ir::Module m("lane");
+  const Type v4i = Type::vector(ir::TypeKind::I32, 4);
+  ir::Function* f = m.create_function("f", Type::i32(), {v4i, Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* masked = b.and_(f->arg(1), m.const_int(Type::i32(), 0xF), "masked");
+  Value* inserted = b.insert_element(f->arg(0), masked, 2u, "ins");
+  Value* from_ins = b.extract_element(inserted, 2u, "hit");
+  Value* from_vec = b.extract_element(inserted, 1u, "miss");
+  Value* sum = b.add(from_ins, from_vec, "sum");
+  b.ret(sum);
+
+  AnalysisManager am;
+  const KnownBitsResult& kb = am.get<KnownBitsAnalysis>(*f);
+  // Lane 2 of the inserted vector carries the masked element's facts.
+  EXPECT_EQ(kb.known(inserted, 2).zeros, 0xFFFFFFF0u);
+  EXPECT_EQ(kb.known(inserted, 1).known(), 0u);  // arg lane: nothing known
+  // Extraction routes the per-lane fact to the scalar.
+  EXPECT_EQ(kb.known(from_ins, 0).zeros, 0xFFFFFFF0u);
+  EXPECT_EQ(kb.known(from_vec, 0).known(), 0u);
+}
+
+TEST(KnownBitsLanes, ShuffleRoutesPerLaneKnowledge) {
+  ir::Module m("lane2");
+  const Type v4i = Type::vector(ir::TypeKind::I32, 4);
+  ir::Function* f = m.create_function("f", v4i, {v4i});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  ir::Constant* lanes = m.const_int_lanes(v4i, {10, 11, 12, 13});
+  // reversed = <arg3, arg2, const 11, const 10>
+  Value* reversed = b.shuffle(f->arg(0), lanes, {3, 2, 5, 4}, "rev");
+  b.ret(reversed);
+
+  AnalysisManager am;
+  const KnownBitsResult& kb = am.get<KnownBitsAnalysis>(*f);
+  EXPECT_EQ(kb.known(reversed, 0).known(), 0u);  // from the argument
+  EXPECT_EQ(kb.known(reversed, 1).known(), 0u);
+  EXPECT_EQ(kb.known(reversed, 2).ones, 11u);    // constant lane 1
+  EXPECT_EQ(kb.known(reversed, 3).ones, 10u);    // constant lane 0
+}
+
+// ---------------------------------------------------------------------------
+// Lane uniformity
+// ---------------------------------------------------------------------------
+
+TEST(LaneUniformity, BroadcastsAndElementwiseOverSplatsAreUniform) {
+  ir::Module m("u");
+  const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+  ir::Function* f = m.create_function("f", v8f, {Type::f32(), v8f});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* splat = b.broadcast(f->arg(0), 8, "splat");
+  Value* scaled = b.fmul(splat, m.const_fp(v8f, 2.0), "scaled");
+  Value* mixed = b.fadd(scaled, f->arg(1), "mixed");
+  b.ret(mixed);
+
+  AnalysisManager am;
+  const KnownBitsResult& kb = am.get<KnownBitsAnalysis>(*f);
+  EXPECT_TRUE(kb.lane_uniform(f->arg(0)));   // scalar: trivially uniform
+  EXPECT_TRUE(kb.lane_uniform(splat));
+  EXPECT_TRUE(kb.lane_uniform(scaled));      // elementwise over splats
+  EXPECT_FALSE(kb.lane_uniform(f->arg(1)));  // vector argument: unknown
+  EXPECT_FALSE(kb.lane_uniform(mixed));      // tainted by the vector arg
+}
+
+TEST(LaneUniformity, LoopCarriedSplatStaysUniform) {
+  // acc = phi(splat(x), acc * splat(x)) — optimistic iteration must keep
+  // the loop-carried accumulator uniform.
+  ir::Module m("u2");
+  const Type v4f = Type::vector(ir::TypeKind::F32, 4);
+  ir::Function* f = m.create_function("f", v4f, {Type::f32(), Type::i32()});
+  IRBuilder b(m);
+  ir::BasicBlock* entry = f->create_block("entry");
+  ir::BasicBlock* loop = f->create_block("loop");
+  ir::BasicBlock* exit = f->create_block("exit");
+  b.set_insert_block(entry);
+  Value* splat = b.broadcast(f->arg(0), 4, "splat");
+  b.br(loop);
+  b.set_insert_block(loop);
+  ir::Instruction* acc = b.phi(v4f, "acc");
+  ir::Instruction* i_phi = b.phi(Type::i32(), "i");
+  Value* next = b.fmul(acc, splat, "next");
+  Value* i_next = b.add(i_phi, m.const_int(Type::i32(), 1), "i_next");
+  Value* latch = b.icmp(ir::ICmpPred::SLT, i_next, f->arg(1), "latch");
+  b.cond_br(latch, loop, exit);
+  acc->phi_add_incoming(splat, entry);
+  acc->phi_add_incoming(next, loop);
+  i_phi->phi_add_incoming(m.const_int(Type::i32(), 0), entry);
+  i_phi->phi_add_incoming(i_next, loop);
+  b.set_insert_block(exit);
+  b.ret(acc);
+  ASSERT_TRUE(ir::verify(m).empty());
+
+  AnalysisManager am;
+  const KnownBitsResult& kb = am.get<KnownBitsAnalysis>(*f);
+  EXPECT_TRUE(kb.lane_uniform(acc));
+  EXPECT_TRUE(kb.lane_uniform(next));
+}
+
+// ---------------------------------------------------------------------------
+// Slice engine vs the stand-alone walker (differential)
+// ---------------------------------------------------------------------------
+
+void expect_slices_match(const ir::Function& fn) {
+  AnalysisManager am;
+  const SliceResult& slices = am.get<SliceAnalysis>(fn);
+  for (const auto& block : fn) {
+    for (const auto& inst : *block) {
+      if (inst->type().is_void()) continue;
+      EXPECT_EQ(slices.slice(inst.get()), forward_slice(*inst))
+          << "slice mismatch for %" << inst->name();
+    }
+  }
+  for (unsigned i = 0; i < fn.num_args(); ++i) {
+    EXPECT_EQ(slices.slice(fn.arg(i)), forward_slice(*fn.arg(i)));
+  }
+}
+
+TEST(SliceEngine, MatchesForwardSliceOnShippedKernels) {
+  for (const char* name : {"dot", "stencil", "blackscholes", "sorting"}) {
+    const kernels::Benchmark* bench = kernels::find_benchmark(name);
+    ASSERT_NE(bench, nullptr);
+    RunSpec spec = bench->build(spmd::Target::avx(), 0);
+    expect_slices_match(*spec.entry);
+  }
+}
+
+TEST(SliceEngine, MatchesForwardSliceThroughLoops) {
+  // Loop-carried SCC: phi <-> add cycle must reach everything either one
+  // reaches.
+  ir::Module m("s");
+  ir::Function* f =
+      m.create_function("f", Type::void_ty(), {Type::ptr(), Type::i32()});
+  IRBuilder b(m);
+  ir::BasicBlock* entry = f->create_block("entry");
+  ir::BasicBlock* loop = f->create_block("loop");
+  ir::BasicBlock* exit = f->create_block("exit");
+  b.set_insert_block(entry);
+  b.br(loop);
+  b.set_insert_block(loop);
+  ir::Instruction* i_phi = b.phi(Type::i32(), "i");
+  Value* addr = b.gep(f->arg(0), i_phi, 4, "addr");
+  b.store(i_phi, addr);
+  Value* i_next = b.add(i_phi, m.const_int(Type::i32(), 1), "i_next");
+  Value* latch = b.icmp(ir::ICmpPred::SLT, i_next, f->arg(1), "latch");
+  b.cond_br(latch, loop, exit);
+  i_phi->phi_add_incoming(m.const_int(Type::i32(), 0), entry);
+  i_phi->phi_add_incoming(i_next, loop);
+  b.set_insert_block(exit);
+  b.ret();
+  ASSERT_TRUE(ir::verify(m).empty());
+  expect_slices_match(*f);
+
+  AnalysisManager am;
+  const SliceResult& slices = am.get<SliceAnalysis>(*f);
+  const SiteClass cls = slices.classify(i_phi, AddressRule::GepOnly);
+  EXPECT_TRUE(cls.control);  // reaches the latch compare through the cycle
+  EXPECT_TRUE(cls.address);  // feeds the gep
+}
+
+}  // namespace
+}  // namespace vulfi::analysis

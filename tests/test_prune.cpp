@@ -1,0 +1,374 @@
+// Static fault-site pruner: exhaustive differential proof of exactness,
+// campaign-statistics identity with pruning on/off and across thread
+// counts, and the edge-exact classification regressions (store-data edges,
+// AddressRule variants over masked intrinsics).
+#include <gtest/gtest.h>
+
+#include "analysis/classify.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/benchmark.hpp"
+#include "spmd/target.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+#include "vulfi/exhaustive.hpp"
+#include "vulfi/fault_site.hpp"
+
+namespace vulfi {
+namespace {
+
+using interp::RtVal;
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+/// out <- splat(a) * 2 + splat(b). Every arithmetic site is rooted in a
+/// provable splat with a purely elementwise slice, so the pruner collapses
+/// its eight lanes into one equivalence class.
+RunSpec splat_kernel() {
+  RunSpec spec;
+  spec.module = std::make_unique<ir::Module>("splat");
+  const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+  ir::Function* f = spec.module->create_function(
+      "f", Type::void_ty(), {Type::f32(), Type::f32(), Type::ptr()});
+  IRBuilder b(*spec.module);
+  b.set_insert_block(f->create_block("entry"));
+  Value* splat_a = b.broadcast(f->arg(0), 8, "splat_a");
+  Value* splat_b = b.broadcast(f->arg(1), 8, "splat_b");
+  Value* scaled = b.fmul(splat_a, spec.module->const_fp(v8f, 2.0), "scaled");
+  Value* sum = b.fadd(scaled, splat_b, "sum");
+  b.store(sum, f->arg(2));
+  b.ret();
+  spec.entry = f;
+  const std::uint64_t out = spec.arena.alloc(32, "out");
+  spec.args = {RtVal::f32(1.5f), RtVal::f32(0.75f), RtVal::ptr(out)};
+  spec.output_regions = {"out"};
+  return spec;
+}
+
+/// out <- i8(x + 7). The add's upper 24 bits are truncated away — the
+/// demanded-bits analysis proves them dead, so the pruner adjudicates
+/// those flips Benign without running anything.
+RunSpec trunc_kernel() {
+  RunSpec spec;
+  spec.module = std::make_unique<ir::Module>("trunc");
+  ir::Function* f = spec.module->create_function(
+      "f", Type::void_ty(), {Type::i32(), Type::ptr()});
+  IRBuilder b(*spec.module);
+  b.set_insert_block(f->create_block("entry"));
+  Value* sum = b.add(f->arg(0), spec.module->const_int(Type::i32(), 7), "sum");
+  Value* low = b.trunc(sum, Type::i8(), "low");
+  b.store(low, f->arg(1));
+  b.ret();
+  spec.entry = f;
+  const std::uint64_t out = spec.arena.alloc(1, "out");
+  spec.args = {RtVal::i32(41), RtVal::ptr(out)};
+  spec.output_regions = {"out"};
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive differential: pruned statistics == ground truth
+// ---------------------------------------------------------------------------
+
+TEST(PruneDifferential, LaneClassesPreserveEveryOutcomeOnSplatKernel) {
+  InjectionEngine truth_engine(splat_kernel(),
+                               analysis::FaultSiteCategory::PureData);
+  InjectionEngine pruned_engine(splat_kernel(),
+                                analysis::FaultSiteCategory::PureData);
+  ASSERT_GT(pruned_engine.prune_plan().collapsed_sites, 0u);
+
+  const ExhaustiveTotals truth = run_exhaustive(truth_engine);
+  const ExhaustiveTotals pruned = run_exhaustive_pruned(pruned_engine);
+
+  // Ground truth executes every single pair; the pruned driver must match
+  // its totals exactly while executing strictly fewer faulty runs.
+  EXPECT_EQ(truth.executed_runs, truth.experiments);
+  EXPECT_EQ(truth.saved_runs, 0u);
+  EXPECT_TRUE(truth.same_statistics(pruned));
+  EXPECT_EQ(pruned.experiments, pruned.executed_runs + pruned.saved_runs);
+  EXPECT_LT(pruned.executed_runs, truth.executed_runs);
+  EXPECT_GT(pruned.saved_runs, 0u);
+  // The kernel corrupts only pure-data float lanes: nothing can crash.
+  EXPECT_EQ(truth.crash, 0u);
+  EXPECT_GT(truth.sdc, 0u);
+}
+
+TEST(PruneDifferential, DeadBitsAdjudicatedExactlyOnTruncKernel) {
+  InjectionEngine truth_engine(trunc_kernel(),
+                               analysis::FaultSiteCategory::PureData);
+  InjectionEngine pruned_engine(trunc_kernel(),
+                                analysis::FaultSiteCategory::PureData);
+  ASSERT_GT(pruned_engine.prune_plan().dead_bit_count, 0u);
+
+  const ExhaustiveTotals truth = run_exhaustive(truth_engine);
+  const ExhaustiveTotals pruned = run_exhaustive_pruned(pruned_engine);
+
+  // sum(i32) + low(i8) + store operand(i8) = 48 pairs; the 24 truncated
+  // bits of sum are adjudicated without execution.
+  EXPECT_EQ(truth.experiments, 48u);
+  EXPECT_TRUE(truth.same_statistics(pruned));
+  EXPECT_GE(pruned.saved_runs, 24u);
+  EXPECT_LT(pruned.executed_runs, truth.executed_runs);
+}
+
+TEST(PruneDifferential, PrunedDispatchAgreesPairwiseWithExactRuns) {
+  InjectionEngine engine(splat_kernel(),
+                         analysis::FaultSiteCategory::PureData);
+  const PrunePlan& plan = engine.prune_plan();
+  const GoldenCache& golden = engine.golden();
+  ASSERT_FALSE(golden.site_sequence.size() == 0u);
+
+  // Find a dynamic site whose static site was collapsed onto another
+  // representative, and check the remapped outcome against ground truth.
+  bool checked_remap = false;
+  for (std::uint64_t k = 0; k < golden.site_sequence.size(); ++k) {
+    const std::uint32_t site = golden.site_sequence[k];
+    if (plan.sites[site].class_rep == site) continue;
+    const ExperimentResult exact = engine.run_experiment_exact(k, 3);
+    const ExperimentResult pruned = engine.run_experiment_pruned_at(k, 3);
+    EXPECT_TRUE(pruned.remapped);
+    EXPECT_EQ(pruned.outcome, exact.outcome);
+    EXPECT_EQ(pruned.detected, exact.detected);
+    // The injection record reports the LOGICAL site, not the executed rep.
+    EXPECT_EQ(pruned.injection.site_id, exact.injection.site_id);
+    EXPECT_EQ(pruned.injection.lane, exact.injection.lane);
+    checked_remap = true;
+    break;
+  }
+  EXPECT_TRUE(checked_remap);
+}
+
+TEST(PruneDifferential, AdjudicatedBitIsBenignInGroundTruth) {
+  InjectionEngine engine(trunc_kernel(),
+                         analysis::FaultSiteCategory::PureData);
+  const PrunePlan& plan = engine.prune_plan();
+  const GoldenCache& golden = engine.golden();
+
+  bool checked_dead = false;
+  for (std::uint64_t k = 0; k < golden.site_sequence.size(); ++k) {
+    const std::uint32_t site = golden.site_sequence[k];
+    const std::uint64_t dead = plan.sites[site].dead_mask;
+    if (dead == 0) continue;
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      if (((dead >> bit) & 1) == 0) continue;
+      const ExperimentResult pruned = engine.run_experiment_pruned_at(k, bit);
+      EXPECT_TRUE(pruned.statically_adjudicated);
+      EXPECT_EQ(pruned.outcome, Outcome::Benign);
+      const ExperimentResult exact = engine.run_experiment_exact(k, bit);
+      EXPECT_EQ(exact.outcome, Outcome::Benign);
+      EXPECT_EQ(pruned.detected, exact.detected);
+      checked_dead = true;
+      break;
+    }
+    if (checked_dead) break;
+  }
+  EXPECT_TRUE(checked_dead);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign identity: pruning and thread count never change statistics
+// ---------------------------------------------------------------------------
+
+CampaignResult run_sorting_campaign(bool prune, unsigned threads) {
+  const kernels::Benchmark* bench = kernels::find_benchmark("sorting");
+  EXPECT_NE(bench, nullptr);
+  InjectionEngine engine(bench->build(spmd::Target::avx(), 0),
+                         analysis::FaultSiteCategory::Control);
+  CampaignConfig config;
+  config.experiments_per_campaign = 10;
+  config.min_campaigns = 2;
+  config.max_campaigns = 2;
+  config.seed = 1234;
+  config.num_threads = threads;
+  config.use_static_prune = prune;
+  return run_campaigns({&engine}, config);
+}
+
+void expect_same_statistics(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.campaigns, b.campaigns);
+  EXPECT_EQ(a.experiments, b.experiments);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.detected_sdc, b.detected_sdc);
+  EXPECT_EQ(a.detected_total, b.detected_total);
+  EXPECT_EQ(a.campaign_sdc_rates, b.campaign_sdc_rates);
+  EXPECT_DOUBLE_EQ(a.margin_of_error, b.margin_of_error);
+}
+
+TEST(PruneCampaign, StatisticsIdenticalWithPruningOnAndOff) {
+  const CampaignResult pruned = run_sorting_campaign(true, 1);
+  const CampaignResult unpruned = run_sorting_campaign(false, 1);
+  expect_same_statistics(pruned, unpruned);
+  // The unpruned run must not report prune activity.
+  EXPECT_EQ(unpruned.prune_adjudicated, 0u);
+  EXPECT_EQ(unpruned.prune_remapped, 0u);
+  EXPECT_EQ(unpruned.prune_memo_hits, 0u);
+  // sorting/control is a known dead-bit-rich cell; the savings are real.
+  EXPECT_GT(pruned.prune_adjudicated, 0u);
+}
+
+TEST(PruneCampaign, StatisticsIdenticalAcrossThreadCounts) {
+  const CampaignResult serial = run_sorting_campaign(true, 1);
+  const CampaignResult parallel = run_sorting_campaign(true, 4);
+  expect_same_statistics(serial, parallel);
+  // Adjudication and remap counts are pure functions of the experiment
+  // coordinates, so they are thread-count independent too (memo hits are
+  // deliberately excluded: workers own private memos).
+  EXPECT_EQ(serial.prune_adjudicated, parallel.prune_adjudicated);
+  EXPECT_EQ(serial.prune_remapped, parallel.prune_remapped);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-exact store-data classification (regression)
+// ---------------------------------------------------------------------------
+
+TEST(EdgeClassify, StoreDataSiteStaysPureDataWhenValueAlsoFeedsGep) {
+  // v = x + 1; store v -> &base[v]. The VALUE v is an address site (it
+  // indexes the gep), but corrupting the store's DATA EDGE only changes
+  // the bytes written — the per-value approximation used to misclassify
+  // that site as address.
+  ir::Module m("m");
+  ir::Function* f =
+      m.create_function("f", Type::void_ty(), {Type::ptr(), Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* v = b.add(f->arg(1), m.const_int(Type::i32(), 1), "v");
+  Value* addr = b.gep(f->arg(0), v, 4, "addr");
+  b.store(v, addr);
+  b.ret();
+  ASSERT_TRUE(ir::verify(m).empty());
+
+  // Per-value classification: v reaches a gep, so it IS an address site.
+  EXPECT_TRUE(
+      analysis::classify_value(*v, analysis::AddressRule::GepOnly).address);
+
+  const auto sites = enumerate_fault_sites(*f);
+  bool saw_store_site = false;
+  bool saw_value_site = false;
+  for (const FaultSite& site : sites) {
+    if (site.store_operand) {
+      EXPECT_FALSE(site.site_class.address);
+      EXPECT_TRUE(site.site_class.pure_data());
+      saw_store_site = true;
+    } else if (site.inst->name() == "v") {
+      EXPECT_TRUE(site.site_class.address);
+      saw_value_site = true;
+    }
+  }
+  EXPECT_TRUE(saw_store_site);
+  EXPECT_TRUE(saw_value_site);
+}
+
+// ---------------------------------------------------------------------------
+// AddressRule::GepOnly vs GepOrMemOperand over masked intrinsics
+// ---------------------------------------------------------------------------
+
+TEST(AddressRules, PointerSelectCountsOnlyUnderMemOperandRule) {
+  // t = fcmp(x, 0.5); dst = select(t, a, b); maskstore(dst, mask, data).
+  // t's slice holds no gep, but it reaches the maskstore's POINTER operand
+  // through the select — an address site under GepOrMemOperand only.
+  ir::Module m("m");
+  const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+  ir::Function* maskstore = m.declare_masked_intrinsic(
+      ir::IntrinsicId::MaskStore, ir::Isa::AVX, v8f);
+  ir::Function* f = m.create_function(
+      "f", Type::void_ty(), {Type::ptr(), Type::ptr(), Type::f32(), v8f, v8f});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* t = b.fcmp(ir::FCmpPred::OLT, f->arg(2), m.const_fp(Type::f32(), 0.5),
+                    "t");
+  Value* dst = b.select(t, f->arg(0), f->arg(1), "dst");
+  b.call(maskstore, {dst, f->arg(3), f->arg(4)});
+  b.ret();
+  ASSERT_TRUE(ir::verify(m).empty());
+
+  const auto gep_only =
+      enumerate_fault_sites(*f, analysis::AddressRule::GepOnly);
+  const auto mem_operand =
+      enumerate_fault_sites(*f, analysis::AddressRule::GepOrMemOperand);
+  ASSERT_EQ(gep_only.size(), mem_operand.size());
+
+  bool saw_cmp = false;
+  for (std::size_t i = 0; i < gep_only.size(); ++i) {
+    if (gep_only[i].inst->name() == "t") {
+      EXPECT_TRUE(gep_only[i].site_class.pure_data());
+      EXPECT_TRUE(mem_operand[i].site_class.address);
+      saw_cmp = true;
+    }
+    if (gep_only[i].store_operand) {
+      // The maskstore's data edge is pure-data under BOTH rules: corrupted
+      // stored bytes never become an address.
+      EXPECT_TRUE(gep_only[i].site_class.pure_data());
+      EXPECT_TRUE(mem_operand[i].site_class.pure_data());
+      EXPECT_TRUE(gep_only[i].masked);
+    }
+  }
+  EXPECT_TRUE(saw_cmp);
+}
+
+TEST(AddressRules, MaskLoadResultFeedingDataStaysPureDataUnderBothRules) {
+  // loaded = maskload(p, mask); maskstore(q, mask, loaded). The loaded
+  // value only ever flows into a data position.
+  ir::Module m("m");
+  const Type v8f = Type::vector(ir::TypeKind::F32, 8);
+  ir::Function* maskload = m.declare_masked_intrinsic(
+      ir::IntrinsicId::MaskLoad, ir::Isa::AVX, v8f);
+  ir::Function* maskstore = m.declare_masked_intrinsic(
+      ir::IntrinsicId::MaskStore, ir::Isa::AVX, v8f);
+  ir::Function* f = m.create_function(
+      "f", Type::void_ty(), {Type::ptr(), Type::ptr(), v8f});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  Value* loaded = b.call(maskload, {f->arg(0), f->arg(2)}, "loaded");
+  b.call(maskstore, {f->arg(1), f->arg(2), loaded});
+  b.ret();
+  ASSERT_TRUE(ir::verify(m).empty());
+
+  for (const analysis::AddressRule rule :
+       {analysis::AddressRule::GepOnly,
+        analysis::AddressRule::GepOrMemOperand}) {
+    const auto sites = enumerate_fault_sites(*f, rule);
+    bool saw_load_site = false;
+    for (const FaultSite& site : sites) {
+      if (site.inst->name() != "loaded") continue;
+      EXPECT_TRUE(site.site_class.pure_data());
+      EXPECT_TRUE(site.masked);
+      saw_load_site = true;
+    }
+    EXPECT_TRUE(saw_load_site);
+  }
+}
+
+TEST(AddressRules, MemoizedClassifierMatchesStandaloneOnBenchmarks) {
+  for (const char* name : {"dot", "stencil", "blackscholes"}) {
+    const kernels::Benchmark* bench = kernels::find_benchmark(name);
+    ASSERT_NE(bench, nullptr);
+    RunSpec spec = bench->build(spmd::Target::avx(), 0);
+    for (const analysis::AddressRule rule :
+         {analysis::AddressRule::GepOnly,
+          analysis::AddressRule::GepOrMemOperand}) {
+      analysis::AnalysisManager am;
+      for (const auto& block : *spec.entry) {
+        for (const auto& inst : *block) {
+          if (inst->type().is_void()) continue;
+          const analysis::SiteClass memoized =
+              analysis::classify_value(*inst, rule, am);
+          const analysis::SiteClass standalone =
+              analysis::classify_value(*inst, rule);
+          EXPECT_EQ(memoized.control, standalone.control);
+          EXPECT_EQ(memoized.address, standalone.address);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vulfi

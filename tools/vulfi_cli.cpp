@@ -16,13 +16,19 @@
 //       with --report, the per-opcode outcome breakdown.
 //   vulfi campaign --benchmark NAME --category C [--campaigns K]
 //                  [--experiments N] [--seed S] [--target avx|sse]
-//                  [--jobs N] [--no-golden-cache]
+//                  [--jobs N] [--no-golden-cache] [--no-static-prune]
 //       Statistically controlled campaign (paper §IV-D) with margin of
 //       error, normality, and throughput reporting. --jobs N runs the
 //       experiments on N worker threads (0 = hardware concurrency) with
 //       bit-identical statistics for every N. --no-golden-cache re-runs
 //       the golden pass per experiment (A/B escape hatch; statistics are
-//       bit-identical with and without the cache).
+//       bit-identical with and without the cache). --no-static-prune
+//       disables dead-bit adjudication and lane-class memoization —
+//       another exact A/B escape hatch.
+//   vulfi lint [--benchmark NAME | --file K.ispc | --all] [--target avx|sse]
+//       Run the IR lint driver (verifier + unreachable-block, dead-value,
+//       and constant-condition checks) over shipped kernel modules.
+//       Nonzero exit if any diagnostic fires.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -32,6 +38,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/lint.hpp"
 #include "detect/detector_runtime.hpp"
 #include "detect/foreach_detector.hpp"
 #include "detect/uniform_detector.hpp"
@@ -79,7 +86,11 @@ struct CliArgs {
       "[--detectors] [--report]\n"
       "  campaign --benchmark NAME --category C [--campaigns K] "
       "[--experiments N] [--seed S] [--target avx|sse] [--jobs N] "
-      "[--no-golden-cache]\n"
+      "[--no-golden-cache] [--no-static-prune]\n"
+      "  lint     [--benchmark NAME | --file K.ispc | --all] "
+      "[--target avx|sse]\n"
+      "           Lint kernel IR (verify + dataflow checks); nonzero exit "
+      "on any diagnostic.\n"
       "  compile  --file K.ispc [--target avx|sse] [--detectors] "
       "[--instrumented]\n"
       "           Compile an ISPC-like kernel file and print its IR.\n"
@@ -103,7 +114,8 @@ CliArgs parse(int argc, char** argv) {
                                  "--experiments", "--campaigns", "--seed",
                                  "--input", "--file", "--jobs"};
   const char* flag_options[] = {"--detectors", "--instrumented", "--report",
-                                "--no-golden-cache"};
+                                "--no-golden-cache", "--no-static-prune",
+                                "--all"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool matched = false;
@@ -243,7 +255,9 @@ int cmd_inject(const CliArgs& args) {
   if (args.flag("detectors")) {
     detect::insert_foreach_detectors(*spec.module);
   }
-  InjectionEngine engine(std::move(spec), category);
+  EngineOptions engine_options;
+  engine_options.static_prune = !args.flag("no-static-prune");
+  InjectionEngine engine(std::move(spec), category, engine_options);
   if (args.flag("detectors")) {
     engine.setup_runtime([](interp::RuntimeEnv& env,
                             interp::DetectionLog& log) {
@@ -291,6 +305,7 @@ int cmd_study(const CliArgs& args) {
   config.campaign.num_threads =
       static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
   config.campaign.use_golden_cache = !args.flag("no-golden-cache");
+  config.campaign.use_static_prune = !args.flag("no-static-prune");
   config.with_detectors = args.flag("detectors");
 
   const auto cells = kernels::run_resiliency_study(
@@ -380,6 +395,7 @@ int cmd_campaign(const CliArgs& args) {
   config.num_threads =
       static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
   config.use_golden_cache = !args.flag("no-golden-cache");
+  config.use_static_prune = !args.flag("no-static-prune");
   const CampaignResult result = run_campaigns(pointers, config);
 
   std::printf("%s / %s / %s\n", bench.name().c_str(),
@@ -397,7 +413,75 @@ int cmd_campaign(const CliArgs& args) {
               result.near_normal ? "yes" : "no");
   std::printf("  throughput: %s\n",
               render_throughput(result.throughput).c_str());
+  if (config.use_static_prune) {
+    std::printf("  static prune: %s\n",
+                render_prune_savings(result).c_str());
+  }
   return 0;
+}
+
+int lint_one(const std::string& label, ir::Module& module, int& failures) {
+  const std::vector<analysis::LintDiagnostic> diags =
+      analysis::lint_module(module);
+  for (const analysis::LintDiagnostic& diag : diags) {
+    std::printf("%s: %s\n", label.c_str(), diag.render().c_str());
+  }
+  if (diags.empty()) {
+    std::printf("%s: clean\n", label.c_str());
+  } else {
+    failures += 1;
+  }
+  return static_cast<int>(diags.size());
+}
+
+int cmd_lint(const CliArgs& args) {
+  int failures = 0;
+
+  if (!args.get("file").empty()) {
+    const std::string path = args.get("file");
+    std::ifstream stream(path);
+    if (!stream) {
+      std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    spmd::lang::CompileResult result =
+        spmd::lang::compile_program(buffer.str(), target_of(args), path);
+    if (!result.ok()) {
+      for (const std::string& err : result.errors) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+      }
+      return 1;
+    }
+    lint_one(path, *result.module, failures);
+    return failures == 0 ? 0 : 1;
+  }
+
+  if (args.flag("all")) {
+    // Every registered benchmark on every ISA: the CI lint-examples gate.
+    const spmd::Target targets[] = {spmd::Target::avx(),
+                                    spmd::Target::sse4()};
+    std::vector<const kernels::Benchmark*> benches =
+        kernels::all_benchmarks();
+    for (const auto* bench : kernels::micro_benchmarks()) {
+      benches.push_back(bench);
+    }
+    for (const spmd::Target& target : targets) {
+      for (const kernels::Benchmark* bench : benches) {
+        RunSpec spec = bench->build(target, 0);
+        lint_one(strf("%s/%s", bench->name().c_str(), target.name()),
+                 *spec.module, failures);
+      }
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+  const auto& bench = benchmark_of(args);
+  RunSpec spec = bench.build(target_of(args),
+                             std::stoul(args.get("input", "0")));
+  lint_one(bench.name(), *spec.module, failures);
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -411,6 +495,7 @@ int main(int argc, char** argv) {
   if (args.command == "campaign") return cmd_campaign(args);
   if (args.command == "compile") return cmd_compile(args);
   if (args.command == "study") return cmd_study(args);
+  if (args.command == "lint") return cmd_lint(args);
   if (args.command == "--help" || args.command == "-h") usage(0);
   std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
   usage(2);
