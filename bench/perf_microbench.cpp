@@ -23,6 +23,7 @@
 #include "detect/foreach_detector.hpp"
 #include "interp/interpreter.hpp"
 #include "kernels/benchmark.hpp"
+#include "support/journal.hpp"
 #include "support/stats.hpp"
 #include "vulfi/campaign.hpp"
 #include "vulfi/driver.hpp"
@@ -239,6 +240,60 @@ void BM_OnlineStatsMoments(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OnlineStatsMoments);
+
+// Checkpoint journal cost: the campaign layer pays one sealed append per
+// campaign boundary (seal + format + write; fsync dominates on real
+// disks and is measured separately by turning sync off here, per the
+// JournalWriter::set_sync contract).
+void BM_JournalSealUnseal(benchmark::State& state) {
+  const std::string payload =
+      "{\"t\":\"campaign\",\"c\":39,\"benign\":21,\"sdc\":71,\"crash\":8,"
+      "\"dsdc\":0,\"dtot\":0,\"padj\":5,\"premap\":2,\"pmemo\":11}";
+  for (auto _ : state) {
+    const std::string sealed = journal_seal(payload);
+    auto back = journal_unseal(sealed);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_JournalSealUnseal);
+
+void BM_JournalAppend(benchmark::State& state) {
+  const std::string path = "bench_journal_append.jsonl";
+  JournalWriter writer;
+  writer.open(path, 0);
+  writer.set_sync(false);
+  const std::string payload =
+      "{\"t\":\"campaign\",\"c\":39,\"benign\":21,\"sdc\":71,\"crash\":8,"
+      "\"dsdc\":0,\"dtot\":0,\"padj\":5,\"premap\":2,\"pmemo\":11}";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.append(payload));
+  }
+  writer.close();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_JournalRecover(benchmark::State& state) {
+  // Recovery scans and re-verifies every record: cost of resuming a
+  // max-length (40-campaign) checkpoint.
+  const std::string path = "bench_journal_recover.jsonl";
+  {
+    JournalWriter writer;
+    writer.open(path, 0);
+    writer.set_sync(false);
+    for (unsigned c = 0; c < 40; ++c) {
+      writer.append("{\"t\":\"campaign\",\"c\":" + std::to_string(c) +
+                    ",\"benign\":21,\"sdc\":71,\"crash\":8,\"dsdc\":0,"
+                    "\"dtot\":0,\"padj\":5,\"premap\":2,\"pmemo\":11}");
+    }
+  }
+  for (auto _ : state) {
+    const JournalRecovery recovered = recover_journal(path);
+    benchmark::DoNotOptimize(recovered.records.size());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_JournalRecover);
 
 // ---------------------------------------------------------------------------
 // --perf-json: standalone before/after experiments-per-second measurement

@@ -1,0 +1,47 @@
+#include "support/cancel.hpp"
+
+#include "support/error.hpp"
+
+namespace vulfi {
+
+namespace {
+
+// The handler may run on any thread at any instruction; it may only touch
+// lock-free atomics and call async-signal-safe functions.
+std::atomic<CancellationToken*> g_signal_token{nullptr};
+
+void handle_cancel_signal(int sig) {
+  CancellationToken* token = g_signal_token.load(std::memory_order_relaxed);
+  if (!token) return;
+  if (sig == SIGINT && token->cancelled()) {
+    // Second ^C: the user wants out now, cooperative or not.
+    std::signal(SIGINT, SIG_DFL);
+    std::raise(SIGINT);
+    return;
+  }
+  token->request_cancel();
+}
+
+}  // namespace
+
+ScopedSignalCancellation::ScopedSignalCancellation(CancellationToken& token) {
+  CancellationToken* expected = nullptr;
+  VULFI_ASSERT(g_signal_token.compare_exchange_strong(expected, &token),
+               "only one ScopedSignalCancellation may be live at a time");
+  struct sigaction action {};
+  action.sa_handler = handle_cancel_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocked read should come back with EINTR so the
+  // process notices the cancellation promptly.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, &old_int_);
+  sigaction(SIGTERM, &action, &old_term_);
+}
+
+ScopedSignalCancellation::~ScopedSignalCancellation() {
+  sigaction(SIGINT, &old_int_, nullptr);
+  sigaction(SIGTERM, &old_term_, nullptr);
+  g_signal_token.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace vulfi

@@ -1,0 +1,57 @@
+// Cooperative cancellation for long-running campaigns.
+//
+// A fault-injection campaign must be interruptible without losing its
+// checkpointed history: workers drain the experiment they are executing,
+// stop taking new work, and the coordinator performs a final checkpoint
+// flush before returning with the run marked interrupted. The primitive
+// is a lock-free flag that signal handlers may set (async-signal-safe)
+// and worker loops poll between experiments.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+
+namespace vulfi {
+
+/// One-way cancellation flag. request_cancel() is async-signal-safe
+/// (a relaxed store on a lock-free atomic), so SIGINT/SIGTERM handlers
+/// can call it directly; cancelled() is polled by worker loops between
+/// experiments — cancellation is cooperative, never preemptive.
+class CancellationToken {
+ public:
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the token (tests resume with the same config object).
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handlers require a lock-free cancellation flag");
+
+/// RAII SIGINT/SIGTERM → CancellationToken bridge. The first signal
+/// requests cooperative cancellation (drain, flush, exit with the
+/// interrupted code); a second SIGINT restores the default disposition
+/// and re-raises, so a wedged process can still be force-quit with ^C^C.
+/// At most one instance may be live at a time; previous dispositions are
+/// restored on destruction.
+class ScopedSignalCancellation {
+ public:
+  explicit ScopedSignalCancellation(CancellationToken& token);
+  ~ScopedSignalCancellation();
+  ScopedSignalCancellation(const ScopedSignalCancellation&) = delete;
+  ScopedSignalCancellation& operator=(const ScopedSignalCancellation&) =
+      delete;
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+}  // namespace vulfi

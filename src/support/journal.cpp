@@ -1,0 +1,201 @@
+#include "support/journal.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi {
+
+namespace {
+
+// ",\"fnv\":\"" + 16 hex digits + "\"}" — the sealed suffix length.
+constexpr std::string_view kFnvPrefix = ",\"fnv\":\"";
+constexpr std::size_t kSealSuffixBytes = kFnvPrefix.size() + 16 + 2;
+
+bool is_hex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  return fnv1a64(text.data(), text.size());
+}
+
+std::string journal_seal(const std::string& payload) {
+  VULFI_ASSERT(payload.size() >= 2 && payload.front() == '{' &&
+                   payload.back() == '}',
+               "journal payload must be a JSON object");
+  std::string sealed = payload.substr(0, payload.size() - 1);
+  sealed += kFnvPrefix;
+  sealed += strf("%016llx",
+                 static_cast<unsigned long long>(fnv1a64(payload)));
+  sealed += "\"}";
+  return sealed;
+}
+
+std::optional<std::string> journal_unseal(std::string_view line) {
+  if (line.size() < kSealSuffixBytes + 2) return std::nullopt;
+  const std::size_t suffix_at = line.size() - kSealSuffixBytes;
+  if (line.substr(suffix_at, kFnvPrefix.size()) != kFnvPrefix) {
+    return std::nullopt;
+  }
+  if (line.substr(line.size() - 2) != "\"}") return std::nullopt;
+
+  const std::string_view hex = line.substr(suffix_at + kFnvPrefix.size(), 16);
+  std::uint64_t want = 0;
+  for (char c : hex) {
+    if (!is_hex(c)) return std::nullopt;
+    want = (want << 4) |
+           static_cast<std::uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+
+  std::string payload(line.substr(0, suffix_at));
+  payload += '}';
+  if (fnv1a64(payload) != want) return std::nullopt;
+  return payload;
+}
+
+JournalRecovery recover_journal(const std::string& path) {
+  JournalRecovery out;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (!file) return out;
+  out.file_existed = true;
+
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(file);
+
+  std::size_t cursor = 0;
+  while (cursor < contents.size()) {
+    const std::size_t newline = contents.find('\n', cursor);
+    // A final line without its newline is a torn write: drop it.
+    if (newline == std::string::npos) break;
+    auto payload = journal_unseal(
+        std::string_view(contents).substr(cursor, newline - cursor));
+    if (!payload) break;
+    out.records.push_back(std::move(*payload));
+    cursor = newline + 1;
+  }
+  out.valid_bytes = cursor;
+  out.tail_dropped = cursor < contents.size();
+  return out;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+bool JournalWriter::open(const std::string& path, std::uint64_t keep_bytes,
+                         std::string* error) {
+  close();
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    if (static_cast<std::uint64_t>(st.st_size) > keep_bytes &&
+        ::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) != 0) {
+      if (error) {
+        *error = strf("cannot roll back journal '%s': %s", path.c_str(),
+                      std::strerror(errno));
+      }
+      return false;
+    }
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (!file_) {
+    if (error) {
+      *error = strf("cannot open journal '%s': %s", path.c_str(),
+                    std::strerror(errno));
+    }
+    return false;
+  }
+  path_ = path;
+  return true;
+}
+
+bool JournalWriter::append(const std::string& payload) {
+  if (!file_) return false;
+  const std::string line = journal_seal(payload) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return false;
+  }
+  if (std::fflush(file_) != 0) return false;
+  if (sync_ && ::fsync(fileno(file_)) != 0) return false;
+  return true;
+}
+
+void JournalWriter::close() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_.clear();
+}
+
+std::optional<std::uint64_t> journal_u64(const std::string& payload,
+                                         const char* key) {
+  const std::string needle = strf("\"%s\":", key);
+  const std::size_t at = payload.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t cursor = at + needle.size();
+  if (cursor >= payload.size() || payload[cursor] < '0' ||
+      payload[cursor] > '9') {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  while (cursor < payload.size() && payload[cursor] >= '0' &&
+         payload[cursor] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(payload[cursor] - '0');
+    cursor += 1;
+  }
+  return value;
+}
+
+std::optional<std::string> journal_str(const std::string& payload,
+                                       const char* key) {
+  const std::string needle = strf("\"%s\":\"", key);
+  const std::size_t at = payload.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = payload.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return payload.substr(begin, end - begin);
+}
+
+std::string double_hex(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  return strf("%016llx", static_cast<unsigned long long>(bits));
+}
+
+std::optional<double> double_from_hex(std::string_view hex) {
+  if (hex.size() != 16) return std::nullopt;
+  std::uint64_t bits = 0;
+  for (char c : hex) {
+    if (!is_hex(c)) return std::nullopt;
+    bits = (bits << 4) |
+           static_cast<std::uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+}  // namespace vulfi

@@ -1,0 +1,114 @@
+// Crash-safe append-only journal (checksummed JSONL).
+//
+// Long statistical campaigns must survive SIGINT, OOM kills, and node
+// preemption: losing campaign 38/40 to a signal discards hours of work.
+// The journal is the durability primitive behind campaign checkpointing
+// (vulfi/campaign.hpp): one JSON object per line, each sealed with an
+// FNV-1a 64-bit checksum of the payload embedded as a trailing "fnv"
+// field. Records are appended and flushed (fsync) at every checkpoint
+// boundary, so the on-disk prefix is always a valid history; recovery
+// scans the file, keeps the longest prefix of verifiable records, and
+// rolls back (truncates) anything after the last valid record — a
+// torn final write or a corrupted tail degrades to "redo the last
+// campaign", never to a crash or silently wrong statistics.
+//
+// The journal layer is content-agnostic: it seals, verifies, and
+// recovers opaque JSON payloads. The flat-field helpers below parse the
+// payloads this library writes itself; they are not a general JSON
+// parser.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vulfi {
+
+/// FNV-1a 64-bit hash (offset basis 0xcbf29ce484222325, prime
+/// 0x100000001b3). Stable across platforms and builds — checkpoint files
+/// written by one host verify on another.
+std::uint64_t fnv1a64(const void* data, std::size_t size);
+std::uint64_t fnv1a64(std::string_view text);
+
+/// Seals a JSON object payload (must be "{...}") into one journal line:
+/// the payload with `,"fnv":"<16 hex>"` spliced before the closing brace,
+/// where the checksum covers the original payload bytes. The result is
+/// itself valid JSON.
+std::string journal_seal(const std::string& payload);
+
+/// Verifies one journal line and returns the original payload, or
+/// std::nullopt if the line is malformed or fails its checksum.
+std::optional<std::string> journal_unseal(std::string_view line);
+
+struct JournalRecovery {
+  /// Verified payloads (checksum field stripped), in file order.
+  std::vector<std::string> records;
+  /// Byte length of the valid prefix: every byte past this belongs to a
+  /// truncated or corrupt tail and must be discarded before appending.
+  std::uint64_t valid_bytes = 0;
+  /// Bytes past valid_bytes existed and were dropped.
+  bool tail_dropped = false;
+  bool file_existed = false;
+};
+
+/// Reads a journal, verifying record by record; stops at the first line
+/// that is torn (no trailing newline) or fails its checksum. Missing file
+/// is not an error — it recovers to an empty journal.
+JournalRecovery recover_journal(const std::string& path);
+
+/// Append-only journal writer. Opening truncates the file to a caller-
+/// supplied valid prefix (recover_journal's valid_bytes) so a corrupt
+/// tail is rolled back exactly once, then every append seals, writes,
+/// flushes, and (by default) fsyncs one line — after append() returns,
+/// the record survives a crash.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens `path` for appending after truncating it to `keep_bytes`
+  /// (creates the file if missing). On failure returns false and, if
+  /// `error` is non-null, describes why.
+  bool open(const std::string& path, std::uint64_t keep_bytes,
+            std::string* error = nullptr);
+
+  /// fsync after every record (default). Benchmarks measuring the CPU
+  /// cost of sealing/formatting turn this off; campaigns leave it on.
+  void set_sync(bool sync) { sync_ = sync; }
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Seals `payload` and appends it as one line. Returns false if the
+  /// write or flush failed (disk full, file closed underneath us).
+  bool append(const std::string& payload);
+
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  bool sync_ = true;
+};
+
+// --- flat-field payload helpers -------------------------------------------
+// Extract `"key":<u64>` / `"key":"<string>"` from payloads written by this
+// library (keys are unique per record and values contain no escapes).
+
+std::optional<std::uint64_t> journal_u64(const std::string& payload,
+                                         const char* key);
+std::optional<std::string> journal_str(const std::string& payload,
+                                       const char* key);
+
+/// Bit-exact double round-trip through 16 hex digits; used for stats
+/// fields where "close" is not "resumable" (margins, samples).
+std::string double_hex(double value);
+std::optional<double> double_from_hex(std::string_view hex);
+
+}  // namespace vulfi

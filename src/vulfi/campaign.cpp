@@ -1,12 +1,17 @@
 #include "vulfi/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "support/error.hpp"
+#include "support/journal.hpp"
+#include "support/str.hpp"
 
 namespace vulfi {
 
@@ -16,6 +21,16 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+bool cancel_requested(const CampaignConfig& config) {
+  return config.cancel != nullptr && config.cancel->cancelled();
 }
 
 /// Integer outcome counters for one campaign. Addition is commutative, so
@@ -41,6 +56,207 @@ struct CampaignTotals {
     prune_remapped += other.prune_remapped;
     prune_memo_hits += other.prune_memo_hits;
   }
+};
+
+// ---------------------------------------------------------------------------
+// Checkpoint journal records
+// ---------------------------------------------------------------------------
+// The checkpoint is an append-only checksummed JSONL journal
+// (support/journal.hpp): one header record describing everything the
+// statistics depend on, then one record per completed campaign holding its
+// integer outcome counters, interleaved with self-verification audit
+// records. The per-campaign SDC sample is NOT stored: it is recomputed on
+// replay as sdc / experiments_per_campaign — exactly the division
+// absorb_campaign performs — so restored statistics are bit-identical to
+// an uninterrupted run by construction.
+
+constexpr unsigned kJournalVersion = 1;
+
+std::string header_payload(const CampaignConfig& config,
+                           std::size_t num_engines) {
+  // num_threads is deliberately absent: results are thread-count
+  // independent, so resuming under a different --jobs is supported.
+  return strf(
+      "{\"t\":\"header\",\"v\":%u,\"seed\":%llu,\"epc\":%u,\"minc\":%u,"
+      "\"maxc\":%u,\"conf\":\"%s\",\"margin\":\"%s\",\"gcache\":%u,"
+      "\"sprune\":%u,\"engines\":%llu}",
+      kJournalVersion, static_cast<unsigned long long>(config.seed),
+      config.experiments_per_campaign, config.min_campaigns,
+      config.max_campaigns, double_hex(config.confidence).c_str(),
+      double_hex(config.target_margin).c_str(),
+      config.use_golden_cache ? 1u : 0u, config.use_static_prune ? 1u : 0u,
+      static_cast<unsigned long long>(num_engines));
+}
+
+std::string campaign_payload(std::uint64_t campaign,
+                             const CampaignTotals& totals) {
+  return strf(
+      "{\"t\":\"campaign\",\"c\":%llu,\"benign\":%llu,\"sdc\":%llu,"
+      "\"crash\":%llu,\"dsdc\":%llu,\"dtot\":%llu,\"padj\":%llu,"
+      "\"premap\":%llu,\"pmemo\":%llu}",
+      static_cast<unsigned long long>(campaign),
+      static_cast<unsigned long long>(totals.benign),
+      static_cast<unsigned long long>(totals.sdc),
+      static_cast<unsigned long long>(totals.crash),
+      static_cast<unsigned long long>(totals.detected_sdc),
+      static_cast<unsigned long long>(totals.detected_total),
+      static_cast<unsigned long long>(totals.prune_adjudicated),
+      static_cast<unsigned long long>(totals.prune_remapped),
+      static_cast<unsigned long long>(totals.prune_memo_hits));
+}
+
+bool parse_campaign_payload(const std::string& payload,
+                            std::uint64_t& campaign,
+                            CampaignTotals& totals) {
+  auto get = [&](const char* key, std::uint64_t& out) {
+    const auto value = journal_u64(payload, key);
+    if (!value) return false;
+    out = *value;
+    return true;
+  };
+  return get("c", campaign) && get("benign", totals.benign) &&
+         get("sdc", totals.sdc) && get("crash", totals.crash) &&
+         get("dsdc", totals.detected_sdc) &&
+         get("dtot", totals.detected_total) &&
+         get("padj", totals.prune_adjudicated) &&
+         get("premap", totals.prune_remapped) &&
+         get("pmemo", totals.prune_memo_hits);
+}
+
+std::string verify_payload(std::uint64_t campaign, std::size_t engine,
+                           bool ok) {
+  return strf("{\"t\":\"verify\",\"c\":%llu,\"engine\":%llu,\"ok\":%u}",
+              static_cast<unsigned long long>(campaign),
+              static_cast<unsigned long long>(engine), ok ? 1u : 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Progress monitoring (stall watchdog)
+// ---------------------------------------------------------------------------
+
+/// Lock-free progress ledger shared between the workers (writers, relaxed
+/// stores on the hot path) and the watchdog thread (reader). All values
+/// are advisory diagnostics — no worker ever blocks on the monitor.
+struct StallMonitor {
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  explicit StallMonitor(unsigned threads)
+      : coords(threads), executed(threads), active_since_ns(threads) {
+    for (auto& coord : coords) coord.store(kIdle, std::memory_order_relaxed);
+    last_progress_ns.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  void note_experiment(unsigned worker, std::uint64_t campaign,
+                       std::uint64_t experiment) {
+    coords[worker].store((campaign << 32) | experiment,
+                         std::memory_order_relaxed);
+    executed[worker].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void note_worker_active(unsigned worker) {
+    active_since_ns[worker].store(now_ns(), std::memory_order_relaxed);
+  }
+
+  void note_campaign(std::uint64_t done) {
+    campaigns_done.store(done, std::memory_order_relaxed);
+    last_progress_ns.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  /// Last experiment coordinates per worker, packed (campaign << 32) |
+  /// experiment; kIdle before the worker ran anything.
+  std::vector<std::atomic<std::uint64_t>> coords;
+  /// Experiments executed per worker this run.
+  std::vector<std::atomic<std::uint64_t>> executed;
+  /// When each worker started its current work block (steady ns).
+  std::vector<std::atomic<std::int64_t>> active_since_ns;
+  std::atomic<std::uint64_t> campaigns_done{0};
+  std::atomic<std::int64_t> last_progress_ns{0};
+};
+
+/// Background thread that logs a diagnostic when no campaign completes
+/// within the configured wall-clock window: which experiment each worker
+/// last touched and how long it has been busy — enough to tell a wedged
+/// worker from a legitimately long campaign.
+class StallWatchdog {
+ public:
+  StallWatchdog(const CampaignConfig& config, const StallMonitor& monitor)
+      : timeout_(config.stall_timeout_seconds),
+        log_(config.stall_log),
+        monitor_(monitor) {
+    if (timeout_ <= 0.0) return;
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~StallWatchdog() {
+    if (!thread_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    const auto poll = std::chrono::duration<double>(
+        std::clamp(timeout_ / 4.0, 0.001, 1.0));
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::int64_t reported_at = 0;
+    for (;;) {
+      if (cv_.wait_for(lock, poll, [this] { return stop_; })) return;
+      const std::int64_t last =
+          monitor_.last_progress_ns.load(std::memory_order_relaxed);
+      const std::int64_t now = now_ns();
+      // Log at most once per stall window, re-arming on progress.
+      if ((now - std::max(last, reported_at)) * 1e-9 < timeout_) continue;
+      reported_at = now;
+      emit((now - last) * 1e-9);
+    }
+  }
+
+  void emit(double stalled_seconds) const {
+    std::string msg = strf(
+        "vulfi watchdog: no campaign completed in %.1fs (stall window "
+        "%.1fs, %llu campaigns done)",
+        stalled_seconds, timeout_,
+        static_cast<unsigned long long>(
+            monitor_.campaigns_done.load(std::memory_order_relaxed)));
+    const std::int64_t now = now_ns();
+    for (std::size_t w = 0; w < monitor_.coords.size(); ++w) {
+      const std::uint64_t coord =
+          monitor_.coords[w].load(std::memory_order_relaxed);
+      const std::uint64_t done =
+          monitor_.executed[w].load(std::memory_order_relaxed);
+      const std::int64_t since =
+          monitor_.active_since_ns[w].load(std::memory_order_relaxed);
+      msg += strf("; worker %llu: ", static_cast<unsigned long long>(w));
+      if (coord == StallMonitor::kIdle) {
+        msg += "idle";
+      } else {
+        msg += strf("campaign %llu experiment %llu",
+                    static_cast<unsigned long long>(coord >> 32),
+                    static_cast<unsigned long long>(
+                        coord & 0xffffffffULL));
+      }
+      msg += strf(", %llu experiments, busy %.1fs",
+                  static_cast<unsigned long long>(done),
+                  since > 0 ? (now - since) * 1e-9 : 0.0);
+    }
+    if (log_) {
+      log_(msg);
+    } else {
+      std::fprintf(stderr, "%s\n", msg.c_str());
+    }
+  }
+
+  double timeout_ = 0.0;
+  std::function<void(const std::string&)> log_;
+  const StallMonitor& monitor_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
 };
 
 /// Runs experiment (campaign, experiment) of the campaign plan on the
@@ -69,7 +285,8 @@ void run_experiment_at(const std::vector<InjectionEngine*>& engines,
 
 /// Folds one finished campaign into the running result, in campaign
 /// order; the floating-point accumulation sequence is therefore identical
-/// for every thread count.
+/// for every thread count — and for a checkpoint replay, which feeds the
+/// same totals through this same function.
 void absorb_campaign(CampaignResult& result, const CampaignTotals& totals,
                      const CampaignConfig& config) {
   result.benign += totals.benign;
@@ -107,6 +324,149 @@ unsigned resolve_threads(unsigned requested) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
+
+// ---------------------------------------------------------------------------
+// Campaign coordinator: checkpoint restore/append + self-verification
+// ---------------------------------------------------------------------------
+
+/// Owns the durable side of a campaign run. All methods execute on the
+/// coordinating thread between campaign boundaries — never concurrently
+/// with workers.
+class CampaignCoordinator {
+ public:
+  CampaignCoordinator(const std::vector<InjectionEngine*>& engines,
+                      const CampaignConfig& config, CampaignResult& result,
+                      StallMonitor& monitor)
+      : engines_(engines),
+        config_(config),
+        result_(result),
+        monitor_(monitor) {}
+
+  /// Recovers the checkpoint (if configured): validates the header,
+  /// replays completed campaigns into the result, rolls back any corrupt
+  /// tail, and opens the journal for appending. Returns false with
+  /// result_.error set when the run must not proceed.
+  bool init_checkpoint() {
+    if (config_.checkpoint_path.empty()) return true;
+    result_.checkpoint_path = config_.checkpoint_path;
+
+    const JournalRecovery recovered =
+        recover_journal(config_.checkpoint_path);
+    const std::string expected_header =
+        header_payload(config_, engines_.size());
+    bool need_header = true;
+
+    if (!recovered.records.empty()) {
+      if (recovered.records.front() != expected_header) {
+        result_.error = strf(
+            "checkpoint '%s' was written by a different campaign "
+            "configuration — refusing to mix histories (stored %s, "
+            "expected %s)",
+            config_.checkpoint_path.c_str(),
+            recovered.records.front().c_str(), expected_header.c_str());
+        return false;
+      }
+      need_header = false;
+      for (std::size_t i = 1; i < recovered.records.size(); ++i) {
+        const std::string& record = recovered.records[i];
+        const std::string type = journal_str(record, "t").value_or("");
+        if (type == "campaign") {
+          std::uint64_t campaign = 0;
+          CampaignTotals totals;
+          if (!parse_campaign_payload(record, campaign, totals) ||
+              campaign != result_.campaigns) {
+            result_.error = strf(
+                "checkpoint '%s': campaign record %llu is malformed or "
+                "out of order",
+                config_.checkpoint_path.c_str(),
+                static_cast<unsigned long long>(i));
+            return false;
+          }
+          absorb_campaign(result_, totals, config_);
+        } else if (type == "verify") {
+          if (journal_u64(record, "ok").value_or(0) == 1) {
+            result_.self_verify_passes += 1;
+          }
+        } else {
+          result_.error =
+              strf("checkpoint '%s': unrecognized record type '%s'",
+                   config_.checkpoint_path.c_str(), type.c_str());
+          return false;
+        }
+      }
+      if (result_.campaigns > 0) refresh_stop_rule(result_, config_);
+    }
+
+    result_.campaigns_restored = result_.campaigns;
+    result_.experiments_restored = result_.experiments;
+    monitor_.note_campaign(result_.campaigns);
+
+    std::string error;
+    if (!writer_.open(config_.checkpoint_path, recovered.valid_bytes,
+                      &error)) {
+      result_.error = error;
+      return false;
+    }
+    if (need_header && !writer_.append(expected_header)) {
+      result_.error = strf("checkpoint '%s': header write failed",
+                           config_.checkpoint_path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  /// Folds one completed campaign into the result, refreshes the stop
+  /// rule, makes the checkpoint record durable, and runs the
+  /// self-verification pass when its cadence comes due. Returns false
+  /// when the run must stop (journal failure or failed verification).
+  bool campaign_finished(const CampaignTotals& totals) {
+    absorb_campaign(result_, totals, config_);
+    refresh_stop_rule(result_, config_);
+    if (writer_.is_open() &&
+        !writer_.append(campaign_payload(result_.campaigns - 1, totals))) {
+      result_.error =
+          strf("checkpoint '%s': record write failed at campaign %u",
+               config_.checkpoint_path.c_str(), result_.campaigns - 1);
+      return false;
+    }
+    monitor_.note_campaign(result_.campaigns);
+    const bool verified = self_verify_if_due();
+    if (config_.on_campaign_complete) config_.on_campaign_complete(result_);
+    return verified;
+  }
+
+ private:
+  /// Every self_verify_every campaigns, re-execute one engine's golden
+  /// run from scratch (round-robin over engines) and compare it against
+  /// the memoized GoldenCache — the injector checking itself for SDCs.
+  bool self_verify_if_due() {
+    const unsigned cadence = config_.self_verify_every;
+    if (cadence == 0 || result_.campaigns % cadence != 0) return true;
+    const std::size_t index = static_cast<std::size_t>(
+        (result_.campaigns / cadence - 1) % engines_.size());
+    const GoldenVerifyResult verdict = engines_[index]->verify_golden();
+    if (verdict.ok) {
+      result_.self_verify_passes += 1;
+    } else {
+      result_.self_verify_failures += 1;
+    }
+    if (writer_.is_open()) {
+      writer_.append(verify_payload(result_.campaigns, index, verdict.ok));
+    }
+    if (!verdict.ok) {
+      result_.error = verdict.diagnostic;
+      std::fprintf(stderr, "vulfi: %s\n", verdict.diagnostic.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  const std::vector<InjectionEngine*>& engines_;
+  const CampaignConfig& config_;
+  CampaignResult& result_;
+  StallMonitor& monitor_;
+  JournalWriter writer_;
+};
 
 // ---------------------------------------------------------------------------
 // Work-stealing executor
@@ -157,14 +517,24 @@ struct alignas(64) WorkRange {
   }
 };
 
+/// One run_block call's outcome: per-campaign totals plus how many of
+/// each campaign's experiments actually executed — under cooperative
+/// cancellation a block may stop part-way, and only campaigns whose
+/// counts reached experiments_per_campaign may be absorbed.
+struct BlockOutcome {
+  std::vector<CampaignTotals> totals;
+  std::vector<std::uint32_t> executed;
+  bool cancelled = false;
+};
+
 /// Executes blocks of whole campaigns across `threads` workers. Worker 0
 /// runs on the caller's engines; every other worker owns a cloned engine
 /// set, so no mutable interpreter or fi_runtime state is ever shared.
 class ParallelCampaignExecutor {
  public:
   ParallelCampaignExecutor(const std::vector<InjectionEngine*>& engines,
-                           unsigned threads)
-      : threads_(threads), busy_seconds_(threads, 0.0) {
+                           unsigned threads, StallMonitor& monitor)
+      : threads_(threads), busy_seconds_(threads, 0.0), monitor_(monitor) {
     worker_engines_.push_back(engines);
     clones_.resize(threads_);
     for (unsigned w = 1; w < threads_; ++w) {
@@ -179,9 +549,11 @@ class ParallelCampaignExecutor {
 
   /// Runs campaigns [first, first + count), all experiments flattened
   /// into one stealable index space; returns per-campaign totals in
-  /// campaign order.
-  std::vector<CampaignTotals> run_block(std::uint64_t first, unsigned count,
-                                        const CampaignConfig& config) {
+  /// campaign order. When the cancellation token fires, each worker
+  /// finishes (drains) the experiment it is executing, stops taking new
+  /// work, and the outcome reports per-campaign completion counts.
+  BlockOutcome run_block(std::uint64_t first, unsigned count,
+                         const CampaignConfig& config) {
     const unsigned epc = config.experiments_per_campaign;
     const std::uint64_t total =
         static_cast<std::uint64_t>(count) * epc;
@@ -194,25 +566,40 @@ class ParallelCampaignExecutor {
                       static_cast<std::uint32_t>((w + 1) * total / threads_));
     }
 
-    std::vector<CampaignTotals> block(count);
+    BlockOutcome out;
+    out.totals.resize(count);
+    out.executed.assign(count, 0);
+    std::atomic<bool> cancelled{false};
     std::mutex merge_mutex;
 
     auto worker = [&](unsigned w) {
+      monitor_.note_worker_active(w);
       const auto start = Clock::now();
       std::vector<CampaignTotals> partials(count);
+      std::vector<std::uint32_t> executed(count, 0);
       std::uint32_t item = 0;
       for (;;) {
+        if (cancel_requested(config)) {
+          cancelled.store(true, std::memory_order_relaxed);
+          break;
+        }
         bool have_work = ranges[w].pop_front(item);
         for (unsigned i = 1; !have_work && i < threads_; ++i) {
           have_work = ranges[(w + i) % threads_].steal_back(item);
         }
         if (!have_work) break;
-        run_experiment_at(worker_engines_[w], config, first + item / epc,
-                          item % epc, partials[item / epc]);
+        const std::uint32_t c = item / epc;
+        run_experiment_at(worker_engines_[w], config, first + c, item % epc,
+                          partials[c]);
+        executed[c] += 1;
+        monitor_.note_experiment(w, first + c, item % epc);
       }
       const double busy = seconds_since(start);
       const std::lock_guard<std::mutex> lock(merge_mutex);
-      for (unsigned c = 0; c < count; ++c) block[c] += partials[c];
+      for (unsigned c = 0; c < count; ++c) {
+        out.totals[c] += partials[c];
+        out.executed[c] += executed[c];
+      }
       busy_seconds_[w] += busy;
     };
 
@@ -221,7 +608,8 @@ class ParallelCampaignExecutor {
     for (unsigned w = 1; w < threads_; ++w) pool.emplace_back(worker, w);
     worker(0);
     for (std::thread& t : pool) t.join();
-    return block;
+    out.cancelled = cancelled.load(std::memory_order_relaxed);
+    return out;
   }
 
   const std::vector<double>& busy_seconds() const { return busy_seconds_; }
@@ -231,69 +619,91 @@ class ParallelCampaignExecutor {
   std::vector<std::vector<InjectionEngine*>> worker_engines_;
   std::vector<std::vector<std::unique_ptr<InjectionEngine>>> clones_;
   std::vector<double> busy_seconds_;
+  StallMonitor& monitor_;
 };
 
-CampaignResult run_campaigns_serial(
-    const std::vector<InjectionEngine*>& engines,
-    const CampaignConfig& config) {
-  CampaignResult result;
-  const auto start = Clock::now();
+// ---------------------------------------------------------------------------
+// Serial and parallel drivers
+// ---------------------------------------------------------------------------
 
-  auto run_one_campaign = [&]() {
+std::vector<double> run_campaigns_serial(
+    const std::vector<InjectionEngine*>& engines,
+    const CampaignConfig& config, CampaignResult& result,
+    CampaignCoordinator& coordinator, StallMonitor& monitor) {
+  const auto start = Clock::now();
+  monitor.note_worker_active(0);
+
+  // Runs campaigns result.campaigns .. — cancellation between experiments
+  // drains the current one and abandons the partial campaign (its seeds
+  // are counter-based, so the resumed run redoes it bit-identically).
+  auto run_one_campaign = [&]() -> bool {
     CampaignTotals totals;
     for (unsigned e = 0; e < config.experiments_per_campaign; ++e) {
+      if (cancel_requested(config)) {
+        result.interrupted = true;
+        return false;
+      }
       run_experiment_at(engines, config, result.campaigns, e, totals);
+      monitor.note_experiment(0, result.campaigns, e);
     }
-    absorb_campaign(result, totals, config);
+    return coordinator.campaign_finished(totals);
   };
 
-  while (result.campaigns < config.min_campaigns) run_one_campaign();
-  refresh_stop_rule(result, config);
-  while (should_continue(result, config)) {
-    run_one_campaign();
-    refresh_stop_rule(result, config);
+  while (result.campaigns < config.min_campaigns) {
+    if (!run_one_campaign()) return {seconds_since(start)};
   }
-
-  result.throughput.wall_seconds = seconds_since(start);
-  result.throughput.threads = 1;
-  result.throughput.thread_busy_seconds = {result.throughput.wall_seconds};
-  result.throughput.experiments = result.experiments;
-  return result;
+  while (should_continue(result, config)) {
+    if (cancel_requested(config)) {
+      result.interrupted = true;
+      break;
+    }
+    if (!run_one_campaign()) break;
+  }
+  return {seconds_since(start)};
 }
 
-CampaignResult run_campaigns_parallel(
+std::vector<double> run_campaigns_parallel(
     const std::vector<InjectionEngine*>& engines,
-    const CampaignConfig& config, unsigned threads) {
-  CampaignResult result;
-  const auto start = Clock::now();
-  ParallelCampaignExecutor executor(engines, threads);
+    const CampaignConfig& config, CampaignResult& result,
+    CampaignCoordinator& coordinator, StallMonitor& monitor,
+    unsigned threads) {
+  ParallelCampaignExecutor executor(engines, threads, monitor);
 
-  auto run_block = [&](unsigned count) {
-    const std::vector<CampaignTotals> block =
+  // Runs `count` campaigns and absorbs the completed prefix in campaign
+  // order at the block boundary — the workers have all joined, so no lock
+  // is held. Under cancellation, campaigns whose experiments did not all
+  // execute are discarded (the resumed run redoes them bit-identically).
+  auto run_block = [&](unsigned count) -> bool {
+    const BlockOutcome block =
         executor.run_block(result.campaigns, count, config);
-    // Campaign boundary: merged partials fold into the result in
-    // campaign order, under no lock — the workers have all joined.
-    for (const CampaignTotals& totals : block) {
-      absorb_campaign(result, totals, config);
+    for (unsigned c = 0; c < count; ++c) {
+      if (block.executed[c] != config.experiments_per_campaign) break;
+      if (!coordinator.campaign_finished(block.totals[c])) return false;
     }
+    if (block.cancelled) {
+      result.interrupted = true;
+      return false;
+    }
+    return true;
   };
 
   // The first min_campaigns are unconditional, so they parallelize as one
   // block; afterwards the sequential-sampling stop rule must see every
   // campaign, so blocks shrink to one campaign each (its experiments
-  // still fan out across all workers).
-  if (config.min_campaigns > 0) run_block(config.min_campaigns);
-  refresh_stop_rule(result, config);
-  while (should_continue(result, config)) {
-    run_block(1);
-    refresh_stop_rule(result, config);
+  // still fan out across all workers). A resumed run only executes the
+  // campaigns the checkpoint is missing.
+  bool running = true;
+  if (result.campaigns < config.min_campaigns) {
+    running = run_block(config.min_campaigns - result.campaigns);
   }
-
-  result.throughput.wall_seconds = seconds_since(start);
-  result.throughput.threads = threads;
-  result.throughput.thread_busy_seconds = executor.busy_seconds();
-  result.throughput.experiments = result.experiments;
-  return result;
+  while (running && should_continue(result, config)) {
+    if (cancel_requested(config)) {
+      result.interrupted = true;
+      break;
+    }
+    running = run_block(1);
+  }
+  return executor.busy_seconds();
 }
 
 }  // namespace
@@ -313,9 +723,49 @@ CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
     engine->set_static_prune(config.use_static_prune);
     engine->warm_golden_cache();
   }
+
+  CampaignResult result;
   const unsigned threads = resolve_threads(config.num_threads);
-  if (threads <= 1) return run_campaigns_serial(engines, config);
-  return run_campaigns_parallel(engines, config, threads);
+  const auto start = Clock::now();
+  StallMonitor monitor(threads);
+  CampaignCoordinator coordinator(engines, config, result, monitor);
+
+  std::vector<double> busy(threads, 0.0);
+  if (coordinator.init_checkpoint()) {
+    // The watchdog observes the run from restore onward; it joins before
+    // the result is finalized.
+    const StallWatchdog watchdog(config, monitor);
+    busy = threads <= 1
+               ? run_campaigns_serial(engines, config, result, coordinator,
+                                      monitor)
+               : run_campaigns_parallel(engines, config, result, coordinator,
+                                        monitor, threads);
+  }
+
+  result.converged = result.ok() && !result.interrupted &&
+                     result.campaigns >= config.min_campaigns &&
+                     result.campaigns > 0 &&
+                     result.margin_of_error <= config.target_margin &&
+                     result.near_normal;
+
+  // Throughput covers this run's executed work only: restored campaigns
+  // cost no wall time here and must not inflate experiments/sec (nor
+  // deflate it by stretching a resumed run's denominator).
+  result.throughput.wall_seconds = seconds_since(start);
+  result.throughput.threads = threads;
+  result.throughput.thread_busy_seconds = std::move(busy);
+  result.throughput.experiments =
+      result.experiments - result.experiments_restored;
+  return result;
+}
+
+int campaign_exit_code(const CampaignResult& result) {
+  if (!result.ok() || result.self_verify_failures > 0) {
+    return kCampaignExitInternalError;
+  }
+  if (result.interrupted) return kCampaignExitInterrupted;
+  if (result.converged) return kCampaignExitConverged;
+  return kCampaignExitUnconverged;
 }
 
 }  // namespace vulfi

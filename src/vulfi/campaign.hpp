@@ -22,13 +22,18 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "support/cancel.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "vulfi/driver.hpp"
 
 namespace vulfi {
+
+struct CampaignResult;
 
 struct CampaignConfig {
   unsigned experiments_per_campaign = 100;
@@ -52,6 +57,44 @@ struct CampaignConfig {
   /// one memoized representative execution. Exact — every statistic is
   /// bit-identical with pruning on or off (CLI: --no-static-prune).
   bool use_static_prune = true;
+
+  // --- campaign resilience layer -----------------------------------------
+
+  /// Append-only checksummed JSONL checkpoint (support/journal.hpp),
+  /// written at every campaign boundary; empty disables checkpointing.
+  /// If the file already holds a compatible history, completed campaigns
+  /// are restored and the run continues from the next one — seeding is
+  /// counter-based, so a resumed run is bit-identical to an
+  /// uninterrupted one (at any thread count). A corrupt or truncated
+  /// tail is rolled back to the last valid record. The stored header
+  /// must match seed, experiments_per_campaign, min/max campaigns,
+  /// confidence, target margin, engine count, and the exactness toggles;
+  /// num_threads may differ freely.
+  std::string checkpoint_path;
+
+  /// Cooperative cancellation (CLI: SIGINT/SIGTERM). Workers drain the
+  /// experiment they are executing, completed campaigns are absorbed and
+  /// checkpointed, and the result comes back with interrupted = true.
+  const CancellationToken* cancel = nullptr;
+
+  /// Harness self-verification cadence: every K completed campaigns,
+  /// re-execute one engine's golden run from scratch (round-robin over
+  /// engines) and compare against its GoldenCache. A mismatch is a hard
+  /// diagnostic — the run stops with CampaignResult::error set. 0 = off.
+  unsigned self_verify_every = 0;
+
+  /// Stall watchdog: if no campaign completes within this wall-clock
+  /// window, log a diagnostic (per-worker experiment coordinates and
+  /// progress counts) via stall_log. 0 = off.
+  double stall_timeout_seconds = 0.0;
+
+  /// Sink for watchdog diagnostics; defaults to stderr when empty.
+  std::function<void(const std::string&)> stall_log;
+
+  /// Called on the coordinating thread after each campaign folds into
+  /// the running result (and after the matching checkpoint record is
+  /// durable). Tests use it to cancel at a deterministic boundary.
+  std::function<void(const CampaignResult&)> on_campaign_complete;
 };
 
 /// Wall-clock and per-thread utilization figures for one run_campaigns
@@ -105,6 +148,33 @@ struct CampaignResult {
   std::uint64_t prune_remapped = 0;
   std::uint64_t prune_memo_hits = 0;
 
+  // --- resilience-layer state --------------------------------------------
+
+  /// Campaigns (and their experiments) reloaded from the checkpoint
+  /// rather than executed this run. Included in the statistics above;
+  /// excluded from throughput (see ThroughputStats::experiments).
+  unsigned campaigns_restored = 0;
+  std::uint64_t experiments_restored = 0;
+  /// The sequential-sampling stop rule was satisfied (margin within
+  /// target and near-normal samples) — as opposed to hitting
+  /// max_campaigns or being interrupted.
+  bool converged = false;
+  /// Cooperative cancellation stopped the run before the stop rule did.
+  /// Completed campaigns were checkpointed (when a checkpoint_path was
+  /// configured); resuming continues from the next campaign.
+  bool interrupted = false;
+  /// Harness self-verification tallies (restored passes included).
+  std::uint64_t self_verify_passes = 0;
+  std::uint64_t self_verify_failures = 0;
+  /// Echo of CampaignConfig::checkpoint_path for reporting.
+  std::string checkpoint_path;
+  /// Non-empty on internal error: checkpoint header mismatch, journal
+  /// write failure, or a failed self-verification. The statistics cover
+  /// only the campaigns absorbed before the error.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+
   ThroughputStats throughput;
 
   double rate(std::uint64_t count) const {
@@ -130,5 +200,23 @@ struct CampaignResult {
 /// path.
 CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
                              const CampaignConfig& config = {});
+
+/// CLI exit-code contract for `vulfi campaign` (documented in README,
+/// asserted by tests and the CI interrupt-resume job). 1 and 2 are left
+/// to generic failure and usage errors.
+enum CampaignExitCode : int {
+  /// Stop rule satisfied: margin within target, near-normal samples.
+  kCampaignExitConverged = 0,
+  /// Internal error: checkpoint mismatch/corruption beyond recovery,
+  /// journal write failure, or a failed golden self-verification.
+  kCampaignExitInternalError = 3,
+  /// max_campaigns reached without satisfying the stop rule.
+  kCampaignExitUnconverged = 4,
+  /// Cooperatively interrupted (SIGINT/SIGTERM); completed campaigns
+  /// were checkpointed when a checkpoint path was configured.
+  kCampaignExitInterrupted = 5,
+};
+
+int campaign_exit_code(const CampaignResult& result);
 
 }  // namespace vulfi

@@ -154,6 +154,51 @@ void InjectionEngine::warm_golden_cache() {
   if (options_.golden_cache) ensure_golden();
 }
 
+GoldenVerifyResult InjectionEngine::verify_golden() {
+  GoldenVerifyResult out;
+  if (!golden_) return out;
+  // Hold a reference across the recompute: clones share the cache via
+  // shared_ptr, and nothing may mutate it.
+  const std::shared_ptr<const GoldenCache> cached = golden_;
+  const GoldenCache fresh = compute_golden();
+  runtime_.disable();
+
+  auto mismatch = [&](const char* what) {
+    out.ok = false;
+    if (!out.diagnostic.empty()) out.diagnostic += ", ";
+    out.diagnostic += what;
+  };
+  if (fresh.output_bytes != cached->output_bytes) mismatch("output bytes");
+  if (fresh.return_bits != cached->return_bits) mismatch("return bits");
+  if (fresh.dynamic_sites != cached->dynamic_sites) {
+    mismatch("dynamic-site count");
+  }
+  if (fresh.golden_instructions != cached->golden_instructions) {
+    mismatch("instruction count");
+  }
+  if (fresh.golden_detected != cached->golden_detected) {
+    mismatch("detector events");
+  }
+  // The census is only recorded under static pruning; compare it when
+  // both executions recorded one (toggling pruning between experiments
+  // legitimately leaves one side without a census).
+  if (options_.static_prune && !cached->site_sequence.empty() &&
+      fresh.site_sequence != cached->site_sequence) {
+    mismatch("dynamic-site census");
+  }
+  if (!out.ok) {
+    out.diagnostic = strf(
+        "golden self-verification mismatch on '%s' (%s): cached run no "
+        "longer reproducible — suspect cache or host memory corruption",
+        spec_.entry->name().c_str(), out.diagnostic.c_str());
+  }
+  return out;
+}
+
+void InjectionEngine::set_golden_for_test(GoldenCache cache) {
+  golden_ = std::make_shared<const GoldenCache>(std::move(cache));
+}
+
 void InjectionEngine::set_static_prune(bool enabled) {
   if (enabled == options_.static_prune) return;
   options_.static_prune = enabled;
@@ -174,14 +219,10 @@ void InjectionEngine::run_faulty(ExperimentResult& result,
   result.detected = detection_log_.any();
   result.faulty_instructions = faulty.exec.stats.total_instructions;
 
-  if (!faulty.exec.ok()) {
-    result.outcome = Outcome::Crash;
-    result.trap = faulty.exec.trap.kind;
-    return;
-  }
   const bool differs = faulty.output_bytes != golden.output_bytes ||
                        faulty.return_bits != golden.return_bits;
-  result.outcome = differs ? Outcome::SDC : Outcome::Benign;
+  result.outcome = classify_outcome(!faulty.exec.ok(), differs);
+  if (!faulty.exec.ok()) result.trap = faulty.exec.trap.kind;
 }
 
 ExperimentResult InjectionEngine::run_experiment(Rng& rng) {

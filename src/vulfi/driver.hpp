@@ -44,6 +44,14 @@ enum class Outcome : std::uint8_t { Benign, SDC, Crash };
 
 const char* outcome_name(Outcome outcome);
 
+/// Paper §IV-B classification of a faulty run's observables: any trap —
+/// whatever its TrapKind — is a user-visible "Crash"; a clean run whose
+/// output differs from the golden run is an SDC; otherwise Benign.
+inline Outcome classify_outcome(bool trapped, bool output_differs) {
+  if (trapped) return Outcome::Crash;
+  return output_differs ? Outcome::SDC : Outcome::Benign;
+}
+
 struct ExperimentResult {
   Outcome outcome = Outcome::Benign;
   /// A detector flagged the faulty run.
@@ -105,6 +113,13 @@ struct GoldenCache {
   /// occurrence of its class representative.
   std::vector<std::uint32_t> site_sequence;
   std::vector<std::vector<std::uint32_t>> site_occurrences;
+};
+
+/// Verdict of one harness self-verification pass (verify_golden).
+struct GoldenVerifyResult {
+  bool ok = true;
+  /// Human-readable mismatch description; empty when ok.
+  std::string diagnostic;
 };
 
 /// Owns one instrumented program and runs experiments against it.
@@ -180,6 +195,21 @@ class InjectionEngine {
   /// Golden observables, computing them on first use. The exhaustive
   /// harness reads dynamic_sites and the census from here.
   const GoldenCache& golden() { return ensure_golden(); }
+
+  /// Harness self-verification: re-executes the golden run from scratch
+  /// and compares every observable against the memoized cache — output
+  /// bytes, return bits, dynamic-site count and census, instruction
+  /// count, detector events. The golden run is deterministic, so any
+  /// mismatch means the cache (or the host underneath it) was corrupted
+  /// after it was computed: the injector checking itself for SDCs.
+  /// Vacuously ok when no cache has been computed. Consumes no
+  /// randomness and may run between campaigns without perturbing the
+  /// experiment streams.
+  GoldenVerifyResult verify_golden();
+
+  /// Test-only: replaces the golden cache wholesale. Lets the
+  /// self-verification tests plant a deliberately poisoned entry.
+  void set_golden_for_test(GoldenCache cache);
 
   /// The faulty-run instruction budget derived from a golden instruction
   /// count. Single definition shared by the cached and uncached paths so

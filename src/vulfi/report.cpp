@@ -1,6 +1,7 @@
 #include "vulfi/report.hpp"
 
 #include "support/error.hpp"
+#include "support/journal.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 
@@ -60,6 +61,71 @@ std::string render_prune_savings(const CampaignResult& result) {
       static_cast<unsigned long long>(result.prune_adjudicated),
       static_cast<unsigned long long>(result.prune_memo_hits),
       static_cast<unsigned long long>(result.prune_remapped));
+}
+
+std::string render_resilience(const CampaignResult& result) {
+  const bool used_checkpoint = !result.checkpoint_path.empty();
+  const bool used_verify =
+      result.self_verify_passes + result.self_verify_failures > 0;
+  if (!used_checkpoint && !used_verify && !result.interrupted) return "";
+
+  std::string line;
+  if (used_checkpoint) {
+    line += strf("checkpoint %s", result.checkpoint_path.c_str());
+    if (result.campaigns_restored > 0) {
+      line += strf(" (restored %u campaign%s, %llu experiments)",
+                   result.campaigns_restored,
+                   result.campaigns_restored == 1 ? "" : "s",
+                   static_cast<unsigned long long>(
+                       result.experiments_restored));
+    }
+  }
+  if (used_verify) {
+    if (!line.empty()) line += "; ";
+    line += strf("self-verify %llu pass%s",
+                 static_cast<unsigned long long>(result.self_verify_passes),
+                 result.self_verify_passes == 1 ? "" : "es");
+    if (result.self_verify_failures > 0) {
+      line += strf(", %llu FAILURE%s",
+                   static_cast<unsigned long long>(
+                       result.self_verify_failures),
+                   result.self_verify_failures == 1 ? "" : "S");
+    }
+  }
+  if (result.interrupted) {
+    if (!line.empty()) line += "; ";
+    line += used_checkpoint ? "interrupted — resume with the same "
+                              "configuration to continue"
+                            : "interrupted";
+  }
+  return line;
+}
+
+std::string campaign_stats_json(const CampaignResult& result) {
+  auto u64 = [](std::uint64_t value) {
+    return strf("%llu", static_cast<unsigned long long>(value));
+  };
+  std::string json = "{";
+  json += strf("\"campaigns\":%u,", result.campaigns);
+  json += "\"experiments\":" + u64(result.experiments) + ",";
+  json += "\"benign\":" + u64(result.benign) + ",";
+  json += "\"sdc\":" + u64(result.sdc) + ",";
+  json += "\"crash\":" + u64(result.crash) + ",";
+  json += "\"detected_sdc\":" + u64(result.detected_sdc) + ",";
+  json += "\"detected_total\":" + u64(result.detected_total) + ",";
+  json += "\"prune_adjudicated\":" + u64(result.prune_adjudicated) + ",";
+  json += "\"prune_remapped\":" + u64(result.prune_remapped) + ",";
+  json += strf("\"mean\":\"%s\",", double_hex(result.sdc_samples.mean()).c_str());
+  json += strf("\"margin\":\"%s\",", double_hex(result.margin_of_error).c_str());
+  json += strf("\"near_normal\":%s,", result.near_normal ? "true" : "false");
+  json += strf("\"converged\":%s,", result.converged ? "true" : "false");
+  json += "\"samples\":[";
+  for (std::size_t i = 0; i < result.campaign_sdc_rates.size(); ++i) {
+    if (i > 0) json += ",";
+    json += strf("\"%s\"", double_hex(result.campaign_sdc_rates[i]).c_str());
+  }
+  json += "]}";
+  return json;
 }
 
 std::string OutcomeReport::render_by_opcode() const {

@@ -78,4 +78,19 @@ std::string render_throughput(const ThroughputStats& throughput);
 /// lane-symmetry representative.
 std::string render_prune_savings(const CampaignResult& result);
 
+/// One-line resilience summary of a run_campaigns call: checkpoint
+/// restore/interrupt status and self-verification tallies. Empty when the
+/// run used none of the resilience features (nothing to report).
+std::string render_resilience(const CampaignResult& result);
+
+/// Deterministic JSON rendering of a campaign's statistics. Doubles are
+/// encoded as 16-hex-digit IEEE-754 bit patterns (support/journal.hpp's
+/// double_hex), so two renderings are string-equal iff the statistics are
+/// bit-identical. Includes every scheduling-independent figure — outcome
+/// counters, per-campaign SDC samples, stop-rule state — and deliberately
+/// excludes throughput and prune memo hits, the two figures that
+/// legitimately vary with thread count and resume position. The
+/// interrupt-resume CI job diffs this output against a clean run's.
+std::string campaign_stats_json(const CampaignResult& result);
+
 }  // namespace vulfi

@@ -1,0 +1,426 @@
+// Resilience-layer suite: crash-safe checkpointing, cooperative
+// cancellation, resume determinism, self-verification, and the CLI exit
+// code contract.
+//
+// The load-bearing property: a campaign interrupted at ANY boundary and
+// resumed from its checkpoint must produce final statistics bit-identical
+// to an uninterrupted run — at any thread count, with pruning on or off,
+// and even after the checkpoint's tail is torn or corrupted (recovery
+// rolls back to the last valid record and the lost campaigns re-execute
+// from their counter-derived seeds).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/benchmark.hpp"
+#include "kernels/micro.hpp"
+#include "support/journal.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+#include "vulfi/report.hpp"
+
+namespace vulfi {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "vulfi_ckpt_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  ASSERT_TRUE(out.good());
+}
+
+struct RunOptions {
+  unsigned threads = 1;
+  std::string checkpoint;
+  /// Cancel cooperatively once this many campaigns completed (0 = never).
+  unsigned cancel_after = 0;
+  bool static_prune = true;
+  unsigned self_verify = 0;
+  std::uint64_t seed = 0xfeedULL;
+};
+
+/// One dot-product campaign run (3 input engines, 20 experiments x
+/// [3, 6] campaigns — short enough for tests, long enough to interrupt
+/// at a mid-run campaign boundary).
+CampaignResult run_dot(const RunOptions& opt) {
+  const kernels::Benchmark& bench = kernels::dot_product_benchmark();
+  std::vector<std::unique_ptr<InjectionEngine>> engines;
+  std::vector<InjectionEngine*> pointers;
+  for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+    engines.push_back(std::make_unique<InjectionEngine>(
+        bench.build(spmd::Target::avx(), input),
+        analysis::FaultSiteCategory::PureData));
+    pointers.push_back(engines.back().get());
+  }
+
+  CampaignConfig config;
+  config.experiments_per_campaign = 20;
+  config.min_campaigns = 3;
+  config.max_campaigns = 6;
+  config.seed = opt.seed;
+  config.num_threads = opt.threads;
+  config.use_static_prune = opt.static_prune;
+  config.checkpoint_path = opt.checkpoint;
+  config.self_verify_every = opt.self_verify;
+
+  CancellationToken token;
+  config.cancel = &token;
+  if (opt.cancel_after > 0) {
+    config.on_campaign_complete = [&](const CampaignResult& r) {
+      if (r.campaigns >= opt.cancel_after) token.request_cancel();
+    };
+  }
+  return run_campaigns(pointers, config);
+}
+
+/// Bit-exact comparison of every scheduling-independent statistic.
+/// prune_memo_hits and throughput are deliberately absent: memo reuse
+/// depends on which worker ran an experiment first and on where a resume
+/// split the run, and throughput covers executed work only.
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.campaigns, b.campaigns);
+  EXPECT_EQ(a.experiments, b.experiments);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.detected_sdc, b.detected_sdc);
+  EXPECT_EQ(a.detected_total, b.detected_total);
+  EXPECT_EQ(a.prune_adjudicated, b.prune_adjudicated);
+  EXPECT_EQ(a.prune_remapped, b.prune_remapped);
+  ASSERT_EQ(a.campaign_sdc_rates.size(), b.campaign_sdc_rates.size());
+  for (std::size_t i = 0; i < a.campaign_sdc_rates.size(); ++i) {
+    EXPECT_EQ(a.campaign_sdc_rates[i], b.campaign_sdc_rates[i])
+        << "campaign " << i;
+  }
+  EXPECT_EQ(a.sdc_samples.mean(), b.sdc_samples.mean());
+  EXPECT_EQ(a.sdc_samples.variance(), b.sdc_samples.variance());
+  EXPECT_EQ(a.margin_of_error, b.margin_of_error);
+  EXPECT_EQ(a.near_normal, b.near_normal);
+  EXPECT_EQ(a.converged, b.converged);
+  // The canonical JSON rendering must agree byte for byte — it is what
+  // the CI interrupt-resume job diffs.
+  EXPECT_EQ(campaign_stats_json(a), campaign_stats_json(b));
+}
+
+TEST(CampaignCheckpoint, InterruptResumeIsBitIdentical) {
+  for (const unsigned jobs : {1u, 4u}) {
+    for (const bool prune : {true, false}) {
+      SCOPED_TRACE(testing::Message()
+                   << "jobs=" << jobs << " prune=" << prune);
+      RunOptions base;
+      base.threads = jobs;
+      base.static_prune = prune;
+      const CampaignResult uninterrupted = run_dot(base);
+      ASSERT_TRUE(uninterrupted.ok()) << uninterrupted.error;
+      EXPECT_FALSE(uninterrupted.interrupted);
+
+      const std::string ckpt = temp_path(
+          "resume_j" + std::to_string(jobs) + (prune ? "_p" : "_np"));
+      std::remove(ckpt.c_str());
+
+      RunOptions interrupt = base;
+      interrupt.checkpoint = ckpt;
+      interrupt.cancel_after = 2;
+      const CampaignResult interrupted = run_dot(interrupt);
+      ASSERT_TRUE(interrupted.ok()) << interrupted.error;
+      EXPECT_TRUE(interrupted.interrupted);
+      EXPECT_GE(interrupted.campaigns, 2u);
+      EXPECT_LT(interrupted.campaigns, uninterrupted.campaigns);
+      EXPECT_EQ(campaign_exit_code(interrupted), kCampaignExitInterrupted);
+
+      RunOptions resume = base;
+      resume.checkpoint = ckpt;
+      const CampaignResult resumed = run_dot(resume);
+      ASSERT_TRUE(resumed.ok()) << resumed.error;
+      EXPECT_FALSE(resumed.interrupted);
+      EXPECT_GE(resumed.campaigns_restored, 2u);
+      EXPECT_EQ(resumed.experiments_restored,
+                static_cast<std::uint64_t>(resumed.campaigns_restored) * 20);
+      expect_identical(uninterrupted, resumed);
+      EXPECT_EQ(campaign_exit_code(resumed),
+                resumed.converged ? kCampaignExitConverged
+                                  : kCampaignExitUnconverged);
+    }
+  }
+}
+
+TEST(CampaignCheckpoint, ResumeAcrossThreadCounts) {
+  // Interrupt under one --jobs value, resume under another: the header
+  // deliberately excludes num_threads, and the statistics must still be
+  // bit-identical to a serial uninterrupted run.
+  const CampaignResult uninterrupted = run_dot({});
+  const std::string ckpt = temp_path("cross_jobs");
+  std::remove(ckpt.c_str());
+
+  RunOptions interrupt;
+  interrupt.threads = 4;
+  interrupt.checkpoint = ckpt;
+  interrupt.cancel_after = 2;
+  ASSERT_TRUE(run_dot(interrupt).interrupted);
+
+  RunOptions resume;
+  resume.threads = 1;
+  resume.checkpoint = ckpt;
+  const CampaignResult resumed = run_dot(resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.error;
+  expect_identical(uninterrupted, resumed);
+}
+
+TEST(CampaignCheckpoint, CorruptOrTruncatedTailRecovers) {
+  const CampaignResult uninterrupted = run_dot({});
+  const std::string ckpt = temp_path("tail_master");
+  std::remove(ckpt.c_str());
+  RunOptions interrupt;
+  interrupt.checkpoint = ckpt;
+  interrupt.cancel_after = 2;
+  ASSERT_TRUE(run_dot(interrupt).interrupted);
+  const std::string journal = read_file(ckpt);
+  ASSERT_FALSE(journal.empty());
+
+  // Mutations modelling a torn final write and bit rot at several byte
+  // offsets. Each drops the tail back to the last valid record; the
+  // resumed run re-executes whatever was lost and must still match the
+  // uninterrupted statistics bit for bit.
+  struct Mutation {
+    const char* name;
+    std::string bytes;
+  };
+  std::vector<Mutation> mutations;
+  mutations.push_back({"truncate_1", journal.substr(0, journal.size() - 1)});
+  mutations.push_back({"truncate_half_record",
+                       journal.substr(0, journal.size() - 40)});
+  mutations.push_back({"garbage_tail", journal + "{\"t\":\"campaign\",\"c\""});
+  std::string flipped = journal;
+  flipped[journal.size() - 10] ^= 0x08;  // inside the last record
+  mutations.push_back({"bit_rot_last_record", flipped});
+  std::string flipped_mid = journal;
+  flipped_mid[journal.size() / 2] ^= 0x01;
+  mutations.push_back({"bit_rot_mid_file", flipped_mid});
+
+  for (const Mutation& mutation : mutations) {
+    SCOPED_TRACE(mutation.name);
+    const std::string path = temp_path(std::string("tail_") + mutation.name);
+    write_file(path, mutation.bytes);
+    RunOptions resume;
+    resume.checkpoint = path;
+    const CampaignResult resumed = run_dot(resume);
+    ASSERT_TRUE(resumed.ok()) << resumed.error;
+    expect_identical(uninterrupted, resumed);
+  }
+}
+
+TEST(CampaignCheckpoint, HeaderMismatchIsInternalErrorAndPreservesFile) {
+  const std::string ckpt = temp_path("header_mismatch");
+  std::remove(ckpt.c_str());
+  RunOptions first;
+  first.checkpoint = ckpt;
+  ASSERT_TRUE(run_dot(first).ok());
+  const std::string before = read_file(ckpt);
+
+  // A different seed writes a different history — resuming must refuse
+  // rather than blend the two, and must not clobber the existing file.
+  RunOptions other;
+  other.checkpoint = ckpt;
+  other.seed = 0xbadULL;
+  const CampaignResult refused = run_dot(other);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.error.find("configuration"), std::string::npos)
+      << refused.error;
+  EXPECT_EQ(refused.campaigns, 0u);
+  EXPECT_EQ(campaign_exit_code(refused), kCampaignExitInternalError);
+  EXPECT_EQ(read_file(ckpt), before);
+}
+
+TEST(CampaignCheckpoint, FullyRestoredRunExecutesNothing) {
+  const std::string ckpt = temp_path("full_restore");
+  std::remove(ckpt.c_str());
+  RunOptions first;
+  first.checkpoint = ckpt;
+  const CampaignResult complete = run_dot(first);
+  ASSERT_TRUE(complete.ok());
+
+  const CampaignResult restored = run_dot(first);
+  ASSERT_TRUE(restored.ok()) << restored.error;
+  EXPECT_EQ(restored.campaigns_restored, restored.campaigns);
+  // Throughput covers executed work only: a fully-restored run did none,
+  // and a partial resume must not deflate experiments/sec by counting
+  // restored experiments against this run's wall clock.
+  EXPECT_EQ(restored.throughput.experiments, 0u);
+  expect_identical(complete, restored);
+}
+
+TEST(CampaignCheckpoint, ThroughputCountsExecutedWorkOnly) {
+  const std::string ckpt = temp_path("throughput");
+  std::remove(ckpt.c_str());
+  RunOptions interrupt;
+  interrupt.checkpoint = ckpt;
+  interrupt.cancel_after = 2;
+  const CampaignResult interrupted = run_dot(interrupt);
+  ASSERT_TRUE(interrupted.interrupted);
+  EXPECT_EQ(interrupted.throughput.experiments, interrupted.experiments);
+
+  RunOptions resume;
+  resume.checkpoint = ckpt;
+  const CampaignResult resumed = run_dot(resume);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_GT(resumed.experiments_restored, 0u);
+  EXPECT_EQ(resumed.throughput.experiments,
+            resumed.experiments - resumed.experiments_restored);
+  EXPECT_GT(resumed.throughput.experiments, 0u);
+}
+
+TEST(CampaignCancellation, PreCancelledTokenRunsNothing) {
+  const kernels::Benchmark& bench = kernels::dot_product_benchmark();
+  for (const unsigned jobs : {1u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "jobs=" << jobs);
+    std::vector<std::unique_ptr<InjectionEngine>> engines;
+    std::vector<InjectionEngine*> pointers;
+    for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+      engines.push_back(std::make_unique<InjectionEngine>(
+          bench.build(spmd::Target::avx(), input),
+          analysis::FaultSiteCategory::PureData));
+      pointers.push_back(engines.back().get());
+    }
+    CampaignConfig config;
+    config.experiments_per_campaign = 20;
+    config.min_campaigns = 3;
+    config.max_campaigns = 6;
+    config.num_threads = jobs;
+    CancellationToken token;
+    token.request_cancel();
+    config.cancel = &token;
+    const CampaignResult result = run_campaigns(pointers, config);
+    EXPECT_TRUE(result.interrupted);
+    EXPECT_EQ(result.campaigns, 0u);
+    EXPECT_EQ(result.experiments, 0u);
+    EXPECT_EQ(campaign_exit_code(result), kCampaignExitInterrupted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Harness self-verification
+// ---------------------------------------------------------------------------
+
+TEST(CampaignSelfVerify, CleanRunPassesAtCadence) {
+  RunOptions opt;
+  opt.self_verify = 2;
+  const CampaignResult result = run_dot(opt);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.self_verify_failures, 0u);
+  EXPECT_EQ(result.self_verify_passes,
+            static_cast<std::uint64_t>(result.campaigns / 2));
+}
+
+TEST(CampaignSelfVerify, PassCountSurvivesResume) {
+  RunOptions base;
+  base.self_verify = 1;
+  const CampaignResult uninterrupted = run_dot(base);
+  ASSERT_TRUE(uninterrupted.ok());
+
+  const std::string ckpt = temp_path("verify_resume");
+  std::remove(ckpt.c_str());
+  RunOptions interrupt = base;
+  interrupt.checkpoint = ckpt;
+  interrupt.cancel_after = 2;
+  ASSERT_TRUE(run_dot(interrupt).interrupted);
+
+  RunOptions resume = base;
+  resume.checkpoint = ckpt;
+  const CampaignResult resumed = run_dot(resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.error;
+  // Restored verify audit records + this run's passes must add up to an
+  // uninterrupted run's tally (cadence is a function of total campaigns).
+  EXPECT_EQ(resumed.self_verify_passes, uninterrupted.self_verify_passes);
+  expect_identical(uninterrupted, resumed);
+}
+
+TEST(CampaignSelfVerify, DetectsPoisonedGoldenCache) {
+  const kernels::Benchmark& bench = kernels::dot_product_benchmark();
+  std::vector<std::unique_ptr<InjectionEngine>> engines;
+  std::vector<InjectionEngine*> pointers;
+  for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+    engines.push_back(std::make_unique<InjectionEngine>(
+        bench.build(spmd::Target::avx(), input),
+        analysis::FaultSiteCategory::PureData));
+    pointers.push_back(engines.back().get());
+  }
+
+  // Poison engine 0's memoized golden output — the exact failure mode
+  // self-verification exists to catch (an SDC in the harness itself).
+  GoldenCache poisoned = engines[0]->golden();
+  ASSERT_FALSE(poisoned.output_bytes.empty());
+  poisoned.output_bytes[0] ^= 0x01;
+  engines[0]->set_golden_for_test(std::move(poisoned));
+
+  CampaignConfig config;
+  config.experiments_per_campaign = 20;
+  config.min_campaigns = 3;
+  config.max_campaigns = 6;
+  config.num_threads = 1;
+  // Cadence 1 → the first verification pass runs engine 0.
+  config.self_verify_every = 1;
+  const CampaignResult result = run_campaigns(pointers, config);
+
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.self_verify_failures, 1u);
+  EXPECT_NE(result.error.find("self-verification"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("output"), std::string::npos) << result.error;
+  EXPECT_EQ(campaign_exit_code(result), kCampaignExitInternalError);
+  // The run stopped at the failing boundary instead of accumulating
+  // statistics against a corrupt golden reference.
+  EXPECT_EQ(result.campaigns, 1u);
+}
+
+TEST(EngineSelfVerify, CleanEngineVerifies) {
+  InjectionEngine engine(
+      kernels::dot_product_benchmark().build(spmd::Target::avx(), 0),
+      analysis::FaultSiteCategory::PureData);
+  // Vacuous before any golden run exists.
+  EXPECT_TRUE(engine.verify_golden().ok);
+  engine.warm_golden_cache();
+  const GoldenVerifyResult verdict = engine.verify_golden();
+  EXPECT_TRUE(verdict.ok) << verdict.diagnostic;
+}
+
+// ---------------------------------------------------------------------------
+// Exit-code contract
+// ---------------------------------------------------------------------------
+
+TEST(CampaignExitCodes, ContractMapping) {
+  CampaignResult result;
+  // Default-constructed: nothing ran, nothing converged.
+  EXPECT_EQ(campaign_exit_code(result), kCampaignExitUnconverged);
+
+  result.converged = true;
+  EXPECT_EQ(campaign_exit_code(result), kCampaignExitConverged);
+
+  result.interrupted = true;
+  EXPECT_EQ(campaign_exit_code(result), kCampaignExitInterrupted);
+
+  result.error = "boom";
+  EXPECT_EQ(campaign_exit_code(result), kCampaignExitInternalError);
+
+  // A failed self-verification is an internal error even if the stop
+  // rule was otherwise satisfied.
+  CampaignResult verify_failed;
+  verify_failed.converged = true;
+  verify_failed.self_verify_failures = 1;
+  EXPECT_EQ(campaign_exit_code(verify_failed), kCampaignExitInternalError);
+}
+
+}  // namespace
+}  // namespace vulfi

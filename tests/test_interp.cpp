@@ -8,6 +8,7 @@
 #include "interp/interpreter.hpp"
 #include "ir/builder.hpp"
 #include "ir/verifier.hpp"
+#include "vulfi/driver.hpp"
 
 namespace vulfi::interp {
 namespace {
@@ -895,6 +896,117 @@ TEST(Arena, WatermarkDiscipline) {
   EXPECT_GT(arena.frame_watermark(), mark);
   arena.restore_watermark(mark);
   EXPECT_EQ(arena.frame_watermark(), mark);
+}
+
+// ---------------------------------------------------------------------------
+// Trap taxonomy — one focused test per TrapKind
+// ---------------------------------------------------------------------------
+// The paper's outcome model collapses every trap into a user-visible
+// "Crash" (§IV-B): whatever ends a faulty run abnormally — a wild load,
+// a poisoned divisor, a hang caught by the budget — is a crash to the
+// user. Each test below provokes exactly one TrapKind through ordinary
+// IR execution and then checks the classification layer maps it to
+// Outcome::Crash, so adding a trap kind without wiring its
+// classification shows up as a failing sweep entry.
+
+/// Asserts `r` trapped with `kind` and classifies as a paper "Crash".
+void expect_crash(const ExecResult& r, TrapKind kind) {
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.trap.kind, kind);
+  // output_differs is irrelevant once trapped: both values must crash.
+  EXPECT_EQ(vulfi::classify_outcome(!r.ok(), false),
+            vulfi::Outcome::Crash);
+  EXPECT_EQ(vulfi::classify_outcome(!r.ok(), true),
+            vulfi::Outcome::Crash);
+}
+
+TEST(TrapTaxonomy, OutOfBoundsIsCrash) {
+  ExprHarness h;
+  const auto r = h.run(Type::i32(), {Type::ptr()},
+                       {RtVal::ptr(h.arena().capacity() + 4)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.load(Type::i32(), f->arg(0));
+                       });
+  expect_crash(r, TrapKind::OutOfBounds);
+}
+
+TEST(TrapTaxonomy, DivByZeroIsCrash) {
+  ExprHarness h;
+  const auto r = h.run(Type::i32(), {Type::i32(), Type::i32()},
+                       {RtVal::i32(7), RtVal::i32(0)},
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.udiv(f->arg(0), f->arg(1));
+                       });
+  expect_crash(r, TrapKind::DivByZero);
+}
+
+TEST(TrapTaxonomy, InstructionBudgetIsCrash) {
+  ir::Module m("taxonomy_budget");
+  IRBuilder b(m);
+  ir::Function* f = m.create_function("spin", Type::void_ty(), {});
+  ir::BasicBlock* entry = f->create_block("entry");
+  ir::BasicBlock* loop = f->create_block("loop");
+  b.set_insert_block(entry);
+  b.br(loop);
+  b.set_insert_block(loop);
+  b.br(loop);
+  Arena arena;
+  RuntimeEnv env;
+  ExecLimits limits;
+  limits.max_instructions = 1'000;
+  Interpreter interp(arena, env, limits);
+  expect_crash(interp.run(*f, {}), TrapKind::InstructionBudget);
+}
+
+TEST(TrapTaxonomy, CallDepthExceededIsCrash) {
+  ir::Module m("taxonomy_depth");
+  ir::Function* f = m.create_function("rec", Type::i32(), {Type::i32()});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  b.ret(b.call(f, {f->arg(0)}));
+  Arena arena;
+  RuntimeEnv env;
+  Interpreter interp(arena, env);
+  expect_crash(interp.run(*f, {RtVal::i32(0)}),
+               TrapKind::CallDepthExceeded);
+}
+
+TEST(TrapTaxonomy, BadLaneIndexIsCrash) {
+  ExprHarness h;
+  const Type v4 = Type::vector(TypeKind::I32, 4);
+  RtVal vec(v4);
+  const auto r = h.run(Type::i32(), {v4, Type::i32()},
+                       {vec, RtVal::i32(4)},  // one past the last lane
+                       [](IRBuilder& b, ir::Function* f) {
+                         return b.extract_element(f->arg(0), f->arg(1));
+                       });
+  expect_crash(r, TrapKind::BadLaneIndex);
+}
+
+TEST(TrapTaxonomy, UnreachableExecutedIsCrash) {
+  ir::Module m("taxonomy_unreachable");
+  ir::Function* f = m.create_function("f", Type::void_ty(), {});
+  IRBuilder b(m);
+  b.set_insert_block(f->create_block("entry"));
+  b.unreachable();
+  Arena arena;
+  RuntimeEnv env;
+  Interpreter interp(arena, env);
+  expect_crash(interp.run(*f, {}), TrapKind::UnreachableExecuted);
+}
+
+TEST(TrapTaxonomy, StackOverflowIsCrash) {
+  // alloca larger than the whole arena: eval_alloca must refuse with a
+  // StackOverflow trap (a value, not a host abort) before touching
+  // Arena::alloc_stack, whose exhaustion path is a host assertion.
+  ExprHarness h;
+  const std::uint64_t oversized = h.arena().capacity() + 1024;
+  const auto r = h.run(Type::void_ty(), {}, {},
+                       [&](IRBuilder& b, ir::Function*) -> Value* {
+                         b.alloca_bytes(oversized, "huge");
+                         return nullptr;
+                       });
+  expect_crash(r, TrapKind::StackOverflow);
 }
 
 }  // namespace

@@ -1,0 +1,226 @@
+// Unit tests for the crash-safe journal (support/journal.hpp): FNV-1a
+// reference vectors, seal/unseal tamper detection, corrupt- and
+// truncated-tail recovery at byte granularity, and writer rollback.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/journal.hpp"
+
+namespace vulfi {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "vulfi_journal_" + name;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  ASSERT_TRUE(out.good());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(Fnv1a, ReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors; the checksum must be stable
+  // across platforms or checkpoints stop being portable.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+  const char bytes[] = {'f', 'o', 'o', 'b', 'a', 'r'};
+  EXPECT_EQ(fnv1a64(bytes, sizeof bytes), 0x85944171f73967e8ULL);
+}
+
+TEST(JournalSeal, RoundTripsAndStaysJson) {
+  const std::string payload = "{\"t\":\"x\",\"n\":42}";
+  const std::string sealed = journal_seal(payload);
+  // The seal splices the checksum before the closing brace, keeping the
+  // line a single JSON object.
+  EXPECT_EQ(sealed.front(), '{');
+  EXPECT_EQ(sealed.back(), '}');
+  EXPECT_NE(sealed.find("\"fnv\":\""), std::string::npos);
+  const auto unsealed = journal_unseal(sealed);
+  ASSERT_TRUE(unsealed.has_value());
+  EXPECT_EQ(*unsealed, payload);
+}
+
+TEST(JournalSeal, DetectsTamperedBytes) {
+  const std::string sealed = journal_seal("{\"t\":\"x\",\"n\":42}");
+  // Flip each byte in turn: every single-byte corruption must be caught.
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    std::string tampered = sealed;
+    tampered[i] ^= 0x20;
+    EXPECT_FALSE(journal_unseal(tampered).has_value())
+        << "corruption at byte " << i << " went undetected";
+  }
+}
+
+TEST(JournalSeal, RejectsMalformedLines) {
+  EXPECT_FALSE(journal_unseal("").has_value());
+  EXPECT_FALSE(journal_unseal("{}").has_value());
+  EXPECT_FALSE(journal_unseal("{\"t\":\"x\"}").has_value());
+  EXPECT_FALSE(journal_unseal("not json at all").has_value());
+  // Valid shape but checksum for different content.
+  const std::string other = journal_seal("{\"t\":\"y\"}");
+  std::string spliced = other;
+  spliced.replace(spliced.find("\"y\""), 3, "\"z\"");
+  EXPECT_FALSE(journal_unseal(spliced).has_value());
+}
+
+TEST(DoubleHex, BitExactRoundTrip) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           1.0 / 3.0,
+                           -1234.5678e-12,
+                           5e-324,  // smallest denormal
+                           1.7976931348623157e308};
+  for (double value : values) {
+    const std::string hex = double_hex(value);
+    EXPECT_EQ(hex.size(), 16u);
+    const auto back = double_from_hex(hex);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(std::memcmp(&value, &*back, sizeof value), 0);
+  }
+  EXPECT_FALSE(double_from_hex("xyz").has_value());
+  EXPECT_FALSE(double_from_hex("0123").has_value());
+}
+
+TEST(JournalRecovery, MissingFileIsEmptyJournal) {
+  const JournalRecovery recovered =
+      recover_journal(temp_path("does_not_exist.jsonl"));
+  EXPECT_FALSE(recovered.file_existed);
+  EXPECT_FALSE(recovered.tail_dropped);
+  EXPECT_TRUE(recovered.records.empty());
+  EXPECT_EQ(recovered.valid_bytes, 0u);
+}
+
+TEST(JournalWriter, AppendsRecoverableRecords) {
+  const std::string path = temp_path("writer_basic.jsonl");
+  std::remove(path.c_str());
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(path, 0));
+    EXPECT_TRUE(writer.append("{\"n\":1}"));
+    EXPECT_TRUE(writer.append("{\"n\":2}"));
+    EXPECT_TRUE(writer.append("{\"n\":3}"));
+  }
+  const JournalRecovery recovered = recover_journal(path);
+  EXPECT_TRUE(recovered.file_existed);
+  EXPECT_FALSE(recovered.tail_dropped);
+  ASSERT_EQ(recovered.records.size(), 3u);
+  EXPECT_EQ(recovered.records[0], "{\"n\":1}");
+  EXPECT_EQ(recovered.records[2], "{\"n\":3}");
+  EXPECT_EQ(recovered.valid_bytes, read_file(path).size());
+}
+
+/// Builds a journal of `n` sealed records and returns its raw bytes.
+std::string journal_bytes(unsigned n) {
+  std::string bytes;
+  for (unsigned i = 0; i < n; ++i) {
+    bytes += journal_seal("{\"n\":" + std::to_string(i) + "}");
+    bytes += "\n";
+  }
+  return bytes;
+}
+
+TEST(JournalRecovery, TruncatedTailRollsBackToLastRecord) {
+  const std::string path = temp_path("truncate.jsonl");
+  const std::string full = journal_bytes(4);
+  // Chop the file at every byte offset: recovery must always keep the
+  // longest prefix of whole valid records and report the rest dropped.
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    write_file(path, full.substr(0, cut));
+    const JournalRecovery recovered = recover_journal(path);
+    ASSERT_TRUE(recovered.file_existed);
+    std::size_t whole = 0, consumed = 0;
+    for (std::size_t pos = 0;;) {
+      const std::size_t nl = full.find('\n', pos);
+      if (nl == std::string::npos || nl >= cut) break;
+      whole += 1;
+      consumed = nl + 1;
+      pos = nl + 1;
+    }
+    EXPECT_EQ(recovered.records.size(), whole) << "cut at " << cut;
+    EXPECT_EQ(recovered.valid_bytes, consumed) << "cut at " << cut;
+    EXPECT_EQ(recovered.tail_dropped, consumed != cut) << "cut at " << cut;
+    for (std::size_t i = 0; i < recovered.records.size(); ++i) {
+      EXPECT_EQ(recovered.records[i], "{\"n\":" + std::to_string(i) + "}");
+    }
+  }
+}
+
+TEST(JournalRecovery, CorruptTailRollsBackToLastValidRecord) {
+  const std::string path = temp_path("corrupt.jsonl");
+  const std::string full = journal_bytes(4);
+  // Corrupt one byte of the third record: recovery keeps records 0-1 and
+  // drops everything from the corruption onward (a later valid record
+  // must NOT resurrect — history is a prefix, not a subset).
+  const std::size_t second_nl = full.find('\n', full.find('\n') + 1);
+  for (const std::size_t victim :
+       {second_nl + 1, second_nl + 5, full.find('\n', second_nl + 1) - 1}) {
+    std::string corrupted = full;
+    corrupted[victim] ^= 0x01;
+    write_file(path, corrupted);
+    const JournalRecovery recovered = recover_journal(path);
+    ASSERT_EQ(recovered.records.size(), 2u) << "victim byte " << victim;
+    EXPECT_EQ(recovered.valid_bytes, second_nl + 1);
+    EXPECT_TRUE(recovered.tail_dropped);
+  }
+}
+
+TEST(JournalWriter, RollbackThenAppendYieldsCleanHistory) {
+  const std::string path = temp_path("rollback.jsonl");
+  // Simulate a torn final write, then the writer reopening at the valid
+  // prefix: the corrupt tail must be gone from disk and the next append
+  // must land immediately after the last valid record.
+  write_file(path, journal_bytes(3) + "{\"n\":3,\"fnv\":\"dead");
+  const JournalRecovery recovered = recover_journal(path);
+  ASSERT_EQ(recovered.records.size(), 3u);
+  EXPECT_TRUE(recovered.tail_dropped);
+
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open(path, recovered.valid_bytes));
+  EXPECT_TRUE(writer.append("{\"n\":99}"));
+  writer.close();
+
+  const JournalRecovery after = recover_journal(path);
+  EXPECT_FALSE(after.tail_dropped);
+  ASSERT_EQ(after.records.size(), 4u);
+  EXPECT_EQ(after.records[3], "{\"n\":99}");
+  EXPECT_EQ(after.valid_bytes, read_file(path).size());
+}
+
+TEST(JournalWriter, OpenFailureReportsError) {
+  std::string error;
+  JournalWriter writer;
+  EXPECT_FALSE(writer.open(temp_path("no_such_dir") + "/x/y.jsonl", 0,
+                           &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(writer.is_open());
+  EXPECT_FALSE(writer.append("{\"n\":0}"));
+}
+
+TEST(JournalFields, FlatFieldExtraction) {
+  const std::string payload =
+      "{\"t\":\"campaign\",\"c\":17,\"margin\":\"3f9eb851eb851eb8\"}";
+  EXPECT_EQ(journal_u64(payload, "c").value_or(0), 17u);
+  EXPECT_EQ(journal_str(payload, "t").value_or(""), "campaign");
+  EXPECT_EQ(journal_str(payload, "margin").value_or(""),
+            "3f9eb851eb851eb8");
+  EXPECT_FALSE(journal_u64(payload, "missing").has_value());
+  EXPECT_FALSE(journal_str(payload, "c").has_value());
+  EXPECT_FALSE(journal_u64(payload, "t").has_value());
+}
+
+}  // namespace
+}  // namespace vulfi

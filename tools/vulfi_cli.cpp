@@ -15,8 +15,11 @@
 //       Run N golden/faulty experiment pairs; print outcome rates and,
 //       with --report, the per-opcode outcome breakdown.
 //   vulfi campaign --benchmark NAME --category C [--campaigns K]
-//                  [--experiments N] [--seed S] [--target avx|sse]
-//                  [--jobs N] [--no-golden-cache] [--no-static-prune]
+//                  [--max-campaigns K] [--experiments N] [--seed S]
+//                  [--target avx|sse] [--jobs N] [--no-golden-cache]
+//                  [--no-static-prune] [--checkpoint PATH]
+//                  [--self-verify K] [--stall-timeout SEC]
+//                  [--stats-json PATH]
 //       Statistically controlled campaign (paper §IV-D) with margin of
 //       error, normality, and throughput reporting. --jobs N runs the
 //       experiments on N worker threads (0 = hardware concurrency) with
@@ -25,6 +28,24 @@
 //       bit-identical with and without the cache). --no-static-prune
 //       disables dead-bit adjudication and lane-class memoization —
 //       another exact A/B escape hatch.
+//
+//       Long-campaign resilience: --checkpoint PATH journals every
+//       completed campaign to an append-only checksummed file; rerunning
+//       with the same configuration resumes from the last completed
+//       campaign with bit-identical final statistics. SIGINT/SIGTERM
+//       cancel cooperatively (in-flight experiment drains, completed
+//       campaigns are checkpointed, second SIGINT kills immediately).
+//       --self-verify K re-executes a golden run every K campaigns and
+//       cross-checks the memoized golden cache. --stall-timeout SEC logs
+//       per-worker progress diagnostics when no campaign completes in
+//       SEC seconds. --stats-json PATH writes the scheduling-independent
+//       statistics as deterministic JSON (bit-identical across --jobs
+//       values and across interrupt/resume).
+//
+//       Exit codes: 0 stop rule satisfied (converged); 2 usage error;
+//       3 internal error (checkpoint mismatch/corruption, failed
+//       self-verification); 4 max campaigns reached without
+//       convergence; 5 interrupted by SIGINT/SIGTERM.
 //   vulfi lint [--benchmark NAME | --file K.ispc | --all] [--target avx|sse]
 //       Run the IR lint driver (verifier + unreachable-block, dead-value,
 //       and constant-condition checks) over shipped kernel modules.
@@ -46,6 +67,7 @@
 #include "kernels/benchmark.hpp"
 #include "kernels/study.hpp"
 #include "support/barchart.hpp"
+#include "support/cancel.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 #include "vulfi/campaign.hpp"
@@ -85,8 +107,13 @@ struct CliArgs {
       "           [--experiments N] [--seed S] [--target avx|sse] "
       "[--detectors] [--report]\n"
       "  campaign --benchmark NAME --category C [--campaigns K] "
-      "[--experiments N] [--seed S] [--target avx|sse] [--jobs N] "
-      "[--no-golden-cache] [--no-static-prune]\n"
+      "[--max-campaigns K] [--experiments N] [--seed S] [--target avx|sse] "
+      "[--jobs N] [--no-golden-cache] [--no-static-prune] "
+      "[--checkpoint PATH] [--self-verify K] [--stall-timeout SEC] "
+      "[--stats-json PATH]\n"
+      "           Exit codes: 0 converged, 3 internal error, 4 max "
+      "campaigns without convergence, 5 interrupted (SIGINT/SIGTERM; "
+      "completed campaigns land in --checkpoint, rerun to resume).\n"
       "  lint     [--benchmark NAME | --file K.ispc | --all] "
       "[--target avx|sse]\n"
       "           Lint kernel IR (verify + dataflow checks); nonzero exit "
@@ -111,8 +138,11 @@ CliArgs parse(int argc, char** argv) {
   CliArgs args;
   args.command = argv[1];
   const char* value_options[] = {"--benchmark", "--category", "--target",
-                                 "--experiments", "--campaigns", "--seed",
-                                 "--input", "--file", "--jobs"};
+                                 "--experiments", "--campaigns",
+                                 "--max-campaigns", "--seed", "--input",
+                                 "--file", "--jobs", "--checkpoint",
+                                 "--self-verify", "--stall-timeout",
+                                 "--stats-json"};
   const char* flag_options[] = {"--detectors", "--instrumented", "--report",
                                 "--no-golden-cache", "--no-static-prune",
                                 "--all"};
@@ -390,13 +420,29 @@ int cmd_campaign(const CliArgs& args) {
   config.experiments_per_campaign =
       std::stoul(args.get("experiments", "100"));
   config.min_campaigns = std::stoul(args.get("campaigns", "20"));
-  config.max_campaigns = config.min_campaigns * 2;
+  config.max_campaigns = std::stoul(args.get(
+      "max-campaigns", std::to_string(config.min_campaigns * 2)));
   config.seed = std::stoull(args.get("seed", "24029"));
   config.num_threads =
       static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
   config.use_golden_cache = !args.flag("no-golden-cache");
   config.use_static_prune = !args.flag("no-static-prune");
+  config.checkpoint_path = args.get("checkpoint");
+  config.self_verify_every =
+      static_cast<unsigned>(std::stoul(args.get("self-verify", "0")));
+  config.stall_timeout_seconds = std::stod(args.get("stall-timeout", "0"));
+
+  // Cooperative cancellation: first SIGINT/SIGTERM drains the in-flight
+  // experiment and checkpoints completed campaigns; a second SIGINT
+  // falls back to the default (immediate) disposition.
+  CancellationToken cancel;
+  const ScopedSignalCancellation signal_guard(cancel);
+  config.cancel = &cancel;
+
   const CampaignResult result = run_campaigns(pointers, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "vulfi: %s\n", result.error.c_str());
+  }
 
   std::printf("%s / %s / %s\n", bench.name().c_str(),
               analysis::category_name(category), target.name());
@@ -417,7 +463,22 @@ int cmd_campaign(const CliArgs& args) {
     std::printf("  static prune: %s\n",
                 render_prune_savings(result).c_str());
   }
-  return 0;
+  const std::string resilience = render_resilience(result);
+  if (!resilience.empty()) {
+    std::printf("  resilience: %s\n", resilience.c_str());
+  }
+
+  const std::string stats_path = args.get("stats-json");
+  if (!stats_path.empty()) {
+    std::ofstream out(stats_path, std::ios::trunc);
+    out << campaign_stats_json(result) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "vulfi: cannot write stats to '%s'\n",
+                   stats_path.c_str());
+      return kCampaignExitInternalError;
+    }
+  }
+  return campaign_exit_code(result);
 }
 
 int lint_one(const std::string& label, ir::Module& module, int& failures) {
