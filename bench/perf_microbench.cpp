@@ -273,6 +273,28 @@ void BM_JournalAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_JournalAppend);
 
+// Durability-policy A/B for --fsync=always|batch|off: the per-record
+// fsync of the Always default dominates checkpoint overhead on fast
+// campaigns; Batch amortizes it over kBatchSyncEvery records; Off is the
+// flush-only floor BM_JournalAppend measures.
+void BM_JournalAppendSync(benchmark::State& state, JournalSync sync) {
+  const std::string path = "bench_journal_sync.jsonl";
+  JournalWriter writer;
+  writer.open(path, 0);
+  writer.set_sync_policy(sync);
+  const std::string payload =
+      "{\"t\":\"campaign\",\"c\":39,\"benign\":21,\"sdc\":71,\"crash\":8,"
+      "\"dsdc\":0,\"dtot\":0,\"padj\":5,\"premap\":2,\"pmemo\":11}";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.append(payload));
+  }
+  writer.close();
+  std::remove(path.c_str());
+}
+BENCHMARK_CAPTURE(BM_JournalAppendSync, always, JournalSync::Always);
+BENCHMARK_CAPTURE(BM_JournalAppendSync, batch, JournalSync::Batch);
+BENCHMARK_CAPTURE(BM_JournalAppendSync, off, JournalSync::Off);
+
 void BM_JournalRecover(benchmark::State& state) {
   // Recovery scans and re-verifies every record: cost of resuming a
   // max-length (40-campaign) checkpoint.

@@ -1,0 +1,156 @@
+// Warm-path benchmark of the campaign service (BENCH_PR5.json).
+//
+// Measures what the daemon exists to amortize: N sequential requests
+// served through a live vulfid socket (one cold engine build, then
+// warm-cache clones) versus the same N requests each paying the full
+// cold start the one-shot CLI pays — kernel compile, detector-free
+// instrumentation, golden-run memoization, site census, and prune
+// analysis, per invocation. Campaigns are deliberately small so the
+// cold-start share dominates, which is exactly the short-request regime
+// a service targets; the daemon side additionally pays the socket
+// protocol, so its win is measured end to end, not flattered.
+//
+// The run doubles as a correctness check: every warm response's
+// statistics JSON must be byte-identical to the cold in-process run of
+// the same request. Exits non-zero when the warm-path speedup falls
+// under 2x (the acceptance floor) or any statistics mismatch.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/engine_cache.hpp"
+#include "serve/server.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/report.hpp"
+
+namespace {
+
+using namespace vulfi;
+using namespace vulfi::serve;
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned kRequests = 8;
+
+CampaignRequest request_for(unsigned index) {
+  CampaignRequest request;
+  // blackscholes carries a realistic cold start (largest paper kernel);
+  // one 5-experiment campaign keeps the campaign body short — the
+  // short-request regime where cold start dominates.
+  request.benchmark = "blackscholes";
+  request.category = "pure-data";
+  request.experiments = 5;
+  request.min_campaigns = 1;
+  request.max_campaigns = 1;
+  request.seed = 1000 + index;  // distinct requests, same engine key
+  return request;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One full cold-start service of `request`: build everything from
+/// scratch (cache of capacity 1, guaranteed miss), run the campaign.
+std::string run_cold(const CampaignRequest& request) {
+  EngineCache cold_cache(1);
+  EngineCache::Lease lease = cold_cache.acquire(request);
+  if (!lease.ok()) {
+    std::fprintf(stderr, "cold build failed: %s\n", lease.error.c_str());
+    std::exit(1);
+  }
+  std::vector<InjectionEngine*> engines;
+  engines.reserve(lease.engines.size());
+  for (const auto& engine : lease.engines) engines.push_back(engine.get());
+  return campaign_stats_json(
+      run_campaigns(engines, to_campaign_config(request, 0)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_PR5.json";
+
+  // Cold side: every request pays the full build, like N CLI runs.
+  std::vector<std::string> cold_stats;
+  const auto cold_start = Clock::now();
+  for (unsigned i = 0; i < kRequests; ++i) {
+    cold_stats.push_back(run_cold(request_for(i)));
+  }
+  const double cold_seconds = seconds_since(cold_start);
+
+  // Warm side: the same requests through a live daemon socket.
+  ServerConfig config;
+  config.socket_path =
+      "/tmp/vulfi_serve_bench_" + std::to_string(::getpid()) + ".sock";
+  CampaignServer server(config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "daemon start failed: %s\n", error.c_str());
+    return 1;
+  }
+  bool identical = true;
+  const auto warm_start = Clock::now();
+  for (unsigned i = 0; i < kRequests; ++i) {
+    const SubmitOutcome outcome =
+        submit_campaign(config.socket_path, request_for(i));
+    if (!outcome.ok) {
+      std::fprintf(stderr, "submit %u failed: %s\n", i,
+                   outcome.error.c_str());
+      return 1;
+    }
+    identical = identical && outcome.stats_json == cold_stats[i];
+  }
+  const double warm_seconds = seconds_since(warm_start);
+  const EngineCacheStats cache = server.cache().stats();
+  server.request_shutdown();
+  server.wait();
+
+  const double speedup = warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"serve_warm_path\",\n"
+               "  \"kernel\": \"blackscholes\",\n"
+               "  \"requests\": %u,\n"
+               "  \"cold_seconds\": %.3f,\n"
+               "  \"warm_seconds\": %.3f,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"cache_hits\": %llu,\n"
+               "  \"cache_misses\": %llu,\n"
+               "  \"stats_byte_identical\": %s\n"
+               "}\n",
+               kRequests, cold_seconds, warm_seconds, speedup,
+               static_cast<unsigned long long>(cache.hits),
+               static_cast<unsigned long long>(cache.misses),
+               identical ? "true" : "false");
+  std::fclose(out);
+  std::fprintf(stderr,
+               "serve-bench: %u requests cold %.3fs, warm (via socket) "
+               "%.3fs -> %.2fx; cache %llu hits / %llu misses -> %s\n",
+               kRequests, cold_seconds, warm_seconds, speedup,
+               static_cast<unsigned long long>(cache.hits),
+               static_cast<unsigned long long>(cache.misses),
+               json_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "serve-bench: FAIL — warm statistics diverged from cold\n");
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "serve-bench: FAIL — warm-path speedup %.2fx under the "
+                 "2x floor\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "serve/client.hpp"
+
+#include "support/journal.hpp"
+#include "support/socket.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::serve {
+
+namespace {
+
+/// Connects and performs one request → one response exchange.
+std::optional<std::string> roundtrip(const std::string& socket_path,
+                                     const std::string& request,
+                                     const std::string& expect_t,
+                                     std::string* error, int timeout_ms) {
+  std::string connect_error;
+  UnixConn conn = UnixConn::connect_to(socket_path, &connect_error);
+  if (!conn.ok()) {
+    if (error != nullptr) *error = connect_error;
+    return std::nullopt;
+  }
+  if (!conn.send_frame(request)) {
+    if (error != nullptr) *error = "send failed";
+    return std::nullopt;
+  }
+  std::string why;
+  const std::optional<std::string> reply = conn.recv_frame(timeout_ms, &why);
+  if (!reply) {
+    if (error != nullptr) *error = "no reply (" + why + ")";
+    return std::nullopt;
+  }
+  const std::string t = journal_str(*reply, "t").value_or("");
+  if (t != expect_t) {
+    if (error != nullptr) {
+      *error = strf("unexpected reply '%s' (wanted '%s')", t.c_str(),
+                    expect_t.c_str());
+    }
+    return std::nullopt;
+  }
+  return reply;
+}
+
+}  // namespace
+
+SubmitOutcome submit_campaign(const std::string& socket_path,
+                              const CampaignRequest& request,
+                              const StreamCallbacks& callbacks,
+                              int frame_timeout_ms) {
+  SubmitOutcome outcome;
+  std::string connect_error;
+  UnixConn conn = UnixConn::connect_to(socket_path, &connect_error);
+  if (!conn.ok()) {
+    outcome.error = connect_error;
+    return outcome;
+  }
+  if (!conn.send_frame(serialize_request(request))) {
+    outcome.error = "send failed";
+    return outcome;
+  }
+
+  for (;;) {
+    std::string why;
+    const std::optional<std::string> frame =
+        conn.recv_frame(frame_timeout_ms, &why);
+    if (!frame) {
+      outcome.error = why == "closed"
+                          ? "connection dropped mid-campaign (resubmit "
+                            "with the saved journal as checkpoint to "
+                            "resume)"
+                          : "stream failed (" + why + ")";
+      return outcome;
+    }
+    const std::string t = journal_str(*frame, "t").value_or("");
+    if (t == "accepted") {
+      outcome.id = journal_u64(*frame, "id").value_or(0);
+    } else if (t == "busy") {
+      outcome.busy = true;
+      outcome.error = strf(
+          "daemon busy: %llu request%s queued (limit %llu) — retry later",
+          static_cast<unsigned long long>(
+              journal_u64(*frame, "queued").value_or(0)),
+          journal_u64(*frame, "queued").value_or(0) == 1 ? "" : "s",
+          static_cast<unsigned long long>(
+              journal_u64(*frame, "limit").value_or(0)));
+      return outcome;
+    } else if (t == "error") {
+      outcome.error = journal_str(*frame, "message").value_or("error");
+      return outcome;
+    } else if (t == "engines") {
+      outcome.engines =
+          static_cast<std::size_t>(journal_u64(*frame, "engines").value_or(0));
+      outcome.cache_hit =
+          journal_str(*frame, "cache").value_or("") == "hit";
+    } else if (t == "header") {
+      if (callbacks.on_record) callbacks.on_record(*frame);
+    } else if (t == "campaign") {
+      outcome.records += 1;
+      if (callbacks.on_record) callbacks.on_record(*frame);
+    } else if (t == "log") {
+      if (callbacks.on_log) {
+        callbacks.on_log(journal_str(*frame, "message").value_or(""));
+      }
+    } else if (t == "done") {
+      outcome.ok = true;
+      outcome.exit_code = static_cast<int>(
+          journal_u64(*frame, "exit").value_or(3));
+      outcome.converged = journal_u64(*frame, "converged").value_or(0) != 0;
+      outcome.interrupted =
+          journal_u64(*frame, "interrupted").value_or(0) != 0;
+      outcome.server_error = journal_str(*frame, "error").value_or("");
+      outcome.stats_json =
+          extract_json_object(*frame, "stats").value_or("{}");
+      return outcome;
+    }
+    // Unknown "t": skip — forward compatibility with newer daemons.
+  }
+}
+
+std::optional<std::string> ping_server(const std::string& socket_path,
+                                       std::string* error, int timeout_ms) {
+  return roundtrip(socket_path, "{\"op\":\"ping\"}", "pong", error,
+                   timeout_ms);
+}
+
+std::optional<std::string> server_stats(const std::string& socket_path,
+                                        std::string* error, int timeout_ms) {
+  return roundtrip(socket_path, "{\"op\":\"stats\"}", "stats", error,
+                   timeout_ms);
+}
+
+bool shutdown_server(const std::string& socket_path, std::uint64_t* completed,
+                     std::string* error, int timeout_ms) {
+  const std::optional<std::string> bye = roundtrip(
+      socket_path, "{\"op\":\"shutdown\"}", "bye", error, timeout_ms);
+  if (!bye) return false;
+  if (completed != nullptr) {
+    *completed = journal_u64(*bye, "completed").value_or(0);
+  }
+  return true;
+}
+
+}  // namespace vulfi::serve

@@ -1,0 +1,73 @@
+// Client side of the campaign service: `vulfi submit/ping/shutdown` and
+// the serve-mode tests are thin wrappers over these calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace vulfi::serve {
+
+/// Streaming hooks for a submit. `on_record` receives each sealed
+/// journal line exactly as a checkpoint file would store it (header
+/// first, then campaign records) — append them to a file and you hold a
+/// resumable checkpoint. `on_log` receives watchdog diagnostics.
+struct StreamCallbacks {
+  std::function<void(const std::string&)> on_record;
+  std::function<void(const std::string&)> on_log;
+};
+
+struct SubmitOutcome {
+  /// A "done" frame arrived; exit_code/stats_json are meaningful.
+  bool ok = false;
+  /// Transport or server-side failure description when !ok (connection
+  /// refused, busy daemon, malformed request, dropped mid-stream, ...).
+  std::string error;
+  /// True specifically when the daemon answered "busy" (backpressure) —
+  /// the caller may retry later; nothing was scheduled.
+  bool busy = false;
+
+  std::uint64_t id = 0;
+  std::size_t engines = 0;
+  bool cache_hit = false;
+  std::uint64_t records = 0;  ///< campaign records streamed
+
+  int exit_code = 3;  // kCampaignExitInternalError until done says else
+  bool converged = false;
+  bool interrupted = false;
+  std::string server_error;  ///< "error" field of the done frame
+  std::string stats_json;    ///< deterministic campaign_stats_json
+};
+
+/// Submits one campaign and blocks until its "done" frame (or failure).
+/// `frame_timeout_ms` bounds the silence between consecutive frames, not
+/// the whole campaign — the server streams a record per completed
+/// campaign, so a healthy run is never silent for long.
+SubmitOutcome submit_campaign(const std::string& socket_path,
+                              const CampaignRequest& request,
+                              const StreamCallbacks& callbacks = {},
+                              int frame_timeout_ms = 600000);
+
+/// Pings the daemon. On success returns the daemon's pong payload
+/// (protocol version + build fingerprint); nullopt with `error` set
+/// otherwise.
+std::optional<std::string> ping_server(const std::string& socket_path,
+                                       std::string* error = nullptr,
+                                       int timeout_ms = 5000);
+
+/// Fetches the daemon's scheduler/cache statistics payload.
+std::optional<std::string> server_stats(const std::string& socket_path,
+                                        std::string* error = nullptr,
+                                        int timeout_ms = 5000);
+
+/// Asks the daemon to drain and exit; blocks until its "bye" frame.
+/// `completed` (when non-null) receives the daemon's served count.
+bool shutdown_server(const std::string& socket_path,
+                     std::uint64_t* completed = nullptr,
+                     std::string* error = nullptr,
+                     int timeout_ms = 600000);
+
+}  // namespace vulfi::serve

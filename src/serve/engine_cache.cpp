@@ -1,0 +1,204 @@
+#include "serve/engine_cache.hpp"
+
+#include <utility>
+
+#include "detect/detector_runtime.hpp"
+#include "detect/foreach_detector.hpp"
+#include "kernels/benchmark.hpp"
+#include "spmd/target.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::serve {
+
+namespace {
+
+analysis::FaultSiteCategory category_of(const std::string& name) {
+  if (name == "control" || name == "ctrl") {
+    return analysis::FaultSiteCategory::Control;
+  }
+  if (name == "address" || name == "addr") {
+    return analysis::FaultSiteCategory::Address;
+  }
+  return analysis::FaultSiteCategory::PureData;
+}
+
+spmd::Target target_of(const std::string& isa) {
+  return isa == "avx" ? spmd::Target::avx() : spmd::Target::sse4();
+}
+
+}  // namespace
+
+std::string validate_request_names(const CampaignRequest& request) {
+  if (kernels::find_benchmark(request.benchmark) == nullptr) {
+    return strf("unknown benchmark '%s' (try: vulfi list)",
+                request.benchmark.c_str());
+  }
+  return "";
+}
+
+CampaignConfig to_campaign_config(const CampaignRequest& request,
+                                  unsigned max_jobs) {
+  CampaignConfig config;
+  config.experiments_per_campaign = request.experiments;
+  config.min_campaigns = request.min_campaigns;
+  config.max_campaigns = request.resolved_max_campaigns();
+  config.confidence = request.confidence;
+  config.target_margin = request.target_margin;
+  config.seed = request.seed;
+  config.num_threads = request.jobs;
+  if (max_jobs != 0) {
+    // The fairness quota: one request may not monopolize the host. 0
+    // (hardware concurrency) is clamped too — the cap is the point.
+    if (config.num_threads == 0 || config.num_threads > max_jobs) {
+      config.num_threads = max_jobs;
+    }
+  }
+  config.use_golden_cache = request.golden_cache;
+  config.use_static_prune = request.static_prune;
+  config.checkpoint_path = request.checkpoint;
+  config.journal_sync =
+      journal_sync_from_name(request.fsync).value_or(JournalSync::Always);
+  config.self_verify_every = request.self_verify;
+  config.stall_timeout_seconds = request.stall_timeout;
+  return config;
+}
+
+struct EngineCache::Entry {
+  /// Idle ready-to-run engine sets returned by finished leases, beyond
+  /// which returned sets are simply destroyed (memory bound).
+  static constexpr std::size_t kMaxIdleSets = 4;
+
+  std::mutex build_mutex;  ///< serializes build + clone + pool per key
+  bool built = false;
+  std::string error;
+  std::vector<std::unique_ptr<InjectionEngine>> prototypes;
+  std::vector<std::vector<std::unique_ptr<InjectionEngine>>> idle_sets;
+  std::uint64_t last_used = 0;
+};
+
+EngineCache::Lease::Lease() = default;
+EngineCache::Lease::Lease(Lease&&) noexcept = default;
+EngineCache::Lease& EngineCache::Lease::operator=(Lease&&) noexcept = default;
+
+EngineCache::Lease::~Lease() {
+  if (entry_ == nullptr || engines.empty()) return;
+  const std::lock_guard<std::mutex> lock(entry_->build_mutex);
+  if (entry_->idle_sets.size() < Entry::kMaxIdleSets) {
+    entry_->idle_sets.push_back(std::move(engines));
+  }
+}
+
+EngineCache::EngineCache(std::size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::string EngineCache::key_of(const CampaignRequest& request) {
+  return strf("%s|%s|%s|det%u|gc%u|sp%u", request.benchmark.c_str(),
+              request.isa == "avx" ? "avx" : "sse", request.category.c_str(),
+              request.detectors ? 1u : 0u, request.golden_cache ? 1u : 0u,
+              request.static_prune ? 1u : 0u);
+}
+
+EngineCache::Lease EngineCache::acquire(const CampaignRequest& request) {
+  Lease lease;
+  const std::string key = key_of(request);
+
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tick_ += 1;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_ += 1;
+      lease.cache_hit = true;
+      entry = it->second;
+    } else {
+      misses_ += 1;
+      entry = std::make_shared<Entry>();
+      entries_.emplace(key, entry);
+      // LRU eviction; the shared_ptr keeps an evicted set alive for any
+      // request still cloning from it.
+      while (entries_.size() > max_entries_) {
+        auto victim = entries_.end();
+        for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+          if (e->second == entry) continue;
+          if (victim == entries_.end() ||
+              e->second->last_used < victim->second->last_used) {
+            victim = e;
+          }
+        }
+        if (victim == entries_.end()) break;
+        entries_.erase(victim);
+      }
+    }
+    entry->last_used = tick_;
+  }
+
+  // Build (first acquirer) and clone under the per-entry mutex: requests
+  // for different kernels warm concurrently, requests for the same one
+  // share a single build.
+  const std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  if (!entry->built) {
+    entry->built = true;
+    const kernels::Benchmark* bench =
+        kernels::find_benchmark(request.benchmark);
+    if (bench == nullptr) {
+      entry->error = strf("unknown benchmark '%s'", request.benchmark.c_str());
+    } else {
+      const spmd::Target target = target_of(request.isa);
+      const analysis::FaultSiteCategory category =
+          category_of(request.category);
+      for (unsigned input = 0; input < bench->num_inputs(); ++input) {
+        RunSpec spec = bench->build(target, input);
+        if (request.detectors) {
+          detect::insert_foreach_detectors(*spec.module);
+        }
+        auto engine = std::make_unique<InjectionEngine>(std::move(spec),
+                                                        category);
+        if (request.detectors) {
+          engine->setup_runtime(
+              [](interp::RuntimeEnv& env, interp::DetectionLog& log) {
+                detect::attach_detector_runtime(env, log);
+              });
+        }
+        // Warm now so every future clone inherits the golden memo and
+        // the request pays only campaign time (run_campaigns re-applies
+        // the same toggles; both operations are idempotent).
+        engine->set_golden_cache_enabled(request.golden_cache);
+        engine->set_static_prune(request.static_prune);
+        engine->warm_golden_cache();
+        entry->prototypes.push_back(std::move(engine));
+      }
+    }
+  }
+  if (!entry->error.empty()) {
+    lease.error = entry->error;
+    lease.cache_hit = false;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second == entry) entries_.erase(it);
+    return lease;
+  }
+  // Prefer a recycled idle set (no clone cost); fall back to cloning
+  // when every set is leased out to a concurrent request.
+  if (!entry->idle_sets.empty()) {
+    lease.engines = std::move(entry->idle_sets.back());
+    entry->idle_sets.pop_back();
+  } else {
+    for (const auto& prototype : entry->prototypes) {
+      lease.engines.push_back(prototype->clone());
+    }
+  }
+  lease.entry_ = std::move(entry);
+  return lease;
+}
+
+EngineCacheStats EngineCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  EngineCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+}  // namespace vulfi::serve

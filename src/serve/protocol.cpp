@@ -1,0 +1,268 @@
+#include "serve/protocol.hpp"
+
+#include "support/journal.hpp"
+#include "support/socket.hpp"
+#include "support/str.hpp"
+#include "support/version.hpp"
+
+namespace vulfi::serve {
+
+namespace {
+
+bool known_category(const std::string& name) {
+  return name == "pure-data" || name == "puredata" || name == "control" ||
+         name == "ctrl" || name == "address" || name == "addr";
+}
+
+bool known_isa(const std::string& name) {
+  return name == "avx" || name == "sse" || name == "sse4";
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::string serialize_request(const CampaignRequest& request) {
+  std::string payload = strf(
+      "{\"op\":\"submit\",\"benchmark\":\"%s\",\"category\":\"%s\","
+      "\"isa\":\"%s\",\"experiments\":%u,\"campaigns\":%u,"
+      "\"max_campaigns\":%u,\"seed\":%llu,\"jobs\":%u,\"gcache\":%u,"
+      "\"sprune\":%u,\"detectors\":%u,\"priority\":%u,\"conf\":\"%s\","
+      "\"margin\":\"%s\",\"self_verify\":%u,\"stall\":\"%s\",\"fsync\":\"%s\"",
+      json_escape(request.benchmark).c_str(),
+      json_escape(request.category).c_str(), json_escape(request.isa).c_str(),
+      request.experiments, request.min_campaigns, request.max_campaigns,
+      static_cast<unsigned long long>(request.seed), request.jobs,
+      request.golden_cache ? 1u : 0u, request.static_prune ? 1u : 0u,
+      request.detectors ? 1u : 0u, request.priority,
+      double_hex(request.confidence).c_str(),
+      double_hex(request.target_margin).c_str(), request.self_verify,
+      double_hex(request.stall_timeout).c_str(),
+      json_escape(request.fsync).c_str());
+  if (!request.checkpoint.empty()) {
+    payload += strf(",\"checkpoint\":\"%s\"",
+                    json_escape(request.checkpoint).c_str());
+  }
+  payload += "}";
+  return payload;
+}
+
+std::optional<CampaignRequest> parse_request(const std::string& payload,
+                                             std::string* error) {
+  CampaignRequest request;
+  auto u64 = [&](const char* key, std::uint64_t fallback) {
+    return journal_u64(payload, key).value_or(fallback);
+  };
+  auto dbl = [&](const char* key, double fallback) {
+    const std::optional<std::string> hex = journal_str(payload, key);
+    if (!hex) return fallback;
+    return double_from_hex(*hex).value_or(fallback);
+  };
+
+  const std::optional<std::string> benchmark =
+      journal_str(payload, "benchmark");
+  if (!benchmark || benchmark->empty()) {
+    fail(error, "submit: missing benchmark");
+    return std::nullopt;
+  }
+  request.benchmark = *benchmark;
+  request.category = journal_str(payload, "category").value_or("pure-data");
+  request.isa = journal_str(payload, "isa").value_or("avx");
+  request.fsync = journal_str(payload, "fsync").value_or("always");
+  request.checkpoint = journal_str(payload, "checkpoint").value_or("");
+  if (!known_category(request.category)) {
+    fail(error, "submit: category must be pure-data, control, or address");
+    return std::nullopt;
+  }
+  if (!known_isa(request.isa)) {
+    fail(error, "submit: isa must be avx or sse");
+    return std::nullopt;
+  }
+  if (!journal_sync_from_name(request.fsync)) {
+    fail(error, "submit: fsync must be always, batch, or off");
+    return std::nullopt;
+  }
+
+  request.experiments = static_cast<unsigned>(u64("experiments", 100));
+  request.min_campaigns = static_cast<unsigned>(u64("campaigns", 20));
+  request.max_campaigns = static_cast<unsigned>(u64("max_campaigns", 0));
+  request.seed = u64("seed", 24029);
+  request.jobs = static_cast<unsigned>(u64("jobs", 1));
+  request.golden_cache = u64("gcache", 1) != 0;
+  request.static_prune = u64("sprune", 1) != 0;
+  request.detectors = u64("detectors", 0) != 0;
+  request.priority = static_cast<unsigned>(u64("priority", 1));
+  request.self_verify = static_cast<unsigned>(u64("self_verify", 0));
+  request.confidence = dbl("conf", 0.95);
+  request.target_margin = dbl("margin", 0.03);
+  request.stall_timeout = dbl("stall", 0.0);
+
+  if (request.experiments == 0 || request.min_campaigns == 0) {
+    fail(error, "submit: experiments and campaigns must be positive");
+    return std::nullopt;
+  }
+  if (request.max_campaigns != 0 &&
+      request.max_campaigns < request.min_campaigns) {
+    fail(error, "submit: max_campaigns below campaigns");
+    return std::nullopt;
+  }
+  if (request.priority > 3) {
+    fail(error, "submit: priority must be 0..3");
+    return std::nullopt;
+  }
+  if (!(request.confidence > 0.0 && request.confidence < 1.0) ||
+      !(request.target_margin > 0.0)) {
+    fail(error, "submit: confidence must be in (0,1), margin positive");
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string accepted_payload(std::uint64_t id, std::size_t queue_depth) {
+  return strf("{\"t\":\"accepted\",\"id\":%llu,\"queued\":%llu}",
+              static_cast<unsigned long long>(id),
+              static_cast<unsigned long long>(queue_depth));
+}
+
+std::string busy_payload(std::size_t queued, std::size_t limit) {
+  return strf("{\"t\":\"busy\",\"queued\":%llu,\"limit\":%llu}",
+              static_cast<unsigned long long>(queued),
+              static_cast<unsigned long long>(limit));
+}
+
+std::string error_payload(const std::string& message) {
+  return strf("{\"t\":\"error\",\"message\":\"%s\"}",
+              json_escape(message).c_str());
+}
+
+std::string engines_payload(std::size_t engines, bool cache_hit) {
+  return strf("{\"t\":\"engines\",\"engines\":%llu,\"cache\":\"%s\"}",
+              static_cast<unsigned long long>(engines),
+              cache_hit ? "hit" : "miss");
+}
+
+std::string log_payload(const std::string& message) {
+  return strf("{\"t\":\"log\",\"message\":\"%s\"}",
+              json_escape(message).c_str());
+}
+
+std::string done_payload(std::uint64_t id, int exit_code, bool converged,
+                         bool interrupted, const std::string& error,
+                         const std::string& stats_json) {
+  return strf(
+      "{\"t\":\"done\",\"id\":%llu,\"exit\":%d,\"converged\":%u,"
+      "\"interrupted\":%u,\"error\":\"%s\",\"stats\":%s}",
+      static_cast<unsigned long long>(id), exit_code, converged ? 1u : 0u,
+      interrupted ? 1u : 0u, json_escape(error).c_str(),
+      stats_json.empty() ? "{}" : stats_json.c_str());
+}
+
+std::string pong_payload() {
+  return strf("{\"t\":\"pong\",\"protocol\":%u,\"build\":\"%s\"}",
+              kProtocolVersion, build_fingerprint().c_str());
+}
+
+std::string bye_payload(std::uint64_t completed) {
+  return strf("{\"t\":\"bye\",\"completed\":%llu}",
+              static_cast<unsigned long long>(completed));
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> extract_json_object(const std::string& payload,
+                                               const char* key) {
+  const std::string needle = strf("\"%s\":", key);
+  const std::size_t at = payload.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  if (i >= payload.size() || payload[i] != '{') return std::nullopt;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t j = i; j < payload.size(); ++j) {
+    const char c = payload[j];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      depth += 1;
+    } else if (c == '}') {
+      depth -= 1;
+      if (depth == 0) return payload.substr(i, j + 1 - i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> protocol_fuzz_seeds() {
+  std::vector<std::string> seeds;
+  // Well-formed frames the server must answer, not crash on.
+  seeds.push_back(frame_encode("{\"op\":\"ping\"}"));
+  seeds.push_back(frame_encode("{\"op\":\"stats\"}"));
+  seeds.push_back(frame_encode(serialize_request(CampaignRequest{})));
+  // Valid frames with invalid requests: JSON-ish garbage, wrong types,
+  // missing fields, unknown ops, empty payload.
+  seeds.push_back(frame_encode(""));
+  seeds.push_back(frame_encode("{}"));
+  seeds.push_back(frame_encode("not json at all"));
+  seeds.push_back(frame_encode("{\"op\":\"submit\"}"));
+  seeds.push_back(frame_encode("{\"op\":\"submit\",\"benchmark\":\"\"}"));
+  seeds.push_back(frame_encode(
+      "{\"op\":\"submit\",\"benchmark\":\"no-such-kernel\"}"));
+  seeds.push_back(frame_encode(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"category\":\"bogus\"}"));
+  seeds.push_back(frame_encode(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"experiments\":0}"));
+  seeds.push_back(frame_encode(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"priority\":99}"));
+  seeds.push_back(frame_encode("{\"op\":\"warp-core-breach\"}"));
+  seeds.push_back(frame_encode(std::string(1000, '{')));
+  // Framing attacks: bad hex, wrong separator, missing newline, length
+  // lies (short and long), oversized declarations, truncated bodies,
+  // binary noise.
+  seeds.push_back("zzzzzzzz:{}\n");
+  seeds.push_back("00000002;{}\n");
+  seeds.push_back("00000002:{}X");
+  seeds.push_back("00000010:{}\n");
+  seeds.push_back("00000001:{}\n");
+  seeds.push_back("fffffff0:{}\n");
+  seeds.push_back("00200000:\n");  // 2 MiB declared: over the 1 MiB cap
+  seeds.push_back("0000");         // truncated header
+  seeds.push_back("00000004:{\"a");  // truncated body
+  seeds.push_back(std::string("\x00\x01\x02\x03\xff\xfe:\n\n", 9));
+  seeds.push_back(std::string(64, '\n'));
+  return seeds;
+}
+
+}  // namespace vulfi::serve

@@ -1,0 +1,106 @@
+// Wire protocol of the campaign service (vulfid).
+//
+// Transport: length-prefixed JSONL frames over a Unix-domain socket
+// (support/socket.hpp). Every message is one JSON object; the "op" field
+// names client requests (submit, ping, stats, shutdown, cancel) and the
+// "t" field tags server responses.
+//
+// The response stream of a submit is deliberately journal-shaped: after
+// an "accepted" and an "engines" message, the server streams the sealed
+// checkpoint-journal records of the run — one header record, then one
+// record per completed campaign, restored history included — followed by
+// a "done" message carrying the exit code and the deterministic
+// statistics JSON. A client that appends the sealed records to a file
+// therefore owns a valid checkpoint journal: if the connection drops
+// mid-campaign it can resubmit with that file as --checkpoint and the
+// service resumes bit-identically (counter-based seeding).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vulfi::serve {
+
+/// Bumped when a frame written by this build would not parse under the
+/// previous one. Reported by "pong" so clients can refuse to talk.
+constexpr unsigned kProtocolVersion = 1;
+
+/// One campaign submission: the `vulfi campaign` CLI surface as data.
+/// Doubles travel as 16-hex-digit IEEE-754 bit patterns (double_hex), so
+/// a request round-trips bit-exactly — a prerequisite for the service's
+/// statistics matching a direct CLI run byte for byte.
+struct CampaignRequest {
+  std::string benchmark;
+  std::string category = "pure-data";  ///< pure-data | control | address
+  std::string isa = "avx";             ///< avx | sse
+  unsigned experiments = 100;
+  unsigned min_campaigns = 20;
+  unsigned max_campaigns = 0;  ///< 0 = 2 * min_campaigns (CLI default)
+  std::uint64_t seed = 24029;
+  unsigned jobs = 1;
+  bool golden_cache = true;
+  bool static_prune = true;
+  bool detectors = false;
+  /// Scheduling class, 0 (most urgent) .. 3; FIFO within a class.
+  unsigned priority = 1;
+  double confidence = 0.95;
+  double target_margin = 0.03;
+  unsigned self_verify = 0;
+  double stall_timeout = 0.0;
+  /// Server-side checkpoint journal path ("" = none). The socket is
+  /// local by construction, so client and server share a filesystem.
+  std::string checkpoint;
+  std::string fsync = "always";  ///< always | batch | off
+
+  unsigned resolved_max_campaigns() const {
+    return max_campaigns != 0 ? max_campaigns : min_campaigns * 2;
+  }
+};
+
+/// {"op":"submit",...} payload for `request`.
+std::string serialize_request(const CampaignRequest& request);
+
+/// Parses a submit payload. Rejects missing/empty benchmark, unknown
+/// category/isa/fsync names, zero experiment or campaign counts, and
+/// out-of-range priorities; `error` (when non-null) says why. Does NOT
+/// consult the benchmark registry — the server validates names against
+/// it separately so the protocol layer stays registry-free.
+std::optional<CampaignRequest> parse_request(const std::string& payload,
+                                             std::string* error = nullptr);
+
+// --- response payload builders --------------------------------------------
+
+std::string accepted_payload(std::uint64_t id, std::size_t queue_depth);
+std::string busy_payload(std::size_t queued, std::size_t limit);
+std::string error_payload(const std::string& message);
+std::string engines_payload(std::size_t engines, bool cache_hit);
+std::string log_payload(const std::string& message);
+/// `stats_json` is spliced in raw (it is already deterministic JSON from
+/// campaign_stats_json); `error` is escaped.
+std::string done_payload(std::uint64_t id, int exit_code, bool converged,
+                         bool interrupted, const std::string& error,
+                         const std::string& stats_json);
+std::string pong_payload();
+std::string bye_payload(std::uint64_t completed);
+
+// --- small JSON utilities --------------------------------------------------
+
+/// Escapes `"` `\` and control bytes for embedding in a JSON string.
+std::string json_escape(std::string_view text);
+
+/// Extracts the raw `{...}` object value of `"key"` from a flat JSON
+/// payload (string-aware brace scanning; no general parser). nullopt when
+/// the key is absent or its value is not an object.
+std::optional<std::string> extract_json_object(const std::string& payload,
+                                               const char* key);
+
+/// Seed corpus for the frame/request fuzz tests: raw byte strings —
+/// well-formed frames, truncations, hostile length prefixes, non-JSON
+/// payloads, oversized declarations — all of which the server must
+/// survive without crashing.
+std::vector<std::string> protocol_fuzz_seeds();
+
+}  // namespace vulfi::serve

@@ -1,0 +1,71 @@
+#include "serve/scheduler.hpp"
+
+namespace vulfi::serve {
+
+FairScheduler::FairScheduler(Config config)
+    : max_queue_(config.max_queue == 0 ? 1 : config.max_queue) {
+  const unsigned workers = config.workers == 0 ? 1 : config.workers;
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+FairScheduler::~FairScheduler() { drain_and_stop(); }
+
+FairScheduler::Admit FairScheduler::submit(unsigned priority, Job job,
+                                           std::size_t* queue_depth) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return Admit::Stopping;
+    if (queue_.size() >= max_queue_) return Admit::QueueFull;
+    queue_.emplace(std::make_pair(priority, next_sequence_++),
+                   std::move(job));
+    if (queue_depth != nullptr) *queue_depth = queue_.size();
+  }
+  cv_.notify_one();
+  return Admit::Accepted;
+}
+
+void FairScheduler::drain_and_stop() {
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    if (joined_) return;
+    joined_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  // Workers exit only once the queue is empty, so joining them IS the
+  // drain barrier.
+  for (std::thread& worker : workers) worker.join();
+}
+
+void FairScheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    auto it = queue_.begin();    // lowest (priority, sequence): fair pick
+    Job job = std::move(it->second);
+    queue_.erase(it);
+    active_ += 1;
+    lock.unlock();
+    job();
+    lock.lock();
+    active_ -= 1;
+    completed_ += 1;
+  }
+}
+
+FairScheduler::Stats FairScheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.queued = queue_.size();
+  stats.active = active_;
+  stats.completed = completed_;
+  return stats;
+}
+
+}  // namespace vulfi::serve

@@ -1,0 +1,79 @@
+// Fair scheduler for the campaign service.
+//
+// Requests land in priority classes (0 most urgent .. 3); within a class
+// the queue is strictly FIFO, so two clients racing submits at the same
+// priority are served in arrival order. A fixed pool of worker threads
+// drains the queue — `workers` bounds how many campaigns run
+// concurrently, while per-request thread quotas (engine_cache.hpp's
+// to_campaign_config cap) bound how wide each one runs. Admission is
+// bounded: when `max_queue` requests are already waiting, submit()
+// reports QueueFull and the server answers with a "busy" frame instead
+// of buffering unboundedly (backpressure, not memory growth).
+//
+// Shutdown drains: drain_and_stop() rejects new work but runs everything
+// already admitted to completion before joining the workers — exactly
+// the `vulfi shutdown` contract.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace vulfi::serve {
+
+class FairScheduler {
+ public:
+  using Job = std::function<void()>;
+
+  struct Config {
+    unsigned workers = 1;       ///< concurrent campaigns
+    std::size_t max_queue = 16; ///< admitted-but-not-running bound
+  };
+
+  enum class Admit { Accepted, QueueFull, Stopping };
+
+  explicit FairScheduler(Config config);
+  ~FairScheduler();
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Enqueues `job` in its priority class. On Accepted, `queue_depth`
+  /// (when non-null) receives the number of admitted jobs ahead of or
+  /// including this one — the client-visible queue position bound.
+  Admit submit(unsigned priority, Job job,
+               std::size_t* queue_depth = nullptr);
+
+  /// Stops admission, runs every queued job, joins the workers.
+  /// Idempotent; safe to call from a worker-adjacent thread (never from
+  /// inside a job).
+  void drain_and_stop();
+
+  struct Stats {
+    std::size_t queued = 0;
+    unsigned active = 0;
+    std::uint64_t completed = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// (priority, admission sequence) -> job: map order IS schedule order.
+  std::map<std::pair<unsigned, std::uint64_t>, Job> queue_;
+  std::uint64_t next_sequence_ = 0;
+  unsigned active_ = 0;
+  std::uint64_t completed_ = 0;
+  bool stopping_ = false;
+  bool joined_ = false;
+  std::size_t max_queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vulfi::serve

@@ -1,0 +1,323 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "support/cancel.hpp"
+#include "support/journal.hpp"
+#include "support/str.hpp"
+#include "vulfi/report.hpp"
+
+namespace vulfi::serve {
+
+/// Per-submit shared state. The connection thread reads (watching for
+/// cancel frames and disconnects) while the scheduler job writes; both
+/// directions of the socket are independent, and writes are serialized
+/// by send_mutex. The shared_ptr keeps the connection alive until both
+/// the job and the connection thread are finished with it.
+struct CampaignServer::Session {
+  explicit Session(UnixConn c) : conn(std::move(c)) {}
+
+  UnixConn conn;
+  std::mutex send_mutex;
+  CancellationToken cancel;
+  std::mutex state_mutex;
+  std::condition_variable state_cv;
+  bool ready = false;  ///< "accepted" sent; the job may start streaming
+  bool done = false;   ///< the job sent its final frame
+
+  bool send(const std::string& payload) {
+    const std::lock_guard<std::mutex> lock(send_mutex);
+    // A failed send means the client is gone; the job keeps running to
+    // completion regardless (the watcher flips `cancel` for us).
+    return conn.send_frame(payload);
+  }
+  void mark_ready() {
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex);
+      ready = true;
+    }
+    state_cv.notify_all();
+  }
+  void wait_ready() {
+    std::unique_lock<std::mutex> lock(state_mutex);
+    state_cv.wait(lock, [this] { return ready; });
+  }
+  void mark_done() {
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex);
+      done = true;
+    }
+    state_cv.notify_all();
+  }
+  bool done_now() {
+    const std::lock_guard<std::mutex> lock(state_mutex);
+    return done;
+  }
+  void wait_done() {
+    std::unique_lock<std::mutex> lock(state_mutex);
+    state_cv.wait(lock, [this] { return done; });
+  }
+};
+
+CampaignServer::CampaignServer(ServerConfig config)
+    : config_(std::move(config)), cache_(config_.cache_entries) {}
+
+CampaignServer::~CampaignServer() {
+  if (scheduler_ == nullptr) return;  // start() never ran
+  request_shutdown();
+  wait();
+}
+
+bool CampaignServer::start(std::string* error) {
+  if (!listener_.listen_on(config_.socket_path, error)) return false;
+  FairScheduler::Config sched;
+  sched.workers = config_.workers;
+  sched.max_queue = config_.max_queue;
+  scheduler_ = std::make_unique<FairScheduler>(sched);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (config_.verbose) {
+    std::fprintf(stderr, "vulfid: serving on %s (%u worker%s, queue %zu)\n",
+                 config_.socket_path.c_str(), config_.workers,
+                 config_.workers == 1 ? "" : "s", config_.max_queue);
+  }
+  return true;
+}
+
+void CampaignServer::request_shutdown() { drain(); }
+
+void CampaignServer::drain() {
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    if (drain_started_) {
+      // Someone else is draining; wait for them so every caller of
+      // drain() observes the same post-condition.
+      drain_cv_.wait(lock, [this] { return drained_.load(); });
+      return;
+    }
+    drain_started_ = true;
+  }
+  stopping_.store(true);
+  if (scheduler_ != nullptr) scheduler_->drain_and_stop();
+  drained_.store(true);
+  drain_cv_.notify_all();
+  if (config_.verbose) {
+    std::fprintf(stderr, "vulfid: drained (%llu campaign%s served)\n",
+                 static_cast<unsigned long long>(completed_.load()),
+                 completed_.load() == 1 ? "" : "s");
+  }
+}
+
+void CampaignServer::wait() {
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return drained_.load(); });
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  listener_.close();
+}
+
+void CampaignServer::accept_loop() {
+  while (!stopping_.load()) {
+    UnixConn conn = listener_.accept_one(200);
+    if (!conn.ok()) continue;
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_threads_.emplace_back(
+        [this, c = std::move(conn)]() mutable {
+          handle_connection(std::move(c));
+        });
+  }
+}
+
+void CampaignServer::handle_connection(UnixConn conn) {
+  for (;;) {
+    std::string why;
+    const std::optional<std::string> frame = conn.recv_frame(500, &why);
+    if (!frame) {
+      if (why == "timeout") {
+        if (stopping_.load()) return;
+        continue;
+      }
+      if (why == "malformed" || why == "oversized") {
+        // A poisoned length-prefixed stream cannot be resynchronized:
+        // answer once (best effort) and drop the connection. The daemon
+        // itself is unharmed — this is the fuzz suite's core assertion.
+        conn.send_frame(error_payload("protocol error: " + why + " frame"));
+      }
+      return;  // closed or error
+    }
+    const std::string op = journal_str(*frame, "op").value_or("");
+    if (op == "ping") {
+      conn.send_frame(pong_payload());
+      continue;
+    }
+    if (op == "stats") {
+      conn.send_frame(stats_payload());
+      continue;
+    }
+    if (op == "shutdown") {
+      drain();
+      conn.send_frame(bye_payload(completed_.load()));
+      return;
+    }
+    if (op == "submit") {
+      handle_submit(std::move(conn), *frame);
+      return;  // one campaign per connection; the stream ends with done
+    }
+    conn.send_frame(error_payload(strf("unknown op '%s'", op.c_str())));
+  }
+}
+
+void CampaignServer::handle_submit(UnixConn conn,
+                                   const std::string& payload) {
+  std::string parse_error;
+  const std::optional<CampaignRequest> request =
+      parse_request(payload, &parse_error);
+  if (!request) {
+    conn.send_frame(error_payload(parse_error));
+    return;
+  }
+  const std::string name_error = validate_request_names(*request);
+  if (!name_error.empty()) {
+    conn.send_frame(error_payload(name_error));
+    return;
+  }
+  if (stopping_.load()) {
+    conn.send_frame(error_payload("server is shutting down"));
+    return;
+  }
+
+  const std::uint64_t id = next_id_.fetch_add(1);
+  auto session = std::make_shared<Session>(std::move(conn));
+  std::size_t depth = 0;
+  const FairScheduler::Admit admit = scheduler_->submit(
+      request->priority,
+      [this, session, req = *request, id] { run_job(session, req, id); },
+      &depth);
+  if (admit == FairScheduler::Admit::QueueFull) {
+    session->send(busy_payload(scheduler_->stats().queued,
+                               config_.max_queue));
+    return;
+  }
+  if (admit == FairScheduler::Admit::Stopping) {
+    session->send(error_payload("server is shutting down"));
+    return;
+  }
+  if (config_.verbose) {
+    std::fprintf(stderr,
+                 "vulfid: accepted request %llu: %s/%s/%s (queue depth "
+                 "%zu)\n",
+                 static_cast<unsigned long long>(id),
+                 request->benchmark.c_str(), request->category.c_str(),
+                 request->isa.c_str(), depth);
+  }
+  // The job blocks on ready, so "accepted" is always the first frame.
+  session->send(accepted_payload(id, depth));
+  session->mark_ready();
+
+  // Watch the connection while the campaign runs (possibly still
+  // queued): a "cancel" frame or a disconnect flips this request's
+  // token — and only this request's. The job always runs to its drain
+  // point, so the session outlives every in-flight experiment.
+  for (;;) {
+    if (session->done_now()) break;
+    std::string why;
+    const std::optional<std::string> frame =
+        session->conn.recv_frame(200, &why);
+    if (frame) {
+      if (journal_str(*frame, "op").value_or("") == "cancel") {
+        session->cancel.request_cancel();
+      }
+      continue;
+    }
+    if (why == "timeout") continue;
+    session->cancel.request_cancel();  // closed / malformed / error
+    break;
+  }
+  session->wait_done();
+}
+
+void CampaignServer::run_job(const std::shared_ptr<Session>& session,
+                             const CampaignRequest& request,
+                             std::uint64_t id) {
+  session->wait_ready();
+  if (session->cancel.cancelled()) {
+    // The client vanished while we were queued: nothing ran, nothing to
+    // report; the send is best-effort to a likely-dead socket.
+    session->send(done_payload(id, kCampaignExitInterrupted, false, true,
+                               "cancelled before start", "{}"));
+    session->mark_done();
+    completed_.fetch_add(1);
+    return;
+  }
+
+  EngineCache::Lease lease = cache_.acquire(request);
+  if (!lease.ok()) {
+    session->send(error_payload(lease.error));
+    session->send(done_payload(id, kCampaignExitInternalError, false, false,
+                               lease.error, "{}"));
+    session->mark_done();
+    completed_.fetch_add(1);
+    return;
+  }
+  session->send(engines_payload(lease.engines.size(), lease.cache_hit));
+
+  CampaignConfig config =
+      to_campaign_config(request, config_.max_jobs_per_request);
+  config.cancel = &session->cancel;
+  // Raw pointer is safe: run_campaigns is synchronous and the session
+  // shared_ptr is held by this frame for its whole duration.
+  Session* raw = session.get();
+  config.stall_log = [raw](const std::string& message) {
+    raw->send(log_payload(message));
+  };
+  config.on_campaign_record = [raw](const CampaignRecord& record) {
+    raw->send(journal_seal(campaign_record_payload(record)));
+  };
+
+  std::vector<InjectionEngine*> pointers;
+  pointers.reserve(lease.engines.size());
+  for (const auto& engine : lease.engines) pointers.push_back(engine.get());
+
+  // The sealed header first, then one sealed record per campaign
+  // (restored history included): the client's transcript IS a journal.
+  session->send(journal_seal(campaign_header_payload(config,
+                                                     pointers.size())));
+  const CampaignResult result = run_campaigns(pointers, config);
+  session->send(done_payload(id, campaign_exit_code(result),
+                             result.converged, result.interrupted,
+                             result.error, campaign_stats_json(result)));
+  completed_.fetch_add(1);
+  if (config_.verbose) {
+    std::fprintf(stderr,
+                 "vulfid: finished request %llu: %u campaigns, exit %d\n",
+                 static_cast<unsigned long long>(id), result.campaigns,
+                 campaign_exit_code(result));
+  }
+  session->mark_done();
+}
+
+std::string CampaignServer::stats_payload() const {
+  const FairScheduler::Stats sched = scheduler_->stats();
+  const EngineCacheStats cache = cache_.stats();
+  return strf(
+      "{\"t\":\"stats\",\"active\":%u,\"queued\":%llu,\"completed\":%llu,"
+      "\"cache_entries\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu}",
+      sched.active, static_cast<unsigned long long>(sched.queued),
+      static_cast<unsigned long long>(completed_.load()),
+      static_cast<unsigned long long>(cache.entries),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses));
+}
+
+}  // namespace vulfi::serve

@@ -1,0 +1,103 @@
+// vulfid — the persistent campaign daemon.
+//
+// `vulfi serve --socket PATH` turns the one-shot CLI into a service: a
+// Unix-domain listener accepts framed JSONL requests (serve/protocol.hpp),
+// a fair scheduler (serve/scheduler.hpp) multiplexes campaigns across a
+// bounded worker pool, and a warm-engine cache (serve/engine_cache.hpp)
+// amortizes kernel compilation, instrumentation, golden runs, and prune
+// analysis across requests. Statistics are bit-identical to a direct CLI
+// run — the daemon calls the same run_campaigns with the same
+// counter-seeded configuration; only the cold-start work is shared.
+//
+// Per-connection lifecycle of a submit: validate, admit (or answer
+// "busy"), stream the sealed journal records as campaigns complete, and
+// finish with a "done" frame. The connection thread keeps reading while
+// the campaign runs: a "cancel" frame or a client disconnect flips that
+// request's private CancellationToken — workers drain the in-flight
+// experiment, completed campaigns stay checkpointed, and no other
+// request is disturbed. `vulfi shutdown` (or SIGINT/SIGTERM on the
+// daemon) stops admission, drains every admitted campaign, then exits.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine_cache.hpp"
+#include "serve/scheduler.hpp"
+#include "support/socket.hpp"
+
+namespace vulfi::serve {
+
+struct ServerConfig {
+  std::string socket_path;
+  /// Concurrent campaigns (scheduler workers).
+  unsigned workers = 1;
+  /// Admission bound; beyond it submits get a "busy" frame.
+  std::size_t max_queue = 16;
+  /// Per-request thread quota: no single campaign may claim more worker
+  /// threads than this, regardless of its --jobs. 0 = uncapped.
+  unsigned max_jobs_per_request = 4;
+  /// Warm prototype engine sets kept resident (LRU).
+  std::size_t cache_entries = 8;
+  /// Log accepts/finishes to stderr.
+  bool verbose = false;
+};
+
+class CampaignServer {
+ public:
+  explicit CampaignServer(ServerConfig config);
+  ~CampaignServer();
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  /// Binds the socket and starts the accept loop. False (with `error`
+  /// set) when the path is unusable or a live daemon already owns it.
+  bool start(std::string* error = nullptr);
+
+  /// Begins the drain: stop accepting, finish every admitted campaign,
+  /// release the socket. Idempotent; returns once drained.
+  void request_shutdown();
+
+  /// True once request_shutdown (or a client "shutdown") completed.
+  bool stopped() const { return drained_.load(); }
+
+  /// Blocks until the server has fully stopped and joins every thread.
+  void wait();
+
+  std::uint64_t campaigns_served() const { return completed_.load(); }
+  const EngineCache& cache() const { return cache_; }
+
+ private:
+  struct Session;
+
+  void accept_loop();
+  void handle_connection(UnixConn conn);
+  void handle_submit(UnixConn conn, const std::string& payload);
+  void run_job(const std::shared_ptr<Session>& session,
+               const CampaignRequest& request, std::uint64_t id);
+  std::string stats_payload() const;
+  void drain();
+
+  ServerConfig config_;
+  UnixListener listener_;
+  EngineCache cache_;
+  std::unique_ptr<FairScheduler> scheduler_;
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> drained_{false};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  bool drain_started_ = false;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace vulfi::serve

@@ -136,16 +136,52 @@ bool JournalWriter::append(const std::string& payload) {
     return false;
   }
   if (std::fflush(file_) != 0) return false;
-  if (sync_ && ::fsync(fileno(file_)) != 0) return false;
+  switch (sync_) {
+    case JournalSync::Always:
+      return ::fsync(fileno(file_)) == 0;
+    case JournalSync::Batch:
+      if (++unsynced_records_ < kBatchSyncEvery) return true;
+      unsynced_records_ = 0;
+      return ::fsync(fileno(file_)) == 0;
+    case JournalSync::Off:
+      return true;
+  }
   return true;
+}
+
+bool JournalWriter::sync_now() {
+  if (!file_) return false;
+  if (std::fflush(file_) != 0) return false;
+  unsynced_records_ = 0;
+  return ::fsync(fileno(file_)) == 0;
 }
 
 void JournalWriter::close() {
   if (file_) {
+    // An orderly close under the Batch policy must not leave a tail of
+    // records durable only in the page cache.
+    if (sync_ == JournalSync::Batch && unsynced_records_ > 0) sync_now();
     std::fclose(file_);
     file_ = nullptr;
   }
   path_.clear();
+  unsynced_records_ = 0;
+}
+
+std::optional<JournalSync> journal_sync_from_name(std::string_view name) {
+  if (name == "always") return JournalSync::Always;
+  if (name == "batch") return JournalSync::Batch;
+  if (name == "off") return JournalSync::Off;
+  return std::nullopt;
+}
+
+const char* journal_sync_name(JournalSync sync) {
+  switch (sync) {
+    case JournalSync::Always: return "always";
+    case JournalSync::Batch: return "batch";
+    case JournalSync::Off: return "off";
+  }
+  return "?";
 }
 
 std::optional<std::uint64_t> journal_u64(const std::string& payload,

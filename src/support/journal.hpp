@@ -60,13 +60,34 @@ struct JournalRecovery {
 /// is not an error — it recovers to an empty journal.
 JournalRecovery recover_journal(const std::string& path);
 
+/// Durability policy for journal appends. The checksummed format makes
+/// every policy crash-*safe* (recovery drops a torn tail); the policy
+/// only decides how many trailing records a crash may cost:
+///   Always — fsync after every record; a record that append() accepted
+///            survives any crash. Per-record fsync dominates checkpoint
+///            overhead on fast campaigns (measured in perf_microbench).
+///   Batch  — fsync every kBatchSyncEvery records and on close; a crash
+///            loses at most the unsynced tail of a batch.
+///   Off    — flush to the OS only; a host crash may lose everything the
+///            kernel had not written back. Process death alone (signal,
+///            OOM kill) loses nothing — the data is already in the page
+///            cache.
+enum class JournalSync { Always, Batch, Off };
+
+/// Parses "always" | "batch" | "off" (the --fsync CLI values).
+std::optional<JournalSync> journal_sync_from_name(std::string_view name);
+const char* journal_sync_name(JournalSync sync);
+
 /// Append-only journal writer. Opening truncates the file to a caller-
 /// supplied valid prefix (recover_journal's valid_bytes) so a corrupt
 /// tail is rolled back exactly once, then every append seals, writes,
-/// flushes, and (by default) fsyncs one line — after append() returns,
-/// the record survives a crash.
+/// flushes, and (under the default Always policy) fsyncs one line —
+/// after append() returns, the record survives a crash.
 class JournalWriter {
  public:
+  /// Batch policy: records between fsyncs.
+  static constexpr unsigned kBatchSyncEvery = 16;
+
   JournalWriter() = default;
   ~JournalWriter();
   JournalWriter(const JournalWriter&) = delete;
@@ -78,9 +99,13 @@ class JournalWriter {
   bool open(const std::string& path, std::uint64_t keep_bytes,
             std::string* error = nullptr);
 
-  /// fsync after every record (default). Benchmarks measuring the CPU
-  /// cost of sealing/formatting turn this off; campaigns leave it on.
-  void set_sync(bool sync) { sync_ = sync; }
+  /// Durability policy (default Always); see JournalSync.
+  void set_sync_policy(JournalSync sync) { sync_ = sync; }
+  JournalSync sync_policy() const { return sync_; }
+  /// Legacy toggle kept for benchmarks: true = Always, false = Off.
+  void set_sync(bool sync) {
+    sync_ = sync ? JournalSync::Always : JournalSync::Off;
+  }
 
   bool is_open() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
@@ -89,12 +114,18 @@ class JournalWriter {
   /// write or flush failed (disk full, file closed underneath us).
   bool append(const std::string& payload);
 
+  /// Forces an fsync of everything appended so far (no-op when already
+  /// durable). Batch-policy writers call this at clean shutdown so an
+  /// orderly exit never loses records.
+  bool sync_now();
+
   void close();
 
  private:
   std::FILE* file_ = nullptr;
   std::string path_;
-  bool sync_ = true;
+  JournalSync sync_ = JournalSync::Always;
+  unsigned unsynced_records_ = 0;
 };
 
 // --- flat-field payload helpers -------------------------------------------

@@ -1,0 +1,288 @@
+#include "support/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/str.hpp"
+
+namespace vulfi {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Waits for `events` on `fd`; false on timeout or error. Retries EINTR
+/// so a SIGINT aimed at the cancellation token does not abort the wait.
+bool wait_for(int fd, short events, int timeout_ms) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int got = ::poll(&pfd, 1, timeout_ms);
+    if (got > 0) return (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+    if (got == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool fill_addr(const std::string& path, sockaddr_un& addr,
+               std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error) {
+      *error = strf("socket path '%s' is empty or longer than %zu bytes",
+                    path.c_str(), sizeof(addr.sun_path) - 1);
+    }
+    return false;
+  }
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  return true;
+}
+
+}  // namespace
+
+// --- frame codec ----------------------------------------------------------
+
+std::string frame_encode(std::string_view payload) {
+  std::string frame =
+      strf("%08zx:", payload.size());
+  frame.append(payload.data(), payload.size());
+  frame.push_back('\n');
+  return frame;
+}
+
+FrameDecode frame_decode(std::string_view buffer, std::size_t max_payload) {
+  FrameDecode out;
+  // Validate whatever prefix of the 8-hex-digit length has arrived; a
+  // non-hex byte can never grow into a valid header.
+  const std::size_t header_have = std::min<std::size_t>(buffer.size(), 8);
+  std::size_t length = 0;
+  for (std::size_t i = 0; i < header_have; ++i) {
+    const int digit = hex_digit(buffer[i]);
+    if (digit < 0) {
+      out.status = FrameDecode::Status::Malformed;
+      return out;
+    }
+    length = (length << 4) | static_cast<std::size_t>(digit);
+  }
+  if (buffer.size() < kFrameHeaderBytes) {
+    out.status = FrameDecode::Status::NeedMore;
+    return out;
+  }
+  if (buffer[8] != ':') {
+    out.status = FrameDecode::Status::Malformed;
+    return out;
+  }
+  if (length > max_payload) {
+    out.status = FrameDecode::Status::Oversized;
+    return out;
+  }
+  const std::size_t total = kFrameHeaderBytes + length + 1;
+  if (buffer.size() < total) {
+    out.status = FrameDecode::Status::NeedMore;
+    return out;
+  }
+  if (buffer[total - 1] != '\n') {
+    out.status = FrameDecode::Status::Malformed;
+    return out;
+  }
+  out.status = FrameDecode::Status::Ok;
+  out.payload.assign(buffer.substr(kFrameHeaderBytes, length));
+  out.consumed = total;
+  return out;
+}
+
+// --- UnixConn -------------------------------------------------------------
+
+UnixConn::~UnixConn() { close(); }
+
+UnixConn::UnixConn(UnixConn&& other) noexcept
+    : fd_(other.fd_), inbox_(std::move(other.inbox_)) {
+  other.fd_ = -1;
+}
+
+UnixConn& UnixConn::operator=(UnixConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    inbox_ = std::move(other.inbox_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+UnixConn UnixConn::connect_to(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(path, addr, error)) return UnixConn();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = strf("socket(): %s", std::strerror(errno));
+    return UnixConn();
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error) {
+      *error = strf("connect('%s'): %s", path.c_str(), std::strerror(errno));
+    }
+    ::close(fd);
+    return UnixConn();
+  }
+  return UnixConn(fd);
+}
+
+bool UnixConn::send_all(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t got = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    sent += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool UnixConn::send_frame(std::string_view payload) {
+  return send_all(frame_encode(payload));
+}
+
+std::optional<std::string> UnixConn::recv_frame(int timeout_ms,
+                                                std::string* why) {
+  if (fd_ < 0) {
+    if (why) *why = "error";
+    return std::nullopt;
+  }
+  for (;;) {
+    const FrameDecode decoded = frame_decode(inbox_);
+    switch (decoded.status) {
+      case FrameDecode::Status::Ok:
+        inbox_.erase(0, decoded.consumed);
+        return decoded.payload;
+      case FrameDecode::Status::Malformed:
+        if (why) *why = "malformed";
+        return std::nullopt;
+      case FrameDecode::Status::Oversized:
+        if (why) *why = "oversized";
+        return std::nullopt;
+      case FrameDecode::Status::NeedMore:
+        break;
+    }
+    if (!wait_for(fd_, POLLIN, timeout_ms)) {
+      if (why) *why = "timeout";
+      return std::nullopt;
+    }
+    char buffer[1 << 14];
+    const ssize_t got = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (why) *why = "error";
+      return std::nullopt;
+    }
+    if (got == 0) {
+      // Peer closed with a partial (torn) frame pending — or cleanly.
+      if (why) *why = "closed";
+      return std::nullopt;
+    }
+    inbox_.append(buffer, static_cast<std::size_t>(got));
+  }
+}
+
+bool UnixConn::peer_closed(int timeout_ms) {
+  if (fd_ < 0) return true;
+  if (!wait_for(fd_, POLLIN, timeout_ms)) return false;  // quiet, not closed
+  char probe;
+  const ssize_t got = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (got == 0) return true;
+  if (got < 0) return errno != EAGAIN && errno != EWOULDBLOCK &&
+                      errno != EINTR;
+  return false;
+}
+
+void UnixConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbox_.clear();
+}
+
+// --- UnixListener ---------------------------------------------------------
+
+UnixListener::~UnixListener() { close(); }
+
+bool UnixListener::listen_on(const std::string& path, std::string* error) {
+  close();
+  sockaddr_un addr;
+  if (!fill_addr(path, addr, error)) return false;
+
+  // A stale socket file (daemon crashed) blocks bind(); a live one must
+  // win. Distinguish by connecting: refused/absent means stale.
+  {
+    std::string probe_error;
+    UnixConn probe = UnixConn::connect_to(path, &probe_error);
+    if (probe.ok()) {
+      if (error) {
+        *error = strf("'%s' already has a live server", path.c_str());
+      }
+      return false;
+    }
+    ::unlink(path.c_str());
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = strf("socket(): %s", std::strerror(errno));
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error) {
+      *error = strf("bind('%s'): %s", path.c_str(), std::strerror(errno));
+    }
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) != 0) {
+    if (error) {
+      *error = strf("listen('%s'): %s", path.c_str(), std::strerror(errno));
+    }
+    ::close(fd);
+    ::unlink(path.c_str());
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  return true;
+}
+
+UnixConn UnixListener::accept_one(int timeout_ms) {
+  if (fd_ < 0) return UnixConn();
+  if (!wait_for(fd_, POLLIN, timeout_ms)) return UnixConn();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  return fd < 0 ? UnixConn() : UnixConn(fd);
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+}  // namespace vulfi

@@ -1,0 +1,138 @@
+// Unix-domain socket transport + length-prefixed frame codec for the
+// campaign service (serve/).
+//
+// The wire protocol is length-prefixed JSONL: every message is one JSON
+// object transmitted as a frame
+//
+//   <8 lowercase hex digits: payload byte length> ':' <payload bytes> '\n'
+//
+// The textual prefix keeps captures human-readable (a frame stream is
+// almost a JSONL file) while still letting the receiver allocate exactly
+// once and reject oversized frames before reading their bodies. Framing
+// is deliberately independent of JSON parsing: a frame either decodes to
+// its exact payload bytes or is rejected — malformed, oversized, and
+// truncated frames all fail without crashing, which the protocol fuzz
+// suite asserts over a seed corpus.
+//
+// The socket layer is minimal and blocking: a listener (bind/listen/
+// accept) and a connection (connect/send/recv with poll-based timeouts).
+// All writes use send(MSG_NOSIGNAL) so a peer that disconnects
+// mid-campaign surfaces as an error return, never SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace vulfi {
+
+// --- frame codec ----------------------------------------------------------
+
+/// Frames accepted by default: 1 MiB of payload. Large enough for any
+/// campaign statistics message, small enough that a hostile length prefix
+/// cannot make the receiver allocate gigabytes.
+constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// Bytes of frame overhead around a payload: 8 hex digits + ':' ... '\n'.
+constexpr std::size_t kFrameHeaderBytes = 9;
+
+/// Encodes `payload` as one frame.
+std::string frame_encode(std::string_view payload);
+
+/// Result of decoding one frame from the front of a byte buffer.
+struct FrameDecode {
+  enum class Status {
+    Ok,         ///< `payload` holds the frame; `consumed` bytes were used.
+    NeedMore,   ///< The buffer holds a valid but incomplete prefix.
+    Malformed,  ///< The prefix can never become a valid frame.
+    Oversized,  ///< Valid header, but the declared length exceeds the cap.
+  };
+  Status status = Status::NeedMore;
+  std::string payload;
+  std::size_t consumed = 0;
+};
+
+/// Decodes the first frame of `buffer`. NeedMore means "read more bytes
+/// and retry"; Malformed/Oversized mean the stream is poisoned and the
+/// connection should be dropped (there is no way to resynchronize a
+/// length-prefixed stream after a bad header).
+FrameDecode frame_decode(std::string_view buffer,
+                         std::size_t max_payload = kMaxFrameBytes);
+
+// --- sockets --------------------------------------------------------------
+
+/// A connected Unix-domain stream socket. Movable, closes on destruction.
+class UnixConn {
+ public:
+  UnixConn() = default;
+  explicit UnixConn(int fd) : fd_(fd) {}
+  ~UnixConn();
+  UnixConn(UnixConn&& other) noexcept;
+  UnixConn& operator=(UnixConn&& other) noexcept;
+  UnixConn(const UnixConn&) = delete;
+  UnixConn& operator=(const UnixConn&) = delete;
+
+  /// Connects to a listening socket at `path`. Invalid on failure (check
+  /// ok()); `error` receives a description when provided.
+  static UnixConn connect_to(const std::string& path,
+                             std::string* error = nullptr);
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends all of `bytes` (MSG_NOSIGNAL). False on any error — including
+  /// the peer having closed, which must never raise SIGPIPE.
+  bool send_all(std::string_view bytes);
+
+  /// Convenience: frame_encode + send_all.
+  bool send_frame(std::string_view payload);
+
+  /// Receives the next frame, buffering partial reads internally.
+  /// Returns nullopt on peer close, malformed/oversized frame, timeout,
+  /// or error; `why` (when provided) distinguishes them: "closed",
+  /// "malformed", "oversized", "timeout", "error".
+  std::optional<std::string> recv_frame(int timeout_ms = -1,
+                                        std::string* why = nullptr);
+
+  /// True when the peer has closed or errored the connection — a
+  /// zero-byte read after poll reports readability. Consumes nothing
+  /// (peeks), so pending frames are preserved. Used by the server to
+  /// detect client disconnects while a campaign is in flight.
+  bool peer_closed(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string inbox_;  ///< Bytes received but not yet decoded.
+};
+
+/// A listening Unix-domain socket bound to a filesystem path. Unlinks the
+/// path on destruction (the daemon owns its socket file).
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Binds and listens. Refuses to clobber a live socket: an existing
+  /// path is only unlinked when nothing accepts connections on it.
+  bool listen_on(const std::string& path, std::string* error = nullptr);
+
+  bool ok() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Accepts one connection, waiting at most `timeout_ms` (-1 = forever).
+  /// Invalid UnixConn on timeout or error.
+  UnixConn accept_one(int timeout_ms = -1);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace vulfi

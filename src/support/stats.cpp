@@ -1,5 +1,6 @@
 #include "support/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -153,6 +154,55 @@ OnlineStats summarize(const std::vector<double>& xs) {
   OnlineStats s;
   for (double x : xs) s.add(x);
   return s;
+}
+
+double normal_quantile(double p) {
+  // Beasley-Springer/Moro: rational approximation in the central region,
+  // a log-polynomial in the tails. Coefficients from Moro (1995).
+  static const double a[4] = {2.50662823884, -18.61500062529,
+                              41.39119773534, -25.44106049637};
+  static const double b[4] = {-8.47351093090, 23.08336743743,
+                              -21.06224101826, 3.13082909833};
+  static const double c[9] = {
+      0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+      0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+      0.0000321767881768, 0.0000002888167364, 0.0000003960315187};
+  if (!(p > 0.0 && p < 1.0)) {
+    return p >= 1.0 ? std::numeric_limits<double>::infinity()
+                    : -std::numeric_limits<double>::infinity();
+  }
+  const double u = p - 0.5;
+  if (std::fabs(u) < 0.42) {
+    const double r = u * u;
+    return u * (((a[3] * r + a[2]) * r + a[1]) * r + a[0]) /
+           ((((b[3] * r + b[2]) * r + b[1]) * r + b[0]) * r + 1.0);
+  }
+  double r = u < 0.0 ? p : 1.0 - p;
+  r = std::log(-std::log(r));
+  double x = c[0];
+  double power = 1.0;
+  for (int i = 1; i < 9; ++i) {
+    power *= r;
+    x += c[i] * power;
+  }
+  return u < 0.0 ? -x : x;
+}
+
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double confidence) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double halfwidth =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  WilsonInterval interval;
+  interval.low = std::max(0.0, center - halfwidth);
+  interval.high = std::min(1.0, center + halfwidth);
+  return interval;
 }
 
 }  // namespace vulfi

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace vulfi {
@@ -60,6 +61,27 @@ bool near_normal(const OnlineStats& stats, double jb_threshold = 5.991);
 /// fraction expansion (Numerical-Recipes-style Lentz algorithm). Exposed
 /// for testing.
 double reg_incomplete_beta(double a, double b, double x);
+
+/// Standard normal quantile Φ⁻¹(p) for p in (0, 1), via the
+/// Beasley-Springer/Moro rational approximation (|error| < 3e-9 over the
+/// whole domain — far below the width of any interval built from it).
+/// Pure arithmetic: deterministic across platforms, like everything else
+/// the campaign statistics depend on.
+double normal_quantile(double p);
+
+/// Wilson score interval for a binomial proportion: the 95% CI the
+/// resilience report attaches to the SDC/Benign/Crash rates. Unlike the
+/// Wald interval it stays inside [0, 1] and behaves at the extremes the
+/// paper's data actually hits (crash rates near 0, benign rates near 1).
+struct WilsonInterval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Interval for `successes` out of `trials` at `confidence` (e.g. 0.95).
+/// trials == 0 yields the vacuous [0, 1].
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double confidence);
 
 /// Convenience: one-shot stats over a vector.
 OnlineStats summarize(const std::vector<double>& xs);

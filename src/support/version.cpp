@@ -1,0 +1,52 @@
+#include "support/version.hpp"
+
+#include "support/str.hpp"
+
+namespace vulfi {
+
+const char* compiler_version() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown-compiler";
+#endif
+}
+
+const char* build_type() {
+#ifdef VULFI_BUILD_TYPE
+  return VULFI_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string feature_toggles() {
+  const char* tsan =
+#if defined(VULFI_TSAN_BUILD) || defined(__SANITIZE_THREAD__)
+      "on";
+#else
+      "off";
+#endif
+  const char* asan =
+#if defined(VULFI_ASAN_BUILD) || defined(__SANITIZE_ADDRESS__)
+      "on";
+#else
+      "off";
+#endif
+  return strf("tsan=%s asan=%s", tsan, asan);
+}
+
+std::string build_fingerprint() {
+  std::string fingerprint = strf("%s; %s; %s", compiler_version(),
+                                 build_type(), feature_toggles().c_str());
+  // The fingerprint is spliced verbatim into JSON string fields (journal
+  // header, protocol ping); keep it free of JSON metacharacters.
+  for (char& c : fingerprint) {
+    if (c == '"' || c == '\\' || c == '\n') c = '\'';
+  }
+  return fingerprint;
+}
+
+}  // namespace vulfi

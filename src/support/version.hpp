@@ -1,0 +1,35 @@
+// Build identity: compiler, build type, and feature toggles.
+//
+// Two binaries that differ in compiler, optimization level, or sanitizer
+// instrumentation are not interchangeable for resuming a checkpointed
+// campaign — a sanitizer build reorders allocations and an optimizer
+// change can alter libm rounding, either of which would let a resumed run
+// silently mix histories from two different engines. The checkpoint
+// journal therefore pins the writing binary's fingerprint into its header
+// record, and resume refuses across mismatched fingerprints with a
+// diagnostic naming both builds. `vulfi version` prints the same fields.
+#pragma once
+
+#include <string>
+
+namespace vulfi {
+
+/// Compiler identification as reported by the compiler itself
+/// (__VERSION__), e.g. "12.2.0" prefixed per toolchain.
+const char* compiler_version();
+
+/// CMAKE_BUILD_TYPE the binary was compiled under ("RelWithDebInfo",
+/// "Release", ...; "unknown" outside CMake).
+const char* build_type();
+
+/// Feature-toggle summary, e.g. "tsan=off asan=off". Sanitizer
+/// instrumentation changes runtime behaviour enough to matter for
+/// checkpoint compatibility, so the toggles are part of the fingerprint.
+std::string feature_toggles();
+
+/// One-line build fingerprint combining all of the above; stable for a
+/// given binary, embedded in checkpoint-journal headers and reported by
+/// `vulfi version` and the serve-protocol ping response.
+std::string build_fingerprint();
+
+}  // namespace vulfi

@@ -12,6 +12,7 @@
 #include "support/error.hpp"
 #include "support/journal.hpp"
 #include "support/str.hpp"
+#include "support/version.hpp"
 
 namespace vulfi {
 
@@ -68,59 +69,35 @@ struct CampaignTotals {
 // records. The per-campaign SDC sample is NOT stored: it is recomputed on
 // replay as sdc / experiments_per_campaign — exactly the division
 // absorb_campaign performs — so restored statistics are bit-identical to
-// an uninterrupted run by construction.
+// an uninterrupted run by construction. The payload builders are exported
+// (campaign.hpp) because the campaign service streams the same records as
+// its wire-protocol progress messages.
 
-constexpr unsigned kJournalVersion = 1;
-
-std::string header_payload(const CampaignConfig& config,
-                           std::size_t num_engines) {
-  // num_threads is deliberately absent: results are thread-count
-  // independent, so resuming under a different --jobs is supported.
-  return strf(
-      "{\"t\":\"header\",\"v\":%u,\"seed\":%llu,\"epc\":%u,\"minc\":%u,"
-      "\"maxc\":%u,\"conf\":\"%s\",\"margin\":\"%s\",\"gcache\":%u,"
-      "\"sprune\":%u,\"engines\":%llu}",
-      kJournalVersion, static_cast<unsigned long long>(config.seed),
-      config.experiments_per_campaign, config.min_campaigns,
-      config.max_campaigns, double_hex(config.confidence).c_str(),
-      double_hex(config.target_margin).c_str(),
-      config.use_golden_cache ? 1u : 0u, config.use_static_prune ? 1u : 0u,
-      static_cast<unsigned long long>(num_engines));
+CampaignRecord to_record(std::uint64_t campaign,
+                         const CampaignTotals& totals) {
+  CampaignRecord record;
+  record.campaign = campaign;
+  record.benign = totals.benign;
+  record.sdc = totals.sdc;
+  record.crash = totals.crash;
+  record.detected_sdc = totals.detected_sdc;
+  record.detected_total = totals.detected_total;
+  record.prune_adjudicated = totals.prune_adjudicated;
+  record.prune_remapped = totals.prune_remapped;
+  record.prune_memo_hits = totals.prune_memo_hits;
+  return record;
 }
 
-std::string campaign_payload(std::uint64_t campaign,
-                             const CampaignTotals& totals) {
-  return strf(
-      "{\"t\":\"campaign\",\"c\":%llu,\"benign\":%llu,\"sdc\":%llu,"
-      "\"crash\":%llu,\"dsdc\":%llu,\"dtot\":%llu,\"padj\":%llu,"
-      "\"premap\":%llu,\"pmemo\":%llu}",
-      static_cast<unsigned long long>(campaign),
-      static_cast<unsigned long long>(totals.benign),
-      static_cast<unsigned long long>(totals.sdc),
-      static_cast<unsigned long long>(totals.crash),
-      static_cast<unsigned long long>(totals.detected_sdc),
-      static_cast<unsigned long long>(totals.detected_total),
-      static_cast<unsigned long long>(totals.prune_adjudicated),
-      static_cast<unsigned long long>(totals.prune_remapped),
-      static_cast<unsigned long long>(totals.prune_memo_hits));
-}
-
-bool parse_campaign_payload(const std::string& payload,
-                            std::uint64_t& campaign,
-                            CampaignTotals& totals) {
-  auto get = [&](const char* key, std::uint64_t& out) {
-    const auto value = journal_u64(payload, key);
-    if (!value) return false;
-    out = *value;
-    return true;
-  };
-  return get("c", campaign) && get("benign", totals.benign) &&
-         get("sdc", totals.sdc) && get("crash", totals.crash) &&
-         get("dsdc", totals.detected_sdc) &&
-         get("dtot", totals.detected_total) &&
-         get("padj", totals.prune_adjudicated) &&
-         get("premap", totals.prune_remapped) &&
-         get("pmemo", totals.prune_memo_hits);
+/// The header with its "build" field removed — for telling "same
+/// configuration, different binary" apart from a genuine config mismatch.
+std::string strip_build_field(const std::string& header) {
+  const std::size_t at = header.find(",\"build\":\"");
+  if (at == std::string::npos) return header;
+  const std::size_t end = header.find('"', at + 10);
+  if (end == std::string::npos) return header;
+  std::string stripped = header;
+  stripped.erase(at, end + 1 - at);
+  return stripped;
 }
 
 std::string verify_payload(std::uint64_t campaign, std::size_t engine,
@@ -353,17 +330,34 @@ class CampaignCoordinator {
     const JournalRecovery recovered =
         recover_journal(config_.checkpoint_path);
     const std::string expected_header =
-        header_payload(config_, engines_.size());
+        campaign_header_payload(config_, engines_.size());
     bool need_header = true;
 
     if (!recovered.records.empty()) {
       if (recovered.records.front() != expected_header) {
+        // Same configuration but a different binary is the one mismatch
+        // with its own diagnostic: the statistics would be bit-identical
+        // only if both builds compute identically, which sanitizers and
+        // compiler changes do not guarantee — refuse, naming both builds.
+        const std::string& stored = recovered.records.front();
+        if (strip_build_field(stored) == strip_build_field(expected_header)) {
+          result_.error = strf(
+              "checkpoint '%s' was written by a different vulfi binary "
+              "(stored build \"%s\", this binary \"%s\") — resume with "
+              "the binary that wrote it, or start a fresh checkpoint",
+              config_.checkpoint_path.c_str(),
+              journal_str(stored, "build")
+                  .value_or("<no fingerprint: pre-v2 journal>")
+                  .c_str(),
+              build_fingerprint().c_str());
+          return false;
+        }
         result_.error = strf(
             "checkpoint '%s' was written by a different campaign "
             "configuration — refusing to mix histories (stored %s, "
             "expected %s)",
-            config_.checkpoint_path.c_str(),
-            recovered.records.front().c_str(), expected_header.c_str());
+            config_.checkpoint_path.c_str(), stored.c_str(),
+            expected_header.c_str());
         return false;
       }
       need_header = false;
@@ -371,10 +365,9 @@ class CampaignCoordinator {
         const std::string& record = recovered.records[i];
         const std::string type = journal_str(record, "t").value_or("");
         if (type == "campaign") {
-          std::uint64_t campaign = 0;
-          CampaignTotals totals;
-          if (!parse_campaign_payload(record, campaign, totals) ||
-              campaign != result_.campaigns) {
+          const std::optional<CampaignRecord> parsed =
+              parse_campaign_record(record);
+          if (!parsed || parsed->campaign != result_.campaigns) {
             result_.error = strf(
                 "checkpoint '%s': campaign record %llu is malformed or "
                 "out of order",
@@ -382,7 +375,17 @@ class CampaignCoordinator {
                 static_cast<unsigned long long>(i));
             return false;
           }
+          CampaignTotals totals;
+          totals.benign = parsed->benign;
+          totals.sdc = parsed->sdc;
+          totals.crash = parsed->crash;
+          totals.detected_sdc = parsed->detected_sdc;
+          totals.detected_total = parsed->detected_total;
+          totals.prune_adjudicated = parsed->prune_adjudicated;
+          totals.prune_remapped = parsed->prune_remapped;
+          totals.prune_memo_hits = parsed->prune_memo_hits;
           absorb_campaign(result_, totals, config_);
+          if (config_.on_campaign_record) config_.on_campaign_record(*parsed);
         } else if (type == "verify") {
           if (journal_u64(record, "ok").value_or(0) == 1) {
             result_.self_verify_passes += 1;
@@ -407,6 +410,7 @@ class CampaignCoordinator {
       result_.error = error;
       return false;
     }
+    writer_.set_sync_policy(config_.journal_sync);
     if (need_header && !writer_.append(expected_header)) {
       result_.error = strf("checkpoint '%s': header write failed",
                            config_.checkpoint_path.c_str());
@@ -422,13 +426,15 @@ class CampaignCoordinator {
   bool campaign_finished(const CampaignTotals& totals) {
     absorb_campaign(result_, totals, config_);
     refresh_stop_rule(result_, config_);
+    const CampaignRecord record = to_record(result_.campaigns - 1, totals);
     if (writer_.is_open() &&
-        !writer_.append(campaign_payload(result_.campaigns - 1, totals))) {
+        !writer_.append(campaign_record_payload(record))) {
       result_.error =
           strf("checkpoint '%s': record write failed at campaign %u",
                config_.checkpoint_path.c_str(), result_.campaigns - 1);
       return false;
     }
+    if (config_.on_campaign_record) config_.on_campaign_record(record);
     monitor_.note_campaign(result_.campaigns);
     const bool verified = self_verify_if_due();
     if (config_.on_campaign_complete) config_.on_campaign_complete(result_);
@@ -757,6 +763,66 @@ CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
   result.throughput.experiments =
       result.experiments - result.experiments_restored;
   return result;
+}
+
+namespace {
+// Journal format version. v2 added the build fingerprint to the header.
+constexpr unsigned kJournalVersion = 2;
+}  // namespace
+
+std::string campaign_header_payload(const CampaignConfig& config,
+                                    std::size_t num_engines) {
+  // num_threads and journal_sync are deliberately absent: results are
+  // thread-count and durability-policy independent, so resuming under a
+  // different --jobs or --fsync is supported.
+  return strf(
+      "{\"t\":\"header\",\"v\":%u,\"build\":\"%s\",\"seed\":%llu,"
+      "\"epc\":%u,\"minc\":%u,\"maxc\":%u,\"conf\":\"%s\",\"margin\":\"%s\","
+      "\"gcache\":%u,\"sprune\":%u,\"engines\":%llu}",
+      kJournalVersion, build_fingerprint().c_str(),
+      static_cast<unsigned long long>(config.seed),
+      config.experiments_per_campaign, config.min_campaigns,
+      config.max_campaigns, double_hex(config.confidence).c_str(),
+      double_hex(config.target_margin).c_str(),
+      config.use_golden_cache ? 1u : 0u, config.use_static_prune ? 1u : 0u,
+      static_cast<unsigned long long>(num_engines));
+}
+
+std::string campaign_record_payload(const CampaignRecord& record) {
+  return strf(
+      "{\"t\":\"campaign\",\"c\":%llu,\"benign\":%llu,\"sdc\":%llu,"
+      "\"crash\":%llu,\"dsdc\":%llu,\"dtot\":%llu,\"padj\":%llu,"
+      "\"premap\":%llu,\"pmemo\":%llu}",
+      static_cast<unsigned long long>(record.campaign),
+      static_cast<unsigned long long>(record.benign),
+      static_cast<unsigned long long>(record.sdc),
+      static_cast<unsigned long long>(record.crash),
+      static_cast<unsigned long long>(record.detected_sdc),
+      static_cast<unsigned long long>(record.detected_total),
+      static_cast<unsigned long long>(record.prune_adjudicated),
+      static_cast<unsigned long long>(record.prune_remapped),
+      static_cast<unsigned long long>(record.prune_memo_hits));
+}
+
+std::optional<CampaignRecord> parse_campaign_record(
+    const std::string& payload) {
+  CampaignRecord record;
+  auto get = [&](const char* key, std::uint64_t& out) {
+    const auto value = journal_u64(payload, key);
+    if (!value) return false;
+    out = *value;
+    return true;
+  };
+  if (!(get("c", record.campaign) && get("benign", record.benign) &&
+        get("sdc", record.sdc) && get("crash", record.crash) &&
+        get("dsdc", record.detected_sdc) &&
+        get("dtot", record.detected_total) &&
+        get("padj", record.prune_adjudicated) &&
+        get("premap", record.prune_remapped) &&
+        get("pmemo", record.prune_memo_hits))) {
+    return std::nullopt;
+  }
+  return record;
 }
 
 int campaign_exit_code(const CampaignResult& result) {

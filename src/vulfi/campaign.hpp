@@ -23,10 +23,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "support/cancel.hpp"
+#include "support/journal.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "vulfi/driver.hpp"
@@ -68,9 +70,19 @@ struct CampaignConfig {
   /// uninterrupted one (at any thread count). A corrupt or truncated
   /// tail is rolled back to the last valid record. The stored header
   /// must match seed, experiments_per_campaign, min/max campaigns,
-  /// confidence, target margin, engine count, and the exactness toggles;
-  /// num_threads may differ freely.
+  /// confidence, target margin, engine count, the exactness toggles,
+  /// and the writing binary's build fingerprint (support/version.hpp —
+  /// resuming across mismatched binaries is refused with a diagnostic
+  /// naming both builds); num_threads may differ freely.
   std::string checkpoint_path;
+
+  /// Checkpoint durability policy (CLI: --fsync=always|batch|off).
+  /// Always is the crash-safe default; Batch amortizes the per-record
+  /// fsync that dominates checkpoint overhead on fast campaigns; Off
+  /// leaves durability to the OS writeback. Recovery semantics are
+  /// identical for all three — the policy only bounds how many trailing
+  /// records a host crash can cost.
+  JournalSync journal_sync = JournalSync::Always;
 
   /// Cooperative cancellation (CLI: SIGINT/SIGTERM). Workers drain the
   /// experiment they are executing, completed campaigns are absorbed and
@@ -95,6 +107,14 @@ struct CampaignConfig {
   /// the running result (and after the matching checkpoint record is
   /// durable). Tests use it to cancel at a deterministic boundary.
   std::function<void(const CampaignResult&)> on_campaign_complete;
+
+  /// Called on the coordinating thread with every campaign record this
+  /// run contributes to the history: restored records replay through it
+  /// during checkpoint recovery, then each newly executed campaign fires
+  /// it with exactly the payload the journal stores. The campaign
+  /// service streams these (sealed) as its wire-protocol progress
+  /// records, so a client transcript is itself a valid journal.
+  std::function<void(const struct CampaignRecord&)> on_campaign_record;
 };
 
 /// Wall-clock and per-thread utilization figures for one run_campaigns
@@ -218,5 +238,39 @@ enum CampaignExitCode : int {
 };
 
 int campaign_exit_code(const CampaignResult& result);
+
+// --- checkpoint-journal record format (shared with the campaign service) ---
+// One header record pins everything the statistics depend on (including
+// the writing binary's build fingerprint); one record per completed
+// campaign holds its integer outcome counters. The campaign service
+// (serve/) streams these exact payloads — sealed with journal_seal — as
+// its per-campaign progress records, so a client transcript concatenated
+// to a file IS a valid checkpoint journal.
+
+/// One completed campaign's integer outcome counters.
+struct CampaignRecord {
+  std::uint64_t campaign = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t crash = 0;
+  std::uint64_t detected_sdc = 0;
+  std::uint64_t detected_total = 0;
+  std::uint64_t prune_adjudicated = 0;
+  std::uint64_t prune_remapped = 0;
+  std::uint64_t prune_memo_hits = 0;
+};
+
+/// The journal header payload for a campaign configuration (unsealed).
+/// Deliberately independent of num_threads and journal_sync: results are
+/// scheduling- and durability-independent, so those may change on resume.
+std::string campaign_header_payload(const CampaignConfig& config,
+                                    std::size_t num_engines);
+
+/// One campaign record payload (unsealed).
+std::string campaign_record_payload(const CampaignRecord& record);
+
+/// Parses a campaign record payload; nullopt when any field is missing.
+std::optional<CampaignRecord> parse_campaign_record(
+    const std::string& payload);
 
 }  // namespace vulfi

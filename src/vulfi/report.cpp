@@ -25,6 +25,18 @@ void OutcomeReport::record(const ExperimentResult& result,
   if (site.masked) masked_sites_.record(result);
 }
 
+std::string render_rates_with_ci(const CampaignResult& result,
+                                 double confidence) {
+  auto one = [&](const char* label, std::uint64_t count) {
+    const WilsonInterval ci =
+        wilson_interval(count, result.experiments, confidence);
+    return strf("%s %s [%s, %s]", label, pct(result.rate(count)).c_str(),
+                pct(ci.low).c_str(), pct(ci.high).c_str());
+  };
+  return one("SDC", result.sdc) + "   " + one("Benign", result.benign) +
+         "   " + one("Crash", result.crash);
+}
+
 std::string render_throughput(const ThroughputStats& throughput) {
   std::string line = strf(
       "%llu experiments in %.2fs — %.1f experiments/sec, %u thread%s, "
@@ -111,6 +123,19 @@ std::string campaign_stats_json(const CampaignResult& result) {
   json += "\"benign\":" + u64(result.benign) + ",";
   json += "\"sdc\":" + u64(result.sdc) + ",";
   json += "\"crash\":" + u64(result.crash) + ",";
+  // Wilson 95% CIs for the three outcome rates: pure functions of the
+  // integer counters above, hex-encoded like every other double so the
+  // rendering stays byte-comparable.
+  auto ci = [&](const char* key, std::uint64_t count) {
+    const WilsonInterval interval =
+        wilson_interval(count, result.experiments, 0.95);
+    return strf("\"%s\":[\"%s\",\"%s\"],", key,
+                double_hex(interval.low).c_str(),
+                double_hex(interval.high).c_str());
+  };
+  json += ci("sdc_ci95", result.sdc);
+  json += ci("benign_ci95", result.benign);
+  json += ci("crash_ci95", result.crash);
   json += "\"detected_sdc\":" + u64(result.detected_sdc) + ",";
   json += "\"detected_total\":" + u64(result.detected_total) + ",";
   json += "\"prune_adjudicated\":" + u64(result.prune_adjudicated) + ",";

@@ -68,6 +68,14 @@ class OutcomeReport {
   std::uint64_t experiments_ = 0;
 };
 
+/// One-line outcome-rate summary with Wilson 95% confidence intervals:
+/// "SDC 12.00% [9.71%, 14.74%]   Benign ...   Crash ...". The intervals
+/// are pure functions of the integer outcome counters (support/stats
+/// wilson_interval), so the line is deterministic across thread counts,
+/// resume positions, and the serve/CLI paths.
+std::string render_rates_with_ci(const CampaignResult& result,
+                                 double confidence = 0.95);
+
 /// One-line throughput summary of a run_campaigns call: wall time,
 /// experiments/sec, worker count, and mean per-thread utilization
 /// (per-worker busy fractions appended when more than one worker ran).

@@ -1,0 +1,138 @@
+// End-to-end exit-code contract of the vulfi CLI, driven through real
+// fork/exec of the built binary (VULFI_CLI_PATH is injected by CMake).
+// The contract — 0 converged / 2 usage / 3 internal / 4 unconverged /
+// 5 interrupted — is what CI scripts and the campaign service key on,
+// so it is pinned here end to end rather than only at the
+// campaign_exit_code unit level.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct RunResult {
+  bool exited = false;  ///< WIFEXITED — false means signal-killed
+  int code = -1;
+};
+
+/// Runs the CLI with `args`, stdout/stderr silenced. When
+/// `interrupt_after_ms` is positive, sends SIGINT to the child after
+/// that delay (the interactive ^C path).
+RunResult run_cli(const std::vector<std::string>& args,
+                  int interrupt_after_ms = 0) {
+  std::vector<const char*> argv;
+  argv.push_back(VULFI_CLI_PATH);
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    std::freopen("/dev/null", "w", stdout);
+    std::freopen("/dev/null", "w", stderr);
+    ::execv(VULFI_CLI_PATH, const_cast<char* const*>(argv.data()));
+    _exit(127);  // exec failed
+  }
+  RunResult result;
+  if (pid < 0) return result;
+  if (interrupt_after_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(interrupt_after_ms));
+    ::kill(pid, SIGINT);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return result;
+  result.exited = WIFEXITED(status);
+  result.code = result.exited ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "cli_contract_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(CliExitCodes, ConvergedCampaignExitsZero) {
+  // A margin loose enough that the stop rule is satisfied right at
+  // min_campaigns: deterministic by seeding, verified convergent.
+  const RunResult result = run_cli({"campaign", "--benchmark", "dot",
+                                    "--category", "control", "--campaigns",
+                                    "3", "--experiments", "20", "--margin",
+                                    "0.9"});
+  ASSERT_TRUE(result.exited);
+  EXPECT_EQ(result.code, 0);
+}
+
+TEST(CliExitCodes, UsageErrorsExitTwo) {
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{"campaign", "--benchmark", "no-such-kernel"},
+        std::vector<std::string>{"campaign", "--benchmark", "dot",
+                                 "--bogus-flag", "1"},
+        std::vector<std::string>{"campaign", "--benchmark", "dot",
+                                 "--fsync", "sometimes"},
+        std::vector<std::string>{"submit"}}) {  // submit without --socket
+    const RunResult result = run_cli(args);
+    ASSERT_TRUE(result.exited);
+    EXPECT_EQ(result.code, 2) << args.front();
+  }
+}
+
+TEST(CliExitCodes, CheckpointMismatchExitsThree) {
+  const std::string checkpoint = temp_path("mismatch.ckpt");
+  std::remove(checkpoint.c_str());
+  const std::vector<std::string> base = {
+      "campaign",      "--benchmark", "dot", "--category", "control",
+      "--campaigns",   "2",           "--experiments", "10",
+      "--checkpoint",  checkpoint};
+
+  std::vector<std::string> first = base;
+  first.insert(first.end(), {"--seed", "1"});
+  const RunResult seeded = run_cli(first);
+  ASSERT_TRUE(seeded.exited);
+  ASSERT_NE(seeded.code, 3);  // the run itself is healthy
+
+  // Resuming the same journal under a different seed is an internal
+  // error: the header pins the configuration the statistics depend on.
+  std::vector<std::string> second = base;
+  second.insert(second.end(), {"--seed", "2"});
+  const RunResult mismatched = run_cli(second);
+  ASSERT_TRUE(mismatched.exited);
+  EXPECT_EQ(mismatched.code, 3);
+  std::remove(checkpoint.c_str());
+}
+
+TEST(CliExitCodes, UnconvergedCampaignExitsFour) {
+  // Two campaigns can never satisfy a ±3% margin here; the run stops at
+  // max_campaigns unconverged.
+  const RunResult result =
+      run_cli({"campaign", "--benchmark", "dot", "--category", "control",
+               "--campaigns", "2", "--experiments", "10"});
+  ASSERT_TRUE(result.exited);
+  EXPECT_EQ(result.code, 4);
+}
+
+TEST(CliExitCodes, InterruptedCampaignExitsFive) {
+  const std::string checkpoint = temp_path("interrupt.ckpt");
+  std::remove(checkpoint.c_str());
+  // Long enough that SIGINT lands mid-run; the handler converts it to a
+  // cooperative cancellation, so the child must EXIT with code 5, not
+  // die on the signal.
+  const RunResult result =
+      run_cli({"campaign", "--benchmark", "dot", "--category", "control",
+               "--campaigns", "200", "--experiments", "200", "--checkpoint",
+               checkpoint},
+              /*interrupt_after_ms=*/1500);
+  ASSERT_TRUE(result.exited) << "child was signal-killed instead of "
+                                "exiting via the cancellation path";
+  EXPECT_EQ(result.code, 5);
+  std::remove(checkpoint.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,336 @@
+// Wire-protocol unit tests: frame codec (including the fuzz corpus),
+// request round-trips, JSON utilities, Wilson intervals, journal sync
+// policies, and the build fingerprint.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "support/journal.hpp"
+#include "support/socket.hpp"
+#include "support/stats.hpp"
+#include "support/version.hpp"
+#include "vulfi/campaign.hpp"
+
+namespace vulfi::serve {
+namespace {
+
+// --- frame codec -----------------------------------------------------------
+
+TEST(FrameCodec, RoundTripsPayloads) {
+  const std::vector<std::string> payloads = {
+      "", "{}", "{\"op\":\"ping\"}", std::string(4096, 'x'),
+      std::string("\n\n:\xff binary \x00 ok", 17)};
+  for (const std::string& payload : payloads) {
+    const std::string frame = frame_encode(payload);
+    const FrameDecode decoded = frame_decode(frame);
+    EXPECT_EQ(decoded.status, FrameDecode::Status::Ok);
+    EXPECT_EQ(decoded.payload, payload);
+    EXPECT_EQ(decoded.consumed, frame.size());
+  }
+}
+
+TEST(FrameCodec, DecodesFirstOfConcatenatedFrames) {
+  const std::string stream = frame_encode("{\"a\":1}") + frame_encode("{}");
+  const FrameDecode first = frame_decode(stream);
+  ASSERT_EQ(first.status, FrameDecode::Status::Ok);
+  EXPECT_EQ(first.payload, "{\"a\":1}");
+  const FrameDecode second =
+      frame_decode(std::string_view(stream).substr(first.consumed));
+  ASSERT_EQ(second.status, FrameDecode::Status::Ok);
+  EXPECT_EQ(second.payload, "{}");
+}
+
+TEST(FrameCodec, ReportsNeedMoreOnValidPrefixes) {
+  const std::string frame = frame_encode("{\"op\":\"ping\"}");
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const FrameDecode decoded =
+        frame_decode(std::string_view(frame).substr(0, cut));
+    EXPECT_EQ(decoded.status, FrameDecode::Status::NeedMore)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(FrameCodec, RejectsMalformedHeaders) {
+  // Non-hex length, uppercase hex (the codec is strict), wrong
+  // separator, missing trailing newline.
+  EXPECT_EQ(frame_decode("zzzzzzzz:{}\n").status,
+            FrameDecode::Status::Malformed);
+  EXPECT_EQ(frame_decode("0000000A:{}\n").status,
+            FrameDecode::Status::Malformed);
+  EXPECT_EQ(frame_decode("00000002;{}\n").status,
+            FrameDecode::Status::Malformed);
+  EXPECT_EQ(frame_decode("00000002:{}X").status,
+            FrameDecode::Status::Malformed);
+  // A non-hex byte is rejected before the full header arrives.
+  EXPECT_EQ(frame_decode("00x").status, FrameDecode::Status::Malformed);
+}
+
+TEST(FrameCodec, RejectsOversizedDeclarations) {
+  EXPECT_EQ(frame_decode("00200000:").status,
+            FrameDecode::Status::Oversized);
+  EXPECT_EQ(frame_decode("ffffffff:").status,
+            FrameDecode::Status::Oversized);
+  // At the cap is fine.
+  const std::string big(kMaxFrameBytes, 'y');
+  EXPECT_EQ(frame_decode(frame_encode(big)).status, FrameDecode::Status::Ok);
+}
+
+TEST(FrameCodec, FuzzSeedsNeverCrashTheDecoder) {
+  for (const std::string& seed : protocol_fuzz_seeds()) {
+    // Whole-buffer decode plus every truncation: the decoder must
+    // classify each without crashing, and Ok implies self-consistency.
+    for (std::size_t cut = 0; cut <= seed.size(); ++cut) {
+      const FrameDecode decoded =
+          frame_decode(std::string_view(seed).substr(0, cut));
+      if (decoded.status == FrameDecode::Status::Ok) {
+        EXPECT_LE(decoded.consumed, cut);
+        EXPECT_EQ(frame_encode(decoded.payload).size(), decoded.consumed);
+      }
+    }
+  }
+}
+
+// --- requests --------------------------------------------------------------
+
+TEST(Requests, RoundTripBitExact) {
+  CampaignRequest request;
+  request.benchmark = "blackscholes";
+  request.category = "address";
+  request.isa = "sse";
+  request.experiments = 7;
+  request.min_campaigns = 3;
+  request.max_campaigns = 9;
+  request.seed = 0xdeadbeefcafeULL;
+  request.jobs = 5;
+  request.golden_cache = false;
+  request.static_prune = false;
+  request.detectors = true;
+  request.priority = 0;
+  request.confidence = 0.99;
+  request.target_margin = 0.0123456789;
+  request.self_verify = 4;
+  request.stall_timeout = 2.5;
+  request.checkpoint = "/tmp/ckpt with spaces.jsonl";
+  request.fsync = "batch";
+
+  const std::optional<CampaignRequest> parsed =
+      parse_request(serialize_request(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->benchmark, request.benchmark);
+  EXPECT_EQ(parsed->category, request.category);
+  EXPECT_EQ(parsed->isa, request.isa);
+  EXPECT_EQ(parsed->experiments, request.experiments);
+  EXPECT_EQ(parsed->min_campaigns, request.min_campaigns);
+  EXPECT_EQ(parsed->max_campaigns, request.max_campaigns);
+  EXPECT_EQ(parsed->seed, request.seed);
+  EXPECT_EQ(parsed->jobs, request.jobs);
+  EXPECT_EQ(parsed->golden_cache, request.golden_cache);
+  EXPECT_EQ(parsed->static_prune, request.static_prune);
+  EXPECT_EQ(parsed->detectors, request.detectors);
+  EXPECT_EQ(parsed->priority, request.priority);
+  EXPECT_EQ(parsed->self_verify, request.self_verify);
+  EXPECT_EQ(parsed->checkpoint, request.checkpoint);
+  EXPECT_EQ(parsed->fsync, request.fsync);
+  // Doubles travel as IEEE-754 hex: bit-exact, not approximately equal.
+  EXPECT_EQ(double_hex(parsed->confidence), double_hex(request.confidence));
+  EXPECT_EQ(double_hex(parsed->target_margin),
+            double_hex(request.target_margin));
+  EXPECT_EQ(double_hex(parsed->stall_timeout),
+            double_hex(request.stall_timeout));
+}
+
+TEST(Requests, DefaultsMatchTheCampaignCli) {
+  const std::optional<CampaignRequest> parsed =
+      parse_request("{\"op\":\"submit\",\"benchmark\":\"dot\"}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->experiments, 100u);
+  EXPECT_EQ(parsed->min_campaigns, 20u);
+  EXPECT_EQ(parsed->resolved_max_campaigns(), 40u);
+  EXPECT_EQ(parsed->seed, 24029u);
+  EXPECT_EQ(parsed->jobs, 1u);
+  EXPECT_TRUE(parsed->golden_cache);
+  EXPECT_TRUE(parsed->static_prune);
+  EXPECT_EQ(parsed->fsync, "always");
+}
+
+TEST(Requests, RejectsInvalidSubmits) {
+  std::string error;
+  auto rejects = [&](const std::string& payload) {
+    error.clear();
+    const bool rejected = !parse_request(payload, &error).has_value();
+    EXPECT_FALSE(error.empty()) << payload;
+    return rejected;
+  };
+  EXPECT_TRUE(rejects("{\"op\":\"submit\"}"));
+  EXPECT_TRUE(rejects("{\"op\":\"submit\",\"benchmark\":\"\"}"));
+  EXPECT_TRUE(rejects(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"category\":\"bogus\"}"));
+  EXPECT_TRUE(rejects(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"isa\":\"riscv\"}"));
+  EXPECT_TRUE(rejects(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"fsync\":\"sometimes\"}"));
+  EXPECT_TRUE(rejects(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"experiments\":0}"));
+  EXPECT_TRUE(rejects(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"campaigns\":0}"));
+  EXPECT_TRUE(rejects("{\"op\":\"submit\",\"benchmark\":\"dot\","
+                      "\"campaigns\":10,\"max_campaigns\":5}"));
+  EXPECT_TRUE(rejects(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"priority\":7}"));
+}
+
+// --- JSON utilities --------------------------------------------------------
+
+TEST(JsonUtil, EscapesControlAndQuoteBytes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonUtil, ExtractsNestedObjects) {
+  const std::string payload =
+      "{\"t\":\"done\",\"stats\":{\"a\":1,\"nested\":{\"b\":\"}{\"}},"
+      "\"tail\":2}";
+  const std::optional<std::string> stats =
+      extract_json_object(payload, "stats");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(*stats, "{\"a\":1,\"nested\":{\"b\":\"}{\"}}");
+  EXPECT_FALSE(extract_json_object(payload, "absent").has_value());
+  EXPECT_FALSE(extract_json_object("{\"stats\":3}", "stats").has_value());
+}
+
+TEST(JsonUtil, DonePayloadRoundTripsStats) {
+  const std::string stats = "{\"campaigns\":4,\"samples\":[\"3fe0\"]}";
+  const std::string done =
+      done_payload(7, 4, false, false, "oops \"quoted\"", stats);
+  EXPECT_EQ(extract_json_object(done, "stats").value_or(""), stats);
+  EXPECT_EQ(journal_u64(done, "exit").value_or(99), 4u);
+  EXPECT_EQ(journal_u64(done, "id").value_or(0), 7u);
+}
+
+// --- Wilson intervals ------------------------------------------------------
+
+TEST(Wilson, NormalQuantileMatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.975), -normal_quantile(0.025), 1e-9);
+}
+
+TEST(Wilson, IntervalBracketsTheRateAndStaysInUnit) {
+  for (std::uint64_t k : {0ull, 1ull, 5ull, 50ull, 99ull, 100ull}) {
+    const WilsonInterval ci = wilson_interval(k, 100, 0.95);
+    const double p = static_cast<double>(k) / 100.0;
+    EXPECT_GE(ci.low, 0.0);
+    EXPECT_LE(ci.high, 1.0);
+    EXPECT_LE(ci.low, p);
+    EXPECT_GE(ci.high, p);
+  }
+  // Unlike the normal approximation, Wilson never collapses at the
+  // boundaries: 0/100 still has an upper bound above zero.
+  EXPECT_GT(wilson_interval(0, 100, 0.95).high, 0.0);
+  EXPECT_LT(wilson_interval(100, 100, 0.95).low, 1.0);
+}
+
+TEST(Wilson, IsSymmetricUnderComplement) {
+  const WilsonInterval ci = wilson_interval(8, 10, 0.95);
+  const WilsonInterval co = wilson_interval(2, 10, 0.95);
+  EXPECT_NEAR(ci.low, 1.0 - co.high, 1e-12);
+  EXPECT_NEAR(ci.high, 1.0 - co.low, 1e-12);
+}
+
+TEST(Wilson, ZeroTrialsIsVacuous) {
+  const WilsonInterval ci = wilson_interval(0, 0, 0.95);
+  EXPECT_EQ(ci.low, 0.0);
+  EXPECT_EQ(ci.high, 1.0);
+}
+
+// --- journal sync policy + build fingerprint -------------------------------
+
+TEST(JournalSyncNames, RoundTrip) {
+  for (const JournalSync sync :
+       {JournalSync::Always, JournalSync::Batch, JournalSync::Off}) {
+    const std::optional<JournalSync> parsed =
+        journal_sync_from_name(journal_sync_name(sync));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, sync);
+  }
+  EXPECT_FALSE(journal_sync_from_name("sometimes").has_value());
+  EXPECT_FALSE(journal_sync_from_name("").has_value());
+}
+
+TEST(JournalSyncPolicy, BatchAndOffStillRecoverEveryRecord) {
+  for (const JournalSync sync : {JournalSync::Batch, JournalSync::Off}) {
+    const std::string path =
+        testing::TempDir() + "sync_policy_" +
+        std::to_string(static_cast<int>(sync)) + ".jsonl";
+    std::remove(path.c_str());
+    {
+      JournalWriter writer;
+      ASSERT_TRUE(writer.open(path, 0));
+      writer.set_sync_policy(sync);
+      for (int i = 0; i < 37; ++i) {
+        ASSERT_TRUE(writer.append("{\"i\":" + std::to_string(i) + "}"));
+      }
+    }
+    const JournalRecovery recovered = recover_journal(path);
+    EXPECT_EQ(recovered.records.size(), 37u);
+    EXPECT_FALSE(recovered.tail_dropped);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(BuildFingerprint, IsStableAndJsonSafe) {
+  const std::string fingerprint = build_fingerprint();
+  EXPECT_FALSE(fingerprint.empty());
+  EXPECT_EQ(fingerprint, build_fingerprint());
+  EXPECT_EQ(fingerprint.find('"'), std::string::npos);
+  EXPECT_EQ(fingerprint.find('\n'), std::string::npos);
+  EXPECT_NE(fingerprint.find(build_type()), std::string::npos);
+}
+
+TEST(BuildFingerprint, IsPinnedIntoCampaignHeaders) {
+  CampaignConfig config;
+  const std::string header = campaign_header_payload(config, 3);
+  EXPECT_EQ(journal_str(header, "build").value_or(""), build_fingerprint());
+  EXPECT_EQ(journal_u64(header, "v").value_or(0), 2u);
+  // num_threads and journal_sync must NOT pin: both may change on resume.
+  CampaignConfig other = config;
+  other.num_threads = 16;
+  other.journal_sync = JournalSync::Off;
+  EXPECT_EQ(campaign_header_payload(other, 3), header);
+}
+
+TEST(CampaignRecords, RoundTrip) {
+  CampaignRecord record;
+  record.campaign = 12;
+  record.benign = 3;
+  record.sdc = 90;
+  record.crash = 7;
+  record.detected_sdc = 11;
+  record.detected_total = 13;
+  record.prune_adjudicated = 17;
+  record.prune_remapped = 19;
+  record.prune_memo_hits = 23;
+  const std::optional<CampaignRecord> parsed =
+      parse_campaign_record(campaign_record_payload(record));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->campaign, record.campaign);
+  EXPECT_EQ(parsed->benign, record.benign);
+  EXPECT_EQ(parsed->sdc, record.sdc);
+  EXPECT_EQ(parsed->crash, record.crash);
+  EXPECT_EQ(parsed->detected_sdc, record.detected_sdc);
+  EXPECT_EQ(parsed->detected_total, record.detected_total);
+  EXPECT_EQ(parsed->prune_adjudicated, record.prune_adjudicated);
+  EXPECT_EQ(parsed->prune_remapped, record.prune_remapped);
+  EXPECT_EQ(parsed->prune_memo_hits, record.prune_memo_hits);
+  EXPECT_FALSE(parse_campaign_record("{\"t\":\"campaign\",\"c\":1}"));
+}
+
+}  // namespace
+}  // namespace vulfi::serve

@@ -50,11 +50,13 @@
 //       Run the IR lint driver (verifier + unreachable-block, dead-value,
 //       and constant-condition checks) over shipped kernel modules.
 //       Nonzero exit if any diagnostic fires.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include <fstream>
 #include <sstream>
@@ -66,10 +68,14 @@
 #include "ir/printer.hpp"
 #include "kernels/benchmark.hpp"
 #include "kernels/study.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "support/barchart.hpp"
 #include "support/cancel.hpp"
+#include "support/journal.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
+#include "support/version.hpp"
 #include "vulfi/campaign.hpp"
 #include "vulfi/instrument.hpp"
 #include "spmd/lang/compiler.hpp"
@@ -118,6 +124,21 @@ struct CliArgs {
       "[--target avx|sse]\n"
       "           Lint kernel IR (verify + dataflow checks); nonzero exit "
       "on any diagnostic.\n"
+      "  version  Print compiler, build type, feature toggles, and the\n"
+      "           build fingerprint pinned into checkpoint journals.\n"
+      "  serve    --socket PATH [--serve-jobs N] [--queue N]\n"
+      "           [--max-request-jobs N] [--cache-entries N] [--quiet]\n"
+      "           Run the persistent campaign daemon (vulfid): framed\n"
+      "           JSONL over a Unix socket, warm-engine cache, fair\n"
+      "           scheduling with backpressure. SIGINT/SIGTERM drains.\n"
+      "  submit   --socket PATH --benchmark NAME [campaign options]\n"
+      "           [--priority 0..3] [--journal PATH]\n"
+      "           Submit one campaign to a daemon and stream its\n"
+      "           progress; exit codes match `vulfi campaign`. --journal\n"
+      "           appends the streamed records to a resumable checkpoint\n"
+      "           journal.\n"
+      "  ping     --socket PATH   Probe a daemon (protocol + build).\n"
+      "  shutdown --socket PATH   Drain a daemon and stop it.\n"
       "  compile  --file K.ispc [--target avx|sse] [--detectors] "
       "[--instrumented]\n"
       "           Compile an ISPC-like kernel file and print its IR.\n"
@@ -142,10 +163,13 @@ CliArgs parse(int argc, char** argv) {
                                  "--max-campaigns", "--seed", "--input",
                                  "--file", "--jobs", "--checkpoint",
                                  "--self-verify", "--stall-timeout",
-                                 "--stats-json"};
+                                 "--stats-json", "--fsync", "--margin",
+                                 "--confidence", "--socket", "--priority",
+                                 "--journal", "--serve-jobs", "--queue",
+                                 "--max-request-jobs", "--cache-entries"};
   const char* flag_options[] = {"--detectors", "--instrumented", "--report",
                                 "--no-golden-cache", "--no-static-prune",
-                                "--all"};
+                                "--all", "--quiet"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool matched = false;
@@ -427,7 +451,16 @@ int cmd_campaign(const CliArgs& args) {
       static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
   config.use_golden_cache = !args.flag("no-golden-cache");
   config.use_static_prune = !args.flag("no-static-prune");
+  config.confidence = std::stod(args.get("confidence", "0.95"));
+  config.target_margin = std::stod(args.get("margin", "0.03"));
   config.checkpoint_path = args.get("checkpoint");
+  const std::optional<JournalSync> sync =
+      journal_sync_from_name(args.get("fsync", "always"));
+  if (!sync) {
+    std::fprintf(stderr, "--fsync must be always, batch, or off\n");
+    return 2;
+  }
+  config.journal_sync = *sync;
   config.self_verify_every =
       static_cast<unsigned>(std::stoul(args.get("self-verify", "0")));
   config.stall_timeout_seconds = std::stod(args.get("stall-timeout", "0"));
@@ -449,10 +482,7 @@ int cmd_campaign(const CliArgs& args) {
   std::printf("  campaigns: %u x %u experiments (%llu total)\n",
               result.campaigns, config.experiments_per_campaign,
               static_cast<unsigned long long>(result.experiments));
-  std::printf("  SDC %s   Benign %s   Crash %s\n",
-              pct(result.sdc_rate()).c_str(),
-              pct(result.benign_rate()).c_str(),
-              pct(result.crash_rate()).c_str());
+  std::printf("  %s\n", render_rates_with_ci(result).c_str());
   std::printf("  mean campaign SDC rate %.4f, margin of error (95%%) "
               "±%.2f%%, near-normal: %s\n",
               result.sdc_samples.mean(), result.margin_of_error * 100.0,
@@ -545,6 +575,180 @@ int cmd_lint(const CliArgs& args) {
   return failures == 0 ? 0 : 1;
 }
 
+int cmd_version() {
+  std::printf("vulfi — resiliency evaluation of vector programs\n");
+  std::printf("  compiler:    %s\n", compiler_version());
+  std::printf("  build type:  %s\n", build_type());
+  std::printf("  features:    %s\n", feature_toggles().c_str());
+  std::printf("  fingerprint: %s\n", build_fingerprint().c_str());
+  std::printf("  protocol:    %u\n", serve::kProtocolVersion);
+  return 0;
+}
+
+std::string socket_of(const CliArgs& args) {
+  const std::string path = args.get("socket");
+  if (path.empty()) {
+    std::fprintf(stderr, "--socket is required\n");
+    std::exit(2);
+  }
+  return path;
+}
+
+int cmd_serve(const CliArgs& args) {
+  serve::ServerConfig config;
+  config.socket_path = socket_of(args);
+  config.workers =
+      static_cast<unsigned>(std::stoul(args.get("serve-jobs", "1")));
+  config.max_queue = std::stoul(args.get("queue", "16"));
+  config.max_jobs_per_request =
+      static_cast<unsigned>(std::stoul(args.get("max-request-jobs", "4")));
+  config.cache_entries = std::stoul(args.get("cache-entries", "8"));
+  config.verbose = !args.flag("quiet");
+
+  serve::CampaignServer server(std::move(config));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "vulfi: %s\n", error.c_str());
+    return 3;
+  }
+  // Run until a client sends shutdown or a signal arrives; either way
+  // admitted campaigns drain before exit.
+  CancellationToken cancel;
+  const ScopedSignalCancellation signal_guard(cancel);
+  while (!cancel.cancelled() && !server.stopped()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.request_shutdown();
+  server.wait();
+  return 0;
+}
+
+int cmd_submit(const CliArgs& args) {
+  const std::string socket_path = socket_of(args);
+  serve::CampaignRequest request;
+  request.benchmark = args.get("benchmark");
+  if (request.benchmark.empty()) {
+    std::fprintf(stderr, "--benchmark is required\n");
+    return 2;
+  }
+  request.category = args.get("category", "pure-data");
+  request.isa = args.get("target", "avx");
+  request.experiments = std::stoul(args.get("experiments", "100"));
+  request.min_campaigns = std::stoul(args.get("campaigns", "20"));
+  request.max_campaigns = std::stoul(args.get("max-campaigns", "0"));
+  request.seed = std::stoull(args.get("seed", "24029"));
+  request.jobs = static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
+  request.golden_cache = !args.flag("no-golden-cache");
+  request.static_prune = !args.flag("no-static-prune");
+  request.detectors = args.flag("detectors");
+  request.priority =
+      static_cast<unsigned>(std::stoul(args.get("priority", "1")));
+  request.confidence = std::stod(args.get("confidence", "0.95"));
+  request.target_margin = std::stod(args.get("margin", "0.03"));
+  request.self_verify =
+      static_cast<unsigned>(std::stoul(args.get("self-verify", "0")));
+  request.stall_timeout = std::stod(args.get("stall-timeout", "0"));
+  request.checkpoint = args.get("checkpoint");
+  request.fsync = args.get("fsync", "always");
+
+  // --journal appends every streamed record; the file is a valid
+  // checkpoint journal, so a dropped connection is recoverable by
+  // resubmitting with it as the server-side --checkpoint.
+  std::ofstream journal_out;
+  serve::StreamCallbacks callbacks;
+  const std::string journal_path = args.get("journal");
+  if (!journal_path.empty()) {
+    journal_out.open(journal_path, std::ios::trunc);
+    if (!journal_out) {
+      std::fprintf(stderr, "vulfi: cannot write journal to '%s'\n",
+                   journal_path.c_str());
+      return 2;
+    }
+    callbacks.on_record = [&journal_out](const std::string& line) {
+      journal_out << line << "\n";
+      journal_out.flush();
+    };
+  }
+  callbacks.on_log = [](const std::string& message) {
+    std::fprintf(stderr, "vulfi: %s\n", message.c_str());
+  };
+
+  const serve::SubmitOutcome outcome =
+      serve::submit_campaign(socket_path, request, callbacks);
+  if (!outcome.ok) {
+    std::fprintf(stderr, "vulfi: %s\n", outcome.error.c_str());
+    return 3;
+  }
+  if (!outcome.server_error.empty()) {
+    std::fprintf(stderr, "vulfi: %s\n", outcome.server_error.c_str());
+  }
+
+  std::printf("%s / %s / %s via %s\n", request.benchmark.c_str(),
+              request.category.c_str(), request.isa.c_str(),
+              socket_path.c_str());
+  std::printf("  daemon request %llu: %zu engines (cache %s), "
+              "%llu campaign records streamed\n",
+              static_cast<unsigned long long>(outcome.id), outcome.engines,
+              outcome.cache_hit ? "hit" : "miss",
+              static_cast<unsigned long long>(outcome.records));
+  const std::uint64_t campaigns =
+      journal_u64(outcome.stats_json, "campaigns").value_or(0);
+  const std::uint64_t experiments =
+      journal_u64(outcome.stats_json, "experiments").value_or(0);
+  std::printf("  campaigns: %llu x %u experiments (%llu total)\n",
+              static_cast<unsigned long long>(campaigns),
+              request.experiments,
+              static_cast<unsigned long long>(experiments));
+  if (experiments > 0) {
+    const double n = static_cast<double>(experiments);
+    const double sdc = static_cast<double>(
+        journal_u64(outcome.stats_json, "sdc").value_or(0));
+    const double benign = static_cast<double>(
+        journal_u64(outcome.stats_json, "benign").value_or(0));
+    const double crash = static_cast<double>(
+        journal_u64(outcome.stats_json, "crash").value_or(0));
+    std::printf("  SDC %s   Benign %s   Crash %s\n", pct(sdc / n).c_str(),
+                pct(benign / n).c_str(), pct(crash / n).c_str());
+  }
+
+  const std::string stats_path = args.get("stats-json");
+  if (!stats_path.empty()) {
+    std::ofstream out(stats_path, std::ios::trunc);
+    out << outcome.stats_json << "\n";
+    if (!out) {
+      std::fprintf(stderr, "vulfi: cannot write stats to '%s'\n",
+                   stats_path.c_str());
+      return kCampaignExitInternalError;
+    }
+  }
+  return outcome.exit_code;
+}
+
+int cmd_ping(const CliArgs& args) {
+  std::string error;
+  const std::optional<std::string> pong =
+      serve::ping_server(socket_of(args), &error);
+  if (!pong) {
+    std::fprintf(stderr, "vulfi: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", pong->c_str());
+  return 0;
+}
+
+int cmd_shutdown(const CliArgs& args) {
+  std::string error;
+  std::uint64_t completed = 0;
+  if (!serve::shutdown_server(socket_of(args), &completed, &error)) {
+    std::fprintf(stderr, "vulfi: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("daemon drained and stopped (%llu campaign%s served)\n",
+              static_cast<unsigned long long>(completed),
+              completed == 1 ? "" : "s");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -557,6 +761,11 @@ int main(int argc, char** argv) {
   if (args.command == "compile") return cmd_compile(args);
   if (args.command == "study") return cmd_study(args);
   if (args.command == "lint") return cmd_lint(args);
+  if (args.command == "version") return cmd_version();
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "submit") return cmd_submit(args);
+  if (args.command == "ping") return cmd_ping(args);
+  if (args.command == "shutdown") return cmd_shutdown(args);
   if (args.command == "--help" || args.command == "-h") usage(0);
   std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
   usage(2);
