@@ -1,0 +1,149 @@
+#include "fuzz/fuzz.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "fuzz/reducer.hpp"
+
+namespace vulfi::fuzz {
+
+namespace {
+
+/// One seed end-to-end: generate, judge, reduce, dump.
+std::optional<FuzzFailure> run_seed(std::uint64_t seed,
+                                    const FuzzConfig& config,
+                                    std::uint64_t* fingerprint) {
+  const KernelSpec spec = generate_kernel(seed, config.gen);
+  *fingerprint = spec_fingerprint(spec);
+  const OracleVerdict verdict =
+      run_oracle(spec, config.oracle, config.oracle_config);
+  if (verdict.ok) return std::nullopt;
+
+  FuzzFailure failure;
+  failure.seed = seed;
+  failure.diagnostic = verdict.diagnostic;
+  failure.original_ops = total_ops(spec);
+  failure.reduced = spec;
+  if (config.reduce) {
+    const KernelReducer reducer([&](const KernelSpec& candidate) {
+      return !run_oracle(candidate, config.oracle, config.oracle_config).ok;
+    });
+    failure.reduced = reducer.reduce(spec);
+  }
+  failure.reduced_ops = total_ops(failure.reduced);
+
+  if (!config.repro_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.repro_dir, ec);
+    const std::string path = config.repro_dir + "/seed-" +
+                             std::to_string(seed) + ".vulfi";
+    std::string error;
+    if (write_repro_file(path, failure.reduced, config.oracle, &error)) {
+      failure.repro_path = path;
+    } else {
+      failure.diagnostic += " (repro write failed: " + error + ")";
+    }
+  }
+  return failure;
+}
+
+}  // namespace
+
+FuzzSummary run_fuzz(const FuzzConfig& config) {
+  FuzzSummary summary;
+  summary.seeds_run = config.seeds;
+  summary.fingerprints.assign(config.seeds, 0);
+  if (config.seeds == 0) return summary;
+
+  std::vector<std::optional<FuzzFailure>> failures(config.seeds);
+  const unsigned jobs =
+      std::max(1u, std::min(config.jobs, config.seeds));
+
+  if (jobs == 1) {
+    for (unsigned i = 0; i < config.seeds; ++i) {
+      failures[i] = run_seed(config.seed_start + i, config,
+                             &summary.fingerprints[i]);
+    }
+  } else {
+    // Workers claim seed indices from a shared counter; every result is
+    // stored at its seed's slot, so the summary is scheduling-independent.
+    std::atomic<unsigned> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+      workers.emplace_back([&]() {
+        for (unsigned i = next.fetch_add(1); i < config.seeds;
+             i = next.fetch_add(1)) {
+          failures[i] = run_seed(config.seed_start + i, config,
+                                 &summary.fingerprints[i]);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  for (std::optional<FuzzFailure>& failure : failures) {
+    if (failure.has_value()) summary.failures.push_back(std::move(*failure));
+  }
+  return summary;
+}
+
+bool write_repro_file(const std::string& path, const KernelSpec& spec,
+                      OracleKind oracle, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << serialize_spec(spec, oracle_name(oracle));
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+ReplayResult replay_repro_file(const std::string& path,
+                               const OracleConfig& config) {
+  ReplayResult result;
+  std::ifstream in(path);
+  if (!in) {
+    result.exit_code = 3;
+    result.message = "cannot read '" + path + "'";
+    return result;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const ParseResult parsed = parse_spec(text.str());
+  if (!parsed.ok) {
+    result.exit_code = 3;
+    result.message = (parsed.grammar_mismatch ? "refusing replay: " : "") +
+                     parsed.error;
+    return result;
+  }
+  OracleKind oracle = OracleKind::Diff;
+  if (!parsed.oracle.empty() &&
+      !oracle_from_name(parsed.oracle, &oracle)) {
+    result.exit_code = 3;
+    result.message = "unknown oracle '" + parsed.oracle + "' in " + path;
+    return result;
+  }
+  const OracleVerdict verdict = run_oracle(parsed.spec, oracle, config);
+  if (verdict.ok) {
+    result.exit_code = 0;
+    result.message = "replay clean: seed " + std::to_string(parsed.spec.seed) +
+                     ", oracle " + oracle_name(oracle);
+  } else {
+    result.exit_code = 1;
+    result.message = "replay FAILED (" + std::string(oracle_name(oracle)) +
+                     "): " + verdict.diagnostic;
+  }
+  return result;
+}
+
+}  // namespace vulfi::fuzz

@@ -1,0 +1,71 @@
+// Differential fuzzing driver (`vulfi fuzz`).
+//
+// A sweep walks a contiguous seed range; each seed is generated, run
+// through one oracle, and — on failure — ddmin-reduced and dumped as a
+// standalone .vulfi repro file. Per-seed work is a pure function of the
+// seed, so workers claim seeds from an atomic counter and the summary
+// (fingerprints, failures) is bit-identical at any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/kernel_gen.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace vulfi::fuzz {
+
+struct FuzzConfig {
+  std::uint64_t seed_start = 1;
+  unsigned seeds = 100;
+  OracleKind oracle = OracleKind::Diff;
+  unsigned jobs = 1;
+  /// Directory for .vulfi repro files; empty disables writing.
+  std::string repro_dir;
+  /// Reduce failures before reporting (off for triage speed).
+  bool reduce = true;
+  GenConfig gen;
+  OracleConfig oracle_config;
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  /// Diagnostic from the original (unreduced) failing kernel.
+  std::string diagnostic;
+  KernelSpec reduced;
+  std::size_t original_ops = 0;
+  std::size_t reduced_ops = 0;
+  /// Where the repro was written; empty when writing was disabled/failed.
+  std::string repro_path;
+};
+
+struct FuzzSummary {
+  unsigned seeds_run = 0;
+  /// spec_fingerprint per seed, in seed order — the determinism witness.
+  std::vector<std::uint64_t> fingerprints;
+  /// Ascending seed order regardless of worker scheduling.
+  std::vector<FuzzFailure> failures;
+
+  bool clean() const { return failures.empty(); }
+};
+
+FuzzSummary run_fuzz(const FuzzConfig& config);
+
+/// Writes `spec` (+ oracle line) to `path` in the .vulfi format.
+bool write_repro_file(const std::string& path, const KernelSpec& spec,
+                      OracleKind oracle, std::string* error = nullptr);
+
+struct ReplayResult {
+  /// 0 oracle passed, 1 oracle failed, 3 unreadable / grammar mismatch —
+  /// the journal-fingerprint refusal convention.
+  int exit_code = 0;
+  std::string message;
+};
+
+/// Parses a .vulfi file and re-runs its oracle (the file's `oracle` line;
+/// diff when absent).
+ReplayResult replay_repro_file(const std::string& path,
+                               const OracleConfig& config = {});
+
+}  // namespace vulfi::fuzz

@@ -1,0 +1,567 @@
+#include "fuzz/kernel_gen.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "ir/builder.hpp"
+#include "kernels/kernel_common.hpp"
+#include "spmd/kernel_builder.hpp"
+#include "support/rng.hpp"
+
+namespace vulfi::fuzz {
+
+namespace {
+
+using ir::Type;
+using ir::Value;
+using spmd::ForeachCtx;
+using spmd::KernelBuilder;
+using spmd::Target;
+
+/// Foreach interior margin: iteration runs over [kMargin, n - kMargin) so
+/// LoadOff offsets in [-kMargin, kMargin] stay in bounds.
+constexpr std::int32_t kMargin = 4;
+/// Uniform-pool slots appended to the params region after the per-loop
+/// trip counts.
+constexpr std::uint32_t kUniformParams = 4;
+/// Values written into those slots (runtime-loaded, so known-bits cannot
+/// fold conditions derived from them).
+constexpr std::int32_t kUniformValues[kUniformParams] = {3, 7, -5, 11};
+
+struct OpName {
+  OpKind kind;
+  const char* name;
+};
+
+constexpr OpName kOpNames[] = {
+    {OpKind::FAdd, "fadd"},     {OpKind::FSub, "fsub"},
+    {OpKind::FMul, "fmul"},     {OpKind::FDiv, "fdiv"},
+    {OpKind::FMin, "fmin"},     {OpKind::FMax, "fmax"},
+    {OpKind::FAbs, "fabs"},     {OpKind::Sqrt, "sqrt"},
+    {OpKind::FNeg, "fneg"},     {OpKind::Fma, "fma"},
+    {OpKind::FSel, "fsel"},     {OpKind::IAdd, "iadd"},
+    {OpKind::ISub, "isub"},     {OpKind::IMul, "imul"},
+    {OpKind::IAnd, "iand"},     {OpKind::IOr, "ior"},
+    {OpKind::IXor, "ixor"},     {OpKind::IShl, "ishl"},
+    {OpKind::IAShr, "iashr"},   {OpKind::IDiv, "idiv"},
+    {OpKind::IRem, "irem"},     {OpKind::ISel, "isel"},
+    {OpKind::IToF, "itof"},     {OpKind::FToI, "ftoi"},
+    {OpKind::LoadF, "loadf"},   {OpKind::LoadI, "loadi"},
+    {OpKind::LoadOff, "loadoff"}, {OpKind::Gather, "gather"},
+    {OpKind::Scatter, "scatter"}, {OpKind::Uniform, "uniform"},
+};
+
+static_assert(sizeof(kOpNames) / sizeof(kOpNames[0]) == kNumOpKinds,
+              "op name table out of sync with OpKind");
+
+/// Weighted generator draw table: arithmetic is common, memory traffic
+/// moderate, scatters rare (each scatter scalarizes the remainder path).
+constexpr OpKind kDrawTable[] = {
+    OpKind::FAdd, OpKind::FAdd, OpKind::FSub,  OpKind::FMul, OpKind::FMul,
+    OpKind::FDiv, OpKind::FMin, OpKind::FMax,  OpKind::FAbs, OpKind::Sqrt,
+    OpKind::FNeg, OpKind::Fma,  OpKind::Fma,   OpKind::FSel, OpKind::FSel,
+    OpKind::IAdd, OpKind::IAdd, OpKind::ISub,  OpKind::IMul, OpKind::IAnd,
+    OpKind::IOr,  OpKind::IXor, OpKind::IShl,  OpKind::IAShr, OpKind::IDiv,
+    OpKind::IRem, OpKind::ISel, OpKind::IToF,  OpKind::IToF, OpKind::FToI,
+    OpKind::LoadF, OpKind::LoadF, OpKind::LoadI, OpKind::LoadOff,
+    OpKind::LoadOff, OpKind::Gather, OpKind::Gather, OpKind::Scatter,
+    OpKind::Uniform,
+};
+
+constexpr unsigned kDrawTableSize =
+    sizeof(kDrawTable) / sizeof(kDrawTable[0]);
+
+const char* category_token(analysis::FaultSiteCategory category) {
+  switch (category) {
+    case analysis::FaultSiteCategory::PureData: return "puredata";
+    case analysis::FaultSiteCategory::Control: return "control";
+    case analysis::FaultSiteCategory::Address: return "address";
+  }
+  return "puredata";
+}
+
+bool category_from_token(const std::string& token,
+                         analysis::FaultSiteCategory* out) {
+  if (token == "puredata") {
+    *out = analysis::FaultSiteCategory::PureData;
+  } else if (token == "control") {
+    *out = analysis::FaultSiteCategory::Control;
+  } else if (token == "address") {
+    *out = analysis::FaultSiteCategory::Address;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Emits one foreach-body's op sequence and returns the varying f32 the
+/// loop observes (stored to out[] or accumulated). Pure function of the
+/// LoopSpec: operand picks resolve modulo the live pools, so every op
+/// sequence lowers to verifiable, trap-free IR.
+Value* emit_body(KernelBuilder& kb, ForeachCtx& ctx, const LoopSpec& loop,
+                 std::size_t loop_index, std::size_t num_loops,
+                 Value* const farr[3], Value* const iarr[2], Value* params,
+                 Value* out, Value* n_arg) {
+  ir::IRBuilder& b = ctx.b();
+  const Type f32 = Type::f32();
+  const Type i32 = Type::i32();
+  const Type vf32 = kb.target().varying_f32();
+  const Type vi32 = kb.target().varying_i32();
+
+  std::vector<Value*> fpool;
+  std::vector<Value*> ipool;
+  fpool.push_back(ctx.load(f32, farr[loop_index % 3]));
+  ipool.push_back(ctx.index());
+
+  // Lazily broadcast n once per body invocation (the callback runs twice:
+  // full and partial body — the splat must live in the current block).
+  Value* splat_n = nullptr;
+  const auto vn = [&]() {
+    if (splat_n == nullptr) splat_n = kb.uniform(n_arg, "vn");
+    return splat_n;
+  };
+  const auto fp = [&](std::uint32_t x) { return fpool[x % fpool.size()]; };
+  const auto ip = [&](std::uint32_t x) { return ipool[x % ipool.size()]; };
+  const auto umod = [](std::int32_t imm, std::uint32_t m) {
+    return static_cast<std::uint32_t>(imm) % m;
+  };
+
+  static const ir::FCmpPred kFPreds[] = {
+      ir::FCmpPred::OLT, ir::FCmpPred::OLE, ir::FCmpPred::OGT,
+      ir::FCmpPred::OGE, ir::FCmpPred::OEQ, ir::FCmpPred::ONE};
+  static const ir::ICmpPred kIPreds[] = {
+      ir::ICmpPred::SLT, ir::ICmpPred::SLE, ir::ICmpPred::SGT,
+      ir::ICmpPred::SGE, ir::ICmpPred::EQ,  ir::ICmpPred::NE};
+
+  for (const OpNode& op : loop.ops) {
+    switch (op.kind) {
+      case OpKind::FAdd: fpool.push_back(b.fadd(fp(op.a), fp(op.b))); break;
+      case OpKind::FSub: fpool.push_back(b.fsub(fp(op.a), fp(op.b))); break;
+      case OpKind::FMul: fpool.push_back(b.fmul(fp(op.a), fp(op.b))); break;
+      case OpKind::FDiv: fpool.push_back(b.fdiv(fp(op.a), fp(op.b))); break;
+      case OpKind::FMin:
+        fpool.push_back(
+            kb.intrinsic_call(ir::IntrinsicId::Fmin, fp(op.a), fp(op.b)));
+        break;
+      case OpKind::FMax:
+        fpool.push_back(
+            kb.intrinsic_call(ir::IntrinsicId::Fmax, fp(op.a), fp(op.b)));
+        break;
+      case OpKind::FAbs:
+        fpool.push_back(kb.intrinsic_call(ir::IntrinsicId::Fabs, fp(op.a)));
+        break;
+      case OpKind::Sqrt:
+        // fabs first: sqrt of a negative would be NaN, which is
+        // deterministic but poisons every downstream compare.
+        fpool.push_back(kb.intrinsic_call(
+            ir::IntrinsicId::Sqrt,
+            kb.intrinsic_call(ir::IntrinsicId::Fabs, fp(op.a))));
+        break;
+      case OpKind::FNeg: fpool.push_back(b.fneg(fp(op.a))); break;
+      case OpKind::Fma:
+        fpool.push_back(b.fadd(b.fmul(fp(op.a), fp(op.b)), fp(op.c)));
+        break;
+      case OpKind::FSel: {
+        Value* cond = b.fcmp(kFPreds[umod(op.imm, 6)], fp(op.a), fp(op.b));
+        fpool.push_back(b.select(cond, fp(op.a), fp(op.c)));
+        break;
+      }
+      case OpKind::IAdd: ipool.push_back(b.add(ip(op.a), ip(op.b))); break;
+      case OpKind::ISub: ipool.push_back(b.sub(ip(op.a), ip(op.b))); break;
+      case OpKind::IMul: ipool.push_back(b.mul(ip(op.a), ip(op.b))); break;
+      case OpKind::IAnd: ipool.push_back(b.and_(ip(op.a), ip(op.b))); break;
+      case OpKind::IOr: ipool.push_back(b.or_(ip(op.a), ip(op.b))); break;
+      case OpKind::IXor: ipool.push_back(b.xor_(ip(op.a), ip(op.b))); break;
+      case OpKind::IShl:
+        ipool.push_back(
+            b.shl(ip(op.a), b.and_(ip(op.b), kb.vconst_i32(7))));
+        break;
+      case OpKind::IAShr:
+        ipool.push_back(
+            b.ashr(ip(op.a), b.and_(ip(op.b), kb.vconst_i32(7))));
+        break;
+      case OpKind::IDiv:
+        // or 1 forces the divisor odd (never zero); INT_MIN / -1 wraps
+        // deterministically in the interpreter.
+        ipool.push_back(
+            b.sdiv(ip(op.a), b.or_(ip(op.b), kb.vconst_i32(1))));
+        break;
+      case OpKind::IRem:
+        ipool.push_back(
+            b.srem(ip(op.a), b.or_(ip(op.b), kb.vconst_i32(1))));
+        break;
+      case OpKind::ISel: {
+        Value* cond = b.icmp(kIPreds[umod(op.imm, 6)], ip(op.a), ip(op.b));
+        ipool.push_back(b.select(cond, ip(op.a), ip(op.c)));
+        break;
+      }
+      case OpKind::IToF: fpool.push_back(b.sitofp(ip(op.a), vf32)); break;
+      case OpKind::FToI: ipool.push_back(b.fptosi(fp(op.a), vi32)); break;
+      case OpKind::LoadF:
+        fpool.push_back(ctx.load(f32, farr[umod(op.imm, 3)]));
+        break;
+      case OpKind::LoadI:
+        ipool.push_back(ctx.load(i32, iarr[umod(op.imm, 2)]));
+        break;
+      case OpKind::LoadOff: {
+        const std::int32_t off =
+            static_cast<std::int32_t>(umod(op.imm, 2 * kMargin + 1)) -
+            kMargin;
+        fpool.push_back(
+            ctx.load_offset(f32, farr[op.a % 3], b.i32_const(off)));
+        break;
+      }
+      case OpKind::Gather: {
+        Value* idx = b.urem(ip(op.a), vn(), "gidx");
+        fpool.push_back(ctx.gather(f32, farr[op.b % 3], idx));
+        break;
+      }
+      case OpKind::Scatter: {
+        Value* idx = b.urem(ip(op.a), vn(), "sidx");
+        ctx.scatter(fp(op.b), out, idx);
+        break;
+      }
+      case OpKind::Uniform: {
+        Value* slot = b.gep(
+            params,
+            b.i32_const(static_cast<std::int32_t>(
+                num_loops + umod(op.imm, kUniformParams))),
+            4, "upar_ptr");
+        ipool.push_back(kb.uniform(b.load(i32, slot, "upar")));
+        break;
+      }
+    }
+  }
+  return fpool.back();
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind kind) {
+  for (const OpName& entry : kOpNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "?";
+}
+
+bool op_kind_from_name(const std::string& name, OpKind* out) {
+  for (const OpName& entry : kOpNames) {
+    if (name == entry.name) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t total_ops(const KernelSpec& spec) {
+  std::size_t total = 0;
+  for (const LoopSpec& loop : spec.loops) total += loop.ops.size();
+  return total;
+}
+
+KernelSpec generate_kernel(std::uint64_t seed, const GenConfig& config) {
+  // Counter-based stream: the spec is a pure function of (seed, config),
+  // independent of which worker thread draws it.
+  Rng rng(derive_stream_seed(seed, 0xF022'5EEDULL, 0));
+  KernelSpec spec;
+  spec.seed = seed;
+  spec.isa = rng.next_bool(0.5) ? ir::Isa::AVX : ir::Isa::SSE4;
+  switch (rng.next_below(3)) {
+    case 0: spec.category = analysis::FaultSiteCategory::PureData; break;
+    case 1: spec.category = analysis::FaultSiteCategory::Control; break;
+    default: spec.category = analysis::FaultSiteCategory::Address; break;
+  }
+  const std::uint32_t min_n = std::max(config.min_n, kMinN);
+  const std::uint32_t max_n = std::max(config.max_n, min_n);
+  spec.n = min_n + static_cast<std::uint32_t>(
+                       rng.next_below(max_n - min_n + 1));
+
+  const std::uint32_t min_loops = std::max<std::uint32_t>(config.min_loops, 1);
+  const std::uint32_t max_loops = std::max(config.max_loops, min_loops);
+  const std::uint32_t num_loops =
+      min_loops +
+      static_cast<std::uint32_t>(rng.next_below(max_loops - min_loops + 1));
+  for (std::uint32_t li = 0; li < num_loops; ++li) {
+    LoopSpec loop;
+    if (rng.next_bool(config.p_scalar_wrapper)) {
+      loop.trip = 1 + static_cast<std::int32_t>(rng.next_below(3));
+    }
+    loop.reduce = rng.next_bool(config.p_reduce);
+    const std::uint32_t min_ops = std::max<std::uint32_t>(config.min_ops, 1);
+    const std::uint32_t max_ops = std::max(config.max_ops, min_ops);
+    const std::uint32_t num_ops =
+        min_ops +
+        static_cast<std::uint32_t>(rng.next_below(max_ops - min_ops + 1));
+    for (std::uint32_t oi = 0; oi < num_ops; ++oi) {
+      OpNode op;
+      op.kind = kDrawTable[rng.next_below(kDrawTableSize)];
+      op.a = static_cast<std::uint32_t>(rng.next_u64() & 0xffff);
+      op.b = static_cast<std::uint32_t>(rng.next_u64() & 0xffff);
+      op.c = static_cast<std::uint32_t>(rng.next_u64() & 0xffff);
+      op.imm = static_cast<std::int32_t>(rng.next_u64());
+      loop.ops.push_back(op);
+    }
+    spec.loops.push_back(std::move(loop));
+  }
+  return spec;
+}
+
+BuildResult build_runspec(const KernelSpec& spec) {
+  BuildResult result;
+  const std::uint32_t n = std::max(spec.n, kMinN);
+  const std::size_t num_loops = spec.loops.size();
+  const Target target =
+      spec.isa == ir::Isa::AVX ? Target::avx() : Target::sse4();
+
+  RunSpec& rs = result.spec;
+  rs.module = std::make_unique<ir::Module>("fuzz");
+  KernelBuilder kb(*rs.module, target, "fuzz_kernel",
+                   {Type::ptr(), Type::ptr(), Type::ptr(), Type::ptr(),
+                    Type::ptr(), Type::ptr(), Type::ptr(), Type::ptr(),
+                    Type::i32()});
+  ir::IRBuilder& b = kb.b();
+  Value* out = kb.arg(0);
+  Value* acc = kb.arg(1);
+  Value* params = kb.arg(2);
+  Value* farr[3] = {kb.arg(3), kb.arg(4), kb.arg(5)};
+  Value* iarr[2] = {kb.arg(6), kb.arg(7)};
+  Value* n_arg = kb.arg(8);
+
+  // Interior bounds [kMargin, n - kMargin): end is a runtime value, so
+  // known-bits cannot prove the loop condition constant.
+  Value* lo = b.i32_const(kMargin);
+  Value* hi = b.sub(n_arg, b.i32_const(kMargin), "interior_end");
+
+  for (std::size_t li = 0; li < num_loops; ++li) {
+    const LoopSpec& loop = spec.loops[li];
+    const auto emit_foreach = [&]() {
+      if (loop.reduce) {
+        std::vector<Value*> fin = kb.foreach_reduce(
+            lo, hi, {kb.vconst_f32(0.0f)},
+            [&](ForeachCtx& ctx, const std::vector<Value*>& carried)
+                -> std::vector<Value*> {
+              Value* v = emit_body(kb, ctx, loop, li, num_loops, farr, iarr,
+                                   params, out, n_arg);
+              return {ctx.b().fadd(carried[0], v, "acc_step")};
+            });
+        // Read-modify-write so wrapper trips stay observable.
+        Value* acc_ptr =
+            b.gep(acc, b.i32_const(static_cast<std::int32_t>(li)), 4,
+                  "acc_ptr");
+        Value* cur = b.load(Type::f32(), acc_ptr, "acc_cur");
+        b.store(b.fadd(cur, kb.reduce_add(fin[0]), "acc_new"), acc_ptr);
+      } else {
+        kb.foreach_loop(lo, hi, [&](ForeachCtx& ctx) {
+          Value* v = emit_body(kb, ctx, loop, li, num_loops, farr, iarr,
+                               params, out, n_arg);
+          ctx.store(v, out);
+        });
+      }
+    };
+    if (loop.trip >= 0) {
+      Value* trip_ptr =
+          b.gep(params, b.i32_const(static_cast<std::int32_t>(li)), 4,
+                "trip_ptr");
+      Value* trip = b.load(Type::i32(), trip_ptr, "trip");
+      kb.scalar_loop(
+          b.i32_const(0), trip, {},
+          [&](Value*, const std::vector<Value*>&) -> std::vector<Value*> {
+            emit_foreach();
+            return {};
+          },
+          "wrap");
+    } else {
+      emit_foreach();
+    }
+  }
+
+  result.ok = kb.finish();
+  result.errors = kb.errors();
+  if (!result.ok) return result;
+  rs.entry = rs.module->find_function("fuzz_kernel");
+
+  // Inputs are a pure function of the spec (n and loop count only), so a
+  // reduced spec rebuilds its own consistent world.
+  const std::uint64_t out_base = kernels::alloc_f32_zero(rs.arena, "out", n);
+  const std::uint64_t acc_base =
+      kernels::alloc_f32_zero(rs.arena, "acc", std::max<std::size_t>(1, num_loops));
+  std::vector<std::int32_t> param_values;
+  for (std::size_t li = 0; li < num_loops; ++li) {
+    param_values.push_back(spec.loops[li].trip >= 0 ? spec.loops[li].trip : 0);
+  }
+  for (std::uint32_t u = 0; u < kUniformParams; ++u) {
+    param_values.push_back(kUniformValues[u]);
+  }
+  const std::uint64_t params_base =
+      kernels::alloc_i32(rs.arena, "params", param_values);
+  std::uint64_t f_bases[3];
+  for (unsigned k = 0; k < 3; ++k) {
+    f_bases[k] = kernels::alloc_f32(
+        rs.arena, "a" + std::to_string(k),
+        kernels::random_f32(n, 0xA11CE00ULL + k, -4.0f, 4.0f));
+  }
+  std::uint64_t i_bases[2];
+  for (unsigned k = 0; k < 2; ++k) {
+    i_bases[k] = kernels::alloc_i32(
+        rs.arena, "b" + std::to_string(k),
+        kernels::random_i32(n, 0xB0B0B00ULL + k, 0,
+                            static_cast<std::int32_t>(n) - 1));
+  }
+  rs.args = {interp::RtVal::ptr(out_base),      interp::RtVal::ptr(acc_base),
+             interp::RtVal::ptr(params_base),   interp::RtVal::ptr(f_bases[0]),
+             interp::RtVal::ptr(f_bases[1]),    interp::RtVal::ptr(f_bases[2]),
+             interp::RtVal::ptr(i_bases[0]),    interp::RtVal::ptr(i_bases[1]),
+             interp::RtVal::i32(static_cast<std::int32_t>(n))};
+  rs.output_regions = {"out", "acc"};
+  return result;
+}
+
+std::string serialize_spec(const KernelSpec& spec, const std::string& oracle) {
+  std::ostringstream os;
+  os << "vulfi.fuzz.kernel v" << spec.grammar << "\n";
+  if (!oracle.empty()) os << "oracle " << oracle << "\n";
+  os << "seed " << spec.seed << "\n";
+  os << "isa " << (spec.isa == ir::Isa::AVX ? "avx" : "sse4") << "\n";
+  os << "category " << category_token(spec.category) << "\n";
+  os << "n " << spec.n << "\n";
+  os << "loops " << spec.loops.size() << "\n";
+  for (const LoopSpec& loop : spec.loops) {
+    os << "loop trip " << loop.trip << " reduce " << (loop.reduce ? 1 : 0)
+       << "\n";
+    for (const OpNode& op : loop.ops) {
+      os << "op " << op_kind_name(op.kind) << " " << op.a << " " << op.b
+         << " " << op.c << " " << op.imm << "\n";
+    }
+    os << "end\n";
+  }
+  return os.str();
+}
+
+ParseResult parse_spec(const std::string& text) {
+  ParseResult result;
+  std::istringstream is(text);
+  std::string line;
+
+  if (!std::getline(is, line)) {
+    result.error = "empty input";
+    return result;
+  }
+  unsigned version = 0;
+  if (std::sscanf(line.c_str(), "vulfi.fuzz.kernel v%u", &version) != 1) {
+    result.error = "missing 'vulfi.fuzz.kernel v<N>' header";
+    return result;
+  }
+  if (version != kGrammarVersion) {
+    result.grammar_mismatch = true;
+    result.error = "grammar version mismatch: file is v" +
+                   std::to_string(version) + ", this build speaks v" +
+                   std::to_string(kGrammarVersion);
+    return result;
+  }
+  result.spec.grammar = version;
+  result.spec.loops.clear();
+
+  std::size_t declared_loops = 0;
+  bool saw_loops = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "oracle") {
+      ls >> result.oracle;
+    } else if (key == "seed") {
+      ls >> result.spec.seed;
+    } else if (key == "isa") {
+      std::string token;
+      ls >> token;
+      if (token == "avx") {
+        result.spec.isa = ir::Isa::AVX;
+      } else if (token == "sse4") {
+        result.spec.isa = ir::Isa::SSE4;
+      } else {
+        result.error = "unknown isa '" + token + "'";
+        return result;
+      }
+    } else if (key == "category") {
+      std::string token;
+      ls >> token;
+      if (!category_from_token(token, &result.spec.category)) {
+        result.error = "unknown category '" + token + "'";
+        return result;
+      }
+    } else if (key == "n") {
+      ls >> result.spec.n;
+      if (result.spec.n < kMinN) {
+        result.error = "n must be >= " + std::to_string(kMinN);
+        return result;
+      }
+    } else if (key == "loops") {
+      ls >> declared_loops;
+      saw_loops = true;
+    } else if (key == "loop") {
+      LoopSpec loop;
+      std::string trip_key, reduce_key;
+      int reduce_flag = 0;
+      ls >> trip_key >> loop.trip >> reduce_key >> reduce_flag;
+      if (trip_key != "trip" || reduce_key != "reduce" || ls.fail()) {
+        result.error = "malformed loop line: " + line;
+        return result;
+      }
+      loop.reduce = reduce_flag != 0;
+      // Op lines until `end`.
+      bool closed = false;
+      while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        if (line == "end") {
+          closed = true;
+          break;
+        }
+        std::istringstream ops(line);
+        std::string op_key, op_name;
+        OpNode op;
+        ops >> op_key >> op_name >> op.a >> op.b >> op.c >> op.imm;
+        if (op_key != "op" || ops.fail() ||
+            !op_kind_from_name(op_name, &op.kind)) {
+          result.error = "malformed op line: " + line;
+          return result;
+        }
+        loop.ops.push_back(op);
+      }
+      if (!closed) {
+        result.error = "loop block missing 'end'";
+        return result;
+      }
+      result.spec.loops.push_back(std::move(loop));
+    } else {
+      result.error = "unknown directive '" + key + "'";
+      return result;
+    }
+  }
+  if (!saw_loops || result.spec.loops.size() != declared_loops) {
+    result.error = "loop count mismatch (declared " +
+                   std::to_string(declared_loops) + ", found " +
+                   std::to_string(result.spec.loops.size()) + ")";
+    return result;
+  }
+  if (result.spec.loops.empty()) {
+    result.error = "spec has no loops";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+std::uint64_t spec_fingerprint(const KernelSpec& spec) {
+  const std::string text = serialize_spec(spec);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (const char ch : text) {
+    hash ^= static_cast<std::uint8_t>(ch);
+    hash *= 0x100000001b3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace vulfi::fuzz

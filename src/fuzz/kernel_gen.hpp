@@ -1,0 +1,148 @@
+// Seeded random SPMD kernel generation (RVISmith-style, arXiv:2507.03773).
+//
+// A KernelSpec is a tiny, fully serializable program description — op
+// list, loop structure, trip counts, ISA, input size — and build_runspec
+// lowers it through spmd::KernelBuilder into exactly the Figure-7 IR
+// shapes the rest of the pipeline consumes. Two invariants make the spec
+// the unit of fuzzing rather than raw IR:
+//
+//  * Any spec builds a well-formed, trap-free, lint-clean kernel. Operand
+//    references are resolved modulo the live value pool, gather/scatter
+//    indices are wrapped with `urem n`, stencil offsets stay inside the
+//    foreach margins, and integer divisors are forced odd — so the ddmin
+//    reducer can delete arbitrary subsets of ops and always obtain another
+//    valid kernel.
+//  * Lowering is a pure function of the spec (inputs are derived from the
+//    spec's n, never from wall-clock or host state), so the same spec
+//    reproduces byte-identical modules, arenas, and campaign statistics on
+//    every run and at any --jobs count.
+//
+// The text serialization (`vulfi.fuzz.kernel v<N>` header) is the .vulfi
+// repro/corpus format; kGrammarVersion pins compatibility and parsing
+// refuses mismatched versions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "ir/intrinsics.hpp"
+#include "vulfi/run_spec.hpp"
+
+namespace vulfi::fuzz {
+
+/// Bumped whenever KernelSpec semantics, the op vocabulary, or the
+/// lowering contract changes in a way that alters built kernels. Corpus
+/// replay refuses files with a different version (CLI exit 3), matching
+/// the checkpoint-journal fingerprint convention.
+inline constexpr unsigned kGrammarVersion = 1;
+
+/// The generator's op vocabulary. Every op consumes values from the body's
+/// float/int pools (operand indices taken modulo pool size) and pushes its
+/// result back, so ops can never reference something that does not exist.
+enum class OpKind : std::uint8_t {
+  // float arithmetic
+  FAdd, FSub, FMul, FDiv, FMin, FMax, FAbs, Sqrt, FNeg, Fma, FSel,
+  // int arithmetic (shifts clamped, divisors forced odd — trap-free)
+  IAdd, ISub, IMul, IAnd, IOr, IXor, IShl, IAShr, IDiv, IRem, ISel,
+  // casts between the pools
+  IToF, FToI,
+  // memory (in-bounds by construction)
+  LoadF, LoadI, LoadOff, Gather, Scatter, Uniform,
+};
+
+inline constexpr unsigned kNumOpKinds = static_cast<unsigned>(OpKind::Uniform) + 1;
+
+const char* op_kind_name(OpKind kind);
+/// False when `name` is not an op name (out is untouched).
+bool op_kind_from_name(const std::string& name, OpKind* out);
+
+struct OpNode {
+  OpKind kind = OpKind::FAdd;
+  /// Operand picks, resolved modulo the live pool size at lowering time.
+  std::uint32_t a = 0, b = 0, c = 0;
+  /// Kind-specific immediate: array selector, stencil offset, cmp
+  /// predicate, uniform-parameter slot. Always reduced modulo the legal
+  /// range, so any value is valid.
+  std::int32_t imm = 0;
+};
+
+struct LoopSpec {
+  /// >= 0: wrap the foreach in a scalar loop running `trip` times (the
+  /// trip count is loaded from the params region at runtime, so lint's
+  /// constant-condition rule never fires). -1: no wrapper.
+  std::int32_t trip = -1;
+  /// Lower as foreach_reduce with one carried f32 accumulator whose
+  /// horizontal sum is read-modify-written into acc[loop]; otherwise a
+  /// plain foreach storing its last float to out[i].
+  bool reduce = false;
+  std::vector<OpNode> ops;
+};
+
+struct KernelSpec {
+  unsigned grammar = kGrammarVersion;
+  /// Provenance only (reproduces the generator draw); lowering never
+  /// reads it.
+  std::uint64_t seed = 0;
+  ir::Isa isa = ir::Isa::AVX;
+  analysis::FaultSiteCategory category = analysis::FaultSiteCategory::PureData;
+  /// Input/output array length; >= kMinN so the foreach margins leave a
+  /// nonempty interior.
+  std::uint32_t n = 64;
+  std::vector<LoopSpec> loops;
+};
+
+/// Smallest legal n: margins of 4 on both sides plus a full AVX vector.
+inline constexpr std::uint32_t kMinN = 16;
+
+std::size_t total_ops(const KernelSpec& spec);
+
+struct GenConfig {
+  std::uint32_t min_loops = 1, max_loops = 3;
+  std::uint32_t min_ops = 4, max_ops = 24;
+  std::uint32_t min_n = kMinN, max_n = 160;
+  /// Probability a loop gets a scalar trip-count wrapper / is a reduction.
+  double p_scalar_wrapper = 0.35;
+  double p_reduce = 0.35;
+};
+
+/// Pure function of (seed, config): the same seed yields the same spec on
+/// every run, platform, and thread.
+KernelSpec generate_kernel(std::uint64_t seed, const GenConfig& config = {});
+
+struct BuildResult {
+  RunSpec spec;
+  bool ok = false;
+  /// KernelBuilder usage diagnostics when !ok (hostile hand-written specs;
+  /// generated specs always build).
+  std::vector<std::string> errors;
+};
+
+/// Lowers `spec` into a ready-to-inject RunSpec: module + entry kernel +
+/// arena with deterministic inputs + output regions {"out", "acc"}.
+BuildResult build_runspec(const KernelSpec& spec);
+
+/// Text form. When `oracle` is non-empty an `oracle <name>` line is
+/// emitted after the header (the .vulfi repro format); fingerprints and
+/// corpus comparisons use the oracle-free form.
+std::string serialize_spec(const KernelSpec& spec,
+                           const std::string& oracle = "");
+
+struct ParseResult {
+  bool ok = false;
+  /// Header present but its version differs from kGrammarVersion.
+  bool grammar_mismatch = false;
+  std::string error;
+  KernelSpec spec;
+  /// Contents of the optional `oracle` line ("" when absent).
+  std::string oracle;
+};
+
+ParseResult parse_spec(const std::string& text);
+
+/// FNV-1a 64 over serialize_spec(spec): the cross-run / cross---jobs
+/// determinism witness asserted by ctest -L fuzz.
+std::uint64_t spec_fingerprint(const KernelSpec& spec);
+
+}  // namespace vulfi::fuzz

@@ -1,0 +1,297 @@
+#include "fuzz/oracles.hpp"
+
+#include <sstream>
+
+#include "analysis/lint.hpp"
+#include "ir/instruction.hpp"
+#include "support/rng.hpp"
+#include "vulfi/driver.hpp"
+#include "vulfi/fault_site.hpp"
+
+namespace vulfi::fuzz {
+
+namespace {
+
+/// Builds the spec, failing the verdict on builder diagnostics or lint
+/// findings. Returns false when the verdict is already decided.
+bool build_checked(const KernelSpec& spec, RunSpec* out,
+                   OracleVerdict* verdict) {
+  BuildResult built = build_runspec(spec);
+  if (!built.ok) {
+    std::ostringstream os;
+    os << "[build] kernel builder rejected the spec:";
+    for (const std::string& error : built.errors) os << " " << error << ";";
+    verdict->ok = false;
+    verdict->diagnostic = os.str();
+    return false;
+  }
+  const std::vector<analysis::LintDiagnostic> findings =
+      analysis::lint_module(*built.spec.module);
+  if (!findings.empty()) {
+    std::ostringstream os;
+    os << "[lint] generated kernel is not lint-clean:";
+    for (const analysis::LintDiagnostic& finding : findings) {
+      os << " " << finding.render() << ";";
+    }
+    verdict->ok = false;
+    verdict->diagnostic = os.str();
+    return false;
+  }
+  *out = std::move(built.spec);
+  return true;
+}
+
+template <typename T>
+bool check_eq(const char* what, const T& fast, const T& reference,
+              OracleVerdict* verdict) {
+  if (fast == reference) return true;
+  std::ostringstream os;
+  os << what << " differ";
+  verdict->ok = false;
+  verdict->diagnostic = os.str();
+  return false;
+}
+
+OracleVerdict diff_oracle(const KernelSpec& spec) {
+  OracleVerdict verdict;
+  RunSpec fast_spec, ref_spec;
+  if (!build_checked(spec, &fast_spec, &verdict)) return verdict;
+  if (!build_checked(spec, &ref_spec, &verdict)) return verdict;
+
+  EngineOptions fast_options;
+  fast_options.predecode = true;
+  fast_options.static_prune = true;  // record the golden census
+  EngineOptions ref_options = fast_options;
+  ref_options.predecode = false;
+
+  InjectionEngine fast(std::move(fast_spec), spec.category, fast_options);
+  InjectionEngine reference(std::move(ref_spec), spec.category, ref_options);
+  const GoldenCache& g_fast = fast.golden();
+  const GoldenCache& g_ref = reference.golden();
+
+  if (g_fast.output_bytes != g_ref.output_bytes) {
+    std::size_t at = 0;
+    while (at < g_fast.output_bytes.size() &&
+           at < g_ref.output_bytes.size() &&
+           g_fast.output_bytes[at] == g_ref.output_bytes[at]) {
+      ++at;
+    }
+    std::ostringstream os;
+    os << "golden output bytes differ (sizes " << g_fast.output_bytes.size()
+       << " vs " << g_ref.output_bytes.size() << ", first mismatch at byte "
+       << at << ")";
+    verdict.ok = false;
+    verdict.diagnostic = os.str();
+    return verdict;
+  }
+  if (!check_eq("golden return bits", g_fast.return_bits, g_ref.return_bits,
+                &verdict)) {
+    return verdict;
+  }
+  if (g_fast.dynamic_sites != g_ref.dynamic_sites) {
+    std::ostringstream os;
+    os << "golden dynamic-site counts differ (predecode "
+       << g_fast.dynamic_sites << " vs reference " << g_ref.dynamic_sites
+       << ")";
+    verdict.ok = false;
+    verdict.diagnostic = os.str();
+    return verdict;
+  }
+  if (g_fast.golden_instructions != g_ref.golden_instructions) {
+    std::ostringstream os;
+    os << "golden retired-instruction counts differ (predecode "
+       << g_fast.golden_instructions << " vs reference "
+       << g_ref.golden_instructions << ")";
+    verdict.ok = false;
+    verdict.diagnostic = os.str();
+    return verdict;
+  }
+  if (g_fast.golden_detected != g_ref.golden_detected) {
+    verdict.ok = false;
+    verdict.diagnostic = "golden detector events differ between exec modes";
+    return verdict;
+  }
+  if (!check_eq("golden site-census sequences", g_fast.site_sequence,
+                g_ref.site_sequence, &verdict)) {
+    return verdict;
+  }
+  return verdict;
+}
+
+OracleVerdict prune_oracle(const KernelSpec& spec,
+                           const OracleConfig& config) {
+  OracleVerdict verdict;
+  RunSpec pruned_spec, plain_spec;
+  if (!build_checked(spec, &pruned_spec, &verdict)) return verdict;
+  if (!build_checked(spec, &plain_spec, &verdict)) return verdict;
+
+  EngineOptions pruned_options;
+  pruned_options.static_prune = true;
+  EngineOptions plain_options;
+  plain_options.static_prune = false;
+
+  InjectionEngine pruned(std::move(pruned_spec), spec.category,
+                         pruned_options);
+  InjectionEngine plain(std::move(plain_spec), spec.category, plain_options);
+
+  if (pruned.golden().dynamic_sites != plain.golden().dynamic_sites) {
+    std::ostringstream os;
+    os << "golden dynamic-site counts differ (pruned "
+       << pruned.golden().dynamic_sites << " vs unpruned "
+       << plain.golden().dynamic_sites << ")";
+    verdict.ok = false;
+    verdict.diagnostic = os.str();
+    return verdict;
+  }
+  if (pruned.golden().dynamic_sites == 0) return verdict;  // nothing to draw
+
+  for (unsigned experiment = 0; experiment < config.prune_experiments;
+       ++experiment) {
+    // Private per-experiment streams, identical for both engines — the
+    // documented claim is that run_experiment draws the same (site, bit)
+    // pair whether or not pruning adjudicates it.
+    const std::uint64_t stream = derive_stream_seed(
+        config.experiment_seed ^ spec.seed, 1, experiment);
+    Rng pruned_rng(stream);
+    Rng plain_rng(stream);
+    const ExperimentResult a = pruned.run_experiment(pruned_rng);
+    const ExperimentResult b = plain.run_experiment(plain_rng);
+    const bool match =
+        a.outcome == b.outcome && a.detected == b.detected &&
+        a.trap == b.trap && a.dynamic_sites == b.dynamic_sites &&
+        a.injection.site_id == b.injection.site_id &&
+        a.injection.bit == b.injection.bit &&
+        a.injection.dynamic_index == b.injection.dynamic_index;
+    if (!match) {
+      std::ostringstream os;
+      os << "experiment " << experiment << " diverges: pruned {outcome="
+         << outcome_name(a.outcome) << " detected=" << a.detected
+         << " site=" << a.injection.site_id << " dyn="
+         << a.injection.dynamic_index << " bit=" << a.injection.bit
+         << "} vs unpruned {outcome=" << outcome_name(b.outcome)
+         << " detected=" << b.detected << " site=" << b.injection.site_id
+         << " dyn=" << b.injection.dynamic_index << " bit="
+         << b.injection.bit << "}";
+      verdict.ok = false;
+      verdict.diagnostic = os.str();
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+/// Field-wise fault-site equality (instruction pointers necessarily
+/// differ across modules; compare the opcode instead).
+bool sites_equal(const std::vector<FaultSite>& lhs,
+                 const std::vector<FaultSite>& rhs, std::string* where) {
+  if (lhs.size() != rhs.size()) {
+    *where = "site counts differ (" + std::to_string(lhs.size()) + " vs " +
+             std::to_string(rhs.size()) + ")";
+    return false;
+  }
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    const FaultSite& a = lhs[i];
+    const FaultSite& b = rhs[i];
+    const bool same =
+        a.id == b.id && a.lane == b.lane &&
+        a.element_type.to_string() == b.element_type.to_string() &&
+        a.site_class.control == b.site_class.control &&
+        a.site_class.address == b.site_class.address &&
+        a.masked == b.masked &&
+        a.store_operand == b.store_operand &&
+        a.vector_instruction == b.vector_instruction &&
+        ((a.inst == nullptr) == (b.inst == nullptr)) &&
+        (a.inst == nullptr || a.inst->opcode() == b.inst->opcode());
+    if (!same) {
+      *where = "site " + std::to_string(i) + " differs";
+      return false;
+    }
+  }
+  return true;
+}
+
+OracleVerdict census_oracle(const KernelSpec& spec) {
+  OracleVerdict verdict;
+  RunSpec original;
+  if (!build_checked(spec, &original, &verdict)) return verdict;
+
+  const std::vector<FaultSite> enumerated =
+      enumerate_fault_sites(*original.entry);
+  RunSpec cloned = clone_spec(original);
+  const std::vector<FaultSite> enumerated_clone =
+      enumerate_fault_sites(*cloned.entry);
+  std::string where;
+  if (!sites_equal(enumerated, enumerated_clone, &where)) {
+    verdict.ok = false;
+    verdict.diagnostic = "enumeration unstable across clone_spec: " + where;
+    return verdict;
+  }
+
+  // Instrumentation must reproduce the standalone enumeration...
+  InjectionEngine engine(std::move(original), spec.category);
+  if (!sites_equal(enumerated, engine.sites(), &where)) {
+    verdict.ok = false;
+    verdict.diagnostic =
+        "instrumented site table diverges from enumeration: " + where;
+    return verdict;
+  }
+  // ...and survive engine cloning (re-instrumentation from pristine IR).
+  const std::unique_ptr<InjectionEngine> replica = engine.clone();
+  if (!sites_equal(enumerated, replica->sites(), &where)) {
+    verdict.ok = false;
+    verdict.diagnostic =
+        "replica site table diverges after engine clone: " + where;
+    return verdict;
+  }
+
+  // Golden dynamic census must not depend on ExecMode: run the cloned
+  // RunSpec through a Reference-mode engine and compare sequences.
+  EngineOptions reference_options;
+  reference_options.predecode = false;
+  InjectionEngine reference(std::move(cloned), spec.category,
+                            reference_options);
+  if (engine.golden().site_sequence != reference.golden().site_sequence) {
+    verdict.ok = false;
+    verdict.diagnostic =
+        "golden dynamic-site census differs between predecode and "
+        "Reference execution";
+    return verdict;
+  }
+  return verdict;
+}
+
+}  // namespace
+
+const char* oracle_name(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::Diff: return "diff";
+    case OracleKind::Prune: return "prune";
+    case OracleKind::Census: return "census";
+  }
+  return "diff";
+}
+
+bool oracle_from_name(const std::string& name, OracleKind* out) {
+  if (name == "diff") {
+    *out = OracleKind::Diff;
+  } else if (name == "prune") {
+    *out = OracleKind::Prune;
+  } else if (name == "census") {
+    *out = OracleKind::Census;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+OracleVerdict run_oracle(const KernelSpec& spec, OracleKind kind,
+                         const OracleConfig& config) {
+  switch (kind) {
+    case OracleKind::Diff: return diff_oracle(spec);
+    case OracleKind::Prune: return prune_oracle(spec, config);
+    case OracleKind::Census: return census_oracle(spec);
+  }
+  return {};
+}
+
+}  // namespace vulfi::fuzz

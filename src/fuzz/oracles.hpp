@@ -1,0 +1,51 @@
+// Differential oracles over generated kernels.
+//
+// Each oracle builds the spec's RunSpec and checks one engine invariant
+// the repo already claims but only exercises on hand-written kernels:
+//
+//   diff    — the pre-decoded fast path and the Reference hash-lookup
+//             interpreter produce byte-identical golden observables
+//             (output bytes, return bits, dynamic-site count and census,
+//             retired instructions, detector events).
+//   prune   — per-experiment statistics with static pruning on and off
+//             are bit-identical: same drawn (site, bit), same outcome,
+//             detection, and trap for every experiment of a shared seed.
+//   census  — static fault-site enumeration is stable across RunSpec
+//             cloning, engine instrumentation, engine cloning, and
+//             ExecMode (golden dynamic census predecode vs Reference).
+//
+// Every oracle first gates on the build diagnostics and the lint driver:
+// a generated kernel that fails to build or lint is itself a finding.
+#pragma once
+
+#include <string>
+
+#include "fuzz/kernel_gen.hpp"
+
+namespace vulfi::fuzz {
+
+enum class OracleKind : std::uint8_t { Diff, Prune, Census };
+
+const char* oracle_name(OracleKind kind);
+bool oracle_from_name(const std::string& name, OracleKind* out);
+
+struct OracleConfig {
+  /// Experiments per engine pair in the prune oracle.
+  unsigned prune_experiments = 32;
+  /// Master seed for the prune oracle's experiment streams (combined with
+  /// the spec seed via derive_stream_seed).
+  std::uint64_t experiment_seed = 0x0D1FF'5EEDULL;
+};
+
+struct OracleVerdict {
+  bool ok = true;
+  /// Human-readable description of the first discrepancy; empty when ok.
+  std::string diagnostic;
+};
+
+/// Builds `spec` and runs one oracle. Build failures and lint findings
+/// are reported as failing verdicts (prefixed "[build]" / "[lint]").
+OracleVerdict run_oracle(const KernelSpec& spec, OracleKind kind,
+                         const OracleConfig& config = {});
+
+}  // namespace vulfi::fuzz

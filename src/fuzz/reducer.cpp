@@ -1,0 +1,107 @@
+#include "fuzz/reducer.hpp"
+
+#include <algorithm>
+
+namespace vulfi::fuzz {
+
+bool KernelReducer::candidate_fails(const KernelSpec& candidate,
+                                    ReduceStats* stats) const {
+  if (stats != nullptr) stats->candidates += 1;
+  // A candidate must still be a buildable kernel; the builder diagnostics
+  // are the structural oracle, the predicate is the behavioural one.
+  BuildResult built = build_runspec(candidate);
+  if (!built.ok) return false;
+  return still_fails_(candidate);
+}
+
+KernelSpec KernelReducer::reduce(KernelSpec spec, ReduceStats* stats) const {
+  if (!candidate_fails(spec, stats)) return spec;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (stats != nullptr) stats->rounds += 1;
+
+    // 1. Drop whole loops (a spec needs at least one).
+    for (std::size_t li = 0; spec.loops.size() > 1 && li < spec.loops.size();) {
+      KernelSpec candidate = spec;
+      candidate.loops.erase(candidate.loops.begin() +
+                            static_cast<std::ptrdiff_t>(li));
+      if (candidate_fails(candidate, stats)) {
+        spec = std::move(candidate);
+        changed = true;
+      } else {
+        ++li;
+      }
+    }
+
+    // 2. ddmin each loop's op list: try removing chunks, halving the
+    // chunk size down to single ops.
+    for (std::size_t li = 0; li < spec.loops.size(); ++li) {
+      for (std::size_t chunk = std::max<std::size_t>(
+               spec.loops[li].ops.size() / 2, 1);
+           chunk >= 1; chunk /= 2) {
+        for (std::size_t at = 0; at < spec.loops[li].ops.size();) {
+          KernelSpec candidate = spec;
+          auto& ops = candidate.loops[li].ops;
+          const std::size_t take = std::min(chunk, ops.size() - at);
+          if (take == 0 || take == ops.size()) {
+            // Removing everything is handled by the empty-loop case below.
+            ++at;
+            continue;
+          }
+          ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(at),
+                    ops.begin() + static_cast<std::ptrdiff_t>(at + take));
+          if (candidate_fails(candidate, stats)) {
+            spec = std::move(candidate);
+            changed = true;
+          } else {
+            at += chunk;
+          }
+        }
+        if (chunk == 1) break;
+      }
+      // An op-free loop body still stores its initial pool value; try
+      // emptying outright.
+      if (!spec.loops[li].ops.empty()) {
+        KernelSpec candidate = spec;
+        candidate.loops[li].ops.clear();
+        if (candidate_fails(candidate, stats)) {
+          spec = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+
+    // 3. Knob shrinking: drop trip-count wrappers, demote reductions,
+    // halve n toward the minimum.
+    for (std::size_t li = 0; li < spec.loops.size(); ++li) {
+      if (spec.loops[li].trip >= 0) {
+        KernelSpec candidate = spec;
+        candidate.loops[li].trip = -1;
+        if (candidate_fails(candidate, stats)) {
+          spec = std::move(candidate);
+          changed = true;
+        }
+      }
+      if (spec.loops[li].reduce) {
+        KernelSpec candidate = spec;
+        candidate.loops[li].reduce = false;
+        if (candidate_fails(candidate, stats)) {
+          spec = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+    while (spec.n > kMinN) {
+      KernelSpec candidate = spec;
+      candidate.n = std::max(kMinN, spec.n / 2);
+      if (!candidate_fails(candidate, stats)) break;
+      spec = std::move(candidate);
+      changed = true;
+    }
+  }
+  return spec;
+}
+
+}  // namespace vulfi::fuzz

@@ -1,0 +1,47 @@
+// Greedy ddmin-style kernel reduction.
+//
+// Because any KernelSpec builds a valid kernel (operand references are
+// modular, memory discipline is structural), reduction is plain data
+// surgery: drop whole loops, ddmin each loop's op list with halving chunk
+// sizes, then shrink scalar knobs (trip-count wrappers, reductions, n).
+// A candidate replaces the current spec when it still builds cleanly AND
+// the failure predicate still holds — the predicate is typically
+// "the differential oracle fails", which already folds the lint driver in
+// as a gate, so the reducer can never wander into a kernel that fails for
+// an unrelated malformed-IR reason.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/kernel_gen.hpp"
+
+namespace vulfi::fuzz {
+
+/// Returns true when `spec` still exhibits the failure being reduced.
+using FailurePredicate = std::function<bool(const KernelSpec&)>;
+
+struct ReduceStats {
+  /// Candidate specs evaluated (predicate invocations).
+  std::size_t candidates = 0;
+  /// Greedy passes over the strategy list until a fixpoint.
+  std::size_t rounds = 0;
+};
+
+class KernelReducer {
+ public:
+  explicit KernelReducer(FailurePredicate still_fails)
+      : still_fails_(std::move(still_fails)) {}
+
+  /// Shrinks `spec` to a local minimum: no single loop, op chunk, or knob
+  /// can be removed without losing the failure. Returns the input
+  /// unchanged when it does not fail the predicate.
+  KernelSpec reduce(KernelSpec spec, ReduceStats* stats = nullptr) const;
+
+ private:
+  bool candidate_fails(const KernelSpec& candidate, ReduceStats* stats) const;
+
+  FailurePredicate still_fails_;
+};
+
+}  // namespace vulfi::fuzz

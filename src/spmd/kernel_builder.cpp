@@ -20,9 +20,22 @@ IRBuilder& ForeachCtx::b() { return kb_.b(); }
 unsigned ForeachCtx::vl() const { return kb_.vl(); }
 
 Value* ForeachCtx::typed_mask(Type element) {
-  VULFI_ASSERT(partial(), "typed_mask is only meaningful in the partial body");
-  VULFI_ASSERT(element.element_bits() == 32,
-               "foreach varying data must be 32-bit (f32/i32)");
+  if (!partial()) {
+    // Misuse: the full body runs with every lane active. Diagnose and
+    // hand back an all-active mask so lowering can continue safely.
+    kb_.report_error("typed_mask requested in the unmasked full body");
+    const Type wide = Type::vector(ir::TypeKind::I32, vl());
+    Value* all_on = kb_.module().const_int(wide, -1);
+    if (element.kind() == Type::f32().kind()) {
+      return b().bitcast(all_on, Type::vector(ir::TypeKind::F32, vl()),
+                         "fullmask.i");
+    }
+    return all_on;
+  }
+  if (element.element_bits() != 32) {
+    kb_.report_error("foreach varying data must be 32-bit (f32/i32)");
+    element = element.is_float() ? Type::f32() : Type::i32();
+  }
   if (element.kind() == Type::f32().kind()) {
     if (!mask_f32_) {
       Value* wide = b().sext(mask_i1_, Type::vector(ir::TypeKind::I32, vl()),
@@ -75,8 +88,11 @@ void ForeachCtx::store(Value* value, Value* base) {
 }
 
 void ForeachCtx::store_offset(Value* value, Value* base, Value* offset) {
-  VULFI_ASSERT(value->type().is_vector() && value->type().lanes() == vl(),
-               "foreach store takes a varying value");
+  if (!value->type().is_vector() || value->type().lanes() != vl()) {
+    kb_.report_error("foreach store takes a varying value (got " +
+                     value->type().to_string() + ")");
+    return;  // skip the malformed store; finish() will fail
+  }
   const Type element = value->type().element();
   Value* addr = element_ptr(base, element, offset);
   if (!partial()) {
@@ -196,6 +212,22 @@ std::vector<Value*> KernelBuilder::foreach_reduce(
 std::vector<Value*> KernelBuilder::lower_foreach(
     Value* start, Value* end, std::vector<Value*> init,
     const ForeachReduceBody& body) {
+  if (in_partial_body_) {
+    // Malformed mask nesting: a foreach inside the masked remainder body
+    // would run its full-vector iterations with lanes the outer mask
+    // disabled. Diagnose and lower to nothing (the carried values pass
+    // through unchanged).
+    report_error("foreach nested inside a masked remainder body "
+                 "(malformed mask nesting)");
+    return init;
+  }
+  if (provably_zero_trip(start, end)) {
+    // Provably zero-trip foreach (constant or identical bounds): the
+    // lowering would emit a branch lint flags as constant-condition and a
+    // body that can never run. Diagnose and skip the loop entirely.
+    report_error("provably zero-trip foreach (start >= end)");
+    return init;
+  }
   IRBuilder& b = builder_;
   const unsigned width = vl();
   Value* vl_const = b.i32_const(width);
@@ -241,9 +273,8 @@ std::vector<Value*> KernelBuilder::lower_foreach(
 
   ForeachCtx full_ctx(*this, counter_phi, linear, index_vec, nullptr);
   std::vector<Value*> carried_in(carried_phis.begin(), carried_phis.end());
-  std::vector<Value*> full_updated = body(full_ctx, carried_in);
-  VULFI_ASSERT(full_updated.size() == init.size(),
-               "foreach body must return one value per carried input");
+  std::vector<Value*> full_updated =
+      checked_carried(body(full_ctx, carried_in), carried_in, "foreach");
 
   Value* new_counter = b.add(counter_phi, vl_const, "new_counter");
   Value* latch_cmp = b.icmp(ir::ICmpPred::SLT, new_counter, aligned_end,
@@ -296,9 +327,10 @@ std::vector<Value*> KernelBuilder::lower_foreach(
   partial_ctx.mask_f32_ = floatmask;
   partial_ctx.mask_i32_ = pmask_wide;
   std::vector<Value*> outer_vals(outer_phis.begin(), outer_phis.end());
-  std::vector<Value*> partial_updated = body(partial_ctx, outer_vals);
-  VULFI_ASSERT(partial_updated.size() == init.size(),
-               "foreach body must return one value per carried input");
+  in_partial_body_ = true;
+  std::vector<Value*> partial_updated =
+      checked_carried(body(partial_ctx, outer_vals), outer_vals, "foreach");
+  in_partial_body_ = false;
   // Inactive lanes keep their pre-partial value.
   std::vector<Value*> partial_final(init.size());
   for (std::size_t i = 0; i < init.size(); ++i) {
@@ -329,6 +361,14 @@ std::vector<Value*> KernelBuilder::scalar_loop(
     const std::function<std::vector<Value*>(Value*,
                                             const std::vector<Value*>&)>& body,
     const char* label) {
+  // Unlike foreach, a *scalar* loop is legal inside the masked remainder
+  // body — it is uniform control flow, and the remainder's carried values
+  // are mask-selected after the body returns (swaptions' per-step walk
+  // relies on this).
+  if (provably_zero_trip(start, end)) {
+    report_error("provably zero-trip scalar loop (start >= end)");
+    return init;
+  }
   IRBuilder& b = builder_;
   ir::Function* fn = function_;
   const std::string tag = strf("%s%u", label, foreach_counter_);
@@ -348,9 +388,8 @@ std::vector<Value*> KernelBuilder::scalar_loop(
     carried.push_back(b.phi(init[i]->type(), strf("%s_c%zu", tag.c_str(), i)));
   }
   std::vector<Value*> carried_vals(carried.begin(), carried.end());
-  std::vector<Value*> updated = body(iv, carried_vals);
-  VULFI_ASSERT(updated.size() == init.size(),
-               "scalar_loop body must return one value per carried input");
+  std::vector<Value*> updated =
+      checked_carried(body(iv, carried_vals), carried_vals, "scalar_loop");
 
   Value* iv_next = b.add(iv, b.i32_const(1), tag + "_iv_next");
   Value* latch = b.icmp(ir::ICmpPred::SLT, iv_next, end, tag + "_latch");
@@ -438,14 +477,52 @@ Value* KernelBuilder::intrinsic_call(ir::IntrinsicId id, Value* lhs,
   return builder_.call(callee, {lhs, rhs});
 }
 
-void KernelBuilder::finish(Value* return_value) {
+bool KernelBuilder::finish(Value* return_value) {
   builder_.ret(return_value);
+  if (!errors_.empty()) {
+    // Malformed usage was already diagnosed; the placeholder lowering may
+    // not round-trip the verifier, so leave the function as-is and let
+    // the caller consult errors().
+    return false;
+  }
   // Match the paper's -O3 code generation: dead definitions do not reach
   // the fault injector.
   ir::eliminate_dead_code(*function_);
   const auto errors = ir::verify(*function_);
+  // With clean usage, a verifier failure is an internal lowering bug.
   VULFI_ASSERT(errors.empty(),
                errors.empty() ? "ok" : errors.front().c_str());
+  return true;
+}
+
+void KernelBuilder::report_error(std::string message) {
+  errors_.push_back(function_->name() + ": " + std::move(message));
+}
+
+bool KernelBuilder::provably_zero_trip(Value* start, Value* end) {
+  if (start == end) return true;
+  const auto* cstart = start->value_kind() == ir::ValueKind::Constant
+                           ? static_cast<const ir::Constant*>(start)
+                           : nullptr;
+  const auto* cend = end->value_kind() == ir::ValueKind::Constant
+                         ? static_cast<const ir::Constant*>(end)
+                         : nullptr;
+  return cstart && cend && cstart->int_value() >= cend->int_value();
+}
+
+std::vector<Value*> KernelBuilder::checked_carried(
+    std::vector<Value*> updated, const std::vector<Value*>& carried,
+    const char* what) {
+  if (updated.size() == carried.size()) return updated;
+  report_error(strf("%s body returned %zu carried values, expected %zu",
+                    what, updated.size(), carried.size()));
+  // Keep lowering well-formed: pad missing slots with the incoming
+  // values, drop extras.
+  updated.resize(carried.size());
+  for (std::size_t i = 0; i < carried.size(); ++i) {
+    if (updated[i] == nullptr) updated[i] = carried[i];
+  }
+  return updated;
 }
 
 }  // namespace vulfi::spmd

@@ -155,11 +155,36 @@ class KernelBuilder {
   ir::Value* intrinsic_call(ir::IntrinsicId id, ir::Value* lhs,
                             ir::Value* rhs);
 
-  /// Finishes the function with `ret` (void or value) and verifies it.
-  void finish(ir::Value* return_value = nullptr);
+  /// Finishes the function with `ret` (void or value), runs dead-code
+  /// elimination, and verifies the result. Returns false when any usage
+  /// diagnostic was recorded (see errors()) — the function is left
+  /// unverified and must not be executed. A verifier failure on a build
+  /// with no recorded usage errors is still an internal invariant
+  /// violation and aborts.
+  bool finish(ir::Value* return_value = nullptr);
+
+  // --- usage diagnostics ---------------------------------------------------
+  // Malformed builder usage (the kind a random kernel generator probes:
+  // masked foreach nesting, provably zero-trip loops, wrong carried-value
+  // counts, scalar stores through the varying-store API) is reported as a
+  // diagnostic instead of aborting the process: the offending construct
+  // lowers to a safe placeholder, the message is recorded here, and
+  // finish() returns false.
+  bool ok() const { return errors_.empty(); }
+  const std::vector<std::string>& errors() const { return errors_; }
 
  private:
   friend class ForeachCtx;
+
+  void report_error(std::string message);
+  /// True when [start, end) is provably empty: identical values, or both
+  /// integer constants with start >= end.
+  static bool provably_zero_trip(ir::Value* start, ir::Value* end);
+  /// Validates a body's carried-value count, diagnosing and repairing
+  /// mismatches (pad with the incoming values / drop extras).
+  std::vector<ir::Value*> checked_carried(
+      std::vector<ir::Value*> updated,
+      const std::vector<ir::Value*>& carried, const char* what);
 
   struct LoweredForeach {
     ir::Value* nextras;
@@ -179,6 +204,11 @@ class KernelBuilder {
   ir::Function* function_;
   ir::IRBuilder builder_;
   unsigned foreach_counter_ = 0;
+  /// True while a masked remainder body callback runs — starting another
+  /// foreach there would execute lanes the mask disabled, so it is
+  /// diagnosed as malformed mask nesting.
+  bool in_partial_body_ = false;
+  std::vector<std::string> errors_;
 };
 
 }  // namespace vulfi::spmd

@@ -1,0 +1,284 @@
+// Fuzzing harness tests (`ctest -L fuzz`): generator determinism across
+// runs and worker counts, serialization round-trips, grammar-version
+// refusal, reducer convergence, corpus replay, and mini oracle sweeps.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "fuzz/fuzz.hpp"
+#include "fuzz/kernel_gen.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/reducer.hpp"
+#include "ir/printer.hpp"
+
+namespace vulfi {
+namespace {
+
+using fuzz::GenConfig;
+using fuzz::KernelSpec;
+using fuzz::LoopSpec;
+using fuzz::OpKind;
+using fuzz::OpNode;
+using fuzz::OracleKind;
+
+// --- generator determinism -------------------------------------------------
+
+TEST(FuzzGenerator, SameSeedIsByteIdentical) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 1234567ULL}) {
+    const KernelSpec a = fuzz::generate_kernel(seed);
+    const KernelSpec b = fuzz::generate_kernel(seed);
+    EXPECT_EQ(fuzz::serialize_spec(a), fuzz::serialize_spec(b));
+    EXPECT_EQ(fuzz::spec_fingerprint(a), fuzz::spec_fingerprint(b));
+    // The lowered module must be byte-identical too, not just the spec.
+    fuzz::BuildResult built_a = fuzz::build_runspec(a);
+    fuzz::BuildResult built_b = fuzz::build_runspec(b);
+    ASSERT_TRUE(built_a.ok);
+    ASSERT_TRUE(built_b.ok);
+    EXPECT_EQ(ir::to_string(*built_a.spec.module),
+              ir::to_string(*built_b.spec.module));
+  }
+}
+
+TEST(FuzzGenerator, DistinctSeedsDiffer) {
+  const std::uint64_t fp1 = fuzz::spec_fingerprint(fuzz::generate_kernel(1));
+  const std::uint64_t fp2 = fuzz::spec_fingerprint(fuzz::generate_kernel(2));
+  EXPECT_NE(fp1, fp2);
+}
+
+TEST(FuzzGenerator, EveryGeneratedKernelBuildsAndLintsClean) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const KernelSpec spec = fuzz::generate_kernel(seed);
+    fuzz::BuildResult built = fuzz::build_runspec(spec);
+    ASSERT_TRUE(built.ok) << "seed " << seed;
+    const auto findings = analysis::lint_module(*built.spec.module);
+    EXPECT_TRUE(findings.empty())
+        << "seed " << seed << ": " << findings.front().render();
+  }
+}
+
+TEST(FuzzSweep, FingerprintsIdenticalAcrossJobs) {
+  fuzz::FuzzConfig serial;
+  serial.seed_start = 100;
+  serial.seeds = 24;
+  serial.oracle = OracleKind::Census;
+  serial.jobs = 1;
+  fuzz::FuzzConfig parallel = serial;
+  parallel.jobs = 4;
+  const fuzz::FuzzSummary a = fuzz::run_fuzz(serial);
+  const fuzz::FuzzSummary b = fuzz::run_fuzz(parallel);
+  EXPECT_TRUE(a.clean());
+  EXPECT_TRUE(b.clean());
+  ASSERT_EQ(a.fingerprints.size(), b.fingerprints.size());
+  EXPECT_EQ(a.fingerprints, b.fingerprints);
+}
+
+// --- serialization ---------------------------------------------------------
+
+TEST(FuzzSerialization, RoundTripsBitIdentically) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const KernelSpec spec = fuzz::generate_kernel(seed);
+    const std::string text = fuzz::serialize_spec(spec);
+    const fuzz::ParseResult parsed = fuzz::parse_spec(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(fuzz::serialize_spec(parsed.spec), text);
+    EXPECT_EQ(fuzz::spec_fingerprint(parsed.spec),
+              fuzz::spec_fingerprint(spec));
+  }
+}
+
+TEST(FuzzSerialization, OracleLineRoundTrips) {
+  const KernelSpec spec = fuzz::generate_kernel(3);
+  const std::string text = fuzz::serialize_spec(spec, "prune");
+  const fuzz::ParseResult parsed = fuzz::parse_spec(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.oracle, "prune");
+  // The oracle line is not part of the fingerprinted identity.
+  EXPECT_EQ(fuzz::spec_fingerprint(parsed.spec),
+            fuzz::spec_fingerprint(spec));
+}
+
+TEST(FuzzSerialization, RefusesGrammarMismatch) {
+  const std::string text =
+      fuzz::serialize_spec(fuzz::generate_kernel(4));
+  std::string bumped = text;
+  bumped.replace(bumped.find(" v1"), 3, " v99");
+  const fuzz::ParseResult parsed = fuzz::parse_spec(bumped);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_TRUE(parsed.grammar_mismatch);
+}
+
+TEST(FuzzSerialization, RejectsMalformedInput) {
+  EXPECT_FALSE(fuzz::parse_spec("").ok);
+  EXPECT_FALSE(fuzz::parse_spec("not a header\n").ok);
+  EXPECT_FALSE(
+      fuzz::parse_spec("vulfi.fuzz.kernel v1\nloops 1\n").ok);
+  EXPECT_FALSE(fuzz::parse_spec("vulfi.fuzz.kernel v1\nloops 1\n"
+                                "loop trip -1 reduce 0\nop bogus 0 0 0 0\n"
+                                "end\n")
+                   .ok);
+}
+
+// --- replay ----------------------------------------------------------------
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(FuzzReplay, WrittenReproReplaysStandalone) {
+  const KernelSpec spec = fuzz::generate_kernel(11);
+  const std::string path = temp_path("vulfi_fuzz_repro_test.vulfi");
+  std::string error;
+  ASSERT_TRUE(
+      fuzz::write_repro_file(path, spec, OracleKind::Census, &error))
+      << error;
+  const fuzz::ReplayResult result = fuzz::replay_repro_file(path);
+  EXPECT_EQ(result.exit_code, 0) << result.message;
+  std::filesystem::remove(path);
+}
+
+TEST(FuzzReplay, GrammarMismatchExitsThree) {
+  const std::string path = temp_path("vulfi_fuzz_grammar_test.vulfi");
+  {
+    std::ofstream out(path);
+    out << "vulfi.fuzz.kernel v999\nseed 1\n";
+  }
+  const fuzz::ReplayResult result = fuzz::replay_repro_file(path);
+  EXPECT_EQ(result.exit_code, 3);
+  std::filesystem::remove(path);
+}
+
+TEST(FuzzReplay, MissingFileExitsThree) {
+  EXPECT_EQ(fuzz::replay_repro_file("/nonexistent/nope.vulfi").exit_code, 3);
+}
+
+// --- reducer ---------------------------------------------------------------
+
+/// Known-bad input for reduction tests: three busy loops, one scatter
+/// buried in the middle.
+KernelSpec scatter_haystack() {
+  KernelSpec spec;
+  spec.n = 96;
+  for (int li = 0; li < 3; ++li) {
+    LoopSpec loop;
+    loop.trip = li == 0 ? 2 : -1;
+    loop.reduce = li == 2;
+    for (int oi = 0; oi < 12; ++oi) {
+      OpNode op;
+      op.kind = (oi % 3 == 0) ? OpKind::FMul
+                              : (oi % 3 == 1 ? OpKind::IAdd : OpKind::FAdd);
+      op.a = static_cast<std::uint32_t>(oi);
+      op.b = static_cast<std::uint32_t>(oi + 1);
+      loop.ops.push_back(op);
+    }
+    if (li == 1) {
+      OpNode scatter;
+      scatter.kind = OpKind::Scatter;
+      loop.ops.insert(loop.ops.begin() + 5, scatter);
+    }
+    spec.loops.push_back(std::move(loop));
+  }
+  return spec;
+}
+
+bool has_scatter(const KernelSpec& spec) {
+  for (const LoopSpec& loop : spec.loops) {
+    for (const OpNode& op : loop.ops) {
+      if (op.kind == OpKind::Scatter) return true;
+    }
+  }
+  return false;
+}
+
+TEST(FuzzReducer, ConvergesToMinimalScatterKernel) {
+  const KernelSpec start = scatter_haystack();
+  ASSERT_TRUE(has_scatter(start));
+  ASSERT_EQ(fuzz::total_ops(start), 37u);
+
+  fuzz::ReduceStats stats;
+  const fuzz::KernelReducer reducer(has_scatter);
+  const KernelSpec reduced = reducer.reduce(start, &stats);
+
+  EXPECT_TRUE(has_scatter(reduced));
+  // ddmin should strip everything but the scatter itself.
+  EXPECT_LE(fuzz::total_ops(reduced), 2u);
+  EXPECT_EQ(reduced.loops.size(), 1u);
+  EXPECT_EQ(reduced.n, fuzz::kMinN);
+  EXPECT_EQ(reduced.loops[0].trip, -1);
+  EXPECT_GT(stats.candidates, 0u);
+  // The reduced spec must still build (the reducer's structural gate).
+  EXPECT_TRUE(fuzz::build_runspec(reduced).ok);
+}
+
+TEST(FuzzReducer, PassingSpecIsReturnedUnchanged) {
+  const KernelSpec spec = fuzz::generate_kernel(5);
+  const fuzz::KernelReducer reducer(
+      [](const KernelSpec&) { return false; });
+  const KernelSpec reduced = reducer.reduce(spec);
+  EXPECT_EQ(fuzz::serialize_spec(reduced), fuzz::serialize_spec(spec));
+}
+
+// --- corpus ----------------------------------------------------------------
+
+TEST(FuzzCorpus, EveryCheckedInKernelReplaysClean) {
+  const std::filesystem::path dir = VULFI_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  unsigned replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".vulfi") continue;
+    const fuzz::ReplayResult result =
+        fuzz::replay_repro_file(entry.path().string());
+    EXPECT_EQ(result.exit_code, 0)
+        << entry.path().filename() << ": " << result.message;
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 4u) << "corpus unexpectedly small";
+}
+
+// --- oracle sweeps ---------------------------------------------------------
+
+TEST(FuzzSweep, DiffOracle200Seeds) {
+  fuzz::FuzzConfig config;
+  config.seed_start = 1;
+  config.seeds = 200;
+  config.oracle = OracleKind::Diff;
+  config.jobs = 4;
+  const fuzz::FuzzSummary summary = fuzz::run_fuzz(config);
+  EXPECT_TRUE(summary.clean())
+      << summary.failures.size() << " seeds failed; first: seed "
+      << summary.failures.front().seed << ": "
+      << summary.failures.front().diagnostic;
+}
+
+TEST(FuzzSweep, PruneOracle60Seeds) {
+  fuzz::FuzzConfig config;
+  config.seed_start = 1000;
+  config.seeds = 60;
+  config.oracle = OracleKind::Prune;
+  config.jobs = 4;
+  const fuzz::FuzzSummary summary = fuzz::run_fuzz(config);
+  EXPECT_TRUE(summary.clean())
+      << summary.failures.size() << " seeds failed; first: seed "
+      << summary.failures.front().seed << ": "
+      << summary.failures.front().diagnostic;
+}
+
+TEST(FuzzSweep, CensusOracle60Seeds) {
+  fuzz::FuzzConfig config;
+  config.seed_start = 2000;
+  config.seeds = 60;
+  config.oracle = OracleKind::Census;
+  config.jobs = 4;
+  const fuzz::FuzzSummary summary = fuzz::run_fuzz(config);
+  EXPECT_TRUE(summary.clean())
+      << summary.failures.size() << " seeds failed; first: seed "
+      << summary.failures.front().seed << ": "
+      << summary.failures.front().diagnostic;
+}
+
+}  // namespace
+}  // namespace vulfi

@@ -10,6 +10,7 @@
 #include "interp/interpreter.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "spmd/kernel_builder.hpp"
 #include "spmd/lang/compiler.hpp"
 #include "spmd/lang/lexer.hpp"
 #include "spmd/lang/parser.hpp"
@@ -488,6 +489,105 @@ TEST(LangInterop, CompiledKernelSurvivesFaultInjection) {
     if (engine.run_experiment(rng).outcome == Outcome::SDC) sdc += 1;
   }
   EXPECT_GT(sdc, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// KernelBuilder misuse diagnostics
+//
+// Malformed builder usage — the shapes the random kernel generator probes
+// (src/fuzz) — must record a diagnostic and fail finish(), never abort.
+// ---------------------------------------------------------------------------
+
+TEST(BuilderDiagnostics, CarriedCountMismatchIsDiagnosed) {
+  ir::Module module("neg");
+  KernelBuilder kb(module, Target::avx(), "bad_carried",
+                   {ir::Type::ptr(), ir::Type::i32()});
+  kb.foreach_reduce(
+      kb.b().i32_const(0), kb.arg(1), {kb.vconst_f32(0.0f)},
+      [](ForeachCtx&, const std::vector<ir::Value*>&)
+          -> std::vector<ir::Value*> { return {}; });
+  EXPECT_FALSE(kb.ok());
+  EXPECT_FALSE(kb.finish());
+  ASSERT_FALSE(kb.errors().empty());
+  EXPECT_NE(kb.errors().front().find("carried"), std::string::npos);
+}
+
+TEST(BuilderDiagnostics, TypedMaskInFullBodyIsDiagnosed) {
+  ir::Module module("neg");
+  KernelBuilder kb(module, Target::avx(), "bad_mask",
+                   {ir::Type::ptr(), ir::Type::i32()});
+  kb.foreach_loop(kb.b().i32_const(0), kb.arg(1), [&](ForeachCtx& ctx) {
+    if (!ctx.partial()) {
+      // Misuse: the full body has no execution mask.
+      ir::Value* mask = ctx.typed_mask(ir::Type::f32());
+      ASSERT_NE(mask, nullptr);  // safe placeholder, not a crash
+    }
+  });
+  EXPECT_FALSE(kb.finish());
+  ASSERT_FALSE(kb.errors().empty());
+  EXPECT_NE(kb.errors().front().find("full body"), std::string::npos);
+}
+
+TEST(BuilderDiagnostics, ScalarStoreThroughVaryingApiIsDiagnosed) {
+  ir::Module module("neg");
+  KernelBuilder kb(module, Target::avx(), "bad_store",
+                   {ir::Type::ptr(), ir::Type::i32()});
+  kb.foreach_loop(kb.b().i32_const(0), kb.arg(1), [&](ForeachCtx& ctx) {
+    // Misuse: the varying-store API fed a uniform scalar.
+    ctx.store(kb.b().f32_const(1.0f), kb.arg(0));
+  });
+  EXPECT_FALSE(kb.finish());
+  ASSERT_FALSE(kb.errors().empty());
+  EXPECT_NE(kb.errors().front().find("varying"), std::string::npos);
+}
+
+TEST(BuilderDiagnostics, ZeroTripLoopsAreDiagnosed) {
+  ir::Module module("neg");
+  KernelBuilder kb(module, Target::avx(), "bad_trip",
+                   {ir::Type::ptr(), ir::Type::i32()});
+  // Constant empty interval [5, 5) — and a constant-reversed scalar loop.
+  kb.foreach_loop(kb.b().i32_const(5), kb.b().i32_const(5),
+                  [](ForeachCtx&) { FAIL() << "body must not run"; });
+  kb.scalar_loop(kb.b().i32_const(3), kb.b().i32_const(1), {},
+                 [](ir::Value*, const std::vector<ir::Value*>&)
+                     -> std::vector<ir::Value*> {
+                   ADD_FAILURE() << "body must not run";
+                   return {};
+                 });
+  EXPECT_FALSE(kb.finish());
+  ASSERT_EQ(kb.errors().size(), 2u);
+  EXPECT_NE(kb.errors()[0].find("zero-trip"), std::string::npos);
+  EXPECT_NE(kb.errors()[1].find("zero-trip"), std::string::npos);
+}
+
+TEST(BuilderDiagnostics, MaskedForeachNestingIsDiagnosed) {
+  ir::Module module("neg");
+  KernelBuilder kb(module, Target::sse4(), "bad_nesting",
+                   {ir::Type::ptr(), ir::Type::i32()});
+  kb.foreach_loop(kb.b().i32_const(0), kb.arg(1), [&](ForeachCtx& ctx) {
+    if (ctx.partial()) {
+      // Misuse: a foreach inside the masked remainder would execute
+      // lanes the outer mask disabled.
+      kb.foreach_loop(kb.b().i32_const(0), kb.arg(1), [](ForeachCtx&) {
+        FAIL() << "nested foreach body must not run";
+      });
+    }
+  });
+  EXPECT_FALSE(kb.finish());
+  ASSERT_FALSE(kb.errors().empty());
+  EXPECT_NE(kb.errors().front().find("mask nesting"), std::string::npos);
+}
+
+TEST(BuilderDiagnostics, CleanUsageStillVerifies) {
+  ir::Module module("pos");
+  KernelBuilder kb(module, Target::avx(), "good",
+                   {ir::Type::ptr(), ir::Type::i32()});
+  kb.foreach_loop(kb.b().i32_const(0), kb.arg(1), [&](ForeachCtx& ctx) {
+    ctx.store(ctx.load(ir::Type::f32(), kb.arg(0)), kb.arg(0));
+  });
+  EXPECT_TRUE(kb.ok());
+  EXPECT_TRUE(kb.finish());
+  EXPECT_TRUE(kb.errors().empty());
 }
 
 }  // namespace

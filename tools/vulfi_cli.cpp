@@ -63,6 +63,7 @@
 
 #include "analysis/lint.hpp"
 #include "detect/detector_runtime.hpp"
+#include "fuzz/fuzz.hpp"
 #include "detect/foreach_detector.hpp"
 #include "detect/uniform_detector.hpp"
 #include "ir/printer.hpp"
@@ -124,8 +125,18 @@ struct CliArgs {
       "[--target avx|sse]\n"
       "           Lint kernel IR (verify + dataflow checks); nonzero exit "
       "on any diagnostic.\n"
-      "  version  Print compiler, build type, feature toggles, and the\n"
-      "           build fingerprint pinned into checkpoint journals.\n"
+      "  version  Print compiler, build type, feature toggles, the fuzzer\n"
+      "           grammar version, and the build fingerprint pinned into\n"
+      "           checkpoint journals.\n"
+      "  fuzz     [--seeds N] [--seed S] [--oracle diff|prune|census]\n"
+      "           [--jobs N] [--repro-dir DIR] [--no-reduce]\n"
+      "           Differential fuzzing over generated SPMD kernels; every\n"
+      "           failure is ddmin-reduced and dumped as a .vulfi repro.\n"
+      "           Exit codes: 0 clean, 1 discrepancies found, 2 usage.\n"
+      "  fuzz     --replay FILE.vulfi\n"
+      "           Re-run one repro/corpus file standalone. Exit codes:\n"
+      "           0 oracle passes, 1 oracle fails, 3 unreadable or fuzzer\n"
+      "           grammar mismatch (the journal-fingerprint convention).\n"
       "  serve    --socket PATH [--serve-jobs N] [--queue N]\n"
       "           [--max-request-jobs N] [--cache-entries N] [--quiet]\n"
       "           Run the persistent campaign daemon (vulfid): framed\n"
@@ -166,10 +177,12 @@ CliArgs parse(int argc, char** argv) {
                                  "--stats-json", "--fsync", "--margin",
                                  "--confidence", "--socket", "--priority",
                                  "--journal", "--serve-jobs", "--queue",
-                                 "--max-request-jobs", "--cache-entries"};
+                                 "--max-request-jobs", "--cache-entries",
+                                 "--seeds", "--oracle", "--repro-dir",
+                                 "--replay"};
   const char* flag_options[] = {"--detectors", "--instrumented", "--report",
                                 "--no-golden-cache", "--no-static-prune",
-                                "--all", "--quiet"};
+                                "--all", "--quiet", "--no-reduce"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool matched = false;
@@ -582,7 +595,56 @@ int cmd_version() {
   std::printf("  features:    %s\n", feature_toggles().c_str());
   std::printf("  fingerprint: %s\n", build_fingerprint().c_str());
   std::printf("  protocol:    %u\n", serve::kProtocolVersion);
+  std::printf("  fuzz grammar: v%u\n", fuzz::kGrammarVersion);
   return 0;
+}
+
+int cmd_fuzz(const CliArgs& args) {
+  const std::string replay = args.get("replay");
+  if (!replay.empty()) {
+    const fuzz::ReplayResult result = fuzz::replay_repro_file(replay);
+    std::printf("%s\n", result.message.c_str());
+    return result.exit_code;
+  }
+
+  fuzz::FuzzConfig config;
+  config.seeds = static_cast<unsigned>(std::stoul(args.get("seeds", "100")));
+  config.seed_start = std::stoull(args.get("seed", "1"));
+  const std::string oracle = args.get("oracle", "diff");
+  if (!fuzz::oracle_from_name(oracle, &config.oracle)) {
+    std::fprintf(stderr, "unknown oracle '%s' (use diff, prune, census)\n",
+                 oracle.c_str());
+    return 2;
+  }
+  unsigned jobs = static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  config.jobs = std::max(1u, jobs);
+  config.repro_dir = args.get("repro-dir", "fuzz-repros");
+  config.reduce = !args.flag("no-reduce");
+
+  const fuzz::FuzzSummary summary = fuzz::run_fuzz(config);
+  std::printf("fuzz: %u seeds [%llu, %llu), oracle %s, jobs %u\n",
+              summary.seeds_run,
+              static_cast<unsigned long long>(config.seed_start),
+              static_cast<unsigned long long>(config.seed_start +
+                                              config.seeds),
+              fuzz::oracle_name(config.oracle), config.jobs);
+  for (const fuzz::FuzzFailure& failure : summary.failures) {
+    std::printf("  seed %llu FAILED: %s\n",
+                static_cast<unsigned long long>(failure.seed),
+                failure.diagnostic.c_str());
+    std::printf("    reduced %zu -> %zu ops%s%s\n", failure.original_ops,
+                failure.reduced_ops,
+                failure.repro_path.empty() ? "" : ", repro: ",
+                failure.repro_path.c_str());
+  }
+  if (summary.clean()) {
+    std::printf("  all seeds clean\n");
+    return 0;
+  }
+  std::printf("  %zu of %u seeds failed\n", summary.failures.size(),
+              summary.seeds_run);
+  return 1;
 }
 
 std::string socket_of(const CliArgs& args) {
@@ -762,6 +824,7 @@ int main(int argc, char** argv) {
   if (args.command == "study") return cmd_study(args);
   if (args.command == "lint") return cmd_lint(args);
   if (args.command == "version") return cmd_version();
+  if (args.command == "fuzz") return cmd_fuzz(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "submit") return cmd_submit(args);
   if (args.command == "ping") return cmd_ping(args);
