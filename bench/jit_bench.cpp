@@ -1,0 +1,207 @@
+// JIT backend A/B benchmark (BENCH_PR7.json).
+//
+// Measures the template JIT against the PR2 fast path (pre-decoded
+// interpreter + golden-run memoization + static prune) on the paper's
+// control-category kernels: identical engines, identical seeds, the only
+// variable is CampaignConfig::backend. Reports clean-run latency (pure
+// execution, runtime idle) and end-to-end campaign throughput, and
+// verifies the acceptance contract along the way: statistics must be
+// byte-identical between backends and the campaign speedup must clear
+// the floor on at least two control kernels.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jit/backend.hpp"
+#include "kernels/benchmark.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/report.hpp"
+
+namespace {
+
+using namespace vulfi;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kSpeedupFloor = 5.0;
+constexpr unsigned kFloorKernels = 2;
+
+struct KernelResult {
+  std::string kernel;
+  bool native = false;
+  double interp_clean_us = 0.0;
+  double jit_clean_us = 0.0;
+  double interp_eps = 0.0;  // campaign experiments/sec
+  double jit_eps = 0.0;
+  double campaign_speedup = 0.0;
+  bool stats_identical = false;
+};
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::unique_ptr<InjectionEngine> make_engine(const kernels::Benchmark& bench,
+                                             interp::ExecMode backend) {
+  auto engine = std::make_unique<InjectionEngine>(
+      bench.build(spmd::Target::avx(), 0),
+      analysis::FaultSiteCategory::Control);
+  engine->set_backend(backend);
+  return engine;
+}
+
+/// Mean clean-run latency in microseconds: the pure execution cost with
+/// the injection runtime idle, after a warm-up run that pays decode (or
+/// compile) once, the way a campaign amortizes it.
+double clean_run_us(InjectionEngine& engine, unsigned repeats) {
+  engine.run_clean();  // decode/compile warm-up, outside the timed region
+  const auto start = Clock::now();
+  for (unsigned i = 0; i < repeats; ++i) engine.run_clean();
+  return seconds_since(start) * 1e6 / repeats;
+}
+
+struct CampaignSide {
+  double eps = 0.0;
+  std::string stats;
+};
+
+CampaignSide run_side(const kernels::Benchmark& bench,
+                      interp::ExecMode backend, bool full) {
+  CampaignConfig config;
+  config.experiments_per_campaign = full ? 200 : 100;
+  config.min_campaigns = full ? 20 : 10;
+  config.max_campaigns = config.min_campaigns;
+  config.seed = 0x5eed;
+  config.backend = backend;
+  std::unique_ptr<InjectionEngine> engine = make_engine(bench, backend);
+  std::vector<InjectionEngine*> engines = {engine.get()};
+  const auto start = Clock::now();
+  const CampaignResult result = run_campaigns(engines, config);
+  const double seconds = seconds_since(start);
+  CampaignSide side;
+  const double experiments =
+      static_cast<double>(config.experiments_per_campaign) *
+      config.min_campaigns;
+  side.eps = seconds > 0.0 ? experiments / seconds : 0.0;
+  side.stats = campaign_stats_json(result);
+  return side;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  std::string json_path = "BENCH_PR7.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      full = true;
+    } else {
+      json_path = arg;
+    }
+  }
+
+  if (!jit::JitExecutor::available()) {
+    // No executable memory (hardened mmap): nothing to measure, and the
+    // fallback path is already covered by ctest. Report and succeed.
+    std::fprintf(stderr, "jit-bench: executable memory unavailable, "
+                         "skipping (interp fallback verified by tests)\n");
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out != nullptr) {
+      std::fprintf(out, "{\"bench\": \"jit_campaign_ab\", "
+                        "\"jit_available\": false, \"kernels\": []}\n");
+      std::fclose(out);
+    }
+    return 0;
+  }
+
+  const std::vector<const char*> names = {"dot", "stencil", "blackscholes",
+                                          "jacobi"};
+  std::vector<KernelResult> results;
+  for (const char* name : names) {
+    const kernels::Benchmark* bench = kernels::find_benchmark(name);
+    KernelResult r;
+    r.kernel = name;
+
+    {  // Clean-run latency: interpreter vs compiled code, runtime idle.
+      const unsigned repeats = full ? 400 : 100;
+      auto interp_engine = make_engine(*bench, interp::ExecMode::PreDecoded);
+      r.interp_clean_us = clean_run_us(*interp_engine, repeats);
+      auto jit_engine = make_engine(*bench, interp::ExecMode::Jit);
+      r.jit_clean_us = clean_run_us(*jit_engine, repeats);
+      r.native = jit_engine->jit_backend() != nullptr &&
+                 jit_engine->jit_backend()->native_runs() > 0;
+    }
+
+    const CampaignSide interp_side =
+        run_side(*bench, interp::ExecMode::PreDecoded, full);
+    const CampaignSide jit_side = run_side(*bench, interp::ExecMode::Jit, full);
+    r.interp_eps = interp_side.eps;
+    r.jit_eps = jit_side.eps;
+    r.campaign_speedup =
+        interp_side.eps > 0.0 ? jit_side.eps / interp_side.eps : 0.0;
+    r.stats_identical = interp_side.stats == jit_side.stats;
+
+    std::fprintf(stderr,
+                 "jit-bench: %-12s %s  clean %8.1fus -> %8.1fus (%.2fx)  "
+                 "campaign %8.1f -> %8.1f exp/s (%.2fx)  stats %s\n",
+                 r.kernel.c_str(), r.native ? "native  " : "fallback",
+                 r.interp_clean_us, r.jit_clean_us,
+                 r.jit_clean_us > 0.0 ? r.interp_clean_us / r.jit_clean_us
+                                      : 0.0,
+                 r.interp_eps, r.jit_eps, r.campaign_speedup,
+                 r.stats_identical ? "identical" : "DIVERGED");
+    results.push_back(r);
+  }
+
+  unsigned over_floor = 0;
+  bool all_identical = true;
+  for (const KernelResult& r : results) {
+    if (r.campaign_speedup >= kSpeedupFloor) over_floor += 1;
+    all_identical = all_identical && r.stats_identical;
+  }
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"jit_campaign_ab\",\n"
+               "  \"jit_available\": true,\n"
+               "  \"category\": \"control\",\n"
+               "  \"unit\": \"experiments_per_second\",\n"
+               "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"kernel\": \"%s\", \"native\": %s,\n"
+        "     \"clean_interp_us\": %.1f, \"clean_jit_us\": %.1f,\n"
+        "     \"interp\": %.1f, \"jit\": %.1f, \"speedup\": %.2f,\n"
+        "     \"stats_identical\": %s}%s\n",
+        r.kernel.c_str(), r.native ? "true" : "false", r.interp_clean_us,
+        r.jit_clean_us, r.interp_eps, r.jit_eps, r.campaign_speedup,
+        r.stats_identical ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "jit-bench: wrote %s\n", json_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr, "jit-bench: FAIL — statistics diverged between "
+                         "backends\n");
+    return 1;
+  }
+  if (over_floor < kFloorKernels) {
+    std::fprintf(stderr,
+                 "jit-bench: FAIL — only %u kernels cleared the %.1fx "
+                 "campaign speedup floor (need %u)\n",
+                 over_floor, kSpeedupFloor, kFloorKernels);
+    return 1;
+  }
+  return 0;
+}

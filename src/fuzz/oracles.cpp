@@ -260,6 +260,107 @@ OracleVerdict census_oracle(const KernelSpec& spec) {
   return verdict;
 }
 
+/// Compares every golden observable of two engines; labels name the
+/// backends in the diagnostic.
+bool goldens_equal(InjectionEngine& lhs, const char* lhs_name,
+                   InjectionEngine& rhs, const char* rhs_name,
+                   OracleVerdict* verdict) {
+  const GoldenCache& a = lhs.golden();
+  const GoldenCache& b = rhs.golden();
+  if (a.output_bytes != b.output_bytes) {
+    std::size_t at = 0;
+    while (at < a.output_bytes.size() && at < b.output_bytes.size() &&
+           a.output_bytes[at] == b.output_bytes[at]) {
+      ++at;
+    }
+    std::ostringstream os;
+    os << "golden output bytes differ (sizes " << a.output_bytes.size()
+       << " vs " << b.output_bytes.size() << ", first mismatch at byte " << at
+       << ")";
+    verdict->ok = false;
+    verdict->diagnostic = os.str();
+    return false;
+  }
+  if (!check_eq("golden return bits", a.return_bits, b.return_bits,
+                verdict)) {
+    return false;
+  }
+  if (a.dynamic_sites != b.dynamic_sites ||
+      a.golden_instructions != b.golden_instructions) {
+    std::ostringstream os;
+    os << "golden counters differ (" << lhs_name << " sites="
+       << a.dynamic_sites << " insts=" << a.golden_instructions << " vs "
+       << rhs_name << " sites=" << b.dynamic_sites << " insts="
+       << b.golden_instructions << ")";
+    verdict->ok = false;
+    verdict->diagnostic = os.str();
+    return false;
+  }
+  if (a.golden_detected != b.golden_detected) {
+    verdict->ok = false;
+    verdict->diagnostic = "golden detector events differ between backends";
+    return false;
+  }
+  return check_eq("golden site-census sequences", a.site_sequence,
+                  b.site_sequence, verdict);
+}
+
+OracleVerdict jit_oracle(const KernelSpec& spec, const OracleConfig& config) {
+  OracleVerdict verdict;
+  RunSpec jit_spec, interp_spec;
+  if (!build_checked(spec, &jit_spec, &verdict)) return verdict;
+  if (!build_checked(spec, &interp_spec, &verdict)) return verdict;
+
+  EngineOptions options;
+  options.static_prune = true;  // record the golden census
+  InjectionEngine jit(std::move(jit_spec), spec.category, options);
+  jit.set_backend(interp::ExecMode::Jit);
+  InjectionEngine interp(std::move(interp_spec), spec.category, options);
+
+  if (!goldens_equal(jit, "jit", interp, "interp", &verdict)) return verdict;
+  if (jit.golden().dynamic_sites == 0) return verdict;  // nothing to draw
+
+  // Shared seeded experiment stream: every faulty run — injection,
+  // detectors, classification, retired-instruction count — must come back
+  // identical from native code and from the interpreter.
+  for (unsigned experiment = 0; experiment < config.prune_experiments;
+       ++experiment) {
+    const std::uint64_t stream = derive_stream_seed(
+        config.experiment_seed ^ spec.seed, 2, experiment);
+    Rng jit_rng(stream);
+    Rng interp_rng(stream);
+    const ExperimentResult a = jit.run_experiment(jit_rng);
+    const ExperimentResult b = interp.run_experiment(interp_rng);
+    const bool match =
+        a.outcome == b.outcome && a.detected == b.detected &&
+        a.trap == b.trap && a.dynamic_sites == b.dynamic_sites &&
+        a.faulty_instructions == b.faulty_instructions &&
+        a.injection.site_id == b.injection.site_id &&
+        a.injection.bit == b.injection.bit &&
+        a.injection.dynamic_index == b.injection.dynamic_index &&
+        a.injection.bits_before == b.injection.bits_before &&
+        a.injection.bits_after == b.injection.bits_after;
+    if (!match) {
+      std::ostringstream os;
+      os << "experiment " << experiment << " diverges: jit {outcome="
+         << outcome_name(a.outcome) << " detected=" << a.detected
+         << " trap=" << static_cast<int>(a.trap) << " insts="
+         << a.faulty_instructions << " site=" << a.injection.site_id
+         << " dyn=" << a.injection.dynamic_index << " bit="
+         << a.injection.bit << "} vs interp {outcome="
+         << outcome_name(b.outcome) << " detected=" << b.detected
+         << " trap=" << static_cast<int>(b.trap) << " insts="
+         << b.faulty_instructions << " site=" << b.injection.site_id
+         << " dyn=" << b.injection.dynamic_index << " bit="
+         << b.injection.bit << "}";
+      verdict.ok = false;
+      verdict.diagnostic = os.str();
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
 }  // namespace
 
 const char* oracle_name(OracleKind kind) {
@@ -267,6 +368,7 @@ const char* oracle_name(OracleKind kind) {
     case OracleKind::Diff: return "diff";
     case OracleKind::Prune: return "prune";
     case OracleKind::Census: return "census";
+    case OracleKind::Jit: return "jit";
   }
   return "diff";
 }
@@ -278,6 +380,8 @@ bool oracle_from_name(const std::string& name, OracleKind* out) {
     *out = OracleKind::Prune;
   } else if (name == "census") {
     *out = OracleKind::Census;
+  } else if (name == "jit") {
+    *out = OracleKind::Jit;
   } else {
     return false;
   }
@@ -290,6 +394,7 @@ OracleVerdict run_oracle(const KernelSpec& spec, OracleKind kind,
     case OracleKind::Diff: return diff_oracle(spec);
     case OracleKind::Prune: return prune_oracle(spec, config);
     case OracleKind::Census: return census_oracle(spec);
+    case OracleKind::Jit: return jit_oracle(spec, config);
   }
   return {};
 }

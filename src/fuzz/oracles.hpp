@@ -13,6 +13,11 @@
 //   census  — static fault-site enumeration is stable across RunSpec
 //             cloning, engine instrumentation, engine cloning, and
 //             ExecMode (golden dynamic census predecode vs Reference).
+//   jit     — the template JIT backend and the pre-decoded interpreter
+//             produce byte-identical golden observables (output bytes,
+//             return bits, dynamic-site count and census, retired
+//             instructions, detector events) and classify a shared
+//             seeded experiment stream identically.
 //
 // Every oracle first gates on the build diagnostics and the lint driver:
 // a generated kernel that fails to build or lint is itself a finding.
@@ -24,7 +29,7 @@
 
 namespace vulfi::fuzz {
 
-enum class OracleKind : std::uint8_t { Diff, Prune, Census };
+enum class OracleKind : std::uint8_t { Diff, Prune, Census, Jit };
 
 const char* oracle_name(OracleKind kind);
 bool oracle_from_name(const std::string& name, OracleKind* out);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "interp/scalar_ops.hpp"
 #include "support/str.hpp"
 
 namespace vulfi::interp {
@@ -39,7 +40,7 @@ const Interpreter::Layout& Interpreter::layout_for(const ir::Function& fn) {
       }
     }
   }
-  if (mode_ == ExecMode::PreDecoded) decode_function(fn, layout);
+  if (mode_ != ExecMode::Reference) decode_function(fn, layout);
   return layouts_.emplace(&fn, std::move(layout)).first->second;
 }
 
@@ -155,29 +156,6 @@ ExecResult Interpreter::run(const ir::Function& fn,
   result.stats = stats_;
   return result;
 }
-
-namespace {
-
-std::uint64_t shift_result(Opcode op, std::int64_t value_signed,
-                           std::uint64_t value_unsigned,
-                           std::uint64_t amount, unsigned width) {
-  if (amount >= width) {
-    // Deterministic overshift: logical shifts vanish; arithmetic shift
-    // keeps the sign fill.
-    if (op == Opcode::AShr && value_signed < 0) return ~std::uint64_t{0};
-    return 0;
-  }
-  switch (op) {
-    case Opcode::Shl: return value_unsigned << amount;
-    case Opcode::LShr: return value_unsigned >> amount;
-    case Opcode::AShr:
-      return static_cast<std::uint64_t>(value_signed >>
-                                        static_cast<std::int64_t>(amount));
-    default: VULFI_UNREACHABLE("not a shift opcode");
-  }
-}
-
-}  // namespace
 
 RtVal Interpreter::eval_int_binary(const ir::Instruction& inst,
                                    const RtVal& lhs, const RtVal& rhs) {
@@ -329,33 +307,6 @@ RtVal Interpreter::eval_fcmp(const ir::Instruction& inst, const RtVal& lhs,
   }
   return out;
 }
-
-namespace {
-
-std::uint64_t saturating_fp_to_int(double value, unsigned width,
-                                   bool is_signed) {
-  if (std::isnan(value)) return 0;
-  if (is_signed) {
-    const double lo = -std::ldexp(1.0, static_cast<int>(width) - 1);
-    const double hi = std::ldexp(1.0, static_cast<int>(width) - 1) - 1.0;
-    if (value <= lo) {
-      return std::uint64_t{1} << (width - 1);  // min value bit pattern
-    }
-    if (value >= hi) {
-      return (std::uint64_t{1} << (width - 1)) - 1;
-    }
-    return static_cast<std::uint64_t>(static_cast<std::int64_t>(value));
-  }
-  if (value <= 0.0) return 0;
-  const double hi = std::ldexp(1.0, static_cast<int>(width)) - 1.0;
-  if (value >= hi) {
-    return width >= 64 ? ~std::uint64_t{0}
-                       : (std::uint64_t{1} << width) - 1;
-  }
-  return static_cast<std::uint64_t>(value);
-}
-
-}  // namespace
 
 RtVal Interpreter::eval_cast(const ir::Instruction& inst,
                              const RtVal& operand) const {
@@ -587,7 +538,7 @@ RtVal Interpreter::run_function(const ir::Function& fn,
                  "argument type mismatch");
     frame.slots[layout.slots.at(fn.arg(i))] = args[i];
   }
-  return mode_ == ExecMode::PreDecoded
+  return mode_ != ExecMode::Reference
              ? run_decoded(layout, frame, depth)
              : run_reference(fn, layout, frame, depth);
 }

@@ -65,8 +65,13 @@ struct ExecResult {
   bool ok() const { return !trap; }
 };
 
-/// How the interpreter resolves SSA operands while dispatching.
-enum class ExecMode : std::uint8_t { PreDecoded, Reference };
+/// Execution backend selector. PreDecoded and Reference are the two
+/// interpreter flavors described above. Jit names the native x86-64
+/// template-JIT backend (src/jit); the Interpreter itself treats Jit like
+/// PreDecoded — it is the fallback substrate the JIT executor delegates
+/// to for functions it declines to compile — while the injection engine
+/// uses the enum to route whole runs to jit::JitExecutor.
+enum class ExecMode : std::uint8_t { PreDecoded, Reference, Jit };
 
 class Interpreter {
  public:

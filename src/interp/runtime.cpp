@@ -13,6 +13,23 @@ bool RuntimeEnv::has_handler(const std::string& name) const {
   return handlers_.count(name) != 0;
 }
 
+const RuntimeHandler* RuntimeEnv::find_handler(const std::string& name) const {
+  auto it = handlers_.find(name);
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+void RuntimeEnv::register_raw_handler(std::string name,
+                                      RawRuntimeHandler raw) {
+  VULFI_ASSERT(raw.fn != nullptr, "raw runtime handler must be callable");
+  raw_handlers_[std::move(name)] = raw;
+}
+
+const RawRuntimeHandler* RuntimeEnv::find_raw_handler(
+    const std::string& name) const {
+  auto it = raw_handlers_.find(name);
+  return it == raw_handlers_.end() ? nullptr : &it->second;
+}
+
 RtVal RuntimeEnv::invoke(const std::string& name,
                          const std::vector<RtVal>& args) const {
   auto it = handlers_.find(name);

@@ -19,6 +19,20 @@ namespace vulfi::interp {
 
 using RuntimeHandler = std::function<RtVal(const std::vector<RtVal>& args)>;
 
+/// Optional C-ABI fast path for a runtime handler whose IR signature is
+/// fully scalar — T(T value, T mask_element, i64 site_id, i32 lane), the
+/// injection API's shape. A compiled backend may call `fn(self, ...)`
+/// with raw lane words (RtVal::raw encoding) instead of marshalling
+/// RtVals through the std::function handler. Contract: the raw call is
+/// observably equivalent to the RtVal handler on the same words, never
+/// traps, and `self`/`fn` stay valid for the environment's lifetime —
+/// compiled code bakes both in, so register before any compilation.
+struct RawRuntimeHandler {
+  void* self = nullptr;
+  std::uint64_t (*fn)(void* self, std::uint64_t value, std::uint64_t mask,
+                      std::uint64_t site_id, std::uint64_t lane) = nullptr;
+};
+
 /// Shared flag the detector runtime raises when an inserted checker
 /// (foreach invariants, uniform-broadcast equality) observes a violated
 /// invariant during a run. The experiment driver resets it per run and
@@ -37,13 +51,30 @@ class RuntimeEnv {
 
   bool has_handler(const std::string& name) const;
 
+  /// Stable pointer to the handler registered for `name`, or nullptr.
+  /// unordered_map's node-based storage keeps the pointer valid across
+  /// later registrations, and re-registering a name replaces the mapped
+  /// std::function in place — so the JIT can resolve handlers once at
+  /// compile time and still observe per-run handler swaps.
+  const RuntimeHandler* find_handler(const std::string& name) const;
+
   /// Invokes the handler; aborts if none is registered (an instrumented
   /// module without its runtime is a harness bug, not a program fault).
   RtVal invoke(const std::string& name,
                const std::vector<RtVal>& args) const;
 
+  /// Registers (or replaces) the raw fast path for `name`. The RtVal
+  /// handler must be registered too — backends that don't compile (and
+  /// the reference interpreter) keep using it.
+  void register_raw_handler(std::string name, RawRuntimeHandler raw);
+
+  /// Stable pointer to the raw fast path for `name`, or nullptr when the
+  /// handler has none (same node-stability guarantee as find_handler).
+  const RawRuntimeHandler* find_raw_handler(const std::string& name) const;
+
  private:
   std::unordered_map<std::string, RuntimeHandler> handlers_;
+  std::unordered_map<std::string, RawRuntimeHandler> raw_handlers_;
 };
 
 }  // namespace vulfi::interp

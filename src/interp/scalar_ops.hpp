@@ -1,0 +1,66 @@
+// Scalar operation semantics shared by every execution backend.
+//
+// The interpreter defines the repo's deterministic stand-ins for the
+// paper's native-execution semantics (wrapping overflow, overshift,
+// saturating float-to-int). The JIT backend reproduces most operations
+// directly in machine code but routes the branch-heavy cases through
+// helper callouts — those callouts must compute bit-identical results, so
+// the definitions live here, in one place, instead of being duplicated.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "ir/instruction.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::interp {
+
+/// Shl/LShr/AShr with deterministic overshift: shifting by >= the element
+/// width yields 0, except AShr of a negative value, which keeps the sign
+/// fill (-1). `value_signed` must be the sign-extended element,
+/// `value_unsigned` the zero-extended one.
+inline std::uint64_t shift_result(ir::Opcode op, std::int64_t value_signed,
+                                  std::uint64_t value_unsigned,
+                                  std::uint64_t amount, unsigned width) {
+  if (amount >= width) {
+    // Deterministic overshift: logical shifts vanish; arithmetic shift
+    // keeps the sign fill.
+    if (op == ir::Opcode::AShr && value_signed < 0) return ~std::uint64_t{0};
+    return 0;
+  }
+  switch (op) {
+    case ir::Opcode::Shl: return value_unsigned << amount;
+    case ir::Opcode::LShr: return value_unsigned >> amount;
+    case ir::Opcode::AShr:
+      return static_cast<std::uint64_t>(value_signed >>
+                                        static_cast<std::int64_t>(amount));
+    default: VULFI_UNREACHABLE("not a shift opcode");
+  }
+}
+
+/// fptosi/fptoui with saturation at the destination width; NaN converts
+/// to 0. Operates on the numeric (double) value of the source lane.
+inline std::uint64_t saturating_fp_to_int(double value, unsigned width,
+                                          bool is_signed) {
+  if (std::isnan(value)) return 0;
+  if (is_signed) {
+    const double lo = -std::ldexp(1.0, static_cast<int>(width) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(width) - 1) - 1.0;
+    if (value <= lo) {
+      return std::uint64_t{1} << (width - 1);  // min value bit pattern
+    }
+    if (value >= hi) {
+      return (std::uint64_t{1} << (width - 1)) - 1;
+    }
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(value));
+  }
+  if (value <= 0.0) return 0;
+  const double hi = std::ldexp(1.0, static_cast<int>(width)) - 1.0;
+  if (value >= hi) {
+    return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace vulfi::interp

@@ -1,0 +1,94 @@
+// Public entry point of the JIT backend.
+//
+// JitExecutor presents the same run() contract as interp::Interpreter —
+// identical ExecResult (trap kind + detail string, return value, dynamic
+// instruction/vector/call counts) for identical inputs — but executes
+// compiled x86-64 templates instead of the dispatch loop. Fault injection
+// and detection keep working unchanged: the injected program's runtime
+// calls go through the same RuntimeEnv handlers, reached from compiled
+// code via descriptor callouts.
+//
+// Per-function fallback: functions the template JIT declines to compile
+// (wider than 8 lanes, unregistered runtime callees, non-leading phis) and
+// hosts without executable memory run on the pre-decoded interpreter
+// instead — the decision is per entry call graph, cached, and invisible
+// in the observables.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/arena.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/runtime.hpp"
+#include "interp/trap.hpp"
+#include "ir/function.hpp"
+
+namespace vulfi::jit {
+
+struct CompiledFunction;
+class ExecMemory;
+
+class JitExecutor {
+ public:
+  /// `fallback` handles everything the JIT declines; limits are pushed
+  /// into it before each fallback run so both paths see the same budget.
+  JitExecutor(interp::Arena& arena, interp::RuntimeEnv& env,
+              interp::Interpreter& fallback, interp::ExecLimits limits = {});
+  ~JitExecutor();
+
+  JitExecutor(const JitExecutor&) = delete;
+  JitExecutor& operator=(const JitExecutor&) = delete;
+
+  /// True when this process can map executable memory at all.
+  static bool available();
+
+  void set_limits(interp::ExecLimits limits) { limits_ = limits; }
+
+  interp::ExecResult run(const ir::Function& fn,
+                         const std::vector<interp::RtVal>& args);
+
+  /// Compiles `fn` (and its callee graph) on demand and reports whether
+  /// runs will execute natively (false = interpreter fallback).
+  bool function_compiled(const ir::Function& fn);
+
+  std::uint64_t native_runs() const { return native_runs_; }
+  std::uint64_t fallback_runs() const { return fallback_runs_; }
+
+  // --- used by the extern "C" helper callouts (not part of the API) -------
+  void record_trap(interp::TrapKind kind, std::string detail);
+  /// Reusable argument buffer for runtime-handler dispatch. Safe to share
+  /// across call sites because handlers never re-enter IR execution.
+  std::vector<interp::RtVal>& call_scratch() { return call_scratch_; }
+
+ private:
+  /// Returns the compiled entry for `fn`, compiling its whole Definition
+  /// call graph in one published batch on first request; nullptr when any
+  /// reachable function is uncompilable (cached either way).
+  CompiledFunction* ensure_compiled(const ir::Function& fn);
+  static CompiledFunction* resolve_callee(void* self, const ir::Function* fn);
+
+  interp::Arena& arena_;
+  interp::RuntimeEnv& env_;
+  interp::Interpreter& fallback_;
+  interp::ExecLimits limits_;
+
+  /// Compile-decision cache; nullptr marks a known-uncompilable entry.
+  std::unordered_map<const ir::Function*, CompiledFunction*> compiled_;
+  /// Shells being compiled in the current batch (callee resolution).
+  std::unordered_map<const ir::Function*, CompiledFunction*> pending_;
+  /// Owns every CompiledFunction; addresses are baked into code and
+  /// descriptors, so elements are never moved or dropped once published.
+  std::vector<std::unique_ptr<CompiledFunction>> owned_;
+  std::vector<std::unique_ptr<ExecMemory>> batches_;
+
+  std::vector<interp::RtVal> call_scratch_;
+  interp::Trap trap_;
+  std::uint64_t native_runs_ = 0;
+  std::uint64_t fallback_runs_ = 0;
+};
+
+}  // namespace vulfi::jit

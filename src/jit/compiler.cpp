@@ -1,0 +1,1255 @@
+// Template lowering: one pass over a decoded-order function, emitting
+// x86-64 through the Encoder. The contract is bit-identical observables
+// with interp::Interpreter's pre-decoded loop — same stats ordering, same
+// trap kinds and detail strings, same partial-store semantics, same raw
+// lane encodings (see internal.hpp for the frame invariant).
+//
+// Structure per instruction: a budget prologue (check-then-increment, like
+// the interpreter's dispatch loop), then either inline code or a callout
+// to one of the fi_runtime helpers in executor.cpp with an InstDesc*
+// baked in as an imm64. Every callout is followed by a trap-flag test
+// that bails to the shared epilogue, so a trapping helper ends the run
+// exactly where the interpreter's `while (!trap_)` loop would.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/rtval.hpp"
+#include "jit/encoder.hpp"
+#include "jit/internal.hpp"
+#include "support/error.hpp"
+
+namespace vulfi::jit {
+
+namespace {
+
+using ir::Opcode;
+using ir::Type;
+using ir::TypeKind;
+
+/// Widest vector the template lowers; wider kernels (a hypothetical
+/// AVX-512-style 16-lane target) fall back to the interpreter.
+constexpr unsigned kMaxJitLanes = 8;
+/// Flattened-argument budget for Definition-to-Definition calls (lane
+/// words); matches the fixed buffer in vulfi_jit_call.
+constexpr unsigned kMaxCallArgWords = 128;
+
+// Trap detail strings, byte-for-byte the interpreter's. Static storage so
+// their addresses can be baked into code as imm64.
+constexpr const char kBudgetDetail[] = "dynamic instruction budget exhausted";
+constexpr const char kUnreachableDetail[] = "executed unreachable";
+constexpr const char kExtractDetail[] = "extractelement lane out of range";
+constexpr const char kInsertDetail[] = "insertelement lane out of range";
+
+constexpr std::int32_t kCtxTotal =
+    offsetof(JitContext, total_instructions);
+constexpr std::int32_t kCtxMaxInsts = offsetof(JitContext, max_instructions);
+constexpr std::int32_t kCtxVector =
+    offsetof(JitContext, vector_instructions);
+constexpr std::int32_t kCtxCalls = offsetof(JitContext, calls);
+constexpr std::int32_t kCtxArenaBase = offsetof(JitContext, arena_base);
+constexpr std::int32_t kCtxArenaTop = offsetof(JitContext, arena_top);
+constexpr std::int32_t kCtxTrap = offsetof(JitContext, trap_kind);
+
+template <typename Fn>
+std::uint64_t fn_addr(Fn* fn) {
+  return reinterpret_cast<std::uint64_t>(reinterpret_cast<void*>(fn));
+}
+
+bool type_fits(Type type) {
+  return type.is_void() || type.lanes() <= kMaxJitLanes;
+}
+
+/// Compile-time operand location: a frame word run or a constant-pool run
+/// (with the lane values known, since the pool is materialized up front).
+struct Src {
+  bool is_const = false;
+  std::int32_t word = -1;           // frame word of lane 0 (!is_const)
+  const std::uint64_t* pool = nullptr;  // lane words (is_const)
+  Type type;
+};
+
+class FunctionCompiler {
+ public:
+  FunctionCompiler(const ir::Function& fn, const interp::RuntimeEnv& env,
+                   CompiledFunction& out,
+                   CompiledFunction* (*resolve_callee)(void*,
+                                                       const ir::Function*),
+                   void* resolve_ctx)
+      : fn_(fn),
+        env_(env),
+        out_(out),
+        resolve_callee_(resolve_callee),
+        resolve_ctx_(resolve_ctx) {}
+
+  void run() {
+    assign_slots();
+    build_const_pool();
+    size_phi_scratch();
+    emit();
+    out_.code = e_.finish();
+  }
+
+ private:
+  using Reg = jit::Reg;
+  using Xmm = jit::Xmm;
+  using Cond = jit::Cond;
+  using Label = Encoder::Label;
+
+  // --- layout --------------------------------------------------------------
+
+  void assign_slots() {
+    // Same dense numbering as the interpreter's layout_for: arguments
+    // first, then non-void instruction results in block order.
+    auto add_slot = [&](const ir::Value* value) {
+      const auto slot = static_cast<std::uint32_t>(out_.slot_word.size());
+      slot_of_[value] = slot;
+      out_.slot_word.push_back(next_word_);
+      out_.slot_lanes.push_back(value->type().lanes());
+      next_word_ += value->type().lanes();
+      return slot;
+    };
+    next_word_ = 1;  // word 0 holds the saved arena watermark
+    for (const auto& arg : fn_.args()) {
+      out_.arg_slots.push_back(add_slot(arg.get()));
+    }
+    for (const auto& block : fn_) {
+      for (const auto& inst : *block) {
+        if (!inst->type().is_void()) add_slot(inst.get());
+      }
+    }
+  }
+
+  void build_const_pool() {
+    // Dedup by Value* (like the decode cache) and materialize with
+    // of_constant semantics: undef lanes read as zero. Sized before any
+    // pointer is taken so OperandLoc::pool stays stable.
+    std::vector<const ir::Constant*> order;
+    for (const auto& block : fn_) {
+      for (const auto& inst : *block) {
+        for (const ir::Value* op : inst->operands()) {
+          if (op->value_kind() != ir::ValueKind::Constant) continue;
+          if (const_off_.contains(op)) continue;
+          const auto* c = static_cast<const ir::Constant*>(op);
+          const_off_[op] = pool_words_;
+          pool_words_ += c->type().lanes();
+          order.push_back(c);
+        }
+      }
+    }
+    out_.const_pool.resize(pool_words_, 0);
+    std::size_t off = 0;
+    for (const ir::Constant* c : order) {
+      for (unsigned lane = 0; lane < c->type().lanes(); ++lane) {
+        out_.const_pool[off + lane] = c->is_undef() ? 0 : c->raw(lane);
+      }
+      off += c->type().lanes();
+    }
+  }
+
+  void size_phi_scratch() {
+    // Tail scratch sized for the widest edge transfer (phi moves are
+    // simultaneous: sources are staged before destinations are written).
+    std::uint32_t widest = 0;
+    for (const auto& block : fn_) {
+      std::uint32_t words = 0;
+      for (const auto& inst : *block) {
+        if (inst->opcode() != Opcode::Phi) break;
+        words += inst->type().lanes();
+      }
+      if (words > widest) widest = words;
+    }
+    scratch_word_ = next_word_;
+    std::uint32_t total = next_word_ + widest;
+    // Keep rsp ≡ 0 (mod 16) at helper call sites: entry rsp ≡ 8, four
+    // pushes keep ≡ 8, so the frame must be ≡ 8 (mod 16), i.e. an odd
+    // number of words.
+    if (total % 2 == 0) total += 1;
+    out_.frame_bytes = total * 8;
+  }
+
+  // --- operand access ------------------------------------------------------
+
+  Src src_of(const ir::Value* value) const {
+    Src s;
+    s.type = value->type();
+    if (value->value_kind() == ir::ValueKind::Constant) {
+      s.is_const = true;
+      s.pool = out_.const_pool.data() + const_off_.at(value);
+    } else {
+      s.word = static_cast<std::int32_t>(
+          out_.slot_word[slot_of_.at(value)]);
+    }
+    return s;
+  }
+
+  std::int32_t word_of(const ir::Instruction& inst) const {
+    if (inst.type().is_void()) return -1;
+    return static_cast<std::int32_t>(out_.slot_word[slot_of_.at(&inst)]);
+  }
+
+  static std::int32_t disp(std::int32_t word, unsigned lane) {
+    return (word + static_cast<std::int32_t>(lane)) * 8;
+  }
+
+  /// Raw lane word into a GPR (the RtVal::raw encoding, unchanged).
+  void load_raw(Reg dst, const Src& s, unsigned lane) {
+    if (s.is_const) {
+      e_.mov_ri64(dst, s.pool[lane]);
+    } else {
+      e_.mov_rm(dst, Reg::RBP, disp(s.word, lane));
+    }
+  }
+
+  /// Sign-extended element into a GPR. dst must be RAX/RCX/RDX (byte-wide
+  /// movsx source restriction).
+  void load_sext(Reg dst, const Src& s, unsigned lane) {
+    const unsigned width = s.type.element_bits();
+    if (s.is_const) {
+      e_.mov_ri64(dst, static_cast<std::uint64_t>(ir::Constant::sign_extend(
+                           s.pool[lane], width)));
+      return;
+    }
+    e_.mov_rm(dst, Reg::RBP, disp(s.word, lane));
+    switch (width) {
+      case 64: break;
+      case 32: e_.movsx_rr32(dst, dst); break;
+      case 16: e_.movsx_rr16(dst, dst); break;
+      case 8: e_.movsx_rr8(dst, dst); break;
+      case 1:
+        e_.and_ri(dst, 1);
+        e_.neg(dst);
+        break;
+      default: VULFI_UNREACHABLE("bad element width");
+    }
+  }
+
+  void store_word(std::int32_t dst_word, unsigned lane, Reg src) {
+    e_.mov_mr(Reg::RBP, disp(dst_word, lane), src);
+  }
+
+  /// Truncates a register value to the element width, re-establishing the
+  /// frame invariant after arithmetic that may overflow it.
+  void emit_mask(Reg r, unsigned width) {
+    switch (width) {
+      case 64: break;
+      case 32: e_.mov_rr32(r, r); break;  // 32-bit mov zero-extends
+      case 16: e_.and_ri(r, 0xFFFF); break;
+      case 8: e_.and_ri(r, 0xFF); break;
+      case 1: e_.and_ri(r, 1); break;
+      default: VULFI_UNREACHABLE("bad element width");
+    }
+  }
+
+  /// Two consecutive lane words (16 bytes) into an xmm.
+  void load_pair(Xmm dst, const Src& s, unsigned lane) {
+    if (s.is_const) {
+      e_.mov_ri64(Reg::R11,
+                  reinterpret_cast<std::uint64_t>(s.pool + lane));
+      e_.movdqu_xm(dst, Reg::R11, 0);
+    } else {
+      e_.movdqu_xm(dst, Reg::RBP, disp(s.word, lane));
+    }
+  }
+
+  void store_pair(std::int32_t dst_word, unsigned lane, Xmm src) {
+    e_.movdqu_mx(Reg::RBP, disp(dst_word, lane), src);
+  }
+
+  void load_f32(Xmm dst, const Src& s, unsigned lane) {
+    if (s.is_const) {
+      e_.mov_ri64(Reg::R11,
+                  reinterpret_cast<std::uint64_t>(s.pool + lane));
+      e_.movss_xm(dst, Reg::R11, 0);
+    } else {
+      e_.movss_xm(dst, Reg::RBP, disp(s.word, lane));
+    }
+  }
+
+  void load_f64(Xmm dst, const Src& s, unsigned lane) {
+    if (s.is_const) {
+      e_.mov_ri64(Reg::R11,
+                  reinterpret_cast<std::uint64_t>(s.pool + lane));
+      e_.movsd_xm(dst, Reg::R11, 0);
+    } else {
+      e_.movsd_xm(dst, Reg::RBP, disp(s.word, lane));
+    }
+  }
+
+  /// Stores the low f32 of an xmm as a frame lane word (bits zero-extended
+  /// to 64 via a 32-bit GPR move, so upper-xmm garbage never leaks).
+  void store_f32_result(std::int32_t dst_word, unsigned lane, Xmm src) {
+    e_.movd_rx(Reg::RAX, src);
+    store_word(dst_word, lane, Reg::RAX);
+  }
+
+  void store_f64_result(std::int32_t dst_word, unsigned lane, Xmm src) {
+    e_.movsd_mx(Reg::RBP, disp(dst_word, lane), src);
+  }
+
+  // --- shared stubs and callouts -------------------------------------------
+
+  /// The interpreter's per-instruction budget gate: check, then count.
+  /// A phi-stat transfer at block entry bypasses this (emit_edge).
+  void emit_budget(bool is_vector) {
+    e_.mov_rm(Reg::RAX, Reg::RBX, kCtxTotal);
+    e_.cmp_rm(Reg::RAX, Reg::RBX, kCtxMaxInsts);
+    e_.jcc(Cond::AE, budget_label_);
+    e_.add_ri(Reg::RAX, 1);
+    e_.mov_mr(Reg::RBX, kCtxTotal, Reg::RAX);
+    if (is_vector) e_.add_mi(Reg::RBX, kCtxVector, 1);
+  }
+
+  void emit_helper_call(std::uint64_t helper, const InstDesc* desc) {
+    e_.mov_rr(Reg::RDI, Reg::RBX);
+    e_.mov_rr(Reg::RSI, Reg::RBP);
+    e_.mov_ri64(Reg::RDX, reinterpret_cast<std::uint64_t>(desc));
+    e_.mov_ri64(Reg::RAX, helper);
+    e_.call_reg(Reg::RAX);
+    e_.cmp_mi(Reg::RBX, kCtxTrap, 0);
+    e_.jcc(Cond::NE, ret_label_);
+  }
+
+  /// Fixed-detail trap stub: vulfi_jit_trap(ctx, kind, detail) then bail.
+  void emit_trap_stub(Label label, interp::TrapKind kind,
+                      const char* detail) {
+    e_.bind(label);
+    e_.mov_rr(Reg::RDI, Reg::RBX);
+    e_.mov_ri32(Reg::RSI, static_cast<std::uint32_t>(kind));
+    e_.mov_ri64(Reg::RDX, reinterpret_cast<std::uint64_t>(detail));
+    e_.mov_ri64(Reg::RAX, fn_addr(&vulfi_jit_trap));
+    e_.call_reg(Reg::RAX);
+    e_.jmp(ret_label_);
+  }
+
+  Label lane_trap_label(Label& label) {
+    if (label == kNoLabel) label = e_.new_label();
+    return label;
+  }
+
+  /// Registers a per-instruction out-of-bounds stub. The inline check
+  /// jumps here with the failing guest address in RDI.
+  Label oob_label(unsigned bytes, bool is_store) {
+    oob_stubs_.push_back({e_.new_label(), bytes, is_store});
+    return oob_stubs_.back().label;
+  }
+
+  /// Inline Arena::valid(addr, bytes) for a constant size <= 8: since
+  /// top >= kGuardBytes >= 8, the `size <= top` clause is vacuous and the
+  /// check reduces to addr >= 64 && addr <= top - bytes. Guest address is
+  /// expected (and preserved) in RDI.
+  void emit_bounds_check(unsigned bytes, Label oob) {
+    e_.cmp_ri(Reg::RDI, static_cast<std::int32_t>(interp::Arena::kGuardBytes));
+    e_.jcc(Cond::B, oob);
+    e_.mov_rm(Reg::RAX, Reg::RBX, kCtxArenaTop);
+    e_.sub_ri(Reg::RAX, static_cast<std::int32_t>(bytes));
+    e_.cmp_rr(Reg::RDI, Reg::RAX);
+    e_.jcc(Cond::A, oob);
+  }
+
+  InstDesc* make_desc(const ir::Instruction& inst) {
+    out_.descs.emplace_back();
+    InstDesc& desc = out_.descs.back();
+    desc.inst = &inst;
+    desc.type = inst.type();
+    desc.result_word = word_of(inst);
+    for (const ir::Value* op : inst.operands()) {
+      const Src s = src_of(op);
+      OperandLoc loc;
+      loc.word = s.is_const ? -1 : s.word;
+      loc.pool = s.pool;
+      loc.type = s.type;
+      desc.operands.push_back(loc);
+    }
+    return &desc;
+  }
+
+  // --- per-opcode lowering -------------------------------------------------
+
+  void emit_int_binary(const ir::Instruction& inst) {
+    const Src lhs = src_of(inst.operand(0));
+    const Src rhs = src_of(inst.operand(1));
+    const std::int32_t dst = word_of(inst);
+    const unsigned width = inst.type().element_bits();
+    const unsigned lanes = inst.type().lanes();
+    const Opcode op = inst.opcode();
+
+    const bool bitwise =
+        op == Opcode::And || op == Opcode::Or || op == Opcode::Xor;
+    const bool packed_addsub =
+        (op == Opcode::Add || op == Opcode::Sub) &&
+        (width == 8 || width == 16 || width == 32 || width == 64);
+
+    unsigned lane = 0;
+    if (bitwise || packed_addsub) {
+      while (lane + 2 <= lanes) {
+        load_pair(Xmm::XMM0, lhs, lane);
+        load_pair(Xmm::XMM1, rhs, lane);
+        switch (op) {
+          case Opcode::And: e_.pand(Xmm::XMM0, Xmm::XMM1); break;
+          case Opcode::Or: e_.por(Xmm::XMM0, Xmm::XMM1); break;
+          case Opcode::Xor: e_.pxor(Xmm::XMM0, Xmm::XMM1); break;
+          case Opcode::Add:
+            // Per-element adds on upper-zero lane words: the live bytes
+            // wrap at the element width, the zero bytes stay zero, so the
+            // frame invariant is preserved without a masking pass.
+            switch (width) {
+              case 8: e_.paddb(Xmm::XMM0, Xmm::XMM1); break;
+              case 16: e_.paddw(Xmm::XMM0, Xmm::XMM1); break;
+              case 32: e_.paddd(Xmm::XMM0, Xmm::XMM1); break;
+              default: e_.paddq(Xmm::XMM0, Xmm::XMM1); break;
+            }
+            break;
+          case Opcode::Sub:
+            switch (width) {
+              case 8: e_.psubb(Xmm::XMM0, Xmm::XMM1); break;
+              case 16: e_.psubw(Xmm::XMM0, Xmm::XMM1); break;
+              case 32: e_.psubd(Xmm::XMM0, Xmm::XMM1); break;
+              default: e_.psubq(Xmm::XMM0, Xmm::XMM1); break;
+            }
+            break;
+          default: VULFI_UNREACHABLE("not a packed int opcode");
+        }
+        store_pair(dst, lane, Xmm::XMM0);
+        lane += 2;
+      }
+    }
+    for (; lane < lanes; ++lane) {
+      load_raw(Reg::RAX, lhs, lane);
+      load_raw(Reg::RCX, rhs, lane);
+      switch (op) {
+        case Opcode::Add: e_.add_rr(Reg::RAX, Reg::RCX); break;
+        case Opcode::Sub: e_.sub_rr(Reg::RAX, Reg::RCX); break;
+        case Opcode::Mul: e_.imul_rr(Reg::RAX, Reg::RCX); break;
+        case Opcode::And: e_.and_rr(Reg::RAX, Reg::RCX); break;
+        case Opcode::Or: e_.or_rr(Reg::RAX, Reg::RCX); break;
+        case Opcode::Xor: e_.xor_rr(Reg::RAX, Reg::RCX); break;
+        default: VULFI_UNREACHABLE("not an inline int opcode");
+      }
+      if (!bitwise) emit_mask(Reg::RAX, width);
+      store_word(dst, lane, Reg::RAX);
+    }
+  }
+
+  void emit_shift(const ir::Instruction& inst) {
+    const Src lhs = src_of(inst.operand(0));
+    const Src rhs = src_of(inst.operand(1));
+    const std::int32_t dst = word_of(inst);
+    const unsigned width = inst.type().element_bits();
+    const Opcode op = inst.opcode();
+    for (unsigned lane = 0; lane < inst.type().lanes(); ++lane) {
+      // Amount is the zero-extended element; the frame/pool word already
+      // is exactly that.
+      load_raw(Reg::RCX, rhs, lane);
+      if (op == Opcode::AShr) {
+        load_sext(Reg::RAX, lhs, lane);
+      } else {
+        load_raw(Reg::RAX, lhs, lane);
+      }
+      const Label in_range = e_.new_label();
+      const Label done = e_.new_label();
+      e_.cmp_ri(Reg::RCX, static_cast<std::int32_t>(width));
+      e_.jcc(Cond::B, in_range);
+      // Deterministic overshift (interp::shift_result): logical shifts
+      // vanish; ashr keeps the sign fill.
+      if (op == Opcode::AShr) {
+        e_.sar_ri(Reg::RAX, 63);
+      } else {
+        e_.xor_rr(Reg::RAX, Reg::RAX);
+      }
+      e_.jmp(done);
+      e_.bind(in_range);
+      switch (op) {
+        case Opcode::Shl: e_.shl_cl(Reg::RAX); break;
+        case Opcode::LShr: e_.shr_cl(Reg::RAX); break;
+        case Opcode::AShr: e_.sar_cl(Reg::RAX); break;
+        default: VULFI_UNREACHABLE("not a shift opcode");
+      }
+      e_.bind(done);
+      emit_mask(Reg::RAX, width);
+      store_word(dst, lane, Reg::RAX);
+    }
+  }
+
+  void emit_fp_binary(const ir::Instruction& inst) {
+    const Src lhs = src_of(inst.operand(0));
+    const Src rhs = src_of(inst.operand(1));
+    const std::int32_t dst = word_of(inst);
+    const unsigned lanes = inst.type().lanes();
+    const bool single = inst.type().kind() == TypeKind::F32;
+    const Opcode op = inst.opcode();
+
+    auto op_ss = [&](Xmm a, Xmm b) {
+      switch (op) {
+        case Opcode::FAdd: e_.addss(a, b); break;
+        case Opcode::FSub: e_.subss(a, b); break;
+        case Opcode::FMul: e_.mulss(a, b); break;
+        default: e_.divss(a, b); break;
+      }
+    };
+    auto op_sd = [&](Xmm a, Xmm b) {
+      switch (op) {
+        case Opcode::FAdd: e_.addsd(a, b); break;
+        case Opcode::FSub: e_.subsd(a, b); break;
+        case Opcode::FMul: e_.mulsd(a, b); break;
+        default: e_.divsd(a, b); break;
+      }
+    };
+    auto op_ps = [&](Xmm a, Xmm b) {
+      switch (op) {
+        case Opcode::FAdd: e_.addps(a, b); break;
+        case Opcode::FSub: e_.subps(a, b); break;
+        case Opcode::FMul: e_.mulps(a, b); break;
+        default: e_.divps(a, b); break;
+      }
+    };
+    auto op_pd = [&](Xmm a, Xmm b) {
+      switch (op) {
+        case Opcode::FAdd: e_.addpd(a, b); break;
+        case Opcode::FSub: e_.subpd(a, b); break;
+        case Opcode::FMul: e_.mulpd(a, b); break;
+        default: e_.divpd(a, b); break;
+      }
+    };
+
+    unsigned lane = 0;
+    if (!single) {
+      // f64 lane pairs are already packed doubles.
+      while (lane + 2 <= lanes) {
+        load_pair(Xmm::XMM0, lhs, lane);
+        load_pair(Xmm::XMM1, rhs, lane);
+        op_pd(Xmm::XMM0, Xmm::XMM1);
+        store_pair(dst, lane, Xmm::XMM0);
+        lane += 2;
+      }
+      for (; lane < lanes; ++lane) {
+        load_f64(Xmm::XMM0, lhs, lane);
+        load_f64(Xmm::XMM1, rhs, lane);
+        op_sd(Xmm::XMM0, Xmm::XMM1);
+        store_f64_result(dst, lane, Xmm::XMM0);
+      }
+      return;
+    }
+    // f32 lanes sit one-per-word; pack quads (or a duplicated pair) into
+    // dwords, operate packed, then unpack against zero to restore the
+    // upper-zero word encoding.
+    while (lane + 4 <= lanes) {
+      load_pair(Xmm::XMM0, lhs, lane);
+      load_pair(Xmm::XMM2, lhs, lane + 2);
+      e_.shufps(Xmm::XMM0, Xmm::XMM2, 0x88);
+      load_pair(Xmm::XMM1, rhs, lane);
+      load_pair(Xmm::XMM2, rhs, lane + 2);
+      e_.shufps(Xmm::XMM1, Xmm::XMM2, 0x88);
+      op_ps(Xmm::XMM0, Xmm::XMM1);
+      e_.pxor(Xmm::XMM3, Xmm::XMM3);
+      e_.movaps_xx(Xmm::XMM2, Xmm::XMM0);
+      e_.punpckldq(Xmm::XMM0, Xmm::XMM3);
+      e_.punpckhdq(Xmm::XMM2, Xmm::XMM3);
+      store_pair(dst, lane, Xmm::XMM0);
+      store_pair(dst, lane + 2, Xmm::XMM2);
+      lane += 4;
+    }
+    while (lane + 2 <= lanes) {
+      load_pair(Xmm::XMM0, lhs, lane);
+      e_.shufps(Xmm::XMM0, Xmm::XMM0, 0x88);  // [l0,l1,l0,l1]
+      load_pair(Xmm::XMM1, rhs, lane);
+      e_.shufps(Xmm::XMM1, Xmm::XMM1, 0x88);
+      op_ps(Xmm::XMM0, Xmm::XMM1);
+      e_.pxor(Xmm::XMM3, Xmm::XMM3);
+      e_.punpckldq(Xmm::XMM0, Xmm::XMM3);
+      store_pair(dst, lane, Xmm::XMM0);
+      lane += 2;
+    }
+    for (; lane < lanes; ++lane) {
+      load_f32(Xmm::XMM0, lhs, lane);
+      load_f32(Xmm::XMM1, rhs, lane);
+      op_ss(Xmm::XMM0, Xmm::XMM1);
+      store_f32_result(dst, lane, Xmm::XMM0);
+    }
+  }
+
+  void emit_fneg(const ir::Instruction& inst) {
+    const Src src = src_of(inst.operand(0));
+    const std::int32_t dst = word_of(inst);
+    const bool single = inst.type().kind() == TypeKind::F32;
+    e_.mov_ri64(Reg::RAX, std::uint64_t{1} << 63);
+    e_.movq_xr(Xmm::XMM1, Reg::RAX);
+    for (unsigned lane = 0; lane < inst.type().lanes(); ++lane) {
+      if (single) {
+        // Match the interpreter's round trip through double: it widens,
+        // negates the double, and narrows — which quiets a signalling
+        // NaN where a bare 32-bit sign flip would not.
+        load_f32(Xmm::XMM0, src, lane);
+        e_.cvtss2sd(Xmm::XMM0, Xmm::XMM0);
+        e_.xorpd(Xmm::XMM0, Xmm::XMM1);
+        e_.cvtsd2ss(Xmm::XMM0, Xmm::XMM0);
+        store_f32_result(dst, lane, Xmm::XMM0);
+      } else {
+        load_f64(Xmm::XMM0, src, lane);
+        e_.xorpd(Xmm::XMM0, Xmm::XMM1);
+        store_f64_result(dst, lane, Xmm::XMM0);
+      }
+    }
+  }
+
+  void emit_icmp(const ir::Instruction& inst) {
+    const Src lhs = src_of(inst.operand(0));
+    const Src rhs = src_of(inst.operand(1));
+    const std::int32_t dst = word_of(inst);
+    const ir::ICmpPred pred = inst.icmp_pred();
+    const bool is_signed =
+        pred == ir::ICmpPred::SLT || pred == ir::ICmpPred::SLE ||
+        pred == ir::ICmpPred::SGT || pred == ir::ICmpPred::SGE;
+    Cond cc = Cond::E;
+    switch (pred) {
+      case ir::ICmpPred::EQ: cc = Cond::E; break;
+      case ir::ICmpPred::NE: cc = Cond::NE; break;
+      case ir::ICmpPred::SLT: cc = Cond::L; break;
+      case ir::ICmpPred::SLE: cc = Cond::LE; break;
+      case ir::ICmpPred::SGT: cc = Cond::G; break;
+      case ir::ICmpPred::SGE: cc = Cond::GE; break;
+      case ir::ICmpPred::ULT: cc = Cond::B; break;
+      case ir::ICmpPred::ULE: cc = Cond::BE; break;
+      case ir::ICmpPred::UGT: cc = Cond::A; break;
+      case ir::ICmpPred::UGE: cc = Cond::AE; break;
+    }
+    for (unsigned lane = 0; lane < inst.type().lanes(); ++lane) {
+      if (is_signed) {
+        load_sext(Reg::RAX, lhs, lane);
+        load_sext(Reg::RCX, rhs, lane);
+      } else {
+        // Raw words are the zero-extended elements by the frame invariant.
+        load_raw(Reg::RAX, lhs, lane);
+        load_raw(Reg::RCX, rhs, lane);
+      }
+      e_.cmp_rr(Reg::RAX, Reg::RCX);
+      e_.setcc_zx(cc, Reg::RAX);
+      store_word(dst, lane, Reg::RAX);
+    }
+  }
+
+  void emit_fcmp(const ir::Instruction& inst) {
+    const Src lhs = src_of(inst.operand(0));
+    const Src rhs = src_of(inst.operand(1));
+    const std::int32_t dst = word_of(inst);
+    const bool single = inst.operand(0)->type().kind() == TypeKind::F32;
+    const ir::FCmpPred pred = inst.fcmp_pred();
+
+    bool swap = false;       // compare (rhs, lhs) instead
+    Cond cc = Cond::E;       // primary setcc
+    enum class Combine { None, AndNP, OrP } combine = Combine::None;
+    switch (pred) {
+      case ir::FCmpPred::OEQ: cc = Cond::E; combine = Combine::AndNP; break;
+      case ir::FCmpPred::ONE: cc = Cond::NE; break;  // ZF=1 when unordered
+      case ir::FCmpPred::OLT: cc = Cond::A; swap = true; break;
+      case ir::FCmpPred::OLE: cc = Cond::AE; swap = true; break;
+      case ir::FCmpPred::OGT: cc = Cond::A; break;
+      case ir::FCmpPred::OGE: cc = Cond::AE; break;
+      case ir::FCmpPred::UEQ: cc = Cond::E; break;  // ZF=1 when unordered
+      case ir::FCmpPred::UNE: cc = Cond::NE; combine = Combine::OrP; break;
+      case ir::FCmpPred::ULT: cc = Cond::B; break;
+      case ir::FCmpPred::ULE: cc = Cond::BE; break;
+      case ir::FCmpPred::UGT: cc = Cond::B; swap = true; break;
+      case ir::FCmpPred::UGE: cc = Cond::BE; swap = true; break;
+      case ir::FCmpPred::ORD: cc = Cond::NP; break;
+      case ir::FCmpPred::UNO: cc = Cond::P; break;
+    }
+    for (unsigned lane = 0; lane < inst.type().lanes(); ++lane) {
+      if (single) {
+        load_f32(Xmm::XMM0, swap ? rhs : lhs, lane);
+        load_f32(Xmm::XMM1, swap ? lhs : rhs, lane);
+        e_.ucomiss(Xmm::XMM0, Xmm::XMM1);
+      } else {
+        load_f64(Xmm::XMM0, swap ? rhs : lhs, lane);
+        load_f64(Xmm::XMM1, swap ? lhs : rhs, lane);
+        e_.ucomisd(Xmm::XMM0, Xmm::XMM1);
+      }
+      e_.setcc_zx(cc, Reg::RAX);
+      if (combine == Combine::AndNP) {
+        e_.setcc_zx(Cond::NP, Reg::RCX);
+        e_.and_rr(Reg::RAX, Reg::RCX);
+      } else if (combine == Combine::OrP) {
+        e_.setcc_zx(Cond::P, Reg::RCX);
+        e_.or_rr(Reg::RAX, Reg::RCX);
+      }
+      store_word(dst, lane, Reg::RAX);
+    }
+  }
+
+  void emit_load(const ir::Instruction& inst) {
+    const Src ptr = src_of(inst.operand(0));
+    const std::int32_t dst = word_of(inst);
+    const Type type = inst.type();
+    const unsigned bytes = type.element_bytes();
+    const Label oob = oob_label(bytes, /*is_store=*/false);
+    load_raw(Reg::R10, ptr, 0);
+    for (unsigned lane = 0; lane < type.lanes(); ++lane) {
+      e_.lea(Reg::RDI, Reg::R10, static_cast<std::int32_t>(lane * bytes));
+      emit_bounds_check(bytes, oob);
+      switch (bytes) {
+        case 1: e_.movzx_rm8_index(Reg::RAX, Reg::R13, Reg::RDI, 1, 0); break;
+        case 2: e_.movzx_rm16_index(Reg::RAX, Reg::R13, Reg::RDI, 1, 0); break;
+        case 4: e_.mov_rm32_index(Reg::RAX, Reg::R13, Reg::RDI, 1, 0); break;
+        default: e_.mov_rm_index(Reg::RAX, Reg::R13, Reg::RDI, 1, 0); break;
+      }
+      // An i1 occupies a whole byte in memory; only bit 0 is the value.
+      if (type.element_bits() == 1) e_.and_ri(Reg::RAX, 1);
+      store_word(dst, lane, Reg::RAX);
+    }
+  }
+
+  void emit_store(const ir::Instruction& inst) {
+    const Src value = src_of(inst.operand(0));
+    const Src ptr = src_of(inst.operand(1));
+    const Type type = inst.operand(0)->type();
+    const unsigned bytes = type.element_bytes();
+    const Label oob = oob_label(bytes, /*is_store=*/true);
+    load_raw(Reg::R10, ptr, 0);
+    // Lane-at-a-time, check-then-write: a mid-vector fault leaves the
+    // earlier lanes committed, exactly like eval_store.
+    for (unsigned lane = 0; lane < type.lanes(); ++lane) {
+      e_.lea(Reg::RDI, Reg::R10, static_cast<std::int32_t>(lane * bytes));
+      emit_bounds_check(bytes, oob);
+      load_raw(Reg::RAX, value, lane);
+      switch (bytes) {
+        case 1: e_.mov_mr8_index(Reg::R13, Reg::RDI, 1, 0, Reg::RAX); break;
+        case 2: e_.mov_mr16_index(Reg::R13, Reg::RDI, 1, 0, Reg::RAX); break;
+        case 4: e_.mov_mr32_index(Reg::R13, Reg::RDI, 1, 0, Reg::RAX); break;
+        default: e_.mov_mr_index(Reg::R13, Reg::RDI, 1, 0, Reg::RAX); break;
+      }
+    }
+  }
+
+  void emit_gep(const ir::Instruction& inst) {
+    const Src base = src_of(inst.operand(0));
+    load_raw(Reg::RAX, base, 0);
+    const auto& strides = inst.gep_strides();
+    for (unsigned i = 1; i < inst.num_operands(); ++i) {
+      const Src index = src_of(inst.operand(i));
+      load_sext(Reg::RCX, index, 0);
+      const std::uint64_t stride = strides[i - 1];
+      if (stride <= 0x7FFFFFFF) {
+        e_.imul_rri(Reg::RCX, Reg::RCX, static_cast<std::int32_t>(stride));
+      } else {
+        e_.mov_ri64(Reg::RDX, stride);
+        e_.imul_rr(Reg::RCX, Reg::RDX);
+      }
+      e_.add_rr(Reg::RAX, Reg::RCX);  // wraps mod 2^64, like the interpreter
+    }
+    store_word(word_of(inst), 0, Reg::RAX);
+  }
+
+  void emit_extract(const ir::Instruction& inst) {
+    const Src vec = src_of(inst.operand(0));
+    const Src idx = src_of(inst.operand(1));
+    const unsigned lanes = vec.type.lanes();
+    const std::int32_t dst = word_of(inst);
+    const Label trap = lane_trap_label(extract_label_);
+    if (idx.is_const) {
+      const std::uint64_t lane = idx.pool[0];
+      if (lane >= lanes) {
+        e_.jmp(trap);
+        return;
+      }
+      load_raw(Reg::RAX, vec, static_cast<unsigned>(lane));
+      store_word(dst, 0, Reg::RAX);
+      return;
+    }
+    load_raw(Reg::RCX, idx, 0);
+    e_.cmp_ri(Reg::RCX, static_cast<std::int32_t>(lanes));
+    e_.jcc(Cond::AE, trap);
+    if (vec.is_const) {
+      e_.mov_ri64(Reg::R11, reinterpret_cast<std::uint64_t>(vec.pool));
+      e_.mov_rm_index(Reg::RAX, Reg::R11, Reg::RCX, 8, 0);
+    } else {
+      e_.mov_rm_index(Reg::RAX, Reg::RBP, Reg::RCX, 8, vec.word * 8);
+    }
+    store_word(dst, 0, Reg::RAX);
+  }
+
+  void emit_insert(const ir::Instruction& inst) {
+    const Src vec = src_of(inst.operand(0));
+    const Src elem = src_of(inst.operand(1));
+    const Src idx = src_of(inst.operand(2));
+    const unsigned lanes = vec.type.lanes();
+    const std::int32_t dst = word_of(inst);
+    const Label trap = lane_trap_label(insert_label_);
+    if (idx.is_const && idx.pool[0] >= lanes) {
+      e_.jmp(trap);
+      return;
+    }
+    // Copy the vector into the result slot first; a trap abandons the run
+    // before the slot could be observed.
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      load_raw(Reg::RAX, vec, lane);
+      store_word(dst, lane, Reg::RAX);
+    }
+    if (idx.is_const) {
+      load_raw(Reg::RAX, elem, 0);
+      store_word(dst, static_cast<unsigned>(idx.pool[0]), Reg::RAX);
+      return;
+    }
+    load_raw(Reg::RCX, idx, 0);
+    e_.cmp_ri(Reg::RCX, static_cast<std::int32_t>(lanes));
+    e_.jcc(Cond::AE, trap);
+    load_raw(Reg::RAX, elem, 0);
+    e_.mov_mr_index(Reg::RBP, Reg::RCX, 8, dst * 8, Reg::RAX);
+  }
+
+  void emit_shuffle(const ir::Instruction& inst) {
+    const Src v1 = src_of(inst.operand(0));
+    const Src v2 = src_of(inst.operand(1));
+    const unsigned in_lanes = v1.type.lanes();
+    const std::int32_t dst = word_of(inst);
+    const auto& mask = inst.shuffle_mask();
+    for (unsigned lane = 0; lane < inst.type().lanes(); ++lane) {
+      const int m = mask[lane];
+      if (m < 0) {
+        e_.xor_rr(Reg::RAX, Reg::RAX);  // undef lane reads as zero
+      } else if (static_cast<unsigned>(m) < in_lanes) {
+        load_raw(Reg::RAX, v1, static_cast<unsigned>(m));
+      } else {
+        load_raw(Reg::RAX, v2, static_cast<unsigned>(m) - in_lanes);
+      }
+      store_word(dst, lane, Reg::RAX);
+    }
+  }
+
+  void emit_cast(const ir::Instruction& inst) {
+    const Src src = src_of(inst.operand(0));
+    const std::int32_t dst = word_of(inst);
+    const Type dst_type = inst.type();
+    const unsigned width = dst_type.element_bits();
+    for (unsigned lane = 0; lane < dst_type.lanes(); ++lane) {
+      switch (inst.opcode()) {
+        case Opcode::Trunc:
+        case Opcode::PtrToInt:
+          load_raw(Reg::RAX, src, lane);
+          emit_mask(Reg::RAX, width);
+          store_word(dst, lane, Reg::RAX);
+          break;
+        case Opcode::ZExt:
+        case Opcode::IntToPtr:
+          // Source words are already zero-extended to a wider-or-equal
+          // destination: a raw copy.
+          load_raw(Reg::RAX, src, lane);
+          store_word(dst, lane, Reg::RAX);
+          break;
+        case Opcode::Bitcast:
+          load_raw(Reg::RAX, src, lane);
+          if (dst_type.is_integer()) emit_mask(Reg::RAX, width);
+          store_word(dst, lane, Reg::RAX);
+          break;
+        case Opcode::SExt:
+          load_sext(Reg::RAX, src, lane);
+          emit_mask(Reg::RAX, width);
+          store_word(dst, lane, Reg::RAX);
+          break;
+        case Opcode::FPTrunc:
+          load_f64(Xmm::XMM0, src, lane);
+          e_.cvtsd2ss(Xmm::XMM0, Xmm::XMM0);
+          store_f32_result(dst, lane, Xmm::XMM0);
+          break;
+        case Opcode::FPExt:
+          load_f32(Xmm::XMM0, src, lane);
+          e_.cvtss2sd(Xmm::XMM0, Xmm::XMM0);
+          store_f64_result(dst, lane, Xmm::XMM0);
+          break;
+        case Opcode::SIToFP:
+          // The interpreter converts through double even for an f32
+          // destination; cvtsi2sd + cvtsd2ss reproduces that exact
+          // double rounding.
+          load_sext(Reg::RAX, src, lane);
+          e_.cvtsi2sd(Xmm::XMM0, Reg::RAX);
+          if (dst_type.kind() == TypeKind::F32) {
+            e_.cvtsd2ss(Xmm::XMM0, Xmm::XMM0);
+            store_f32_result(dst, lane, Xmm::XMM0);
+          } else {
+            store_f64_result(dst, lane, Xmm::XMM0);
+          }
+          break;
+        default:
+          VULFI_UNREACHABLE("cast handled by slow_op");
+      }
+    }
+  }
+
+  void emit_select(const ir::Instruction& inst) {
+    const Src cond = src_of(inst.operand(0));
+    const Src on_true = src_of(inst.operand(1));
+    const Src on_false = src_of(inst.operand(2));
+    const std::int32_t dst = word_of(inst);
+    for (unsigned lane = 0; lane < inst.type().lanes(); ++lane) {
+      const unsigned cond_lane = cond.type.is_vector() ? lane : 0;
+      load_raw(Reg::RDX, cond, cond_lane);
+      e_.test_ri(Reg::RDX, 1);
+      load_raw(Reg::RAX, on_true, lane);
+      load_raw(Reg::RCX, on_false, lane);
+      e_.cmovcc(Cond::E, Reg::RAX, Reg::RCX);  // bit clear -> false value
+      store_word(dst, lane, Reg::RAX);
+    }
+  }
+
+  /// Scalar runtime calls with a registered raw fast path (the fault
+  /// injectors) compile to a direct C call on frame words: no InstDesc,
+  /// no RtVal marshalling, no trap-flag test (the raw contract forbids
+  /// trapping). This is the campaign hot path — instrumentation turns
+  /// every fault site into one of these calls, and they outnumber the
+  /// program's own instructions.
+  bool try_emit_raw_runtime_call(const ir::Instruction& inst,
+                                 const ir::Function& callee) {
+    if (inst.num_operands() != 4 || inst.type().is_void() ||
+        inst.type().lanes() != 1) {
+      return false;
+    }
+    for (unsigned i = 0; i < inst.num_operands(); ++i) {
+      if (inst.operand(i)->type().lanes() != 1) return false;
+    }
+    const interp::RawRuntimeHandler* raw =
+        env_.find_raw_handler(callee.name());
+    if (raw == nullptr) return false;
+    e_.add_mi(Reg::RBX, kCtxCalls, 1);  // eval_call counts before dispatch
+    e_.mov_ri64(Reg::RDI, reinterpret_cast<std::uint64_t>(raw->self));
+    load_raw(Reg::RSI, src_of(inst.operand(0)), 0);
+    load_raw(Reg::RDX, src_of(inst.operand(1)), 0);
+    load_raw(Reg::RCX, src_of(inst.operand(2)), 0);
+    load_raw(Reg::R8, src_of(inst.operand(3)), 0);
+    e_.mov_ri64(Reg::RAX, reinterpret_cast<std::uint64_t>(raw->fn));
+    e_.call_reg(Reg::RAX);
+    store_word(word_of(inst), 0, Reg::RAX);
+    return true;
+  }
+
+  void emit_call(const ir::Instruction& inst) {
+    const ir::Function* raw_callee = inst.callee();
+    if (raw_callee->kind() == ir::FunctionKind::Runtime &&
+        try_emit_raw_runtime_call(inst, *raw_callee)) {
+      return;
+    }
+    InstDesc* desc = make_desc(inst);
+    const ir::Function* callee = inst.callee();
+    if (callee->kind() == ir::FunctionKind::Runtime) {
+      desc->handler = env_.find_handler(callee->name());
+      VULFI_ASSERT(desc->handler != nullptr,
+                   "compiled call to unregistered runtime function");
+    } else if (callee->kind() == ir::FunctionKind::Definition) {
+      desc->callee = resolve_callee_(resolve_ctx_, callee);
+      VULFI_ASSERT(desc->callee != nullptr, "callee was not compiled");
+    }
+    emit_helper_call(fn_addr(&vulfi_jit_call), desc);
+  }
+
+  /// Phi transfer + stat bump for one CFG edge, mirroring take_edge: all
+  /// sources staged to scratch, then written, then the entered block's
+  /// leading-phi counts land without a budget check.
+  void emit_edge(const ir::BasicBlock* from, const ir::BasicBlock* to) {
+    std::uint32_t off = scratch_word_;
+    std::uint32_t phi_count = 0;
+    std::uint32_t phi_vector_count = 0;
+    std::vector<const ir::Instruction*> phis;
+    for (const auto& inst : *to) {
+      if (inst->opcode() != Opcode::Phi) break;
+      phis.push_back(inst.get());
+      phi_count += 1;
+      if (inst->is_vector_instruction()) phi_vector_count += 1;
+    }
+    for (const ir::Instruction* phi : phis) {
+      const Src src = src_of(phi->phi_value_for(from));
+      for (unsigned lane = 0; lane < phi->type().lanes(); ++lane) {
+        load_raw(Reg::RAX, src, lane);
+        e_.mov_mr(Reg::RBP,
+                  static_cast<std::int32_t>((off + lane) * 8), Reg::RAX);
+      }
+      off += phi->type().lanes();
+    }
+    off = scratch_word_;
+    for (const ir::Instruction* phi : phis) {
+      const std::int32_t dst = word_of(*phi);
+      for (unsigned lane = 0; lane < phi->type().lanes(); ++lane) {
+        e_.mov_rm(Reg::RAX, Reg::RBP,
+                  static_cast<std::int32_t>((off + lane) * 8));
+        store_word(dst, lane, Reg::RAX);
+      }
+      off += phi->type().lanes();
+    }
+    if (phi_count > 0) {
+      e_.add_mi(Reg::RBX, kCtxTotal, static_cast<std::int32_t>(phi_count));
+    }
+    if (phi_vector_count > 0) {
+      e_.add_mi(Reg::RBX, kCtxVector,
+                static_cast<std::int32_t>(phi_vector_count));
+    }
+  }
+
+  void emit_ret(const ir::Instruction& inst) {
+    if (inst.num_operands() > 0) {
+      const Src src = src_of(inst.operand(0));
+      for (unsigned lane = 0; lane < src.type.lanes(); ++lane) {
+        load_raw(Reg::RAX, src, lane);
+        e_.mov_mr(Reg::R12, static_cast<std::int32_t>(lane * 8), Reg::RAX);
+      }
+    }
+    e_.jmp(ret_label_);
+  }
+
+  void emit_instruction(const ir::Instruction& inst) {
+    emit_budget(inst.is_vector_instruction());
+    switch (inst.opcode()) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+        emit_int_binary(inst);
+        break;
+      case Opcode::SDiv: case Opcode::UDiv: case Opcode::SRem:
+      case Opcode::URem: case Opcode::FRem:
+      case Opcode::FPToSI: case Opcode::FPToUI: case Opcode::UIToFP:
+        emit_helper_call(fn_addr(&vulfi_jit_slow_op), make_desc(inst));
+        break;
+      case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+        emit_shift(inst);
+        break;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv:
+        emit_fp_binary(inst);
+        break;
+      case Opcode::FNeg:
+        emit_fneg(inst);
+        break;
+      case Opcode::ICmp:
+        emit_icmp(inst);
+        break;
+      case Opcode::FCmp:
+        emit_fcmp(inst);
+        break;
+      case Opcode::Alloca:
+        emit_helper_call(fn_addr(&vulfi_jit_alloca), make_desc(inst));
+        break;
+      case Opcode::Load:
+        emit_load(inst);
+        break;
+      case Opcode::Store:
+        emit_store(inst);
+        break;
+      case Opcode::GetElementPtr:
+        emit_gep(inst);
+        break;
+      case Opcode::ExtractElement:
+        emit_extract(inst);
+        break;
+      case Opcode::InsertElement:
+        emit_insert(inst);
+        break;
+      case Opcode::ShuffleVector:
+        emit_shuffle(inst);
+        break;
+      case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt:
+      case Opcode::FPTrunc: case Opcode::FPExt: case Opcode::SIToFP:
+      case Opcode::PtrToInt: case Opcode::IntToPtr: case Opcode::Bitcast:
+        emit_cast(inst);
+        break;
+      case Opcode::Select:
+        emit_select(inst);
+        break;
+      case Opcode::Call:
+        emit_call(inst);
+        break;
+      case Opcode::Br: {
+        const ir::BasicBlock* to = inst.successor(0);
+        emit_edge(inst.parent(), to);
+        e_.jmp(block_labels_.at(to));
+        break;
+      }
+      case Opcode::CondBr: {
+        const Src cond = src_of(inst.operand(0));
+        load_raw(Reg::RAX, cond, 0);
+        e_.test_ri(Reg::RAX, 1);
+        const Label else_edge = e_.new_label();
+        e_.jcc(Cond::E, else_edge);
+        emit_edge(inst.parent(), inst.successor(0));
+        e_.jmp(block_labels_.at(inst.successor(0)));
+        e_.bind(else_edge);
+        emit_edge(inst.parent(), inst.successor(1));
+        e_.jmp(block_labels_.at(inst.successor(1)));
+        break;
+      }
+      case Opcode::Ret:
+        emit_ret(inst);
+        break;
+      case Opcode::Unreachable:
+        e_.jmp(lane_trap_label(unreachable_label_));
+        break;
+      case Opcode::Phi:
+        VULFI_UNREACHABLE("phis are lowered at edges");
+    }
+  }
+
+  void emit() {
+    ret_label_ = e_.new_label();
+    budget_label_ = e_.new_label();
+    for (const auto& block : fn_) {
+      block_labels_[block.get()] = e_.new_label();
+    }
+
+    // Prologue: pin rbx=ctx, rbp=frame, r12=retv, r13=arena base; save the
+    // entry watermark in frame word 0.
+    e_.push(Reg::RBP);
+    e_.push(Reg::RBX);
+    e_.push(Reg::R12);
+    e_.push(Reg::R13);
+    e_.sub_ri(Reg::RSP, static_cast<std::int32_t>(out_.frame_bytes));
+    e_.mov_rr(Reg::RBP, Reg::RSP);
+    e_.mov_rr(Reg::RBX, Reg::RDI);
+    e_.mov_rr(Reg::R12, Reg::RDX);
+    e_.mov_rm(Reg::R13, Reg::RBX, kCtxArenaBase);
+    e_.mov_rm(Reg::RAX, Reg::RBX, kCtxArenaTop);
+    e_.mov_mr(Reg::RBP, 0, Reg::RAX);
+    // Spill the flattened arguments (rsi) into their slots.
+    unsigned argv_word = 0;
+    for (unsigned i = 0; i < fn_.num_args(); ++i) {
+      const std::uint32_t slot = out_.arg_slots[i];
+      const std::int32_t word =
+          static_cast<std::int32_t>(out_.slot_word[slot]);
+      for (unsigned lane = 0; lane < out_.slot_lanes[slot]; ++lane) {
+        e_.mov_rm(Reg::RAX, Reg::RSI,
+                  static_cast<std::int32_t>(argv_word * 8));
+        store_word(word, lane, Reg::RAX);
+        argv_word += 1;
+      }
+    }
+
+    for (const auto& block : fn_) {
+      e_.bind(block_labels_.at(block.get()));
+      for (const auto& inst : *block) {
+        if (inst->opcode() == Opcode::Phi) continue;
+        emit_instruction(*inst);
+      }
+    }
+
+    // Shared stubs.
+    emit_trap_stub(budget_label_, interp::TrapKind::InstructionBudget,
+                   kBudgetDetail);
+    if (unreachable_label_ != kNoLabel) {
+      emit_trap_stub(unreachable_label_, interp::TrapKind::UnreachableExecuted,
+                     kUnreachableDetail);
+    }
+    if (extract_label_ != kNoLabel) {
+      emit_trap_stub(extract_label_, interp::TrapKind::BadLaneIndex,
+                     kExtractDetail);
+    }
+    if (insert_label_ != kNoLabel) {
+      emit_trap_stub(insert_label_, interp::TrapKind::BadLaneIndex,
+                     kInsertDetail);
+    }
+    for (const OobStub& stub : oob_stubs_) {
+      e_.bind(stub.label);
+      e_.mov_rr(Reg::RSI, Reg::RDI);  // failing guest address
+      e_.mov_rr(Reg::RDI, Reg::RBX);
+      e_.mov_ri32(Reg::RDX, stub.bytes);
+      e_.mov_ri32(Reg::RCX, stub.is_store ? 1 : 0);
+      e_.mov_ri64(Reg::RAX, fn_addr(&vulfi_jit_trap_oob));
+      e_.call_reg(Reg::RAX);
+      e_.jmp(ret_label_);
+    }
+
+    // Epilogue: pop the callee frame off the arena, restore and return.
+    e_.bind(ret_label_);
+    e_.mov_rr(Reg::RDI, Reg::RBX);
+    e_.mov_rm(Reg::RSI, Reg::RBP, 0);
+    e_.mov_ri64(Reg::RAX, fn_addr(&vulfi_jit_restore_watermark));
+    e_.call_reg(Reg::RAX);
+    e_.add_ri(Reg::RSP, static_cast<std::int32_t>(out_.frame_bytes));
+    e_.pop(Reg::R13);
+    e_.pop(Reg::R12);
+    e_.pop(Reg::RBX);
+    e_.pop(Reg::RBP);
+    e_.ret();
+  }
+
+  static constexpr Label kNoLabel = ~Label{0};
+
+  struct OobStub {
+    Label label;
+    unsigned bytes;
+    bool is_store;
+  };
+
+  const ir::Function& fn_;
+  const interp::RuntimeEnv& env_;
+  CompiledFunction& out_;
+  CompiledFunction* (*resolve_callee_)(void*, const ir::Function*);
+  void* resolve_ctx_;
+
+  Encoder e_;
+  std::unordered_map<const ir::Value*, std::uint32_t> slot_of_;
+  std::unordered_map<const ir::Value*, std::size_t> const_off_;
+  std::unordered_map<const ir::BasicBlock*, Label> block_labels_;
+  std::uint32_t next_word_ = 1;
+  std::size_t pool_words_ = 0;
+  std::uint32_t scratch_word_ = 0;
+  Label ret_label_ = kNoLabel;
+  Label budget_label_ = kNoLabel;
+  Label unreachable_label_ = kNoLabel;
+  Label extract_label_ = kNoLabel;
+  Label insert_label_ = kNoLabel;
+  std::vector<OobStub> oob_stubs_;
+};
+
+}  // namespace
+
+bool function_is_compilable(const ir::Function& fn,
+                            const interp::RuntimeEnv& env) {
+  if (!fn.is_definition() || fn.num_blocks() == 0) return false;
+  if (!type_fits(fn.return_type())) return false;
+  for (const auto& arg : fn.args()) {
+    if (!type_fits(arg->type())) return false;
+  }
+  for (const auto& block : fn) {
+    bool in_phi_prefix = true;
+    for (const auto& inst : *block) {
+      if (inst->opcode() == Opcode::Phi) {
+        // The edge lowering only transfers the leading phi run (like the
+        // decode cache); a non-leading phi would be silently dead.
+        if (!in_phi_prefix) return false;
+      } else {
+        in_phi_prefix = false;
+      }
+      if (!type_fits(inst->type())) return false;
+      for (const ir::Value* op : inst->operands()) {
+        if (!type_fits(op->type())) return false;
+      }
+      if (inst->opcode() != Opcode::Call) continue;
+      const ir::Function* callee = inst->callee();
+      switch (callee->kind()) {
+        case ir::FunctionKind::Intrinsic:
+          if (callee->intrinsic_info().id == ir::IntrinsicId::None) {
+            return false;
+          }
+          break;
+        case ir::FunctionKind::Runtime:
+          if (env.find_handler(callee->name()) == nullptr) return false;
+          break;
+        case ir::FunctionKind::Definition: {
+          unsigned words = 0;
+          for (const ir::Value* op : inst->operands()) {
+            words += op->type().lanes();
+          }
+          if (words > kMaxCallArgWords) return false;
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void compile_function(const ir::Function& fn, const interp::RuntimeEnv& env,
+                      CompiledFunction& out,
+                      CompiledFunction* (*resolve_callee)(void*,
+                                                          const ir::Function*),
+                      void* resolve_ctx) {
+  out.fn = &fn;
+  FunctionCompiler compiler(fn, env, out, resolve_callee, resolve_ctx);
+  compiler.run();
+}
+
+}  // namespace vulfi::jit

@@ -1,0 +1,667 @@
+#include "jit/encoder.hpp"
+
+#include "support/error.hpp"
+
+namespace vulfi::jit {
+
+namespace {
+
+constexpr unsigned lo3(Reg r) { return static_cast<unsigned>(r) & 7; }
+constexpr unsigned lo3(Xmm r) { return static_cast<unsigned>(r) & 7; }
+constexpr bool ext(Reg r) { return static_cast<unsigned>(r) >= 8; }
+constexpr bool ext(Xmm r) { return static_cast<unsigned>(r) >= 8; }
+constexpr unsigned num(Reg r) { return static_cast<unsigned>(r); }
+constexpr unsigned num(Xmm r) { return static_cast<unsigned>(r); }
+
+constexpr bool fits_i8(std::int32_t v) { return v >= -128 && v <= 127; }
+
+constexpr unsigned scale_bits(unsigned scale) {
+  return scale == 1 ? 0 : scale == 2 ? 1 : scale == 4 ? 2 : 3;
+}
+
+}  // namespace
+
+void Encoder::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::rex(bool w, unsigned reg, unsigned index, unsigned rm,
+                  bool force) {
+  const std::uint8_t b = 0x40 | (w ? 0x8 : 0) | ((reg >> 3) << 2) |
+                         ((index >> 3) << 1) | (rm >> 3);
+  if (b != 0x40 || force) u8(b);
+}
+
+void Encoder::modrm_reg(unsigned reg, unsigned rm) {
+  u8(static_cast<std::uint8_t>(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+}
+
+void Encoder::modrm_mem(unsigned reg, Reg base, std::int32_t disp) {
+  const unsigned base3 = lo3(base);
+  // RBP/R13 as base cannot use the no-displacement form (that encoding
+  // means RIP-relative); force at least disp8.
+  const bool need_disp = disp != 0 || base3 == 5;
+  const unsigned mod = !need_disp ? 0 : fits_i8(disp) ? 1 : 2;
+  if (base3 == 4) {
+    // RSP/R12 as base requires a SIB byte with index=100 (none).
+    u8(static_cast<std::uint8_t>((mod << 6) | ((reg & 7) << 3) | 4));
+    u8(static_cast<std::uint8_t>((0 << 6) | (4 << 3) | base3));
+  } else {
+    u8(static_cast<std::uint8_t>((mod << 6) | ((reg & 7) << 3) | base3));
+  }
+  if (mod == 1) {
+    u8(static_cast<std::uint8_t>(disp));
+  } else if (mod == 2) {
+    u32(static_cast<std::uint32_t>(disp));
+  }
+}
+
+void Encoder::modrm_mem_index(unsigned reg, Reg base, Reg index,
+                              unsigned scale, std::int32_t disp) {
+  VULFI_ASSERT(index != Reg::RSP, "rsp cannot be an index register");
+  const unsigned base3 = lo3(base);
+  const bool need_disp = disp != 0 || base3 == 5;
+  const unsigned mod = !need_disp ? 0 : fits_i8(disp) ? 1 : 2;
+  u8(static_cast<std::uint8_t>((mod << 6) | ((reg & 7) << 3) | 4));
+  u8(static_cast<std::uint8_t>((scale_bits(scale) << 6) | (lo3(index) << 3) |
+                               base3));
+  if (mod == 1) {
+    u8(static_cast<std::uint8_t>(disp));
+  } else if (mod == 2) {
+    u32(static_cast<std::uint32_t>(disp));
+  }
+}
+
+Encoder::Label Encoder::new_label() {
+  label_pos_.push_back(-1);
+  return static_cast<Label>(label_pos_.size() - 1);
+}
+
+void Encoder::bind(Label label) {
+  VULFI_ASSERT(label_pos_[label] < 0, "label bound twice");
+  label_pos_[label] = static_cast<std::int64_t>(buf_.size());
+}
+
+bool Encoder::bound(Label label) const { return label_pos_[label] >= 0; }
+
+void Encoder::emit_rel32(Label label) {
+  fixups_.push_back(Fixup{buf_.size(), label});
+  u32(0);
+}
+
+const std::vector<std::uint8_t>& Encoder::finish() {
+  for (const Fixup& fixup : fixups_) {
+    const std::int64_t target = label_pos_[fixup.label];
+    VULFI_ASSERT(target >= 0, "jump to unbound label");
+    const std::int64_t rel =
+        target - static_cast<std::int64_t>(fixup.pos) - 4;
+    const auto rel32 = static_cast<std::uint32_t>(rel);
+    for (int i = 0; i < 4; ++i) {
+      buf_[fixup.pos + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(rel32 >> (8 * i));
+    }
+  }
+  fixups_.clear();
+  return buf_;
+}
+
+// --- GPR moves -------------------------------------------------------------
+
+void Encoder::mov_ri64(Reg dst, std::uint64_t imm) {
+  // Shrink to the 32-bit zero-extending form when the value allows it.
+  if (imm <= 0xFFFFFFFFu) {
+    mov_ri32(dst, static_cast<std::uint32_t>(imm));
+    return;
+  }
+  rex(true, 0, 0, num(dst));
+  u8(static_cast<std::uint8_t>(0xB8 | lo3(dst)));
+  u64(imm);
+}
+
+void Encoder::mov_ri32(Reg dst, std::uint32_t imm) {
+  rex(false, 0, 0, num(dst));
+  u8(static_cast<std::uint8_t>(0xB8 | lo3(dst)));
+  u32(imm);
+}
+
+void Encoder::mov_rr(Reg dst, Reg src) {
+  rex(true, num(src), 0, num(dst));
+  u8(0x89);
+  modrm_reg(num(src), num(dst));
+}
+
+void Encoder::mov_rr32(Reg dst, Reg src) {
+  rex(false, num(src), 0, num(dst));
+  u8(0x89);
+  modrm_reg(num(src), num(dst));
+}
+
+void Encoder::mov_rm(Reg dst, Reg base, std::int32_t disp) {
+  rex(true, num(dst), 0, num(base));
+  u8(0x8B);
+  modrm_mem(num(dst), base, disp);
+}
+
+void Encoder::mov_mr(Reg base, std::int32_t disp, Reg src) {
+  rex(true, num(src), 0, num(base));
+  u8(0x89);
+  modrm_mem(num(src), base, disp);
+}
+
+void Encoder::mov_rm32(Reg dst, Reg base, std::int32_t disp) {
+  rex(false, num(dst), 0, num(base));
+  u8(0x8B);
+  modrm_mem(num(dst), base, disp);
+}
+
+void Encoder::mov_mr32(Reg base, std::int32_t disp, Reg src) {
+  rex(false, num(src), 0, num(base));
+  u8(0x89);
+  modrm_mem(num(src), base, disp);
+}
+
+void Encoder::mov_mr16(Reg base, std::int32_t disp, Reg src) {
+  u8(0x66);
+  rex(false, num(src), 0, num(base));
+  u8(0x89);
+  modrm_mem(num(src), base, disp);
+}
+
+void Encoder::mov_mr8(Reg base, std::int32_t disp, Reg src) {
+  // With a REX prefix the 4-7 byte registers read SPL/BPL/SIL/DIL; the
+  // lowering only stores AL/CL/DL, so the no-REX path stays unambiguous.
+  VULFI_ASSERT(num(src) < 4 || ext(src), "byte store needs AL/CL/DL/BL");
+  rex(false, num(src), 0, num(base));
+  u8(0x88);
+  modrm_mem(num(src), base, disp);
+}
+
+void Encoder::movzx_rm8(Reg dst, Reg base, std::int32_t disp) {
+  rex(true, num(dst), 0, num(base));
+  u8(0x0F);
+  u8(0xB6);
+  modrm_mem(num(dst), base, disp);
+}
+
+void Encoder::movzx_rm16(Reg dst, Reg base, std::int32_t disp) {
+  rex(true, num(dst), 0, num(base));
+  u8(0x0F);
+  u8(0xB7);
+  modrm_mem(num(dst), base, disp);
+}
+
+void Encoder::movzx_rr8(Reg dst, Reg src) {
+  VULFI_ASSERT(num(src) < 4 || ext(src), "byte source needs AL/CL/DL/BL");
+  rex(false, num(dst), 0, num(src));
+  u8(0x0F);
+  u8(0xB6);
+  modrm_reg(num(dst), num(src));
+}
+
+void Encoder::movsx_rr8(Reg dst, Reg src) {
+  VULFI_ASSERT(num(src) < 4 || ext(src), "byte source needs AL/CL/DL/BL");
+  rex(true, num(dst), 0, num(src));
+  u8(0x0F);
+  u8(0xBE);
+  modrm_reg(num(dst), num(src));
+}
+
+void Encoder::movsx_rr16(Reg dst, Reg src) {
+  rex(true, num(dst), 0, num(src));
+  u8(0x0F);
+  u8(0xBF);
+  modrm_reg(num(dst), num(src));
+}
+
+void Encoder::movsx_rr32(Reg dst, Reg src) {
+  rex(true, num(dst), 0, num(src));
+  u8(0x63);
+  modrm_reg(num(dst), num(src));
+}
+
+void Encoder::mov_rm_index(Reg dst, Reg base, Reg index, unsigned scale,
+                           std::int32_t disp) {
+  rex(true, num(dst), num(index), num(base));
+  u8(0x8B);
+  modrm_mem_index(num(dst), base, index, scale, disp);
+}
+
+void Encoder::mov_mr_index(Reg base, Reg index, unsigned scale,
+                           std::int32_t disp, Reg src) {
+  rex(true, num(src), num(index), num(base));
+  u8(0x89);
+  modrm_mem_index(num(src), base, index, scale, disp);
+}
+
+void Encoder::mov_rm32_index(Reg dst, Reg base, Reg index, unsigned scale,
+                             std::int32_t disp) {
+  rex(false, num(dst), num(index), num(base));
+  u8(0x8B);
+  modrm_mem_index(num(dst), base, index, scale, disp);
+}
+
+void Encoder::mov_mr32_index(Reg base, Reg index, unsigned scale,
+                             std::int32_t disp, Reg src) {
+  rex(false, num(src), num(index), num(base));
+  u8(0x89);
+  modrm_mem_index(num(src), base, index, scale, disp);
+}
+
+void Encoder::mov_mr16_index(Reg base, Reg index, unsigned scale,
+                             std::int32_t disp, Reg src) {
+  u8(0x66);
+  rex(false, num(src), num(index), num(base));
+  u8(0x89);
+  modrm_mem_index(num(src), base, index, scale, disp);
+}
+
+void Encoder::mov_mr8_index(Reg base, Reg index, unsigned scale,
+                            std::int32_t disp, Reg src) {
+  VULFI_ASSERT(num(src) < 4 || ext(src), "byte store needs AL/CL/DL/BL");
+  rex(false, num(src), num(index), num(base));
+  u8(0x88);
+  modrm_mem_index(num(src), base, index, scale, disp);
+}
+
+void Encoder::movzx_rm8_index(Reg dst, Reg base, Reg index, unsigned scale,
+                              std::int32_t disp) {
+  rex(true, num(dst), num(index), num(base));
+  u8(0x0F);
+  u8(0xB6);
+  modrm_mem_index(num(dst), base, index, scale, disp);
+}
+
+void Encoder::movzx_rm16_index(Reg dst, Reg base, Reg index, unsigned scale,
+                               std::int32_t disp) {
+  rex(true, num(dst), num(index), num(base));
+  u8(0x0F);
+  u8(0xB7);
+  modrm_mem_index(num(dst), base, index, scale, disp);
+}
+
+void Encoder::lea(Reg dst, Reg base, std::int32_t disp) {
+  rex(true, num(dst), 0, num(base));
+  u8(0x8D);
+  modrm_mem(num(dst), base, disp);
+}
+
+// --- ALU -------------------------------------------------------------------
+
+void Encoder::alu_rr(std::uint8_t opcode, Reg dst, Reg src) {
+  rex(true, num(src), 0, num(dst));
+  u8(opcode);
+  modrm_reg(num(src), num(dst));
+}
+
+void Encoder::alu_rr_rm(std::uint8_t opcode2, Reg dst, Reg src) {
+  rex(true, num(dst), 0, num(src));
+  u8(0x0F);
+  u8(opcode2);
+  modrm_reg(num(dst), num(src));
+}
+
+void Encoder::add_rr(Reg dst, Reg src) { alu_rr(0x01, dst, src); }
+void Encoder::sub_rr(Reg dst, Reg src) { alu_rr(0x29, dst, src); }
+void Encoder::and_rr(Reg dst, Reg src) { alu_rr(0x21, dst, src); }
+void Encoder::or_rr(Reg dst, Reg src) { alu_rr(0x09, dst, src); }
+void Encoder::xor_rr(Reg dst, Reg src) { alu_rr(0x31, dst, src); }
+void Encoder::cmp_rr(Reg lhs, Reg rhs) { alu_rr(0x39, lhs, rhs); }
+void Encoder::test_rr(Reg lhs, Reg rhs) { alu_rr(0x85, lhs, rhs); }
+void Encoder::imul_rr(Reg dst, Reg src) { alu_rr_rm(0xAF, dst, src); }
+
+void Encoder::imul_rri(Reg dst, Reg src, std::int32_t imm) {
+  rex(true, num(dst), 0, num(src));
+  u8(0x69);
+  modrm_reg(num(dst), num(src));
+  u32(static_cast<std::uint32_t>(imm));
+}
+
+namespace {
+// /digit extensions for the 81/83 immediate-ALU group.
+constexpr unsigned kAddExt = 0, kOrExt = 1, kAndExt = 4, kSubExt = 5,
+                   kCmpExt = 7;
+}  // namespace
+
+void Encoder::add_ri(Reg dst, std::int32_t imm) {
+  rex(true, 0, 0, num(dst));
+  if (fits_i8(imm)) {
+    u8(0x83);
+    modrm_reg(kAddExt, num(dst));
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm_reg(kAddExt, num(dst));
+    u32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Encoder::sub_ri(Reg dst, std::int32_t imm) {
+  rex(true, 0, 0, num(dst));
+  if (fits_i8(imm)) {
+    u8(0x83);
+    modrm_reg(kSubExt, num(dst));
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm_reg(kSubExt, num(dst));
+    u32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Encoder::cmp_ri(Reg lhs, std::int32_t imm) {
+  rex(true, 0, 0, num(lhs));
+  if (fits_i8(imm)) {
+    u8(0x83);
+    modrm_reg(kCmpExt, num(lhs));
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm_reg(kCmpExt, num(lhs));
+    u32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Encoder::and_ri(Reg dst, std::int32_t imm) {
+  rex(true, 0, 0, num(dst));
+  if (fits_i8(imm)) {
+    u8(0x83);
+    modrm_reg(kAndExt, num(dst));
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm_reg(kAndExt, num(dst));
+    u32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Encoder::test_ri(Reg lhs, std::int32_t imm) {
+  rex(true, 0, 0, num(lhs));
+  u8(0xF7);
+  modrm_reg(0, num(lhs));
+  u32(static_cast<std::uint32_t>(imm));
+}
+
+void Encoder::neg(Reg dst) {
+  rex(true, 0, 0, num(dst));
+  u8(0xF7);
+  modrm_reg(3, num(dst));
+}
+
+void Encoder::not_(Reg dst) {
+  rex(true, 0, 0, num(dst));
+  u8(0xF7);
+  modrm_reg(2, num(dst));
+}
+
+void Encoder::add_mi(Reg base, std::int32_t disp, std::int32_t imm) {
+  rex(true, 0, 0, num(base));
+  if (fits_i8(imm)) {
+    u8(0x83);
+    modrm_mem(kAddExt, base, disp);
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm_mem(kAddExt, base, disp);
+    u32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Encoder::cmp_mi(Reg base, std::int32_t disp, std::int32_t imm) {
+  rex(true, 0, 0, num(base));
+  if (fits_i8(imm)) {
+    u8(0x83);
+    modrm_mem(kCmpExt, base, disp);
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm_mem(kCmpExt, base, disp);
+    u32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Encoder::cmp_rm(Reg lhs, Reg base, std::int32_t disp) {
+  rex(true, num(lhs), 0, num(base));
+  u8(0x3B);
+  modrm_mem(num(lhs), base, disp);
+}
+
+// --- shifts ----------------------------------------------------------------
+
+void Encoder::shift_cl(std::uint8_t extn, Reg dst) {
+  rex(true, 0, 0, num(dst));
+  u8(0xD3);
+  modrm_reg(extn, num(dst));
+}
+
+void Encoder::shift_ri(std::uint8_t extn, Reg dst, std::uint8_t imm) {
+  rex(true, 0, 0, num(dst));
+  u8(0xC1);
+  modrm_reg(extn, num(dst));
+  u8(imm);
+}
+
+void Encoder::shl_cl(Reg dst) { shift_cl(4, dst); }
+void Encoder::shr_cl(Reg dst) { shift_cl(5, dst); }
+void Encoder::sar_cl(Reg dst) { shift_cl(7, dst); }
+void Encoder::shl_ri(Reg dst, std::uint8_t imm) { shift_ri(4, dst, imm); }
+void Encoder::shr_ri(Reg dst, std::uint8_t imm) { shift_ri(5, dst, imm); }
+void Encoder::sar_ri(Reg dst, std::uint8_t imm) { shift_ri(7, dst, imm); }
+
+// --- flags consumers -------------------------------------------------------
+
+void Encoder::setcc(Cond cc, Reg dst) {
+  VULFI_ASSERT(num(dst) < 4, "setcc target must be RAX/RCX/RDX/RBX");
+  u8(0x0F);
+  u8(static_cast<std::uint8_t>(0x90 | static_cast<unsigned>(cc)));
+  modrm_reg(0, num(dst));
+}
+
+void Encoder::setcc_zx(Cond cc, Reg dst) {
+  setcc(cc, dst);
+  movzx_rr8(dst, dst);
+}
+
+void Encoder::cmovcc(Cond cc, Reg dst, Reg src) {
+  rex(true, num(dst), 0, num(src));
+  u8(0x0F);
+  u8(static_cast<std::uint8_t>(0x40 | static_cast<unsigned>(cc)));
+  modrm_reg(num(dst), num(src));
+}
+
+// --- control flow ----------------------------------------------------------
+
+void Encoder::jcc(Cond cc, Label label) {
+  u8(0x0F);
+  u8(static_cast<std::uint8_t>(0x80 | static_cast<unsigned>(cc)));
+  emit_rel32(label);
+}
+
+void Encoder::jmp(Label label) {
+  u8(0xE9);
+  emit_rel32(label);
+}
+
+void Encoder::call_reg(Reg target) {
+  rex(false, 0, 0, num(target));
+  u8(0xFF);
+  modrm_reg(2, num(target));
+}
+
+void Encoder::ret() { u8(0xC3); }
+
+void Encoder::push(Reg reg) {
+  rex(false, 0, 0, num(reg));
+  u8(static_cast<std::uint8_t>(0x50 | lo3(reg)));
+}
+
+void Encoder::pop(Reg reg) {
+  rex(false, 0, 0, num(reg));
+  u8(static_cast<std::uint8_t>(0x58 | lo3(reg)));
+}
+
+// --- SSE2 ------------------------------------------------------------------
+
+void Encoder::sse_rr(std::uint8_t prefix, std::uint8_t opcode, unsigned dst,
+                     unsigned src) {
+  if (prefix != 0) u8(prefix);
+  rex(false, dst, 0, src);
+  u8(0x0F);
+  u8(opcode);
+  modrm_reg(dst, src);
+}
+
+void Encoder::sse_mem(std::uint8_t prefix, std::uint8_t opcode, unsigned xmm,
+                      Reg base, std::int32_t disp) {
+  if (prefix != 0) u8(prefix);
+  rex(false, xmm, 0, num(base));
+  u8(0x0F);
+  u8(opcode);
+  modrm_mem(xmm, base, disp);
+}
+
+void Encoder::movq_xr(Xmm dst, Reg src) {
+  u8(0x66);
+  rex(true, num(dst), 0, num(src));
+  u8(0x0F);
+  u8(0x6E);
+  modrm_reg(num(dst), num(src));
+}
+
+void Encoder::movq_rx(Reg dst, Xmm src) {
+  u8(0x66);
+  rex(true, num(src), 0, num(dst));
+  u8(0x0F);
+  u8(0x7E);
+  modrm_reg(num(src), num(dst));
+}
+
+void Encoder::movd_xr(Xmm dst, Reg src) {
+  u8(0x66);
+  rex(false, num(dst), 0, num(src));
+  u8(0x0F);
+  u8(0x6E);
+  modrm_reg(num(dst), num(src));
+}
+
+void Encoder::movd_rx(Reg dst, Xmm src) {
+  u8(0x66);
+  rex(false, num(src), 0, num(dst));
+  u8(0x0F);
+  u8(0x7E);
+  modrm_reg(num(src), num(dst));
+}
+
+void Encoder::movq_xm(Xmm dst, Reg base, std::int32_t disp) {
+  sse_mem(0xF3, 0x7E, num(dst), base, disp);
+}
+
+void Encoder::movq_mx(Reg base, std::int32_t disp, Xmm src) {
+  sse_mem(0x66, 0xD6, num(src), base, disp);
+}
+
+void Encoder::movss_xm(Xmm dst, Reg base, std::int32_t disp) {
+  sse_mem(0xF3, 0x10, num(dst), base, disp);
+}
+
+void Encoder::movss_mx(Reg base, std::int32_t disp, Xmm src) {
+  sse_mem(0xF3, 0x11, num(src), base, disp);
+}
+
+void Encoder::movsd_xm(Xmm dst, Reg base, std::int32_t disp) {
+  sse_mem(0xF2, 0x10, num(dst), base, disp);
+}
+
+void Encoder::movsd_mx(Reg base, std::int32_t disp, Xmm src) {
+  sse_mem(0xF2, 0x11, num(src), base, disp);
+}
+
+void Encoder::movdqu_xm(Xmm dst, Reg base, std::int32_t disp) {
+  sse_mem(0xF3, 0x6F, num(dst), base, disp);
+}
+
+void Encoder::movdqu_mx(Reg base, std::int32_t disp, Xmm src) {
+  sse_mem(0xF3, 0x7F, num(src), base, disp);
+}
+
+void Encoder::movaps_xx(Xmm dst, Xmm src) {
+  sse_rr(0, 0x28, num(dst), num(src));
+}
+
+void Encoder::addss(Xmm dst, Xmm src) { sse_rr(0xF3, 0x58, num(dst), num(src)); }
+void Encoder::subss(Xmm dst, Xmm src) { sse_rr(0xF3, 0x5C, num(dst), num(src)); }
+void Encoder::mulss(Xmm dst, Xmm src) { sse_rr(0xF3, 0x59, num(dst), num(src)); }
+void Encoder::divss(Xmm dst, Xmm src) { sse_rr(0xF3, 0x5E, num(dst), num(src)); }
+void Encoder::addsd(Xmm dst, Xmm src) { sse_rr(0xF2, 0x58, num(dst), num(src)); }
+void Encoder::subsd(Xmm dst, Xmm src) { sse_rr(0xF2, 0x5C, num(dst), num(src)); }
+void Encoder::mulsd(Xmm dst, Xmm src) { sse_rr(0xF2, 0x59, num(dst), num(src)); }
+void Encoder::divsd(Xmm dst, Xmm src) { sse_rr(0xF2, 0x5E, num(dst), num(src)); }
+void Encoder::addps(Xmm dst, Xmm src) { sse_rr(0, 0x58, num(dst), num(src)); }
+void Encoder::subps(Xmm dst, Xmm src) { sse_rr(0, 0x5C, num(dst), num(src)); }
+void Encoder::mulps(Xmm dst, Xmm src) { sse_rr(0, 0x59, num(dst), num(src)); }
+void Encoder::divps(Xmm dst, Xmm src) { sse_rr(0, 0x5E, num(dst), num(src)); }
+void Encoder::addpd(Xmm dst, Xmm src) { sse_rr(0x66, 0x58, num(dst), num(src)); }
+void Encoder::subpd(Xmm dst, Xmm src) { sse_rr(0x66, 0x5C, num(dst), num(src)); }
+void Encoder::mulpd(Xmm dst, Xmm src) { sse_rr(0x66, 0x59, num(dst), num(src)); }
+void Encoder::divpd(Xmm dst, Xmm src) { sse_rr(0x66, 0x5E, num(dst), num(src)); }
+
+void Encoder::paddb(Xmm dst, Xmm src) { sse_rr(0x66, 0xFC, num(dst), num(src)); }
+void Encoder::psubb(Xmm dst, Xmm src) { sse_rr(0x66, 0xF8, num(dst), num(src)); }
+void Encoder::paddw(Xmm dst, Xmm src) { sse_rr(0x66, 0xFD, num(dst), num(src)); }
+void Encoder::psubw(Xmm dst, Xmm src) { sse_rr(0x66, 0xF9, num(dst), num(src)); }
+void Encoder::paddd(Xmm dst, Xmm src) { sse_rr(0x66, 0xFE, num(dst), num(src)); }
+void Encoder::psubd(Xmm dst, Xmm src) { sse_rr(0x66, 0xFA, num(dst), num(src)); }
+void Encoder::paddq(Xmm dst, Xmm src) { sse_rr(0x66, 0xD4, num(dst), num(src)); }
+void Encoder::psubq(Xmm dst, Xmm src) { sse_rr(0x66, 0xFB, num(dst), num(src)); }
+void Encoder::pand(Xmm dst, Xmm src) { sse_rr(0x66, 0xDB, num(dst), num(src)); }
+void Encoder::por(Xmm dst, Xmm src) { sse_rr(0x66, 0xEB, num(dst), num(src)); }
+void Encoder::pxor(Xmm dst, Xmm src) { sse_rr(0x66, 0xEF, num(dst), num(src)); }
+
+void Encoder::shufps(Xmm dst, Xmm src, std::uint8_t imm) {
+  sse_rr(0, 0xC6, num(dst), num(src));
+  u8(imm);
+}
+
+void Encoder::punpckldq(Xmm dst, Xmm src) {
+  sse_rr(0x66, 0x62, num(dst), num(src));
+}
+
+void Encoder::punpckhdq(Xmm dst, Xmm src) {
+  sse_rr(0x66, 0x6A, num(dst), num(src));
+}
+
+void Encoder::punpcklqdq(Xmm dst, Xmm src) {
+  sse_rr(0x66, 0x6C, num(dst), num(src));
+}
+
+void Encoder::cvtss2sd(Xmm dst, Xmm src) {
+  sse_rr(0xF3, 0x5A, num(dst), num(src));
+}
+
+void Encoder::cvtsd2ss(Xmm dst, Xmm src) {
+  sse_rr(0xF2, 0x5A, num(dst), num(src));
+}
+
+void Encoder::cvtsi2sd(Xmm dst, Reg src) {
+  u8(0xF2);
+  rex(true, num(dst), 0, num(src));
+  u8(0x0F);
+  u8(0x2A);
+  modrm_reg(num(dst), num(src));
+}
+
+void Encoder::ucomiss(Xmm lhs, Xmm rhs) {
+  sse_rr(0, 0x2E, num(lhs), num(rhs));
+}
+
+void Encoder::ucomisd(Xmm lhs, Xmm rhs) {
+  sse_rr(0x66, 0x2E, num(lhs), num(rhs));
+}
+
+void Encoder::xorps(Xmm dst, Xmm src) { sse_rr(0, 0x57, num(dst), num(src)); }
+void Encoder::xorpd(Xmm dst, Xmm src) { sse_rr(0x66, 0x57, num(dst), num(src)); }
+
+}  // namespace vulfi::jit

@@ -1,0 +1,234 @@
+// x86-64 machine-code encoder.
+//
+// A minimal, self-contained byte emitter covering exactly the
+// instruction-template vocabulary the lowering pass (compiler.cpp) uses:
+// 64-bit GPR moves/ALU, shifts, setcc/cmov/jcc with label fixups, calls
+// through a register, and the SSE2 subset needed for the paper's i32x4 /
+// f32x4 vector categories (packed integer ALU, packed/scalar float
+// arithmetic, pack/unpack shuffles, scalar conversions, ucomis*).
+//
+// Encoding conventions (Intel SDM Vol. 2):
+//   [legacy prefix 66/F2/F3] [REX] opcode [ModRM] [SIB] [disp] [imm]
+// REX = 0x40 | W<<3 | R<<2 | X<<1 | B, emitted whenever W=1, an extended
+// register (r8-r15 / xmm8-xmm15) is named, or a 64-bit operand is needed.
+// Memory operands handle the two irregular base encodings: RSP/R12 force
+// a SIB byte, RBP/R13 force an explicit displacement.
+//
+// Labels: new_label() returns a handle; jcc/jmp record rel32 fixups that
+// finish() patches once every label is bound. Code is position-independent
+// except for imm64 absolute constants (helper entry points, descriptor
+// addresses), which do not need relocation because the buffer is copied
+// into executable memory verbatim — absolutes stay absolute.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vulfi::jit {
+
+enum class Reg : std::uint8_t {
+  RAX = 0, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
+  R8, R9, R10, R11, R12, R13, R14, R15,
+};
+
+enum class Xmm : std::uint8_t {
+  XMM0 = 0, XMM1, XMM2, XMM3, XMM4, XMM5, XMM6, XMM7,
+  XMM8, XMM9, XMM10, XMM11, XMM12, XMM13, XMM14, XMM15,
+};
+
+/// Condition codes in x86 encoding order (the low nibble of 0F 8x / 0F 9x
+/// / 0F 4x opcodes).
+enum class Cond : std::uint8_t {
+  O = 0x0, NO = 0x1, B = 0x2, AE = 0x3, E = 0x4, NE = 0x5, BE = 0x6,
+  A = 0x7, S = 0x8, NS = 0x9, P = 0xA, NP = 0xB, L = 0xC, GE = 0xD,
+  LE = 0xE, G = 0xF,
+};
+
+class Encoder {
+ public:
+  using Label = std::uint32_t;
+
+  Label new_label();
+  void bind(Label label);
+  bool bound(Label label) const;
+
+  /// Current emit offset (used for frame-size bookkeeping / tests).
+  std::size_t size() const { return buf_.size(); }
+
+  /// Patches all pending rel32 fixups and returns the finished bytes.
+  /// Every referenced label must be bound by now.
+  const std::vector<std::uint8_t>& finish();
+
+  // --- 64-bit GPR moves ---------------------------------------------------
+  void mov_ri64(Reg dst, std::uint64_t imm);          // mov r64, imm64
+  void mov_ri32(Reg dst, std::uint32_t imm);          // mov r32, imm32 (zext)
+  void mov_rr(Reg dst, Reg src);                      // mov r64, r64
+  void mov_rr32(Reg dst, Reg src);                    // mov r32, r32 (zext)
+  void mov_rm(Reg dst, Reg base, std::int32_t disp);  // mov r64, [base+disp]
+  void mov_mr(Reg base, std::int32_t disp, Reg src);  // mov [base+disp], r64
+  void mov_rm32(Reg dst, Reg base, std::int32_t disp);   // mov r32, m32
+  void mov_mr32(Reg base, std::int32_t disp, Reg src);   // mov m32, r32
+  void mov_mr16(Reg base, std::int32_t disp, Reg src);   // mov m16, r16
+  void mov_mr8(Reg base, std::int32_t disp, Reg src);    // mov m8, r8
+  void movzx_rm8(Reg dst, Reg base, std::int32_t disp);  // movzx r64, m8
+  void movzx_rm16(Reg dst, Reg base, std::int32_t disp); // movzx r64, m16
+  void movzx_rr8(Reg dst, Reg src);                      // movzx r32, r8
+  void movsx_rr8(Reg dst, Reg src);    // movsx r64, r8
+  void movsx_rr16(Reg dst, Reg src);   // movsx r64, r16
+  void movsx_rr32(Reg dst, Reg src);   // movsxd r64, r32
+  /// mov r64, [base + index*scale + disp]; scale in {1,2,4,8}.
+  void mov_rm_index(Reg dst, Reg base, Reg index, unsigned scale,
+                    std::int32_t disp);
+  void mov_mr_index(Reg base, Reg index, unsigned scale, std::int32_t disp,
+                    Reg src);
+  void mov_rm32_index(Reg dst, Reg base, Reg index, unsigned scale,
+                      std::int32_t disp);
+  void mov_mr32_index(Reg base, Reg index, unsigned scale, std::int32_t disp,
+                      Reg src);
+  void mov_mr16_index(Reg base, Reg index, unsigned scale, std::int32_t disp,
+                      Reg src);
+  void mov_mr8_index(Reg base, Reg index, unsigned scale, std::int32_t disp,
+                     Reg src);
+  void movzx_rm8_index(Reg dst, Reg base, Reg index, unsigned scale,
+                       std::int32_t disp);
+  void movzx_rm16_index(Reg dst, Reg base, Reg index, unsigned scale,
+                        std::int32_t disp);
+  void lea(Reg dst, Reg base, std::int32_t disp);
+
+  // --- 64-bit ALU ---------------------------------------------------------
+  void add_rr(Reg dst, Reg src);
+  void sub_rr(Reg dst, Reg src);
+  void and_rr(Reg dst, Reg src);
+  void or_rr(Reg dst, Reg src);
+  void xor_rr(Reg dst, Reg src);
+  void cmp_rr(Reg lhs, Reg rhs);
+  void test_rr(Reg lhs, Reg rhs);
+  void imul_rr(Reg dst, Reg src);
+  void imul_rri(Reg dst, Reg src, std::int32_t imm);
+  void add_ri(Reg dst, std::int32_t imm);
+  void sub_ri(Reg dst, std::int32_t imm);
+  void cmp_ri(Reg lhs, std::int32_t imm);
+  void and_ri(Reg dst, std::int32_t imm);
+  void test_ri(Reg lhs, std::int32_t imm);
+  void neg(Reg dst);
+  void not_(Reg dst);
+  /// add qword [base+disp], imm32 (sign-extended)
+  void add_mi(Reg base, std::int32_t disp, std::int32_t imm);
+  /// cmp qword [base+disp], imm32 (sign-extended)
+  void cmp_mi(Reg base, std::int32_t disp, std::int32_t imm);
+  void cmp_rm(Reg lhs, Reg base, std::int32_t disp);  // cmp r64, [base+disp]
+
+  // --- shifts -------------------------------------------------------------
+  void shl_cl(Reg dst);
+  void shr_cl(Reg dst);
+  void sar_cl(Reg dst);
+  void shl_ri(Reg dst, std::uint8_t imm);
+  void shr_ri(Reg dst, std::uint8_t imm);
+  void sar_ri(Reg dst, std::uint8_t imm);
+
+  // --- flags consumers ----------------------------------------------------
+  /// setcc on the low byte of dst, then zero-extends dst to 64 bits.
+  /// Restricted to RAX/RCX/RDX/RBX low bytes (no REX byte-register issues).
+  void setcc_zx(Cond cc, Reg dst);
+  /// setcc only (low byte of RAX/RCX/RDX/RBX), no zero-extension.
+  void setcc(Cond cc, Reg dst);
+  void cmovcc(Cond cc, Reg dst, Reg src);  // cmovcc r64, r64
+
+  // --- control flow -------------------------------------------------------
+  void jcc(Cond cc, Label label);  // jcc rel32
+  void jmp(Label label);           // jmp rel32
+  void call_reg(Reg target);
+  void ret();
+  void push(Reg reg);
+  void pop(Reg reg);
+
+  // --- SSE2 ---------------------------------------------------------------
+  void movq_xr(Xmm dst, Reg src);   // movq xmm, r64
+  void movq_rx(Reg dst, Xmm src);   // movq r64, xmm
+  void movd_xr(Xmm dst, Reg src);   // movd xmm, r32
+  void movd_rx(Reg dst, Xmm src);   // movd r32, xmm
+  void movq_xm(Xmm dst, Reg base, std::int32_t disp);   // movq xmm, m64
+  void movq_mx(Reg base, std::int32_t disp, Xmm src);   // movq m64, xmm
+  void movss_xm(Xmm dst, Reg base, std::int32_t disp);
+  void movss_mx(Reg base, std::int32_t disp, Xmm src);
+  void movsd_xm(Xmm dst, Reg base, std::int32_t disp);
+  void movsd_mx(Reg base, std::int32_t disp, Xmm src);
+  void movdqu_xm(Xmm dst, Reg base, std::int32_t disp);
+  void movdqu_mx(Reg base, std::int32_t disp, Xmm src);
+  void movaps_xx(Xmm dst, Xmm src);
+
+  void addss(Xmm dst, Xmm src);
+  void subss(Xmm dst, Xmm src);
+  void mulss(Xmm dst, Xmm src);
+  void divss(Xmm dst, Xmm src);
+  void addsd(Xmm dst, Xmm src);
+  void subsd(Xmm dst, Xmm src);
+  void mulsd(Xmm dst, Xmm src);
+  void divsd(Xmm dst, Xmm src);
+  void addps(Xmm dst, Xmm src);
+  void subps(Xmm dst, Xmm src);
+  void mulps(Xmm dst, Xmm src);
+  void divps(Xmm dst, Xmm src);
+  void addpd(Xmm dst, Xmm src);
+  void subpd(Xmm dst, Xmm src);
+  void mulpd(Xmm dst, Xmm src);
+  void divpd(Xmm dst, Xmm src);
+
+  void paddb(Xmm dst, Xmm src);
+  void psubb(Xmm dst, Xmm src);
+  void paddw(Xmm dst, Xmm src);
+  void psubw(Xmm dst, Xmm src);
+  void paddd(Xmm dst, Xmm src);
+  void psubd(Xmm dst, Xmm src);
+  void paddq(Xmm dst, Xmm src);
+  void psubq(Xmm dst, Xmm src);
+  void pand(Xmm dst, Xmm src);
+  void por(Xmm dst, Xmm src);
+  void pxor(Xmm dst, Xmm src);
+
+  void shufps(Xmm dst, Xmm src, std::uint8_t imm);
+  void punpckldq(Xmm dst, Xmm src);
+  void punpckhdq(Xmm dst, Xmm src);
+  void punpcklqdq(Xmm dst, Xmm src);
+
+  void cvtss2sd(Xmm dst, Xmm src);
+  void cvtsd2ss(Xmm dst, Xmm src);
+  void cvtsi2sd(Xmm dst, Reg src);  // cvtsi2sd xmm, r64
+  void ucomiss(Xmm lhs, Xmm rhs);
+  void ucomisd(Xmm lhs, Xmm rhs);
+  void xorps(Xmm dst, Xmm src);
+  void xorpd(Xmm dst, Xmm src);
+
+ private:
+  struct Fixup {
+    std::size_t pos;  // offset of the rel32 field
+    Label label;
+  };
+
+  void u8(std::uint8_t b) { buf_.push_back(b); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// REX prefix; emitted only when non-trivial or `force` is set.
+  void rex(bool w, unsigned reg, unsigned index, unsigned rm,
+           bool force = false);
+  void modrm_reg(unsigned reg, unsigned rm);
+  void modrm_mem(unsigned reg, Reg base, std::int32_t disp);
+  void modrm_mem_index(unsigned reg, Reg base, Reg index, unsigned scale,
+                       std::int32_t disp);
+  void alu_rr(std::uint8_t opcode, Reg dst, Reg src);         // MR form
+  void alu_rr_rm(std::uint8_t opcode2, Reg dst, Reg src);     // 0F xx RM form
+  void shift_cl(std::uint8_t ext, Reg dst);
+  void shift_ri(std::uint8_t ext, Reg dst, std::uint8_t imm);
+  void sse_rr(std::uint8_t prefix, std::uint8_t opcode, unsigned dst,
+              unsigned src);
+  void sse_mem(std::uint8_t prefix, std::uint8_t opcode, unsigned xmm,
+               Reg base, std::int32_t disp);
+  void emit_rel32(Label label);
+
+  std::vector<std::uint8_t> buf_;
+  std::vector<std::int64_t> label_pos_;  // -1 while unbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace vulfi::jit

@@ -1,0 +1,61 @@
+#include "jit/exec_memory.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace vulfi::jit {
+
+namespace {
+
+std::size_t page_align(std::size_t n) {
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return (n + page - 1) / page * page;
+}
+
+bool probe_exec_mmap() {
+  const std::size_t page = page_align(1);
+  void* mem = ::mmap(nullptr, page, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return false;
+  // ret — enough to prove the mapping is truly executable if we ever
+  // wanted to call it; the mprotect result alone decides availability.
+  static_cast<std::uint8_t*>(mem)[0] = 0xC3;
+  const bool ok = ::mprotect(mem, page, PROT_READ | PROT_EXEC) == 0;
+  ::munmap(mem, page);
+  return ok;
+}
+
+}  // namespace
+
+bool ExecMemory::available() {
+  static const bool ok = probe_exec_mmap();
+  return ok;
+}
+
+ExecMemory::~ExecMemory() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+const std::uint8_t* ExecMemory::publish(
+    const std::vector<std::uint8_t>& code) {
+  VULFI_ASSERT(base_ == nullptr, "ExecMemory::publish called twice");
+  VULFI_ASSERT(!code.empty(), "cannot publish empty code");
+  const std::size_t size = page_align(code.size());
+  void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return nullptr;
+  std::memcpy(mem, code.data(), code.size());
+  if (::mprotect(mem, size, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(mem, size);
+    return nullptr;
+  }
+  base_ = static_cast<std::uint8_t*>(mem);
+  size_ = size;
+  return base_;
+}
+
+}  // namespace vulfi::jit

@@ -1,0 +1,48 @@
+// Executable-memory arena with a W^X discipline.
+//
+// Code is never writable and executable at the same time: the compiler
+// assembles every function into plain std::vector buffers, then a single
+// publish() call maps one anonymous region read-write, copies all the
+// finished code in, and flips the whole region to read-execute. There is
+// no incremental patching after publish — the "patchable callouts" into
+// fi_runtime are indirections through data (descriptor tables holding
+// handler pointers), not code edits.
+//
+// Hosts can forbid executable anonymous mappings (hardened kernels,
+// seccomp sandboxes, some containers). available() probes this once per
+// process by round-tripping a tiny RW->RX mapping; when it fails, the JIT
+// backend reports itself unavailable and every run falls back to the
+// interpreter — same results, no error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vulfi::jit {
+
+class ExecMemory {
+ public:
+  ExecMemory() = default;
+  ~ExecMemory();
+
+  ExecMemory(const ExecMemory&) = delete;
+  ExecMemory& operator=(const ExecMemory&) = delete;
+
+  /// True when this process can map executable memory (probed once).
+  static bool available();
+
+  /// Copies `code` into a fresh executable mapping and returns the base
+  /// address of the mapped copy, or nullptr on failure. May be called at
+  /// most once per ExecMemory instance.
+  const std::uint8_t* publish(const std::vector<std::uint8_t>& code);
+
+  const std::uint8_t* base() const { return base_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::uint8_t* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vulfi::jit

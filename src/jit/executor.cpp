@@ -1,0 +1,594 @@
+// JIT executor: batch compilation, the native run loop, and the extern "C"
+// helper callouts compiled code reaches at every fault site and slow
+// operation. Each helper reproduces the corresponding interpreter
+// evaluation bit-for-bit — the shared scalar semantics live in
+// interp/scalar_ops.hpp, and the trap detail strings match verbatim so a
+// census diff between backends is empty by construction.
+
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "interp/scalar_ops.hpp"
+#include "jit/backend.hpp"
+#include "jit/exec_memory.hpp"
+#include "jit/internal.hpp"
+#include "ir/intrinsics.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::jit {
+
+namespace {
+
+using interp::RtVal;
+using interp::TrapKind;
+using ir::Opcode;
+
+/// Flattened-argument capacity of vulfi_jit_call (mirrored by the
+/// compilability check in compiler.cpp).
+constexpr unsigned kMaxCallArgWords = 128;
+
+/// First writer wins, like Interpreter::trap: compiled code tests
+/// ctx->trap_kind after every callout, so a later helper can only run
+/// before any trap has been recorded — but the masked intrinsics probe
+/// multiple lanes and must not overwrite the first fault.
+void set_trap(JitContext* ctx, TrapKind kind, std::string detail) {
+  if (ctx->trap_kind != 0) return;
+  ctx->trap_kind = static_cast<std::uint64_t>(kind);
+  ctx->exec->record_trap(kind, std::move(detail));
+}
+
+std::uint64_t lane_raw(const std::uint64_t* frame, const OperandLoc& op,
+                       unsigned lane) {
+  return op.is_const() ? op.pool[lane]
+                       : frame[static_cast<std::uint32_t>(op.word) + lane];
+}
+
+/// Numeric value of an fp lane regardless of width (RtVal::lane_fp).
+double lane_fp(const std::uint64_t* frame, const OperandLoc& op,
+               unsigned lane) {
+  const std::uint64_t bits = lane_raw(frame, op, lane);
+  return op.type.kind() == ir::TypeKind::F32
+             ? static_cast<double>(
+                   std::bit_cast<float>(static_cast<std::uint32_t>(bits)))
+             : std::bit_cast<double>(bits);
+}
+
+/// RtVal::set_lane_raw: integers are truncated to the element width.
+void store_result(std::uint64_t* frame, const InstDesc& d, unsigned lane,
+                  std::uint64_t bits) {
+  if (d.type.is_integer()) {
+    bits = ir::Constant::truncate_to_width(bits, d.type.element_bits());
+  }
+  frame[static_cast<std::uint32_t>(d.result_word) + lane] = bits;
+}
+
+std::uint64_t f32_bits(float value) {
+  return std::bit_cast<std::uint32_t>(value);
+}
+
+/// Interpreter::read_element, over the ctx arena.
+std::uint64_t read_element(JitContext* ctx, std::uint64_t addr,
+                           unsigned bytes) {
+  if (!ctx->arena->valid(addr, bytes)) {
+    set_trap(ctx, TrapKind::OutOfBounds,
+             strf("load of %u bytes at address %llu", bytes,
+                  static_cast<unsigned long long>(addr)));
+    return 0;
+  }
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, ctx->arena->data(addr), bytes);
+  return bits;
+}
+
+void write_element(JitContext* ctx, std::uint64_t addr, unsigned bytes,
+                   std::uint64_t bits) {
+  if (!ctx->arena->valid(addr, bytes)) {
+    set_trap(ctx, TrapKind::OutOfBounds,
+             strf("store of %u bytes at address %llu", bytes,
+                  static_cast<unsigned long long>(addr)));
+    return;
+  }
+  std::memcpy(ctx->arena->data(addr), &bits, bytes);
+}
+
+void int_div_op(JitContext* ctx, std::uint64_t* frame, const InstDesc& d) {
+  const Opcode op = d.inst->opcode();
+  const unsigned width = d.type.element_bits();
+  const OperandLoc& lhs = d.operands[0];
+  const OperandLoc& rhs = d.operands[1];
+  for (unsigned lane = 0; lane < d.type.lanes(); ++lane) {
+    const std::uint64_t ua = lane_raw(frame, lhs, lane);
+    const std::uint64_t ub = lane_raw(frame, rhs, lane);
+    const std::int64_t sa = ir::Constant::sign_extend(ua, width);
+    const std::int64_t sb = ir::Constant::sign_extend(ub, width);
+    std::uint64_t bits = 0;
+    switch (op) {
+      case Opcode::SDiv:
+        if (sb == 0) {
+          set_trap(ctx, TrapKind::DivByZero, "sdiv by zero");
+          return;
+        }
+        // INT_MIN / -1 wraps (deterministic stand-in for LLVM UB).
+        bits = (sb == -1) ? static_cast<std::uint64_t>(-sa)
+                          : static_cast<std::uint64_t>(sa / sb);
+        break;
+      case Opcode::UDiv:
+        if (ub == 0) {
+          set_trap(ctx, TrapKind::DivByZero, "udiv by zero");
+          return;
+        }
+        bits = ua / ub;
+        break;
+      case Opcode::SRem:
+        if (sb == 0) {
+          set_trap(ctx, TrapKind::DivByZero, "srem by zero");
+          return;
+        }
+        bits = (sb == -1) ? 0 : static_cast<std::uint64_t>(sa % sb);
+        break;
+      default:  // URem
+        if (ub == 0) {
+          set_trap(ctx, TrapKind::DivByZero, "urem by zero");
+          return;
+        }
+        bits = ua % ub;
+        break;
+    }
+    store_result(frame, d, lane, bits);
+  }
+}
+
+void frem_op(std::uint64_t* frame, const InstDesc& d) {
+  const bool single = d.type.kind() == ir::TypeKind::F32;
+  const OperandLoc& lhs = d.operands[0];
+  const OperandLoc& rhs = d.operands[1];
+  for (unsigned lane = 0; lane < d.type.lanes(); ++lane) {
+    const std::uint64_t a = lane_raw(frame, lhs, lane);
+    const std::uint64_t b = lane_raw(frame, rhs, lane);
+    std::uint64_t bits;
+    if (single) {
+      bits = f32_bits(
+          std::fmod(std::bit_cast<float>(static_cast<std::uint32_t>(a)),
+                    std::bit_cast<float>(static_cast<std::uint32_t>(b))));
+    } else {
+      bits = std::bit_cast<std::uint64_t>(
+          std::fmod(std::bit_cast<double>(a), std::bit_cast<double>(b)));
+    }
+    store_result(frame, d, lane, bits);
+  }
+}
+
+void fp_cast_op(std::uint64_t* frame, const InstDesc& d) {
+  const Opcode op = d.inst->opcode();
+  const unsigned width = d.type.element_bits();
+  const OperandLoc& src = d.operands[0];
+  for (unsigned lane = 0; lane < d.type.lanes(); ++lane) {
+    std::uint64_t bits = 0;
+    switch (op) {
+      case Opcode::FPToSI:
+        bits = interp::saturating_fp_to_int(lane_fp(frame, src, lane), width,
+                                            /*is_signed=*/true);
+        break;
+      case Opcode::FPToUI:
+        bits = interp::saturating_fp_to_int(lane_fp(frame, src, lane), width,
+                                            /*is_signed=*/false);
+        break;
+      default: {  // UIToFP (raw words are already zero-extended elements)
+        const double v =
+            static_cast<double>(lane_raw(frame, src, lane));
+        bits = d.type.kind() == ir::TypeKind::F32
+                   ? f32_bits(static_cast<float>(v))
+                   : std::bit_cast<std::uint64_t>(v);
+        break;
+      }
+    }
+    store_result(frame, d, lane, bits);
+  }
+}
+
+/// Interpreter::eval_intrinsic / eval_math_intrinsic over frame words.
+void intrinsic_op(JitContext* ctx, std::uint64_t* frame, const InstDesc& d,
+                  const ir::Function& callee) {
+  const ir::IntrinsicInfo& info = callee.intrinsic_info();
+  const auto& ops = d.operands;
+  if (ir::is_math_intrinsic(info.id)) {
+    const ir::Type type = callee.return_type();
+    const bool single = type.kind() == ir::TypeKind::F32;
+    for (unsigned lane = 0; lane < type.lanes(); ++lane) {
+      std::uint64_t bits;
+      if (single) {
+        const float a = std::bit_cast<float>(
+            static_cast<std::uint32_t>(lane_raw(frame, ops[0], lane)));
+        const float b =
+            ops.size() > 1
+                ? std::bit_cast<float>(static_cast<std::uint32_t>(
+                      lane_raw(frame, ops[1], lane)))
+                : 0.0f;
+        float r = 0.0f;
+        switch (info.id) {
+          case ir::IntrinsicId::Sqrt: r = std::sqrt(a); break;
+          case ir::IntrinsicId::Exp: r = std::exp(a); break;
+          case ir::IntrinsicId::Log: r = std::log(a); break;
+          case ir::IntrinsicId::Pow: r = std::pow(a, b); break;
+          case ir::IntrinsicId::Fabs: r = std::fabs(a); break;
+          case ir::IntrinsicId::Fmin: r = std::fmin(a, b); break;
+          case ir::IntrinsicId::Fmax: r = std::fmax(a, b); break;
+          case ir::IntrinsicId::Sin: r = std::sin(a); break;
+          case ir::IntrinsicId::Cos: r = std::cos(a); break;
+          case ir::IntrinsicId::Floor: r = std::floor(a); break;
+          default: VULFI_UNREACHABLE("not a math intrinsic");
+        }
+        bits = f32_bits(r);
+      } else {
+        const double a = std::bit_cast<double>(lane_raw(frame, ops[0], lane));
+        const double b =
+            ops.size() > 1
+                ? std::bit_cast<double>(lane_raw(frame, ops[1], lane))
+                : 0.0;
+        double r = 0.0;
+        switch (info.id) {
+          case ir::IntrinsicId::Sqrt: r = std::sqrt(a); break;
+          case ir::IntrinsicId::Exp: r = std::exp(a); break;
+          case ir::IntrinsicId::Log: r = std::log(a); break;
+          case ir::IntrinsicId::Pow: r = std::pow(a, b); break;
+          case ir::IntrinsicId::Fabs: r = std::fabs(a); break;
+          case ir::IntrinsicId::Fmin: r = std::fmin(a, b); break;
+          case ir::IntrinsicId::Fmax: r = std::fmax(a, b); break;
+          case ir::IntrinsicId::Sin: r = std::sin(a); break;
+          case ir::IntrinsicId::Cos: r = std::cos(a); break;
+          case ir::IntrinsicId::Floor: r = std::floor(a); break;
+          default: VULFI_UNREACHABLE("not a math intrinsic");
+        }
+        bits = std::bit_cast<std::uint64_t>(r);
+      }
+      store_result(frame, d, lane, bits);
+    }
+    return;
+  }
+  if (info.id == ir::IntrinsicId::MaskLoad) {
+    // (ptr, mask) -> data. Faults are suppressed on inactive lanes and
+    // masked-off lanes read as zero (x86 vmaskmov semantics).
+    const ir::Type data_type = callee.return_type();
+    const unsigned elem_bytes = data_type.element_bytes();
+    const unsigned elem_bits = data_type.element_bits();
+    const std::uint64_t base = lane_raw(frame, ops[0], 0);
+    for (unsigned lane = 0; lane < data_type.lanes(); ++lane) {
+      store_result(frame, d, lane, 0);
+    }
+    for (unsigned lane = 0;
+         lane < data_type.lanes() && ctx->trap_kind == 0; ++lane) {
+      if (!ir::mask_lane_active(lane_raw(frame, ops[1], lane), elem_bits)) {
+        continue;
+      }
+      store_result(frame, d, lane,
+                   read_element(ctx, base + std::uint64_t{lane} * elem_bytes,
+                                elem_bytes));
+    }
+    return;
+  }
+  if (info.id == ir::IntrinsicId::MoveMask) {
+    const OperandLoc& data = ops[0];
+    const unsigned elem_bits = data.type.element_bits();
+    std::uint64_t bits = 0;
+    for (unsigned lane = 0; lane < data.type.lanes(); ++lane) {
+      if (ir::mask_lane_active(lane_raw(frame, data, lane), elem_bits)) {
+        bits |= std::uint64_t{1} << lane;
+      }
+    }
+    store_result(frame, d, 0, bits);
+    return;
+  }
+  if (info.id == ir::IntrinsicId::MaskStore) {
+    // (ptr, mask, data) -> void.
+    const OperandLoc& data = ops[2];
+    const unsigned elem_bytes = data.type.element_bytes();
+    const unsigned elem_bits = data.type.element_bits();
+    const std::uint64_t base = lane_raw(frame, ops[0], 0);
+    for (unsigned lane = 0;
+         lane < data.type.lanes() && ctx->trap_kind == 0; ++lane) {
+      if (!ir::mask_lane_active(lane_raw(frame, ops[1], lane), elem_bits)) {
+        continue;
+      }
+      write_element(ctx, base + std::uint64_t{lane} * elem_bytes, elem_bytes,
+                    lane_raw(frame, data, lane));
+    }
+    return;
+  }
+  VULFI_UNREACHABLE("unknown intrinsic");
+}
+
+}  // namespace
+
+// --- extern "C" callouts ---------------------------------------------------
+
+extern "C" void vulfi_jit_slow_op(JitContext* ctx, std::uint64_t* frame,
+                                  const InstDesc* desc) {
+  switch (desc->inst->opcode()) {
+    case Opcode::SDiv: case Opcode::UDiv:
+    case Opcode::SRem: case Opcode::URem:
+      int_div_op(ctx, frame, *desc);
+      break;
+    case Opcode::FRem:
+      frem_op(frame, *desc);
+      break;
+    case Opcode::FPToSI: case Opcode::FPToUI: case Opcode::UIToFP:
+      fp_cast_op(frame, *desc);
+      break;
+    default:
+      VULFI_UNREACHABLE("opcode has no slow-op helper");
+  }
+}
+
+extern "C" void vulfi_jit_call(JitContext* ctx, std::uint64_t* frame,
+                               const InstDesc* desc) {
+  ctx->calls += 1;  // Interpreter::eval_call counts before dispatch
+  const ir::Function* callee = desc->inst->callee();
+  switch (callee->kind()) {
+    case ir::FunctionKind::Definition: {
+      // The callee runs at depth + 1; run_function traps on entry when
+      // that reaches the limit.
+      if (ctx->depth + 1 >= ctx->max_call_depth) {
+        set_trap(ctx, TrapKind::CallDepthExceeded,
+                 "call depth limit exceeded");
+        return;
+      }
+      std::uint64_t argv[kMaxCallArgWords];
+      unsigned w = 0;
+      for (const OperandLoc& op : desc->operands) {
+        for (unsigned lane = 0; lane < op.type.lanes(); ++lane) {
+          argv[w++] = lane_raw(frame, op, lane);
+        }
+      }
+      std::uint64_t retv[interp::LaneArray::kMaxLanes] = {};
+      ctx->depth += 1;
+      desc->callee->entry(ctx, argv, retv);
+      ctx->depth -= 1;
+      if (ctx->trap_kind == 0 && desc->result_word >= 0) {
+        for (unsigned lane = 0; lane < desc->type.lanes(); ++lane) {
+          frame[static_cast<std::uint32_t>(desc->result_word) + lane] =
+              retv[lane];
+        }
+      }
+      return;
+    }
+    case ir::FunctionKind::Intrinsic:
+      intrinsic_op(ctx, frame, *desc, *callee);
+      return;
+    case ir::FunctionKind::Runtime: {
+      // Handlers (fault injectors, detectors) receive real RtVals — the
+      // same values the interpreter would pass — built from frame words.
+      auto& scratch = ctx->exec->call_scratch();
+      scratch.clear();
+      for (const OperandLoc& op : desc->operands) {
+        RtVal v(op.type);
+        for (unsigned lane = 0; lane < op.type.lanes(); ++lane) {
+          v.raw[lane] = lane_raw(frame, op, lane);
+        }
+        scratch.push_back(std::move(v));
+      }
+      const RtVal result = (*desc->handler)(scratch);
+      if (ctx->trap_kind == 0 && desc->result_word >= 0) {
+        VULFI_ASSERT(result.type == desc->type, "callee returned wrong type");
+        for (unsigned lane = 0; lane < desc->type.lanes(); ++lane) {
+          frame[static_cast<std::uint32_t>(desc->result_word) + lane] =
+              result.raw[lane];
+        }
+      }
+      return;
+    }
+  }
+  VULFI_UNREACHABLE("unknown function kind");
+}
+
+extern "C" void vulfi_jit_alloca(JitContext* ctx, std::uint64_t* frame,
+                                 const InstDesc* desc) {
+  const std::uint64_t bytes = desc->inst->alloca_bytes();
+  interp::Arena& arena = *ctx->arena;
+  if (arena.allocated() + bytes + 64 > arena.capacity()) {
+    set_trap(ctx, TrapKind::StackOverflow, "alloca exhausted the arena");
+    return;
+  }
+  const std::uint64_t addr = arena.alloc_stack(bytes);
+  ctx->arena_top = arena.frame_watermark();
+  frame[static_cast<std::uint32_t>(desc->result_word)] = addr;
+}
+
+extern "C" void vulfi_jit_restore_watermark(JitContext* ctx,
+                                            std::uint64_t watermark) {
+  ctx->arena->restore_watermark(watermark);
+  ctx->arena_top = watermark;
+}
+
+extern "C" void vulfi_jit_trap(JitContext* ctx, std::uint64_t kind,
+                               const char* detail) {
+  set_trap(ctx, static_cast<TrapKind>(kind), detail);
+}
+
+extern "C" void vulfi_jit_trap_oob(JitContext* ctx, std::uint64_t addr,
+                                   std::uint64_t bytes,
+                                   std::uint64_t is_store) {
+  set_trap(ctx, TrapKind::OutOfBounds,
+           strf("%s of %u bytes at address %llu",
+                is_store != 0 ? "store" : "load",
+                static_cast<unsigned>(bytes),
+                static_cast<unsigned long long>(addr)));
+}
+
+// --- JitExecutor -----------------------------------------------------------
+
+JitExecutor::JitExecutor(interp::Arena& arena, interp::RuntimeEnv& env,
+                         interp::Interpreter& fallback,
+                         interp::ExecLimits limits)
+    : arena_(arena), env_(env), fallback_(fallback), limits_(limits) {}
+
+JitExecutor::~JitExecutor() = default;
+
+bool JitExecutor::available() { return ExecMemory::available(); }
+
+void JitExecutor::record_trap(interp::TrapKind kind, std::string detail) {
+  trap_ = interp::Trap{kind, std::move(detail)};
+}
+
+CompiledFunction* JitExecutor::resolve_callee(void* self_ptr,
+                                              const ir::Function* fn) {
+  auto* self = static_cast<JitExecutor*>(self_ptr);
+  if (auto it = self->pending_.find(fn); it != self->pending_.end()) {
+    return it->second;
+  }
+  auto it = self->compiled_.find(fn);
+  return it != self->compiled_.end() ? it->second : nullptr;
+}
+
+CompiledFunction* JitExecutor::ensure_compiled(const ir::Function& fn) {
+  if (auto it = compiled_.find(&fn); it != compiled_.end()) {
+    return it->second;
+  }
+  if (!ExecMemory::available()) {
+    compiled_[&fn] = nullptr;
+    return nullptr;
+  }
+
+  // The whole Definition call graph compiles (and publishes) together or
+  // not at all — mixing native and interpreted frames inside one run
+  // would need an RtVal bridge for no benefit.
+  std::vector<const ir::Function*> order;
+  std::unordered_set<const ir::Function*> visited;
+  std::vector<const ir::Function*> stack{&fn};
+  bool ok = true;
+  while (ok && !stack.empty()) {
+    const ir::Function* f = stack.back();
+    stack.pop_back();
+    if (visited.contains(f)) continue;
+    visited.insert(f);
+    if (auto it = compiled_.find(f); it != compiled_.end()) {
+      // Published earlier — its callees are published too.
+      if (it->second == nullptr) ok = false;
+      continue;
+    }
+    if (!function_is_compilable(*f, env_)) {
+      ok = false;
+      break;
+    }
+    order.push_back(f);
+    for (const auto& block : *f) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() != ir::Opcode::Call) continue;
+        const ir::Function* callee = inst->callee();
+        if (callee->kind() == ir::FunctionKind::Definition) {
+          stack.push_back(callee);
+        }
+      }
+    }
+  }
+  if (!ok) {
+    compiled_[&fn] = nullptr;
+    return nullptr;
+  }
+
+  // Shells first: call descriptors bake CompiledFunction* addresses, so
+  // every object must exist (and never move) before any body is lowered.
+  const std::size_t first_owned = owned_.size();
+  pending_.clear();
+  for (const ir::Function* f : order) {
+    owned_.push_back(std::make_unique<CompiledFunction>());
+    pending_[f] = owned_.back().get();
+  }
+  for (const ir::Function* f : order) {
+    compile_function(*f, env_, *pending_[f], &JitExecutor::resolve_callee,
+                     this);
+  }
+
+  // Concatenate at 16-byte alignment and flip the batch W^X in one go.
+  std::vector<std::uint8_t> blob;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(order.size());
+  for (const ir::Function* f : order) {
+    while (blob.size() % 16 != 0) blob.push_back(0xCC);
+    offsets.push_back(blob.size());
+    const auto& code = pending_[f]->code;
+    blob.insert(blob.end(), code.begin(), code.end());
+  }
+  auto memory = std::make_unique<ExecMemory>();
+  const std::uint8_t* base = memory->publish(blob);
+  if (base == nullptr) {
+    owned_.resize(first_owned);
+    pending_.clear();
+    compiled_[&fn] = nullptr;
+    return nullptr;
+  }
+  batches_.push_back(std::move(memory));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    CompiledFunction* cf = pending_[order[i]];
+    cf->entry = reinterpret_cast<JitFn>(
+        const_cast<std::uint8_t*>(base + offsets[i]));
+    cf->code.clear();
+    cf->code.shrink_to_fit();
+    compiled_[order[i]] = cf;
+  }
+  pending_.clear();
+  return compiled_.at(&fn);
+}
+
+bool JitExecutor::function_compiled(const ir::Function& fn) {
+  return ensure_compiled(fn) != nullptr;
+}
+
+interp::ExecResult JitExecutor::run(const ir::Function& fn,
+                                    const std::vector<interp::RtVal>& args) {
+  CompiledFunction* cf = ensure_compiled(fn);
+  if (cf == nullptr) {
+    fallback_.set_limits(limits_);
+    fallback_runs_ += 1;
+    return fallback_.run(fn, args);
+  }
+
+  interp::ExecResult result;
+  if (limits_.max_call_depth == 0) {
+    // run_function traps before executing a single instruction.
+    result.trap =
+        interp::Trap{TrapKind::CallDepthExceeded, "call depth limit exceeded"};
+    return result;
+  }
+
+  VULFI_ASSERT(args.size() == fn.num_args(), "argument count mismatch");
+  std::uint64_t argv[kMaxCallArgWords];
+  unsigned w = 0;
+  for (unsigned i = 0; i < args.size(); ++i) {
+    VULFI_ASSERT(args[i].type == fn.arg(i)->type(), "argument type mismatch");
+    VULFI_ASSERT(w + args[i].lanes() <= kMaxCallArgWords,
+                 "too many entry argument lanes");
+    for (unsigned lane = 0; lane < args[i].lanes(); ++lane) {
+      argv[w++] = args[i].raw[lane];
+    }
+  }
+
+  trap_ = interp::Trap{};
+  JitContext ctx;
+  ctx.max_instructions = limits_.max_instructions;
+  ctx.arena_base = reinterpret_cast<std::uint64_t>(arena_.data(0));
+  ctx.arena_top = arena_.frame_watermark();
+  ctx.max_call_depth = limits_.max_call_depth;
+  ctx.arena = &arena_;
+  ctx.exec = this;
+
+  std::uint64_t retv[interp::LaneArray::kMaxLanes] = {};
+  cf->entry(&ctx, argv, retv);
+  native_runs_ += 1;
+
+  result.trap = trap_;
+  result.stats.total_instructions = ctx.total_instructions;
+  result.stats.vector_instructions = ctx.vector_instructions;
+  result.stats.calls = ctx.calls;
+  if (!trap_ && !fn.return_type().is_void()) {
+    RtVal ret(fn.return_type());
+    for (unsigned lane = 0; lane < ret.lanes(); ++lane) {
+      ret.raw[lane] = retv[lane];
+    }
+    result.return_value = ret;
+  }
+  return result;
+}
+
+}  // namespace vulfi::jit

@@ -1,0 +1,150 @@
+// Shared data structures between the JIT compiler (lowering) and the JIT
+// executor (runtime helpers). Internal to src/jit.
+//
+// Compiled-code ABI
+// -----------------
+//   using JitFn = void (*)(JitContext* ctx, const std::uint64_t* argv,
+//                          std::uint64_t* retv);
+// Pinned registers inside compiled code: rbx = ctx, rbp = frame base,
+// r12 = retv, r13 = arena data base. argv/retv are flattened lane words
+// (RtVal::raw encoding, one u64 per lane, in argument order).
+//
+// Frame layout (all 8-byte words, addressed off rbp):
+//   word 0            — the caller arena watermark saved by the prologue
+//   word 1 ..         — one word per lane of every dense value slot
+//                       (arguments first, then non-void instruction
+//                       results, in the interpreter's slot order)
+//   tail words        — phi scratch for the widest edge transfer
+// Frame lane words hold exactly the RtVal::raw invariant: integers
+// truncated to their element width, f32 patterns zero-extended to 64 bits.
+//
+// Helper callouts use the SysV C ABI: rdi = ctx, then helper-specific
+// arguments. Every operation the template does not lower inline (division
+// with trap semantics, saturating fp<->int, frem, calls, alloca) becomes a
+// callout carrying an InstDesc* baked into the code as an imm64. The
+// descriptor holds pre-resolved operand locations and callee pointers —
+// this is the "patchable" half of the design: retargeting a fault-site
+// callout means swapping a pointer in data, never rewriting code.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "interp/arena.hpp"
+#include "interp/runtime.hpp"
+#include "interp/trap.hpp"
+#include "ir/function.hpp"
+#include "ir/instruction.hpp"
+
+namespace vulfi::jit {
+
+class JitExecutor;
+struct CompiledFunction;
+
+/// Per-run state shared between compiled code and the helper callouts.
+/// Standard-layout so the emitter can address fields by offsetof.
+struct JitContext {
+  std::uint64_t total_instructions = 0;
+  std::uint64_t max_instructions = 0;
+  std::uint64_t vector_instructions = 0;
+  std::uint64_t calls = 0;
+  /// Host address of arena byte 0 (so guest address A lives at
+  /// arena_base + A).
+  std::uint64_t arena_base = 0;
+  /// Mirror of Arena::frame_watermark(), kept in sync by the alloca and
+  /// watermark-restore helpers; compiled bounds checks read it directly.
+  std::uint64_t arena_top = 0;
+  /// TrapKind as u64; 0 = TrapKind::None. First writer wins (helpers
+  /// refuse to overwrite); compiled code tests it after every callout.
+  std::uint64_t trap_kind = 0;
+  /// Current call depth (0 in the entry function).
+  std::uint64_t depth = 0;
+  std::uint64_t max_call_depth = 0;
+  interp::Arena* arena = nullptr;
+  JitExecutor* exec = nullptr;
+};
+
+static_assert(offsetof(JitContext, trap_kind) == 48);
+
+/// Pre-resolved operand: where the lanes live at runtime.
+struct OperandLoc {
+  /// >= 0: frame word index (lane 0) in the executing frame; < 0: the
+  /// lanes live in the function's constant pool at `pool`.
+  std::int32_t word = -1;
+  const std::uint64_t* pool = nullptr;
+  ir::Type type;
+
+  bool is_const() const { return word < 0; }
+};
+
+/// One callout descriptor, baked into the code stream as an imm64.
+struct InstDesc {
+  const ir::Instruction* inst = nullptr;
+  ir::Type type;                  // result type
+  std::int32_t result_word = -1;  // -1 when void (or result unused slot)
+  std::vector<OperandLoc> operands;
+  /// Call to a Runtime declaration: the resolved handler.
+  const interp::RuntimeHandler* handler = nullptr;
+  /// Call to a Definition: the compiled callee (entry read at call time).
+  CompiledFunction* callee = nullptr;
+};
+
+using JitFn = void (*)(JitContext*, const std::uint64_t*, std::uint64_t*);
+
+struct CompiledFunction {
+  const ir::Function* fn = nullptr;
+  /// Entry point; set when the owning code batch is published.
+  JitFn entry = nullptr;
+  /// Assembled bytes, relative to the function's own origin; moved into
+  /// executable memory by the executor, then cleared.
+  std::vector<std::uint8_t> code;
+  /// Frame word index (lane 0) per dense value slot.
+  std::vector<std::uint32_t> slot_word;
+  /// Lane count per dense value slot.
+  std::vector<std::uint32_t> slot_lanes;
+  /// Dense slots of the arguments, in order.
+  std::vector<std::uint32_t> arg_slots;
+  std::uint32_t frame_bytes = 0;
+  /// Constant lane pool; OperandLoc::pool points into this (stable once
+  /// compilation finishes — it is sized up front and never grown after
+  /// pointers are taken).
+  std::vector<std::uint64_t> const_pool;
+  /// Callout descriptors; deque for address stability.
+  std::deque<InstDesc> descs;
+};
+
+// --- helper callouts (defined in executor.cpp) -----------------------------
+extern "C" {
+/// SDiv/UDiv/SRem/URem, FRem, FPToSI, FPToUI, UIToFP — the scalar cases
+/// whose trap/saturation semantics live in interp/scalar_ops.hpp.
+void vulfi_jit_slow_op(JitContext* ctx, std::uint64_t* frame,
+                       const InstDesc* desc);
+/// Call to a Runtime / Intrinsic / Definition callee.
+void vulfi_jit_call(JitContext* ctx, std::uint64_t* frame,
+                    const InstDesc* desc);
+void vulfi_jit_alloca(JitContext* ctx, std::uint64_t* frame,
+                      const InstDesc* desc);
+void vulfi_jit_restore_watermark(JitContext* ctx, std::uint64_t watermark);
+/// Traps with a fixed detail string (budget, unreachable, lane index).
+void vulfi_jit_trap(JitContext* ctx, std::uint64_t kind, const char* detail);
+/// OutOfBounds trap with the interpreter's formatted detail.
+void vulfi_jit_trap_oob(JitContext* ctx, std::uint64_t addr,
+                        std::uint64_t bytes, std::uint64_t is_store);
+}
+
+/// Lowers `fn` into `out` (code + descriptors + frame layout). The caller
+/// guarantees can_compile(fn) held; `resolve_callee` maps a Definition
+/// callee to its CompiledFunction shell (same batch or already published).
+void compile_function(const ir::Function& fn, const interp::RuntimeEnv& env,
+                      CompiledFunction& out,
+                      CompiledFunction* (*resolve_callee)(void*,
+                                                          const ir::Function*),
+                      void* resolve_ctx);
+
+/// True when the lowering pass covers every instruction of `fn` (locally —
+/// callees are checked separately by the executor's call-graph walk).
+bool function_is_compilable(const ir::Function& fn,
+                            const interp::RuntimeEnv& env);
+
+}  // namespace vulfi::jit

@@ -60,6 +60,8 @@ CampaignConfig to_campaign_config(const CampaignRequest& request,
       journal_sync_from_name(request.fsync).value_or(JournalSync::Always);
   config.self_verify_every = request.self_verify;
   config.stall_timeout_seconds = request.stall_timeout;
+  config.backend = request.backend == "jit" ? interp::ExecMode::Jit
+                                            : interp::ExecMode::PreDecoded;
   return config;
 }
 
@@ -92,10 +94,13 @@ EngineCache::EngineCache(std::size_t max_entries)
     : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
 std::string EngineCache::key_of(const CampaignRequest& request) {
-  return strf("%s|%s|%s|det%u|gc%u|sp%u", request.benchmark.c_str(),
+  // The backend is part of the key even though statistics are
+  // backend-independent: a leased engine set carries warmed backend state
+  // (compiled code, decode caches), so sets stay backend-homogeneous.
+  return strf("%s|%s|%s|det%u|gc%u|sp%u|be-%s", request.benchmark.c_str(),
               request.isa == "avx" ? "avx" : "sse", request.category.c_str(),
               request.detectors ? 1u : 0u, request.golden_cache ? 1u : 0u,
-              request.static_prune ? 1u : 0u);
+              request.static_prune ? 1u : 0u, request.backend.c_str());
 }
 
 EngineCache::Lease EngineCache::acquire(const CampaignRequest& request) {

@@ -18,6 +18,10 @@ bool known_isa(const std::string& name) {
   return name == "avx" || name == "sse" || name == "sse4";
 }
 
+bool known_backend(const std::string& name) {
+  return name == "interp" || name == "jit";
+}
+
 bool fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
   return false;
@@ -42,6 +46,8 @@ std::string serialize_request(const CampaignRequest& request) {
       double_hex(request.target_margin).c_str(), request.self_verify,
       double_hex(request.stall_timeout).c_str(),
       json_escape(request.fsync).c_str());
+  payload +=
+      strf(",\"backend\":\"%s\"", json_escape(request.backend).c_str());
   if (!request.checkpoint.empty()) {
     payload += strf(",\"checkpoint\":\"%s\"",
                     json_escape(request.checkpoint).c_str());
@@ -83,6 +89,11 @@ std::optional<CampaignRequest> parse_request(const std::string& payload,
   }
   if (!journal_sync_from_name(request.fsync)) {
     fail(error, "submit: fsync must be always, batch, or off");
+    return std::nullopt;
+  }
+  request.backend = journal_str(payload, "backend").value_or("interp");
+  if (!known_backend(request.backend)) {
+    fail(error, "submit: backend must be interp or jit");
     return std::nullopt;
   }
 

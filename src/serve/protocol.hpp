@@ -44,6 +44,10 @@ struct CampaignRequest {
   bool golden_cache = true;
   bool static_prune = true;
   bool detectors = false;
+  /// Execution backend: "interp" (pre-decoded interpreter) or "jit" (the
+  /// template JIT). Statistics are bit-identical either way; the cache
+  /// keys on it so leased engine sets stay backend-homogeneous.
+  std::string backend = "interp";
   /// Scheduling class, 0 (most urgent) .. 3; FIFO within a class.
   unsigned priority = 1;
   double confidence = 0.95;

@@ -725,6 +725,7 @@ CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
   // (and any detector events it raises) happens exactly once per campaign
   // run, not once per worker.
   for (InjectionEngine* engine : engines) {
+    engine->set_backend(config.backend);
     engine->set_golden_cache_enabled(config.use_golden_cache);
     engine->set_static_prune(config.use_static_prune);
     engine->warm_golden_cache();

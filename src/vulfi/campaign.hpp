@@ -59,6 +59,12 @@ struct CampaignConfig {
   /// one memoized representative execution. Exact — every statistic is
   /// bit-identical with pruning on or off (CLI: --no-static-prune).
   bool use_static_prune = true;
+  /// Execution backend for every run (golden and faulty): the pre-decoded
+  /// interpreter (default) or the template JIT (CLI: --backend=jit).
+  /// Absent from the checkpoint header on purpose, like num_threads:
+  /// observables are bit-identical across backends, so a checkpointed run
+  /// may resume under either.
+  interp::ExecMode backend = interp::ExecMode::PreDecoded;
 
   // --- campaign resilience layer -----------------------------------------
 

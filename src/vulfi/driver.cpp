@@ -51,6 +51,10 @@ InjectionEngine::InjectionEngine(RunSpec spec,
   ir::verify_or_die(*spec_.module);
 }
 
+void InjectionEngine::set_backend(interp::ExecMode mode) {
+  options_.jit = (mode == interp::ExecMode::Jit);
+}
+
 void InjectionEngine::setup_runtime(const RuntimeSetup& setup) {
   setup(env_, detection_log_);
   setups_.push_back(setup);
@@ -81,9 +85,17 @@ InjectionEngine::RunOutput InjectionEngine::execute(
   // arena in place avoids reallocating megabytes per run.
   scratch_.reset_from(spec_.arena);
   detection_log_.reset();
-  interp_.set_limits(limits);
   RunOutput out;
-  out.exec = interp_.run(*spec_.entry, spec_.args);
+  if (options_.jit) {
+    if (jit_ == nullptr) {
+      jit_ = std::make_unique<jit::JitExecutor>(scratch_, env_, interp_);
+    }
+    jit_->set_limits(limits);
+    out.exec = jit_->run(*spec_.entry, spec_.args);
+  } else {
+    interp_.set_limits(limits);
+    out.exec = interp_.run(*spec_.entry, spec_.args);
+  }
   for (const std::string& region_name : spec_.output_regions) {
     const auto& region = scratch_.region(region_name);
     if (spec_.f32_compare_decimals < 0) {

@@ -33,6 +33,7 @@
 
 #include "analysis/classify.hpp"
 #include "interp/interpreter.hpp"
+#include "jit/backend.hpp"
 #include "support/rng.hpp"
 #include "vulfi/fi_runtime.hpp"
 #include "vulfi/prune.hpp"
@@ -88,6 +89,11 @@ struct EngineOptions {
   /// Interpreter executor: pre-decoded fast path (default) or the
   /// reference hash-lookup path (differential-testing oracle).
   bool predecode = true;
+  /// Execute runs through the template JIT backend (jit::JitExecutor).
+  /// Observables are bit-identical to the interpreter; functions the JIT
+  /// declines (or hosts without executable memory) silently fall back to
+  /// the pre-decoded interpreter. CLI: --backend=jit.
+  bool jit = false;
   /// Static fault-site pruning (prune.hpp): adjudicate provably-dead bits
   /// without executing, and remap lane-symmetric sites onto one memoized
   /// representative. Both reductions are exact — statistics are
@@ -169,6 +175,21 @@ class InjectionEngine {
   /// One un-injected run (runtime idle). Used for overhead measurements
   /// and sanity checks; returns the interpreter result.
   interp::ExecResult run_clean();
+
+  /// Selects the execution backend for subsequent runs. ExecMode::Jit
+  /// routes through jit::JitExecutor (with per-function interpreter
+  /// fallback); the other modes run the interpreter flavor the engine was
+  /// constructed with. Campaigns plumb CampaignConfig::backend through
+  /// this; results are bit-identical across backends by design.
+  void set_backend(interp::ExecMode mode);
+  interp::ExecMode backend() const {
+    return options_.jit ? interp::ExecMode::Jit : interp_.mode();
+  }
+
+  /// The JIT executor, if any runs have used (or will use) it; nullptr
+  /// while the backend is interpreter-only. Tests and benchmarks read
+  /// native/fallback run counters from here.
+  jit::JitExecutor* jit_backend() { return jit_.get(); }
 
   /// Toggles golden-run memoization (campaigns plumb
   /// CampaignConfig::use_golden_cache through this). Disabling drops any
@@ -258,6 +279,9 @@ class InjectionEngine {
   /// Persistent interpreter: keeps the per-function decode caches warm
   /// across the engine's millions of executions.
   interp::Interpreter interp_;
+  /// JIT executor, constructed lazily on the first jit-backend run. Uses
+  /// interp_ as its per-function fallback substrate.
+  std::unique_ptr<jit::JitExecutor> jit_;
   std::shared_ptr<const GoldenCache> golden_;
   /// Static prune plan over the pristine IR (always computed — enabling
   /// pruning mid-run via set_static_prune needs no reanalysis).

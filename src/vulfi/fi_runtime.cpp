@@ -48,6 +48,17 @@ void FaultInjectionRuntime::attach(interp::RuntimeEnv& env) {
         [this](const std::vector<interp::RtVal>& args) {
           return handle(args);
         });
+    // Raw fast path for compiled backends: same semantics on raw lane
+    // words, no RtVal marshalling. The JIT bakes self/fn into code, and
+    // this runtime outlives the environment (class contract above).
+    interp::RawRuntimeHandler raw;
+    raw.self = this;
+    raw.fn = [](void* self, std::uint64_t value, std::uint64_t mask,
+                std::uint64_t site_id, std::uint64_t lane) {
+      return static_cast<FaultInjectionRuntime*>(self)->handle_raw(
+          value, mask, site_id, lane);
+    };
+    env.register_raw_handler(inject_fn_name(element), raw);
   }
 }
 
@@ -135,6 +146,53 @@ interp::RtVal FaultInjectionRuntime::handle(
     record_.dynamic_index = counter_;
     record_.bits_before = before;
     record_.bits_after = value.raw[0];
+  }
+  counter_ += 1;
+  return value;
+}
+
+std::uint64_t FaultInjectionRuntime::handle_raw(std::uint64_t value,
+                                                std::uint64_t mask,
+                                                std::uint64_t site_id,
+                                                std::uint64_t lane) {
+  if (mode_ == Mode::Idle) return value;
+
+  VULFI_ASSERT(site_id < sites_.size(), "inject call with unknown site id");
+  const FaultSite& site = sites_[static_cast<std::size_t>(site_id)];
+  if (!site.site_class.matches(category_)) return value;
+
+  // The instrumentor emits the call with the site's element type, so the
+  // table's width is the value's width (handle() reads it off args[0]).
+  const unsigned elem_bits = site.element_type.element_bits();
+  if (mask_aware_ && site.masked && !ir::mask_lane_active(mask, elem_bits)) {
+    return value;
+  }
+
+  if (mode_ == Mode::Count) {
+    if (census_ != nullptr) {
+      census_->push_back(static_cast<std::uint32_t>(site_id));
+    }
+    counter_ += 1;
+    return value;
+  }
+
+  if (counter_ == target_index_ && !record_.fired) {
+    const unsigned bit =
+        exact_bit_ ? preset_bit_
+                   : static_cast<unsigned>(rng_.next_below(elem_bits));
+    record_.fired = true;
+    record_.site_id = static_cast<unsigned>(site_id);
+    // The lane operand is an i32 constant; lane_int's sign extension is
+    // the identity for real lane indices.
+    record_.lane = static_cast<unsigned>(
+        static_cast<std::int32_t>(static_cast<std::uint32_t>(lane)));
+    record_.bit = bit;
+    record_.dynamic_index = counter_;
+    record_.bits_before = value;
+    // bit < elem_bits, so the flip stays within the element width and
+    // set_lane_raw's truncation would be the identity.
+    value ^= std::uint64_t{1} << bit;
+    record_.bits_after = value;
   }
   counter_ += 1;
   return value;

@@ -99,6 +99,13 @@ class FaultInjectionRuntime {
  private:
   interp::RtVal handle(const std::vector<interp::RtVal>& args);
 
+  /// handle() on raw lane words — the interp::RawRuntimeHandler fast path
+  /// compiled code calls at every fault site. Must stay observably
+  /// equivalent to handle(); the JIT differential suite and the `jit`
+  /// fuzz oracle enforce the equivalence empirically.
+  std::uint64_t handle_raw(std::uint64_t value, std::uint64_t mask,
+                           std::uint64_t site_id, std::uint64_t lane);
+
   std::vector<FaultSite> sites_;
   analysis::FaultSiteCategory category_ =
       analysis::FaultSiteCategory::PureData;

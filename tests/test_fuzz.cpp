@@ -280,5 +280,18 @@ TEST(FuzzSweep, CensusOracle60Seeds) {
       << summary.failures.front().diagnostic;
 }
 
+TEST(FuzzSweep, JitOracle60Seeds) {
+  fuzz::FuzzConfig config;
+  config.seed_start = 3000;
+  config.seeds = 60;
+  config.oracle = OracleKind::Jit;
+  config.jobs = 4;
+  const fuzz::FuzzSummary summary = fuzz::run_fuzz(config);
+  EXPECT_TRUE(summary.clean())
+      << summary.failures.size() << " seeds failed; first: seed "
+      << summary.failures.front().seed << ": "
+      << summary.failures.front().diagnostic;
+}
+
 }  // namespace
 }  // namespace vulfi

@@ -1,0 +1,935 @@
+// Differential suite for the template JIT backend (src/jit).
+//
+// Three layers, mirroring the backend's own structure:
+//  * encoder unit tests — emitted bytes against hand-checked x86-64
+//    encodings (REX/ModRM/SIB corner cases the lowering relies on);
+//  * executable-memory smoke — a hand-assembled function round-trips
+//    through the W^X publish path and actually runs;
+//  * differential tests — every observable (trap kind + detail string,
+//    raw return lanes, instruction/vector/call counts, golden caches,
+//    experiment streams, campaign statistics) must be bit-identical
+//    between jit::JitExecutor and the pre-decoded interpreter, at any
+//    thread count, with pruning on or off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "jit/backend.hpp"
+#include "jit/encoder.hpp"
+#include "jit/exec_memory.hpp"
+#include "kernels/benchmark.hpp"
+#include "kernels/micro.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+
+namespace vulfi::jit {
+namespace {
+
+using interp::Arena;
+using interp::ExecLimits;
+using interp::ExecResult;
+using interp::Interpreter;
+using interp::RtVal;
+using interp::RuntimeEnv;
+using interp::TrapKind;
+using ir::FCmpPred;
+using ir::ICmpPred;
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+// ---------------------------------------------------------------------------
+// Encoder: bytes against hand-checked encodings
+// ---------------------------------------------------------------------------
+
+using Bytes = std::vector<std::uint8_t>;
+
+TEST(JitEncoder, MovImmediate) {
+  Encoder e;
+  e.mov_ri32(Reg::RAX, 0x12345678u);
+  EXPECT_EQ(e.finish(), Bytes({0xB8, 0x78, 0x56, 0x34, 0x12}));
+
+  Encoder e2;
+  e2.mov_ri64(Reg::R9, 0x1122334455667788ull);
+  EXPECT_EQ(e2.finish(), Bytes({0x49, 0xB9, 0x88, 0x77, 0x66, 0x55, 0x44,
+                                0x33, 0x22, 0x11}));
+
+  // Small immediates shrink to the zero-extending 32-bit form.
+  Encoder e3;
+  e3.mov_ri64(Reg::RAX, 0x7F);
+  EXPECT_EQ(e3.finish(), Bytes({0xB8, 0x7F, 0x00, 0x00, 0x00}));
+}
+
+TEST(JitEncoder, MovRegAndMemory) {
+  Encoder e;
+  e.mov_rr(Reg::RBX, Reg::RAX);
+  EXPECT_EQ(e.finish(), Bytes({0x48, 0x89, 0xC3}));
+
+  Encoder e2;
+  e2.mov_rm(Reg::RAX, Reg::RBP, 8);
+  EXPECT_EQ(e2.finish(), Bytes({0x48, 0x8B, 0x45, 0x08}));
+
+  // RSP base forces a SIB byte.
+  Encoder e3;
+  e3.mov_rm(Reg::RAX, Reg::RSP, 0);
+  EXPECT_EQ(e3.finish(), Bytes({0x48, 0x8B, 0x04, 0x24}));
+
+  // RBP base cannot use the disp-less form (RIP-relative encoding).
+  Encoder e4;
+  e4.mov_rm(Reg::RAX, Reg::RBP, 0);
+  EXPECT_EQ(e4.finish(), Bytes({0x48, 0x8B, 0x45, 0x00}));
+
+  // ... and neither can R13, its REX twin.
+  Encoder e5;
+  e5.mov_rm(Reg::RAX, Reg::R13, 0);
+  EXPECT_EQ(e5.finish(), Bytes({0x49, 0x8B, 0x45, 0x00}));
+
+  Encoder e6;
+  e6.mov_mr(Reg::RBX, 0, Reg::RAX);
+  EXPECT_EQ(e6.finish(), Bytes({0x48, 0x89, 0x03}));
+}
+
+TEST(JitEncoder, ScaledIndexStore) {
+  // mov [rbp + rcx*8 + 8], rax — the frame-slot store the insertelement
+  // lowering uses for dynamic lane indices.
+  Encoder e;
+  e.mov_mr_index(Reg::RBP, Reg::RCX, 8, 8, Reg::RAX);
+  EXPECT_EQ(e.finish(), Bytes({0x48, 0x89, 0x44, 0xCD, 0x08}));
+}
+
+TEST(JitEncoder, AluImmediateWidths) {
+  Encoder e;
+  e.add_ri(Reg::RAX, 1);  // imm8 form
+  EXPECT_EQ(e.finish(), Bytes({0x48, 0x83, 0xC0, 0x01}));
+
+  Encoder e2;
+  e2.add_ri(Reg::RSP, 0x100);  // imm32 form
+  EXPECT_EQ(e2.finish(), Bytes({0x48, 0x81, 0xC4, 0x00, 0x01, 0x00, 0x00}));
+}
+
+TEST(JitEncoder, SseAndFlags) {
+  Encoder e;
+  e.paddd(Xmm::XMM0, Xmm::XMM1);
+  EXPECT_EQ(e.finish(), Bytes({0x66, 0x0F, 0xFE, 0xC1}));
+
+  Encoder e2;
+  e2.movdqu_xm(Xmm::XMM2, Reg::RBP, 0x10);
+  EXPECT_EQ(e2.finish(), Bytes({0xF3, 0x0F, 0x6F, 0x55, 0x10}));
+
+  Encoder e3;
+  e3.movq_xr(Xmm::XMM1, Reg::RAX);
+  EXPECT_EQ(e3.finish(), Bytes({0x66, 0x48, 0x0F, 0x6E, 0xC8}));
+
+  Encoder e4;
+  e4.setcc_zx(Cond::E, Reg::RAX);
+  EXPECT_EQ(e4.finish(), Bytes({0x0F, 0x94, 0xC0, 0x0F, 0xB6, 0xC0}));
+}
+
+TEST(JitEncoder, StackAndCalls) {
+  Encoder e;
+  e.push(Reg::RBP);
+  e.push(Reg::R13);
+  e.call_reg(Reg::RAX);
+  e.ret();
+  EXPECT_EQ(e.finish(), Bytes({0x55, 0x41, 0x55, 0xFF, 0xD0, 0xC3}));
+}
+
+TEST(JitEncoder, LabelFixups) {
+  // Forward jcc to the next instruction resolves to rel32 == 0.
+  Encoder e;
+  Encoder::Label fwd = e.new_label();
+  e.jcc(Cond::AE, fwd);
+  e.bind(fwd);
+  EXPECT_EQ(e.finish(), Bytes({0x0F, 0x83, 0x00, 0x00, 0x00, 0x00}));
+
+  // Backward jmp to its own start: rel32 == -5.
+  Encoder e2;
+  Encoder::Label back = e2.new_label();
+  e2.bind(back);
+  e2.jmp(back);
+  EXPECT_EQ(e2.finish(), Bytes({0xE9, 0xFB, 0xFF, 0xFF, 0xFF}));
+}
+
+// ---------------------------------------------------------------------------
+// Executable memory: publish and run a hand-assembled doubling function
+// ---------------------------------------------------------------------------
+
+TEST(JitExecMemory, PublishedCodeRuns) {
+  if (!ExecMemory::available()) {
+    GTEST_SKIP() << "host forbids executable mappings";
+  }
+  Encoder e;
+  e.mov_rr(Reg::RAX, Reg::RDI);
+  e.add_rr(Reg::RAX, Reg::RAX);
+  e.ret();
+  ExecMemory mem;
+  const std::uint8_t* base = mem.publish(e.finish());
+  ASSERT_NE(base, nullptr);
+  auto fn = reinterpret_cast<std::uint64_t (*)(std::uint64_t)>(
+      const_cast<std::uint8_t*>(base));
+  EXPECT_EQ(fn(21), 42u);
+  EXPECT_EQ(fn(0x8000000000000000ull), 0u);  // 64-bit wraparound
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: one function, both backends, every observable
+// ---------------------------------------------------------------------------
+
+/// Builds f(params) { ret emit(b, f); }, runs it through the pre-decoded
+/// interpreter and through JitExecutor (each on a private arena), and
+/// returns both results for comparison.
+class DualHarness {
+ public:
+  DualHarness() : module_("jit_diff"), builder_(module_) {}
+
+  ir::Module& module() { return module_; }
+
+  struct Pair {
+    ExecResult interp;
+    ExecResult jit;
+    bool native = false;  // the JIT actually compiled the entry
+  };
+
+  ir::Function* build(
+      Type ret_type, const std::vector<Type>& params,
+      const std::function<Value*(IRBuilder&, ir::Function*)>& emit) {
+    static int counter = 0;
+    ir::Function* f = module_.create_function(
+        "f" + std::to_string(counter++), ret_type, params);
+    ir::BasicBlock* bb = f->create_block("entry");
+    builder_.set_insert_block(bb);
+    Value* result = emit(builder_, f);
+    builder_.ret(ret_type.is_void() ? nullptr : result);
+    const auto errors = ir::verify(*f);
+    EXPECT_TRUE(errors.empty())
+        << (errors.empty() ? std::string() : errors.front());
+    return f;
+  }
+
+  Pair run_fn(ir::Function* f, const std::vector<RtVal>& args,
+              ExecLimits limits = {}) {
+    Pair out;
+    {
+      Arena arena;
+      RuntimeEnv env;
+      Interpreter interp(arena, env, limits);
+      out.interp = interp.run(*f, args);
+    }
+    {
+      Arena arena;
+      RuntimeEnv env;
+      Interpreter fallback(arena, env);
+      JitExecutor exec(arena, env, fallback, limits);
+      out.jit = exec.run(*f, args);
+      out.native = exec.function_compiled(*f);
+    }
+    return out;
+  }
+
+  Pair run(Type ret_type, const std::vector<Type>& params,
+           const std::vector<RtVal>& args,
+           const std::function<Value*(IRBuilder&, ir::Function*)>& emit,
+           ExecLimits limits = {}) {
+    return run_fn(build(ret_type, params, emit), args, limits);
+  }
+
+  IRBuilder& b() { return builder_; }
+
+ private:
+  ir::Module module_;
+  IRBuilder builder_;
+};
+
+void expect_same(const DualHarness::Pair& p) {
+  EXPECT_EQ(static_cast<int>(p.interp.trap.kind),
+            static_cast<int>(p.jit.trap.kind));
+  EXPECT_EQ(p.interp.trap.detail, p.jit.trap.detail);
+  ASSERT_EQ(p.interp.return_value.lanes(), p.jit.return_value.lanes());
+  for (unsigned lane = 0; lane < p.interp.return_value.lanes(); ++lane) {
+    EXPECT_EQ(p.interp.return_value.raw[lane], p.jit.return_value.raw[lane])
+        << "lane " << lane;
+  }
+  EXPECT_EQ(p.interp.stats.total_instructions, p.jit.stats.total_instructions);
+  EXPECT_EQ(p.interp.stats.vector_instructions,
+            p.jit.stats.vector_instructions);
+  EXPECT_EQ(p.interp.stats.calls, p.jit.stats.calls);
+}
+
+RtVal vec_i(Type elem, unsigned lanes, std::vector<std::int64_t> vals) {
+  RtVal v(elem.with_lanes(lanes));
+  for (unsigned i = 0; i < lanes; ++i) v.set_lane_int(i, vals[i]);
+  return v;
+}
+
+RtVal vec_f32(unsigned lanes, std::vector<float> vals) {
+  RtVal v(Type::f32().with_lanes(lanes));
+  for (unsigned i = 0; i < lanes; ++i) v.set_lane_f32(i, vals[i]);
+  return v;
+}
+
+RtVal vec_f64(unsigned lanes, std::vector<double> vals) {
+  RtVal v(Type::f64().with_lanes(lanes));
+  for (unsigned i = 0; i < lanes; ++i) v.set_lane_f64(i, vals[i]);
+  return v;
+}
+
+TEST(JitDiff, IntegerArithmeticAllWidths) {
+  DualHarness h;
+  // 4 x i32 — exercises the packed paddd/psubd pairs plus wrap.
+  const Type v4i32 = Type::i32().with_lanes(4);
+  auto p = h.run(
+      v4i32, {v4i32, v4i32},
+      {vec_i(Type::i32(), 4, {1, -7, 0x7FFFFFFF, 100}),
+       vec_i(Type::i32(), 4, {2, 7, 1, -100})},
+      [](IRBuilder& b, ir::Function* f) {
+        Value* s = b.add(f->arg(0), f->arg(1));
+        Value* d = b.mul(s, f->arg(0));
+        return b.sub(d, f->arg(1));
+      });
+  EXPECT_TRUE(p.native || !JitExecutor::available());
+  expect_same(p);
+
+  // 8 x i8 — sub-word lanes with wrap, packed byte ops over u64 slots.
+  const Type v8i8 = Type::i8().with_lanes(8);
+  expect_same(h.run(v8i8, {v8i8, v8i8},
+                    {vec_i(Type::i8(), 8, {200, 100, 255, 0, 1, 2, 3, 4}),
+                     vec_i(Type::i8(), 8, {100, 100, 1, 0, 255, 2, 3, 4})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.add(f->arg(0), f->arg(1));
+                    }));
+
+  // 3 x i64 — odd lane count: one packed pair + one scalar remainder.
+  const Type v3i64 = Type::i64().with_lanes(3);
+  expect_same(
+      h.run(v3i64, {v3i64, v3i64},
+            {vec_i(Type::i64(), 3,
+                   {std::numeric_limits<std::int64_t>::max(), -1, 7}),
+             vec_i(Type::i64(), 3, {1, -1, 9})},
+            [](IRBuilder& b, ir::Function* f) {
+              return b.mul(b.add(f->arg(0), f->arg(1)), f->arg(1));
+            }));
+}
+
+TEST(JitDiff, DivisionEdgeCases) {
+  DualHarness h;
+  const Type v2 = Type::i32().with_lanes(2);
+  // INT_MIN / -1 wraps; INT_MIN % -1 == 0.
+  expect_same(h.run(
+      v2, {v2, v2},
+      {vec_i(Type::i32(), 2, {std::numeric_limits<std::int32_t>::min(), -7}),
+       vec_i(Type::i32(), 2, {-1, 2})},
+      [](IRBuilder& b, ir::Function* f) {
+        return b.add(b.sdiv(f->arg(0), f->arg(1)),
+                     b.srem(f->arg(0), f->arg(1)));
+      }));
+
+  // Division by zero traps with the interpreter's exact detail string.
+  for (bool is_signed : {true, false}) {
+    auto p = h.run(Type::i32(), {Type::i32(), Type::i32()},
+                   {RtVal::i32(1), RtVal::i32(0)},
+                   [&](IRBuilder& b, ir::Function* f) {
+                     return is_signed ? b.sdiv(f->arg(0), f->arg(1))
+                                      : b.udiv(f->arg(0), f->arg(1));
+                   });
+    EXPECT_EQ(p.jit.trap.kind, TrapKind::DivByZero);
+    expect_same(p);
+  }
+}
+
+TEST(JitDiff, ShiftsIncludingOvershift) {
+  DualHarness h;
+  const Type v4 = Type::i32().with_lanes(4);
+  for (auto op : {ir::Opcode::Shl, ir::Opcode::LShr, ir::Opcode::AShr}) {
+    expect_same(h.run(
+        v4, {v4, v4},
+        {vec_i(Type::i32(), 4, {-8, 0x40000001, 5, -1}),
+         vec_i(Type::i32(), 4, {1, 31, 32, 100})},  // 32 and 100 overshift
+        [&](IRBuilder& b, ir::Function* f) {
+          switch (op) {
+            case ir::Opcode::Shl: return b.shl(f->arg(0), f->arg(1));
+            case ir::Opcode::LShr: return b.lshr(f->arg(0), f->arg(1));
+            default: return b.ashr(f->arg(0), f->arg(1));
+          }
+        }));
+  }
+}
+
+TEST(JitDiff, IntegerCompares) {
+  DualHarness h;
+  const Type v4 = Type::i32().with_lanes(4);
+  for (auto pred : {ICmpPred::EQ, ICmpPred::NE, ICmpPred::SLT, ICmpPred::SLE,
+                    ICmpPred::SGT, ICmpPred::SGE, ICmpPred::ULT, ICmpPred::ULE,
+                    ICmpPred::UGT, ICmpPred::UGE}) {
+    expect_same(h.run(Type::i1().with_lanes(4), {v4, v4},
+                      {vec_i(Type::i32(), 4, {-1, 0, 5, -128}),
+                       vec_i(Type::i32(), 4, {1, 0, -5, -128})},
+                      [&](IRBuilder& b, ir::Function* f) {
+                        return b.icmp(pred, f->arg(0), f->arg(1));
+                      }));
+  }
+}
+
+TEST(JitDiff, FloatCompareOrderedUnordered) {
+  DualHarness h;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const Type v4f = Type::f32().with_lanes(4);
+  for (auto pred :
+       {FCmpPred::OEQ, FCmpPred::ONE, FCmpPred::OLT, FCmpPred::OLE,
+        FCmpPred::OGT, FCmpPred::OGE, FCmpPred::ORD, FCmpPred::UEQ,
+        FCmpPred::UNE, FCmpPred::ULT, FCmpPred::ULE, FCmpPred::UGT,
+        FCmpPred::UGE, FCmpPred::UNO}) {
+    expect_same(h.run(Type::i1().with_lanes(4), {v4f, v4f},
+                      {vec_f32(4, {1.0f, nan, -0.0f, 2.5f}),
+                       vec_f32(4, {1.0f, 1.0f, 0.0f, nan})},
+                      [&](IRBuilder& b, ir::Function* f) {
+                        return b.fcmp(pred, f->arg(0), f->arg(1));
+                      }));
+  }
+}
+
+TEST(JitDiff, FloatArithmetic) {
+  DualHarness h;
+  // 3 x f32: quad/pair/scalar split paths plus the f32 raw invariant.
+  const Type v3f = Type::f32().with_lanes(3);
+  expect_same(h.run(v3f, {v3f, v3f},
+                    {vec_f32(3, {1.5f, -2.25f, 1e30f}),
+                     vec_f32(3, {0.5f, 4.0f, 1e30f})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      Value* s = b.fadd(f->arg(0), f->arg(1));
+                      Value* m = b.fmul(s, f->arg(0));
+                      return b.fdiv(m, f->arg(1));
+                    }));
+
+  // 4 x f32: full-quad shufps pack/unpack path.
+  const Type v4f = Type::f32().with_lanes(4);
+  expect_same(h.run(v4f, {v4f, v4f},
+                    {vec_f32(4, {1.0f, 2.0f, 3.0f, 4.0f}),
+                     vec_f32(4, {0.25f, -8.0f, 0.0f, 1e-30f})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.fsub(b.fmul(f->arg(0), f->arg(1)), f->arg(0));
+                    }));
+
+  const Type v2d = Type::f64().with_lanes(2);
+  expect_same(h.run(v2d, {v2d, v2d},
+                    {vec_f64(2, {1e300, -0.0}), vec_f64(2, {1e-300, 0.0})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.fdiv(f->arg(0), f->arg(1));
+                    }));
+
+  // frem goes through the helper callout (fmod semantics, f32 and f64).
+  expect_same(h.run(Type::f32(), {Type::f32(), Type::f32()},
+                    {RtVal::f32(7.5f), RtVal::f32(2.0f)},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.frem(f->arg(0), f->arg(1));
+                    }));
+  expect_same(h.run(Type::f64(), {Type::f64(), Type::f64()},
+                    {RtVal::f64(-9.75), RtVal::f64(2.5)},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.frem(f->arg(0), f->arg(1));
+                    }));
+
+  // fneg flips only the sign bit, NaN payloads included.
+  expect_same(h.run(v4f, {v4f},
+                    {vec_f32(4, {-1.0f, 0.0f,
+                                 std::numeric_limits<float>::quiet_NaN(),
+                                 -std::numeric_limits<float>::infinity()})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.fneg(f->arg(0));
+                    }));
+}
+
+TEST(JitDiff, Casts) {
+  DualHarness h;
+  const Type v2i64 = Type::i64().with_lanes(2);
+  const Type v2i16 = Type::i16().with_lanes(2);
+  expect_same(h.run(v2i16, {v2i64}, {vec_i(Type::i64(), 2, {0x12345, -2})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.trunc(f->arg(0), Type::i16().with_lanes(2));
+                    }));
+  expect_same(h.run(v2i64, {v2i16}, {vec_i(Type::i16(), 2, {-5, 40000})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.sext(f->arg(0), Type::i64().with_lanes(2));
+                    }));
+  expect_same(h.run(v2i64, {v2i16}, {vec_i(Type::i16(), 2, {-5, 40000})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.zext(f->arg(0), Type::i64().with_lanes(2));
+                    }));
+
+  // fptosi saturates and maps NaN to 0 — the interpreter contract.
+  const Type v4f = Type::f32().with_lanes(4);
+  expect_same(h.run(
+      Type::i32().with_lanes(4), {v4f},
+      {vec_f32(4, {1e30f, -1e30f, std::numeric_limits<float>::quiet_NaN(),
+                   -3.7f})},
+      [](IRBuilder& b, ir::Function* f) {
+        return b.fptosi(f->arg(0), Type::i32().with_lanes(4));
+      }));
+  expect_same(h.run(
+      Type::i32().with_lanes(4), {v4f},
+      {vec_f32(4, {1e30f, -1.0f, 3.9f, 4.1f})},
+      [](IRBuilder& b, ir::Function* f) {
+        return b.fptoui(f->arg(0), Type::i32().with_lanes(4));
+      }));
+
+  // sitofp to f32 rounds through double exactly like the interpreter.
+  expect_same(h.run(v4f, {Type::i32().with_lanes(4)},
+                    {vec_i(Type::i32(), 4, {16777217, -16777217, 0, 1})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.sitofp(f->arg(0), Type::f32().with_lanes(4));
+                    }));
+  expect_same(h.run(Type::f64().with_lanes(2), {v2i64},
+                    {vec_i(Type::i64(), 2, {-1, 1ll << 53})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.uitofp(f->arg(0), Type::f64().with_lanes(2));
+                    }));
+
+  expect_same(h.run(Type::f64().with_lanes(2), {Type::f32().with_lanes(2)},
+                    {vec_f32(2, {1.1f, -0.0f})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.fpext(f->arg(0), Type::f64().with_lanes(2));
+                    }));
+  expect_same(h.run(Type::f32().with_lanes(2), {Type::f64().with_lanes(2)},
+                    {vec_f64(2, {1.0000000001, 1e300})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.fptrunc(f->arg(0), Type::f32().with_lanes(2));
+                    }));
+
+  // bitcast preserves raw bits (f32 <-> i32 keeps the low-32 invariant).
+  expect_same(h.run(Type::i32().with_lanes(2), {Type::f32().with_lanes(2)},
+                    {vec_f32(2, {-0.0f, 1.5f})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.bitcast(f->arg(0), Type::i32().with_lanes(2));
+                    }));
+}
+
+TEST(JitDiff, VectorShuffleInsertExtractSelect) {
+  DualHarness h;
+  const Type v4 = Type::i32().with_lanes(4);
+  expect_same(h.run(v4, {v4, v4},
+                    {vec_i(Type::i32(), 4, {1, 2, 3, 4}),
+                     vec_i(Type::i32(), 4, {5, 6, 7, 8})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      // Undef lanes (-1) read as 0.
+                      return b.shuffle(f->arg(0), f->arg(1), {6, 0, -1, 3});
+                    }));
+  expect_same(h.run(Type::i32(), {v4, Type::i32()},
+                    {vec_i(Type::i32(), 4, {10, 20, 30, 40}), RtVal::i32(2)},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.extract_element(f->arg(0), f->arg(1));
+                    }));
+  expect_same(h.run(v4, {v4, Type::i32(), Type::i32()},
+                    {vec_i(Type::i32(), 4, {10, 20, 30, 40}), RtVal::i32(99),
+                     RtVal::i32(3)},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.insert_element(f->arg(0), f->arg(1), f->arg(2));
+                    }));
+
+  // Out-of-range dynamic lane traps, with the interpreter's detail string.
+  auto oob = h.run(Type::i32(), {v4, Type::i32()},
+                   {vec_i(Type::i32(), 4, {10, 20, 30, 40}), RtVal::i32(4)},
+                   [](IRBuilder& b, ir::Function* f) {
+                     return b.extract_element(f->arg(0), f->arg(1));
+                   });
+  EXPECT_EQ(oob.jit.trap.kind, TrapKind::BadLaneIndex);
+  expect_same(oob);
+
+  // Vector select with a per-lane condition mask.
+  expect_same(h.run(v4, {Type::i1().with_lanes(4), v4, v4},
+                    {vec_i(Type::i1(), 4, {1, 0, 1, 0}),
+                     vec_i(Type::i32(), 4, {1, 2, 3, 4}),
+                     vec_i(Type::i32(), 4, {-1, -2, -3, -4})},
+                    [](IRBuilder& b, ir::Function* f) {
+                      return b.select(f->arg(0), f->arg(1), f->arg(2));
+                    }));
+}
+
+TEST(JitDiff, MemoryRoundTripAndBoundsTrap) {
+  DualHarness h;
+  // alloca + gep + store + load round trip over i32 elements.
+  expect_same(h.run(
+      Type::i32(), {Type::i32()}, {RtVal::i32(7)},
+      [](IRBuilder& b, ir::Function* f) {
+        Value* buf = b.alloca_bytes(64);
+        Value* p1 = b.gep(buf, b.i32_const(3), 4);
+        b.store(f->arg(0), p1);
+        Value* p2 = b.gep(buf, b.i32_const(3), 4);
+        return b.load(Type::i32(), p2);
+      }));
+
+  // Vector store + vector load round trip (contiguous lanes).
+  const Type v4 = Type::i32().with_lanes(4);
+  expect_same(h.run(v4, {v4}, {vec_i(Type::i32(), 4, {11, 22, 33, 44})},
+                    [&](IRBuilder& b, ir::Function* f) {
+                      Value* buf = b.alloca_bytes(64);
+                      b.store(f->arg(0), buf);
+                      return b.load(v4, buf);
+                    }));
+}
+
+TEST(JitDiff, OutOfBoundsLoadTrapDetail) {
+  DualHarness h;
+  // Load far past the arena: both backends trap OutOfBounds with the same
+  // formatted detail string (byte size and absolute address included).
+  auto p = h.run(Type::i32(), {Type::ptr()},
+                 {RtVal::ptr(0xDEAD000)},
+                 [](IRBuilder& b, ir::Function* f) {
+                   return b.load(Type::i32(), f->arg(0));
+                 });
+  EXPECT_EQ(p.jit.trap.kind, TrapKind::OutOfBounds);
+  expect_same(p);
+
+  // Address 0 (below the guard band) traps too.
+  auto null_load = h.run(Type::i32(), {Type::ptr()}, {RtVal::ptr(0)},
+                         [](IRBuilder& b, ir::Function* f) {
+                           return b.load(Type::i32(), f->arg(0));
+                         });
+  EXPECT_EQ(null_load.jit.trap.kind, TrapKind::OutOfBounds);
+  expect_same(null_load);
+}
+
+TEST(JitDiff, ControlFlowLoopWithPhis) {
+  DualHarness h;
+  // sum = 0; for (i = 0; i < n; ++i) sum += i*i; return sum.
+  ir::Function* f = [&h] {
+    ir::Function* fn = h.module().create_function("loop", Type::i32(),
+                                                  {Type::i32()});
+    ir::BasicBlock* entry = fn->create_block("entry");
+    ir::BasicBlock* head = fn->create_block("head");
+    ir::BasicBlock* body = fn->create_block("body");
+    ir::BasicBlock* done = fn->create_block("done");
+    IRBuilder& b = h.b();
+    b.set_insert_block(entry);
+    b.br(head);
+    b.set_insert_block(head);
+    ir::Instruction* i_phi = b.phi(Type::i32());
+    ir::Instruction* sum_phi = b.phi(Type::i32());
+    Value* cond = b.icmp(ICmpPred::SLT, i_phi, fn->arg(0));
+    b.cond_br(cond, body, done);
+    b.set_insert_block(body);
+    Value* sq = b.mul(i_phi, i_phi);
+    Value* next_sum = b.add(sum_phi, sq);
+    Value* next_i = b.add(i_phi, b.i32_const(1));
+    b.br(head);
+    b.set_insert_block(done);
+    b.ret(sum_phi);
+    i_phi->phi_add_incoming(b.i32_const(0), entry);
+    i_phi->phi_add_incoming(next_i, body);
+    sum_phi->phi_add_incoming(b.i32_const(0), entry);
+    sum_phi->phi_add_incoming(next_sum, body);
+    const auto errors = ir::verify(*fn);
+    EXPECT_TRUE(errors.empty())
+        << (errors.empty() ? std::string() : errors.front());
+    return fn;
+  }();
+
+  expect_same(h.run_fn(f, {RtVal::i32(10)}));
+  expect_same(h.run_fn(f, {RtVal::i32(0)}));
+
+  // The same loop under a tight instruction budget: both backends trap
+  // InstructionBudget at the same instruction count.
+  ExecLimits tight;
+  tight.max_instructions = 17;
+  auto p = h.run_fn(f, {RtVal::i32(1000)}, tight);
+  EXPECT_EQ(p.jit.trap.kind, TrapKind::InstructionBudget);
+  EXPECT_EQ(p.jit.trap.detail, "dynamic instruction budget exhausted");
+  expect_same(p);
+}
+
+TEST(JitDiff, UnreachableTraps) {
+  DualHarness h;
+  ir::Function* f =
+      h.module().create_function("unreach", Type::void_ty(), {});
+  ir::BasicBlock* bb = f->create_block("entry");
+  h.b().set_insert_block(bb);
+  h.b().unreachable();
+  auto p = h.run_fn(f, {});
+  EXPECT_EQ(p.jit.trap.kind, TrapKind::UnreachableExecuted);
+  expect_same(p);
+}
+
+TEST(JitDiff, CallsAndDepthLimit) {
+  DualHarness h;
+  // callee(a, b) = a * b + 1 ; caller(x) = callee(x, x) + callee(x, 2).
+  ir::Function* callee = h.module().create_function(
+      "callee", Type::i32(), {Type::i32(), Type::i32()});
+  {
+    ir::BasicBlock* bb = callee->create_block("entry");
+    h.b().set_insert_block(bb);
+    Value* m = h.b().mul(callee->arg(0), callee->arg(1));
+    h.b().ret(h.b().add(m, h.b().i32_const(1)));
+  }
+  ir::Function* caller =
+      h.module().create_function("caller", Type::i32(), {Type::i32()});
+  {
+    ir::BasicBlock* bb = caller->create_block("entry");
+    h.b().set_insert_block(bb);
+    Value* a = h.b().call(callee, {caller->arg(0), caller->arg(0)});
+    Value* c = h.b().call(callee, {caller->arg(0), h.b().i32_const(2)});
+    h.b().ret(h.b().add(a, c));
+  }
+  auto p = h.run_fn(caller, {RtVal::i32(6)});
+  EXPECT_EQ(p.jit.stats.calls, 2u);
+  expect_same(p);
+
+  // Unbounded recursion: both backends trap CallDepthExceeded with the
+  // same instruction count.
+  ir::Function* rec =
+      h.module().create_function("rec", Type::i32(), {Type::i32()});
+  {
+    ir::BasicBlock* bb = rec->create_block("entry");
+    h.b().set_insert_block(bb);
+    Value* r = h.b().call(rec, {h.b().add(rec->arg(0), h.b().i32_const(1))});
+    h.b().ret(r);
+  }
+  auto depth = h.run_fn(rec, {RtVal::i32(0)});
+  EXPECT_EQ(depth.jit.trap.kind, TrapKind::CallDepthExceeded);
+  expect_same(depth);
+}
+
+// ---------------------------------------------------------------------------
+// Fallback behaviour
+// ---------------------------------------------------------------------------
+
+TEST(JitFallback, WideVectorsFallBackToInterpreter) {
+  // 16 lanes exceeds the template JIT's 8-lane frame layout: the run must
+  // silently execute on the interpreter with identical observables.
+  DualHarness h;
+  const Type v16 = Type::i32().with_lanes(16);
+  ir::Function* f = h.build(v16, {v16, v16},
+                            [](IRBuilder& b, ir::Function* fn) {
+                              return b.add(fn->arg(0), fn->arg(1));
+                            });
+  std::vector<std::int64_t> a(16), bvals(16);
+  for (int i = 0; i < 16; ++i) {
+    a[i] = i * 3 - 7;
+    bvals[i] = 1000 - i;
+  }
+  const std::vector<RtVal> args = {vec_i(Type::i32(), 16, a),
+                                   vec_i(Type::i32(), 16, bvals)};
+
+  Arena arena;
+  RuntimeEnv env;
+  Interpreter fallback(arena, env);
+  JitExecutor exec(arena, env, fallback);
+  EXPECT_FALSE(exec.function_compiled(*f));
+  const ExecResult jit_result = exec.run(*f, args);
+  EXPECT_EQ(exec.native_runs(), 0u);
+  EXPECT_EQ(exec.fallback_runs(), 1u);
+
+  Arena arena2;
+  RuntimeEnv env2;
+  Interpreter interp(arena2, env2);
+  const ExecResult ref = interp.run(*f, args);
+  ASSERT_EQ(ref.return_value.lanes(), jit_result.return_value.lanes());
+  for (unsigned lane = 0; lane < ref.return_value.lanes(); ++lane) {
+    EXPECT_EQ(ref.return_value.raw[lane], jit_result.return_value.raw[lane]);
+  }
+  EXPECT_EQ(ref.stats.total_instructions, jit_result.stats.total_instructions);
+}
+
+TEST(JitFallback, CompilableFunctionRunsNatively) {
+  if (!JitExecutor::available()) {
+    GTEST_SKIP() << "host forbids executable mappings";
+  }
+  DualHarness h;
+  ir::Function* f = h.build(Type::i32(), {Type::i32()},
+                            [](IRBuilder& b, ir::Function* fn) {
+                              return b.add(fn->arg(0), fn->arg(0));
+                            });
+  Arena arena;
+  RuntimeEnv env;
+  Interpreter fallback(arena, env);
+  JitExecutor exec(arena, env, fallback);
+  EXPECT_TRUE(exec.function_compiled(*f));
+  (void)exec.run(*f, {RtVal::i32(21)});
+  EXPECT_EQ(exec.native_runs(), 1u);
+  EXPECT_EQ(exec.fallback_runs(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level differential: golden caches and experiment streams
+// ---------------------------------------------------------------------------
+
+std::vector<const kernels::Benchmark*> registry_kernels() {
+  std::vector<const kernels::Benchmark*> all = kernels::all_benchmarks();
+  for (const kernels::Benchmark* micro : kernels::micro_benchmarks()) {
+    all.push_back(micro);
+  }
+  return all;
+}
+
+std::unique_ptr<InjectionEngine> make_engine(const kernels::Benchmark& bench,
+                                             interp::ExecMode backend,
+                                             bool static_prune = true) {
+  EngineOptions options;
+  options.static_prune = static_prune;
+  auto engine = std::make_unique<InjectionEngine>(
+      bench.build(spmd::Target::avx(), 0),
+      analysis::FaultSiteCategory::PureData, options);
+  engine->set_backend(backend);
+  return engine;
+}
+
+void expect_golden_identical(const GoldenCache& a, const GoldenCache& b) {
+  EXPECT_EQ(a.output_bytes, b.output_bytes);
+  EXPECT_EQ(a.return_bits, b.return_bits);
+  EXPECT_EQ(a.dynamic_sites, b.dynamic_sites);
+  EXPECT_EQ(a.golden_instructions, b.golden_instructions);
+  EXPECT_EQ(a.golden_detected, b.golden_detected);
+  EXPECT_EQ(a.site_sequence, b.site_sequence);
+  EXPECT_EQ(a.site_occurrences, b.site_occurrences);
+}
+
+class JitKernelDiff
+    : public ::testing::TestWithParam<const kernels::Benchmark*> {};
+
+TEST_P(JitKernelDiff, GoldenCacheAndExperimentStreamMatch) {
+  const kernels::Benchmark& bench = *GetParam();
+  auto interp_engine = make_engine(bench, interp::ExecMode::PreDecoded);
+  auto jit_engine = make_engine(bench, interp::ExecMode::Jit);
+
+  // Golden observables: output bytes, return bits, dynamic-site census.
+  expect_golden_identical(interp_engine->golden(), jit_engine->golden());
+
+  // Seeded experiment streams: same RNG seed must draw the same sites and
+  // classify every outcome identically.
+  Rng rng_a(0xA11CE);
+  Rng rng_b(0xA11CE);
+  for (int i = 0; i < 60; ++i) {
+    const ExperimentResult ra = interp_engine->run_experiment(rng_a);
+    const ExperimentResult rb = jit_engine->run_experiment(rng_b);
+    EXPECT_EQ(static_cast<int>(ra.outcome), static_cast<int>(rb.outcome))
+        << "experiment " << i;
+    EXPECT_EQ(ra.detected, rb.detected) << "experiment " << i;
+    EXPECT_EQ(static_cast<int>(ra.trap), static_cast<int>(rb.trap))
+        << "experiment " << i;
+    EXPECT_EQ(ra.dynamic_sites, rb.dynamic_sites);
+    EXPECT_EQ(ra.golden_instructions, rb.golden_instructions);
+    EXPECT_EQ(ra.faulty_instructions, rb.faulty_instructions)
+        << "experiment " << i;
+    EXPECT_EQ(ra.injection.fired, rb.injection.fired);
+    EXPECT_EQ(ra.injection.site_id, rb.injection.site_id);
+    EXPECT_EQ(ra.injection.lane, rb.injection.lane);
+    EXPECT_EQ(ra.injection.bit, rb.injection.bit);
+    EXPECT_EQ(ra.injection.dynamic_index, rb.injection.dynamic_index);
+    EXPECT_EQ(ra.injection.bits_before, rb.injection.bits_before);
+    EXPECT_EQ(ra.injection.bits_after, rb.injection.bits_after);
+    EXPECT_EQ(ra.statically_adjudicated, rb.statically_adjudicated);
+    EXPECT_EQ(ra.remapped, rb.remapped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, JitKernelDiff, ::testing::ValuesIn(registry_kernels()),
+    [](const ::testing::TestParamInfo<const kernels::Benchmark*>& info) {
+      std::string name = info.param->name();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(JitKernelDiff, AtLeastOneKernelCompilesNatively) {
+  if (!JitExecutor::available()) {
+    GTEST_SKIP() << "host forbids executable mappings";
+  }
+  // The backend would trivially "pass" every differential test by always
+  // falling back; require that real registry kernels actually run native.
+  std::uint64_t native = 0;
+  for (const kernels::Benchmark* bench : registry_kernels()) {
+    auto engine = make_engine(*bench, interp::ExecMode::Jit);
+    (void)engine->run_clean();
+    if (engine->jit_backend() != nullptr) {
+      native += engine->jit_backend()->native_runs();
+    }
+  }
+  EXPECT_GT(native, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level differential: the full matrix
+// ---------------------------------------------------------------------------
+
+CampaignResult run_campaign(const kernels::Benchmark& bench,
+                            interp::ExecMode backend, bool prune,
+                            unsigned jobs) {
+  EngineOptions options;
+  options.static_prune = prune;
+  std::vector<std::unique_ptr<InjectionEngine>> engines;
+  std::vector<InjectionEngine*> pointers;
+  for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+    engines.push_back(std::make_unique<InjectionEngine>(
+        bench.build(spmd::Target::avx(), input),
+        analysis::FaultSiteCategory::PureData, options));
+    pointers.push_back(engines.back().get());
+  }
+  CampaignConfig config;
+  config.experiments_per_campaign = 20;
+  config.min_campaigns = 3;
+  config.max_campaigns = 4;
+  config.seed = 0xBEEF;
+  config.num_threads = jobs;
+  config.use_static_prune = prune;
+  config.backend = backend;
+  return run_campaigns(pointers, config);
+}
+
+void expect_campaigns_identical(const CampaignResult& a,
+                                const CampaignResult& b) {
+  EXPECT_EQ(a.campaigns, b.campaigns);
+  EXPECT_EQ(a.experiments, b.experiments);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.detected_sdc, b.detected_sdc);
+  EXPECT_EQ(a.detected_total, b.detected_total);
+  EXPECT_EQ(a.prune_adjudicated, b.prune_adjudicated);
+  EXPECT_EQ(a.prune_remapped, b.prune_remapped);
+  ASSERT_EQ(a.campaign_sdc_rates.size(), b.campaign_sdc_rates.size());
+  for (std::size_t i = 0; i < a.campaign_sdc_rates.size(); ++i) {
+    EXPECT_EQ(a.campaign_sdc_rates[i], b.campaign_sdc_rates[i])
+        << "campaign " << i;
+  }
+  EXPECT_EQ(a.margin_of_error, b.margin_of_error);
+  EXPECT_EQ(a.near_normal, b.near_normal);
+}
+
+class JitCampaignDiff
+    : public ::testing::TestWithParam<const kernels::Benchmark*> {};
+
+TEST_P(JitCampaignDiff, BackendDoesNotChangeStatistics) {
+  const kernels::Benchmark& bench = *GetParam();
+  for (bool prune : {true, false}) {
+    for (unsigned jobs : {1u, 4u}) {
+      const CampaignResult interp_result =
+          run_campaign(bench, interp::ExecMode::PreDecoded, prune, jobs);
+      const CampaignResult jit_result =
+          run_campaign(bench, interp::ExecMode::Jit, prune, jobs);
+      SCOPED_TRACE(std::string("prune=") + (prune ? "on" : "off") +
+                   " jobs=" + std::to_string(jobs));
+      expect_campaigns_identical(interp_result, jit_result);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, JitCampaignDiff,
+    ::testing::Values(&kernels::vector_sum_benchmark(),
+                      &kernels::dot_product_benchmark()),
+    [](const ::testing::TestParamInfo<const kernels::Benchmark*>& info) {
+      std::string name = info.param->name();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace vulfi::jit

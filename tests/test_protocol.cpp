@@ -115,6 +115,7 @@ TEST(Requests, RoundTripBitExact) {
   request.stall_timeout = 2.5;
   request.checkpoint = "/tmp/ckpt with spaces.jsonl";
   request.fsync = "batch";
+  request.backend = "jit";
 
   const std::optional<CampaignRequest> parsed =
       parse_request(serialize_request(request));
@@ -134,6 +135,7 @@ TEST(Requests, RoundTripBitExact) {
   EXPECT_EQ(parsed->self_verify, request.self_verify);
   EXPECT_EQ(parsed->checkpoint, request.checkpoint);
   EXPECT_EQ(parsed->fsync, request.fsync);
+  EXPECT_EQ(parsed->backend, request.backend);
   // Doubles travel as IEEE-754 hex: bit-exact, not approximately equal.
   EXPECT_EQ(double_hex(parsed->confidence), double_hex(request.confidence));
   EXPECT_EQ(double_hex(parsed->target_margin),
@@ -154,6 +156,7 @@ TEST(Requests, DefaultsMatchTheCampaignCli) {
   EXPECT_TRUE(parsed->golden_cache);
   EXPECT_TRUE(parsed->static_prune);
   EXPECT_EQ(parsed->fsync, "always");
+  EXPECT_EQ(parsed->backend, "interp");
 }
 
 TEST(Requests, RejectsInvalidSubmits) {
@@ -172,6 +175,8 @@ TEST(Requests, RejectsInvalidSubmits) {
       "{\"op\":\"submit\",\"benchmark\":\"dot\",\"isa\":\"riscv\"}"));
   EXPECT_TRUE(rejects(
       "{\"op\":\"submit\",\"benchmark\":\"dot\",\"fsync\":\"sometimes\"}"));
+  EXPECT_TRUE(rejects(
+      "{\"op\":\"submit\",\"benchmark\":\"dot\",\"backend\":\"emulator\"}"));
   EXPECT_TRUE(rejects(
       "{\"op\":\"submit\",\"benchmark\":\"dot\",\"experiments\":0}"));
   EXPECT_TRUE(rejects(

@@ -249,6 +249,24 @@ TEST_F(ServeTest, SecondSubmitHitsTheWarmCacheWithIdenticalStats) {
   EXPECT_EQ(stats.entries, 1u);
 }
 
+TEST(EngineCacheKey, BackendIsPartOfTheKey) {
+  // A leased engine set carries warmed backend state, so two requests
+  // that differ only in backend must never share a cache entry.
+  CampaignRequest interp;
+  interp.benchmark = "dot";
+  CampaignRequest jit = interp;
+  jit.backend = "jit";
+  EXPECT_NE(EngineCache::key_of(interp), EngineCache::key_of(jit));
+
+  CampaignRequest jit_again = jit;
+  jit_again.seed = 777;  // seed is campaign state, not engine state
+  EXPECT_EQ(EngineCache::key_of(jit), EngineCache::key_of(jit_again));
+
+  EXPECT_EQ(to_campaign_config(interp, 0).backend,
+            vulfi::interp::ExecMode::PreDecoded);
+  EXPECT_EQ(to_campaign_config(jit, 0).backend, vulfi::interp::ExecMode::Jit);
+}
+
 // --- concurrency ------------------------------------------------------------
 
 TEST_F(ServeTest, RacingClientsEachGetTheirOwnExactStatistics) {

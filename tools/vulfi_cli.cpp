@@ -11,7 +11,7 @@
 //       Static fault-site census by category (Figure 2/10 view).
 //   vulfi inject --benchmark NAME --category pure-data|control|address
 //                [--experiments N] [--seed S] [--target avx|sse]
-//                [--detectors] [--report]
+//                [--detectors] [--report] [--backend interp|jit]
 //       Run N golden/faulty experiment pairs; print outcome rates and,
 //       with --report, the per-opcode outcome breakdown.
 //   vulfi campaign --benchmark NAME --category C [--campaigns K]
@@ -19,7 +19,7 @@
 //                  [--target avx|sse] [--jobs N] [--no-golden-cache]
 //                  [--no-static-prune] [--checkpoint PATH]
 //                  [--self-verify K] [--stall-timeout SEC]
-//                  [--stats-json PATH]
+//                  [--stats-json PATH] [--backend interp|jit]
 //       Statistically controlled campaign (paper §IV-D) with margin of
 //       error, normality, and throughput reporting. --jobs N runs the
 //       experiments on N worker threads (0 = hardware concurrency) with
@@ -112,12 +112,14 @@ struct CliArgs {
       "  sites    --benchmark NAME [--target avx|sse]\n"
       "  inject   --benchmark NAME --category pure-data|control|address\n"
       "           [--experiments N] [--seed S] [--target avx|sse] "
-      "[--detectors] [--report]\n"
+      "[--detectors] [--report] [--backend interp|jit]\n"
       "  campaign --benchmark NAME --category C [--campaigns K] "
       "[--max-campaigns K] [--experiments N] [--seed S] [--target avx|sse] "
       "[--jobs N] [--no-golden-cache] [--no-static-prune] "
       "[--checkpoint PATH] [--self-verify K] [--stall-timeout SEC] "
-      "[--stats-json PATH]\n"
+      "[--stats-json PATH] [--backend interp|jit]\n"
+      "           --backend jit executes runs through the template JIT\n"
+      "           (native x86-64; statistics bit-identical to interp).\n"
       "           Exit codes: 0 converged, 3 internal error, 4 max "
       "campaigns without convergence, 5 interrupted (SIGINT/SIGTERM; "
       "completed campaigns land in --checkpoint, rerun to resume).\n"
@@ -128,7 +130,7 @@ struct CliArgs {
       "  version  Print compiler, build type, feature toggles, the fuzzer\n"
       "           grammar version, and the build fingerprint pinned into\n"
       "           checkpoint journals.\n"
-      "  fuzz     [--seeds N] [--seed S] [--oracle diff|prune|census]\n"
+      "  fuzz     [--seeds N] [--seed S] [--oracle diff|prune|census|jit]\n"
       "           [--jobs N] [--repro-dir DIR] [--no-reduce]\n"
       "           Differential fuzzing over generated SPMD kernels; every\n"
       "           failure is ddmin-reduced and dumped as a .vulfi repro.\n"
@@ -179,7 +181,7 @@ CliArgs parse(int argc, char** argv) {
                                  "--journal", "--serve-jobs", "--queue",
                                  "--max-request-jobs", "--cache-entries",
                                  "--seeds", "--oracle", "--repro-dir",
-                                 "--replay"};
+                                 "--replay", "--backend"};
   const char* flag_options[] = {"--detectors", "--instrumented", "--report",
                                 "--no-golden-cache", "--no-static-prune",
                                 "--all", "--quiet", "--no-reduce"};
@@ -215,6 +217,17 @@ spmd::Target target_of(const CliArgs& args) {
   if (name == "avx") return spmd::Target::avx();
   if (name == "sse" || name == "sse4") return spmd::Target::sse4();
   std::fprintf(stderr, "unknown target '%s' (use avx or sse)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+interp::ExecMode backend_of(const CliArgs& args) {
+  const std::string name = args.get("backend", "interp");
+  if (name == "interp" || name == "interpreter") {
+    return interp::ExecMode::PreDecoded;
+  }
+  if (name == "jit") return interp::ExecMode::Jit;
+  std::fprintf(stderr, "unknown backend '%s' (use interp or jit)\n",
                name.c_str());
   std::exit(2);
 }
@@ -325,6 +338,7 @@ int cmd_inject(const CliArgs& args) {
   EngineOptions engine_options;
   engine_options.static_prune = !args.flag("no-static-prune");
   InjectionEngine engine(std::move(spec), category, engine_options);
+  engine.set_backend(backend_of(args));
   if (args.flag("detectors")) {
     engine.setup_runtime([](interp::RuntimeEnv& env,
                             interp::DetectionLog& log) {
@@ -373,6 +387,7 @@ int cmd_study(const CliArgs& args) {
       static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
   config.campaign.use_golden_cache = !args.flag("no-golden-cache");
   config.campaign.use_static_prune = !args.flag("no-static-prune");
+  config.campaign.backend = backend_of(args);
   config.with_detectors = args.flag("detectors");
 
   const auto cells = kernels::run_resiliency_study(
@@ -477,6 +492,7 @@ int cmd_campaign(const CliArgs& args) {
   config.self_verify_every =
       static_cast<unsigned>(std::stoul(args.get("self-verify", "0")));
   config.stall_timeout_seconds = std::stod(args.get("stall-timeout", "0"));
+  config.backend = backend_of(args);
 
   // Cooperative cancellation: first SIGINT/SIGTERM drains the in-flight
   // experiment and checkpoints completed campaigns; a second SIGINT
@@ -596,6 +612,12 @@ int cmd_version() {
   std::printf("  fingerprint: %s\n", build_fingerprint().c_str());
   std::printf("  protocol:    %u\n", serve::kProtocolVersion);
   std::printf("  fuzz grammar: v%u\n", fuzz::kGrammarVersion);
+  // Probed at runtime (hardened hosts can forbid executable mappings), so
+  // deliberately NOT part of the build fingerprint: a checkpoint written
+  // with the JIT resumes fine on a host without it.
+  std::printf("  jit backend: %s\n",
+              jit::JitExecutor::available() ? "available (x86-64)"
+                                            : "unavailable (interp fallback)");
   return 0;
 }
 
@@ -612,7 +634,8 @@ int cmd_fuzz(const CliArgs& args) {
   config.seed_start = std::stoull(args.get("seed", "1"));
   const std::string oracle = args.get("oracle", "diff");
   if (!fuzz::oracle_from_name(oracle, &config.oracle)) {
-    std::fprintf(stderr, "unknown oracle '%s' (use diff, prune, census)\n",
+    std::fprintf(stderr,
+                 "unknown oracle '%s' (use diff, prune, census, jit)\n",
                  oracle.c_str());
     return 2;
   }
@@ -703,6 +726,8 @@ int cmd_submit(const CliArgs& args) {
   request.golden_cache = !args.flag("no-golden-cache");
   request.static_prune = !args.flag("no-static-prune");
   request.detectors = args.flag("detectors");
+  (void)backend_of(args);  // validate the name before shipping it
+  request.backend = args.get("backend", "interp");
   request.priority =
       static_cast<unsigned>(std::stoul(args.get("priority", "1")));
   request.confidence = std::stod(args.get("confidence", "0.95"));
