@@ -1,8 +1,11 @@
 #include "analysis/lint.hpp"
 
+#include <unordered_set>
+
 #include "analysis/dominators.hpp"
 #include "analysis/known_bits.hpp"
 #include "analysis/liveness.hpp"
+#include "analysis/propagation.hpp"
 #include "ir/basic_block.hpp"
 #include "ir/instruction.hpp"
 #include "ir/verifier.hpp"
@@ -54,6 +57,105 @@ void lint_definition(const ir::Function& fn, AnalysisManager& am,
                      prefix + "conditional branch in block '" +
                          block->name() + "' always takes the " + taken +
                          " successor"});
+    }
+  }
+
+  // [site-provably-masked] — the propagation summary proves that every
+  // demanded bit of a live value is masked: fault sites on it can only
+  // ever produce Benign outcomes, so injecting there is wasted budget.
+  // Liveness-dead values are skipped (dead-value already covers them).
+  const PropagationResult& prop = am.get<PropagationAnalysis>(fn);
+  const std::unordered_set<const ir::Instruction*> dead(
+      liveness.dead_values().begin(), liveness.dead_values().end());
+  for (const auto& block : fn) {
+    if (!domtree.reachable(block.get())) continue;
+    for (const auto& inst : *block) {
+      if (inst->type().is_void()) continue;
+      if (dead.count(inst.get()) != 0) continue;
+      const unsigned width = inst->type().element_bits();
+      if (width == 0) continue;
+      const std::uint64_t width_mask =
+          width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+      bool all_masked = !prop.reach(inst.get()).any();
+      if (!all_masked) {
+        all_masked = true;
+        for (unsigned lane = 0; lane < inst->type().lanes(); ++lane) {
+          if ((prop.live_mask(inst.get(), lane) & width_mask) != 0) {
+            all_masked = false;
+            break;
+          }
+        }
+      }
+      if (!all_masked) continue;
+      out.push_back({"site-provably-masked",
+                     prefix + "every bit of " + value_label(*inst) +
+                         " is provably masked; fault sites here can only be "
+                         "Benign"});
+    }
+  }
+
+  // [store-never-reaches-output] — a stack buffer is written but never
+  // read back (and its address never escapes): the stored data cannot
+  // reach program output, so store-operand fault sites there are inert.
+  for (const auto& block : fn) {
+    if (!domtree.reachable(block.get())) continue;
+    for (const auto& inst : *block) {
+      if (inst->opcode() != ir::Opcode::Alloca) continue;
+      // Walk the derived-pointer set: the alloca plus geps based on it.
+      std::vector<const ir::Instruction*> pointers{inst.get()};
+      std::unordered_set<const ir::Value*> pointer_set{inst.get()};
+      bool has_store = false;
+      bool has_load = false;
+      bool escapes = false;
+      for (std::size_t p = 0; p < pointers.size() && !escapes; ++p) {
+        const ir::Instruction* ptr = pointers[p];
+        for (const ir::Instruction* user : ptr->users()) {
+          switch (user->opcode()) {
+            case ir::Opcode::Load:
+              has_load = true;
+              break;
+            case ir::Opcode::Store:
+              if (user->operand(1) == ptr) has_store = true;
+              // The address itself stored as data: it escapes to memory.
+              if (user->operand(0) == ptr) escapes = true;
+              break;
+            case ir::Opcode::GetElementPtr:
+              if (user->operand(0) == ptr) {
+                if (pointer_set.insert(user).second) pointers.push_back(user);
+              } else {
+                escapes = true;  // pointer used as an index
+              }
+              break;
+            case ir::Opcode::Call: {
+              const ir::Function* callee = user->callee();
+              if (callee == nullptr) {
+                escapes = true;
+                break;
+              }
+              const ir::IntrinsicInfo& info = callee->intrinsic_info();
+              if (info.id == ir::IntrinsicId::MaskLoad &&
+                  user->operand(0) == ptr) {
+                has_load = true;
+              } else if (info.id == ir::IntrinsicId::MaskStore &&
+                         user->operand(0) == ptr) {
+                has_store = true;
+              } else {
+                escapes = true;
+              }
+              break;
+            }
+            default:
+              escapes = true;  // ret, phi, select, casts, compares, ...
+              break;
+          }
+          if (escapes) break;
+        }
+      }
+      if (escapes || has_load || !has_store) continue;
+      out.push_back({"store-never-reaches-output",
+                     prefix + "stores through " + value_label(*inst) +
+                         " are never loaded back; the stored data cannot "
+                         "reach program output"});
     }
   }
 }

@@ -1,0 +1,375 @@
+#include "analysis/propagation.hpp"
+
+#include <deque>
+
+#include "analysis/known_bits.hpp"
+#include "analysis/slicing.hpp"
+#include "ir/basic_block.hpp"
+#include "ir/instruction.hpp"
+#include "support/hash.hpp"
+
+namespace vulfi::analysis {
+
+const char* propagation_class_name(PropagationClass cls) {
+  switch (cls) {
+    case PropagationClass::ProvablyMasked: return "provably-masked";
+    case PropagationClass::OutputReaching: return "output-reaching";
+    case PropagationClass::ControlReaching: return "control-reaching";
+    case PropagationClass::TrapReaching: return "trap-reaching";
+  }
+  return "?";
+}
+
+namespace {
+
+ReachFlags operator|(ReachFlags a, ReachFlags b) {
+  ReachFlags out;
+  out.output = a.output || b.output;
+  out.control = a.control || b.control;
+  out.trap = a.trap || b.trap;
+  return out;
+}
+
+bool contains(const ReachFlags& super, const ReachFlags& sub) {
+  return (!sub.output || super.output) && (!sub.control || super.control) &&
+         (!sub.trap || super.trap);
+}
+
+/// Does `inst` produce a value a corruption can flow onward through?
+bool produces_value(const ir::Instruction& inst) {
+  return !inst.type().is_void();
+}
+
+}  // namespace
+
+ReachFlags direct_edge_flags(const ir::Instruction& user,
+                             unsigned operand_index) {
+  ReachFlags flags;
+  if (is_pointer_operand_position(user, operand_index)) {
+    // A corrupted address is the canonical crash path (out-of-bounds
+    // access, paper §III-B) and also redirects the memory effect.
+    flags.trap = true;
+    return flags;
+  }
+  switch (user.opcode()) {
+    case ir::Opcode::Store:
+      // The data slot: corrupted bits land in memory.
+      flags.output = true;
+      return flags;
+    case ir::Opcode::CondBr:
+      flags.control = true;
+      return flags;
+    case ir::Opcode::Ret:
+      flags.output = true;
+      return flags;
+    case ir::Opcode::SDiv:
+    case ir::Opcode::UDiv:
+    case ir::Opcode::SRem:
+    case ir::Opcode::URem:
+      // A corrupted divisor can become zero (or INT_MIN / -1): trap.
+      if (operand_index == 1) flags.trap = true;
+      return flags;
+    case ir::Opcode::ExtractElement:
+      // Dynamic lane index out of range.
+      if (operand_index == 1) flags.trap = true;
+      return flags;
+    case ir::Opcode::InsertElement:
+      if (operand_index == 2) flags.trap = true;
+      return flags;
+    case ir::Opcode::Call: {
+      const ir::Function* callee = user.callee();
+      if (callee == nullptr) {
+        flags.output = true;
+        return flags;
+      }
+      const ir::IntrinsicInfo& info = callee->intrinsic_info();
+      if (info.id == ir::IntrinsicId::MaskStore) {
+        // Both the data and the mask operand decide what memory holds.
+        flags.output = true;
+        return flags;
+      }
+      if (info.id == ir::IntrinsicId::MaskLoad &&
+          static_cast<int>(operand_index) == info.mask_operand) {
+        // The mask only gates which lanes load; the effect flows through
+        // the result value, which the transitive pass follows.
+        return flags;
+      }
+      if (ir::is_math_intrinsic(info.id) ||
+          info.id == ir::IntrinsicId::MoveMask) {
+        // Pure: the corruption flows through the call result only.
+        return flags;
+      }
+      // Runtime functions (detectors, injection callouts) and anything
+      // unrecognised: the argument escapes to an observable.
+      flags.output = true;
+      return flags;
+    }
+    default:
+      return flags;
+  }
+}
+
+const PropagationResult::ValueInfo* PropagationResult::info_of(
+    const ir::Value* value) const {
+  const auto it = info_.find(value);
+  return it == info_.end() ? nullptr : &it->second;
+}
+
+ReachFlags PropagationResult::reach(const ir::Value* root) const {
+  const ValueInfo* info = info_of(root);
+  return info != nullptr ? info->flags : ReachFlags{};
+}
+
+ReachFlags PropagationResult::reach_edge(const ir::Instruction* user,
+                                         unsigned operand_index) const {
+  // The corrupted edge reaches whatever the user exposes directly plus,
+  // when the user produces a value, everything that value reaches.
+  ReachFlags flags = direct_edge_flags(*user, operand_index);
+  if (produces_value(*user)) flags = flags | reach(user);
+  return flags;
+}
+
+std::uint64_t PropagationResult::live_mask(const ir::Value* root,
+                                           unsigned lane) const {
+  const ValueInfo* info = info_of(root);
+  if (info == nullptr || lane >= info->demanded.size()) {
+    // Untracked: conservatively everything is live.
+    return ~0ULL;
+  }
+  return info->demanded[lane];
+}
+
+PropagationClass PropagationResult::dominant_class(const ReachFlags& flags) {
+  if (flags.trap) return PropagationClass::TrapReaching;
+  if (flags.control) return PropagationClass::ControlReaching;
+  if (flags.output) return PropagationClass::OutputReaching;
+  return PropagationClass::ProvablyMasked;
+}
+
+PropagationClass PropagationResult::classify_bit(const ir::Value* root,
+                                                 unsigned lane,
+                                                 unsigned bit) const {
+  const ValueInfo* info = info_of(root);
+  if (info == nullptr) return PropagationClass::OutputReaching;  // unknown
+  const std::uint64_t demanded =
+      lane < info->demanded.size() ? info->demanded[lane] : ~0ULL;
+  if ((demanded & (1ULL << bit)) == 0) return PropagationClass::ProvablyMasked;
+  return dominant_class(info->flags);
+}
+
+PropagationClass PropagationResult::classify_edge_bit(
+    const ir::Instruction* user, unsigned operand_index, unsigned lane,
+    unsigned bit) const {
+  (void)lane;
+  const ir::Value* value = user->operand(operand_index);
+  const unsigned width = value->type().element_bits();
+  if (width < 64 && bit >= width) return PropagationClass::ProvablyMasked;
+  return dominant_class(reach_edge(user, operand_index));
+}
+
+PropagationResult PropagationAnalysis::run(const ir::Function& fn,
+                                           AnalysisManager& am) {
+  PropagationResult result;
+  const KnownBitsResult& bits = am.get<KnownBitsAnalysis>(fn);
+
+  // Nodes: arguments and value-producing instructions.
+  std::vector<const ir::Value*> nodes;
+  for (const auto& arg : fn.args()) nodes.push_back(arg.get());
+  for (const auto& block : fn) {
+    for (const auto& inst : *block) {
+      if (produces_value(*inst)) nodes.push_back(inst.get());
+    }
+  }
+  for (const ir::Value* node : nodes) {
+    PropagationResult::ValueInfo info;
+    const unsigned lanes = node->type().lanes();
+    info.element_bits = node->type().element_bits();
+    info.demanded.reserve(lanes);
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      info.demanded.push_back(bits.demanded(node, lane));
+    }
+    result.info_.emplace(node, std::move(info));
+  }
+
+  // Seed: direct edge flags of every use.
+  for (const auto& block : fn) {
+    for (const auto& inst : *block) {
+      for (unsigned i = 0; i < inst->num_operands(); ++i) {
+        auto it = result.info_.find(inst->operand(i));
+        if (it == result.info_.end()) continue;
+        it->second.flags = it->second.flags | direct_edge_flags(*inst, i);
+      }
+    }
+  }
+
+  // Transitive closure over def-use edges: a corrupted operand corrupts
+  // the user's result, so the def inherits the result's reach. Fixpoint
+  // worklist — flags are monotone 3-bit lattice points, so this
+  // terminates after at most 3 rounds per cycle.
+  std::deque<const ir::Instruction*> worklist;
+  for (const auto& block : fn) {
+    for (const auto& inst : *block) {
+      if (produces_value(*inst)) worklist.push_back(inst.get());
+    }
+  }
+  while (!worklist.empty()) {
+    const ir::Instruction* inst = worklist.front();
+    worklist.pop_front();
+    const ReachFlags inst_flags = result.info_[inst].flags;
+    for (unsigned i = 0; i < inst->num_operands(); ++i) {
+      auto it = result.info_.find(inst->operand(i));
+      if (it == result.info_.end()) continue;
+      if (contains(it->second.flags, inst_flags)) continue;
+      it->second.flags = it->second.flags | inst_flags;
+      if (it->first->value_kind() == ir::ValueKind::Instruction) {
+        worklist.push_back(static_cast<const ir::Instruction*>(it->first));
+      }
+    }
+  }
+
+  return result;
+}
+
+// --- canonical content hashing --------------------------------------------
+
+namespace {
+
+void hash_type(Fnv1a& h, ir::Type type) {
+  h.u8(static_cast<std::uint8_t>(type.kind()));
+  h.u32(type.lanes());
+}
+
+void hash_constant(Fnv1a& h, const ir::Constant& constant) {
+  h.u8(3);  // operand tag: constant
+  hash_type(h, constant.type());
+  h.u8(constant.is_undef() ? 1 : 0);
+  if (!constant.is_undef()) {
+    for (unsigned lane = 0; lane < constant.type().lanes(); ++lane) {
+      h.u64(constant.raw(lane));
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t function_content_hash(const ir::Function& fn) {
+  Fnv1a h;
+  h.u8(static_cast<std::uint8_t>(fn.kind()));
+  hash_type(h, fn.return_type());
+  h.u32(fn.num_args());
+  for (const auto& arg : fn.args()) hash_type(h, arg->type());
+  if (!fn.is_definition()) {
+    // Declarations have no body; their identity is name + signature
+    // (intrinsic semantics are spelled into the name).
+    h.str(fn.name());
+    return h.value();
+  }
+
+  // Dense, name-free numbering in layout order.
+  std::unordered_map<const ir::Value*, std::uint32_t> value_ids;
+  std::unordered_map<const ir::BasicBlock*, std::uint32_t> block_ids;
+  std::uint32_t next_value = 0;
+  for (const auto& arg : fn.args()) value_ids[arg.get()] = next_value++;
+  for (const auto& block : fn) {
+    block_ids[block.get()] = static_cast<std::uint32_t>(block_ids.size());
+    for (const auto& inst : *block) value_ids[inst.get()] = next_value++;
+  }
+
+  h.u32(static_cast<std::uint32_t>(fn.num_blocks()));
+  for (const auto& block : fn) {
+    h.u32(block_ids[block.get()]);
+    for (const auto& inst : *block) {
+      h.u8(static_cast<std::uint8_t>(inst->opcode()));
+      hash_type(h, inst->type());
+
+      // Operand wiring.
+      h.u32(inst->num_operands());
+      for (unsigned i = 0; i < inst->num_operands(); ++i) {
+        const ir::Value* operand = inst->operand(i);
+        switch (operand->value_kind()) {
+          case ir::ValueKind::Argument:
+          case ir::ValueKind::Instruction: {
+            h.u8(operand->value_kind() == ir::ValueKind::Argument ? 1 : 2);
+            const auto it = value_ids.find(operand);
+            // Operands from outside the function (never the case for
+            // verified IR) fold as a sentinel rather than a name.
+            h.u32(it != value_ids.end() ? it->second : 0xffffffffU);
+            break;
+          }
+          case ir::ValueKind::Constant:
+            hash_constant(h, *static_cast<const ir::Constant*>(operand));
+            break;
+        }
+      }
+
+      // Opcode payloads.
+      switch (inst->opcode()) {
+        case ir::Opcode::ICmp:
+          h.u8(static_cast<std::uint8_t>(inst->icmp_pred()));
+          break;
+        case ir::Opcode::FCmp:
+          h.u8(static_cast<std::uint8_t>(inst->fcmp_pred()));
+          break;
+        case ir::Opcode::ShuffleVector:
+          h.u32(static_cast<std::uint32_t>(inst->shuffle_mask().size()));
+          for (const int lane : inst->shuffle_mask()) {
+            h.u32(static_cast<std::uint32_t>(lane));
+          }
+          break;
+        case ir::Opcode::Call:
+          // Callee identity is its name: intrinsic semantics (and ISA)
+          // are spelled into it, and cross-function linkage is by name.
+          h.str(inst->callee() != nullptr ? inst->callee()->name() : "");
+          break;
+        case ir::Opcode::GetElementPtr:
+          h.u32(static_cast<std::uint32_t>(inst->gep_strides().size()));
+          for (const std::uint64_t stride : inst->gep_strides()) {
+            h.u64(stride);
+          }
+          break;
+        case ir::Opcode::Alloca:
+          h.u64(inst->alloca_bytes());
+          break;
+        case ir::Opcode::Load:
+        case ir::Opcode::Store:
+          hash_type(h, inst->access_type());
+          break;
+        case ir::Opcode::Phi: {
+          const auto& incoming = inst->phi_incoming_blocks();
+          h.u32(static_cast<std::uint32_t>(incoming.size()));
+          for (const ir::BasicBlock* pred : incoming) {
+            const auto it = block_ids.find(pred);
+            h.u32(it != block_ids.end() ? it->second : 0xffffffffU);
+          }
+          break;
+        }
+        case ir::Opcode::Br:
+        case ir::Opcode::CondBr: {
+          h.u32(inst->num_successors());
+          for (unsigned i = 0; i < inst->num_successors(); ++i) {
+            const auto it = block_ids.find(inst->successor(i));
+            h.u32(it != block_ids.end() ? it->second : 0xffffffffU);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return h.value();
+}
+
+std::uint64_t module_content_hash(const ir::Module& module) {
+  Fnv1a h;
+  h.u32(static_cast<std::uint32_t>(module.functions().size()));
+  for (const auto& fn : module.functions()) {
+    // Function names participate at module level: linkage and the
+    // RunSpec entry point are by name. Bodies fold in name-free.
+    h.str(fn->name());
+    h.u64(function_content_hash(*fn));
+  }
+  return h.value();
+}
+
+}  // namespace vulfi::analysis

@@ -1,0 +1,123 @@
+// Error-propagation summaries + canonical IR content hashing.
+//
+// The compositional layer (FastFlip-style, arXiv:2403.13989) needs two
+// static facts per function:
+//
+//  * For every fault site (value or store-operand edge) and every element
+//    bit: what can a single-bit corruption reach? Classified over the
+//    edge-exact slice graph (analysis/slicing.hpp) + demanded bits
+//    (analysis/known_bits.hpp) as one of
+//      - provably-masked:  the bit is dead (or the value unobservable) —
+//        a flip is guaranteed Benign;
+//      - trap-reaching:    the corruption can reach a memory address,
+//        divisor, or dynamic lane index — a Crash is possible;
+//      - control-reaching: the corruption can reach a conditional branch;
+//      - store/output-reaching: the corruption can reach stored data, a
+//        return value, or a call.
+//    Classification is conservative: reach flags are value-level (any
+//    demanded bit inherits every flag of its value), masking is
+//    bit-level, and the class priority is trap > control > output.
+//
+//  * A canonical FNV-1a content hash of the function body that is stable
+//    under value/block renaming, parse -> print -> parse round-trips,
+//    and engine clone(), but changes on any semantic edit (opcode, type,
+//    operand wiring, constant bits, CFG shape, callee). It is the key
+//    under which per-function campaign summaries are stored and reused
+//    (vulfi/summary.hpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/analysis_manager.hpp"
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace vulfi::analysis {
+
+enum class PropagationClass : std::uint8_t {
+  ProvablyMasked,
+  OutputReaching,
+  ControlReaching,
+  TrapReaching,
+};
+
+const char* propagation_class_name(PropagationClass cls);
+
+/// What a corruption of a whole value (or one def-use edge) can reach.
+struct ReachFlags {
+  bool output = false;   // stored data, return value, or call argument
+  bool control = false;  // conditional branch decision
+  bool trap = false;     // memory address, divisor, or dynamic lane index
+
+  bool any() const { return output || control || trap; }
+};
+
+class PropagationResult {
+ public:
+  /// Reach of a corruption of `root` itself (Lvalue fault-site
+  /// semantics: every use observes it). Unknown values report nothing.
+  ReachFlags reach(const ir::Value* root) const;
+
+  /// Reach of a corruption of exactly one def-use edge — operand slot
+  /// `operand_index` of `user` (store-operand fault-site semantics).
+  ReachFlags reach_edge(const ir::Instruction* user,
+                        unsigned operand_index) const;
+
+  /// Demanded element bits of `root` in `lane`; the complement (within
+  /// the element width) is provably masked.
+  std::uint64_t live_mask(const ir::Value* root, unsigned lane) const;
+
+  /// Class of a single-bit flip in (root, lane, bit). Lvalue semantics.
+  PropagationClass classify_bit(const ir::Value* root, unsigned lane,
+                                unsigned bit) const;
+
+  /// Class of a single-bit flip injected into one def-use edge. Store
+  /// operands demand every element bit, so bits below the element width
+  /// are never provably masked here.
+  PropagationClass classify_edge_bit(const ir::Instruction* user,
+                                     unsigned operand_index, unsigned lane,
+                                     unsigned bit) const;
+
+ private:
+  friend struct PropagationAnalysis;
+
+  static PropagationClass dominant_class(const ReachFlags& flags);
+
+  struct ValueInfo {
+    ReachFlags flags;
+    std::vector<std::uint64_t> demanded;  // one mask per lane
+    unsigned element_bits = 0;
+  };
+
+  const ValueInfo* info_of(const ir::Value* value) const;
+
+  std::unordered_map<const ir::Value*, ValueInfo> info_;
+};
+
+struct PropagationAnalysis {
+  using Result = PropagationResult;
+  static Result run(const ir::Function& fn, AnalysisManager& am);
+};
+
+/// Direct (non-transitive) reach contributed by one operand edge: which
+/// observable does `user` itself expose when the value flowing into
+/// `operand_index` is corrupted? Exposed for the propagation tests.
+ReachFlags direct_edge_flags(const ir::Instruction& user,
+                             unsigned operand_index);
+
+// --- canonical content hashing --------------------------------------------
+
+/// FNV-1a 64 over a rename-free serialization of the function: signature,
+/// CFG shape, opcodes, types, operand wiring (dense value indices),
+/// constants' raw lane bits, and opcode payloads (predicates, shuffle
+/// masks, GEP strides, callee names, successor/phi block indices).
+/// Deliberately excludes value, block, and function names.
+std::uint64_t function_content_hash(const ir::Function& fn);
+
+/// Folds every function of the module (declarations by name + signature,
+/// definitions by body hash) in module order.
+std::uint64_t module_content_hash(const ir::Module& module);
+
+}  // namespace vulfi::analysis

@@ -7,6 +7,7 @@
 #include "ir/builder.hpp"
 #include "kernels/kernel_common.hpp"
 #include "spmd/kernel_builder.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 
 namespace vulfi::fuzz {
@@ -555,13 +556,7 @@ ParseResult parse_spec(const std::string& text) {
 }
 
 std::uint64_t spec_fingerprint(const KernelSpec& spec) {
-  const std::string text = serialize_spec(spec);
-  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
-  for (const char ch : text) {
-    hash ^= static_cast<std::uint8_t>(ch);
-    hash *= 0x100000001b3ULL;  // FNV prime
-  }
-  return hash;
+  return fnv1a64(serialize_spec(spec));
 }
 
 }  // namespace vulfi::fuzz

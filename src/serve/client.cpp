@@ -42,10 +42,10 @@ std::optional<std::string> roundtrip(const std::string& socket_path,
 
 }  // namespace
 
-SubmitOutcome submit_campaign(const std::string& socket_path,
-                              const CampaignRequest& request,
-                              const StreamCallbacks& callbacks,
-                              int frame_timeout_ms) {
+SubmitOutcome submit_payload(const std::string& socket_path,
+                             const std::string& payload,
+                             const StreamCallbacks& callbacks,
+                             int frame_timeout_ms) {
   SubmitOutcome outcome;
   std::string connect_error;
   UnixConn conn = UnixConn::connect_to(socket_path, &connect_error);
@@ -53,7 +53,7 @@ SubmitOutcome submit_campaign(const std::string& socket_path,
     outcome.error = connect_error;
     return outcome;
   }
-  if (!conn.send_frame(serialize_request(request))) {
+  if (!conn.send_frame(payload)) {
     outcome.error = "send failed";
     return outcome;
   }
@@ -114,6 +114,14 @@ SubmitOutcome submit_campaign(const std::string& socket_path,
     }
     // Unknown "t": skip — forward compatibility with newer daemons.
   }
+}
+
+SubmitOutcome submit_campaign(const std::string& socket_path,
+                              const CampaignRequest& request,
+                              const StreamCallbacks& callbacks,
+                              int frame_timeout_ms) {
+  return submit_payload(socket_path, serialize_request(request), callbacks,
+                        frame_timeout_ms);
 }
 
 std::optional<std::string> ping_server(const std::string& socket_path,

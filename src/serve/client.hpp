@@ -51,6 +51,14 @@ SubmitOutcome submit_campaign(const std::string& socket_path,
                               const StreamCallbacks& callbacks = {},
                               int frame_timeout_ms = 600000);
 
+/// Sends an already-serialized request payload and streams frames until
+/// "done". Backs submit_campaign and submit_diff (serve/diff.hpp) — the
+/// response grammar is shared across ops.
+SubmitOutcome submit_payload(const std::string& socket_path,
+                             const std::string& payload,
+                             const StreamCallbacks& callbacks = {},
+                             int frame_timeout_ms = 600000);
+
 /// Pings the daemon. On success returns the daemon's pong payload
 /// (protocol version + build fingerprint); nullopt with `error` set
 /// otherwise.

@@ -1,0 +1,411 @@
+#include "serve/diff.hpp"
+
+#include <utility>
+
+#include "analysis/propagation.hpp"
+#include "kernels/benchmark.hpp"
+#include "serve/client.hpp"
+#include "spmd/target.hpp"
+#include "support/hash.hpp"
+#include "support/str.hpp"
+#include "vulfi/campaign.hpp"
+
+namespace vulfi::serve {
+
+namespace {
+
+spmd::Target target_of(const std::string& isa) {
+  return isa == "avx" ? spmd::Target::avx() : spmd::Target::sse4();
+}
+
+void log_line(const DiffOptions& options, const std::string& message) {
+  if (options.log) options.log(message);
+}
+
+/// Default unit set: the three §IV-E micro-benchmarks.
+std::vector<std::string> default_units() {
+  std::vector<std::string> names;
+  for (const kernels::Benchmark* bench : kernels::micro_benchmarks()) {
+    names.push_back(bench->name());
+  }
+  return names;
+}
+
+/// Latest summary for (unit, config) — any content hash — in append
+/// order. This is the regression baseline: "what did this unit score the
+/// last time it was summarized, whatever its code was then".
+const FunctionSummary* latest_for_unit(
+    const std::vector<FunctionSummary>& records, const std::string& unit,
+    std::uint64_t config_fingerprint) {
+  const FunctionSummary* found = nullptr;
+  for (const FunctionSummary& record : records) {
+    if (record.unit == unit &&
+        record.config_fingerprint == config_fingerprint) {
+      found = &record;
+    }
+  }
+  return found;
+}
+
+std::string census_json(const PropagationCensus& census) {
+  return strf(
+      "{\"masked\":%llu,\"output\":%llu,\"control\":%llu,\"trap\":%llu}",
+      static_cast<unsigned long long>(census.masked),
+      static_cast<unsigned long long>(census.output),
+      static_cast<unsigned long long>(census.control),
+      static_cast<unsigned long long>(census.trap));
+}
+
+std::string composed_json(const ComposedEstimate& composed) {
+  return strf(
+      "{\"units\":%llu,\"weight\":%llu,\"experiments\":%llu,"
+      "\"sdc\":\"%s\",\"benign\":\"%s\",\"crash\":\"%s\","
+      "\"sdc_ci\":[\"%s\",\"%s\"],\"census\":%s}",
+      static_cast<unsigned long long>(composed.units),
+      static_cast<unsigned long long>(composed.total_weight),
+      static_cast<unsigned long long>(composed.experiments),
+      double_hex(composed.sdc_rate).c_str(),
+      double_hex(composed.benign_rate).c_str(),
+      double_hex(composed.crash_rate).c_str(),
+      double_hex(composed.sdc_low).c_str(),
+      double_hex(composed.sdc_high).c_str(),
+      census_json(composed.census).c_str());
+}
+
+}  // namespace
+
+DiffReport run_diff(const DiffOptions& options) {
+  DiffReport report;
+  auto fail = [&report](int exit_code, std::string message) {
+    report.error = std::move(message);
+    report.exit_code = exit_code;
+    return report;
+  };
+
+  if (options.store_dir.empty()) {
+    return fail(2, "diff: --store DIR is required");
+  }
+
+  SummaryStore store;
+  std::string store_error;
+  if (!store.open(options.store_dir, &store_error)) {
+    return fail(3, store_error);  // schema/build refusal contract
+  }
+
+  // The regression baseline: a separate store when --against names one,
+  // otherwise this store's own pre-run records.
+  std::vector<FunctionSummary> baseline_records;
+  if (!options.against_dir.empty()) {
+    SummaryStore baseline_store;
+    if (!baseline_store.open_read_only(options.against_dir, &store_error)) {
+      return fail(3, store_error);
+    }
+    baseline_records = baseline_store.records();
+  } else {
+    baseline_records = store.records();
+  }
+
+  const std::vector<std::string> units =
+      options.units.empty() ? default_units() : options.units;
+
+  CampaignConfig config = to_campaign_config(options.request, options.max_jobs);
+  // The summary store is the persistence layer here; a per-unit campaign
+  // checkpoint would collide across units.
+  config.checkpoint_path.clear();
+  config.cancel = options.cancel;
+  if (options.log) {
+    config.stall_log = options.log;
+  }
+  const std::uint64_t fingerprint = summary_config_fingerprint(
+      config, options.request.category, options.request.isa,
+      options.request.detectors);
+
+  EngineCache local_cache(/*max_entries=*/units.size() + 1);
+  EngineCache* cache = options.cache != nullptr ? options.cache : &local_cache;
+  const spmd::Target target = target_of(options.request.isa);
+
+  for (const std::string& unit : units) {
+    const kernels::Benchmark* bench = kernels::find_benchmark(unit);
+    if (bench == nullptr) {
+      return fail(2, strf("diff: unknown unit '%s' (try: vulfi list)",
+                          unit.c_str()));
+    }
+
+    // Canonical unit identity: the content hashes of the pristine kernel
+    // modules for every predefined input, folded in input order. Stable
+    // under renaming and rebuilds; changed by any semantic kernel edit.
+    Fnv1a unit_hash;
+    std::vector<RunSpec> specs;
+    specs.reserve(bench->num_inputs());
+    for (unsigned input = 0; input < bench->num_inputs(); ++input) {
+      specs.push_back(bench->build(target, input));
+      unit_hash.u64(analysis::module_content_hash(*specs.back().module));
+    }
+
+    DiffUnitOutcome outcome;
+    outcome.unit = unit;
+    outcome.content_hash = unit_hash.value();
+
+    if (const FunctionSummary* baseline = latest_for_unit(
+            baseline_records, unit, fingerprint)) {
+      outcome.has_baseline = true;
+      outcome.baseline = *baseline;
+    }
+
+    if (const FunctionSummary* stored =
+            store.find(unit, outcome.content_hash, fingerprint)) {
+      // Unchanged content under the same configuration: the stored
+      // summary IS this unit's campaign outcome — zero new experiments.
+      outcome.reused = true;
+      outcome.summary = *stored;
+      log_line(options, strf("unit %s: unchanged (hash %s), reusing stored "
+                             "summary (%llu experiments on record)",
+                             unit.c_str(),
+                             hash_hex(outcome.content_hash).c_str(),
+                             static_cast<unsigned long long>(
+                                 stored->experiments)));
+      report.units.push_back(std::move(outcome));
+      continue;
+    }
+
+    log_line(options, strf("unit %s: %s (hash %s), injecting", unit.c_str(),
+                           outcome.has_baseline ? "changed" : "new",
+                           hash_hex(outcome.content_hash).c_str()));
+
+    CampaignRequest unit_request = options.request;
+    unit_request.benchmark = unit;
+    unit_request.checkpoint.clear();
+    EngineCache::Lease lease = cache->acquire(unit_request);
+    if (!lease.ok()) {
+      return fail(3, strf("diff: unit %s: %s", unit.c_str(),
+                          lease.error.c_str()));
+    }
+
+    std::vector<InjectionEngine*> engines;
+    engines.reserve(lease.engines.size());
+    for (const auto& engine : lease.engines) engines.push_back(engine.get());
+
+    const CampaignResult result = run_campaigns(engines, config);
+    if (!result.ok()) {
+      return fail(3, strf("diff: unit %s: %s", unit.c_str(),
+                          result.error.c_str()));
+    }
+    if (result.interrupted) {
+      report.interrupted = true;
+      report.error = strf("diff: interrupted during unit %s — completed "
+                          "units were stored, this one was not",
+                          unit.c_str());
+      report.exit_code = kCampaignExitInterrupted;
+      return report;
+    }
+
+    FunctionSummary summary;
+    summary.unit = unit;
+    summary.content_hash = outcome.content_hash;
+    summary.config_fingerprint = fingerprint;
+    summary.experiments = result.experiments;
+    summary.benign = result.benign;
+    summary.sdc = result.sdc;
+    summary.crash = result.crash;
+    summary.detected_sdc = result.detected_sdc;
+    summary.detected_total = result.detected_total;
+    summary.campaigns = result.campaigns;
+    summary.exit_code = campaign_exit_code(result);
+    // Composition weight: the unit's share of whole-program dynamic
+    // fault sites, summed over its predefined inputs' golden runs.
+    for (InjectionEngine* engine : engines) {
+      summary.weight += engine->golden().dynamic_sites;
+    }
+    // Static propagation census over the same pristine modules the
+    // content hash covers.
+    for (const RunSpec& spec : specs) {
+      const PropagationCensus part = propagation_census(*spec.module);
+      summary.census.masked += part.masked;
+      summary.census.output += part.output;
+      summary.census.control += part.control;
+      summary.census.trap += part.trap;
+    }
+
+    if (!store.append(summary)) {
+      return fail(3, strf("diff: unit %s: summary store append failed "
+                          "(disk full?)", unit.c_str()));
+    }
+
+    outcome.new_experiments =
+        result.experiments - result.experiments_restored;
+    report.new_experiments += outcome.new_experiments;
+    outcome.summary = std::move(summary);
+    report.units.push_back(std::move(outcome));
+  }
+
+  // Whole-program composition, and the same over the baseline records
+  // for the per-category regression deltas.
+  std::vector<FunctionSummary> parts;
+  std::vector<FunctionSummary> baseline_parts;
+  for (const DiffUnitOutcome& outcome : report.units) {
+    parts.push_back(outcome.summary);
+    if (outcome.has_baseline) baseline_parts.push_back(outcome.baseline);
+  }
+  report.composed = compose_summaries(parts, options.request.confidence);
+  if (!baseline_parts.empty()) {
+    report.has_baseline = true;
+    report.baseline_composed =
+        compose_summaries(baseline_parts, options.request.confidence);
+  }
+  return report;
+}
+
+std::string diff_report_json(const DiffReport& report) {
+  std::string json = strf(
+      "{\"t\":\"diff\",\"schema\":%u,\"new_experiments\":%llu,"
+      "\"interrupted\":%u,\"units\":[",
+      kSummarySchemaVersion,
+      static_cast<unsigned long long>(report.new_experiments),
+      report.interrupted ? 1u : 0u);
+  for (std::size_t i = 0; i < report.units.size(); ++i) {
+    const DiffUnitOutcome& outcome = report.units[i];
+    const FunctionSummary& s = outcome.summary;
+    if (i > 0) json += ",";
+    json += strf(
+        "{\"unit\":\"%s\",\"hash\":\"%s\",\"reused\":%u,"
+        "\"new_experiments\":%llu,\"exp\":%llu,\"benign\":%llu,"
+        "\"sdc\":%llu,\"crash\":%llu,\"campaigns\":%llu,\"weight\":%llu,"
+        "\"exit\":%d,\"sdc_rate\":\"%s\",\"census\":%s",
+        json_escape(outcome.unit).c_str(),
+        hash_hex(outcome.content_hash).c_str(), outcome.reused ? 1u : 0u,
+        static_cast<unsigned long long>(outcome.new_experiments),
+        static_cast<unsigned long long>(s.experiments),
+        static_cast<unsigned long long>(s.benign),
+        static_cast<unsigned long long>(s.sdc),
+        static_cast<unsigned long long>(s.crash),
+        static_cast<unsigned long long>(s.campaigns),
+        static_cast<unsigned long long>(s.weight), s.exit_code,
+        double_hex(s.sdc_rate()).c_str(), census_json(s.census).c_str());
+    if (outcome.has_baseline) {
+      const FunctionSummary& b = outcome.baseline;
+      json += strf(
+          ",\"baseline\":{\"hash\":\"%s\",\"exp\":%llu,\"benign\":%llu,"
+          "\"sdc\":%llu,\"crash\":%llu,\"sdc_rate\":\"%s\"},"
+          "\"delta\":{\"sdc\":\"%s\",\"benign\":\"%s\",\"crash\":\"%s\"}",
+          hash_hex(b.content_hash).c_str(),
+          static_cast<unsigned long long>(b.experiments),
+          static_cast<unsigned long long>(b.benign),
+          static_cast<unsigned long long>(b.sdc),
+          static_cast<unsigned long long>(b.crash),
+          double_hex(b.sdc_rate()).c_str(),
+          double_hex(s.sdc_rate() - b.sdc_rate()).c_str(),
+          double_hex(s.benign_rate() - b.benign_rate()).c_str(),
+          double_hex(s.crash_rate() - b.crash_rate()).c_str());
+    }
+    json += "}";
+  }
+  json += "],\"composed\":" + composed_json(report.composed);
+  if (report.has_baseline) {
+    json += ",\"baseline\":" + composed_json(report.baseline_composed);
+    json += strf(
+        ",\"delta\":{\"sdc\":\"%s\",\"benign\":\"%s\",\"crash\":\"%s\"}",
+        double_hex(report.composed.sdc_rate -
+                   report.baseline_composed.sdc_rate)
+            .c_str(),
+        double_hex(report.composed.benign_rate -
+                   report.baseline_composed.benign_rate)
+            .c_str(),
+        double_hex(report.composed.crash_rate -
+                   report.baseline_composed.crash_rate)
+            .c_str());
+  }
+  json += "}";
+  return json;
+}
+
+std::string render_diff_report(const DiffReport& report) {
+  std::string out;
+  out += strf("incremental resilience diff: %zu unit%s, %llu new "
+              "experiment%s\n",
+              report.units.size(), report.units.size() == 1 ? "" : "s",
+              static_cast<unsigned long long>(report.new_experiments),
+              report.new_experiments == 1 ? "" : "s");
+  for (const DiffUnitOutcome& outcome : report.units) {
+    const FunctionSummary& s = outcome.summary;
+    out += strf("  %-16s %-9s exp %-7llu SDC %.4f  Benign %.4f  "
+                "Crash %.4f",
+                outcome.unit.c_str(),
+                outcome.reused ? "reused" : "injected",
+                static_cast<unsigned long long>(s.experiments), s.sdc_rate(),
+                s.benign_rate(), s.crash_rate());
+    if (outcome.has_baseline) {
+      out += strf("  dSDC %+.4f", s.sdc_rate() - outcome.baseline.sdc_rate());
+    }
+    out += "\n";
+  }
+  const ComposedEstimate& c = report.composed;
+  out += strf("program (weighted by %llu golden dynamic sites):\n",
+              static_cast<unsigned long long>(c.total_weight));
+  out += strf("  SDC %.4f [%.4f, %.4f]  Benign %.4f  Crash %.4f\n",
+              c.sdc_rate, c.sdc_low, c.sdc_high, c.benign_rate, c.crash_rate);
+  if (report.has_baseline) {
+    const ComposedEstimate& b = report.baseline_composed;
+    out += strf("  vs baseline: SDC %+.4f  Benign %+.4f  Crash %+.4f\n",
+                c.sdc_rate - b.sdc_rate, c.benign_rate - b.benign_rate,
+                c.crash_rate - b.crash_rate);
+  }
+  out += strf("propagation census (site bits): masked %llu  output %llu  "
+              "control %llu  trap %llu\n",
+              static_cast<unsigned long long>(c.census.masked),
+              static_cast<unsigned long long>(c.census.output),
+              static_cast<unsigned long long>(c.census.control),
+              static_cast<unsigned long long>(c.census.trap));
+  return out;
+}
+
+// --- wire protocol ---------------------------------------------------------
+
+std::string serialize_diff_request(const DiffRequest& request) {
+  std::string payload =
+      "{\"op\":\"diff\"," + campaign_fields_json(request.campaign);
+  payload += strf(",\"units\":\"%s\",\"store\":\"%s\"",
+                  json_escape(join(request.units, ",")).c_str(),
+                  json_escape(request.store).c_str());
+  if (!request.against.empty()) {
+    payload += strf(",\"against\":\"%s\"",
+                    json_escape(request.against).c_str());
+  }
+  payload += "}";
+  return payload;
+}
+
+std::optional<DiffRequest> parse_diff_request(const std::string& payload,
+                                              std::string* error) {
+  DiffRequest request;
+  if (!parse_campaign_fields(payload, &request.campaign, error, "diff")) {
+    return std::nullopt;
+  }
+  const std::string units = journal_str(payload, "units").value_or("");
+  std::string current;
+  for (const char c : units) {
+    if (c == ',') {
+      if (!current.empty()) request.units.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) request.units.push_back(std::move(current));
+  request.store = journal_str(payload, "store").value_or("");
+  if (request.store.empty()) {
+    if (error != nullptr) *error = "diff: missing store";
+    return std::nullopt;
+  }
+  request.against = journal_str(payload, "against").value_or("");
+  return request;
+}
+
+SubmitOutcome submit_diff(const std::string& socket_path,
+                          const DiffRequest& request,
+                          const StreamCallbacks& callbacks,
+                          int frame_timeout_ms) {
+  return submit_payload(socket_path, serialize_diff_request(request),
+                        callbacks, frame_timeout_ms);
+}
+
+}  // namespace vulfi::serve

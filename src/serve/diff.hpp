@@ -1,0 +1,121 @@
+// Incremental resilience-regression analysis (`vulfi diff`).
+//
+// Composes per-unit campaign summaries (vulfi/summary.hpp) into a
+// whole-program resilience estimate and re-runs injection only where the
+// program changed: each unit's canonical IR content hash
+// (analysis/propagation.hpp) keys its stored summary, so a unit whose
+// hash is unchanged under the same campaign configuration reuses the
+// stored counts with ZERO new experiments, while a changed unit pays one
+// fresh campaign run. The result is a regression report: per-unit and
+// composed SDC/Benign/Crash rates, their deltas against a baseline
+// store, and the static propagation census.
+//
+// The engine builds go through the warm EngineCache — the CLI uses a
+// private cache, the vulfid daemon serves `diff` requests against its
+// long-lived one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/engine_cache.hpp"
+#include "serve/protocol.hpp"
+#include "support/cancel.hpp"
+#include "vulfi/summary.hpp"
+
+namespace vulfi::serve {
+
+struct DiffOptions {
+  /// Program units (registry benchmark names); empty selects the three
+  /// §IV-E micro-benchmarks.
+  std::vector<std::string> units;
+  /// Campaign knobs (seeds, counts, category, ISA, toggles). The
+  /// `benchmark` field is ignored — units come from `units`.
+  CampaignRequest request;
+  /// Summary-store directory (required): summaries are read from and
+  /// appended to DIR/summaries.jsonl.
+  std::string store_dir;
+  /// Optional second store directory to diff against. Empty: deltas are
+  /// taken against the store's own pre-run records, so re-running after
+  /// a change reports that change's regression.
+  std::string against_dir;
+  /// Warm engine cache to lease builds from; nullptr uses a private one.
+  EngineCache* cache = nullptr;
+  /// Per-unit progress lines ("unit X: reused" / "unit X: injecting").
+  std::function<void(const std::string&)> log;
+  /// Fairness cap on per-run worker threads (0 = no cap).
+  unsigned max_jobs = 0;
+  /// Cooperative cancellation; a cancelled run reports interrupted and
+  /// stores nothing for the unit it was executing.
+  const CancellationToken* cancel = nullptr;
+};
+
+/// One unit's contribution to the report.
+struct DiffUnitOutcome {
+  std::string unit;
+  std::uint64_t content_hash = 0;
+  /// The summary came from the store (hash + config matched): zero new
+  /// experiments for this unit.
+  bool reused = false;
+  std::uint64_t new_experiments = 0;
+  FunctionSummary summary;
+  /// Latest baseline summary for this unit under the same configuration
+  /// (any content hash), when one exists.
+  bool has_baseline = false;
+  FunctionSummary baseline;
+};
+
+struct DiffReport {
+  std::vector<DiffUnitOutcome> units;
+  ComposedEstimate composed;
+  /// Composed over the units that have a baseline summary.
+  bool has_baseline = false;
+  ComposedEstimate baseline_composed;
+  std::uint64_t new_experiments = 0;
+  bool interrupted = false;
+  std::string error;
+  /// 0 success; 2 usage (unknown unit, missing store); 3 store refusal
+  /// (schema/build mismatch, I/O, internal campaign error); 5
+  /// interrupted — the campaign CLI's exit-code contract.
+  int exit_code = 0;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Runs the incremental analysis synchronously.
+DiffReport run_diff(const DiffOptions& options);
+
+/// Deterministic JSON rendering (doubles as 16-hex-digit bit patterns):
+/// two runs over an unchanged program produce byte-identical reports.
+std::string diff_report_json(const DiffReport& report);
+
+/// Human-readable regression report.
+std::string render_diff_report(const DiffReport& report);
+
+// --- wire protocol ---------------------------------------------------------
+
+/// {"op":"diff",...}: the diff CLI surface as data. Campaign knobs use
+/// the same keys as a submit; units travel comma-joined (registry names
+/// contain no commas).
+struct DiffRequest {
+  CampaignRequest campaign;  ///< benchmark field unused
+  std::vector<std::string> units;
+  std::string store;
+  std::string against;
+};
+
+std::string serialize_diff_request(const DiffRequest& request);
+std::optional<DiffRequest> parse_diff_request(const std::string& payload,
+                                              std::string* error = nullptr);
+
+/// Submits a diff to a running vulfid and blocks until its "done" frame;
+/// the report JSON comes back in SubmitOutcome::stats_json.
+SubmitOutcome submit_diff(const std::string& socket_path,
+                          const DiffRequest& request,
+                          const StreamCallbacks& callbacks = {},
+                          int frame_timeout_ms = 600000);
+
+}  // namespace vulfi::serve

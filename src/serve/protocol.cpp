@@ -29,9 +29,9 @@ bool fail(std::string* error, const std::string& message) {
 
 }  // namespace
 
-std::string serialize_request(const CampaignRequest& request) {
+std::string campaign_fields_json(const CampaignRequest& request) {
   std::string payload = strf(
-      "{\"op\":\"submit\",\"benchmark\":\"%s\",\"category\":\"%s\","
+      "\"benchmark\":\"%s\",\"category\":\"%s\","
       "\"isa\":\"%s\",\"experiments\":%u,\"campaigns\":%u,"
       "\"max_campaigns\":%u,\"seed\":%llu,\"jobs\":%u,\"gcache\":%u,"
       "\"sprune\":%u,\"detectors\":%u,\"priority\":%u,\"conf\":\"%s\","
@@ -52,13 +52,16 @@ std::string serialize_request(const CampaignRequest& request) {
     payload += strf(",\"checkpoint\":\"%s\"",
                     json_escape(request.checkpoint).c_str());
   }
-  payload += "}";
   return payload;
 }
 
-std::optional<CampaignRequest> parse_request(const std::string& payload,
-                                             std::string* error) {
-  CampaignRequest request;
+std::string serialize_request(const CampaignRequest& request) {
+  return "{\"op\":\"submit\"," + campaign_fields_json(request) + "}";
+}
+
+bool parse_campaign_fields(const std::string& payload,
+                           CampaignRequest* request, std::string* error,
+                           const char* ctx) {
   auto u64 = [&](const char* key, std::uint64_t fallback) {
     return journal_u64(payload, key).value_or(fallback);
   };
@@ -68,65 +71,69 @@ std::optional<CampaignRequest> parse_request(const std::string& payload,
     return double_from_hex(*hex).value_or(fallback);
   };
 
+  request->benchmark = journal_str(payload, "benchmark").value_or("");
+  request->category = journal_str(payload, "category").value_or("pure-data");
+  request->isa = journal_str(payload, "isa").value_or("avx");
+  request->fsync = journal_str(payload, "fsync").value_or("always");
+  request->checkpoint = journal_str(payload, "checkpoint").value_or("");
+  if (!known_category(request->category)) {
+    return fail(error, strf("%s: category must be pure-data, control, or "
+                            "address", ctx));
+  }
+  if (!known_isa(request->isa)) {
+    return fail(error, strf("%s: isa must be avx or sse", ctx));
+  }
+  if (!journal_sync_from_name(request->fsync)) {
+    return fail(error, strf("%s: fsync must be always, batch, or off", ctx));
+  }
+  request->backend = journal_str(payload, "backend").value_or("interp");
+  if (!known_backend(request->backend)) {
+    return fail(error, strf("%s: backend must be interp or jit", ctx));
+  }
+
+  request->experiments = static_cast<unsigned>(u64("experiments", 100));
+  request->min_campaigns = static_cast<unsigned>(u64("campaigns", 20));
+  request->max_campaigns = static_cast<unsigned>(u64("max_campaigns", 0));
+  request->seed = u64("seed", 24029);
+  request->jobs = static_cast<unsigned>(u64("jobs", 1));
+  request->golden_cache = u64("gcache", 1) != 0;
+  request->static_prune = u64("sprune", 1) != 0;
+  request->detectors = u64("detectors", 0) != 0;
+  request->priority = static_cast<unsigned>(u64("priority", 1));
+  request->self_verify = static_cast<unsigned>(u64("self_verify", 0));
+  request->confidence = dbl("conf", 0.95);
+  request->target_margin = dbl("margin", 0.03);
+  request->stall_timeout = dbl("stall", 0.0);
+
+  if (request->experiments == 0 || request->min_campaigns == 0) {
+    return fail(error,
+                strf("%s: experiments and campaigns must be positive", ctx));
+  }
+  if (request->max_campaigns != 0 &&
+      request->max_campaigns < request->min_campaigns) {
+    return fail(error, strf("%s: max_campaigns below campaigns", ctx));
+  }
+  if (request->priority > 3) {
+    return fail(error, strf("%s: priority must be 0..3", ctx));
+  }
+  if (!(request->confidence > 0.0 && request->confidence < 1.0) ||
+      !(request->target_margin > 0.0)) {
+    return fail(error,
+                strf("%s: confidence must be in (0,1), margin positive", ctx));
+  }
+  return true;
+}
+
+std::optional<CampaignRequest> parse_request(const std::string& payload,
+                                             std::string* error) {
+  CampaignRequest request;
   const std::optional<std::string> benchmark =
       journal_str(payload, "benchmark");
   if (!benchmark || benchmark->empty()) {
     fail(error, "submit: missing benchmark");
     return std::nullopt;
   }
-  request.benchmark = *benchmark;
-  request.category = journal_str(payload, "category").value_or("pure-data");
-  request.isa = journal_str(payload, "isa").value_or("avx");
-  request.fsync = journal_str(payload, "fsync").value_or("always");
-  request.checkpoint = journal_str(payload, "checkpoint").value_or("");
-  if (!known_category(request.category)) {
-    fail(error, "submit: category must be pure-data, control, or address");
-    return std::nullopt;
-  }
-  if (!known_isa(request.isa)) {
-    fail(error, "submit: isa must be avx or sse");
-    return std::nullopt;
-  }
-  if (!journal_sync_from_name(request.fsync)) {
-    fail(error, "submit: fsync must be always, batch, or off");
-    return std::nullopt;
-  }
-  request.backend = journal_str(payload, "backend").value_or("interp");
-  if (!known_backend(request.backend)) {
-    fail(error, "submit: backend must be interp or jit");
-    return std::nullopt;
-  }
-
-  request.experiments = static_cast<unsigned>(u64("experiments", 100));
-  request.min_campaigns = static_cast<unsigned>(u64("campaigns", 20));
-  request.max_campaigns = static_cast<unsigned>(u64("max_campaigns", 0));
-  request.seed = u64("seed", 24029);
-  request.jobs = static_cast<unsigned>(u64("jobs", 1));
-  request.golden_cache = u64("gcache", 1) != 0;
-  request.static_prune = u64("sprune", 1) != 0;
-  request.detectors = u64("detectors", 0) != 0;
-  request.priority = static_cast<unsigned>(u64("priority", 1));
-  request.self_verify = static_cast<unsigned>(u64("self_verify", 0));
-  request.confidence = dbl("conf", 0.95);
-  request.target_margin = dbl("margin", 0.03);
-  request.stall_timeout = dbl("stall", 0.0);
-
-  if (request.experiments == 0 || request.min_campaigns == 0) {
-    fail(error, "submit: experiments and campaigns must be positive");
-    return std::nullopt;
-  }
-  if (request.max_campaigns != 0 &&
-      request.max_campaigns < request.min_campaigns) {
-    fail(error, "submit: max_campaigns below campaigns");
-    return std::nullopt;
-  }
-  if (request.priority > 3) {
-    fail(error, "submit: priority must be 0..3");
-    return std::nullopt;
-  }
-  if (!(request.confidence > 0.0 && request.confidence < 1.0) ||
-      !(request.target_margin > 0.0)) {
-    fail(error, "submit: confidence must be in (0,1), margin positive");
+  if (!parse_campaign_fields(payload, &request, error, "submit")) {
     return std::nullopt;
   }
   return request;

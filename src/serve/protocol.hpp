@@ -67,6 +67,18 @@ struct CampaignRequest {
 /// {"op":"submit",...} payload for `request`.
 std::string serialize_request(const CampaignRequest& request);
 
+/// The campaign-knob fields of a submit payload (benchmark included),
+/// without the enclosing braces or "op". Shared by submit and diff so
+/// the two ops cannot drift apart.
+std::string campaign_fields_json(const CampaignRequest& request);
+
+/// Parses the campaign-knob fields of `payload` into `request` with the
+/// same validation parse_request applies (benchmark may be empty here —
+/// diff requests carry units instead). `ctx` prefixes error messages.
+bool parse_campaign_fields(const std::string& payload,
+                           CampaignRequest* request, std::string* error,
+                           const char* ctx);
+
 /// Parses a submit payload. Rejects missing/empty benchmark, unknown
 /// category/isa/fsync names, zero experiment or campaign counts, and
 /// out-of-range priorities; `error` (when non-null) says why. Does NOT

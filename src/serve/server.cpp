@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "kernels/benchmark.hpp"
+#include "serve/diff.hpp"
 #include "serve/protocol.hpp"
 #include "support/cancel.hpp"
 #include "support/journal.hpp"
@@ -174,6 +176,10 @@ void CampaignServer::handle_connection(UnixConn conn) {
       handle_submit(std::move(conn), *frame);
       return;  // one campaign per connection; the stream ends with done
     }
+    if (op == "diff") {
+      handle_diff(std::move(conn), *frame);
+      return;  // like submit: the stream ends with done
+    }
     conn.send_frame(error_payload(strf("unknown op '%s'", op.c_str())));
   }
 }
@@ -303,6 +309,113 @@ void CampaignServer::run_job(const std::shared_ptr<Session>& session,
                  "vulfid: finished request %llu: %u campaigns, exit %d\n",
                  static_cast<unsigned long long>(id), result.campaigns,
                  campaign_exit_code(result));
+  }
+  session->mark_done();
+}
+
+void CampaignServer::handle_diff(UnixConn conn, const std::string& payload) {
+  std::string parse_error;
+  const std::optional<DiffRequest> request =
+      parse_diff_request(payload, &parse_error);
+  if (!request) {
+    conn.send_frame(error_payload(parse_error));
+    return;
+  }
+  for (const std::string& unit : request->units) {
+    if (kernels::find_benchmark(unit) == nullptr) {
+      conn.send_frame(error_payload(
+          strf("unknown unit '%s' (try: vulfi list)", unit.c_str())));
+      return;
+    }
+  }
+  if (stopping_.load()) {
+    conn.send_frame(error_payload("server is shutting down"));
+    return;
+  }
+
+  const std::uint64_t id = next_id_.fetch_add(1);
+  auto session = std::make_shared<Session>(std::move(conn));
+  std::size_t depth = 0;
+  const FairScheduler::Admit admit = scheduler_->submit(
+      request->campaign.priority,
+      [this, session, req = *request, id] { run_diff_job(session, req, id); },
+      &depth);
+  if (admit == FairScheduler::Admit::QueueFull) {
+    session->send(busy_payload(scheduler_->stats().queued,
+                               config_.max_queue));
+    return;
+  }
+  if (admit == FairScheduler::Admit::Stopping) {
+    session->send(error_payload("server is shutting down"));
+    return;
+  }
+  if (config_.verbose) {
+    std::fprintf(stderr,
+                 "vulfid: accepted diff %llu: %zu unit(s), store %s "
+                 "(queue depth %zu)\n",
+                 static_cast<unsigned long long>(id), request->units.size(),
+                 request->store.c_str(), depth);
+  }
+  session->send(accepted_payload(id, depth));
+  session->mark_ready();
+
+  // Same connection watch as a submit: "cancel" or a disconnect flips
+  // this request's token only.
+  for (;;) {
+    if (session->done_now()) break;
+    std::string why;
+    const std::optional<std::string> frame =
+        session->conn.recv_frame(200, &why);
+    if (frame) {
+      if (journal_str(*frame, "op").value_or("") == "cancel") {
+        session->cancel.request_cancel();
+      }
+      continue;
+    }
+    if (why == "timeout") continue;
+    session->cancel.request_cancel();
+    break;
+  }
+  session->wait_done();
+}
+
+void CampaignServer::run_diff_job(const std::shared_ptr<Session>& session,
+                                  const DiffRequest& request,
+                                  std::uint64_t id) {
+  session->wait_ready();
+  if (session->cancel.cancelled()) {
+    session->send(done_payload(id, kCampaignExitInterrupted, false, true,
+                               "cancelled before start", "{}"));
+    session->mark_done();
+    completed_.fetch_add(1);
+    return;
+  }
+
+  DiffOptions options;
+  options.units = request.units;
+  options.request = request.campaign;
+  options.store_dir = request.store;
+  options.against_dir = request.against;
+  options.cache = &cache_;  // the whole point: diff against warm engines
+  options.max_jobs = config_.max_jobs_per_request;
+  options.cancel = &session->cancel;
+  Session* raw = session.get();
+  options.log = [raw](const std::string& message) {
+    raw->send(log_payload(message));
+  };
+
+  const DiffReport report = run_diff(options);
+  session->send(done_payload(id, report.exit_code, report.ok(),
+                             report.interrupted, report.error,
+                             diff_report_json(report)));
+  completed_.fetch_add(1);
+  if (config_.verbose) {
+    std::fprintf(stderr,
+                 "vulfid: finished diff %llu: %zu unit(s), %llu new "
+                 "experiments, exit %d\n",
+                 static_cast<unsigned long long>(id), report.units.size(),
+                 static_cast<unsigned long long>(report.new_experiments),
+                 report.exit_code);
   }
   session->mark_done();
 }

@@ -79,8 +79,11 @@ class CampaignServer {
   void accept_loop();
   void handle_connection(UnixConn conn);
   void handle_submit(UnixConn conn, const std::string& payload);
+  void handle_diff(UnixConn conn, const std::string& payload);
   void run_job(const std::shared_ptr<Session>& session,
                const CampaignRequest& request, std::uint64_t id);
+  void run_diff_job(const std::shared_ptr<Session>& session,
+                    const struct DiffRequest& request, std::uint64_t id);
   std::string stats_payload() const;
   void drain();
 

@@ -1,0 +1,82 @@
+#include "support/hash.hpp"
+
+#include <string>
+
+namespace vulfi {
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = kFnvOffsetBasis;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  return fnv1a64(text.data(), text.size());
+}
+
+Fnv1a& Fnv1a::bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= p[i];
+    state_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Fnv1a& Fnv1a::u8(std::uint8_t value) { return bytes(&value, 1); }
+
+Fnv1a& Fnv1a::u32(std::uint32_t value) {
+  unsigned char raw[4];
+  for (int i = 0; i < 4; ++i) {
+    raw[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  return bytes(raw, sizeof raw);
+}
+
+Fnv1a& Fnv1a::u64(std::uint64_t value) {
+  unsigned char raw[8];
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  return bytes(raw, sizeof raw);
+}
+
+Fnv1a& Fnv1a::str(std::string_view text) {
+  u64(text.size());
+  return bytes(text.data(), text.size());
+}
+
+std::string hash_hex(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+bool hash_from_hex(std::string_view hex, std::uint64_t* out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  if (out != nullptr) *out = value;
+  return true;
+}
+
+}  // namespace vulfi

@@ -1,0 +1,48 @@
+// FNV-1a 64-bit hashing, shared across the library.
+//
+// One implementation serves every fingerprint in the system: journal
+// record checksums (support/journal.hpp), fuzz-spec fingerprints
+// (fuzz/kernel_gen.hpp), and the canonical IR content hash of the
+// incremental-analysis layer (analysis/propagation.hpp). The constants
+// are the standard FNV-1a 64 parameters; the hash is stable across
+// platforms and builds, which is what lets checkpoint files and summary
+// stores written on one host verify on another.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace vulfi {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a64(const void* data, std::size_t size);
+std::uint64_t fnv1a64(std::string_view text);
+
+/// Streaming FNV-1a 64 hasher for composite keys (IR content hashes,
+/// config fingerprints). Multi-byte integers are folded little-endian
+/// byte by byte, so a stream hashes identically on every platform.
+class Fnv1a {
+ public:
+  Fnv1a& bytes(const void* data, std::size_t size);
+  Fnv1a& u8(std::uint8_t value);
+  Fnv1a& u32(std::uint32_t value);
+  Fnv1a& u64(std::uint64_t value);
+  /// Hashes the length, then the bytes — "ab" + "c" and "a" + "bc"
+  /// produce different streams.
+  Fnv1a& str(std::string_view text);
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kFnvOffsetBasis;
+};
+
+/// 16 lowercase hex digits (the journal "fnv" field spelling).
+std::string hash_hex(std::uint64_t value);
+/// Parses exactly 16 hex digits; false on anything else.
+bool hash_from_hex(std::string_view hex, std::uint64_t* out);
+
+}  // namespace vulfi

@@ -23,20 +23,6 @@ bool is_hex(char c) {
 
 }  // namespace
 
-std::uint64_t fnv1a64(const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-std::uint64_t fnv1a64(std::string_view text) {
-  return fnv1a64(text.data(), text.size());
-}
-
 std::string journal_seal(const std::string& payload) {
   VULFI_ASSERT(payload.size() >= 2 && payload.front() == '{' &&
                    payload.back() == '}',

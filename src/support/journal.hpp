@@ -26,13 +26,9 @@
 #include <string_view>
 #include <vector>
 
-namespace vulfi {
+#include "support/hash.hpp"  // fnv1a64 — the sealing checksum
 
-/// FNV-1a 64-bit hash (offset basis 0xcbf29ce484222325, prime
-/// 0x100000001b3). Stable across platforms and builds — checkpoint files
-/// written by one host verify on another.
-std::uint64_t fnv1a64(const void* data, std::size_t size);
-std::uint64_t fnv1a64(std::string_view text);
+namespace vulfi {
 
 /// Seals a JSON object payload (must be "{...}") into one journal line:
 /// the payload with `,"fnv":"<16 hex>"` spliced before the closing brace,

@@ -1,0 +1,346 @@
+#include "vulfi/summary.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "analysis/propagation.hpp"
+#include "support/hash.hpp"
+#include "support/str.hpp"
+#include "support/version.hpp"
+#include "vulfi/fault_site.hpp"
+
+namespace vulfi {
+
+namespace {
+
+// The CLI and wire protocol accept aliases ("ctrl", "addr", "sse4");
+// the fingerprint must not distinguish spellings of one configuration.
+std::string_view canonical_category(std::string_view name) {
+  if (name == "puredata") return "pure-data";
+  if (name == "ctrl") return "control";
+  if (name == "addr") return "address";
+  return name;
+}
+
+std::string_view canonical_isa(std::string_view name) {
+  if (name == "sse4") return "sse";
+  return name;
+}
+
+}  // namespace
+
+std::uint64_t summary_config_fingerprint(const CampaignConfig& config,
+                                         std::string_view category,
+                                         std::string_view isa,
+                                         bool detectors) {
+  Fnv1a h;
+  h.u32(config.experiments_per_campaign);
+  h.u32(config.min_campaigns);
+  h.u32(config.max_campaigns);
+  h.u64(config.seed);
+  // Bit patterns, not decimal renderings: two configs are the same
+  // configuration iff the doubles compare bit-equal.
+  double conf = config.confidence;
+  double margin = config.target_margin;
+  std::uint64_t bits = 0;
+  static_assert(sizeof(conf) == sizeof(bits), "IEEE-754 double expected");
+  std::memcpy(&bits, &conf, sizeof(bits));
+  h.u64(bits);
+  std::memcpy(&bits, &margin, sizeof(bits));
+  h.u64(bits);
+  h.u8(config.use_golden_cache ? 1 : 0);
+  h.u8(config.use_static_prune ? 1 : 0);
+  h.u8(detectors ? 1 : 0);
+  h.str(canonical_category(category));
+  h.str(canonical_isa(isa));
+  return h.value();
+}
+
+PropagationCensus propagation_census(const ir::Function& fn,
+                                     analysis::AnalysisManager& am) {
+  PropagationCensus census;
+  const analysis::PropagationResult& prop =
+      am.get<analysis::PropagationAnalysis>(fn);
+  for (const FaultSite& site : enumerate_fault_sites(
+           fn, analysis::AddressRule::GepOnly, am)) {
+    // site_target_of only inspects; the const_cast is confined here.
+    const SiteTarget target =
+        site_target_of(const_cast<ir::Instruction&>(*site.inst));
+    const unsigned bits = site.element_type.element_bits();
+    for (unsigned bit = 0; bit < bits; ++bit) {
+      const analysis::PropagationClass cls =
+          site.store_operand
+              ? prop.classify_edge_bit(site.inst, target.store_operand_index,
+                                       site.lane, bit)
+              : prop.classify_bit(target.value, site.lane, bit);
+      switch (cls) {
+        case analysis::PropagationClass::ProvablyMasked: ++census.masked; break;
+        case analysis::PropagationClass::OutputReaching: ++census.output; break;
+        case analysis::PropagationClass::ControlReaching:
+          ++census.control;
+          break;
+        case analysis::PropagationClass::TrapReaching: ++census.trap; break;
+      }
+    }
+  }
+  return census;
+}
+
+PropagationCensus propagation_census(const ir::Module& module) {
+  PropagationCensus census;
+  analysis::AnalysisManager am;
+  for (const auto& fn : module.functions()) {
+    if (!fn->is_definition() || fn->num_blocks() == 0) continue;
+    const PropagationCensus part = propagation_census(*fn, am);
+    census.masked += part.masked;
+    census.output += part.output;
+    census.control += part.control;
+    census.trap += part.trap;
+  }
+  return census;
+}
+
+std::string summary_record_payload(const FunctionSummary& summary) {
+  return strf(
+      "{\"t\":\"summary\",\"unit\":\"%s\",\"hash\":\"%s\",\"cfg\":\"%s\","
+      "\"exp\":%llu,\"benign\":%llu,\"sdc\":%llu,\"crash\":%llu,"
+      "\"dsdc\":%llu,\"dtot\":%llu,\"camps\":%llu,\"weight\":%llu,"
+      "\"pmask\":%llu,\"pout\":%llu,\"pctl\":%llu,\"ptrap\":%llu,"
+      "\"exit\":%d}",
+      summary.unit.c_str(), hash_hex(summary.content_hash).c_str(),
+      hash_hex(summary.config_fingerprint).c_str(),
+      static_cast<unsigned long long>(summary.experiments),
+      static_cast<unsigned long long>(summary.benign),
+      static_cast<unsigned long long>(summary.sdc),
+      static_cast<unsigned long long>(summary.crash),
+      static_cast<unsigned long long>(summary.detected_sdc),
+      static_cast<unsigned long long>(summary.detected_total),
+      static_cast<unsigned long long>(summary.campaigns),
+      static_cast<unsigned long long>(summary.weight),
+      static_cast<unsigned long long>(summary.census.masked),
+      static_cast<unsigned long long>(summary.census.output),
+      static_cast<unsigned long long>(summary.census.control),
+      static_cast<unsigned long long>(summary.census.trap),
+      summary.exit_code);
+}
+
+std::optional<FunctionSummary> parse_summary_record(
+    const std::string& payload) {
+  const auto tag = journal_str(payload, "t");
+  if (!tag || *tag != "summary") return std::nullopt;
+  FunctionSummary out;
+  const auto unit = journal_str(payload, "unit");
+  const auto hash = journal_str(payload, "hash");
+  const auto cfg = journal_str(payload, "cfg");
+  if (!unit || !hash || !cfg) return std::nullopt;
+  out.unit = *unit;
+  if (!hash_from_hex(*hash, &out.content_hash)) return std::nullopt;
+  if (!hash_from_hex(*cfg, &out.config_fingerprint)) return std::nullopt;
+  const auto exp = journal_u64(payload, "exp");
+  const auto benign = journal_u64(payload, "benign");
+  const auto sdc = journal_u64(payload, "sdc");
+  const auto crash = journal_u64(payload, "crash");
+  const auto dsdc = journal_u64(payload, "dsdc");
+  const auto dtot = journal_u64(payload, "dtot");
+  const auto camps = journal_u64(payload, "camps");
+  const auto weight = journal_u64(payload, "weight");
+  const auto pmask = journal_u64(payload, "pmask");
+  const auto pout = journal_u64(payload, "pout");
+  const auto pctl = journal_u64(payload, "pctl");
+  const auto ptrap = journal_u64(payload, "ptrap");
+  const auto exit_code = journal_u64(payload, "exit");
+  if (!exp || !benign || !sdc || !crash || !dsdc || !dtot || !camps ||
+      !weight || !pmask || !pout || !pctl || !ptrap || !exit_code) {
+    return std::nullopt;
+  }
+  out.experiments = *exp;
+  out.benign = *benign;
+  out.sdc = *sdc;
+  out.crash = *crash;
+  out.detected_sdc = *dsdc;
+  out.detected_total = *dtot;
+  out.campaigns = *camps;
+  out.weight = *weight;
+  out.census.masked = *pmask;
+  out.census.output = *pout;
+  out.census.control = *pctl;
+  out.census.trap = *ptrap;
+  out.exit_code = static_cast<int>(*exit_code);
+  return out;
+}
+
+std::string summary_store_header_payload() {
+  return strf("{\"t\":\"summary-header\",\"schema\":%u,\"build\":\"%s\"}",
+              kSummarySchemaVersion, build_fingerprint().c_str());
+}
+
+const char* SummaryStore::filename() { return "summaries.jsonl"; }
+
+bool SummaryStore::open(const std::string& dir, std::string* error) {
+  return open_impl(dir, error, /*writable=*/true);
+}
+
+bool SummaryStore::open_read_only(const std::string& dir,
+                                  std::string* error) {
+  return open_impl(dir, error, /*writable=*/false);
+}
+
+bool SummaryStore::open_impl(const std::string& dir, std::string* error,
+                             bool writable) {
+  // A writable open creates the store directory on first use (one level;
+  // EEXIST is the common case and fine).
+  if (writable) ::mkdir(dir.c_str(), 0777);
+  const std::string path = dir + "/" + filename();
+  const JournalRecovery recovered = recover_journal(path);
+  if (!writable && !recovered.file_existed) {
+    if (error != nullptr) {
+      *error = strf("no summary store at '%s'", path.c_str());
+    }
+    return false;
+  }
+
+  std::uint64_t keep_bytes = recovered.valid_bytes;
+  bool need_header = true;
+  if (!recovered.records.empty()) {
+    const std::string& header = recovered.records.front();
+    const auto tag = journal_str(header, "t");
+    const auto schema = journal_u64(header, "schema");
+    const auto build = journal_str(header, "build");
+    if (!tag || *tag != "summary-header" || !schema || !build) {
+      if (error != nullptr) {
+        *error = strf("summary store '%s' has no valid header record",
+                      path.c_str());
+      }
+      return false;
+    }
+    if (*schema != kSummarySchemaVersion) {
+      if (error != nullptr) {
+        *error = strf(
+            "summary store '%s' uses record schema v%llu, this binary "
+            "writes v%u — refusing to mix grammars (start a fresh store)",
+            path.c_str(), static_cast<unsigned long long>(*schema),
+            kSummarySchemaVersion);
+      }
+      return false;
+    }
+    if (*build != build_fingerprint()) {
+      if (error != nullptr) {
+        *error = strf(
+            "summary store '%s' was written by a different vulfi binary "
+            "(stored build \"%s\", this binary \"%s\") — summaries are "
+            "only composable within one build",
+            path.c_str(), build->c_str(), build_fingerprint().c_str());
+      }
+      return false;
+    }
+    need_header = false;
+    for (std::size_t i = 1; i < recovered.records.size(); ++i) {
+      const auto summary = parse_summary_record(recovered.records[i]);
+      if (!summary) {
+        if (error != nullptr) {
+          *error = strf("summary store '%s' record %zu is malformed",
+                        path.c_str(), i);
+        }
+        return false;
+      }
+      if (FunctionSummary* existing = find_mutable(*summary)) {
+        *existing = *summary;  // append-only journal: last record wins
+      } else {
+        records_.push_back(*summary);
+      }
+    }
+  } else {
+    keep_bytes = 0;  // drop any torn pre-header tail wholesale
+  }
+
+  if (!writable) return true;
+  if (!writer_.open(path, keep_bytes, error)) return false;
+  if (need_header && !writer_.append(summary_store_header_payload())) {
+    if (error != nullptr) {
+      *error = strf("summary store '%s': header write failed", path.c_str());
+    }
+    return false;
+  }
+  return true;
+}
+
+FunctionSummary* SummaryStore::find_mutable(const FunctionSummary& like) {
+  for (FunctionSummary& record : records_) {
+    if (record.unit == like.unit && record.content_hash == like.content_hash &&
+        record.config_fingerprint == like.config_fingerprint) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+const FunctionSummary* SummaryStore::find(
+    const std::string& unit, std::uint64_t content_hash,
+    std::uint64_t config_fingerprint) const {
+  for (const FunctionSummary& record : records_) {
+    if (record.unit == unit && record.content_hash == content_hash &&
+        record.config_fingerprint == config_fingerprint) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+bool SummaryStore::append(const FunctionSummary& summary) {
+  if (!writer_.append(summary_record_payload(summary))) return false;
+  if (FunctionSummary* existing = find_mutable(summary)) {
+    *existing = summary;
+  } else {
+    records_.push_back(summary);
+  }
+  return true;
+}
+
+ComposedEstimate compose_summaries(const std::vector<FunctionSummary>& parts,
+                                   double confidence) {
+  ComposedEstimate out;
+  out.units = parts.size();
+  if (parts.empty()) return out;
+
+  std::uint64_t total_weight = 0;
+  for (const FunctionSummary& part : parts) total_weight += part.weight;
+  out.total_weight = total_weight;
+
+  // Stratified estimator: each unit is a stratum whose share of the
+  // whole program is its share of golden dynamic fault sites. When no
+  // unit recorded a weight (e.g. empty golden runs) fall back to uniform
+  // shares so the estimate stays defined.
+  const double denom = total_weight > 0
+                           ? static_cast<double>(total_weight)
+                           : static_cast<double>(parts.size());
+  double variance = 0.0;
+  for (const FunctionSummary& part : parts) {
+    const double numer =
+        total_weight > 0 ? static_cast<double>(part.weight) : 1.0;
+    const double share = numer / denom;
+    const double p_sdc = part.sdc_rate();
+    out.sdc_rate += share * p_sdc;
+    out.benign_rate += share * part.benign_rate();
+    out.crash_rate += share * part.crash_rate();
+    if (part.experiments > 0) {
+      variance += share * share * p_sdc * (1.0 - p_sdc) /
+                  static_cast<double>(part.experiments);
+    }
+    out.experiments += part.experiments;
+    out.census.masked += part.census.masked;
+    out.census.output += part.census.output;
+    out.census.control += part.census.control;
+    out.census.trap += part.census.trap;
+  }
+
+  const double z = normal_quantile(0.5 * (1.0 + confidence));
+  const double half = z * std::sqrt(variance);
+  out.sdc_low = std::max(0.0, out.sdc_rate - half);
+  out.sdc_high = std::min(1.0, out.sdc_rate + half);
+  return out;
+}
+
+}  // namespace vulfi

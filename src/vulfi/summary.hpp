@@ -1,0 +1,186 @@
+// Persistent per-unit campaign summaries + compositional estimates.
+//
+// The compositional layer (FastFlip-style, arXiv:2403.13989) caches the
+// statistical outcome of a fault-injection campaign per program unit,
+// keyed by the unit's canonical IR content hash
+// (analysis/propagation.hpp) and a fingerprint of every configuration
+// field the statistics depend on. `vulfi diff` then recombines stored
+// summaries into whole-program estimates: a unit whose content hash is
+// unchanged reuses its summary with zero new experiments; only changed
+// units re-inject.
+//
+// The store is a checksummed JSONL journal (support/journal.hpp) at
+// DIR/summaries.jsonl: one header record pinning the record grammar
+// (schema version) and the writing binary's build fingerprint, then one
+// record per summarized (unit, content hash, config) triple — append-only,
+// last record wins. A schema or build mismatch is refused (the CLI maps
+// that to exit 3, the same contract as checkpoint-header mismatches)
+// because summaries from a different grammar or binary cannot be safely
+// recombined with fresh runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/analysis_manager.hpp"
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+#include "support/journal.hpp"
+#include "support/stats.hpp"
+#include "vulfi/campaign.hpp"
+
+namespace vulfi {
+
+/// Bumped when a summary record written by this build would not parse —
+/// or would mean something different — under the previous grammar.
+/// Reported by `vulfi version`; pinned in every store header.
+constexpr unsigned kSummarySchemaVersion = 1;
+
+/// Fingerprint of every campaign-configuration field the statistics
+/// depend on: experiment/campaign counts, seed, confidence and margin
+/// bit patterns, the exactness toggles, detectors, and the injection
+/// category and ISA the engines were built for. Deliberately excludes
+/// num_threads, backend, and durability policy — those are proven
+/// statistics-neutral, so summaries stay reusable across them.
+std::uint64_t summary_config_fingerprint(const CampaignConfig& config,
+                                         std::string_view category,
+                                         std::string_view isa,
+                                         bool detectors);
+
+/// Static propagation census over a unit's fault sites: how many
+/// (site, element-bit) pairs fall in each propagation class.
+struct PropagationCensus {
+  std::uint64_t masked = 0;
+  std::uint64_t output = 0;
+  std::uint64_t control = 0;
+  std::uint64_t trap = 0;
+
+  std::uint64_t total() const { return masked + output + control + trap; }
+};
+
+PropagationCensus propagation_census(const ir::Function& fn,
+                                     analysis::AnalysisManager& am);
+/// Sums the census over every definition in the module.
+PropagationCensus propagation_census(const ir::Module& module);
+
+/// One stored summary: the campaign outcome of one program unit under
+/// one configuration. Wilson intervals are recomputed from the counts at
+/// read time (they are pure functions of the counts, so storing them
+/// would only add a staleness hazard).
+struct FunctionSummary {
+  std::string unit;                     ///< registry benchmark name
+  std::uint64_t content_hash = 0;       ///< module_content_hash of the unit
+  std::uint64_t config_fingerprint = 0; ///< summary_config_fingerprint
+
+  std::uint64_t experiments = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t crash = 0;
+  std::uint64_t detected_sdc = 0;
+  std::uint64_t detected_total = 0;
+  std::uint64_t campaigns = 0;
+  /// Composition weight: golden dynamic fault-site occurrences summed
+  /// over the unit's predefined inputs.
+  std::uint64_t weight = 0;
+  /// Static propagation census at summary time.
+  PropagationCensus census;
+  /// Campaign exit code when the summary was taken (0 converged,
+  /// 4 unconverged).
+  int exit_code = 0;
+
+  double rate(std::uint64_t count) const {
+    return experiments == 0
+               ? 0.0
+               : static_cast<double>(count) / static_cast<double>(experiments);
+  }
+  double sdc_rate() const { return rate(sdc); }
+  double benign_rate() const { return rate(benign); }
+  double crash_rate() const { return rate(crash); }
+  WilsonInterval sdc_wilson(double confidence) const {
+    return wilson_interval(sdc, experiments, confidence);
+  }
+};
+
+/// {"t":"summary",...} payload (unsealed) for one record.
+std::string summary_record_payload(const FunctionSummary& summary);
+/// Parses a summary payload; nullopt when any field is missing.
+std::optional<FunctionSummary> parse_summary_record(
+    const std::string& payload);
+/// {"t":"summary-header","schema":...,"build":"..."} payload (unsealed).
+std::string summary_store_header_payload();
+
+/// Append-only summary store over one directory. Opening recovers the
+/// journal (dropping any torn tail), verifies the header, and indexes
+/// the records last-wins by (unit, content hash, config fingerprint).
+class SummaryStore {
+ public:
+  static const char* filename();  // "summaries.jsonl"
+
+  /// Opens (creating if needed) `dir`/summaries.jsonl. Returns false —
+  /// with `error` naming the cause — on I/O failure or on a header whose
+  /// schema version or build fingerprint differs from this binary's
+  /// (callers map that refusal to exit 3).
+  bool open(const std::string& dir, std::string* error);
+
+  /// Read-only open for baseline stores: same verification, no writer,
+  /// and the store file must already exist. append() is refused.
+  bool open_read_only(const std::string& dir, std::string* error);
+
+  bool is_open() const { return writer_.is_open(); }
+  const std::string& path() const { return writer_.path(); }
+
+  /// Latest stored summary for the triple, or nullptr.
+  const FunctionSummary* find(const std::string& unit,
+                              std::uint64_t content_hash,
+                              std::uint64_t config_fingerprint) const;
+
+  /// Appends one sealed record and upserts the in-memory index.
+  bool append(const FunctionSummary& summary);
+
+  /// Every indexed summary (last-wins), in first-seen unit order.
+  const std::vector<FunctionSummary>& records() const { return records_; }
+
+ private:
+  bool open_impl(const std::string& dir, std::string* error, bool writable);
+  FunctionSummary* find_mutable(const FunctionSummary& like);
+
+  JournalWriter writer_;
+  std::vector<FunctionSummary> records_;
+};
+
+// --- composition ----------------------------------------------------------
+
+/// Whole-program estimate recombined from per-unit summaries, weighted
+/// by golden dynamic fault-site occurrence counts (stratified sampling:
+/// each unit is a stratum, its weight the fraction of the whole
+/// program's dynamic fault sites it contributes).
+///
+///   p̂   = Σ (w_u / W) p̂_u
+///   Var = Σ (w_u / W)² p̂_u (1 − p̂_u) / n_u
+///
+/// With a single stratum the weights cancel exactly (w/W == 1), so the
+/// composed rates are bit-identical to the unit's own campaign rates.
+struct ComposedEstimate {
+  std::size_t units = 0;
+  std::uint64_t total_weight = 0;
+  std::uint64_t experiments = 0;  ///< summed over strata
+  double sdc_rate = 0.0;
+  double benign_rate = 0.0;
+  double crash_rate = 0.0;
+  /// Normal-approximation CI of the stratified SDC estimate, clamped to
+  /// [0, 1].
+  double sdc_low = 0.0;
+  double sdc_high = 0.0;
+  PropagationCensus census;  ///< summed over strata
+};
+
+/// Composes summaries at `confidence`. Units with zero weight contribute
+/// their experiment counts but no probability mass; when every weight is
+/// zero the units are weighted uniformly so the estimate stays defined.
+ComposedEstimate compose_summaries(const std::vector<FunctionSummary>& parts,
+                                   double confidence);
+
+}  // namespace vulfi

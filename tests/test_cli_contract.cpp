@@ -118,6 +118,40 @@ TEST(CliExitCodes, UnconvergedCampaignExitsFour) {
   EXPECT_EQ(result.code, 4);
 }
 
+TEST(CliExitCodes, DiffContract) {
+  // Missing --store is a usage error.
+  const RunResult no_store = run_cli({"diff", "--units", "dot"});
+  ASSERT_TRUE(no_store.exited);
+  EXPECT_EQ(no_store.code, 2);
+
+  // Unknown unit: usage error, store untouched beyond the header.
+  const std::string store = temp_path("diff_store");
+  const RunResult bad_unit = run_cli(
+      {"diff", "--store", store, "--units", "no-such-kernel"});
+  ASSERT_TRUE(bad_unit.exited);
+  EXPECT_EQ(bad_unit.code, 2);
+
+  // Missing --against baseline store: refusal, exit 3.
+  const RunResult bad_baseline = run_cli(
+      {"diff", "--store", store, "--units", "dot", "--against",
+       temp_path("diff_never_created"), "--experiments", "10",
+       "--campaigns", "2", "--max-campaigns", "2"});
+  ASSERT_TRUE(bad_baseline.exited);
+  EXPECT_EQ(bad_baseline.code, 3);
+
+  // A healthy run, then an unchanged rerun — both exit 0.
+  const std::vector<std::string> ok_args = {
+      "diff", "--store", store, "--units", "dot", "--experiments", "10",
+      "--campaigns", "2", "--max-campaigns", "2", "--margin", "0.9"};
+  const RunResult fresh = run_cli(ok_args);
+  ASSERT_TRUE(fresh.exited);
+  EXPECT_EQ(fresh.code, 0);
+  const RunResult rerun = run_cli(ok_args);
+  ASSERT_TRUE(rerun.exited);
+  EXPECT_EQ(rerun.code, 0);
+  std::remove((store + "/summaries.jsonl").c_str());
+}
+
 TEST(CliExitCodes, InterruptedCampaignExitsFive) {
   const std::string checkpoint = temp_path("interrupt.ckpt");
   std::remove(checkpoint.c_str());

@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include "analysis/dominators.hpp"
+#include "analysis/propagation.hpp"
 #include "analysis/known_bits.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/slicing.hpp"
 #include "ir/builder.hpp"
+#include "ir/cloner.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
 #include "ir/intrinsics.hpp"
 #include "ir/module.hpp"
 #include "ir/verifier.hpp"
@@ -455,6 +459,154 @@ TEST(SliceEngine, MatchesForwardSliceThroughLoops) {
   const SiteClass cls = slices.classify(i_phi, AddressRule::GepOnly);
   EXPECT_TRUE(cls.control);  // reaches the latch compare through the cycle
   EXPECT_TRUE(cls.address);  // feeds the gep
+}
+
+
+// ---------------------------------------------------------------------------
+// Error-propagation summaries (the compositional layer's static half)
+// ---------------------------------------------------------------------------
+
+TEST(Propagation, DirectEdgeFlagsSeedTheObservables) {
+  ir::Module m("prop");
+  ir::Function* f = m.create_function(
+      "f", Type::i32(), {Type::ptr(), Type::i32(), Type::i1()});
+  IRBuilder b(m);
+  ir::BasicBlock* entry = f->create_block("entry");
+  ir::BasicBlock* then = f->create_block("then");
+  ir::BasicBlock* done = f->create_block("done");
+  b.set_insert_block(entry);
+  ir::Instruction* st = b.store(f->arg(1), f->arg(0));
+  Value* quot = b.udiv(f->arg(1), f->arg(1), "quot");
+  b.cond_br(f->arg(2), then, done);
+  b.set_insert_block(then);
+  b.br(done);
+  b.set_insert_block(done);
+  b.ret(quot);
+  ASSERT_TRUE(ir::verify(m).empty());
+
+  // Store: data operand reaches output, pointer operand is a trap.
+  EXPECT_TRUE(direct_edge_flags(*st, 0).output);
+  EXPECT_FALSE(direct_edge_flags(*st, 0).trap);
+  EXPECT_TRUE(direct_edge_flags(*st, 1).trap);
+  // Division: the divisor (operand 1) can fault, the dividend cannot —
+  // and neither edge exposes an observable directly (that comes
+  // transitively from the div's own users).
+  const ir::Instruction* div = as_inst(quot);
+  EXPECT_FALSE(direct_edge_flags(*div, 0).trap);
+  EXPECT_FALSE(direct_edge_flags(*div, 0).output);
+  EXPECT_TRUE(direct_edge_flags(*div, 1).trap);
+  // Branch condition reaches control; return value reaches output.
+  const ir::Instruction* branch = entry->terminator();
+  EXPECT_TRUE(direct_edge_flags(*branch, 0).control);
+  const ir::Instruction* ret = done->terminator();
+  EXPECT_TRUE(direct_edge_flags(*ret, 0).output);
+}
+
+TEST(Propagation, ClassifiesBitsWithTrapOverControlOverOutput) {
+  ir::Module m("prop2");
+  ir::Function* f = m.create_function(
+      "f", Type::void_ty(), {Type::ptr(), Type::i32(), Type::i32()});
+  IRBuilder b(m);
+  ir::BasicBlock* entry = f->create_block("entry");
+  ir::BasicBlock* hot = f->create_block("hot");
+  ir::BasicBlock* cold = f->create_block("cold");
+  b.set_insert_block(entry);
+  // `addr_idx` feeds a gep (trap) AND a compare (control): trap wins.
+  Value* addr_idx = b.and_(f->arg(1), m.const_int(Type::i32(), 0xFF), "idx");
+  Value* addr = b.gep(f->arg(0), addr_idx, 4, "addr");
+  Value* cmp = b.icmp(ir::ICmpPred::SLT, addr_idx,
+                      m.const_int(Type::i32(), 16), "cmp");
+  b.cond_br(cmp, hot, cold);
+  b.set_insert_block(hot);
+  b.store(f->arg(2), addr);
+  b.br(cold);
+  b.set_insert_block(cold);
+  b.ret();
+  ASSERT_TRUE(ir::verify(m).empty());
+
+  AnalysisManager am;
+  const PropagationResult& prop = am.get<PropagationAnalysis>(*f);
+  // Any live bit of addr_idx: trap-reaching (beats control).
+  EXPECT_EQ(prop.classify_bit(addr_idx, 0, 0),
+            PropagationClass::TrapReaching);
+  // Bits of the and's INPUT above the 0xFF mask never survive it:
+  // provably benign even though the value itself reaches a trap.
+  EXPECT_EQ(prop.classify_bit(f->arg(1), 0, 12),
+            PropagationClass::ProvablyMasked);
+  EXPECT_EQ(prop.classify_bit(f->arg(1), 0, 3),
+            PropagationClass::TrapReaching);
+  // The compare result only steers control.
+  EXPECT_EQ(prop.classify_bit(cmp, 0, 0), PropagationClass::ControlReaching);
+  // The stored data only reaches output.
+  EXPECT_EQ(prop.classify_bit(f->arg(2), 0, 5),
+            PropagationClass::OutputReaching);
+  // Store-operand edge semantics: every bit below the width is demanded.
+  const ir::Instruction* st = &hot->front();
+  EXPECT_EQ(prop.classify_edge_bit(st, 0, 0, 31),
+            PropagationClass::OutputReaching);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical content hash — the summary-store key
+// ---------------------------------------------------------------------------
+
+TEST(ContentHash, StableUnderPrintParseRoundTripAndClone) {
+  for (const kernels::Benchmark* bench : kernels::all_benchmarks()) {
+    RunSpec spec = bench->build(spmd::Target::avx(), 0);
+    const std::uint64_t direct = module_content_hash(*spec.module);
+
+    ir::ParseResult parsed = ir::parse_module(ir::to_string(*spec.module));
+    ASSERT_TRUE(parsed.ok()) << bench->name();
+    EXPECT_EQ(module_content_hash(*parsed.module), direct) << bench->name();
+
+    const auto clone = ir::clone_module(*spec.module);
+    EXPECT_EQ(module_content_hash(*clone), direct) << bench->name();
+  }
+}
+
+TEST(ContentHash, IgnoresValueAndBlockNames) {
+  RunSpec spec =
+      kernels::find_benchmark("dot")->build(spmd::Target::avx(), 0);
+  const std::uint64_t before = module_content_hash(*spec.module);
+  int counter = 0;
+  for (const auto& fn : spec.module->functions()) {
+    for (const auto& block : *fn) {
+      block->set_name("bb" + std::to_string(counter++));
+      for (const auto& inst : *block) {
+        if (!inst->type().is_void()) {
+          inst->set_name("v" + std::to_string(counter++));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(module_content_hash(*spec.module), before);
+}
+
+TEST(ContentHash, ChangesOnSemanticEdits) {
+  auto build = [](std::uint64_t constant, bool use_sub) {
+    auto m = std::make_unique<ir::Module>("h");
+    ir::Function* f =
+        m->create_function("f", Type::i32(), {Type::i32()});
+    IRBuilder b(*m);
+    b.set_insert_block(f->create_block("entry"));
+    Value* c = m->const_int(Type::i32(), constant);
+    Value* r = use_sub ? b.sub(f->arg(0), c, "r") : b.add(f->arg(0), c, "r");
+    b.ret(r);
+    return m;
+  };
+  const std::uint64_t base = module_content_hash(*build(7, false));
+  EXPECT_EQ(module_content_hash(*build(7, false)), base);  // deterministic
+  EXPECT_NE(module_content_hash(*build(8, false)), base);  // constant bits
+  EXPECT_NE(module_content_hash(*build(7, true)), base);   // opcode
+}
+
+TEST(ContentHash, DistinguishesFunctionsAcrossKernels) {
+  RunSpec a = kernels::find_benchmark("dot")->build(spmd::Target::avx(), 0);
+  RunSpec b = kernels::find_benchmark("vsum")->build(spmd::Target::avx(), 0);
+  EXPECT_NE(module_content_hash(*a.module), module_content_hash(*b.module));
+  // And the same kernel on a different ISA is a different program.
+  RunSpec c = kernels::find_benchmark("dot")->build(spmd::Target::sse4(), 0);
+  EXPECT_NE(module_content_hash(*a.module), module_content_hash(*c.module));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/diff.hpp"
 #include "serve/protocol.hpp"
 #include "support/journal.hpp"
 #include "support/socket.hpp"
@@ -185,6 +186,49 @@ TEST(Requests, RejectsInvalidSubmits) {
                       "\"campaigns\":10,\"max_campaigns\":5}"));
   EXPECT_TRUE(rejects(
       "{\"op\":\"submit\",\"benchmark\":\"dot\",\"priority\":7}"));
+}
+
+TEST(DiffRequests, RoundTripBitExact) {
+  DiffRequest request;
+  request.campaign.category = "address";
+  request.campaign.isa = "sse";
+  request.campaign.experiments = 7;
+  request.campaign.min_campaigns = 3;
+  request.campaign.max_campaigns = 9;
+  request.campaign.seed = 0xfeedULL;
+  request.campaign.detectors = true;
+  request.campaign.confidence = 0.99;
+  request.units = {"dot", "vsum", "vcopy"};
+  request.store = "/tmp/store dir with spaces";
+  request.against = "/tmp/baseline";
+
+  const std::optional<DiffRequest> parsed =
+      parse_diff_request(serialize_diff_request(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->units, request.units);
+  EXPECT_EQ(parsed->store, request.store);
+  EXPECT_EQ(parsed->against, request.against);
+  EXPECT_EQ(parsed->campaign.category, request.campaign.category);
+  EXPECT_EQ(parsed->campaign.isa, request.campaign.isa);
+  EXPECT_EQ(parsed->campaign.experiments, request.campaign.experiments);
+  EXPECT_EQ(parsed->campaign.seed, request.campaign.seed);
+  EXPECT_EQ(parsed->campaign.detectors, request.campaign.detectors);
+  EXPECT_EQ(double_hex(parsed->campaign.confidence),
+            double_hex(request.campaign.confidence));
+}
+
+TEST(DiffRequests, RejectsMissingStoreAndBadCampaignFields) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_diff_request("{\"op\":\"diff\",\"units\":\"dot\"}", &error)
+          .has_value());
+  EXPECT_NE(error.find("store"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(parse_diff_request("{\"op\":\"diff\",\"store\":\"/tmp/s\","
+                                  "\"category\":\"bogus\"}",
+                                  &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
 }
 
 // --- JSON utilities --------------------------------------------------------

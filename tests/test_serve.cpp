@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "serve/client.hpp"
+#include "serve/diff.hpp"
 #include "serve/engine_cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
@@ -460,6 +461,55 @@ TEST_F(ServeTest, FuzzSeedsNeverKillTheDaemon) {
   EXPECT_NE(pong->find("\"protocol\":1"), std::string::npos);
   const SubmitOutcome outcome = submit_campaign(socket_path_, tiny_request());
   EXPECT_TRUE(outcome.ok) << outcome.error;
+}
+
+// --- diff op ----------------------------------------------------------------
+
+TEST_F(ServeTest, DiffOpInjectsOnceThenServesFromTheStore) {
+  start(/*workers=*/1);
+  const std::string store =
+      testing::TempDir() + "vulfi_serve_diff_" + std::to_string(::getpid());
+  std::remove((store + "/summaries.jsonl").c_str());
+
+  DiffRequest request;
+  request.campaign.category = "control";
+  request.campaign.experiments = 10;
+  request.campaign.min_campaigns = 2;
+  request.campaign.max_campaigns = 2;
+  request.units = {"dot"};
+  request.store = store;
+
+  const SubmitOutcome fresh = submit_diff(socket_path_, request);
+  ASSERT_TRUE(fresh.ok) << fresh.error;
+  EXPECT_EQ(fresh.exit_code, 0);
+  EXPECT_NE(fresh.stats_json.find("\"t\":\"diff\""), std::string::npos);
+  EXPECT_NE(fresh.stats_json.find("\"new_experiments\":20"),
+            std::string::npos)
+      << fresh.stats_json;
+
+  // Unchanged program, same daemon: everything reuses, zero experiments.
+  const SubmitOutcome rerun = submit_diff(socket_path_, request);
+  ASSERT_TRUE(rerun.ok) << rerun.error;
+  EXPECT_EQ(rerun.exit_code, 0);
+  EXPECT_NE(rerun.stats_json.find("\"new_experiments\":0"),
+            std::string::npos)
+      << rerun.stats_json;
+  EXPECT_NE(rerun.stats_json.find("\"reused\":1"), std::string::npos);
+
+  // Reports are deterministic once the baseline exists.
+  const SubmitOutcome again = submit_diff(socket_path_, request);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.stats_json, rerun.stats_json);
+
+  // Unknown units are rejected at validation, before admission — the
+  // same pre-admission contract as an unknown submit benchmark.
+  DiffRequest bogus = request;
+  bogus.units = {"no-such-kernel"};
+  const SubmitOutcome rejected = submit_diff(socket_path_, bogus);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_NE(rejected.error.find("unknown unit"), std::string::npos)
+      << rejected.error;
+  std::remove((store + "/summaries.jsonl").c_str());
 }
 
 // --- shutdown ---------------------------------------------------------------

@@ -1,0 +1,327 @@
+// Summary store + composition engine + incremental diff tests: record
+// payload round-trips, header refusal semantics (schema/build pinning,
+// the checkpoint-journal contract), config-fingerprint sensitivity,
+// stratified composition math (including the single-stratum
+// bit-identity guarantee), and run_diff end-to-end — a fresh store
+// injects, an unchanged rerun reuses every summary with zero new
+// experiments and a byte-identical report, and the composed estimate
+// matches a monolithic run_campaigns under the same seeds.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "serve/diff.hpp"
+#include "serve/engine_cache.hpp"
+#include "support/journal.hpp"
+#include "support/str.hpp"
+#include "support/version.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/summary.hpp"
+
+namespace vulfi {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "vulfi_summary_" + name;
+  std::remove((dir + "/" + SummaryStore::filename()).c_str());
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+FunctionSummary sample_summary() {
+  FunctionSummary s;
+  s.unit = "dot";
+  s.content_hash = 0x1122334455667788ull;
+  s.config_fingerprint = 0x99aabbccddeeff00ull;
+  s.experiments = 160;
+  s.benign = 28;
+  s.sdc = 130;
+  s.crash = 2;
+  s.detected_sdc = 5;
+  s.detected_total = 7;
+  s.campaigns = 4;
+  s.weight = 14399;
+  s.census = {100, 200, 300, 400};
+  s.exit_code = 4;
+  return s;
+}
+
+void expect_equal(const FunctionSummary& a, const FunctionSummary& b) {
+  EXPECT_EQ(a.unit, b.unit);
+  EXPECT_EQ(a.content_hash, b.content_hash);
+  EXPECT_EQ(a.config_fingerprint, b.config_fingerprint);
+  EXPECT_EQ(a.experiments, b.experiments);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.detected_sdc, b.detected_sdc);
+  EXPECT_EQ(a.detected_total, b.detected_total);
+  EXPECT_EQ(a.campaigns, b.campaigns);
+  EXPECT_EQ(a.weight, b.weight);
+  EXPECT_EQ(a.census.masked, b.census.masked);
+  EXPECT_EQ(a.census.output, b.census.output);
+  EXPECT_EQ(a.census.control, b.census.control);
+  EXPECT_EQ(a.census.trap, b.census.trap);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+}
+
+TEST(SummaryRecord, PayloadRoundTrips) {
+  const FunctionSummary original = sample_summary();
+  const std::optional<FunctionSummary> parsed =
+      parse_summary_record(summary_record_payload(original));
+  ASSERT_TRUE(parsed.has_value());
+  expect_equal(original, *parsed);
+}
+
+TEST(SummaryRecord, MissingFieldsAreRejected) {
+  EXPECT_FALSE(parse_summary_record("{\"t\":\"summary\"}").has_value());
+  EXPECT_FALSE(parse_summary_record("{}").has_value());
+  // Wrong record tag.
+  std::string payload = summary_record_payload(sample_summary());
+  payload.replace(payload.find("summary"), 7, "smmary!");
+  EXPECT_FALSE(parse_summary_record(payload).has_value());
+}
+
+TEST(SummaryFingerprint, TracksStatisticsAffectingFieldsOnly) {
+  CampaignConfig config;
+  config.experiments_per_campaign = 100;
+  config.min_campaigns = 20;
+  config.max_campaigns = 40;
+  config.seed = 24029;
+  const std::uint64_t base =
+      summary_config_fingerprint(config, "pure-data", "avx", false);
+
+  // Statistics-affecting knobs move the fingerprint.
+  CampaignConfig seeded = config;
+  seeded.seed = 24030;
+  EXPECT_NE(summary_config_fingerprint(seeded, "pure-data", "avx", false),
+            base);
+  CampaignConfig counts = config;
+  counts.experiments_per_campaign = 101;
+  EXPECT_NE(summary_config_fingerprint(counts, "pure-data", "avx", false),
+            base);
+  EXPECT_NE(summary_config_fingerprint(config, "control", "avx", false),
+            base);
+  EXPECT_NE(summary_config_fingerprint(config, "pure-data", "sse", false),
+            base);
+  EXPECT_NE(summary_config_fingerprint(config, "pure-data", "avx", true),
+            base);
+
+  // Statistics-neutral knobs (threads, backend, fsync) do not.
+  CampaignConfig threaded = config;
+  threaded.num_threads = 8;
+  threaded.backend = interp::ExecMode::Jit;
+  threaded.journal_sync = JournalSync::Off;
+  EXPECT_EQ(summary_config_fingerprint(threaded, "pure-data", "avx", false),
+            base);
+
+  // Alias spellings are one configuration.
+  EXPECT_EQ(summary_config_fingerprint(config, "ctrl", "sse4", false),
+            summary_config_fingerprint(config, "control", "sse", false));
+  EXPECT_EQ(summary_config_fingerprint(config, "puredata", "avx", false),
+            summary_config_fingerprint(config, "pure-data", "avx", false));
+}
+
+TEST(SummaryStoreTest, PersistsAcrossReopenLastWins) {
+  const std::string dir = fresh_dir("persist");
+  std::string error;
+  {
+    SummaryStore store;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    FunctionSummary first = sample_summary();
+    ASSERT_TRUE(store.append(first));
+    FunctionSummary updated = first;
+    updated.sdc = 140;
+    updated.benign = 18;
+    ASSERT_TRUE(store.append(updated));
+    FunctionSummary other = first;
+    other.unit = "vsum";
+    other.content_hash = 42;
+    ASSERT_TRUE(store.append(other));
+  }
+  SummaryStore reopened;
+  ASSERT_TRUE(reopened.open(dir, &error)) << error;
+  ASSERT_EQ(reopened.records().size(), 2u);  // last-wins collapsed the dupe
+  const FunctionSummary* found =
+      reopened.find("dot", sample_summary().content_hash,
+                    sample_summary().config_fingerprint);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->sdc, 140u);
+  EXPECT_EQ(reopened.find("dot", /*content_hash=*/1, /*fingerprint=*/2),
+            nullptr);
+}
+
+TEST(SummaryStoreTest, RefusesSchemaAndBuildMismatches) {
+  // Hand-write stores whose sealed header disagrees with this binary.
+  const auto write_header = [](const std::string& dir,
+                               const std::string& payload) {
+    ::mkdir(dir.c_str(), 0777);
+    std::ofstream out(dir + "/" + SummaryStore::filename(),
+                      std::ios::trunc);
+    out << journal_seal(payload) << "\n";
+  };
+
+  const std::string schema_dir = fresh_dir("schema");
+  write_header(schema_dir,
+               strf("{\"t\":\"summary-header\",\"schema\":%u,\"build\":"
+                    "\"%s\"}",
+                    kSummarySchemaVersion + 1, build_fingerprint().c_str()));
+  SummaryStore store;
+  std::string error;
+  EXPECT_FALSE(store.open(schema_dir, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+
+  const std::string build_dir = fresh_dir("build");
+  write_header(build_dir,
+               strf("{\"t\":\"summary-header\",\"schema\":%u,\"build\":"
+                    "\"some other binary\"}",
+                    kSummarySchemaVersion));
+  SummaryStore store2;
+  EXPECT_FALSE(store2.open(build_dir, &error));
+  EXPECT_NE(error.find("build"), std::string::npos) << error;
+
+  // Read-only opens additionally require the store to exist.
+  SummaryStore store3;
+  EXPECT_FALSE(store3.open_read_only(fresh_dir("absent"), &error));
+  EXPECT_NE(error.find("no summary store"), std::string::npos) << error;
+}
+
+TEST(Compose, SingleStratumIsBitIdenticalToTheUnitRates) {
+  const FunctionSummary s = sample_summary();
+  const ComposedEstimate est = compose_summaries({s}, 0.95);
+  EXPECT_EQ(est.units, 1u);
+  EXPECT_EQ(est.experiments, s.experiments);
+  EXPECT_EQ(est.total_weight, s.weight);
+  // Exact double equality, not near: the w/W share must be exactly 1.0.
+  EXPECT_EQ(est.sdc_rate, s.sdc_rate());
+  EXPECT_EQ(est.benign_rate, s.benign_rate());
+  EXPECT_EQ(est.crash_rate, s.crash_rate());
+  EXPECT_LE(est.sdc_low, est.sdc_rate);
+  EXPECT_GE(est.sdc_high, est.sdc_rate);
+}
+
+TEST(Compose, WeightsStrataByGoldenOccurrence) {
+  FunctionSummary heavy = sample_summary();
+  heavy.weight = 300;
+  heavy.experiments = 100;
+  heavy.sdc = 100;  // rate 1.0
+  FunctionSummary light = sample_summary();
+  light.unit = "vsum";
+  light.weight = 100;
+  light.experiments = 100;
+  light.sdc = 0;  // rate 0.0
+  const ComposedEstimate est = compose_summaries({heavy, light}, 0.95);
+  EXPECT_EQ(est.total_weight, 400u);
+  EXPECT_DOUBLE_EQ(est.sdc_rate, 0.75);  // 300/400 * 1.0 + 100/400 * 0.0
+  EXPECT_EQ(est.experiments, 200u);
+}
+
+TEST(Compose, ZeroTotalWeightFallsBackToUniform) {
+  FunctionSummary a = sample_summary();
+  a.weight = 0;
+  a.experiments = 100;
+  a.sdc = 100;
+  FunctionSummary b = sample_summary();
+  b.unit = "vsum";
+  b.weight = 0;
+  b.experiments = 100;
+  b.sdc = 0;
+  const ComposedEstimate est = compose_summaries({a, b}, 0.95);
+  EXPECT_DOUBLE_EQ(est.sdc_rate, 0.5);
+}
+
+// --- run_diff end-to-end ---------------------------------------------------
+
+serve::DiffOptions small_diff(const std::string& store_dir) {
+  serve::DiffOptions options;
+  options.units = {"vsum"};
+  options.request.category = "pure-data";
+  options.request.isa = "avx";
+  options.request.experiments = 10;
+  options.request.min_campaigns = 2;
+  options.request.max_campaigns = 2;
+  options.request.seed = 7;
+  options.store_dir = store_dir;
+  return options;
+}
+
+TEST(RunDiff, FreshInjectsRerunReusesWithZeroNewExperiments) {
+  const std::string dir = fresh_dir("rundiff");
+  const serve::DiffOptions options = small_diff(dir);
+
+  const serve::DiffReport fresh = serve::run_diff(options);
+  ASSERT_TRUE(fresh.ok()) << fresh.error;
+  ASSERT_EQ(fresh.units.size(), 1u);
+  EXPECT_FALSE(fresh.units[0].reused);
+  EXPECT_EQ(fresh.new_experiments, 20u);  // 2 campaigns x 10
+  EXPECT_FALSE(fresh.has_baseline);       // nothing stored before this run
+
+  const serve::DiffReport rerun = serve::run_diff(options);
+  ASSERT_TRUE(rerun.ok()) << rerun.error;
+  ASSERT_EQ(rerun.units.size(), 1u);
+  EXPECT_TRUE(rerun.units[0].reused);
+  EXPECT_EQ(rerun.new_experiments, 0u);
+  EXPECT_EQ(rerun.units[0].content_hash, fresh.units[0].content_hash);
+  // The reused summary reproduces the stored statistics bit-identically.
+  EXPECT_EQ(rerun.composed.sdc_rate, fresh.composed.sdc_rate);
+  EXPECT_EQ(rerun.composed.experiments, fresh.composed.experiments);
+  // And the rerun sees the first run as its baseline, with zero delta.
+  ASSERT_TRUE(rerun.has_baseline);
+  EXPECT_EQ(rerun.baseline_composed.sdc_rate, rerun.composed.sdc_rate);
+
+  // A third run produces a byte-identical report to the second.
+  const serve::DiffReport again = serve::run_diff(options);
+  EXPECT_EQ(serve::diff_report_json(again), serve::diff_report_json(rerun));
+}
+
+TEST(RunDiff, ComposedRatesMatchAMonolithicCampaign) {
+  const std::string dir = fresh_dir("monolithic");
+  const serve::DiffOptions options = small_diff(dir);
+  const serve::DiffReport report = serve::run_diff(options);
+  ASSERT_TRUE(report.ok()) << report.error;
+
+  // The same unit injected monolithically under the same seeds: the
+  // single-stratum composed estimate must be bit-identical.
+  serve::CampaignRequest request = options.request;
+  request.benchmark = "vsum";
+  serve::EngineCache cache(2);
+  serve::EngineCache::Lease lease = cache.acquire(request);
+  ASSERT_TRUE(lease.ok()) << lease.error;
+  std::vector<InjectionEngine*> engines;
+  for (const auto& engine : lease.engines) engines.push_back(engine.get());
+  const CampaignResult result =
+      run_campaigns(engines, serve::to_campaign_config(request, 0));
+  ASSERT_TRUE(result.ok()) << result.error;
+
+  EXPECT_EQ(report.composed.experiments, result.experiments);
+  EXPECT_EQ(report.units[0].summary.sdc, result.sdc);
+  EXPECT_EQ(report.units[0].summary.benign, result.benign);
+  EXPECT_EQ(report.units[0].summary.crash, result.crash);
+  const double n = static_cast<double>(result.experiments);
+  EXPECT_EQ(report.composed.sdc_rate,
+            static_cast<double>(result.sdc) / n);  // exact, not near
+}
+
+TEST(RunDiff, UnknownUnitIsAUsageError) {
+  serve::DiffOptions options = small_diff(fresh_dir("unknown"));
+  options.units = {"no-such-kernel"};
+  const serve::DiffReport report = serve::run_diff(options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.exit_code, 2);
+}
+
+TEST(RunDiff, MissingBaselineStoreIsRefused) {
+  serve::DiffOptions options = small_diff(fresh_dir("refused"));
+  options.against_dir = testing::TempDir() + "vulfi_summary_never_created";
+  const serve::DiffReport report = serve::run_diff(options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.exit_code, 3);
+}
+
+}  // namespace
+}  // namespace vulfi

@@ -69,8 +69,12 @@
 #include "ir/printer.hpp"
 #include "kernels/benchmark.hpp"
 #include "kernels/study.hpp"
+#include "analysis/propagation.hpp"
 #include "serve/client.hpp"
+#include "serve/diff.hpp"
 #include "serve/server.hpp"
+#include "support/hash.hpp"
+#include "vulfi/summary.hpp"
 #include "support/barchart.hpp"
 #include "support/cancel.hpp"
 #include "support/journal.hpp"
@@ -117,12 +121,27 @@ struct CliArgs {
       "[--max-campaigns K] [--experiments N] [--seed S] [--target avx|sse] "
       "[--jobs N] [--no-golden-cache] [--no-static-prune] "
       "[--checkpoint PATH] [--self-verify K] [--stall-timeout SEC] "
-      "[--stats-json PATH] [--backend interp|jit]\n"
+      "[--stats-json PATH] [--backend interp|jit] [--summary-store DIR]\n"
+      "           --summary-store DIR appends the finished campaign as a\n"
+      "           per-unit summary record consumable by `vulfi diff`.\n"
       "           --backend jit executes runs through the template JIT\n"
       "           (native x86-64; statistics bit-identical to interp).\n"
       "           Exit codes: 0 converged, 3 internal error, 4 max "
       "campaigns without convergence, 5 interrupted (SIGINT/SIGTERM; "
       "completed campaigns land in --checkpoint, rerun to resume).\n"
+      "  diff     --store DIR [--against DIR] [--units a,b,c]\n"
+      "           [campaign options] [--socket PATH] [--stats-json PATH]\n"
+      "           Incremental resilience-regression analysis: per-unit\n"
+      "           campaign summaries keyed by canonical IR content hash\n"
+      "           live in DIR/summaries.jsonl; unchanged units reuse\n"
+      "           stored summaries with ZERO new experiments, changed\n"
+      "           units are re-injected, and the composed whole-program\n"
+      "           estimate is reported with deltas against --against (or\n"
+      "           the store's own previous records). --socket routes the\n"
+      "           request through a running vulfid and its warm engine\n"
+      "           cache. Exit codes: 0 ok, 2 usage/unknown unit, 3 store\n"
+      "           refusal (schema/build mismatch) or internal error, 5\n"
+      "           interrupted.\n"
       "  lint     [--benchmark NAME | --file K.ispc | --all] "
       "[--target avx|sse]\n"
       "           Lint kernel IR (verify + dataflow checks); nonzero exit "
@@ -181,7 +200,8 @@ CliArgs parse(int argc, char** argv) {
                                  "--journal", "--serve-jobs", "--queue",
                                  "--max-request-jobs", "--cache-entries",
                                  "--seeds", "--oracle", "--repro-dir",
-                                 "--replay", "--backend"};
+                                 "--replay", "--backend", "--store",
+                                 "--against", "--units", "--summary-store"};
   const char* flag_options[] = {"--detectors", "--instrumented", "--report",
                                 "--no-golden-cache", "--no-static-prune",
                                 "--all", "--quiet", "--no-reduce"};
@@ -527,6 +547,54 @@ int cmd_campaign(const CliArgs& args) {
     std::printf("  resilience: %s\n", resilience.c_str());
   }
 
+  // --summary-store: record this campaign as a per-unit summary keyed by
+  // (canonical content hash, config fingerprint) for `vulfi diff` reuse.
+  // Interrupted or failed runs are deliberately not recorded.
+  const std::string store_dir = args.get("summary-store");
+  if (!store_dir.empty() && result.ok() && !result.interrupted) {
+    std::string store_error;
+    SummaryStore store;
+    if (!store.open(store_dir, &store_error)) {
+      std::fprintf(stderr, "vulfi: %s\n", store_error.c_str());
+      return kCampaignExitInternalError;
+    }
+    FunctionSummary summary;
+    summary.unit = bench.name();
+    Fnv1a unit_hash;
+    for (unsigned input = 0; input < bench.num_inputs(); ++input) {
+      RunSpec spec = bench.build(target, input);
+      unit_hash.u64(analysis::module_content_hash(*spec.module));
+      const PropagationCensus part = propagation_census(*spec.module);
+      summary.census.masked += part.masked;
+      summary.census.output += part.output;
+      summary.census.control += part.control;
+      summary.census.trap += part.trap;
+    }
+    summary.content_hash = unit_hash.value();
+    summary.config_fingerprint = summary_config_fingerprint(
+        config, args.get("category"), args.get("target", "avx"),
+        args.flag("detectors"));
+    summary.experiments = result.experiments;
+    summary.benign = result.benign;
+    summary.sdc = result.sdc;
+    summary.crash = result.crash;
+    summary.detected_sdc = result.detected_sdc;
+    summary.detected_total = result.detected_total;
+    summary.campaigns = result.campaigns;
+    summary.exit_code = campaign_exit_code(result);
+    for (const auto& engine : engines) {
+      summary.weight += engine->golden().dynamic_sites;
+    }
+    if (!store.append(summary)) {
+      std::fprintf(stderr,
+                   "vulfi: summary store append failed (disk full?)\n");
+      return kCampaignExitInternalError;
+    }
+    std::printf("  summary: stored in %s (unit %s, hash %s)\n",
+                store.path().c_str(), summary.unit.c_str(),
+                hash_hex(summary.content_hash).c_str());
+  }
+
   const std::string stats_path = args.get("stats-json");
   if (!stats_path.empty()) {
     std::ofstream out(stats_path, std::ios::trunc);
@@ -612,6 +680,7 @@ int cmd_version() {
   std::printf("  fingerprint: %s\n", build_fingerprint().c_str());
   std::printf("  protocol:    %u\n", serve::kProtocolVersion);
   std::printf("  fuzz grammar: v%u\n", fuzz::kGrammarVersion);
+  std::printf("  summary store: v%u\n", kSummarySchemaVersion);
   // Probed at runtime (hardened hosts can forbid executable mappings), so
   // deliberately NOT part of the build fingerprint: a checkpoint written
   // with the JIT resumes fine on a host without it.
@@ -708,14 +777,10 @@ int cmd_serve(const CliArgs& args) {
   return 0;
 }
 
-int cmd_submit(const CliArgs& args) {
-  const std::string socket_path = socket_of(args);
+// Shared between `submit` and `diff`: the campaign knobs as wire fields.
+serve::CampaignRequest campaign_request_of(const CliArgs& args) {
   serve::CampaignRequest request;
   request.benchmark = args.get("benchmark");
-  if (request.benchmark.empty()) {
-    std::fprintf(stderr, "--benchmark is required\n");
-    return 2;
-  }
   request.category = args.get("category", "pure-data");
   request.isa = args.get("target", "avx");
   request.experiments = std::stoul(args.get("experiments", "100"));
@@ -737,6 +802,16 @@ int cmd_submit(const CliArgs& args) {
   request.stall_timeout = std::stod(args.get("stall-timeout", "0"));
   request.checkpoint = args.get("checkpoint");
   request.fsync = args.get("fsync", "always");
+  return request;
+}
+
+int cmd_submit(const CliArgs& args) {
+  const std::string socket_path = socket_of(args);
+  serve::CampaignRequest request = campaign_request_of(args);
+  if (request.benchmark.empty()) {
+    std::fprintf(stderr, "--benchmark is required\n");
+    return 2;
+  }
 
   // --journal appends every streamed record; the file is a valid
   // checkpoint journal, so a dropped connection is recoverable by
@@ -811,6 +886,84 @@ int cmd_submit(const CliArgs& args) {
   return outcome.exit_code;
 }
 
+int cmd_diff(const CliArgs& args) {
+  serve::DiffRequest request;
+  request.campaign = campaign_request_of(args);
+  request.store = args.get("store");
+  if (request.store.empty()) {
+    std::fprintf(stderr, "vulfi diff: --store DIR is required\n");
+    return 2;
+  }
+  request.against = args.get("against");
+  const std::string units = args.get("units");
+  for (std::size_t begin = 0; begin <= units.size();) {
+    std::size_t end = units.find(',', begin);
+    if (end == std::string::npos) end = units.size();
+    if (end > begin) request.units.push_back(units.substr(begin, end - begin));
+    begin = end + 1;
+  }
+
+  const std::string socket_path = args.get("socket");
+  if (!socket_path.empty()) {
+    // Remote: a vulfid serves the diff against its warm engine cache.
+    serve::StreamCallbacks callbacks;
+    callbacks.on_log = [](const std::string& message) {
+      std::fprintf(stderr, "vulfi: %s\n", message.c_str());
+    };
+    const serve::SubmitOutcome outcome =
+        serve::submit_diff(socket_path, request, callbacks);
+    if (!outcome.ok) {
+      std::fprintf(stderr, "vulfi: %s\n", outcome.error.c_str());
+      return 3;
+    }
+    if (!outcome.server_error.empty()) {
+      std::fprintf(stderr, "vulfi: %s\n", outcome.server_error.c_str());
+    }
+    std::printf("%s\n", outcome.stats_json.c_str());
+    const std::string stats_path = args.get("stats-json");
+    if (!stats_path.empty()) {
+      std::ofstream out(stats_path, std::ios::trunc);
+      out << outcome.stats_json << "\n";
+      if (!out) {
+        std::fprintf(stderr, "vulfi: cannot write stats to '%s'\n",
+                     stats_path.c_str());
+        return kCampaignExitInternalError;
+      }
+    }
+    return outcome.exit_code;
+  }
+
+  serve::DiffOptions options;
+  options.units = request.units;
+  options.request = request.campaign;
+  options.store_dir = request.store;
+  options.against_dir = request.against;
+  options.log = [](const std::string& message) {
+    std::fprintf(stderr, "vulfi: %s\n", message.c_str());
+  };
+  CancellationToken cancel;
+  const ScopedSignalCancellation signal_guard(cancel);
+  options.cancel = &cancel;
+
+  const serve::DiffReport report = serve::run_diff(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "vulfi: %s\n", report.error.c_str());
+  }
+  std::fputs(serve::render_diff_report(report).c_str(), stdout);
+
+  const std::string stats_path = args.get("stats-json");
+  if (!stats_path.empty()) {
+    std::ofstream out(stats_path, std::ios::trunc);
+    out << serve::diff_report_json(report) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "vulfi: cannot write stats to '%s'\n",
+                   stats_path.c_str());
+      return kCampaignExitInternalError;
+    }
+  }
+  return report.exit_code;
+}
+
 int cmd_ping(const CliArgs& args) {
   std::string error;
   const std::optional<std::string> pong =
@@ -852,6 +1005,7 @@ int main(int argc, char** argv) {
   if (args.command == "fuzz") return cmd_fuzz(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "submit") return cmd_submit(args);
+  if (args.command == "diff") return cmd_diff(args);
   if (args.command == "ping") return cmd_ping(args);
   if (args.command == "shutdown") return cmd_shutdown(args);
   if (args.command == "--help" || args.command == "-h") usage(0);
