@@ -1,6 +1,11 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "support/journal.hpp"
+#include "support/rng.hpp"
 #include "support/socket.hpp"
 #include "support/str.hpp"
 
@@ -122,6 +127,50 @@ SubmitOutcome submit_campaign(const std::string& socket_path,
                               int frame_timeout_ms) {
   return submit_payload(socket_path, serialize_request(request), callbacks,
                         frame_timeout_ms);
+}
+
+SubmitOutcome submit_payload_with_retry(const std::string& socket_path,
+                                        const std::string& payload,
+                                        const RetryPolicy& policy,
+                                        const StreamCallbacks& callbacks,
+                                        int frame_timeout_ms) {
+  const unsigned attempts = std::max(1u, policy.attempts);
+  const std::uint64_t base_ms = std::max(1u, policy.base_ms);
+  std::uint64_t waited_ms = 0;
+  SubmitOutcome outcome;
+  for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+    outcome =
+        submit_payload(socket_path, payload, callbacks, frame_timeout_ms);
+    outcome.attempts = attempt;
+    // Only "busy" is retried: the daemon scheduled nothing, so a
+    // resubmit cannot duplicate work. Every other failure mode may have
+    // started a campaign and must surface to the caller.
+    if (!outcome.busy || attempt == attempts) break;
+    std::uint64_t delay =
+        std::min<std::uint64_t>(base_ms << std::min(attempt - 1, 16u),
+                                policy.cap_ms);
+    Rng rng(derive_stream_seed(policy.jitter_seed, 0xbacc0ffULL, attempt));
+    delay += rng.next_below(base_ms);
+    if (waited_ms + delay > policy.max_total_ms) break;
+    waited_ms += delay;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  if (outcome.busy && outcome.attempts > 1) {
+    outcome.error = strf(
+        "daemon busy after %u attempts over %llu ms of backoff: %s",
+        outcome.attempts, static_cast<unsigned long long>(waited_ms),
+        outcome.error.c_str());
+  }
+  return outcome;
+}
+
+SubmitOutcome submit_campaign_with_retry(const std::string& socket_path,
+                                         const CampaignRequest& request,
+                                         const RetryPolicy& policy,
+                                         const StreamCallbacks& callbacks,
+                                         int frame_timeout_ms) {
+  return submit_payload_with_retry(socket_path, serialize_request(request),
+                                   policy, callbacks, frame_timeout_ms);
 }
 
 std::optional<std::string> ping_server(const std::string& socket_path,

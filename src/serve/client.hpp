@@ -40,6 +40,22 @@ struct SubmitOutcome {
   bool interrupted = false;
   std::string server_error;  ///< "error" field of the done frame
   std::string stats_json;    ///< deterministic campaign_stats_json
+  /// Submission attempts made (>= 1); > 1 only under a retrying submit
+  /// that saw "busy" responses.
+  unsigned attempts = 1;
+};
+
+/// Backoff policy for retrying a "busy" daemon response. Waits
+/// min(cap, base * 2^(attempt-1)) + jitter[0, base) between attempts,
+/// gives up once the total wait would exceed `max_total_ms`, and never
+/// retries anything but "busy" — errors and dropped streams are not
+/// idempotent-safe to resubmit blindly.
+struct RetryPolicy {
+  unsigned attempts = 1;       ///< total tries (1 = no retry)
+  unsigned base_ms = 200;      ///< backoff base (and jitter bound)
+  unsigned cap_ms = 10000;     ///< per-wait ceiling
+  unsigned max_total_ms = 60000;  ///< cumulative wait budget
+  std::uint64_t jitter_seed = 0;  ///< deterministic jitter stream
 };
 
 /// Submits one campaign and blocks until its "done" frame (or failure).
@@ -58,6 +74,22 @@ SubmitOutcome submit_payload(const std::string& socket_path,
                              const std::string& payload,
                              const StreamCallbacks& callbacks = {},
                              int frame_timeout_ms = 600000);
+
+/// submit_payload with retry-on-busy (exponential backoff + jitter per
+/// `policy`). The outcome's `attempts` reports how many submissions ran;
+/// on final busy failure the error names the attempt count and total
+/// wait. CLI surface: `vulfi submit --retry N --retry-base-ms M`.
+SubmitOutcome submit_payload_with_retry(const std::string& socket_path,
+                                        const std::string& payload,
+                                        const RetryPolicy& policy,
+                                        const StreamCallbacks& callbacks = {},
+                                        int frame_timeout_ms = 600000);
+
+/// submit_campaign with retry-on-busy; see submit_payload_with_retry.
+SubmitOutcome submit_campaign_with_retry(
+    const std::string& socket_path, const CampaignRequest& request,
+    const RetryPolicy& policy, const StreamCallbacks& callbacks = {},
+    int frame_timeout_ms = 600000);
 
 /// Pings the daemon. On success returns the daemon's pong payload
 /// (protocol version + build fingerprint); nullopt with `error` set

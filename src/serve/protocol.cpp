@@ -48,6 +48,10 @@ std::string campaign_fields_json(const CampaignRequest& request) {
       json_escape(request.fsync).c_str());
   payload +=
       strf(",\"backend\":\"%s\"", json_escape(request.backend).c_str());
+  if (request.shards != 0) {
+    payload += strf(",\"shards\":%u,\"max_restarts\":%u", request.shards,
+                    request.max_restarts);
+  }
   if (!request.checkpoint.empty()) {
     payload += strf(",\"checkpoint\":\"%s\"",
                     json_escape(request.checkpoint).c_str());
@@ -115,6 +119,11 @@ bool parse_campaign_fields(const std::string& payload,
   }
   if (request->priority > 3) {
     return fail(error, strf("%s: priority must be 0..3", ctx));
+  }
+  request->shards = static_cast<unsigned>(u64("shards", 0));
+  request->max_restarts = static_cast<unsigned>(u64("max_restarts", 3));
+  if (request->shards > 64) {
+    return fail(error, strf("%s: shards must be 0..64", ctx));
   }
   if (!(request->confidence > 0.0 && request->confidence < 1.0) ||
       !(request->target_margin > 0.0)) {

@@ -50,6 +50,14 @@ struct CampaignRequest {
   std::string backend = "interp";
   /// Scheduling class, 0 (most urgent) .. 3; FIFO within a class.
   unsigned priority = 1;
+  /// Sharded execution: 0 = in-process (default); N >= 1 = run the
+  /// campaign as N supervised worker processes with crash recovery and a
+  /// bit-identical merge (serve/shard.hpp). `--shards 1` exercises the
+  /// full worker/merge machinery with a single worker.
+  unsigned shards = 0;
+  /// Per-shard restart budget before the campaign degrades to a partial
+  /// result (sharded runs only).
+  unsigned max_restarts = 3;
   double confidence = 0.95;
   double target_margin = 0.03;
   unsigned self_verify = 0;

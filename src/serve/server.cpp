@@ -7,6 +7,7 @@
 #include "kernels/benchmark.hpp"
 #include "serve/diff.hpp"
 #include "serve/protocol.hpp"
+#include "serve/shard.hpp"
 #include "support/cancel.hpp"
 #include "support/journal.hpp"
 #include "support/str.hpp"
@@ -267,6 +268,11 @@ void CampaignServer::run_job(const std::shared_ptr<Session>& session,
     return;
   }
 
+  if (request.shards > 0) {
+    run_shard_job(session, request, id);
+    return;
+  }
+
   EngineCache::Lease lease = cache_.acquire(request);
   if (!lease.ok()) {
     session->send(error_payload(lease.error));
@@ -309,6 +315,49 @@ void CampaignServer::run_job(const std::shared_ptr<Session>& session,
                  "vulfid: finished request %llu: %u campaigns, exit %d\n",
                  static_cast<unsigned long long>(id), result.campaigns,
                  campaign_exit_code(result));
+  }
+  session->mark_done();
+}
+
+void CampaignServer::run_shard_job(const std::shared_ptr<Session>& session,
+                                   const CampaignRequest& request,
+                                   std::uint64_t id) {
+  // Sharded jobs bypass the engine cache: each worker process builds its
+  // own engines (identically configured — see build_engines in shard.cpp),
+  // so the daemon's memory stays bounded and a worker crash cannot
+  // corrupt shared engine state. The response grammar is unchanged:
+  // engines → sealed header → sealed records (in campaign order) → done.
+  const kernels::Benchmark* bench = kernels::find_benchmark(request.benchmark);
+  session->send(engines_payload(bench->num_inputs(), false));
+
+  SupervisorOptions options;
+  options.request = request;
+  options.request.shards = 0;  // workers are shards, never re-sharded
+  options.shards = request.shards;
+  options.max_restarts = request.max_restarts;
+  options.journal_base = request.checkpoint;
+  options.worker_binary = config_.shard_worker_binary;
+  options.cancel = &session->cancel;
+  Session* raw = session.get();
+  options.on_sealed_record = [raw](const std::string& line) {
+    raw->send(line);
+  };
+  options.on_log = [raw](const std::string& message) {
+    raw->send(log_payload(message));
+  };
+
+  const SupervisorResult result = run_sharded_campaign(options);
+  session->send(done_payload(id, result.exit_code, result.result.converged,
+                             result.interrupted, result.error,
+                             campaign_stats_json(result.result)));
+  completed_.fetch_add(1);
+  if (config_.verbose) {
+    std::fprintf(stderr,
+                 "vulfid: finished sharded request %llu: %u campaigns over "
+                 "%u shards (%u restart%s), exit %d\n",
+                 static_cast<unsigned long long>(id), result.result.campaigns,
+                 request.shards, result.restarts,
+                 result.restarts == 1 ? "" : "s", result.exit_code);
   }
   session->mark_done();
 }

@@ -45,6 +45,10 @@ struct ServerConfig {
   unsigned max_jobs_per_request = 4;
   /// Warm prototype engine sets kept resident (LRU).
   std::size_t cache_entries = 8;
+  /// Worker binary exec'd for sharded submits; "" = /proc/self/exe,
+  /// which is right for the real daemon (vulfid IS the vulfi binary) but
+  /// not for in-process test servers.
+  std::string shard_worker_binary;
   /// Log accepts/finishes to stderr.
   bool verbose = false;
 };
@@ -82,6 +86,8 @@ class CampaignServer {
   void handle_diff(UnixConn conn, const std::string& payload);
   void run_job(const std::shared_ptr<Session>& session,
                const CampaignRequest& request, std::uint64_t id);
+  void run_shard_job(const std::shared_ptr<Session>& session,
+                     const CampaignRequest& request, std::uint64_t id);
   void run_diff_job(const std::shared_ptr<Session>& session,
                     const struct DiffRequest& request, std::uint64_t id);
   std::string stats_payload() const;

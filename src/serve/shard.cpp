@@ -1,0 +1,891 @@
+#include "serve/shard.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "detect/detector_runtime.hpp"
+#include "detect/foreach_detector.hpp"
+#include "kernels/benchmark.hpp"
+#include "serve/engine_cache.hpp"
+#include "spmd/target.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+extern char** environ;
+
+namespace vulfi::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+analysis::FaultSiteCategory category_of(const std::string& name) {
+  if (name == "control" || name == "ctrl") {
+    return analysis::FaultSiteCategory::Control;
+  }
+  if (name == "address" || name == "addr") {
+    return analysis::FaultSiteCategory::Address;
+  }
+  return analysis::FaultSiteCategory::PureData;
+}
+
+spmd::Target target_of(const std::string& isa) {
+  return isa == "avx" ? spmd::Target::avx() : spmd::Target::sse4();
+}
+
+/// Builds the per-input engine set exactly the way EngineCache does —
+/// shard workers are fresh processes and cannot share the daemon's cache,
+/// but the engines must be configured identically for the statistics to
+/// merge byte-for-byte.
+std::vector<std::unique_ptr<InjectionEngine>> build_engines(
+    const CampaignRequest& request) {
+  std::vector<std::unique_ptr<InjectionEngine>> engines;
+  const kernels::Benchmark* bench = kernels::find_benchmark(request.benchmark);
+  if (bench == nullptr) return engines;
+  const spmd::Target target = target_of(request.isa);
+  const analysis::FaultSiteCategory category = category_of(request.category);
+  for (unsigned input = 0; input < bench->num_inputs(); ++input) {
+    RunSpec spec = bench->build(target, input);
+    if (request.detectors) detect::insert_foreach_detectors(*spec.module);
+    auto engine = std::make_unique<InjectionEngine>(std::move(spec), category);
+    if (request.detectors) {
+      engine->setup_runtime(
+          [](interp::RuntimeEnv& env, interp::DetectionLog& log) {
+            detect::attach_detector_runtime(env, log);
+          });
+    }
+    engine->set_golden_cache_enabled(request.golden_cache);
+    engine->set_static_prune(request.static_prune);
+    engines.push_back(std::move(engine));
+  }
+  return engines;
+}
+
+/// Writes one sealed journal line to a pipe, atomically (lines stay
+/// under PIPE_BUF) and EINTR-safely. Serialized by a mutex because the
+/// heartbeat thread and the campaign coordinator both write.
+class StatusPipe {
+ public:
+  explicit StatusPipe(int fd) : fd_(fd) {}
+
+  /// False once the reader is gone (EPIPE) — the worker uses that as a
+  /// supervisor-death signal.
+  bool write_payload(const std::string& payload) {
+    if (fd_ < 0 || dead_.load(std::memory_order_relaxed)) return false;
+    const std::string line = journal_seal(payload) + "\n";
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+      if (n >= 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      dead_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+  std::atomic<bool> dead_{false};
+};
+
+std::uint64_t env_u64(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return 0;
+  return std::strtoull(value, nullptr, 10);
+}
+
+/// Splits a read buffer into complete lines, leaving any torn tail in
+/// place, and hands each verified payload to `sink`. Lines that fail
+/// their checksum (torn pipe write from a crashing worker) are dropped —
+/// the shard journal on disk, not the pipe, is the source of truth.
+template <typename Sink>
+void drain_lines(std::string& buffer, Sink&& sink) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = buffer.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::optional<std::string> payload =
+        journal_unseal(std::string_view(buffer).substr(start, nl - start));
+    if (payload) sink(*payload);
+    start = nl + 1;
+  }
+  buffer.erase(0, start);
+}
+
+/// Strips the "build" field value from a header payload so config
+/// mismatch and cross-binary mismatch get distinct diagnostics (mirrors
+/// checkpoint resume).
+std::string strip_build(const std::string& header) {
+  const std::size_t key = header.find("\"build\":\"");
+  if (key == std::string::npos) return header;
+  const std::size_t start = key + std::strlen("\"build\":\"");
+  const std::size_t end = header.find('"', start);
+  if (end == std::string::npos) return header;
+  return header.substr(0, start) + header.substr(end);
+}
+
+}  // namespace
+
+std::vector<ShardRange> shard_plan(unsigned max_campaigns, unsigned shards) {
+  std::vector<ShardRange> plan;
+  if (max_campaigns == 0) return plan;
+  if (shards == 0) shards = 1;
+  if (shards > max_campaigns) shards = max_campaigns;
+  const unsigned quota = max_campaigns / shards;
+  const unsigned remainder = max_campaigns % shards;
+  std::uint64_t next = 0;
+  for (unsigned i = 0; i < shards; ++i) {
+    ShardRange range;
+    range.first = next;
+    range.count = quota + (i < remainder ? 1u : 0u);
+    next += range.count;
+    plan.push_back(range);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Shard worker
+// ---------------------------------------------------------------------------
+
+int run_shard_worker(const ShardWorkerOptions& options) {
+  const CampaignRequest& request = options.request;
+  if (request.benchmark.empty() || options.journal_path.empty() ||
+      options.shard_total == 0) {
+    std::fprintf(stderr, "vulfi: shard-worker: missing required options\n");
+    return 2;
+  }
+  const std::string name_error = validate_request_names(request);
+  if (!name_error.empty()) {
+    std::fprintf(stderr, "vulfi: %s\n", name_error.c_str());
+    return 2;
+  }
+  const std::vector<ShardRange> plan =
+      shard_plan(request.resolved_max_campaigns(), options.shard_total);
+  if (options.shard_index >= plan.size()) {
+    std::fprintf(stderr, "vulfi: shard-worker: shard %u of %u has no range\n",
+                 options.shard_index, options.shard_total);
+    return 2;
+  }
+  const ShardRange range = plan[options.shard_index];
+
+  // The supervisor may die while we write the status pipe; that must not
+  // kill the worker mid-campaign (the journal keeps the work durable).
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<std::unique_ptr<InjectionEngine>> engines =
+      build_engines(request);
+  std::vector<InjectionEngine*> engine_ptrs;
+  for (auto& engine : engines) engine_ptrs.push_back(engine.get());
+
+  CampaignConfig config = to_campaign_config(request, 0);
+  config.checkpoint_path = options.journal_path;
+  config.shard_first = range.first;
+  config.shard_count = range.count;
+  config.shard_index = options.shard_index;
+  config.shard_total = options.shard_total;
+  config.crash_after_experiments = env_u64("VULFI_CRASH_AFTER_EXPERIMENTS");
+  config.hang_after_experiments = env_u64("VULFI_HANG_AFTER_EXPERIMENTS");
+
+  std::atomic<std::uint64_t> progress{0};
+  config.progress = &progress;
+
+  CancellationToken cancel;
+  ScopedSignalCancellation signals(cancel);
+  config.cancel = &cancel;
+
+  StatusPipe pipe(options.status_fd);
+  config.on_campaign_record = [&](const CampaignRecord& record) {
+    pipe.write_payload(campaign_record_payload(record));
+  };
+
+  // Heartbeat thread: the supervisor's stall detector keys on the exec
+  // counter advancing, so a wedged worker (frozen counter, live thread)
+  // is distinguishable from a slow one.
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat([&] {
+    const auto interval =
+        std::chrono::milliseconds(std::max(1u, options.heartbeat_ms));
+    std::unique_lock<std::mutex> lock(hb_mutex);
+    while (!hb_cv.wait_for(lock, interval, [&] { return hb_stop; })) {
+      pipe.write_payload(
+          strf("{\"t\":\"hb\",\"shard\":%u,\"exec\":%llu}",
+               options.shard_index,
+               static_cast<unsigned long long>(
+                   progress.load(std::memory_order_relaxed))));
+    }
+  });
+
+  const CampaignResult result = run_campaigns(engine_ptrs, config);
+
+  {
+    const std::lock_guard<std::mutex> lock(hb_mutex);
+    hb_stop = true;
+  }
+  hb_cv.notify_all();
+  heartbeat.join();
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "vulfi: shard %u: %s\n", options.shard_index,
+                 result.error.c_str());
+    return kCampaignExitInternalError;
+  }
+  if (result.interrupted) return kCampaignExitInterrupted;
+  if (result.campaigns < range.count) {
+    std::fprintf(stderr, "vulfi: shard %u stopped at %u/%u campaigns\n",
+                 options.shard_index, result.campaigns, range.count);
+    return kCampaignExitInternalError;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic merge
+// ---------------------------------------------------------------------------
+
+ShardMergeOutcome merge_shards(const CampaignRequest& request,
+                               const std::vector<std::string>& shard_paths,
+                               const std::string& merged_path) {
+  ShardMergeOutcome out;
+  const std::string name_error = validate_request_names(request);
+  if (!name_error.empty()) {
+    out.error = name_error;
+    return out;
+  }
+  const kernels::Benchmark* bench = kernels::find_benchmark(request.benchmark);
+  const CampaignConfig config = to_campaign_config(request, 0);
+  out.header = campaign_header_payload(config, bench->num_inputs());
+  const std::uint64_t maxc = config.max_campaigns;
+
+  // Collect records by absolute campaign index, refusing duplicates and
+  // malformed shard journals outright — a merge must never guess.
+  std::vector<std::string> payload_at(maxc);
+  std::vector<int> owner_of(maxc, -1);
+  std::vector<ShardRange> declared(shard_paths.size());
+  std::vector<unsigned> declared_index(shard_paths.size(), 0);
+  std::vector<bool> have_journal(shard_paths.size(), false);
+  unsigned declared_total = 0;
+
+  for (std::size_t s = 0; s < shard_paths.size(); ++s) {
+    const JournalRecovery recovered = recover_journal(shard_paths[s]);
+    if (!recovered.file_existed || recovered.records.empty()) continue;
+    have_journal[s] = true;
+    const std::string& stored = recovered.records.front();
+    if (stored != out.header) {
+      if (strip_build(stored) == strip_build(out.header)) {
+        out.error = strf(
+            "shard journal '%s' was written by a different vulfi binary "
+            "(stored build \"%s\", this binary \"%s\") — merge with the "
+            "binary that wrote the shards",
+            shard_paths[s].c_str(),
+            journal_str(stored, "build")
+                .value_or("<no fingerprint>")
+                .c_str(),
+            journal_str(out.header, "build").value_or("?").c_str());
+        return out;
+      }
+      out.error = strf(
+          "shard journal '%s' was written by a different campaign "
+          "configuration (stored %s, expected %s)",
+          shard_paths[s].c_str(), stored.c_str(), out.header.c_str());
+      return out;
+    }
+    if (recovered.records.size() < 2 ||
+        journal_str(recovered.records[1], "t").value_or("") != "shard") {
+      out.error = strf("shard journal '%s' is missing its shard record",
+                       shard_paths[s].c_str());
+      return out;
+    }
+    const std::string& shard_rec = recovered.records[1];
+    const std::uint64_t first = journal_u64(shard_rec, "first").value_or(0);
+    const std::uint64_t count = journal_u64(shard_rec, "count").value_or(0);
+    if (first + count > maxc || count == 0) {
+      out.error = strf(
+          "shard journal '%s' declares campaigns [%llu, %llu) outside "
+          "[0, %llu)",
+          shard_paths[s].c_str(), static_cast<unsigned long long>(first),
+          static_cast<unsigned long long>(first + count),
+          static_cast<unsigned long long>(maxc));
+      return out;
+    }
+    declared[s].first = first;
+    declared[s].count = static_cast<unsigned>(count);
+    declared_index[s] = static_cast<unsigned>(
+        journal_u64(shard_rec, "index").value_or(s));
+    declared_total = std::max(
+        declared_total,
+        static_cast<unsigned>(journal_u64(shard_rec, "shards").value_or(0)));
+
+    std::uint64_t expected = first;
+    for (std::size_t i = 2; i < recovered.records.size(); ++i) {
+      const std::string& record = recovered.records[i];
+      const std::string type = journal_str(record, "t").value_or("");
+      if (type == "verify") continue;  // per-process artifact, not history
+      if (type != "campaign") {
+        out.error = strf("shard journal '%s': unrecognized record type '%s'",
+                         shard_paths[s].c_str(), type.c_str());
+        return out;
+      }
+      const std::optional<CampaignRecord> parsed =
+          parse_campaign_record(record);
+      if (!parsed || parsed->campaign != expected ||
+          parsed->campaign >= first + count) {
+        out.error = strf(
+            "shard journal '%s': campaign record %llu is malformed or out "
+            "of order",
+            shard_paths[s].c_str(), static_cast<unsigned long long>(i));
+        return out;
+      }
+      if (owner_of[parsed->campaign] != -1) {
+        out.error = strf(
+            "campaign %llu appears in both shard %d and shard %llu — "
+            "refusing to merge overlapping histories",
+            static_cast<unsigned long long>(parsed->campaign),
+            owner_of[parsed->campaign], static_cast<unsigned long long>(s));
+        return out;
+      }
+      owner_of[parsed->campaign] = static_cast<int>(s);
+      payload_at[parsed->campaign] = record;
+      expected += 1;
+    }
+  }
+
+  // Replay the ordered union through the exact single-process stop rule:
+  // the merge stops at the same campaign index an unsharded run stops at,
+  // so the merged statistics are byte-identical by construction.
+  CampaignReplayer replayer(config);
+  bool gap = false;
+  std::uint64_t index = 0;
+  while (replayer.wants_more() && index < maxc) {
+    if (owner_of[index] == -1) {
+      gap = true;
+      break;
+    }
+    const std::optional<CampaignRecord> record =
+        parse_campaign_record(payload_at[index]);
+    if (!record || !replayer.absorb(*record)) {
+      out.error = strf("merge: campaign record %llu failed to replay",
+                       static_cast<unsigned long long>(index));
+      return out;
+    }
+    out.records.push_back(payload_at[index]);
+    index += 1;
+  }
+  out.result = replayer.finalize();
+
+  if (gap) {
+    out.exit_code = kCampaignExitShardPartial;
+    // Name the shard whose records the stop rule still needed: the
+    // declared owner when its journal exists, otherwise the owner under
+    // the sharding plan the journals agree on (the journal never
+    // materialized — e.g. it was lost, or its path was not supplied).
+    int missing = -1;
+    for (std::size_t s = 0; s < declared.size(); ++s) {
+      if (have_journal[s] && index >= declared[s].first &&
+          index < declared[s].first + declared[s].count) {
+        missing = static_cast<int>(declared_index[s]);
+      }
+    }
+    if (missing == -1) {
+      const unsigned total = declared_total != 0
+                                 ? declared_total
+                                 : static_cast<unsigned>(std::max<std::size_t>(
+                                       1, shard_paths.size()));
+      const std::vector<ShardRange> plan =
+          shard_plan(static_cast<unsigned>(maxc), total);
+      for (std::size_t s = 0; s < plan.size(); ++s) {
+        if (index >= plan[s].first && index < plan[s].first + plan[s].count) {
+          missing = static_cast<int>(s);
+        }
+      }
+    }
+    if (missing != -1) out.missing_shards.push_back(static_cast<unsigned>(missing));
+    out.error = strf(
+        "merge is partial: campaign %llu is missing (shard %d) and the "
+        "stop rule was not yet satisfied — statistics cover campaigns "
+        "[0, %llu)",
+        static_cast<unsigned long long>(index), missing,
+        static_cast<unsigned long long>(index));
+  } else {
+    out.exit_code = out.result.converged ? kCampaignExitConverged
+                                         : kCampaignExitUnconverged;
+  }
+
+  if (!merged_path.empty()) {
+    JournalWriter writer;
+    std::string error;
+    if (!writer.open(merged_path, 0, &error)) {
+      out.exit_code = kCampaignExitInternalError;
+      out.error = error;
+      return out;
+    }
+    writer.set_sync_policy(JournalSync::Off);
+    bool wrote = writer.append(out.header);
+    for (const std::string& record : out.records) {
+      wrote = wrote && writer.append(record);
+    }
+    if (!wrote || !writer.sync_now()) {
+      out.exit_code = kCampaignExitInternalError;
+      out.error = strf("merged journal '%s': write failed",
+                       merged_path.c_str());
+      return out;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct WorkerSlot {
+  pid_t pid = -1;
+  int read_fd = -1;
+  std::string buffer;
+  unsigned launches = 0;  ///< launches so far (first launch == 1)
+  bool running = false;
+  bool done = false;    ///< range complete, or stopped on request
+  bool failed = false;  ///< restart budget exhausted
+  bool stop_requested = false;
+  bool kill_sent = false;
+  std::uint64_t last_exec = 0;
+  Clock::time_point last_progress{};
+  Clock::time_point restart_at{};
+  bool pending_restart = false;
+};
+
+/// argv/envp for execve, with stable storage.
+struct ExecImage {
+  std::vector<std::string> strings;
+  std::vector<char*> pointers;
+
+  void finalize() {
+    pointers.clear();
+    for (std::string& s : strings) pointers.push_back(s.data());
+    pointers.push_back(nullptr);
+  }
+};
+
+/// Copies the environment, dropping the crash/hang injection variables —
+/// a restarted worker must not re-crash at the same experiment count or
+/// the recovery tests would never terminate. VULFI_CRASH_EVERY_ATTEMPT
+/// keeps them (the restart-budget-exhaustion tests want exactly that).
+ExecImage restart_environment() {
+  ExecImage image;
+  const bool keep = std::getenv("VULFI_CRASH_EVERY_ATTEMPT") != nullptr;
+  for (char** env = environ; *env != nullptr; ++env) {
+    const std::string entry(*env);
+    if (!keep && (entry.rfind("VULFI_CRASH_AFTER_EXPERIMENTS=", 0) == 0 ||
+                  entry.rfind("VULFI_HANG_AFTER_EXPERIMENTS=", 0) == 0)) {
+      continue;
+    }
+    image.strings.push_back(entry);
+  }
+  image.finalize();
+  return image;
+}
+
+void read_ready(WorkerSlot& worker, bool until_eof,
+                const std::function<void(const std::string&)>& sink) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(worker.read_fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      worker.buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) && !until_eof) {
+      break;
+    }
+    break;  // EOF, would-block at EOF drain, or error: stop reading
+  }
+  drain_lines(worker.buffer, sink);
+}
+
+}  // namespace
+
+SupervisorResult run_sharded_campaign(const SupervisorOptions& options) {
+  SupervisorResult out;
+  const CampaignRequest& request = options.request;
+  const std::string name_error = validate_request_names(request);
+  if (!name_error.empty()) {
+    out.error = name_error;
+    return out;
+  }
+  const unsigned maxc = request.resolved_max_campaigns();
+  const std::vector<ShardRange> plan = shard_plan(maxc, options.shards);
+  const unsigned shards = static_cast<unsigned>(plan.size());
+  if (shards == 0) {
+    out.error = "sharded campaign needs at least one campaign";
+    return out;
+  }
+
+  // Journal layout: shards at <base>.shard<i>, the merged journal at
+  // <base>. Without --checkpoint the journals live in a private temp dir
+  // (removed after a fully successful run — crash-recovery state only).
+  std::string base = options.journal_base;
+  std::string tmpdir;
+  if (base.empty()) {
+    char tmpl[] = "/tmp/vulfi-shards-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      out.error = strf("mkdtemp: %s", std::strerror(errno));
+      return out;
+    }
+    tmpdir = tmpl;
+    base = tmpdir + "/journal";
+  }
+  std::vector<std::string> shard_paths;
+  for (unsigned s = 0; s < shards; ++s) {
+    shard_paths.push_back(strf("%s.shard%u", base.c_str(), s));
+  }
+
+  const std::string binary =
+      options.worker_binary.empty() ? "/proc/self/exe" : options.worker_binary;
+  const std::string request_json = serialize_request(request);
+  ExecImage restart_env = restart_environment();
+
+  const double stall_timeout = options.stall_timeout_seconds > 0.0
+                                   ? options.stall_timeout_seconds
+                                   : request.stall_timeout;
+
+  std::vector<WorkerSlot> workers(shards);
+  bool spawn_failed = false;
+
+  auto launch = [&](unsigned s) -> bool {
+    WorkerSlot& worker = workers[s];
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    // Parent keeps a CLOEXEC nonblocking read end; the child inherits
+    // only the write end (its number travels in argv).
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+
+    worker.launches += 1;
+    ExecImage argv;
+    argv.strings = {binary,
+                    "shard-worker",
+                    "--request-json",
+                    request_json,
+                    "--shard",
+                    strf("%u", s),
+                    "--shards",
+                    strf("%u", shards),
+                    "--shard-journal",
+                    shard_paths[s],
+                    "--status-fd",
+                    strf("%d", fds[1]),
+                    "--heartbeat-ms",
+                    strf("%u", options.heartbeat_ms)};
+    argv.finalize();
+    // First launch inherits the environment (crash hooks included, for
+    // the injection tests); restarts get the stripped copy.
+    char** envp = worker.launches == 1 ? environ : restart_env.pointers.data();
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: only async-signal-safe calls before execve (the parent
+      // may be multithreaded — vulfid submits shard jobs from worker
+      // threads).
+      ::execve(binary.c_str(), argv.pointers.data(), envp);
+      _exit(127);
+    }
+    ::close(fds[1]);
+    worker.pid = pid;
+    worker.read_fd = fds[0];
+    worker.running = true;
+    worker.pending_restart = false;
+    worker.stop_requested = false;
+    worker.kill_sent = false;
+    worker.last_exec = 0;
+    worker.last_progress = Clock::now();
+    return true;
+  };
+
+  auto backoff_deadline = [&](unsigned shard, unsigned attempt) {
+    const unsigned shift = std::min(attempt > 0 ? attempt - 1 : 0u, 16u);
+    const std::uint64_t base_ms = std::max(1u, options.backoff_base_ms);
+    std::uint64_t delay = base_ms << shift;
+    delay = std::min<std::uint64_t>(delay, options.backoff_cap_ms);
+    // Deterministic jitter: a private counter-seeded stream per
+    // (seed, shard, attempt), decorrelated from the experiment streams.
+    Rng rng(derive_stream_seed(request.seed ^ 0x5a4db0ffULL, shard, attempt));
+    delay += rng.next_below(base_ms);
+    return Clock::now() + std::chrono::milliseconds(delay);
+  };
+
+  // Live merge state: the replayer advances over the ordered union of
+  // records as they stream in, powering (a) early stop the moment the
+  // stop rule is satisfied and (b) ordered record streaming to the
+  // caller. Correctness never depends on the pipe: the final merge reads
+  // the journals from disk.
+  const CampaignConfig replay_config = to_campaign_config(request, 0);
+  CampaignReplayer replayer(replay_config);
+  std::map<std::uint64_t, std::string> pending;
+  std::uint64_t streamed = 0;
+  bool stop_all_sent = false;
+
+  auto emit_sealed = [&](const std::string& payload) {
+    if (options.on_sealed_record) options.on_sealed_record(journal_seal(payload));
+  };
+  auto log = [&](const std::string& message) {
+    if (options.on_log) options.on_log(message);
+  };
+
+  {
+    const kernels::Benchmark* bench =
+        kernels::find_benchmark(request.benchmark);
+    emit_sealed(campaign_header_payload(replay_config, bench->num_inputs()));
+  }
+
+  auto on_payload = [&](unsigned s, const std::string& payload) {
+    const std::string type = journal_str(payload, "t").value_or("");
+    WorkerSlot& worker = workers[s];
+    if (type == "hb") {
+      const std::uint64_t exec = journal_u64(payload, "exec").value_or(0);
+      if (exec != worker.last_exec) {
+        worker.last_exec = exec;
+        worker.last_progress = Clock::now();
+      }
+      return;
+    }
+    if (type == "campaign") {
+      const std::optional<CampaignRecord> record =
+          parse_campaign_record(payload);
+      if (record && record->campaign >= streamed) {
+        pending[record->campaign] = payload;
+      }
+      worker.last_progress = Clock::now();
+    }
+  };
+
+  auto signal_all = [&](int sig) {
+    for (WorkerSlot& worker : workers) {
+      if (worker.running) ::kill(worker.pid, sig);
+      if (worker.pending_restart) {
+        // Never start it: the campaign is stopping.
+        worker.pending_restart = false;
+        worker.done = true;
+      }
+    }
+  };
+
+  for (unsigned s = 0; s < shards; ++s) {
+    if (!launch(s)) {
+      spawn_failed = true;
+      workers[s].failed = true;
+      out.failed_shards.push_back(s);
+      log(strf("shard %u: spawn failed: %s", s, std::strerror(errno)));
+    }
+  }
+
+  auto all_settled = [&] {
+    for (const WorkerSlot& worker : workers) {
+      if (!worker.done && !worker.failed) return false;
+    }
+    return true;
+  };
+
+  while (!all_settled()) {
+    // Cancellation: SIGTERM everything once; workers drain and exit 5.
+    if (options.cancel != nullptr && options.cancel->cancelled() &&
+        !out.interrupted) {
+      out.interrupted = true;
+      stop_all_sent = true;
+      log("interrupted: stopping all shard workers");
+      signal_all(SIGTERM);
+    }
+
+    std::vector<struct pollfd> fds;
+    std::vector<unsigned> fd_owner;
+    for (unsigned s = 0; s < shards; ++s) {
+      if (workers[s].running) {
+        fds.push_back({workers[s].read_fd, POLLIN, 0});
+        fd_owner.push_back(s);
+      }
+    }
+    ::poll(fds.empty() ? nullptr : fds.data(),
+           static_cast<nfds_t>(fds.size()), 100);
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents != 0) {
+        const unsigned s = fd_owner[i];
+        read_ready(workers[s], false,
+                   [&](const std::string& p) { on_payload(s, p); });
+      }
+    }
+
+    // Advance the ordered merged prefix and stream it.
+    while (replayer.wants_more()) {
+      const auto it = pending.find(streamed);
+      if (it == pending.end()) break;
+      const std::optional<CampaignRecord> record =
+          parse_campaign_record(it->second);
+      if (record && replayer.absorb(*record)) emit_sealed(it->second);
+      pending.erase(it);
+      streamed += 1;
+    }
+
+    // Early stop: the prefix satisfied the stop rule — every further
+    // campaign is work a single-process run would not have done.
+    if (!stop_all_sent && !replayer.wants_more()) {
+      stop_all_sent = true;
+      log(strf("stop rule satisfied at campaign %llu: stopping workers",
+               static_cast<unsigned long long>(streamed)));
+      signal_all(SIGTERM);
+    }
+
+    const Clock::time_point now = Clock::now();
+    for (unsigned s = 0; s < shards; ++s) {
+      WorkerSlot& worker = workers[s];
+
+      // Stall detection (satellite of the in-process StallMonitor): a
+      // worker whose experiment counter is frozen past the timeout is
+      // killed like a crash and restarted under the same backoff.
+      if (worker.running && !worker.kill_sent && stall_timeout > 0.0 &&
+          std::chrono::duration<double>(now - worker.last_progress).count() >
+              stall_timeout) {
+        log(strf("shard %u: no progress for %.1fs — killing pid %d", s,
+                 stall_timeout, static_cast<int>(worker.pid)));
+        worker.kill_sent = true;
+        ::kill(worker.pid, SIGKILL);
+      }
+
+      if (worker.running) {
+        int status = 0;
+        const pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+        if (reaped == worker.pid) {
+          // Drain everything the worker wrote before it died.
+          read_ready(worker, true,
+                     [&](const std::string& p) { on_payload(s, p); });
+          ::close(worker.read_fd);
+          worker.read_fd = -1;
+          worker.running = false;
+
+          const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+          const bool stopped = WIFEXITED(status) &&
+                               WEXITSTATUS(status) == kCampaignExitInterrupted &&
+                               (worker.stop_requested || stop_all_sent);
+          if (clean || stopped) {
+            worker.done = true;
+          } else if (stop_all_sent || out.interrupted) {
+            // The campaign is over; a crash while stopping is moot.
+            worker.done = true;
+          } else {
+            const std::string why =
+                WIFSIGNALED(status)
+                    ? strf("killed by signal %d", WTERMSIG(status))
+                    : strf("exit code %d",
+                           WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+            if (worker.launches > options.max_restarts) {
+              worker.failed = true;
+              out.failed_shards.push_back(s);
+              log(strf("shard %u: %s after %u launches — restart budget "
+                       "exhausted, shard failed",
+                       s, why.c_str(), worker.launches));
+            } else {
+              worker.pending_restart = true;
+              worker.restart_at = backoff_deadline(s, worker.launches);
+              log(strf("shard %u: %s — restart %u/%u pending", s,
+                       why.c_str(), worker.launches, options.max_restarts));
+            }
+          }
+        }
+      }
+
+      if (worker.pending_restart && now >= worker.restart_at &&
+          !stop_all_sent && !out.interrupted) {
+        if (launch(s)) {
+          out.restarts += 1;
+          log(strf("shard %u: restarted (launch %u, pid %d)", s,
+                   worker.launches, static_cast<int>(worker.pid)));
+        } else {
+          worker.failed = true;
+          worker.pending_restart = false;
+          out.failed_shards.push_back(s);
+          log(strf("shard %u: relaunch failed: %s", s, std::strerror(errno)));
+        }
+      }
+    }
+  }
+  (void)spawn_failed;
+
+  // The journals on disk are the source of truth; merge them and stream
+  // any records the live prefix had not reached.
+  const ShardMergeOutcome merge = merge_shards(request, shard_paths, base);
+  if (merge.exit_code == kCampaignExitInternalError) {
+    out.exit_code = kCampaignExitInternalError;
+    out.error = merge.error;
+    return out;
+  }
+  out.result = merge.result;
+  out.merged_path = base;
+  for (std::size_t i = streamed; i < merge.records.size(); ++i) {
+    emit_sealed(merge.records[i]);
+  }
+
+  if (out.interrupted) {
+    out.exit_code = kCampaignExitInterrupted;
+    out.result.interrupted = true;
+    out.result.converged = false;
+  } else if (merge.exit_code == kCampaignExitShardPartial) {
+    out.exit_code = kCampaignExitShardPartial;
+    out.error = merge.error;
+    for (unsigned s : merge.missing_shards) {
+      if (std::find(out.failed_shards.begin(), out.failed_shards.end(), s) ==
+          out.failed_shards.end()) {
+        out.failed_shards.push_back(s);
+      }
+    }
+  } else {
+    out.exit_code = merge.exit_code;
+  }
+  std::sort(out.failed_shards.begin(), out.failed_shards.end());
+
+  // A fully successful ad-hoc run leaves nothing behind; a failed,
+  // partial, or interrupted one keeps its temp journals for resumption
+  // and post-mortem.
+  if (!tmpdir.empty() && (out.exit_code == kCampaignExitConverged ||
+                          out.exit_code == kCampaignExitUnconverged)) {
+    for (const std::string& path : shard_paths) ::unlink(path.c_str());
+    ::unlink(base.c_str());
+    ::rmdir(tmpdir.c_str());
+    out.merged_path.clear();
+  }
+  return out;
+}
+
+}  // namespace vulfi::serve

@@ -1,0 +1,178 @@
+// Fault-tolerant sharded campaigns: supervised multi-process workers.
+//
+// A campaign's experiment index space is counter-seeded — experiment
+// (c, e) derives its RNG stream purely from (seed, c, e) — so the
+// campaign index range [0, max_campaigns) can be partitioned into N
+// contiguous shards whose union replays to statistics byte-identical to
+// a single-process run. Each shard runs in its own worker *process*
+// (fork + execve of this binary's hidden `shard-worker` subcommand),
+// streaming a sealed, checksummed journal shard; a supervisor monitors
+// workers via exit codes and heartbeat records on a status pipe,
+// restarts crashed or stalled workers with exponential backoff + jitter
+// (resuming each from its own shard journal without re-running
+// siblings), and degrades to an explicit partial result — never a hang —
+// when a shard exhausts its restart budget. A deterministic merge step
+// recombines the shard journals into one resumable journal and applies
+// the sequential stop rule over the ordered union, stopping at exactly
+// the campaign index a single-process run stops at.
+//
+// Process tree and status-pipe format are documented in DESIGN.md §15.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "support/cancel.hpp"
+#include "vulfi/campaign.hpp"
+
+namespace vulfi::serve {
+
+/// One shard's contiguous range of absolute campaign indices.
+struct ShardRange {
+  std::uint64_t first = 0;
+  unsigned count = 0;
+};
+
+/// Partitions [0, max_campaigns) into `shards` contiguous ranges of
+/// near-equal size (earlier shards take the remainder). Deterministic:
+/// supervisor and workers recompute the same plan independently.
+/// `shards` is clamped to [1, max_campaigns].
+std::vector<ShardRange> shard_plan(unsigned max_campaigns, unsigned shards);
+
+// --- shard worker ----------------------------------------------------------
+
+/// One shard worker's execution parameters. The worker is a fresh
+/// process (exec'd by the supervisor) so the request travels as its
+/// serialized submit payload — doubles round-trip bit-exactly as hex.
+struct ShardWorkerOptions {
+  CampaignRequest request;
+  unsigned shard_index = 0;
+  unsigned shard_total = 1;
+  /// Shard journal path (always set: it is the crash-recovery state).
+  std::string journal_path;
+  /// Write end of the supervisor's status pipe; -1 = no status stream.
+  int status_fd = -1;
+  /// Heartbeat cadence on the status pipe.
+  unsigned heartbeat_ms = 250;
+};
+
+/// Runs one shard to completion in this process: builds the engines,
+/// executes campaigns [plan[index].first, +count) with absolute indices,
+/// journals to options.journal_path (resuming any prior history), and
+/// streams sealed heartbeat + campaign records to status_fd. Installs
+/// SIGINT/SIGTERM cooperative cancellation. Returns the process exit
+/// code: 0 = range complete, 5 = interrupted, 3 = internal error,
+/// 2 = bad options. The crash/hang hooks are read from
+/// VULFI_CRASH_AFTER_EXPERIMENTS / VULFI_HANG_AFTER_EXPERIMENTS (test
+/// builds only; see crash_hook_compiled()).
+int run_shard_worker(const ShardWorkerOptions& options);
+
+// --- deterministic merge ---------------------------------------------------
+
+/// Outcome of merging shard journals into one campaign history.
+struct ShardMergeOutcome {
+  /// kCampaignExitConverged / Unconverged: complete merge (the stop rule
+  /// decided, or max_campaigns records merged). kCampaignExitShardPartial:
+  /// a gap in the record sequence before the stop rule was satisfied —
+  /// the result covers the longest contiguous prefix, and
+  /// `missing_shards` names the shards whose records are missing.
+  /// kCampaignExitInternalError: refused (mismatched headers, duplicate
+  /// campaign indices, malformed shard journals); `error` says why.
+  int exit_code = kCampaignExitInternalError;
+  std::string error;
+  /// Replayed statistics of the merged prefix (converged flag included) —
+  /// byte-identical to a single-process run's result over the same
+  /// campaigns.
+  CampaignResult result;
+  /// The merged journal's header payload (unsealed).
+  std::string header;
+  /// Merged campaign record payloads (unsealed), in campaign order,
+  /// exactly the records the merged journal holds.
+  std::vector<std::string> records;
+  /// Shard indices whose missing records truncated the merge (partial
+  /// outcomes only).
+  std::vector<unsigned> missing_shards;
+};
+
+/// Deterministically merges shard journals into `merged_path` (empty =
+/// don't write, just replay). Validates that every shard journal was
+/// written by this binary and this exact campaign configuration
+/// (byte-compared headers, like checkpoint resume), that shard ranges
+/// are disjoint and within [0, max_campaigns), and that no campaign
+/// index appears twice. Replays records in campaign order through the
+/// exact stop rule of a single-process run and writes the merged journal
+/// as a plain (shard-record-free) checkpoint — `vulfi campaign
+/// --checkpoint merged` resumes it directly.
+ShardMergeOutcome merge_shards(const CampaignRequest& request,
+                               const std::vector<std::string>& shard_paths,
+                               const std::string& merged_path);
+
+// --- supervisor ------------------------------------------------------------
+
+struct SupervisorOptions {
+  CampaignRequest request;
+  /// Worker process count (>= 1; clamped to the campaign count).
+  unsigned shards = 1;
+  /// Restart budget per shard. Exhaustion marks the shard failed and the
+  /// campaign degrades to a partial result (exit 6) when the stop rule
+  /// needed the missing campaigns.
+  unsigned max_restarts = 3;
+  /// Exponential backoff between restarts of one shard:
+  /// min(cap, base * 2^(attempt-1)) + jitter in [0, base), jitter drawn
+  /// from a counter-seeded stream (deterministic per seed/shard/attempt).
+  unsigned backoff_base_ms = 100;
+  unsigned backoff_cap_ms = 5000;
+  /// Worker heartbeat cadence on the status pipe.
+  unsigned heartbeat_ms = 250;
+  /// Per-worker stall detection: a worker whose experiment progress
+  /// counter is frozen for this long is SIGKILLed and restarted under
+  /// the same backoff policy (a hung worker still heartbeats — the
+  /// *progress value* is what must advance). 0 = use the request's
+  /// --stall-timeout; both 0 = disabled.
+  double stall_timeout_seconds = 0.0;
+  /// Journal base path: shards live at <base>.shard<i>, the merged
+  /// journal at <base>. Empty = a private temp dir, removed after a
+  /// fully successful run.
+  std::string journal_base;
+  /// Worker executable; empty = /proc/self/exe.
+  std::string worker_binary;
+  /// Cooperative cancellation: SIGTERMs every worker, waits for their
+  /// drained exits, merges what completed, reports interrupted.
+  const CancellationToken* cancel = nullptr;
+  /// Ordered sealed journal lines (header first, then campaign records
+  /// in campaign order) as the merged prefix advances — the same stream
+  /// a single-process service submit produces, so a client transcript
+  /// stays a valid resumable journal.
+  std::function<void(const std::string&)> on_sealed_record;
+  /// Human-readable supervision events (worker exits, restarts, stalls).
+  std::function<void(const std::string&)> on_log;
+};
+
+struct SupervisorResult {
+  /// Campaign exit-code contract, extended: 0 converged / 4 complete but
+  /// unconverged / 5 interrupted / 6 partial (restart budget exhausted
+  /// or journal gap) / 3 internal error.
+  int exit_code = kCampaignExitInternalError;
+  std::string error;
+  /// Merged statistics (from merge_shards; empty on refusal).
+  CampaignResult result;
+  /// Path of the merged resumable journal ("" when merging failed before
+  /// the journal was written).
+  std::string merged_path;
+  /// Shards that exhausted their restart budget.
+  std::vector<unsigned> failed_shards;
+  /// Total worker restarts across the run (crashes + stalls).
+  unsigned restarts = 0;
+  bool interrupted = false;
+};
+
+/// Runs a campaign as `shards` supervised worker processes and merges
+/// their journals. Blocks until the campaign completes, degrades to a
+/// partial result, or is cancelled — never hangs on a crashed, killed,
+/// or wedged worker.
+SupervisorResult run_sharded_campaign(const SupervisorOptions& options);
+
+}  // namespace vulfi::serve

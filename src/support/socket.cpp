@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "support/str.hpp"
@@ -21,16 +22,30 @@ int hex_digit(char c) {
 }
 
 /// Waits for `events` on `fd`; false on timeout or error. Retries EINTR
-/// so a SIGINT aimed at the cancellation token does not abort the wait.
+/// so a SIGINT aimed at the cancellation token does not abort the wait —
+/// against a fixed deadline, so a signal storm (a supervisor restarting
+/// workers, a test pounding SIGUSR1) shortens the remaining wait instead
+/// of restarting it; the timeout can never stretch unboundedly.
 bool wait_for(int fd, short events, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const bool forever = timeout_ms < 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(forever ? 0 : timeout_ms);
   struct pollfd pfd {};
   pfd.fd = fd;
   pfd.events = events;
+  int remaining_ms = timeout_ms;
   for (;;) {
-    const int got = ::poll(&pfd, 1, timeout_ms);
+    const int got = ::poll(&pfd, 1, remaining_ms);
     if (got > 0) return (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
     if (got == 0) return false;
     if (errno != EINTR) return false;
+    if (!forever) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return false;
+      remaining_ms = static_cast<int>(left.count());
+    }
   }
 }
 
@@ -204,11 +219,15 @@ bool UnixConn::peer_closed(int timeout_ms) {
   if (fd_ < 0) return true;
   if (!wait_for(fd_, POLLIN, timeout_ms)) return false;  // quiet, not closed
   char probe;
-  const ssize_t got = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-  if (got == 0) return true;
-  if (got < 0) return errno != EAGAIN && errno != EWOULDBLOCK &&
-                      errno != EINTR;
-  return false;
+  for (;;) {
+    const ssize_t got = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (got == 0) return true;
+    if (got < 0) {
+      if (errno == EINTR) continue;  // interrupted probe: ask again
+      return errno != EAGAIN && errno != EWOULDBLOCK;
+    }
+    return false;
+  }
 }
 
 void UnixConn::close() {
@@ -270,8 +289,16 @@ bool UnixListener::listen_on(const std::string& path, std::string* error) {
 UnixConn UnixListener::accept_one(int timeout_ms) {
   if (fd_ < 0) return UnixConn();
   if (!wait_for(fd_, POLLIN, timeout_ms)) return UnixConn();
-  const int fd = ::accept(fd_, nullptr, nullptr);
-  return fd < 0 ? UnixConn() : UnixConn(fd);
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return UnixConn(fd);
+    // EINTR: a signal beat the accept; the pending connection is still
+    // queued, so take it now rather than dropping it on the floor.
+    // (ECONNABORTED consumed the queued entry — retrying would block on
+    // an empty queue, so it falls through to the caller's accept loop.)
+    if (errno == EINTR) continue;
+    return UnixConn();
+  }
 }
 
 void UnixListener::close() {

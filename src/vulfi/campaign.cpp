@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -258,6 +259,25 @@ void run_experiment_at(const std::vector<InjectionEngine*>& engines,
   if (result.statically_adjudicated) totals.prune_adjudicated += 1;
   if (result.remapped) totals.prune_remapped += 1;
   if (result.memo_hit) totals.prune_memo_hits += 1;
+
+  if (config.progress != nullptr) {
+    const std::uint64_t done =
+        config.progress->fetch_add(1, std::memory_order_relaxed) + 1;
+    (void)done;
+#ifdef VULFI_ENABLE_CRASH_HOOK
+    // Harness fault injection (test builds only): die like a SIGKILLed
+    // worker, or wedge without crashing — the two failure modes the
+    // shard supervisor must recover from.
+    if (config.crash_after_experiments != 0 &&
+        done >= config.crash_after_experiments) {
+      std::raise(SIGKILL);
+    }
+    if (config.hang_after_experiments != 0 &&
+        done >= config.hang_after_experiments) {
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+#endif
+  }
 }
 
 /// Folds one finished campaign into the running result, in campaign
@@ -364,10 +384,24 @@ class CampaignCoordinator {
       for (std::size_t i = 1; i < recovered.records.size(); ++i) {
         const std::string& record = recovered.records[i];
         const std::string type = journal_str(record, "t").value_or("");
-        if (type == "campaign") {
+        if (type == "shard") {
+          // A shard journal carries its provenance as record 2; it is
+          // byte-compared like the header so a shard journal can never
+          // resume as a different shard (which would silently shift
+          // every campaign index).
+          if (config_.shard_count == 0 || i != 1 ||
+              record != shard_record_payload(config_)) {
+            result_.error = strf(
+                "checkpoint '%s': shard record mismatch (stored %s)",
+                config_.checkpoint_path.c_str(), record.c_str());
+            return false;
+          }
+          need_shard_ = false;
+        } else if (type == "campaign") {
           const std::optional<CampaignRecord> parsed =
               parse_campaign_record(record);
-          if (!parsed || parsed->campaign != result_.campaigns) {
+          if (!parsed || parsed->campaign !=
+                             config_.shard_first + result_.campaigns) {
             result_.error = strf(
                 "checkpoint '%s': campaign record %llu is malformed or "
                 "out of order",
@@ -398,6 +432,13 @@ class CampaignCoordinator {
         }
       }
       if (result_.campaigns > 0) refresh_stop_rule(result_, config_);
+      if (config_.shard_count > 0 && need_shard_ &&
+          recovered.records.size() > 1) {
+        result_.error = strf(
+            "checkpoint '%s': shard journal is missing its shard record",
+            config_.checkpoint_path.c_str());
+        return false;
+      }
     }
 
     result_.campaigns_restored = result_.campaigns;
@@ -416,6 +457,12 @@ class CampaignCoordinator {
                            config_.checkpoint_path.c_str());
       return false;
     }
+    if (config_.shard_count > 0 && need_shard_ &&
+        !writer_.append(shard_record_payload(config_))) {
+      result_.error = strf("checkpoint '%s': shard record write failed",
+                           config_.checkpoint_path.c_str());
+      return false;
+    }
     return true;
   }
 
@@ -426,7 +473,8 @@ class CampaignCoordinator {
   bool campaign_finished(const CampaignTotals& totals) {
     absorb_campaign(result_, totals, config_);
     refresh_stop_rule(result_, config_);
-    const CampaignRecord record = to_record(result_.campaigns - 1, totals);
+    const CampaignRecord record =
+        to_record(config_.shard_first + result_.campaigns - 1, totals);
     if (writer_.is_open() &&
         !writer_.append(campaign_record_payload(record))) {
       result_.error =
@@ -472,6 +520,7 @@ class CampaignCoordinator {
   CampaignResult& result_;
   StallMonitor& monitor_;
   JournalWriter writer_;
+  bool need_shard_ = true;
 };
 
 // ---------------------------------------------------------------------------
@@ -649,16 +698,23 @@ std::vector<double> run_campaigns_serial(
         result.interrupted = true;
         return false;
       }
-      run_experiment_at(engines, config, result.campaigns, e, totals);
-      monitor.note_experiment(0, result.campaigns, e);
+      const std::uint64_t campaign = config.shard_first + result.campaigns;
+      run_experiment_at(engines, config, campaign, e, totals);
+      monitor.note_experiment(0, campaign, e);
     }
     return coordinator.campaign_finished(totals);
   };
 
-  while (result.campaigns < config.min_campaigns) {
+  // A shard worker runs a fixed contiguous range of campaign indices;
+  // the stop rule is evaluated by the supervisor/merge over the ordered
+  // union of all shards, never inside one shard (which only sees a
+  // biased subsequence of samples).
+  const bool sharded = config.shard_count > 0;
+  const unsigned fixed = sharded ? config.shard_count : config.min_campaigns;
+  while (result.campaigns < fixed) {
     if (!run_one_campaign()) return {seconds_since(start)};
   }
-  while (should_continue(result, config)) {
+  while (!sharded && should_continue(result, config)) {
     if (cancel_requested(config)) {
       result.interrupted = true;
       break;
@@ -680,8 +736,8 @@ std::vector<double> run_campaigns_parallel(
   // is held. Under cancellation, campaigns whose experiments did not all
   // execute are discarded (the resumed run redoes them bit-identically).
   auto run_block = [&](unsigned count) -> bool {
-    const BlockOutcome block =
-        executor.run_block(result.campaigns, count, config);
+    const BlockOutcome block = executor.run_block(
+        config.shard_first + result.campaigns, count, config);
     for (unsigned c = 0; c < count; ++c) {
       if (block.executed[c] != config.experiments_per_campaign) break;
       if (!coordinator.campaign_finished(block.totals[c])) return false;
@@ -699,10 +755,13 @@ std::vector<double> run_campaigns_parallel(
   // still fan out across all workers). A resumed run only executes the
   // campaigns the checkpoint is missing.
   bool running = true;
-  if (result.campaigns < config.min_campaigns) {
-    running = run_block(config.min_campaigns - result.campaigns);
+  // Shard mode: one fixed block, no stop rule (see the serial driver).
+  const bool sharded = config.shard_count > 0;
+  const unsigned fixed = sharded ? config.shard_count : config.min_campaigns;
+  if (result.campaigns < fixed) {
+    running = run_block(fixed - result.campaigns);
   }
-  while (running && should_continue(result, config)) {
+  while (!sharded && running && should_continue(result, config)) {
     if (cancel_requested(config)) {
       result.interrupted = true;
       break;
@@ -754,6 +813,9 @@ CampaignResult run_campaigns(std::vector<InjectionEngine*> engines,
                      result.campaigns > 0 &&
                      result.margin_of_error <= config.target_margin &&
                      result.near_normal;
+  // A shard worker never converges on its own: convergence is a property
+  // of the ordered union of shards, decided by the merge step.
+  if (config.shard_count > 0) result.converged = false;
 
   // Throughput covers this run's executed work only: restored campaigns
   // cost no wall time here and must not inflate experiments/sec (nor
@@ -833,6 +895,64 @@ int campaign_exit_code(const CampaignResult& result) {
   if (result.interrupted) return kCampaignExitInterrupted;
   if (result.converged) return kCampaignExitConverged;
   return kCampaignExitUnconverged;
+}
+
+std::string shard_record_payload(const CampaignConfig& config) {
+  return strf(
+      "{\"t\":\"shard\",\"index\":%u,\"shards\":%u,\"first\":%llu,"
+      "\"count\":%u}",
+      config.shard_index, config.shard_total,
+      static_cast<unsigned long long>(config.shard_first),
+      config.shard_count);
+}
+
+bool crash_hook_compiled() {
+#ifdef VULFI_ENABLE_CRASH_HOOK
+  return true;
+#else
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// CampaignReplayer — the stop rule as a pure function of an ordered record
+// stream. Shares absorb_campaign/refresh_stop_rule/should_continue with the
+// live drivers, so replaying records 0..k-1 yields statistics bit-identical
+// to having run campaigns 0..k-1 in process.
+// ---------------------------------------------------------------------------
+
+CampaignReplayer::CampaignReplayer(const CampaignConfig& config)
+    : config_(config) {}
+
+bool CampaignReplayer::wants_more() const {
+  return result_.campaigns < config_.min_campaigns ||
+         should_continue(result_, config_);
+}
+
+bool CampaignReplayer::absorb(const CampaignRecord& record) {
+  if (record.campaign != result_.campaigns) return false;
+  CampaignTotals totals;
+  totals.benign = record.benign;
+  totals.sdc = record.sdc;
+  totals.crash = record.crash;
+  totals.detected_sdc = record.detected_sdc;
+  totals.detected_total = record.detected_total;
+  totals.prune_adjudicated = record.prune_adjudicated;
+  totals.prune_remapped = record.prune_remapped;
+  totals.prune_memo_hits = record.prune_memo_hits;
+  absorb_campaign(result_, totals, config_);
+  refresh_stop_rule(result_, config_);
+  return true;
+}
+
+CampaignResult CampaignReplayer::finalize() {
+  CampaignResult result = result_;
+  result.converged = result.ok() && !result.interrupted &&
+                     result.campaigns >= config_.min_campaigns &&
+                     result.campaigns > 0 &&
+                     result.margin_of_error <= config_.target_margin &&
+                     result.near_normal;
+  return result;
 }
 
 }  // namespace vulfi

@@ -21,6 +21,7 @@
 // the serial path evaluates it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -65,6 +66,41 @@ struct CampaignConfig {
   /// observables are bit-identical across backends, so a checkpointed run
   /// may resume under either.
   interp::ExecMode backend = interp::ExecMode::PreDecoded;
+
+  // --- sharded (multi-process) campaigns ---------------------------------
+
+  /// Shard-worker mode: when shard_count > 0 the run executes exactly
+  /// campaigns [shard_first, shard_first + shard_count) with absolute
+  /// campaign indices and NO sequential stop rule — the supervisor's
+  /// merge step (serve/shard.hpp) applies the stop rule over the ordered
+  /// union of all shards, so a merged campaign history is byte-identical
+  /// to a single-process run. Every campaign is a pure function of
+  /// (seed, campaign index); partitioning the index space changes
+  /// nothing about any individual campaign's outcome.
+  std::uint64_t shard_first = 0;
+  unsigned shard_count = 0;
+  /// Provenance for the shard journal's shard record (journal line 2):
+  /// which shard of how many this worker is. Only meaningful when
+  /// shard_count > 0; validated byte-for-byte on shard resume.
+  unsigned shard_index = 0;
+  unsigned shard_total = 0;
+
+  /// Optional experiment counter, incremented once per executed
+  /// experiment (relaxed). Shard workers export it as the progress
+  /// figure in their heartbeat records so the supervisor can tell a
+  /// hung worker (progress frozen) from a slow one.
+  std::atomic<std::uint64_t>* progress = nullptr;
+
+  /// Test-only fault injection into the harness itself (compiled in for
+  /// non-Release builds or -DVULFI_CRASH_HOOK=ON; see
+  /// crash_hook_compiled). When nonzero, the process raises SIGKILL on
+  /// itself (crash_after_experiments) or stops making progress forever
+  /// (hang_after_experiments) once that many experiments have executed
+  /// this run. Wired from the VULFI_CRASH_AFTER_EXPERIMENTS /
+  /// VULFI_HANG_AFTER_EXPERIMENTS env by the shard worker; used to prove
+  /// crash/stall recovery is bit-exact.
+  std::uint64_t crash_after_experiments = 0;
+  std::uint64_t hang_after_experiments = 0;
 
   // --- campaign resilience layer -----------------------------------------
 
@@ -241,9 +277,19 @@ enum CampaignExitCode : int {
   /// Cooperatively interrupted (SIGINT/SIGTERM); completed campaigns
   /// were checkpointed when a checkpoint path was configured.
   kCampaignExitInterrupted = 5,
+  /// Sharded run degraded to a partial result: a shard exhausted its
+  /// restart budget (or its journal has a gap) before the stop rule was
+  /// satisfied. The statistics cover the longest contiguous campaign
+  /// prefix — never a silent truncation, never a hang.
+  kCampaignExitShardPartial = 6,
 };
 
 int campaign_exit_code(const CampaignResult& result);
+
+/// True when this binary honors CampaignConfig::crash_after_experiments /
+/// hang_after_experiments (non-Release builds, or any build configured
+/// with -DVULFI_CRASH_HOOK=ON). Crash-injection tests skip when false.
+bool crash_hook_compiled();
 
 // --- checkpoint-journal record format (shared with the campaign service) ---
 // One header record pins everything the statistics depend on (including
@@ -278,5 +324,42 @@ std::string campaign_record_payload(const CampaignRecord& record);
 /// Parses a campaign record payload; nullopt when any field is missing.
 std::optional<CampaignRecord> parse_campaign_record(
     const std::string& payload);
+
+/// The shard provenance record a shard worker journals right after the
+/// header (unsealed): which shard of how many, and its campaign range.
+/// Byte-compared on shard resume like the header, and consumed by
+/// merge_shards to validate that shard ranges are disjoint.
+std::string shard_record_payload(const CampaignConfig& config);
+
+/// Replays campaign records through the exact absorb + stop-rule
+/// sequence of a single-process run. Feed records strictly in campaign
+/// index order (0, 1, 2, ...); wants_more() reports whether a
+/// single-process run would have executed the next campaign, so the
+/// consumer stops at exactly the index a single-process run stops at —
+/// the core of the bit-identical shard merge, and of the supervisor's
+/// early-stop detection. finalize() computes the converged flag with
+/// run_campaigns' formula.
+class CampaignReplayer {
+ public:
+  explicit CampaignReplayer(const CampaignConfig& config);
+
+  /// True while a single-process run would still execute campaign
+  /// result().campaigns (unconditional below min_campaigns, then the
+  /// sequential stop rule up to max_campaigns).
+  bool wants_more() const;
+
+  /// Absorbs the record for campaign result().campaigns. False (without
+  /// absorbing) when the record's index is not the next expected one.
+  bool absorb(const CampaignRecord& record);
+
+  const CampaignResult& result() const { return result_; }
+
+  /// Finalizes and returns the result (converged flag included).
+  CampaignResult finalize();
+
+ private:
+  CampaignConfig config_;
+  CampaignResult result_;
+};
 
 }  // namespace vulfi

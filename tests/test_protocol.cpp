@@ -3,8 +3,16 @@
 // policies, and the build fingerprint.
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/diff.hpp"
@@ -186,6 +194,31 @@ TEST(Requests, RejectsInvalidSubmits) {
                       "\"campaigns\":10,\"max_campaigns\":5}"));
   EXPECT_TRUE(rejects(
       "{\"op\":\"submit\",\"benchmark\":\"dot\",\"priority\":7}"));
+}
+
+TEST(Requests, ShardFieldsRoundTripAndStayOffTheWireByDefault) {
+  CampaignRequest request;
+  request.benchmark = "dot";
+  // shards == 0 (in-process) keeps the fields off the wire entirely, so
+  // pre-sharding daemons still parse every new client's submits.
+  EXPECT_EQ(serialize_request(request).find("shards"), std::string::npos);
+
+  request.shards = 4;
+  request.max_restarts = 7;
+  const std::optional<CampaignRequest> parsed =
+      parse_request(serialize_request(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->shards, 4u);
+  EXPECT_EQ(parsed->max_restarts, 7u);
+}
+
+TEST(Requests, RejectsAbsurdShardCounts) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_request(
+          "{\"op\":\"submit\",\"benchmark\":\"dot\",\"shards\":65}", &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(DiffRequests, RoundTripBitExact) {
@@ -379,6 +412,77 @@ TEST(CampaignRecords, RoundTrip) {
   EXPECT_EQ(parsed->prune_remapped, record.prune_remapped);
   EXPECT_EQ(parsed->prune_memo_hits, record.prune_memo_hits);
   EXPECT_FALSE(parse_campaign_record("{\"t\":\"campaign\",\"c\":1}"));
+}
+
+// --- socket EINTR hardening ------------------------------------------------
+
+TEST(SocketEintr, TransfersSurviveASignalStorm) {
+  // A no-op SIGUSR1 handler installed WITHOUT SA_RESTART, so every
+  // blocking socket call (poll, send, recv, accept) can observe EINTR.
+  // The shard supervisor restarts workers while vulfid streams frames,
+  // so signal-during-transfer is a production situation, not a test
+  // contrivance.
+  struct sigaction action {}, previous {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  const std::string path = testing::TempDir() + "vulfi_eintr_sock_" +
+                           std::to_string(::getpid());
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen_on(path, &error)) << error;
+
+  // Big enough to need many recv() chunks, under the frame cap.
+  const std::string payload(512 * 1024, 'x');
+  constexpr int kEchoes = 6;
+
+  std::thread echo_server([&] {
+    UnixConn conn = listener.accept_one(10000);
+    if (!conn.ok()) {
+      ADD_FAILURE() << "accept failed";
+      return;
+    }
+    for (int i = 0; i < kEchoes; ++i) {
+      std::string why;
+      const std::optional<std::string> frame = conn.recv_frame(10000, &why);
+      if (!frame) {
+        ADD_FAILURE() << "server recv: " << why;
+        return;
+      }
+      if (!conn.send_frame(*frame)) {
+        ADD_FAILURE() << "server send failed";
+        return;
+      }
+    }
+  });
+
+  const pthread_t client_thread = ::pthread_self();
+  const pthread_t server_thread = echo_server.native_handle();
+  std::atomic<bool> stop{false};
+  std::thread pounder([&] {
+    while (!stop.load()) {
+      ::pthread_kill(client_thread, SIGUSR1);
+      ::pthread_kill(server_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  UnixConn client = UnixConn::connect_to(path, &error);
+  ASSERT_TRUE(client.ok()) << error;
+  for (int i = 0; i < kEchoes; ++i) {
+    ASSERT_TRUE(client.send_frame(payload)) << "echo " << i;
+    std::string why;
+    const std::optional<std::string> echo = client.recv_frame(10000, &why);
+    ASSERT_TRUE(echo.has_value()) << "echo " << i << ": " << why;
+    EXPECT_EQ(*echo, payload) << "echo " << i;
+  }
+
+  stop.store(true);
+  pounder.join();
+  echo_server.join();
+  ::sigaction(SIGUSR1, &previous, nullptr);
 }
 
 }  // namespace

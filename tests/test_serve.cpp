@@ -126,6 +126,9 @@ class ServeTest : public testing::Test {
     config.socket_path = socket_path_;
     config.workers = workers;
     config.max_queue = max_queue;
+    // In-process servers must not exec /proc/self/exe (this test binary)
+    // for sharded submits — point them at the real CLI.
+    config.shard_worker_binary = VULFI_CLI_PATH;
     server_ = std::make_unique<CampaignServer>(config);
     std::string error;
     ASSERT_TRUE(server_->start(&error)) << error;
@@ -226,6 +229,111 @@ TEST_F(ServeTest, StreamedRecordsFormAValidJournal) {
     ASSERT_TRUE(record.has_value()) << *payload;
     EXPECT_EQ(record->campaign, i - 1);
   }
+}
+
+// --- sharded submits --------------------------------------------------------
+
+TEST_F(ServeTest, ShardedSubmitMatchesDirectRunByteForByte) {
+  start(/*workers=*/1);
+  CampaignRequest sharded = tiny_request();
+  sharded.shards = 2;
+  CampaignRequest plain = sharded;
+  plain.shards = 0;
+
+  std::vector<std::string> lines;
+  StreamCallbacks callbacks;
+  callbacks.on_record = [&](const std::string& line) {
+    lines.push_back(line);
+  };
+  const SubmitOutcome outcome =
+      submit_campaign(socket_path_, sharded, callbacks);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  const CampaignResult direct = direct_run(plain);
+  EXPECT_EQ(outcome.exit_code, campaign_exit_code(direct));
+  EXPECT_EQ(outcome.stats_json, campaign_stats_json(direct));
+  // The streamed transcript is the merged journal: header + one sealed
+  // record per campaign, in campaign order.
+  ASSERT_EQ(lines.size(), 4u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::optional<std::string> payload = journal_unseal(lines[i]);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(parse_campaign_record(*payload)->campaign, i - 1);
+  }
+}
+
+// --- busy retry -------------------------------------------------------------
+
+TEST(SubmitRetry, RetriesBusyWithBackoffUntilAccepted) {
+  // A hand-rolled daemon stand-in: two connections get a "busy" frame,
+  // the third gets a full accept→done stream. The retrying client must
+  // come back exactly three times and succeed.
+  const std::string path = "/tmp/vulfi_retry_test_" +
+                           std::to_string(::getpid()) + ".sock";
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen_on(path, &error)) << error;
+
+  std::thread fake_daemon([&] {
+    for (int i = 0; i < 3; ++i) {
+      UnixConn conn = listener.accept_one(10000);
+      if (!conn.ok()) {
+        ADD_FAILURE() << "accept " << i << " failed";
+        return;
+      }
+      conn.recv_frame(10000);  // consume the submit
+      if (i < 2) {
+        conn.send_frame(busy_payload(16, 16));
+      } else {
+        conn.send_frame(accepted_payload(7, 0));
+        conn.send_frame(engines_payload(3, false));
+        conn.send_frame(done_payload(7, 0, true, false, "", "{}"));
+      }
+    }
+  });
+
+  CampaignRequest request;
+  request.benchmark = "dot";
+  RetryPolicy policy;
+  policy.attempts = 5;
+  policy.base_ms = 1;  // keep the test fast; jitter is bounded by base
+  const SubmitOutcome outcome = submit_payload_with_retry(
+      path, serialize_request(request), policy);
+  fake_daemon.join();
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_FALSE(outcome.busy);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(outcome.exit_code, 0);
+}
+
+TEST(SubmitRetry, ExhaustedRetriesSurfaceTheAttemptCount) {
+  const std::string path = "/tmp/vulfi_retry_exhaust_" +
+                           std::to_string(::getpid()) + ".sock";
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen_on(path, &error)) << error;
+
+  std::thread fake_daemon([&] {
+    for (int i = 0; i < 2; ++i) {
+      UnixConn conn = listener.accept_one(10000);
+      if (!conn.ok()) return;
+      conn.recv_frame(10000);
+      conn.send_frame(busy_payload(16, 16));
+    }
+  });
+
+  CampaignRequest request;
+  request.benchmark = "dot";
+  RetryPolicy policy;
+  policy.attempts = 2;
+  policy.base_ms = 1;
+  const SubmitOutcome outcome = submit_payload_with_retry(
+      path, serialize_request(request), policy);
+  fake_daemon.join();
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.busy);
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_NE(outcome.error.find("2 attempts"), std::string::npos)
+      << outcome.error;
 }
 
 // --- warm-engine cache ------------------------------------------------------

@@ -1,0 +1,392 @@
+// Sharded-campaign suite: shard planning, worker journals, the
+// deterministic merge, and the crash-supervised end-to-end paths.
+//
+// The load-bearing property mirrors the checkpoint suite's: a campaign
+// run as N supervised worker processes — at any N, under any
+// crash/restart schedule, with torn shard tails — must merge to final
+// statistics byte-identical to a single-process run. Crash and hang
+// injection goes through the VULFI_CRASH_AFTER_EXPERIMENTS /
+// VULFI_HANG_AFTER_EXPERIMENTS hooks (raise(SIGKILL) from inside the
+// worker — a real SIGKILL, not a simulated exit), which only exist in
+// test builds; the supervised tests skip when the hook is compiled out.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/benchmark.hpp"
+#include "serve/engine_cache.hpp"
+#include "serve/shard.hpp"
+#include "support/journal.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+#include "vulfi/report.hpp"
+
+namespace vulfi::serve {
+namespace {
+
+std::string temp_base(const std::string& name) {
+  return testing::TempDir() + "vulfi_shard_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  ASSERT_TRUE(out.good());
+}
+
+/// RAII setenv: the crash/hang hooks are read from the environment by
+/// the worker (inherited on first launch, stripped on restart).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+/// The standard short campaign of the checkpoint suite: dot product,
+/// 3 input engines, 20 experiments x [3, 6] campaigns.
+CampaignRequest test_request() {
+  CampaignRequest request;
+  request.benchmark = "dot";
+  request.category = "pure-data";
+  request.isa = "avx";
+  request.experiments = 20;
+  request.min_campaigns = 3;
+  request.max_campaigns = 6;
+  request.seed = 0xfeedULL;
+  return request;
+}
+
+/// The request's engine set, configured exactly as a worker builds it.
+std::vector<std::unique_ptr<InjectionEngine>> engines_of(
+    const CampaignRequest& request) {
+  const kernels::Benchmark* bench =
+      kernels::find_benchmark(request.benchmark);
+  std::vector<std::unique_ptr<InjectionEngine>> engines;
+  for (unsigned input = 0; input < bench->num_inputs(); ++input) {
+    auto engine = std::make_unique<InjectionEngine>(
+        bench->build(spmd::Target::avx(), input),
+        analysis::FaultSiteCategory::PureData);
+    engine->set_golden_cache_enabled(request.golden_cache);
+    engine->set_static_prune(request.static_prune);
+    engines.push_back(std::move(engine));
+  }
+  return engines;
+}
+
+/// The single-process ground truth every sharded run must reproduce.
+CampaignResult run_unsharded(const CampaignRequest& request,
+                             const std::string& checkpoint = "") {
+  auto engines = engines_of(request);
+  std::vector<InjectionEngine*> pointers;
+  for (auto& engine : engines) pointers.push_back(engine.get());
+  CampaignConfig config = to_campaign_config(request, 0);
+  config.checkpoint_path = checkpoint;
+  return run_campaigns(pointers, config);
+}
+
+/// Runs every shard worker in-process and returns the journal paths.
+std::vector<std::string> run_workers(const CampaignRequest& request,
+                                     unsigned shards,
+                                     const std::string& base) {
+  std::vector<std::string> paths;
+  for (unsigned s = 0; s < shards; ++s) {
+    ShardWorkerOptions options;
+    options.request = request;
+    options.shard_index = s;
+    options.shard_total = shards;
+    options.journal_path = base + ".shard" + std::to_string(s);
+    EXPECT_EQ(run_shard_worker(options), 0) << "shard " << s;
+    paths.push_back(options.journal_path);
+  }
+  return paths;
+}
+
+// --- shard planning --------------------------------------------------------
+
+TEST(ShardPlan, PartitionsContiguouslyWithNearEqualSizes) {
+  for (const unsigned maxc : {1u, 5u, 6u, 7u, 64u}) {
+    for (const unsigned shards : {1u, 2u, 3u, 7u, 100u}) {
+      const std::vector<ShardRange> plan = shard_plan(maxc, shards);
+      ASSERT_FALSE(plan.empty());
+      EXPECT_LE(plan.size(), static_cast<std::size_t>(maxc));
+      std::uint64_t next = 0;
+      unsigned lo = plan.front().count, hi = plan.front().count;
+      for (const ShardRange& range : plan) {
+        EXPECT_EQ(range.first, next);  // contiguous, in order
+        EXPECT_GT(range.count, 0u);    // no empty shard
+        lo = std::min(lo, range.count);
+        hi = std::max(hi, range.count);
+        next += range.count;
+      }
+      EXPECT_EQ(next, maxc);    // exact cover of [0, maxc)
+      EXPECT_LE(hi - lo, 1u);   // near-equal split
+    }
+  }
+}
+
+TEST(ShardPlan, ZeroCampaignsYieldsNoShards) {
+  EXPECT_TRUE(shard_plan(0, 4).empty());
+}
+
+// --- workers + merge -------------------------------------------------------
+
+TEST(ShardMerge, AnyShardCountMergesBitIdenticalToUnsharded) {
+  const CampaignRequest request = test_request();
+  const CampaignResult baseline = run_unsharded(request);
+  ASSERT_TRUE(baseline.ok());
+
+  for (const unsigned shards : {1u, 2u, 3u}) {
+    const std::string base =
+        temp_base("merge" + std::to_string(shards));
+    const std::vector<std::string> paths =
+        run_workers(request, shards, base);
+    const ShardMergeOutcome merge = merge_shards(request, paths, base);
+    EXPECT_TRUE(merge.error.empty()) << merge.error;
+    EXPECT_EQ(merge.exit_code, campaign_exit_code(baseline));
+    EXPECT_EQ(campaign_stats_json(merge.result),
+              campaign_stats_json(baseline))
+        << shards << " shards";
+
+    // The merged journal is a plain checkpoint: resuming it replays the
+    // whole history and re-runs nothing.
+    const CampaignResult resumed = run_unsharded(request, base);
+    EXPECT_EQ(campaign_stats_json(resumed), campaign_stats_json(baseline));
+
+    for (const std::string& path : paths) std::remove(path.c_str());
+    std::remove(base.c_str());
+  }
+}
+
+TEST(ShardMerge, RefusesDuplicateCampaignIndices) {
+  const CampaignRequest request = test_request();
+  const std::string base = temp_base("dup");
+  const std::vector<std::string> paths = run_workers(request, 2, base);
+
+  // The same shard journal twice: shard 0's campaigns appear twice.
+  const ShardMergeOutcome merge =
+      merge_shards(request, {paths[0], paths[0]}, "");
+  EXPECT_EQ(merge.exit_code, kCampaignExitInternalError);
+  EXPECT_FALSE(merge.error.empty());
+
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+TEST(ShardMerge, RefusesMismatchedConfiguration) {
+  const CampaignRequest request = test_request();
+  const std::string base = temp_base("config");
+  const std::vector<std::string> paths = run_workers(request, 2, base);
+
+  CampaignRequest other = request;
+  other.seed += 1;  // any header-pinned knob: seed, experiments, margin...
+  const ShardMergeOutcome merge = merge_shards(other, paths, "");
+  EXPECT_EQ(merge.exit_code, kCampaignExitInternalError);
+  EXPECT_FALSE(merge.error.empty());
+
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+TEST(ShardMerge, RefusesForeignBuildFingerprint) {
+  const CampaignRequest request = test_request();
+  const std::string base = temp_base("build");
+  const std::vector<std::string> paths = run_workers(request, 2, base);
+
+  // Rewrite shard 1's header as if another binary had produced it: patch
+  // the build fingerprint and re-seal the line (the checksum still
+  // verifies, so this exercises the mismatch diagnostic, not recovery).
+  const std::string bytes = read_file(paths[1]);
+  const std::size_t nl = bytes.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const std::optional<std::string> header =
+      journal_unseal(std::string_view(bytes).substr(0, nl));
+  ASSERT_TRUE(header.has_value());
+  const std::size_t key = header->find("\"build\":\"");
+  ASSERT_NE(key, std::string::npos);
+  const std::size_t start = key + std::string("\"build\":\"").size();
+  const std::size_t end = header->find('"', start);
+  const std::string patched = header->substr(0, start) + "someone-else" +
+                              header->substr(end);
+  write_file(paths[1], journal_seal(patched) + "\n" + bytes.substr(nl + 1));
+
+  const ShardMergeOutcome merge = merge_shards(request, paths, "");
+  EXPECT_EQ(merge.exit_code, kCampaignExitInternalError);
+  EXPECT_NE(merge.error.find("binary"), std::string::npos) << merge.error;
+
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+TEST(ShardMerge, MissingShardYieldsExplicitPartialResult) {
+  const CampaignRequest request = test_request();
+  const std::string base = temp_base("gap");
+  const std::vector<std::string> paths = run_workers(request, 3, base);
+
+  // Drop the middle shard: the merge must degrade to the longest
+  // contiguous prefix and name the shard that owns the gap.
+  const ShardMergeOutcome merge =
+      merge_shards(request, {paths[0], paths[2]}, "");
+  EXPECT_EQ(merge.exit_code, kCampaignExitShardPartial);
+  ASSERT_EQ(merge.missing_shards.size(), 1u);
+  EXPECT_EQ(merge.missing_shards[0], 1u);
+  EXPECT_EQ(merge.result.campaigns, shard_plan(6, 3)[0].count);
+
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+TEST(ShardMerge, TornShardTailsRecoverAndResume) {
+  const CampaignRequest request = test_request();
+  const CampaignResult baseline = run_unsharded(request);
+  const std::string base = temp_base("torn");
+  const std::vector<std::string> paths = run_workers(request, 3, base);
+
+  // Tear the tails of 2 of the 3 shard files mid-record (a crash during
+  // an append): recovery rolls back to the last sealed record and the
+  // re-run worker finishes the range from there.
+  for (const unsigned victim : {0u, 2u}) {
+    const std::string bytes = read_file(paths[victim]);
+    ASSERT_GT(bytes.size(), 10u);
+    write_file(paths[victim], bytes.substr(0, bytes.size() - 10));
+
+    ShardWorkerOptions options;
+    options.request = request;
+    options.shard_index = victim;
+    options.shard_total = 3;
+    options.journal_path = paths[victim];
+    EXPECT_EQ(run_shard_worker(options), 0);
+  }
+
+  const ShardMergeOutcome merge = merge_shards(request, paths, "");
+  EXPECT_TRUE(merge.error.empty()) << merge.error;
+  EXPECT_EQ(campaign_stats_json(merge.result),
+            campaign_stats_json(baseline));
+
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+// --- supervised end-to-end -------------------------------------------------
+
+SupervisorOptions supervisor_options(const CampaignRequest& request,
+                                     unsigned shards,
+                                     const std::string& base) {
+  SupervisorOptions options;
+  options.request = request;
+  options.shards = shards;
+  options.journal_base = base;
+  options.worker_binary = VULFI_CLI_PATH;
+  options.backoff_base_ms = 1;  // tests should not sleep through backoff
+  options.heartbeat_ms = 50;
+  return options;
+}
+
+void remove_journals(const std::string& base, unsigned shards) {
+  std::remove(base.c_str());
+  for (unsigned s = 0; s < shards; ++s) {
+    std::remove((base + ".shard" + std::to_string(s)).c_str());
+  }
+}
+
+TEST(ShardSupervisor, SupervisedRunMatchesUnsharded) {
+  const CampaignRequest request = test_request();
+  const CampaignResult baseline = run_unsharded(request);
+
+  for (const unsigned shards : {1u, 3u}) {
+    const std::string base = temp_base("sup" + std::to_string(shards));
+    const SupervisorResult sup =
+        run_sharded_campaign(supervisor_options(request, shards, base));
+    EXPECT_TRUE(sup.error.empty()) << sup.error;
+    EXPECT_EQ(sup.exit_code, campaign_exit_code(baseline));
+    EXPECT_EQ(sup.restarts, 0u);
+    EXPECT_TRUE(sup.failed_shards.empty());
+    EXPECT_EQ(campaign_stats_json(sup.result),
+              campaign_stats_json(baseline))
+        << shards << " shards";
+    remove_journals(base, shards);
+  }
+}
+
+TEST(ShardSupervisor, SigkilledWorkersRestartAndMergeBitIdentical) {
+  if (!crash_hook_compiled()) {
+    GTEST_SKIP() << "crash hook compiled out (Release without "
+                    "-DVULFI_CRASH_HOOK=ON)";
+  }
+  const CampaignRequest request = test_request();
+  const CampaignResult baseline = run_unsharded(request);
+
+  // Every worker raises SIGKILL on itself mid-range (after 25 of its 40
+  // experiments); the supervisor must restart each from its shard
+  // journal and still merge byte-identically.
+  const ScopedEnv crash("VULFI_CRASH_AFTER_EXPERIMENTS", "25");
+  const std::string base = temp_base("crash");
+  const SupervisorResult sup =
+      run_sharded_campaign(supervisor_options(request, 3, base));
+  EXPECT_TRUE(sup.error.empty()) << sup.error;
+  EXPECT_EQ(sup.exit_code, campaign_exit_code(baseline));
+  EXPECT_GE(sup.restarts, 3u);  // all three workers died once
+  EXPECT_TRUE(sup.failed_shards.empty());
+  EXPECT_EQ(campaign_stats_json(sup.result), campaign_stats_json(baseline));
+  remove_journals(base, 3);
+}
+
+TEST(ShardSupervisor, RestartBudgetExhaustionDegradesToPartial) {
+  if (!crash_hook_compiled()) {
+    GTEST_SKIP() << "crash hook compiled out (Release without "
+                    "-DVULFI_CRASH_HOOK=ON)";
+  }
+  const CampaignRequest request = test_request();
+
+  // Crash before the first campaign completes, on every attempt: the
+  // budget runs out and the run must degrade to an explicit partial
+  // result — exit 6, failed shards named — never hang or report success.
+  const ScopedEnv crash("VULFI_CRASH_AFTER_EXPERIMENTS", "5");
+  const ScopedEnv always("VULFI_CRASH_EVERY_ATTEMPT", "1");
+  const std::string base = temp_base("exhaust");
+  SupervisorOptions options = supervisor_options(request, 2, base);
+  options.max_restarts = 1;
+  const SupervisorResult sup = run_sharded_campaign(options);
+  EXPECT_EQ(sup.exit_code, kCampaignExitShardPartial);
+  EXPECT_FALSE(sup.failed_shards.empty());
+  EXPECT_FALSE(sup.interrupted);
+  remove_journals(base, 2);
+}
+
+TEST(ShardSupervisor, HungWorkerIsKilledAndRestarted) {
+  if (!crash_hook_compiled()) {
+    GTEST_SKIP() << "crash hook compiled out (Release without "
+                    "-DVULFI_CRASH_HOOK=ON)";
+  }
+  const CampaignRequest request = test_request();
+  const CampaignResult baseline = run_unsharded(request);
+
+  // A hung worker keeps heartbeating but its progress counter freezes;
+  // the stall detector must SIGKILL and restart it under backoff.
+  const ScopedEnv hang("VULFI_HANG_AFTER_EXPERIMENTS", "25");
+  const std::string base = temp_base("hang");
+  SupervisorOptions options = supervisor_options(request, 2, base);
+  options.stall_timeout_seconds = 0.5;
+  const SupervisorResult sup = run_sharded_campaign(options);
+  EXPECT_TRUE(sup.error.empty()) << sup.error;
+  EXPECT_EQ(sup.exit_code, campaign_exit_code(baseline));
+  EXPECT_GE(sup.restarts, 2u);
+  EXPECT_EQ(campaign_stats_json(sup.result), campaign_stats_json(baseline));
+  remove_journals(base, 2);
+}
+
+}  // namespace
+}  // namespace vulfi::serve

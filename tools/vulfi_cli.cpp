@@ -45,7 +45,21 @@
 //       Exit codes: 0 stop rule satisfied (converged); 2 usage error;
 //       3 internal error (checkpoint mismatch/corruption, failed
 //       self-verification); 4 max campaigns reached without
-//       convergence; 5 interrupted by SIGINT/SIGTERM.
+//       convergence; 5 interrupted by SIGINT/SIGTERM; 6 partial result
+//       (sharded run whose failed shards truncated the campaign).
+//
+//       Sharded execution: --shards N partitions the campaign index
+//       space into N contiguous ranges and runs each in a supervised
+//       worker process journaling its own checksummed shard
+//       (<checkpoint>.shard<i>); crashed or stalled workers restart
+//       under exponential backoff (--max-restarts per shard) and resume
+//       from their shard journal, and the supervisor merges the shards
+//       into a single resumable journal whose statistics are
+//       byte-identical to a --shards 1 (or unsharded) run.
+//   vulfi merge-shards --inputs a.shard0,a.shard1,... [--out PATH]
+//                      [campaign options]
+//       Deterministically merge shard journals (run automatically by the
+//       supervisor; exposed for crash forensics and manual recovery).
 //   vulfi lint [--benchmark NAME | --file K.ispc | --all] [--target avx|sse]
 //       Run the IR lint driver (verifier + unreachable-block, dead-value,
 //       and constant-condition checks) over shipped kernel modules.
@@ -73,6 +87,7 @@
 #include "serve/client.hpp"
 #include "serve/diff.hpp"
 #include "serve/server.hpp"
+#include "serve/shard.hpp"
 #include "support/hash.hpp"
 #include "vulfi/summary.hpp"
 #include "support/barchart.hpp"
@@ -121,14 +136,29 @@ struct CliArgs {
       "[--max-campaigns K] [--experiments N] [--seed S] [--target avx|sse] "
       "[--jobs N] [--no-golden-cache] [--no-static-prune] "
       "[--checkpoint PATH] [--self-verify K] [--stall-timeout SEC] "
-      "[--stats-json PATH] [--backend interp|jit] [--summary-store DIR]\n"
+      "[--stats-json PATH] [--backend interp|jit] [--summary-store DIR] "
+      "[--shards N] [--max-restarts K]\n"
       "           --summary-store DIR appends the finished campaign as a\n"
       "           per-unit summary record consumable by `vulfi diff`.\n"
       "           --backend jit executes runs through the template JIT\n"
       "           (native x86-64; statistics bit-identical to interp).\n"
+      "           --shards N runs the campaign as N supervised worker\n"
+      "           processes with per-shard journals, crash/stall restart\n"
+      "           under exponential backoff (--max-restarts per shard),\n"
+      "           and a deterministic merge — statistics byte-identical\n"
+      "           to an unsharded run for every N and every crash\n"
+      "           schedule. --stall-timeout doubles as the supervisor's\n"
+      "           hung-worker kill threshold.\n"
       "           Exit codes: 0 converged, 3 internal error, 4 max "
       "campaigns without convergence, 5 interrupted (SIGINT/SIGTERM; "
-      "completed campaigns land in --checkpoint, rerun to resume).\n"
+      "completed campaigns land in --checkpoint, rerun to resume), 6 "
+      "partial result (failed shards truncated the campaign).\n"
+      "  merge-shards --inputs A.shard0,A.shard1,... [--out PATH]\n"
+      "           [campaign options]  Merge shard journals written by a\n"
+      "           sharded campaign into one resumable journal; refuses\n"
+      "           mismatched configurations/builds and duplicate campaign\n"
+      "           indices (exit 3), reports gaps as a partial result\n"
+      "           (exit 6).\n"
       "  diff     --store DIR [--against DIR] [--units a,b,c]\n"
       "           [campaign options] [--socket PATH] [--stats-json PATH]\n"
       "           Incremental resilience-regression analysis: per-unit\n"
@@ -164,11 +194,16 @@ struct CliArgs {
       "           JSONL over a Unix socket, warm-engine cache, fair\n"
       "           scheduling with backpressure. SIGINT/SIGTERM drains.\n"
       "  submit   --socket PATH --benchmark NAME [campaign options]\n"
-      "           [--priority 0..3] [--journal PATH]\n"
+      "           [--priority 0..3] [--journal PATH] [--retry N]\n"
+      "           [--retry-base-ms M] [--shards N] [--max-restarts K]\n"
       "           Submit one campaign to a daemon and stream its\n"
       "           progress; exit codes match `vulfi campaign`. --journal\n"
       "           appends the streamed records to a resumable checkpoint\n"
-      "           journal.\n"
+      "           journal. --retry N retries a busy daemon up to N\n"
+      "           attempts with exponential backoff + jitter (base\n"
+      "           --retry-base-ms, default 200). --shards N asks the\n"
+      "           daemon to run the campaign as N supervised worker\n"
+      "           processes.\n"
       "  ping     --socket PATH   Probe a daemon (protocol + build).\n"
       "  shutdown --socket PATH   Drain a daemon and stop it.\n"
       "  compile  --file K.ispc [--target avx|sse] [--detectors] "
@@ -201,7 +236,14 @@ CliArgs parse(int argc, char** argv) {
                                  "--max-request-jobs", "--cache-entries",
                                  "--seeds", "--oracle", "--repro-dir",
                                  "--replay", "--backend", "--store",
-                                 "--against", "--units", "--summary-store"};
+                                 "--against", "--units", "--summary-store",
+                                 "--shards", "--max-restarts",
+                                 "--retry", "--retry-base-ms",
+                                 "--inputs", "--out",
+                                 // hidden `shard-worker` plumbing
+                                 "--request-json", "--shard",
+                                 "--shard-journal", "--status-fd",
+                                 "--heartbeat-ms"};
   const char* flag_options[] = {"--detectors", "--instrumented", "--report",
                                 "--no-golden-cache", "--no-static-prune",
                                 "--all", "--quiet", "--no-reduce"};
@@ -475,7 +517,167 @@ int cmd_compile(const CliArgs& args) {
   return 0;
 }
 
+serve::CampaignRequest campaign_request_of(const CliArgs& args);
+
+/// `vulfi campaign --shards N`: the supervised multi-process path.
+/// Statistics (and --stats-json bytes) are identical to the in-process
+/// path for every shard count and every crash/restart schedule.
+int cmd_campaign_sharded(const CliArgs& args) {
+  const auto& bench = benchmark_of(args);
+  const analysis::FaultSiteCategory category = category_of(args);
+  const spmd::Target target = target_of(args);
+
+  serve::CampaignRequest request = campaign_request_of(args);
+  serve::SupervisorOptions options;
+  options.request = request;
+  options.request.shards = 0;  // each worker runs its range in-process
+  options.shards = request.shards;
+  options.max_restarts = request.max_restarts;
+  options.journal_base = request.checkpoint;
+  options.on_log = [](const std::string& message) {
+    std::fprintf(stderr, "vulfi: %s\n", message.c_str());
+  };
+  CancellationToken cancel;
+  const ScopedSignalCancellation signal_guard(cancel);
+  options.cancel = &cancel;
+
+  const serve::SupervisorResult sup = serve::run_sharded_campaign(options);
+  if (!sup.error.empty()) {
+    std::fprintf(stderr, "vulfi: %s\n", sup.error.c_str());
+  }
+  const CampaignResult& result = sup.result;
+
+  std::printf("%s / %s / %s — %u shard worker%s, %u restart%s\n",
+              bench.name().c_str(), analysis::category_name(category),
+              target.name(), request.shards, request.shards == 1 ? "" : "s",
+              sup.restarts, sup.restarts == 1 ? "" : "s");
+  std::printf("  campaigns: %u x %u experiments (%llu total)\n",
+              result.campaigns, request.experiments,
+              static_cast<unsigned long long>(result.experiments));
+  if (result.experiments > 0) {
+    std::printf("  %s\n", render_rates_with_ci(result).c_str());
+    std::printf("  mean campaign SDC rate %.4f, margin of error (95%%) "
+                "±%.2f%%, near-normal: %s\n",
+                result.sdc_samples.mean(), result.margin_of_error * 100.0,
+                result.near_normal ? "yes" : "no");
+  }
+  if (!sup.failed_shards.empty()) {
+    std::string list;
+    for (unsigned s : sup.failed_shards) {
+      list += strf("%s%u", list.empty() ? "" : ",", s);
+    }
+    std::printf("  failed shards (restart budget exhausted): %s\n",
+                list.c_str());
+  }
+  if (!sup.merged_path.empty()) {
+    std::printf("  merged journal: %s\n", sup.merged_path.c_str());
+  }
+
+  const std::string stats_path = args.get("stats-json");
+  if (!stats_path.empty()) {
+    std::ofstream out(stats_path, std::ios::trunc);
+    out << campaign_stats_json(result) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "vulfi: cannot write stats to '%s'\n",
+                   stats_path.c_str());
+      return kCampaignExitInternalError;
+    }
+  }
+  return sup.exit_code;
+}
+
+/// Hidden subcommand: one shard worker process, exec'd by the
+/// supervisor. The request arrives as its serialized submit payload so
+/// doubles round-trip bit-exactly.
+int cmd_shard_worker(const CliArgs& args) {
+  const std::string request_json = args.get("request-json");
+  if (request_json.empty()) {
+    std::fprintf(stderr, "shard-worker: --request-json is required\n");
+    return 2;
+  }
+  std::string error;
+  const std::optional<serve::CampaignRequest> request =
+      serve::parse_request(request_json, &error);
+  if (!request) {
+    std::fprintf(stderr, "shard-worker: %s\n", error.c_str());
+    return 2;
+  }
+  serve::ShardWorkerOptions options;
+  options.request = *request;
+  options.request.shards = 0;
+  options.shard_index =
+      static_cast<unsigned>(std::stoul(args.get("shard", "0")));
+  options.shard_total =
+      static_cast<unsigned>(std::stoul(args.get("shards", "1")));
+  options.journal_path = args.get("shard-journal");
+  options.status_fd = std::stoi(args.get("status-fd", "-1"));
+  options.heartbeat_ms =
+      static_cast<unsigned>(std::stoul(args.get("heartbeat-ms", "250")));
+  return serve::run_shard_worker(options);
+}
+
+/// `vulfi merge-shards`: the supervisor's merge step as a standalone
+/// command, for crash forensics and manual recovery.
+int cmd_merge_shards(const CliArgs& args) {
+  serve::CampaignRequest request = campaign_request_of(args);
+  request.shards = 0;
+  if (request.benchmark.empty()) {
+    std::fprintf(stderr, "--benchmark is required\n");
+    return 2;
+  }
+  std::vector<std::string> paths;
+  const std::string inputs = args.get("inputs");
+  for (std::size_t begin = 0; begin <= inputs.size();) {
+    std::size_t end = inputs.find(',', begin);
+    if (end == std::string::npos) end = inputs.size();
+    if (end > begin) paths.push_back(inputs.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "merge-shards: --inputs A.shard0,A.shard1,... is required\n");
+    return 2;
+  }
+
+  const serve::ShardMergeOutcome merge =
+      serve::merge_shards(request, paths, args.get("out"));
+  if (!merge.error.empty()) {
+    std::fprintf(stderr, "vulfi: %s\n", merge.error.c_str());
+  }
+  std::printf("merged %zu shard journal%s: %zu campaign record%s\n",
+              paths.size(), paths.size() == 1 ? "" : "s",
+              merge.records.size(), merge.records.size() == 1 ? "" : "s");
+  if (merge.result.experiments > 0) {
+    std::printf("  %s\n", render_rates_with_ci(merge.result).c_str());
+  }
+  if (!merge.missing_shards.empty()) {
+    std::string list;
+    for (unsigned s : merge.missing_shards) {
+      list += strf("%s%u", list.empty() ? "" : ",", s);
+    }
+    std::printf("  missing shards: %s\n", list.c_str());
+  }
+  const std::string out_path = args.get("out");
+  if (!out_path.empty() && merge.exit_code != kCampaignExitInternalError) {
+    std::printf("  merged journal: %s\n", out_path.c_str());
+  }
+  const std::string stats_path = args.get("stats-json");
+  if (!stats_path.empty()) {
+    std::ofstream out(stats_path, std::ios::trunc);
+    out << campaign_stats_json(merge.result) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "vulfi: cannot write stats to '%s'\n",
+                   stats_path.c_str());
+      return kCampaignExitInternalError;
+    }
+  }
+  return merge.exit_code;
+}
+
 int cmd_campaign(const CliArgs& args) {
+  if (std::stoul(args.get("shards", "0")) > 0) {
+    return cmd_campaign_sharded(args);
+  }
   const auto& bench = benchmark_of(args);
   const analysis::FaultSiteCategory category = category_of(args);
   const spmd::Target target = target_of(args);
@@ -795,6 +997,9 @@ serve::CampaignRequest campaign_request_of(const CliArgs& args) {
   request.backend = args.get("backend", "interp");
   request.priority =
       static_cast<unsigned>(std::stoul(args.get("priority", "1")));
+  request.shards = static_cast<unsigned>(std::stoul(args.get("shards", "0")));
+  request.max_restarts =
+      static_cast<unsigned>(std::stoul(args.get("max-restarts", "3")));
   request.confidence = std::stod(args.get("confidence", "0.95"));
   request.target_margin = std::stod(args.get("margin", "0.03"));
   request.self_verify =
@@ -835,8 +1040,18 @@ int cmd_submit(const CliArgs& args) {
     std::fprintf(stderr, "vulfi: %s\n", message.c_str());
   };
 
-  const serve::SubmitOutcome outcome =
-      serve::submit_campaign(socket_path, request, callbacks);
+  // --retry N: a busy daemon is retried under exponential backoff +
+  // jitter. Only "busy" retries — nothing was scheduled, so a resubmit
+  // cannot duplicate work.
+  serve::RetryPolicy policy;
+  policy.attempts =
+      static_cast<unsigned>(std::stoul(args.get("retry", "1")));
+  policy.base_ms =
+      static_cast<unsigned>(std::stoul(args.get("retry-base-ms", "200")));
+  policy.jitter_seed = request.seed;
+
+  const serve::SubmitOutcome outcome = serve::submit_campaign_with_retry(
+      socket_path, request, policy, callbacks);
   if (!outcome.ok) {
     std::fprintf(stderr, "vulfi: %s\n", outcome.error.c_str());
     return 3;
@@ -998,6 +1213,8 @@ int main(int argc, char** argv) {
   if (args.command == "sites") return cmd_sites(args);
   if (args.command == "inject") return cmd_inject(args);
   if (args.command == "campaign") return cmd_campaign(args);
+  if (args.command == "shard-worker") return cmd_shard_worker(args);
+  if (args.command == "merge-shards") return cmd_merge_shards(args);
   if (args.command == "compile") return cmd_compile(args);
   if (args.command == "study") return cmd_study(args);
   if (args.command == "lint") return cmd_lint(args);
