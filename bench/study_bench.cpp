@@ -1,0 +1,181 @@
+// Study fleet-driver benchmark (BENCH_PR10.json).
+//
+// Measures what `vulfi study` exists to amortize: kSweeps repetitions of
+// a fixed small plan run the way a script of one-shot CLI invocations
+// would (serial, window 1, a fresh cold engine cache per sweep, no
+// reuse) versus the fleet driver's path — cells fanned through a live
+// vulfid socket with a bounded window, and repeated sweeps answered from
+// the summary store with ZERO new experiments. The window also buys
+// wall-clock on multicore hosts, but the floor below is enforced on the
+// reuse win because it is deterministic on any core count.
+//
+// The run doubles as a correctness check: every sweep's report JSON —
+// serial local, daemon-fanned cold, and store-warm — must be
+// byte-identical. Exits non-zero when the fleet speedup falls under the
+// 2x acceptance floor, any warm sweep injects a new experiment, or any
+// report byte differs.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "serve/server.hpp"
+#include "study/study.hpp"
+#include "vulfi/summary.hpp"
+
+namespace {
+
+using namespace vulfi;
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned kSweeps = 3;
+
+/// The fixed plan: the heaviest paper kernel across the scalar baseline
+/// and the native AVX width — two cold engine builds per cold sweep.
+study::StudyPlan plan_of() {
+  study::StudyPlanConfig config;
+  config.benchmarks = {"blackscholes"};
+  config.widths = {1, 8};
+  config.isas = {"avx"};
+  config.categories = {"pure-data"};
+  config.detectors_on = false;
+  config.base.experiments = 10;
+  config.base.min_campaigns = 2;
+  config.base.max_campaigns = 2;
+  config.base.seed = 24029;
+  std::string error;
+  const std::optional<study::StudyPlan> plan =
+      study::StudyPlan::make(config, &error);
+  if (!plan) {
+    std::fprintf(stderr, "plan failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return *plan;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_PR10.json";
+  const study::StudyPlan plan = plan_of();
+
+  // Serial baseline: every sweep pays everything again — window 1, a
+  // cold private cache (run_study builds one when none is supplied),
+  // no journal, no summary store.
+  std::vector<std::string> serial_reports;
+  const auto serial_start = Clock::now();
+  for (unsigned sweep = 0; sweep < kSweeps; ++sweep) {
+    study::StudyOptions options;
+    options.window = 1;
+    const study::StudyResult result = study::run_study(plan, options);
+    if (!result.complete()) {
+      std::fprintf(stderr, "serial sweep %u failed: %s\n", sweep,
+                   result.error.c_str());
+      return 1;
+    }
+    serial_reports.push_back(study::study_report_json(plan, result));
+  }
+  const double serial_seconds = seconds_since(serial_start);
+
+  // Fleet side: the same sweeps fanned through a live daemon, with the
+  // summary store answering every repeated (unit, config) cell.
+  const std::string store_dir =
+      "/tmp/vulfi_study_bench_" + std::to_string(::getpid());
+  std::remove((store_dir + "/" + SummaryStore::filename()).c_str());
+  ::rmdir(store_dir.c_str());
+  serve::ServerConfig config;
+  config.socket_path = store_dir + ".sock";
+  config.workers = 2;
+  config.verbose = false;
+  serve::CampaignServer server(config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "daemon start failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  bool identical = true;
+  std::uint64_t warm_experiments = 0;
+  const auto fleet_start = Clock::now();
+  for (unsigned sweep = 0; sweep < kSweeps; ++sweep) {
+    study::StudyOptions options;
+    options.socket = config.socket_path;
+    options.window = 4;
+    options.summaries_dir = store_dir;
+    const study::StudyResult result = study::run_study(plan, options);
+    if (!result.complete()) {
+      std::fprintf(stderr, "fleet sweep %u failed: %s\n", sweep,
+                   result.error.c_str());
+      return 1;
+    }
+    if (sweep > 0) warm_experiments += result.new_experiments;
+    identical = identical &&
+                study::study_report_json(plan, result) == serial_reports[sweep];
+  }
+  const double fleet_seconds = seconds_since(fleet_start);
+  server.request_shutdown();
+  server.wait();
+  std::remove((store_dir + "/" + SummaryStore::filename()).c_str());
+  ::rmdir(store_dir.c_str());
+  std::remove(config.socket_path.c_str());
+
+  const double speedup =
+      fleet_seconds > 0.0 ? serial_seconds / fleet_seconds : 0.0;
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"study_fleet_driver\",\n"
+               "  \"kernel\": \"blackscholes\",\n"
+               "  \"cells\": %zu,\n"
+               "  \"sweeps\": %u,\n"
+               "  \"serial_seconds\": %.3f,\n"
+               "  \"fleet_seconds\": %.3f,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"warm_sweep_new_experiments\": %llu,\n"
+               "  \"reports_byte_identical\": %s\n"
+               "}\n",
+               plan.cells().size(), kSweeps, serial_seconds, fleet_seconds,
+               speedup, static_cast<unsigned long long>(warm_experiments),
+               identical ? "true" : "false");
+  std::fclose(out);
+  std::fprintf(stderr,
+               "study-bench: %u sweeps x %zu cells serial %.3fs, fleet "
+               "(daemon + store) %.3fs -> %.2fx; warm sweeps injected "
+               "%llu experiments -> %s\n",
+               kSweeps, plan.cells().size(), serial_seconds, fleet_seconds,
+               speedup, static_cast<unsigned long long>(warm_experiments),
+               json_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "study-bench: FAIL — fleet report diverged from serial\n");
+    return 1;
+  }
+  if (warm_experiments != 0) {
+    std::fprintf(stderr,
+                 "study-bench: FAIL — warm sweeps injected %llu new "
+                 "experiments (want 0)\n",
+                 static_cast<unsigned long long>(warm_experiments));
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "study-bench: FAIL — fleet speedup %.2fx under the 2x "
+                 "floor\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,61 +1,56 @@
-// A complete miniature resiliency study of one benchmark — the per-cell
-// methodology behind the paper's Figure 11, on blackscholes.
+// A complete miniature resiliency study of one benchmark through the
+// study subsystem (src/study/) — the vector-width extension of the
+// paper's Figure-11 methodology.
 //
 //   $ ./resiliency_study [benchmark-name]
 //
-// Runs statistically controlled fault-injection campaigns per fault-site
-// category under both the AVX and SSE4 targets, drawing a random program
-// input per experiment, and reports SDC / Benign / Crash rates with the
-// 95%-confidence margin of error (paper §IV-D).
+// Enumerates a StudyPlan over vector length (1 = scalar serial
+// baseline, 4, and the ISA-native 8) × both ISAs × every fault-site
+// category, runs it through run_study() against an in-process engine
+// cache, and prints the comparative report: per-cell SDC rates with
+// Wilson 95% intervals, SDC deltas across vector widths, and the
+// serial-vs-vector scaling table. The same plan can be fanned through a
+// running daemon (`vulfi study --socket`) with byte-identical output.
 #include <cstdio>
-#include <memory>
+#include <string>
 
-#include "kernels/benchmark.hpp"
-#include "support/str.hpp"
-#include "support/table.hpp"
-#include "vulfi/campaign.hpp"
+#include "study/study.hpp"
 
 using namespace vulfi;
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "blackscholes";
-  const kernels::Benchmark* bench = kernels::find_benchmark(name);
-  if (!bench) {
-    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+  study::StudyPlanConfig config;
+  config.benchmarks = {argc > 1 ? argv[1] : "blackscholes"};
+  config.widths = {1, 4, 8};
+  config.isas = {"avx", "sse"};
+  config.categories = {"pure-data", "control", "address"};
+  config.detectors_on = false;  // detector efficacy: see `vulfi study`
+  config.base.experiments = 50;
+  config.base.min_campaigns = 4;
+  config.base.max_campaigns = 8;
+  config.base.seed = 24029;
+
+  std::string error;
+  const std::optional<study::StudyPlan> plan =
+      study::StudyPlan::make(config, &error);
+  if (!plan) {
+    std::fprintf(stderr, "%s\n", error.c_str());
     return 2;
   }
 
-  TextTable table({"Target", "Category", "SDC", "Benign", "Crash",
-                   "MoE(95%)", "Campaigns"});
-  for (const spmd::Target& target :
-       {spmd::Target::avx(), spmd::Target::sse4()}) {
-    for (analysis::FaultSiteCategory category :
-         {analysis::FaultSiteCategory::PureData,
-          analysis::FaultSiteCategory::Control,
-          analysis::FaultSiteCategory::Address}) {
-      // One engine per predefined input; each experiment picks one at
-      // random (paper §IV-B execution strategy).
-      std::vector<std::unique_ptr<InjectionEngine>> engines;
-      std::vector<InjectionEngine*> pointers;
-      for (unsigned input = 0; input < bench->num_inputs(); ++input) {
-        engines.push_back(std::make_unique<InjectionEngine>(
-            bench->build(target, input), category));
-        pointers.push_back(engines.back().get());
-      }
+  study::StudyOptions options;
+  options.window = 4;
+  options.on_cell = [&plan](const study::StudyCellOutcome& outcome) {
+    if (!outcome.done) return;
+    std::fprintf(stderr, "  finished %s (%llu experiments)\n",
+                 outcome.cell.key().c_str(),
+                 static_cast<unsigned long long>(outcome.counts.experiments));
+  };
 
-      CampaignConfig config;
-      config.experiments_per_campaign = 50;
-      config.min_campaigns = 4;
-      config.max_campaigns = 8;
-      const CampaignResult result = run_campaigns(pointers, config);
-      table.add_row({target.name(), analysis::category_name(category),
-                     pct(result.sdc_rate()), pct(result.benign_rate()),
-                     pct(result.crash_rate()),
-                     strf("±%.2f%%", result.margin_of_error * 100.0),
-                     std::to_string(result.campaigns)});
-    }
+  const study::StudyResult result = study::run_study(*plan, options);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
   }
-  std::printf("Resiliency study: %s\n\n%s", bench->name().c_str(),
-              table.render().c_str());
-  return 0;
+  std::fputs(study::study_report_markdown(*plan, result).c_str(), stdout);
+  return result.exit_code;
 }

@@ -134,6 +134,12 @@ Value* IRBuilder::gep(Value* base, std::vector<Value*> indices,
 
 Value* IRBuilder::extract_element(Value* vec, Value* index,
                                   std::string name) {
+  if (vec->type().is_scalar()) {
+    // Scalar (Vl = 1) kernels: a one-lane "vector" IS its element, so the
+    // extract folds away and no scalar-shaped vector instruction is ever
+    // emitted (the verifier and interpreters only ever see lanes >= 2).
+    return vec;
+  }
   VULFI_ASSERT(vec->type().is_vector(), "extractelement requires a vector");
   VULFI_ASSERT(index->type().is_integer() && index->type().is_scalar(),
                "extractelement index must be a scalar integer");
@@ -150,6 +156,13 @@ Value* IRBuilder::extract_element(Value* vec, unsigned index,
 
 Value* IRBuilder::insert_element(Value* vec, Value* elem, Value* index,
                                  std::string name) {
+  if (vec->type().is_scalar()) {
+    // Scalar (Vl = 1) kernels: inserting lane 0 of a one-lane value just
+    // replaces it. Folds like extract_element above.
+    VULFI_ASSERT(elem->type() == vec->type(),
+                 "insertelement element type mismatch");
+    return elem;
+  }
   VULFI_ASSERT(vec->type().is_vector(), "insertelement requires a vector");
   VULFI_ASSERT(elem->type() == vec->type().element(),
                "insertelement element type mismatch");
@@ -174,7 +187,10 @@ Value* IRBuilder::shuffle(Value* v1, Value* v2, std::vector<int> mask,
 
 Value* IRBuilder::broadcast(Value* scalar, unsigned lanes, std::string name) {
   VULFI_ASSERT(scalar->type().is_scalar(), "broadcast takes a scalar");
-  VULFI_ASSERT(lanes >= 2, "broadcast needs at least two lanes");
+  VULFI_ASSERT(lanes >= 1, "broadcast needs at least one lane");
+  // Scalar (Vl = 1) kernels: the splat of a scalar to one lane is the
+  // scalar itself.
+  if (lanes == 1) return scalar;
   const Type vec_type = scalar->type().with_lanes(lanes);
   Value* init = insert_element(module_.const_undef(vec_type), scalar, 0u,
                                name.empty() ? "" : name + "_init");

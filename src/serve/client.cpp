@@ -63,10 +63,28 @@ SubmitOutcome submit_payload(const std::string& socket_path,
     return outcome;
   }
 
+  // With a cancel token the receive runs in short slices so the token is
+  // observed promptly; the first cancelled() observation sends a single
+  // {"op":"cancel"} on this connection (the server's connection watcher
+  // flips the request's token) and then keeps draining — the server still
+  // closes the stream with a "done" frame carrying the interrupted exit.
+  bool cancel_sent = false;
   for (;;) {
     std::string why;
-    const std::optional<std::string> frame =
-        conn.recv_frame(frame_timeout_ms, &why);
+    std::optional<std::string> frame;
+    if (callbacks.cancel == nullptr) {
+      frame = conn.recv_frame(frame_timeout_ms, &why);
+    } else {
+      constexpr int kSliceMs = 100;
+      for (int waited = 0; waited < frame_timeout_ms; waited += kSliceMs) {
+        if (callbacks.cancel->cancelled() && !cancel_sent) {
+          cancel_sent = true;
+          conn.send_frame("{\"op\":\"cancel\"}");
+        }
+        frame = conn.recv_frame(kSliceMs, &why);
+        if (frame || why != "timeout") break;
+      }
+    }
     if (!frame) {
       outcome.error = why == "closed"
                           ? "connection dropped mid-campaign (resubmit "
@@ -98,7 +116,7 @@ SubmitOutcome submit_payload(const std::string& socket_path,
           journal_str(*frame, "cache").value_or("") == "hit";
     } else if (t == "header") {
       if (callbacks.on_record) callbacks.on_record(*frame);
-    } else if (t == "campaign") {
+    } else if (t == "campaign" || t == "study-cell") {
       outcome.records += 1;
       if (callbacks.on_record) callbacks.on_record(*frame);
     } else if (t == "log") {

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "serve/protocol.hpp"
+#include "support/cancel.hpp"
 
 namespace vulfi::serve {
 
@@ -15,9 +16,14 @@ namespace vulfi::serve {
 /// journal line exactly as a checkpoint file would store it (header
 /// first, then campaign records) — append them to a file and you hold a
 /// resumable checkpoint. `on_log` receives watchdog diagnostics.
+/// When `cancel` is set, the stream loop polls it between frames and, on
+/// the first cancelled() observation, sends {"op":"cancel"} on the same
+/// connection — the server drains cooperatively and the stream still
+/// ends with a "done" frame (exit 5, interrupted).
 struct StreamCallbacks {
   std::function<void(const std::string&)> on_record;
   std::function<void(const std::string&)> on_log;
+  const CancellationToken* cancel = nullptr;
 };
 
 struct SubmitOutcome {

@@ -22,8 +22,13 @@ analysis::FaultSiteCategory category_of(const std::string& name) {
   return analysis::FaultSiteCategory::PureData;
 }
 
-spmd::Target target_of(const std::string& isa) {
-  return isa == "avx" ? spmd::Target::avx() : spmd::Target::sse4();
+spmd::Target target_of(const std::string& isa, unsigned vl) {
+  spmd::Target target =
+      isa == "avx" ? spmd::Target::avx() : spmd::Target::sse4();
+  // vl == 0 keeps the ISA's native width; vl == 1 is the scalar serial
+  // baseline of the width study (KernelBuilder lowers it mask-free).
+  if (vl != 0) target.vector_width = vl;
+  return target;
 }
 
 }  // namespace
@@ -97,10 +102,14 @@ std::string EngineCache::key_of(const CampaignRequest& request) {
   // The backend is part of the key even though statistics are
   // backend-independent: a leased engine set carries warmed backend state
   // (compiled code, decode caches), so sets stay backend-homogeneous.
-  return strf("%s|%s|%s|det%u|gc%u|sp%u|be-%s", request.benchmark.c_str(),
-              request.isa == "avx" ? "avx" : "sse", request.category.c_str(),
-              request.detectors ? 1u : 0u, request.golden_cache ? 1u : 0u,
-              request.static_prune ? 1u : 0u, request.backend.c_str());
+  std::string key = strf(
+      "%s|%s|%s|det%u|gc%u|sp%u|be-%s", request.benchmark.c_str(),
+      request.isa == "avx" ? "avx" : "sse", request.category.c_str(),
+      request.detectors ? 1u : 0u, request.golden_cache ? 1u : 0u,
+      request.static_prune ? 1u : 0u, request.backend.c_str());
+  // Appended only for explicit overrides so pre-vl keys stay stable.
+  if (request.vl != 0) key += strf("|vl%u", request.vl);
+  return key;
 }
 
 EngineCache::Lease EngineCache::acquire(const CampaignRequest& request) {
@@ -149,7 +158,7 @@ EngineCache::Lease EngineCache::acquire(const CampaignRequest& request) {
     if (bench == nullptr) {
       entry->error = strf("unknown benchmark '%s'", request.benchmark.c_str());
     } else {
-      const spmd::Target target = target_of(request.isa);
+      const spmd::Target target = target_of(request.isa, request.vl);
       const analysis::FaultSiteCategory category =
           category_of(request.category);
       for (unsigned input = 0; input < bench->num_inputs(); ++input) {

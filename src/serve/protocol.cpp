@@ -22,6 +22,10 @@ bool known_backend(const std::string& name) {
   return name == "interp" || name == "jit";
 }
 
+bool known_vl(unsigned vl) {
+  return vl == 0 || vl == 1 || vl == 2 || vl == 4 || vl == 8 || vl == 16;
+}
+
 bool fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
   return false;
@@ -48,6 +52,7 @@ std::string campaign_fields_json(const CampaignRequest& request) {
       json_escape(request.fsync).c_str());
   payload +=
       strf(",\"backend\":\"%s\"", json_escape(request.backend).c_str());
+  if (request.vl != 0) payload += strf(",\"vl\":%u", request.vl);
   if (request.shards != 0) {
     payload += strf(",\"shards\":%u,\"max_restarts\":%u", request.shards,
                     request.max_restarts);
@@ -119,6 +124,10 @@ bool parse_campaign_fields(const std::string& payload,
   }
   if (request->priority > 3) {
     return fail(error, strf("%s: priority must be 0..3", ctx));
+  }
+  request->vl = static_cast<unsigned>(u64("vl", 0));
+  if (!known_vl(request->vl)) {
+    return fail(error, strf("%s: vl must be one of 1, 2, 4, 8, 16", ctx));
   }
   request->shards = static_cast<unsigned>(u64("shards", 0));
   request->max_restarts = static_cast<unsigned>(u64("max_restarts", 3));

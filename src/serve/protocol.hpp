@@ -36,6 +36,11 @@ struct CampaignRequest {
   std::string benchmark;
   std::string category = "pure-data";  ///< pure-data | control | address
   std::string isa = "avx";             ///< avx | sse
+  /// Vector length override: 0 = the ISA's native width (avx 8, sse 4);
+  /// 1 = the scalar serial baseline; otherwise one of {2, 4, 8, 16}.
+  /// Only emitted on the wire when non-zero, so pre-vl clients and
+  /// servers interoperate unchanged.
+  unsigned vl = 0;
   unsigned experiments = 100;
   unsigned min_campaigns = 20;
   unsigned max_campaigns = 0;  ///< 0 = 2 * min_campaigns (CLI default)

@@ -181,6 +181,11 @@ void CampaignServer::handle_connection(UnixConn conn) {
       handle_diff(std::move(conn), *frame);
       return;  // like submit: the stream ends with done
     }
+    const auto extension = extension_ops_.find(op);
+    if (extension != extension_ops_.end()) {
+      handle_extension(std::move(conn), op, *frame, extension->second);
+      return;  // like submit: the stream ends with done
+    }
     conn.send_frame(error_payload(strf("unknown op '%s'", op.c_str())));
   }
 }
@@ -466,6 +471,104 @@ void CampaignServer::run_diff_job(const std::shared_ptr<Session>& session,
                  static_cast<unsigned long long>(report.new_experiments),
                  report.exit_code);
   }
+  session->mark_done();
+}
+
+void CampaignServer::register_op(const std::string& name, ExtensionOp op) {
+  // Pre-start only (enforced by convention): the accept loop reads this
+  // map without a lock.
+  extension_ops_[name] = std::move(op);
+}
+
+void CampaignServer::handle_extension(UnixConn conn, const std::string& name,
+                                      const std::string& payload,
+                                      const ExtensionOp& op) {
+  const unsigned priority =
+      static_cast<unsigned>(journal_u64(payload, "priority").value_or(1));
+  if (priority > 3) {
+    conn.send_frame(error_payload(
+        strf("%s: priority must be 0..3", name.c_str())));
+    return;
+  }
+  if (stopping_.load()) {
+    conn.send_frame(error_payload("server is shutting down"));
+    return;
+  }
+
+  const std::uint64_t id = next_id_.fetch_add(1);
+  auto session = std::make_shared<Session>(std::move(conn));
+  std::size_t depth = 0;
+  const FairScheduler::Admit admit = scheduler_->submit(
+      priority,
+      [this, session, payload, &op, id] {
+        // `op` outlives the job: registration is pre-start and the map is
+        // never mutated afterwards.
+        run_extension_job(session, payload, op, id);
+      },
+      &depth);
+  if (admit == FairScheduler::Admit::QueueFull) {
+    session->send(busy_payload(scheduler_->stats().queued,
+                               config_.max_queue));
+    return;
+  }
+  if (admit == FairScheduler::Admit::Stopping) {
+    session->send(error_payload("server is shutting down"));
+    return;
+  }
+  if (config_.verbose) {
+    std::fprintf(stderr, "vulfid: accepted %s %llu (queue depth %zu)\n",
+                 name.c_str(), static_cast<unsigned long long>(id), depth);
+  }
+  session->send(accepted_payload(id, depth));
+  session->mark_ready();
+
+  // Same connection watch as a submit: "cancel" or a disconnect flips
+  // this request's token only.
+  for (;;) {
+    if (session->done_now()) break;
+    std::string why;
+    const std::optional<std::string> frame =
+        session->conn.recv_frame(200, &why);
+    if (frame) {
+      if (journal_str(*frame, "op").value_or("") == "cancel") {
+        session->cancel.request_cancel();
+      }
+      continue;
+    }
+    if (why == "timeout") continue;
+    session->cancel.request_cancel();
+    break;
+  }
+  session->wait_done();
+}
+
+void CampaignServer::run_extension_job(
+    const std::shared_ptr<Session>& session, const std::string& payload,
+    const ExtensionOp& op, std::uint64_t id) {
+  session->wait_ready();
+  if (session->cancel.cancelled()) {
+    session->send(done_payload(id, kCampaignExitInterrupted, false, true,
+                               "cancelled before start", "{}"));
+    session->mark_done();
+    completed_.fetch_add(1);
+    return;
+  }
+
+  Session* raw = session.get();
+  ExtensionHooks hooks;
+  hooks.send_raw = [raw](const std::string& frame) {
+    return raw->send(frame);
+  };
+  hooks.log = [raw](const std::string& message) {
+    raw->send(log_payload(message));
+  };
+  hooks.cancel = &session->cancel;
+
+  const ExtensionResult result = op(payload, hooks);
+  session->send(done_payload(id, result.exit_code, result.converged,
+                             result.interrupted, result.error,
+                             result.result_json));
+  completed_.fetch_add(1);
   session->mark_done();
 }
 

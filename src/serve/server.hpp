@@ -22,6 +22,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,9 +32,34 @@
 
 #include "serve/engine_cache.hpp"
 #include "serve/scheduler.hpp"
+#include "support/cancel.hpp"
 #include "support/socket.hpp"
 
 namespace vulfi::serve {
+
+/// Hooks handed to a registered extension op while its job runs on a
+/// scheduler worker. `send_raw` streams an already-serialized frame
+/// payload to the client (sealed journal records, progress frames);
+/// `log` sends a "log" frame; `cancel` is this request's private token,
+/// flipped by a client "cancel" frame or a disconnect.
+struct ExtensionHooks {
+  std::function<bool(const std::string&)> send_raw;
+  std::function<void(const std::string&)> log;
+  const CancellationToken* cancel = nullptr;
+};
+
+/// Final frame of an extension op, mapped onto the shared "done" frame
+/// (`result_json` is spliced raw where a submit puts its stats).
+struct ExtensionResult {
+  int exit_code = 3;
+  bool converged = false;
+  bool interrupted = false;
+  std::string error;
+  std::string result_json;  ///< already-deterministic JSON; "{}" if empty
+};
+
+using ExtensionOp = std::function<ExtensionResult(
+    const std::string& payload, const ExtensionHooks& hooks)>;
 
 struct ServerConfig {
   std::string socket_path;
@@ -76,6 +103,17 @@ class CampaignServer {
 
   std::uint64_t campaigns_served() const { return completed_.load(); }
   const EngineCache& cache() const { return cache_; }
+  EngineCache& cache() { return cache_; }
+  unsigned max_jobs_per_request() const {
+    return config_.max_jobs_per_request;
+  }
+
+  /// Registers `op` as a first-class request op with the same admission,
+  /// priority ("priority" field of the payload, default 1), cancellation
+  /// watch, and response grammar as submit/diff. Must be called before
+  /// start(). This is how src/study serves {"op":"study"} without the
+  /// serve layer depending on the study subsystem.
+  void register_op(const std::string& name, ExtensionOp op);
 
  private:
   struct Session;
@@ -84,6 +122,11 @@ class CampaignServer {
   void handle_connection(UnixConn conn);
   void handle_submit(UnixConn conn, const std::string& payload);
   void handle_diff(UnixConn conn, const std::string& payload);
+  void handle_extension(UnixConn conn, const std::string& name,
+                        const std::string& payload, const ExtensionOp& op);
+  void run_extension_job(const std::shared_ptr<Session>& session,
+                         const std::string& payload, const ExtensionOp& op,
+                         std::uint64_t id);
   void run_job(const std::shared_ptr<Session>& session,
                const CampaignRequest& request, std::uint64_t id);
   void run_shard_job(const std::shared_ptr<Session>& session,
@@ -96,6 +139,7 @@ class CampaignServer {
   ServerConfig config_;
   UnixListener listener_;
   EngineCache cache_;
+  std::map<std::string, ExtensionOp> extension_ops_;
   std::unique_ptr<FairScheduler> scheduler_;
   std::thread accept_thread_;
   std::mutex conn_mutex_;

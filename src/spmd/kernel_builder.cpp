@@ -88,7 +88,8 @@ void ForeachCtx::store(Value* value, Value* base) {
 }
 
 void ForeachCtx::store_offset(Value* value, Value* base, Value* offset) {
-  if (!value->type().is_vector() || value->type().lanes() != vl()) {
+  if (value->type().lanes() != vl() || value->type().is_void() ||
+      value->type().is_pointer()) {
     kb_.report_error("foreach store takes a varying value (got " +
                      value->type().to_string() + ")");
     return;  // skip the malformed store; finish() will fail
@@ -105,7 +106,7 @@ void ForeachCtx::store_offset(Value* value, Value* base, Value* offset) {
 }
 
 Value* ForeachCtx::gather(Type element, Value* base, Value* index_vec) {
-  VULFI_ASSERT(index_vec->type().is_vector() &&
+  VULFI_ASSERT(index_vec->type().lanes() == vl() &&
                    index_vec->type().is_integer(),
                "gather needs a varying integer index");
   const Type vec_type = element.with_lanes(vl());
@@ -132,7 +133,7 @@ Value* ForeachCtx::gather(Type element, Value* base, Value* index_vec) {
 }
 
 void ForeachCtx::scatter(Value* value, Value* base, Value* index_vec) {
-  VULFI_ASSERT(value->type().is_vector() && value->type().lanes() == vl(),
+  VULFI_ASSERT(value->type().lanes() == vl(),
                "scatter takes a varying value");
   const Type element = value->type().element();
   for (unsigned lane = 0; lane < vl(); ++lane) {
@@ -230,6 +231,22 @@ std::vector<Value*> KernelBuilder::lower_foreach(
   }
   IRBuilder& b = builder_;
   const unsigned width = vl();
+  if (width == 1) {
+    // Scalar (Vl = 1) target: the serial baseline of the width study.
+    // `n % 1 == 0` makes the masked remainder statically dead, so lower
+    // to the plain scalar counted loop — no masked intrinsics, no movmsk,
+    // the code a scalar compiler would emit. The body callback runs once,
+    // unmasked, with the induction variable as both linear and "vector"
+    // index (one-lane varying values are their elements).
+    foreach_counter_ += 1;
+    return scalar_loop(
+        start, end, std::move(init),
+        [this, &body](Value* iv, const std::vector<Value*>& carried) {
+          ForeachCtx ctx(*this, iv, iv, iv, nullptr);
+          return body(ctx, carried);
+        },
+        "foreach_scalar");
+  }
   Value* vl_const = b.i32_const(width);
 
   // ----- prologue in the current block (the "allocas" role) -------------
@@ -428,7 +445,7 @@ Value* KernelBuilder::vconst_i32(std::int32_t value) {
 }
 
 Value* KernelBuilder::reduce_add(Value* vec) {
-  VULFI_ASSERT(vec->type().is_vector(), "reduce_add takes a vector");
+  VULFI_ASSERT(!vec->type().is_void(), "reduce_add takes a value");
   const bool fp = vec->type().is_float();
   Value* acc = builder_.extract_element(vec, 0u, "red0");
   for (unsigned lane = 1; lane < vec->type().lanes(); ++lane) {
@@ -440,8 +457,7 @@ Value* KernelBuilder::reduce_add(Value* vec) {
 }
 
 Value* KernelBuilder::reduce_min(Value* vec) {
-  VULFI_ASSERT(vec->type().is_vector() && vec->type().is_float(),
-               "reduce_min takes a float vector");
+  VULFI_ASSERT(vec->type().is_float(), "reduce_min takes a float value");
   ir::Function* fmin = module_.declare_math_intrinsic(
       ir::IntrinsicId::Fmin, vec->type().element());
   Value* acc = builder_.extract_element(vec, 0u, "rmin0");
@@ -453,8 +469,7 @@ Value* KernelBuilder::reduce_min(Value* vec) {
 }
 
 Value* KernelBuilder::reduce_max(Value* vec) {
-  VULFI_ASSERT(vec->type().is_vector() && vec->type().is_float(),
-               "reduce_max takes a float vector");
+  VULFI_ASSERT(vec->type().is_float(), "reduce_max takes a float value");
   ir::Function* fmax = module_.declare_math_intrinsic(
       ir::IntrinsicId::Fmax, vec->type().element());
   Value* acc = builder_.extract_element(vec, 0u, "rmax0");

@@ -1,0 +1,467 @@
+// StudyDriver: fans plan cells through vulfid submits (or a local
+// engine cache), with a resumable checksummed journal and summary-store
+// reuse. See study.hpp for the invariants.
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "analysis/propagation.hpp"
+#include "kernels/benchmark.hpp"
+#include "spmd/target.hpp"
+#include "study/study.hpp"
+#include "support/str.hpp"
+#include "support/version.hpp"
+#include "vulfi/campaign.hpp"
+#include "vulfi/driver.hpp"
+#include "vulfi/summary.hpp"
+
+namespace vulfi::study {
+
+namespace {
+
+spmd::Target target_for(const StudyCell& cell) {
+  spmd::Target target = cell.isa == "avx" ? spmd::Target::avx()
+                                          : spmd::Target::sse4();
+  target.vector_width = cell.vl;
+  return target;
+}
+
+/// ISA string the summary-store fingerprint sees. Native-width cells use
+/// the plain ISA name, so their summaries are interchangeable with the
+/// ones `vulfi diff`/`submit` write; overridden widths get an augmented
+/// name (canonical_isa passes unknown strings through verbatim).
+std::string isa_for_store(const StudyCell& cell) {
+  if (cell.vl == native_width(cell.isa)) return cell.isa;
+  return strf("%s+vl%u", cell.isa.c_str(), cell.vl);
+}
+
+void log_line(const StudyOptions& options, const std::string& message) {
+  if (options.log) options.log(message);
+}
+
+CellCounts counts_of_result(const CampaignResult& result) {
+  CellCounts counts;
+  counts.campaigns = result.campaigns;
+  counts.experiments = result.experiments;
+  counts.benign = result.benign;
+  counts.sdc = result.sdc;
+  counts.crash = result.crash;
+  counts.detected_sdc = result.detected_sdc;
+  counts.detected_total = result.detected_total;
+  counts.exit_code = campaign_exit_code(result);
+  counts.converged = result.converged;
+  return counts;
+}
+
+CellCounts counts_of_summary(const FunctionSummary& summary) {
+  CellCounts counts;
+  counts.campaigns = summary.campaigns;
+  counts.experiments = summary.experiments;
+  counts.benign = summary.benign;
+  counts.sdc = summary.sdc;
+  counts.crash = summary.crash;
+  counts.detected_sdc = summary.detected_sdc;
+  counts.detected_total = summary.detected_total;
+  counts.exit_code = summary.exit_code;
+  counts.converged = summary.exit_code == kCampaignExitConverged;
+  return counts;
+}
+
+CellCounts counts_of_stats(const serve::SubmitOutcome& outcome) {
+  CellCounts counts;
+  const std::string& stats = outcome.stats_json;
+  counts.campaigns = journal_u64(stats, "campaigns").value_or(0);
+  counts.experiments = journal_u64(stats, "experiments").value_or(0);
+  counts.benign = journal_u64(stats, "benign").value_or(0);
+  counts.sdc = journal_u64(stats, "sdc").value_or(0);
+  counts.crash = journal_u64(stats, "crash").value_or(0);
+  counts.detected_sdc = journal_u64(stats, "detected_sdc").value_or(0);
+  counts.detected_total = journal_u64(stats, "detected_total").value_or(0);
+  counts.exit_code = outcome.exit_code;
+  counts.converged = outcome.converged;
+  return counts;
+}
+
+/// Shared mutable state of one run_study call. Workers hold the mutex
+/// only around journal/store appends and result bookkeeping; the cell
+/// executions themselves run fully concurrent.
+struct DriverState {
+  const StudyPlan& plan;
+  const StudyOptions& options;
+  StudyResult result;
+
+  serve::EngineCache* cache = nullptr;
+  SummaryStore store;
+  bool store_open = false;
+  JournalWriter journal;
+  bool journal_open = false;
+
+  std::vector<std::size_t> pending;  ///< plan indices left to execute
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<unsigned> completed_this_run{0};
+  std::atomic<bool> abort{false};  ///< internal error: stop dispatching
+  std::atomic<bool> saw_interrupted{false};
+  std::mutex mutex;  ///< journal + store + result fields
+
+  explicit DriverState(const StudyPlan& p, const StudyOptions& o)
+      : plan(p), options(o) {}
+
+  bool cancelled() const {
+    if (options.cancel != nullptr && options.cancel->cancelled()) return true;
+    if (options.stop_after_cells != 0 &&
+        completed_this_run.load() >= options.stop_after_cells) {
+      return true;
+    }
+    return false;
+  }
+
+  void fail_cell(std::size_t index, const std::string& message) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    result.cells[index].error = message;
+    if (result.error.empty()) result.error = message;
+    abort.store(true);
+  }
+
+  /// Records a finished cell: journal append, summary-store append (for
+  /// freshly executed cells), counters, streaming hook.
+  void finish_cell(std::size_t index, const CellCounts& counts,
+                   const std::string& source,
+                   const FunctionSummary* summary) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    StudyCellOutcome& outcome = result.cells[index];
+    outcome.counts = counts;
+    outcome.source = source;
+    outcome.done = true;
+    result.cells_completed += 1;
+    if (source == "store") {
+      result.cells_from_store += 1;
+    } else {
+      result.cells_executed += 1;
+      result.new_experiments += counts.experiments;
+    }
+    if (journal_open &&
+        !journal.append(study_cell_payload(outcome.cell, counts))) {
+      outcome.error = "study journal append failed";
+      if (result.error.empty()) result.error = outcome.error;
+      abort.store(true);
+    }
+    if (summary != nullptr && store_open && !store.append(*summary)) {
+      const std::string message =
+          strf("study: cell %s: summary store append failed (%s)",
+               outcome.cell.key().c_str(), store.path().c_str());
+      if (result.error.empty()) result.error = message;
+      abort.store(true);
+    }
+    completed_this_run.fetch_add(1);
+    if (options.on_cell) options.on_cell(outcome);
+  }
+};
+
+/// Pristine-module identity + census of one cell, shared by the store
+/// lookup and the post-run store append. The modules are built without
+/// detectors — detector insertion is configuration, not content, and is
+/// covered by the fingerprint instead (mirrors serve/diff.cpp).
+struct CellUnitInfo {
+  std::uint64_t content_hash = 0;
+  std::uint64_t config_fingerprint = 0;
+  PropagationCensus census;
+};
+
+CellUnitInfo cell_unit_info(const StudyCell& cell,
+                            const serve::CampaignRequest& request,
+                            unsigned max_jobs) {
+  CellUnitInfo info;
+  const kernels::Benchmark* bench = kernels::find_benchmark(cell.benchmark);
+  const spmd::Target target = target_for(cell);
+  Fnv1a unit_hash;
+  for (unsigned input = 0; input < bench->num_inputs(); ++input) {
+    const RunSpec spec = bench->build(target, input);
+    unit_hash.u64(analysis::module_content_hash(*spec.module));
+    const PropagationCensus part = propagation_census(*spec.module);
+    info.census.masked += part.masked;
+    info.census.output += part.output;
+    info.census.control += part.control;
+    info.census.trap += part.trap;
+  }
+  info.content_hash = unit_hash.value();
+  const CampaignConfig config = serve::to_campaign_config(request, max_jobs);
+  info.config_fingerprint = summary_config_fingerprint(
+      config, cell.category, isa_for_store(cell), cell.detectors);
+  return info;
+}
+
+void execute_cell(DriverState& state, std::size_t index) {
+  const StudyCell& cell = state.plan.cells()[index];
+  const StudyOptions& options = state.options;
+  const serve::CampaignRequest request = state.plan.request_for(cell);
+
+  // 1. Summary-store reuse: an unchanged (unit, config) cell is answered
+  // from its stored record with zero new experiments.
+  CellUnitInfo info;
+  if (state.store_open) {
+    info = cell_unit_info(cell, request, options.max_jobs);
+    // Copy under the lock: a concurrent append may grow (and relocate)
+    // the store's record vector.
+    std::optional<FunctionSummary> stored;
+    {
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      const FunctionSummary* found = state.store.find(
+          cell.benchmark, info.content_hash, info.config_fingerprint);
+      if (found != nullptr) stored = *found;
+    }
+    if (stored) {
+      log_line(options, strf("study: cell %s: reusing stored summary "
+                             "(%llu experiments on record)",
+                             cell.key().c_str(),
+                             static_cast<unsigned long long>(
+                                 stored->experiments)));
+      state.finish_cell(index, counts_of_summary(*stored), "store", nullptr);
+      return;
+    }
+  }
+
+  // 2. Execute: daemon submit or local lease + run. Both paths run the
+  // same run_campaigns with the same counter-seeded configuration, so
+  // the counts are bit-identical by construction.
+  CellCounts counts;
+  std::uint64_t weight = 0;
+  std::string source;
+  if (!options.socket.empty()) {
+    source = "daemon";
+    serve::StreamCallbacks callbacks;
+    callbacks.cancel = options.cancel;
+    callbacks.on_log = [&](const std::string& message) {
+      log_line(options, strf("study: cell %s: %s", cell.key().c_str(),
+                             message.c_str()));
+    };
+    const serve::SubmitOutcome outcome = serve::submit_campaign_with_retry(
+        options.socket, request, options.retry, callbacks);
+    if (!outcome.ok) {
+      state.fail_cell(index, strf("study: cell %s: %s", cell.key().c_str(),
+                                  outcome.error.c_str()));
+      return;
+    }
+    if (outcome.exit_code == kCampaignExitInternalError) {
+      state.fail_cell(index,
+                      strf("study: cell %s: %s", cell.key().c_str(),
+                           outcome.server_error.empty()
+                               ? "internal error"
+                               : outcome.server_error.c_str()));
+      return;
+    }
+    if (outcome.interrupted) {
+      state.saw_interrupted.store(true);
+      return;  // incomplete counts: never journaled, redone on resume
+    }
+    counts = counts_of_stats(outcome);
+  } else {
+    source = "local";
+    serve::EngineCache::Lease lease = state.cache->acquire(request);
+    if (!lease.error.empty()) {
+      state.fail_cell(index, strf("study: cell %s: %s", cell.key().c_str(),
+                                  lease.error.c_str()));
+      return;
+    }
+    CampaignConfig config =
+        serve::to_campaign_config(request, options.max_jobs);
+    config.cancel = options.cancel;
+    config.stall_log = [&](const std::string& message) {
+      log_line(options, strf("study: cell %s: %s", cell.key().c_str(),
+                             message.c_str()));
+    };
+    std::vector<InjectionEngine*> engines;
+    engines.reserve(lease.engines.size());
+    for (const auto& engine : lease.engines) engines.push_back(engine.get());
+    const CampaignResult result = run_campaigns(engines, config);
+    if (!result.ok()) {
+      state.fail_cell(index, strf("study: cell %s: %s", cell.key().c_str(),
+                                  result.error.c_str()));
+      return;
+    }
+    if (result.interrupted) {
+      state.saw_interrupted.store(true);
+      return;
+    }
+    counts = counts_of_result(result);
+    for (InjectionEngine* engine : engines) {
+      weight += engine->golden().dynamic_sites;
+    }
+  }
+
+  // 3. Populate the summary store so the next study (or `vulfi diff`)
+  // reuses this cell. Daemon-fanned cells record weight 0 — the golden
+  // dynamic-site total lives server-side — which the reuse path never
+  // reads (it consumes counts only); composition treats zero weights as
+  // contributing no probability mass.
+  if (state.store_open) {
+    FunctionSummary summary;
+    summary.unit = cell.benchmark;
+    summary.content_hash = info.content_hash;
+    summary.config_fingerprint = info.config_fingerprint;
+    summary.experiments = counts.experiments;
+    summary.benign = counts.benign;
+    summary.sdc = counts.sdc;
+    summary.crash = counts.crash;
+    summary.detected_sdc = counts.detected_sdc;
+    summary.detected_total = counts.detected_total;
+    summary.campaigns = counts.campaigns;
+    summary.weight = weight;
+    summary.census = info.census;
+    summary.exit_code = counts.exit_code;
+    state.finish_cell(index, counts, source, &summary);
+    return;
+  }
+  state.finish_cell(index, counts, source, nullptr);
+}
+
+void worker_loop(DriverState& state) {
+  for (;;) {
+    if (state.abort.load() || state.cancelled()) return;
+    const std::size_t slot = state.cursor.fetch_add(1);
+    if (slot >= state.pending.size()) return;
+    execute_cell(state, state.pending[slot]);
+  }
+}
+
+}  // namespace
+
+StudyResult run_study(const StudyPlan& plan, const StudyOptions& options) {
+  DriverState state(plan, options);
+  StudyResult& result = state.result;
+  result.plan_fingerprint = plan.fingerprint();
+  result.cells_total = static_cast<unsigned>(plan.cells().size());
+  result.cells.resize(plan.cells().size());
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    result.cells[i].cell = plan.cells()[i];
+  }
+
+  auto fail = [&](const std::string& message) {
+    result.error = message;
+    result.exit_code = kCampaignExitInternalError;
+    return result;
+  };
+
+  // Local fallback cache: one entry per distinct cell key is the upper
+  // bound a private study can use; callers sharing a daemon-grade cache
+  // pass their own.
+  serve::EngineCache private_cache(plan.cells().size() == 0
+                                       ? 1
+                                       : plan.cells().size());
+  state.cache = options.cache != nullptr ? options.cache : &private_cache;
+
+  if (!options.summaries_dir.empty()) {
+    std::string error;
+    if (!state.store.open(options.summaries_dir, &error)) {
+      return fail("study: " + error);
+    }
+    state.store_open = true;
+  }
+
+  // Journal recovery: verify the header against this plan and this
+  // build, then replay every completed cell with zero repeated work.
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    index_of[plan.cells()[i].key()] = i;
+  }
+  if (!options.journal_path.empty()) {
+    const JournalRecovery recovery = recover_journal(options.journal_path);
+    if (!recovery.records.empty()) {
+      const std::string& header = recovery.records.front();
+      if (journal_str(header, "t").value_or("") != "study-header") {
+        return fail(strf("study: %s is not a study journal",
+                         options.journal_path.c_str()));
+      }
+      const unsigned schema = static_cast<unsigned>(
+          journal_u64(header, "schema").value_or(0));
+      const std::string plan_hex =
+          journal_str(header, "plan").value_or("");
+      const std::string build = journal_str(header, "build").value_or("");
+      if (schema != kStudySchemaVersion) {
+        return fail(strf("study: journal schema %u != %u", schema,
+                         kStudySchemaVersion));
+      }
+      if (plan_hex != strf("%016llx", static_cast<unsigned long long>(
+                                          plan.fingerprint()))) {
+        return fail(strf(
+            "study: journal %s pins a different plan (%s, this plan is "
+            "%016llx) — delete it or pick another --journal path",
+            options.journal_path.c_str(), plan_hex.c_str(),
+            static_cast<unsigned long long>(plan.fingerprint())));
+      }
+      if (build != build_fingerprint()) {
+        return fail(strf(
+            "study: journal %s was written by build %s (this is %s)",
+            options.journal_path.c_str(), build.c_str(),
+            build_fingerprint().c_str()));
+      }
+      for (std::size_t r = 1; r < recovery.records.size(); ++r) {
+        const std::optional<StudyCellOutcome> replayed =
+            parse_study_cell(recovery.records[r]);
+        if (!replayed) continue;  // unknown record kinds skip forward
+        const auto found = index_of.find(replayed->cell.key());
+        if (found == index_of.end() || result.cells[found->second].done) {
+          continue;
+        }
+        result.cells[found->second] = *replayed;
+        result.cells_completed += 1;
+        result.cells_from_journal += 1;
+        if (options.on_cell) options.on_cell(result.cells[found->second]);
+      }
+      if (result.cells_from_journal > 0) {
+        log_line(options,
+                 strf("study: resumed %u/%u cells from %s",
+                      result.cells_from_journal, result.cells_total,
+                      options.journal_path.c_str()));
+      }
+    }
+    std::string error;
+    if (!state.journal.open(options.journal_path, recovery.valid_bytes,
+                            &error)) {
+      return fail("study: " + error);
+    }
+    state.journal.set_sync_policy(options.journal_sync);
+    if (recovery.records.empty() &&
+        !state.journal.append(study_header_payload(plan))) {
+      return fail(strf("study: cannot write journal header to %s",
+                       options.journal_path.c_str()));
+    }
+    state.journal_open = true;
+  }
+
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    if (!result.cells[i].done) state.pending.push_back(i);
+  }
+
+  const unsigned window = std::max(
+      1u, std::min(options.window == 0 ? 1u : options.window,
+                   static_cast<unsigned>(
+                       state.pending.empty() ? 1 : state.pending.size())));
+  std::vector<std::thread> workers;
+  workers.reserve(window);
+  for (unsigned w = 0; w < window; ++w) {
+    workers.emplace_back([&state] { worker_loop(state); });
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (state.journal_open) state.journal.sync_now();
+
+  if (!result.error.empty()) {
+    result.exit_code = kCampaignExitInternalError;
+    return result;
+  }
+  if (state.cancelled() || state.saw_interrupted.load() ||
+      !result.complete()) {
+    result.interrupted = true;
+    result.exit_code = kCampaignExitInterrupted;
+    return result;
+  }
+  bool all_converged = true;
+  for (const StudyCellOutcome& outcome : result.cells) {
+    if (!outcome.counts.converged) all_converged = false;
+  }
+  result.exit_code =
+      all_converged ? kCampaignExitConverged : kCampaignExitUnconverged;
+  return result;
+}
+
+}  // namespace vulfi::study

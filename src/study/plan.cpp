@@ -1,0 +1,276 @@
+#include <algorithm>
+#include <cstdlib>
+
+#include "kernels/benchmark.hpp"
+#include "study/study.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+#include "support/version.hpp"
+
+namespace vulfi::study {
+
+namespace {
+
+std::string canonical_category(const std::string& name) {
+  if (name == "control" || name == "ctrl") return "control";
+  if (name == "address" || name == "addr") return "address";
+  return "pure-data";
+}
+
+bool known_category(const std::string& name) {
+  return name == "pure-data" || name == "puredata" || name == "control" ||
+         name == "ctrl" || name == "address" || name == "addr";
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::string StudyCell::key() const {
+  return strf("%s|vl%u|%s|%s|det%u", benchmark.c_str(), vl, isa.c_str(),
+              category.c_str(), detectors ? 1u : 0u);
+}
+
+bool cell_order(const StudyCell& a, const StudyCell& b) {
+  if (a.benchmark != b.benchmark) return a.benchmark < b.benchmark;
+  if (a.vl != b.vl) return a.vl < b.vl;
+  if (a.isa != b.isa) return a.isa < b.isa;
+  if (a.category != b.category) return a.category < b.category;
+  return a.detectors < b.detectors;
+}
+
+unsigned native_width(const std::string& isa) {
+  return isa == "avx" ? 8u : 4u;
+}
+
+std::optional<StudyPlan> StudyPlan::make(const StudyPlanConfig& config,
+                                         std::string* error) {
+  auto invalid = [&](const std::string& message) {
+    fail(error, "study: " + message);
+    return std::nullopt;
+  };
+
+  StudyPlan plan;
+  plan.config_ = config;
+  StudyPlanConfig& c = plan.config_;
+
+  if (c.benchmarks.empty()) return invalid("no benchmarks selected");
+  for (const std::string& name : c.benchmarks) {
+    if (kernels::find_benchmark(name) == nullptr) {
+      return invalid(strf("unknown benchmark '%s' (try: vulfi list)",
+                          name.c_str()));
+    }
+  }
+  if (c.widths.empty()) return invalid("no vector widths selected");
+  for (const unsigned vl : c.widths) {
+    if (vl != 1 && vl != 2 && vl != 4 && vl != 8 && vl != 16) {
+      return invalid(strf("vector width %u not in {1, 2, 4, 8, 16}", vl));
+    }
+  }
+  if (c.isas.empty()) return invalid("no ISAs selected");
+  for (const std::string& isa : c.isas) {
+    if (isa != "avx" && isa != "sse") {
+      return invalid(strf("unknown isa '%s' (avx or sse)", isa.c_str()));
+    }
+  }
+  if (c.categories.empty()) return invalid("no categories selected");
+  for (std::string& category : c.categories) {
+    if (!known_category(category)) {
+      return invalid(strf("unknown category '%s'", category.c_str()));
+    }
+    category = canonical_category(category);
+  }
+  if (!c.detectors_off && !c.detectors_on) {
+    return invalid("at least one detector mode required");
+  }
+  if (c.base.experiments == 0 || c.base.min_campaigns == 0) {
+    return invalid("experiments and campaigns must be positive");
+  }
+
+  // Sorted, deduplicated axes: the enumeration below then emits cells
+  // directly in report order (cell_order), and the same axes always
+  // produce the same plan fingerprint regardless of CLI spelling order.
+  auto dedup = [](auto& values) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+  };
+  dedup(c.benchmarks);
+  dedup(c.widths);
+  dedup(c.isas);
+  dedup(c.categories);
+
+  for (const std::string& benchmark : c.benchmarks) {
+    for (const unsigned vl : c.widths) {
+      for (const std::string& isa : c.isas) {
+        for (const std::string& category : c.categories) {
+          for (const unsigned det : {0u, 1u}) {
+            if (det == 0 && !c.detectors_off) continue;
+            if (det == 1 && !c.detectors_on) continue;
+            StudyCell cell;
+            cell.benchmark = benchmark;
+            cell.vl = vl;
+            cell.isa = isa;
+            cell.category = category;
+            cell.detectors = det != 0;
+            plan.cells_.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+
+  // Fingerprint: schema + every cell key + every statistics-affecting
+  // shared knob. Excludes jobs/backend/fsync/priority/transport — those
+  // are proven statistics-neutral, so a journal stays resumable across
+  // them (same contract as summary_config_fingerprint).
+  Fnv1a fp;
+  fp.u32(kStudySchemaVersion);
+  fp.u64(plan.cells_.size());
+  for (const StudyCell& cell : plan.cells_) fp.str(cell.key());
+  const serve::CampaignRequest& base = c.base;
+  fp.u32(base.experiments)
+      .u32(base.min_campaigns)
+      .u32(base.resolved_max_campaigns())
+      .u64(base.seed);
+  fp.str(double_hex(base.confidence));
+  fp.str(double_hex(base.target_margin));
+  fp.u8(base.golden_cache ? 1 : 0);
+  fp.u8(base.static_prune ? 1 : 0);
+  fp.u32(base.self_verify);
+  plan.fingerprint_ = fp.value();
+  return plan;
+}
+
+std::uint64_t StudyPlan::cell_seed(std::uint64_t base_seed,
+                                   const StudyCell& cell) {
+  // Every cell owns an independent seed stream: identical counts for a
+  // cell whether it runs alone, inside this plan, or inside a larger
+  // plan containing it (the key, not the plan, derives the stream).
+  return derive_stream_seed(base_seed, fnv1a64(cell.key()), 0x57d1ULL);
+}
+
+serve::CampaignRequest StudyPlan::request_for(const StudyCell& cell) const {
+  serve::CampaignRequest request = config_.base;
+  request.benchmark = cell.benchmark;
+  request.category = cell.category;
+  request.isa = cell.isa;
+  request.detectors = cell.detectors;
+  request.vl = cell.vl;  // always explicit, native width included
+  request.seed = cell_seed(config_.base.seed, cell);
+  // Cells are the unit of resumability in a study; per-cell checkpoints
+  // and sharding would only fragment the journal story.
+  request.checkpoint.clear();
+  request.shards = 0;
+  return request;
+}
+
+std::string StudyPlan::to_json() const {
+  std::string json = strf(
+      "{\"t\":\"study-plan\",\"schema\":%u,\"plan\":\"%016llx\","
+      "\"cells\":%llu,\"experiments\":%u,\"campaigns\":%u,"
+      "\"max_campaigns\":%u,\"seed\":%llu,\"conf\":\"%s\",\"margin\":\"%s\","
+      "\"cell_keys\":[",
+      kStudySchemaVersion, static_cast<unsigned long long>(fingerprint_),
+      static_cast<unsigned long long>(cells_.size()),
+      config_.base.experiments, config_.base.min_campaigns,
+      config_.base.resolved_max_campaigns(),
+      static_cast<unsigned long long>(config_.base.seed),
+      double_hex(config_.base.confidence).c_str(),
+      double_hex(config_.base.target_margin).c_str());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (i > 0) json += ',';
+    json += '"';
+    json += cells_[i].key();
+    json += '"';
+  }
+  json += "]}";
+  return json;
+}
+
+std::string study_header_payload(const StudyPlan& plan) {
+  return strf(
+      "{\"t\":\"study-header\",\"schema\":%u,\"plan\":\"%016llx\","
+      "\"build\":\"%s\",\"cells\":%llu}",
+      kStudySchemaVersion,
+      static_cast<unsigned long long>(plan.fingerprint()),
+      build_fingerprint().c_str(),
+      static_cast<unsigned long long>(plan.cells().size()));
+}
+
+std::string study_cell_payload(const StudyCell& cell,
+                               const CellCounts& counts) {
+  return strf(
+      "{\"t\":\"study-cell\",\"key\":\"%s\",\"exit\":%d,\"converged\":%u,"
+      "\"campaigns\":%llu,\"experiments\":%llu,\"benign\":%llu,"
+      "\"sdc\":%llu,\"crash\":%llu,\"detected_sdc\":%llu,"
+      "\"detected_total\":%llu}",
+      cell.key().c_str(), counts.exit_code, counts.converged ? 1u : 0u,
+      static_cast<unsigned long long>(counts.campaigns),
+      static_cast<unsigned long long>(counts.experiments),
+      static_cast<unsigned long long>(counts.benign),
+      static_cast<unsigned long long>(counts.sdc),
+      static_cast<unsigned long long>(counts.crash),
+      static_cast<unsigned long long>(counts.detected_sdc),
+      static_cast<unsigned long long>(counts.detected_total));
+}
+
+std::optional<StudyCellOutcome> parse_study_cell(const std::string& payload) {
+  if (journal_str(payload, "t").value_or("") != "study-cell") {
+    return std::nullopt;
+  }
+  const std::optional<std::string> key = journal_str(payload, "key");
+  if (!key) return std::nullopt;
+  // key = "bench|vlN|isa|category|detD"
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t bar = key->find('|', start);
+    if (bar == std::string::npos) {
+      parts.push_back(key->substr(start));
+      break;
+    }
+    parts.push_back(key->substr(start, bar - start));
+    start = bar + 1;
+  }
+  if (parts.size() != 5) return std::nullopt;
+  if (parts[1].size() < 3 || parts[1].compare(0, 2, "vl") != 0) {
+    return std::nullopt;
+  }
+  if (parts[4].size() != 4 || parts[4].compare(0, 3, "det") != 0) {
+    return std::nullopt;
+  }
+
+  StudyCellOutcome outcome;
+  outcome.cell.benchmark = parts[0];
+  outcome.cell.vl =
+      static_cast<unsigned>(std::strtoul(parts[1].c_str() + 2, nullptr, 10));
+  outcome.cell.isa = parts[2];
+  outcome.cell.category = parts[3];
+  outcome.cell.detectors = parts[4][3] == '1';
+
+  const std::optional<std::uint64_t> exit_code =
+      journal_u64(payload, "exit");
+  const std::optional<std::uint64_t> experiments =
+      journal_u64(payload, "experiments");
+  if (!exit_code || !experiments) return std::nullopt;
+  outcome.counts.exit_code = static_cast<int>(*exit_code);
+  outcome.counts.converged = journal_u64(payload, "converged").value_or(0) != 0;
+  outcome.counts.campaigns = journal_u64(payload, "campaigns").value_or(0);
+  outcome.counts.experiments = *experiments;
+  outcome.counts.benign = journal_u64(payload, "benign").value_or(0);
+  outcome.counts.sdc = journal_u64(payload, "sdc").value_or(0);
+  outcome.counts.crash = journal_u64(payload, "crash").value_or(0);
+  outcome.counts.detected_sdc =
+      journal_u64(payload, "detected_sdc").value_or(0);
+  outcome.counts.detected_total =
+      journal_u64(payload, "detected_total").value_or(0);
+  outcome.source = "journal";
+  outcome.done = true;
+  return outcome;
+}
+
+}  // namespace vulfi::study

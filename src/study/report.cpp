@@ -1,0 +1,417 @@
+// Deterministic comparative report of one study. Every figure is a pure
+// function of the per-cell integer counters, so the bytes are identical
+// across local/daemon execution, window sizes, and interrupt/resume —
+// the invariant CI's study-smoke job cmp's for.
+#include <algorithm>
+#include <vector>
+
+#include "study/study.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::study {
+
+namespace {
+
+/// Done cells in cell_order — the single ordering every section walks,
+/// regardless of the order the driver (or a shuffled test) resolved
+/// them in.
+std::vector<const StudyCellOutcome*> ordered_cells(
+    const StudyResult& result) {
+  std::vector<const StudyCellOutcome*> cells;
+  cells.reserve(result.cells.size());
+  for (const StudyCellOutcome& outcome : result.cells) {
+    if (outcome.done) cells.push_back(&outcome);
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const StudyCellOutcome* a, const StudyCellOutcome* b) {
+              return cell_order(a->cell, b->cell);
+            });
+  return cells;
+}
+
+const StudyCellOutcome* find_cell(
+    const std::vector<const StudyCellOutcome*>& cells,
+    const std::string& benchmark, unsigned vl, const std::string& isa,
+    const std::string& category, bool detectors) {
+  for (const StudyCellOutcome* outcome : cells) {
+    if (outcome->cell.benchmark == benchmark && outcome->cell.vl == vl &&
+        outcome->cell.isa == isa && outcome->cell.category == category &&
+        outcome->cell.detectors == detectors) {
+      return outcome;
+    }
+  }
+  return nullptr;
+}
+
+std::string cell_json(const StudyCellOutcome& outcome, double confidence) {
+  const StudyCell& cell = outcome.cell;
+  const CellCounts& counts = outcome.counts;
+  const WilsonInterval sdc_ci =
+      wilson_interval(counts.sdc, counts.experiments, confidence);
+  return strf(
+      "{\"benchmark\":\"%s\",\"vl\":%u,\"isa\":\"%s\",\"category\":\"%s\","
+      "\"detectors\":%u,\"exit\":%d,\"converged\":%u,\"campaigns\":%llu,"
+      "\"experiments\":%llu,\"benign\":%llu,\"sdc\":%llu,\"crash\":%llu,"
+      "\"detected_sdc\":%llu,\"detected_total\":%llu,"
+      "\"sdc_rate\":\"%s\",\"benign_rate\":\"%s\",\"crash_rate\":\"%s\","
+      "\"sdc_ci\":[\"%s\",\"%s\"]}",
+      cell.benchmark.c_str(), cell.vl, cell.isa.c_str(),
+      cell.category.c_str(), cell.detectors ? 1u : 0u, counts.exit_code,
+      counts.converged ? 1u : 0u,
+      static_cast<unsigned long long>(counts.campaigns),
+      static_cast<unsigned long long>(counts.experiments),
+      static_cast<unsigned long long>(counts.benign),
+      static_cast<unsigned long long>(counts.sdc),
+      static_cast<unsigned long long>(counts.crash),
+      static_cast<unsigned long long>(counts.detected_sdc),
+      static_cast<unsigned long long>(counts.detected_total),
+      double_hex(counts.rate(counts.sdc)).c_str(),
+      double_hex(counts.rate(counts.benign)).c_str(),
+      double_hex(counts.rate(counts.crash)).c_str(),
+      double_hex(sdc_ci.low).c_str(), double_hex(sdc_ci.high).c_str());
+}
+
+/// Per-(benchmark, isa, category, detector) SDC across the width axis,
+/// with deltas against the narrowest width present (the scalar baseline
+/// when the plan includes vl 1).
+std::string width_deltas_json(
+    const StudyPlan& plan,
+    const std::vector<const StudyCellOutcome*>& cells) {
+  const StudyPlanConfig& config = plan.config();
+  std::string json = "[";
+  bool first_row = true;
+  for (const std::string& benchmark : config.benchmarks) {
+    for (const std::string& isa : config.isas) {
+      for (const std::string& category : config.categories) {
+        for (const unsigned det : {0u, 1u}) {
+          const StudyCellOutcome* baseline = nullptr;
+          std::vector<const StudyCellOutcome*> row;
+          for (const unsigned vl : config.widths) {
+            const StudyCellOutcome* outcome = find_cell(
+                cells, benchmark, vl, isa, category, det != 0);
+            if (outcome == nullptr) continue;
+            if (baseline == nullptr) baseline = outcome;
+            row.push_back(outcome);
+          }
+          if (baseline == nullptr || row.size() < 2) continue;
+          if (!first_row) json += ",";
+          first_row = false;
+          json += strf(
+              "{\"benchmark\":\"%s\",\"isa\":\"%s\",\"category\":\"%s\","
+              "\"detectors\":%u,\"baseline_vl\":%u,"
+              "\"baseline_sdc_rate\":\"%s\",\"widths\":[",
+              benchmark.c_str(), isa.c_str(), category.c_str(), det,
+              baseline->cell.vl,
+              double_hex(baseline->counts.rate(baseline->counts.sdc))
+                  .c_str());
+          const double base_rate =
+              baseline->counts.rate(baseline->counts.sdc);
+          for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i > 0) json += ",";
+            const double rate = row[i]->counts.rate(row[i]->counts.sdc);
+            json += strf(
+                "{\"vl\":%u,\"sdc_rate\":\"%s\",\"delta\":\"%s\"}",
+                row[i]->cell.vl, double_hex(rate).c_str(),
+                double_hex(rate - base_rate).c_str());
+          }
+          json += "]}";
+        }
+      }
+    }
+  }
+  json += "]";
+  return json;
+}
+
+/// Detector efficacy per (benchmark, vl, isa, category) pair that has
+/// both detector modes: SDC with and without detectors, the delta, and
+/// the detector coverage of SDC experiments in the detectors-on cell.
+std::string detector_efficacy_json(
+    const StudyPlan& plan,
+    const std::vector<const StudyCellOutcome*>& cells) {
+  const StudyPlanConfig& config = plan.config();
+  std::string json = "[";
+  bool first_row = true;
+  for (const std::string& benchmark : config.benchmarks) {
+    for (const unsigned vl : config.widths) {
+      for (const std::string& isa : config.isas) {
+        for (const std::string& category : config.categories) {
+          const StudyCellOutcome* off =
+              find_cell(cells, benchmark, vl, isa, category, false);
+          const StudyCellOutcome* on =
+              find_cell(cells, benchmark, vl, isa, category, true);
+          if (off == nullptr || on == nullptr) continue;
+          const double rate_off = off->counts.rate(off->counts.sdc);
+          const double rate_on = on->counts.rate(on->counts.sdc);
+          const double coverage =
+              on->counts.sdc == 0
+                  ? 0.0
+                  : static_cast<double>(on->counts.detected_sdc) /
+                        static_cast<double>(on->counts.sdc);
+          if (!first_row) json += ",";
+          first_row = false;
+          json += strf(
+              "{\"benchmark\":\"%s\",\"vl\":%u,\"isa\":\"%s\","
+              "\"category\":\"%s\",\"sdc_rate_off\":\"%s\","
+              "\"sdc_rate_on\":\"%s\",\"delta\":\"%s\","
+              "\"sdc_coverage\":\"%s\"}",
+              benchmark.c_str(), vl, isa.c_str(), category.c_str(),
+              double_hex(rate_off).c_str(), double_hex(rate_on).c_str(),
+              double_hex(rate_on - rate_off).c_str(),
+              double_hex(coverage).c_str());
+        }
+      }
+    }
+  }
+  json += "]";
+  return json;
+}
+
+/// Serial-vs-vector scaling per (benchmark, isa, detector): counts
+/// summed over the category axis, one column per width.
+std::string scaling_json(const StudyPlan& plan,
+                         const std::vector<const StudyCellOutcome*>& cells) {
+  const StudyPlanConfig& config = plan.config();
+  std::string json = "[";
+  bool first_row = true;
+  for (const std::string& benchmark : config.benchmarks) {
+    for (const std::string& isa : config.isas) {
+      for (const unsigned det : {0u, 1u}) {
+        std::string columns = "[";
+        bool first_col = true;
+        for (const unsigned vl : config.widths) {
+          CellCounts sum;
+          sum.experiments = 0;
+          bool any = false;
+          for (const std::string& category : config.categories) {
+            const StudyCellOutcome* outcome = find_cell(
+                cells, benchmark, vl, isa, category, det != 0);
+            if (outcome == nullptr) continue;
+            any = true;
+            sum.experiments += outcome->counts.experiments;
+            sum.benign += outcome->counts.benign;
+            sum.sdc += outcome->counts.sdc;
+            sum.crash += outcome->counts.crash;
+          }
+          if (!any) continue;
+          if (!first_col) columns += ",";
+          first_col = false;
+          columns += strf(
+              "{\"vl\":%u,\"experiments\":%llu,\"sdc_rate\":\"%s\","
+              "\"benign_rate\":\"%s\",\"crash_rate\":\"%s\"}",
+              vl, static_cast<unsigned long long>(sum.experiments),
+              double_hex(sum.rate(sum.sdc)).c_str(),
+              double_hex(sum.rate(sum.benign)).c_str(),
+              double_hex(sum.rate(sum.crash)).c_str());
+        }
+        columns += "]";
+        if (columns == "[]") continue;
+        if (!first_row) json += ",";
+        first_row = false;
+        json += strf("{\"benchmark\":\"%s\",\"isa\":\"%s\","
+                     "\"detectors\":%u,\"widths\":%s}",
+                     benchmark.c_str(), isa.c_str(), det, columns.c_str());
+      }
+    }
+  }
+  json += "]";
+  return json;
+}
+
+}  // namespace
+
+std::string study_report_json(const StudyPlan& plan,
+                              const StudyResult& result) {
+  const std::vector<const StudyCellOutcome*> cells = ordered_cells(result);
+  const double confidence = plan.config().base.confidence;
+  std::string json = strf(
+      "{\"t\":\"study\",\"schema\":%u,\"plan\":\"%016llx\","
+      "\"cells_total\":%u,\"cells_done\":%llu,\"confidence\":\"%s\","
+      "\"cells\":[",
+      kStudySchemaVersion,
+      static_cast<unsigned long long>(plan.fingerprint()),
+      result.cells_total, static_cast<unsigned long long>(cells.size()),
+      double_hex(confidence).c_str());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) json += ",";
+    json += cell_json(*cells[i], confidence);
+  }
+  json += "],\"width_deltas\":" + width_deltas_json(plan, cells);
+  json += ",\"detector_efficacy\":" + detector_efficacy_json(plan, cells);
+  json += ",\"scaling\":" + scaling_json(plan, cells);
+  json += "}";
+  return json;
+}
+
+std::string study_report_markdown(const StudyPlan& plan,
+                                  const StudyResult& result) {
+  const std::vector<const StudyCellOutcome*> cells = ordered_cells(result);
+  const double confidence = plan.config().base.confidence;
+  std::string out = strf(
+      "# Vector-width resilience study\n\n"
+      "Plan `%016llx` — %llu/%u cells, %u experiments/campaign, "
+      "confidence %.2f.\n\n",
+      static_cast<unsigned long long>(plan.fingerprint()),
+      static_cast<unsigned long long>(cells.size()), result.cells_total,
+      plan.config().base.experiments, confidence);
+
+  out += "## Cells\n\n";
+  out += "| benchmark | vl | isa | category | det | exp | SDC | CI low | "
+         "CI high | Benign | Crash |\n";
+  out += "|---|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const StudyCellOutcome* outcome : cells) {
+    const StudyCell& cell = outcome->cell;
+    const CellCounts& counts = outcome->counts;
+    const WilsonInterval ci =
+        wilson_interval(counts.sdc, counts.experiments, confidence);
+    out += strf("| %s | %u | %s | %s | %s | %llu | %.4f | %.4f | %.4f | "
+                "%.4f | %.4f |\n",
+                cell.benchmark.c_str(), cell.vl, cell.isa.c_str(),
+                cell.category.c_str(), cell.detectors ? "on" : "off",
+                static_cast<unsigned long long>(counts.experiments),
+                counts.rate(counts.sdc), ci.low, ci.high,
+                counts.rate(counts.benign), counts.rate(counts.crash));
+  }
+
+  out += "\n## SDC across vector widths (delta vs narrowest width)\n\n";
+  const StudyPlanConfig& config = plan.config();
+  out += "| benchmark | isa | category | det |";
+  for (const unsigned vl : config.widths) out += strf(" vl%u |", vl);
+  out += "\n|---|---|---|---|";
+  for (std::size_t i = 0; i < config.widths.size(); ++i) out += "---|";
+  out += "\n";
+  for (const std::string& benchmark : config.benchmarks) {
+    for (const std::string& isa : config.isas) {
+      for (const std::string& category : config.categories) {
+        for (const unsigned det : {0u, 1u}) {
+          const StudyCellOutcome* baseline = nullptr;
+          std::string row;
+          unsigned present = 0;
+          for (const unsigned vl : config.widths) {
+            const StudyCellOutcome* outcome = find_cell(
+                cells, benchmark, vl, isa, category, det != 0);
+            if (outcome == nullptr) {
+              row += " — |";
+              continue;
+            }
+            present += 1;
+            const double rate = outcome->counts.rate(outcome->counts.sdc);
+            if (baseline == nullptr) {
+              baseline = outcome;
+              row += strf(" %.4f |", rate);
+            } else {
+              row += strf(
+                  " %.4f (%+.4f) |",
+                  rate, rate - baseline->counts.rate(baseline->counts.sdc));
+            }
+          }
+          if (present < 2) continue;
+          out += strf("| %s | %s | %s | %s |%s\n", benchmark.c_str(),
+                      isa.c_str(), category.c_str(),
+                      det != 0 ? "on" : "off", row.c_str());
+        }
+      }
+    }
+  }
+
+  out += "\n## Detector efficacy (SDC on vs off, coverage of SDCs)\n\n";
+  out += "| benchmark | vl | isa | category | SDC off | SDC on | delta | "
+         "coverage |\n";
+  out += "|---|---|---|---|---|---|---|---|\n";
+  for (const std::string& benchmark : config.benchmarks) {
+    for (const unsigned vl : config.widths) {
+      for (const std::string& isa : config.isas) {
+        for (const std::string& category : config.categories) {
+          const StudyCellOutcome* off =
+              find_cell(cells, benchmark, vl, isa, category, false);
+          const StudyCellOutcome* on =
+              find_cell(cells, benchmark, vl, isa, category, true);
+          if (off == nullptr || on == nullptr) continue;
+          const double rate_off = off->counts.rate(off->counts.sdc);
+          const double rate_on = on->counts.rate(on->counts.sdc);
+          const double coverage =
+              on->counts.sdc == 0
+                  ? 0.0
+                  : static_cast<double>(on->counts.detected_sdc) /
+                        static_cast<double>(on->counts.sdc);
+          out += strf("| %s | %u | %s | %s | %.4f | %.4f | %+.4f | %.4f "
+                      "|\n",
+                      benchmark.c_str(), vl, isa.c_str(), category.c_str(),
+                      rate_off, rate_on, rate_on - rate_off, coverage);
+        }
+      }
+    }
+  }
+
+  out += "\n## Serial vs vector scaling (summed over categories)\n\n";
+  out += "| benchmark | isa | det |";
+  for (const unsigned vl : config.widths) out += strf(" vl%u SDC |", vl);
+  out += "\n|---|---|---|";
+  for (std::size_t i = 0; i < config.widths.size(); ++i) out += "---|";
+  out += "\n";
+  for (const std::string& benchmark : config.benchmarks) {
+    for (const std::string& isa : config.isas) {
+      for (const unsigned det : {0u, 1u}) {
+        std::string row;
+        unsigned present = 0;
+        for (const unsigned vl : config.widths) {
+          CellCounts sum;
+          bool any = false;
+          for (const std::string& category : config.categories) {
+            const StudyCellOutcome* outcome = find_cell(
+                cells, benchmark, vl, isa, category, det != 0);
+            if (outcome == nullptr) continue;
+            any = true;
+            sum.experiments += outcome->counts.experiments;
+            sum.sdc += outcome->counts.sdc;
+          }
+          if (!any) {
+            row += " — |";
+            continue;
+          }
+          present += 1;
+          row += strf(" %.4f |", sum.rate(sum.sdc));
+        }
+        if (present == 0) continue;
+        out += strf("| %s | %s | %s |%s\n", benchmark.c_str(), isa.c_str(),
+                    det != 0 ? "on" : "off", row.c_str());
+      }
+    }
+  }
+  return out;
+}
+
+std::string study_report_csv(const StudyPlan& plan,
+                             const StudyResult& result) {
+  const std::vector<const StudyCellOutcome*> cells = ordered_cells(result);
+  const double confidence = plan.config().base.confidence;
+  std::string out =
+      "benchmark,vl,isa,category,detectors,exit,converged,campaigns,"
+      "experiments,benign,sdc,crash,detected_sdc,detected_total,"
+      "sdc_rate,sdc_ci_low,sdc_ci_high,benign_rate,crash_rate\n";
+  for (const StudyCellOutcome* outcome : cells) {
+    const StudyCell& cell = outcome->cell;
+    const CellCounts& counts = outcome->counts;
+    const WilsonInterval ci =
+        wilson_interval(counts.sdc, counts.experiments, confidence);
+    out += strf(
+        "%s,%u,%s,%s,%u,%d,%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%.6f,%.6f,%.6f,%.6f,%.6f\n",
+        cell.benchmark.c_str(), cell.vl, cell.isa.c_str(),
+        cell.category.c_str(), cell.detectors ? 1u : 0u, counts.exit_code,
+        counts.converged ? 1u : 0u,
+        static_cast<unsigned long long>(counts.campaigns),
+        static_cast<unsigned long long>(counts.experiments),
+        static_cast<unsigned long long>(counts.benign),
+        static_cast<unsigned long long>(counts.sdc),
+        static_cast<unsigned long long>(counts.crash),
+        static_cast<unsigned long long>(counts.detected_sdc),
+        static_cast<unsigned long long>(counts.detected_total),
+        counts.rate(counts.sdc), ci.low, ci.high,
+        counts.rate(counts.benign), counts.rate(counts.crash));
+  }
+  return out;
+}
+
+}  // namespace vulfi::study

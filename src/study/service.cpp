@@ -1,0 +1,173 @@
+// {"op":"study"} — the study as a daemon workload. The op runs the
+// whole plan inside the daemon against its warm engine cache, streaming
+// one sealed study-cell record per finished cell; the done frame's stats
+// slice is the study report JSON. A client transcript of those records
+// is itself a valid (resumable) study journal.
+#include <cstdlib>
+
+#include "study/study.hpp"
+#include "support/str.hpp"
+
+namespace vulfi::study {
+
+namespace {
+
+std::string join_csv(const std::vector<std::string>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += values[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    std::string part;
+    if (comma == std::string::npos) {
+      part = text.substr(start);
+    } else {
+      part = text.substr(start, comma - start);
+    }
+    if (!part.empty()) out.push_back(std::move(part));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_study_request(const StudyRequest& request) {
+  // The shared campaign knobs ride in the same fields a submit uses
+  // (campaign_fields_json), so the two grammars cannot drift; the axes
+  // use plural names that no campaign field collides with. The base
+  // benchmark field is cleared — axes carry the benchmarks.
+  serve::CampaignRequest base = request.plan.base;
+  base.benchmark.clear();
+  base.checkpoint.clear();
+  base.shards = 0;
+  base.vl = 0;
+  std::string payload =
+      "{\"op\":\"study\"," + serve::campaign_fields_json(base);
+  payload += strf(",\"benchmarks\":\"%s\"",
+                  serve::json_escape(join_csv(request.plan.benchmarks))
+                      .c_str());
+  std::string widths;
+  for (std::size_t i = 0; i < request.plan.widths.size(); ++i) {
+    if (i > 0) widths += ",";
+    widths += strf("%u", request.plan.widths[i]);
+  }
+  payload += strf(",\"widths\":\"%s\"", widths.c_str());
+  payload += strf(",\"study_isas\":\"%s\"",
+                  join_csv(request.plan.isas).c_str());
+  payload += strf(",\"study_categories\":\"%s\"",
+                  serve::json_escape(join_csv(request.plan.categories))
+                      .c_str());
+  payload += strf(",\"det_off\":%u,\"det_on\":%u",
+                  request.plan.detectors_off ? 1u : 0u,
+                  request.plan.detectors_on ? 1u : 0u);
+  payload += strf(",\"window\":%u", request.window);
+  payload += "}";
+  return payload;
+}
+
+std::optional<StudyRequest> parse_study_request(const std::string& payload,
+                                                std::string* error) {
+  StudyRequest request;
+  if (!serve::parse_campaign_fields(payload, &request.plan.base, error,
+                                    "study")) {
+    return std::nullopt;
+  }
+  request.plan.base.benchmark.clear();
+  request.plan.base.checkpoint.clear();
+  request.plan.base.shards = 0;
+  request.plan.base.vl = 0;
+
+  request.plan.benchmarks =
+      split_csv(journal_str(payload, "benchmarks").value_or(""));
+  request.plan.widths.clear();
+  for (const std::string& width :
+       split_csv(journal_str(payload, "widths").value_or("1,4,8,16"))) {
+    request.plan.widths.push_back(
+        static_cast<unsigned>(std::strtoul(width.c_str(), nullptr, 10)));
+  }
+  request.plan.isas =
+      split_csv(journal_str(payload, "study_isas").value_or("avx,sse"));
+  request.plan.categories = split_csv(
+      journal_str(payload, "study_categories")
+          .value_or("pure-data,control,address"));
+  request.plan.detectors_off = journal_u64(payload, "det_off").value_or(1) != 0;
+  request.plan.detectors_on = journal_u64(payload, "det_on").value_or(1) != 0;
+  request.window =
+      static_cast<unsigned>(journal_u64(payload, "window").value_or(4));
+
+  // Full validation (registry names included) happens in StudyPlan::make;
+  // run it here so a bad request is refused before admission.
+  std::string make_error;
+  if (!StudyPlan::make(request.plan, &make_error)) {
+    if (error != nullptr) *error = make_error;
+    return std::nullopt;
+  }
+  return request;
+}
+
+serve::SubmitOutcome submit_study(const std::string& socket_path,
+                                  const StudyRequest& request,
+                                  const serve::StreamCallbacks& callbacks,
+                                  int frame_timeout_ms) {
+  return serve::submit_payload(socket_path,
+                               serialize_study_request(request), callbacks,
+                               frame_timeout_ms);
+}
+
+void register_study_op(serve::CampaignServer& server) {
+  serve::CampaignServer* raw = &server;
+  server.register_op(
+      "study",
+      [raw](const std::string& payload,
+            const serve::ExtensionHooks& hooks) -> serve::ExtensionResult {
+        serve::ExtensionResult out;
+        std::string error;
+        const std::optional<StudyRequest> request =
+            parse_study_request(payload, &error);
+        if (!request) {
+          out.error = error;
+          out.result_json = "{}";
+          return out;
+        }
+        const std::optional<StudyPlan> plan =
+            StudyPlan::make(request->plan, &error);
+        if (!plan) {
+          out.error = error;
+          out.result_json = "{}";
+          return out;
+        }
+
+        StudyOptions options;
+        options.window = request->window;
+        options.cache = &raw->cache();
+        options.max_jobs = raw->max_jobs_per_request();
+        options.cancel = hooks.cancel;
+        options.log = hooks.log;
+        options.on_cell = [&hooks](const StudyCellOutcome& outcome) {
+          if (!outcome.done) return;
+          hooks.send_raw(journal_seal(
+              study_cell_payload(outcome.cell, outcome.counts)));
+        };
+        const StudyResult result = run_study(*plan, options);
+        out.exit_code = result.exit_code;
+        out.converged = result.exit_code == 0;
+        out.interrupted = result.interrupted;
+        out.error = result.error;
+        out.result_json = result.complete()
+                              ? study_report_json(*plan, result)
+                              : "{}";
+        return out;
+      });
+}
+
+}  // namespace vulfi::study

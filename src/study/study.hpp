@@ -1,0 +1,266 @@
+// The vector-width × parallelism resilience study (fleet driver).
+//
+// The paper's Figures 11/12 fix one vector width per ISA; Wu et al.
+// (arXiv:1808.01093) show resilience shifts between serial and parallel
+// executions of the same application. This subsystem answers the vector
+// analogue as a first-class product: a StudyPlan enumerates the
+// cross-product of registry benchmark × vector length (scalar baseline
+// vs VL ∈ {4, 8, 16}) × ISA × fault-site category × detector on/off, and
+// run_study() fans the cells through `vulfid` submits (bounded in-flight
+// window, busy backoff, per-cell cancellation) or a local in-process
+// engine cache when no socket is given.
+//
+// Everything downstream of a cell is a pure function of its integer
+// campaign counters (experiments, benign, sdc, crash, detected_*,
+// campaigns) — Wilson intervals, deltas, and scaling tables are all
+// recomputed from counts at render time. That is why the study report is
+// byte-identical across local vs daemon execution, any window size, and
+// interrupt/resume at any cell boundary.
+//
+// Durability mirrors campaign checkpoints: the study journal is a
+// checksummed JSONL file whose header pins the plan fingerprint and the
+// build fingerprint; each completed cell appends one sealed record.
+// Resuming with the same journal replays those cells with zero repeated
+// work. A summary store (vulfi/summary.hpp) adds cross-run reuse: an
+// unchanged (unit, config) cell is answered from its stored summary with
+// zero new experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/engine_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/cancel.hpp"
+#include "support/journal.hpp"
+
+namespace vulfi::study {
+
+/// Bumped when a study journal or report written by this build would not
+/// parse — or would mean something different — under the previous one.
+constexpr unsigned kStudySchemaVersion = 1;
+
+/// One point of the cross-product. `vl` is always explicit here (1 =
+/// scalar serial baseline), even when it equals the ISA's native width.
+struct StudyCell {
+  std::string benchmark;
+  unsigned vl = 8;
+  std::string isa = "avx";             ///< avx | sse
+  std::string category = "pure-data";  ///< canonical category name
+  bool detectors = false;
+
+  /// Stable identity used by journals and logs: "dot|vl4|avx|control|det0".
+  std::string key() const;
+};
+
+/// Report/journal order: (benchmark, vl, isa, category, detectors),
+/// regardless of the order cells complete in.
+bool cell_order(const StudyCell& a, const StudyCell& b);
+
+/// The ISA's native vector width (avx 8, sse 4) — the width a plain
+/// submit without a vl override runs at.
+unsigned native_width(const std::string& isa);
+
+/// Axes of the cross-product plus the campaign knobs every cell shares.
+/// Per-cell fields of `base` (benchmark, category, isa, detectors, vl,
+/// seed) are overwritten by StudyPlan::request_for; the rest (experiment
+/// and campaign counts, confidence, margin, jobs, backend, toggles)
+/// apply to all cells.
+struct StudyPlanConfig {
+  std::vector<std::string> benchmarks;
+  std::vector<unsigned> widths = {1, 4, 8, 16};
+  std::vector<std::string> isas = {"avx", "sse"};
+  std::vector<std::string> categories = {"pure-data", "control", "address"};
+  bool detectors_off = true;
+  bool detectors_on = true;
+  serve::CampaignRequest base;
+};
+
+/// The enumerated, validated, sorted cross-product.
+class StudyPlan {
+ public:
+  /// Validates the axes (registry benchmark names, known widths/ISAs/
+  /// categories, at least one detector mode) and enumerates the cells in
+  /// report order. nullopt with `error` set on any invalid axis value.
+  static std::optional<StudyPlan> make(const StudyPlanConfig& config,
+                                       std::string* error);
+
+  const StudyPlanConfig& config() const { return config_; }
+  const std::vector<StudyCell>& cells() const { return cells_; }
+
+  /// FNV-1a over the schema version, every cell key, and every base
+  /// campaign knob the statistics depend on (experiments, campaign
+  /// bounds, seed, confidence/margin bit patterns, exactness toggles).
+  /// Deliberately excludes jobs, backend, window, fsync, and transport —
+  /// proven statistics-neutral. Pinned by the study journal header.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// The submit request of one cell: base with the cell's axes applied,
+  /// an explicit vl, a per-cell decorrelated seed, and no checkpoint or
+  /// sharding (cells are the unit of resumability here).
+  serve::CampaignRequest request_for(const StudyCell& cell) const;
+
+  /// Per-cell seed: derive_stream_seed over the FNV of the cell key, so
+  /// every cell owns an independent stream regardless of plan shape.
+  static std::uint64_t cell_seed(std::uint64_t base_seed,
+                                 const StudyCell& cell);
+
+  /// Deterministic {"t":"study-plan",...} dump for `vulfi study --plan`.
+  std::string to_json() const;
+
+ private:
+  StudyPlanConfig config_;
+  std::vector<StudyCell> cells_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// The integer campaign counters of one finished cell — the complete
+/// input of every report figure.
+struct CellCounts {
+  std::uint64_t campaigns = 0;
+  std::uint64_t experiments = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t crash = 0;
+  std::uint64_t detected_sdc = 0;
+  std::uint64_t detected_total = 0;
+  int exit_code = 3;
+  bool converged = false;
+
+  double rate(std::uint64_t count) const {
+    return experiments == 0
+               ? 0.0
+               : static_cast<double>(count) / static_cast<double>(experiments);
+  }
+};
+
+/// One cell's result with its provenance. `source` is "local", "daemon",
+/// "journal" (resumed), or "store" (summary reuse); it never feeds the
+/// report, which depends on counts alone.
+struct StudyCellOutcome {
+  StudyCell cell;
+  CellCounts counts;
+  std::string source;
+  bool done = false;
+  std::string error;
+};
+
+/// {"t":"study-cell",...} journal payload (unsealed) for one finished
+/// cell. Deliberately free of provenance: a record written by a local
+/// run, a daemon-fanned run, or the {"op":"study"} server op is byte-
+/// identical, so journals are interchangeable across execution modes.
+std::string study_cell_payload(const StudyCell& cell,
+                               const CellCounts& counts);
+/// Parses a study-cell payload back; nullopt when malformed.
+std::optional<StudyCellOutcome> parse_study_cell(const std::string& payload);
+
+/// {"t":"study-header",...} payload pinning schema, plan fingerprint,
+/// build fingerprint, and cell count.
+std::string study_header_payload(const StudyPlan& plan);
+
+struct StudyOptions {
+  /// vulfid socket; empty = local in-process execution (same engines,
+  /// same campaign code, bit-identical counts by construction).
+  std::string socket;
+  /// Bounded in-flight window: cells dispatched concurrently.
+  unsigned window = 4;
+  /// Busy backoff for daemon submits (serve/client.hpp).
+  serve::RetryPolicy retry;
+  /// Study journal path; "" = no journal (no resume).
+  std::string journal_path;
+  JournalSync journal_sync = JournalSync::Always;
+  /// Summary-store directory (vulfi/summary.hpp); "" = no reuse.
+  std::string summaries_dir;
+  /// Local execution: per-cell thread clamp (0 = the request's own jobs)
+  /// and the engine cache to lease from (nullptr = a private one).
+  unsigned max_jobs = 0;
+  serve::EngineCache* cache = nullptr;
+  /// Cooperative cancellation: checked at cell boundaries and threaded
+  /// into every in-flight cell (local campaign token / daemon cancel
+  /// frame), so one ^C interrupts the whole fleet cleanly.
+  const CancellationToken* cancel = nullptr;
+  std::function<void(const std::string&)> log;
+  /// Deterministic interruption for tests and CI: once this many cells
+  /// have completed in this run, stop dispatching and exit as
+  /// interrupted (5). 0 = off.
+  unsigned stop_after_cells = 0;
+  /// Streaming hook, fired in completion order as each cell resolves
+  /// (journal replays first). The {"op":"study"} server op streams
+  /// sealed study-cell records from here.
+  std::function<void(const StudyCellOutcome&)> on_cell;
+};
+
+struct StudyResult {
+  std::uint64_t plan_fingerprint = 0;
+  /// Plan order (cell_order), independent of completion order.
+  std::vector<StudyCellOutcome> cells;
+  unsigned cells_total = 0;
+  unsigned cells_completed = 0;
+  unsigned cells_from_journal = 0;
+  unsigned cells_from_store = 0;
+  unsigned cells_executed = 0;
+  /// Experiments actually injected this run (journal/store cells add 0).
+  std::uint64_t new_experiments = 0;
+  bool interrupted = false;
+  std::string error;
+  /// Exit contract (shared with campaigns): 0 every cell converged,
+  /// 3 internal error, 4 complete but some cell unconverged,
+  /// 5 interrupted (resume with the same journal).
+  int exit_code = 3;
+
+  bool complete() const {
+    return cells_total != 0 && cells_completed == cells_total;
+  }
+};
+
+/// Runs (or resumes) the study. See the file comment for the invariants.
+StudyResult run_study(const StudyPlan& plan, const StudyOptions& options);
+
+// --- report ----------------------------------------------------------------
+
+/// Stable JSON: per-cell counts + rates + Wilson CIs, per-category SDC
+/// deltas across vector widths (scalar baseline when present), detector
+/// efficacy deltas, and serial-vs-vector scaling tables. Cells are
+/// sorted by cell_order internally, so completion order never leaks into
+/// the bytes. Doubles travel as 16-hex-digit bit patterns.
+std::string study_report_json(const StudyPlan& plan,
+                              const StudyResult& result);
+/// Human-readable rendering of the same figures (fixed %.4f formatting).
+std::string study_report_markdown(const StudyPlan& plan,
+                                  const StudyResult& result);
+/// One CSV row per cell, header included.
+std::string study_report_csv(const StudyPlan& plan,
+                             const StudyResult& result);
+
+// --- wire ------------------------------------------------------------------
+
+/// {"op":"study"} request: the plan axes plus the shared campaign knobs.
+struct StudyRequest {
+  StudyPlanConfig plan;
+  unsigned window = 4;
+};
+
+std::string serialize_study_request(const StudyRequest& request);
+std::optional<StudyRequest> parse_study_request(const std::string& payload,
+                                                std::string* error);
+
+/// Submits one whole study to a daemon. The response stream carries one
+/// sealed "study-cell" record per finished cell (append them to a file
+/// and you hold a resumable study journal); the "done" frame's stats
+/// slice is the study report JSON.
+serve::SubmitOutcome submit_study(const std::string& socket_path,
+                                  const StudyRequest& request,
+                                  const serve::StreamCallbacks& callbacks = {},
+                                  int frame_timeout_ms = 600000);
+
+/// Registers {"op":"study"} on `server` (must be called before start()).
+/// The op runs the study locally inside the daemon against the server's
+/// own engine cache and job quota, streaming sealed study-cell records.
+void register_study_op(serve::CampaignServer& server);
+
+}  // namespace vulfi::study

@@ -1,0 +1,509 @@
+// Study-subsystem tests: plan enumeration/validation/fingerprinting,
+// the byte-identity contract of the report (window size, completion
+// order, interrupt/resume through the journal, local vs daemon
+// execution), summary-store reuse with zero new experiments, the vl
+// protocol field, and EngineCache behaviour under mixed study traffic.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/engine_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "study/study.hpp"
+#include "support/journal.hpp"
+#include "vulfi/summary.hpp"
+
+namespace vulfi::study {
+namespace {
+
+/// A 4-cell plan (dot × vl{1,8} × avx × control × det{off,on}) small
+/// enough that a full sweep takes well under a second.
+StudyPlanConfig tiny_config() {
+  StudyPlanConfig config;
+  config.benchmarks = {"dot"};
+  config.widths = {1, 8};
+  config.isas = {"avx"};
+  config.categories = {"control"};
+  config.base.experiments = 8;
+  config.base.min_campaigns = 2;
+  config.base.max_campaigns = 2;
+  config.base.seed = 24029;
+  return config;
+}
+
+StudyPlan plan_of(const StudyPlanConfig& config) {
+  std::string error;
+  const std::optional<StudyPlan> plan = StudyPlan::make(config, &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return *plan;
+}
+
+std::string fresh_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "vulfi_study_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string fresh_store_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "vulfi_study_store_" + name;
+  std::remove((dir + "/" + SummaryStore::filename()).c_str());
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+// --- plan -------------------------------------------------------------------
+
+TEST(StudyPlanTest, EnumeratesCellsInReportOrderRegardlessOfSpelling) {
+  StudyPlanConfig scrambled = tiny_config();
+  scrambled.benchmarks = {"vsum", "dot"};
+  scrambled.widths = {8, 1};
+  scrambled.isas = {"sse", "avx"};
+  scrambled.categories = {"ctrl", "addr"};  // aliases, reversed
+
+  StudyPlanConfig sorted = scrambled;
+  sorted.benchmarks = {"dot", "vsum"};
+  sorted.widths = {1, 8};
+  sorted.isas = {"avx", "sse"};
+  sorted.categories = {"address", "control"};
+
+  const StudyPlan a = plan_of(scrambled);
+  const StudyPlan b = plan_of(sorted);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  ASSERT_EQ(a.cells().size(), 2u * 2u * 2u * 2u * 2u);
+  ASSERT_EQ(a.cells().size(), b.cells().size());
+  for (std::size_t i = 0; i < a.cells().size(); ++i) {
+    EXPECT_EQ(a.cells()[i].key(), b.cells()[i].key());
+    if (i > 0) {
+      EXPECT_TRUE(cell_order(a.cells()[i - 1], a.cells()[i]));
+    }
+  }
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(StudyPlanTest, RejectsInvalidAxes) {
+  std::string error;
+  auto rejects = [&](StudyPlanConfig config) {
+    error.clear();
+    EXPECT_FALSE(StudyPlan::make(config, &error).has_value());
+    EXPECT_FALSE(error.empty());
+  };
+  StudyPlanConfig bad_bench = tiny_config();
+  bad_bench.benchmarks = {"no-such-benchmark"};
+  rejects(bad_bench);
+  StudyPlanConfig bad_width = tiny_config();
+  bad_width.widths = {3};
+  rejects(bad_width);
+  StudyPlanConfig bad_isa = tiny_config();
+  bad_isa.isas = {"neon"};
+  rejects(bad_isa);
+  StudyPlanConfig bad_category = tiny_config();
+  bad_category.categories = {"bogus"};
+  rejects(bad_category);
+  StudyPlanConfig no_det = tiny_config();
+  no_det.detectors_off = false;
+  no_det.detectors_on = false;
+  rejects(no_det);
+  StudyPlanConfig no_exp = tiny_config();
+  no_exp.base.experiments = 0;
+  rejects(no_exp);
+}
+
+TEST(StudyPlanTest, CellSeedDependsOnKeyNotPlanShape) {
+  const StudyPlan small = plan_of(tiny_config());
+  StudyPlanConfig big_config = tiny_config();
+  big_config.benchmarks = {"dot", "vsum"};
+  big_config.widths = {1, 4, 8};
+  const StudyPlan big = plan_of(big_config);
+
+  for (const StudyCell& cell : small.cells()) {
+    EXPECT_EQ(small.request_for(cell).seed, big.request_for(cell).seed)
+        << cell.key();
+  }
+  // Distinct cells draw from distinct streams.
+  EXPECT_NE(big.request_for(big.cells()[0]).seed,
+            big.request_for(big.cells()[1]).seed);
+}
+
+TEST(StudyPlanTest, FingerprintTracksStatisticsAffectingKnobsOnly) {
+  const StudyPlan base = plan_of(tiny_config());
+  StudyPlanConfig seeded = tiny_config();
+  seeded.base.seed = 7;
+  EXPECT_NE(plan_of(seeded).fingerprint(), base.fingerprint());
+  StudyPlanConfig jobs = tiny_config();
+  jobs.base.jobs = 4;
+  jobs.base.backend = "jit";
+  EXPECT_EQ(plan_of(jobs).fingerprint(), base.fingerprint());
+}
+
+TEST(StudyCellTest, PayloadRoundTrips) {
+  StudyCell cell;
+  cell.benchmark = "stencil";
+  cell.vl = 4;
+  cell.isa = "sse";
+  cell.category = "address";
+  cell.detectors = true;
+  CellCounts counts;
+  counts.campaigns = 3;
+  counts.experiments = 120;
+  counts.benign = 40;
+  counts.sdc = 70;
+  counts.crash = 10;
+  counts.detected_sdc = 12;
+  counts.detected_total = 15;
+  counts.exit_code = 0;
+  counts.converged = true;
+
+  const std::optional<StudyCellOutcome> back =
+      parse_study_cell(study_cell_payload(cell, counts));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->cell.key(), cell.key());
+  EXPECT_EQ(back->counts.campaigns, counts.campaigns);
+  EXPECT_EQ(back->counts.experiments, counts.experiments);
+  EXPECT_EQ(back->counts.benign, counts.benign);
+  EXPECT_EQ(back->counts.sdc, counts.sdc);
+  EXPECT_EQ(back->counts.crash, counts.crash);
+  EXPECT_EQ(back->counts.detected_sdc, counts.detected_sdc);
+  EXPECT_EQ(back->counts.detected_total, counts.detected_total);
+  EXPECT_EQ(back->counts.exit_code, counts.exit_code);
+  EXPECT_TRUE(back->counts.converged);
+  EXPECT_TRUE(back->done);
+  EXPECT_FALSE(parse_study_cell("{\"t\":\"campaign\"}").has_value());
+  EXPECT_FALSE(
+      parse_study_cell("{\"t\":\"study-cell\",\"key\":\"x|y\"}").has_value());
+}
+
+// --- vl protocol field ------------------------------------------------------
+
+TEST(StudyProtocolTest, VlRoundTripsAndValidates) {
+  serve::CampaignRequest request;
+  request.benchmark = "dot";
+  request.vl = 4;
+  const std::string payload = serve::serialize_request(request);
+  EXPECT_NE(payload.find("\"vl\":4"), std::string::npos);
+  std::string error;
+  const std::optional<serve::CampaignRequest> back =
+      serve::parse_request(payload, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->vl, 4u);
+
+  // vl 0 (native) stays off the wire so pre-vl daemons still parse it.
+  request.vl = 0;
+  EXPECT_EQ(serve::serialize_request(request).find("\"vl\""),
+            std::string::npos);
+
+  request.vl = 3;
+  EXPECT_FALSE(
+      serve::parse_request(serve::serialize_request(request), &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(StudyProtocolTest, StudyRequestRoundTrips) {
+  StudyRequest request;
+  request.plan = tiny_config();
+  request.plan.detectors_on = false;
+  request.window = 7;
+  std::string error;
+  const std::optional<StudyRequest> back =
+      parse_study_request(serialize_study_request(request), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->window, 7u);
+  EXPECT_EQ(plan_of(back->plan).fingerprint(),
+            plan_of(request.plan).fingerprint());
+
+  request.plan.benchmarks = {"no-such-benchmark"};
+  EXPECT_FALSE(
+      parse_study_request(serialize_study_request(request), &error)
+          .has_value());
+}
+
+// --- run_study byte-identity ------------------------------------------------
+
+TEST(StudyRunTest, ReportByteIdenticalAcrossWindowSizes) {
+  const StudyPlan plan = plan_of(tiny_config());
+  std::string first_json, first_csv;
+  for (const unsigned window : {1u, 3u, 8u}) {
+    StudyOptions options;
+    options.window = window;
+    const StudyResult result = run_study(plan, options);
+    EXPECT_TRUE(result.complete()) << result.error;
+    EXPECT_EQ(result.cells_executed, plan.cells().size());
+    const std::string json = study_report_json(plan, result);
+    const std::string csv = study_report_csv(plan, result);
+    if (first_json.empty()) {
+      first_json = json;
+      first_csv = csv;
+    } else {
+      EXPECT_EQ(json, first_json) << "window " << window;
+      EXPECT_EQ(csv, first_csv) << "window " << window;
+    }
+  }
+}
+
+TEST(StudyRunTest, ReportIndependentOfCompletionOrder) {
+  const StudyPlan plan = plan_of(tiny_config());
+  StudyOptions options;
+  const StudyResult result = run_study(plan, options);
+  ASSERT_TRUE(result.complete()) << result.error;
+  const std::string report = study_report_json(plan, result);
+
+  // Shuffle the outcome vector — as if the cells had completed in any
+  // other order — and diff the report bytes.
+  StudyResult shuffled = result;
+  std::reverse(shuffled.cells.begin(), shuffled.cells.end());
+  EXPECT_EQ(study_report_json(plan, shuffled), report);
+  EXPECT_EQ(study_report_markdown(plan, shuffled),
+            study_report_markdown(plan, result));
+  EXPECT_EQ(study_report_csv(plan, shuffled),
+            study_report_csv(plan, result));
+  std::rotate(shuffled.cells.begin(), shuffled.cells.begin() + 1,
+              shuffled.cells.end());
+  EXPECT_EQ(study_report_json(plan, shuffled), report);
+}
+
+TEST(StudyRunTest, JournalInterruptResumeByteIdentical) {
+  const StudyPlan plan = plan_of(tiny_config());
+  StudyOptions plain;
+  const StudyResult uninterrupted = run_study(plan, plain);
+  ASSERT_TRUE(uninterrupted.complete()) << uninterrupted.error;
+  const std::string expected = study_report_json(plan, uninterrupted);
+
+  const std::string journal = fresh_path("resume.journal");
+  StudyOptions half;
+  half.journal_path = journal;
+  half.window = 1;  // deterministic cell count at the stop
+  half.stop_after_cells = 2;
+  const StudyResult partial = run_study(plan, half);
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.exit_code, 5);
+  EXPECT_EQ(partial.cells_completed, 2u);
+
+  StudyOptions resume;
+  resume.journal_path = journal;
+  const StudyResult resumed = run_study(plan, resume);
+  ASSERT_TRUE(resumed.complete()) << resumed.error;
+  EXPECT_EQ(resumed.cells_from_journal, 2u);
+  EXPECT_EQ(resumed.cells_executed, plan.cells().size() - 2u);
+  EXPECT_EQ(resumed.exit_code, uninterrupted.exit_code);
+  EXPECT_EQ(study_report_json(plan, resumed), expected);
+  EXPECT_EQ(study_report_csv(plan, resumed),
+            study_report_csv(plan, uninterrupted));
+
+  // A third run replays everything: zero new experiments.
+  StudyOptions replay;
+  replay.journal_path = journal;
+  const StudyResult replayed = run_study(plan, replay);
+  ASSERT_TRUE(replayed.complete()) << replayed.error;
+  EXPECT_EQ(replayed.cells_from_journal, plan.cells().size());
+  EXPECT_EQ(replayed.cells_executed, 0u);
+  EXPECT_EQ(replayed.new_experiments, 0u);
+  EXPECT_EQ(study_report_json(plan, replayed), expected);
+  std::remove(journal.c_str());
+}
+
+TEST(StudyRunTest, JournalFromDifferentPlanRefused) {
+  const StudyPlan plan = plan_of(tiny_config());
+  const std::string journal = fresh_path("mismatch.journal");
+  StudyOptions seed_run;
+  seed_run.journal_path = journal;
+  seed_run.stop_after_cells = 1;
+  (void)run_study(plan, seed_run);
+
+  StudyPlanConfig other_config = tiny_config();
+  other_config.base.seed = 7;  // statistics-affecting → new fingerprint
+  const StudyPlan other = plan_of(other_config);
+  StudyOptions resume;
+  resume.journal_path = journal;
+  const StudyResult refused = run_study(other, resume);
+  EXPECT_EQ(refused.exit_code, 3);
+  EXPECT_NE(refused.error.find("plan"), std::string::npos)
+      << refused.error;
+  std::remove(journal.c_str());
+}
+
+TEST(StudyRunTest, SummaryStoreReuseIssuesZeroNewExperiments) {
+  const StudyPlan plan = plan_of(tiny_config());
+  const std::string store = fresh_store_dir("reuse");
+  StudyOptions first;
+  first.summaries_dir = store;
+  const StudyResult cold = run_study(plan, first);
+  ASSERT_TRUE(cold.complete()) << cold.error;
+  EXPECT_EQ(cold.cells_executed, plan.cells().size());
+  EXPECT_GT(cold.new_experiments, 0u);
+
+  StudyOptions second;
+  second.summaries_dir = store;
+  const StudyResult warm = run_study(plan, second);
+  ASSERT_TRUE(warm.complete()) << warm.error;
+  EXPECT_EQ(warm.cells_from_store, plan.cells().size());
+  EXPECT_EQ(warm.cells_executed, 0u);
+  EXPECT_EQ(warm.new_experiments, 0u);
+  EXPECT_EQ(study_report_json(plan, warm), study_report_json(plan, cold));
+
+  // A different seed fingerprints differently — no false reuse.
+  StudyPlanConfig reseeded_config = tiny_config();
+  reseeded_config.base.seed = 7;
+  const StudyPlan reseeded = plan_of(reseeded_config);
+  StudyOptions third;
+  third.summaries_dir = store;
+  const StudyResult fresh = run_study(reseeded, third);
+  ASSERT_TRUE(fresh.complete()) << fresh.error;
+  EXPECT_EQ(fresh.cells_from_store, 0u);
+  std::remove((store + "/" + SummaryStore::filename()).c_str());
+  ::rmdir(store.c_str());
+}
+
+// --- daemon execution -------------------------------------------------------
+
+class StudyServeTest : public testing::Test {
+ protected:
+  void start() {
+    static std::atomic<unsigned> counter{0};
+    socket_path_ = "/tmp/vulfi_study_test_" + std::to_string(::getpid()) +
+                   "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+    serve::ServerConfig config;
+    config.socket_path = socket_path_;
+    config.workers = 2;
+    config.verbose = false;
+    server_ = std::make_unique<serve::CampaignServer>(config);
+    register_study_op(*server_);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->request_shutdown();
+      server_->wait();
+    }
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<serve::CampaignServer> server_;
+};
+
+TEST_F(StudyServeTest, DaemonFannedReportMatchesLocalBytes) {
+  start();
+  const StudyPlan plan = plan_of(tiny_config());
+  StudyOptions local;
+  const StudyResult local_result = run_study(plan, local);
+  ASSERT_TRUE(local_result.complete()) << local_result.error;
+
+  StudyOptions fanned;
+  fanned.socket = socket_path_;
+  fanned.window = 3;
+  const StudyResult daemon_result = run_study(plan, fanned);
+  ASSERT_TRUE(daemon_result.complete()) << daemon_result.error;
+  EXPECT_EQ(daemon_result.cells_executed, plan.cells().size());
+  for (const StudyCellOutcome& outcome : daemon_result.cells) {
+    EXPECT_EQ(outcome.source, "daemon") << outcome.cell.key();
+  }
+  EXPECT_EQ(study_report_json(plan, daemon_result),
+            study_report_json(plan, local_result));
+  EXPECT_EQ(study_report_markdown(plan, daemon_result),
+            study_report_markdown(plan, local_result));
+}
+
+TEST_F(StudyServeTest, StudyOpStreamsCellsAndReturnsReport) {
+  start();
+  const StudyPlan plan = plan_of(tiny_config());
+  StudyOptions local;
+  const StudyResult local_result = run_study(plan, local);
+  ASSERT_TRUE(local_result.complete()) << local_result.error;
+
+  StudyRequest request;
+  request.plan = tiny_config();
+  request.window = 2;
+  std::vector<std::string> records;
+  serve::StreamCallbacks callbacks;
+  callbacks.on_record = [&records](const std::string& line) {
+    records.push_back(line);
+  };
+  const serve::SubmitOutcome outcome =
+      submit_study(socket_path_, request, callbacks);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_TRUE(outcome.server_error.empty()) << outcome.server_error;
+  EXPECT_EQ(outcome.exit_code, local_result.exit_code);
+  EXPECT_EQ(outcome.stats_json, study_report_json(plan, local_result));
+
+  // The streamed transcript is a set of valid sealed study-cell records
+  // covering every cell exactly once.
+  ASSERT_EQ(records.size(), plan.cells().size());
+  std::vector<std::string> keys;
+  for (const std::string& sealed : records) {
+    const std::optional<std::string> payload = journal_unseal(sealed);
+    ASSERT_TRUE(payload.has_value());
+    const std::optional<StudyCellOutcome> cell = parse_study_cell(*payload);
+    ASSERT_TRUE(cell.has_value());
+    keys.push_back(cell->cell.key());
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+
+  // A malformed study request is refused with an error done frame
+  // (exit 3) — the transport succeeds, the study never runs.
+  StudyRequest bad = request;
+  bad.plan.benchmarks = {"no-such-benchmark"};
+  const serve::SubmitOutcome refused =
+      submit_study(socket_path_, bad, {});
+  ASSERT_TRUE(refused.ok) << refused.error;
+  EXPECT_FALSE(refused.server_error.empty());
+  EXPECT_EQ(refused.exit_code, 3);
+}
+
+// --- EngineCache under mixed study traffic ----------------------------------
+
+TEST(StudyEngineCacheTest, LruBoundHoldsAndWarmHitsDominate) {
+  serve::EngineCache cache(4);
+  // Six distinct study keys — more than the cache holds — spanning
+  // benchmark, isa, and vl (vl alone must split the key).
+  std::vector<serve::CampaignRequest> requests;
+  for (const char* benchmark : {"dot", "vsum"}) {
+    for (const unsigned vl : {0u, 1u, 4u}) {
+      serve::CampaignRequest request;
+      request.benchmark = benchmark;
+      request.category = "control";
+      request.isa = "avx";
+      request.vl = vl;
+      requests.push_back(request);
+    }
+  }
+  ASSERT_EQ(requests.size(), 6u);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    for (std::size_t j = i + 1; j < requests.size(); ++j) {
+      EXPECT_NE(serve::EngineCache::key_of(requests[i]),
+                serve::EngineCache::key_of(requests[j]));
+    }
+  }
+
+  // Study-shaped traffic: each cell touched repeatedly in a burst (the
+  // campaign's experiments), bursts cycling through all keys.
+  for (const serve::CampaignRequest& request : requests) {
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      serve::EngineCache::Lease lease = cache.acquire(request);
+      ASSERT_TRUE(lease.ok()) << lease.error;
+      ASSERT_FALSE(lease.engines.empty());
+      EXPECT_EQ(lease.cache_hit, repeat > 0);
+    }
+  }
+  const serve::EngineCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_EQ(stats.hits, 12u);       // warm hits dominate misses 2:1
+  EXPECT_LE(stats.entries, 4u);     // LRU bound holds past eviction
+
+  // Re-touching an evicted key is a miss, not an error.
+  serve::EngineCache::Lease lease = cache.acquire(requests[0]);
+  ASSERT_TRUE(lease.ok()) << lease.error;
+  EXPECT_FALSE(lease.cache_hit);
+}
+
+}  // namespace
+}  // namespace vulfi::study

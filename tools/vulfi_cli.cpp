@@ -88,6 +88,7 @@
 #include "serve/diff.hpp"
 #include "serve/server.hpp"
 #include "serve/shard.hpp"
+#include "study/study.hpp"
 #include "support/hash.hpp"
 #include "vulfi/summary.hpp"
 #include "support/barchart.hpp"
@@ -209,9 +210,31 @@ struct CliArgs {
       "  compile  --file K.ispc [--target avx|sse] [--detectors] "
       "[--instrumented]\n"
       "           Compile an ISPC-like kernel file and print its IR.\n"
-      "  study    [--benchmark NAME] [--campaigns K] [--experiments N]\n"
-      "           [--seed S] [--jobs N] [--detectors]  Full benchmark x\n"
-      "           category x ISA matrix (the paper's Figure-11 study).\n"
+      "  study    [--benchmarks a,b,c] [--widths 1,4,8,16] [--isas avx,sse]\n"
+      "           [--categories pure-data,control,address] "
+      "[--det on|off|both]\n"
+      "           [--window N] [--journal PATH] [--summary-store DIR]\n"
+      "           [--socket PATH] [--retry N] [--retry-base-ms M]\n"
+      "           [--report-json PATH] [--report-md PATH] "
+      "[--report-csv PATH]\n"
+      "           [--stop-after-cells N] [--plan] [campaign options]\n"
+      "           Vector-width resilience study: the cross-product of\n"
+      "           benchmark x vector length (1 = scalar baseline) x ISA x\n"
+      "           category x detector mode, fanned --window cells at a\n"
+      "           time through a vulfid (--socket) or a local in-process\n"
+      "           engine cache. --journal makes the sweep resumable\n"
+      "           (interrupt at any cell boundary, rerun, report bytes\n"
+      "           identical to an uninterrupted run); --summary-store\n"
+      "           reuses stored per-unit summaries for unchanged cells\n"
+      "           with ZERO new experiments. --plan prints the enumerated\n"
+      "           plan JSON and exits. The markdown report (per-cell\n"
+      "           Wilson CIs, SDC-across-widths deltas, detector\n"
+      "           efficacy, serial-vs-vector scaling) lands on stdout;\n"
+      "           --report-json/--report-md/--report-csv write the\n"
+      "           deterministic renderings. Exit codes: 0 all cells\n"
+      "           converged, 2 usage, 3 internal error, 4 complete but\n"
+      "           unconverged cells, 5 interrupted (rerun with the same\n"
+      "           --journal to resume).\n"
       "  --jobs N runs campaigns on N worker threads (0 = hardware\n"
       "  concurrency); campaign statistics are bit-identical for every "
       "N.\n"
@@ -240,13 +263,18 @@ CliArgs parse(int argc, char** argv) {
                                  "--shards", "--max-restarts",
                                  "--retry", "--retry-base-ms",
                                  "--inputs", "--out",
+                                 // study axes and outputs
+                                 "--benchmarks", "--widths", "--isas",
+                                 "--categories", "--det", "--window",
+                                 "--stop-after-cells", "--report-json",
+                                 "--report-md", "--report-csv",
                                  // hidden `shard-worker` plumbing
                                  "--request-json", "--shard",
                                  "--shard-journal", "--status-fd",
                                  "--heartbeat-ms"};
   const char* flag_options[] = {"--detectors", "--instrumented", "--report",
                                 "--no-golden-cache", "--no-static-prune",
-                                "--all", "--quiet", "--no-reduce"};
+                                "--all", "--quiet", "--no-reduce", "--plan"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool matched = false;
@@ -435,50 +463,159 @@ int cmd_inject(const CliArgs& args) {
   return 0;
 }
 
+serve::CampaignRequest campaign_request_of(const CliArgs& args);
+
+std::vector<std::string> csv_of(const std::string& text) {
+  std::vector<std::string> out;
+  for (std::size_t begin = 0; begin <= text.size();) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin) out.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "vulfi: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// `vulfi study`: the vector-width × parallelism resilience study.
+/// Enumerates the plan, fans cells through a daemon or a local engine
+/// cache, journals completed cells for resume, and renders the report.
 int cmd_study(const CliArgs& args) {
-  kernels::StudyConfig config;
-  if (!args.get("benchmark").empty()) {
+  study::StudyPlanConfig config;
+  config.base = campaign_request_of(args);
+  config.base.benchmark.clear();
+
+  config.benchmarks = csv_of(args.get("benchmarks"));
+  if (config.benchmarks.empty() && !args.get("benchmark").empty()) {
     config.benchmarks.push_back(args.get("benchmark"));
   }
-  config.campaign.experiments_per_campaign =
-      std::stoul(args.get("experiments", "40"));
-  config.campaign.min_campaigns = std::stoul(args.get("campaigns", "5"));
-  config.campaign.max_campaigns = config.campaign.min_campaigns * 2;
-  config.campaign.seed = std::stoull(args.get("seed", "24029"));
-  config.campaign.num_threads =
-      static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
-  config.campaign.use_golden_cache = !args.flag("no-golden-cache");
-  config.campaign.use_static_prune = !args.flag("no-static-prune");
-  config.campaign.backend = backend_of(args);
-  config.with_detectors = args.flag("detectors");
-
-  const auto cells = kernels::run_resiliency_study(
-      config, [](unsigned done, unsigned total) {
-        std::fprintf(stderr, "\r  %u/%u cells", done, total);
-        if (done == total) std::fprintf(stderr, "\n");
-      });
-
-  std::vector<std::string> headers = {"Benchmark", "Category", "Target",
-                                      "SDC", "Benign", "Crash",
-                                      "SDC(#) Benign(.) Crash(x)"};
-  if (config.with_detectors) headers.push_back("SDC Detection");
-  TextTable table(headers);
-  for (const kernels::StudyCell& cell : cells) {
-    std::vector<std::string> row = {
-        cell.benchmark, analysis::category_name(cell.category),
-        ir::isa_name(cell.isa), pct(cell.result.sdc_rate()),
-        pct(cell.result.benign_rate()), pct(cell.result.crash_rate()),
-        stacked_bar({{cell.result.sdc_rate(), '#'},
-                     {cell.result.benign_rate(), '.'},
-                     {cell.result.crash_rate(), 'x'}},
-                    30)};
-    if (config.with_detectors) {
-      row.push_back(pct(cell.result.sdc_detection_rate()));
+  if (config.benchmarks.empty()) {
+    for (const auto* bench : kernels::all_benchmarks()) {
+      config.benchmarks.push_back(bench->name());
     }
-    table.add_row(std::move(row));
   }
-  std::fputs(table.render().c_str(), stdout);
-  return 0;
+  if (args.options.count("widths") != 0) {
+    config.widths.clear();
+    for (const std::string& width : csv_of(args.get("widths"))) {
+      if (width == "scalar") {
+        config.widths.push_back(1);
+      } else {
+        config.widths.push_back(
+            static_cast<unsigned>(std::stoul(width)));
+      }
+    }
+  }
+  if (args.options.count("isas") != 0) {
+    config.isas = csv_of(args.get("isas"));
+  }
+  if (args.options.count("categories") != 0) {
+    config.categories = csv_of(args.get("categories"));
+  } else if (args.options.count("category") != 0) {
+    config.categories = {args.get("category")};
+  }
+  const std::string det =
+      args.get("det", args.flag("detectors") ? "on" : "both");
+  if (det == "on") {
+    config.detectors_off = false;
+  } else if (det == "off") {
+    config.detectors_on = false;
+  } else if (det != "both") {
+    std::fprintf(stderr, "--det must be on, off, or both\n");
+    return 2;
+  }
+
+  std::string error;
+  const std::optional<study::StudyPlan> plan =
+      study::StudyPlan::make(config, &error);
+  if (!plan) {
+    std::fprintf(stderr, "vulfi: %s\n", error.c_str());
+    return 2;
+  }
+  if (args.flag("plan")) {
+    std::printf("%s\n", plan->to_json().c_str());
+    return 0;
+  }
+
+  study::StudyOptions options;
+  options.socket = args.get("socket");
+  options.window =
+      static_cast<unsigned>(std::stoul(args.get("window", "4")));
+  options.retry.attempts =
+      static_cast<unsigned>(std::stoul(args.get("retry", "1")));
+  options.retry.base_ms =
+      static_cast<unsigned>(std::stoul(args.get("retry-base-ms", "200")));
+  options.retry.jitter_seed = config.base.seed;
+  options.journal_path = args.get("journal");
+  const std::optional<JournalSync> sync =
+      journal_sync_from_name(args.get("fsync", "always"));
+  if (!sync) {
+    std::fprintf(stderr, "--fsync must be always, batch, or off\n");
+    return 2;
+  }
+  options.journal_sync = *sync;
+  options.summaries_dir = args.get("summary-store");
+  options.stop_after_cells =
+      static_cast<unsigned>(std::stoul(args.get("stop-after-cells", "0")));
+  CancellationToken cancel;
+  const ScopedSignalCancellation signal_guard(cancel);
+  options.cancel = &cancel;
+  options.log = [](const std::string& message) {
+    std::fprintf(stderr, "vulfi: %s\n", message.c_str());
+  };
+  const unsigned total = static_cast<unsigned>(plan->cells().size());
+  unsigned done = 0;
+  options.on_cell = [&done, total](const study::StudyCellOutcome& outcome) {
+    if (!outcome.done) return;
+    done += 1;
+    std::fprintf(stderr, "\r  %u/%u cells (%s %s)", done, total,
+                 outcome.cell.key().c_str(), outcome.source.c_str());
+    if (done == total) std::fprintf(stderr, "\n");
+  };
+
+  const study::StudyResult result = study::run_study(*plan, options);
+  if (done != 0 && done != total) std::fprintf(stderr, "\n");
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "vulfi: %s\n", result.error.c_str());
+  }
+
+  std::fputs(study::study_report_markdown(*plan, result).c_str(), stdout);
+  std::printf(
+      "cells: %u/%u done (%u journal, %u store, %u executed), "
+      "%llu new experiments\n",
+      result.cells_completed, result.cells_total, result.cells_from_journal,
+      result.cells_from_store, result.cells_executed,
+      static_cast<unsigned long long>(result.new_experiments));
+  if (result.interrupted && !options.journal_path.empty()) {
+    std::printf("interrupted — rerun with --journal %s to resume\n",
+                options.journal_path.c_str());
+  }
+
+  const std::string json_path = args.get("report-json");
+  if (!json_path.empty() &&
+      !write_text_file(json_path, study::study_report_json(*plan, result))) {
+    return kCampaignExitInternalError;
+  }
+  const std::string md_path = args.get("report-md");
+  if (!md_path.empty() &&
+      !write_text_file(md_path,
+                       study::study_report_markdown(*plan, result))) {
+    return kCampaignExitInternalError;
+  }
+  const std::string csv_path = args.get("report-csv");
+  if (!csv_path.empty() &&
+      !write_text_file(csv_path, study::study_report_csv(*plan, result))) {
+    return kCampaignExitInternalError;
+  }
+  return result.exit_code;
 }
 
 int cmd_compile(const CliArgs& args) {
@@ -962,6 +1099,7 @@ int cmd_serve(const CliArgs& args) {
   config.verbose = !args.flag("quiet");
 
   serve::CampaignServer server(std::move(config));
+  study::register_study_op(server);
   std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "vulfi: %s\n", error.c_str());
